@@ -1,0 +1,279 @@
+// Ablation studies for the design choices DESIGN.md calls out:
+//   A. coherent candidate extraction (witness constraint) on/off,
+//   B. Equation 2's coverage-based pruning on/off,
+//   C. FCT-/IFE-index dominance filtering on/off for coverage evaluation,
+//   D. multi-scan vs single-scan swapping,
+//   E. distribution distance measure choice for the major/minor classifier.
+
+#include <iostream>
+
+#include "bench_common.h"
+#include "midas/common/timer.h"
+#include "midas/queryform/formulation.h"
+#include "midas/select/candidate_gen.h"
+
+namespace midas {
+namespace bench {
+namespace {
+
+// Shared pipeline pieces for A-C.
+struct Pipeline {
+  GraphDatabase db;
+  FctSet fcts;
+  std::map<ClusterId, Csg> csgs;
+  FctIndex fct_index;
+  IfeIndex ife_index;
+
+  explicit Pipeline(size_t n, uint64_t seed) {
+    MoleculeGenerator gen(seed);
+    db = gen.Generate(MoleculeGenerator::PubchemLike(n));
+    FctSet::Config fc;
+    fc.sup_min = 0.5;
+    fc.max_edges = 3;
+    fcts = FctSet::Mine(db, fc);
+    ClusterSet::Config cc;
+    cc.num_coarse = 6;
+    cc.max_cluster_size = 60;
+    Rng rng(seed);
+    ClusterSet clusters = ClusterSet::Build(db, fcts, cc, rng);
+    for (const auto& [cid, c] : clusters.clusters()) {
+      csgs.emplace(cid, Csg::Build(db, c.members));
+    }
+    fct_index = FctIndex::Build(db, fcts);
+    ife_index = IfeIndex::Build(db, fcts);
+  }
+};
+
+void AblationCoherence(const Pipeline& p) {
+  Table t("Ablation A  coherent extraction (witness constraint)",
+          {"mode", "candidates", "mean scov", "zero-scov share"});
+  for (bool coherent : {true, false}) {
+    CatapultConfig cfg;
+    cfg.budget.eta_min = 3;
+    cfg.budget.eta_max = 8;
+    cfg.budget.gamma = 16;
+    cfg.coherent_extraction = coherent;
+    cfg.sample_cap = 0;
+    Rng rng(7);
+    PatternSet set =
+        SelectCannedPatterns(p.db, p.fcts, p.csgs, cfg, rng, &p.fct_index,
+                             &p.ife_index);
+    double scov_sum = 0.0;
+    size_t zero = 0;
+    for (const auto& [pid, pat] : set.patterns()) {
+      scov_sum += pat.scov;
+      if (pat.coverage.empty()) ++zero;
+    }
+    size_t n = std::max<size_t>(1, set.size());
+    t.AddRow({coherent ? "coherent" : "unconstrained",
+              std::to_string(set.size()),
+              Fmt(scov_sum / static_cast<double>(n)),
+              FmtPct(100.0 * static_cast<double>(zero) /
+                     static_cast<double>(n))});
+  }
+  t.Print();
+}
+
+void AblationPruning(const Pipeline& p) {
+  Table t("Ablation B  Equation 2 coverage-based pruning",
+          {"mode", "candidates", "generation time"});
+  // An existing pattern set with moderate coverage so pruning has teeth.
+  PatternSet existing;
+  Rng seed_rng(3);
+  CatapultConfig sel;
+  sel.budget.eta_min = 3;
+  sel.budget.eta_max = 8;
+  sel.budget.gamma = 8;
+  sel.sample_cap = 0;
+  existing = SelectCannedPatterns(p.db, p.fcts, p.csgs, sel, seed_rng,
+                                  &p.fct_index, &p.ife_index);
+  IdSet universe(p.db.Ids());
+
+  for (bool pruning : {true, false}) {
+    CandidateGenConfig cfg;
+    cfg.budget.eta_min = 3;
+    cfg.budget.eta_max = 8;
+    cfg.enable_pruning = pruning;
+    cfg.max_candidates = 512;
+    Rng rng(11);
+    Timer timer;
+    auto candidates = GeneratePromisingCandidates(
+        p.db, p.fcts, p.csgs, existing, universe, cfg, rng);
+    t.AddRow({pruning ? "Eq.2 pruning" : "no pruning",
+              std::to_string(candidates.size()), FmtMs(timer.ElapsedMs())});
+  }
+  t.Print();
+}
+
+void AblationIndices(const Pipeline& p) {
+  Table t("Ablation C  index-accelerated coverage evaluation",
+          {"mode", "time for 64 evaluations", "avg candidates verified"});
+  Rng qrng(13);
+  std::vector<Graph> probes;
+  auto ids = p.db.Ids();
+  for (int i = 0; i < 64; ++i) {
+    const Graph* g =
+        p.db.Find(ids[static_cast<size_t>(qrng.UniformInt(0, ids.size() - 1))]);
+    probes.push_back(RandomConnectedSubgraph(*g, 6, qrng));
+  }
+  for (bool use_indices : {true, false}) {
+    Rng rng(17);
+    CoverageEvaluator eval(p.db, 0, rng,
+                           use_indices ? &p.fct_index : nullptr,
+                           use_indices ? &p.ife_index : nullptr);
+    Timer timer;
+    size_t covered = 0;
+    for (const Graph& probe : probes) covered += eval.CoverageOf(probe).size();
+    t.AddRow({use_indices ? "FCT+IFE indices" : "full VF2 scan",
+              FmtMs(timer.ElapsedMs()),
+              Fmt(static_cast<double>(covered) / 64.0, 1)});
+  }
+  t.Print();
+}
+
+void AblationMultiScan() {
+  Table t("Ablation D  multi-scan vs single-scan swapping",
+          {"max scans", "swaps", "f_scov gain", "PMT"});
+  for (int scans : {1, 3}) {
+    MidasConfig cfg = PaperConfig(42);
+    cfg.swap.max_scans = scans;
+    World world(MoleculeGenerator::PubchemLike(Scaled(150)), cfg, 42);
+    double scov_before =
+        world.engine->CurrentQuality().scov;
+    BatchUpdate delta = world.MakeDelta(25, true);
+    MaintenanceStats stats = world.engine->ApplyUpdate(delta);
+    double scov_after = world.engine->CurrentQuality().scov;
+    t.AddRow({std::to_string(scans), std::to_string(stats.swaps),
+              Fmt(scov_after - scov_before, 3), FmtMs(stats.total_ms)});
+  }
+  t.Print();
+}
+
+void AblationQueryLog() {
+  // Section 3.5 extension: a log of boron-family queries steers swaps
+  // towards workload-relevant patterns, cutting MP on that workload.
+  Table t("Ablation F  query-log-aware swapping (Section 3.5 extension)",
+          {"mode", "MP on workload", "mean steps", "panel log-weight",
+           "swaps"});
+  for (bool use_log : {false, true}) {
+    MidasConfig cfg = PaperConfig(42);
+    // Scarce acceptance (strict sw2, single scan): only candidates whose
+    // score clears (1+λ)× the weakest pattern's get in, so the log boost
+    // decides *which* candidates make the cut.
+    cfg.lambda = 2.0;
+    cfg.swap.lambda = 2.0;
+    cfg.swap.max_scans = 1;
+    cfg.swap.log_boost = 6.0;
+    World world(MoleculeGenerator::PubchemLike(Scaled(150)), cfg, 42);
+
+    // Build the future workload: queries over new-family graphs.
+    BatchUpdate delta = world.MakeDelta(25, true);
+    IdSet before(world.engine->db().Ids());
+
+    QueryLog log;
+    if (use_log) {
+      // Users have been asking boron-flavored queries; pre-log a sample of
+      // the incoming family's subgraphs.
+      // Logged queries must be larger than candidate patterns for the
+      // containment-based weight to fire.
+      Rng lrng(5);
+      while (log.size() < 48) {
+        for (const Graph& g : delta.insertions) {
+          log.Record(RandomConnectedSubgraph(g, 16, lrng));
+          if (log.size() >= 48) break;
+        }
+      }
+      world.engine->SetQueryLog(&log);
+    }
+    MaintenanceStats stats = world.engine->ApplyUpdate(delta);
+
+    std::vector<GraphId> added;
+    for (GraphId id : world.engine->db().Ids()) {
+      if (!before.Contains(id)) added.push_back(id);
+    }
+    // Evaluation workload: fresh queries from the same family.
+    Rng qrng(9);
+    std::vector<Graph> workload;
+    for (int i = 0; i < 60; ++i) {
+      GraphId id = added[static_cast<size_t>(
+          qrng.UniformInt(0, added.size() - 1))];
+      Graph q = RandomConnectedSubgraph(*world.engine->db().Find(id), 8,
+                                        qrng);
+      if (q.NumEdges() > 0) workload.push_back(std::move(q));
+    }
+    // How aligned is the final panel with what users formulate? Weigh every
+    // pattern against an out-of-sample log of the same workload.
+    QueryLog eval_log;
+    for (const Graph& q : workload) eval_log.Record(q);
+    double weight_sum = 0.0;
+    for (const auto& [pid, p] : world.engine->patterns().patterns()) {
+      weight_sum += eval_log.PatternWeight(p.graph);
+    }
+    double panel_weight =
+        world.engine->patterns().size() == 0
+            ? 0.0
+            : weight_sum /
+                  static_cast<double>(world.engine->patterns().size());
+
+    t.AddRow({use_log ? "log-boosted" : "log-oblivious",
+              FmtPct(MissedPercentage(workload, world.engine->patterns())),
+              Fmt(MeanSteps(workload, world.engine->patterns()), 2),
+              Fmt(panel_weight, 3), std::to_string(stats.swaps)});
+  }
+  t.Print();
+}
+
+void AblationDistance() {
+  Table t("Ablation E  distribution distance measure (Section 3.4 claim)",
+          {"measure", "minor-batch distance", "major-batch distance",
+           "ratio major/minor"});
+  MoleculeGenerator gen(21);
+  MoleculeGenConfig data = MoleculeGenerator::PubchemLike(Scaled(150));
+  GraphDatabase db = gen.Generate(data);
+  GraphletCensus census(db);
+  auto psi0 = census.Distribution();
+
+  auto evolved_psi = [&](bool new_family) {
+    GraphDatabase copy = db;
+    GraphletCensus c = census;
+    MoleculeGenerator g2(22);
+    BatchUpdate delta = g2.GenerateAdditions(copy, data, 40, new_family);
+    for (GraphId id : copy.ApplyBatch(delta)) c.Add(id, *copy.Find(id));
+    return c.Distribution();
+  };
+  auto psi_minor = evolved_psi(false);
+  auto psi_major = evolved_psi(true);
+
+  struct M {
+    const char* name;
+    DistributionDistance d;
+  };
+  for (const M& m : {M{"euclidean", DistributionDistance::kEuclidean},
+                     M{"manhattan", DistributionDistance::kManhattan},
+                     M{"cosine", DistributionDistance::kCosine},
+                     M{"hellinger", DistributionDistance::kHellinger}}) {
+    double dm = DistributionDistanceValue(psi0, psi_minor, m.d);
+    double dM = DistributionDistanceValue(psi0, psi_major, m.d);
+    t.AddRow({m.name, Fmt(dm, 4), Fmt(dM, 4),
+              dm > 0 ? Fmt(dM / dm, 1) + "x" : "inf"});
+  }
+  t.Print();
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace midas
+
+int main() {
+  using namespace midas::bench;
+  std::cout << "MIDAS bench_ablation (design-choice studies), scale="
+            << ScaleFactor() << "\n";
+  midas::bench::Pipeline p(Scaled(200), 5);
+  midas::bench::AblationCoherence(p);
+  midas::bench::AblationPruning(p);
+  midas::bench::AblationIndices(p);
+  midas::bench::AblationMultiScan();
+  midas::bench::AblationQueryLog();
+  midas::bench::AblationDistance();
+  return 0;
+}

@@ -1,0 +1,119 @@
+// Experiment 3b/3c (Figures 14 and 15): MIDAS vs CATAPULT, CATAPULT++ and
+// Random swapping on AIDS-like and PubChem-like databases across a grid of
+// batch modifications. Reports maintenance time (PMT), missed percentage
+// (MP), reduction ratio mu (positive: the baseline needs more steps than
+// MIDAS), and pattern-set quality (scov / lcov / div / avg cog).
+
+#include <iostream>
+
+#include "bench_common.h"
+#include "midas/queryform/formulation.h"
+
+namespace midas {
+namespace bench {
+namespace {
+
+struct DeltaSpec {
+  const char* name;
+  double percent;
+  bool new_family;
+};
+
+constexpr DeltaSpec kDeltas[] = {
+    {"+10%", 10, true},   {"+20%", 20, true},   {"+40%", 40, true},
+    {"-10%", -10, false}, {"-20%", -20, false}, {"-S fam", 0, false},
+};
+
+void RunDataset(const char* dataset_name, MoleculeGenConfig data_cfg,
+                uint64_t seed) {
+  MidasConfig cfg = PaperConfig(seed);
+
+  Table time_table(std::string("Fig 14/15 [") + dataset_name +
+                       "]  maintenance time",
+                   {"delta", "MIDAS", "Random", "CATAPULT", "CATAPULT++"});
+  Table mp_table(std::string("Fig 14/15 [") + dataset_name +
+                     "]  missed percentage (MP)",
+                 {"delta", "MIDAS", "Random", "CATAPULT", "CATAPULT++"});
+  Table mu_table(std::string("Fig 14/15 [") + dataset_name +
+                     "]  reduction ratio mu vs MIDAS (positive: MIDAS wins)",
+                 {"delta", "Random", "CATAPULT", "CATAPULT++"});
+  Table quality_table(std::string("Fig 14/15 [") + dataset_name +
+                          "]  pattern set quality after maintenance",
+                      {"delta", "approach", "scov", "lcov", "div", "cog"});
+
+  for (const DeltaSpec& spec : kDeltas) {
+    // Twin worlds with identical seeds: one maintained by MIDAS, one by
+    // random swapping.
+    World world(data_cfg, cfg, seed);
+    World world_rand(data_cfg, cfg, seed);
+    BatchUpdate delta =
+        spec.percent == 0
+            ? world.MakeTargetedDeletion("S", 25)
+            : world.MakeDelta(spec.percent, spec.new_family);
+
+    IdSet before_ids(world.engine->db().Ids());
+    MaintenanceStats midas_stats = world.engine->ApplyUpdate(delta);
+    MaintenanceStats rand_stats =
+        world_rand.engine->ApplyUpdate(delta, MaintenanceMode::kRandomSwap);
+
+    std::vector<GraphId> added;
+    for (GraphId id : world.engine->db().Ids()) {
+      if (!before_ids.Contains(id)) added.push_back(id);
+    }
+
+    FromScratchResult cat =
+        RunFromScratch(world.engine->db(), cfg, /*plus_plus=*/false, seed);
+    FromScratchResult catpp =
+        RunFromScratch(world.engine->db(), cfg, /*plus_plus=*/true, seed);
+
+    std::vector<Graph> queries = MakeQueries(
+        world.engine->db(), added, 100, 4, 20, seed + 17);
+
+    const PatternSet& midas_p = world.engine->patterns();
+    const PatternSet& rand_p = world_rand.engine->patterns();
+
+    time_table.AddRow({spec.name, FmtMs(midas_stats.total_ms),
+                       FmtMs(rand_stats.total_ms), FmtMs(cat.total_ms),
+                       FmtMs(catpp.total_ms)});
+    mp_table.AddRow({spec.name, FmtPct(MissedPercentage(queries, midas_p)),
+                     FmtPct(MissedPercentage(queries, rand_p)),
+                     FmtPct(MissedPercentage(queries, cat.patterns)),
+                     FmtPct(MissedPercentage(queries, catpp.patterns))});
+    mu_table.AddRow({spec.name,
+                     Fmt(ReductionRatio(queries, rand_p, midas_p), 3),
+                     Fmt(ReductionRatio(queries, cat.patterns, midas_p), 3),
+                     Fmt(ReductionRatio(queries, catpp.patterns, midas_p), 3)});
+
+    size_t universe = world.engine->evaluator().universe().size();
+    auto add_quality = [&](const char* approach, const PatternSet& set) {
+      PatternQuality q = EvaluateQuality(set, universe);
+      std::vector<std::string> row = {spec.name, approach};
+      for (std::string& cell : QualityCells(q)) row.push_back(std::move(cell));
+      quality_table.AddRow(std::move(row));
+    };
+    add_quality("MIDAS", midas_p);
+    add_quality("Random", rand_p);
+    add_quality("CATAPULT", cat.patterns);
+    add_quality("CATAPULT++", catpp.patterns);
+  }
+
+  time_table.Print();
+  mp_table.Print();
+  mu_table.Print();
+  quality_table.Print();
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace midas
+
+int main() {
+  using namespace midas;
+  using namespace midas::bench;
+  std::cout << "MIDAS bench_baselines (Figures 14-15), scale="
+            << ScaleFactor() << "\n";
+  RunDataset("AIDS25K-like", MoleculeGenerator::AidsLike(Scaled(250)), 42);
+  RunDataset("PubChem15K-like", MoleculeGenerator::PubchemLike(Scaled(150)),
+             43);
+  return 0;
+}

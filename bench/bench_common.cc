@@ -1,0 +1,147 @@
+#include "bench_common.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+
+namespace midas {
+namespace bench {
+
+double ScaleFactor() {
+  const char* env = std::getenv("MIDAS_BENCH_SCALE");
+  if (env == nullptr) return 1.0;
+  double v = std::atof(env);
+  return v > 0 ? v : 1.0;
+}
+
+size_t Scaled(size_t base) {
+  double s = static_cast<double>(base) * ScaleFactor();
+  return std::max<size_t>(4, static_cast<size_t>(s));
+}
+
+MidasConfig PaperConfig(uint64_t seed) {
+  MidasConfig cfg;
+  cfg.fct.sup_min = 0.5;
+  cfg.fct.max_edges = 3;
+  cfg.cluster.num_coarse = 6;
+  cfg.cluster.max_cluster_size = 60;
+  cfg.budget.eta_min = 3;
+  cfg.budget.eta_max = 12;
+  cfg.budget.gamma = 30;
+  cfg.walk.num_walks = 80;
+  cfg.walk.walk_length = 20;
+  cfg.epsilon = 0.005;  // rescaled with the dataset sizes (paper: 0.1)
+  cfg.kappa = 0.1;
+  cfg.lambda = 0.1;
+  cfg.sample_cap = 150;
+  cfg.pcp_starts = 2;
+  cfg.seed = seed;
+  return cfg;
+}
+
+MidasConfig LightConfig(uint64_t seed) {
+  MidasConfig cfg = PaperConfig(seed);
+  cfg.budget.eta_max = 8;
+  cfg.budget.gamma = 16;
+  cfg.walk.num_walks = 50;
+  cfg.walk.walk_length = 15;
+  cfg.sample_cap = 100;
+  return cfg;
+}
+
+Table::Table(std::string title, std::vector<std::string> columns)
+    : title_(std::move(title)), columns_(std::move(columns)) {}
+
+void Table::AddRow(std::vector<std::string> cells) {
+  rows_.push_back(std::move(cells));
+}
+
+void Table::Print(std::ostream& out) const {
+  std::vector<size_t> widths(columns_.size(), 0);
+  for (size_t i = 0; i < columns_.size(); ++i) widths[i] = columns_[i].size();
+  for (const auto& row : rows_) {
+    for (size_t i = 0; i < row.size() && i < widths.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  }
+  out << "\n== " << title_ << " ==\n";
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (size_t i = 0; i < columns_.size(); ++i) {
+      std::string cell = i < row.size() ? row[i] : "";
+      out << std::left << std::setw(static_cast<int>(widths[i]) + 2) << cell;
+    }
+    out << "\n";
+  };
+  print_row(columns_);
+  std::string rule;
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    rule += std::string(widths[i], '-') + "  ";
+  }
+  out << rule << "\n";
+  for (const auto& row : rows_) print_row(row);
+  out.flush();
+}
+
+void Table::Print() const { Print(std::cout); }
+
+std::string Fmt(double value, int precision) {
+  std::ostringstream s;
+  s << std::fixed << std::setprecision(precision) << value;
+  return s.str();
+}
+
+std::string FmtPct(double value, int precision) {
+  return Fmt(value, precision) + "%";
+}
+
+std::string FmtMs(double ms) {
+  if (ms >= 1000.0) return Fmt(ms / 1000.0, 2) + "s";
+  return Fmt(ms, 1) + "ms";
+}
+
+World::World(MoleculeGenConfig data_cfg, const MidasConfig& cfg, uint64_t seed)
+    : gen(seed), data(data_cfg) {
+  GraphDatabase db = gen.Generate(data);
+  engine = std::make_unique<MidasEngine>(std::move(db), cfg);
+  engine->Initialize();
+}
+
+BatchUpdate World::MakeDelta(double percent, bool new_family) {
+  size_t count = static_cast<size_t>(
+      std::max(1.0, std::abs(percent) / 100.0 *
+                        static_cast<double>(engine->db().size())));
+  if (percent >= 0) {
+    GraphDatabase copy = engine->db();
+    return gen.GenerateAdditions(copy, data, count, new_family);
+  }
+  return gen.GenerateDeletions(engine->db(), count);
+}
+
+BatchUpdate World::MakeTargetedDeletion(const std::string& label,
+                                        double percent) {
+  size_t count = static_cast<size_t>(
+      std::max(1.0, percent / 100.0 *
+                        static_cast<double>(engine->db().size())));
+  return gen.GenerateTargetedDeletions(engine->db(), label, count);
+}
+
+std::vector<Graph> MakeQueries(const GraphDatabase& db,
+                               const std::vector<GraphId>& delta_ids,
+                               size_t count, size_t min_edges,
+                               size_t max_edges, uint64_t seed) {
+  QueryGenConfig cfg;
+  cfg.count = count;
+  cfg.min_edges = min_edges;
+  cfg.max_edges = max_edges;
+  Rng rng(seed);
+  return GenerateBalancedQueries(db, delta_ids, cfg, rng);
+}
+
+std::vector<std::string> QualityCells(const PatternQuality& q) {
+  return {Fmt(q.scov), Fmt(q.lcov), Fmt(q.div), Fmt(q.cog_avg)};
+}
+
+}  // namespace bench
+}  // namespace midas

@@ -1,0 +1,78 @@
+#ifndef MIDAS_BENCH_BENCH_COMMON_H_
+#define MIDAS_BENCH_BENCH_COMMON_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "midas/datagen/molecule_gen.h"
+#include "midas/datagen/workload.h"
+#include "midas/maintain/midas.h"
+
+namespace midas {
+namespace bench {
+
+/// Global dataset scale factor, read from MIDAS_BENCH_SCALE (default 1.0).
+/// All experiment dataset sizes are multiplied by it, so the full paper
+/// grid can be approached on bigger machines without code changes.
+double ScaleFactor();
+size_t Scaled(size_t base);
+
+/// Shared experiment configuration: the paper's parameter defaults
+/// (η_min = 3, η_max = 12, γ = 30, sup_min = 0.5, ε = 0.1, κ = λ = 0.1)
+/// with walk/sampling knobs sized for single-core synthetic runs.
+MidasConfig PaperConfig(uint64_t seed = 42);
+
+/// Reduced-budget variant used by the heavier sweep benches.
+MidasConfig LightConfig(uint64_t seed = 42);
+
+/// Plain-text aligned table, one per figure panel.
+class Table {
+ public:
+  Table(std::string title, std::vector<std::string> columns);
+  void AddRow(std::vector<std::string> cells);
+  void Print(std::ostream& out) const;
+  void Print() const;  // stdout
+
+ private:
+  std::string title_;
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+std::string Fmt(double value, int precision = 2);
+std::string FmtPct(double value, int precision = 1);
+std::string FmtMs(double ms);
+
+/// A ready-to-evolve world: generator + dataset config + initialized engine.
+struct World {
+  MoleculeGenerator gen;
+  MoleculeGenConfig data;
+  std::unique_ptr<MidasEngine> engine;
+
+  World(MoleculeGenConfig data_cfg, const MidasConfig& cfg, uint64_t seed);
+
+  /// Batch update of ±percent of the current database size. Positive =
+  /// additions (new_family controls major/minor flavor), negative =
+  /// deletions.
+  BatchUpdate MakeDelta(double percent, bool new_family);
+
+  /// Family-targeted deletion: removes up to `percent`% of the database,
+  /// restricted to graphs containing `label` — the major-deletion mirror of
+  /// a new-family insertion.
+  BatchUpdate MakeTargetedDeletion(const std::string& label, double percent);
+};
+
+/// Balanced query workload against the world's database.
+std::vector<Graph> MakeQueries(const GraphDatabase& db,
+                               const std::vector<GraphId>& delta_ids,
+                               size_t count, size_t min_edges,
+                               size_t max_edges, uint64_t seed);
+
+/// Pattern-set quality snapshot columns (scov, lcov, div, avg cog).
+std::vector<std::string> QualityCells(const PatternQuality& q);
+
+}  // namespace bench
+}  // namespace midas
+
+#endif  // MIDAS_BENCH_BENCH_COMMON_H_

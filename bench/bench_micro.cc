@@ -1,0 +1,275 @@
+// google-benchmark micro suite covering the core kernels: VF2 subgraph
+// isomorphism, GED (exact + bounds), graphlet census, canonical forms,
+// FCT mining and maintenance, index construction, CSG integration, and the
+// swap machinery.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "midas/graph/canonical.h"
+#include "midas/graph/ged.h"
+#include "midas/graph/graphlet.h"
+#include "midas/graph/subgraph_iso.h"
+#include "midas/index/pf_matrix.h"
+#include "midas/maintain/swap.h"
+#include "midas/queryform/formulation.h"
+#include "midas/queryform/query_executor.h"
+
+namespace midas {
+namespace {
+
+GraphDatabase SharedDb(size_t n = 60) {
+  MoleculeGenerator gen(7);
+  return gen.Generate(MoleculeGenerator::PubchemLike(n));
+}
+
+Graph SharedPattern() {
+  GraphDatabase db = SharedDb(5);
+  Rng rng(3);
+  return RandomConnectedSubgraph(*db.Find(0), 5, rng);
+}
+
+void BM_Vf2Contains(benchmark::State& state) {
+  GraphDatabase db = SharedDb();
+  Graph pattern = SharedPattern();
+  auto ids = db.Ids();
+  size_t i = 0;
+  for (auto _ : state) {
+    const Graph* g = db.Find(ids[i++ % ids.size()]);
+    benchmark::DoNotOptimize(ContainsSubgraph(pattern, *g));
+  }
+}
+BENCHMARK(BM_Vf2Contains);
+
+void BM_Vf2CountEmbeddings(benchmark::State& state) {
+  GraphDatabase db = SharedDb();
+  Graph pattern = SharedPattern();
+  const Graph* g = db.Find(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(CountEmbeddings(pattern, *g, 256));
+  }
+}
+BENCHMARK(BM_Vf2CountEmbeddings);
+
+void BM_GedExactSmall(benchmark::State& state) {
+  LabelDictionary d;
+  Rng rng(5);
+  std::vector<Graph> graphs;
+  for (int i = 0; i < 16; ++i) {
+    Graph g;
+    for (int v = 0; v < 6; ++v) {
+      g.AddVertex(d.Intern(std::string(1, 'A' + rng.UniformInt(0, 2))));
+    }
+    for (int v = 1; v < 6; ++v) {
+      g.AddEdge(static_cast<VertexId>(rng.UniformInt(0, v - 1)),
+                static_cast<VertexId>(v));
+    }
+    graphs.push_back(std::move(g));
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    const Graph& a = graphs[i % graphs.size()];
+    const Graph& b = graphs[(i + 1) % graphs.size()];
+    ++i;
+    benchmark::DoNotOptimize(GedExact(a, b));
+  }
+}
+BENCHMARK(BM_GedExactSmall);
+
+void BM_GedLowerBound(benchmark::State& state) {
+  GraphDatabase db = SharedDb();
+  const Graph* a = db.Find(0);
+  const Graph* b = db.Find(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(GedLowerBound(*a, *b));
+  }
+}
+BENCHMARK(BM_GedLowerBound);
+
+void BM_GraphletCensus(benchmark::State& state) {
+  GraphDatabase db = SharedDb();
+  auto ids = db.Ids();
+  size_t i = 0;
+  for (auto _ : state) {
+    const Graph* g = db.Find(ids[i++ % ids.size()]);
+    benchmark::DoNotOptimize(CountGraphlets(*g));
+  }
+}
+BENCHMARK(BM_GraphletCensus);
+
+void BM_CanonicalTree(benchmark::State& state) {
+  LabelDictionary d;
+  Rng rng(9);
+  Graph tree;
+  for (int v = 0; v < 12; ++v) {
+    tree.AddVertex(d.Intern(std::string(1, 'A' + rng.UniformInt(0, 3))));
+  }
+  for (int v = 1; v < 12; ++v) {
+    tree.AddEdge(static_cast<VertexId>(rng.UniformInt(0, v - 1)),
+                 static_cast<VertexId>(v));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(CanonicalTreeString(tree));
+  }
+}
+BENCHMARK(BM_CanonicalTree);
+
+void BM_FctMine(benchmark::State& state) {
+  GraphDatabase db = SharedDb(static_cast<size_t>(state.range(0)));
+  FctSet::Config cfg;
+  cfg.sup_min = 0.5;
+  cfg.max_edges = 3;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(FctSet::Mine(db, cfg));
+  }
+}
+BENCHMARK(BM_FctMine)->Arg(30)->Arg(60);
+
+void BM_FctMaintainAdd(benchmark::State& state) {
+  MoleculeGenerator gen(11);
+  MoleculeGenConfig data = MoleculeGenerator::PubchemLike(60);
+  GraphDatabase db = gen.Generate(data);
+  FctSet::Config cfg;
+  cfg.sup_min = 0.5;
+  cfg.max_edges = 3;
+  FctSet base = FctSet::Mine(db, cfg);
+  BatchUpdate delta = gen.GenerateAdditions(db, data, 6, true);
+  std::vector<GraphId> added = db.ApplyBatch(delta);
+  for (auto _ : state) {
+    FctSet copy = base;
+    copy.MaintainAdd(db, added);
+    benchmark::DoNotOptimize(copy);
+  }
+}
+BENCHMARK(BM_FctMaintainAdd);
+
+void BM_FctIndexBuild(benchmark::State& state) {
+  GraphDatabase db = SharedDb();
+  FctSet fcts = FctSet::Mine(db, {0.5, 3, 20000});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(FctIndex::Build(db, fcts));
+  }
+}
+BENCHMARK(BM_FctIndexBuild);
+
+void BM_CsgBuild(benchmark::State& state) {
+  GraphDatabase db = SharedDb();
+  IdSet members(db.Ids());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Csg::Build(db, members));
+  }
+}
+BENCHMARK(BM_CsgBuild);
+
+void BM_CoverageEvaluation(benchmark::State& state) {
+  GraphDatabase db = SharedDb();
+  FctSet fcts = FctSet::Mine(db, {0.5, 3, 20000});
+  FctIndex fct_index = FctIndex::Build(db, fcts);
+  IfeIndex ife_index = IfeIndex::Build(db, fcts);
+  Rng rng(13);
+  CoverageEvaluator eval(db, 0, rng, &fct_index, &ife_index);
+  Graph pattern = SharedPattern();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(eval.CoverageOf(pattern));
+  }
+}
+BENCHMARK(BM_CoverageEvaluation);
+
+void BM_GedUpperBound(benchmark::State& state) {
+  GraphDatabase db = SharedDb();
+  const Graph* a = db.Find(0);
+  const Graph* b = db.Find(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(GedUpperBound(*a, *b));
+  }
+}
+BENCHMARK(BM_GedUpperBound);
+
+void BM_GraphletCensusMaintenance(benchmark::State& state) {
+  GraphDatabase db = SharedDb();
+  GraphletCensus census(db);
+  const Graph* g = db.Find(2);
+  for (auto _ : state) {
+    census.Add(99999, *g);
+    census.Remove(99999);
+    benchmark::DoNotOptimize(census.totals());
+  }
+}
+BENCHMARK(BM_GraphletCensusMaintenance);
+
+void BM_QueryExecution(benchmark::State& state) {
+  GraphDatabase db = SharedDb(120);
+  FctSet fcts = FctSet::Mine(db, {0.5, 3, 20000});
+  FctIndex fct_index = FctIndex::Build(db, fcts);
+  IfeIndex ife_index = IfeIndex::Build(db, fcts);
+  QueryExecutor exec(db, &fct_index, &ife_index);
+  Rng rng(23);
+  std::vector<Graph> queries;
+  for (int i = 0; i < 16; ++i) {
+    queries.push_back(RandomConnectedSubgraph(*db.Find(i), 6, rng));
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(exec.Execute(queries[i++ % queries.size()]));
+  }
+}
+BENCHMARK(BM_QueryExecution);
+
+void BM_FormulationPlanWithEdits(benchmark::State& state) {
+  GraphDatabase db = SharedDb();
+  LabelDictionary& d = db.labels();
+  PatternSet panel;
+  Rng rng(29);
+  for (int i = 0; i < 12; ++i) {
+    CannedPattern p;
+    p.graph = RandomConnectedSubgraph(*db.Find(i), 5, rng);
+    panel.Add(std::move(p));
+  }
+  (void)d;
+  Graph query = RandomConnectedSubgraph(*db.Find(20), 12, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(PlanFormulationWithEdits(query, panel));
+  }
+}
+BENCHMARK(BM_FormulationPlanWithEdits);
+
+void BM_MultiScanSwap(benchmark::State& state) {
+  GraphDatabase db = SharedDb(80);
+  FctSet fcts = FctSet::Mine(db, {0.5, 3, 20000});
+  Rng rng(31);
+  CoverageEvaluator eval(db, 0, rng);
+  PatternSet base;
+  std::vector<Graph> candidates;
+  Rng qrng(37);
+  for (int i = 0; i < 8; ++i) {
+    CannedPattern p;
+    p.graph = RandomConnectedSubgraph(*db.Find(i), 4, qrng);
+    RefreshPatternMetrics(p, eval, fcts);
+    base.Add(std::move(p));
+    candidates.push_back(RandomConnectedSubgraph(*db.Find(i + 20), 4, qrng));
+  }
+  SwapConfig cfg;
+  for (auto _ : state) {
+    PatternSet set = base;
+    benchmark::DoNotOptimize(
+        MultiScanSwap(set, candidates, eval, fcts, cfg));
+  }
+}
+BENCHMARK(BM_MultiScanSwap);
+
+void BM_TightGedEstimate(benchmark::State& state) {
+  GraphDatabase db = SharedDb();
+  FctSet fcts = FctSet::Mine(db, {0.5, 3, 20000});
+  std::vector<Graph> features = GedFeatureTrees(fcts);
+  const Graph* a = db.Find(0);
+  const Graph* b = db.Find(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(GedTightLowerBoundWithFeatures(*a, *b, features));
+  }
+}
+BENCHMARK(BM_TightGedEstimate);
+
+}  // namespace
+}  // namespace midas
+
+BENCHMARK_MAIN();

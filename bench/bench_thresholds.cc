@@ -1,0 +1,63 @@
+// Experiment 1 (Figure 11): sensitivity to the evolution ratio threshold ε
+// and the swapping thresholds κ = λ on an AIDS-like database with a 20%
+// batch addition. Reports pattern maintenance time (PMT), cluster/CSG
+// maintenance time, and pattern generation time (PGT = candidate generation
+// + swapping), with CATAPULT++ regeneration as the reference.
+
+#include <iostream>
+
+#include "bench_common.h"
+
+int main() {
+  using namespace midas;
+  using namespace midas::bench;
+  std::cout << "MIDAS bench_thresholds (Figure 11), scale=" << ScaleFactor()
+            << "\n";
+
+  MoleculeGenConfig data_cfg = MoleculeGenerator::AidsLike(Scaled(250));
+
+  // --- vary epsilon ------------------------------------------------------
+  {
+    Table t("Fig 11 (left)  varying evolution ratio threshold eps",
+            {"eps", "major?", "PMT", "cluster+csg time", "PGT",
+             "CATAPULT++ total"});
+    for (double eps : {0.0025, 0.005, 0.01, 0.02, 0.04}) {
+      MidasConfig cfg = PaperConfig(42);
+      cfg.epsilon = eps;
+      World world(data_cfg, cfg, 42);
+      BatchUpdate delta = world.MakeDelta(20, true);
+      MaintenanceStats stats = world.engine->ApplyUpdate(delta);
+      FromScratchResult catpp =
+          RunFromScratch(world.engine->db(), cfg, true, 42);
+      t.AddRow({Fmt(eps, 4), stats.major ? "yes" : "no",
+                FmtMs(stats.total_ms),
+                FmtMs(stats.cluster_ms + stats.csg_ms),
+                FmtMs(stats.candidate_ms + stats.swap_ms),
+                FmtMs(catpp.total_ms)});
+    }
+    t.Print();
+  }
+
+  // --- vary kappa = lambda ------------------------------------------------
+  {
+    Table t("Fig 11 (right)  varying swapping thresholds kappa = lambda",
+            {"kappa", "PMT", "PGT", "swaps", "candidates",
+             "CATAPULT++ total"});
+    for (double kappa : {0.05, 0.1, 0.2, 0.4}) {
+      MidasConfig cfg = PaperConfig(42);
+      cfg.kappa = kappa;
+      cfg.lambda = kappa;
+      World world(data_cfg, cfg, 42);
+      BatchUpdate delta = world.MakeDelta(20, true);
+      MaintenanceStats stats = world.engine->ApplyUpdate(delta);
+      FromScratchResult catpp =
+          RunFromScratch(world.engine->db(), cfg, true, 42);
+      t.AddRow({Fmt(kappa, 2), FmtMs(stats.total_ms),
+                FmtMs(stats.candidate_ms + stats.swap_ms),
+                std::to_string(stats.swaps), std::to_string(stats.candidates),
+                FmtMs(catpp.total_ms)});
+    }
+    t.Print();
+  }
+  return 0;
+}

@@ -1,0 +1,195 @@
+// Experiments of Section 7.2 (Figures 9 and 10): the simulated user study.
+//
+// Figure 9: a PubChem-like database evolves with a new-family batch
+// addition; three query sets (Qs1 from the original D, Qs2 mixed, Qs3 from
+// Δ⁺) are formulated with the pattern sets of MIDAS, NoMaintain, CATAPULT
+// and CATAPULT++ by simulated users; QFT / steps / VMT are reported.
+//
+// Figure 10: user-specified (ad-hoc mixed) queries on all three datasets.
+
+#include <iostream>
+
+#include "bench_common.h"
+#include "midas/queryform/user_model.h"
+
+namespace midas {
+namespace bench {
+namespace {
+
+struct Approach {
+  const char* name;
+  const PatternSet* patterns;
+};
+
+struct StudyOutcome {
+  double qft = 0.0;
+  double steps = 0.0;
+  double vmt = 0.0;
+};
+
+StudyOutcome RunStudy(const std::vector<Graph>& queries,
+                      const PatternSet& patterns, uint64_t seed) {
+  UserModelConfig um;
+  Rng rng(seed);
+  StudyOutcome out;
+  size_t vmt_count = 0;
+  for (const Graph& q : queries) {
+    SimulatedFormulation s =
+        SimulateUsersWithEdits(q, patterns, /*trials=*/5, um, rng);
+    out.qft += s.qft_seconds;
+    out.steps += static_cast<double>(s.steps);
+    if (s.vmt_seconds > 0) {
+      out.vmt += s.vmt_seconds;
+      ++vmt_count;
+    }
+  }
+  size_t n = queries.size();
+  if (n > 0) {
+    out.qft /= static_cast<double>(n);
+    out.steps /= static_cast<double>(n);
+  }
+  if (vmt_count > 0) out.vmt /= static_cast<double>(vmt_count);
+  return out;
+}
+
+void AddStudyRows(Table& table, const char* query_set,
+                  const std::vector<Graph>& queries,
+                  const std::vector<Approach>& approaches, uint64_t seed) {
+  for (const Approach& a : approaches) {
+    StudyOutcome o = RunStudy(queries, *a.patterns, seed);
+    table.AddRow({query_set, a.name, Fmt(o.qft, 1) + "s", Fmt(o.steps, 1),
+                  Fmt(o.vmt, 1) + "s"});
+  }
+}
+
+// Queries drawn exclusively from the given id pool.
+std::vector<Graph> QueriesFromPool(const GraphDatabase& db,
+                                   const std::vector<GraphId>& pool,
+                                   size_t count, size_t min_edges,
+                                   size_t max_edges, Rng& rng) {
+  std::vector<Graph> queries;
+  while (queries.size() < count && !pool.empty()) {
+    GraphId id = pool[static_cast<size_t>(rng.UniformInt(0, pool.size() - 1))];
+    const Graph* g = db.Find(id);
+    if (g == nullptr) continue;
+    size_t target = static_cast<size_t>(
+        rng.UniformInt(static_cast<int64_t>(min_edges),
+                       static_cast<int64_t>(max_edges)));
+    Graph q = RandomConnectedSubgraph(*g, target, rng);
+    if (q.NumEdges() > 0) queries.push_back(std::move(q));
+  }
+  return queries;
+}
+
+void Figure9() {
+  MidasConfig cfg = PaperConfig(42);
+  MoleculeGenConfig data_cfg = MoleculeGenerator::PubchemLike(Scaled(150));
+
+  World world(data_cfg, cfg, 42);
+  World stale(data_cfg, cfg, 42);
+
+  std::vector<GraphId> original_ids = world.engine->db().Ids();
+  BatchUpdate delta = world.MakeDelta(25, true);
+  IdSet before_ids(original_ids);
+  world.engine->ApplyUpdate(delta, MaintenanceMode::kMidas);
+  stale.engine->ApplyUpdate(delta, MaintenanceMode::kNoMaintain);
+
+  std::vector<GraphId> delta_ids;
+  for (GraphId id : world.engine->db().Ids()) {
+    if (!before_ids.Contains(id)) delta_ids.push_back(id);
+  }
+
+  FromScratchResult cat = RunFromScratch(world.engine->db(), cfg, false, 42);
+  FromScratchResult catpp = RunFromScratch(world.engine->db(), cfg, true, 42);
+
+  std::vector<Approach> approaches = {
+      {"MIDAS", &world.engine->patterns()},
+      {"NoMaintain", &stale.engine->patterns()},
+      {"CATAPULT", &cat.patterns},
+      {"CATAPULT++", &catpp.patterns},
+  };
+
+  // Qs1: 5 queries from D; Qs2: 2 from D + 3 from delta; Qs3: 5 from delta.
+  Rng qrng(1000);
+  const GraphDatabase& db = world.engine->db();
+  std::vector<Graph> qs1 = QueriesFromPool(db, original_ids, 5, 8, 18, qrng);
+  std::vector<Graph> qs2 = QueriesFromPool(db, original_ids, 2, 8, 18, qrng);
+  for (Graph& q : QueriesFromPool(db, delta_ids, 3, 8, 18, qrng)) {
+    qs2.push_back(std::move(q));
+  }
+  std::vector<Graph> qs3 = QueriesFromPool(db, delta_ids, 5, 8, 18, qrng);
+
+  Table t("Fig 9  simulated user study, PubChem-like (5 users per query)",
+          {"query set", "approach", "mean QFT", "mean steps", "mean VMT"});
+  AddStudyRows(t, "Qs1 (from D)", qs1, approaches, 7);
+  AddStudyRows(t, "Qs2 (mixed)", qs2, approaches, 8);
+  AddStudyRows(t, "Qs3 (from delta)", qs3, approaches, 9);
+  t.Print();
+}
+
+void Figure10() {
+  Table t("Fig 10  user-specified (ad-hoc) queries, all datasets",
+          {"dataset", "approach", "mean QFT", "mean steps", "mean VMT"});
+
+  struct DatasetSpec {
+    const char* name;
+    MoleculeGenConfig cfg;
+    uint64_t seed;
+  };
+  std::vector<DatasetSpec> datasets = {
+      {"PubChem-like", MoleculeGenerator::PubchemLike(Scaled(150)), 52},
+      {"AIDS-like", MoleculeGenerator::AidsLike(Scaled(250)), 53},
+      {"eMol-like", MoleculeGenerator::EmolLike(Scaled(50)), 54},
+  };
+
+  for (const DatasetSpec& spec : datasets) {
+    MidasConfig cfg = PaperConfig(spec.seed);
+    World world(spec.cfg, cfg, spec.seed);
+    World stale(spec.cfg, cfg, spec.seed);
+
+    BatchUpdate delta = world.MakeDelta(25, true);
+    IdSet before_ids(world.engine->db().Ids());
+    world.engine->ApplyUpdate(delta, MaintenanceMode::kMidas);
+    stale.engine->ApplyUpdate(delta, MaintenanceMode::kNoMaintain);
+
+    std::vector<GraphId> delta_ids;
+    for (GraphId id : world.engine->db().Ids()) {
+      if (!before_ids.Contains(id)) delta_ids.push_back(id);
+    }
+
+    FromScratchResult cat =
+        RunFromScratch(world.engine->db(), cfg, false, spec.seed);
+    FromScratchResult catpp =
+        RunFromScratch(world.engine->db(), cfg, true, spec.seed);
+
+    // Ad-hoc queries: 5 per "user", mixed origin, sizes 8-18 edges.
+    std::vector<Graph> queries =
+        MakeQueries(world.engine->db(), delta_ids, 25, 8, 18, spec.seed + 5);
+
+    std::vector<Approach> approaches = {
+        {"MIDAS", &world.engine->patterns()},
+        {"NoMaintain", &stale.engine->patterns()},
+        {"CATAPULT", &cat.patterns},
+        {"CATAPULT++", &catpp.patterns},
+    };
+    for (const Approach& a : approaches) {
+      StudyOutcome o = RunStudy(queries, *a.patterns, spec.seed + 9);
+      t.AddRow({spec.name, a.name, Fmt(o.qft, 1) + "s", Fmt(o.steps, 1),
+                Fmt(o.vmt, 1) + "s"});
+    }
+  }
+  t.Print();
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace midas
+
+int main() {
+  using namespace midas::bench;
+  std::cout << "MIDAS bench_user_study (Figures 9-10), scale=" << ScaleFactor()
+            << "\n";
+  midas::bench::Figure9();
+  midas::bench::Figure10();
+  return 0;
+}

@@ -1,0 +1,101 @@
+// A tour of the FCT-Index and IFE-Index: how MIDAS keeps track of frequent
+// closed trees and infrequent edges, and how the dominance filter prunes
+// subgraph-isomorphism work during coverage evaluation.
+//
+//   $ ./index_tour
+
+#include <iostream>
+
+#include "midas/common/timer.h"
+#include "midas/datagen/molecule_gen.h"
+#include "midas/datagen/workload.h"
+#include "midas/graph/canonical.h"
+#include "midas/graph/subgraph_iso.h"
+#include "midas/index/fct_index.h"
+#include "midas/index/ife_index.h"
+
+int main() {
+  using namespace midas;
+
+  MoleculeGenerator gen(31);
+  GraphDatabase db = gen.Generate(MoleculeGenerator::PubchemLike(200));
+  const LabelDictionary& labels = db.labels();
+
+  // Mine the frequent closed tree pool.
+  FctSet::Config fcfg;
+  fcfg.sup_min = 0.5;
+  fcfg.max_edges = 3;
+  FctSet fcts = FctSet::Mine(db, fcfg);
+
+  std::cout << "=== FCT universe ===\n";
+  for (const FctEntry* e : fcts.FrequentClosedTrees()) {
+    std::cout << "  " << e->canon << "  support="
+              << static_cast<double>(e->occurrences.size()) /
+                     static_cast<double>(db.size())
+              << "\n";
+  }
+  std::cout << fcts.FrequentEdges().size() << " frequent edges, "
+            << fcts.InfrequentEdges().size() << " infrequent edges\n";
+
+  // Build both indices.
+  FctIndex fct_index = FctIndex::Build(db, fcts);
+  IfeIndex ife_index = IfeIndex::Build(db, fcts);
+  std::cout << "\n=== FCT-Index ===\n"
+            << "trie: " << fct_index.trie().NumNodes() << " nodes, "
+            << fct_index.trie().NumEntries() << " terminals, depth "
+            << fct_index.trie().MaxDepth() << "\n"
+            << "TG-matrix: " << fct_index.tg_matrix().NonZeroCount()
+            << " non-zeros; memory ~" << fct_index.MemoryBytes() / 1024
+            << " KB\n";
+  std::cout << "=== IFE-Index ===\n"
+            << ife_index.NumEdges() << " infrequent edge rows, EG-matrix "
+            << ife_index.eg_matrix().NonZeroCount() << " non-zeros\n";
+
+  // Candidate filtering vs a full scan.
+  Rng rng(17);
+  Graph pattern = RandomConnectedSubgraph(*db.Find(5), 6, rng);
+  std::cout << "\nprobe pattern: " << pattern.NumVertices() << " vertices, "
+            << pattern.NumEdges() << " edges\n";
+
+  IdSet universe(db.Ids());
+  Timer filter_timer;
+  IdSet candidates = fct_index.CandidateGraphs(
+      fct_index.FeatureCounts(pattern), universe);
+  candidates = ife_index.CandidateGraphs(ife_index.EdgeCounts(pattern),
+                                         candidates);
+  double filter_ms = filter_timer.ElapsedMs();
+
+  Timer verify_timer;
+  size_t covered = 0;
+  for (GraphId id : candidates) {
+    if (ContainsSubgraph(pattern, *db.Find(id))) ++covered;
+  }
+  double verify_ms = verify_timer.ElapsedMs();
+
+  Timer scan_timer;
+  size_t covered_scan = 0;
+  for (const auto& [id, g] : db.graphs()) {
+    if (ContainsSubgraph(pattern, g)) ++covered_scan;
+  }
+  double scan_ms = scan_timer.ElapsedMs();
+
+  std::cout << "dominance filter kept " << candidates.size() << " of "
+            << db.size() << " graphs (" << filter_ms << " ms) -> " << covered
+            << " verified containments in " << verify_ms << " ms\n";
+  std::cout << "full VF2 scan: " << covered_scan << " containments in "
+            << scan_ms << " ms\n";
+  std::cout << "(identical answers: "
+            << (covered == covered_scan ? "yes" : "NO — bug!") << ")\n";
+
+  // Canonical strings are the trie keys.
+  std::cout << "\nexample canonical string of a mined tree: ";
+  if (!fcts.FrequentClosedTrees().empty()) {
+    const Graph& t = fcts.FrequentClosedTrees().front()->tree;
+    std::cout << CanonicalTreeString(t) << "  (labels:";
+    for (VertexId v = 0; v < t.NumVertices(); ++v) {
+      std::cout << " " << labels.Name(t.label(v));
+    }
+    std::cout << ")\n";
+  }
+  return 0;
+}

@@ -1,0 +1,222 @@
+#include "midas/cluster/clustering.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "midas/cluster/kmeans.h"
+#include "midas/common/stats.h"
+#include "midas/graph/mccs.h"
+
+namespace midas {
+
+std::vector<double> Cluster::Centroid() const {
+  std::vector<double> c = feature_sums;
+  if (members.empty()) return c;
+  for (double& x : c) x /= static_cast<double>(members.size());
+  return c;
+}
+
+ClusterId ClusterSet::NewCluster() {
+  ClusterId id = next_id_++;
+  Cluster c;
+  c.id = id;
+  c.feature_sums.assign(features_.Dimension(), 0.0);
+  clusters_.emplace(id, std::move(c));
+  return id;
+}
+
+void ClusterSet::AddMember(Cluster& c, GraphId id,
+                           const std::vector<double>& vec) {
+  if (!c.members.Insert(id)) return;
+  for (size_t j = 0; j < c.feature_sums.size() && j < vec.size(); ++j) {
+    c.feature_sums[j] += vec[j];
+  }
+  graph_cluster_[id] = c.id;
+  vectors_[id] = vec;
+}
+
+void ClusterSet::RemoveMember(Cluster& c, GraphId id,
+                              const std::vector<double>& vec) {
+  if (!c.members.Erase(id)) return;
+  for (size_t j = 0; j < c.feature_sums.size() && j < vec.size(); ++j) {
+    c.feature_sums[j] -= vec[j];
+  }
+  graph_cluster_.erase(id);
+  vectors_.erase(id);
+}
+
+ClusterSet ClusterSet::Build(const GraphDatabase& db, const FctSet& fcts,
+                             const Config& config, Rng& rng) {
+  return Build(db, FeatureSpace(fcts), config, rng);
+}
+
+ClusterSet ClusterSet::Build(const GraphDatabase& db, FeatureSpace features,
+                             const Config& config, Rng& rng) {
+  ClusterSet set;
+  set.config_ = config;
+  set.features_ = std::move(features);
+
+  std::vector<GraphId> ids = db.Ids();
+  std::vector<std::vector<double>> points;
+  points.reserve(ids.size());
+  for (GraphId id : ids) points.push_back(set.features_.VectorForId(id));
+
+  KmeansResult km =
+      KMeans(points, config.num_coarse, rng, config.kmeans_iterations);
+
+  // Materialize non-empty coarse clusters.
+  std::map<int, ClusterId> coarse_to_id;
+  for (size_t i = 0; i < ids.size(); ++i) {
+    int c = km.assignment[i];
+    auto it = coarse_to_id.find(c);
+    ClusterId cid =
+        it == coarse_to_id.end() ? set.NewCluster() : it->second;
+    coarse_to_id.emplace(c, cid);
+    set.AddMember(set.clusters_.at(cid), ids[i], points[i]);
+  }
+
+  set.SplitOversized(db, rng);
+  return set;
+}
+
+int ClusterSet::ClusterOf(GraphId id) const {
+  auto it = graph_cluster_.find(id);
+  return it == graph_cluster_.end() ? -1 : static_cast<int>(it->second);
+}
+
+std::vector<ClusterId> ClusterSet::AssignGraphs(
+    const GraphDatabase& db, const std::vector<GraphId>& added_ids) {
+  IdSet affected;
+  for (GraphId id : added_ids) {
+    const Graph* g = db.Find(id);
+    if (g == nullptr) continue;
+    std::vector<double> vec = features_.VectorForGraph(*g);
+    ClusterId best = 0;
+    double best_d = std::numeric_limits<double>::max();
+    bool found = false;
+    for (const auto& [cid, cluster] : clusters_) {
+      if (cluster.members.empty()) continue;
+      double d = EuclideanDistance(vec, cluster.Centroid());
+      if (d < best_d) {
+        best_d = d;
+        best = cid;
+        found = true;
+      }
+    }
+    if (!found) best = NewCluster();
+    AddMember(clusters_.at(best), id, vec);
+    affected.Insert(best);
+  }
+  return std::vector<ClusterId>(affected.begin(), affected.end());
+}
+
+std::vector<ClusterId> ClusterSet::RemoveGraphs(
+    const std::vector<GraphId>& removed_ids) {
+  IdSet affected;
+  for (GraphId id : removed_ids) {
+    auto it = graph_cluster_.find(id);
+    if (it == graph_cluster_.end()) continue;
+    ClusterId cid = it->second;
+    Cluster& c = clusters_.at(cid);
+    // The graph itself may already be deleted from the database, so the
+    // decrement uses the vector cached when the member was added.
+    auto vit = vectors_.find(id);
+    std::vector<double> vec =
+        vit != vectors_.end() ? vit->second : features_.VectorForId(id);
+    RemoveMember(c, id, vec);
+    affected.Insert(cid);
+    if (c.members.empty()) clusters_.erase(cid);
+  }
+  return std::vector<ClusterId>(affected.begin(), affected.end());
+}
+
+std::vector<ClusterId> ClusterSet::SplitOversized(const GraphDatabase& db,
+                                                  Rng& rng) {
+  std::vector<ClusterId> oversized;
+  for (const auto& [cid, c] : clusters_) {
+    if (c.members.size() > config_.max_cluster_size) oversized.push_back(cid);
+  }
+  std::vector<ClusterId> created;
+  for (ClusterId cid : oversized) {
+    std::vector<ClusterId> fresh = SplitCluster(db, cid, rng);
+    created.insert(created.end(), fresh.begin(), fresh.end());
+  }
+  return created;
+}
+
+std::vector<ClusterId> ClusterSet::SplitCluster(const GraphDatabase& db,
+                                                ClusterId cid, Rng& rng) {
+  Cluster& big = clusters_.at(cid);
+  std::vector<GraphId> members(big.members.begin(), big.members.end());
+  size_t cap = config_.max_cluster_size;
+  std::vector<ClusterId> created;
+  if (members.size() <= cap) return created;
+
+  // Greedy MCCS grouping: seed a sub-cluster with the largest remaining
+  // graph, fill with the `cap - 1` most MCCS-similar remaining graphs.
+  std::vector<bool> taken(members.size(), false);
+  std::vector<std::vector<size_t>> groups;
+  size_t remaining = members.size();
+  while (remaining > 0) {
+    // Seed: largest remaining graph (most edges).
+    size_t seed = members.size();
+    size_t seed_edges = 0;
+    for (size_t i = 0; i < members.size(); ++i) {
+      if (taken[i]) continue;
+      const Graph* g = db.Find(members[i]);
+      size_t e = g != nullptr ? g->NumEdges() : 0;
+      if (seed == members.size() || e > seed_edges) {
+        seed = i;
+        seed_edges = e;
+      }
+    }
+    taken[seed] = true;
+    --remaining;
+    std::vector<size_t> group = {seed};
+
+    if (remaining > 0 && cap > 1) {
+      const Graph* gs = db.Find(members[seed]);
+      std::vector<std::pair<double, size_t>> sims;
+      for (size_t i = 0; i < members.size(); ++i) {
+        if (taken[i]) continue;
+        const Graph* gi = db.Find(members[i]);
+        double sim = (gs != nullptr && gi != nullptr)
+                         ? MccsSimilarity(*gs, *gi, rng,
+                                          config_.mccs_restarts)
+                         : 0.0;
+        sims.emplace_back(-sim, i);  // descending similarity
+      }
+      std::sort(sims.begin(), sims.end());
+      for (size_t k = 0; k < sims.size() && group.size() < cap; ++k) {
+        group.push_back(sims[k].second);
+        taken[sims[k].second] = true;
+        --remaining;
+      }
+    }
+    groups.push_back(std::move(group));
+  }
+
+  // First group stays in the original cluster id; the rest become new.
+  for (size_t gi = 0; gi < groups.size(); ++gi) {
+    ClusterId target;
+    if (gi == 0) {
+      target = cid;
+      Cluster& c = clusters_.at(cid);
+      c.members.clear();
+      std::fill(c.feature_sums.begin(), c.feature_sums.end(), 0.0);
+    } else {
+      target = NewCluster();
+      created.push_back(target);
+    }
+    for (size_t idx : groups[gi]) {
+      GraphId id = members[idx];
+      auto vit = vectors_.find(id);
+      std::vector<double> vec =
+          vit != vectors_.end() ? vit->second : features_.VectorForId(id);
+      AddMember(clusters_.at(target), id, vec);
+    }
+  }
+  return created;
+}
+
+}  // namespace midas

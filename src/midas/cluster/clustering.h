@@ -1,0 +1,102 @@
+#ifndef MIDAS_CLUSTER_CLUSTERING_H_
+#define MIDAS_CLUSTER_CLUSTERING_H_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "midas/cluster/feature.h"
+#include "midas/common/id_set.h"
+#include "midas/common/rng.h"
+#include "midas/graph/graph_database.h"
+#include "midas/mining/fct_set.h"
+
+namespace midas {
+
+/// Stable id of a graph cluster.
+using ClusterId = uint32_t;
+
+/// One graph cluster with its feature-space centroid.
+struct Cluster {
+  ClusterId id = 0;
+  IdSet members;
+  /// Per-dimension feature sums; centroid = sums / |members|.
+  std::vector<double> feature_sums;
+
+  std::vector<double> Centroid() const;
+};
+
+/// Two-step clustering of the database (Section 2.3) with incremental
+/// maintenance (Section 4.3).
+///
+/// Coarse clustering: k-means (k-means++ seeding) over FCT feature vectors.
+/// Fine clustering: coarse clusters larger than max_cluster_size are split
+/// greedily by approximate MCCS similarity, seeding a sub-cluster from the
+/// largest remaining member and filling it with its most similar peers.
+///
+/// Maintenance (Algorithm 1, lines 1-2 and 6): new graphs are assigned to
+/// the cluster with the nearest centroid in the *build-time* feature space
+/// (kept inside FeatureSpace so Δ⁺ assignment needs no re-mining); deleted
+/// graphs are removed; oversized clusters are re-split. The set of affected
+/// cluster ids (C⁺ / C⁻) is reported so only their CSGs are refreshed.
+class ClusterSet {
+ public:
+  struct Config {
+    size_t num_coarse = 8;        ///< k for the coarse k-means
+    size_t max_cluster_size = 60; ///< N, fine-clustering threshold
+    int kmeans_iterations = 25;
+    int mccs_restarts = 2;
+  };
+
+  ClusterSet() = default;
+
+  /// Builds clusters of db from scratch using the FCT feature space.
+  static ClusterSet Build(const GraphDatabase& db, const FctSet& fcts,
+                          const Config& config, Rng& rng);
+
+  /// Builds clusters with an explicit feature space (plain CATAPULT mode).
+  static ClusterSet Build(const GraphDatabase& db, FeatureSpace features,
+                          const Config& config, Rng& rng);
+
+  /// Assigns each added graph to the nearest-centroid cluster.
+  /// Returns the affected cluster ids (C⁺).
+  std::vector<ClusterId> AssignGraphs(const GraphDatabase& db,
+                                      const std::vector<GraphId>& added_ids);
+
+  /// Removes deleted graphs from their clusters. Returns affected ids (C⁻);
+  /// clusters left empty are dropped.
+  std::vector<ClusterId> RemoveGraphs(const std::vector<GraphId>& removed_ids);
+
+  /// Fine-splits oversized clusters; returns ids of newly created clusters.
+  std::vector<ClusterId> SplitOversized(const GraphDatabase& db, Rng& rng);
+
+  const std::map<ClusterId, Cluster>& clusters() const { return clusters_; }
+  /// Cluster of a graph, or -1 if unknown.
+  int ClusterOf(GraphId id) const;
+  size_t size() const { return clusters_.size(); }
+
+  const Config& config() const { return config_; }
+  const FeatureSpace& feature_space() const { return features_; }
+
+ private:
+  ClusterId NewCluster();
+  void AddMember(Cluster& c, GraphId id, const std::vector<double>& vec);
+  void RemoveMember(Cluster& c, GraphId id, const std::vector<double>& vec);
+  /// Splits one oversized cluster by MCCS similarity; returns new ids.
+  std::vector<ClusterId> SplitCluster(const GraphDatabase& db, ClusterId cid,
+                                      Rng& rng);
+
+  Config config_;
+  FeatureSpace features_;
+  std::map<ClusterId, Cluster> clusters_;
+  std::map<GraphId, ClusterId> graph_cluster_;
+  /// Feature vector of every member at the time it was added, so removal
+  /// can decrement centroid sums exactly even for graphs assigned after the
+  /// feature-space snapshot was taken.
+  std::map<GraphId, std::vector<double>> vectors_;
+  ClusterId next_id_ = 0;
+};
+
+}  // namespace midas
+
+#endif  // MIDAS_CLUSTER_CLUSTERING_H_

@@ -1,0 +1,74 @@
+#include "midas/cluster/csg.h"
+
+#include <algorithm>
+
+#include "midas/graph/closure_graph.h"
+
+namespace midas {
+
+uint64_t CsgEdgeKey(VertexId u, VertexId v) {
+  if (u > v) std::swap(u, v);
+  return (static_cast<uint64_t>(u) << 32) | v;
+}
+
+Csg Csg::Build(const GraphDatabase& db, const IdSet& members) {
+  Csg csg;
+  for (GraphId id : members) {
+    const Graph* g = db.Find(id);
+    if (g != nullptr) csg.AddGraph(id, *g);
+  }
+  return csg;
+}
+
+void Csg::AddGraph(GraphId id, const Graph& g) {
+  if (!members_.Insert(id)) return;
+  std::vector<int> mapping = GreedyAlign(g, skeleton_);
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    if (mapping[v] < 0) {
+      mapping[v] = static_cast<int>(skeleton_.AddVertex(g.label(v)));
+    }
+  }
+  for (const auto& [u, v] : g.Edges()) {
+    VertexId su = static_cast<VertexId>(mapping[u]);
+    VertexId sv = static_cast<VertexId>(mapping[v]);
+    skeleton_.AddEdge(su, sv);  // no-op when already present
+    edge_members_[CsgEdgeKey(su, sv)].Insert(id);
+  }
+}
+
+void Csg::RemoveGraph(GraphId id) {
+  if (!members_.Erase(id)) return;
+  for (auto it = edge_members_.begin(); it != edge_members_.end();) {
+    it->second.Erase(id);
+    if (it->second.empty()) {
+      VertexId u = static_cast<VertexId>(it->first >> 32);
+      VertexId v = static_cast<VertexId>(it->first & 0xffffffffu);
+      skeleton_.RemoveEdge(u, v);
+      it = edge_members_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+const IdSet& Csg::EdgeMembers(VertexId u, VertexId v) const {
+  static const IdSet& kEmpty = *new IdSet();  // leaked: avoids exit-time dtor
+  auto it = edge_members_.find(CsgEdgeKey(u, v));
+  return it == edge_members_.end() ? kEmpty : it->second;
+}
+
+std::vector<std::pair<std::pair<VertexId, VertexId>, const IdSet*>>
+Csg::Edges() const {
+  std::vector<std::pair<std::pair<VertexId, VertexId>, const IdSet*>> out;
+  out.reserve(edge_members_.size());
+  for (const auto& [key, ids] : edge_members_) {
+    VertexId u = static_cast<VertexId>(key >> 32);
+    VertexId v = static_cast<VertexId>(key & 0xffffffffu);
+    out.push_back({{u, v}, &ids});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  return out;
+}
+
+}  // namespace midas

@@ -1,0 +1,66 @@
+#ifndef MIDAS_CLUSTER_CSG_H_
+#define MIDAS_CLUSTER_CSG_H_
+
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "midas/common/id_set.h"
+#include "midas/graph/graph_database.h"
+
+namespace midas {
+
+/// Canonical 64-bit key of an undirected skeleton edge (u, v).
+uint64_t CsgEdgeKey(VertexId u, VertexId v);
+
+/// Cluster summary graph (Sections 2.3 and 4.4).
+///
+/// A CSG integrates every data graph of a cluster into one labeled graph by
+/// iterated graph closure: each member is aligned onto the summary skeleton
+/// with a greedy label-preserving mapping, unmatched vertices/edges are
+/// appended, and each skeleton edge carries the id-set of the member graphs
+/// that contributed it (the edge "label" of Section 4.4).
+///
+/// Maintenance follows the paper's two steps exactly:
+///  (1) insertion: align G⁺, add its id to matched edges, materialize new
+///      vertices/edges for the unmatched remainder;
+///  (2) deletion: strip the id from all edge id-sets; edges whose id-set
+///      empties are removed (their in-cluster frequency reached 0).
+class Csg {
+ public:
+  Csg() = default;
+
+  /// Builds the summary of the given member graphs.
+  static Csg Build(const GraphDatabase& db, const IdSet& members);
+
+  /// Integrates one graph (maintenance step 1).
+  void AddGraph(GraphId id, const Graph& g);
+  /// Removes one graph's contributions (maintenance step 2).
+  void RemoveGraph(GraphId id);
+
+  /// The labeled skeleton. Vertices with no incident edges may linger after
+  /// deletions; walks and pattern extraction skip them.
+  const Graph& skeleton() const { return skeleton_; }
+
+  /// Member ids that contributed edge (u, v); empty set if absent.
+  const IdSet& EdgeMembers(VertexId u, VertexId v) const;
+
+  /// All live edges as ((u, v), member-set) with u < v.
+  std::vector<std::pair<std::pair<VertexId, VertexId>, const IdSet*>> Edges()
+      const;
+
+  /// Ids of all member graphs currently summarized.
+  const IdSet& members() const { return members_; }
+
+  size_t NumLiveEdges() const { return edge_members_.size(); }
+
+ private:
+  Graph skeleton_;
+  std::unordered_map<uint64_t, IdSet> edge_members_;
+  IdSet members_;
+};
+
+}  // namespace midas
+
+#endif  // MIDAS_CLUSTER_CSG_H_

@@ -1,0 +1,37 @@
+#include "midas/cluster/feature.h"
+
+#include "midas/graph/subgraph_iso.h"
+
+namespace midas {
+
+FeatureSpace::FeatureSpace(std::vector<Graph> trees,
+                           std::vector<IdSet> occurrences)
+    : trees_(std::move(trees)), occurrences_(std::move(occurrences)) {
+  canons_.resize(trees_.size());
+}
+
+FeatureSpace::FeatureSpace(const FctSet& fcts) {
+  for (const FctEntry* entry : fcts.FrequentClosedTrees()) {
+    trees_.push_back(entry->tree);
+    canons_.push_back(entry->canon);
+    occurrences_.push_back(entry->occurrences);
+  }
+}
+
+std::vector<double> FeatureSpace::VectorForId(GraphId id) const {
+  std::vector<double> v(trees_.size(), 0.0);
+  for (size_t i = 0; i < trees_.size(); ++i) {
+    if (occurrences_[i].Contains(id)) v[i] = 1.0;
+  }
+  return v;
+}
+
+std::vector<double> FeatureSpace::VectorForGraph(const Graph& g) const {
+  std::vector<double> v(trees_.size(), 0.0);
+  for (size_t i = 0; i < trees_.size(); ++i) {
+    if (ContainsSubgraph(trees_[i], g)) v[i] = 1.0;
+  }
+  return v;
+}
+
+}  // namespace midas

@@ -1,0 +1,52 @@
+#ifndef MIDAS_CLUSTER_FEATURE_H_
+#define MIDAS_CLUSTER_FEATURE_H_
+
+#include <string>
+#include <vector>
+
+#include "midas/graph/graph_database.h"
+#include "midas/mining/fct_set.h"
+
+namespace midas {
+
+/// FCT-based feature space for coarse clustering (Sections 2.3 and 3.3).
+///
+/// CATAPULT used frequent subtrees as the clustering feature vector; MIDAS
+/// replaces them with frequent closed trees, whose closure property permits
+/// incremental maintenance. A FeatureSpace snapshots the FCT universe at
+/// cluster-build time; feature vectors are binary containment indicators.
+///
+/// For graphs already in the database, containment is read off the FCT
+/// occurrence lists (no isomorphism tests). For graphs not yet indexed
+/// (cluster assignment of Δ⁺ happens before FCT maintenance in Algorithm 1,
+/// line 1), containment falls back to VF2 against the small feature trees.
+class FeatureSpace {
+ public:
+  FeatureSpace() = default;
+
+  /// Snapshots the frequent closed trees of `fcts` as the feature universe.
+  explicit FeatureSpace(const FctSet& fcts);
+
+  /// Explicit feature universe (plain CATAPULT uses frequent — not closed —
+  /// subtrees). trees[i]'s occurrence list is occurrences[i].
+  FeatureSpace(std::vector<Graph> trees, std::vector<IdSet> occurrences);
+
+  size_t Dimension() const { return trees_.size(); }
+
+  /// Feature vector for a database graph via occurrence lists.
+  std::vector<double> VectorForId(GraphId id) const;
+
+  /// Feature vector for an arbitrary graph via subgraph isomorphism.
+  std::vector<double> VectorForGraph(const Graph& g) const;
+
+  const std::vector<Graph>& trees() const { return trees_; }
+
+ private:
+  std::vector<Graph> trees_;
+  std::vector<std::string> canons_;
+  std::vector<IdSet> occurrences_;  // snapshot of occurrence lists
+};
+
+}  // namespace midas
+
+#endif  // MIDAS_CLUSTER_FEATURE_H_

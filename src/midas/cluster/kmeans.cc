@@ -1,0 +1,89 @@
+#include "midas/cluster/kmeans.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "midas/common/stats.h"
+
+namespace midas {
+namespace {
+
+double Dist2(const std::vector<double>& a, const std::vector<double>& b) {
+  double d = EuclideanDistance(a, b);
+  return d * d;
+}
+
+}  // namespace
+
+KmeansResult KMeans(const std::vector<std::vector<double>>& points, size_t k,
+                    Rng& rng, int max_iterations) {
+  KmeansResult result;
+  size_t n = points.size();
+  if (n == 0 || k == 0) return result;
+  k = std::min(k, n);
+
+  // k-means++ seeding.
+  std::vector<size_t> seeds;
+  seeds.push_back(static_cast<size_t>(rng.UniformInt(0, n - 1)));
+  std::vector<double> d2(n, 0.0);
+  while (seeds.size() < k) {
+    for (size_t i = 0; i < n; ++i) {
+      double best = std::numeric_limits<double>::max();
+      for (size_t s : seeds) best = std::min(best, Dist2(points[i], points[s]));
+      d2[i] = best;
+    }
+    int pick = rng.PickWeighted(d2);
+    if (pick < 0) {
+      // All remaining distances zero: duplicate points; pick round-robin.
+      pick = static_cast<int>(seeds.size() % n);
+    }
+    seeds.push_back(static_cast<size_t>(pick));
+  }
+
+  result.centroids.reserve(k);
+  for (size_t s : seeds) result.centroids.push_back(points[s]);
+  result.assignment.assign(n, 0);
+
+  for (int iter = 0; iter < max_iterations; ++iter) {
+    bool changed = false;
+    // Assign.
+    for (size_t i = 0; i < n; ++i) {
+      int best = 0;
+      double best_d = std::numeric_limits<double>::max();
+      for (size_t c = 0; c < k; ++c) {
+        double d = Dist2(points[i], result.centroids[c]);
+        if (d < best_d) {
+          best_d = d;
+          best = static_cast<int>(c);
+        }
+      }
+      if (result.assignment[i] != best) {
+        result.assignment[i] = best;
+        changed = true;
+      }
+    }
+    result.iterations = iter + 1;
+    if (!changed && iter > 0) break;
+    // Update.
+    size_t dim = points[0].size();
+    std::vector<std::vector<double>> sums(k, std::vector<double>(dim, 0.0));
+    std::vector<size_t> counts(k, 0);
+    for (size_t i = 0; i < n; ++i) {
+      size_t c = static_cast<size_t>(result.assignment[i]);
+      ++counts[c];
+      for (size_t j = 0; j < dim && j < points[i].size(); ++j) {
+        sums[c][j] += points[i][j];
+      }
+    }
+    for (size_t c = 0; c < k; ++c) {
+      if (counts[c] == 0) continue;  // empty cluster keeps its centroid
+      for (size_t j = 0; j < dim; ++j) {
+        sums[c][j] /= static_cast<double>(counts[c]);
+      }
+      result.centroids[c] = std::move(sums[c]);
+    }
+  }
+  return result;
+}
+
+}  // namespace midas

@@ -1,0 +1,26 @@
+#ifndef MIDAS_CLUSTER_KMEANS_H_
+#define MIDAS_CLUSTER_KMEANS_H_
+
+#include <vector>
+
+#include "midas/common/rng.h"
+
+namespace midas {
+
+/// Result of Lloyd's k-means.
+struct KmeansResult {
+  /// assignment[i] = cluster index of point i, in [0, k).
+  std::vector<int> assignment;
+  std::vector<std::vector<double>> centroids;
+  int iterations = 0;
+};
+
+/// k-means with k-means++ seeding [8] (coarse clustering step of
+/// Section 2.3). Deterministic given the Rng seed. If there are fewer
+/// points than k, each point gets its own cluster.
+KmeansResult KMeans(const std::vector<std::vector<double>>& points, size_t k,
+                    Rng& rng, int max_iterations = 25);
+
+}  // namespace midas
+
+#endif  // MIDAS_CLUSTER_KMEANS_H_

@@ -1,0 +1,96 @@
+#include "midas/common/id_set.h"
+
+#include <algorithm>
+
+namespace midas {
+
+IdSet::IdSet(std::initializer_list<uint32_t> ids) : ids_(ids) {
+  std::sort(ids_.begin(), ids_.end());
+  ids_.erase(std::unique(ids_.begin(), ids_.end()), ids_.end());
+}
+
+IdSet::IdSet(std::vector<uint32_t> ids) : ids_(std::move(ids)) {
+  std::sort(ids_.begin(), ids_.end());
+  ids_.erase(std::unique(ids_.begin(), ids_.end()), ids_.end());
+}
+
+bool IdSet::Insert(uint32_t id) {
+  auto it = std::lower_bound(ids_.begin(), ids_.end(), id);
+  if (it != ids_.end() && *it == id) return false;
+  ids_.insert(it, id);
+  return true;
+}
+
+bool IdSet::Erase(uint32_t id) {
+  auto it = std::lower_bound(ids_.begin(), ids_.end(), id);
+  if (it == ids_.end() || *it != id) return false;
+  ids_.erase(it);
+  return true;
+}
+
+bool IdSet::Contains(uint32_t id) const {
+  return std::binary_search(ids_.begin(), ids_.end(), id);
+}
+
+void IdSet::UnionWith(const IdSet& other) {
+  std::vector<uint32_t> merged;
+  merged.reserve(ids_.size() + other.ids_.size());
+  std::set_union(ids_.begin(), ids_.end(), other.ids_.begin(),
+                 other.ids_.end(), std::back_inserter(merged));
+  ids_ = std::move(merged);
+}
+
+void IdSet::DifferenceWith(const IdSet& other) {
+  std::vector<uint32_t> out;
+  out.reserve(ids_.size());
+  std::set_difference(ids_.begin(), ids_.end(), other.ids_.begin(),
+                      other.ids_.end(), std::back_inserter(out));
+  ids_ = std::move(out);
+}
+
+size_t IdSet::IntersectionSize(const IdSet& other) const {
+  size_t count = 0;
+  auto a = ids_.begin();
+  auto b = other.ids_.begin();
+  while (a != ids_.end() && b != other.ids_.end()) {
+    if (*a < *b) {
+      ++a;
+    } else if (*b < *a) {
+      ++b;
+    } else {
+      ++count;
+      ++a;
+      ++b;
+    }
+  }
+  return count;
+}
+
+size_t IdSet::UnionSize(const IdSet& other) const {
+  return ids_.size() + other.ids_.size() - IntersectionSize(other);
+}
+
+size_t IdSet::DifferenceSize(const IdSet& other) const {
+  return ids_.size() - IntersectionSize(other);
+}
+
+IdSet IdSet::Union(const IdSet& a, const IdSet& b) {
+  IdSet out = a;
+  out.UnionWith(b);
+  return out;
+}
+
+IdSet IdSet::Intersection(const IdSet& a, const IdSet& b) {
+  IdSet out;
+  std::set_intersection(a.ids_.begin(), a.ids_.end(), b.ids_.begin(),
+                        b.ids_.end(), std::back_inserter(out.ids_));
+  return out;
+}
+
+IdSet IdSet::Difference(const IdSet& a, const IdSet& b) {
+  IdSet out = a;
+  out.DifferenceWith(b);
+  return out;
+}
+
+}  // namespace midas

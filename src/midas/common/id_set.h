@@ -1,0 +1,60 @@
+#ifndef MIDAS_COMMON_ID_SET_H_
+#define MIDAS_COMMON_ID_SET_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <initializer_list>
+#include <vector>
+
+namespace midas {
+
+/// A sorted, duplicate-free set of 32-bit ids backed by a flat vector.
+///
+/// Used throughout MIDAS for occurrence lists: the set of data-graph ids that
+/// contain a tree feature, an edge, or a canned pattern. Set-algebra helpers
+/// (union/intersection/difference sizes) back the coverage computations of
+/// Definitions 5.5 and 6.2 without materializing temporaries.
+class IdSet {
+ public:
+  IdSet() = default;
+  IdSet(std::initializer_list<uint32_t> ids);
+  /// Builds from an arbitrary (possibly unsorted, duplicated) vector.
+  explicit IdSet(std::vector<uint32_t> ids);
+
+  /// Inserts id; returns true if it was not already present.
+  bool Insert(uint32_t id);
+  /// Erases id; returns true if it was present.
+  bool Erase(uint32_t id);
+  bool Contains(uint32_t id) const;
+
+  size_t size() const { return ids_.size(); }
+  bool empty() const { return ids_.empty(); }
+  void clear() { ids_.clear(); }
+
+  /// In-place union with other.
+  void UnionWith(const IdSet& other);
+  /// In-place set difference (*this \ other).
+  void DifferenceWith(const IdSet& other);
+
+  size_t IntersectionSize(const IdSet& other) const;
+  size_t UnionSize(const IdSet& other) const;
+  /// |*this \ other|
+  size_t DifferenceSize(const IdSet& other) const;
+
+  static IdSet Union(const IdSet& a, const IdSet& b);
+  static IdSet Intersection(const IdSet& a, const IdSet& b);
+  static IdSet Difference(const IdSet& a, const IdSet& b);
+
+  const std::vector<uint32_t>& ids() const { return ids_; }
+  auto begin() const { return ids_.begin(); }
+  auto end() const { return ids_.end(); }
+
+  bool operator==(const IdSet& other) const { return ids_ == other.ids_; }
+
+ private:
+  std::vector<uint32_t> ids_;
+};
+
+}  // namespace midas
+
+#endif  // MIDAS_COMMON_ID_SET_H_

@@ -1,0 +1,40 @@
+#include "midas/common/rng.h"
+
+namespace midas {
+
+int64_t Rng::UniformInt(int64_t lo, int64_t hi) {
+  std::uniform_int_distribution<int64_t> dist(lo, hi);
+  return dist(engine_);
+}
+
+double Rng::UniformReal() {
+  std::uniform_real_distribution<double> dist(0.0, 1.0);
+  return dist(engine_);
+}
+
+bool Rng::Bernoulli(double p) { return UniformReal() < p; }
+
+int Rng::PickWeighted(const std::vector<double>& weights) {
+  double total = 0.0;
+  for (double w : weights) total += w > 0 ? w : 0.0;
+  if (total <= 0.0) return -1;
+  double r = UniformReal() * total;
+  double acc = 0.0;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    if (weights[i] <= 0) continue;
+    acc += weights[i];
+    if (r < acc) return static_cast<int>(i);
+  }
+  // Floating point slack: return last positive-weight index.
+  for (size_t i = weights.size(); i > 0; --i) {
+    if (weights[i - 1] > 0) return static_cast<int>(i - 1);
+  }
+  return -1;
+}
+
+Rng Rng::Fork() {
+  uint64_t child_seed = engine_();
+  return Rng(child_seed);
+}
+
+}  // namespace midas

@@ -1,0 +1,52 @@
+#ifndef MIDAS_COMMON_RNG_H_
+#define MIDAS_COMMON_RNG_H_
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace midas {
+
+/// Deterministic random number generator used across the library.
+///
+/// All randomized components (dataset generation, k-means++ seeding, random
+/// walks, MCCS restarts) take an explicit `Rng&` so that every experiment is
+/// reproducible from a single seed.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 42) : engine_(seed) {}
+
+  /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  /// Uniform real in [0, 1).
+  double UniformReal();
+
+  /// Bernoulli draw with success probability p.
+  bool Bernoulli(double p);
+
+  /// Index drawn proportionally to the non-negative weights.
+  /// Returns -1 if all weights are zero or the vector is empty.
+  int PickWeighted(const std::vector<double>& weights);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>& v) {
+    for (size_t i = v.size(); i > 1; --i) {
+      size_t j = static_cast<size_t>(UniformInt(0, static_cast<int64_t>(i) - 1));
+      std::swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// Derives an independent child generator (for parallel-safe sub-streams).
+  Rng Fork();
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace midas
+
+#endif  // MIDAS_COMMON_RNG_H_

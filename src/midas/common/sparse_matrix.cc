@@ -1,0 +1,75 @@
+#include "midas/common/sparse_matrix.h"
+
+namespace midas {
+
+void SparseMatrix::Set(Key row, Key col, int32_t value) {
+  if (value == 0) {
+    auto it = rows_.find(row);
+    if (it != rows_.end()) {
+      it->second.erase(col);
+      if (it->second.empty()) rows_.erase(it);
+    }
+    return;
+  }
+  rows_[row][col] = value;
+}
+
+void SparseMatrix::Add(Key row, Key col, int32_t delta) {
+  if (delta == 0) return;
+  int32_t next = Get(row, col) + delta;
+  Set(row, col, next);
+}
+
+int32_t SparseMatrix::Get(Key row, Key col) const {
+  auto it = rows_.find(row);
+  if (it == rows_.end()) return 0;
+  auto jt = it->second.find(col);
+  return jt == it->second.end() ? 0 : jt->second;
+}
+
+void SparseMatrix::RemoveRow(Key row) { rows_.erase(row); }
+
+void SparseMatrix::RemoveColumn(Key col) {
+  for (auto it = rows_.begin(); it != rows_.end();) {
+    it->second.erase(col);
+    if (it->second.empty()) {
+      it = rows_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+std::vector<std::pair<SparseMatrix::Key, int32_t>> SparseMatrix::Row(
+    Key row) const {
+  std::vector<std::pair<Key, int32_t>> out;
+  auto it = rows_.find(row);
+  if (it == rows_.end()) return out;
+  out.reserve(it->second.size());
+  for (const auto& [col, value] : it->second) out.emplace_back(col, value);
+  return out;
+}
+
+std::vector<SparseMatrix::Key> SparseMatrix::RowKeys() const {
+  std::vector<Key> keys;
+  keys.reserve(rows_.size());
+  for (const auto& [row, cols] : rows_) keys.push_back(row);
+  return keys;
+}
+
+size_t SparseMatrix::NonZeroCount() const {
+  size_t n = 0;
+  for (const auto& [row, cols] : rows_) n += cols.size();
+  return n;
+}
+
+size_t SparseMatrix::MemoryBytes() const {
+  size_t bytes = sizeof(*this);
+  for (const auto& [row, cols] : rows_) {
+    bytes += sizeof(row) + sizeof(cols);
+    bytes += cols.size() * (sizeof(Key) + sizeof(int32_t) + 2 * sizeof(void*));
+  }
+  return bytes;
+}
+
+}  // namespace midas

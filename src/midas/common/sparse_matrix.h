@@ -1,0 +1,53 @@
+#ifndef MIDAS_COMMON_SPARSE_MATRIX_H_
+#define MIDAS_COMMON_SPARSE_MATRIX_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace midas {
+
+/// Sparse non-negative integer matrix with stable row/column keys.
+///
+/// Backs the TG-/TP-matrices of the FCT-Index and the EG-/EP-matrices of the
+/// IFE-Index (Definitions 5.1 and 5.2). Rows are features (FCTs, frequent or
+/// infrequent edges) and columns are data graphs or canned patterns; entries
+/// store embedding counts. Only non-zero entries are stored, matching the
+/// paper's (row, column, value) triplet representation, and rows/columns can
+/// be removed as features, graphs and patterns come and go.
+class SparseMatrix {
+ public:
+  using Key = uint32_t;
+
+  /// Sets entry (row, col); value 0 erases the entry.
+  void Set(Key row, Key col, int32_t value);
+  /// Adds delta to entry (row, col); erases the entry if it reaches 0.
+  void Add(Key row, Key col, int32_t delta);
+  int32_t Get(Key row, Key col) const;
+
+  void RemoveRow(Key row);
+  void RemoveColumn(Key col);
+
+  bool HasRow(Key row) const { return rows_.count(row) > 0; }
+
+  /// Non-zero entries of one row as (col, value) pairs (unordered).
+  std::vector<std::pair<Key, int32_t>> Row(Key row) const;
+
+  /// Keys of all rows with at least one non-zero entry.
+  std::vector<Key> RowKeys() const;
+
+  /// Number of non-zero entries.
+  size_t NonZeroCount() const;
+
+  /// Approximate heap footprint in bytes (for the Exp-2 memory report).
+  size_t MemoryBytes() const;
+
+ private:
+  std::unordered_map<Key, std::unordered_map<Key, int32_t>> rows_;
+};
+
+}  // namespace midas
+
+#endif  // MIDAS_COMMON_SPARSE_MATRIX_H_

@@ -1,0 +1,97 @@
+#include "midas/common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace midas {
+
+double Mean(const std::vector<double>& v) {
+  if (v.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : v) s += x;
+  return s / static_cast<double>(v.size());
+}
+
+double Stddev(const std::vector<double>& v) {
+  if (v.size() < 2) return 0.0;
+  double m = Mean(v);
+  double s = 0.0;
+  for (double x : v) s += (x - m) * (x - m);
+  return std::sqrt(s / static_cast<double>(v.size()));
+}
+
+double EuclideanDistance(const std::vector<double>& a,
+                         const std::vector<double>& b) {
+  size_t n = std::max(a.size(), b.size());
+  double s = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    double x = i < a.size() ? a[i] : 0.0;
+    double y = i < b.size() ? b[i] : 0.0;
+    s += (x - y) * (x - y);
+  }
+  return std::sqrt(s);
+}
+
+void NormalizeToDistribution(std::vector<double>& v) {
+  double s = 0.0;
+  for (double x : v) s += x;
+  if (s <= 0.0) return;
+  for (double& x : v) x /= s;
+}
+
+namespace {
+
+// Asymptotic Kolmogorov distribution complement: Q_KS(lambda).
+double KolmogorovQ(double lambda) {
+  if (lambda <= 0.0) return 1.0;
+  double sum = 0.0;
+  double sign = 1.0;
+  for (int j = 1; j <= 100; ++j) {
+    double term = sign * 2.0 * std::exp(-2.0 * j * j * lambda * lambda);
+    sum += term;
+    sign = -sign;
+    if (std::fabs(term) < 1e-12) break;
+  }
+  return std::clamp(sum, 0.0, 1.0);
+}
+
+}  // namespace
+
+KsResult KsTest(const std::vector<double>& sample1,
+                const std::vector<double>& sample2) {
+  KsResult result;
+  if (sample1.empty() || sample2.empty()) return result;
+
+  std::vector<double> s1 = sample1;
+  std::vector<double> s2 = sample2;
+  std::sort(s1.begin(), s1.end());
+  std::sort(s2.begin(), s2.end());
+
+  size_t i = 0;
+  size_t j = 0;
+  double n1 = static_cast<double>(s1.size());
+  double n2 = static_cast<double>(s2.size());
+  double d = 0.0;
+  while (i < s1.size() && j < s2.size()) {
+    double x = std::min(s1[i], s2[j]);
+    while (i < s1.size() && s1[i] <= x) ++i;
+    while (j < s2.size() && s2[j] <= x) ++j;
+    double f1 = static_cast<double>(i) / n1;
+    double f2 = static_cast<double>(j) / n2;
+    d = std::max(d, std::fabs(f1 - f2));
+  }
+  result.statistic = d;
+
+  double ne = std::sqrt(n1 * n2 / (n1 + n2));
+  double lambda = (ne + 0.12 + 0.11 / ne) * d;
+  result.p_value = KolmogorovQ(lambda);
+  return result;
+}
+
+bool KsSimilar(const std::vector<double>& sample1,
+               const std::vector<double>& sample2, double alpha) {
+  if (sample1.empty() || sample2.empty()) return true;
+  return KsTest(sample1, sample2).p_value >= alpha;
+}
+
+}  // namespace midas

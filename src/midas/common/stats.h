@@ -1,0 +1,43 @@
+#ifndef MIDAS_COMMON_STATS_H_
+#define MIDAS_COMMON_STATS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace midas {
+
+/// Arithmetic mean; 0 for an empty vector.
+double Mean(const std::vector<double>& v);
+
+/// Population standard deviation; 0 for vectors with fewer than 2 elements.
+double Stddev(const std::vector<double>& v);
+
+/// Euclidean (L2) distance between two equal-length vectors.
+/// Shorter vector is implicitly zero-padded.
+double EuclideanDistance(const std::vector<double>& a,
+                         const std::vector<double>& b);
+
+/// Normalizes v in place so its entries sum to 1 (no-op if the sum is 0).
+void NormalizeToDistribution(std::vector<double>& v);
+
+/// Result of a two-sample Kolmogorov-Smirnov test.
+struct KsResult {
+  double statistic = 0.0;  ///< sup |F1(x) - F2(x)|
+  double p_value = 1.0;    ///< asymptotic two-sided p-value
+};
+
+/// Two-sample Kolmogorov-Smirnov test on real-valued samples.
+///
+/// MIDAS uses this to check that a pattern swap does not significantly change
+/// the pattern-size distribution of the canned pattern set (Section 6.2).
+KsResult KsTest(const std::vector<double>& sample1,
+                const std::vector<double>& sample2);
+
+/// Convenience: true when the two samples are NOT significantly different at
+/// the given significance level (i.e., distributions deemed similar).
+bool KsSimilar(const std::vector<double>& sample1,
+               const std::vector<double>& sample2, double alpha = 0.05);
+
+}  // namespace midas
+
+#endif  // MIDAS_COMMON_STATS_H_

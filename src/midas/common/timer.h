@@ -1,0 +1,31 @@
+#ifndef MIDAS_COMMON_TIMER_H_
+#define MIDAS_COMMON_TIMER_H_
+
+#include <chrono>
+
+namespace midas {
+
+/// Wall-clock stopwatch used by the benchmark harnesses to report PMT / PGT /
+/// clustering times.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  /// Elapsed milliseconds since construction or the last Reset().
+  double ElapsedMs() const {
+    return std::chrono::duration<double, std::milli>(Clock::now() - start_)
+        .count();
+  }
+
+  double ElapsedSeconds() const { return ElapsedMs() / 1000.0; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace midas
+
+#endif  // MIDAS_COMMON_TIMER_H_

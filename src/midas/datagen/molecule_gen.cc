@@ -1,0 +1,284 @@
+#include "midas/datagen/molecule_gen.h"
+
+#include <algorithm>
+#include <array>
+
+namespace midas {
+namespace {
+
+// Weighted atom alphabet (hydrogens explicit, as in the paper's Figure 2).
+struct AtomWeight {
+  const char* symbol;
+  double weight;
+};
+constexpr AtomWeight kAtoms[] = {
+    {"C", 0.50}, {"O", 0.14}, {"N", 0.12}, {"H", 0.12},
+    {"S", 0.05}, {"P", 0.04}, {"Cl", 0.03},
+};
+
+std::string PickAtom(Rng& rng) {
+  std::vector<double> weights;
+  for (const AtomWeight& a : kAtoms) weights.push_back(a.weight);
+  int pick = rng.PickWeighted(weights);
+  return kAtoms[pick < 0 ? 0 : pick].symbol;
+}
+
+// Novel compound families (the boronic-ester scenario) draw from a visibly
+// different alphabet — boron- and oxygen-rich — so their arrival changes
+// label and subtree statistics the way a genuinely new compound class does.
+constexpr AtomWeight kNovelAtoms[] = {
+    {"B", 0.28}, {"O", 0.30}, {"C", 0.27}, {"N", 0.15},
+};
+
+std::string PickNovelAtom(Rng& rng) {
+  std::vector<double> weights;
+  for (const AtomWeight& a : kNovelAtoms) weights.push_back(a.weight);
+  int pick = rng.PickWeighted(weights);
+  return kNovelAtoms[pick < 0 ? 0 : pick].symbol;
+}
+
+// Characteristic heteroatom per scaffold family (cycled).
+const char* FamilyHeteroatom(size_t family) {
+  static constexpr const char* kHetero[] = {"O", "N", "S", "P", "Cl", "O",
+                                            "N", "S"};
+  return kHetero[family % (sizeof(kHetero) / sizeof(kHetero[0]))];
+}
+
+// Attaches a small functional-group motif at `anchor`.
+void AttachMotif(Graph& g, LabelDictionary& dict, VertexId anchor, int kind) {
+  Label c = dict.Intern("C");
+  Label o = dict.Intern("O");
+  Label n = dict.Intern("N");
+  Label h = dict.Intern("H");
+  Label b = dict.Intern("B");
+  switch (kind % 4) {
+    case 0: {  // carboxyl-like: C(=O)O
+      VertexId cc = g.AddVertex(c);
+      VertexId o1 = g.AddVertex(o);
+      VertexId o2 = g.AddVertex(o);
+      g.AddEdge(anchor, cc);
+      g.AddEdge(cc, o1);
+      g.AddEdge(cc, o2);
+      break;
+    }
+    case 1: {  // amine-like: N(H)(H)
+      VertexId nn = g.AddVertex(n);
+      VertexId h1 = g.AddVertex(h);
+      VertexId h2 = g.AddVertex(h);
+      g.AddEdge(anchor, nn);
+      g.AddEdge(nn, h1);
+      g.AddEdge(nn, h2);
+      break;
+    }
+    case 2: {  // hydroxyl chain: O-H
+      VertexId oo = g.AddVertex(o);
+      VertexId hh = g.AddVertex(h);
+      g.AddEdge(anchor, oo);
+      g.AddEdge(oo, hh);
+      break;
+    }
+    default: {  // boronic-ester-like ring: B(O)(O) closed over a C
+      VertexId bb = g.AddVertex(b);
+      VertexId o1 = g.AddVertex(o);
+      VertexId o2 = g.AddVertex(o);
+      VertexId cc = g.AddVertex(c);
+      g.AddEdge(anchor, bb);
+      g.AddEdge(bb, o1);
+      g.AddEdge(bb, o2);
+      g.AddEdge(o1, cc);
+      g.AddEdge(o2, cc);
+      break;
+    }
+  }
+}
+
+// Family scaffold: a ring of family-specific size with a heteroatom, plus a
+// short carbon tail. Deterministic per (family_seed, family, novel).
+Graph MakeScaffold(LabelDictionary& dict, uint64_t family_seed, size_t family,
+                   bool novel) {
+  Rng rng(family_seed * 1000003ULL + family * 97ULL + (novel ? 31337ULL : 0));
+  Graph g;
+  Label c = dict.Intern("C");
+  Label hetero = novel ? dict.Intern("B")
+                       : dict.Intern(FamilyHeteroatom(family));
+  Label o = dict.Intern("O");
+
+  size_t ring_size = static_cast<size_t>(rng.UniformInt(5, 6));
+  std::vector<VertexId> ring;
+  for (size_t i = 0; i < ring_size; ++i) {
+    // Novel scaffolds alternate B/O around the ring; base scaffolds are
+    // carbon rings with one heteroatom.
+    Label l = i == 0 ? hetero : (novel && i % 2 == 1 ? o : c);
+    ring.push_back(g.AddVertex(l));
+  }
+  for (size_t i = 0; i < ring_size; ++i) {
+    g.AddEdge(ring[i], ring[(i + 1) % ring_size]);
+  }
+  // Tail of 1-3 carbons.
+  VertexId tail = ring[1];
+  size_t tail_len = static_cast<size_t>(rng.UniformInt(1, 3));
+  for (size_t i = 0; i < tail_len; ++i) {
+    VertexId next = g.AddVertex(c);
+    g.AddEdge(tail, next);
+    tail = next;
+  }
+  // Novel families carry the boron marker motif (Example 1.2's boronic
+  // esters) so their arrival visibly shifts label and graphlet statistics.
+  if (novel) AttachMotif(g, dict, tail, 3);
+  return g;
+}
+
+}  // namespace
+
+void MoleculeGenerator::InternAlphabet(LabelDictionary& dict) {
+  for (const AtomWeight& a : kAtoms) dict.Intern(a.symbol);
+  dict.Intern("B");
+}
+
+MoleculeGenConfig MoleculeGenerator::AidsLike(size_t num_graphs) {
+  MoleculeGenConfig c;
+  c.num_graphs = num_graphs;
+  c.num_families = 8;
+  c.min_vertices = 10;
+  c.max_vertices = 28;
+  c.ring_probability = 0.35;
+  c.family_seed = 11;
+  return c;
+}
+
+MoleculeGenConfig MoleculeGenerator::PubchemLike(size_t num_graphs) {
+  MoleculeGenConfig c;
+  c.num_graphs = num_graphs;
+  c.num_families = 6;
+  c.min_vertices = 8;
+  c.max_vertices = 24;
+  c.ring_probability = 0.25;
+  c.family_seed = 23;
+  return c;
+}
+
+MoleculeGenConfig MoleculeGenerator::EmolLike(size_t num_graphs) {
+  MoleculeGenConfig c;
+  c.num_graphs = num_graphs;
+  c.num_families = 5;
+  c.min_vertices = 6;
+  c.max_vertices = 18;
+  c.ring_probability = 0.2;
+  c.family_seed = 37;
+  return c;
+}
+
+Graph MoleculeGenerator::MakeMolecule(LabelDictionary& dict,
+                                      const MoleculeGenConfig& config,
+                                      size_t family, bool novel_family) {
+  Graph g = MakeScaffold(dict, config.family_seed, family, novel_family);
+
+  size_t target = static_cast<size_t>(rng_.UniformInt(
+      static_cast<int64_t>(config.min_vertices),
+      static_cast<int64_t>(config.max_vertices)));
+
+  // Random tree growth up to the target vertex count.
+  while (g.NumVertices() < target) {
+    VertexId anchor =
+        static_cast<VertexId>(rng_.UniformInt(0, g.NumVertices() - 1));
+    Label l = dict.Intern(novel_family ? PickNovelAtom(rng_)
+                                       : PickAtom(rng_));
+    VertexId fresh = g.AddVertex(l);
+    g.AddEdge(anchor, fresh);
+  }
+  // Occasional extra ring closure.
+  if (rng_.Bernoulli(config.ring_probability) && g.NumVertices() >= 4) {
+    for (int attempt = 0; attempt < 8; ++attempt) {
+      VertexId u =
+          static_cast<VertexId>(rng_.UniformInt(0, g.NumVertices() - 1));
+      VertexId v =
+          static_cast<VertexId>(rng_.UniformInt(0, g.NumVertices() - 1));
+      if (u != v && !g.HasEdge(u, v)) {
+        g.AddEdge(u, v);
+        break;
+      }
+    }
+  }
+  // Functional-group motifs. Novel families carry several copies of the
+  // boron ring motif (Example 1.2's boronic esters): repeated 5-cycles and
+  // diamonds shift the graphlet frequency distribution decisively, the way
+  // a genuinely new compound class would.
+  if (novel_family) {
+    size_t copies = 1 + g.NumVertices() / 8;
+    for (size_t i = 0; i < copies; ++i) {
+      VertexId anchor =
+          static_cast<VertexId>(rng_.UniformInt(0, g.NumVertices() - 1));
+      AttachMotif(g, dict, anchor, 3);
+    }
+  } else if (rng_.Bernoulli(config.motif_probability)) {
+    VertexId anchor =
+        static_cast<VertexId>(rng_.UniformInt(0, g.NumVertices() - 1));
+    AttachMotif(g, dict, anchor, static_cast<int>(rng_.UniformInt(0, 2)));
+  }
+  return g;
+}
+
+GraphDatabase MoleculeGenerator::Generate(const MoleculeGenConfig& config) {
+  GraphDatabase db;
+  InternAlphabet(db.labels());
+  for (size_t i = 0; i < config.num_graphs; ++i) {
+    size_t family = static_cast<size_t>(
+        rng_.UniformInt(0, static_cast<int64_t>(config.num_families) - 1));
+    db.Insert(MakeMolecule(db.labels(), config, family, false));
+  }
+  return db;
+}
+
+BatchUpdate MoleculeGenerator::GenerateAdditions(
+    GraphDatabase& db, const MoleculeGenConfig& config, size_t count,
+    bool new_family) {
+  BatchUpdate delta;
+  InternAlphabet(db.labels());
+  delta.insertions.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    size_t family;
+    if (new_family) {
+      // One previously unused family beyond the original universe.
+      family = config.num_families + 1;
+    } else {
+      family = static_cast<size_t>(
+          rng_.UniformInt(0, static_cast<int64_t>(config.num_families) - 1));
+    }
+    delta.insertions.push_back(
+        MakeMolecule(db.labels(), config, family, new_family));
+  }
+  return delta;
+}
+
+BatchUpdate MoleculeGenerator::GenerateTargetedDeletions(
+    const GraphDatabase& db, const std::string& label_name,
+    size_t max_count) {
+  BatchUpdate delta;
+  int label = db.labels().Lookup(label_name);
+  if (label < 0) return delta;
+  std::vector<GraphId> victims;
+  for (const auto& [id, g] : db.graphs()) {
+    for (VertexId v = 0; v < g.NumVertices(); ++v) {
+      if (g.label(v) == static_cast<Label>(label)) {
+        victims.push_back(id);
+        break;
+      }
+    }
+  }
+  rng_.Shuffle(victims);
+  if (victims.size() > max_count) victims.resize(max_count);
+  delta.deletions = std::move(victims);
+  return delta;
+}
+
+BatchUpdate MoleculeGenerator::GenerateDeletions(const GraphDatabase& db,
+                                                 size_t count) {
+  BatchUpdate delta;
+  std::vector<GraphId> ids = db.Ids();
+  rng_.Shuffle(ids);
+  count = std::min(count, ids.size());
+  delta.deletions.assign(ids.begin(), ids.begin() + count);
+  return delta;
+}
+
+}  // namespace midas

@@ -1,0 +1,86 @@
+#ifndef MIDAS_DATAGEN_MOLECULE_GEN_H_
+#define MIDAS_DATAGEN_MOLECULE_GEN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "midas/common/rng.h"
+#include "midas/graph/graph_database.h"
+
+namespace midas {
+
+/// Synthetic molecule-like graph database generator.
+///
+/// Stand-in for the paper's AIDS / PubChem / eMolecules datasets (see
+/// DESIGN.md, substitution 1). Graphs are built from per-family scaffolds
+/// (a small ring-bearing core with a characteristic heteroatom), decorated
+/// with random tree growth, occasional ring closures, and functional-group
+/// motifs — giving the three properties the algorithms exercise: cluster
+/// structure, skewed subtree/label frequencies, and evolvable motif
+/// composition. The "new family" update mode reproduces the boronic-ester
+/// evolution scenario of Example 1.2: a batch of graphs built around a
+/// previously unseen scaffold, shifting the graphlet distribution.
+struct MoleculeGenConfig {
+  size_t num_graphs = 500;
+  size_t num_families = 6;
+  size_t min_vertices = 8;
+  size_t max_vertices = 24;
+  double ring_probability = 0.25;   ///< extra ring-closing edge per graph
+  double motif_probability = 0.65;  ///< attach a functional-group motif
+  uint64_t family_seed = 7;         ///< derives per-family scaffolds
+};
+
+class MoleculeGenerator {
+ public:
+  explicit MoleculeGenerator(uint64_t seed) : rng_(seed) {}
+
+  /// Interns the generator's full atom alphabet (C, O, N, H, S, P, Cl, B) in
+  /// a fixed order. Called by Generate/GenerateAdditions, so every database
+  /// or delta produced by any MoleculeGenerator uses identical label ids —
+  /// deltas generated against a copy of a database remain valid against the
+  /// original.
+  static void InternAlphabet(LabelDictionary& dict);
+
+  /// Dataset presets mirroring the paper's corpora at reduced scale.
+  static MoleculeGenConfig AidsLike(size_t num_graphs);
+  static MoleculeGenConfig PubchemLike(size_t num_graphs);
+  static MoleculeGenConfig EmolLike(size_t num_graphs);
+
+  /// Generates a fresh database.
+  GraphDatabase Generate(const MoleculeGenConfig& config);
+
+  /// A batch of `count` insertions compatible with db's label dictionary.
+  /// With new_family = true the graphs come from one previously unused
+  /// scaffold family (major modification); otherwise they are drawn from
+  /// the existing families (minor modification).
+  BatchUpdate GenerateAdditions(GraphDatabase& db,
+                                const MoleculeGenConfig& config, size_t count,
+                                bool new_family);
+
+  /// A batch deleting `count` uniformly chosen existing graphs.
+  /// Uniform deletions barely move the graphlet distribution (a minor
+  /// modification); use GenerateTargetedDeletions for major ones.
+  BatchUpdate GenerateDeletions(const GraphDatabase& db, size_t count);
+
+  /// A batch deleting up to `max_count` graphs that contain the given atom
+  /// label — wiping out a compound family, which *does* shift the label and
+  /// graphlet statistics (a major deletion, the mirror image of a
+  /// new-family insertion).
+  BatchUpdate GenerateTargetedDeletions(const GraphDatabase& db,
+                                        const std::string& label_name,
+                                        size_t max_count);
+
+  Rng& rng() { return rng_; }
+
+ private:
+  /// One molecule of family `family` interned into dict.
+  Graph MakeMolecule(LabelDictionary& dict, const MoleculeGenConfig& config,
+                     size_t family, bool novel_family);
+
+  Rng rng_;
+};
+
+}  // namespace midas
+
+#endif  // MIDAS_DATAGEN_MOLECULE_GEN_H_

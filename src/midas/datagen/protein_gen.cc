@@ -1,0 +1,121 @@
+#include "midas/datagen/protein_gen.h"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+namespace midas {
+namespace {
+
+constexpr const char* kProteinFamilies[] = {
+    "KIN",  // kinases
+    "LIG",  // ligases
+    "REC",  // receptors
+    "TF",   // transcription factors
+    "CHA",  // chaperones
+    "PRO",  // proteases
+    "MEM",  // membrane proteins
+    "RIB",  // ribosomal proteins
+};
+constexpr size_t kNumProteinLabels =
+    sizeof(kProteinFamilies) / sizeof(kProteinFamilies[0]);
+
+Label PickProtein(LabelDictionary& dict, Rng& rng, size_t bias) {
+  // Family-biased label draw: each interactome family over-represents one
+  // protein class, which gives clustering something to find.
+  if (rng.Bernoulli(0.4)) {
+    return dict.Intern(kProteinFamilies[bias % kNumProteinLabels]);
+  }
+  return dict.Intern(kProteinFamilies[static_cast<size_t>(
+      rng.UniformInt(0, static_cast<int64_t>(kNumProteinLabels) - 1))]);
+}
+
+}  // namespace
+
+void ProteinGenerator::InternAlphabet(LabelDictionary& dict) {
+  for (const char* f : kProteinFamilies) dict.Intern(f);
+}
+
+Graph ProteinGenerator::MakeInteractome(LabelDictionary& dict,
+                                        const ProteinGenConfig& config,
+                                        size_t family, bool novel) {
+  Graph g;
+  size_t bias = family + (novel ? 3 : 0);
+
+  // Core complex: a clique of the family's signature protein class —
+  // deterministic per family (the analogue of a molecule scaffold).
+  Rng scaffold_rng(config.family_seed * 7919ULL + family * 13ULL +
+                   (novel ? 104729ULL : 0));
+  Label core_label = dict.Intern(
+      kProteinFamilies[(bias + 1) % kNumProteinLabels]);
+  std::vector<VertexId> core;
+  for (size_t i = 0; i < config.complex_size; ++i) {
+    core.push_back(g.AddVertex(core_label));
+  }
+  for (size_t i = 0; i < core.size(); ++i) {
+    for (size_t j = i + 1; j < core.size(); ++j) {
+      g.AddEdge(core[i], core[j]);
+    }
+  }
+
+  // Preferential-attachment growth: hubs accumulate degree.
+  size_t target = static_cast<size_t>(rng_.UniformInt(
+      static_cast<int64_t>(config.min_vertices),
+      static_cast<int64_t>(config.max_vertices)));
+  while (g.NumVertices() < target) {
+    // Pick an anchor proportional to degree + 1.
+    std::vector<double> weights;
+    weights.reserve(g.NumVertices());
+    for (VertexId v = 0; v < g.NumVertices(); ++v) {
+      weights.push_back(static_cast<double>(g.Degree(v)) + 1.0);
+    }
+    int anchor = rng_.PickWeighted(weights);
+    if (anchor < 0) anchor = 0;
+    VertexId fresh = g.AddVertex(PickProtein(dict, rng_, bias));
+    g.AddEdge(static_cast<VertexId>(anchor), fresh);
+
+    // Triadic closure: connect the newcomer to one of the anchor's other
+    // neighbors (interaction partners of partners interact).
+    if (rng_.Bernoulli(config.triangle_probability)) {
+      const auto& neighbors = g.Neighbors(static_cast<VertexId>(anchor));
+      if (neighbors.size() > 1) {
+        VertexId other = neighbors[static_cast<size_t>(
+            rng_.UniformInt(0, static_cast<int64_t>(neighbors.size()) - 1))];
+        if (other != fresh) g.AddEdge(fresh, other);
+      }
+    }
+  }
+  return g;
+}
+
+GraphDatabase ProteinGenerator::Generate(const ProteinGenConfig& config) {
+  GraphDatabase db;
+  InternAlphabet(db.labels());
+  for (size_t i = 0; i < config.num_graphs; ++i) {
+    size_t family = static_cast<size_t>(rng_.UniformInt(
+        0, static_cast<int64_t>(config.num_families) - 1));
+    db.Insert(MakeInteractome(db.labels(), config, family, false));
+  }
+  return db;
+}
+
+BatchUpdate ProteinGenerator::GenerateAdditions(GraphDatabase& db,
+                                                const ProteinGenConfig& config,
+                                                size_t count,
+                                                bool new_family) {
+  BatchUpdate delta;
+  InternAlphabet(db.labels());
+  delta.insertions.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    size_t family = new_family
+                        ? config.num_families + 1
+                        : static_cast<size_t>(rng_.UniformInt(
+                              0, static_cast<int64_t>(config.num_families) -
+                                     1));
+    delta.insertions.push_back(
+        MakeInteractome(db.labels(), config, family, new_family));
+  }
+  return delta;
+}
+
+}  // namespace midas

@@ -1,0 +1,55 @@
+#ifndef MIDAS_DATAGEN_PROTEIN_GEN_H_
+#define MIDAS_DATAGEN_PROTEIN_GEN_H_
+
+#include <cstdint>
+
+#include "midas/common/rng.h"
+#include "midas/graph/graph_database.h"
+
+namespace midas {
+
+/// Protein-interaction-flavored graph generator — a second, structurally
+/// different domain backing the paper's claim that the framework is
+/// "independent of domains and data sources" (contribution b). Compared to
+/// the molecule generator: larger graphs, hub-and-spoke topology
+/// (preferential attachment instead of uniform tree growth), denser
+/// triangle structure (complex cliques), and a protein-family label
+/// alphabet (kinase, ligase, receptor, ...) instead of atoms.
+struct ProteinGenConfig {
+  size_t num_graphs = 200;
+  size_t num_families = 5;     ///< interactome families (cluster structure)
+  size_t min_vertices = 15;
+  size_t max_vertices = 45;
+  double triangle_probability = 0.35;  ///< close a wedge into a triangle
+  size_t complex_size = 4;     ///< size of the per-family core complex
+  uint64_t family_seed = 3;
+};
+
+class ProteinGenerator {
+ public:
+  explicit ProteinGenerator(uint64_t seed) : rng_(seed) {}
+
+  /// Interns the protein-family alphabet in fixed order (same contract as
+  /// MoleculeGenerator::InternAlphabet).
+  static void InternAlphabet(LabelDictionary& dict);
+
+  GraphDatabase Generate(const ProteinGenConfig& config);
+
+  /// Insertion batch; new_family graphs come from a previously unused
+  /// interactome family (major modification).
+  BatchUpdate GenerateAdditions(GraphDatabase& db,
+                                const ProteinGenConfig& config, size_t count,
+                                bool new_family);
+
+  Rng& rng() { return rng_; }
+
+ private:
+  Graph MakeInteractome(LabelDictionary& dict, const ProteinGenConfig& config,
+                        size_t family, bool novel);
+
+  Rng rng_;
+};
+
+}  // namespace midas
+
+#endif  // MIDAS_DATAGEN_PROTEIN_GEN_H_

@@ -1,0 +1,111 @@
+#include "midas/datagen/workload.h"
+
+#include <algorithm>
+#include <set>
+#include <unordered_map>
+
+#include "midas/common/id_set.h"
+
+namespace midas {
+
+Graph RandomConnectedSubgraph(const Graph& g, size_t target_edges, Rng& rng) {
+  auto edges = g.Edges();
+  if (edges.empty()) return Graph();
+  target_edges = std::min(target_edges, edges.size());
+
+  // Seed edge.
+  const auto& [su, sv] =
+      edges[static_cast<size_t>(rng.UniformInt(0, edges.size() - 1))];
+  std::set<std::pair<VertexId, VertexId>> chosen = {{su, sv}};
+  std::set<VertexId> touched = {su, sv};
+
+  while (chosen.size() < target_edges) {
+    // Collect frontier edges adjacent to the chosen subgraph.
+    std::vector<std::pair<VertexId, VertexId>> frontier;
+    for (VertexId u : touched) {
+      for (VertexId v : g.Neighbors(u)) {
+        auto key = u < v ? std::make_pair(u, v) : std::make_pair(v, u);
+        if (chosen.count(key) == 0) frontier.push_back(key);
+      }
+    }
+    if (frontier.empty()) break;
+    const auto& pick =
+        frontier[static_cast<size_t>(rng.UniformInt(0, frontier.size() - 1))];
+    chosen.insert(pick);
+    touched.insert(pick.first);
+    touched.insert(pick.second);
+  }
+
+  Graph query;
+  std::unordered_map<VertexId, VertexId> remap;
+  auto local = [&](VertexId v) {
+    auto it = remap.find(v);
+    if (it != remap.end()) return it->second;
+    VertexId id = query.AddVertex(g.label(v));
+    remap.emplace(v, id);
+    return id;
+  };
+  for (const auto& [u, v] : chosen) query.AddEdge(local(u), local(v));
+  return query;
+}
+
+namespace {
+
+Graph QueryFrom(const GraphDatabase& db, GraphId id,
+                const QueryGenConfig& config, Rng& rng) {
+  const Graph* g = db.Find(id);
+  if (g == nullptr) return Graph();
+  size_t target = static_cast<size_t>(
+      rng.UniformInt(static_cast<int64_t>(config.min_edges),
+                     static_cast<int64_t>(config.max_edges)));
+  return RandomConnectedSubgraph(*g, target, rng);
+}
+
+}  // namespace
+
+std::vector<Graph> GenerateQueries(const GraphDatabase& db,
+                                   const QueryGenConfig& config, Rng& rng) {
+  std::vector<Graph> queries;
+  std::vector<GraphId> ids = db.Ids();
+  if (ids.empty()) return queries;
+  for (size_t i = 0; i < config.count; ++i) {
+    GraphId id = ids[static_cast<size_t>(rng.UniformInt(0, ids.size() - 1))];
+    Graph q = QueryFrom(db, id, config, rng);
+    if (q.NumEdges() > 0) queries.push_back(std::move(q));
+  }
+  return queries;
+}
+
+std::vector<Graph> GenerateBalancedQueries(
+    const GraphDatabase& db, const std::vector<GraphId>& delta_ids,
+    const QueryGenConfig& config, Rng& rng) {
+  std::vector<Graph> queries;
+  std::vector<GraphId> delta_live;
+  for (GraphId id : delta_ids) {
+    if (db.Contains(id)) delta_live.push_back(id);
+  }
+  if (delta_live.empty()) return GenerateQueries(db, config, rng);
+
+  std::vector<GraphId> rest;
+  IdSet delta_set{std::vector<uint32_t>(delta_live.begin(), delta_live.end())};
+  for (GraphId id : db.Ids()) {
+    if (!delta_set.Contains(id)) rest.push_back(id);
+  }
+  size_t half = config.count / 2;
+  for (size_t i = 0; i < half; ++i) {
+    GraphId id = delta_live[static_cast<size_t>(
+        rng.UniformInt(0, delta_live.size() - 1))];
+    Graph q = QueryFrom(db, id, config, rng);
+    if (q.NumEdges() > 0) queries.push_back(std::move(q));
+  }
+  const std::vector<GraphId>& pool = rest.empty() ? delta_live : rest;
+  while (queries.size() < config.count) {
+    GraphId id =
+        pool[static_cast<size_t>(rng.UniformInt(0, pool.size() - 1))];
+    Graph q = QueryFrom(db, id, config, rng);
+    if (q.NumEdges() > 0) queries.push_back(std::move(q));
+  }
+  return queries;
+}
+
+}  // namespace midas

@@ -1,0 +1,38 @@
+#ifndef MIDAS_DATAGEN_WORKLOAD_H_
+#define MIDAS_DATAGEN_WORKLOAD_H_
+
+#include <vector>
+
+#include "midas/common/rng.h"
+#include "midas/graph/graph_database.h"
+
+namespace midas {
+
+/// Query workload generation (Section 7.1): queries are random connected
+/// subgraphs of data graphs. After a batch insertion, the query set is
+/// balanced so that half the queries come from Δ⁺ — the workload a GUI with
+/// stale patterns struggles with.
+struct QueryGenConfig {
+  size_t count = 100;
+  size_t min_edges = 4;
+  size_t max_edges = 40;
+};
+
+/// Random connected edge-subgraph of g with ~target_edges edges (clipped to
+/// |E(g)|); grown edge-by-edge from a random seed edge.
+Graph RandomConnectedSubgraph(const Graph& g, size_t target_edges, Rng& rng);
+
+/// Queries drawn from uniformly random graphs of db.
+std::vector<Graph> GenerateQueries(const GraphDatabase& db,
+                                   const QueryGenConfig& config, Rng& rng);
+
+/// Balanced set: half the queries from `delta_ids` (when non-empty), the
+/// rest from the remaining graphs.
+std::vector<Graph> GenerateBalancedQueries(const GraphDatabase& db,
+                                           const std::vector<GraphId>& delta_ids,
+                                           const QueryGenConfig& config,
+                                           Rng& rng);
+
+}  // namespace midas
+
+#endif  // MIDAS_DATAGEN_WORKLOAD_H_

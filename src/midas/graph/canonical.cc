@@ -1,0 +1,133 @@
+#include "midas/graph/canonical.h"
+
+#include <algorithm>
+#include <functional>
+#include <sstream>
+
+namespace midas {
+
+std::vector<VertexId> TreeCenters(const Graph& tree) {
+  size_t n = tree.NumVertices();
+  if (n == 0) return {};
+  if (n == 1) return {0};
+  std::vector<size_t> degree(n);
+  std::vector<VertexId> leaves;
+  for (VertexId v = 0; v < n; ++v) {
+    degree[v] = tree.Degree(v);
+    if (degree[v] <= 1) leaves.push_back(v);
+  }
+  size_t remaining = n;
+  std::vector<VertexId> frontier = leaves;
+  std::vector<bool> removed(n, false);
+  while (remaining > 2) {
+    std::vector<VertexId> next;
+    for (VertexId leaf : frontier) {
+      removed[leaf] = true;
+      --remaining;
+      for (VertexId w : tree.Neighbors(leaf)) {
+        if (removed[w]) continue;
+        if (--degree[w] == 1) next.push_back(w);
+      }
+    }
+    frontier = std::move(next);
+  }
+  std::vector<VertexId> centers;
+  for (VertexId v = 0; v < n; ++v) {
+    if (!removed[v]) centers.push_back(v);
+  }
+  return centers;
+}
+
+namespace {
+
+// AHU encoding of the subtree rooted at v (parent excluded).
+std::string EncodeRooted(const Graph& tree, VertexId v, VertexId parent) {
+  std::vector<std::string> children;
+  for (VertexId w : tree.Neighbors(v)) {
+    if (w == parent) continue;
+    children.push_back(EncodeRooted(tree, w, v));
+  }
+  std::sort(children.begin(), children.end());
+  std::string out = std::to_string(tree.label(v));
+  if (!children.empty()) {
+    // '$' separates sibling encodings (as in the paper's canonical strings);
+    // without it, multi-digit labels would make the encoding ambiguous.
+    out += "(";
+    for (size_t i = 0; i < children.size(); ++i) {
+      if (i > 0) out += "$";
+      out += children[i];
+    }
+    out += ")";
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string CanonicalTreeString(const Graph& tree) {
+  if (tree.NumVertices() == 0) return "";
+  std::vector<VertexId> centers = TreeCenters(tree);
+  std::string best;
+  for (VertexId c : centers) {
+    std::string enc =
+        EncodeRooted(tree, c, static_cast<VertexId>(-1));
+    if (best.empty() || enc < best) best = enc;
+  }
+  return best;
+}
+
+std::vector<uint32_t> CanonicalTreeTokens(const Graph& tree) {
+  std::string s = CanonicalTreeString(tree);
+  std::vector<uint32_t> tokens;
+  size_t i = 0;
+  while (i < s.size()) {
+    if (s[i] == '(') {
+      tokens.push_back(0);
+      ++i;
+    } else if (s[i] == ')') {
+      tokens.push_back(1);
+      ++i;
+    } else if (s[i] == '$') {
+      tokens.push_back(2);
+      ++i;
+    } else {
+      uint32_t value = 0;
+      while (i < s.size() && s[i] >= '0' && s[i] <= '9') {
+        value = value * 10 + static_cast<uint32_t>(s[i] - '0');
+        ++i;
+      }
+      tokens.push_back(value + 3);
+    }
+  }
+  return tokens;
+}
+
+std::string GraphSignature(const Graph& g) {
+  size_t n = g.NumVertices();
+  // Initial color = vertex label.
+  std::vector<uint64_t> color(n);
+  for (VertexId v = 0; v < n; ++v) color[v] = g.label(v);
+
+  for (int round = 0; round < 2; ++round) {
+    std::vector<uint64_t> next(n);
+    for (VertexId v = 0; v < n; ++v) {
+      std::vector<uint64_t> neigh;
+      neigh.reserve(g.Degree(v));
+      for (VertexId w : g.Neighbors(v)) neigh.push_back(color[w]);
+      std::sort(neigh.begin(), neigh.end());
+      uint64_t h = color[v] * 1099511628211ULL + 14695981039346656037ULL;
+      for (uint64_t c : neigh) h = (h ^ c) * 1099511628211ULL;
+      next[v] = h;
+    }
+    color = std::move(next);
+  }
+
+  std::vector<uint64_t> sorted_colors = color;
+  std::sort(sorted_colors.begin(), sorted_colors.end());
+  std::ostringstream out;
+  out << n << ":" << g.NumEdges() << ":";
+  for (uint64_t c : sorted_colors) out << std::hex << c << ",";
+  return out.str();
+}
+
+}  // namespace midas

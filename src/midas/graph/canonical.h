@@ -1,0 +1,41 @@
+#ifndef MIDAS_GRAPH_CANONICAL_H_
+#define MIDAS_GRAPH_CANONICAL_H_
+
+#include <string>
+#include <vector>
+
+#include "midas/graph/graph.h"
+
+namespace midas {
+
+/// Canonical forms for labeled trees and isomorphism-invariant signatures
+/// for small graphs.
+///
+/// CATAPULT/MIDAS represent frequent (closed) trees by canonical strings
+/// (Section 4.2, Figure 5(c)); the FCT-Index trie is keyed by the token
+/// sequence of that string (Definition 5.1). We use the AHU canonical form
+/// for unordered labeled free trees: root at the tree center (trying both
+/// centers when there are two) and recursively sort child encodings. Two
+/// labeled trees are isomorphic iff their canonical strings are equal.
+
+/// Center vertex (or two adjacent centers) of a tree.
+std::vector<VertexId> TreeCenters(const Graph& tree);
+
+/// Canonical string of a labeled free tree. Requires tree.IsTree().
+/// Format example: "6(8(8)$8)" — numeric label ids, nested parentheses for
+/// children, '$' between sibling subtrees (as in Figure 5(c)).
+std::string CanonicalTreeString(const Graph& tree);
+
+/// Token sequence of the canonical string, for trie insertion.
+/// Token 0 = '(' ; token 1 = ')' ; token 2 = '$' ; token l+3 = label l.
+std::vector<uint32_t> CanonicalTreeTokens(const Graph& tree);
+
+/// Isomorphism-invariant signature for an arbitrary small labeled graph,
+/// built from two Weisfeiler–Leman refinement rounds over vertex labels plus
+/// global counts. Equal signatures are *necessary* for isomorphism; callers
+/// deduplicating candidate patterns confirm with AreIsomorphic().
+std::string GraphSignature(const Graph& g);
+
+}  // namespace midas
+
+#endif  // MIDAS_GRAPH_CANONICAL_H_

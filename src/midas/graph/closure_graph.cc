@@ -1,0 +1,64 @@
+#include "midas/graph/closure_graph.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace midas {
+
+std::vector<int> GreedyAlign(const Graph& g, const Graph& target) {
+  std::vector<int> mapping(g.NumVertices(), -1);
+  std::vector<bool> used(target.NumVertices(), false);
+
+  std::vector<VertexId> order(g.NumVertices());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](VertexId a, VertexId b) {
+    if (g.Degree(a) != g.Degree(b)) return g.Degree(a) > g.Degree(b);
+    return a < b;
+  });
+
+  for (VertexId v : order) {
+    int best = -1;
+    int best_score = -1;
+    for (VertexId t = 0; t < target.NumVertices(); ++t) {
+      if (used[t] || target.label(t) != g.label(v)) continue;
+      int score = 0;
+      for (VertexId w : g.Neighbors(v)) {
+        if (mapping[w] >= 0 &&
+            target.HasEdge(t, static_cast<VertexId>(mapping[w]))) {
+          ++score;
+        }
+      }
+      // Prefer more matched edges, then higher-degree target vertices
+      // (denser alignment cores), then lowest id for determinism.
+      if (score > best_score ||
+          (score == best_score && best >= 0 &&
+           target.Degree(t) > target.Degree(static_cast<VertexId>(best)))) {
+        best = static_cast<int>(t);
+        best_score = score;
+      }
+    }
+    if (best >= 0) {
+      mapping[v] = best;
+      used[static_cast<size_t>(best)] = true;
+    }
+  }
+  return mapping;
+}
+
+Graph GraphClosure(const Graph& g1, const Graph& g2) {
+  Graph closure = g1;
+  std::vector<int> mapping = GreedyAlign(g2, g1);
+  // Materialize unmatched g2 vertices.
+  for (VertexId v = 0; v < g2.NumVertices(); ++v) {
+    if (mapping[v] < 0) {
+      mapping[v] = static_cast<int>(closure.AddVertex(g2.label(v)));
+    }
+  }
+  for (const auto& [u, v] : g2.Edges()) {
+    closure.AddEdge(static_cast<VertexId>(mapping[u]),
+                    static_cast<VertexId>(mapping[v]));
+  }
+  return closure;
+}
+
+}  // namespace midas

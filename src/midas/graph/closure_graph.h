@@ -1,0 +1,36 @@
+#ifndef MIDAS_GRAPH_CLOSURE_GRAPH_H_
+#define MIDAS_GRAPH_CLOSURE_GRAPH_H_
+
+#include <vector>
+
+#include "midas/graph/graph.h"
+
+namespace midas {
+
+/// Graph closure / integration (Section 2.3, Figure 4).
+///
+/// A closure graph integrates two graphs into one: vertices are aligned by a
+/// label-preserving mapping φ, unmatched vertices/edges become "extended"
+/// entries (the paper's dummy ε vertices collapse away after the union), and
+/// the result contains every vertex and edge of both inputs. Cluster summary
+/// graphs are built by folding this operation over a cluster.
+///
+/// Computing the optimal alignment is itself subgraph-isomorphism-hard, so we
+/// use a deterministic greedy alignment that maximizes matched edges locally;
+/// this preserves the property that matters downstream (every data edge is
+/// represented in the summary graph).
+
+/// Greedy label-preserving alignment of g's vertices onto target's vertices.
+/// Returns mapping[v] = target vertex id, or -1 when v is unmatched.
+/// Injective over matched vertices; vertices are processed in decreasing
+/// degree order and each picks the compatible target vertex with the most
+/// edges to already-matched neighbors.
+std::vector<int> GreedyAlign(const Graph& g, const Graph& target);
+
+/// Closure (integration) of g1 and g2: a graph containing g1 as-is plus the
+/// unmatched vertices/edges of g2 under GreedyAlign(g2, g1).
+Graph GraphClosure(const Graph& g1, const Graph& g2);
+
+}  // namespace midas
+
+#endif  // MIDAS_GRAPH_CLOSURE_GRAPH_H_

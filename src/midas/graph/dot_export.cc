@@ -1,0 +1,47 @@
+#include "midas/graph/dot_export.h"
+
+#include <ostream>
+#include <sstream>
+
+namespace midas {
+
+std::string DotColorFor(const std::string& label_name) {
+  // CPK-inspired colors for the common atoms; hashed pastels otherwise.
+  if (label_name == "C") return "#909090";
+  if (label_name == "O") return "#ff4444";
+  if (label_name == "N") return "#4466ff";
+  if (label_name == "H") return "#eeeeee";
+  if (label_name == "S") return "#e6c200";
+  if (label_name == "P") return "#ff8c00";
+  if (label_name == "Cl") return "#22cc22";
+  if (label_name == "B") return "#ffb5b5";
+  static const char* kPalette[] = {"#c0a0e0", "#a0e0c0", "#e0c0a0",
+                                   "#a0c0e0", "#e0a0c0", "#c0e0a0"};
+  size_t h = 0;
+  for (char c : label_name) h = h * 131 + static_cast<unsigned char>(c);
+  return kPalette[h % (sizeof(kPalette) / sizeof(kPalette[0]))];
+}
+
+void WriteDot(const Graph& g, const LabelDictionary& dict,
+              const std::string& name, std::ostream& out) {
+  out << "graph " << name << " {\n"
+      << "  node [shape=circle, style=filled, fontsize=11];\n";
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    std::string label = dict.Name(g.label(v));
+    out << "  n" << v << " [label=\"" << label << "\", fillcolor=\""
+        << DotColorFor(label) << "\"];\n";
+  }
+  for (const auto& [u, v] : g.Edges()) {
+    out << "  n" << u << " -- n" << v << ";\n";
+  }
+  out << "}\n";
+}
+
+std::string ToDot(const Graph& g, const LabelDictionary& dict,
+                  const std::string& name) {
+  std::ostringstream out;
+  WriteDot(g, dict, name, out);
+  return out.str();
+}
+
+}  // namespace midas

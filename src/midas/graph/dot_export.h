@@ -1,0 +1,30 @@
+#ifndef MIDAS_GRAPH_DOT_EXPORT_H_
+#define MIDAS_GRAPH_DOT_EXPORT_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "midas/graph/graph.h"
+
+namespace midas {
+
+/// Graphviz DOT export — the bridge from the library to an actual GUI
+/// panel: every canned pattern (or query, or data graph) renders with
+/// `dot -Tsvg`. Vertex labels come from the dictionary; atoms get simple
+/// chemistry-flavored fill colors so panels are scannable.
+
+/// Writes one graph as an undirected DOT graph named `name`.
+void WriteDot(const Graph& g, const LabelDictionary& dict,
+              const std::string& name, std::ostream& out);
+
+/// DOT text of one graph.
+std::string ToDot(const Graph& g, const LabelDictionary& dict,
+                  const std::string& name = "g");
+
+/// Fill color used for a label name ("C" -> gray, "O" -> red, ...);
+/// unknown labels hash onto a small palette.
+std::string DotColorFor(const std::string& label_name);
+
+}  // namespace midas
+
+#endif  // MIDAS_GRAPH_DOT_EXPORT_H_

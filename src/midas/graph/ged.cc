@@ -1,0 +1,214 @@
+#include "midas/graph/ged.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <map>
+#include <numeric>
+#include <vector>
+
+namespace midas {
+namespace {
+
+constexpr int kDeleted = -1;
+constexpr int kUnset = -2;
+
+// DFS branch & bound over assignments of A-vertices to B-vertices (or
+// deletion). Edge costs are charged incrementally as both endpoints become
+// decided; B-side insertions for unmatched vertices/edges are added at the
+// leaves.
+class GedSearch {
+ public:
+  GedSearch(const Graph& a, const Graph& b, int limit)
+      : a_(a), b_(b), best_(limit) {}
+
+  int Run() {
+    size_t na = a_.NumVertices();
+    order_.resize(na);
+    std::iota(order_.begin(), order_.end(), 0);
+    // High-degree vertices first: decides expensive edges early.
+    std::sort(order_.begin(), order_.end(), [&](VertexId x, VertexId y) {
+      return a_.Degree(x) > a_.Degree(y);
+    });
+    assign_.assign(na, kUnset);
+    used_.assign(b_.NumVertices(), false);
+    Extend(0, 0);
+    return best_;
+  }
+
+ private:
+  // Admissible remaining-cost bound: vertex count imbalance.
+  int RemainingBound(size_t depth, size_t used_count) const {
+    int rem_a = static_cast<int>(order_.size() - depth);
+    int rem_b = static_cast<int>(b_.NumVertices() - used_count);
+    return std::abs(rem_a - rem_b);
+  }
+
+  // Cost of deciding vertex u (mapped to v, or kDeleted) against all
+  // previously decided A-vertices.
+  int EdgeCost(VertexId u, int v, size_t depth) const {
+    int cost = 0;
+    for (size_t i = 0; i < depth; ++i) {
+      VertexId w = order_[i];
+      int x = assign_[w];
+      bool a_edge = a_.HasEdge(u, w);
+      if (v == kDeleted || x == kDeleted) {
+        if (a_edge) ++cost;  // incident A-edge must be deleted
+        continue;
+      }
+      bool b_edge = b_.HasEdge(static_cast<VertexId>(v),
+                               static_cast<VertexId>(x));
+      if (a_edge != b_edge) ++cost;  // delete or insert one edge
+    }
+    return cost;
+  }
+
+  void Extend(size_t depth, int cost) {
+    if (cost + RemainingBound(depth, used_count_) >= best_) return;
+    if (depth == order_.size()) {
+      Finish(cost);
+      return;
+    }
+    VertexId u = order_[depth];
+    for (VertexId v = 0; v < b_.NumVertices(); ++v) {
+      if (used_[v]) continue;
+      int step = (a_.label(u) != b_.label(v) ? 1 : 0) +
+                 EdgeCost(u, static_cast<int>(v), depth);
+      if (cost + step >= best_) continue;
+      assign_[u] = static_cast<int>(v);
+      used_[v] = true;
+      ++used_count_;
+      Extend(depth + 1, cost + step);
+      --used_count_;
+      used_[v] = false;
+      assign_[u] = kUnset;
+    }
+    // Delete u.
+    int step = 1 + EdgeCost(u, kDeleted, depth);
+    if (cost + step < best_) {
+      assign_[u] = kDeleted;
+      Extend(depth + 1, cost + step);
+      assign_[u] = kUnset;
+    }
+  }
+
+  void Finish(int cost) {
+    // Unmatched B vertices are insertions; B edges with an unmatched endpoint
+    // are insertions (edges between two matched B vertices were already
+    // charged when the second endpoint was decided).
+    int extra = static_cast<int>(b_.NumVertices() - used_count_);
+    for (const auto& [x, y] : b_.Edges()) {
+      if (!used_[x] || !used_[y]) ++extra;
+    }
+    best_ = std::min(best_, cost + extra);
+  }
+
+  const Graph& a_;
+  const Graph& b_;
+  std::vector<VertexId> order_;
+  std::vector<int> assign_;
+  std::vector<bool> used_;
+  size_t used_count_ = 0;
+  int best_;
+};
+
+}  // namespace
+
+int GedExact(const Graph& a, const Graph& b, int cost_limit) {
+  // Seed the branch & bound with the greedy upper bound: the search only
+  // has to find strictly better solutions (or confirm none exist).
+  int ub = GedUpperBound(a, b);
+  int limit = std::min(cost_limit, ub + 1);
+  GedSearch search(a, b, limit);
+  int d = std::min(search.Run(), ub);
+  return std::min(d, cost_limit);
+}
+
+int GedLowerBound(const Graph& a, const Graph& b) {
+  std::map<Label, int> la;
+  std::map<Label, int> lb;
+  for (VertexId v = 0; v < a.NumVertices(); ++v) ++la[a.label(v)];
+  for (VertexId v = 0; v < b.NumVertices(); ++v) ++lb[b.label(v)];
+  // |L(V_A) ∩ L(V_B)| as multiset intersection (tighter than set
+  // intersection and still a valid lower bound on preservable vertices).
+  int common = 0;
+  for (const auto& [label, ca] : la) {
+    auto it = lb.find(label);
+    if (it != lb.end()) common += std::min(ca, it->second);
+  }
+  int va = static_cast<int>(a.NumVertices());
+  int vb = static_cast<int>(b.NumVertices());
+  int v_part = std::abs(va - vb) + (std::min(va, vb) - common);
+  int e_part =
+      std::abs(static_cast<int>(a.NumEdges()) - static_cast<int>(b.NumEdges()));
+  return v_part + e_part;
+}
+
+int GedTightLowerBound(const Graph& a, const Graph& b, int relaxed_edges) {
+  return GedLowerBound(a, b) + std::max(0, relaxed_edges);
+}
+
+int GedUpperBound(const Graph& a, const Graph& b) {
+  // Greedy label-first alignment (mirrors closure_graph's GreedyAlign but
+  // also permits relabel matches when no same-label vertex is free).
+  size_t na = a.NumVertices();
+  size_t nb = b.NumVertices();
+  std::vector<int> map_a(na, -1);
+  std::vector<bool> used_b(nb, false);
+
+  std::vector<VertexId> order(na);
+  for (size_t i = 0; i < na; ++i) order[i] = static_cast<VertexId>(i);
+  std::sort(order.begin(), order.end(), [&](VertexId x, VertexId y) {
+    return a.Degree(x) > a.Degree(y);
+  });
+
+  for (VertexId v : order) {
+    int best = -1;
+    int best_score = -1;
+    for (VertexId t = 0; t < nb; ++t) {
+      if (used_b[t]) continue;
+      int score = a.label(v) == b.label(t) ? 2 : 0;
+      for (VertexId w : a.Neighbors(v)) {
+        if (map_a[w] >= 0 && b.HasEdge(t, static_cast<VertexId>(map_a[w]))) {
+          score += 2;
+        }
+      }
+      if (score > best_score) {
+        best_score = score;
+        best = static_cast<int>(t);
+      }
+    }
+    if (best >= 0) {
+      map_a[v] = best;
+      used_b[static_cast<size_t>(best)] = true;
+    }
+  }
+
+  // Price the edit script induced by the alignment.
+  int cost = 0;
+  size_t mapped = 0;
+  for (VertexId v = 0; v < na; ++v) {
+    if (map_a[v] < 0) {
+      ++cost;  // delete vertex
+    } else {
+      ++mapped;
+      if (a.label(v) != b.label(static_cast<VertexId>(map_a[v]))) {
+        ++cost;  // relabel
+      }
+    }
+  }
+  cost += static_cast<int>(nb - mapped);  // insert unmatched b vertices
+  // Edges of a: preserved iff both endpoints mapped onto a b-edge.
+  size_t preserved = 0;
+  for (const auto& [u, v] : a.Edges()) {
+    if (map_a[u] >= 0 && map_a[v] >= 0 &&
+        b.HasEdge(static_cast<VertexId>(map_a[u]),
+                  static_cast<VertexId>(map_a[v]))) {
+      ++preserved;
+    }
+  }
+  cost += static_cast<int>(a.NumEdges() - preserved);  // deletions
+  cost += static_cast<int>(b.NumEdges() - preserved);  // insertions
+  return cost;
+}
+
+}  // namespace midas

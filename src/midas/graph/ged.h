@@ -1,0 +1,44 @@
+#ifndef MIDAS_GRAPH_GED_H_
+#define MIDAS_GRAPH_GED_H_
+
+#include <limits>
+
+#include "midas/graph/graph.h"
+
+namespace midas {
+
+/// Graph edit distance with unit costs (vertex insert/delete/relabel = 1,
+/// edge insert/delete = 1). Edge labels are determined by endpoint labels
+/// (Section 2.1), so no separate edge-relabel operation exists.
+///
+/// Pattern diversity div(p, P \ p) = min GED to any other pattern
+/// (Section 2.2). MIDAS computes diversity with the lower bounds below and
+/// falls back to the exact distance only for pattern-sized graphs.
+
+/// Exact GED via depth-first branch & bound over vertex assignments.
+/// Stops early and returns `cost_limit` when the distance is >= cost_limit.
+/// Intended for pattern-sized graphs (<= ~10 vertices each).
+int GedExact(const Graph& a, const Graph& b,
+             int cost_limit = std::numeric_limits<int>::max());
+
+/// Label-based lower bound GED_l (Lemma 6.1 with n = 0):
+///   |V|-part = ||V_A|-|V_B|| + min(|V_A|,|V_B|) - |L(V_A) ∩ L(V_B)|
+///   |E|-part = ||E_A|-|E_B||
+int GedLowerBound(const Graph& a, const Graph& b);
+
+/// Tightened lower bound GED'_l = GED_l + relaxed_edges (Lemma 6.1), where
+/// relaxed_edges is the number of edges of the smaller graph that must be
+/// ignored before its feature embeddings fit into the other graph's; it is
+/// computed from the pattern-feature matrix (see index/pf_matrix.h).
+int GedTightLowerBound(const Graph& a, const Graph& b, int relaxed_edges);
+
+/// Greedy upper bound: builds one vertex alignment (label- and
+/// neighborhood-guided, highest-degree first) and prices the edit script it
+/// induces. The returned value is always achievable, so
+/// GedLowerBound <= GedExact <= GedUpperBound; GedExact also uses it to
+/// seed its branch & bound. O(V^2 * deg).
+int GedUpperBound(const Graph& a, const Graph& b);
+
+}  // namespace midas
+
+#endif  // MIDAS_GRAPH_GED_H_

@@ -1,0 +1,142 @@
+#include "midas/graph/graph.h"
+
+#include <algorithm>
+#include <set>
+
+namespace midas {
+
+Label LabelDictionary::Intern(const std::string& name) {
+  auto it = index_.find(name);
+  if (it != index_.end()) return it->second;
+  Label id = static_cast<Label>(names_.size());
+  names_.push_back(name);
+  index_.emplace(name, id);
+  return id;
+}
+
+int LabelDictionary::Lookup(const std::string& name) const {
+  auto it = index_.find(name);
+  return it == index_.end() ? -1 : static_cast<int>(it->second);
+}
+
+std::string LabelDictionary::Name(Label id) const {
+  if (id < names_.size()) return names_[id];
+  return "?" + std::to_string(id);
+}
+
+VertexId Graph::AddVertex(Label label) {
+  labels_.push_back(label);
+  adjacency_.emplace_back();
+  return static_cast<VertexId>(labels_.size() - 1);
+}
+
+bool Graph::AddEdge(VertexId u, VertexId v) {
+  if (u == v || u >= labels_.size() || v >= labels_.size()) return false;
+  auto& nu = adjacency_[u];
+  auto it = std::lower_bound(nu.begin(), nu.end(), v);
+  if (it != nu.end() && *it == v) return false;
+  nu.insert(it, v);
+  auto& nv = adjacency_[v];
+  nv.insert(std::lower_bound(nv.begin(), nv.end(), u), u);
+  ++edge_count_;
+  return true;
+}
+
+bool Graph::RemoveEdge(VertexId u, VertexId v) {
+  if (u >= labels_.size() || v >= labels_.size()) return false;
+  auto& nu = adjacency_[u];
+  auto it = std::lower_bound(nu.begin(), nu.end(), v);
+  if (it == nu.end() || *it != v) return false;
+  nu.erase(it);
+  auto& nv = adjacency_[v];
+  nv.erase(std::lower_bound(nv.begin(), nv.end(), u));
+  --edge_count_;
+  return true;
+}
+
+bool Graph::HasEdge(VertexId u, VertexId v) const {
+  if (u >= labels_.size() || v >= labels_.size()) return false;
+  const auto& nu = adjacency_[u];
+  return std::binary_search(nu.begin(), nu.end(), v);
+}
+
+std::vector<std::pair<VertexId, VertexId>> Graph::Edges() const {
+  std::vector<std::pair<VertexId, VertexId>> out;
+  out.reserve(edge_count_);
+  for (VertexId u = 0; u < labels_.size(); ++u) {
+    for (VertexId v : adjacency_[u]) {
+      if (u < v) out.emplace_back(u, v);
+    }
+  }
+  return out;
+}
+
+std::vector<EdgeLabelPair> Graph::DistinctEdgeLabels() const {
+  std::set<EdgeLabelPair> seen;
+  for (const auto& [u, v] : Edges()) seen.insert(EdgeLabel(u, v));
+  return std::vector<EdgeLabelPair>(seen.begin(), seen.end());
+}
+
+bool Graph::IsConnected() const {
+  if (labels_.empty()) return true;
+  std::vector<bool> visited(labels_.size(), false);
+  std::vector<VertexId> stack = {0};
+  visited[0] = true;
+  size_t reached = 1;
+  while (!stack.empty()) {
+    VertexId u = stack.back();
+    stack.pop_back();
+    for (VertexId v : adjacency_[u]) {
+      if (!visited[v]) {
+        visited[v] = true;
+        ++reached;
+        stack.push_back(v);
+      }
+    }
+  }
+  return reached == labels_.size();
+}
+
+bool Graph::IsTree() const {
+  return !labels_.empty() && edge_count_ == labels_.size() - 1 &&
+         IsConnected();
+}
+
+double Graph::Density() const {
+  size_t n = labels_.size();
+  if (n < 2) return 0.0;
+  return 2.0 * static_cast<double>(edge_count_) /
+         (static_cast<double>(n) * static_cast<double>(n - 1));
+}
+
+double Graph::CognitiveLoad() const {
+  return static_cast<double>(edge_count_) * Density();
+}
+
+Graph Graph::InducedSubgraph(const std::vector<VertexId>& keep) const {
+  Graph sub;
+  std::vector<int> remap(labels_.size(), -1);
+  for (VertexId old_id : keep) {
+    remap[old_id] = static_cast<int>(sub.AddVertex(labels_[old_id]));
+  }
+  for (VertexId old_u : keep) {
+    for (VertexId old_v : adjacency_[old_u]) {
+      if (old_u < old_v && remap[old_v] >= 0) {
+        sub.AddEdge(static_cast<VertexId>(remap[old_u]),
+                    static_cast<VertexId>(remap[old_v]));
+      }
+    }
+  }
+  return sub;
+}
+
+Graph Graph::Permuted(const std::vector<VertexId>& perm) const {
+  Graph out;
+  std::vector<Label> new_labels(labels_.size());
+  for (VertexId v = 0; v < labels_.size(); ++v) new_labels[perm[v]] = labels_[v];
+  for (Label l : new_labels) out.AddVertex(l);
+  for (const auto& [u, v] : Edges()) out.AddEdge(perm[u], perm[v]);
+  return out;
+}
+
+}  // namespace midas

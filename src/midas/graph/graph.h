@@ -1,0 +1,136 @@
+#ifndef MIDAS_GRAPH_GRAPH_H_
+#define MIDAS_GRAPH_GRAPH_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace midas {
+
+/// Numeric vertex-label id (interned via LabelDictionary).
+using Label = uint32_t;
+/// Vertex index within one graph (dense, 0-based).
+using VertexId = uint32_t;
+
+/// Unordered label pair identifying an edge "label" l(e) = l(u).l(v)
+/// (Section 2.1). Stored canonically with first <= second.
+struct EdgeLabelPair {
+  Label first = 0;
+  Label second = 0;
+
+  EdgeLabelPair() = default;
+  EdgeLabelPair(Label a, Label b)
+      : first(a < b ? a : b), second(a < b ? b : a) {}
+
+  bool operator==(const EdgeLabelPair& o) const {
+    return first == o.first && second == o.second;
+  }
+  bool operator<(const EdgeLabelPair& o) const {
+    return first != o.first ? first < o.first : second < o.second;
+  }
+  /// Packs both labels into one 64-bit key (for hashing / map keys).
+  uint64_t Packed() const {
+    return (static_cast<uint64_t>(first) << 32) | second;
+  }
+};
+
+struct EdgeLabelPairHash {
+  size_t operator()(const EdgeLabelPair& p) const {
+    return std::hash<uint64_t>()(p.Packed());
+  }
+};
+
+/// Bidirectional mapping between human-readable label strings (atom symbols
+/// like "C", "O", "N" in the chemistry use case) and dense numeric ids.
+/// One dictionary is shared per GraphDatabase.
+class LabelDictionary {
+ public:
+  /// Returns the id for name, interning it on first use.
+  Label Intern(const std::string& name);
+  /// Returns the id if interned, or -1.
+  int Lookup(const std::string& name) const;
+  /// Name for an id; "?<id>" if unknown.
+  std::string Name(Label id) const;
+  size_t size() const { return names_.size(); }
+
+ private:
+  std::unordered_map<std::string, Label> index_;
+  std::vector<std::string> names_;
+};
+
+/// An undirected simple graph with labeled vertices (Section 2.1).
+///
+/// Data graphs, canned patterns, queries, mined trees and cluster summary
+/// graph skeletons all use this type. Vertices are dense 0-based indices;
+/// neighbor lists are kept sorted so containment checks are O(log deg).
+/// Following the paper, |G| denotes the number of edges.
+class Graph {
+ public:
+  Graph() = default;
+
+  /// Adds a vertex with the given label; returns its id.
+  VertexId AddVertex(Label label);
+  /// Adds undirected edge {u, v}. Returns false for self-loops, duplicate
+  /// edges or out-of-range endpoints.
+  bool AddEdge(VertexId u, VertexId v);
+  /// Removes undirected edge {u, v}; returns false if absent.
+  bool RemoveEdge(VertexId u, VertexId v);
+
+  bool HasEdge(VertexId u, VertexId v) const;
+
+  size_t NumVertices() const { return labels_.size(); }
+  size_t NumEdges() const { return edge_count_; }
+  /// Paper convention: |G| = |E|.
+  size_t Size() const { return edge_count_; }
+
+  Label label(VertexId v) const { return labels_[v]; }
+  void set_label(VertexId v, Label l) { labels_[v] = l; }
+  size_t Degree(VertexId v) const { return adjacency_[v].size(); }
+  const std::vector<VertexId>& Neighbors(VertexId v) const {
+    return adjacency_[v];
+  }
+
+  /// Edge label l(e) for an existing edge (u, v).
+  EdgeLabelPair EdgeLabel(VertexId u, VertexId v) const {
+    return EdgeLabelPair(labels_[u], labels_[v]);
+  }
+
+  /// All edges as (u, v) pairs with u < v, in ascending order.
+  std::vector<std::pair<VertexId, VertexId>> Edges() const;
+
+  /// Multiset of distinct edge label pairs present in the graph.
+  std::vector<EdgeLabelPair> DistinctEdgeLabels() const;
+
+  bool IsConnected() const;
+  /// Connected and |E| = |V| - 1.
+  bool IsTree() const;
+
+  /// Graph density rho = 2|E| / (|V|(|V|-1)); 0 for graphs with < 2 vertices.
+  double Density() const;
+
+  /// Cognitive load cog(G) = |E| * rho (Section 2.2).
+  double CognitiveLoad() const;
+
+  /// Subgraph induced on `keep` (vertex ids into this graph); preserves all
+  /// edges among kept vertices. `keep` must contain no duplicates.
+  Graph InducedSubgraph(const std::vector<VertexId>& keep) const;
+
+  /// Returns an isomorphic copy with vertices renumbered by `perm`, where
+  /// perm[old_id] = new_id. Used by permutation-invariance property tests.
+  Graph Permuted(const std::vector<VertexId>& perm) const;
+
+  bool operator==(const Graph& other) const {
+    return labels_ == other.labels_ && adjacency_ == other.adjacency_;
+  }
+
+ private:
+  std::vector<Label> labels_;
+  std::vector<std::vector<VertexId>> adjacency_;
+  size_t edge_count_ = 0;
+};
+
+}  // namespace midas
+
+#endif  // MIDAS_GRAPH_GRAPH_H_

@@ -1,0 +1,47 @@
+#include "midas/graph/graph_database.h"
+
+#include <algorithm>
+
+namespace midas {
+
+GraphId GraphDatabase::Insert(Graph g) {
+  GraphId id = next_id_++;
+  graphs_.emplace(id, std::move(g));
+  return id;
+}
+
+bool GraphDatabase::Remove(GraphId id) { return graphs_.erase(id) > 0; }
+
+std::vector<GraphId> GraphDatabase::ApplyBatch(const BatchUpdate& delta) {
+  for (GraphId id : delta.deletions) Remove(id);
+  std::vector<GraphId> inserted;
+  inserted.reserve(delta.insertions.size());
+  for (const Graph& g : delta.insertions) inserted.push_back(Insert(g));
+  return inserted;
+}
+
+const Graph* GraphDatabase::Find(GraphId id) const {
+  auto it = graphs_.find(id);
+  return it == graphs_.end() ? nullptr : &it->second;
+}
+
+std::vector<GraphId> GraphDatabase::Ids() const {
+  std::vector<GraphId> ids;
+  ids.reserve(graphs_.size());
+  for (const auto& [id, g] : graphs_) ids.push_back(id);
+  return ids;
+}
+
+size_t GraphDatabase::TotalEdges() const {
+  size_t n = 0;
+  for (const auto& [id, g] : graphs_) n += g.NumEdges();
+  return n;
+}
+
+size_t GraphDatabase::MaxGraphEdges() const {
+  size_t n = 0;
+  for (const auto& [id, g] : graphs_) n = std::max(n, g.NumEdges());
+  return n;
+}
+
+}  // namespace midas

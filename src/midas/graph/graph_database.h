@@ -1,0 +1,70 @@
+#ifndef MIDAS_GRAPH_GRAPH_DATABASE_H_
+#define MIDAS_GRAPH_GRAPH_DATABASE_H_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "midas/graph/graph.h"
+
+namespace midas {
+
+/// Stable id of a data graph within a GraphDatabase.
+using GraphId = uint32_t;
+
+/// A batch update ΔD: a set of graph insertions Δ⁺ and deletions Δ⁻
+/// (Section 3.1). Databases of small data graphs evolve in such batches
+/// (e.g., daily additions to PubChem).
+struct BatchUpdate {
+  std::vector<Graph> insertions;
+  std::vector<GraphId> deletions;
+
+  bool Empty() const { return insertions.empty() && deletions.empty(); }
+};
+
+/// A collection of small/medium data graphs with stable unique ids
+/// (the graph database D of Section 2.1).
+///
+/// Ids are never reused; deletion leaves a hole. Iteration order is
+/// ascending id, so all downstream computation is deterministic.
+class GraphDatabase {
+ public:
+  GraphDatabase() = default;
+
+  /// Inserts a graph, returning its assigned id.
+  GraphId Insert(Graph g);
+  /// Removes a graph; returns false if the id is absent.
+  bool Remove(GraphId id);
+
+  /// Applies a batch update; returns ids assigned to the insertions.
+  std::vector<GraphId> ApplyBatch(const BatchUpdate& delta);
+
+  const Graph* Find(GraphId id) const;
+  bool Contains(GraphId id) const { return graphs_.count(id) > 0; }
+
+  size_t size() const { return graphs_.size(); }
+  bool empty() const { return graphs_.empty(); }
+
+  /// All current graph ids in ascending order.
+  std::vector<GraphId> Ids() const;
+
+  /// Ascending-id iteration over (id, graph).
+  const std::map<GraphId, Graph>& graphs() const { return graphs_; }
+
+  LabelDictionary& labels() { return labels_; }
+  const LabelDictionary& labels() const { return labels_; }
+
+  /// Total number of edges across all data graphs.
+  size_t TotalEdges() const;
+  /// Size |E_max| of the largest graph.
+  size_t MaxGraphEdges() const;
+
+ private:
+  LabelDictionary labels_;
+  std::map<GraphId, Graph> graphs_;
+  GraphId next_id_ = 0;
+};
+
+}  // namespace midas
+
+#endif  // MIDAS_GRAPH_GRAPH_DATABASE_H_

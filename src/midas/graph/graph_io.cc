@@ -1,0 +1,77 @@
+#include "midas/graph/graph_io.h"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+namespace midas {
+
+void WriteGraph(const Graph& g, const LabelDictionary& dict, long id,
+                std::ostream& out) {
+  out << "t # " << id << "\n";
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    out << "v " << v << " " << dict.Name(g.label(v)) << "\n";
+  }
+  for (const auto& [u, v] : g.Edges()) {
+    out << "e " << u << " " << v << "\n";
+  }
+}
+
+void WriteDatabase(const GraphDatabase& db, std::ostream& out) {
+  for (const auto& [id, g] : db.graphs()) {
+    WriteGraph(g, db.labels(), static_cast<long>(id), out);
+  }
+}
+
+bool ReadDatabase(std::istream& in, GraphDatabase* db) {
+  std::string line;
+  Graph current;
+  bool have_graph = false;
+  auto flush = [&]() {
+    if (have_graph) db->Insert(std::move(current));
+    current = Graph();
+  };
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    char tag = 0;
+    ls >> tag;
+    if (tag == 't') {
+      flush();
+      have_graph = true;
+    } else if (tag == 'v') {
+      size_t idx = 0;
+      std::string label;
+      if (!(ls >> idx >> label)) return false;
+      if (idx != current.NumVertices()) return false;  // must be dense
+      current.AddVertex(db->labels().Intern(label));
+    } else if (tag == 'e') {
+      VertexId u = 0;
+      VertexId v = 0;
+      if (!(ls >> u >> v)) return false;
+      if (!current.AddEdge(u, v)) return false;
+    } else {
+      return false;
+    }
+  }
+  flush();
+  return true;
+}
+
+std::string ToString(const Graph& g, const LabelDictionary& dict) {
+  std::ostringstream out;
+  WriteGraph(g, dict, 0, out);
+  return out.str();
+}
+
+Graph RemapLabels(const Graph& g, const LabelDictionary& from,
+                  LabelDictionary& to) {
+  Graph out;
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    out.AddVertex(to.Intern(from.Name(g.label(v))));
+  }
+  for (const auto& [u, v] : g.Edges()) out.AddEdge(u, v);
+  return out;
+}
+
+}  // namespace midas

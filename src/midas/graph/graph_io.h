@@ -1,0 +1,44 @@
+#ifndef MIDAS_GRAPH_GRAPH_IO_H_
+#define MIDAS_GRAPH_GRAPH_IO_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "midas/graph/graph_database.h"
+
+namespace midas {
+
+/// Text serialization in the gSpan-style transactional format:
+///
+///   t # <graph-id>
+///   v <vertex-idx> <label-string>
+///   e <u> <v>
+///
+/// Vertex indices must be dense and ascending within each graph. This is the
+/// interchange format used by most public graph-mining datasets (AIDS,
+/// PubChem exports), so real data can be dropped in for the synthetic
+/// generator without code changes.
+
+/// Writes one graph (labels resolved through dict).
+void WriteGraph(const Graph& g, const LabelDictionary& dict, long id,
+                std::ostream& out);
+
+/// Writes a whole database in ascending id order.
+void WriteDatabase(const GraphDatabase& db, std::ostream& out);
+
+/// Parses a database; returns false on malformed input. Graph ids in the
+/// file are ignored (the database assigns fresh ids in file order).
+bool ReadDatabase(std::istream& in, GraphDatabase* db);
+
+/// Round-trips a graph to its serialized string (debugging aid).
+std::string ToString(const Graph& g, const LabelDictionary& dict);
+
+/// Rebuilds g with every label translated by *name* from `from` into `to`
+/// (interning as needed). Graphs from different databases/files only agree
+/// on label names, not numeric ids; remap before mixing them.
+Graph RemapLabels(const Graph& g, const LabelDictionary& from,
+                  LabelDictionary& to);
+
+}  // namespace midas
+
+#endif  // MIDAS_GRAPH_GRAPH_IO_H_

@@ -1,0 +1,75 @@
+#include "midas/graph/graph_statistics.h"
+
+#include <iomanip>
+#include <ostream>
+#include <set>
+
+namespace midas {
+
+DatabaseStatistics ComputeStatistics(const GraphDatabase& db) {
+  DatabaseStatistics s;
+  s.num_graphs = db.size();
+  if (db.empty()) return s;
+
+  std::map<Label, size_t> label_counts;
+  std::map<EdgeLabelPair, size_t> edge_graph_counts;
+  double density_sum = 0.0;
+  for (const auto& [id, g] : db.graphs()) {
+    s.total_vertices += g.NumVertices();
+    s.total_edges += g.NumEdges();
+    s.max_vertices = std::max(s.max_vertices, g.NumVertices());
+    s.max_edges = std::max(s.max_edges, g.NumEdges());
+    density_sum += g.Density();
+    for (VertexId v = 0; v < g.NumVertices(); ++v) ++label_counts[g.label(v)];
+    for (const EdgeLabelPair& lp : g.DistinctEdgeLabels()) {
+      ++edge_graph_counts[lp];
+    }
+  }
+  double n = static_cast<double>(s.num_graphs);
+  s.mean_vertices = static_cast<double>(s.total_vertices) / n;
+  s.mean_edges = static_cast<double>(s.total_edges) / n;
+  s.mean_density = density_sum / n;
+  s.mean_degree = s.total_vertices == 0
+                      ? 0.0
+                      : 2.0 * static_cast<double>(s.total_edges) /
+                            static_cast<double>(s.total_vertices);
+  s.num_labels = label_counts.size();
+  s.num_edge_labels = edge_graph_counts.size();
+
+  for (const auto& [label, count] : label_counts) {
+    s.label_shares[db.labels().Name(label)] =
+        static_cast<double>(count) / static_cast<double>(s.total_vertices);
+  }
+  for (const auto& [lp, count] : edge_graph_counts) {
+    std::string key =
+        db.labels().Name(lp.first) + "-" + db.labels().Name(lp.second);
+    s.edge_label_coverage[key] = static_cast<double>(count) / n;
+  }
+  return s;
+}
+
+void PrintStatistics(const DatabaseStatistics& s, std::ostream& out) {
+  out << "graphs:        " << s.num_graphs << "\n"
+      << "vertices:      " << s.total_vertices << " (mean "
+      << std::fixed << std::setprecision(1) << s.mean_vertices << ", max "
+      << s.max_vertices << ")\n"
+      << "edges:         " << s.total_edges << " (mean " << s.mean_edges
+      << ", max " << s.max_edges << ")\n"
+      << "mean density:  " << std::setprecision(3) << s.mean_density << "\n"
+      << "mean degree:   " << s.mean_degree << "\n"
+      << "vertex labels: " << s.num_labels << "\n"
+      << "edge labels:   " << s.num_edge_labels << "\n";
+  out << "label shares:\n";
+  for (const auto& [name, share] : s.label_shares) {
+    out << "  " << std::left << std::setw(4) << name << " "
+        << std::setprecision(1) << 100.0 * share << "%\n";
+  }
+  out << "edge-label coverage (share of graphs):\n";
+  for (const auto& [name, share] : s.edge_label_coverage) {
+    out << "  " << std::left << std::setw(7) << name << " "
+        << std::setprecision(1) << 100.0 * share << "%\n";
+  }
+  out.flush();
+}
+
+}  // namespace midas

@@ -1,0 +1,41 @@
+#ifndef MIDAS_GRAPH_GRAPH_STATISTICS_H_
+#define MIDAS_GRAPH_GRAPH_STATISTICS_H_
+
+#include <iosfwd>
+#include <map>
+#include <string>
+
+#include "midas/graph/graph_database.h"
+
+namespace midas {
+
+/// Descriptive statistics of a graph database — the profile report a
+/// deployment inspects before picking sup_min, the pattern budget, and the
+/// cluster count (and the `midas_cli stats` command).
+struct DatabaseStatistics {
+  size_t num_graphs = 0;
+  size_t total_vertices = 0;
+  size_t total_edges = 0;
+  double mean_vertices = 0.0;
+  double mean_edges = 0.0;
+  size_t max_vertices = 0;
+  size_t max_edges = 0;
+  double mean_density = 0.0;
+  double mean_degree = 0.0;
+  size_t num_labels = 0;
+  size_t num_edge_labels = 0;
+  /// Vertex-label histogram (share of all vertices), descending.
+  std::map<std::string, double> label_shares;
+  /// Fraction of graphs containing each edge label, descending by share.
+  std::map<std::string, double> edge_label_coverage;
+};
+
+/// Computes the full profile in one pass over the database.
+DatabaseStatistics ComputeStatistics(const GraphDatabase& db);
+
+/// Human-readable report (multi-line).
+void PrintStatistics(const DatabaseStatistics& stats, std::ostream& out);
+
+}  // namespace midas
+
+#endif  // MIDAS_GRAPH_GRAPH_STATISTICS_H_

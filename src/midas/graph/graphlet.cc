@@ -1,0 +1,177 @@
+#include "midas/graph/graphlet.h"
+
+#include <algorithm>
+
+#include "midas/common/stats.h"
+
+namespace midas {
+namespace {
+
+// Classifies the induced subgraph on 3 connected vertices.
+GraphletType Classify3(const Graph& g, VertexId a, VertexId b, VertexId c) {
+  int edges = static_cast<int>(g.HasEdge(a, b)) +
+              static_cast<int>(g.HasEdge(a, c)) +
+              static_cast<int>(g.HasEdge(b, c));
+  return edges == 3 ? kTriangle : kWedge;
+}
+
+// Classifies the induced subgraph on 4 connected vertices.
+GraphletType Classify4(const Graph& g, const std::array<VertexId, 4>& s) {
+  int deg[4] = {0, 0, 0, 0};
+  int edges = 0;
+  for (int i = 0; i < 4; ++i) {
+    for (int j = i + 1; j < 4; ++j) {
+      if (g.HasEdge(s[i], s[j])) {
+        ++edges;
+        ++deg[i];
+        ++deg[j];
+      }
+    }
+  }
+  switch (edges) {
+    case 3: {
+      int max_deg = std::max(std::max(deg[0], deg[1]), std::max(deg[2], deg[3]));
+      return max_deg == 3 ? kStar4 : kPath4;
+    }
+    case 4: {
+      int max_deg = std::max(std::max(deg[0], deg[1]), std::max(deg[2], deg[3]));
+      return max_deg == 3 ? kPaw : kCycle4;
+    }
+    case 5:
+      return kDiamond;
+    default:
+      return kK4;
+  }
+}
+
+// ESU (Wernicke 2006): enumerates every connected induced k-vertex subgraph
+// exactly once by growing from a root using only vertices > root, with an
+// exclusive extension set.
+class EsuEnumerator {
+ public:
+  EsuEnumerator(const Graph& g, GraphletCounts& counts)
+      : g_(g), counts_(counts) {}
+
+  void Run() {
+    size_t n = g_.NumVertices();
+    in_sub_.assign(n, false);
+    in_ext_.assign(n, false);
+    for (VertexId v = 0; v < n; ++v) {
+      sub_.clear();
+      sub_.push_back(v);
+      in_sub_[v] = true;
+      std::vector<VertexId> ext;
+      for (VertexId w : g_.Neighbors(v)) {
+        if (w > v) {
+          ext.push_back(w);
+          in_ext_[w] = true;
+        }
+      }
+      Extend(v, ext);
+      for (VertexId w : ext) in_ext_[w] = false;
+      in_sub_[v] = false;
+    }
+  }
+
+ private:
+  void Record() {
+    if (sub_.size() == 3) {
+      ++counts_[Classify3(g_, sub_[0], sub_[1], sub_[2])];
+    } else {
+      ++counts_[Classify4(g_, {sub_[0], sub_[1], sub_[2], sub_[3]})];
+    }
+  }
+
+  void Extend(VertexId root, std::vector<VertexId>& ext) {
+    if (sub_.size() >= 3) Record();
+    if (sub_.size() == 4) return;
+    // When |sub| == 2, both the 3-subset and its 4-extensions are recorded
+    // along this path; recursion handles it naturally.
+    while (!ext.empty()) {
+      VertexId w = ext.back();
+      ext.pop_back();
+      in_ext_[w] = false;
+
+      // New extension = ext ∪ {neighbors of w that are exclusive}.
+      std::vector<VertexId> next_ext = ext;
+      std::vector<VertexId> added;
+      for (VertexId u : g_.Neighbors(w)) {
+        if (u > root && !in_sub_[u] && !in_ext_[u]) {
+          // Exclusive: not adjacent to current subgraph (other than via w).
+          bool adjacent_to_sub = false;
+          for (VertexId s : sub_) {
+            if (g_.HasEdge(u, s)) {
+              adjacent_to_sub = true;
+              break;
+            }
+          }
+          if (!adjacent_to_sub) {
+            next_ext.push_back(u);
+            in_ext_[u] = true;
+            added.push_back(u);
+          }
+        }
+      }
+      sub_.push_back(w);
+      in_sub_[w] = true;
+      Extend(root, next_ext);
+      in_sub_[w] = false;
+      sub_.pop_back();
+      for (VertexId u : added) in_ext_[u] = false;
+    }
+  }
+
+  const Graph& g_;
+  GraphletCounts& counts_;
+  std::vector<VertexId> sub_;
+  std::vector<bool> in_sub_;
+  std::vector<bool> in_ext_;
+};
+
+}  // namespace
+
+GraphletCounts CountGraphlets(const Graph& g) {
+  GraphletCounts counts;
+  counts.fill(0);
+  EsuEnumerator(g, counts).Run();
+  return counts;
+}
+
+GraphletCensus::GraphletCensus(const GraphDatabase& db) {
+  totals_.fill(0);
+  for (const auto& [id, g] : db.graphs()) Add(id, g);
+}
+
+void GraphletCensus::Add(GraphId id, const Graph& g) {
+  GraphletCounts counts = CountGraphlets(g);
+  per_graph_[id] = counts;
+  for (int t = 0; t < kNumGraphletTypes; ++t) totals_[t] += counts[t];
+}
+
+void GraphletCensus::Remove(GraphId id) {
+  auto it = per_graph_.find(id);
+  if (it == per_graph_.end()) return;
+  for (int t = 0; t < kNumGraphletTypes; ++t) totals_[t] -= it->second[t];
+  per_graph_.erase(it);
+}
+
+std::vector<double> GraphletCensus::Distribution() const {
+  std::vector<double> psi(kNumGraphletTypes, 0.0);
+  uint64_t total = 0;
+  for (uint64_t c : totals_) total += c;
+  if (total == 0) {
+    for (double& x : psi) x = 1.0 / kNumGraphletTypes;
+    return psi;
+  }
+  for (int t = 0; t < kNumGraphletTypes; ++t) {
+    psi[t] = static_cast<double>(totals_[t]) / static_cast<double>(total);
+  }
+  return psi;
+}
+
+double GraphletDistance(const std::vector<double>& psi1,
+                        const std::vector<double>& psi2) {
+  return EuclideanDistance(psi1, psi2);
+}
+
+}  // namespace midas

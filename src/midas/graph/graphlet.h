@@ -1,0 +1,69 @@
+#ifndef MIDAS_GRAPH_GRAPHLET_H_
+#define MIDAS_GRAPH_GRAPHLET_H_
+
+#include <array>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "midas/graph/graph_database.h"
+
+namespace midas {
+
+/// Connected 3- and 4-node graphlet census (Section 3.4).
+///
+/// MIDAS views the database as one large disconnected network and compares
+/// the graphlet frequency distributions ψ_D and ψ_{D ⊕ ΔD}; their Euclidean
+/// distance against the evolution ratio threshold ε classifies a batch update
+/// as a major or minor modification.
+
+/// The eight connected graphlets on 3 or 4 vertices (induced).
+enum GraphletType : int {
+  kWedge = 0,     ///< path on 3 vertices
+  kTriangle = 1,  ///< K3
+  kPath4 = 2,     ///< path on 4 vertices
+  kStar4 = 3,     ///< star / claw K1,3
+  kCycle4 = 4,    ///< 4-cycle
+  kPaw = 5,       ///< triangle with a pendant edge
+  kDiamond = 6,   ///< K4 minus one edge
+  kK4 = 7,        ///< complete graph on 4 vertices
+};
+inline constexpr int kNumGraphletTypes = 8;
+
+using GraphletCounts = std::array<uint64_t, kNumGraphletTypes>;
+
+/// Exact induced census of one graph via ESU (Wernicke) enumeration.
+GraphletCounts CountGraphlets(const Graph& g);
+
+/// Incrementally maintained database-level census. Per-graph counts are
+/// cached so deletions subtract in O(1) and ψ never has to be recomputed
+/// from scratch after a batch update.
+class GraphletCensus {
+ public:
+  GraphletCensus() { totals_.fill(0); }
+
+  /// Builds the census of an existing database.
+  explicit GraphletCensus(const GraphDatabase& db);
+
+  void Add(GraphId id, const Graph& g);
+  void Remove(GraphId id);
+
+  /// Normalized frequency distribution ψ over the 8 graphlet types.
+  /// All-zero counts yield the uniform distribution.
+  std::vector<double> Distribution() const;
+
+  const GraphletCounts& totals() const { return totals_; }
+
+ private:
+  GraphletCounts totals_;
+  std::unordered_map<GraphId, GraphletCounts> per_graph_;
+};
+
+/// Euclidean distance between two graphlet distributions,
+/// dist(ψ_D, ψ_{D⊕ΔD}) of Section 3.4.
+double GraphletDistance(const std::vector<double>& psi1,
+                        const std::vector<double>& psi2);
+
+}  // namespace midas
+
+#endif  // MIDAS_GRAPH_GRAPHLET_H_

@@ -1,0 +1,106 @@
+#include "midas/graph/mccs.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace midas {
+namespace {
+
+constexpr int kUnmapped = -1;
+
+// Grows a common connected subgraph from the anchor pair (u1->u2, v1->v2),
+// returning the number of common edges found. Greedy frontier expansion:
+// repeatedly map an unmapped g1-vertex adjacent to the mapped set onto a
+// compatible g2-vertex maximizing newly matched edges.
+size_t GrowFrom(const Graph& g1, const Graph& g2, VertexId u1, VertexId v1,
+                VertexId u2, VertexId v2) {
+  std::vector<int> map1(g1.NumVertices(), kUnmapped);
+  std::vector<bool> used2(g2.NumVertices(), false);
+  map1[u1] = static_cast<int>(u2);
+  map1[v1] = static_cast<int>(v2);
+  used2[u2] = used2[v2] = true;
+  size_t common_edges = 1;
+
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    int best_gain = 0;
+    VertexId best_w1 = 0;
+    int best_w2 = kUnmapped;
+    for (VertexId w1 = 0; w1 < g1.NumVertices(); ++w1) {
+      if (map1[w1] != kUnmapped) continue;
+      // Must touch the mapped set to stay connected.
+      bool frontier = false;
+      for (VertexId x : g1.Neighbors(w1)) {
+        if (map1[x] != kUnmapped) {
+          frontier = true;
+          break;
+        }
+      }
+      if (!frontier) continue;
+      for (VertexId w2 = 0; w2 < g2.NumVertices(); ++w2) {
+        if (used2[w2] || g2.label(w2) != g1.label(w1)) continue;
+        int gain = 0;
+        for (VertexId x : g1.Neighbors(w1)) {
+          if (map1[x] != kUnmapped &&
+              g2.HasEdge(w2, static_cast<VertexId>(map1[x]))) {
+            ++gain;
+          }
+        }
+        if (gain > best_gain) {
+          best_gain = gain;
+          best_w1 = w1;
+          best_w2 = static_cast<int>(w2);
+        }
+      }
+    }
+    if (best_w2 != kUnmapped && best_gain > 0) {
+      map1[best_w1] = best_w2;
+      used2[best_w2] = true;
+      common_edges += static_cast<size_t>(best_gain);
+      progress = true;
+    }
+  }
+  return common_edges;
+}
+
+}  // namespace
+
+size_t ApproxMccsEdges(const Graph& g1, const Graph& g2, Rng& rng,
+                       int restarts) {
+  if (g1.NumEdges() == 0 || g2.NumEdges() == 0) return 0;
+  auto edges1 = g1.Edges();
+  auto edges2 = g2.Edges();
+  size_t best = 0;
+  for (int r = 0; r < restarts; ++r) {
+    // Random g1 anchor edge; find a label-compatible g2 edge.
+    const auto& [a, b] =
+        edges1[static_cast<size_t>(rng.UniformInt(0, edges1.size() - 1))];
+    EdgeLabelPair want = g1.EdgeLabel(a, b);
+    size_t start =
+        static_cast<size_t>(rng.UniformInt(0, edges2.size() - 1));
+    for (size_t k = 0; k < edges2.size(); ++k) {
+      const auto& [x, y] = edges2[(start + k) % edges2.size()];
+      if (!(g2.EdgeLabel(x, y) == want)) continue;
+      // Orient the anchor consistently with labels.
+      if (g1.label(a) == g2.label(x) && g1.label(b) == g2.label(y)) {
+        best = std::max(best, GrowFrom(g1, g2, a, b, x, y));
+      }
+      if (g1.label(a) == g2.label(y) && g1.label(b) == g2.label(x)) {
+        best = std::max(best, GrowFrom(g1, g2, a, b, y, x));
+      }
+      break;  // one anchor pair per restart
+    }
+  }
+  return best;
+}
+
+double MccsSimilarity(const Graph& g1, const Graph& g2, Rng& rng,
+                      int restarts) {
+  size_t min_edges = std::min(g1.NumEdges(), g2.NumEdges());
+  if (min_edges == 0) return 0.0;
+  size_t mccs = ApproxMccsEdges(g1, g2, rng, restarts);
+  return static_cast<double>(mccs) / static_cast<double>(min_edges);
+}
+
+}  // namespace midas

@@ -1,0 +1,27 @@
+#ifndef MIDAS_GRAPH_MCCS_H_
+#define MIDAS_GRAPH_MCCS_H_
+
+#include "midas/common/rng.h"
+#include "midas/graph/graph.h"
+
+namespace midas {
+
+/// Approximate maximum connected common subgraph (MCCS).
+///
+/// Fine clustering (Section 2.3) groups graphs by the MCCS similarity
+///   ω_MCCS(G1, G2) = |G_MCCS| / min(|G1|, |G2|)   (sizes in edges).
+/// Exact MCCS is NP-hard; clustering only needs a similarity *ordering*, so
+/// we grow a common connected subgraph greedily from several random anchor
+/// edge pairs and keep the best.
+
+/// Approximate |MCCS| in edges. `restarts` anchor attempts are made.
+size_t ApproxMccsEdges(const Graph& g1, const Graph& g2, Rng& rng,
+                       int restarts = 4);
+
+/// ω_MCCS similarity in [0, 1]; 0 when either graph has no edges.
+double MccsSimilarity(const Graph& g1, const Graph& g2, Rng& rng,
+                      int restarts = 4);
+
+}  // namespace midas
+
+#endif  // MIDAS_GRAPH_MCCS_H_

@@ -1,0 +1,207 @@
+#include "midas/graph/subgraph_iso.h"
+
+#include <algorithm>
+#include <functional>
+
+namespace midas {
+namespace {
+
+constexpr VertexId kUnmapped = static_cast<VertexId>(-1);
+
+// Shared backtracking state for one (pattern, target) matching run.
+class Vf2State {
+ public:
+  Vf2State(const Graph& pattern, const Graph& target)
+      : pattern_(pattern), target_(target) {}
+
+  // Visits embeddings until `visit` returns false (stop) or the search space
+  // is exhausted. `visit` receives the pattern->target mapping.
+  void Run(const std::function<bool(const std::vector<VertexId>&)>& visit) {
+    size_t np = pattern_.NumVertices();
+    if (np == 0 || np > target_.NumVertices() ||
+        pattern_.NumEdges() > target_.NumEdges()) {
+      return;
+    }
+    order_ = BuildOrder();
+    mapping_.assign(np, kUnmapped);
+    used_.assign(target_.NumVertices(), false);
+    visit_ = &visit;
+    stopped_ = false;
+    Extend(0);
+    visit_ = nullptr;
+  }
+
+ private:
+  // Connectivity-first ordering: start at the highest-degree vertex with the
+  // rarest label, then BFS-like expansion preferring vertices adjacent to
+  // already-ordered ones with maximal mapped-degree.
+  std::vector<VertexId> BuildOrder() const {
+    size_t np = pattern_.NumVertices();
+    std::vector<bool> placed(np, false);
+    std::vector<VertexId> order;
+    order.reserve(np);
+
+    // Target label frequencies for rarity scoring.
+    std::vector<size_t> label_freq;
+    for (VertexId v = 0; v < target_.NumVertices(); ++v) {
+      Label l = target_.label(v);
+      if (l >= label_freq.size()) label_freq.resize(l + 1, 0);
+      ++label_freq[l];
+    }
+    auto freq = [&](Label l) {
+      return l < label_freq.size() ? label_freq[l] : 0;
+    };
+
+    while (order.size() < np) {
+      int best = -1;
+      size_t best_mapped_deg = 0;
+      for (VertexId v = 0; v < np; ++v) {
+        if (placed[v]) continue;
+        size_t mapped_deg = 0;
+        for (VertexId w : pattern_.Neighbors(v)) {
+          if (placed[w]) ++mapped_deg;
+        }
+        bool better;
+        if (best < 0) {
+          better = true;
+        } else if (mapped_deg != best_mapped_deg) {
+          better = mapped_deg > best_mapped_deg;
+        } else if (pattern_.Degree(v) !=
+                   pattern_.Degree(static_cast<VertexId>(best))) {
+          better =
+              pattern_.Degree(v) > pattern_.Degree(static_cast<VertexId>(best));
+        } else {
+          better = freq(pattern_.label(v)) <
+                   freq(pattern_.label(static_cast<VertexId>(best)));
+        }
+        if (better) {
+          best = static_cast<int>(v);
+          best_mapped_deg = mapped_deg;
+        }
+      }
+      placed[best] = true;
+      order.push_back(static_cast<VertexId>(best));
+    }
+    return order;
+  }
+
+  bool Feasible(VertexId pv, VertexId tv) const {
+    if (used_[tv]) return false;
+    if (pattern_.label(pv) != target_.label(tv)) return false;
+    if (target_.Degree(tv) < pattern_.Degree(pv)) return false;
+    // Every already-mapped pattern neighbor must be a target neighbor.
+    for (VertexId pw : pattern_.Neighbors(pv)) {
+      VertexId tw = mapping_[pw];
+      if (tw != kUnmapped && !target_.HasEdge(tv, tw)) return false;
+    }
+    return true;
+  }
+
+  void Extend(size_t depth) {
+    if (stopped_) return;
+    if (depth == order_.size()) {
+      if (!(*visit_)(mapping_)) stopped_ = true;
+      return;
+    }
+    VertexId pv = order_[depth];
+
+    // Candidate set: neighbors of an already-mapped pattern neighbor when one
+    // exists (connected patterns always have one past depth 0), else all
+    // target vertices.
+    VertexId anchor = kUnmapped;
+    for (VertexId pw : pattern_.Neighbors(pv)) {
+      if (mapping_[pw] != kUnmapped) {
+        anchor = mapping_[pw];
+        break;
+      }
+    }
+    if (anchor != kUnmapped) {
+      for (VertexId tv : target_.Neighbors(anchor)) {
+        if (Feasible(pv, tv)) {
+          Assign(pv, tv, depth);
+          if (stopped_) return;
+        }
+      }
+    } else {
+      for (VertexId tv = 0; tv < target_.NumVertices(); ++tv) {
+        if (Feasible(pv, tv)) {
+          Assign(pv, tv, depth);
+          if (stopped_) return;
+        }
+      }
+    }
+  }
+
+  void Assign(VertexId pv, VertexId tv, size_t depth) {
+    mapping_[pv] = tv;
+    used_[tv] = true;
+    Extend(depth + 1);
+    used_[tv] = false;
+    mapping_[pv] = kUnmapped;
+  }
+
+  const Graph& pattern_;
+  const Graph& target_;
+  std::vector<VertexId> order_;
+  std::vector<VertexId> mapping_;
+  std::vector<bool> used_;
+  const std::function<bool(const std::vector<VertexId>&)>* visit_ = nullptr;
+  bool stopped_ = false;
+};
+
+}  // namespace
+
+bool ContainsSubgraph(const Graph& pattern, const Graph& target) {
+  if (pattern.NumVertices() == 0) return true;
+  bool found = false;
+  Vf2State state(pattern, target);
+  state.Run([&](const std::vector<VertexId>&) {
+    found = true;
+    return false;  // stop at first embedding
+  });
+  return found;
+}
+
+size_t CountEmbeddings(const Graph& pattern, const Graph& target, size_t cap) {
+  size_t count = 0;
+  Vf2State state(pattern, target);
+  state.Run([&](const std::vector<VertexId>&) {
+    ++count;
+    return cap == 0 || count < cap;
+  });
+  return count;
+}
+
+std::vector<std::vector<VertexId>> FindEmbeddings(const Graph& pattern,
+                                                  const Graph& target,
+                                                  size_t max_results) {
+  std::vector<std::vector<VertexId>> out;
+  Vf2State state(pattern, target);
+  state.Run([&](const std::vector<VertexId>& m) {
+    out.push_back(m);
+    return out.size() < max_results;
+  });
+  return out;
+}
+
+size_t CountEdgeEmbeddings(const EdgeLabelPair& lp, const Graph& g) {
+  size_t count = 0;
+  for (const auto& [u, v] : g.Edges()) {
+    if (g.EdgeLabel(u, v) == lp) {
+      count += (lp.first == lp.second) ? 2 : 1;
+    }
+  }
+  return count;
+}
+
+bool AreIsomorphic(const Graph& a, const Graph& b) {
+  if (a.NumVertices() != b.NumVertices() || a.NumEdges() != b.NumEdges()) {
+    return false;
+  }
+  if (a.NumVertices() == 0) return true;
+  // With equal vertex and edge counts, a non-induced embedding is a bijection
+  // that maps all edges onto all edges, i.e., an isomorphism.
+  return ContainsSubgraph(a, b);
+}
+
+}  // namespace midas

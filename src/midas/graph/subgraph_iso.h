@@ -1,0 +1,47 @@
+#ifndef MIDAS_GRAPH_SUBGRAPH_ISO_H_
+#define MIDAS_GRAPH_SUBGRAPH_ISO_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "midas/graph/graph.h"
+
+namespace midas {
+
+/// VF2-style subgraph isomorphism (Cordella et al. [17]).
+///
+/// Semantics are *non-induced* subgraph isomorphism with exact label match:
+/// an injective mapping m of pattern vertices into target vertices such that
+/// labels agree and every pattern edge maps to a target edge. This is the
+/// containment relation "G contains a subgraph isomorphic to p" used for
+/// coverage throughout the paper (Section 2.2).
+///
+/// The matcher orders pattern vertices connectivity-first and prunes by
+/// label, degree and mapped-neighborhood consistency.
+
+/// True iff target contains a subgraph isomorphic to pattern.
+bool ContainsSubgraph(const Graph& pattern, const Graph& target);
+
+/// Number of distinct embeddings (injective mappings), counting at most
+/// `cap` (0 means unlimited). Automorphic images are counted separately,
+/// matching the "number of embeddings" stored in the TG-/TP-matrices.
+size_t CountEmbeddings(const Graph& pattern, const Graph& target,
+                       size_t cap = 1024);
+
+/// Enumerates up to `max_results` embeddings. Each embedding maps pattern
+/// vertex i to embedding[i] in the target.
+std::vector<std::vector<VertexId>> FindEmbeddings(const Graph& pattern,
+                                                  const Graph& target,
+                                                  size_t max_results = 64);
+
+/// Exact graph isomorphism test (equal vertex/edge counts + containment).
+bool AreIsomorphic(const Graph& a, const Graph& b);
+
+/// Number of embeddings of a single labeled edge into g: each matching edge
+/// contributes one mapping when its endpoint labels differ and two when they
+/// coincide (both orientations). Cheaper than running VF2 on a 1-edge tree.
+size_t CountEdgeEmbeddings(const EdgeLabelPair& lp, const Graph& g);
+
+}  // namespace midas
+
+#endif  // MIDAS_GRAPH_SUBGRAPH_ISO_H_

@@ -1,0 +1,198 @@
+#include "midas/index/fct_index.h"
+
+#include <algorithm>
+#include <set>
+
+#include "midas/graph/canonical.h"
+#include "midas/graph/subgraph_iso.h"
+
+namespace midas {
+
+int32_t FctIndex::CountCapped(const Graph& feature, const Graph& g) const {
+  size_t cap = static_cast<size_t>(config_.embedding_cap);
+  size_t n;
+  if (feature.NumEdges() == 1) {
+    auto edges = feature.Edges();
+    n = CountEdgeEmbeddings(feature.EdgeLabel(edges[0].first, edges[0].second),
+                            g);
+  } else {
+    n = CountEmbeddings(feature, g, cap);
+  }
+  return static_cast<int32_t>(std::min(n, cap));
+}
+
+uint32_t FctIndex::AddRow(const Graph& tree,
+                          const std::vector<uint32_t>& tokens) {
+  uint32_t row = static_cast<uint32_t>(feature_trees_.size());
+  feature_trees_.push_back(tree);
+  row_live_.push_back(true);
+  ++live_rows_;
+  trie_.Insert(tokens, row);
+  return row;
+}
+
+FctIndex FctIndex::Build(const GraphDatabase& db, const FctSet& fcts,
+                         const Config& config) {
+  FctIndex index;
+  index.config_ = config;
+  index.SyncFeatures(db, fcts);
+  return index;
+}
+
+FctIndex FctIndex::Build(const GraphDatabase& db, const FctSet& fcts) {
+  return Build(db, fcts, Config());
+}
+
+void FctIndex::SyncFeatures(const GraphDatabase& db, const FctSet& fcts) {
+  // Desired feature universe: frequent closed trees + frequent edges.
+  struct Wanted {
+    const Graph* tree;
+    const IdSet* occurrences;
+  };
+  std::vector<std::pair<std::vector<uint32_t>, Wanted>> wanted;
+  std::vector<Graph> edge_trees;  // storage for 1-edge trees
+  edge_trees.reserve(fcts.FrequentEdges().size());
+
+  // Dedup by token sequence: a frequent edge can coincide with a 1-edge FCT,
+  // and duplicate rows would fight over the same trie terminal.
+  std::set<std::vector<uint32_t>> seen_tokens;
+  for (const FctEntry* entry : fcts.FrequentClosedTrees()) {
+    std::vector<uint32_t> tokens = CanonicalTreeTokens(entry->tree);
+    if (!seen_tokens.insert(tokens).second) continue;
+    wanted.push_back(
+        {std::move(tokens), {&entry->tree, &entry->occurrences}});
+  }
+  for (const auto& [lp, occ] : fcts.FrequentEdges()) {
+    Graph t;
+    VertexId a = t.AddVertex(lp.first);
+    VertexId b = t.AddVertex(lp.second);
+    t.AddEdge(a, b);
+    edge_trees.push_back(std::move(t));
+    std::vector<uint32_t> tokens = CanonicalTreeTokens(edge_trees.back());
+    if (!seen_tokens.insert(tokens).second) continue;
+    wanted.push_back({std::move(tokens), {&edge_trees.back(), occ}});
+  }
+
+  // Mark which existing rows survive.
+  std::vector<bool> survives(feature_trees_.size(), false);
+  std::vector<size_t> fresh;  // indices into `wanted` needing new rows
+  for (size_t i = 0; i < wanted.size(); ++i) {
+    int64_t row = trie_.Lookup(wanted[i].first);
+    if (row >= 0 && row_live_[static_cast<size_t>(row)]) {
+      survives[static_cast<size_t>(row)] = true;
+    } else {
+      fresh.push_back(i);
+    }
+  }
+  // Drop obsolete rows.
+  for (uint32_t row = 0; row < feature_trees_.size(); ++row) {
+    if (row_live_[row] && !survives[row]) {
+      row_live_[row] = false;
+      --live_rows_;
+      trie_.Remove(CanonicalTreeTokens(feature_trees_[row]));
+      tg_.RemoveRow(row);
+      tp_.RemoveRow(row);
+    }
+  }
+  // Add new rows and count their embeddings over the database (restricted
+  // to the feature's occurrence list) and over registered patterns.
+  for (size_t i : fresh) {
+    const auto& [tokens, w] = wanted[i];
+    uint32_t row = AddRow(*w.tree, tokens);
+    for (GraphId id : *w.occurrences) {
+      const Graph* g = db.Find(id);
+      if (g == nullptr) continue;
+      int32_t c = CountCapped(feature_trees_[row], *g);
+      if (c > 0) tg_.Set(row, id, c);
+    }
+    for (const auto& [pid, pattern] : patterns_) {
+      int32_t c = CountCapped(feature_trees_[row], pattern);
+      if (c > 0) tp_.Set(row, pid, c);
+    }
+  }
+}
+
+void FctIndex::AddGraph(GraphId id, const Graph& g) {
+  for (uint32_t row = 0; row < feature_trees_.size(); ++row) {
+    if (!row_live_[row]) continue;
+    int32_t c = CountCapped(feature_trees_[row], g);
+    if (c > 0) tg_.Set(row, id, c);
+  }
+}
+
+void FctIndex::RemoveGraph(GraphId id) { tg_.RemoveColumn(id); }
+
+void FctIndex::AddPattern(uint32_t pattern_id, const Graph& pattern) {
+  patterns_[pattern_id] = pattern;
+  for (uint32_t row = 0; row < feature_trees_.size(); ++row) {
+    if (!row_live_[row]) continue;
+    int32_t c = CountCapped(feature_trees_[row], pattern);
+    if (c > 0) tp_.Set(row, pattern_id, c);
+  }
+}
+
+void FctIndex::RemovePattern(uint32_t pattern_id) {
+  patterns_.erase(pattern_id);
+  tp_.RemoveColumn(pattern_id);
+}
+
+std::vector<std::pair<uint32_t, int32_t>> FctIndex::FeatureCounts(
+    const Graph& g) const {
+  std::vector<std::pair<uint32_t, int32_t>> counts;
+  for (uint32_t row = 0; row < feature_trees_.size(); ++row) {
+    if (!row_live_[row]) continue;
+    int32_t c = CountCapped(feature_trees_[row], g);
+    if (c > 0) counts.emplace_back(row, c);
+  }
+  return counts;
+}
+
+IdSet FctIndex::CandidateGraphs(
+    const std::vector<std::pair<uint32_t, int32_t>>& counts,
+    const IdSet& universe) const {
+  if (counts.empty()) return universe;
+  bool first = true;
+  IdSet candidates;
+  for (const auto& [row, need] : counts) {
+    IdSet matching;
+    for (const auto& [col, have] : tg_.Row(row)) {
+      if (have >= need) matching.Insert(col);
+    }
+    if (first) {
+      candidates = IdSet::Intersection(matching, universe);
+      first = false;
+    } else {
+      candidates = IdSet::Intersection(candidates, matching);
+    }
+    if (candidates.empty()) break;
+  }
+  return candidates;
+}
+
+std::vector<std::pair<uint32_t, int32_t>> FctIndex::PatternCounts(
+    uint32_t pattern_id) const {
+  std::vector<std::pair<uint32_t, int32_t>> counts;
+  for (uint32_t row = 0; row < feature_trees_.size(); ++row) {
+    if (!row_live_[row]) continue;
+    int32_t c = tp_.Get(row, pattern_id);
+    if (c > 0) counts.emplace_back(row, c);
+  }
+  return counts;
+}
+
+const Graph* FctIndex::FeatureTree(uint32_t row) const {
+  if (row >= feature_trees_.size() || !row_live_[row]) return nullptr;
+  return &feature_trees_[row];
+}
+
+size_t FctIndex::MemoryBytes() const {
+  size_t bytes = sizeof(*this) + trie_.MemoryBytes() + tg_.MemoryBytes() +
+                 tp_.MemoryBytes();
+  for (const Graph& t : feature_trees_) {
+    bytes += t.NumVertices() * (sizeof(Label) + sizeof(void*)) +
+             t.NumEdges() * 2 * sizeof(VertexId);
+  }
+  return bytes;
+}
+
+}  // namespace midas

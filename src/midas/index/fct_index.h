@@ -1,0 +1,96 @@
+#ifndef MIDAS_INDEX_FCT_INDEX_H_
+#define MIDAS_INDEX_FCT_INDEX_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "midas/common/id_set.h"
+#include "midas/common/sparse_matrix.h"
+#include "midas/graph/graph_database.h"
+#include "midas/index/trie.h"
+#include "midas/mining/fct_set.h"
+
+namespace midas {
+
+/// FCT-Index (Definition 5.1): a token trie over the canonical strings of
+/// the frequent closed trees and frequent edges, whose terminals point into
+/// two sparse matrices:
+///   - TG-matrix: feature row x data-graph column -> number of embeddings;
+///   - TP-matrix: feature row x canned-pattern column -> number of embeddings.
+///
+/// The index answers "which graphs can possibly contain pattern p?" by
+/// entrywise dominance: if p has c embeddings of feature f, any containing
+/// graph has >= c (embeddings compose injectively), so candidate graphs are
+/// those whose TG column dominates p's feature-count vector. Embedding counts
+/// are uniformly capped, which preserves the dominance filter's soundness.
+class FctIndex {
+ public:
+  struct Config {
+    int32_t embedding_cap = 1 << 20;
+  };
+
+  FctIndex() = default;
+
+  /// Builds rows from fcts' frequent closed trees + frequent edges and
+  /// columns from all graphs of db (pattern columns start empty).
+  static FctIndex Build(const GraphDatabase& db, const FctSet& fcts,
+                        const Config& config);
+  static FctIndex Build(const GraphDatabase& db, const FctSet& fcts);
+
+  /// --- graph-side maintenance -------------------------------------------
+  void AddGraph(GraphId id, const Graph& g);
+  void RemoveGraph(GraphId id);
+
+  /// --- pattern-side maintenance -----------------------------------------
+  void AddPattern(uint32_t pattern_id, const Graph& pattern);
+  void RemovePattern(uint32_t pattern_id);
+
+  /// --- feature-side maintenance -----------------------------------------
+  /// Re-synchronizes the feature rows with a maintained FctSet: obsolete
+  /// rows are dropped, new features get fresh rows counted against the
+  /// current database (via their occurrence lists) and registered patterns.
+  void SyncFeatures(const GraphDatabase& db, const FctSet& fcts);
+
+  /// Embedding counts of all live features in an arbitrary graph, as
+  /// (row, count) with count > 0.
+  std::vector<std::pair<uint32_t, int32_t>> FeatureCounts(
+      const Graph& g) const;
+
+  /// Data graphs whose TG column dominates `counts` entrywise. When counts
+  /// is empty the filter is vacuous and `universe` is returned.
+  IdSet CandidateGraphs(
+      const std::vector<std::pair<uint32_t, int32_t>>& counts,
+      const IdSet& universe) const;
+
+  /// Stored embedding counts of a registered pattern (TP column).
+  std::vector<std::pair<uint32_t, int32_t>> PatternCounts(
+      uint32_t pattern_id) const;
+
+  size_t NumFeatures() const { return live_rows_; }
+  const TokenTrie& trie() const { return trie_; }
+  const SparseMatrix& tg_matrix() const { return tg_; }
+  const SparseMatrix& tp_matrix() const { return tp_; }
+  /// Feature tree of a row (1-edge trees for frequent edges).
+  const Graph* FeatureTree(uint32_t row) const;
+
+  size_t MemoryBytes() const;
+
+ private:
+  int32_t CountCapped(const Graph& feature, const Graph& g) const;
+  uint32_t AddRow(const Graph& tree, const std::vector<uint32_t>& tokens);
+
+  Config config_;
+  TokenTrie trie_;
+  std::vector<Graph> feature_trees_;        // row -> feature tree
+  std::vector<bool> row_live_;
+  size_t live_rows_ = 0;
+  SparseMatrix tg_;
+  SparseMatrix tp_;
+  std::unordered_map<uint32_t, Graph> patterns_;  // registered patterns
+};
+
+}  // namespace midas
+
+#endif  // MIDAS_INDEX_FCT_INDEX_H_

@@ -1,0 +1,113 @@
+#include "midas/index/ife_index.h"
+
+#include "midas/graph/subgraph_iso.h"
+
+namespace midas {
+
+uint32_t IfeIndex::RowFor(const EdgeLabelPair& lp) {
+  auto it = row_of_.find(lp);
+  if (it != row_of_.end()) return it->second;
+  uint32_t row = next_row_++;
+  row_of_.emplace(lp, row);
+  edge_of_row_.push_back(lp);
+  return row;
+}
+
+IfeIndex IfeIndex::Build(const GraphDatabase& db, const FctSet& fcts) {
+  IfeIndex index;
+  index.SyncEdges(db, fcts);
+  return index;
+}
+
+void IfeIndex::SyncEdges(const GraphDatabase& db, const FctSet& fcts) {
+  std::map<EdgeLabelPair, const IdSet*> desired;
+  for (const auto& [lp, occ] : fcts.InfrequentEdges()) desired.emplace(lp, occ);
+
+  // Remove rows for edges that are no longer infrequent.
+  for (auto it = row_of_.begin(); it != row_of_.end();) {
+    if (desired.count(it->first) == 0) {
+      eg_.RemoveRow(it->second);
+      ep_.RemoveRow(it->second);
+      it = row_of_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  // Add rows for new infrequent edges.
+  for (const auto& [lp, occ] : desired) {
+    if (row_of_.count(lp) > 0) continue;
+    uint32_t row = RowFor(lp);
+    for (GraphId id : *occ) {
+      const Graph* g = db.Find(id);
+      if (g == nullptr) continue;
+      int32_t c = static_cast<int32_t>(CountEdgeEmbeddings(lp, *g));
+      if (c > 0) eg_.Set(row, id, c);
+    }
+    for (const auto& [pid, pattern] : patterns_) {
+      int32_t c = static_cast<int32_t>(CountEdgeEmbeddings(lp, pattern));
+      if (c > 0) ep_.Set(row, pid, c);
+    }
+  }
+}
+
+void IfeIndex::AddGraph(GraphId id, const Graph& g) {
+  for (const auto& [lp, row] : row_of_) {
+    int32_t c = static_cast<int32_t>(CountEdgeEmbeddings(lp, g));
+    if (c > 0) eg_.Set(row, id, c);
+  }
+}
+
+void IfeIndex::RemoveGraph(GraphId id) { eg_.RemoveColumn(id); }
+
+void IfeIndex::AddPattern(uint32_t pattern_id, const Graph& pattern) {
+  patterns_[pattern_id] = pattern;
+  for (const auto& [lp, row] : row_of_) {
+    int32_t c = static_cast<int32_t>(CountEdgeEmbeddings(lp, pattern));
+    if (c > 0) ep_.Set(row, pattern_id, c);
+  }
+}
+
+void IfeIndex::RemovePattern(uint32_t pattern_id) {
+  patterns_.erase(pattern_id);
+  ep_.RemoveColumn(pattern_id);
+}
+
+std::vector<std::pair<uint32_t, int32_t>> IfeIndex::EdgeCounts(
+    const Graph& g) const {
+  std::vector<std::pair<uint32_t, int32_t>> counts;
+  for (const auto& [lp, row] : row_of_) {
+    int32_t c = static_cast<int32_t>(CountEdgeEmbeddings(lp, g));
+    if (c > 0) counts.emplace_back(row, c);
+  }
+  return counts;
+}
+
+IdSet IfeIndex::CandidateGraphs(
+    const std::vector<std::pair<uint32_t, int32_t>>& counts,
+    const IdSet& universe) const {
+  if (counts.empty()) return universe;
+  bool first = true;
+  IdSet candidates;
+  for (const auto& [row, need] : counts) {
+    IdSet matching;
+    for (const auto& [col, have] : eg_.Row(row)) {
+      if (have >= need) matching.Insert(col);
+    }
+    if (first) {
+      candidates = IdSet::Intersection(matching, universe);
+      first = false;
+    } else {
+      candidates = IdSet::Intersection(candidates, matching);
+    }
+    if (candidates.empty()) break;
+  }
+  return candidates;
+}
+
+size_t IfeIndex::MemoryBytes() const {
+  return sizeof(*this) + eg_.MemoryBytes() + ep_.MemoryBytes() +
+         row_of_.size() * (sizeof(EdgeLabelPair) + sizeof(uint32_t) +
+                           3 * sizeof(void*));
+}
+
+}  // namespace midas

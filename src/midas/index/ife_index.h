@@ -1,0 +1,71 @@
+#ifndef MIDAS_INDEX_IFE_INDEX_H_
+#define MIDAS_INDEX_IFE_INDEX_H_
+
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "midas/common/id_set.h"
+#include "midas/common/sparse_matrix.h"
+#include "midas/graph/graph_database.h"
+#include "midas/mining/fct_set.h"
+
+namespace midas {
+
+/// IFE-Index (Definition 5.2): embedding counts of every *infrequent* edge
+/// label over data graphs (EG-matrix) and canned patterns (EP-matrix).
+///
+/// Complements the FCT-Index: a candidate pattern containing an infrequent
+/// edge can only be covered by graphs that contain that edge, so the
+/// dominance filter over the EG-matrix prunes most of the database for
+/// rare-edge patterns (Section 5.2).
+class IfeIndex {
+ public:
+  IfeIndex() = default;
+
+  /// Builds rows from fcts' infrequent edges; columns from their occurrence
+  /// lists (pattern columns start empty).
+  static IfeIndex Build(const GraphDatabase& db, const FctSet& fcts);
+
+  void AddGraph(GraphId id, const Graph& g);
+  void RemoveGraph(GraphId id);
+
+  void AddPattern(uint32_t pattern_id, const Graph& pattern);
+  void RemovePattern(uint32_t pattern_id);
+
+  /// Re-synchronizes edge rows with a maintained FctSet (edges may migrate
+  /// between the frequent and infrequent universes as support shifts).
+  void SyncEdges(const GraphDatabase& db, const FctSet& fcts);
+
+  /// Embedding counts of the tracked infrequent edges in a graph,
+  /// as (row, count) with count > 0.
+  std::vector<std::pair<uint32_t, int32_t>> EdgeCounts(const Graph& g) const;
+
+  /// Data graphs whose EG column dominates `counts` entrywise; `universe`
+  /// when counts is empty.
+  IdSet CandidateGraphs(
+      const std::vector<std::pair<uint32_t, int32_t>>& counts,
+      const IdSet& universe) const;
+
+  size_t NumEdges() const { return row_of_.size(); }
+  const SparseMatrix& eg_matrix() const { return eg_; }
+  const SparseMatrix& ep_matrix() const { return ep_; }
+
+  size_t MemoryBytes() const;
+
+ private:
+  uint32_t RowFor(const EdgeLabelPair& lp);  // allocates on first use
+
+  std::map<EdgeLabelPair, uint32_t> row_of_;   // live infrequent edges
+  std::vector<EdgeLabelPair> edge_of_row_;
+  uint32_t next_row_ = 0;
+  SparseMatrix eg_;
+  SparseMatrix ep_;
+  std::unordered_map<uint32_t, Graph> patterns_;
+};
+
+}  // namespace midas
+
+#endif  // MIDAS_INDEX_IFE_INDEX_H_

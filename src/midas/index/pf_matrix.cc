@@ -1,0 +1,185 @@
+#include "midas/index/pf_matrix.h"
+
+#include <algorithm>
+#include <map>
+
+#include "midas/graph/ged.h"
+#include "midas/graph/subgraph_iso.h"
+
+namespace midas {
+
+PfMatrix BuildPfMatrix(const Graph& g, const std::vector<Graph>& features,
+                       size_t max_embeddings) {
+  PfMatrix pf;
+  auto edges = g.Edges();
+  std::map<std::pair<VertexId, VertexId>, size_t> edge_row;
+  for (size_t i = 0; i < edges.size(); ++i) edge_row[edges[i]] = i;
+  pf.rows.assign(edges.size(), {});
+
+  for (size_t fi = 0; fi < features.size(); ++fi) {
+    const Graph& f = features[fi];
+    auto f_edges = f.Edges();
+    for (const auto& m : FindEmbeddings(f, g, max_embeddings)) {
+      size_t col = pf.feature_of_column.size();
+      pf.feature_of_column.push_back(fi);
+      for (auto& row : pf.rows) row.push_back(0);
+      for (const auto& [fu, fv] : f_edges) {
+        VertexId gu = m[fu];
+        VertexId gv = m[fv];
+        if (gu > gv) std::swap(gu, gv);
+        auto it = edge_row.find({gu, gv});
+        if (it != edge_row.end()) pf.rows[it->second][col] = 1;
+      }
+    }
+  }
+  return pf;
+}
+
+int ComputeRelaxedEdges(const Graph& a, const Graph& b,
+                        const std::vector<Graph>& features,
+                        size_t max_embeddings) {
+  const Graph& small = a.NumEdges() <= b.NumEdges() ? a : b;
+  const Graph& big = a.NumEdges() <= b.NumEdges() ? b : a;
+
+  PfMatrix pf = BuildPfMatrix(small, features, max_embeddings);
+  size_t num_features = features.size();
+
+  // Allowed embedding budget per feature = count in the big graph.
+  std::vector<int> budget(num_features, 0);
+  for (size_t fi = 0; fi < num_features; ++fi) {
+    budget[fi] = static_cast<int>(
+        CountEmbeddings(features[fi], big, max_embeddings));
+  }
+
+  std::vector<bool> column_alive(pf.feature_of_column.size(), true);
+  std::vector<bool> edge_relaxed(pf.rows.size(), false);
+  std::vector<int> live_count(num_features, 0);
+  for (size_t c = 0; c < pf.feature_of_column.size(); ++c) {
+    ++live_count[pf.feature_of_column[c]];
+  }
+
+  auto surplus_exists = [&]() {
+    for (size_t fi = 0; fi < num_features; ++fi) {
+      if (live_count[fi] > budget[fi]) return true;
+    }
+    return false;
+  };
+  if (!surplus_exists()) return 0;
+
+  // Exact minimum for small graphs: try deletion sets of increasing size.
+  if (pf.rows.size() <= 12) {
+    size_t num_edges = pf.rows.size();
+    size_t num_cols = pf.feature_of_column.size();
+    for (size_t k = 1; k < num_edges; ++k) {
+      // Enumerate all k-subsets of edges via bitmask combinations.
+      std::vector<size_t> pick(k);
+      for (size_t i = 0; i < k; ++i) pick[i] = i;
+      while (true) {
+        std::vector<int> live = live_count;
+        for (size_t c = 0; c < num_cols; ++c) {
+          for (size_t i = 0; i < k; ++i) {
+            if (pf.rows[pick[i]][c]) {
+              --live[pf.feature_of_column[c]];
+              break;
+            }
+          }
+        }
+        bool ok = true;
+        for (size_t fi = 0; fi < num_features; ++fi) {
+          if (live[fi] > budget[fi]) {
+            ok = false;
+            break;
+          }
+        }
+        if (ok) return static_cast<int>(k);
+        // Next combination.
+        size_t i = k;
+        while (i > 0 && pick[i - 1] == num_edges - k + i - 1) --i;
+        if (i == 0) break;
+        ++pick[i - 1];
+        for (size_t j = i; j < k; ++j) pick[j] = pick[j - 1] + 1;
+      }
+    }
+    return static_cast<int>(num_edges);
+  }
+
+  int relaxed = 0;
+  while (surplus_exists()) {
+    // Pick the edge whose relaxation kills the most surplus embeddings.
+    int best_edge = -1;
+    int best_kills = 0;
+    for (size_t e = 0; e < pf.rows.size(); ++e) {
+      if (edge_relaxed[e]) continue;
+      int kills = 0;
+      for (size_t c = 0; c < pf.rows[e].size(); ++c) {
+        if (column_alive[c] && pf.rows[e][c] &&
+            live_count[pf.feature_of_column[c]] > budget[pf.feature_of_column[c]]) {
+          ++kills;
+        }
+      }
+      if (kills > best_kills) {
+        best_kills = kills;
+        best_edge = static_cast<int>(e);
+      }
+    }
+    if (best_edge < 0) break;  // surplus embeddings use no edges (unreachable)
+    edge_relaxed[static_cast<size_t>(best_edge)] = true;
+    ++relaxed;
+    for (size_t c = 0; c < pf.rows[static_cast<size_t>(best_edge)].size();
+         ++c) {
+      if (column_alive[c] && pf.rows[static_cast<size_t>(best_edge)][c]) {
+        column_alive[c] = false;
+        --live_count[pf.feature_of_column[c]];
+      }
+    }
+  }
+  return relaxed;
+}
+
+namespace {
+
+// Number of vertex-label relabels already charged by GED_l's vertex part.
+int VertexLabelMismatch(const Graph& a, const Graph& b) {
+  std::map<Label, int> la;
+  std::map<Label, int> lb;
+  for (VertexId v = 0; v < a.NumVertices(); ++v) ++la[a.label(v)];
+  for (VertexId v = 0; v < b.NumVertices(); ++v) ++lb[b.label(v)];
+  int common = 0;
+  for (const auto& [label, ca] : la) {
+    auto it = lb.find(label);
+    if (it != lb.end()) common += std::min(ca, it->second);
+  }
+  int mn = static_cast<int>(std::min(a.NumVertices(), b.NumVertices()));
+  return mn - common;
+}
+
+}  // namespace
+
+int GedTightLowerBoundWithFeatures(const Graph& a, const Graph& b,
+                                   const std::vector<Graph>& features) {
+  int n = ComputeRelaxedEdges(a, b, features);
+  // A relaxed edge may be explained by an endpoint relabel rather than an
+  // edge edit; each relabel (already charged in the vertex part) can absorb
+  // relaxations of all edges incident to the relabeled vertex. Conservative
+  // correction: discount max-degree edges per mismatched label.
+  int mismatches = VertexLabelMismatch(a, b);
+  size_t max_deg = 0;
+  const Graph& small = a.NumEdges() <= b.NumEdges() ? a : b;
+  for (VertexId v = 0; v < small.NumVertices(); ++v) {
+    max_deg = std::max(max_deg, small.Degree(v));
+  }
+  int discounted = n - mismatches * static_cast<int>(max_deg);
+  return GedTightLowerBound(a, b, std::max(0, discounted));
+}
+
+int EstimateGed(const Graph& a, const Graph& b,
+                const std::vector<Graph>& features,
+                size_t exact_max_vertices) {
+  if (a.NumVertices() <= exact_max_vertices &&
+      b.NumVertices() <= exact_max_vertices) {
+    return GedExact(a, b);
+  }
+  return GedTightLowerBoundWithFeatures(a, b, features);
+}
+
+}  // namespace midas

@@ -1,0 +1,59 @@
+#include "midas/index/trie.h"
+
+namespace midas {
+
+bool TokenTrie::Insert(const std::vector<uint32_t>& tokens, uint32_t row_key) {
+  uint32_t node = 0;
+  for (uint32_t token : tokens) {
+    auto it = nodes_[node].children.find(token);
+    if (it == nodes_[node].children.end()) {
+      uint32_t child = static_cast<uint32_t>(nodes_.size());
+      nodes_[node].children.emplace(token, child);
+      nodes_.emplace_back();
+      node = child;
+    } else {
+      node = it->second;
+    }
+  }
+  bool fresh = nodes_[node].row_key < 0;
+  nodes_[node].row_key = row_key;
+  if (fresh) {
+    ++entries_;
+    if (tokens.size() > max_depth_) max_depth_ = tokens.size();
+  }
+  return fresh;
+}
+
+int64_t TokenTrie::Lookup(const std::vector<uint32_t>& tokens) const {
+  uint32_t node = 0;
+  for (uint32_t token : tokens) {
+    auto it = nodes_[node].children.find(token);
+    if (it == nodes_[node].children.end()) return -1;
+    node = it->second;
+  }
+  return nodes_[node].row_key;
+}
+
+bool TokenTrie::Remove(const std::vector<uint32_t>& tokens) {
+  uint32_t node = 0;
+  for (uint32_t token : tokens) {
+    auto it = nodes_[node].children.find(token);
+    if (it == nodes_[node].children.end()) return false;
+    node = it->second;
+  }
+  if (nodes_[node].row_key < 0) return false;
+  nodes_[node].row_key = -1;
+  --entries_;
+  return true;
+}
+
+size_t TokenTrie::MemoryBytes() const {
+  size_t bytes = sizeof(*this);
+  for (const Node& n : nodes_) {
+    bytes += sizeof(Node);
+    bytes += n.children.size() * (sizeof(uint32_t) * 2 + 3 * sizeof(void*));
+  }
+  return bytes;
+}
+
+}  // namespace midas

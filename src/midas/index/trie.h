@@ -1,0 +1,51 @@
+#ifndef MIDAS_INDEX_TRIE_H_
+#define MIDAS_INDEX_TRIE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <vector>
+
+namespace midas {
+
+/// Token trie over canonical tree strings (Definition 5.1).
+///
+/// Each trie node corresponds to one token of a canonical string; terminal
+/// nodes carry the row key of the feature in the TG-/TP-matrices (the
+/// paper's graph/pattern pointers). Removal unmarks terminals; nodes are
+/// kept (the trie is small and shared prefixes usually persist).
+class TokenTrie {
+ public:
+  TokenTrie() { nodes_.emplace_back(); }
+
+  /// Inserts a token sequence with its row key. Returns false (and updates
+  /// the key) if the sequence was already present.
+  bool Insert(const std::vector<uint32_t>& tokens, uint32_t row_key);
+
+  /// Row key of the sequence, or -1 when absent.
+  int64_t Lookup(const std::vector<uint32_t>& tokens) const;
+
+  /// Unmarks the terminal; returns false when the sequence was absent.
+  bool Remove(const std::vector<uint32_t>& tokens);
+
+  size_t NumNodes() const { return nodes_.size(); }
+  size_t NumEntries() const { return entries_; }
+  /// Depth of the deepest terminal (the `m` of Lemma 5.3).
+  size_t MaxDepth() const { return max_depth_; }
+
+  size_t MemoryBytes() const;
+
+ private:
+  struct Node {
+    std::map<uint32_t, uint32_t> children;  // token -> node index
+    int64_t row_key = -1;                   // -1 = not terminal
+  };
+
+  std::vector<Node> nodes_;
+  size_t entries_ = 0;
+  size_t max_depth_ = 0;
+};
+
+}  // namespace midas
+
+#endif  // MIDAS_INDEX_TRIE_H_

@@ -1,0 +1,210 @@
+#ifndef MIDAS_MAINTAIN_MIDAS_H_
+#define MIDAS_MAINTAIN_MIDAS_H_
+
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "midas/cluster/clustering.h"
+#include "midas/cluster/csg.h"
+#include "midas/graph/graphlet.h"
+#include "midas/index/fct_index.h"
+#include "midas/index/ife_index.h"
+#include "midas/maintain/modification.h"
+#include "midas/maintain/small_patterns.h"
+#include "midas/maintain/swap.h"
+#include "midas/select/candidate_gen.h"
+#include "midas/select/catapult.h"
+
+namespace midas {
+
+/// End-to-end configuration of the MIDAS framework.
+struct MidasConfig {
+  FctSet::Config fct;                    ///< sup_min, max tree size
+  ClusterSet::Config cluster;            ///< k, max cluster size N
+  PatternBudget budget;                  ///< (η_min, η_max, γ)
+  WalkConfig walk;
+  double epsilon = 0.1;                  ///< evolution ratio threshold ε
+  /// Distribution distance used by the major/minor classifier. The paper
+  /// (and our ablation bench) find the choice immaterial; ε's scale depends
+  /// on the measure.
+  DistributionDistance distance_measure = DistributionDistance::kEuclidean;
+  double kappa = 0.1;                    ///< swapping threshold κ
+  double lambda = 0.1;                   ///< swapping threshold λ
+  SwapConfig swap;                       ///< multi-scan parameters
+  size_t sample_cap = 400;               ///< lazy sampling for scov
+  size_t pcp_starts = 2;
+  size_t max_candidates = 256;
+  uint64_t seed = 42;
+  /// Small-pattern panel (η <= 2) maintained alongside the main set; set
+  /// both slot counts to 0 to disable.
+  SmallPatternPanel::Config small_panel;
+};
+
+/// Sanity-checks a configuration before an engine is built. Returns
+/// human-readable problems; empty means valid. Violations of the paper's
+/// constraints (η_min > 2, Definition 3.1) are errors; dubious-but-legal
+/// settings come back prefixed "warning:".
+std::vector<std::string> ValidateConfig(const MidasConfig& config);
+
+/// Timing and outcome report of one maintenance round (the PMT breakdown of
+/// Section 7).
+struct MaintenanceStats {
+  double total_ms = 0.0;      ///< PMT: full Algorithm 1 wall time
+  double fct_ms = 0.0;        ///< FCT maintenance (line 5)
+  double cluster_ms = 0.0;    ///< cluster assignment/removal/fine split
+  double csg_ms = 0.0;        ///< CSG maintenance (line 7)
+  double index_ms = 0.0;      ///< index maintenance (line 12)
+  double candidate_ms = 0.0;  ///< candidate generation (Section 5)
+  double swap_ms = 0.0;       ///< multi-scan swap (Section 6)
+  double graphlet_distance = 0.0;
+  bool major = false;
+  int candidates = 0;
+  int swaps = 0;
+};
+
+/// Rolling record of maintenance rounds — operational telemetry a
+/// deployment would chart (PMT over time, major/minor mix, swap volume).
+class MaintenanceHistory {
+ public:
+  struct Summary {
+    size_t rounds = 0;
+    size_t major_rounds = 0;
+    int total_swaps = 0;
+    double total_pmt_ms = 0.0;
+    double mean_pmt_ms = 0.0;
+    double max_pmt_ms = 0.0;
+  };
+
+  void Record(const MaintenanceStats& stats) { entries_.push_back(stats); }
+  size_t rounds() const { return entries_.size(); }
+  const std::vector<MaintenanceStats>& entries() const { return entries_; }
+  Summary Summarize() const;
+
+ private:
+  std::vector<MaintenanceStats> entries_;
+};
+
+/// Maintenance strategy selector for the Section 7 baselines.
+enum class MaintenanceMode {
+  kMidas,       ///< full Algorithm 1 (multi-scan swap on major updates)
+  kRandomSwap,  ///< structures maintained, random swapping instead
+  kNoMaintain,  ///< structures maintained, pattern set left untouched
+};
+
+/// Aggregate pattern-set quality (the scov/lcov/div/cog panels of Figs 13-16).
+struct PatternQuality {
+  double scov = 0.0;
+  double lcov = 0.0;
+  double div = 0.0;
+  double cog_avg = 0.0;
+  double cog_max = 0.0;
+};
+
+/// The MIDAS framework (Algorithm 1): owns the evolving database and every
+/// derived structure — FCT pool, clusters, CSGs, FCT-/IFE-indices, and the
+/// canned pattern set — and maintains all of them under batch updates.
+class MidasEngine {
+ public:
+  MidasEngine(GraphDatabase db, const MidasConfig& config);
+  ~MidasEngine();
+
+  MidasEngine(const MidasEngine&) = delete;
+  MidasEngine& operator=(const MidasEngine&) = delete;
+
+  /// Mines FCTs, builds clusters/CSGs/indices and selects the initial canned
+  /// pattern set (CATAPULT++ selection). Must be called once before
+  /// ApplyUpdate.
+  void Initialize();
+
+  /// Applies a batch update ΔD and maintains everything per Algorithm 1.
+  MaintenanceStats ApplyUpdate(const BatchUpdate& delta,
+                               MaintenanceMode mode = MaintenanceMode::kMidas);
+
+  /// Attaches a query log (Section 3.5 extension): subsequent swaps boost
+  /// pattern scores by log frequency. Non-owning; pass nullptr to detach.
+  void SetQueryLog(const QueryLog* log) { config_.swap.query_log = log; }
+
+  /// Replaces the canned pattern set (e.g., a panel restored from disk via
+  /// pattern_io.h). Metrics are recomputed against the current database and
+  /// the pattern columns of both indices are re-registered. Requires
+  /// Initialize() to have run.
+  void LoadPatterns(PatternSet set);
+
+  const GraphDatabase& db() const { return db_; }
+  /// Mutable access to the label dictionary only: interning is append-only
+  /// (existing ids never change), so external tools may intern new labels
+  /// when staging batch updates or restoring pattern panels.
+  LabelDictionary& labels() { return db_.labels(); }
+  const PatternSet& patterns() const { return patterns_; }
+  const FctSet& fcts() const { return fcts_; }
+  const ClusterSet& clusters() const { return clusters_; }
+  const std::map<ClusterId, Csg>& csgs() const { return csgs_; }
+  const FctIndex& fct_index() const { return fct_index_; }
+  const IfeIndex& ife_index() const { return ife_index_; }
+  const CoverageEvaluator& evaluator() const { return *eval_; }
+  const MidasConfig& config() const { return config_; }
+  /// The η <= 2 companion panel (frequent edges/wedges; see
+  /// small_patterns.h), refreshed on every update.
+  const SmallPatternPanel& small_panel() const { return small_panel_; }
+
+  /// Telemetry of every ApplyUpdate round since Initialize().
+  const MaintenanceHistory& history() const { return history_; }
+
+  PatternQuality CurrentQuality() const;
+
+ private:
+  /// Rebuilds CSGs whose member set diverged from their cluster (splits) and
+  /// drops CSGs of deleted clusters; incremental Add/Remove handles the rest.
+  void ReconcileCsgs();
+  /// Registers/unregisters pattern columns in both indices to match P.
+  void SyncPatternColumns();
+  /// Affected csgs (C⁺ ∪ C⁻ ∪ newly created) as a csg map view.
+  std::map<ClusterId, Csg> AffectedCsgView(
+      const std::vector<ClusterId>& affected) const;
+
+  MidasConfig config_;
+  Rng rng_;
+  GraphDatabase db_;
+  GraphletCensus census_;
+  FctSet fcts_;
+  ClusterSet clusters_;
+  std::map<ClusterId, Csg> csgs_;
+  FctIndex fct_index_;
+  IfeIndex ife_index_;
+  std::unique_ptr<CoverageEvaluator> eval_;
+  PatternSet patterns_;
+  std::set<PatternId> indexed_patterns_;
+  /// The one diversity measure used for swapping and reporting; rebuilt
+  /// whenever the FCT universe changes (HybridGed over the feature trees).
+  GedEstimator ged_;
+  SmallPatternPanel small_panel_;
+  MaintenanceHistory history_;
+  bool initialized_ = false;
+};
+
+/// From-scratch regeneration baselines (Section 7.1): rebuilds everything on
+/// the current database and reselects patterns. `plus_plus` switches between
+/// plain CATAPULT (frequent-subtree features, no indices) and CATAPULT++
+/// (FCT features + FCT-/IFE-indices).
+struct FromScratchResult {
+  PatternSet patterns;
+  double mine_ms = 0.0;
+  double cluster_ms = 0.0;
+  double index_ms = 0.0;
+  double select_ms = 0.0;
+  double total_ms = 0.0;
+};
+
+FromScratchResult RunFromScratch(const GraphDatabase& db,
+                                 const MidasConfig& config, bool plus_plus,
+                                 uint64_t seed);
+
+/// Aggregate quality of an arbitrary pattern set against a database.
+PatternQuality EvaluateQuality(const PatternSet& set, size_t universe_size);
+
+}  // namespace midas
+
+#endif  // MIDAS_MAINTAIN_MIDAS_H_

@@ -1,0 +1,63 @@
+#include "midas/maintain/modification.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "midas/graph/graphlet.h"
+
+namespace midas {
+
+double DistributionDistanceValue(const std::vector<double>& psi1,
+                                 const std::vector<double>& psi2,
+                                 DistributionDistance measure) {
+  size_t n = std::max(psi1.size(), psi2.size());
+  auto at = [](const std::vector<double>& v, size_t i) {
+    return i < v.size() ? v[i] : 0.0;
+  };
+  switch (measure) {
+    case DistributionDistance::kEuclidean:
+      return GraphletDistance(psi1, psi2);
+    case DistributionDistance::kManhattan: {
+      double s = 0.0;
+      for (size_t i = 0; i < n; ++i) s += std::fabs(at(psi1, i) - at(psi2, i));
+      return s;
+    }
+    case DistributionDistance::kCosine: {
+      double dot = 0.0;
+      double n1 = 0.0;
+      double n2 = 0.0;
+      for (size_t i = 0; i < n; ++i) {
+        double a = at(psi1, i);
+        double b = at(psi2, i);
+        dot += a * b;
+        n1 += a * a;
+        n2 += b * b;
+      }
+      if (n1 <= 0.0 || n2 <= 0.0) return n1 == n2 ? 0.0 : 1.0;
+      return std::clamp(1.0 - dot / std::sqrt(n1 * n2), 0.0, 1.0);
+    }
+    case DistributionDistance::kHellinger: {
+      double s = 0.0;
+      for (size_t i = 0; i < n; ++i) {
+        double d = std::sqrt(std::max(0.0, at(psi1, i))) -
+                   std::sqrt(std::max(0.0, at(psi2, i)));
+        s += d * d;
+      }
+      return std::sqrt(s / 2.0);
+    }
+  }
+  return 0.0;
+}
+
+ModificationReport ClassifyModification(const std::vector<double>& psi_before,
+                                        const std::vector<double>& psi_after,
+                                        double epsilon,
+                                        DistributionDistance measure) {
+  ModificationReport report;
+  report.distance = DistributionDistanceValue(psi_before, psi_after, measure);
+  report.type = report.distance >= epsilon ? ModificationType::kMajor
+                                           : ModificationType::kMinor;
+  return report;
+}
+
+}  // namespace midas

@@ -1,0 +1,48 @@
+#include "midas/maintain/report.h"
+
+#include <iomanip>
+#include <sstream>
+
+namespace midas {
+
+std::string RenderEngineReport(const MidasEngine& engine) {
+  std::ostringstream out;
+  out << std::fixed << std::setprecision(2);
+
+  out << "=== MIDAS engine report ===\n";
+  out << "database: " << engine.db().size() << " graphs, "
+      << engine.db().TotalEdges() << " edges; " << engine.clusters().size()
+      << " clusters; " << engine.fcts().FrequentClosedTrees().size()
+      << " frequent closed trees\n";
+
+  out << "\npattern panel (" << engine.patterns().size() << " patterns):\n";
+  out << std::left << std::setw(6) << "id" << std::setw(5) << "|V|"
+      << std::setw(5) << "|E|" << std::setw(8) << "scov" << std::setw(8)
+      << "lcov" << std::setw(8) << "div" << std::setw(8) << "cog" << "\n";
+  for (const auto& [pid, p] : engine.patterns().patterns()) {
+    out << std::left << std::setw(6) << pid << std::setw(5)
+        << p.graph.NumVertices() << std::setw(5) << p.graph.NumEdges()
+        << std::setw(8) << p.scov << std::setw(8) << p.lcov << std::setw(8)
+        << p.div << std::setw(8) << p.cog << "\n";
+  }
+
+  PatternQuality q = engine.CurrentQuality();
+  out << "set quality: f_scov=" << q.scov << " f_lcov=" << q.lcov
+      << " f_div=" << q.div << " cog(avg/max)=" << q.cog_avg << "/"
+      << q.cog_max << "\n";
+
+  const auto& panel = engine.small_panel();
+  if (!panel.patterns().empty()) {
+    out << "\nsmall-pattern panel (eta <= 2): " << panel.patterns().size()
+        << " entries, top support " << panel.supports().front() << "\n";
+  }
+
+  MaintenanceHistory::Summary s = engine.history().Summarize();
+  out << "\nmaintenance history: " << s.rounds << " rounds ("
+      << s.major_rounds << " major), " << s.total_swaps
+      << " swaps total, mean PMT " << s.mean_pmt_ms << " ms, max "
+      << s.max_pmt_ms << " ms\n";
+  return out.str();
+}
+
+}  // namespace midas

@@ -1,0 +1,19 @@
+#ifndef MIDAS_MAINTAIN_REPORT_H_
+#define MIDAS_MAINTAIN_REPORT_H_
+
+#include <string>
+
+#include "midas/maintain/midas.h"
+
+namespace midas {
+
+/// Renders the engine's current state as a human-readable report: the
+/// pattern panel (with per-pattern metrics), set-level quality, the small-
+/// pattern companion panel, and the maintenance-history summary. Used by
+/// the evolving_stream example; deployments would surface the same text in
+/// an admin view.
+std::string RenderEngineReport(const MidasEngine& engine);
+
+}  // namespace midas
+
+#endif  // MIDAS_MAINTAIN_REPORT_H_

@@ -1,0 +1,53 @@
+#include "midas/maintain/small_patterns.h"
+
+#include <algorithm>
+
+namespace midas {
+
+void SmallPatternPanel::Refresh(const FctSet& fcts) {
+  patterns_.clear();
+  supports_.clear();
+  size_t db_size = fcts.database_size();
+  if (db_size == 0) return;
+
+  // 1-edge patterns: top-k frequent edges by support.
+  std::vector<std::pair<size_t, EdgeLabelPair>> edges;
+  for (const auto& [lp, occ] : fcts.FrequentEdges()) {
+    edges.push_back({occ->size(), lp});
+  }
+  std::sort(edges.begin(), edges.end(), [](const auto& a, const auto& b) {
+    if (a.first != b.first) return a.first > b.first;
+    return b.second < a.second;  // deterministic tie-break
+  });
+  for (size_t i = 0; i < edges.size() && i < config_.max_edges_patterns;
+       ++i) {
+    Graph g;
+    VertexId a = g.AddVertex(edges[i].second.first);
+    VertexId b = g.AddVertex(edges[i].second.second);
+    g.AddEdge(a, b);
+    patterns_.push_back(std::move(g));
+    supports_.push_back(static_cast<double>(edges[i].first) /
+                        static_cast<double>(db_size));
+  }
+
+  // 2-edge patterns: top-k frequent wedges from the pool.
+  std::vector<const FctEntry*> wedges;
+  for (const FctEntry* e : fcts.PoolEntries()) {
+    if (e->frequent && e->tree.NumEdges() == 2) wedges.push_back(e);
+  }
+  std::sort(wedges.begin(), wedges.end(),
+            [](const FctEntry* a, const FctEntry* b) {
+              if (a->occurrences.size() != b->occurrences.size()) {
+                return a->occurrences.size() > b->occurrences.size();
+              }
+              return a->canon < b->canon;
+            });
+  for (size_t i = 0; i < wedges.size() && i < config_.max_wedge_patterns;
+       ++i) {
+    patterns_.push_back(wedges[i]->tree);
+    supports_.push_back(static_cast<double>(wedges[i]->occurrences.size()) /
+                        static_cast<double>(db_size));
+  }
+}
+
+}  // namespace midas

@@ -1,0 +1,48 @@
+#ifndef MIDAS_MAINTAIN_SMALL_PATTERNS_H_
+#define MIDAS_MAINTAIN_SMALL_PATTERNS_H_
+
+#include <vector>
+
+#include "midas/mining/fct_set.h"
+
+namespace midas {
+
+/// Maintenance of canned patterns with η_min <= 2 (the case Definition 3.1
+/// excludes and the paper relegates to its technical report as
+/// "straightforward").
+///
+/// Patterns of one or two edges are exactly the frequent edges and frequent
+/// wedges (2-edge trees) of the database, so they need none of the swap
+/// machinery: the maintained FCT pool already carries exact occurrence
+/// lists for both universes, and the panel is simply the top-k by support
+/// after every batch update.
+class SmallPatternPanel {
+ public:
+  struct Config {
+    size_t max_edges_patterns = 4;   ///< 1-edge slots on the panel
+    size_t max_wedge_patterns = 4;   ///< 2-edge slots on the panel
+  };
+
+  SmallPatternPanel() = default;
+  explicit SmallPatternPanel(const Config& config) : config_(config) {}
+
+  /// Recomputes the panel from the (maintained) FCT pool. O(pool) —
+  /// no isomorphism tests.
+  void Refresh(const FctSet& fcts);
+
+  /// Current small patterns, highest support first (edges before wedges).
+  const std::vector<Graph>& patterns() const { return patterns_; }
+  /// Support of patterns()[i] as a fraction of the database.
+  const std::vector<double>& supports() const { return supports_; }
+
+  const Config& config() const { return config_; }
+
+ private:
+  Config config_;
+  std::vector<Graph> patterns_;
+  std::vector<double> supports_;
+};
+
+}  // namespace midas
+
+#endif  // MIDAS_MAINTAIN_SMALL_PATTERNS_H_

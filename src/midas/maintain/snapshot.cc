@@ -1,0 +1,149 @@
+#include "midas/maintain/snapshot.h"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "midas/graph/graph_io.h"
+#include "midas/select/pattern_io.h"
+
+namespace midas {
+
+void WriteConfig(const MidasConfig& config, std::ostream& out) {
+  out << "fct.sup_min=" << config.fct.sup_min << "\n"
+      << "fct.max_edges=" << config.fct.max_edges << "\n"
+      << "cluster.num_coarse=" << config.cluster.num_coarse << "\n"
+      << "cluster.max_cluster_size=" << config.cluster.max_cluster_size
+      << "\n"
+      << "budget.eta_min=" << config.budget.eta_min << "\n"
+      << "budget.eta_max=" << config.budget.eta_max << "\n"
+      << "budget.gamma=" << config.budget.gamma << "\n"
+      << "walk.num_walks=" << config.walk.num_walks << "\n"
+      << "walk.walk_length=" << config.walk.walk_length << "\n"
+      << "epsilon=" << config.epsilon << "\n"
+      << "distance_measure=" << static_cast<int>(config.distance_measure)
+      << "\n"
+      << "kappa=" << config.kappa << "\n"
+      << "lambda=" << config.lambda << "\n"
+      << "swap.ks_alpha=" << config.swap.ks_alpha << "\n"
+      << "swap.max_scans=" << config.swap.max_scans << "\n"
+      << "swap.use_swap_alpha_schedule="
+      << (config.swap.use_swap_alpha_schedule ? 1 : 0) << "\n"
+      << "sample_cap=" << config.sample_cap << "\n"
+      << "pcp_starts=" << config.pcp_starts << "\n"
+      << "max_candidates=" << config.max_candidates << "\n"
+      << "seed=" << config.seed << "\n"
+      << "small_panel.max_edges_patterns="
+      << config.small_panel.max_edges_patterns << "\n"
+      << "small_panel.max_wedge_patterns="
+      << config.small_panel.max_wedge_patterns << "\n";
+}
+
+bool ReadConfig(std::istream& in, MidasConfig* config) {
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    size_t eq = line.find('=');
+    if (eq == std::string::npos) return false;
+    std::string key = line.substr(0, eq);
+    std::string value = line.substr(eq + 1);
+    std::istringstream v(value);
+    bool ok = true;
+    if (key == "fct.sup_min") {
+      ok = static_cast<bool>(v >> config->fct.sup_min);
+    } else if (key == "fct.max_edges") {
+      ok = static_cast<bool>(v >> config->fct.max_edges);
+    } else if (key == "cluster.num_coarse") {
+      ok = static_cast<bool>(v >> config->cluster.num_coarse);
+    } else if (key == "cluster.max_cluster_size") {
+      ok = static_cast<bool>(v >> config->cluster.max_cluster_size);
+    } else if (key == "budget.eta_min") {
+      ok = static_cast<bool>(v >> config->budget.eta_min);
+    } else if (key == "budget.eta_max") {
+      ok = static_cast<bool>(v >> config->budget.eta_max);
+    } else if (key == "budget.gamma") {
+      ok = static_cast<bool>(v >> config->budget.gamma);
+    } else if (key == "walk.num_walks") {
+      ok = static_cast<bool>(v >> config->walk.num_walks);
+    } else if (key == "walk.walk_length") {
+      ok = static_cast<bool>(v >> config->walk.walk_length);
+    } else if (key == "epsilon") {
+      ok = static_cast<bool>(v >> config->epsilon);
+    } else if (key == "distance_measure") {
+      int m = 0;
+      ok = static_cast<bool>(v >> m);
+      if (ok) config->distance_measure = static_cast<DistributionDistance>(m);
+    } else if (key == "kappa") {
+      ok = static_cast<bool>(v >> config->kappa);
+    } else if (key == "lambda") {
+      ok = static_cast<bool>(v >> config->lambda);
+    } else if (key == "swap.ks_alpha") {
+      ok = static_cast<bool>(v >> config->swap.ks_alpha);
+    } else if (key == "swap.max_scans") {
+      ok = static_cast<bool>(v >> config->swap.max_scans);
+    } else if (key == "swap.use_swap_alpha_schedule") {
+      int b = 0;
+      ok = static_cast<bool>(v >> b);
+      if (ok) config->swap.use_swap_alpha_schedule = b != 0;
+    } else if (key == "sample_cap") {
+      ok = static_cast<bool>(v >> config->sample_cap);
+    } else if (key == "pcp_starts") {
+      ok = static_cast<bool>(v >> config->pcp_starts);
+    } else if (key == "max_candidates") {
+      ok = static_cast<bool>(v >> config->max_candidates);
+    } else if (key == "seed") {
+      ok = static_cast<bool>(v >> config->seed);
+    } else if (key == "small_panel.max_edges_patterns") {
+      ok = static_cast<bool>(v >> config->small_panel.max_edges_patterns);
+    } else if (key == "small_panel.max_wedge_patterns") {
+      ok = static_cast<bool>(v >> config->small_panel.max_wedge_patterns);
+    }
+    // Unknown keys are skipped (forward compatibility).
+    if (!ok) return false;
+  }
+  return true;
+}
+
+bool SaveSnapshot(const MidasEngine& engine, const std::string& dir) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) return false;
+
+  std::ofstream db_out(dir + "/database.gspan");
+  if (!db_out) return false;
+  WriteDatabase(engine.db(), db_out);
+
+  std::ofstream pat_out(dir + "/patterns.gspan");
+  if (!pat_out) return false;
+  WritePatternSet(engine.patterns(), engine.db().labels(), pat_out);
+
+  std::ofstream cfg_out(dir + "/config.ini");
+  if (!cfg_out) return false;
+  WriteConfig(engine.config(), cfg_out);
+  return db_out.good() && pat_out.good() && cfg_out.good();
+}
+
+std::unique_ptr<MidasEngine> RestoreEngine(const std::string& dir) {
+  MidasConfig config;
+  {
+    std::ifstream in(dir + "/config.ini");
+    if (!in || !ReadConfig(in, &config)) return nullptr;
+  }
+  GraphDatabase db;
+  {
+    std::ifstream in(dir + "/database.gspan");
+    if (!in || !ReadDatabase(in, &db)) return nullptr;
+  }
+  auto engine = std::make_unique<MidasEngine>(std::move(db), config);
+  engine->Initialize();
+  {
+    std::ifstream in(dir + "/patterns.gspan");
+    if (!in) return nullptr;
+    PatternSet panel;
+    if (!ReadPatternSet(in, engine->labels(), &panel)) return nullptr;
+    engine->LoadPatterns(std::move(panel));
+  }
+  return engine;
+}
+
+}  // namespace midas

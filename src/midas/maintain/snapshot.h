@@ -1,0 +1,36 @@
+#ifndef MIDAS_MAINTAIN_SNAPSHOT_H_
+#define MIDAS_MAINTAIN_SNAPSHOT_H_
+
+#include <iosfwd>
+#include <memory>
+#include <string>
+
+#include "midas/maintain/midas.h"
+
+namespace midas {
+
+/// Engine persistence: a snapshot directory holds the database
+/// (database.gspan), the canned pattern panel (patterns.gspan) and the
+/// configuration (config.ini, key=value). Restoring rebuilds the derived
+/// structures (FCT pool, clusters, CSGs, indices) deterministically from
+/// the config's seed and reinstalls the saved panel — a service restart
+/// resumes exactly where it stopped, without re-running selection.
+
+/// Key=value serialization of the tunable configuration.
+void WriteConfig(const MidasConfig& config, std::ostream& out);
+/// Parses a config; unknown keys are ignored (forward compatibility),
+/// malformed lines fail. Fields absent from the file keep their defaults.
+bool ReadConfig(std::istream& in, MidasConfig* config);
+
+/// Writes database.gspan, patterns.gspan and config.ini into `dir`
+/// (created if needed). Returns false on I/O failure.
+bool SaveSnapshot(const MidasEngine& engine, const std::string& dir);
+
+/// Restores an engine from a snapshot directory: loads the database and
+/// config, Initialize()s, then replaces the freshly selected panel with the
+/// saved one. Returns nullptr on failure.
+std::unique_ptr<MidasEngine> RestoreEngine(const std::string& dir);
+
+}  // namespace midas
+
+#endif  // MIDAS_MAINTAIN_SNAPSHOT_H_

@@ -1,0 +1,69 @@
+#ifndef MIDAS_MAINTAIN_SWAP_H_
+#define MIDAS_MAINTAIN_SWAP_H_
+
+#include <functional>
+#include <vector>
+
+#include "midas/queryform/query_log.h"
+#include "midas/select/pattern.h"
+
+namespace midas {
+
+/// Multi-scan swap-based pattern maintenance (Section 6.2).
+///
+/// Candidates and existing patterns are ranked by the adapted score
+/// s'_p = scov * lcov * div / cog; the best candidate challenges the weakest
+/// pattern under criteria sw1-sw5 plus a Kolmogorov-Smirnov check that the
+/// pattern-size distribution is not significantly disturbed. A scan
+/// terminates when sw2 fails (the remaining candidates cannot beat anyone);
+/// subsequent scans run with κ updated by the SWAP_α schedule of Lemma 6.3,
+/// which drives the coverage approximation ratio towards 1/2.
+struct SwapConfig {
+  double kappa = 0.1;       ///< sw1 benefit/loss threshold (first scan)
+  double lambda = 0.1;      ///< sw2 score-dominance threshold
+  double ks_alpha = 0.05;   ///< size-distribution similarity significance
+  int max_scans = 3;
+  /// Update κ between scans per Lemma 6.3 (κ_t = 1 - 2σ_{t-1},
+  /// σ_t = 0.25 / (1 - σ_{t-1})); otherwise κ stays fixed.
+  bool use_swap_alpha_schedule = true;
+  double sigma0 = 0.25;     ///< initial approximation-ratio lower bound
+
+  /// Optional query log (Section 3.5 extension): when set, pattern scores
+  /// are boosted by their log frequency, s''_p = s'_p * (1 + log_boost *
+  /// weight(p)), so patterns users actually formulate resist eviction and
+  /// candidates matching the workload are preferred. Non-owning; must
+  /// outlive the swap call.
+  const QueryLog* query_log = nullptr;
+  double log_boost = 1.0;
+};
+
+struct SwapStats {
+  int swaps = 0;
+  int scans = 0;
+  int candidates_evaluated = 0;
+  double kappa_final = 0.0;
+};
+
+/// Default diversity estimator for swapping: the label lower bound GED_l
+/// (fast; Lemma 6.1 with n = 0). The engine passes the same HybridGed
+/// estimator it uses for reporting, so sw3's non-regression guarantee holds
+/// in the reported metric. (GedEstimator itself is declared in pattern.h.)
+GedEstimator DefaultGedEstimator();
+
+/// Runs the multi-scan swap. `set` is updated in place; candidate metrics
+/// are evaluated with `eval`/`fcts`. After the call every pattern's cached
+/// scov/lcov/cog/div/score reflect the final set (div under `ged`).
+SwapStats MultiScanSwap(PatternSet& set, const std::vector<Graph>& candidates,
+                        const CoverageEvaluator& eval, const FctSet& fcts,
+                        const SwapConfig& config,
+                        const GedEstimator& ged = DefaultGedEstimator());
+
+/// Baseline: random swapping (the `Random` competitor of Section 7.1).
+/// Each candidate replaces a uniformly random existing pattern with
+/// probability 1/2, without any quality checks.
+int RandomSwap(PatternSet& set, const std::vector<Graph>& candidates,
+               const CoverageEvaluator& eval, const FctSet& fcts, Rng& rng);
+
+}  // namespace midas
+
+#endif  // MIDAS_MAINTAIN_SWAP_H_

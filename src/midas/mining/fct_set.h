@@ -1,0 +1,94 @@
+#ifndef MIDAS_MINING_FCT_SET_H_
+#define MIDAS_MINING_FCT_SET_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "midas/common/id_set.h"
+#include "midas/graph/graph_database.h"
+#include "midas/mining/tree_miner.h"
+
+namespace midas {
+
+/// One tree in the maintained FCT pool.
+struct FctEntry {
+  Graph tree;
+  std::string canon;
+  IdSet occurrences;      ///< current data-graph ids containing the tree
+  bool frequent = false;  ///< support >= sup_min
+  bool closed = false;    ///< no equal-support frequent supertree in pool
+};
+
+/// Maintained set of frequent closed trees with occurrence lists
+/// (Sections 4.1-4.2).
+///
+/// The pool holds every tree whose support is at least sup_min/2 — the
+/// paper's relaxed threshold (Lemma 4.5) — so that trees hovering below
+/// sup_min are not lost between batch updates. Each entry carries its exact
+/// occurrence id-set, which makes deletions pure bookkeeping (Δ⁻ clears
+/// bits; no isomorphism tests) and restricts Δ⁺ work to (a) probing pool
+/// trees against the new graphs only and (b) probing trees newly frequent
+/// *within the delta* against the full database. This realizes the closure
+/// property speedup of Lemma 3.4: trees already known closed never trigger a
+/// database rescan.
+///
+/// Exact edge-label occurrence lists are maintained alongside, providing the
+/// frequent / infrequent edge universe used by the FCT-/IFE-indices and the
+/// CSG edge weights.
+class FctSet {
+ public:
+  struct Config {
+    double sup_min = 0.5;
+    size_t max_edges = 4;
+    size_t max_trees = 20000;
+  };
+
+  FctSet() = default;
+
+  /// Mines the pool from scratch.
+  static FctSet Mine(const GraphDatabase& db, const Config& config);
+
+  /// Incorporates a batch of insertions. `db_after` must already contain the
+  /// added graphs.
+  void MaintainAdd(const GraphDatabase& db_after,
+                   const std::vector<GraphId>& added_ids);
+
+  /// Incorporates a batch of deletions (ids already removed from the db).
+  void MaintainDelete(const std::vector<GraphId>& removed_ids,
+                      size_t db_size_after);
+
+  /// Current frequent closed trees (the FCT set F).
+  std::vector<const FctEntry*> FrequentClosedTrees() const;
+
+  /// All pool entries (including sub-threshold shadow trees).
+  std::vector<const FctEntry*> PoolEntries() const;
+
+  /// Edge labels with support >= sup_min, with their occurrence sets.
+  std::vector<std::pair<EdgeLabelPair, const IdSet*>> FrequentEdges() const;
+  /// Edge labels present in the database but with support < sup_min.
+  std::vector<std::pair<EdgeLabelPair, const IdSet*>> InfrequentEdges() const;
+
+  const std::map<EdgeLabelPair, IdSet>& edge_occurrences() const {
+    return edge_occ_;
+  }
+
+  size_t database_size() const { return db_size_; }
+  const Config& config() const { return config_; }
+
+  /// Approximate heap footprint (Exp-2 memory report).
+  size_t MemoryBytes() const;
+
+ private:
+  size_t MinCount(double fraction) const;
+  void RecomputeFlags();
+
+  Config config_;
+  size_t db_size_ = 0;
+  std::map<std::string, FctEntry> pool_;  // keyed by canonical string
+  std::map<EdgeLabelPair, IdSet> edge_occ_;
+};
+
+}  // namespace midas
+
+#endif  // MIDAS_MINING_FCT_SET_H_

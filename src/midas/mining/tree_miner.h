@@ -1,0 +1,73 @@
+#ifndef MIDAS_MINING_TREE_MINER_H_
+#define MIDAS_MINING_TREE_MINER_H_
+
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "midas/common/id_set.h"
+#include "midas/graph/graph_database.h"
+
+namespace midas {
+
+/// Frequent (closed) tree mining over a graph database, in the spirit of
+/// TreeNat [9] (Sections 3.3, 4.2).
+///
+/// Trees are enumerated level-wise by leaf extension: every (k+1)-edge
+/// supertree of a k-edge tree is a leaf extension (attaching an internal edge
+/// to a tree would create a cycle), so leaf extensions with frequent edge
+/// labels enumerate the complete frequent-tree lattice. Duplicates across
+/// parents are merged via canonical strings. Support is counted with VF2
+/// against the occurrence list of the parent (support is antitone).
+
+/// A read-only view of (id, graph) pairs — the whole database or a delta.
+using GraphView = std::vector<std::pair<GraphId, const Graph*>>;
+
+/// View over all graphs of db, ascending id.
+GraphView MakeView(const GraphDatabase& db);
+/// View over a subset of ids (missing ids are skipped).
+GraphView MakeView(const GraphDatabase& db, const std::vector<GraphId>& ids);
+
+/// A mined tree with its occurrence list.
+struct MinedTree {
+  Graph tree;
+  std::string canon;  ///< canonical tree string (unique per iso class)
+  IdSet occurrences;  ///< ids of view graphs containing the tree
+
+  double Support(size_t database_size) const {
+    return database_size == 0
+               ? 0.0
+               : static_cast<double>(occurrences.size()) /
+                     static_cast<double>(database_size);
+  }
+};
+
+struct TreeMinerConfig {
+  /// Minimum support as a fraction of the view size (sup_min).
+  double min_support = 0.5;
+  /// Maximum tree size in edges. The paper observes FCTs stay small; this
+  /// caps the lattice exploration.
+  size_t max_edges = 4;
+  /// Safety valve on the total number of frequent trees mined.
+  size_t max_trees = 20000;
+};
+
+/// All frequent trees of the view (sizes 1..max_edges, in edges).
+std::vector<MinedTree> MineFrequentTrees(const GraphView& view,
+                                         const TreeMinerConfig& config);
+
+/// Filters mined trees to *closed* trees: a frequent tree is closed iff no
+/// one-edge-larger frequent supertree has the same support (Section 3.3).
+/// Trees at the max_edges cap are treated as closed (their extensions are
+/// outside the mined universe); this convention is applied consistently by
+/// both from-scratch mining and incremental maintenance.
+std::vector<MinedTree> FilterClosedTrees(const std::vector<MinedTree>& trees,
+                                         size_t max_edges);
+
+/// Occurrence lists of every distinct edge label pair in the view.
+std::map<EdgeLabelPair, IdSet> EdgeOccurrences(const GraphView& view);
+
+}  // namespace midas
+
+#endif  // MIDAS_MINING_TREE_MINER_H_

@@ -1,0 +1,194 @@
+#include "midas/queryform/formulation.h"
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+
+#include "midas/graph/closure_graph.h"
+
+#include "midas/graph/subgraph_iso.h"
+
+namespace midas {
+
+size_t EdgeAtATimeSteps(const Graph& query) {
+  return query.NumVertices() + query.NumEdges();
+}
+
+namespace {
+
+// Finds an embedding of pattern into query avoiding `used` vertices.
+// Returns empty when none exists.
+std::vector<VertexId> DisjointEmbedding(const Graph& pattern,
+                                        const Graph& query,
+                                        const std::vector<bool>& used) {
+  // Build the induced subgraph on unused vertices, then embed.
+  std::vector<VertexId> keep;
+  for (VertexId v = 0; v < query.NumVertices(); ++v) {
+    if (!used[v]) keep.push_back(v);
+  }
+  if (keep.size() < pattern.NumVertices()) return {};
+  Graph sub = query.InducedSubgraph(keep);
+  auto embeddings = FindEmbeddings(pattern, sub, 1);
+  if (embeddings.empty()) return {};
+  std::vector<VertexId> mapped;
+  mapped.reserve(embeddings[0].size());
+  for (VertexId local : embeddings[0]) mapped.push_back(keep[local]);
+  return mapped;
+}
+
+}  // namespace
+
+FormulationPlan PlanFormulation(const Graph& query,
+                                const PatternSet& patterns) {
+  FormulationPlan plan;
+
+  // Largest-first greedy (more edges covered per drag).
+  std::vector<const CannedPattern*> ordered;
+  for (const auto& [pid, p] : patterns.patterns()) ordered.push_back(&p);
+  std::sort(ordered.begin(), ordered.end(),
+            [](const CannedPattern* a, const CannedPattern* b) {
+              return a->graph.NumEdges() > b->graph.NumEdges();
+            });
+
+  std::vector<bool> used(query.NumVertices(), false);
+  size_t covered_vertices = 0;
+  size_t covered_edges = 0;
+
+  for (const CannedPattern* p : ordered) {
+    if (p->graph.NumEdges() == 0) continue;
+    // A pattern can be reused as long as it still fits.
+    while (true) {
+      std::vector<VertexId> embedding =
+          DisjointEmbedding(p->graph, query, used);
+      if (embedding.empty()) break;
+      for (VertexId qv : embedding) used[qv] = true;
+      covered_vertices += p->graph.NumVertices();
+      covered_edges += p->graph.NumEdges();
+      ++plan.patterns_used;
+      plan.used_any_pattern = true;
+    }
+  }
+
+  plan.vertices_added = query.NumVertices() - covered_vertices;
+  plan.edges_added = query.NumEdges() - covered_edges;
+  plan.steps = plan.patterns_used + plan.vertices_added + plan.edges_added;
+  return plan;
+}
+
+EditPlan PlanFormulationWithEdits(const Graph& query,
+                                  const PatternSet& patterns) {
+  EditPlan plan;
+  std::vector<bool> used(query.NumVertices(), false);
+  std::set<std::pair<VertexId, VertexId>> covered_edges;
+
+  // One partial-use proposal of a pattern against the unused remainder.
+  struct Proposal {
+    int benefit = 0;
+    std::vector<VertexId> covered_vertices;             // query ids
+    std::vector<std::pair<VertexId, VertexId>> edges;   // realized query edges
+    size_t deletions = 0;
+  };
+  auto propose = [&](const Graph& pattern) {
+    Proposal prop;
+    std::vector<VertexId> keep;
+    for (VertexId v = 0; v < query.NumVertices(); ++v) {
+      if (!used[v]) keep.push_back(v);
+    }
+    if (keep.empty() || pattern.NumEdges() == 0) return prop;
+    Graph remainder = query.InducedSubgraph(keep);
+    std::vector<int> mapping = GreedyAlign(pattern, remainder);
+
+    size_t mapped_vertices = 0;
+    for (VertexId pv = 0; pv < pattern.NumVertices(); ++pv) {
+      if (mapping[pv] >= 0) {
+        ++mapped_vertices;
+        prop.covered_vertices.push_back(
+            keep[static_cast<size_t>(mapping[pv])]);
+      }
+    }
+    size_t realized_edges = 0;
+    size_t edge_deletions = 0;
+    for (const auto& [pu, pv] : pattern.Edges()) {
+      if (mapping[pu] >= 0 && mapping[pv] >= 0) {
+        VertexId qu = keep[static_cast<size_t>(mapping[pu])];
+        VertexId qv = keep[static_cast<size_t>(mapping[pv])];
+        if (query.HasEdge(qu, qv)) {
+          ++realized_edges;
+          prop.edges.push_back(qu < qv ? std::make_pair(qu, qv)
+                                       : std::make_pair(qv, qu));
+        } else {
+          ++edge_deletions;  // edge between kept vertices: delete alone
+        }
+      }
+      // Edges with an unmapped endpoint cascade with the vertex deletion.
+    }
+    size_t vertex_deletions = pattern.NumVertices() - mapped_vertices;
+    prop.deletions = vertex_deletions + edge_deletions;
+    // Building the covered part atom-by-atom costs one step per covered
+    // vertex/edge; the pattern route costs 1 drop + the trimming.
+    prop.benefit = static_cast<int>(mapped_vertices + realized_edges) -
+                   static_cast<int>(1 + prop.deletions);
+    return prop;
+  };
+
+  while (true) {
+    Proposal best;
+    for (const auto& [pid, p] : patterns.patterns()) {
+      Proposal prop = propose(p.graph);
+      if (prop.benefit > best.benefit) best = std::move(prop);
+    }
+    if (best.benefit <= 0) break;
+    for (VertexId qv : best.covered_vertices) used[qv] = true;
+    for (const auto& e : best.edges) covered_edges.insert(e);
+    ++plan.patterns_used;
+    plan.elements_deleted += best.deletions;
+    plan.used_any_pattern = true;
+  }
+
+  size_t used_count = 0;
+  for (bool u : used) used_count += u ? 1 : 0;
+  plan.vertices_added = query.NumVertices() - used_count;
+  plan.edges_added = query.NumEdges() - covered_edges.size();
+  plan.steps = plan.patterns_used + plan.elements_deleted +
+               plan.vertices_added + plan.edges_added;
+  return plan;
+}
+
+double MissedPercentage(const std::vector<Graph>& queries,
+                        const PatternSet& patterns) {
+  if (queries.empty()) return 0.0;
+  size_t missed = 0;
+  for (const Graph& q : queries) {
+    FormulationPlan plan = PlanFormulation(q, patterns);
+    if (!plan.used_any_pattern) ++missed;
+  }
+  return 100.0 * static_cast<double>(missed) /
+         static_cast<double>(queries.size());
+}
+
+double MeanSteps(const std::vector<Graph>& queries,
+                 const PatternSet& patterns) {
+  if (queries.empty()) return 0.0;
+  double total = 0.0;
+  for (const Graph& q : queries) {
+    total += static_cast<double>(PlanFormulation(q, patterns).steps);
+  }
+  return total / static_cast<double>(queries.size());
+}
+
+double ReductionRatio(const std::vector<Graph>& queries,
+                      const PatternSet& baseline, const PatternSet& subject) {
+  if (queries.empty()) return 0.0;
+  double total = 0.0;
+  size_t counted = 0;
+  for (const Graph& q : queries) {
+    double sb = static_cast<double>(PlanFormulation(q, baseline).steps);
+    double ss = static_cast<double>(PlanFormulation(q, subject).steps);
+    if (sb <= 0.0) continue;
+    total += (sb - ss) / sb;
+    ++counted;
+  }
+  return counted == 0 ? 0.0 : total / static_cast<double>(counted);
+}
+
+}  // namespace midas

@@ -1,0 +1,65 @@
+#ifndef MIDAS_QUERYFORM_FORMULATION_H_
+#define MIDAS_QUERYFORM_FORMULATION_H_
+
+#include <vector>
+
+#include "midas/select/pattern.h"
+
+namespace midas {
+
+/// Visual query formulation step model (Section 7.1).
+///
+/// A canned pattern p can be used for query Q iff p ⊆ Q, and the subgraphs
+/// of Q realized by different used patterns do not overlap (the paper's two
+/// simplifying assumptions for the automated study). One pattern drag-and-
+/// drop costs one step; every leftover vertex and edge costs one step each.
+/// The edge-at-a-time baseline costs |V_Q| + |E_Q| steps.
+struct FormulationPlan {
+  size_t patterns_used = 0;
+  size_t vertices_added = 0;
+  size_t edges_added = 0;
+  size_t steps = 0;
+  bool used_any_pattern = false;
+};
+
+/// Steps for pure edge-at-a-time construction.
+size_t EdgeAtATimeSteps(const Graph& query);
+
+/// Greedy pattern-at-a-time plan: repeatedly place the largest pattern that
+/// still embeds into the untouched part of the query.
+FormulationPlan PlanFormulation(const Graph& query, const PatternSet& patterns);
+
+/// Extended plan allowing pattern *editing* (the paper's user study, and
+/// Example 1.1: drop p4, then delete an H and its edge). A pattern that
+/// does not fully embed can still be dropped and trimmed: the plan charges
+/// one step per deleted pattern vertex/edge on top of the drop. A partial
+/// use is taken only when it beats building the covered part atom-by-atom.
+struct EditPlan {
+  size_t patterns_used = 0;
+  size_t vertices_added = 0;
+  size_t edges_added = 0;
+  size_t elements_deleted = 0;  ///< vertices+edges trimmed off used patterns
+  size_t steps = 0;
+  bool used_any_pattern = false;
+};
+
+EditPlan PlanFormulationWithEdits(const Graph& query,
+                                  const PatternSet& patterns);
+
+/// Missed percentage MP: share of queries that no pattern helps (in %).
+double MissedPercentage(const std::vector<Graph>& queries,
+                        const PatternSet& patterns);
+
+/// Mean pattern-at-a-time steps over a query set.
+double MeanSteps(const std::vector<Graph>& queries,
+                 const PatternSet& patterns);
+
+/// Reduction ratio μ = mean over queries of
+/// (steps_baseline - steps_subject) / steps_baseline; positive means the
+/// subject pattern set needs fewer steps.
+double ReductionRatio(const std::vector<Graph>& queries,
+                      const PatternSet& baseline, const PatternSet& subject);
+
+}  // namespace midas
+
+#endif  // MIDAS_QUERYFORM_FORMULATION_H_

@@ -1,0 +1,43 @@
+#include "midas/queryform/query_executor.h"
+
+#include "midas/common/timer.h"
+#include "midas/graph/subgraph_iso.h"
+
+namespace midas {
+
+QueryExecutor::Result QueryExecutor::Execute(const Graph& query,
+                                             size_t limit) const {
+  Result result;
+  Timer filter_timer;
+  IdSet candidates(db_->Ids());
+  if (fct_index_ != nullptr) {
+    candidates = fct_index_->CandidateGraphs(
+        fct_index_->FeatureCounts(query), candidates);
+  }
+  if (ife_index_ != nullptr) {
+    candidates = ife_index_->CandidateGraphs(ife_index_->EdgeCounts(query),
+                                             candidates);
+  }
+  result.filter_ms = filter_timer.ElapsedMs();
+  result.candidates = candidates.size();
+
+  Timer verify_timer;
+  for (GraphId id : candidates) {
+    const Graph* g = db_->Find(id);
+    if (g == nullptr) continue;
+    ++result.verified;
+    if (ContainsSubgraph(query, *g)) {
+      result.matches.Insert(id);
+      if (limit > 0 && result.matches.size() >= limit) break;
+    }
+  }
+  result.verify_ms = verify_timer.ElapsedMs();
+
+  ++totals_.queries;
+  totals_.candidates += result.candidates;
+  totals_.verified += result.verified;
+  totals_.matches += result.matches.size();
+  return result;
+}
+
+}  // namespace midas

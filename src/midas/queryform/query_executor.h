@@ -1,0 +1,59 @@
+#ifndef MIDAS_QUERYFORM_QUERY_EXECUTOR_H_
+#define MIDAS_QUERYFORM_QUERY_EXECUTOR_H_
+
+#include <cstddef>
+
+#include "midas/common/id_set.h"
+#include "midas/index/fct_index.h"
+#include "midas/index/ife_index.h"
+
+namespace midas {
+
+/// Subgraph-query execution — the backend a visual GUI ultimately calls
+/// once the user finishes formulating (Section 1's "graph querying
+/// framework"). Execution follows the classic filter-verify paradigm the
+/// indices were designed for: the FCT-/IFE-index dominance filters prune
+/// the database to candidate graphs, then VF2 verifies each survivor.
+///
+/// The same machinery powers pattern coverage evaluation internally
+/// (select/pattern.h); this facade exposes it as a public query API with
+/// filtering statistics, so deployments can monitor filter effectiveness.
+class QueryExecutor {
+ public:
+  struct Result {
+    IdSet matches;             ///< graphs containing the query
+    size_t candidates = 0;     ///< graphs that survived the index filters
+    size_t verified = 0;       ///< VF2 tests actually run
+    double filter_ms = 0.0;    ///< time in the dominance filters
+    double verify_ms = 0.0;    ///< time in VF2 verification
+  };
+
+  /// Indices may be null (pure VF2 scan). Non-owning; all must outlive the
+  /// executor.
+  QueryExecutor(const GraphDatabase& db, const FctIndex* fct_index = nullptr,
+                const IfeIndex* ife_index = nullptr)
+      : db_(&db), fct_index_(fct_index), ife_index_(ife_index) {}
+
+  /// Finds every data graph containing the query. `limit` > 0 stops after
+  /// that many matches (GUI result pages).
+  Result Execute(const Graph& query, size_t limit = 0) const;
+
+  /// Cumulative statistics across Execute calls.
+  struct Totals {
+    size_t queries = 0;
+    size_t candidates = 0;
+    size_t verified = 0;
+    size_t matches = 0;
+  };
+  const Totals& totals() const { return totals_; }
+
+ private:
+  const GraphDatabase* db_;
+  const FctIndex* fct_index_;
+  const IfeIndex* ife_index_;
+  mutable Totals totals_;
+};
+
+}  // namespace midas
+
+#endif  // MIDAS_QUERYFORM_QUERY_EXECUTOR_H_

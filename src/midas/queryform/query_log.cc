@@ -1,0 +1,26 @@
+#include "midas/queryform/query_log.h"
+
+#include "midas/graph/subgraph_iso.h"
+
+namespace midas {
+
+void QueryLog::Record(Graph query) {
+  queries_.push_back(std::move(query));
+  while (queries_.size() > capacity_) queries_.pop_front();
+}
+
+void QueryLog::SetCapacity(size_t capacity) {
+  capacity_ = capacity;
+  while (queries_.size() > capacity_) queries_.pop_front();
+}
+
+double QueryLog::PatternWeight(const Graph& pattern) const {
+  if (queries_.empty() || pattern.NumEdges() == 0) return 0.0;
+  size_t hits = 0;
+  for (const Graph& q : queries_) {
+    if (ContainsSubgraph(pattern, q)) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(queries_.size());
+}
+
+}  // namespace midas

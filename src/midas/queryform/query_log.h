@@ -1,0 +1,46 @@
+#ifndef MIDAS_QUERYFORM_QUERY_LOG_H_
+#define MIDAS_QUERYFORM_QUERY_LOG_H_
+
+#include <deque>
+
+#include "midas/graph/graph.h"
+
+namespace midas {
+
+/// A sliding-window log of formulated subgraph queries.
+///
+/// The paper's framework is query-log-oblivious because public repositories
+/// rarely ship logs, but Section 3.5 notes that MIDAS "can be easily
+/// extended to accommodate query logs by considering the weight of a
+/// pattern based on its frequency in the log during multi-scan swapping".
+/// This class implements that extension: GUIs record each formulated query,
+/// and the swap stage boosts the score of patterns that keep appearing in
+/// what users actually ask (see SwapConfig::query_log).
+class QueryLog {
+ public:
+  explicit QueryLog(size_t capacity = 256) : capacity_(capacity) {}
+
+  /// Appends a query; the oldest entry is evicted beyond capacity.
+  void Record(Graph query);
+
+  size_t size() const { return queries_.size(); }
+  bool empty() const { return queries_.empty(); }
+  size_t capacity() const { return capacity_; }
+
+  /// Shrinks/extends the window (evicting oldest entries if needed).
+  void SetCapacity(size_t capacity);
+
+  /// Fraction of logged queries that contain the pattern (in [0, 1]);
+  /// 0 when the log is empty. One VF2 containment test per logged query.
+  double PatternWeight(const Graph& pattern) const;
+
+  const std::deque<Graph>& queries() const { return queries_; }
+
+ private:
+  std::deque<Graph> queries_;
+  size_t capacity_;
+};
+
+}  // namespace midas
+
+#endif  // MIDAS_QUERYFORM_QUERY_LOG_H_

@@ -1,0 +1,90 @@
+#include "midas/queryform/session.h"
+
+namespace midas {
+
+void FormulationSession::Checkpoint(ActionType type, std::string detail) {
+  undo_stack_.push_back({canvas_, alive_});
+  log_.push_back({type, std::move(detail)});
+  ++steps_;
+}
+
+VertexId FormulationSession::AddVertex(Label label) {
+  Checkpoint(ActionType::kAddVertex,
+             "add vertex #" + std::to_string(canvas_.NumVertices()));
+  VertexId v = canvas_.AddVertex(label);
+  alive_.push_back(true);
+  return v;
+}
+
+bool FormulationSession::AddEdge(VertexId u, VertexId v) {
+  if (!IsVertexLive(u) || !IsVertexLive(v)) return false;
+  if (u == v || canvas_.HasEdge(u, v)) return false;
+  Checkpoint(ActionType::kAddEdge, "add edge " + std::to_string(u) + "-" +
+                                       std::to_string(v));
+  canvas_.AddEdge(u, v);
+  return true;
+}
+
+std::vector<VertexId> FormulationSession::DropPattern(const Graph& pattern) {
+  Checkpoint(ActionType::kDropPattern,
+             "drop pattern with " + std::to_string(pattern.NumVertices()) +
+                 " vertices / " + std::to_string(pattern.NumEdges()) +
+                 " edges");
+  std::vector<VertexId> placed;
+  placed.reserve(pattern.NumVertices());
+  for (VertexId pv = 0; pv < pattern.NumVertices(); ++pv) {
+    placed.push_back(canvas_.AddVertex(pattern.label(pv)));
+    alive_.push_back(true);
+  }
+  for (const auto& [pu, pv] : pattern.Edges()) {
+    canvas_.AddEdge(placed[pu], placed[pv]);
+  }
+  return placed;
+}
+
+bool FormulationSession::DeleteVertex(VertexId v) {
+  if (!IsVertexLive(v)) return false;
+  Checkpoint(ActionType::kDeleteVertex, "delete vertex " + std::to_string(v));
+  // Cascade incident edges (copy the neighbor list first: RemoveEdge
+  // mutates it).
+  std::vector<VertexId> neighbors = canvas_.Neighbors(v);
+  for (VertexId w : neighbors) canvas_.RemoveEdge(v, w);
+  alive_[v] = false;
+  return true;
+}
+
+bool FormulationSession::DeleteEdge(VertexId u, VertexId v) {
+  if (!IsVertexLive(u) || !IsVertexLive(v) || !canvas_.HasEdge(u, v)) {
+    return false;
+  }
+  Checkpoint(ActionType::kDeleteEdge, "delete edge " + std::to_string(u) +
+                                          "-" + std::to_string(v));
+  canvas_.RemoveEdge(u, v);
+  return true;
+}
+
+bool FormulationSession::Undo() {
+  if (undo_stack_.empty()) return false;
+  canvas_ = std::move(undo_stack_.back().canvas);
+  alive_ = std::move(undo_stack_.back().alive);
+  undo_stack_.pop_back();
+  log_.push_back({ActionType::kUndo, "undo"});
+  ++steps_;
+  return true;
+}
+
+Graph FormulationSession::Canvas() const {
+  std::vector<VertexId> keep;
+  for (VertexId v = 0; v < canvas_.NumVertices(); ++v) {
+    if (alive_[v]) keep.push_back(v);
+  }
+  return canvas_.InducedSubgraph(keep);
+}
+
+size_t FormulationSession::LiveVertices() const {
+  size_t n = 0;
+  for (bool a : alive_) n += a ? 1 : 0;
+  return n;
+}
+
+}  // namespace midas

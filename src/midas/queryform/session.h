@@ -1,0 +1,81 @@
+#ifndef MIDAS_QUERYFORM_SESSION_H_
+#define MIDAS_QUERYFORM_SESSION_H_
+
+#include <string>
+#include <vector>
+
+#include "midas/graph/graph.h"
+
+namespace midas {
+
+/// The canvas state machine behind a direct-manipulation GUI (Panel 2 of
+/// the paper's Figure 1). Actions mirror the interface's atomic operations:
+/// place a vertex, draw an edge, drag-and-drop a canned pattern
+/// (pattern-at-a-time mode), delete a vertex (cascading its incident edges,
+/// as in Example 1.1's "removes a H and its associated edge"), delete an
+/// edge, undo. Every action costs one formulation step — the quantity the
+/// step model (formulation.h) predicts and the user study measures.
+class FormulationSession {
+ public:
+  enum class ActionType {
+    kAddVertex,
+    kAddEdge,
+    kDropPattern,
+    kDeleteVertex,
+    kDeleteEdge,
+    kUndo,
+  };
+
+  struct Action {
+    ActionType type;
+    std::string detail;  ///< human-readable, for session transcripts
+  };
+
+  FormulationSession() = default;
+
+  /// Places a vertex; returns its canvas id.
+  VertexId AddVertex(Label label);
+  /// Draws an edge between two live vertices; false if invalid.
+  bool AddEdge(VertexId u, VertexId v);
+  /// Drops a canned pattern onto the canvas; returns the placed vertex ids
+  /// (in pattern vertex order).
+  std::vector<VertexId> DropPattern(const Graph& pattern);
+  /// Deletes a vertex and cascades its incident edges; false if dead/bad id.
+  bool DeleteVertex(VertexId v);
+  /// Deletes one edge; false if absent.
+  bool DeleteEdge(VertexId u, VertexId v);
+  /// Reverts the most recent canvas-changing action. False when nothing to
+  /// undo. Undo itself counts as a step but is not undoable.
+  bool Undo();
+
+  /// The current query: live vertices compacted to dense ids.
+  Graph Canvas() const;
+
+  /// Total actions performed (the session's formulation step count).
+  size_t steps() const { return steps_; }
+  /// Number of live vertices on the canvas.
+  size_t LiveVertices() const;
+  size_t LiveEdges() const { return canvas_.NumEdges(); }
+  bool IsVertexLive(VertexId v) const {
+    return v < alive_.size() && alive_[v];
+  }
+
+  const std::vector<Action>& log() const { return log_; }
+
+ private:
+  struct Snapshot {
+    Graph canvas;
+    std::vector<bool> alive;
+  };
+  void Checkpoint(ActionType type, std::string detail);
+
+  Graph canvas_;              // grows only; dead vertices keep their slots
+  std::vector<bool> alive_;
+  size_t steps_ = 0;
+  std::vector<Action> log_;
+  std::vector<Snapshot> undo_stack_;
+};
+
+}  // namespace midas
+
+#endif  // MIDAS_QUERYFORM_SESSION_H_

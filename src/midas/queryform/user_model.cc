@@ -1,0 +1,93 @@
+#include "midas/queryform/user_model.h"
+
+#include <algorithm>
+
+namespace midas {
+
+SimulatedFormulation SimulateUser(const FormulationPlan& plan,
+                                  size_t panel_size,
+                                  const UserModelConfig& config, Rng& rng) {
+  SimulatedFormulation out;
+  out.steps = plan.steps;
+
+  auto jittered = [&](double base) {
+    double f = 1.0 + config.jitter * (2.0 * rng.UniformReal() - 1.0);
+    return base * std::max(0.1, f);
+  };
+
+  double vmt_total = 0.0;
+  for (size_t i = 0; i < plan.patterns_used; ++i) {
+    double vmt = jittered(config.vmt_base_seconds +
+                          config.vmt_per_pattern *
+                              static_cast<double>(panel_size));
+    vmt_total += vmt;
+    out.qft_seconds += vmt + jittered(config.pattern_drag_seconds);
+  }
+  for (size_t i = 0; i < plan.vertices_added; ++i) {
+    out.qft_seconds += jittered(config.vertex_seconds);
+  }
+  for (size_t i = 0; i < plan.edges_added; ++i) {
+    out.qft_seconds += jittered(config.edge_seconds);
+  }
+  out.vmt_seconds = plan.patterns_used == 0
+                        ? 0.0
+                        : vmt_total / static_cast<double>(plan.patterns_used);
+  return out;
+}
+
+SimulatedFormulation SimulateUsers(const Graph& query,
+                                   const PatternSet& patterns, int trials,
+                                   const UserModelConfig& config, Rng& rng) {
+  FormulationPlan plan = PlanFormulation(query, patterns);
+  SimulatedFormulation mean;
+  mean.steps = plan.steps;
+  if (trials <= 0) return mean;
+  for (int t = 0; t < trials; ++t) {
+    SimulatedFormulation one =
+        SimulateUser(plan, patterns.size(), config, rng);
+    mean.qft_seconds += one.qft_seconds;
+    mean.vmt_seconds += one.vmt_seconds;
+  }
+  mean.qft_seconds /= trials;
+  mean.vmt_seconds /= trials;
+  return mean;
+}
+
+SimulatedFormulation SimulateUser(const EditPlan& plan, size_t panel_size,
+                                  const UserModelConfig& config, Rng& rng) {
+  // Price the common part via the strict model, then add trimming time.
+  FormulationPlan base;
+  base.patterns_used = plan.patterns_used;
+  base.vertices_added = plan.vertices_added;
+  base.edges_added = plan.edges_added;
+  base.steps = plan.steps;
+  SimulatedFormulation out = SimulateUser(base, panel_size, config, rng);
+  out.steps = plan.steps;
+  for (size_t i = 0; i < plan.elements_deleted; ++i) {
+    double f = 1.0 + config.jitter * (2.0 * rng.UniformReal() - 1.0);
+    out.qft_seconds += config.delete_seconds * std::max(0.1, f);
+  }
+  return out;
+}
+
+SimulatedFormulation SimulateUsersWithEdits(const Graph& query,
+                                            const PatternSet& patterns,
+                                            int trials,
+                                            const UserModelConfig& config,
+                                            Rng& rng) {
+  EditPlan plan = PlanFormulationWithEdits(query, patterns);
+  SimulatedFormulation mean;
+  mean.steps = plan.steps;
+  if (trials <= 0) return mean;
+  for (int t = 0; t < trials; ++t) {
+    SimulatedFormulation one = SimulateUser(plan, patterns.size(), config,
+                                            rng);
+    mean.qft_seconds += one.qft_seconds;
+    mean.vmt_seconds += one.vmt_seconds;
+  }
+  mean.qft_seconds /= trials;
+  mean.vmt_seconds /= trials;
+  return mean;
+}
+
+}  // namespace midas

@@ -1,0 +1,60 @@
+#ifndef MIDAS_QUERYFORM_USER_MODEL_H_
+#define MIDAS_QUERYFORM_USER_MODEL_H_
+
+#include "midas/common/rng.h"
+#include "midas/queryform/formulation.h"
+
+namespace midas {
+
+/// Deterministic surrogate for the paper's 25-volunteer user study
+/// (Section 7.2).
+///
+/// The step model of formulation.h yields step counts; this model converts
+/// them into query formulation time (QFT) and visual mapping time (VMT)
+/// seconds, calibrated to the paper's observed magnitudes: Example 1.1
+/// reports 145 s for 41 edge-at-a-time steps (~3.5 s/step) and 102 s for 20
+/// pattern-mode steps (~5 s/step including pattern browsing), and Figure 9
+/// reports VMT in the 6.4-9.4 s band for |P| = 30. Multiplicative jitter
+/// emulates inter-subject variability.
+struct UserModelConfig {
+  double vertex_seconds = 2.0;        ///< one vertex placement
+  double edge_seconds = 2.6;          ///< one edge drawing
+  double pattern_drag_seconds = 3.0;  ///< drag-and-drop of a chosen pattern
+  double delete_seconds = 1.5;        ///< trimming a dropped pattern
+  double vmt_base_seconds = 4.5;      ///< locating a pattern in the panel
+  double vmt_per_pattern = 0.1;       ///< browse cost growing with |P|
+  double jitter = 0.15;               ///< lognormal-ish user variability
+};
+
+/// One simulated user's timing for a plan.
+struct SimulatedFormulation {
+  double qft_seconds = 0.0;  ///< total formulation time (includes VMT)
+  double vmt_seconds = 0.0;  ///< mean visual mapping time per pattern use
+  size_t steps = 0;
+};
+
+/// Simulates one user executing the plan against a panel of `panel_size`
+/// canned patterns.
+SimulatedFormulation SimulateUser(const FormulationPlan& plan,
+                                  size_t panel_size,
+                                  const UserModelConfig& config, Rng& rng);
+
+/// Mean QFT/VMT/steps over `trials` simulated users formulating `query`
+/// with `patterns`.
+SimulatedFormulation SimulateUsers(const Graph& query,
+                                   const PatternSet& patterns, int trials,
+                                   const UserModelConfig& config, Rng& rng);
+
+/// Edit-capable variants: users may drop an oversized pattern and trim it
+/// (the paper's actual user study jettisons the p ⊆ Q restriction).
+SimulatedFormulation SimulateUser(const EditPlan& plan, size_t panel_size,
+                                  const UserModelConfig& config, Rng& rng);
+SimulatedFormulation SimulateUsersWithEdits(const Graph& query,
+                                            const PatternSet& patterns,
+                                            int trials,
+                                            const UserModelConfig& config,
+                                            Rng& rng);
+
+}  // namespace midas
+
+#endif  // MIDAS_QUERYFORM_USER_MODEL_H_

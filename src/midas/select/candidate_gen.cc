@@ -1,0 +1,66 @@
+#include "midas/select/candidate_gen.h"
+
+#include <set>
+#include <string>
+
+#include "midas/graph/canonical.h"
+
+namespace midas {
+
+std::vector<Graph> GeneratePromisingCandidates(
+    const GraphDatabase& db, const FctSet& fcts,
+    const std::map<ClusterId, Csg>& csgs, const PatternSet& existing,
+    const IdSet& universe, const CandidateGenConfig& config, Rng& rng) {
+  std::vector<Graph> candidates;
+  if (csgs.empty() || db.empty()) return candidates;
+
+  // Equation 2 ingredients: coverage already provided by P, and the weakest
+  // pattern's unique contribution.
+  IdSet covered_by_set = existing.CoverageUnion();
+  double threshold =
+      (1.0 + config.kappa) *
+      static_cast<double>(existing.MinUniqueCoverage());
+  const auto& edge_occ = fcts.edge_occurrences();
+
+  std::set<std::string> seen;
+  for (const auto& [pid, p] : existing.patterns()) {
+    seen.insert(GraphSignature(p.graph));
+  }
+
+  for (const auto& [cid, csg] : csgs) {
+    if (csg.NumLiveEdges() == 0) continue;
+    const Graph& skel = csg.skeleton();
+    EdgeWeights weights = CsgEdgeWeights(csg, fcts, db.size());
+    EdgeWeights traversals = WalkTraversals(csg, weights, config.walk, rng);
+
+    // Coverage-based pruning hook (Equation 2): stop growth when the next
+    // edge's marginal subgraph coverage is below (1+κ) times the weakest
+    // existing pattern's unique coverage.
+    EdgePruneFn prune = [&](VertexId u, VertexId v) {
+      EdgeLabelPair lp = skel.EdgeLabel(u, v);
+      auto it = edge_occ.find(lp);
+      if (it == edge_occ.end()) return true;  // edge vanished from D
+      IdSet scov_e = IdSet::Intersection(it->second, universe);
+      double marginal =
+          static_cast<double>(scov_e.DifferenceSize(covered_by_set));
+      return marginal < threshold;
+    };
+
+    for (size_t eta = config.budget.eta_min; eta <= config.budget.eta_max;
+         ++eta) {
+      for (size_t rank = 0; rank < config.pcp_starts; ++rank) {
+        Graph g = ExtractCandidate(
+            csg, traversals, eta, rank,
+            config.enable_pruning ? &prune : nullptr,
+            config.coherent_extraction);
+        if (g.NumEdges() < config.budget.eta_min) continue;
+        if (!seen.insert(GraphSignature(g)).second) continue;
+        candidates.push_back(std::move(g));
+        if (candidates.size() >= config.max_candidates) return candidates;
+      }
+    }
+  }
+  return candidates;
+}
+
+}  // namespace midas

@@ -1,0 +1,44 @@
+#ifndef MIDAS_SELECT_CANDIDATE_GEN_H_
+#define MIDAS_SELECT_CANDIDATE_GEN_H_
+
+#include <map>
+#include <vector>
+
+#include "midas/cluster/csg.h"
+#include "midas/select/catapult.h"
+
+namespace midas {
+
+/// MIDAS pruning-based candidate generation (Section 5.2).
+///
+/// Unlike CATAPULT, candidate growth exploits knowledge of the existing
+/// canned pattern set: before an edge e is appended to a partially built
+/// final candidate pattern (FCP), its *marginal* subgraph coverage
+/// |G_scov(e) \ ∪_p G_scov(p)| is checked against Equation 2; growth stops
+/// early when e cannot help the candidate beat the weakest existing pattern.
+/// G_scov(e) is read from the edge-occurrence lists — exactly the rows the
+/// TG-/EG-matrices hold for single-edge features — so the check costs one
+/// set difference.
+struct CandidateGenConfig {
+  PatternBudget budget;
+  WalkConfig walk;
+  double kappa = 0.1;        ///< swapping threshold κ of Equation 2
+  size_t pcp_starts = 2;     ///< start ranks per (csg, size)
+  size_t max_candidates = 256;
+  /// Ablation knobs: disable Equation 2's coverage-based pruning, or the
+  /// coherent-extraction constraint (see random_walk.h).
+  bool enable_pruning = true;
+  bool coherent_extraction = true;
+};
+
+/// Generates candidate patterns from the given (affected) CSGs.
+/// `universe` is the coverage-evaluation universe (sampled database) the
+/// existing patterns' coverage sets were computed against.
+std::vector<Graph> GeneratePromisingCandidates(
+    const GraphDatabase& db, const FctSet& fcts,
+    const std::map<ClusterId, Csg>& csgs, const PatternSet& existing,
+    const IdSet& universe, const CandidateGenConfig& config, Rng& rng);
+
+}  // namespace midas
+
+#endif  // MIDAS_SELECT_CANDIDATE_GEN_H_

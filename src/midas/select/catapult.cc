@@ -1,0 +1,157 @@
+#include "midas/select/catapult.h"
+
+#include <algorithm>
+#include <limits>
+#include <set>
+#include <unordered_map>
+
+#include "midas/graph/canonical.h"
+#include "midas/graph/ged.h"
+#include "midas/graph/subgraph_iso.h"
+
+namespace midas {
+namespace {
+
+// Quick reject for "csg skeleton contains candidate": every candidate edge
+// label must occur in the skeleton.
+bool EdgeLabelsPresent(const Graph& candidate, const Graph& skeleton) {
+  std::set<uint64_t> skel_labels;
+  for (const auto& [u, v] : skeleton.Edges()) {
+    skel_labels.insert(skeleton.EdgeLabel(u, v).Packed());
+  }
+  for (const auto& [u, v] : candidate.Edges()) {
+    if (skel_labels.count(candidate.EdgeLabel(u, v).Packed()) == 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+// Cluster coverage ccov(p, cw, C) of Definition 2.1.
+double ClusterCoverage(const Graph& candidate,
+                       const std::map<ClusterId, Csg>& csgs, size_t db_size) {
+  if (db_size == 0) return 0.0;
+  double ccov = 0.0;
+  for (const auto& [cid, csg] : csgs) {
+    if (csg.members().empty()) continue;
+    if (EdgeLabelsPresent(candidate, csg.skeleton()) &&
+        ContainsSubgraph(candidate, csg.skeleton())) {
+      ccov += static_cast<double>(csg.members().size()) /
+              static_cast<double>(db_size);
+    }
+  }
+  return ccov;
+}
+
+// Fast diversity estimate vs the current set during selection (the final
+// set's diversity is recomputed with the tighter machinery afterwards).
+double FastDiversity(const Graph& candidate, const PatternSet& set) {
+  if (set.size() == 0) return static_cast<double>(candidate.NumEdges());
+  double best = std::numeric_limits<double>::max();
+  for (const auto& [id, p] : set.patterns()) {
+    best = std::min(best, static_cast<double>(GedLowerBound(candidate,
+                                                            p.graph)));
+  }
+  return best;
+}
+
+}  // namespace
+
+PatternSet SelectCannedPatterns(const GraphDatabase& db, const FctSet& fcts,
+                                const std::map<ClusterId, Csg>& csgs,
+                                const CatapultConfig& config, Rng& rng,
+                                const FctIndex* fct_index,
+                                const IfeIndex* ife_index) {
+  PatternSet selected;
+  if (csgs.empty() || db.empty()) return selected;
+
+  CoverageEvaluator eval(db, config.sample_cap, rng, fct_index, ife_index);
+
+  // Per-csg walk weights (updated multiplicatively after each selection).
+  std::map<ClusterId, EdgeWeights> weights;
+  for (const auto& [cid, csg] : csgs) {
+    weights[cid] = CsgEdgeWeights(csg, fcts, db.size());
+  }
+
+  std::map<size_t, size_t> per_size_count;
+  size_t max_per_size = config.budget.MaxPerSize();
+  std::set<std::string> selected_signatures;
+
+  while (selected.size() < config.budget.gamma) {
+    // Propose candidates from every csg and every size with quota left.
+    struct Candidate {
+      Graph graph;
+      double score = 0.0;
+    };
+    std::vector<Candidate> candidates;
+    std::set<std::string> proposed;
+
+    for (const auto& [cid, csg] : csgs) {
+      if (csg.NumLiveEdges() == 0) continue;
+      EdgeWeights traversals =
+          WalkTraversals(csg, weights[cid], config.walk, rng);
+      for (size_t eta = config.budget.eta_min; eta <= config.budget.eta_max;
+           ++eta) {
+        if (per_size_count[eta] >= max_per_size) continue;
+        std::vector<Graph> proposals;
+        if (config.use_pcp_library) {
+          // Library flow: PCPs deduped by isomorphism, ranked by traversal
+          // mass; FCPs are the library heads.
+          for (Pcp& pcp :
+               BuildPcpLibrary(csg, traversals, eta,
+                               config.pcp_library_size)) {
+            proposals.push_back(std::move(pcp.pattern));
+            if (proposals.size() >= config.pcp_starts) break;
+          }
+        } else {
+          for (size_t rank = 0; rank < config.pcp_starts; ++rank) {
+            proposals.push_back(ExtractCandidate(
+                csg, traversals, eta, rank, nullptr,
+                config.coherent_extraction));
+          }
+        }
+        for (Graph& g : proposals) {
+          if (g.NumEdges() != eta) continue;  // partial growth: wrong bucket
+          std::string sig = GraphSignature(g);
+          if (selected_signatures.count(sig) > 0 ||
+              !proposed.insert(sig).second) {
+            continue;
+          }
+          candidates.push_back({std::move(g), 0.0});
+        }
+      }
+    }
+    if (candidates.empty()) break;
+
+    // Score with Definition 2.1.
+    for (Candidate& c : candidates) {
+      double ccov = ClusterCoverage(c.graph, csgs, db.size());
+      double lcov = eval.LabelCoverageOf(c.graph, fcts);
+      double div = FastDiversity(c.graph, selected);
+      double cog = c.graph.CognitiveLoad();
+      c.score = cog > 0.0 ? ccov * lcov * div / cog : 0.0;
+    }
+    auto best = std::max_element(
+        candidates.begin(), candidates.end(),
+        [](const Candidate& a, const Candidate& b) { return a.score < b.score; });
+    if (best->score <= 0.0) break;  // nothing useful left
+
+    CannedPattern pattern;
+    pattern.graph = best->graph;
+    RefreshPatternMetrics(pattern, eval, fcts);
+    size_t eta = pattern.graph.NumEdges();
+    selected_signatures.insert(GraphSignature(pattern.graph));
+    selected.Add(std::move(pattern));
+    ++per_size_count[eta];
+
+    for (auto& [cid, w] : weights) {
+      MultiplicativeWeightsUpdate(csgs.at(cid), best->graph, w,
+                                  config.weight_decay);
+    }
+  }
+
+  RefreshDiversityAndScores(selected, GedFeatureTrees(fcts));
+  return selected;
+}
+
+}  // namespace midas

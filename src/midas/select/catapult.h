@@ -1,0 +1,59 @@
+#ifndef MIDAS_SELECT_CATAPULT_H_
+#define MIDAS_SELECT_CATAPULT_H_
+
+#include <map>
+
+#include "midas/cluster/clustering.h"
+#include "midas/cluster/csg.h"
+#include "midas/select/pattern.h"
+#include "midas/select/random_walk.h"
+
+namespace midas {
+
+/// Pattern budget b = (η_min, η_max, γ) (Definition 3.1).
+struct PatternBudget {
+  size_t eta_min = 3;   ///< minimum pattern size (edges)
+  size_t eta_max = 12;  ///< maximum pattern size (edges)
+  size_t gamma = 30;    ///< number of patterns displayed on the GUI
+
+  /// Maximum number of patterns per size: ceil(γ / (η_max - η_min + 1)).
+  size_t MaxPerSize() const {
+    size_t span = eta_max >= eta_min ? eta_max - eta_min + 1 : 1;
+    return (gamma + span - 1) / span;
+  }
+};
+
+/// Configuration of the CATAPULT selection loop (Section 2.3).
+struct CatapultConfig {
+  PatternBudget budget;
+  WalkConfig walk;
+  /// Number of start ranks tried per (csg, size) when proposing candidates.
+  size_t pcp_starts = 2;
+  /// Lazy-sampling cap for scov evaluation (0 = evaluate on the full db).
+  size_t sample_cap = 400;
+  /// Multiplicative weights decay applied to covered edge labels.
+  double weight_decay = 0.5;
+  /// Coherent candidate extraction (see random_walk.h); ablation knob.
+  bool coherent_extraction = true;
+  /// Propose candidates through the PCP library (Section 2.3's
+  /// library-then-FCP flow) instead of raw start ranks. Costs extra
+  /// isomorphism-based deduplication per (csg, size); buys shape variety.
+  bool use_pcp_library = false;
+  size_t pcp_library_size = 6;
+};
+
+/// CATAPULT canned-pattern selection: greedy iterations of weighted random
+/// walks over all CSGs, proposing candidate patterns per size, scoring them
+/// with Definition 2.1 (cluster coverage x label coverage x diversity /
+/// cognitive load) and applying the multiplicative weights update after each
+/// selection. Passing the indices turns this into CATAPULT++'s accelerated
+/// coverage evaluation; passing nullptr reproduces plain CATAPULT.
+PatternSet SelectCannedPatterns(const GraphDatabase& db, const FctSet& fcts,
+                                const std::map<ClusterId, Csg>& csgs,
+                                const CatapultConfig& config, Rng& rng,
+                                const FctIndex* fct_index = nullptr,
+                                const IfeIndex* ife_index = nullptr);
+
+}  // namespace midas
+
+#endif  // MIDAS_SELECT_CATAPULT_H_

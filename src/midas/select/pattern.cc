@@ -1,0 +1,219 @@
+#include "midas/select/pattern.h"
+
+#include <algorithm>
+#include <limits>
+#include <memory>
+
+#include "midas/graph/ged.h"
+#include "midas/graph/subgraph_iso.h"
+#include "midas/index/pf_matrix.h"
+
+namespace midas {
+
+PatternId PatternSet::Add(CannedPattern p) {
+  p.id = next_id_++;
+  PatternId id = p.id;
+  patterns_.emplace(id, std::move(p));
+  return id;
+}
+
+bool PatternSet::Remove(PatternId id) { return patterns_.erase(id) > 0; }
+
+const CannedPattern* PatternSet::Find(PatternId id) const {
+  auto it = patterns_.find(id);
+  return it == patterns_.end() ? nullptr : &it->second;
+}
+
+CannedPattern* PatternSet::FindMutable(PatternId id) {
+  auto it = patterns_.find(id);
+  return it == patterns_.end() ? nullptr : &it->second;
+}
+
+std::vector<double> PatternSet::SizeDistribution() const {
+  std::vector<double> sizes;
+  sizes.reserve(patterns_.size());
+  for (const auto& [id, p] : patterns_) {
+    sizes.push_back(static_cast<double>(p.graph.NumEdges()));
+  }
+  return sizes;
+}
+
+IdSet PatternSet::CoverageUnion() const {
+  IdSet all;
+  for (const auto& [id, p] : patterns_) all.UnionWith(p.coverage);
+  return all;
+}
+
+size_t PatternSet::UniqueCoverage(PatternId id) const {
+  const CannedPattern* p = Find(id);
+  if (p == nullptr) return 0;
+  IdSet others;
+  for (const auto& [oid, op] : patterns_) {
+    if (oid != id) others.UnionWith(op.coverage);
+  }
+  return p->coverage.DifferenceSize(others);
+}
+
+size_t PatternSet::MinUniqueCoverage() const {
+  size_t best = std::numeric_limits<size_t>::max();
+  for (const auto& [id, p] : patterns_) {
+    best = std::min(best, UniqueCoverage(id));
+  }
+  return patterns_.empty() ? 0 : best;
+}
+
+double PatternSet::FScov(size_t universe_size) const {
+  if (universe_size == 0) return 0.0;
+  return static_cast<double>(CoverageUnion().size()) /
+         static_cast<double>(universe_size);
+}
+
+double PatternSet::FLcov() const {
+  // f_lcov is the union label coverage; each pattern caches its own lcov
+  // against the full database, and the set-level value is the max (the union
+  // is at least the best single pattern; exact unions are recomputed by the
+  // maintenance engine which owns the edge-occurrence lists).
+  double best = 0.0;
+  for (const auto& [id, p] : patterns_) best = std::max(best, p.lcov);
+  return best;
+}
+
+double PatternSet::FDiv() const {
+  double best = std::numeric_limits<double>::max();
+  for (const auto& [id, p] : patterns_) best = std::min(best, p.div);
+  return patterns_.empty() ? 0.0 : best;
+}
+
+double PatternSet::FCog() const {
+  double worst = 0.0;
+  for (const auto& [id, p] : patterns_) worst = std::max(worst, p.cog);
+  return worst;
+}
+
+double PatternSet::SetScore(size_t universe_size) const {
+  double cog = FCog();
+  if (cog <= 0.0) return 0.0;
+  return FScov(universe_size) * FLcov() * FDiv() / cog;
+}
+
+CoverageEvaluator::CoverageEvaluator(const GraphDatabase& db,
+                                     size_t sample_cap, Rng& rng,
+                                     const FctIndex* fct_index,
+                                     const IfeIndex* ife_index)
+    : db_(&db),
+      sample_cap_(sample_cap),
+      fct_index_(fct_index),
+      ife_index_(ife_index) {
+  Resample(rng);
+}
+
+void CoverageEvaluator::Resample(Rng& rng) {
+  std::vector<GraphId> ids = db_->Ids();
+  if (sample_cap_ == 0 || ids.size() <= sample_cap_) {
+    universe_ = IdSet(ids);
+    return;
+  }
+  rng.Shuffle(ids);
+  ids.resize(sample_cap_);
+  universe_ = IdSet(ids);
+}
+
+IdSet CoverageEvaluator::CoverageOf(const Graph& pattern) const {
+  IdSet candidates = universe_;
+  if (fct_index_ != nullptr) {
+    candidates =
+        fct_index_->CandidateGraphs(fct_index_->FeatureCounts(pattern),
+                                    candidates);
+  }
+  if (ife_index_ != nullptr) {
+    candidates = ife_index_->CandidateGraphs(ife_index_->EdgeCounts(pattern),
+                                             candidates);
+  }
+  IdSet covered;
+  for (GraphId id : candidates) {
+    const Graph* g = db_->Find(id);
+    if (g != nullptr && ContainsSubgraph(pattern, *g)) covered.Insert(id);
+  }
+  return covered;
+}
+
+double CoverageEvaluator::LabelCoverageOf(const Graph& pattern,
+                                          const FctSet& fcts) const {
+  if (db_->empty()) return 0.0;
+  IdSet covered;
+  const auto& edge_occ = fcts.edge_occurrences();
+  for (const EdgeLabelPair& lp : pattern.DistinctEdgeLabels()) {
+    auto it = edge_occ.find(lp);
+    if (it != edge_occ.end()) covered.UnionWith(it->second);
+  }
+  return static_cast<double>(covered.size()) /
+         static_cast<double>(db_->size());
+}
+
+void RefreshPatternMetrics(CannedPattern& p, const CoverageEvaluator& eval,
+                           const FctSet& fcts) {
+  p.coverage = eval.CoverageOf(p.graph);
+  size_t universe = eval.universe().size();
+  p.scov = universe == 0 ? 0.0
+                         : static_cast<double>(p.coverage.size()) /
+                               static_cast<double>(universe);
+  p.lcov = eval.LabelCoverageOf(p.graph, fcts);
+  p.cog = p.graph.CognitiveLoad();
+}
+
+std::vector<Graph> GedFeatureTrees(const FctSet& fcts) {
+  std::vector<Graph> trees;
+  for (const FctEntry* entry : fcts.FrequentClosedTrees()) {
+    trees.push_back(entry->tree);
+  }
+  auto add_edge_tree = [&trees](const EdgeLabelPair& lp) {
+    Graph t;
+    VertexId a = t.AddVertex(lp.first);
+    VertexId b = t.AddVertex(lp.second);
+    t.AddEdge(a, b);
+    trees.push_back(std::move(t));
+  };
+  for (const auto& [lp, occ] : fcts.FrequentEdges()) add_edge_tree(lp);
+  for (const auto& [lp, occ] : fcts.InfrequentEdges()) add_edge_tree(lp);
+  return trees;
+}
+
+GedEstimator LabelBoundGed() {
+  return [](const Graph& a, const Graph& b) {
+    return static_cast<double>(GedLowerBound(a, b));
+  };
+}
+
+GedEstimator HybridGed(std::vector<Graph> feature_trees) {
+  auto features = std::make_shared<std::vector<Graph>>(
+      std::move(feature_trees));
+  return [features](const Graph& a, const Graph& b) {
+    int cheap = GedLowerBound(a, b);
+    if (cheap > 1) return static_cast<double>(cheap);
+    // Near-tie: refine with the tightened bound / exact GED (Section 6.1).
+    return static_cast<double>(
+        std::max(cheap, EstimateGed(a, b, *features)));
+  };
+}
+
+void RefreshDiversityAndScores(PatternSet& set, const GedEstimator& ged) {
+  auto& patterns = set.patterns();
+  for (auto& [id, p] : patterns) {
+    double min_ged = std::numeric_limits<double>::max();
+    for (const auto& [oid, other] : patterns) {
+      if (oid == id) continue;
+      min_ged = std::min(min_ged, ged(p.graph, other.graph));
+    }
+    p.div = patterns.size() <= 1
+                ? static_cast<double>(p.graph.NumEdges())  // lone pattern
+                : min_ged;
+    p.score = p.cog > 0.0 ? p.scov * p.lcov * p.div / p.cog : 0.0;
+  }
+}
+
+void RefreshDiversityAndScores(PatternSet& set,
+                               const std::vector<Graph>& feature_trees) {
+  RefreshDiversityAndScores(set, HybridGed(feature_trees));
+}
+
+}  // namespace midas

@@ -1,0 +1,28 @@
+#include "midas/select/pattern_io.h"
+
+#include <ostream>
+
+#include "midas/graph/graph_io.h"
+
+namespace midas {
+
+void WritePatternSet(const PatternSet& set, const LabelDictionary& dict,
+                     std::ostream& out) {
+  for (const auto& [pid, p] : set.patterns()) {
+    WriteGraph(p.graph, dict, static_cast<long>(pid), out);
+  }
+}
+
+bool ReadPatternSet(std::istream& in, LabelDictionary& dict,
+                    PatternSet* set) {
+  GraphDatabase staging;
+  if (!ReadDatabase(in, &staging)) return false;
+  for (const auto& [id, g] : staging.graphs()) {
+    CannedPattern p;
+    p.graph = RemapLabels(g, staging.labels(), dict);
+    set->Add(std::move(p));
+  }
+  return true;
+}
+
+}  // namespace midas

@@ -1,0 +1,28 @@
+#ifndef MIDAS_SELECT_PATTERN_IO_H_
+#define MIDAS_SELECT_PATTERN_IO_H_
+
+#include <iosfwd>
+
+#include "midas/select/pattern.h"
+
+namespace midas {
+
+/// Pattern-set persistence in the same gSpan-style text format as graph
+/// databases (graph_io.h): one `t # <pattern-id>` block per pattern. A GUI
+/// can persist its panel across sessions, and the CLI pipeline
+/// (examples/midas_cli) passes pattern sets between invocations as files.
+///
+/// Only the pattern structures are persisted; cached metrics (coverage,
+/// scov, ...) are recomputed against the current database after loading.
+
+void WritePatternSet(const PatternSet& set, const LabelDictionary& dict,
+                     std::ostream& out);
+
+/// Parses patterns, interning labels into `dict` (by name, so files written
+/// against a different dictionary load correctly). Patterns are Add()ed to
+/// `set` with fresh ids. Returns false on malformed input.
+bool ReadPatternSet(std::istream& in, LabelDictionary& dict, PatternSet* set);
+
+}  // namespace midas
+
+#endif  // MIDAS_SELECT_PATTERN_IO_H_

@@ -1,0 +1,243 @@
+#include "midas/select/random_walk.h"
+
+#include <algorithm>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "midas/graph/subgraph_iso.h"
+
+namespace midas {
+
+EdgeWeights CsgEdgeWeights(const Csg& csg, const FctSet& fcts,
+                           size_t db_size) {
+  EdgeWeights weights;
+  const Graph& skel = csg.skeleton();
+  const auto& edge_occ = fcts.edge_occurrences();
+  size_t cluster_size = csg.members().size();
+  for (const auto& [edge, members] : csg.Edges()) {
+    const auto& [u, v] = edge;
+    EdgeLabelPair lp = skel.EdgeLabel(u, v);
+    double lcov_d = 0.0;
+    auto it = edge_occ.find(lp);
+    if (it != edge_occ.end() && db_size > 0) {
+      lcov_d = static_cast<double>(it->second.size()) /
+               static_cast<double>(db_size);
+    }
+    double lcov_c =
+        cluster_size == 0
+            ? 0.0
+            : static_cast<double>(members->size()) /
+                  static_cast<double>(cluster_size);
+    weights[CsgEdgeKey(u, v)] = lcov_d * lcov_c;
+  }
+  return weights;
+}
+
+EdgeWeights WalkTraversals(const Csg& csg, const EdgeWeights& weights,
+                           const WalkConfig& config, Rng& rng) {
+  EdgeWeights traversals;
+  const Graph& skel = csg.skeleton();
+  auto edges = csg.Edges();
+  if (edges.empty()) return traversals;
+
+  // Start distribution over edges, by weight.
+  std::vector<double> start_weights;
+  start_weights.reserve(edges.size());
+  for (const auto& [edge, members] : edges) {
+    auto it = weights.find(CsgEdgeKey(edge.first, edge.second));
+    start_weights.push_back(it == weights.end() ? 0.0 : it->second);
+  }
+
+  for (int w = 0; w < config.num_walks; ++w) {
+    int pick = rng.PickWeighted(start_weights);
+    if (pick < 0) pick = static_cast<int>(rng.UniformInt(0, edges.size() - 1));
+    auto [u, v] = edges[static_cast<size_t>(pick)].first;
+    traversals[CsgEdgeKey(u, v)] += 1.0;
+    VertexId current = rng.Bernoulli(0.5) ? u : v;
+    for (int step = 1; step < config.walk_length; ++step) {
+      const auto& neighbors = skel.Neighbors(current);
+      if (neighbors.empty()) break;
+      std::vector<double> w_out;
+      w_out.reserve(neighbors.size());
+      for (VertexId n : neighbors) {
+        auto it = weights.find(CsgEdgeKey(current, n));
+        w_out.push_back(it == weights.end() ? 0.0 : it->second);
+      }
+      int next = rng.PickWeighted(w_out);
+      if (next < 0) break;
+      VertexId n = neighbors[static_cast<size_t>(next)];
+      traversals[CsgEdgeKey(current, n)] += 1.0;
+      current = n;
+    }
+  }
+  return traversals;
+}
+
+// Projects a set of skeleton edges into a standalone labeled pattern graph.
+Graph ProjectPattern(const Graph& skel,
+                     const std::vector<std::pair<VertexId, VertexId>>& edges) {
+  Graph pattern;
+  std::unordered_map<VertexId, VertexId> remap;
+  auto local = [&](VertexId sv) {
+    auto it = remap.find(sv);
+    if (it != remap.end()) return it->second;
+    VertexId id = pattern.AddVertex(skel.label(sv));
+    remap.emplace(sv, id);
+    return id;
+  };
+  for (const auto& [u, v] : edges) pattern.AddEdge(local(u), local(v));
+  return pattern;
+}
+
+std::vector<std::pair<VertexId, VertexId>> ExtractCandidateEdges(
+    const Csg& csg, const EdgeWeights& traversals, size_t eta,
+    size_t start_rank, const EdgePruneFn* prune, bool coherent) {
+  const Graph& skel = csg.skeleton();
+  auto edges = csg.Edges();
+  if (edges.empty()) return {};
+
+  // Rank edges by traversal count (desc), deterministic tie-break by key.
+  std::vector<std::pair<double, std::pair<VertexId, VertexId>>> ranked;
+  ranked.reserve(edges.size());
+  for (const auto& [edge, members] : edges) {
+    auto it = traversals.find(CsgEdgeKey(edge.first, edge.second));
+    double t = it == traversals.end() ? 0.0 : it->second;
+    ranked.push_back({-t, edge});
+  }
+  std::sort(ranked.begin(), ranked.end());
+  if (start_rank >= ranked.size()) start_rank = ranked.size() - 1;
+
+  std::vector<std::pair<VertexId, VertexId>> chosen;
+  std::set<uint64_t> chosen_keys;
+  std::set<VertexId> touched;
+  // Member graphs containing *all* chosen edges so far (coherence witness).
+  IdSet witnesses;
+  auto add_edge = [&](VertexId u, VertexId v) {
+    chosen.push_back({u, v});
+    chosen_keys.insert(CsgEdgeKey(u, v));
+    touched.insert(u);
+    touched.insert(v);
+    witnesses = chosen.size() == 1
+                    ? csg.EdgeMembers(u, v)
+                    : IdSet::Intersection(witnesses, csg.EdgeMembers(u, v));
+  };
+
+  const auto& [t0, e0] = ranked[start_rank];
+  (void)t0;
+  if (prune != nullptr && (*prune)(e0.first, e0.second)) return {};
+  add_edge(e0.first, e0.second);
+
+  while (chosen.size() < eta) {
+    // Most traversed coherent edge adjacent to the partial pattern.
+    double best_t = -1.0;
+    VertexId bu = 0;
+    VertexId bv = 0;
+    bool found = false;
+    for (VertexId u : touched) {
+      for (VertexId v : skel.Neighbors(u)) {
+        uint64_t key = CsgEdgeKey(u, v);
+        if (chosen_keys.count(key) > 0) continue;
+        const IdSet& members = csg.EdgeMembers(u, v);
+        if (members.empty()) continue;  // dead edge
+        if (coherent && witnesses.IntersectionSize(members) == 0) {
+          continue;  // incoherent: would straddle member graphs
+        }
+        auto it = traversals.find(key);
+        double t = it == traversals.end() ? 0.0 : it->second;
+        if (!found || t > best_t) {
+          best_t = t;
+          bu = u;
+          bv = v;
+          found = true;
+        }
+      }
+    }
+    if (!found) break;
+    if (prune != nullptr && (*prune)(bu, bv)) break;  // Equation 2 fired
+    add_edge(bu, bv);
+  }
+
+  if (chosen.size() < 2) return {};
+  return chosen;
+}
+
+Graph ExtractCandidate(const Csg& csg, const EdgeWeights& traversals,
+                       size_t eta, size_t start_rank,
+                       const EdgePruneFn* prune, bool coherent) {
+  std::vector<std::pair<VertexId, VertexId>> chosen =
+      ExtractCandidateEdges(csg, traversals, eta, start_rank, prune,
+                            coherent);
+  if (chosen.empty()) return Graph();
+  return ProjectPattern(csg.skeleton(), chosen);
+}
+
+std::vector<Pcp> BuildPcpLibrary(const Csg& csg, const EdgeWeights& traversals,
+                                 size_t eta, size_t max_library_size,
+                                 const EdgePruneFn* prune) {
+  std::vector<Pcp> library;
+  if (max_library_size == 0) return library;
+
+  // Propose from as many distinct start ranks as the csg offers (bounded by
+  // twice the library size; extraction is cheap compared to scoring).
+  size_t attempts = std::min<size_t>(csg.NumLiveEdges(),
+                                     2 * max_library_size);
+  for (size_t rank = 0; rank < attempts; ++rank) {
+    std::vector<std::pair<VertexId, VertexId>> chosen =
+        ExtractCandidateEdges(csg, traversals, eta, rank, prune);
+    if (chosen.empty()) continue;
+    Graph g = ProjectPattern(csg.skeleton(), chosen);
+
+    double mass = 0.0;
+    for (const auto& [u, v] : chosen) {
+      auto it = traversals.find(CsgEdgeKey(u, v));
+      if (it != traversals.end()) mass += it->second;
+    }
+
+    bool merged = false;
+    for (Pcp& existing : library) {
+      if (AreIsomorphic(existing.pattern, g)) {
+        existing.traversal_mass = std::max(existing.traversal_mass, mass);
+        ++existing.proposals;
+        merged = true;
+        break;
+      }
+    }
+    if (!merged) {
+      Pcp pcp;
+      pcp.pattern = std::move(g);
+      pcp.traversal_mass = mass;
+      pcp.proposals = 1;
+      library.push_back(std::move(pcp));
+      if (library.size() >= max_library_size) break;
+    }
+  }
+
+  // FCP ordering: highest traversal mass first (the "most frequently
+  // traversed edges" criterion), proposals as tie-break.
+  std::sort(library.begin(), library.end(), [](const Pcp& a, const Pcp& b) {
+    if (a.traversal_mass != b.traversal_mass) {
+      return a.traversal_mass > b.traversal_mass;
+    }
+    return a.proposals > b.proposals;
+  });
+  return library;
+}
+
+void MultiplicativeWeightsUpdate(const Csg& csg, const Graph& selected,
+                                 EdgeWeights& weights, double factor) {
+  std::set<uint64_t> pattern_labels;
+  for (const auto& [u, v] : selected.Edges()) {
+    pattern_labels.insert(selected.EdgeLabel(u, v).Packed());
+  }
+  const Graph& skel = csg.skeleton();
+  for (auto& [key, w] : weights) {
+    VertexId u = static_cast<VertexId>(key >> 32);
+    VertexId v = static_cast<VertexId>(key & 0xffffffffu);
+    if (pattern_labels.count(skel.EdgeLabel(u, v).Packed()) > 0) {
+      w *= factor;
+    }
+  }
+}
+
+}  // namespace midas

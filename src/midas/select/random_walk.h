@@ -1,0 +1,91 @@
+#ifndef MIDAS_SELECT_RANDOM_WALK_H_
+#define MIDAS_SELECT_RANDOM_WALK_H_
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+
+#include "midas/cluster/csg.h"
+#include "midas/common/rng.h"
+#include "midas/mining/fct_set.h"
+
+namespace midas {
+
+/// Weighted random walks on cluster summary graphs and candidate-pattern
+/// extraction (Section 2.3 and Figure 6).
+
+struct WalkConfig {
+  int num_walks = 100;
+  int walk_length = 25;
+};
+
+/// Per-edge weight map keyed by CsgEdgeKey.
+using EdgeWeights = std::unordered_map<uint64_t, double>;
+
+/// Edge weights w_e = lcov(e, D) x lcov(e, C) (Section 2.3): label coverage
+/// of the edge's label pair over the whole database and over the cluster.
+EdgeWeights CsgEdgeWeights(const Csg& csg, const FctSet& fcts,
+                           size_t db_size);
+
+/// Traversal counts from `num_walks` weighted random walks of length
+/// `walk_length`, each started at an edge drawn by weight.
+EdgeWeights WalkTraversals(const Csg& csg, const EdgeWeights& weights,
+                           const WalkConfig& config, Rng& rng);
+
+/// Optional early-termination hook, called with the next edge before it is
+/// added; returning true stops growth (Equation 2's coverage-based pruning).
+using EdgePruneFn = std::function<bool(VertexId, VertexId)>;
+
+/// Extracts a connected candidate pattern with up to `eta` edges from the
+/// csg skeleton: starts at the (start_rank+1)-th most traversed edge and
+/// greedily appends the most traversed edge adjacent to the partial pattern.
+/// Growth is *coherent*: every appended edge must share at least one member
+/// graph with all edges chosen so far, which guarantees the projected
+/// pattern is an actual subgraph of some data graph (non-zero subgraph
+/// coverage) rather than a chimera straddling several members.
+/// Returns the pattern as a standalone labeled graph; an empty graph when
+/// the csg has no live edges or pruning fired before the pattern reached
+/// 2 edges.
+/// `coherent = false` disables the witness constraint (the ablation bench
+/// measures what it buys).
+Graph ExtractCandidate(const Csg& csg, const EdgeWeights& traversals,
+                       size_t eta, size_t start_rank,
+                       const EdgePruneFn* prune = nullptr,
+                       bool coherent = true);
+
+/// Lower-level variant: returns the chosen skeleton edges instead of the
+/// projected pattern (PCP-library construction prices candidates by the
+/// traversal mass of exactly these edges).
+std::vector<std::pair<VertexId, VertexId>> ExtractCandidateEdges(
+    const Csg& csg, const EdgeWeights& traversals, size_t eta,
+    size_t start_rank, const EdgePruneFn* prune = nullptr,
+    bool coherent = true);
+
+/// Projects a set of skeleton edges into a standalone labeled pattern.
+Graph ProjectPattern(const Graph& skeleton,
+                     const std::vector<std::pair<VertexId, VertexId>>& edges);
+
+/// Applies the multiplicative weights update [7]: halves the weight of every
+/// csg edge whose label pair occurs in the selected pattern.
+void MultiplicativeWeightsUpdate(const Csg& csg, const Graph& selected,
+                                 EdgeWeights& weights, double factor = 0.5);
+
+/// A potential candidate pattern (PCP) with its walk statistics.
+struct Pcp {
+  Graph pattern;             ///< projected labeled subgraph
+  double traversal_mass = 0; ///< summed traversal counts of its csg edges
+  size_t proposals = 0;      ///< how many extraction attempts produced it
+};
+
+/// Builds the PCP library of one csg for one size (Section 2.3): candidates
+/// are proposed from multiple start ranks plus truncations of actual walk
+/// paths, deduplicated by isomorphism, and ranked by traversal mass. The
+/// FCP is the library head; the rest give CATAPULT's greedy loop shape
+/// variety. All candidates obey the coherence constraint.
+std::vector<Pcp> BuildPcpLibrary(const Csg& csg, const EdgeWeights& traversals,
+                                 size_t eta, size_t max_library_size,
+                                 const EdgePruneFn* prune = nullptr);
+
+}  // namespace midas
+
+#endif  // MIDAS_SELECT_RANDOM_WALK_H_

@@ -1,0 +1,151 @@
+#include "midas/select/candidate_gen.h"
+
+#include <gtest/gtest.h>
+
+#include "midas/datagen/molecule_gen.h"
+#include "midas/graph/subgraph_iso.h"
+#include "test_util.h"
+
+namespace midas {
+namespace {
+
+struct Fixture {
+  GraphDatabase db;
+  FctSet fcts;
+  std::map<ClusterId, Csg> csgs;
+  PatternSet existing;
+  IdSet universe;
+
+  explicit Fixture(uint64_t seed = 60) {
+    MoleculeGenerator gen(seed);
+    db = gen.Generate(MoleculeGenerator::EmolLike(30));
+    fcts = FctSet::Mine(db, {0.4, 3, 20000});
+    ClusterSet::Config cc;
+    cc.num_coarse = 2;
+    cc.max_cluster_size = 20;
+    Rng rng(seed);
+    ClusterSet clusters = ClusterSet::Build(db, fcts, cc, rng);
+    for (const auto& [cid, c] : clusters.clusters()) {
+      csgs.emplace(cid, Csg::Build(db, c.members));
+    }
+    universe = IdSet(db.Ids());
+  }
+};
+
+CandidateGenConfig SmallConfig(double kappa = 0.1) {
+  CandidateGenConfig cfg;
+  cfg.budget.eta_min = 3;
+  cfg.budget.eta_max = 6;
+  cfg.budget.gamma = 8;
+  cfg.walk.num_walks = 40;
+  cfg.walk.walk_length = 12;
+  cfg.kappa = kappa;
+  return cfg;
+}
+
+TEST(CandidateGenTest, EmptyExistingSetGeneratesFreely) {
+  Fixture f;
+  Rng rng(1);
+  // With no existing patterns, MinUniqueCoverage is 0 and nothing prunes.
+  auto candidates = GeneratePromisingCandidates(
+      f.db, f.fcts, f.csgs, f.existing, f.universe, SmallConfig(), rng);
+  EXPECT_FALSE(candidates.empty());
+  for (const Graph& g : candidates) {
+    EXPECT_GE(g.NumEdges(), 3u);
+    EXPECT_LE(g.NumEdges(), 6u);
+    EXPECT_TRUE(g.IsConnected());
+  }
+}
+
+TEST(CandidateGenTest, FullCoverageBlocksEverything) {
+  Fixture f;
+  // An existing pattern that covers the whole universe with huge unique
+  // coverage: every marginal is 0 < threshold.
+  CannedPattern p;
+  LabelDictionary& d = f.db.labels();
+  p.graph = testing_util::Path(d, {"C", "C"});
+  p.coverage = f.universe;
+  f.existing.Add(std::move(p));
+
+  Rng rng(2);
+  auto candidates = GeneratePromisingCandidates(
+      f.db, f.fcts, f.csgs, f.existing, f.universe, SmallConfig(), rng);
+  EXPECT_TRUE(candidates.empty());
+}
+
+TEST(CandidateGenTest, ZeroCoveragePatternDoesNotBlock) {
+  Fixture f;
+  // Existing pattern covering nothing: min unique coverage 0, threshold 0,
+  // marginal >= 0 ... strict comparison means edges with zero marginal are
+  // still pruned, but ubiquitous edges pass.
+  CannedPattern p;
+  LabelDictionary& d = f.db.labels();
+  p.graph = testing_util::Path(d, {"Zz", "Zz"});
+  f.existing.Add(std::move(p));
+
+  Rng rng(3);
+  auto candidates = GeneratePromisingCandidates(
+      f.db, f.fcts, f.csgs, f.existing, f.universe, SmallConfig(), rng);
+  EXPECT_FALSE(candidates.empty());
+}
+
+TEST(CandidateGenTest, HigherKappaPrunesMore) {
+  Fixture f;
+  // Existing pattern with moderate coverage.
+  LabelDictionary& d = f.db.labels();
+  CannedPattern p;
+  p.graph = testing_util::Path(d, {"C", "O"});
+  std::vector<uint32_t> half;
+  for (size_t i = 0; i < f.universe.size() / 2; ++i) {
+    half.push_back(f.universe.ids()[i]);
+  }
+  p.coverage = IdSet(half);
+  f.existing.Add(std::move(p));
+
+  Rng r1(4);
+  Rng r2(4);
+  auto low = GeneratePromisingCandidates(f.db, f.fcts, f.csgs, f.existing,
+                                         f.universe, SmallConfig(0.0), r1);
+  auto high = GeneratePromisingCandidates(f.db, f.fcts, f.csgs, f.existing,
+                                          f.universe, SmallConfig(1.0), r2);
+  EXPECT_GE(low.size(), high.size());
+}
+
+TEST(CandidateGenTest, ExistingPatternsNotReproposed) {
+  Fixture f;
+  Rng rng(5);
+  auto first = GeneratePromisingCandidates(
+      f.db, f.fcts, f.csgs, f.existing, f.universe, SmallConfig(), rng);
+  ASSERT_FALSE(first.empty());
+
+  // Install every generated candidate as an existing pattern (zero
+  // coverage so pruning stays off), then regenerate with the same stream.
+  for (const Graph& g : first) {
+    CannedPattern p;
+    p.graph = g;
+    f.existing.Add(std::move(p));
+  }
+  Rng rng2(5);
+  auto second = GeneratePromisingCandidates(
+      f.db, f.fcts, f.csgs, f.existing, f.universe, SmallConfig(), rng2);
+  // Identical walks, but previously proposed shapes are filtered.
+  EXPECT_LT(second.size(), first.size() + 1);
+  for (const Graph& g2 : second) {
+    for (const Graph& g1 : first) {
+      EXPECT_FALSE(AreIsomorphic(g1, g2));
+    }
+  }
+}
+
+TEST(CandidateGenTest, MaxCandidatesHonored) {
+  Fixture f;
+  CandidateGenConfig cfg = SmallConfig();
+  cfg.max_candidates = 2;
+  Rng rng(6);
+  auto candidates = GeneratePromisingCandidates(
+      f.db, f.fcts, f.csgs, f.existing, f.universe, cfg, rng);
+  EXPECT_LE(candidates.size(), 2u);
+}
+
+}  // namespace
+}  // namespace midas

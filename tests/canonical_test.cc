@@ -1,0 +1,124 @@
+#include "midas/graph/canonical.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "midas/graph/subgraph_iso.h"
+#include "test_util.h"
+
+namespace midas {
+namespace {
+
+using testing_util::MakeGraph;
+using testing_util::Path;
+using testing_util::RandomPermutation;
+using testing_util::Star;
+
+TEST(TreeCentersTest, PathHasMiddleCenters) {
+  LabelDictionary d;
+  Graph p3 = Path(d, {"C", "O", "C"});
+  auto centers = TreeCenters(p3);
+  ASSERT_EQ(centers.size(), 1u);
+  EXPECT_EQ(centers[0], 1u);
+
+  Graph p4 = Path(d, {"C", "O", "O", "C"});
+  centers = TreeCenters(p4);
+  ASSERT_EQ(centers.size(), 2u);  // even path: two centers
+}
+
+TEST(TreeCentersTest, SingleVertexAndEdge) {
+  LabelDictionary d;
+  Graph v = MakeGraph(d, {"C"}, {});
+  EXPECT_EQ(TreeCenters(v).size(), 1u);
+  Graph e = Path(d, {"C", "O"});
+  EXPECT_EQ(TreeCenters(e).size(), 2u);
+}
+
+TEST(CanonicalTreeTest, DistinctTreesHaveDistinctStrings) {
+  LabelDictionary d;
+  Graph p = Path(d, {"C", "O", "C"});
+  Graph s = Star(d, "O", {"C", "C"});
+  // These are actually isomorphic (path C-O-C == star O with two C leaves).
+  EXPECT_EQ(CanonicalTreeString(p), CanonicalTreeString(s));
+
+  Graph q = Path(d, {"O", "C", "C"});
+  EXPECT_NE(CanonicalTreeString(p), CanonicalTreeString(q));
+}
+
+TEST(CanonicalTreeTest, SiblingSeparatorPreventsLabelCollision) {
+  LabelDictionary d;
+  // Force multi-digit label ids.
+  for (int i = 0; i < 15; ++i) d.Intern("pad" + std::to_string(i));
+  // Star with leaves labeled 1 and 2 vs a single leaf labeled 12 must not
+  // produce colliding encodings.
+  Graph star2;
+  star2.AddVertex(0);
+  star2.AddVertex(1);
+  star2.AddVertex(2);
+  star2.AddEdge(0, 1);
+  star2.AddEdge(0, 2);
+
+  Graph leaf12;
+  leaf12.AddVertex(0);
+  leaf12.AddVertex(12);
+  leaf12.AddEdge(0, 1);
+
+  EXPECT_NE(CanonicalTreeString(star2), CanonicalTreeString(leaf12));
+}
+
+// Property: canonical string is invariant under vertex permutation.
+class CanonicalInvarianceTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(CanonicalInvarianceTest, PermutationInvariant) {
+  LabelDictionary d;
+  Rng rng(500 + GetParam());
+  // Random tree (no extra edges).
+  Graph t = testing_util::RandomGraph(d, rng, 4 + GetParam() % 8, 0);
+  ASSERT_TRUE(t.IsTree());
+  auto perm = RandomPermutation(t.NumVertices(), rng);
+  Graph p = t.Permuted(perm);
+  EXPECT_EQ(CanonicalTreeString(t), CanonicalTreeString(p));
+  EXPECT_EQ(CanonicalTreeTokens(t), CanonicalTreeTokens(p));
+}
+
+INSTANTIATE_TEST_SUITE_P(Permutations, CanonicalInvarianceTest,
+                         ::testing::Range(0, 30));
+
+// Property: equal canonical strings <=> isomorphic (for random tree pairs).
+class CanonicalSoundnessTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(CanonicalSoundnessTest, EqualStringIffIsomorphic) {
+  LabelDictionary d;
+  Rng rng(900 + GetParam());
+  Graph t1 = testing_util::RandomGraph(d, rng, 5, 0, 2);
+  Graph t2 = testing_util::RandomGraph(d, rng, 5, 0, 2);
+  bool same_string = CanonicalTreeString(t1) == CanonicalTreeString(t2);
+  EXPECT_EQ(same_string, AreIsomorphic(t1, t2)) << "seed " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Soundness, CanonicalSoundnessTest,
+                         ::testing::Range(0, 40));
+
+TEST(GraphSignatureTest, InvariantUnderPermutation) {
+  LabelDictionary d;
+  Rng rng(7);
+  for (int trial = 0; trial < 20; ++trial) {
+    Graph g = testing_util::RandomGraph(d, rng, 7, 3);
+    auto perm = RandomPermutation(g.NumVertices(), rng);
+    EXPECT_EQ(GraphSignature(g), GraphSignature(g.Permuted(perm)));
+  }
+}
+
+TEST(GraphSignatureTest, SeparatesBasicShapes) {
+  LabelDictionary d;
+  Graph path = Path(d, {"C", "C", "C", "C"});
+  Graph star = Star(d, "C", {"C", "C", "C"});
+  Graph cycle = testing_util::Cycle(d, 4, "C");
+  std::set<std::string> sigs = {GraphSignature(path), GraphSignature(star),
+                                GraphSignature(cycle)};
+  EXPECT_EQ(sigs.size(), 3u);
+}
+
+}  // namespace
+}  // namespace midas

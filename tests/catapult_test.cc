@@ -1,0 +1,152 @@
+#include "midas/select/catapult.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "midas/datagen/molecule_gen.h"
+#include "midas/graph/canonical.h"
+#include "test_util.h"
+
+namespace midas {
+namespace {
+
+struct Pipeline {
+  GraphDatabase db;
+  FctSet fcts;
+  ClusterSet clusters;
+  std::map<ClusterId, Csg> csgs;
+
+  explicit Pipeline(size_t n = 40, uint64_t seed = 50) {
+    MoleculeGenerator gen(seed);
+    db = gen.Generate(MoleculeGenerator::EmolLike(n));
+    fcts = FctSet::Mine(db, {0.4, 3, 20000});
+    ClusterSet::Config cc;
+    cc.num_coarse = 3;
+    cc.max_cluster_size = 20;
+    Rng rng(seed + 1);
+    clusters = ClusterSet::Build(db, fcts, cc, rng);
+    for (const auto& [cid, c] : clusters.clusters()) {
+      csgs.emplace(cid, Csg::Build(db, c.members));
+    }
+  }
+};
+
+CatapultConfig SmallBudget() {
+  CatapultConfig cfg;
+  cfg.budget.eta_min = 3;
+  cfg.budget.eta_max = 6;
+  cfg.budget.gamma = 8;
+  cfg.walk.num_walks = 40;
+  cfg.walk.walk_length = 12;
+  cfg.pcp_starts = 2;
+  cfg.sample_cap = 0;
+  return cfg;
+}
+
+TEST(PatternBudgetTest, MaxPerSize) {
+  PatternBudget b;
+  b.eta_min = 3;
+  b.eta_max = 12;
+  b.gamma = 30;
+  EXPECT_EQ(b.MaxPerSize(), 3u);
+  b.eta_max = 3;
+  EXPECT_EQ(b.MaxPerSize(), 30u);
+}
+
+TEST(CatapultTest, RespectsBudget) {
+  Pipeline p;
+  Rng rng(3);
+  PatternSet set =
+      SelectCannedPatterns(p.db, p.fcts, p.csgs, SmallBudget(), rng);
+  EXPECT_GT(set.size(), 0u);
+  EXPECT_LE(set.size(), 8u);
+
+  std::map<size_t, size_t> per_size;
+  for (const auto& [pid, pat] : set.patterns()) {
+    size_t eta = pat.graph.NumEdges();
+    EXPECT_GE(eta, 3u);
+    EXPECT_LE(eta, 6u);
+    ++per_size[eta];
+  }
+  size_t cap = SmallBudget().budget.MaxPerSize();
+  for (const auto& [eta, count] : per_size) EXPECT_LE(count, cap);
+}
+
+TEST(CatapultTest, PatternsAreConnectedAndDistinct) {
+  Pipeline p;
+  Rng rng(4);
+  PatternSet set =
+      SelectCannedPatterns(p.db, p.fcts, p.csgs, SmallBudget(), rng);
+  std::set<std::string> sigs;
+  for (const auto& [pid, pat] : set.patterns()) {
+    EXPECT_TRUE(pat.graph.IsConnected());
+    EXPECT_TRUE(sigs.insert(GraphSignature(pat.graph)).second)
+        << "duplicate pattern selected";
+  }
+}
+
+TEST(CatapultTest, MetricsPopulated) {
+  Pipeline p;
+  Rng rng(5);
+  PatternSet set =
+      SelectCannedPatterns(p.db, p.fcts, p.csgs, SmallBudget(), rng);
+  ASSERT_GT(set.size(), 0u);
+  for (const auto& [pid, pat] : set.patterns()) {
+    EXPECT_GT(pat.cog, 0.0);
+    EXPECT_GE(pat.scov, 0.0);
+    EXPECT_GE(pat.lcov, 0.0);
+    EXPECT_GE(pat.div, 0.0);
+  }
+  EXPECT_GT(set.FScov(p.db.size()), 0.0);
+}
+
+TEST(CatapultTest, IndicesDoNotChangeCoverageSemantics) {
+  Pipeline p;
+  FctIndex fct_index = FctIndex::Build(p.db, p.fcts);
+  IfeIndex ife_index = IfeIndex::Build(p.db, p.fcts);
+  Rng r1(6);
+  Rng r2(6);
+  PatternSet plain =
+      SelectCannedPatterns(p.db, p.fcts, p.csgs, SmallBudget(), r1);
+  PatternSet indexed = SelectCannedPatterns(p.db, p.fcts, p.csgs,
+                                            SmallBudget(), r2, &fct_index,
+                                            &ife_index);
+  // Same RNG stream + same semantics => identical selections.
+  ASSERT_EQ(plain.size(), indexed.size());
+  auto it1 = plain.patterns().begin();
+  auto it2 = indexed.patterns().begin();
+  for (; it1 != plain.patterns().end(); ++it1, ++it2) {
+    EXPECT_EQ(GraphSignature(it1->second.graph),
+              GraphSignature(it2->second.graph));
+    EXPECT_DOUBLE_EQ(it1->second.scov, it2->second.scov);
+  }
+}
+
+TEST(CatapultTest, PcpLibraryModeAlsoRespectsBudget) {
+  Pipeline p;
+  CatapultConfig cfg = SmallBudget();
+  cfg.use_pcp_library = true;
+  cfg.pcp_library_size = 6;
+  Rng rng(7);
+  PatternSet set = SelectCannedPatterns(p.db, p.fcts, p.csgs, cfg, rng);
+  EXPECT_GT(set.size(), 0u);
+  EXPECT_LE(set.size(), cfg.budget.gamma);
+  for (const auto& [pid, pat] : set.patterns()) {
+    EXPECT_GE(pat.graph.NumEdges(), cfg.budget.eta_min);
+    EXPECT_LE(pat.graph.NumEdges(), cfg.budget.eta_max);
+    EXPECT_TRUE(pat.graph.IsConnected());
+  }
+}
+
+TEST(CatapultTest, EmptyDatabase) {
+  GraphDatabase db;
+  FctSet fcts;
+  std::map<ClusterId, Csg> csgs;
+  Rng rng(1);
+  PatternSet set = SelectCannedPatterns(db, fcts, csgs, SmallBudget(), rng);
+  EXPECT_EQ(set.size(), 0u);
+}
+
+}  // namespace
+}  // namespace midas

@@ -1,0 +1,163 @@
+#include "midas/cluster/clustering.h"
+
+#include <gtest/gtest.h>
+
+#include "midas/datagen/molecule_gen.h"
+#include "test_util.h"
+
+namespace midas {
+namespace {
+
+ClusterSet::Config SmallConfig() {
+  ClusterSet::Config c;
+  c.num_coarse = 3;
+  c.max_cluster_size = 6;
+  return c;
+}
+
+TEST(ClusterSetTest, BuildPartitionsDatabase) {
+  GraphDatabase db = testing_util::MakeToyDatabase();
+  FctSet fcts = FctSet::Mine(db, {0.25, 3, 20000});
+  Rng rng(1);
+  ClusterSet clusters = ClusterSet::Build(db, fcts, SmallConfig(), rng);
+
+  // Every graph belongs to exactly one cluster.
+  size_t total = 0;
+  for (const auto& [cid, c] : clusters.clusters()) {
+    total += c.members.size();
+    for (GraphId id : c.members) {
+      EXPECT_EQ(clusters.ClusterOf(id), static_cast<int>(cid));
+    }
+  }
+  EXPECT_EQ(total, db.size());
+}
+
+TEST(ClusterSetTest, ClusterOfUnknownGraph) {
+  GraphDatabase db = testing_util::MakeToyDatabase();
+  FctSet fcts = FctSet::Mine(db, {0.25, 3, 20000});
+  Rng rng(1);
+  ClusterSet clusters = ClusterSet::Build(db, fcts, SmallConfig(), rng);
+  EXPECT_EQ(clusters.ClusterOf(999), -1);
+}
+
+TEST(ClusterSetTest, MaxClusterSizeEnforced) {
+  MoleculeGenerator gen(42);
+  GraphDatabase db = gen.Generate(MoleculeGenerator::EmolLike(40));
+  FctSet fcts = FctSet::Mine(db, {0.4, 3, 20000});
+  ClusterSet::Config cfg;
+  cfg.num_coarse = 2;  // force oversized coarse clusters
+  cfg.max_cluster_size = 8;
+  Rng rng(2);
+  ClusterSet clusters = ClusterSet::Build(db, fcts, cfg, rng);
+  for (const auto& [cid, c] : clusters.clusters()) {
+    EXPECT_LE(c.members.size(), cfg.max_cluster_size);
+  }
+}
+
+TEST(ClusterSetTest, AssignGraphsToNearestCentroid) {
+  GraphDatabase db = testing_util::MakeToyDatabase();
+  FctSet fcts = FctSet::Mine(db, {0.25, 3, 20000});
+  Rng rng(3);
+  ClusterSet clusters = ClusterSet::Build(db, fcts, SmallConfig(), rng);
+  size_t before = 0;
+  for (const auto& [cid, c] : clusters.clusters()) before += c.members.size();
+
+  LabelDictionary& d = db.labels();
+  BatchUpdate delta;
+  delta.insertions.push_back(testing_util::Path(d, {"C", "O", "C"}));
+  std::vector<GraphId> added = db.ApplyBatch(delta);
+
+  std::vector<ClusterId> affected = clusters.AssignGraphs(db, added);
+  EXPECT_EQ(affected.size(), 1u);
+  EXPECT_EQ(clusters.ClusterOf(added[0]), static_cast<int>(affected[0]));
+
+  size_t after = 0;
+  for (const auto& [cid, c] : clusters.clusters()) after += c.members.size();
+  EXPECT_EQ(after, before + 1);
+}
+
+TEST(ClusterSetTest, RemoveGraphsUpdatesMembership) {
+  GraphDatabase db = testing_util::MakeToyDatabase();
+  FctSet fcts = FctSet::Mine(db, {0.25, 3, 20000});
+  Rng rng(4);
+  ClusterSet clusters = ClusterSet::Build(db, fcts, SmallConfig(), rng);
+
+  int cid = clusters.ClusterOf(0);
+  ASSERT_GE(cid, 0);
+  std::vector<ClusterId> affected = clusters.RemoveGraphs({0});
+  ASSERT_EQ(affected.size(), 1u);
+  EXPECT_EQ(affected[0], static_cast<ClusterId>(cid));
+  EXPECT_EQ(clusters.ClusterOf(0), -1);
+}
+
+TEST(ClusterSetTest, RemovingAllMembersDropsCluster) {
+  GraphDatabase db = testing_util::MakeToyDatabase();
+  FctSet fcts = FctSet::Mine(db, {0.25, 3, 20000});
+  Rng rng(5);
+  ClusterSet clusters = ClusterSet::Build(db, fcts, SmallConfig(), rng);
+
+  std::vector<GraphId> all = db.Ids();
+  clusters.RemoveGraphs(all);
+  EXPECT_EQ(clusters.size(), 0u);
+}
+
+TEST(ClusterSetTest, CentroidTracksMembership) {
+  GraphDatabase db = testing_util::MakeToyDatabase();
+  FctSet fcts = FctSet::Mine(db, {0.25, 3, 20000});
+  Rng rng(6);
+  ClusterSet clusters = ClusterSet::Build(db, fcts, SmallConfig(), rng);
+
+  for (const auto& [cid, c] : clusters.clusters()) {
+    std::vector<double> centroid = c.Centroid();
+    for (double x : centroid) {
+      EXPECT_GE(x, -1e-9);
+      EXPECT_LE(x, 1.0 + 1e-9);  // mean of binary features
+    }
+  }
+}
+
+TEST(ClusterSetTest, AddThenRemoveRestoresCentroidSums) {
+  GraphDatabase db = testing_util::MakeToyDatabase();
+  FctSet fcts = FctSet::Mine(db, {0.25, 3, 20000});
+  Rng rng(7);
+  ClusterSet clusters = ClusterSet::Build(db, fcts, SmallConfig(), rng);
+
+  LabelDictionary& d = db.labels();
+  BatchUpdate delta;
+  delta.insertions.push_back(testing_util::Path(d, {"C", "O", "C", "S"}));
+  std::vector<GraphId> added = db.ApplyBatch(delta);
+  std::vector<ClusterId> affected = clusters.AssignGraphs(db, added);
+  ASSERT_EQ(affected.size(), 1u);
+  std::vector<double> with = clusters.clusters().at(affected[0]).feature_sums;
+
+  clusters.RemoveGraphs(added);
+  if (clusters.clusters().count(affected[0]) > 0) {
+    const auto& sums = clusters.clusters().at(affected[0]).feature_sums;
+    // Sums must have decreased by exactly the added vector (>= 0 and <= with).
+    for (size_t i = 0; i < sums.size(); ++i) {
+      EXPECT_LE(sums[i], with[i] + 1e-9);
+      EXPECT_GE(sums[i], -1e-9);
+    }
+  }
+}
+
+TEST(ClusterSetTest, SplitKeepsAllMembers) {
+  MoleculeGenerator gen(77);
+  GraphDatabase db = gen.Generate(MoleculeGenerator::EmolLike(30));
+  FctSet fcts = FctSet::Mine(db, {0.4, 3, 20000});
+  ClusterSet::Config cfg;
+  cfg.num_coarse = 1;
+  cfg.max_cluster_size = 7;
+  Rng rng(8);
+  ClusterSet clusters = ClusterSet::Build(db, fcts, cfg, rng);
+  size_t total = 0;
+  for (const auto& [cid, c] : clusters.clusters()) {
+    total += c.members.size();
+    EXPECT_LE(c.members.size(), 7u);
+  }
+  EXPECT_EQ(total, db.size());
+  EXPECT_GE(clusters.size(), (db.size() + 6) / 7);
+}
+
+}  // namespace
+}  // namespace midas

@@ -1,0 +1,196 @@
+// Parameterized sweeps: the core invariants must hold across the whole
+// configuration grid, not just the defaults — FCT maintenance equivalence
+// for any (sup_min, max_edges), clustering validity for any (k, N),
+// selection budget compliance for any (gamma, eta-range), and the swap
+// guarantees for any (kappa, lambda).
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <tuple>
+
+#include "midas/cluster/clustering.h"
+#include "midas/datagen/molecule_gen.h"
+#include "midas/datagen/workload.h"
+#include "midas/maintain/swap.h"
+#include "midas/select/catapult.h"
+#include "test_util.h"
+
+namespace midas {
+namespace {
+
+GraphDatabase SweepDatabase(uint64_t seed = 31) {
+  MoleculeGenerator gen(seed);
+  return gen.Generate(MoleculeGenerator::EmolLike(35));
+}
+
+// ---------------------------------------------------------------------------
+// FCT maintenance equivalence across mining configurations.
+
+class FctConfigSweep
+    : public ::testing::TestWithParam<std::tuple<double, size_t>> {};
+
+TEST_P(FctConfigSweep, MaintainEqualsScratch) {
+  auto [sup_min, max_edges] = GetParam();
+  MoleculeGenerator gen(77);
+  MoleculeGenConfig data = MoleculeGenerator::EmolLike(35);
+  GraphDatabase db = gen.Generate(data);
+  FctSet::Config cfg;
+  cfg.sup_min = sup_min;
+  cfg.max_edges = max_edges;
+
+  FctSet maintained = FctSet::Mine(db, cfg);
+  BatchUpdate deletions = gen.GenerateDeletions(db, 4);
+  for (GraphId id : deletions.deletions) db.Remove(id);
+  maintained.MaintainDelete(deletions.deletions, db.size());
+  BatchUpdate additions = gen.GenerateAdditions(db, data, 8, true);
+  std::vector<GraphId> added = db.ApplyBatch(additions);
+  maintained.MaintainAdd(db, added);
+
+  FctSet scratch = FctSet::Mine(db, cfg);
+  std::map<std::string, size_t> a;
+  std::map<std::string, size_t> b;
+  for (const FctEntry* e : maintained.FrequentClosedTrees()) {
+    a[e->canon] = e->occurrences.size();
+  }
+  for (const FctEntry* e : scratch.FrequentClosedTrees()) {
+    b[e->canon] = e->occurrences.size();
+  }
+  EXPECT_EQ(a, b) << "sup_min=" << sup_min << " max_edges=" << max_edges;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, FctConfigSweep,
+    ::testing::Combine(::testing::Values(0.3, 0.5, 0.7),
+                       ::testing::Values(size_t{2}, size_t{3})));
+
+// ---------------------------------------------------------------------------
+// Clustering validity across (k, N).
+
+class ClusteringConfigSweep
+    : public ::testing::TestWithParam<std::tuple<size_t, size_t>> {};
+
+TEST_P(ClusteringConfigSweep, PartitionAndSizeBound) {
+  auto [k, max_size] = GetParam();
+  GraphDatabase db = SweepDatabase();
+  FctSet fcts = FctSet::Mine(db, {0.4, 3, 20000});
+  ClusterSet::Config cfg;
+  cfg.num_coarse = k;
+  cfg.max_cluster_size = max_size;
+  Rng rng(3);
+  ClusterSet clusters = ClusterSet::Build(db, fcts, cfg, rng);
+
+  size_t total = 0;
+  for (const auto& [cid, c] : clusters.clusters()) {
+    EXPECT_LE(c.members.size(), max_size);
+    EXPECT_FALSE(c.members.empty());
+    total += c.members.size();
+  }
+  EXPECT_EQ(total, db.size()) << "k=" << k << " N=" << max_size;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, ClusteringConfigSweep,
+    ::testing::Combine(::testing::Values(size_t{1}, size_t{3}, size_t{6}),
+                       ::testing::Values(size_t{5}, size_t{15})));
+
+// ---------------------------------------------------------------------------
+// Selection budget compliance across (gamma, eta range).
+
+class CatapultConfigSweep
+    : public ::testing::TestWithParam<std::tuple<size_t, size_t>> {};
+
+TEST_P(CatapultConfigSweep, BudgetHonored) {
+  auto [gamma, eta_max] = GetParam();
+  GraphDatabase db = SweepDatabase(55);
+  FctSet fcts = FctSet::Mine(db, {0.4, 3, 20000});
+  ClusterSet::Config cc;
+  cc.num_coarse = 3;
+  cc.max_cluster_size = 15;
+  Rng rng(5);
+  ClusterSet clusters = ClusterSet::Build(db, fcts, cc, rng);
+  std::map<ClusterId, Csg> csgs;
+  for (const auto& [cid, c] : clusters.clusters()) {
+    csgs.emplace(cid, Csg::Build(db, c.members));
+  }
+
+  CatapultConfig cfg;
+  cfg.budget.eta_min = 3;
+  cfg.budget.eta_max = eta_max;
+  cfg.budget.gamma = gamma;
+  cfg.walk.num_walks = 30;
+  cfg.sample_cap = 0;
+  PatternSet set = SelectCannedPatterns(db, fcts, csgs, cfg, rng);
+
+  EXPECT_LE(set.size(), gamma);
+  std::map<size_t, size_t> per_size;
+  for (const auto& [pid, p] : set.patterns()) {
+    EXPECT_GE(p.graph.NumEdges(), cfg.budget.eta_min);
+    EXPECT_LE(p.graph.NumEdges(), cfg.budget.eta_max);
+    ++per_size[p.graph.NumEdges()];
+  }
+  for (const auto& [eta, count] : per_size) {
+    EXPECT_LE(count, cfg.budget.MaxPerSize()) << "eta " << eta;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, CatapultConfigSweep,
+    ::testing::Combine(::testing::Values(size_t{4}, size_t{12}),
+                       ::testing::Values(size_t{5}, size_t{8})));
+
+// ---------------------------------------------------------------------------
+// Swap guarantees across (kappa, lambda).
+
+class SwapConfigSweep
+    : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(SwapConfigSweep, GuaranteesHoldForAnyThresholds) {
+  auto [kappa, lambda] = GetParam();
+  GraphDatabase db = SweepDatabase(88);
+  FctSet fcts = FctSet::Mine(db, {0.4, 3, 20000});
+  Rng rng(1);
+  CoverageEvaluator eval(db, 0, rng);
+  LabelDictionary& d = db.labels();
+
+  PatternSet set;
+  for (const Graph& g : {testing_util::Path(d, {"C", "O", "C"}),
+                         testing_util::Path(d, {"C", "C", "C"}),
+                         testing_util::Star(d, "C", {"O", "H", "H"})}) {
+    CannedPattern p;
+    p.graph = g;
+    RefreshPatternMetrics(p, eval, fcts);
+    set.Add(std::move(p));
+  }
+  double scov_before = set.FScov(eval.universe().size());
+  double cog_before = set.FCog();
+  size_t size_before = set.size();
+
+  std::vector<Graph> candidates;
+  Rng qrng(2);
+  for (GraphId id : db.Ids()) {
+    if (id % 7 == 0) {
+      candidates.push_back(
+          RandomConnectedSubgraph(*db.Find(id), 4, qrng));
+    }
+  }
+
+  SwapConfig cfg;
+  cfg.kappa = kappa;
+  cfg.lambda = lambda;
+  cfg.max_scans = 2;
+  cfg.use_swap_alpha_schedule = false;
+  MultiScanSwap(set, candidates, eval, fcts, cfg);
+
+  EXPECT_EQ(set.size(), size_before);  // swaps never change cardinality
+  EXPECT_GE(set.FScov(eval.universe().size()), scov_before - 1e-12);
+  EXPECT_LE(set.FCog(), cog_before + 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, SwapConfigSweep,
+    ::testing::Combine(::testing::Values(0.0, 0.1, 0.4),
+                       ::testing::Values(0.0, 0.1, 0.4)));
+
+}  // namespace
+}  // namespace midas

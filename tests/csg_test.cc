@@ -1,0 +1,141 @@
+#include "midas/cluster/csg.h"
+
+#include <gtest/gtest.h>
+
+#include "midas/graph/subgraph_iso.h"
+#include "test_util.h"
+
+namespace midas {
+namespace {
+
+using testing_util::MakeGraph;
+using testing_util::Path;
+
+TEST(CsgTest, EdgeKeyCanonical) {
+  EXPECT_EQ(CsgEdgeKey(3, 5), CsgEdgeKey(5, 3));
+  EXPECT_NE(CsgEdgeKey(1, 2), CsgEdgeKey(1, 3));
+}
+
+TEST(CsgTest, BuildSummarizesAllEdges) {
+  GraphDatabase db = testing_util::MakeToyDatabase();
+  IdSet members{0, 1, 2};
+  Csg csg = Csg::Build(db, members);
+  EXPECT_EQ(csg.members(), members);
+
+  // Every member graph must embed into the skeleton (closure property).
+  for (GraphId id : members) {
+    EXPECT_TRUE(ContainsSubgraph(*db.Find(id), csg.skeleton()))
+        << "graph " << id;
+  }
+  // Total edge-membership mass equals the member edge count.
+  size_t mass = 0;
+  for (const auto& [edge, ids] : csg.Edges()) mass += ids->size();
+  size_t expected = 0;
+  for (GraphId id : members) expected += db.Find(id)->NumEdges();
+  EXPECT_EQ(mass, expected);
+}
+
+TEST(CsgTest, AddGraphSharedEdgesMerge) {
+  LabelDictionary d;
+  GraphDatabase db;
+  Csg csg;
+  Graph g1 = Path(d, {"C", "O", "C"});
+  Graph g2 = Path(d, {"C", "O", "C"});
+  csg.AddGraph(0, g1);
+  size_t edges_after_first = csg.NumLiveEdges();
+  csg.AddGraph(1, g2);
+  // Identical graphs align perfectly: no new edges, both ids on each edge.
+  EXPECT_EQ(csg.NumLiveEdges(), edges_after_first);
+  for (const auto& [edge, ids] : csg.Edges()) {
+    EXPECT_EQ(ids->size(), 2u);
+  }
+}
+
+TEST(CsgTest, AddGraphIsIdempotentPerId) {
+  LabelDictionary d;
+  Csg csg;
+  Graph g = Path(d, {"C", "O"});
+  csg.AddGraph(5, g);
+  csg.AddGraph(5, g);  // ignored: id already a member
+  EXPECT_EQ(csg.members().size(), 1u);
+  EXPECT_EQ(csg.NumLiveEdges(), 1u);
+}
+
+TEST(CsgTest, RemoveGraphStripsIds) {
+  LabelDictionary d;
+  Csg csg;
+  csg.AddGraph(0, Path(d, {"C", "O", "C"}));
+  csg.AddGraph(1, Path(d, {"C", "O", "S"}));
+  size_t live_before = csg.NumLiveEdges();
+  csg.RemoveGraph(1);
+  EXPECT_LT(csg.NumLiveEdges(), live_before);  // the O-S edge had freq 1
+  EXPECT_FALSE(csg.members().Contains(1));
+  // Shared edges survive with the remaining id.
+  bool found_shared = false;
+  for (const auto& [edge, ids] : csg.Edges()) {
+    EXPECT_TRUE(ids->Contains(0));
+    EXPECT_FALSE(ids->Contains(1));
+    found_shared = true;
+  }
+  EXPECT_TRUE(found_shared);
+}
+
+TEST(CsgTest, RemoveAllGraphsEmptiesEdges) {
+  LabelDictionary d;
+  Csg csg;
+  csg.AddGraph(0, Path(d, {"C", "O"}));
+  csg.AddGraph(1, Path(d, {"C", "S"}));
+  csg.RemoveGraph(0);
+  csg.RemoveGraph(1);
+  EXPECT_EQ(csg.NumLiveEdges(), 0u);
+  EXPECT_TRUE(csg.members().empty());
+}
+
+TEST(CsgTest, RemoveUnknownIdIsNoOp) {
+  LabelDictionary d;
+  Csg csg;
+  csg.AddGraph(0, Path(d, {"C", "O"}));
+  csg.RemoveGraph(42);
+  EXPECT_EQ(csg.NumLiveEdges(), 1u);
+}
+
+TEST(CsgTest, EdgeMembersLookup) {
+  LabelDictionary d;
+  Csg csg;
+  csg.AddGraph(7, Path(d, {"C", "O"}));
+  auto edges = csg.Edges();
+  ASSERT_EQ(edges.size(), 1u);
+  auto [u, v] = edges[0].first;
+  EXPECT_TRUE(csg.EdgeMembers(u, v).Contains(7));
+  EXPECT_TRUE(csg.EdgeMembers(u, v) == csg.EdgeMembers(v, u));
+  EXPECT_TRUE(csg.EdgeMembers(90, 91).empty());
+}
+
+// Maintenance round-trip: building from scratch equals incremental adds.
+TEST(CsgTest, IncrementalMatchesBatchBuild) {
+  GraphDatabase db = testing_util::MakeToyDatabase();
+  IdSet members{0, 1, 2, 3, 4};
+  Csg batch = Csg::Build(db, members);
+
+  Csg inc;
+  for (GraphId id : members) inc.AddGraph(id, *db.Find(id));
+  EXPECT_EQ(inc.members(), batch.members());
+  EXPECT_EQ(inc.NumLiveEdges(), batch.NumLiveEdges());
+  EXPECT_EQ(inc.skeleton().NumVertices(), batch.skeleton().NumVertices());
+}
+
+// Paper's step (2): after deleting a graph, edges with in-cluster frequency
+// 1 owned by it disappear, and the skeleton still embeds all survivors.
+TEST(CsgTest, DeletionPreservesSurvivorEmbeddings) {
+  GraphDatabase db = testing_util::MakeToyDatabase();
+  IdSet members{0, 1, 2, 4, 5};
+  Csg csg = Csg::Build(db, members);
+  csg.RemoveGraph(2);
+  for (GraphId id : {0u, 1u, 4u, 5u}) {
+    EXPECT_TRUE(ContainsSubgraph(*db.Find(id), csg.skeleton()))
+        << "graph " << id;
+  }
+}
+
+}  // namespace
+}  // namespace midas

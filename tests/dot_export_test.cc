@@ -1,0 +1,61 @@
+#include "midas/graph/dot_export.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace midas {
+namespace {
+
+TEST(DotExportTest, BasicStructure) {
+  LabelDictionary d;
+  Graph g = testing_util::Path(d, {"C", "O"});
+  std::string dot = ToDot(g, d, "pattern1");
+  EXPECT_NE(dot.find("graph pattern1 {"), std::string::npos);
+  EXPECT_NE(dot.find("n0 [label=\"C\""), std::string::npos);
+  EXPECT_NE(dot.find("n1 [label=\"O\""), std::string::npos);
+  EXPECT_NE(dot.find("n0 -- n1;"), std::string::npos);
+  EXPECT_EQ(dot.back(), '\n');
+}
+
+TEST(DotExportTest, EveryVertexAndEdgePresent) {
+  LabelDictionary d;
+  Rng rng(4);
+  Graph g = testing_util::RandomGraph(d, rng, 8, 3);
+  std::string dot = ToDot(g, d);
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    EXPECT_NE(dot.find("n" + std::to_string(v) + " [label"),
+              std::string::npos);
+  }
+  size_t edge_count = 0;
+  size_t pos = 0;
+  while ((pos = dot.find(" -- ", pos)) != std::string::npos) {
+    ++edge_count;
+    pos += 4;
+  }
+  EXPECT_EQ(edge_count, g.NumEdges());
+}
+
+TEST(DotExportTest, KnownAtomColors) {
+  EXPECT_EQ(DotColorFor("O"), "#ff4444");
+  EXPECT_EQ(DotColorFor("C"), "#909090");
+  EXPECT_EQ(DotColorFor("B"), "#ffb5b5");
+}
+
+TEST(DotExportTest, UnknownLabelsGetStableColors) {
+  std::string c1 = DotColorFor("Xy");
+  std::string c2 = DotColorFor("Xy");
+  EXPECT_EQ(c1, c2);
+  EXPECT_FALSE(c1.empty());
+  EXPECT_EQ(c1[0], '#');
+}
+
+TEST(DotExportTest, EmptyGraph) {
+  LabelDictionary d;
+  std::string dot = ToDot(Graph(), d);
+  EXPECT_NE(dot.find("graph g {"), std::string::npos);
+  EXPECT_EQ(dot.find("--"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace midas

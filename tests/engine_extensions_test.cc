@@ -1,0 +1,143 @@
+// Tests for the engine's extension surface: maintenance history telemetry,
+// LoadPatterns (panel restore), the small-pattern companion panel, the
+// query-log hook, and the distribution-distance configuration.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "midas/datagen/molecule_gen.h"
+#include "midas/maintain/midas.h"
+#include "midas/select/pattern_io.h"
+#include "test_util.h"
+
+namespace midas {
+namespace {
+
+MidasConfig SmallConfig(uint64_t seed = 5) {
+  MidasConfig cfg;
+  cfg.fct.sup_min = 0.4;
+  cfg.fct.max_edges = 3;
+  cfg.cluster.num_coarse = 3;
+  cfg.cluster.max_cluster_size = 25;
+  cfg.budget.eta_min = 3;
+  cfg.budget.eta_max = 6;
+  cfg.budget.gamma = 8;
+  cfg.walk.num_walks = 30;
+  cfg.walk.walk_length = 10;
+  cfg.sample_cap = 0;
+  cfg.epsilon = 0.004;
+  cfg.seed = seed;
+  return cfg;
+}
+
+struct Fixture {
+  MoleculeGenerator gen{808};
+  MoleculeGenConfig data = MoleculeGenerator::EmolLike(40);
+  std::unique_ptr<MidasEngine> engine;
+
+  Fixture() {
+    engine = std::make_unique<MidasEngine>(gen.Generate(data), SmallConfig());
+    engine->Initialize();
+  }
+
+  BatchUpdate Delta(size_t count, bool novel) {
+    GraphDatabase copy = engine->db();
+    return gen.GenerateAdditions(copy, data, count, novel);
+  }
+};
+
+TEST(MaintenanceHistoryTest, RecordsEveryRound) {
+  Fixture f;
+  EXPECT_EQ(f.engine->history().rounds(), 0u);
+  f.engine->ApplyUpdate(f.Delta(2, false));
+  f.engine->ApplyUpdate(f.Delta(20, true));
+  EXPECT_EQ(f.engine->history().rounds(), 2u);
+
+  MaintenanceHistory::Summary s = f.engine->history().Summarize();
+  EXPECT_EQ(s.rounds, 2u);
+  EXPECT_GE(s.major_rounds, 1u);  // the 20-graph novel batch
+  EXPECT_GT(s.total_pmt_ms, 0.0);
+  EXPECT_GE(s.max_pmt_ms, s.mean_pmt_ms);
+  EXPECT_NEAR(s.mean_pmt_ms * 2.0, s.total_pmt_ms, 1e-9);
+}
+
+TEST(MaintenanceHistoryTest, EmptySummary) {
+  MaintenanceHistory h;
+  MaintenanceHistory::Summary s = h.Summarize();
+  EXPECT_EQ(s.rounds, 0u);
+  EXPECT_DOUBLE_EQ(s.mean_pmt_ms, 0.0);
+}
+
+TEST(LoadPatternsTest, RestoredPanelGetsFreshMetrics) {
+  Fixture f;
+  // Serialize the current panel, then restore it through the text format.
+  std::ostringstream out;
+  WritePatternSet(f.engine->patterns(), f.engine->db().labels(), out);
+  PatternSet restored;
+  std::istringstream in(out.str());
+  ASSERT_TRUE(ReadPatternSet(in, f.engine->labels(), &restored));
+  size_t n = restored.size();
+
+  f.engine->LoadPatterns(std::move(restored));
+  EXPECT_EQ(f.engine->patterns().size(), n);
+  for (const auto& [pid, p] : f.engine->patterns().patterns()) {
+    EXPECT_GT(p.cog, 0.0);  // metrics recomputed
+    for (GraphId id : p.coverage) {
+      EXPECT_TRUE(f.engine->evaluator().universe().Contains(id));
+    }
+  }
+  // The panel still participates in maintenance afterwards.
+  MaintenanceStats stats = f.engine->ApplyUpdate(f.Delta(20, true));
+  EXPECT_TRUE(stats.major);
+}
+
+TEST(SmallPanelEngineTest, RefreshedOnUpdates) {
+  Fixture f;
+  EXPECT_FALSE(f.engine->small_panel().patterns().empty());
+  size_t before = f.engine->small_panel().patterns().size();
+  f.engine->ApplyUpdate(f.Delta(20, true));
+  // Panel still valid (frequent edges exist in any non-empty database).
+  EXPECT_FALSE(f.engine->small_panel().patterns().empty());
+  (void)before;
+  for (const Graph& g : f.engine->small_panel().patterns()) {
+    EXPECT_LE(g.NumEdges(), 2u);
+    EXPECT_GE(g.NumEdges(), 1u);
+  }
+}
+
+TEST(QueryLogEngineTest, AttachDetach) {
+  Fixture f;
+  QueryLog log;
+  LabelDictionary& d = f.engine->labels();
+  for (int i = 0; i < 4; ++i) {
+    log.Record(testing_util::Path(d, {"B", "O", "C"}));
+  }
+  f.engine->SetQueryLog(&log);
+  MaintenanceStats stats = f.engine->ApplyUpdate(f.Delta(20, true));
+  EXPECT_TRUE(stats.major);  // runs through the log-boosted swap path
+  f.engine->SetQueryLog(nullptr);
+  f.engine->ApplyUpdate(f.Delta(2, false));  // no dangling-log crash
+}
+
+TEST(DistanceMeasureEngineTest, AllMeasuresClassify) {
+  for (DistributionDistance m :
+       {DistributionDistance::kEuclidean, DistributionDistance::kManhattan,
+        DistributionDistance::kCosine, DistributionDistance::kHellinger}) {
+    MoleculeGenerator gen(909);
+    MoleculeGenConfig data = MoleculeGenerator::EmolLike(40);
+    MidasConfig cfg = SmallConfig(9);
+    cfg.distance_measure = m;
+    // Cosine distances are much smaller in magnitude; use a tiny epsilon.
+    cfg.epsilon = m == DistributionDistance::kCosine ? 1e-5 : 0.004;
+    MidasEngine engine(gen.Generate(data), cfg);
+    engine.Initialize();
+    GraphDatabase copy = engine.db();
+    BatchUpdate delta = gen.GenerateAdditions(copy, data, 20, true);
+    MaintenanceStats stats = engine.ApplyUpdate(delta);
+    EXPECT_TRUE(stats.major) << "measure " << static_cast<int>(m);
+  }
+}
+
+}  // namespace
+}  // namespace midas

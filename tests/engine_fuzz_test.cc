@@ -1,0 +1,140 @@
+// Randomized multi-round consistency tests for the full engine: after any
+// sequence of mixed batch updates under any maintenance mode, every derived
+// structure must agree exactly with the database — clusters partition it,
+// CSGs mirror their clusters, the FCT pool matches a from-scratch mine, the
+// indices match a from-scratch rebuild, and the pattern invariants hold.
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "midas/datagen/molecule_gen.h"
+#include "midas/maintain/midas.h"
+#include "test_util.h"
+
+namespace midas {
+namespace {
+
+MidasConfig FuzzConfig(uint64_t seed) {
+  MidasConfig cfg;
+  cfg.fct.sup_min = 0.4;
+  cfg.fct.max_edges = 3;
+  cfg.cluster.num_coarse = 3;
+  cfg.cluster.max_cluster_size = 25;
+  cfg.budget.eta_min = 3;
+  cfg.budget.eta_max = 6;
+  cfg.budget.gamma = 8;
+  cfg.walk.num_walks = 30;
+  cfg.walk.walk_length = 10;
+  cfg.sample_cap = 0;
+  cfg.epsilon = 0.004;
+  cfg.seed = seed;
+  return cfg;
+}
+
+// Canonical snapshot of the frequent closed trees.
+std::map<std::string, size_t> FctSnapshot(const FctSet& set) {
+  std::map<std::string, size_t> snap;
+  for (const FctEntry* e : set.FrequentClosedTrees()) {
+    snap[e->canon] = e->occurrences.size();
+  }
+  return snap;
+}
+
+class EngineFuzzTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(EngineFuzzTest, StructuresStayConsistent) {
+  uint64_t seed = 7000 + static_cast<uint64_t>(GetParam());
+  MoleculeGenerator gen(seed);
+  MoleculeGenConfig data = MoleculeGenerator::EmolLike(50);
+  MidasEngine engine(gen.Generate(data), FuzzConfig(seed));
+  engine.Initialize();
+
+  Rng chaos(seed * 31);
+  for (int round = 0; round < 4; ++round) {
+    // Random mixed batch: 0-10 additions (random family flavor), 0-5
+    // deletions, random maintenance mode.
+    GraphDatabase copy = engine.db();
+    size_t n_add = static_cast<size_t>(chaos.UniformInt(0, 10));
+    size_t n_del = static_cast<size_t>(
+        chaos.UniformInt(0, std::min<int64_t>(5, engine.db().size() / 4)));
+    BatchUpdate delta =
+        gen.GenerateAdditions(copy, data, n_add, chaos.Bernoulli(0.5));
+    BatchUpdate deletions = gen.GenerateDeletions(engine.db(), n_del);
+    delta.deletions = deletions.deletions;
+
+    MaintenanceMode mode;
+    switch (chaos.UniformInt(0, 2)) {
+      case 0:
+        mode = MaintenanceMode::kMidas;
+        break;
+      case 1:
+        mode = MaintenanceMode::kRandomSwap;
+        break;
+      default:
+        mode = MaintenanceMode::kNoMaintain;
+        break;
+    }
+    engine.ApplyUpdate(delta, mode);
+
+    // --- clusters partition the database exactly -------------------------
+    size_t member_total = 0;
+    for (const auto& [cid, cluster] : engine.clusters().clusters()) {
+      member_total += cluster.members.size();
+      for (GraphId id : cluster.members) {
+        EXPECT_TRUE(engine.db().Contains(id));
+        EXPECT_EQ(engine.clusters().ClusterOf(id), static_cast<int>(cid));
+      }
+      EXPECT_LE(cluster.members.size(),
+                engine.config().cluster.max_cluster_size);
+    }
+    EXPECT_EQ(member_total, engine.db().size()) << "round " << round;
+
+    // --- CSGs mirror their clusters --------------------------------------
+    EXPECT_EQ(engine.csgs().size(), engine.clusters().size());
+    for (const auto& [cid, cluster] : engine.clusters().clusters()) {
+      const Csg& csg = engine.csgs().at(cid);
+      EXPECT_TRUE(csg.members() == cluster.members) << "round " << round;
+    }
+
+    // --- FCT pool equals a from-scratch mine ------------------------------
+    FctSet scratch = FctSet::Mine(engine.db(), engine.config().fct);
+    EXPECT_EQ(FctSnapshot(engine.fcts()), FctSnapshot(scratch))
+        << "round " << round;
+
+    // --- indices equal a from-scratch rebuild (feature universe + TG) -----
+    FctIndex rebuilt = FctIndex::Build(engine.db(), scratch);
+    EXPECT_EQ(engine.fct_index().NumFeatures(), rebuilt.NumFeatures())
+        << "round " << round;
+    EXPECT_EQ(engine.fct_index().tg_matrix().NonZeroCount(),
+              rebuilt.tg_matrix().NonZeroCount())
+        << "round " << round;
+    IfeIndex ife_rebuilt = IfeIndex::Build(engine.db(), scratch);
+    EXPECT_EQ(engine.ife_index().NumEdges(), ife_rebuilt.NumEdges());
+    EXPECT_EQ(engine.ife_index().eg_matrix().NonZeroCount(),
+              ife_rebuilt.eg_matrix().NonZeroCount());
+
+    // --- pattern invariants ----------------------------------------------
+    EXPECT_EQ(engine.patterns().size(), engine.config().budget.gamma);
+    for (const auto& [pid, p] : engine.patterns().patterns()) {
+      EXPECT_TRUE(p.graph.IsConnected());
+      EXPECT_GE(p.graph.NumEdges(), engine.config().budget.eta_min);
+      EXPECT_LE(p.graph.NumEdges(), engine.config().budget.eta_max);
+      // Cached coverage is consistent with the evaluator's universe.
+      for (GraphId id : p.coverage) {
+        EXPECT_TRUE(engine.evaluator().universe().Contains(id));
+      }
+    }
+
+    // --- small panel mirrors the FCT pool ---------------------------------
+    for (double s : engine.small_panel().supports()) {
+      EXPECT_GT(s, 0.0);
+      EXPECT_LE(s, 1.0);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Rounds, EngineFuzzTest, ::testing::Range(0, 5));
+
+}  // namespace
+}  // namespace midas

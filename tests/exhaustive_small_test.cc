@@ -1,0 +1,117 @@
+// Exhaustive small-universe tests: enumerate *every* labeled graph on up to
+// 3 vertices over a 2-label alphabet and check the GED metric axioms and
+// containment relations on all pairs — no sampling gaps.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "midas/graph/canonical.h"
+#include "midas/graph/ged.h"
+#include "midas/graph/subgraph_iso.h"
+#include "test_util.h"
+
+namespace midas {
+namespace {
+
+// All labeled graphs with exactly n vertices (labels 0/1) and any edge set.
+std::vector<Graph> AllGraphs(int n) {
+  std::vector<Graph> graphs;
+  int label_combos = 1 << n;
+  std::vector<std::pair<int, int>> slots;
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) slots.push_back({i, j});
+  }
+  int edge_combos = 1 << slots.size();
+  for (int lc = 0; lc < label_combos; ++lc) {
+    for (int ec = 0; ec < edge_combos; ++ec) {
+      Graph g;
+      for (int i = 0; i < n; ++i) {
+        g.AddVertex(static_cast<Label>((lc >> i) & 1));
+      }
+      for (size_t s = 0; s < slots.size(); ++s) {
+        if ((ec >> s) & 1) {
+          g.AddEdge(static_cast<VertexId>(slots[s].first),
+                    static_cast<VertexId>(slots[s].second));
+        }
+      }
+      graphs.push_back(std::move(g));
+    }
+  }
+  return graphs;
+}
+
+std::vector<Graph> Universe() {
+  std::vector<Graph> all;
+  for (int n = 1; n <= 3; ++n) {
+    for (Graph& g : AllGraphs(n)) all.push_back(std::move(g));
+  }
+  return all;  // 2 + 8 + 64 = 74 graphs
+}
+
+TEST(ExhaustiveSmallTest, GedMetricAxiomsOnAllPairs) {
+  std::vector<Graph> universe = Universe();
+  ASSERT_EQ(universe.size(), 74u);
+  for (size_t i = 0; i < universe.size(); ++i) {
+    for (size_t j = i; j < universe.size(); ++j) {
+      const Graph& a = universe[i];
+      const Graph& b = universe[j];
+      int ab = GedExact(a, b);
+      EXPECT_EQ(ab, GedExact(b, a)) << i << "," << j;          // symmetry
+      EXPECT_EQ(ab == 0, AreIsomorphic(a, b)) << i << "," << j;  // identity
+      EXPECT_LE(GedLowerBound(a, b), ab) << i << "," << j;
+      EXPECT_GE(GedUpperBound(a, b), ab) << i << "," << j;
+    }
+  }
+}
+
+TEST(ExhaustiveSmallTest, ContainmentIsAPartialOrderOnConnected) {
+  std::vector<Graph> universe;
+  for (Graph& g : Universe()) {
+    if (g.NumEdges() > 0 && g.IsConnected()) universe.push_back(std::move(g));
+  }
+  // Reflexive; antisymmetric up to isomorphism; transitive.
+  for (const Graph& a : universe) {
+    EXPECT_TRUE(ContainsSubgraph(a, a));
+  }
+  for (const Graph& a : universe) {
+    for (const Graph& b : universe) {
+      if (ContainsSubgraph(a, b) && ContainsSubgraph(b, a)) {
+        EXPECT_TRUE(AreIsomorphic(a, b));
+      }
+      for (const Graph& c : universe) {
+        if (ContainsSubgraph(a, b) && ContainsSubgraph(b, c)) {
+          EXPECT_TRUE(ContainsSubgraph(a, c));
+        }
+      }
+    }
+  }
+}
+
+TEST(ExhaustiveSmallTest, CanonicalStringsPartitionTreesByIsomorphism) {
+  std::vector<Graph> trees;
+  for (Graph& g : Universe()) {
+    if (g.IsTree()) trees.push_back(std::move(g));
+  }
+  ASSERT_GT(trees.size(), 10u);
+  for (const Graph& a : trees) {
+    for (const Graph& b : trees) {
+      EXPECT_EQ(CanonicalTreeString(a) == CanonicalTreeString(b),
+                AreIsomorphic(a, b));
+    }
+  }
+}
+
+TEST(ExhaustiveSmallTest, SignatureNeverSeparatesIsomorphs) {
+  std::vector<Graph> universe = Universe();
+  for (const Graph& a : universe) {
+    for (const Graph& b : universe) {
+      if (AreIsomorphic(a, b)) {
+        EXPECT_EQ(GraphSignature(a), GraphSignature(b));
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace midas

@@ -1,0 +1,149 @@
+#include "midas/index/fct_index.h"
+
+#include <gtest/gtest.h>
+
+#include "midas/graph/subgraph_iso.h"
+#include "test_util.h"
+
+namespace midas {
+namespace {
+
+using testing_util::MakeToyDatabase;
+using testing_util::Path;
+
+FctSet MineToy(const GraphDatabase& db) {
+  return FctSet::Mine(db, {0.25, 3, 20000});
+}
+
+TEST(FctIndexTest, BuildCreatesRows) {
+  GraphDatabase db = MakeToyDatabase();
+  FctSet fcts = MineToy(db);
+  FctIndex index = FctIndex::Build(db, fcts);
+  size_t expected =
+      fcts.FrequentClosedTrees().size() + fcts.FrequentEdges().size();
+  // Frequent edges may coincide with 1-edge FCTs (deduped in the trie).
+  EXPECT_GE(index.NumFeatures(), fcts.FrequentClosedTrees().size());
+  EXPECT_LE(index.NumFeatures(), expected);
+  EXPECT_GT(index.trie().NumEntries(), 0u);
+}
+
+TEST(FctIndexTest, TgMatrixMatchesDirectCounting) {
+  GraphDatabase db = MakeToyDatabase();
+  FctSet fcts = MineToy(db);
+  FctIndex index = FctIndex::Build(db, fcts);
+  for (uint32_t row = 0; row < index.NumFeatures(); ++row) {
+    const Graph* feature = index.FeatureTree(row);
+    ASSERT_NE(feature, nullptr);
+    for (const auto& [id, g] : db.graphs()) {
+      EXPECT_EQ(index.tg_matrix().Get(row, id),
+                static_cast<int32_t>(CountEmbeddings(*feature, g, 0)))
+          << "row " << row << " graph " << id;
+    }
+  }
+}
+
+TEST(FctIndexTest, CandidateFilterIsSound) {
+  // No false dismissals: every graph truly containing the pattern must
+  // survive the dominance filter.
+  GraphDatabase db = MakeToyDatabase();
+  FctSet fcts = MineToy(db);
+  FctIndex index = FctIndex::Build(db, fcts);
+  IdSet universe(db.Ids());
+
+  LabelDictionary& d = db.labels();
+  Graph pattern = Path(d, {"C", "O", "C"});
+  IdSet candidates =
+      index.CandidateGraphs(index.FeatureCounts(pattern), universe);
+  for (const auto& [id, g] : db.graphs()) {
+    if (ContainsSubgraph(pattern, g)) {
+      EXPECT_TRUE(candidates.Contains(id)) << "false dismissal of " << id;
+    }
+  }
+}
+
+TEST(FctIndexTest, EmptyCountsReturnUniverse) {
+  GraphDatabase db = MakeToyDatabase();
+  FctSet fcts = MineToy(db);
+  FctIndex index = FctIndex::Build(db, fcts);
+  IdSet universe{1, 2, 3};
+  EXPECT_EQ(index.CandidateGraphs({}, universe), universe);
+}
+
+TEST(FctIndexTest, AddRemoveGraphMaintainsColumns) {
+  GraphDatabase db = MakeToyDatabase();
+  FctSet fcts = MineToy(db);
+  FctIndex index = FctIndex::Build(db, fcts);
+
+  LabelDictionary& d = db.labels();
+  Graph fresh = Path(d, {"C", "O", "C", "S"});
+  GraphId id = db.Insert(fresh);
+  index.AddGraph(id, fresh);
+
+  bool any_entry = false;
+  for (uint32_t row = 0; row < index.NumFeatures(); ++row) {
+    const Graph* feature = index.FeatureTree(row);
+    if (feature == nullptr) continue;
+    int32_t expect = static_cast<int32_t>(CountEmbeddings(*feature, fresh, 0));
+    EXPECT_EQ(index.tg_matrix().Get(row, id), expect);
+    if (expect > 0) any_entry = true;
+  }
+  EXPECT_TRUE(any_entry);
+
+  index.RemoveGraph(id);
+  for (uint32_t row = 0; row < index.NumFeatures(); ++row) {
+    EXPECT_EQ(index.tg_matrix().Get(row, id), 0);
+  }
+}
+
+TEST(FctIndexTest, PatternColumns) {
+  GraphDatabase db = MakeToyDatabase();
+  FctSet fcts = MineToy(db);
+  FctIndex index = FctIndex::Build(db, fcts);
+
+  LabelDictionary& d = db.labels();
+  Graph pattern = Path(d, {"C", "O", "C"});
+  index.AddPattern(3, pattern);
+  auto counts = index.PatternCounts(3);
+  EXPECT_FALSE(counts.empty());
+  index.RemovePattern(3);
+  EXPECT_TRUE(index.PatternCounts(3).empty());
+}
+
+TEST(FctIndexTest, SyncFeaturesAfterMaintenance) {
+  GraphDatabase db = MakeToyDatabase();
+  FctSet fcts = MineToy(db);
+  FctIndex index = FctIndex::Build(db, fcts);
+
+  // Add graphs with a brand-new frequent edge (P-P), then re-sync. Growing
+  // the database also raises the absolute frequency threshold, so some old
+  // features may legitimately drop out; what matters is that the new
+  // feature universe is exactly mirrored.
+  LabelDictionary& d = db.labels();
+  BatchUpdate delta;
+  for (int i = 0; i < 6; ++i) {
+    delta.insertions.push_back(Path(d, {"P", "P", "P"}));
+  }
+  std::vector<GraphId> added = db.ApplyBatch(delta);
+  for (GraphId id : added) index.AddGraph(id, *db.Find(id));
+  fcts.MaintainAdd(db, added);
+  index.SyncFeatures(db, fcts);
+
+  EXPECT_GE(index.NumFeatures(), fcts.FrequentClosedTrees().size());
+  // The new P-P feature row must cover the new graphs.
+  LabelDictionary& dict = db.labels();
+  Graph pp = Path(dict, {"P", "P"});
+  auto counts = index.FeatureCounts(pp);
+  ASSERT_FALSE(counts.empty());
+  IdSet candidates = index.CandidateGraphs(counts, IdSet(db.Ids()));
+  for (GraphId id : added) EXPECT_TRUE(candidates.Contains(id));
+}
+
+TEST(FctIndexTest, MemoryReport) {
+  GraphDatabase db = MakeToyDatabase();
+  FctSet fcts = MineToy(db);
+  FctIndex index = FctIndex::Build(db, fcts);
+  EXPECT_GT(index.MemoryBytes(), 0u);
+}
+
+}  // namespace
+}  // namespace midas

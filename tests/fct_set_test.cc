@@ -1,0 +1,159 @@
+#include "midas/mining/fct_set.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "midas/datagen/molecule_gen.h"
+#include "midas/graph/subgraph_iso.h"
+#include "test_util.h"
+
+namespace midas {
+namespace {
+
+using testing_util::MakeToyDatabase;
+
+FctSet::Config Config(double sup, size_t max_edges) {
+  FctSet::Config c;
+  c.sup_min = sup;
+  c.max_edges = max_edges;
+  return c;
+}
+
+// Canonical-string -> occurrence-size snapshot of the frequent closed trees.
+std::map<std::string, size_t> Snapshot(const FctSet& set) {
+  std::map<std::string, size_t> snap;
+  for (const FctEntry* e : set.FrequentClosedTrees()) {
+    snap[e->canon] = e->occurrences.size();
+  }
+  return snap;
+}
+
+TEST(FctSetTest, MineBasics) {
+  GraphDatabase db = MakeToyDatabase();
+  FctSet set = FctSet::Mine(db, Config(0.5, 3));
+  EXPECT_EQ(set.database_size(), db.size());
+  EXPECT_FALSE(set.FrequentClosedTrees().empty());
+  // Pool holds the relaxed-threshold shadow entries too.
+  EXPECT_GE(set.PoolEntries().size(), set.FrequentClosedTrees().size());
+}
+
+TEST(FctSetTest, FrequentClosedTreesSatisfyDefinition) {
+  GraphDatabase db = MakeToyDatabase();
+  FctSet set = FctSet::Mine(db, Config(0.25, 3));
+  auto fcts = set.FrequentClosedTrees();
+  auto pool = set.PoolEntries();
+  for (const FctEntry* f : fcts) {
+    EXPECT_GE(f->occurrences.size(), 2u);  // 0.25 * 8
+    if (f->tree.NumEdges() >= 3) continue;  // cap convention
+    for (const FctEntry* super : pool) {
+      if (super->tree.NumEdges() != f->tree.NumEdges() + 1) continue;
+      bool equal_occ = super->occurrences == f->occurrences;
+      bool is_super = ContainsSubgraph(f->tree, super->tree);
+      EXPECT_FALSE(equal_occ && is_super)
+          << f->canon << " has equal-support supertree " << super->canon;
+    }
+  }
+}
+
+TEST(FctSetTest, EdgeUniversesPartitionByFrequency) {
+  GraphDatabase db = MakeToyDatabase();
+  FctSet set = FctSet::Mine(db, Config(0.5, 3));
+  std::set<uint64_t> freq;
+  for (const auto& [lp, occ] : set.FrequentEdges()) {
+    EXPECT_GE(occ->size(), 4u);  // 0.5 * 8
+    freq.insert(lp.Packed());
+  }
+  for (const auto& [lp, occ] : set.InfrequentEdges()) {
+    EXPECT_LT(occ->size(), 4u);
+    EXPECT_EQ(freq.count(lp.Packed()), 0u);
+  }
+  EXPECT_EQ(set.FrequentEdges().size() + set.InfrequentEdges().size(),
+            set.edge_occurrences().size());
+}
+
+TEST(FctSetTest, MaintainAddMatchesScratch) {
+  GraphDatabase db = MakeToyDatabase();
+  FctSet maintained = FctSet::Mine(db, Config(0.5, 3));
+
+  // Add three more C-O-C heavy graphs.
+  LabelDictionary& d = db.labels();
+  BatchUpdate delta;
+  delta.insertions.push_back(testing_util::Path(d, {"C", "O", "C", "S"}));
+  delta.insertions.push_back(testing_util::Path(d, {"C", "O", "C"}));
+  delta.insertions.push_back(
+      testing_util::Star(d, "C", {"O", "O", "S"}));
+  std::vector<GraphId> added = db.ApplyBatch(delta);
+  maintained.MaintainAdd(db, added);
+
+  FctSet scratch = FctSet::Mine(db, Config(0.5, 3));
+  EXPECT_EQ(Snapshot(maintained), Snapshot(scratch));
+  EXPECT_EQ(maintained.database_size(), scratch.database_size());
+}
+
+TEST(FctSetTest, MaintainDeleteMatchesScratch) {
+  GraphDatabase db = MakeToyDatabase();
+  FctSet maintained = FctSet::Mine(db, Config(0.5, 3));
+
+  std::vector<GraphId> removed = {1, 6};
+  for (GraphId id : removed) db.Remove(id);
+  maintained.MaintainDelete(removed, db.size());
+
+  FctSet scratch = FctSet::Mine(db, Config(0.5, 3));
+  EXPECT_EQ(Snapshot(maintained), Snapshot(scratch));
+}
+
+TEST(FctSetTest, MaintainEdgeOccurrences) {
+  GraphDatabase db = MakeToyDatabase();
+  FctSet set = FctSet::Mine(db, Config(0.5, 3));
+  size_t edges_before = set.edge_occurrences().size();
+
+  LabelDictionary& d = db.labels();
+  BatchUpdate delta;
+  delta.insertions.push_back(testing_util::Path(d, {"P", "P"}));  // new label
+  std::vector<GraphId> added = db.ApplyBatch(delta);
+  set.MaintainAdd(db, added);
+  EXPECT_EQ(set.edge_occurrences().size(), edges_before + 1);
+
+  db.Remove(added[0]);
+  set.MaintainDelete(added, db.size());
+  EXPECT_EQ(set.edge_occurrences().size(), edges_before);
+}
+
+// Lemma 3.4 flavored property: one maintenance round (mixed adds + deletes)
+// on a synthetic molecule database reproduces from-scratch mining exactly.
+class FctMaintenanceEquivalenceTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(FctMaintenanceEquivalenceTest, OneRoundEquivalence) {
+  MoleculeGenerator gen(10'000 + GetParam());
+  MoleculeGenConfig cfg = MoleculeGenerator::EmolLike(40);
+  GraphDatabase db = gen.Generate(cfg);
+
+  FctSet maintained = FctSet::Mine(db, Config(0.4, 3));
+
+  // Mixed batch: delete 5, add 10 (half from a new family).
+  BatchUpdate deletions = gen.GenerateDeletions(db, 5);
+  for (GraphId id : deletions.deletions) db.Remove(id);
+  maintained.MaintainDelete(deletions.deletions, db.size());
+
+  BatchUpdate additions =
+      gen.GenerateAdditions(db, cfg, 10, GetParam() % 2 == 0);
+  std::vector<GraphId> added = db.ApplyBatch(additions);
+  maintained.MaintainAdd(db, added);
+
+  FctSet scratch = FctSet::Mine(db, Config(0.4, 3));
+  EXPECT_EQ(Snapshot(maintained), Snapshot(scratch)) << "seed " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Random, FctMaintenanceEquivalenceTest,
+                         ::testing::Range(0, 6));
+
+TEST(FctSetTest, MemoryReportingIsPositive) {
+  GraphDatabase db = MakeToyDatabase();
+  FctSet set = FctSet::Mine(db, Config(0.5, 3));
+  EXPECT_GT(set.MemoryBytes(), sizeof(FctSet));
+}
+
+}  // namespace
+}  // namespace midas

@@ -1,0 +1,105 @@
+#include <gtest/gtest.h>
+
+#include "midas/cluster/feature.h"
+#include "midas/cluster/kmeans.h"
+#include "test_util.h"
+
+namespace midas {
+namespace {
+
+TEST(FeatureSpaceTest, DimensionMatchesFctCount) {
+  GraphDatabase db = testing_util::MakeToyDatabase();
+  FctSet fcts = FctSet::Mine(db, {0.25, 3, 20000});
+  FeatureSpace space(fcts);
+  EXPECT_EQ(space.Dimension(), fcts.FrequentClosedTrees().size());
+}
+
+TEST(FeatureSpaceTest, IdAndGraphVectorsAgree) {
+  GraphDatabase db = testing_util::MakeToyDatabase();
+  FctSet fcts = FctSet::Mine(db, {0.25, 3, 20000});
+  FeatureSpace space(fcts);
+  for (const auto& [id, g] : db.graphs()) {
+    EXPECT_EQ(space.VectorForId(id), space.VectorForGraph(g)) << "graph " << id;
+  }
+}
+
+TEST(FeatureSpaceTest, UnknownIdIsZeroVector) {
+  GraphDatabase db = testing_util::MakeToyDatabase();
+  FctSet fcts = FctSet::Mine(db, {0.25, 3, 20000});
+  FeatureSpace space(fcts);
+  for (double x : space.VectorForId(424242)) EXPECT_EQ(x, 0.0);
+}
+
+TEST(FeatureSpaceTest, ExplicitConstructor) {
+  LabelDictionary d;
+  std::vector<Graph> trees = {testing_util::Path(d, {"C", "O"})};
+  std::vector<IdSet> occ = {IdSet{1, 2}};
+  FeatureSpace space(std::move(trees), std::move(occ));
+  EXPECT_EQ(space.Dimension(), 1u);
+  EXPECT_EQ(space.VectorForId(1), std::vector<double>{1.0});
+  EXPECT_EQ(space.VectorForId(3), std::vector<double>{0.0});
+}
+
+TEST(KMeansTest, SeparatesObviousClusters) {
+  // Two tight blobs in 2D.
+  std::vector<std::vector<double>> pts;
+  for (int i = 0; i < 10; ++i) pts.push_back({0.0 + 0.01 * i, 0.0});
+  for (int i = 0; i < 10; ++i) pts.push_back({10.0 + 0.01 * i, 10.0});
+  Rng rng(3);
+  KmeansResult r = KMeans(pts, 2, rng);
+  ASSERT_EQ(r.assignment.size(), 20u);
+  // All of the first blob together, all of the second blob together.
+  for (int i = 1; i < 10; ++i) EXPECT_EQ(r.assignment[i], r.assignment[0]);
+  for (int i = 11; i < 20; ++i) EXPECT_EQ(r.assignment[i], r.assignment[10]);
+  EXPECT_NE(r.assignment[0], r.assignment[10]);
+}
+
+TEST(KMeansTest, DeterministicGivenSeed) {
+  std::vector<std::vector<double>> pts;
+  Rng data_rng(4);
+  for (int i = 0; i < 30; ++i) {
+    pts.push_back({data_rng.UniformReal(), data_rng.UniformReal()});
+  }
+  Rng r1(7);
+  Rng r2(7);
+  EXPECT_EQ(KMeans(pts, 4, r1).assignment, KMeans(pts, 4, r2).assignment);
+}
+
+TEST(KMeansTest, FewerPointsThanK) {
+  std::vector<std::vector<double>> pts = {{0.0}, {1.0}};
+  Rng rng(1);
+  KmeansResult r = KMeans(pts, 5, rng);
+  EXPECT_EQ(r.centroids.size(), 2u);
+  EXPECT_NE(r.assignment[0], r.assignment[1]);
+}
+
+TEST(KMeansTest, EmptyInput) {
+  Rng rng(1);
+  KmeansResult r = KMeans({}, 3, rng);
+  EXPECT_TRUE(r.assignment.empty());
+  EXPECT_TRUE(r.centroids.empty());
+}
+
+TEST(KMeansTest, AssignmentsInRange) {
+  std::vector<std::vector<double>> pts;
+  Rng data_rng(8);
+  for (int i = 0; i < 50; ++i) {
+    pts.push_back({data_rng.UniformReal() * 5, data_rng.UniformReal() * 5});
+  }
+  Rng rng(9);
+  KmeansResult r = KMeans(pts, 6, rng);
+  for (int a : r.assignment) {
+    EXPECT_GE(a, 0);
+    EXPECT_LT(a, 6);
+  }
+}
+
+TEST(KMeansTest, IdenticalPointsDoNotCrash) {
+  std::vector<std::vector<double>> pts(12, {1.0, 1.0});
+  Rng rng(2);
+  KmeansResult r = KMeans(pts, 3, rng);
+  EXPECT_EQ(r.assignment.size(), 12u);
+}
+
+}  // namespace
+}  // namespace midas

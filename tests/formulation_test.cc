@@ -1,0 +1,197 @@
+#include "midas/queryform/formulation.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace midas {
+namespace {
+
+using testing_util::MakeGraph;
+using testing_util::Path;
+
+CannedPattern MakePattern(Graph g) {
+  CannedPattern p;
+  p.graph = std::move(g);
+  return p;
+}
+
+TEST(FormulationTest, EdgeAtATimeSteps) {
+  LabelDictionary d;
+  Graph q = Path(d, {"C", "O", "C", "S"});
+  EXPECT_EQ(EdgeAtATimeSteps(q), 4u + 3u);
+}
+
+TEST(FormulationTest, NoPatternsFallsBackToEdgeAtATime) {
+  LabelDictionary d;
+  Graph q = Path(d, {"C", "O", "C"});
+  PatternSet empty;
+  FormulationPlan plan = PlanFormulation(q, empty);
+  EXPECT_EQ(plan.patterns_used, 0u);
+  EXPECT_FALSE(plan.used_any_pattern);
+  EXPECT_EQ(plan.steps, EdgeAtATimeSteps(q));
+}
+
+TEST(FormulationTest, ExactPatternIsOneStep) {
+  LabelDictionary d;
+  Graph q = Path(d, {"C", "O", "C"});
+  PatternSet set;
+  set.Add(MakePattern(Path(d, {"C", "O", "C"})));
+  FormulationPlan plan = PlanFormulation(q, set);
+  EXPECT_EQ(plan.patterns_used, 1u);
+  EXPECT_EQ(plan.vertices_added, 0u);
+  EXPECT_EQ(plan.edges_added, 0u);
+  EXPECT_EQ(plan.steps, 1u);
+}
+
+TEST(FormulationTest, PatternPlusLeftovers) {
+  LabelDictionary d;
+  // Query: C-O-C-S chain. Pattern C-O-C covers 3 vertices/2 edges; leftover
+  // S vertex and C-S edge.
+  Graph q = Path(d, {"C", "O", "C", "S"});
+  PatternSet set;
+  set.Add(MakePattern(Path(d, {"C", "O", "C"})));
+  FormulationPlan plan = PlanFormulation(q, set);
+  EXPECT_EQ(plan.patterns_used, 1u);
+  EXPECT_EQ(plan.vertices_added, 1u);
+  EXPECT_EQ(plan.edges_added, 1u);
+  EXPECT_EQ(plan.steps, 3u);
+}
+
+TEST(FormulationTest, PatternNotInQueryIgnored) {
+  LabelDictionary d;
+  Graph q = Path(d, {"C", "O", "C"});
+  PatternSet set;
+  set.Add(MakePattern(Path(d, {"N", "N", "N"})));
+  FormulationPlan plan = PlanFormulation(q, set);
+  EXPECT_EQ(plan.patterns_used, 0u);
+  EXPECT_EQ(plan.steps, EdgeAtATimeSteps(q));
+}
+
+TEST(FormulationTest, PatternReuse) {
+  LabelDictionary d;
+  // Two disjoint C-O components connected by a C-C bridge.
+  Graph q = MakeGraph(d, {"C", "O", "C", "O"}, {{0, 1}, {2, 3}, {0, 2}});
+  PatternSet set;
+  set.Add(MakePattern(Path(d, {"C", "O"})));
+  FormulationPlan plan = PlanFormulation(q, set);
+  EXPECT_EQ(plan.patterns_used, 2u);  // same pattern reused
+  EXPECT_EQ(plan.vertices_added, 0u);
+  EXPECT_EQ(plan.edges_added, 1u);  // the bridge
+  EXPECT_EQ(plan.steps, 3u);
+}
+
+TEST(FormulationTest, LargestPatternPreferred) {
+  LabelDictionary d;
+  Graph q = Path(d, {"C", "O", "C", "O", "C"});
+  PatternSet set;
+  set.Add(MakePattern(Path(d, {"C", "O"})));
+  set.Add(MakePattern(Path(d, {"C", "O", "C", "O", "C"})));
+  FormulationPlan plan = PlanFormulation(q, set);
+  EXPECT_EQ(plan.steps, 1u);  // whole query in one drag
+}
+
+TEST(FormulationTest, StepsNeverExceedEdgeAtATime) {
+  // Patterns can only help (greedy never goes above the baseline).
+  GraphDatabase db = testing_util::MakeToyDatabase();
+  LabelDictionary& d = db.labels();
+  PatternSet set;
+  set.Add(MakePattern(Path(d, {"C", "O", "C"})));
+  set.Add(MakePattern(Path(d, {"C", "S"})));
+  for (const auto& [id, g] : db.graphs()) {
+    FormulationPlan plan = PlanFormulation(g, set);
+    EXPECT_LE(plan.steps, EdgeAtATimeSteps(g)) << "graph " << id;
+  }
+}
+
+TEST(EditPlanTest, ExactEmbeddingNeedsNoEdits) {
+  LabelDictionary d;
+  Graph q = Path(d, {"C", "O", "C"});
+  PatternSet set;
+  set.Add(MakePattern(Path(d, {"C", "O", "C"})));
+  EditPlan plan = PlanFormulationWithEdits(q, set);
+  EXPECT_EQ(plan.patterns_used, 1u);
+  EXPECT_EQ(plan.elements_deleted, 0u);
+  EXPECT_EQ(plan.steps, 1u);
+}
+
+TEST(EditPlanTest, TrimsOversizedPattern) {
+  LabelDictionary d;
+  // Query C-O-C; the panel only has C-O-C-S (one extra S leaf). Example
+  // 1.1's flow: drop, delete the S (cascades its edge) -> 2 steps, vs 5
+  // edge-at-a-time.
+  Graph q = Path(d, {"C", "O", "C"});
+  PatternSet set;
+  set.Add(MakePattern(Path(d, {"C", "O", "C", "S"})));
+  EditPlan plan = PlanFormulationWithEdits(q, set);
+  EXPECT_EQ(plan.patterns_used, 1u);
+  EXPECT_EQ(plan.elements_deleted, 1u);  // the S vertex (edge cascades)
+  EXPECT_EQ(plan.vertices_added, 0u);
+  EXPECT_EQ(plan.edges_added, 0u);
+  EXPECT_EQ(plan.steps, 2u);
+}
+
+TEST(EditPlanTest, UselessPatternNotTrimmed) {
+  LabelDictionary d;
+  // Trimming an 8-element pattern down to one C-O edge is worse than
+  // placing the edge by hand; the planner must fall back.
+  Graph q = Path(d, {"C", "O"});
+  PatternSet set;
+  set.Add(MakePattern(Path(d, {"C", "O", "N", "N", "N", "N"})));
+  EditPlan plan = PlanFormulationWithEdits(q, set);
+  EXPECT_EQ(plan.patterns_used, 0u);
+  EXPECT_EQ(plan.steps, EdgeAtATimeSteps(q));
+}
+
+TEST(EditPlanTest, NeverWorseThanStrictPlanning) {
+  // Editing can only help: across a real database, the edit-capable plan's
+  // steps are <= the strict plan's.
+  GraphDatabase db = testing_util::MakeToyDatabase();
+  LabelDictionary& d = db.labels();
+  PatternSet set;
+  set.Add(MakePattern(Path(d, {"C", "O", "C"})));
+  set.Add(MakePattern(Path(d, {"C", "O", "C", "S"})));
+  set.Add(MakePattern(testing_util::Star(d, "C", {"O", "O", "S"})));
+  for (const auto& [id, g] : db.graphs()) {
+    EditPlan with_edits = PlanFormulationWithEdits(g, set);
+    FormulationPlan strict = PlanFormulation(g, set);
+    EXPECT_LE(with_edits.steps, strict.steps) << "graph " << id;
+    EXPECT_LE(with_edits.steps, EdgeAtATimeSteps(g)) << "graph " << id;
+  }
+}
+
+TEST(FormulationTest, MissedPercentage) {
+  LabelDictionary d;
+  PatternSet set;
+  set.Add(MakePattern(Path(d, {"C", "O"})));
+  std::vector<Graph> queries = {Path(d, {"C", "O", "C"}),
+                                Path(d, {"N", "N"}),
+                                Path(d, {"S", "S"}),
+                                Path(d, {"C", "O"})};
+  EXPECT_DOUBLE_EQ(MissedPercentage(queries, set), 50.0);
+  EXPECT_DOUBLE_EQ(MissedPercentage({}, set), 0.0);
+}
+
+TEST(FormulationTest, MeanSteps) {
+  LabelDictionary d;
+  PatternSet set;
+  set.Add(MakePattern(Path(d, {"C", "O", "C"})));
+  std::vector<Graph> queries = {Path(d, {"C", "O", "C"}),
+                                Path(d, {"C", "O", "C"})};
+  EXPECT_DOUBLE_EQ(MeanSteps(queries, set), 1.0);
+}
+
+TEST(FormulationTest, ReductionRatio) {
+  LabelDictionary d;
+  PatternSet good;
+  good.Add(MakePattern(Path(d, {"C", "O", "C"})));
+  PatternSet empty;
+  std::vector<Graph> queries = {Path(d, {"C", "O", "C"})};
+  // Baseline (empty set) needs 5 steps, subject needs 1: mu = 0.8.
+  EXPECT_DOUBLE_EQ(ReductionRatio(queries, empty, good), 0.8);
+  // Reversed: subject worse => negative.
+  EXPECT_LT(ReductionRatio(queries, good, empty), 0.0);
+}
+
+}  // namespace
+}  // namespace midas

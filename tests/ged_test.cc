@@ -1,0 +1,138 @@
+#include "midas/graph/ged.h"
+
+#include <gtest/gtest.h>
+
+#include "midas/graph/subgraph_iso.h"
+#include "test_util.h"
+
+namespace midas {
+namespace {
+
+using testing_util::Cycle;
+using testing_util::MakeGraph;
+using testing_util::Path;
+using testing_util::RandomGraph;
+using testing_util::RandomPermutation;
+
+TEST(GedExactTest, ZeroForIdenticalGraphs) {
+  LabelDictionary d;
+  Graph g = Path(d, {"C", "O", "C"});
+  EXPECT_EQ(GedExact(g, g), 0);
+}
+
+TEST(GedExactTest, ZeroForIsomorphicCopies) {
+  LabelDictionary d;
+  Rng rng(3);
+  Graph g = RandomGraph(d, rng, 6, 2);
+  Graph p = g.Permuted(RandomPermutation(6, rng));
+  EXPECT_EQ(GedExact(g, p), 0);
+}
+
+TEST(GedExactTest, SingleRelabel) {
+  LabelDictionary d;
+  Graph a = Path(d, {"C", "O"});
+  Graph b = Path(d, {"C", "N"});
+  EXPECT_EQ(GedExact(a, b), 1);
+}
+
+TEST(GedExactTest, SingleEdgeDeletion) {
+  LabelDictionary d;
+  Graph triangle = MakeGraph(d, {"C", "C", "C"}, {{0, 1}, {1, 2}, {0, 2}});
+  Graph path = Path(d, {"C", "C", "C"});
+  EXPECT_EQ(GedExact(triangle, path), 1);
+  EXPECT_EQ(GedExact(path, triangle), 1);  // symmetric
+}
+
+TEST(GedExactTest, VertexInsertion) {
+  LabelDictionary d;
+  Graph p2 = Path(d, {"C", "C"});
+  Graph p3 = Path(d, {"C", "C", "C"});
+  // One vertex + one edge.
+  EXPECT_EQ(GedExact(p2, p3), 2);
+}
+
+TEST(GedExactTest, PathVsStar) {
+  LabelDictionary d;
+  Graph path = Path(d, {"C", "C", "C", "C"});
+  Graph star = testing_util::Star(d, "C", {"C", "C", "C"});
+  // Delete one edge, insert one edge.
+  EXPECT_EQ(GedExact(path, star), 2);
+}
+
+TEST(GedExactTest, RespectsCostLimit) {
+  LabelDictionary d;
+  Graph a = Path(d, {"C", "C"});
+  Graph b = Cycle(d, 6, "O");
+  EXPECT_EQ(GedExact(a, b, 3), 3);  // true distance is much larger
+}
+
+TEST(GedLowerBoundTest, KnownCases) {
+  LabelDictionary d;
+  Graph a = Path(d, {"C", "O"});
+  Graph b = Path(d, {"C", "N"});
+  EXPECT_EQ(GedLowerBound(a, b), 1);  // one relabel
+
+  Graph triangle = MakeGraph(d, {"C", "C", "C"}, {{0, 1}, {1, 2}, {0, 2}});
+  Graph path = Path(d, {"C", "C", "C"});
+  EXPECT_EQ(GedLowerBound(triangle, path), 1);  // edge count difference
+}
+
+TEST(GedTightLowerBoundTest, AddsRelaxedEdges) {
+  LabelDictionary d;
+  Graph a = Path(d, {"C", "O"});
+  Graph b = Path(d, {"C", "O"});
+  EXPECT_EQ(GedTightLowerBound(a, b, 2), 2);
+  EXPECT_EQ(GedTightLowerBound(a, b, -5), 0);  // negative n clamped
+}
+
+TEST(GedUpperBoundTest, ExactForSimpleCases) {
+  LabelDictionary d;
+  Graph a = Path(d, {"C", "O", "C"});
+  EXPECT_EQ(GedUpperBound(a, a), 0);  // identity alignment found greedily
+  Graph b = Path(d, {"C", "N", "C"});
+  EXPECT_LE(GedExact(a, b), GedUpperBound(a, b));
+}
+
+TEST(GedUpperBoundTest, EmptyGraphCosts) {
+  LabelDictionary d;
+  Graph g = Path(d, {"C", "O", "C"});
+  EXPECT_EQ(GedUpperBound(g, Graph()), 5);  // 3 vertices + 2 edges
+  EXPECT_EQ(GedUpperBound(Graph(), g), 5);
+}
+
+// Property: GED is symmetric and sandwiched between its bounds.
+class GedPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(GedPropertyTest, SymmetricAndBounded) {
+  LabelDictionary d;
+  Rng rng(700 + GetParam());
+  Graph a = RandomGraph(d, rng, 3 + GetParam() % 4, GetParam() % 3, 2);
+  Graph b = RandomGraph(d, rng, 3 + (GetParam() / 2) % 4, GetParam() % 2, 2);
+  int ab = GedExact(a, b);
+  int ba = GedExact(b, a);
+  EXPECT_EQ(ab, ba);
+  EXPECT_LE(GedLowerBound(a, b), ab);
+  EXPECT_GE(GedUpperBound(a, b), ab);
+  EXPECT_GE(ab, 0);
+  // Zero distance iff isomorphic.
+  EXPECT_EQ(ab == 0, AreIsomorphic(a, b));
+}
+
+INSTANTIATE_TEST_SUITE_P(Random, GedPropertyTest, ::testing::Range(0, 40));
+
+// Property: triangle inequality on small random triples.
+class GedTriangleTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(GedTriangleTest, TriangleInequality) {
+  LabelDictionary d;
+  Rng rng(1500 + GetParam());
+  Graph a = RandomGraph(d, rng, 4, 1, 2);
+  Graph b = RandomGraph(d, rng, 4, 1, 2);
+  Graph c = RandomGraph(d, rng, 4, 1, 2);
+  EXPECT_LE(GedExact(a, c), GedExact(a, b) + GedExact(b, c));
+}
+
+INSTANTIATE_TEST_SUITE_P(Random, GedTriangleTest, ::testing::Range(0, 20));
+
+}  // namespace
+}  // namespace midas

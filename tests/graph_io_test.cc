@@ -1,0 +1,101 @@
+#include "midas/graph/graph_io.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "midas/graph/subgraph_iso.h"
+#include "test_util.h"
+
+namespace midas {
+namespace {
+
+TEST(GraphIoTest, WriteSingleGraph) {
+  LabelDictionary d;
+  Graph g = testing_util::Path(d, {"C", "O"});
+  std::ostringstream out;
+  WriteGraph(g, d, 7, out);
+  EXPECT_EQ(out.str(), "t # 7\nv 0 C\nv 1 O\ne 0 1\n");
+}
+
+TEST(GraphIoTest, DatabaseRoundTrip) {
+  GraphDatabase db = testing_util::MakeToyDatabase();
+  std::ostringstream out;
+  WriteDatabase(db, out);
+
+  GraphDatabase restored;
+  std::istringstream in(out.str());
+  ASSERT_TRUE(ReadDatabase(in, &restored));
+  ASSERT_EQ(restored.size(), db.size());
+
+  auto orig_ids = db.Ids();
+  auto new_ids = restored.Ids();
+  for (size_t i = 0; i < orig_ids.size(); ++i) {
+    const Graph* a = db.Find(orig_ids[i]);
+    const Graph* b = restored.Find(new_ids[i]);
+    ASSERT_NE(a, nullptr);
+    ASSERT_NE(b, nullptr);
+    EXPECT_EQ(a->NumVertices(), b->NumVertices());
+    EXPECT_EQ(a->NumEdges(), b->NumEdges());
+    // Label ids can differ between dictionaries; compare label names.
+    for (VertexId v = 0; v < a->NumVertices(); ++v) {
+      EXPECT_EQ(db.labels().Name(a->label(v)),
+                restored.labels().Name(b->label(v)));
+    }
+  }
+}
+
+TEST(GraphIoTest, CommentsAndBlankLinesIgnored) {
+  std::istringstream in("# header\n\nt # 0\nv 0 C\nv 1 O\ne 0 1\n");
+  GraphDatabase db;
+  ASSERT_TRUE(ReadDatabase(in, &db));
+  EXPECT_EQ(db.size(), 1u);
+  EXPECT_EQ(db.Find(0)->NumEdges(), 1u);
+}
+
+TEST(GraphIoTest, RejectsNonDenseVertexIds) {
+  std::istringstream in("t # 0\nv 0 C\nv 2 O\n");
+  GraphDatabase db;
+  EXPECT_FALSE(ReadDatabase(in, &db));
+}
+
+TEST(GraphIoTest, RejectsBadEdge) {
+  std::istringstream in("t # 0\nv 0 C\nv 1 O\ne 0 5\n");
+  GraphDatabase db;
+  EXPECT_FALSE(ReadDatabase(in, &db));
+}
+
+TEST(GraphIoTest, RejectsUnknownTag) {
+  std::istringstream in("x nonsense\n");
+  GraphDatabase db;
+  EXPECT_FALSE(ReadDatabase(in, &db));
+}
+
+TEST(GraphIoTest, RemapLabelsByName) {
+  LabelDictionary from;
+  from.Intern("pad");  // shift the source ids
+  Graph g = testing_util::Path(from, {"C", "O"});
+
+  LabelDictionary to;
+  Label o = to.Intern("O");  // reversed intern order in the target
+  Label c = to.Intern("C");
+  Graph remapped = RemapLabels(g, from, to);
+  EXPECT_EQ(remapped.label(0), c);
+  EXPECT_EQ(remapped.label(1), o);
+  EXPECT_TRUE(remapped.HasEdge(0, 1));
+  // New names are interned on demand.
+  LabelDictionary empty;
+  Graph again = RemapLabels(g, from, empty);
+  EXPECT_EQ(empty.size(), 2u);
+}
+
+TEST(GraphIoTest, ToStringContainsAllParts) {
+  LabelDictionary d;
+  Graph g = testing_util::Path(d, {"C", "O", "N"});
+  std::string s = ToString(g, d);
+  EXPECT_NE(s.find("v 2 N"), std::string::npos);
+  EXPECT_NE(s.find("e 1 2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace midas

@@ -1,0 +1,61 @@
+#include "midas/graph/graph_statistics.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "test_util.h"
+
+namespace midas {
+namespace {
+
+TEST(GraphStatisticsTest, EmptyDatabase) {
+  GraphDatabase db;
+  DatabaseStatistics s = ComputeStatistics(db);
+  EXPECT_EQ(s.num_graphs, 0u);
+  EXPECT_EQ(s.total_edges, 0u);
+}
+
+TEST(GraphStatisticsTest, ToyDatabaseCounts) {
+  GraphDatabase db = testing_util::MakeToyDatabase();
+  DatabaseStatistics s = ComputeStatistics(db);
+  EXPECT_EQ(s.num_graphs, db.size());
+  EXPECT_EQ(s.total_edges, db.TotalEdges());
+  EXPECT_EQ(s.max_edges, db.MaxGraphEdges());
+  EXPECT_GT(s.mean_vertices, 0.0);
+  EXPECT_GT(s.mean_degree, 0.0);
+  // Toy database uses C, O, S, N.
+  EXPECT_EQ(s.num_labels, 4u);
+}
+
+TEST(GraphStatisticsTest, LabelSharesSumToOne) {
+  GraphDatabase db = testing_util::MakeToyDatabase();
+  DatabaseStatistics s = ComputeStatistics(db);
+  double sum = 0.0;
+  for (const auto& [name, share] : s.label_shares) sum += share;
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(GraphStatisticsTest, EdgeLabelCoverageBounds) {
+  GraphDatabase db = testing_util::MakeToyDatabase();
+  DatabaseStatistics s = ComputeStatistics(db);
+  ASSERT_FALSE(s.edge_label_coverage.empty());
+  for (const auto& [name, share] : s.edge_label_coverage) {
+    EXPECT_GT(share, 0.0);
+    EXPECT_LE(share, 1.0);
+  }
+  // C-O occurs in every toy graph.
+  EXPECT_DOUBLE_EQ(s.edge_label_coverage.at("C-O"), 1.0);
+}
+
+TEST(GraphStatisticsTest, PrintIsReadable) {
+  GraphDatabase db = testing_util::MakeToyDatabase();
+  std::ostringstream out;
+  PrintStatistics(ComputeStatistics(db), out);
+  EXPECT_NE(out.str().find("graphs:"), std::string::npos);
+  EXPECT_NE(out.str().find("label shares:"), std::string::npos);
+  EXPECT_NE(out.str().find("C-O"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace midas

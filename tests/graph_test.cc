@@ -1,0 +1,196 @@
+#include "midas/graph/graph.h"
+
+#include <gtest/gtest.h>
+
+#include "midas/graph/graph_database.h"
+#include "test_util.h"
+
+namespace midas {
+namespace {
+
+using testing_util::MakeGraph;
+
+TEST(LabelDictionaryTest, InternIsIdempotent) {
+  LabelDictionary d;
+  Label c1 = d.Intern("C");
+  Label o = d.Intern("O");
+  Label c2 = d.Intern("C");
+  EXPECT_EQ(c1, c2);
+  EXPECT_NE(c1, o);
+  EXPECT_EQ(d.size(), 2u);
+}
+
+TEST(LabelDictionaryTest, NameRoundTrips) {
+  LabelDictionary d;
+  Label c = d.Intern("C");
+  EXPECT_EQ(d.Name(c), "C");
+  EXPECT_EQ(d.Lookup("C"), static_cast<int>(c));
+  EXPECT_EQ(d.Lookup("Zz"), -1);
+  EXPECT_EQ(d.Name(999), "?999");
+}
+
+TEST(GraphTest, AddVertexAndEdge) {
+  Graph g;
+  VertexId a = g.AddVertex(0);
+  VertexId b = g.AddVertex(1);
+  EXPECT_TRUE(g.AddEdge(a, b));
+  EXPECT_EQ(g.NumVertices(), 2u);
+  EXPECT_EQ(g.NumEdges(), 1u);
+  EXPECT_TRUE(g.HasEdge(a, b));
+  EXPECT_TRUE(g.HasEdge(b, a));
+}
+
+TEST(GraphTest, RejectsSelfLoopsAndDuplicates) {
+  Graph g;
+  VertexId a = g.AddVertex(0);
+  VertexId b = g.AddVertex(0);
+  EXPECT_FALSE(g.AddEdge(a, a));
+  EXPECT_TRUE(g.AddEdge(a, b));
+  EXPECT_FALSE(g.AddEdge(a, b));
+  EXPECT_FALSE(g.AddEdge(b, a));
+  EXPECT_EQ(g.NumEdges(), 1u);
+}
+
+TEST(GraphTest, RejectsOutOfRangeEndpoints) {
+  Graph g;
+  g.AddVertex(0);
+  EXPECT_FALSE(g.AddEdge(0, 5));
+  EXPECT_FALSE(g.HasEdge(0, 5));
+}
+
+TEST(GraphTest, RemoveEdge) {
+  Graph g;
+  VertexId a = g.AddVertex(0);
+  VertexId b = g.AddVertex(1);
+  g.AddEdge(a, b);
+  EXPECT_TRUE(g.RemoveEdge(b, a));
+  EXPECT_FALSE(g.HasEdge(a, b));
+  EXPECT_EQ(g.NumEdges(), 0u);
+  EXPECT_FALSE(g.RemoveEdge(a, b));
+}
+
+TEST(GraphTest, SizeIsEdgeCount) {
+  LabelDictionary d;
+  Graph g = MakeGraph(d, {"C", "O", "C"}, {{0, 1}, {1, 2}});
+  EXPECT_EQ(g.Size(), 2u);  // paper: |G| = |E|
+}
+
+TEST(GraphTest, EdgesAreSortedAndUndirected) {
+  LabelDictionary d;
+  Graph g = MakeGraph(d, {"C", "O", "C"}, {{1, 2}, {0, 1}});
+  auto edges = g.Edges();
+  ASSERT_EQ(edges.size(), 2u);
+  EXPECT_EQ(edges[0], std::make_pair(VertexId{0}, VertexId{1}));
+  EXPECT_EQ(edges[1], std::make_pair(VertexId{1}, VertexId{2}));
+}
+
+TEST(GraphTest, EdgeLabelIsCanonical) {
+  LabelDictionary d;
+  Graph g = MakeGraph(d, {"O", "C"}, {{0, 1}});
+  EdgeLabelPair lp = g.EdgeLabel(0, 1);
+  EdgeLabelPair lp2 = g.EdgeLabel(1, 0);
+  EXPECT_EQ(lp, lp2);
+  EXPECT_LE(lp.first, lp.second);
+}
+
+TEST(GraphTest, DistinctEdgeLabels) {
+  LabelDictionary d;
+  Graph g = MakeGraph(d, {"C", "O", "C"}, {{0, 1}, {1, 2}});
+  EXPECT_EQ(g.DistinctEdgeLabels().size(), 1u);  // both edges are C-O
+}
+
+TEST(GraphTest, Connectivity) {
+  LabelDictionary d;
+  Graph connected = MakeGraph(d, {"C", "C", "C"}, {{0, 1}, {1, 2}});
+  EXPECT_TRUE(connected.IsConnected());
+  Graph disconnected = MakeGraph(d, {"C", "C", "C"}, {{0, 1}});
+  EXPECT_FALSE(disconnected.IsConnected());
+  Graph empty;
+  EXPECT_TRUE(empty.IsConnected());
+}
+
+TEST(GraphTest, TreePredicate) {
+  LabelDictionary d;
+  EXPECT_TRUE(MakeGraph(d, {"C", "O", "C"}, {{0, 1}, {1, 2}}).IsTree());
+  EXPECT_FALSE(
+      MakeGraph(d, {"C", "O", "C"}, {{0, 1}, {1, 2}, {0, 2}}).IsTree());
+  EXPECT_FALSE(MakeGraph(d, {"C", "O", "C"}, {{0, 1}}).IsTree());
+}
+
+TEST(GraphTest, DensityAndCognitiveLoad) {
+  LabelDictionary d;
+  Graph triangle = MakeGraph(d, {"C", "C", "C"}, {{0, 1}, {1, 2}, {0, 2}});
+  EXPECT_DOUBLE_EQ(triangle.Density(), 1.0);
+  EXPECT_DOUBLE_EQ(triangle.CognitiveLoad(), 3.0);  // |E| * rho = 3 * 1
+
+  Graph path = MakeGraph(d, {"C", "C", "C"}, {{0, 1}, {1, 2}});
+  EXPECT_DOUBLE_EQ(path.Density(), 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(path.CognitiveLoad(), 2.0 * 2.0 / 3.0);
+}
+
+TEST(GraphTest, InducedSubgraph) {
+  LabelDictionary d;
+  Graph g = MakeGraph(d, {"C", "O", "C", "S"},
+                      {{0, 1}, {1, 2}, {2, 3}, {0, 3}});
+  Graph sub = g.InducedSubgraph({0, 1, 2});
+  EXPECT_EQ(sub.NumVertices(), 3u);
+  EXPECT_EQ(sub.NumEdges(), 2u);
+  EXPECT_EQ(sub.label(0), g.label(0));
+}
+
+TEST(GraphTest, PermutedPreservesStructure) {
+  LabelDictionary d;
+  Rng rng(17);
+  Graph g = testing_util::RandomGraph(d, rng, 8, 3);
+  auto perm = testing_util::RandomPermutation(8, rng);
+  Graph p = g.Permuted(perm);
+  EXPECT_EQ(p.NumVertices(), g.NumVertices());
+  EXPECT_EQ(p.NumEdges(), g.NumEdges());
+  for (const auto& [u, v] : g.Edges()) {
+    EXPECT_TRUE(p.HasEdge(perm[u], perm[v]));
+    EXPECT_EQ(p.label(perm[u]), g.label(u));
+  }
+}
+
+TEST(GraphDatabaseTest, InsertAssignsUniqueIds) {
+  GraphDatabase db;
+  GraphId a = db.Insert(Graph());
+  GraphId b = db.Insert(Graph());
+  EXPECT_NE(a, b);
+  EXPECT_EQ(db.size(), 2u);
+}
+
+TEST(GraphDatabaseTest, RemoveLeavesHole) {
+  GraphDatabase db;
+  GraphId a = db.Insert(Graph());
+  GraphId b = db.Insert(Graph());
+  EXPECT_TRUE(db.Remove(a));
+  EXPECT_FALSE(db.Remove(a));
+  EXPECT_FALSE(db.Contains(a));
+  EXPECT_TRUE(db.Contains(b));
+  GraphId c = db.Insert(Graph());
+  EXPECT_NE(c, a);  // ids are never reused
+}
+
+TEST(GraphDatabaseTest, ApplyBatch) {
+  GraphDatabase db = testing_util::MakeToyDatabase();
+  size_t before = db.size();
+  BatchUpdate delta;
+  delta.insertions.push_back(Graph());
+  delta.deletions.push_back(0);
+  auto added = db.ApplyBatch(delta);
+  ASSERT_EQ(added.size(), 1u);
+  EXPECT_EQ(db.size(), before);  // one in, one out
+  EXPECT_FALSE(db.Contains(0));
+  EXPECT_TRUE(db.Contains(added[0]));
+}
+
+TEST(GraphDatabaseTest, Stats) {
+  GraphDatabase db = testing_util::MakeToyDatabase();
+  EXPECT_GT(db.TotalEdges(), 0u);
+  EXPECT_GE(db.MaxGraphEdges(), 4u);
+  EXPECT_EQ(db.Ids().size(), db.size());
+}
+
+}  // namespace
+}  // namespace midas

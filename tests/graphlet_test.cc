@@ -1,0 +1,175 @@
+#include "midas/graph/graphlet.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "test_util.h"
+
+namespace midas {
+namespace {
+
+using testing_util::Cycle;
+using testing_util::MakeGraph;
+using testing_util::Path;
+using testing_util::Star;
+
+uint64_t Total(const GraphletCounts& c) {
+  return std::accumulate(c.begin(), c.end(), uint64_t{0});
+}
+
+TEST(GraphletCountTest, Wedge) {
+  LabelDictionary d;
+  GraphletCounts c = CountGraphlets(Path(d, {"C", "C", "C"}));
+  EXPECT_EQ(c[kWedge], 1u);
+  EXPECT_EQ(Total(c), 1u);
+}
+
+TEST(GraphletCountTest, Triangle) {
+  LabelDictionary d;
+  GraphletCounts c =
+      CountGraphlets(MakeGraph(d, {"C", "C", "C"}, {{0, 1}, {1, 2}, {0, 2}}));
+  EXPECT_EQ(c[kTriangle], 1u);
+  EXPECT_EQ(c[kWedge], 0u);  // induced counting: the triangle is no wedge
+  EXPECT_EQ(Total(c), 1u);
+}
+
+TEST(GraphletCountTest, Path4) {
+  LabelDictionary d;
+  GraphletCounts c = CountGraphlets(Path(d, {"C", "C", "C", "C"}));
+  EXPECT_EQ(c[kPath4], 1u);
+  EXPECT_EQ(c[kWedge], 2u);
+  EXPECT_EQ(Total(c), 3u);
+}
+
+TEST(GraphletCountTest, Star4) {
+  LabelDictionary d;
+  GraphletCounts c = CountGraphlets(Star(d, "C", {"C", "C", "C"}));
+  EXPECT_EQ(c[kStar4], 1u);
+  EXPECT_EQ(c[kWedge], 3u);
+  EXPECT_EQ(c[kPath4], 0u);
+}
+
+TEST(GraphletCountTest, Cycle4) {
+  LabelDictionary d;
+  GraphletCounts c = CountGraphlets(Cycle(d, 4, "C"));
+  EXPECT_EQ(c[kCycle4], 1u);
+  EXPECT_EQ(c[kWedge], 4u);
+  EXPECT_EQ(c[kPath4], 0u);  // induced: every 4-subset is the cycle itself
+}
+
+TEST(GraphletCountTest, Paw) {
+  LabelDictionary d;
+  // Triangle 0-1-2 plus pendant 3 on vertex 0.
+  Graph paw =
+      MakeGraph(d, {"C", "C", "C", "C"}, {{0, 1}, {1, 2}, {0, 2}, {0, 3}});
+  GraphletCounts c = CountGraphlets(paw);
+  EXPECT_EQ(c[kPaw], 1u);
+  EXPECT_EQ(c[kTriangle], 1u);
+  EXPECT_EQ(c[kWedge], 2u);  // 3-0-1 and 3-0-2
+}
+
+TEST(GraphletCountTest, Diamond) {
+  LabelDictionary d;
+  Graph diamond = MakeGraph(d, {"C", "C", "C", "C"},
+                            {{0, 1}, {1, 2}, {2, 3}, {3, 0}, {0, 2}});
+  GraphletCounts c = CountGraphlets(diamond);
+  EXPECT_EQ(c[kDiamond], 1u);
+  EXPECT_EQ(c[kTriangle], 2u);
+}
+
+TEST(GraphletCountTest, K4) {
+  LabelDictionary d;
+  Graph k4 = MakeGraph(d, {"C", "C", "C", "C"},
+                       {{0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3}, {2, 3}});
+  GraphletCounts c = CountGraphlets(k4);
+  EXPECT_EQ(c[kK4], 1u);
+  EXPECT_EQ(c[kTriangle], 4u);
+  EXPECT_EQ(c[kWedge], 0u);
+}
+
+TEST(GraphletCountTest, K5HasBinomialK4Count) {
+  LabelDictionary d;
+  Graph k5;
+  for (int i = 0; i < 5; ++i) k5.AddVertex(d.Intern("C"));
+  for (int i = 0; i < 5; ++i) {
+    for (int j = i + 1; j < 5; ++j) {
+      k5.AddEdge(static_cast<VertexId>(i), static_cast<VertexId>(j));
+    }
+  }
+  GraphletCounts c = CountGraphlets(k5);
+  EXPECT_EQ(c[kK4], 5u);       // C(5,4)
+  EXPECT_EQ(c[kTriangle], 10u);  // C(5,3)
+}
+
+TEST(GraphletCensusTest, AddRemoveRoundTrip) {
+  GraphDatabase db = testing_util::MakeToyDatabase();
+  GraphletCensus census(db);
+  GraphletCounts before = census.totals();
+
+  LabelDictionary& d = db.labels();
+  Graph extra = Cycle(d, 4, "C");
+  GraphId id = db.Insert(extra);
+  census.Add(id, extra);
+  EXPECT_NE(census.totals(), before);
+  census.Remove(id);
+  EXPECT_EQ(census.totals(), before);
+}
+
+TEST(GraphletCensusTest, DistributionSumsToOne) {
+  GraphDatabase db = testing_util::MakeToyDatabase();
+  GraphletCensus census(db);
+  auto psi = census.Distribution();
+  ASSERT_EQ(psi.size(), static_cast<size_t>(kNumGraphletTypes));
+  double sum = std::accumulate(psi.begin(), psi.end(), 0.0);
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(GraphletCensusTest, EmptyCensusIsUniform) {
+  GraphletCensus census;
+  auto psi = census.Distribution();
+  for (double x : psi) EXPECT_NEAR(x, 1.0 / kNumGraphletTypes, 1e-12);
+}
+
+TEST(GraphletDistanceTest, MetricAxioms) {
+  GraphDatabase db = testing_util::MakeToyDatabase();
+  GraphletCensus census(db);
+  auto psi = census.Distribution();
+  EXPECT_DOUBLE_EQ(GraphletDistance(psi, psi), 0.0);
+
+  GraphletCensus other;
+  auto uniform = other.Distribution();
+  double dist = GraphletDistance(psi, uniform);
+  EXPECT_GT(dist, 0.0);
+  EXPECT_DOUBLE_EQ(dist, GraphletDistance(uniform, psi));
+}
+
+TEST(GraphletDistanceTest, NewFamilyShiftsDistribution) {
+  // A batch of ring-heavy graphs must move psi noticeably more than a batch
+  // of path-like graphs resembling the base (sanity of the major/minor
+  // classifier's signal).
+  GraphDatabase db;
+  LabelDictionary& d = db.labels();
+  for (int i = 0; i < 20; ++i) db.Insert(Path(d, {"C", "C", "C", "C"}));
+  GraphletCensus census(db);
+  auto psi0 = census.Distribution();
+
+  GraphletCensus with_rings = census;
+  for (int i = 0; i < 10; ++i) {
+    Graph ring = Cycle(d, 4, "C");
+    with_rings.Add(1000 + i, ring);
+  }
+  GraphletCensus with_paths = census;
+  for (int i = 0; i < 10; ++i) {
+    Graph p = Path(d, {"C", "C", "C", "C"});
+    with_paths.Add(2000 + i, p);
+  }
+  double dist_rings = GraphletDistance(psi0, with_rings.Distribution());
+  double dist_paths = GraphletDistance(psi0, with_paths.Distribution());
+  EXPECT_GT(dist_rings, dist_paths);
+  EXPECT_NEAR(dist_paths, 0.0, 1e-9);  // identical shape
+}
+
+}  // namespace
+}  // namespace midas

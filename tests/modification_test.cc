@@ -1,0 +1,105 @@
+#include "midas/maintain/modification.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "midas/datagen/molecule_gen.h"
+#include "midas/graph/graphlet.h"
+#include "test_util.h"
+
+namespace midas {
+namespace {
+
+TEST(ModificationTest, IdenticalDistributionsAreMinor) {
+  std::vector<double> psi = {0.5, 0.25, 0.25};
+  ModificationReport r = ClassifyModification(psi, psi, 0.1);
+  EXPECT_DOUBLE_EQ(r.distance, 0.0);
+  EXPECT_EQ(r.type, ModificationType::kMinor);
+}
+
+TEST(ModificationTest, ThresholdBoundaryIsMajor) {
+  std::vector<double> a = {1.0, 0.0};
+  std::vector<double> b = {0.9, 0.1};
+  double dist = GraphletDistance(a, b);
+  ModificationReport at = ClassifyModification(a, b, dist);
+  EXPECT_EQ(at.type, ModificationType::kMajor);  // >= epsilon
+  ModificationReport above = ClassifyModification(a, b, dist + 1e-6);
+  EXPECT_EQ(above.type, ModificationType::kMinor);
+}
+
+TEST(ModificationTest, InFamilyAdditionsAreMinorNewFamilyMajor) {
+  // The end-to-end signal: adding graphs that look like the base database
+  // moves psi less than adding a structurally novel family.
+  MoleculeGenerator gen(101);
+  MoleculeGenConfig cfg = MoleculeGenerator::EmolLike(60);
+  GraphDatabase db = gen.Generate(cfg);
+  GraphletCensus census(db);
+  std::vector<double> psi0 = census.Distribution();
+
+  // In-family additions.
+  GraphDatabase db_minor = db;
+  GraphletCensus census_minor = census;
+  BatchUpdate minor = gen.GenerateAdditions(db_minor, cfg, 15, false);
+  std::vector<GraphId> added = db_minor.ApplyBatch(minor);
+  for (GraphId id : added) census_minor.Add(id, *db_minor.Find(id));
+  double dist_minor = GraphletDistance(psi0, census_minor.Distribution());
+
+  // New-family additions.
+  GraphDatabase db_major = db;
+  GraphletCensus census_major = census;
+  BatchUpdate major = gen.GenerateAdditions(db_major, cfg, 15, true);
+  added = db_major.ApplyBatch(major);
+  for (GraphId id : added) census_major.Add(id, *db_major.Find(id));
+  double dist_major = GraphletDistance(psi0, census_major.Distribution());
+
+  EXPECT_LT(dist_minor, dist_major);
+}
+
+TEST(DistributionDistanceTest, AllMeasuresZeroForIdentical) {
+  std::vector<double> psi = {0.4, 0.3, 0.2, 0.1};
+  for (DistributionDistance m :
+       {DistributionDistance::kEuclidean, DistributionDistance::kManhattan,
+        DistributionDistance::kCosine, DistributionDistance::kHellinger}) {
+    EXPECT_NEAR(DistributionDistanceValue(psi, psi, m), 0.0, 1e-12);
+  }
+}
+
+TEST(DistributionDistanceTest, KnownValues) {
+  std::vector<double> a = {1.0, 0.0};
+  std::vector<double> b = {0.0, 1.0};
+  EXPECT_NEAR(DistributionDistanceValue(a, b, DistributionDistance::kEuclidean),
+              std::sqrt(2.0), 1e-12);
+  EXPECT_NEAR(DistributionDistanceValue(a, b, DistributionDistance::kManhattan),
+              2.0, 1e-12);
+  EXPECT_NEAR(DistributionDistanceValue(a, b, DistributionDistance::kCosine),
+              1.0, 1e-12);  // orthogonal
+  EXPECT_NEAR(DistributionDistanceValue(a, b, DistributionDistance::kHellinger),
+              1.0, 1e-12);  // disjoint support
+}
+
+TEST(DistributionDistanceTest, MeasuresAgreeOnOrdering) {
+  // The Section 3.4 claim: measure choice does not flip the minor/major
+  // ordering of drifts.
+  std::vector<double> base = {0.5, 0.3, 0.2};
+  std::vector<double> near = {0.48, 0.31, 0.21};
+  std::vector<double> far = {0.1, 0.2, 0.7};
+  for (DistributionDistance m :
+       {DistributionDistance::kEuclidean, DistributionDistance::kManhattan,
+        DistributionDistance::kCosine, DistributionDistance::kHellinger}) {
+    EXPECT_LT(DistributionDistanceValue(base, near, m),
+              DistributionDistanceValue(base, far, m))
+        << static_cast<int>(m);
+  }
+}
+
+TEST(ModificationTest, EmptyDeltaIsMinor) {
+  GraphDatabase db = testing_util::MakeToyDatabase();
+  GraphletCensus census(db);
+  auto psi = census.Distribution();
+  ModificationReport r = ClassifyModification(psi, psi, 0.01);
+  EXPECT_EQ(r.type, ModificationType::kMinor);
+}
+
+}  // namespace
+}  // namespace midas

@@ -1,0 +1,157 @@
+#include "midas/datagen/molecule_gen.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+
+#include "midas/graph/graph_io.h"
+
+namespace midas {
+namespace {
+
+TEST(MoleculeGenTest, GeneratesRequestedCount) {
+  MoleculeGenerator gen(1);
+  GraphDatabase db = gen.Generate(MoleculeGenerator::EmolLike(25));
+  EXPECT_EQ(db.size(), 25u);
+}
+
+TEST(MoleculeGenTest, GraphsAreConnectedAndSized) {
+  MoleculeGenerator gen(2);
+  MoleculeGenConfig cfg = MoleculeGenerator::PubchemLike(30);
+  GraphDatabase db = gen.Generate(cfg);
+  for (const auto& [id, g] : db.graphs()) {
+    EXPECT_TRUE(g.IsConnected()) << "graph " << id;
+    EXPECT_GE(g.NumVertices(), cfg.min_vertices);
+    // Motifs can push past the target by a few vertices.
+    EXPECT_LE(g.NumVertices(), cfg.max_vertices + 6);
+    EXPECT_GE(g.NumEdges(), g.NumVertices() - 1);
+  }
+}
+
+TEST(MoleculeGenTest, DeterministicBySeed) {
+  MoleculeGenerator g1(7);
+  MoleculeGenerator g2(7);
+  GraphDatabase db1 = g1.Generate(MoleculeGenerator::EmolLike(10));
+  GraphDatabase db2 = g2.Generate(MoleculeGenerator::EmolLike(10));
+  std::ostringstream s1;
+  std::ostringstream s2;
+  WriteDatabase(db1, s1);
+  WriteDatabase(db2, s2);
+  EXPECT_EQ(s1.str(), s2.str());
+}
+
+TEST(MoleculeGenTest, AlphabetInternedUpfront) {
+  MoleculeGenerator gen(3);
+  GraphDatabase db = gen.Generate(MoleculeGenerator::EmolLike(5));
+  for (const char* atom : {"C", "O", "N", "H", "S", "P", "Cl", "B"}) {
+    EXPECT_GE(db.labels().Lookup(atom), 0) << atom;
+  }
+  // Fixed order: C is always label 0.
+  EXPECT_EQ(db.labels().Lookup("C"), 0);
+}
+
+TEST(MoleculeGenTest, AdditionsCompatibleWithCopies) {
+  MoleculeGenerator gen(4);
+  MoleculeGenConfig cfg = MoleculeGenerator::EmolLike(10);
+  GraphDatabase db = gen.Generate(cfg);
+  GraphDatabase copy = db;
+  BatchUpdate delta = gen.GenerateAdditions(copy, cfg, 5, true);
+  // Applying the delta to the original db yields valid labels.
+  std::vector<GraphId> added = db.ApplyBatch(delta);
+  for (GraphId id : added) {
+    const Graph* g = db.Find(id);
+    ASSERT_NE(g, nullptr);
+    for (VertexId v = 0; v < g->NumVertices(); ++v) {
+      EXPECT_NE(db.labels().Name(g->label(v))[0], '?');
+    }
+  }
+}
+
+TEST(MoleculeGenTest, NewFamilyCarriesBoron) {
+  MoleculeGenerator gen(5);
+  MoleculeGenConfig cfg = MoleculeGenerator::EmolLike(10);
+  GraphDatabase db = gen.Generate(cfg);
+  Label b = static_cast<Label>(db.labels().Lookup("B"));
+
+  BatchUpdate delta = gen.GenerateAdditions(db, cfg, 8, true);
+  size_t with_boron = 0;
+  for (const Graph& g : delta.insertions) {
+    for (VertexId v = 0; v < g.NumVertices(); ++v) {
+      if (g.label(v) == b) {
+        ++with_boron;
+        break;
+      }
+    }
+  }
+  EXPECT_EQ(with_boron, delta.insertions.size());
+}
+
+TEST(MoleculeGenTest, InFamilyAdditionsAvoidBoron) {
+  MoleculeGenerator gen(6);
+  MoleculeGenConfig cfg = MoleculeGenerator::EmolLike(10);
+  GraphDatabase db = gen.Generate(cfg);
+  Label b = static_cast<Label>(db.labels().Lookup("B"));
+  BatchUpdate delta = gen.GenerateAdditions(db, cfg, 8, false);
+  for (const Graph& g : delta.insertions) {
+    for (VertexId v = 0; v < g.NumVertices(); ++v) {
+      EXPECT_NE(g.label(v), b);
+    }
+  }
+}
+
+TEST(MoleculeGenTest, DeletionsPickExistingIds) {
+  MoleculeGenerator gen(8);
+  GraphDatabase db = gen.Generate(MoleculeGenerator::EmolLike(12));
+  BatchUpdate delta = gen.GenerateDeletions(db, 5);
+  EXPECT_EQ(delta.deletions.size(), 5u);
+  std::set<GraphId> unique(delta.deletions.begin(), delta.deletions.end());
+  EXPECT_EQ(unique.size(), 5u);
+  for (GraphId id : delta.deletions) EXPECT_TRUE(db.Contains(id));
+
+  // Requesting more deletions than graphs clamps.
+  BatchUpdate all = gen.GenerateDeletions(db, 100);
+  EXPECT_EQ(all.deletions.size(), db.size());
+}
+
+TEST(MoleculeGenTest, TargetedDeletionsHitLabel) {
+  MoleculeGenerator gen(10);
+  MoleculeGenConfig cfg = MoleculeGenerator::EmolLike(20);
+  GraphDatabase db = gen.Generate(cfg);
+  // Add boron-family graphs so the target label exists.
+  BatchUpdate add = gen.GenerateAdditions(db, cfg, 8, true);
+  db.ApplyBatch(add);
+
+  BatchUpdate del = gen.GenerateTargetedDeletions(db, "B", 5);
+  EXPECT_GT(del.deletions.size(), 0u);
+  EXPECT_LE(del.deletions.size(), 5u);
+  Label b = static_cast<Label>(db.labels().Lookup("B"));
+  for (GraphId id : del.deletions) {
+    const Graph* g = db.Find(id);
+    ASSERT_NE(g, nullptr);
+    bool has_b = false;
+    for (VertexId v = 0; v < g->NumVertices(); ++v) {
+      if (g->label(v) == b) has_b = true;
+    }
+    EXPECT_TRUE(has_b) << "graph " << id;
+  }
+}
+
+TEST(MoleculeGenTest, TargetedDeletionsUnknownLabel) {
+  MoleculeGenerator gen(11);
+  GraphDatabase db = gen.Generate(MoleculeGenerator::EmolLike(10));
+  BatchUpdate del = gen.GenerateTargetedDeletions(db, "Zz", 5);
+  EXPECT_TRUE(del.deletions.empty());
+}
+
+TEST(MoleculeGenTest, PresetsDiffer) {
+  MoleculeGenConfig aids = MoleculeGenerator::AidsLike(10);
+  MoleculeGenConfig pub = MoleculeGenerator::PubchemLike(10);
+  MoleculeGenConfig emol = MoleculeGenerator::EmolLike(10);
+  EXPECT_NE(aids.family_seed, pub.family_seed);
+  EXPECT_NE(pub.family_seed, emol.family_seed);
+  EXPECT_GT(aids.max_vertices, emol.max_vertices);
+}
+
+}  // namespace
+}  // namespace midas

@@ -1,0 +1,81 @@
+#include "midas/select/pattern_io.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "midas/graph/subgraph_iso.h"
+#include "test_util.h"
+
+namespace midas {
+namespace {
+
+using testing_util::Path;
+using testing_util::Star;
+
+TEST(PatternIoTest, RoundTrip) {
+  LabelDictionary d;
+  PatternSet set;
+  for (const Graph& g : {Path(d, {"C", "O", "C"}), Star(d, "C", {"O", "S"})}) {
+    CannedPattern p;
+    p.graph = g;
+    set.Add(std::move(p));
+  }
+  std::ostringstream out;
+  WritePatternSet(set, d, out);
+
+  PatternSet restored;
+  std::istringstream in(out.str());
+  ASSERT_TRUE(ReadPatternSet(in, d, &restored));
+  ASSERT_EQ(restored.size(), set.size());
+
+  auto it1 = set.patterns().begin();
+  auto it2 = restored.patterns().begin();
+  for (; it1 != set.patterns().end(); ++it1, ++it2) {
+    EXPECT_TRUE(AreIsomorphic(it1->second.graph, it2->second.graph));
+  }
+}
+
+TEST(PatternIoTest, CrossDictionaryRemap) {
+  // Write with one dictionary, read into another with different id order.
+  LabelDictionary d1;
+  d1.Intern("X");  // shift ids
+  PatternSet set;
+  CannedPattern p;
+  p.graph = Path(d1, {"C", "O"});
+  set.Add(std::move(p));
+  std::ostringstream out;
+  WritePatternSet(set, d1, out);
+
+  LabelDictionary d2;
+  Label o2 = d2.Intern("O");  // O before C in the target dictionary
+  Label c2 = d2.Intern("C");
+  PatternSet restored;
+  std::istringstream in(out.str());
+  ASSERT_TRUE(ReadPatternSet(in, d2, &restored));
+  const Graph& g = restored.patterns().begin()->second.graph;
+  EdgeLabelPair expected(c2, o2);
+  EXPECT_EQ(g.EdgeLabel(0, 1), expected);
+}
+
+TEST(PatternIoTest, MalformedInputRejected) {
+  LabelDictionary d;
+  PatternSet set;
+  std::istringstream in("t # 0\nv 0 C\ne 0 9\n");
+  EXPECT_FALSE(ReadPatternSet(in, d, &set));
+}
+
+TEST(PatternIoTest, EmptySetRoundTrip) {
+  LabelDictionary d;
+  PatternSet set;
+  std::ostringstream out;
+  WritePatternSet(set, d, out);
+  EXPECT_TRUE(out.str().empty());
+  PatternSet restored;
+  std::istringstream in(out.str());
+  EXPECT_TRUE(ReadPatternSet(in, d, &restored));
+  EXPECT_EQ(restored.size(), 0u);
+}
+
+}  // namespace
+}  // namespace midas

@@ -1,0 +1,182 @@
+#include "midas/select/pattern.h"
+
+#include <gtest/gtest.h>
+
+#include "midas/graph/subgraph_iso.h"
+#include "test_util.h"
+
+namespace midas {
+namespace {
+
+using testing_util::MakeToyDatabase;
+using testing_util::Path;
+
+CannedPattern MakePattern(Graph g) {
+  CannedPattern p;
+  p.graph = std::move(g);
+  return p;
+}
+
+TEST(PatternSetTest, AddAssignsIds) {
+  LabelDictionary d;
+  PatternSet set;
+  PatternId a = set.Add(MakePattern(Path(d, {"C", "O"})));
+  PatternId b = set.Add(MakePattern(Path(d, {"C", "S"})));
+  EXPECT_NE(a, b);
+  EXPECT_EQ(set.size(), 2u);
+  EXPECT_NE(set.Find(a), nullptr);
+  EXPECT_TRUE(set.Remove(a));
+  EXPECT_EQ(set.Find(a), nullptr);
+  EXPECT_FALSE(set.Remove(a));
+}
+
+TEST(PatternSetTest, SizeDistribution) {
+  LabelDictionary d;
+  PatternSet set;
+  set.Add(MakePattern(Path(d, {"C", "O"})));
+  set.Add(MakePattern(Path(d, {"C", "O", "C"})));
+  auto sizes = set.SizeDistribution();
+  ASSERT_EQ(sizes.size(), 2u);
+  EXPECT_EQ(sizes[0] + sizes[1], 3.0);
+}
+
+TEST(PatternSetTest, CoverageAlgebra) {
+  LabelDictionary d;
+  PatternSet set;
+  CannedPattern p1 = MakePattern(Path(d, {"C", "O"}));
+  p1.coverage = IdSet{0, 1, 2};
+  CannedPattern p2 = MakePattern(Path(d, {"C", "S"}));
+  p2.coverage = IdSet{2, 3};
+  PatternId id1 = set.Add(std::move(p1));
+  PatternId id2 = set.Add(std::move(p2));
+
+  EXPECT_EQ(set.CoverageUnion(), (IdSet{0, 1, 2, 3}));
+  EXPECT_EQ(set.UniqueCoverage(id1), 2u);  // {0,1}
+  EXPECT_EQ(set.UniqueCoverage(id2), 1u);  // {3}
+  EXPECT_EQ(set.MinUniqueCoverage(), 1u);
+  EXPECT_DOUBLE_EQ(set.FScov(8), 0.5);
+}
+
+TEST(CoverageEvaluatorTest, FullUniverseWithoutSampling) {
+  GraphDatabase db = MakeToyDatabase();
+  Rng rng(1);
+  CoverageEvaluator eval(db, 0, rng);
+  EXPECT_EQ(eval.universe().size(), db.size());
+}
+
+TEST(CoverageEvaluatorTest, SamplingCapsUniverse) {
+  GraphDatabase db = MakeToyDatabase();
+  Rng rng(1);
+  CoverageEvaluator eval(db, 3, rng);
+  EXPECT_EQ(eval.universe().size(), 3u);
+  for (GraphId id : eval.universe()) EXPECT_TRUE(db.Contains(id));
+}
+
+TEST(CoverageEvaluatorTest, ResampleTracksDatabase) {
+  GraphDatabase db = MakeToyDatabase();
+  Rng rng(5);
+  CoverageEvaluator eval(db, 0, rng);
+  size_t before = eval.universe().size();
+  GraphId fresh = db.Insert(Graph());
+  eval.Resample(rng);
+  EXPECT_EQ(eval.universe().size(), before + 1);
+  EXPECT_TRUE(eval.universe().Contains(fresh));
+  db.Remove(fresh);
+  eval.Resample(rng);
+  EXPECT_FALSE(eval.universe().Contains(fresh));
+}
+
+TEST(CoverageEvaluatorTest, CoverageMatchesDirectScan) {
+  GraphDatabase db = MakeToyDatabase();
+  FctSet fcts = FctSet::Mine(db, {0.25, 3, 20000});
+  FctIndex fct_index = FctIndex::Build(db, fcts);
+  IfeIndex ife_index = IfeIndex::Build(db, fcts);
+  Rng rng(2);
+  CoverageEvaluator with_idx(db, 0, rng, &fct_index, &ife_index);
+  CoverageEvaluator without_idx(db, 0, rng);
+
+  LabelDictionary& d = db.labels();
+  for (const Graph& pattern :
+       {Path(d, {"C", "O", "C"}), Path(d, {"C", "S"}),
+        Path(d, {"C", "O", "C", "S"})}) {
+    IdSet a = with_idx.CoverageOf(pattern);
+    IdSet b = without_idx.CoverageOf(pattern);
+    EXPECT_EQ(a, b);
+    for (GraphId id : a) {
+      EXPECT_TRUE(ContainsSubgraph(pattern, *db.Find(id)));
+    }
+  }
+}
+
+TEST(CoverageEvaluatorTest, LabelCoverage) {
+  GraphDatabase db = MakeToyDatabase();
+  FctSet fcts = FctSet::Mine(db, {0.5, 3, 20000});
+  Rng rng(3);
+  CoverageEvaluator eval(db, 0, rng);
+  LabelDictionary& d = db.labels();
+  // C-O occurs in all graphs.
+  EXPECT_DOUBLE_EQ(eval.LabelCoverageOf(Path(d, {"C", "O"}), fcts), 1.0);
+  // Unknown edge label covers nothing.
+  EXPECT_DOUBLE_EQ(eval.LabelCoverageOf(Path(d, {"Zz", "Zz"}), fcts), 0.0);
+}
+
+TEST(RefreshPatternMetricsTest, PopulatesAllFields) {
+  GraphDatabase db = MakeToyDatabase();
+  FctSet fcts = FctSet::Mine(db, {0.5, 3, 20000});
+  Rng rng(4);
+  CoverageEvaluator eval(db, 0, rng);
+  LabelDictionary& d = db.labels();
+
+  CannedPattern p = MakePattern(Path(d, {"C", "O", "C"}));
+  RefreshPatternMetrics(p, eval, fcts);
+  EXPECT_GT(p.scov, 0.0);
+  EXPECT_GT(p.lcov, 0.0);
+  EXPECT_GT(p.cog, 0.0);
+  EXPECT_EQ(p.coverage.size(),
+            static_cast<size_t>(p.scov * static_cast<double>(db.size()) + 0.5));
+}
+
+TEST(RefreshDiversityTest, LonePatternUsesOwnSize) {
+  LabelDictionary d;
+  PatternSet set;
+  CannedPattern p = MakePattern(Path(d, {"C", "O", "C"}));
+  p.cog = p.graph.CognitiveLoad();
+  set.Add(std::move(p));
+  RefreshDiversityAndScores(set, std::vector<Graph>{});
+  EXPECT_DOUBLE_EQ(set.patterns().begin()->second.div, 2.0);
+}
+
+TEST(RefreshDiversityTest, MinPairwiseGed) {
+  LabelDictionary d;
+  PatternSet set;
+  CannedPattern a = MakePattern(Path(d, {"C", "O"}));
+  CannedPattern b = MakePattern(Path(d, {"C", "O"}));  // identical: GED 0
+  CannedPattern c = MakePattern(Path(d, {"N", "N", "N", "N"}));
+  a.cog = b.cog = c.cog = 1.0;
+  set.Add(std::move(a));
+  set.Add(std::move(b));
+  set.Add(std::move(c));
+  RefreshDiversityAndScores(set, std::vector<Graph>{});
+  auto it = set.patterns().begin();
+  EXPECT_DOUBLE_EQ(it->second.div, 0.0);  // duplicate pair
+  EXPECT_DOUBLE_EQ(set.FDiv(), 0.0);
+}
+
+TEST(SetScoreTest, ZeroWithoutPatterns) {
+  PatternSet set;
+  EXPECT_DOUBLE_EQ(set.SetScore(10), 0.0);
+  EXPECT_DOUBLE_EQ(set.FDiv(), 0.0);
+  EXPECT_DOUBLE_EQ(set.FCog(), 0.0);
+}
+
+TEST(GedFeatureTreesTest, IncludesFctsAndEdges) {
+  GraphDatabase db = MakeToyDatabase();
+  FctSet fcts = FctSet::Mine(db, {0.5, 3, 20000});
+  auto trees = GedFeatureTrees(fcts);
+  EXPECT_EQ(trees.size(), fcts.FrequentClosedTrees().size() +
+                              fcts.FrequentEdges().size() +
+                              fcts.InfrequentEdges().size());
+}
+
+}  // namespace
+}  // namespace midas

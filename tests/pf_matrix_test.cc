@@ -1,0 +1,144 @@
+#include "midas/index/pf_matrix.h"
+
+#include <gtest/gtest.h>
+
+#include "midas/graph/ged.h"
+#include "midas/graph/subgraph_iso.h"
+#include "test_util.h"
+
+namespace midas {
+namespace {
+
+using testing_util::MakeGraph;
+using testing_util::Path;
+
+std::vector<Graph> EdgeFeature(LabelDictionary& d, const std::string& a,
+                               const std::string& b) {
+  std::vector<Graph> f;
+  f.push_back(Path(d, {a, b}));
+  return f;
+}
+
+TEST(PfMatrixTest, BuildShape) {
+  LabelDictionary d;
+  Graph g = Path(d, {"C", "O", "C"});
+  auto features = EdgeFeature(d, "C", "O");
+  PfMatrix pf = BuildPfMatrix(g, features);
+  EXPECT_EQ(pf.rows.size(), g.NumEdges());
+  // Two C-O edges -> 2 embeddings -> 2 columns.
+  EXPECT_EQ(pf.feature_of_column.size(), 2u);
+  // Each embedding touches exactly one edge of the 1-edge feature.
+  for (size_t c = 0; c < pf.feature_of_column.size(); ++c) {
+    int touched = 0;
+    for (const auto& row : pf.rows) touched += row[c];
+    EXPECT_EQ(touched, 1);
+  }
+}
+
+TEST(ComputeRelaxedEdgesTest, ZeroWhenEmbeddingsFit) {
+  LabelDictionary d;
+  Graph small = Path(d, {"C", "O"});
+  Graph big = Path(d, {"C", "O", "C"});
+  EXPECT_EQ(ComputeRelaxedEdges(small, big, EdgeFeature(d, "C", "O")), 0);
+}
+
+TEST(ComputeRelaxedEdgesTest, CountsSurplus) {
+  LabelDictionary d;
+  // Smaller graph (2 edges, both C-O) vs a big graph with only one C-O edge:
+  // one edge of the smaller graph must be relaxed.
+  Graph small = Path(d, {"C", "O", "C"});          // 2 C-O embeddings... 2
+  Graph big = MakeGraph(d, {"C", "O", "N", "N"},
+                        {{0, 1}, {1, 2}, {2, 3}});  // 1 C-O edge
+  int n = ComputeRelaxedEdges(small, big, EdgeFeature(d, "C", "O"));
+  EXPECT_EQ(n, 1);
+}
+
+TEST(ComputeRelaxedEdgesTest, UsesSmallerSide) {
+  LabelDictionary d;
+  // Asymmetric call must relax on the smaller (fewer edges) graph; the
+  // triangle/path case from Section 6.1: with B the smaller side, n = 0.
+  Graph triangle = MakeGraph(d, {"C", "C", "C"}, {{0, 1}, {1, 2}, {0, 2}});
+  Graph path = Path(d, {"C", "C", "C"});
+  int n = ComputeRelaxedEdges(triangle, path, EdgeFeature(d, "C", "C"));
+  EXPECT_EQ(n, 0);
+  // Symmetric argument order gives the same answer.
+  EXPECT_EQ(ComputeRelaxedEdges(path, triangle, EdgeFeature(d, "C", "C")), n);
+}
+
+TEST(GedTightWithFeaturesTest, AtLeastPlainLowerBound) {
+  LabelDictionary d;
+  Rng rng(21);
+  for (int trial = 0; trial < 25; ++trial) {
+    Graph a = testing_util::RandomGraph(d, rng, 5, 2, 2);
+    Graph b = testing_util::RandomGraph(d, rng, 6, 2, 2);
+    std::vector<Graph> features;
+    features.push_back(Path(d, {"A", "A"}));
+    features.push_back(Path(d, {"A", "B"}));
+    int tight = GedTightLowerBoundWithFeatures(a, b, features);
+    EXPECT_GE(tight, GedLowerBound(a, b));
+  }
+}
+
+// Properties of the tightened estimate (see pf_matrix.h: it is a ranking
+// heuristic, sound up to a small overshoot in relabel-heavy corner cases):
+//   - always dominates the plain lower bound,
+//   - zero for isomorphic graphs,
+//   - never exceeds the exact GED by more than the observed corner-case
+//     slack (one relabel-absorbed relaxation per mismatching vertex pair).
+class TightBoundEstimateTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(TightBoundEstimateTest, EstimateProperties) {
+  LabelDictionary d;
+  Rng rng(3000 + GetParam());
+  Graph a = testing_util::RandomGraph(d, rng, 4 + GetParam() % 3,
+                                      GetParam() % 3, 2);
+  Graph b = testing_util::RandomGraph(d, rng, 4 + (GetParam() / 3) % 3,
+                                      GetParam() % 2, 2);
+  std::vector<Graph> features;
+  features.push_back(Path(d, {"A", "A"}));
+  features.push_back(Path(d, {"A", "B"}));
+  features.push_back(Path(d, {"B", "B"}));
+  features.push_back(Path(d, {"A", "B", "A"}));
+  int tight = GedTightLowerBoundWithFeatures(a, b, features);
+  int exact = GedExact(a, b);
+  EXPECT_GE(tight, GedLowerBound(a, b)) << "seed " << GetParam();
+  EXPECT_LE(tight, exact + 2) << "seed " << GetParam();
+  if (AreIsomorphic(a, b)) {
+    EXPECT_EQ(tight, 0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Random, TightBoundEstimateTest,
+                         ::testing::Range(0, 40));
+
+TEST(TightBoundEstimateTest, ZeroForIsomorphicCopies) {
+  LabelDictionary d;
+  Rng rng(88);
+  Graph g = testing_util::RandomGraph(d, rng, 7, 3, 2);
+  Graph p = g.Permuted(testing_util::RandomPermutation(7, rng));
+  std::vector<Graph> features;
+  features.push_back(Path(d, {"A", "A"}));
+  features.push_back(Path(d, {"A", "B"}));
+  EXPECT_EQ(GedTightLowerBoundWithFeatures(g, p, features), 0);
+}
+
+TEST(EstimateGedTest, ExactForSmallGraphs) {
+  LabelDictionary d;
+  Graph a = Path(d, {"C", "O", "C"});
+  Graph b = Path(d, {"C", "O", "N"});
+  std::vector<Graph> features;
+  EXPECT_EQ(EstimateGed(a, b, features), GedExact(a, b));
+}
+
+TEST(EstimateGedTest, FallsBackToBoundForLargeGraphs) {
+  LabelDictionary d;
+  Rng rng(5);
+  Graph a = testing_util::RandomGraph(d, rng, 12, 4, 2);
+  Graph b = testing_util::RandomGraph(d, rng, 13, 4, 2);
+  std::vector<Graph> features;
+  int est = EstimateGed(a, b, features, /*exact_max_vertices=*/8);
+  EXPECT_EQ(est, GedTightLowerBoundWithFeatures(a, b, features));
+}
+
+}  // namespace
+}  // namespace midas

@@ -1,0 +1,104 @@
+#include "midas/queryform/query_executor.h"
+
+#include <gtest/gtest.h>
+
+#include "midas/datagen/molecule_gen.h"
+#include "midas/datagen/workload.h"
+#include "midas/graph/subgraph_iso.h"
+#include "test_util.h"
+
+namespace midas {
+namespace {
+
+struct Fixture {
+  GraphDatabase db = testing_util::MakeToyDatabase();
+  FctSet fcts = FctSet::Mine(db, {0.25, 3, 20000});
+  FctIndex fct_index = FctIndex::Build(db, fcts);
+  IfeIndex ife_index = IfeIndex::Build(db, fcts);
+};
+
+TEST(QueryExecutorTest, MatchesAreExact) {
+  Fixture f;
+  QueryExecutor exec(f.db, &f.fct_index, &f.ife_index);
+  LabelDictionary& d = f.db.labels();
+  Graph query = testing_util::Path(d, {"C", "O", "C"});
+  QueryExecutor::Result r = exec.Execute(query);
+  for (const auto& [id, g] : f.db.graphs()) {
+    EXPECT_EQ(r.matches.Contains(id), ContainsSubgraph(query, g))
+        << "graph " << id;
+  }
+  EXPECT_LE(r.matches.size(), r.verified);
+  EXPECT_LE(r.verified, r.candidates);
+}
+
+TEST(QueryExecutorTest, IndexAgreesWithScan) {
+  Fixture f;
+  QueryExecutor indexed(f.db, &f.fct_index, &f.ife_index);
+  QueryExecutor scanning(f.db);
+  Rng rng(3);
+  for (const auto& [id, g] : f.db.graphs()) {
+    Graph q = RandomConnectedSubgraph(g, 3, rng);
+    if (q.NumEdges() == 0) continue;
+    EXPECT_EQ(indexed.Execute(q).matches, scanning.Execute(q).matches);
+  }
+  // The scan always verifies the whole database; the index usually less.
+  EXPECT_LE(indexed.totals().verified, scanning.totals().verified);
+}
+
+TEST(QueryExecutorTest, LimitStopsEarly) {
+  Fixture f;
+  QueryExecutor exec(f.db, &f.fct_index, &f.ife_index);
+  LabelDictionary& d = f.db.labels();
+  Graph query = testing_util::Path(d, {"C", "O"});  // matches everything
+  QueryExecutor::Result r = exec.Execute(query, 3);
+  EXPECT_EQ(r.matches.size(), 3u);
+  EXPECT_EQ(r.verified, 3u);  // every candidate matches; stop at the limit
+}
+
+TEST(QueryExecutorTest, NoMatches) {
+  Fixture f;
+  QueryExecutor exec(f.db, &f.fct_index, &f.ife_index);
+  LabelDictionary& d = f.db.labels();
+  Graph query = testing_util::Path(d, {"Zz", "Zz"});
+  QueryExecutor::Result r = exec.Execute(query);
+  EXPECT_TRUE(r.matches.empty());
+}
+
+TEST(QueryExecutorTest, TotalsAccumulate) {
+  Fixture f;
+  QueryExecutor exec(f.db, &f.fct_index, &f.ife_index);
+  LabelDictionary& d = f.db.labels();
+  exec.Execute(testing_util::Path(d, {"C", "O"}));
+  exec.Execute(testing_util::Path(d, {"C", "S"}));
+  EXPECT_EQ(exec.totals().queries, 2u);
+  EXPECT_GT(exec.totals().matches, 0u);
+}
+
+// Property: filter soundness on a synthetic database — indexed execution
+// never loses a match relative to the full scan.
+class ExecutorSoundnessTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ExecutorSoundnessTest, IndexedEqualsScan) {
+  MoleculeGenerator gen(8000 + GetParam());
+  GraphDatabase db = gen.Generate(MoleculeGenerator::EmolLike(25));
+  FctSet fcts = FctSet::Mine(db, {0.4, 3, 20000});
+  FctIndex fct_index = FctIndex::Build(db, fcts);
+  IfeIndex ife_index = IfeIndex::Build(db, fcts);
+  QueryExecutor indexed(db, &fct_index, &ife_index);
+  QueryExecutor scanning(db);
+
+  Rng rng(GetParam());
+  QueryGenConfig qcfg;
+  qcfg.count = 10;
+  qcfg.min_edges = 2;
+  qcfg.max_edges = 8;
+  for (const Graph& q : GenerateQueries(db, qcfg, rng)) {
+    EXPECT_EQ(indexed.Execute(q).matches, scanning.Execute(q).matches);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Random, ExecutorSoundnessTest,
+                         ::testing::Range(0, 8));
+
+}  // namespace
+}  // namespace midas

@@ -1,0 +1,251 @@
+#include "midas/select/random_walk.h"
+
+#include <gtest/gtest.h>
+
+#include "midas/graph/subgraph_iso.h"
+#include "test_util.h"
+
+namespace midas {
+namespace {
+
+using testing_util::MakeToyDatabase;
+
+struct Fixture {
+  GraphDatabase db = MakeToyDatabase();
+  FctSet fcts = FctSet::Mine(db, {0.25, 3, 20000});
+  Csg csg;
+
+  Fixture() {
+    IdSet members(db.Ids());
+    csg = Csg::Build(db, members);
+  }
+};
+
+TEST(CsgEdgeWeightsTest, WeightsWithinUnitInterval) {
+  Fixture f;
+  EdgeWeights w = CsgEdgeWeights(f.csg, f.fcts, f.db.size());
+  EXPECT_EQ(w.size(), f.csg.NumLiveEdges());
+  for (const auto& [key, weight] : w) {
+    EXPECT_GE(weight, 0.0);
+    EXPECT_LE(weight, 1.0 + 1e-9);
+  }
+}
+
+TEST(CsgEdgeWeightsTest, UbiquitousEdgeOutweighsRareEdge) {
+  Fixture f;
+  EdgeWeights w = CsgEdgeWeights(f.csg, f.fcts, f.db.size());
+  const Graph& skel = f.csg.skeleton();
+  Label c = static_cast<Label>(f.db.labels().Lookup("C"));
+  Label o = static_cast<Label>(f.db.labels().Lookup("O"));
+  Label n = static_cast<Label>(f.db.labels().Lookup("N"));
+  double best_co = 0.0;
+  double best_cn = 0.0;
+  for (const auto& [edge, ids] : f.csg.Edges()) {
+    const auto& [u, v] = edge;
+    EdgeLabelPair lp = skel.EdgeLabel(u, v);
+    double weight = w.at(CsgEdgeKey(u, v));
+    if (lp == EdgeLabelPair(c, o)) best_co = std::max(best_co, weight);
+    if (lp == EdgeLabelPair(c, n)) best_cn = std::max(best_cn, weight);
+  }
+  EXPECT_GT(best_co, best_cn);
+}
+
+TEST(WalkTraversalsTest, OnlyLiveEdgesTraversed) {
+  Fixture f;
+  EdgeWeights w = CsgEdgeWeights(f.csg, f.fcts, f.db.size());
+  Rng rng(5);
+  WalkConfig cfg;
+  cfg.num_walks = 50;
+  cfg.walk_length = 10;
+  EdgeWeights t = WalkTraversals(f.csg, w, cfg, rng);
+  EXPECT_FALSE(t.empty());
+  for (const auto& [key, count] : t) {
+    EXPECT_GT(count, 0.0);
+    EXPECT_TRUE(w.count(key) > 0) << "traversed a non-csg edge";
+  }
+}
+
+TEST(WalkTraversalsTest, DeterministicBySeed) {
+  Fixture f;
+  EdgeWeights w = CsgEdgeWeights(f.csg, f.fcts, f.db.size());
+  WalkConfig cfg;
+  Rng r1(9);
+  Rng r2(9);
+  auto t1 = WalkTraversals(f.csg, w, cfg, r1);
+  auto t2 = WalkTraversals(f.csg, w, cfg, r2);
+  EXPECT_EQ(t1.size(), t2.size());
+  for (const auto& [key, count] : t1) {
+    EXPECT_DOUBLE_EQ(count, t2.at(key));
+  }
+}
+
+TEST(WalkTraversalsTest, EmptyCsg) {
+  Csg empty;
+  Rng rng(1);
+  WalkConfig cfg;
+  EXPECT_TRUE(WalkTraversals(empty, {}, cfg, rng).empty());
+}
+
+TEST(ExtractCandidateTest, ProducesConnectedPatternOfRequestedSize) {
+  Fixture f;
+  EdgeWeights w = CsgEdgeWeights(f.csg, f.fcts, f.db.size());
+  Rng rng(7);
+  WalkConfig cfg;
+  EdgeWeights t = WalkTraversals(f.csg, w, cfg, rng);
+  for (size_t eta = 2; eta <= 4; ++eta) {
+    Graph g = ExtractCandidate(f.csg, t, eta, 0);
+    if (g.NumEdges() == 0) continue;  // csg exhausted
+    EXPECT_LE(g.NumEdges(), eta);
+    EXPECT_TRUE(g.IsConnected());
+  }
+}
+
+TEST(ExtractCandidateTest, StartRankVariesSeed) {
+  Fixture f;
+  EdgeWeights w = CsgEdgeWeights(f.csg, f.fcts, f.db.size());
+  Rng rng(8);
+  WalkConfig cfg;
+  EdgeWeights t = WalkTraversals(f.csg, w, cfg, rng);
+  Graph g0 = ExtractCandidate(f.csg, t, 3, 0);
+  Graph g9 = ExtractCandidate(f.csg, t, 3, 999);  // clamped to last rank
+  EXPECT_GT(g0.NumEdges(), 0u);
+  EXPECT_GT(g9.NumEdges(), 0u);
+}
+
+TEST(ExtractCandidateTest, PruneCallbackStopsGrowth) {
+  Fixture f;
+  EdgeWeights w = CsgEdgeWeights(f.csg, f.fcts, f.db.size());
+  Rng rng(9);
+  EdgeWeights t = WalkTraversals(f.csg, w, WalkConfig(), rng);
+
+  // Prune everything: not even the seed edge is allowed.
+  EdgePruneFn prune_all = [](VertexId, VertexId) { return true; };
+  Graph g = ExtractCandidate(f.csg, t, 4, 0, &prune_all);
+  EXPECT_EQ(g.NumEdges(), 0u);
+
+  // Allow exactly two edges.
+  int allowed = 2;
+  EdgePruneFn prune_after_two = [&allowed](VertexId, VertexId) {
+    return allowed-- <= 0;
+  };
+  Graph g2 = ExtractCandidate(f.csg, t, 6, 0, &prune_after_two);
+  EXPECT_LE(g2.NumEdges(), 2u);
+}
+
+TEST(ExtractCandidateTest, PatternEmbedsInSkeleton) {
+  Fixture f;
+  EdgeWeights w = CsgEdgeWeights(f.csg, f.fcts, f.db.size());
+  Rng rng(10);
+  EdgeWeights t = WalkTraversals(f.csg, w, WalkConfig(), rng);
+  Graph g = ExtractCandidate(f.csg, t, 4, 0);
+  if (g.NumEdges() > 0) {
+    EXPECT_TRUE(ContainsSubgraph(g, f.csg.skeleton()));
+  }
+}
+
+TEST(PcpLibraryTest, DistinctRankedCandidates) {
+  Fixture f;
+  EdgeWeights w = CsgEdgeWeights(f.csg, f.fcts, f.db.size());
+  Rng rng(21);
+  EdgeWeights t = WalkTraversals(f.csg, w, WalkConfig(), rng);
+  auto library = BuildPcpLibrary(f.csg, t, 3, 8);
+  ASSERT_FALSE(library.empty());
+  // No two library entries are isomorphic.
+  for (size_t i = 0; i < library.size(); ++i) {
+    for (size_t j = i + 1; j < library.size(); ++j) {
+      EXPECT_FALSE(AreIsomorphic(library[i].pattern, library[j].pattern));
+    }
+  }
+  // Ranked by traversal mass, descending.
+  for (size_t i = 1; i < library.size(); ++i) {
+    EXPECT_GE(library[i - 1].traversal_mass, library[i].traversal_mass);
+  }
+  for (const Pcp& pcp : library) {
+    EXPECT_GE(pcp.proposals, 1u);
+    EXPECT_GE(pcp.traversal_mass, 0.0);
+    EXPECT_TRUE(pcp.pattern.IsConnected());
+  }
+}
+
+TEST(PcpLibraryTest, SizeCapAndEmptyCases) {
+  Fixture f;
+  EdgeWeights w = CsgEdgeWeights(f.csg, f.fcts, f.db.size());
+  Rng rng(22);
+  EdgeWeights t = WalkTraversals(f.csg, w, WalkConfig(), rng);
+  EXPECT_TRUE(BuildPcpLibrary(f.csg, t, 3, 0).empty());
+  auto capped = BuildPcpLibrary(f.csg, t, 3, 2);
+  EXPECT_LE(capped.size(), 2u);
+  Csg empty;
+  EXPECT_TRUE(BuildPcpLibrary(empty, {}, 3, 4).empty());
+}
+
+TEST(PcpLibraryTest, ExtractCandidateEdgesMatchesProjection) {
+  Fixture f;
+  EdgeWeights w = CsgEdgeWeights(f.csg, f.fcts, f.db.size());
+  Rng rng(23);
+  EdgeWeights t = WalkTraversals(f.csg, w, WalkConfig(), rng);
+  auto edges = ExtractCandidateEdges(f.csg, t, 4, 0);
+  Graph direct = ExtractCandidate(f.csg, t, 4, 0);
+  EXPECT_EQ(edges.size(), direct.NumEdges());
+  if (!edges.empty()) {
+    EXPECT_TRUE(
+        AreIsomorphic(ProjectPattern(f.csg.skeleton(), edges), direct));
+  }
+}
+
+// The coherence guarantee: every extracted candidate is a subgraph of at
+// least one member graph of the csg (non-zero subgraph coverage by
+// construction).
+class CoherenceTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(CoherenceTest, CandidateExistsInSomeMember) {
+  GraphDatabase db = MakeToyDatabase();
+  FctSet fcts = FctSet::Mine(db, {0.25, 3, 20000});
+  IdSet members(db.Ids());
+  Csg csg = Csg::Build(db, members);
+  EdgeWeights w = CsgEdgeWeights(csg, fcts, db.size());
+  Rng rng(4000 + GetParam());
+  EdgeWeights t = WalkTraversals(csg, w, WalkConfig(), rng);
+
+  for (size_t eta = 2; eta <= 5; ++eta) {
+    Graph g = ExtractCandidate(csg, t, eta, static_cast<size_t>(GetParam()));
+    if (g.NumEdges() == 0) continue;
+    bool contained = false;
+    for (GraphId id : members) {
+      if (ContainsSubgraph(g, *db.Find(id))) {
+        contained = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(contained) << "eta " << eta << " rank " << GetParam();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Ranks, CoherenceTest, ::testing::Range(0, 8));
+
+TEST(MultiplicativeWeightsUpdateTest, DecaysCoveredLabels) {
+  Fixture f;
+  EdgeWeights w = CsgEdgeWeights(f.csg, f.fcts, f.db.size());
+  EdgeWeights before = w;
+
+  LabelDictionary& d = f.db.labels();
+  Graph selected = testing_util::Path(d, {"C", "O"});
+  MultiplicativeWeightsUpdate(f.csg, selected, w, 0.5);
+
+  const Graph& skel = f.csg.skeleton();
+  Label c = static_cast<Label>(d.Lookup("C"));
+  Label o = static_cast<Label>(d.Lookup("O"));
+  EdgeLabelPair co(c, o);
+  for (const auto& [key, weight] : w) {
+    VertexId u = static_cast<VertexId>(key >> 32);
+    VertexId v = static_cast<VertexId>(key & 0xffffffffu);
+    if (skel.EdgeLabel(u, v) == co) {
+      EXPECT_DOUBLE_EQ(weight, before.at(key) * 0.5);
+    } else {
+      EXPECT_DOUBLE_EQ(weight, before.at(key));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace midas

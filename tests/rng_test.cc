@@ -1,0 +1,90 @@
+#include "midas/common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+namespace midas {
+namespace {
+
+TEST(RngTest, DeterministicBySeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.UniformInt(0, 1000), b.UniformInt(0, 1000));
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  bool any_diff = false;
+  for (int i = 0; i < 20; ++i) {
+    if (a.UniformInt(0, 1 << 30) != b.UniformInt(0, 1 << 30)) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(RngTest, UniformIntInRange) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    int64_t x = rng.UniformInt(-3, 7);
+    EXPECT_GE(x, -3);
+    EXPECT_LE(x, 7);
+  }
+  EXPECT_EQ(rng.UniformInt(4, 4), 4);
+}
+
+TEST(RngTest, UniformRealInRange) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    double x = rng.UniformReal();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(RngTest, PickWeightedRespectsZeros) {
+  Rng rng(7);
+  std::vector<double> w = {0.0, 1.0, 0.0};
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.PickWeighted(w), 1);
+}
+
+TEST(RngTest, PickWeightedAllZeroReturnsMinusOne) {
+  Rng rng(7);
+  EXPECT_EQ(rng.PickWeighted({0.0, 0.0}), -1);
+  EXPECT_EQ(rng.PickWeighted({}), -1);
+}
+
+TEST(RngTest, PickWeightedProportional) {
+  Rng rng(11);
+  std::vector<double> w = {1.0, 3.0};
+  int counts[2] = {0, 0};
+  for (int i = 0; i < 10000; ++i) ++counts[rng.PickWeighted(w)];
+  double ratio = static_cast<double>(counts[1]) / counts[0];
+  EXPECT_NEAR(ratio, 3.0, 0.5);
+}
+
+TEST(RngTest, ShuffleIsPermutation) {
+  Rng rng(13);
+  std::vector<int> v(50);
+  std::iota(v.begin(), v.end(), 0);
+  auto original = v;
+  rng.Shuffle(v);
+  auto sorted = v;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, original);
+}
+
+TEST(RngTest, ForkIsIndependent) {
+  Rng a(99);
+  Rng child = a.Fork();
+  // The fork must not replay the parent's stream.
+  Rng b(99);
+  b.Fork();
+  EXPECT_EQ(a.UniformInt(0, 1 << 30), b.UniformInt(0, 1 << 30));
+  (void)child;
+}
+
+}  // namespace
+}  // namespace midas

@@ -1,0 +1,125 @@
+#include "midas/queryform/session.h"
+
+#include <gtest/gtest.h>
+
+#include "midas/graph/subgraph_iso.h"
+#include "midas/queryform/formulation.h"
+#include "test_util.h"
+
+namespace midas {
+namespace {
+
+using testing_util::Path;
+
+TEST(SessionTest, AddVerticesAndEdges) {
+  LabelDictionary d;
+  FormulationSession s;
+  VertexId a = s.AddVertex(d.Intern("C"));
+  VertexId b = s.AddVertex(d.Intern("O"));
+  EXPECT_TRUE(s.AddEdge(a, b));
+  EXPECT_EQ(s.steps(), 3u);
+  Graph canvas = s.Canvas();
+  EXPECT_EQ(canvas.NumVertices(), 2u);
+  EXPECT_EQ(canvas.NumEdges(), 1u);
+}
+
+TEST(SessionTest, InvalidActionsCostNothing) {
+  LabelDictionary d;
+  FormulationSession s;
+  VertexId a = s.AddVertex(d.Intern("C"));
+  EXPECT_FALSE(s.AddEdge(a, a));      // self loop
+  EXPECT_FALSE(s.AddEdge(a, 99));     // bad id
+  EXPECT_FALSE(s.DeleteVertex(99));
+  EXPECT_FALSE(s.DeleteEdge(a, 99));
+  EXPECT_EQ(s.steps(), 1u);  // only the AddVertex counted
+}
+
+TEST(SessionTest, DropPatternPlacesWholeStructure) {
+  LabelDictionary d;
+  FormulationSession s;
+  Graph pattern = testing_util::Star(d, "C", {"O", "O", "S"});
+  std::vector<VertexId> placed = s.DropPattern(pattern);
+  EXPECT_EQ(placed.size(), 4u);
+  EXPECT_EQ(s.steps(), 1u);  // one drag-and-drop
+  EXPECT_TRUE(AreIsomorphic(s.Canvas(), pattern));
+}
+
+TEST(SessionTest, DeleteVertexCascadesEdges) {
+  LabelDictionary d;
+  FormulationSession s;
+  std::vector<VertexId> placed =
+      s.DropPattern(testing_util::Star(d, "C", {"O", "O", "S"}));
+  // Delete the center: all 3 edges cascade with one step.
+  EXPECT_TRUE(s.DeleteVertex(placed[0]));
+  EXPECT_EQ(s.LiveEdges(), 0u);
+  EXPECT_EQ(s.LiveVertices(), 3u);
+  EXPECT_EQ(s.steps(), 2u);
+}
+
+TEST(SessionTest, UndoRestoresCanvas) {
+  LabelDictionary d;
+  FormulationSession s;
+  s.DropPattern(Path(d, {"C", "O", "C"}));
+  Graph before = s.Canvas();
+  s.DeleteVertex(1);
+  EXPECT_FALSE(AreIsomorphic(s.Canvas(), before));
+  EXPECT_TRUE(s.Undo());
+  EXPECT_TRUE(AreIsomorphic(s.Canvas(), before));
+  EXPECT_EQ(s.steps(), 3u);  // drop + delete + undo
+}
+
+TEST(SessionTest, UndoOnEmptySession) {
+  FormulationSession s;
+  EXPECT_FALSE(s.Undo());
+  EXPECT_EQ(s.steps(), 0u);
+}
+
+TEST(SessionTest, UndoChainBackToEmpty) {
+  LabelDictionary d;
+  FormulationSession s;
+  s.AddVertex(d.Intern("C"));
+  s.AddVertex(d.Intern("O"));
+  s.AddEdge(0, 1);
+  EXPECT_TRUE(s.Undo());
+  EXPECT_TRUE(s.Undo());
+  EXPECT_TRUE(s.Undo());
+  EXPECT_FALSE(s.Undo());
+  EXPECT_EQ(s.Canvas().NumVertices(), 0u);
+}
+
+TEST(SessionTest, LogRecordsActions) {
+  LabelDictionary d;
+  FormulationSession s;
+  s.AddVertex(d.Intern("C"));
+  s.DropPattern(Path(d, {"C", "O"}));
+  s.Undo();
+  ASSERT_EQ(s.log().size(), 3u);
+  EXPECT_EQ(s.log()[0].type, FormulationSession::ActionType::kAddVertex);
+  EXPECT_EQ(s.log()[1].type, FormulationSession::ActionType::kDropPattern);
+  EXPECT_EQ(s.log()[2].type, FormulationSession::ActionType::kUndo);
+}
+
+// Example 1.1's flow executed end-to-end: drop an oversized pattern, trim
+// it, and land exactly on the target query in the step count the edit
+// planner predicted.
+TEST(SessionTest, ExecutesEditPlanScenario) {
+  LabelDictionary d;
+  Graph target = Path(d, {"C", "O", "C"});
+  Graph oversized = Path(d, {"C", "O", "C", "S"});
+
+  PatternSet panel;
+  CannedPattern p;
+  p.graph = oversized;
+  panel.Add(std::move(p));
+  EditPlan plan = PlanFormulationWithEdits(target, panel);
+  ASSERT_EQ(plan.steps, 2u);
+
+  FormulationSession s;
+  std::vector<VertexId> placed = s.DropPattern(oversized);
+  s.DeleteVertex(placed[3]);  // the S leaf; its edge cascades
+  EXPECT_TRUE(AreIsomorphic(s.Canvas(), target));
+  EXPECT_EQ(s.steps(), plan.steps);
+}
+
+}  // namespace
+}  // namespace midas

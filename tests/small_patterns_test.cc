@@ -1,0 +1,105 @@
+#include "midas/maintain/small_patterns.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace midas {
+namespace {
+
+using testing_util::MakeToyDatabase;
+
+TEST(SmallPatternPanelTest, EmptyUntilRefreshed) {
+  SmallPatternPanel panel;
+  EXPECT_TRUE(panel.patterns().empty());
+}
+
+TEST(SmallPatternPanelTest, TopEdgesBySupport) {
+  GraphDatabase db = MakeToyDatabase();
+  FctSet fcts = FctSet::Mine(db, {0.25, 3, 20000});
+  SmallPatternPanel::Config cfg;
+  cfg.max_edges_patterns = 2;
+  cfg.max_wedge_patterns = 2;
+  SmallPatternPanel panel(cfg);
+  panel.Refresh(fcts);
+
+  ASSERT_FALSE(panel.patterns().empty());
+  // The first pattern is the most supported frequent edge: C-O (all graphs).
+  const Graph& top = panel.patterns().front();
+  EXPECT_EQ(top.NumEdges(), 1u);
+  EXPECT_DOUBLE_EQ(panel.supports().front(), 1.0);
+  Label c = static_cast<Label>(db.labels().Lookup("C"));
+  Label o = static_cast<Label>(db.labels().Lookup("O"));
+  EXPECT_EQ(top.EdgeLabel(0, 1), EdgeLabelPair(c, o));
+}
+
+TEST(SmallPatternPanelTest, RespectsSlotLimits) {
+  GraphDatabase db = MakeToyDatabase();
+  FctSet fcts = FctSet::Mine(db, {0.2, 3, 20000});
+  SmallPatternPanel::Config cfg;
+  cfg.max_edges_patterns = 1;
+  cfg.max_wedge_patterns = 1;
+  SmallPatternPanel panel(cfg);
+  panel.Refresh(fcts);
+  size_t edges = 0;
+  size_t wedges = 0;
+  for (const Graph& g : panel.patterns()) {
+    if (g.NumEdges() == 1) ++edges;
+    if (g.NumEdges() == 2) ++wedges;
+  }
+  EXPECT_LE(edges, 1u);
+  EXPECT_LE(wedges, 1u);
+}
+
+TEST(SmallPatternPanelTest, SupportsSortedDescendingPerKind) {
+  GraphDatabase db = MakeToyDatabase();
+  FctSet fcts = FctSet::Mine(db, {0.2, 3, 20000});
+  SmallPatternPanel panel;
+  panel.Refresh(fcts);
+  const auto& pats = panel.patterns();
+  const auto& sups = panel.supports();
+  ASSERT_EQ(pats.size(), sups.size());
+  for (size_t i = 1; i < pats.size(); ++i) {
+    if (pats[i - 1].NumEdges() == pats[i].NumEdges()) {
+      EXPECT_GE(sups[i - 1], sups[i]);
+    }
+  }
+}
+
+TEST(SmallPatternPanelTest, TracksMaintenance) {
+  GraphDatabase db = MakeToyDatabase();
+  FctSet fcts = FctSet::Mine(db, {0.5, 3, 20000});
+  SmallPatternPanel panel;
+  panel.Refresh(fcts);
+  size_t before = panel.patterns().size();
+
+  // Flood with P-P graphs: the P-P edge becomes a top small pattern.
+  LabelDictionary& d = db.labels();
+  BatchUpdate delta;
+  for (int i = 0; i < 12; ++i) {
+    delta.insertions.push_back(testing_util::Path(d, {"P", "P"}));
+  }
+  std::vector<GraphId> added = db.ApplyBatch(delta);
+  fcts.MaintainAdd(db, added);
+  panel.Refresh(fcts);
+
+  Label pl = static_cast<Label>(d.Lookup("P"));
+  bool has_pp = false;
+  for (const Graph& g : panel.patterns()) {
+    if (g.NumEdges() == 1 && g.EdgeLabel(0, 1) == EdgeLabelPair(pl, pl)) {
+      has_pp = true;
+    }
+  }
+  EXPECT_TRUE(has_pp);
+  EXPECT_GE(panel.patterns().size(), before > 0 ? 1u : 0u);
+}
+
+TEST(SmallPatternPanelTest, EmptyDatabase) {
+  FctSet fcts;
+  SmallPatternPanel panel;
+  panel.Refresh(fcts);
+  EXPECT_TRUE(panel.patterns().empty());
+}
+
+}  // namespace
+}  // namespace midas

@@ -1,0 +1,127 @@
+#include "midas/maintain/snapshot.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <sstream>
+
+#include "midas/datagen/molecule_gen.h"
+#include "midas/graph/graph_io.h"
+#include "midas/graph/subgraph_iso.h"
+
+namespace midas {
+namespace {
+
+MidasConfig SnapConfig() {
+  MidasConfig cfg;
+  cfg.fct.sup_min = 0.45;
+  cfg.fct.max_edges = 3;
+  cfg.cluster.num_coarse = 3;
+  cfg.cluster.max_cluster_size = 22;
+  cfg.budget = {3, 7, 9};
+  cfg.walk = {35, 11};
+  cfg.epsilon = 0.0075;
+  cfg.kappa = 0.15;
+  cfg.lambda = 0.2;
+  cfg.sample_cap = 0;
+  cfg.seed = 1234;
+  return cfg;
+}
+
+TEST(ConfigIoTest, RoundTripPreservesEveryField) {
+  MidasConfig cfg = SnapConfig();
+  cfg.distance_measure = DistributionDistance::kHellinger;
+  cfg.swap.max_scans = 5;
+  cfg.swap.use_swap_alpha_schedule = false;
+  cfg.small_panel.max_edges_patterns = 2;
+
+  std::ostringstream out;
+  WriteConfig(cfg, out);
+  MidasConfig restored;
+  std::istringstream in(out.str());
+  ASSERT_TRUE(ReadConfig(in, &restored));
+
+  EXPECT_DOUBLE_EQ(restored.fct.sup_min, cfg.fct.sup_min);
+  EXPECT_EQ(restored.fct.max_edges, cfg.fct.max_edges);
+  EXPECT_EQ(restored.cluster.num_coarse, cfg.cluster.num_coarse);
+  EXPECT_EQ(restored.cluster.max_cluster_size,
+            cfg.cluster.max_cluster_size);
+  EXPECT_EQ(restored.budget.eta_min, cfg.budget.eta_min);
+  EXPECT_EQ(restored.budget.eta_max, cfg.budget.eta_max);
+  EXPECT_EQ(restored.budget.gamma, cfg.budget.gamma);
+  EXPECT_EQ(restored.walk.num_walks, cfg.walk.num_walks);
+  EXPECT_EQ(restored.walk.walk_length, cfg.walk.walk_length);
+  EXPECT_DOUBLE_EQ(restored.epsilon, cfg.epsilon);
+  EXPECT_EQ(restored.distance_measure, cfg.distance_measure);
+  EXPECT_DOUBLE_EQ(restored.kappa, cfg.kappa);
+  EXPECT_DOUBLE_EQ(restored.lambda, cfg.lambda);
+  EXPECT_EQ(restored.swap.max_scans, cfg.swap.max_scans);
+  EXPECT_EQ(restored.swap.use_swap_alpha_schedule,
+            cfg.swap.use_swap_alpha_schedule);
+  EXPECT_EQ(restored.sample_cap, cfg.sample_cap);
+  EXPECT_EQ(restored.seed, cfg.seed);
+  EXPECT_EQ(restored.small_panel.max_edges_patterns,
+            cfg.small_panel.max_edges_patterns);
+}
+
+TEST(ConfigIoTest, UnknownKeysIgnoredMalformedRejected) {
+  MidasConfig cfg;
+  std::istringstream ok("future_knob=17\nseed=9\n# comment\n\n");
+  EXPECT_TRUE(ReadConfig(ok, &cfg));
+  EXPECT_EQ(cfg.seed, 9u);
+
+  std::istringstream bad("this line has no equals sign\n");
+  EXPECT_FALSE(ReadConfig(bad, &cfg));
+  std::istringstream bad2("seed=not_a_number\n");
+  EXPECT_FALSE(ReadConfig(bad2, &cfg));
+}
+
+TEST(SnapshotTest, SaveRestoreRoundTrip) {
+  std::string dir =
+      (std::filesystem::temp_directory_path() / "midas_snapshot_test")
+          .string();
+  std::filesystem::remove_all(dir);
+
+  MoleculeGenerator gen(777);
+  MoleculeGenConfig data = MoleculeGenerator::EmolLike(30);
+  MidasEngine engine(gen.Generate(data), SnapConfig());
+  engine.Initialize();
+  GraphDatabase copy = engine.db();
+  BatchUpdate delta = gen.GenerateAdditions(copy, data, 10, true);
+  engine.ApplyUpdate(delta);
+
+  ASSERT_TRUE(SaveSnapshot(engine, dir));
+  std::unique_ptr<MidasEngine> restored = RestoreEngine(dir);
+  ASSERT_NE(restored, nullptr);
+
+  // Same database size and same panel (up to isomorphism, in order).
+  EXPECT_EQ(restored->db().size(), engine.db().size());
+  ASSERT_EQ(restored->patterns().size(), engine.patterns().size());
+  // The restored engine's dictionary is interned in file order, so numeric
+  // labels differ; compare after remapping by name.
+  auto it1 = engine.patterns().patterns().begin();
+  auto it2 = restored->patterns().patterns().begin();
+  for (; it1 != engine.patterns().patterns().end(); ++it1, ++it2) {
+    Graph original_in_restored_labels = RemapLabels(
+        it1->second.graph, engine.db().labels(), restored->labels());
+    EXPECT_TRUE(
+        AreIsomorphic(original_in_restored_labels, it2->second.graph));
+  }
+  EXPECT_DOUBLE_EQ(restored->config().epsilon, engine.config().epsilon);
+
+  // The restored engine keeps working.
+  GraphDatabase copy2 = restored->db();
+  BatchUpdate delta2 = gen.GenerateAdditions(copy2, data, 8, false);
+  restored->ApplyUpdate(delta2);
+  EXPECT_EQ(restored->db().size(), engine.db().size() + 8);
+
+  std::filesystem::remove_all(dir);
+}
+
+TEST(SnapshotTest, RestoreFromMissingDirectoryFails) {
+  EXPECT_EQ(RestoreEngine("/nonexistent/midas/snapshot"), nullptr);
+}
+
+}  // namespace
+}  // namespace midas

@@ -1,0 +1,86 @@
+#include "midas/common/sparse_matrix.h"
+
+#include <gtest/gtest.h>
+
+namespace midas {
+namespace {
+
+TEST(SparseMatrixTest, SetGet) {
+  SparseMatrix m;
+  m.Set(1, 2, 5);
+  EXPECT_EQ(m.Get(1, 2), 5);
+  EXPECT_EQ(m.Get(2, 1), 0);
+  EXPECT_EQ(m.NonZeroCount(), 1u);
+}
+
+TEST(SparseMatrixTest, ZeroErasesEntry) {
+  SparseMatrix m;
+  m.Set(1, 2, 5);
+  m.Set(1, 2, 0);
+  EXPECT_EQ(m.Get(1, 2), 0);
+  EXPECT_EQ(m.NonZeroCount(), 0u);
+  EXPECT_FALSE(m.HasRow(1));
+}
+
+TEST(SparseMatrixTest, AddAccumulatesAndErases) {
+  SparseMatrix m;
+  m.Add(3, 4, 2);
+  m.Add(3, 4, 3);
+  EXPECT_EQ(m.Get(3, 4), 5);
+  m.Add(3, 4, -5);
+  EXPECT_EQ(m.Get(3, 4), 0);
+  EXPECT_EQ(m.NonZeroCount(), 0u);
+}
+
+TEST(SparseMatrixTest, RemoveRow) {
+  SparseMatrix m;
+  m.Set(1, 1, 1);
+  m.Set(1, 2, 2);
+  m.Set(2, 1, 3);
+  m.RemoveRow(1);
+  EXPECT_EQ(m.Get(1, 1), 0);
+  EXPECT_EQ(m.Get(1, 2), 0);
+  EXPECT_EQ(m.Get(2, 1), 3);
+}
+
+TEST(SparseMatrixTest, RemoveColumn) {
+  SparseMatrix m;
+  m.Set(1, 1, 1);
+  m.Set(2, 1, 2);
+  m.Set(2, 2, 3);
+  m.RemoveColumn(1);
+  EXPECT_EQ(m.Get(1, 1), 0);
+  EXPECT_EQ(m.Get(2, 1), 0);
+  EXPECT_EQ(m.Get(2, 2), 3);
+  EXPECT_FALSE(m.HasRow(1));  // row became empty
+}
+
+TEST(SparseMatrixTest, RowIteration) {
+  SparseMatrix m;
+  m.Set(7, 1, 10);
+  m.Set(7, 3, 30);
+  auto row = m.Row(7);
+  EXPECT_EQ(row.size(), 2u);
+  int sum = 0;
+  for (const auto& [col, value] : row) sum += value;
+  EXPECT_EQ(sum, 40);
+  EXPECT_TRUE(m.Row(99).empty());
+}
+
+TEST(SparseMatrixTest, RowKeys) {
+  SparseMatrix m;
+  m.Set(1, 1, 1);
+  m.Set(5, 1, 1);
+  auto keys = m.RowKeys();
+  EXPECT_EQ(keys.size(), 2u);
+}
+
+TEST(SparseMatrixTest, MemoryGrowsWithEntries) {
+  SparseMatrix m;
+  size_t empty = m.MemoryBytes();
+  for (uint32_t i = 0; i < 100; ++i) m.Set(i, i, 1);
+  EXPECT_GT(m.MemoryBytes(), empty);
+}
+
+}  // namespace
+}  // namespace midas

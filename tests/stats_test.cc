@@ -1,0 +1,81 @@
+#include "midas/common/stats.h"
+
+#include <gtest/gtest.h>
+
+#include "midas/common/rng.h"
+
+namespace midas {
+namespace {
+
+TEST(StatsTest, MeanAndStddev) {
+  EXPECT_DOUBLE_EQ(Mean({1, 2, 3}), 2.0);
+  EXPECT_DOUBLE_EQ(Mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(Stddev({5}), 0.0);
+  EXPECT_NEAR(Stddev({2, 4, 4, 4, 5, 5, 7, 9}), 2.0, 1e-9);
+}
+
+TEST(StatsTest, EuclideanDistance) {
+  EXPECT_DOUBLE_EQ(EuclideanDistance({0, 0}, {3, 4}), 5.0);
+  EXPECT_DOUBLE_EQ(EuclideanDistance({1, 2}, {1, 2}), 0.0);
+  // Implicit zero padding for shorter vectors.
+  EXPECT_DOUBLE_EQ(EuclideanDistance({3}, {3, 4}), 4.0);
+}
+
+TEST(StatsTest, NormalizeToDistribution) {
+  std::vector<double> v = {1, 1, 2};
+  NormalizeToDistribution(v);
+  EXPECT_DOUBLE_EQ(v[0], 0.25);
+  EXPECT_DOUBLE_EQ(v[2], 0.5);
+  std::vector<double> zeros = {0, 0};
+  NormalizeToDistribution(zeros);  // no-op, no NaN
+  EXPECT_DOUBLE_EQ(zeros[0], 0.0);
+}
+
+TEST(KsTest, IdenticalSamplesSimilar) {
+  std::vector<double> a = {3, 4, 5, 6, 7, 8, 9, 10};
+  KsResult r = KsTest(a, a);
+  EXPECT_DOUBLE_EQ(r.statistic, 0.0);
+  EXPECT_GT(r.p_value, 0.9);
+  EXPECT_TRUE(KsSimilar(a, a));
+}
+
+TEST(KsTest, DisjointSamplesDiffer) {
+  std::vector<double> a;
+  std::vector<double> b;
+  for (int i = 0; i < 50; ++i) {
+    a.push_back(i);
+    b.push_back(1000 + i);
+  }
+  KsResult r = KsTest(a, b);
+  EXPECT_DOUBLE_EQ(r.statistic, 1.0);
+  EXPECT_LT(r.p_value, 0.001);
+  EXPECT_FALSE(KsSimilar(a, b));
+}
+
+TEST(KsTest, SmallPerturbationStaysSimilar) {
+  // Removing one size-6 pattern and adding a size-7 one barely moves the
+  // empirical CDF — the swap criterion case.
+  std::vector<double> sizes = {3, 4, 5, 6, 7, 8, 9, 10, 11, 12,
+                               3, 4, 5, 6, 7, 8, 9, 10, 11, 12};
+  std::vector<double> perturbed = sizes;
+  perturbed[3] = 7;
+  EXPECT_TRUE(KsSimilar(sizes, perturbed));
+}
+
+TEST(KsTest, EmptySampleIsVacuouslySimilar) {
+  EXPECT_TRUE(KsSimilar({}, {1, 2, 3}));
+}
+
+TEST(KsTest, SameDistributionRandomDraws) {
+  Rng rng(9);
+  std::vector<double> a;
+  std::vector<double> b;
+  for (int i = 0; i < 200; ++i) {
+    a.push_back(rng.UniformReal());
+    b.push_back(rng.UniformReal());
+  }
+  EXPECT_TRUE(KsSimilar(a, b, 0.01));
+}
+
+}  // namespace
+}  // namespace midas

@@ -1,0 +1,202 @@
+#include "midas/graph/subgraph_iso.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <functional>
+
+#include "test_util.h"
+
+namespace midas {
+namespace {
+
+using testing_util::MakeGraph;
+using testing_util::Path;
+using testing_util::RandomGraph;
+using testing_util::RandomPermutation;
+
+TEST(SubgraphIsoTest, EdgeInPath) {
+  LabelDictionary d;
+  Graph pattern = Path(d, {"C", "O"});
+  Graph target = Path(d, {"C", "O", "C"});
+  EXPECT_TRUE(ContainsSubgraph(pattern, target));
+}
+
+TEST(SubgraphIsoTest, LabelMismatchFails) {
+  LabelDictionary d;
+  Graph pattern = Path(d, {"N", "N"});
+  Graph target = Path(d, {"C", "O", "C"});
+  EXPECT_FALSE(ContainsSubgraph(pattern, target));
+}
+
+TEST(SubgraphIsoTest, NonInducedSemantics) {
+  LabelDictionary d;
+  // Path C-C-C embeds into triangle C,C,C even though the triangle has the
+  // extra closing edge (non-induced matching).
+  Graph path = Path(d, {"C", "C", "C"});
+  Graph triangle = MakeGraph(d, {"C", "C", "C"}, {{0, 1}, {1, 2}, {0, 2}});
+  EXPECT_TRUE(ContainsSubgraph(path, triangle));
+  // The triangle does NOT embed into the path.
+  EXPECT_FALSE(ContainsSubgraph(triangle, path));
+}
+
+TEST(SubgraphIsoTest, LargerPatternNeverContained) {
+  LabelDictionary d;
+  Graph pattern = Path(d, {"C", "C", "C", "C"});
+  Graph target = Path(d, {"C", "C", "C"});
+  EXPECT_FALSE(ContainsSubgraph(pattern, target));
+}
+
+TEST(SubgraphIsoTest, EmptyPatternContained) {
+  LabelDictionary d;
+  Graph target = Path(d, {"C", "O"});
+  EXPECT_TRUE(ContainsSubgraph(Graph(), target));
+}
+
+TEST(SubgraphIsoTest, CountEmbeddingsOfEdge) {
+  LabelDictionary d;
+  Graph edge_co = Path(d, {"C", "O"});
+  Graph target = Path(d, {"C", "O", "C"});
+  // Two C-O edges, labels distinct -> 2 embeddings.
+  EXPECT_EQ(CountEmbeddings(edge_co, target), 2u);
+
+  Graph edge_cc = Path(d, {"C", "C"});
+  Graph cc_path = Path(d, {"C", "C", "C"});
+  // Two C-C edges, both orientations each -> 4 embeddings.
+  EXPECT_EQ(CountEmbeddings(edge_cc, cc_path), 4u);
+}
+
+TEST(SubgraphIsoTest, CountEmbeddingsRespectsCap) {
+  LabelDictionary d;
+  Graph edge = Path(d, {"C", "C"});
+  Graph clique = MakeGraph(d, {"C", "C", "C", "C"},
+                           {{0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3}, {2, 3}});
+  EXPECT_EQ(CountEmbeddings(edge, clique, 5), 5u);
+  EXPECT_EQ(CountEmbeddings(edge, clique, 0), 12u);  // unlimited
+}
+
+TEST(SubgraphIsoTest, FindEmbeddingsAreValid) {
+  LabelDictionary d;
+  Graph pattern = Path(d, {"C", "O", "C"});
+  Graph target = MakeGraph(d, {"C", "O", "C", "O"},
+                           {{0, 1}, {1, 2}, {2, 3}, {3, 0}});
+  auto embeddings = FindEmbeddings(pattern, target, 64);
+  EXPECT_FALSE(embeddings.empty());
+  for (const auto& m : embeddings) {
+    ASSERT_EQ(m.size(), pattern.NumVertices());
+    // Injective.
+    auto sorted = m;
+    std::sort(sorted.begin(), sorted.end());
+    EXPECT_EQ(std::adjacent_find(sorted.begin(), sorted.end()), sorted.end());
+    // Labels and edges preserved.
+    for (VertexId v = 0; v < pattern.NumVertices(); ++v) {
+      EXPECT_EQ(pattern.label(v), target.label(m[v]));
+    }
+    for (const auto& [u, v] : pattern.Edges()) {
+      EXPECT_TRUE(target.HasEdge(m[u], m[v]));
+    }
+  }
+}
+
+TEST(SubgraphIsoTest, CountEdgeEmbeddingsMatchesVf2) {
+  LabelDictionary d;
+  Rng rng(5);
+  for (int trial = 0; trial < 20; ++trial) {
+    Graph g = RandomGraph(d, rng, 8, 3);
+    for (const EdgeLabelPair& lp : g.DistinctEdgeLabels()) {
+      Graph edge;
+      VertexId a = edge.AddVertex(lp.first);
+      VertexId b = edge.AddVertex(lp.second);
+      edge.AddEdge(a, b);
+      EXPECT_EQ(CountEdgeEmbeddings(lp, g), CountEmbeddings(edge, g, 0))
+          << "trial " << trial;
+    }
+  }
+}
+
+TEST(SubgraphIsoTest, AreIsomorphicBasics) {
+  LabelDictionary d;
+  Graph a = Path(d, {"C", "O", "C"});
+  Graph b = Path(d, {"C", "O", "C"});
+  EXPECT_TRUE(AreIsomorphic(a, b));
+  Graph c = Path(d, {"C", "C", "O"});
+  EXPECT_FALSE(AreIsomorphic(a, c));
+  EXPECT_FALSE(AreIsomorphic(a, Path(d, {"C", "O"})));
+}
+
+// Property: a graph always contains every permuted copy of itself.
+class IsoPermutationTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(IsoPermutationTest, PermutedCopyIsIsomorphic) {
+  LabelDictionary d;
+  Rng rng(100 + GetParam());
+  Graph g = RandomGraph(d, rng, 4 + GetParam() % 6, GetParam() % 4);
+  auto perm = RandomPermutation(g.NumVertices(), rng);
+  Graph p = g.Permuted(perm);
+  EXPECT_TRUE(AreIsomorphic(g, p));
+  EXPECT_TRUE(ContainsSubgraph(g, p));
+  EXPECT_TRUE(ContainsSubgraph(p, g));
+}
+
+INSTANTIATE_TEST_SUITE_P(Permutations, IsoPermutationTest,
+                         ::testing::Range(0, 25));
+
+// Property: VF2 containment agrees with a brute-force matcher on tiny graphs.
+namespace {
+
+bool BruteForceContains(const Graph& pattern, const Graph& target) {
+  size_t np = pattern.NumVertices();
+  size_t nt = target.NumVertices();
+  if (np > nt) return false;
+  std::vector<VertexId> ids(nt);
+  for (size_t i = 0; i < nt; ++i) ids[i] = static_cast<VertexId>(i);
+  // Enumerate all np-permutations of target vertices.
+  std::vector<VertexId> m(np);
+  std::vector<bool> used(nt, false);
+  std::function<bool(size_t)> rec = [&](size_t depth) -> bool {
+    if (depth == np) return true;
+    for (size_t t = 0; t < nt; ++t) {
+      if (used[t]) continue;
+      if (pattern.label(static_cast<VertexId>(depth)) !=
+          target.label(static_cast<VertexId>(t))) {
+        continue;
+      }
+      bool ok = true;
+      for (size_t p = 0; p < depth; ++p) {
+        if (pattern.HasEdge(static_cast<VertexId>(depth),
+                            static_cast<VertexId>(p)) &&
+            !target.HasEdge(static_cast<VertexId>(t), m[p])) {
+          ok = false;
+          break;
+        }
+      }
+      if (!ok) continue;
+      m[depth] = static_cast<VertexId>(t);
+      used[t] = true;
+      if (rec(depth + 1)) return true;
+      used[t] = false;
+    }
+    return false;
+  };
+  return rec(0);
+}
+
+}  // namespace
+
+class IsoBruteForceTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(IsoBruteForceTest, AgreesWithBruteForce) {
+  LabelDictionary d;
+  Rng rng(333 + GetParam());
+  Graph pattern = RandomGraph(d, rng, 3 + GetParam() % 3, GetParam() % 2, 2);
+  Graph target = RandomGraph(d, rng, 6, 3, 2);
+  EXPECT_EQ(ContainsSubgraph(pattern, target),
+            BruteForceContains(pattern, target))
+      << "seed " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(BruteForce, IsoBruteForceTest,
+                         ::testing::Range(0, 40));
+
+}  // namespace
+}  // namespace midas

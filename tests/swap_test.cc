@@ -1,0 +1,223 @@
+#include "midas/maintain/swap.h"
+
+#include <gtest/gtest.h>
+
+#include "midas/datagen/molecule_gen.h"
+#include "midas/datagen/workload.h"
+#include "test_util.h"
+
+namespace midas {
+namespace {
+
+// A controlled fixture: toy database, evaluator without sampling, and a
+// helper to make evaluated patterns.
+struct Fixture {
+  GraphDatabase db = testing_util::MakeToyDatabase();
+  FctSet fcts = FctSet::Mine(db, {0.25, 3, 20000});
+  Rng rng{77};
+  CoverageEvaluator eval{db, 0, rng};
+
+  CannedPattern Make(const Graph& g) {
+    CannedPattern p;
+    p.graph = g;
+    RefreshPatternMetrics(p, eval, fcts);
+    return p;
+  }
+};
+
+SwapConfig Fixed(double kappa = 0.1, double lambda = 0.1, int scans = 2) {
+  SwapConfig cfg;
+  cfg.kappa = kappa;
+  cfg.lambda = lambda;
+  cfg.max_scans = scans;
+  cfg.use_swap_alpha_schedule = false;
+  return cfg;
+}
+
+TEST(MultiScanSwapTest, NoCandidatesNoChange) {
+  Fixture f;
+  PatternSet set;
+  LabelDictionary& d = f.db.labels();
+  set.Add(f.Make(testing_util::Path(d, {"C", "O", "C"})));
+  double scov_before = set.FScov(f.eval.universe().size());
+
+  SwapStats stats = MultiScanSwap(set, {}, f.eval, f.fcts, Fixed());
+  EXPECT_EQ(stats.swaps, 0);
+  EXPECT_EQ(set.size(), 1u);
+  EXPECT_DOUBLE_EQ(set.FScov(f.eval.universe().size()), scov_before);
+}
+
+TEST(MultiScanSwapTest, BetterCandidateReplacesWeakest) {
+  Fixture f;
+  LabelDictionary& d = f.db.labels();
+  PatternSet set;
+  // A weak pattern of the same size as the candidate (so sw4's cognitive
+  // load ceiling does not block): N-C-N occurs nowhere.
+  set.Add(f.Make(testing_util::Path(d, {"N", "C", "N"})));
+  // A second anchor pattern so diversity is defined.
+  set.Add(f.Make(testing_util::Path(d, {"C", "S"})));
+
+  // Candidate: the ubiquitous C-O edge extended (covers nearly everything).
+  std::vector<Graph> candidates = {
+      testing_util::Path(d, {"C", "O", "C"}),
+  };
+  double scov_before = set.FScov(f.eval.universe().size());
+  SwapStats stats =
+      MultiScanSwap(set, candidates, f.eval, f.fcts, Fixed(0.0, 0.0, 1));
+  EXPECT_GE(stats.swaps, 1);
+  EXPECT_EQ(set.size(), 2u);
+  EXPECT_GE(set.FScov(f.eval.universe().size()), scov_before);
+}
+
+TEST(MultiScanSwapTest, CoverageNeverDecreases) {
+  // The headline invariant: progressive gain of coverage (Section 6.2).
+  MoleculeGenerator gen(88);
+  GraphDatabase db = gen.Generate(MoleculeGenerator::EmolLike(30));
+  FctSet fcts = FctSet::Mine(db, {0.4, 3, 20000});
+  Rng rng(1);
+  CoverageEvaluator eval(db, 0, rng);
+  LabelDictionary& d = db.labels();
+
+  PatternSet set;
+  for (const Graph& g :
+       {testing_util::Path(d, {"C", "O", "C"}),
+        testing_util::Path(d, {"C", "C", "C"}),
+        testing_util::Star(d, "C", {"O", "H", "H"})}) {
+    CannedPattern p;
+    p.graph = g;
+    RefreshPatternMetrics(p, eval, fcts);
+    set.Add(std::move(p));
+  }
+  double scov_before = set.FScov(eval.universe().size());
+  double cog_before = set.FCog();
+
+  // Candidates from random subgraphs of the database.
+  std::vector<Graph> candidates;
+  Rng qrng(2);
+  for (GraphId id : {0u, 3u, 7u, 11u}) {
+    const Graph* g = db.Find(id);
+    if (g == nullptr) continue;
+    candidates.push_back(RandomConnectedSubgraph(*g, 4, qrng));
+  }
+
+  MultiScanSwap(set, candidates, eval, fcts, Fixed());
+  EXPECT_GE(set.FScov(eval.universe().size()), scov_before - 1e-12);
+  EXPECT_LE(set.FCog(), cog_before + 1e-12);  // sw4
+}
+
+TEST(MultiScanSwapTest, Sw4BlocksHighCognitiveLoad) {
+  Fixture f;
+  LabelDictionary& d = f.db.labels();
+  PatternSet set;
+  set.Add(f.Make(testing_util::Path(d, {"C", "N"})));  // weak, low cog
+  set.Add(f.Make(testing_util::Path(d, {"C", "S"})));
+
+  // A dense triangle candidate: cognitive load 3.0 > any path's.
+  std::vector<Graph> candidates = {
+      testing_util::MakeGraph(d, {"C", "O", "C"}, {{0, 1}, {1, 2}, {0, 2}}),
+  };
+  double cog_before = set.FCog();
+  MultiScanSwap(set, candidates, f.eval, f.fcts, Fixed(0.0, 0.0, 1));
+  EXPECT_LE(set.FCog(), cog_before + 1e-12);
+}
+
+TEST(MultiScanSwapTest, SwapAlphaScheduleTightensKappa) {
+  Fixture f;
+  PatternSet set;
+  LabelDictionary& d = f.db.labels();
+  set.Add(f.Make(testing_util::Path(d, {"C", "N"})));
+  set.Add(f.Make(testing_util::Path(d, {"C", "S"})));
+  std::vector<Graph> candidates = {testing_util::Path(d, {"C", "O", "C"}),
+                                   testing_util::Path(d, {"C", "O", "C", "S"})};
+  SwapConfig cfg;
+  cfg.kappa = 0.1;
+  cfg.lambda = 0.0;
+  cfg.max_scans = 3;
+  cfg.use_swap_alpha_schedule = true;
+  SwapStats stats = MultiScanSwap(set, candidates, f.eval, f.fcts, cfg);
+  EXPECT_GE(stats.scans, 1);
+  // Lemma 6.3 with sigma_0 = 0.25 gives kappa_1 = 0.5 on the second scan.
+  if (stats.scans >= 2) EXPECT_NEAR(stats.kappa_final, 0.5, 1e-9);
+}
+
+TEST(MultiScanSwapTest, Sw5BlocksLabelCoverageLoss) {
+  Fixture f;
+  LabelDictionary& d = f.db.labels();
+  PatternSet set;
+  // The only C-N carrier in the set: evicting it would drop f_lcov (C-N
+  // covers G1, which no other pattern's labels reach... C-O covers all, so
+  // craft the set so the weak pattern is also the lone C-N carrier while
+  // the other pattern has a label subset).
+  set.Add(f.Make(testing_util::Path(d, {"C", "N", "C"})));
+  set.Add(f.Make(testing_util::Path(d, {"C", "S", "C"})));
+
+  // Candidate without C-N: set label coverage would lose nothing only if
+  // other patterns carry C-N — they do not, but C-O covers every graph, so
+  // swapping the C-N pattern for a C-O one *keeps* f_lcov. Verify the
+  // criterion by the outcome: f_lcov never decreases.
+  std::vector<Graph> candidates = {testing_util::Path(d, {"C", "O", "C"})};
+  // Compute f_lcov before/after through the engine-visible metric.
+  auto lcov_union = [&](const PatternSet& s) {
+    IdSet all;
+    const auto& occ = f.fcts.edge_occurrences();
+    for (const auto& [pid, p] : s.patterns()) {
+      for (const EdgeLabelPair& lp : p.graph.DistinctEdgeLabels()) {
+        auto it = occ.find(lp);
+        if (it != occ.end()) all.UnionWith(it->second);
+      }
+    }
+    return all.size();
+  };
+  size_t before = lcov_union(set);
+  MultiScanSwap(set, candidates, f.eval, f.fcts, Fixed(0.0, 0.0, 2));
+  EXPECT_GE(lcov_union(set), before);
+}
+
+TEST(MultiScanSwapTest, KsBlocksSizeDistributionShift) {
+  Fixture f;
+  LabelDictionary& d = f.db.labels();
+  PatternSet set;
+  // A tight size distribution: six 2-edge patterns.
+  for (int i = 0; i < 6; ++i) {
+    set.Add(f.Make(testing_util::Path(d, {"C", "O", "C"})));
+  }
+  // A much larger candidate: accepting it would shift the size
+  // distribution; with a strict alpha the KS test must reject the swap.
+  Graph big = testing_util::Path(
+      d, {"C", "O", "C", "O", "C", "O", "C", "O", "C"});
+  SwapConfig cfg = Fixed(0.0, 0.0, 1);
+  cfg.ks_alpha = 0.9;  // nearly any difference is "significant"
+  MultiScanSwap(set, {big}, f.eval, f.fcts, cfg);
+  for (const auto& [pid, p] : set.patterns()) {
+    EXPECT_EQ(p.graph.NumEdges(), 2u);  // the giant never entered
+  }
+}
+
+TEST(RandomSwapTest, SwapsWithoutQualityChecks) {
+  Fixture f;
+  LabelDictionary& d = f.db.labels();
+  PatternSet set;
+  set.Add(f.Make(testing_util::Path(d, {"C", "O", "C"})));
+  set.Add(f.Make(testing_util::Path(d, {"C", "S"})));
+
+  std::vector<Graph> candidates;
+  for (int i = 0; i < 10; ++i) {
+    candidates.push_back(testing_util::Path(d, {"C", "N"}));
+  }
+  Rng rng(5);
+  int swaps = RandomSwap(set, candidates, f.eval, f.fcts, rng);
+  EXPECT_GT(swaps, 0);
+  EXPECT_EQ(set.size(), 2u);  // cardinality preserved
+}
+
+TEST(RandomSwapTest, EmptySetNoCrash) {
+  Fixture f;
+  PatternSet set;
+  LabelDictionary& d = f.db.labels();
+  std::vector<Graph> candidates = {testing_util::Path(d, {"C", "O"})};
+  Rng rng(6);
+  EXPECT_EQ(RandomSwap(set, candidates, f.eval, f.fcts, rng), 0);
+}
+
+}  // namespace
+}  // namespace midas

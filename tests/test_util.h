@@ -1,0 +1,117 @@
+#ifndef MIDAS_TESTS_TEST_UTIL_H_
+#define MIDAS_TESTS_TEST_UTIL_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "midas/common/rng.h"
+#include "midas/graph/graph_database.h"
+
+namespace midas {
+namespace testing_util {
+
+/// Builds a graph from label names and an edge list.
+inline Graph MakeGraph(LabelDictionary& dict,
+                       const std::vector<std::string>& labels,
+                       const std::vector<std::pair<int, int>>& edges) {
+  Graph g;
+  for (const std::string& l : labels) g.AddVertex(dict.Intern(l));
+  for (const auto& [u, v] : edges) {
+    g.AddEdge(static_cast<VertexId>(u), static_cast<VertexId>(v));
+  }
+  return g;
+}
+
+/// Path graph over the given labels.
+inline Graph Path(LabelDictionary& dict,
+                  const std::vector<std::string>& labels) {
+  std::vector<std::pair<int, int>> edges;
+  for (size_t i = 0; i + 1 < labels.size(); ++i) {
+    edges.emplace_back(static_cast<int>(i), static_cast<int>(i + 1));
+  }
+  return MakeGraph(dict, labels, edges);
+}
+
+/// Cycle of n vertices, all labeled `label`.
+inline Graph Cycle(LabelDictionary& dict, int n, const std::string& label) {
+  std::vector<std::string> labels(n, label);
+  std::vector<std::pair<int, int>> edges;
+  for (int i = 0; i < n; ++i) edges.emplace_back(i, (i + 1) % n);
+  return MakeGraph(dict, labels, edges);
+}
+
+/// Star with the given center and leaf labels.
+inline Graph Star(LabelDictionary& dict, const std::string& center,
+                  const std::vector<std::string>& leaves) {
+  std::vector<std::string> labels = {center};
+  labels.insert(labels.end(), leaves.begin(), leaves.end());
+  std::vector<std::pair<int, int>> edges;
+  for (size_t i = 0; i < leaves.size(); ++i) {
+    edges.emplace_back(0, static_cast<int>(i + 1));
+  }
+  return MakeGraph(dict, labels, edges);
+}
+
+/// A small chemistry-flavored toy database in the spirit of the paper's
+/// Figure 3: C-O edges are ubiquitous, C-S edges common, C-N rare; several
+/// graphs share a C-O-C backbone so non-trivial frequent (closed) trees
+/// exist at sup_min = 0.5.
+inline GraphDatabase MakeToyDatabase() {
+  GraphDatabase db;
+  LabelDictionary& d = db.labels();
+  // G0: C-O-C path plus an S leaf on the middle O.
+  db.Insert(MakeGraph(d, {"C", "O", "C", "S"}, {{0, 1}, {1, 2}, {1, 3}}));
+  // G1: C-O-C path with an N leaf (rare label).
+  db.Insert(MakeGraph(d, {"C", "O", "C", "N"}, {{0, 1}, {1, 2}, {2, 3}}));
+  // G2: triangle C-O-C with extra O.
+  db.Insert(
+      MakeGraph(d, {"C", "O", "C", "O"}, {{0, 1}, {1, 2}, {0, 2}, {2, 3}}));
+  // G3: C-O edge only.
+  db.Insert(MakeGraph(d, {"C", "O"}, {{0, 1}}));
+  // G4: C-O-C path plus S chain.
+  db.Insert(MakeGraph(d, {"C", "O", "C", "S", "C"},
+                      {{0, 1}, {1, 2}, {2, 3}, {3, 4}}));
+  // G5: star around C with O, O, S.
+  db.Insert(MakeGraph(d, {"C", "O", "O", "S"}, {{0, 1}, {0, 2}, {0, 3}}));
+  // G6: C-C-C chain with one O.
+  db.Insert(MakeGraph(d, {"C", "C", "C", "O"}, {{0, 1}, {1, 2}, {2, 3}}));
+  // G7: C-O-C-O square.
+  db.Insert(
+      MakeGraph(d, {"C", "O", "C", "O"}, {{0, 1}, {1, 2}, {2, 3}, {3, 0}}));
+  return db;
+}
+
+/// Deterministic random labeled graph: tree + optional extra edges.
+inline Graph RandomGraph(LabelDictionary& dict, Rng& rng, int num_vertices,
+                         int extra_edges, int num_labels = 3) {
+  Graph g;
+  for (int i = 0; i < num_vertices; ++i) {
+    g.AddVertex(dict.Intern(std::string(1, static_cast<char>(
+                                               'A' + rng.UniformInt(
+                                                         0, num_labels - 1)))));
+  }
+  for (int i = 1; i < num_vertices; ++i) {
+    g.AddEdge(static_cast<VertexId>(rng.UniformInt(0, i - 1)),
+              static_cast<VertexId>(i));
+  }
+  for (int e = 0; e < extra_edges; ++e) {
+    VertexId u = static_cast<VertexId>(rng.UniformInt(0, num_vertices - 1));
+    VertexId v = static_cast<VertexId>(rng.UniformInt(0, num_vertices - 1));
+    if (u != v) g.AddEdge(u, v);
+  }
+  return g;
+}
+
+/// Random permutation vector of size n.
+inline std::vector<VertexId> RandomPermutation(size_t n, Rng& rng) {
+  std::vector<VertexId> perm(n);
+  for (size_t i = 0; i < n; ++i) perm[i] = static_cast<VertexId>(i);
+  rng.Shuffle(perm);
+  return perm;
+}
+
+}  // namespace testing_util
+}  // namespace midas
+
+#endif  // MIDAS_TESTS_TEST_UTIL_H_

@@ -1,0 +1,167 @@
+#include "midas/mining/tree_miner.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "midas/graph/canonical.h"
+#include "midas/graph/subgraph_iso.h"
+#include "test_util.h"
+
+namespace midas {
+namespace {
+
+using testing_util::MakeToyDatabase;
+
+TreeMinerConfig Config(double sup, size_t max_edges) {
+  TreeMinerConfig c;
+  c.min_support = sup;
+  c.max_edges = max_edges;
+  return c;
+}
+
+TEST(TreeMinerTest, MakeViewCoversDatabase) {
+  GraphDatabase db = MakeToyDatabase();
+  GraphView view = MakeView(db);
+  EXPECT_EQ(view.size(), db.size());
+  GraphView partial = MakeView(db, {0, 2, 999});
+  EXPECT_EQ(partial.size(), 2u);  // unknown ids skipped
+}
+
+TEST(TreeMinerTest, EdgeOccurrencesExact) {
+  GraphDatabase db = MakeToyDatabase();
+  auto occ = EdgeOccurrences(MakeView(db));
+  // C-O occurs in every toy graph.
+  Label c = static_cast<Label>(db.labels().Lookup("C"));
+  Label o = static_cast<Label>(db.labels().Lookup("O"));
+  EdgeLabelPair co(c, o);
+  ASSERT_TRUE(occ.count(co) > 0);
+  EXPECT_EQ(occ.at(co).size(), db.size());
+}
+
+TEST(TreeMinerTest, FrequentEdgesFound) {
+  GraphDatabase db = MakeToyDatabase();
+  auto trees = MineFrequentTrees(MakeView(db), Config(0.5, 1));
+  // At sup 0.5 the C-O edge (8/8) and C-S edge... C-S occurs in G0, G4, G5:
+  // 3/8 < 0.5 -> only C-O (and C-C in G6 only: 1/8). So exactly one.
+  ASSERT_EQ(trees.size(), 1u);
+  EXPECT_EQ(trees[0].occurrences.size(), db.size());
+  EXPECT_EQ(trees[0].tree.NumEdges(), 1u);
+}
+
+TEST(TreeMinerTest, SupportsAreCorrect) {
+  GraphDatabase db = MakeToyDatabase();
+  auto trees = MineFrequentTrees(MakeView(db), Config(0.25, 3));
+  ASSERT_FALSE(trees.empty());
+  // Verify every reported occurrence by direct subgraph isomorphism, and
+  // that no occurrence is missed.
+  for (const MinedTree& t : trees) {
+    for (const auto& [id, g] : db.graphs()) {
+      bool contains = ContainsSubgraph(t.tree, g);
+      EXPECT_EQ(contains, t.occurrences.Contains(id))
+          << "tree " << t.canon << " graph " << id;
+    }
+  }
+}
+
+TEST(TreeMinerTest, AllMinedTreesAreTreesAndFrequent) {
+  GraphDatabase db = MakeToyDatabase();
+  double sup = 0.25;
+  auto trees = MineFrequentTrees(MakeView(db), Config(sup, 3));
+  for (const MinedTree& t : trees) {
+    EXPECT_TRUE(t.tree.IsTree());
+    EXPECT_GE(t.Support(db.size()), sup);
+    EXPECT_EQ(t.canon, CanonicalTreeString(t.tree));
+  }
+}
+
+TEST(TreeMinerTest, NoDuplicateTrees) {
+  GraphDatabase db = MakeToyDatabase();
+  auto trees = MineFrequentTrees(MakeView(db), Config(0.2, 3));
+  std::set<std::string> canons;
+  for (const MinedTree& t : trees) {
+    EXPECT_TRUE(canons.insert(t.canon).second) << "duplicate " << t.canon;
+  }
+}
+
+TEST(TreeMinerTest, MaxEdgesRespected) {
+  GraphDatabase db = MakeToyDatabase();
+  auto trees = MineFrequentTrees(MakeView(db), Config(0.2, 2));
+  for (const MinedTree& t : trees) EXPECT_LE(t.tree.NumEdges(), 2u);
+}
+
+TEST(TreeMinerTest, EmptyViewYieldsNothing) {
+  GraphView empty;
+  EXPECT_TRUE(MineFrequentTrees(empty, Config(0.5, 3)).empty());
+}
+
+TEST(TreeMinerTest, SupportIsAntitone) {
+  GraphDatabase db = MakeToyDatabase();
+  auto trees = MineFrequentTrees(MakeView(db), Config(0.2, 3));
+  // Every subtree relation implies occurrence-set inclusion.
+  for (const MinedTree& small : trees) {
+    for (const MinedTree& big : trees) {
+      if (small.tree.NumEdges() + 1 != big.tree.NumEdges()) continue;
+      if (!ContainsSubgraph(small.tree, big.tree)) continue;
+      EXPECT_EQ(IdSet::Intersection(small.occurrences, big.occurrences).size(),
+                big.occurrences.size())
+          << big.canon << " not within " << small.canon;
+    }
+  }
+}
+
+TEST(FilterClosedTreesTest, DropsNonClosed) {
+  GraphDatabase db = MakeToyDatabase();
+  auto trees = MineFrequentTrees(MakeView(db), Config(0.25, 3));
+  auto closed = FilterClosedTrees(trees, 3);
+  EXPECT_LE(closed.size(), trees.size());
+  // Definition check: a closed tree has no one-edge-larger mined supertree
+  // with identical occurrences.
+  for (const MinedTree& c : closed) {
+    for (const MinedTree& t : trees) {
+      if (t.tree.NumEdges() != c.tree.NumEdges() + 1) continue;
+      if (c.tree.NumEdges() >= 3) continue;  // at cap: closed by convention
+      bool equal_occ = t.occurrences == c.occurrences;
+      bool is_super = ContainsSubgraph(c.tree, t.tree);
+      EXPECT_FALSE(equal_occ && is_super)
+          << c.canon << " should not be closed (supertree " << t.canon << ")";
+    }
+  }
+}
+
+TEST(FilterClosedTreesTest, KeepsEverythingWhenSupportsDiffer) {
+  // Database where the C-O edge strictly dominates every extension.
+  GraphDatabase db;
+  LabelDictionary& d = db.labels();
+  db.Insert(testing_util::Path(d, {"C", "O"}));
+  db.Insert(testing_util::Path(d, {"C", "O", "C"}));
+  auto trees = MineFrequentTrees(MakeView(db), Config(0.5, 2));
+  auto closed = FilterClosedTrees(trees, 2);
+  // C-O has support 2/2; C-O-C support 1/2 (infrequent at 0.5): the edge is
+  // closed and survives.
+  bool found_edge = false;
+  for (const MinedTree& t : closed) {
+    if (t.tree.NumEdges() == 1) found_edge = true;
+  }
+  EXPECT_TRUE(found_edge);
+}
+
+TEST(FilterClosedTreesTest, NonClosedEdgeEliminated) {
+  // Every graph containing C-O also contains C-O-C: the edge is not closed.
+  GraphDatabase db;
+  LabelDictionary& d = db.labels();
+  db.Insert(testing_util::Path(d, {"C", "O", "C"}));
+  db.Insert(testing_util::Path(d, {"C", "O", "C", "S"}));
+  auto trees = MineFrequentTrees(MakeView(db), Config(0.5, 2));
+  auto closed = FilterClosedTrees(trees, 2);
+  for (const MinedTree& t : closed) {
+    if (t.tree.NumEdges() == 1) {
+      // The only 1-edge trees allowed to survive are those whose extension
+      // support differs; C-O must have been subsumed by C-O-C.
+      EXPECT_NE(t.occurrences.size(), 2u);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace midas

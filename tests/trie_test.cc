@@ -1,0 +1,90 @@
+#include "midas/index/trie.h"
+
+#include <gtest/gtest.h>
+
+#include "midas/graph/canonical.h"
+#include "test_util.h"
+
+namespace midas {
+namespace {
+
+TEST(TokenTrieTest, InsertAndLookup) {
+  TokenTrie trie;
+  EXPECT_TRUE(trie.Insert({1, 2, 3}, 7));
+  EXPECT_EQ(trie.Lookup({1, 2, 3}), 7);
+  EXPECT_EQ(trie.Lookup({1, 2}), -1);     // prefix, not terminal
+  EXPECT_EQ(trie.Lookup({1, 2, 4}), -1);  // absent
+  EXPECT_EQ(trie.NumEntries(), 1u);
+}
+
+TEST(TokenTrieTest, ReinsertUpdatesKey) {
+  TokenTrie trie;
+  EXPECT_TRUE(trie.Insert({5}, 1));
+  EXPECT_FALSE(trie.Insert({5}, 2));
+  EXPECT_EQ(trie.Lookup({5}), 2);
+  EXPECT_EQ(trie.NumEntries(), 1u);
+}
+
+TEST(TokenTrieTest, SharedPrefixes) {
+  TokenTrie trie;
+  trie.Insert({1, 2, 3}, 0);
+  trie.Insert({1, 2, 4}, 1);
+  trie.Insert({1}, 2);
+  EXPECT_EQ(trie.Lookup({1, 2, 3}), 0);
+  EXPECT_EQ(trie.Lookup({1, 2, 4}), 1);
+  EXPECT_EQ(trie.Lookup({1}), 2);
+  // Root + 1 + 2 + {3,4} = 5 nodes.
+  EXPECT_EQ(trie.NumNodes(), 5u);
+}
+
+TEST(TokenTrieTest, Remove) {
+  TokenTrie trie;
+  trie.Insert({1, 2}, 0);
+  trie.Insert({1, 2, 3}, 1);
+  EXPECT_TRUE(trie.Remove({1, 2}));
+  EXPECT_EQ(trie.Lookup({1, 2}), -1);
+  EXPECT_EQ(trie.Lookup({1, 2, 3}), 1);  // deeper entry survives
+  EXPECT_FALSE(trie.Remove({1, 2}));
+  EXPECT_FALSE(trie.Remove({9, 9}));
+  EXPECT_EQ(trie.NumEntries(), 1u);
+}
+
+TEST(TokenTrieTest, MaxDepthTracksDeepestTerminal) {
+  TokenTrie trie;
+  trie.Insert({1}, 0);
+  EXPECT_EQ(trie.MaxDepth(), 1u);
+  trie.Insert({1, 2, 3, 4}, 1);
+  EXPECT_EQ(trie.MaxDepth(), 4u);
+}
+
+TEST(TokenTrieTest, EmptySequenceIsRootTerminal) {
+  TokenTrie trie;
+  EXPECT_EQ(trie.Lookup({}), -1);
+  trie.Insert({}, 9);
+  EXPECT_EQ(trie.Lookup({}), 9);
+}
+
+TEST(TokenTrieTest, CanonicalTreeTokensRoundTrip) {
+  LabelDictionary d;
+  TokenTrie trie;
+  Graph t1 = testing_util::Path(d, {"C", "O", "C"});
+  Graph t2 = testing_util::Star(d, "C", {"O", "O", "S"});
+  trie.Insert(CanonicalTreeTokens(t1), 1);
+  trie.Insert(CanonicalTreeTokens(t2), 2);
+  EXPECT_EQ(trie.Lookup(CanonicalTreeTokens(t1)), 1);
+  EXPECT_EQ(trie.Lookup(CanonicalTreeTokens(t2)), 2);
+  // A permuted copy hits the same terminal.
+  Rng rng(4);
+  Graph p = t2.Permuted(testing_util::RandomPermutation(4, rng));
+  EXPECT_EQ(trie.Lookup(CanonicalTreeTokens(p)), 2);
+}
+
+TEST(TokenTrieTest, MemoryGrowsWithNodes) {
+  TokenTrie trie;
+  size_t before = trie.MemoryBytes();
+  for (uint32_t i = 0; i < 50; ++i) trie.Insert({i, i + 1, i + 2}, i);
+  EXPECT_GT(trie.MemoryBytes(), before);
+}
+
+}  // namespace
+}  // namespace midas

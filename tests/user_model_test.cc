@@ -1,0 +1,143 @@
+#include "midas/queryform/user_model.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace midas {
+namespace {
+
+using testing_util::Path;
+
+TEST(UserModelTest, ZeroPlanZeroTime) {
+  FormulationPlan plan;  // nothing to do
+  UserModelConfig cfg;
+  Rng rng(1);
+  SimulatedFormulation s = SimulateUser(plan, 30, cfg, rng);
+  EXPECT_DOUBLE_EQ(s.qft_seconds, 0.0);
+  EXPECT_DOUBLE_EQ(s.vmt_seconds, 0.0);
+}
+
+TEST(UserModelTest, TimeScalesWithSteps) {
+  UserModelConfig cfg;
+  cfg.jitter = 0.0;
+  Rng rng(2);
+  FormulationPlan small;
+  small.vertices_added = 2;
+  small.edges_added = 2;
+  small.steps = 4;
+  FormulationPlan big;
+  big.vertices_added = 10;
+  big.edges_added = 10;
+  big.steps = 20;
+  EXPECT_LT(SimulateUser(small, 30, cfg, rng).qft_seconds,
+            SimulateUser(big, 30, cfg, rng).qft_seconds);
+}
+
+TEST(UserModelTest, VmtGrowsWithPanelSize) {
+  UserModelConfig cfg;
+  cfg.jitter = 0.0;
+  Rng rng(3);
+  FormulationPlan plan;
+  plan.patterns_used = 1;
+  plan.steps = 1;
+  double vmt_small = SimulateUser(plan, 10, cfg, rng).vmt_seconds;
+  double vmt_large = SimulateUser(plan, 100, cfg, rng).vmt_seconds;
+  EXPECT_LT(vmt_small, vmt_large);
+  EXPECT_NEAR(vmt_small, cfg.vmt_base_seconds + 10 * cfg.vmt_per_pattern,
+              1e-9);
+}
+
+TEST(UserModelTest, JitterIsBounded) {
+  UserModelConfig cfg;
+  cfg.jitter = 0.15;
+  Rng rng(4);
+  FormulationPlan plan;
+  plan.vertices_added = 1;
+  plan.steps = 1;
+  for (int i = 0; i < 200; ++i) {
+    double t = SimulateUser(plan, 30, cfg, rng).qft_seconds;
+    EXPECT_GE(t, cfg.vertex_seconds * 0.85 - 1e-9);
+    EXPECT_LE(t, cfg.vertex_seconds * 1.15 + 1e-9);
+  }
+}
+
+TEST(UserModelTest, CalibrationMagnitudes) {
+  // Example 1.1 shapes: ~41-step edge-at-a-time formulation lands in the
+  // low hundreds of seconds; pattern-mode ~20 steps is faster.
+  UserModelConfig cfg;
+  Rng rng(5);
+  FormulationPlan edge_mode;
+  edge_mode.vertices_added = 18;
+  edge_mode.edges_added = 23;
+  edge_mode.steps = 41;
+  double qft_edges = SimulateUser(edge_mode, 30, cfg, rng).qft_seconds;
+  EXPECT_GT(qft_edges, 80.0);
+  EXPECT_LT(qft_edges, 220.0);
+
+  FormulationPlan pattern_mode;
+  pattern_mode.patterns_used = 2;
+  pattern_mode.vertices_added = 7;
+  pattern_mode.edges_added = 11;
+  pattern_mode.steps = 20;
+  double qft_patterns = SimulateUser(pattern_mode, 30, cfg, rng).qft_seconds;
+  EXPECT_LT(qft_patterns, qft_edges);
+}
+
+TEST(UserModelTest, EditPlanAddsTrimTime) {
+  UserModelConfig cfg;
+  cfg.jitter = 0.0;
+  Rng rng(7);
+  EditPlan trimmed;
+  trimmed.patterns_used = 1;
+  trimmed.elements_deleted = 2;
+  trimmed.steps = 3;
+  EditPlan clean;
+  clean.patterns_used = 1;
+  clean.steps = 1;
+  double t_trimmed = SimulateUser(trimmed, 30, cfg, rng).qft_seconds;
+  double t_clean = SimulateUser(clean, 30, cfg, rng).qft_seconds;
+  EXPECT_NEAR(t_trimmed - t_clean, 2 * cfg.delete_seconds, 1e-9);
+}
+
+TEST(UserModelTest, SimulateUsersWithEditsBeatsStrictWhenTrimmingHelps) {
+  LabelDictionary d;
+  PatternSet set;
+  CannedPattern p;
+  p.graph = Path(d, {"C", "O", "C", "S"});  // oversized for the query
+  set.Add(std::move(p));
+  Graph query = Path(d, {"C", "O", "C"});
+
+  UserModelConfig cfg;
+  cfg.jitter = 0.0;
+  Rng rng(8);
+  SimulatedFormulation strict = SimulateUsers(query, set, 3, cfg, rng);
+  SimulatedFormulation edits = SimulateUsersWithEdits(query, set, 3, cfg, rng);
+  // Strict planning cannot use the pattern (5 steps); trimming can
+  // (drop + one delete = 2 steps).
+  EXPECT_EQ(strict.steps, 5u);
+  EXPECT_EQ(edits.steps, 2u);
+  EXPECT_LT(edits.qft_seconds, strict.qft_seconds);
+}
+
+TEST(UserModelTest, SimulateUsersAveragesTrials) {
+  LabelDictionary d;
+  PatternSet set;
+  CannedPattern p;
+  p.graph = Path(d, {"C", "O", "C"});
+  set.Add(std::move(p));
+  Graph query = Path(d, {"C", "O", "C"});
+
+  UserModelConfig cfg;
+  Rng rng(6);
+  SimulatedFormulation mean = SimulateUsers(query, set, 10, cfg, rng);
+  EXPECT_EQ(mean.steps, 1u);
+  EXPECT_GT(mean.qft_seconds, 0.0);
+  EXPECT_GT(mean.vmt_seconds, 0.0);
+
+  SimulatedFormulation none = SimulateUsers(query, set, 0, cfg, rng);
+  EXPECT_DOUBLE_EQ(none.qft_seconds, 0.0);
+}
+
+}  // namespace
+}  // namespace midas

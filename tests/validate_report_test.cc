@@ -1,0 +1,99 @@
+#include <gtest/gtest.h>
+
+#include "midas/datagen/molecule_gen.h"
+#include "midas/maintain/report.h"
+#include "test_util.h"
+
+namespace midas {
+namespace {
+
+MidasConfig GoodConfig() {
+  MidasConfig cfg;
+  cfg.fct.sup_min = 0.4;
+  cfg.fct.max_edges = 3;
+  cfg.budget = {3, 6, 8};
+  cfg.sample_cap = 0;
+  return cfg;
+}
+
+TEST(ValidateConfigTest, DefaultsAreValid) {
+  EXPECT_TRUE(ValidateConfig(GoodConfig()).empty());
+  EXPECT_TRUE(ValidateConfig(MidasConfig()).empty());
+}
+
+TEST(ValidateConfigTest, EtaMinConstraint) {
+  MidasConfig cfg = GoodConfig();
+  cfg.budget.eta_min = 2;  // Definition 3.1 requires eta_min > 2
+  auto problems = ValidateConfig(cfg);
+  ASSERT_FALSE(problems.empty());
+  EXPECT_NE(problems[0].find("eta_min"), std::string::npos);
+}
+
+TEST(ValidateConfigTest, InvertedRangeAndZeroGamma) {
+  MidasConfig cfg = GoodConfig();
+  cfg.budget.eta_max = 2;  // below eta_min = 3
+  cfg.budget.gamma = 0;
+  auto problems = ValidateConfig(cfg);
+  EXPECT_GE(problems.size(), 2u);
+}
+
+TEST(ValidateConfigTest, BadSupportFraction) {
+  MidasConfig cfg = GoodConfig();
+  cfg.fct.sup_min = 1.5;
+  EXPECT_FALSE(ValidateConfig(cfg).empty());
+  cfg.fct.sup_min = 0.0;
+  EXPECT_FALSE(ValidateConfig(cfg).empty());
+}
+
+TEST(ValidateConfigTest, NegativeThresholds) {
+  MidasConfig cfg = GoodConfig();
+  cfg.kappa = -0.1;
+  EXPECT_FALSE(ValidateConfig(cfg).empty());
+}
+
+TEST(ValidateConfigTest, WarningsArePrefixed) {
+  MidasConfig cfg = GoodConfig();
+  cfg.fct.sup_min = 0.05;
+  cfg.kappa = 2.0;
+  cfg.sample_cap = 5;
+  auto problems = ValidateConfig(cfg);
+  ASSERT_EQ(problems.size(), 3u);
+  for (const std::string& p : problems) {
+    EXPECT_EQ(p.rfind("warning:", 0), 0u) << p;
+  }
+}
+
+TEST(ValidateConfigTest, ZeroStructuralKnobs) {
+  MidasConfig cfg = GoodConfig();
+  cfg.cluster.num_coarse = 0;
+  cfg.cluster.max_cluster_size = 0;
+  cfg.fct.max_edges = 0;
+  cfg.walk.num_walks = 0;
+  EXPECT_GE(ValidateConfig(cfg).size(), 4u);
+}
+
+TEST(EngineReportTest, ContainsAllSections) {
+  MoleculeGenerator gen(606);
+  MoleculeGenConfig data = MoleculeGenerator::EmolLike(30);
+  MidasConfig cfg = GoodConfig();
+  cfg.seed = 3;
+  MidasEngine engine(gen.Generate(data), cfg);
+  engine.Initialize();
+  GraphDatabase copy = engine.db();
+  BatchUpdate delta = gen.GenerateAdditions(copy, data, 10, true);
+  engine.ApplyUpdate(delta);
+
+  std::string report = RenderEngineReport(engine);
+  EXPECT_NE(report.find("MIDAS engine report"), std::string::npos);
+  EXPECT_NE(report.find("pattern panel"), std::string::npos);
+  EXPECT_NE(report.find("set quality"), std::string::npos);
+  EXPECT_NE(report.find("maintenance history: 1 rounds"), std::string::npos);
+  // One row per pattern.
+  size_t rows = 0;
+  size_t pos = 0;
+  while ((pos = report.find('\n', pos + 1)) != std::string::npos) ++rows;
+  EXPECT_GT(rows, engine.patterns().size());
+}
+
+}  // namespace
+}  // namespace midas

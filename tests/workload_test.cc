@@ -1,0 +1,118 @@
+#include "midas/datagen/workload.h"
+
+#include <gtest/gtest.h>
+
+#include "midas/datagen/molecule_gen.h"
+#include "midas/graph/subgraph_iso.h"
+#include "test_util.h"
+
+namespace midas {
+namespace {
+
+TEST(RandomConnectedSubgraphTest, SizeAndConnectivity) {
+  MoleculeGenerator gen(1);
+  GraphDatabase db = gen.Generate(MoleculeGenerator::EmolLike(5));
+  Rng rng(2);
+  for (const auto& [id, g] : db.graphs()) {
+    for (size_t target : {2u, 4u, 8u}) {
+      Graph q = RandomConnectedSubgraph(g, target, rng);
+      EXPECT_TRUE(q.IsConnected());
+      EXPECT_LE(q.NumEdges(), std::min(target, g.NumEdges()));
+      EXPECT_GE(q.NumEdges(), 1u);
+    }
+  }
+}
+
+TEST(RandomConnectedSubgraphTest, IsActualSubgraph) {
+  MoleculeGenerator gen(3);
+  GraphDatabase db = gen.Generate(MoleculeGenerator::EmolLike(5));
+  Rng rng(4);
+  for (const auto& [id, g] : db.graphs()) {
+    Graph q = RandomConnectedSubgraph(g, 5, rng);
+    EXPECT_TRUE(ContainsSubgraph(q, g)) << "graph " << id;
+  }
+}
+
+TEST(RandomConnectedSubgraphTest, EmptyGraph) {
+  Rng rng(5);
+  Graph q = RandomConnectedSubgraph(Graph(), 4, rng);
+  EXPECT_EQ(q.NumEdges(), 0u);
+}
+
+TEST(GenerateQueriesTest, CountAndSizes) {
+  MoleculeGenerator gen(6);
+  GraphDatabase db = gen.Generate(MoleculeGenerator::EmolLike(20));
+  QueryGenConfig cfg;
+  cfg.count = 40;
+  cfg.min_edges = 3;
+  cfg.max_edges = 10;
+  Rng rng(7);
+  auto queries = GenerateQueries(db, cfg, rng);
+  EXPECT_EQ(queries.size(), 40u);
+  for (const Graph& q : queries) {
+    EXPECT_GE(q.NumEdges(), 1u);
+    EXPECT_LE(q.NumEdges(), 10u);
+    EXPECT_TRUE(q.IsConnected());
+  }
+}
+
+TEST(GenerateQueriesTest, EmptyDatabase) {
+  GraphDatabase db;
+  QueryGenConfig cfg;
+  Rng rng(8);
+  EXPECT_TRUE(GenerateQueries(db, cfg, rng).empty());
+}
+
+TEST(GenerateBalancedQueriesTest, HalfFromDelta) {
+  MoleculeGenerator gen(9);
+  MoleculeGenConfig mcfg = MoleculeGenerator::EmolLike(20);
+  GraphDatabase db = gen.Generate(mcfg);
+  BatchUpdate delta = gen.GenerateAdditions(db, mcfg, 10, true);
+  std::vector<GraphId> added = db.ApplyBatch(delta);
+
+  QueryGenConfig cfg;
+  cfg.count = 30;
+  cfg.min_edges = 3;
+  cfg.max_edges = 8;
+  Rng rng(10);
+  auto queries = GenerateBalancedQueries(db, added, cfg, rng);
+  EXPECT_EQ(queries.size(), 30u);
+
+  // Delta graphs carry boron; at least some queries should too (the first
+  // half was drawn from the delta).
+  Label b = static_cast<Label>(db.labels().Lookup("B"));
+  size_t with_boron = 0;
+  for (const Graph& q : queries) {
+    for (VertexId v = 0; v < q.NumVertices(); ++v) {
+      if (q.label(v) == b) {
+        ++with_boron;
+        break;
+      }
+    }
+  }
+  EXPECT_GT(with_boron, 0u);
+}
+
+TEST(GenerateBalancedQueriesTest, EmptyDeltaFallsBack) {
+  MoleculeGenerator gen(11);
+  GraphDatabase db = gen.Generate(MoleculeGenerator::EmolLike(10));
+  QueryGenConfig cfg;
+  cfg.count = 10;
+  Rng rng(12);
+  auto queries = GenerateBalancedQueries(db, {}, cfg, rng);
+  EXPECT_EQ(queries.size(), 10u);
+}
+
+TEST(GenerateBalancedQueriesTest, StaleDeltaIdsSkipped) {
+  MoleculeGenerator gen(13);
+  GraphDatabase db = gen.Generate(MoleculeGenerator::EmolLike(10));
+  QueryGenConfig cfg;
+  cfg.count = 6;
+  Rng rng(14);
+  // Ids that no longer exist behave like an empty delta.
+  auto queries = GenerateBalancedQueries(db, {9999, 10000}, cfg, rng);
+  EXPECT_EQ(queries.size(), 6u);
+}
+
+}  // namespace
+}  // namespace midas
