@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_index_cost.dir/bench_common.cc.o"
+  "CMakeFiles/bench_index_cost.dir/bench_common.cc.o.d"
+  "CMakeFiles/bench_index_cost.dir/bench_index_cost.cc.o"
+  "CMakeFiles/bench_index_cost.dir/bench_index_cost.cc.o.d"
+  "bench_index_cost"
+  "bench_index_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_index_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_no_maintain.dir/bench_common.cc.o"
+  "CMakeFiles/bench_no_maintain.dir/bench_common.cc.o.d"
+  "CMakeFiles/bench_no_maintain.dir/bench_no_maintain.cc.o"
+  "CMakeFiles/bench_no_maintain.dir/bench_no_maintain.cc.o.d"
+  "bench_no_maintain"
+  "bench_no_maintain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_no_maintain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

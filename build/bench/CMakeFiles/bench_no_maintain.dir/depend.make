@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_no_maintain.
+# This may be replaced when dependencies are built.

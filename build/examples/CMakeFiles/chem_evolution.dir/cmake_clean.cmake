@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chem_evolution.dir/chem_evolution.cc.o"
+  "CMakeFiles/chem_evolution.dir/chem_evolution.cc.o.d"
+  "chem_evolution"
+  "chem_evolution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chem_evolution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/evolving_stream.dir/evolving_stream.cc.o"
+  "CMakeFiles/evolving_stream.dir/evolving_stream.cc.o.d"
+  "evolving_stream"
+  "evolving_stream.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/evolving_stream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

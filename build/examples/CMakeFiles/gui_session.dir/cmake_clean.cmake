@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gui_session.dir/gui_session.cc.o"
+  "CMakeFiles/gui_session.dir/gui_session.cc.o.d"
+  "gui_session"
+  "gui_session.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gui_session.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

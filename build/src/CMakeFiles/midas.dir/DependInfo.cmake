@@ -1,0 +1,62 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/midas/cluster/clustering.cc" "src/CMakeFiles/midas.dir/midas/cluster/clustering.cc.o" "gcc" "src/CMakeFiles/midas.dir/midas/cluster/clustering.cc.o.d"
+  "/root/repo/src/midas/cluster/csg.cc" "src/CMakeFiles/midas.dir/midas/cluster/csg.cc.o" "gcc" "src/CMakeFiles/midas.dir/midas/cluster/csg.cc.o.d"
+  "/root/repo/src/midas/cluster/feature.cc" "src/CMakeFiles/midas.dir/midas/cluster/feature.cc.o" "gcc" "src/CMakeFiles/midas.dir/midas/cluster/feature.cc.o.d"
+  "/root/repo/src/midas/cluster/kmeans.cc" "src/CMakeFiles/midas.dir/midas/cluster/kmeans.cc.o" "gcc" "src/CMakeFiles/midas.dir/midas/cluster/kmeans.cc.o.d"
+  "/root/repo/src/midas/common/id_set.cc" "src/CMakeFiles/midas.dir/midas/common/id_set.cc.o" "gcc" "src/CMakeFiles/midas.dir/midas/common/id_set.cc.o.d"
+  "/root/repo/src/midas/common/rng.cc" "src/CMakeFiles/midas.dir/midas/common/rng.cc.o" "gcc" "src/CMakeFiles/midas.dir/midas/common/rng.cc.o.d"
+  "/root/repo/src/midas/common/sparse_matrix.cc" "src/CMakeFiles/midas.dir/midas/common/sparse_matrix.cc.o" "gcc" "src/CMakeFiles/midas.dir/midas/common/sparse_matrix.cc.o.d"
+  "/root/repo/src/midas/common/stats.cc" "src/CMakeFiles/midas.dir/midas/common/stats.cc.o" "gcc" "src/CMakeFiles/midas.dir/midas/common/stats.cc.o.d"
+  "/root/repo/src/midas/datagen/molecule_gen.cc" "src/CMakeFiles/midas.dir/midas/datagen/molecule_gen.cc.o" "gcc" "src/CMakeFiles/midas.dir/midas/datagen/molecule_gen.cc.o.d"
+  "/root/repo/src/midas/datagen/protein_gen.cc" "src/CMakeFiles/midas.dir/midas/datagen/protein_gen.cc.o" "gcc" "src/CMakeFiles/midas.dir/midas/datagen/protein_gen.cc.o.d"
+  "/root/repo/src/midas/datagen/workload.cc" "src/CMakeFiles/midas.dir/midas/datagen/workload.cc.o" "gcc" "src/CMakeFiles/midas.dir/midas/datagen/workload.cc.o.d"
+  "/root/repo/src/midas/graph/canonical.cc" "src/CMakeFiles/midas.dir/midas/graph/canonical.cc.o" "gcc" "src/CMakeFiles/midas.dir/midas/graph/canonical.cc.o.d"
+  "/root/repo/src/midas/graph/closure_graph.cc" "src/CMakeFiles/midas.dir/midas/graph/closure_graph.cc.o" "gcc" "src/CMakeFiles/midas.dir/midas/graph/closure_graph.cc.o.d"
+  "/root/repo/src/midas/graph/dot_export.cc" "src/CMakeFiles/midas.dir/midas/graph/dot_export.cc.o" "gcc" "src/CMakeFiles/midas.dir/midas/graph/dot_export.cc.o.d"
+  "/root/repo/src/midas/graph/ged.cc" "src/CMakeFiles/midas.dir/midas/graph/ged.cc.o" "gcc" "src/CMakeFiles/midas.dir/midas/graph/ged.cc.o.d"
+  "/root/repo/src/midas/graph/graph.cc" "src/CMakeFiles/midas.dir/midas/graph/graph.cc.o" "gcc" "src/CMakeFiles/midas.dir/midas/graph/graph.cc.o.d"
+  "/root/repo/src/midas/graph/graph_database.cc" "src/CMakeFiles/midas.dir/midas/graph/graph_database.cc.o" "gcc" "src/CMakeFiles/midas.dir/midas/graph/graph_database.cc.o.d"
+  "/root/repo/src/midas/graph/graph_io.cc" "src/CMakeFiles/midas.dir/midas/graph/graph_io.cc.o" "gcc" "src/CMakeFiles/midas.dir/midas/graph/graph_io.cc.o.d"
+  "/root/repo/src/midas/graph/graph_statistics.cc" "src/CMakeFiles/midas.dir/midas/graph/graph_statistics.cc.o" "gcc" "src/CMakeFiles/midas.dir/midas/graph/graph_statistics.cc.o.d"
+  "/root/repo/src/midas/graph/graphlet.cc" "src/CMakeFiles/midas.dir/midas/graph/graphlet.cc.o" "gcc" "src/CMakeFiles/midas.dir/midas/graph/graphlet.cc.o.d"
+  "/root/repo/src/midas/graph/mccs.cc" "src/CMakeFiles/midas.dir/midas/graph/mccs.cc.o" "gcc" "src/CMakeFiles/midas.dir/midas/graph/mccs.cc.o.d"
+  "/root/repo/src/midas/graph/subgraph_iso.cc" "src/CMakeFiles/midas.dir/midas/graph/subgraph_iso.cc.o" "gcc" "src/CMakeFiles/midas.dir/midas/graph/subgraph_iso.cc.o.d"
+  "/root/repo/src/midas/index/fct_index.cc" "src/CMakeFiles/midas.dir/midas/index/fct_index.cc.o" "gcc" "src/CMakeFiles/midas.dir/midas/index/fct_index.cc.o.d"
+  "/root/repo/src/midas/index/ife_index.cc" "src/CMakeFiles/midas.dir/midas/index/ife_index.cc.o" "gcc" "src/CMakeFiles/midas.dir/midas/index/ife_index.cc.o.d"
+  "/root/repo/src/midas/index/pf_matrix.cc" "src/CMakeFiles/midas.dir/midas/index/pf_matrix.cc.o" "gcc" "src/CMakeFiles/midas.dir/midas/index/pf_matrix.cc.o.d"
+  "/root/repo/src/midas/index/trie.cc" "src/CMakeFiles/midas.dir/midas/index/trie.cc.o" "gcc" "src/CMakeFiles/midas.dir/midas/index/trie.cc.o.d"
+  "/root/repo/src/midas/maintain/midas.cc" "src/CMakeFiles/midas.dir/midas/maintain/midas.cc.o" "gcc" "src/CMakeFiles/midas.dir/midas/maintain/midas.cc.o.d"
+  "/root/repo/src/midas/maintain/modification.cc" "src/CMakeFiles/midas.dir/midas/maintain/modification.cc.o" "gcc" "src/CMakeFiles/midas.dir/midas/maintain/modification.cc.o.d"
+  "/root/repo/src/midas/maintain/report.cc" "src/CMakeFiles/midas.dir/midas/maintain/report.cc.o" "gcc" "src/CMakeFiles/midas.dir/midas/maintain/report.cc.o.d"
+  "/root/repo/src/midas/maintain/small_patterns.cc" "src/CMakeFiles/midas.dir/midas/maintain/small_patterns.cc.o" "gcc" "src/CMakeFiles/midas.dir/midas/maintain/small_patterns.cc.o.d"
+  "/root/repo/src/midas/maintain/snapshot.cc" "src/CMakeFiles/midas.dir/midas/maintain/snapshot.cc.o" "gcc" "src/CMakeFiles/midas.dir/midas/maintain/snapshot.cc.o.d"
+  "/root/repo/src/midas/maintain/swap.cc" "src/CMakeFiles/midas.dir/midas/maintain/swap.cc.o" "gcc" "src/CMakeFiles/midas.dir/midas/maintain/swap.cc.o.d"
+  "/root/repo/src/midas/mining/fct_set.cc" "src/CMakeFiles/midas.dir/midas/mining/fct_set.cc.o" "gcc" "src/CMakeFiles/midas.dir/midas/mining/fct_set.cc.o.d"
+  "/root/repo/src/midas/mining/tree_miner.cc" "src/CMakeFiles/midas.dir/midas/mining/tree_miner.cc.o" "gcc" "src/CMakeFiles/midas.dir/midas/mining/tree_miner.cc.o.d"
+  "/root/repo/src/midas/queryform/formulation.cc" "src/CMakeFiles/midas.dir/midas/queryform/formulation.cc.o" "gcc" "src/CMakeFiles/midas.dir/midas/queryform/formulation.cc.o.d"
+  "/root/repo/src/midas/queryform/query_executor.cc" "src/CMakeFiles/midas.dir/midas/queryform/query_executor.cc.o" "gcc" "src/CMakeFiles/midas.dir/midas/queryform/query_executor.cc.o.d"
+  "/root/repo/src/midas/queryform/query_log.cc" "src/CMakeFiles/midas.dir/midas/queryform/query_log.cc.o" "gcc" "src/CMakeFiles/midas.dir/midas/queryform/query_log.cc.o.d"
+  "/root/repo/src/midas/queryform/session.cc" "src/CMakeFiles/midas.dir/midas/queryform/session.cc.o" "gcc" "src/CMakeFiles/midas.dir/midas/queryform/session.cc.o.d"
+  "/root/repo/src/midas/queryform/user_model.cc" "src/CMakeFiles/midas.dir/midas/queryform/user_model.cc.o" "gcc" "src/CMakeFiles/midas.dir/midas/queryform/user_model.cc.o.d"
+  "/root/repo/src/midas/select/candidate_gen.cc" "src/CMakeFiles/midas.dir/midas/select/candidate_gen.cc.o" "gcc" "src/CMakeFiles/midas.dir/midas/select/candidate_gen.cc.o.d"
+  "/root/repo/src/midas/select/catapult.cc" "src/CMakeFiles/midas.dir/midas/select/catapult.cc.o" "gcc" "src/CMakeFiles/midas.dir/midas/select/catapult.cc.o.d"
+  "/root/repo/src/midas/select/pattern.cc" "src/CMakeFiles/midas.dir/midas/select/pattern.cc.o" "gcc" "src/CMakeFiles/midas.dir/midas/select/pattern.cc.o.d"
+  "/root/repo/src/midas/select/pattern_io.cc" "src/CMakeFiles/midas.dir/midas/select/pattern_io.cc.o" "gcc" "src/CMakeFiles/midas.dir/midas/select/pattern_io.cc.o.d"
+  "/root/repo/src/midas/select/random_walk.cc" "src/CMakeFiles/midas.dir/midas/select/random_walk.cc.o" "gcc" "src/CMakeFiles/midas.dir/midas/select/random_walk.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

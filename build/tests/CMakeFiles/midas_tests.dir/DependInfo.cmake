@@ -1,0 +1,66 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/brute_force_crosscheck_test.cc" "tests/CMakeFiles/midas_tests.dir/brute_force_crosscheck_test.cc.o" "gcc" "tests/CMakeFiles/midas_tests.dir/brute_force_crosscheck_test.cc.o.d"
+  "/root/repo/tests/candidate_gen_test.cc" "tests/CMakeFiles/midas_tests.dir/candidate_gen_test.cc.o" "gcc" "tests/CMakeFiles/midas_tests.dir/candidate_gen_test.cc.o.d"
+  "/root/repo/tests/canonical_test.cc" "tests/CMakeFiles/midas_tests.dir/canonical_test.cc.o" "gcc" "tests/CMakeFiles/midas_tests.dir/canonical_test.cc.o.d"
+  "/root/repo/tests/catapult_test.cc" "tests/CMakeFiles/midas_tests.dir/catapult_test.cc.o" "gcc" "tests/CMakeFiles/midas_tests.dir/catapult_test.cc.o.d"
+  "/root/repo/tests/clustering_test.cc" "tests/CMakeFiles/midas_tests.dir/clustering_test.cc.o" "gcc" "tests/CMakeFiles/midas_tests.dir/clustering_test.cc.o.d"
+  "/root/repo/tests/config_sweep_test.cc" "tests/CMakeFiles/midas_tests.dir/config_sweep_test.cc.o" "gcc" "tests/CMakeFiles/midas_tests.dir/config_sweep_test.cc.o.d"
+  "/root/repo/tests/csg_test.cc" "tests/CMakeFiles/midas_tests.dir/csg_test.cc.o" "gcc" "tests/CMakeFiles/midas_tests.dir/csg_test.cc.o.d"
+  "/root/repo/tests/dot_export_test.cc" "tests/CMakeFiles/midas_tests.dir/dot_export_test.cc.o" "gcc" "tests/CMakeFiles/midas_tests.dir/dot_export_test.cc.o.d"
+  "/root/repo/tests/engine_extensions_test.cc" "tests/CMakeFiles/midas_tests.dir/engine_extensions_test.cc.o" "gcc" "tests/CMakeFiles/midas_tests.dir/engine_extensions_test.cc.o.d"
+  "/root/repo/tests/engine_fuzz_test.cc" "tests/CMakeFiles/midas_tests.dir/engine_fuzz_test.cc.o" "gcc" "tests/CMakeFiles/midas_tests.dir/engine_fuzz_test.cc.o.d"
+  "/root/repo/tests/exhaustive_small_test.cc" "tests/CMakeFiles/midas_tests.dir/exhaustive_small_test.cc.o" "gcc" "tests/CMakeFiles/midas_tests.dir/exhaustive_small_test.cc.o.d"
+  "/root/repo/tests/fct_index_test.cc" "tests/CMakeFiles/midas_tests.dir/fct_index_test.cc.o" "gcc" "tests/CMakeFiles/midas_tests.dir/fct_index_test.cc.o.d"
+  "/root/repo/tests/fct_set_test.cc" "tests/CMakeFiles/midas_tests.dir/fct_set_test.cc.o" "gcc" "tests/CMakeFiles/midas_tests.dir/fct_set_test.cc.o.d"
+  "/root/repo/tests/feature_kmeans_test.cc" "tests/CMakeFiles/midas_tests.dir/feature_kmeans_test.cc.o" "gcc" "tests/CMakeFiles/midas_tests.dir/feature_kmeans_test.cc.o.d"
+  "/root/repo/tests/formulation_test.cc" "tests/CMakeFiles/midas_tests.dir/formulation_test.cc.o" "gcc" "tests/CMakeFiles/midas_tests.dir/formulation_test.cc.o.d"
+  "/root/repo/tests/ged_test.cc" "tests/CMakeFiles/midas_tests.dir/ged_test.cc.o" "gcc" "tests/CMakeFiles/midas_tests.dir/ged_test.cc.o.d"
+  "/root/repo/tests/graph_io_test.cc" "tests/CMakeFiles/midas_tests.dir/graph_io_test.cc.o" "gcc" "tests/CMakeFiles/midas_tests.dir/graph_io_test.cc.o.d"
+  "/root/repo/tests/graph_statistics_test.cc" "tests/CMakeFiles/midas_tests.dir/graph_statistics_test.cc.o" "gcc" "tests/CMakeFiles/midas_tests.dir/graph_statistics_test.cc.o.d"
+  "/root/repo/tests/graph_test.cc" "tests/CMakeFiles/midas_tests.dir/graph_test.cc.o" "gcc" "tests/CMakeFiles/midas_tests.dir/graph_test.cc.o.d"
+  "/root/repo/tests/graphlet_test.cc" "tests/CMakeFiles/midas_tests.dir/graphlet_test.cc.o" "gcc" "tests/CMakeFiles/midas_tests.dir/graphlet_test.cc.o.d"
+  "/root/repo/tests/id_set_test.cc" "tests/CMakeFiles/midas_tests.dir/id_set_test.cc.o" "gcc" "tests/CMakeFiles/midas_tests.dir/id_set_test.cc.o.d"
+  "/root/repo/tests/ife_index_test.cc" "tests/CMakeFiles/midas_tests.dir/ife_index_test.cc.o" "gcc" "tests/CMakeFiles/midas_tests.dir/ife_index_test.cc.o.d"
+  "/root/repo/tests/integration_test.cc" "tests/CMakeFiles/midas_tests.dir/integration_test.cc.o" "gcc" "tests/CMakeFiles/midas_tests.dir/integration_test.cc.o.d"
+  "/root/repo/tests/mccs_closure_test.cc" "tests/CMakeFiles/midas_tests.dir/mccs_closure_test.cc.o" "gcc" "tests/CMakeFiles/midas_tests.dir/mccs_closure_test.cc.o.d"
+  "/root/repo/tests/midas_engine_test.cc" "tests/CMakeFiles/midas_tests.dir/midas_engine_test.cc.o" "gcc" "tests/CMakeFiles/midas_tests.dir/midas_engine_test.cc.o.d"
+  "/root/repo/tests/modification_test.cc" "tests/CMakeFiles/midas_tests.dir/modification_test.cc.o" "gcc" "tests/CMakeFiles/midas_tests.dir/modification_test.cc.o.d"
+  "/root/repo/tests/molecule_gen_test.cc" "tests/CMakeFiles/midas_tests.dir/molecule_gen_test.cc.o" "gcc" "tests/CMakeFiles/midas_tests.dir/molecule_gen_test.cc.o.d"
+  "/root/repo/tests/pattern_io_test.cc" "tests/CMakeFiles/midas_tests.dir/pattern_io_test.cc.o" "gcc" "tests/CMakeFiles/midas_tests.dir/pattern_io_test.cc.o.d"
+  "/root/repo/tests/pattern_test.cc" "tests/CMakeFiles/midas_tests.dir/pattern_test.cc.o" "gcc" "tests/CMakeFiles/midas_tests.dir/pattern_test.cc.o.d"
+  "/root/repo/tests/pf_matrix_test.cc" "tests/CMakeFiles/midas_tests.dir/pf_matrix_test.cc.o" "gcc" "tests/CMakeFiles/midas_tests.dir/pf_matrix_test.cc.o.d"
+  "/root/repo/tests/protein_gen_test.cc" "tests/CMakeFiles/midas_tests.dir/protein_gen_test.cc.o" "gcc" "tests/CMakeFiles/midas_tests.dir/protein_gen_test.cc.o.d"
+  "/root/repo/tests/query_executor_test.cc" "tests/CMakeFiles/midas_tests.dir/query_executor_test.cc.o" "gcc" "tests/CMakeFiles/midas_tests.dir/query_executor_test.cc.o.d"
+  "/root/repo/tests/query_log_test.cc" "tests/CMakeFiles/midas_tests.dir/query_log_test.cc.o" "gcc" "tests/CMakeFiles/midas_tests.dir/query_log_test.cc.o.d"
+  "/root/repo/tests/random_walk_test.cc" "tests/CMakeFiles/midas_tests.dir/random_walk_test.cc.o" "gcc" "tests/CMakeFiles/midas_tests.dir/random_walk_test.cc.o.d"
+  "/root/repo/tests/rng_test.cc" "tests/CMakeFiles/midas_tests.dir/rng_test.cc.o" "gcc" "tests/CMakeFiles/midas_tests.dir/rng_test.cc.o.d"
+  "/root/repo/tests/session_test.cc" "tests/CMakeFiles/midas_tests.dir/session_test.cc.o" "gcc" "tests/CMakeFiles/midas_tests.dir/session_test.cc.o.d"
+  "/root/repo/tests/small_patterns_test.cc" "tests/CMakeFiles/midas_tests.dir/small_patterns_test.cc.o" "gcc" "tests/CMakeFiles/midas_tests.dir/small_patterns_test.cc.o.d"
+  "/root/repo/tests/snapshot_test.cc" "tests/CMakeFiles/midas_tests.dir/snapshot_test.cc.o" "gcc" "tests/CMakeFiles/midas_tests.dir/snapshot_test.cc.o.d"
+  "/root/repo/tests/sparse_matrix_test.cc" "tests/CMakeFiles/midas_tests.dir/sparse_matrix_test.cc.o" "gcc" "tests/CMakeFiles/midas_tests.dir/sparse_matrix_test.cc.o.d"
+  "/root/repo/tests/stats_test.cc" "tests/CMakeFiles/midas_tests.dir/stats_test.cc.o" "gcc" "tests/CMakeFiles/midas_tests.dir/stats_test.cc.o.d"
+  "/root/repo/tests/subgraph_iso_test.cc" "tests/CMakeFiles/midas_tests.dir/subgraph_iso_test.cc.o" "gcc" "tests/CMakeFiles/midas_tests.dir/subgraph_iso_test.cc.o.d"
+  "/root/repo/tests/swap_test.cc" "tests/CMakeFiles/midas_tests.dir/swap_test.cc.o" "gcc" "tests/CMakeFiles/midas_tests.dir/swap_test.cc.o.d"
+  "/root/repo/tests/tree_miner_test.cc" "tests/CMakeFiles/midas_tests.dir/tree_miner_test.cc.o" "gcc" "tests/CMakeFiles/midas_tests.dir/tree_miner_test.cc.o.d"
+  "/root/repo/tests/trie_test.cc" "tests/CMakeFiles/midas_tests.dir/trie_test.cc.o" "gcc" "tests/CMakeFiles/midas_tests.dir/trie_test.cc.o.d"
+  "/root/repo/tests/user_model_test.cc" "tests/CMakeFiles/midas_tests.dir/user_model_test.cc.o" "gcc" "tests/CMakeFiles/midas_tests.dir/user_model_test.cc.o.d"
+  "/root/repo/tests/validate_report_test.cc" "tests/CMakeFiles/midas_tests.dir/validate_report_test.cc.o" "gcc" "tests/CMakeFiles/midas_tests.dir/validate_report_test.cc.o.d"
+  "/root/repo/tests/workload_test.cc" "tests/CMakeFiles/midas_tests.dir/workload_test.cc.o" "gcc" "tests/CMakeFiles/midas_tests.dir/workload_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/midas.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
