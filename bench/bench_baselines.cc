@@ -115,5 +115,6 @@ int main() {
   RunDataset("AIDS25K-like", MoleculeGenerator::AidsLike(Scaled(250)), 42);
   RunDataset("PubChem15K-like", MoleculeGenerator::PubchemLike(Scaled(150)),
              43);
+  EmitMetricsJson();
   return 0;
 }

@@ -6,6 +6,9 @@
 #include <iostream>
 #include <sstream>
 
+#include "midas/obs/export.h"
+#include "midas/obs/metrics.h"
+
 namespace midas {
 namespace bench {
 
@@ -141,6 +144,12 @@ std::vector<Graph> MakeQueries(const GraphDatabase& db,
 
 std::vector<std::string> QualityCells(const PatternQuality& q) {
   return {Fmt(q.scov), Fmt(q.lcov), Fmt(q.div), Fmt(q.cog_avg)};
+}
+
+void EmitMetricsJson() {
+  std::cout << "\n=== midas metrics (json) ===\n"
+            << obs::ExportJson(obs::MetricsRegistry::Current()) << "\n";
+  std::cout.flush();
 }
 
 }  // namespace bench

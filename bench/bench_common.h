@@ -72,6 +72,12 @@ std::vector<Graph> MakeQueries(const GraphDatabase& db,
 /// Pattern-set quality snapshot columns (scov, lcov, div, avg cog).
 std::vector<std::string> QualityCells(const PatternQuality& q);
 
+/// Dumps the current obs::MetricsRegistry as a fenced JSON block on stdout:
+/// a `=== midas metrics (json) ===` marker line followed by one line of
+/// JSON (obs::ExportJson). Downstream tooling (and the CI smoke check)
+/// extracts the line after the marker and feeds it to a JSON parser.
+void EmitMetricsJson();
+
 }  // namespace bench
 }  // namespace midas
 

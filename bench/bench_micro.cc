@@ -12,6 +12,7 @@
 #include "midas/graph/subgraph_iso.h"
 #include "midas/index/pf_matrix.h"
 #include "midas/maintain/swap.h"
+#include "midas/obs/metrics.h"
 #include "midas/queryform/formulation.h"
 #include "midas/queryform/query_executor.h"
 
@@ -257,6 +258,31 @@ void BM_MultiScanSwap(benchmark::State& state) {
 }
 BENCHMARK(BM_MultiScanSwap);
 
+// Full maintenance rounds (one addition batch + one deletion batch per
+// iteration, so the database stays roughly steady) under a fresh registry
+// that is either collecting (arg 1) or disabled (arg 0). Comparing the two
+// rows bounds the observability overhead of the maintenance loop; the
+// acceptance target is a disabled registry within 2% of... itself with
+// metrics on, i.e. the arg-0 row must not be measurably slower than before
+// instrumentation existed.
+void BM_MaintainRound(benchmark::State& state) {
+  static bench::World* world = new bench::World(
+      MoleculeGenerator::PubchemLike(40), bench::LightConfig(17), 17);
+  obs::MetricsRegistry reg;
+  reg.set_enabled(state.range(0) != 0);
+  obs::ScopedMetricsRegistry scoped(reg);
+  for (auto _ : state) {
+    BatchUpdate add = world->MakeDelta(5.0, false);
+    benchmark::DoNotOptimize(world->engine->ApplyUpdate(add));
+    BatchUpdate del = world->MakeDelta(-5.0, false);
+    benchmark::DoNotOptimize(world->engine->ApplyUpdate(del));
+  }
+}
+BENCHMARK(BM_MaintainRound)
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kMillisecond);
+
 void BM_TightGedEstimate(benchmark::State& state) {
   GraphDatabase db = SharedDb();
   FctSet fcts = FctSet::Mine(db, {0.5, 3, 20000});
@@ -272,4 +298,13 @@ BENCHMARK(BM_TightGedEstimate);
 }  // namespace
 }  // namespace midas
 
-BENCHMARK_MAIN();
+// BENCHMARK_MAIN plus a machine-readable dump of every metric the kernel
+// benchmarks incremented (the CI smoke job parses the block).
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  midas::bench::EmitMetricsJson();
+  return 0;
+}

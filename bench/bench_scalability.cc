@@ -76,5 +76,6 @@ int main() {
 
   times.Print();
   quality.Print();
+  EmitMetricsJson();
   return 0;
 }

@@ -2,9 +2,13 @@
 // arriving, MIDAS maintains the panel, and the MaintenanceHistory telemetry
 // shows what a deployment would chart — per-round PMT, major/minor mix,
 // and swap volume — while the panel keeps serving the current workload.
+// Every round is also appended to a JSONL maintenance event log
+// (evolving_stream.events.jsonl), and the closing report includes the
+// Prometheus metrics dump — the full observability surface in one run.
 //
 //   $ ./evolving_stream
 
+#include <cstdio>
 #include <iomanip>
 #include <iostream>
 
@@ -12,6 +16,7 @@
 #include "midas/datagen/workload.h"
 #include "midas/maintain/midas.h"
 #include "midas/maintain/report.h"
+#include "midas/obs/event_log.h"
 #include "midas/queryform/formulation.h"
 
 int main() {
@@ -28,6 +33,13 @@ int main() {
   cfg.seed = 17;
 
   MidasEngine engine(gen.Generate(data), cfg);
+
+  const char* event_path = "evolving_stream.events.jsonl";
+  std::remove(event_path);  // FileSink appends; start each run fresh
+  obs::MaintenanceEventLog event_log;
+  event_log.set_sink(obs::FileSink(event_path));
+  engine.SetEventLog(&event_log);
+
   engine.Initialize();
   std::cout << "day 0: " << engine.db().size() << " graphs, "
             << engine.patterns().size() << " canned patterns\n\n";
@@ -76,5 +88,7 @@ int main() {
             << s.major_rounds << " major, " << s.total_swaps
             << " total swaps, mean PMT " << s.mean_pmt_ms << " ms (max "
             << s.max_pmt_ms << " ms)\n";
+  std::cout << "event log: " << event_log.size() << " JSONL records in "
+            << event_path << "\n";
   return 0;
 }

@@ -6,8 +6,18 @@
 #include "midas/cluster/kmeans.h"
 #include "midas/common/stats.h"
 #include "midas/graph/mccs.h"
+#include "midas/obs/metrics.h"
+#include "midas/obs/trace.h"
 
 namespace midas {
+namespace {
+
+void CountClusterEvent(const char* name, uint64_t n = 1) {
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Current();
+  if (reg.enabled() && n > 0) reg.GetCounter(name)->Increment(n);
+}
+
+}  // namespace
 
 std::vector<double> Cluster::Centroid() const {
   std::vector<double> c = feature_sums;
@@ -17,6 +27,7 @@ std::vector<double> Cluster::Centroid() const {
 }
 
 ClusterId ClusterSet::NewCluster() {
+  CountClusterEvent("midas_cluster_created_total");
   ClusterId id = next_id_++;
   Cluster c;
   c.id = id;
@@ -52,6 +63,7 @@ ClusterSet ClusterSet::Build(const GraphDatabase& db, const FctSet& fcts,
 
 ClusterSet ClusterSet::Build(const GraphDatabase& db, FeatureSpace features,
                              const Config& config, Rng& rng) {
+  obs::TraceSpan build_span("midas_cluster_build_ms");
   ClusterSet set;
   set.config_ = config;
   set.features_ = std::move(features);
@@ -87,6 +99,7 @@ int ClusterSet::ClusterOf(GraphId id) const {
 std::vector<ClusterId> ClusterSet::AssignGraphs(
     const GraphDatabase& db, const std::vector<GraphId>& added_ids) {
   IdSet affected;
+  uint64_t assigned = 0;
   for (GraphId id : added_ids) {
     const Graph* g = db.Find(id);
     if (g == nullptr) continue;
@@ -106,13 +119,16 @@ std::vector<ClusterId> ClusterSet::AssignGraphs(
     if (!found) best = NewCluster();
     AddMember(clusters_.at(best), id, vec);
     affected.Insert(best);
+    ++assigned;
   }
+  CountClusterEvent("midas_cluster_assigned_total", assigned);
   return std::vector<ClusterId>(affected.begin(), affected.end());
 }
 
 std::vector<ClusterId> ClusterSet::RemoveGraphs(
     const std::vector<GraphId>& removed_ids) {
   IdSet affected;
+  uint64_t removed = 0;
   for (GraphId id : removed_ids) {
     auto it = graph_cluster_.find(id);
     if (it == graph_cluster_.end()) continue;
@@ -125,8 +141,10 @@ std::vector<ClusterId> ClusterSet::RemoveGraphs(
         vit != vectors_.end() ? vit->second : features_.VectorForId(id);
     RemoveMember(c, id, vec);
     affected.Insert(cid);
+    ++removed;
     if (c.members.empty()) clusters_.erase(cid);
   }
+  CountClusterEvent("midas_cluster_removed_total", removed);
   return std::vector<ClusterId>(affected.begin(), affected.end());
 }
 
@@ -139,6 +157,7 @@ std::vector<ClusterId> ClusterSet::SplitOversized(const GraphDatabase& db,
   std::vector<ClusterId> created;
   for (ClusterId cid : oversized) {
     std::vector<ClusterId> fresh = SplitCluster(db, cid, rng);
+    if (!fresh.empty()) CountClusterEvent("midas_cluster_splits_total");
     created.insert(created.end(), fresh.begin(), fresh.end());
   }
   return created;

@@ -5,25 +5,60 @@
 
 namespace midas {
 
-/// Wall-clock stopwatch used by the benchmark harnesses to report PMT / PGT /
-/// clustering times.
+/// Wall-clock stopwatch used by the benchmark harnesses and obs::TraceSpan
+/// to report PMT / PGT / clustering times.
+///
+/// The timer starts running on construction. Pause()/Resume() make it an
+/// accumulating stopwatch, so one timer can cover a non-contiguous region
+/// (e.g. the two cluster-maintenance halves of Algorithm 1) without the
+/// double-counting that chaining Reset()/ElapsedMs() pairs invites.
 class Timer {
  public:
   Timer() : start_(Clock::now()) {}
 
-  void Reset() { start_ = Clock::now(); }
+  /// Zeroes the accumulated time and restarts the running segment.
+  void Reset() {
+    accumulated_ms_ = 0.0;
+    running_ = true;
+    start_ = Clock::now();
+  }
 
-  /// Elapsed milliseconds since construction or the last Reset().
+  /// Stops the clock, banking the current segment. No-op when paused.
+  void Pause() {
+    if (!running_) return;
+    accumulated_ms_ += RunningMs();
+    running_ = false;
+  }
+
+  /// Restarts the clock after a Pause(). No-op when already running.
+  void Resume() {
+    if (running_) return;
+    running_ = true;
+    start_ = Clock::now();
+  }
+
+  bool running() const { return running_; }
+
+  /// Accumulated milliseconds across all segments, including the currently
+  /// running one. Equals "since construction or last Reset()" when
+  /// Pause()/Resume() were never used.
   double ElapsedMs() const {
-    return std::chrono::duration<double, std::milli>(Clock::now() - start_)
-        .count();
+    return accumulated_ms_ + (running_ ? RunningMs() : 0.0);
   }
 
   double ElapsedSeconds() const { return ElapsedMs() / 1000.0; }
 
  private:
   using Clock = std::chrono::steady_clock;
+
+  double RunningMs() const {
+    return std::chrono::duration<double, std::milli>(Clock::now() - start_)
+        .count();
+  }
+
   Clock::time_point start_;
+  double accumulated_ms_ = 0.0;
+  bool running_ = true;
 };
 
 }  // namespace midas

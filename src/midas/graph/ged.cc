@@ -6,11 +6,35 @@
 #include <numeric>
 #include <vector>
 
+#include "midas/obs/metrics.h"
+
 namespace midas {
 namespace {
 
 constexpr int kDeleted = -1;
 constexpr int kUnset = -2;
+
+// Cached counter handles for GedExact, revalidated by registry id (see
+// IsoMetrics in subgraph_iso.cc for the rationale).
+struct GedMetrics {
+  uint64_t registry_id = 0;
+  obs::Counter* calls = nullptr;
+  obs::Counter* nodes_expanded = nullptr;
+  obs::Counter* bound_prunes = nullptr;
+};
+
+GedMetrics* GetGedMetrics(obs::MetricsRegistry& reg) {
+  static thread_local GedMetrics metrics;
+  if (metrics.registry_id != reg.id()) {
+    metrics.registry_id = reg.id();
+    metrics.calls = reg.GetCounter("midas_graph_ged_exact_calls_total");
+    metrics.nodes_expanded =
+        reg.GetCounter("midas_graph_ged_nodes_expanded_total");
+    metrics.bound_prunes =
+        reg.GetCounter("midas_graph_ged_bound_prunes_total");
+  }
+  return &metrics;
+}
 
 // DFS branch & bound over assignments of A-vertices to B-vertices (or
 // deletion). Edge costs are charged incrementally as both endpoints become
@@ -63,7 +87,11 @@ class GedSearch {
   }
 
   void Extend(size_t depth, int cost) {
-    if (cost + RemainingBound(depth, used_count_) >= best_) return;
+    if (cost + RemainingBound(depth, used_count_) >= best_) {
+      ++bound_prunes_;
+      return;
+    }
+    ++nodes_expanded_;
     if (depth == order_.size()) {
       Finish(cost);
       return;
@@ -109,6 +137,10 @@ class GedSearch {
   std::vector<bool> used_;
   size_t used_count_ = 0;
   int best_;
+
+ public:
+  uint64_t nodes_expanded_ = 0;  ///< search-tree nodes entered
+  uint64_t bound_prunes_ = 0;    ///< subtrees cut by the admissible bound
 };
 
 }  // namespace
@@ -120,6 +152,13 @@ int GedExact(const Graph& a, const Graph& b, int cost_limit) {
   int limit = std::min(cost_limit, ub + 1);
   GedSearch search(a, b, limit);
   int d = std::min(search.Run(), ub);
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Current();
+  if (reg.enabled()) {
+    GedMetrics* m = GetGedMetrics(reg);
+    m->calls->Increment();
+    m->nodes_expanded->Increment(search.nodes_expanded_);
+    m->bound_prunes->Increment(search.bound_prunes_);
+  }
   return std::min(d, cost_limit);
 }
 

@@ -3,10 +3,38 @@
 #include <algorithm>
 #include <functional>
 
+#include "midas/obs/metrics.h"
+
 namespace midas {
 namespace {
 
 constexpr VertexId kUnmapped = static_cast<VertexId>(-1);
+
+// Handle bundle for the VF2 counters, revalidated against the current
+// registry's id so ScopedMetricsRegistry swaps (tests) are honored without
+// paying the name lookups on every Run.
+struct IsoMetrics {
+  uint64_t registry_id = 0;
+  obs::Counter* runs = nullptr;
+  obs::Counter* prechecked = nullptr;
+  obs::Counter* nodes_visited = nullptr;
+  obs::Counter* embeddings = nullptr;
+  obs::Counter* early_exits = nullptr;
+};
+
+IsoMetrics* GetIsoMetrics(obs::MetricsRegistry& reg) {
+  static thread_local IsoMetrics metrics;
+  if (metrics.registry_id != reg.id()) {
+    metrics.registry_id = reg.id();
+    metrics.runs = reg.GetCounter("midas_graph_iso_runs_total");
+    metrics.prechecked = reg.GetCounter("midas_graph_iso_prechecked_total");
+    metrics.nodes_visited =
+        reg.GetCounter("midas_graph_iso_nodes_visited_total");
+    metrics.embeddings = reg.GetCounter("midas_graph_iso_embeddings_total");
+    metrics.early_exits = reg.GetCounter("midas_graph_iso_early_exits_total");
+  }
+  return &metrics;
+}
 
 // Shared backtracking state for one (pattern, target) matching run.
 class Vf2State {
@@ -17,9 +45,15 @@ class Vf2State {
   // Visits embeddings until `visit` returns false (stop) or the search space
   // is exhausted. `visit` receives the pattern->target mapping.
   void Run(const std::function<bool(const std::vector<VertexId>&)>& visit) {
+    obs::MetricsRegistry& reg = obs::MetricsRegistry::Current();
     size_t np = pattern_.NumVertices();
     if (np == 0 || np > target_.NumVertices() ||
         pattern_.NumEdges() > target_.NumEdges()) {
+      if (reg.enabled()) {
+        IsoMetrics* m = GetIsoMetrics(reg);
+        m->runs->Increment();
+        m->prechecked->Increment();
+      }
       return;
     }
     order_ = BuildOrder();
@@ -27,8 +61,19 @@ class Vf2State {
     used_.assign(target_.NumVertices(), false);
     visit_ = &visit;
     stopped_ = false;
+    nodes_visited_ = 0;
+    embeddings_ = 0;
     Extend(0);
     visit_ = nullptr;
+    // Counters accumulate locally during the search and flush once per run,
+    // keeping the hot recursion free of atomic traffic.
+    if (reg.enabled()) {
+      IsoMetrics* m = GetIsoMetrics(reg);
+      m->runs->Increment();
+      m->nodes_visited->Increment(nodes_visited_);
+      m->embeddings->Increment(embeddings_);
+      if (stopped_) m->early_exits->Increment();
+    }
   }
 
  private:
@@ -100,6 +145,7 @@ class Vf2State {
   void Extend(size_t depth) {
     if (stopped_) return;
     if (depth == order_.size()) {
+      ++embeddings_;
       if (!(*visit_)(mapping_)) stopped_ = true;
       return;
     }
@@ -133,6 +179,7 @@ class Vf2State {
   }
 
   void Assign(VertexId pv, VertexId tv, size_t depth) {
+    ++nodes_visited_;
     mapping_[pv] = tv;
     used_[tv] = true;
     Extend(depth + 1);
@@ -147,6 +194,8 @@ class Vf2State {
   std::vector<bool> used_;
   const std::function<bool(const std::vector<VertexId>&)>* visit_ = nullptr;
   bool stopped_ = false;
+  uint64_t nodes_visited_ = 0;  ///< candidate assignments tried this run
+  uint64_t embeddings_ = 0;     ///< complete mappings reported this run
 };
 
 }  // namespace

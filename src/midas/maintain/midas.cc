@@ -2,9 +2,21 @@
 
 #include <algorithm>
 
-#include "midas/common/timer.h"
+#include "midas/obs/json.h"
+#include "midas/obs/metrics.h"
+#include "midas/obs/trace.h"
 
 namespace midas {
+
+// Trips when MaintenanceStats gains (or loses) a field without the
+// MIDAS_MAINTENANCE_PHASES list / ToJson / FromJson being updated: the
+// struct is exactly total_ms + the 8 phase doubles + graphlet_distance +
+// bool (padded) + 2 ints on the LP64 ABIs CI builds on.
+static_assert(sizeof(MaintenanceStats) ==
+                  10 * sizeof(double) + 16 /* bool + padding + 2 ints */,
+              "MaintenanceStats layout changed: update "
+              "MIDAS_MAINTENANCE_PHASES, ToJson/FromJson and "
+              "docs/observability.md");
 
 std::vector<std::string> ValidateConfig(const MidasConfig& config) {
   std::vector<std::string> problems;
@@ -152,69 +164,81 @@ void MidasEngine::SyncPatternColumns() {
 MaintenanceStats MidasEngine::ApplyUpdate(const BatchUpdate& delta,
                                           MaintenanceMode mode) {
   MaintenanceStats stats;
-  Timer total;
+  obs::TraceSpan total_span("midas_maintain_total_ms", &stats.total_ms);
 
-  std::vector<double> psi_before = census_.Distribution();
-
-  // Record cluster membership of deletions before they disappear.
+  size_t num_additions = delta.insertions.size();
+  std::vector<double> psi_before;
+  std::vector<double> psi_after;
+  std::vector<GraphId> added;
   std::vector<std::pair<GraphId, ClusterId>> deletion_clusters;
-  for (GraphId id : delta.deletions) {
-    int cid = clusters_.ClusterOf(id);
-    if (cid >= 0) {
-      deletion_clusters.emplace_back(id, static_cast<ClusterId>(cid));
+  {
+    obs::TraceSpan span("midas_maintain_apply_ms", &stats.apply_ms);
+    psi_before = census_.Distribution();
+
+    // Record cluster membership of deletions before they disappear.
+    for (GraphId id : delta.deletions) {
+      int cid = clusters_.ClusterOf(id);
+      if (cid >= 0) {
+        deletion_clusters.emplace_back(id, static_cast<ClusterId>(cid));
+      }
     }
+
+    // Apply ΔD to the database and the graphlet census.
+    for (GraphId id : delta.deletions) census_.Remove(id);
+    added = db_.ApplyBatch(delta);
+    for (GraphId id : added) {
+      const Graph* g = db_.Find(id);
+      if (g != nullptr) census_.Add(id, *g);
+    }
+    psi_after = census_.Distribution();
   }
 
-  // Apply ΔD to the database and the graphlet census.
-  for (GraphId id : delta.deletions) census_.Remove(id);
-  std::vector<GraphId> added = db_.ApplyBatch(delta);
-  for (GraphId id : added) {
-    const Graph* g = db_.Find(id);
-    if (g != nullptr) census_.Add(id, *g);
-  }
-  std::vector<double> psi_after = census_.Distribution();
-
-  // Lines 1-2: cluster assignment / removal.
-  Timer cluster_timer;
+  // Lines 1-2: cluster assignment / removal. The span pauses across FCT
+  // maintenance and resumes for line 6's fine splitting, so the two
+  // non-contiguous cluster regions are accumulated exactly once.
+  obs::TraceSpan cluster_span("midas_maintain_cluster_ms", &stats.cluster_ms);
   std::vector<ClusterId> c_plus = clusters_.AssignGraphs(db_, added);
   std::vector<GraphId> removed_ids(delta.deletions);
   std::vector<ClusterId> c_minus = clusters_.RemoveGraphs(removed_ids);
-  stats.cluster_ms += cluster_timer.ElapsedMs();
+  cluster_span.Pause();
 
   // Line 5: FCT maintenance.
-  Timer fct_timer;
-  if (!removed_ids.empty()) fcts_.MaintainDelete(removed_ids, db_.size());
-  if (!added.empty()) fcts_.MaintainAdd(db_, added);
-  stats.fct_ms = fct_timer.ElapsedMs();
+  {
+    obs::TraceSpan span("midas_maintain_fct_ms", &stats.fct_ms);
+    if (!removed_ids.empty()) fcts_.MaintainDelete(removed_ids, db_.size());
+    if (!added.empty()) fcts_.MaintainAdd(db_, added);
+  }
 
   // Line 6: fine clustering of oversized clusters.
-  cluster_timer.Reset();
+  cluster_span.Resume();
   std::vector<ClusterId> created = clusters_.SplitOversized(db_, rng_);
-  stats.cluster_ms += cluster_timer.ElapsedMs();
+  cluster_span.Stop();
 
   // Line 7: CSG maintenance — incremental adds/removes, then reconcile the
   // clusters whose membership was rearranged by splitting.
-  Timer csg_timer;
-  for (const auto& [gid, cid] : deletion_clusters) {
-    auto it = csgs_.find(cid);
-    if (it != csgs_.end()) it->second.RemoveGraph(gid);
-  }
-  for (GraphId id : added) {
-    int cid = clusters_.ClusterOf(id);
-    const Graph* g = db_.Find(id);
-    if (cid >= 0 && g != nullptr) {
-      auto it = csgs_.find(static_cast<ClusterId>(cid));
-      if (it != csgs_.end()) {
-        it->second.AddGraph(id, *g);
+  {
+    obs::TraceSpan span("midas_maintain_csg_ms", &stats.csg_ms);
+    for (const auto& [gid, cid] : deletion_clusters) {
+      auto it = csgs_.find(cid);
+      if (it != csgs_.end()) it->second.RemoveGraph(gid);
+    }
+    for (GraphId id : added) {
+      int cid = clusters_.ClusterOf(id);
+      const Graph* g = db_.Find(id);
+      if (cid >= 0 && g != nullptr) {
+        auto it = csgs_.find(static_cast<ClusterId>(cid));
+        if (it != csgs_.end()) {
+          it->second.AddGraph(id, *g);
+        }
       }
     }
+    ReconcileCsgs();
   }
-  ReconcileCsgs();
-  stats.csg_ms = csg_timer.ElapsedMs();
 
   // Line 12 (part 1): graph-side index maintenance. Feature rows are synced
-  // against the maintained FCT universe; columns follow ΔD.
-  Timer index_timer;
+  // against the maintained FCT universe; columns follow ΔD. The span pauses
+  // until the pattern-side column sync after swapping (part 2).
+  obs::TraceSpan index_span("midas_maintain_index_ms", &stats.index_ms);
   for (GraphId id : removed_ids) {
     fct_index_.RemoveGraph(id);
     ife_index_.RemoveGraph(id);
@@ -227,10 +251,13 @@ MaintenanceStats MidasEngine::ApplyUpdate(const BatchUpdate& delta,
   }
   fct_index_.SyncFeatures(db_, fcts_);
   ife_index_.SyncEdges(db_, fcts_);
-  stats.index_ms = index_timer.ElapsedMs();
+  index_span.Pause();
 
   // Refresh the evaluation universe, the diversity estimator (the FCT
-  // universe may have changed) and the cached pattern metrics.
+  // universe may have changed) and the cached pattern metrics; then
+  // classify (lines 8-11). The span resumes for the companion-panel
+  // refresh after swapping.
+  obs::TraceSpan refresh_span("midas_maintain_refresh_ms", &stats.refresh_ms);
   ged_ = HybridGed(GedFeatureTrees(fcts_));
   eval_->Resample(rng_);
   for (auto& [pid, p] : patterns_.patterns()) {
@@ -238,60 +265,165 @@ MaintenanceStats MidasEngine::ApplyUpdate(const BatchUpdate& delta,
   }
   RefreshDiversityAndScores(patterns_, ged_);
 
-  // Lines 8-11: classify the modification and maintain P when major.
   ModificationReport report =
       ClassifyModification(psi_before, psi_after, config_.epsilon,
                            config_.distance_measure);
   stats.graphlet_distance = report.distance;
   stats.major = report.type == ModificationType::kMajor;
+  refresh_span.Pause();
 
   if (stats.major && mode != MaintenanceMode::kNoMaintain &&
       patterns_.size() > 0) {
     // Candidate generation from affected CSGs only (Section 5).
-    Timer cand_timer;
-    std::vector<ClusterId> affected;
-    affected.insert(affected.end(), c_plus.begin(), c_plus.end());
-    affected.insert(affected.end(), c_minus.begin(), c_minus.end());
-    affected.insert(affected.end(), created.begin(), created.end());
-    std::sort(affected.begin(), affected.end());
-    affected.erase(std::unique(affected.begin(), affected.end()),
-                   affected.end());
+    std::vector<Graph> candidates;
+    {
+      obs::TraceSpan span("midas_maintain_candidate_ms", &stats.candidate_ms);
+      std::vector<ClusterId> affected;
+      affected.insert(affected.end(), c_plus.begin(), c_plus.end());
+      affected.insert(affected.end(), c_minus.begin(), c_minus.end());
+      affected.insert(affected.end(), created.begin(), created.end());
+      std::sort(affected.begin(), affected.end());
+      affected.erase(std::unique(affected.begin(), affected.end()),
+                     affected.end());
 
-    CandidateGenConfig gen;
-    gen.budget = config_.budget;
-    gen.walk = config_.walk;
-    gen.kappa = config_.kappa;
-    gen.pcp_starts = config_.pcp_starts;
-    gen.max_candidates = config_.max_candidates;
-    std::map<ClusterId, Csg> affected_csgs = AffectedCsgView(affected);
-    std::vector<Graph> candidates = GeneratePromisingCandidates(
-        db_, fcts_, affected_csgs, patterns_, eval_->universe(), gen, rng_);
-    stats.candidates = static_cast<int>(candidates.size());
-    stats.candidate_ms = cand_timer.ElapsedMs();
-
-    Timer swap_timer;
-    if (mode == MaintenanceMode::kMidas) {
-      SwapStats sw = MultiScanSwap(patterns_, candidates, *eval_, fcts_,
-                                   config_.swap, ged_);
-      stats.swaps = sw.swaps;
-    } else {  // kRandomSwap
-      stats.swaps = RandomSwap(patterns_, candidates, *eval_, fcts_, rng_);
+      CandidateGenConfig gen;
+      gen.budget = config_.budget;
+      gen.walk = config_.walk;
+      gen.kappa = config_.kappa;
+      gen.pcp_starts = config_.pcp_starts;
+      gen.max_candidates = config_.max_candidates;
+      std::map<ClusterId, Csg> affected_csgs = AffectedCsgView(affected);
+      candidates = GeneratePromisingCandidates(
+          db_, fcts_, affected_csgs, patterns_, eval_->universe(), gen, rng_);
+      stats.candidates = static_cast<int>(candidates.size());
     }
-    stats.swap_ms = swap_timer.ElapsedMs();
 
-    RefreshDiversityAndScores(patterns_, ged_);
+    {
+      obs::TraceSpan span("midas_maintain_swap_ms", &stats.swap_ms);
+      if (mode == MaintenanceMode::kMidas) {
+        SwapStats sw = MultiScanSwap(patterns_, candidates, *eval_, fcts_,
+                                     config_.swap, ged_);
+        stats.swaps = sw.swaps;
+      } else {  // kRandomSwap
+        stats.swaps = RandomSwap(patterns_, candidates, *eval_, fcts_, rng_);
+      }
+      RefreshDiversityAndScores(patterns_, ged_);
+    }
   }
 
-  // Line 12 (part 2): pattern-side index maintenance after swaps.
-  index_timer.Reset();
-  SyncPatternColumns();
-  stats.index_ms += index_timer.ElapsedMs();
-
   // The η <= 2 companion panel follows the maintained FCT pool directly.
+  refresh_span.Resume();
   small_panel_.Refresh(fcts_);
+  refresh_span.Stop();
 
-  stats.total_ms = total.ElapsedMs();
+  // Line 12 (part 2): pattern-side index maintenance after swaps.
+  index_span.Resume();
+  SyncPatternColumns();
+  index_span.Stop();
+
+  total_span.Stop();
+
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Current();
+  if (reg.enabled()) {
+    reg.GetCounter("midas_maintain_rounds_total")->Increment();
+    if (stats.major) {
+      reg.GetCounter("midas_maintain_major_rounds_total")->Increment();
+    }
+    reg.GetCounter("midas_maintain_swaps_total")
+        ->Increment(static_cast<uint64_t>(stats.swaps));
+    reg.GetCounter("midas_maintain_candidates_total")
+        ->Increment(static_cast<uint64_t>(stats.candidates));
+    reg.GetGauge("midas_maintain_db_size")
+        ->Set(static_cast<double>(db_.size()));
+    reg.GetGauge("midas_maintain_patterns")
+        ->Set(static_cast<double>(patterns_.size()));
+    reg.GetGauge("midas_maintain_graphlet_distance")
+        ->Set(stats.graphlet_distance);
+  }
+
   history_.Record(stats);
+  ++round_seq_;
+  if (event_log_ != nullptr) {
+    obs::MaintenanceEvent event;
+    event.seq = round_seq_;
+    event.additions = num_additions;
+    event.deletions = delta.deletions.size();
+    event.db_size = db_.size();
+    event.patterns = patterns_.size();
+    event.major = stats.major;
+    event.graphlet_distance = stats.graphlet_distance;
+    event.epsilon = config_.epsilon;
+    event.candidates = stats.candidates;
+    event.swaps = stats.swaps;
+    event.phase_ms.emplace_back("total_ms", stats.total_ms);
+#define MIDAS_EVENT_PHASE(field) \
+  event.phase_ms.emplace_back(#field, stats.field);
+    MIDAS_MAINTENANCE_PHASES(MIDAS_EVENT_PHASE)
+#undef MIDAS_EVENT_PHASE
+    PatternQuality q = CurrentQuality();
+    event.scov = q.scov;
+    event.lcov = q.lcov;
+    event.div = q.div;
+    event.cog_avg = q.cog_avg;
+    event.cog_max = q.cog_max;
+    event_log_->Append(event);
+  }
+  return stats;
+}
+
+double MaintenanceStats::PhaseSumMs() const {
+  double sum = 0.0;
+#define MIDAS_SUM_PHASE(field) sum += field;
+  MIDAS_MAINTENANCE_PHASES(MIDAS_SUM_PHASE)
+#undef MIDAS_SUM_PHASE
+  return sum;
+}
+
+std::string MaintenanceStats::ToJson() const {
+  obs::JsonWriter w;
+  w.BeginObject();
+  w.Key("total_ms").Value(total_ms);
+#define MIDAS_JSON_PHASE(field) w.Key(#field).Value(field);
+  MIDAS_MAINTENANCE_PHASES(MIDAS_JSON_PHASE)
+#undef MIDAS_JSON_PHASE
+  w.Key("graphlet_distance").Value(graphlet_distance);
+  w.Key("major").Value(major);
+  w.Key("candidates").Value(candidates);
+  w.Key("swaps").Value(swaps);
+  w.EndObject();
+  return w.str();
+}
+
+MaintenanceStats MaintenanceStats::FromJson(std::string_view json, bool* ok) {
+  MaintenanceStats stats;
+  obs::FlatJson parsed = obs::ParseFlatJson(json);
+  bool complete = parsed.ok;
+  auto number = [&](const char* key, double* out) {
+    auto it = parsed.numbers.find(key);
+    if (it == parsed.numbers.end()) {
+      complete = false;
+      return;
+    }
+    *out = it->second;
+  };
+  number("total_ms", &stats.total_ms);
+#define MIDAS_PARSE_PHASE(field) number(#field, &stats.field);
+  MIDAS_MAINTENANCE_PHASES(MIDAS_PARSE_PHASE)
+#undef MIDAS_PARSE_PHASE
+  number("graphlet_distance", &stats.graphlet_distance);
+  auto bit = parsed.bools.find("major");
+  if (bit == parsed.bools.end()) {
+    complete = false;
+  } else {
+    stats.major = bit->second;
+  }
+  double value = 0.0;
+  number("candidates", &value);
+  stats.candidates = static_cast<int>(value);
+  number("swaps", &value);
+  stats.swaps = static_cast<int>(value);
+  if (!complete) stats = MaintenanceStats();
+  if (ok != nullptr) *ok = complete;
   return stats;
 }
 
@@ -333,7 +465,7 @@ FromScratchResult RunFromScratch(const GraphDatabase& db,
                                  const MidasConfig& config, bool plus_plus,
                                  uint64_t seed) {
   FromScratchResult result;
-  Timer total;
+  obs::TraceSpan total_span("midas_scratch_total_ms", &result.total_ms);
   Rng rng(seed);
 
   CatapultConfig select;
@@ -344,30 +476,32 @@ FromScratchResult RunFromScratch(const GraphDatabase& db,
 
   if (plus_plus) {
     // CATAPULT++: FCT features + FCT-/IFE-indices.
-    Timer mine;
-    FctSet fcts = FctSet::Mine(db, config.fct);
-    result.mine_ms = mine.ElapsedMs();
+    FctSet fcts = [&] {
+      obs::TraceSpan span("midas_scratch_mine_ms", &result.mine_ms);
+      return FctSet::Mine(db, config.fct);
+    }();
 
-    Timer cluster;
+    obs::TraceSpan cluster_span("midas_scratch_cluster_ms",
+                                &result.cluster_ms);
     ClusterSet clusters = ClusterSet::Build(db, fcts, config.cluster, rng);
     std::map<ClusterId, Csg> csgs;
     for (const auto& [cid, c] : clusters.clusters()) {
       csgs.emplace(cid, Csg::Build(db, c.members));
     }
-    result.cluster_ms = cluster.ElapsedMs();
+    cluster_span.Stop();
 
-    Timer index;
+    obs::TraceSpan index_span("midas_scratch_index_ms", &result.index_ms);
     FctIndex fct_index = FctIndex::Build(db, fcts);
     IfeIndex ife_index = IfeIndex::Build(db, fcts);
-    result.index_ms = index.ElapsedMs();
+    index_span.Stop();
 
-    Timer sel;
+    obs::TraceSpan select_span("midas_scratch_select_ms", &result.select_ms);
     result.patterns = SelectCannedPatterns(db, fcts, csgs, select, rng,
                                            &fct_index, &ife_index);
-    result.select_ms = sel.ElapsedMs();
+    select_span.Stop();
   } else {
     // Plain CATAPULT: frequent (non-closed) subtree features, no indices.
-    Timer mine;
+    obs::TraceSpan mine_span("midas_scratch_mine_ms", &result.mine_ms);
     TreeMinerConfig miner;
     miner.min_support = config.fct.sup_min;
     miner.max_edges = config.fct.max_edges;
@@ -377,9 +511,10 @@ FromScratchResult RunFromScratch(const GraphDatabase& db,
     // lists; reuse the FctSet container for those (mining cost dominated by
     // the frequent-subtree pass above).
     FctSet fcts = FctSet::Mine(db, config.fct);
-    result.mine_ms = mine.ElapsedMs();
+    mine_span.Stop();
 
-    Timer cluster;
+    obs::TraceSpan cluster_span("midas_scratch_cluster_ms",
+                                &result.cluster_ms);
     std::vector<Graph> feature_trees;
     std::vector<IdSet> occurrences;
     for (MinedTree& t : trees) {
@@ -393,14 +528,14 @@ FromScratchResult RunFromScratch(const GraphDatabase& db,
     for (const auto& [cid, c] : clusters.clusters()) {
       csgs.emplace(cid, Csg::Build(db, c.members));
     }
-    result.cluster_ms = cluster.ElapsedMs();
+    cluster_span.Stop();
 
-    Timer sel;
+    obs::TraceSpan select_span("midas_scratch_select_ms", &result.select_ms);
     result.patterns =
         SelectCannedPatterns(db, fcts, csgs, select, rng, nullptr, nullptr);
-    result.select_ms = sel.ElapsedMs();
+    select_span.Stop();
   }
-  result.total_ms = total.ElapsedMs();
+  total_span.Stop();  // before the return copies/moves result.total_ms
   return result;
 }
 

@@ -15,6 +15,7 @@
 #include "midas/maintain/modification.h"
 #include "midas/maintain/small_patterns.h"
 #include "midas/maintain/swap.h"
+#include "midas/obs/event_log.h"
 #include "midas/select/candidate_gen.h"
 #include "midas/select/catapult.h"
 
@@ -49,20 +50,51 @@ struct MidasConfig {
 /// settings come back prefixed "warning:".
 std::vector<std::string> ValidateConfig(const MidasConfig& config);
 
+/// X-macro over the per-phase wall-time fields of MaintenanceStats, in
+/// report order. Anything phase-shaped added to the struct must be added
+/// here too — ToJson/FromJson, PhaseSumMs, the maintenance event log, and
+/// the per-phase metric histograms are all generated from this list, and a
+/// static_assert in midas.cc trips when the struct grows without it.
+#define MIDAS_MAINTENANCE_PHASES(X) \
+  X(apply_ms)                       \
+  X(fct_ms)                         \
+  X(cluster_ms)                     \
+  X(csg_ms)                         \
+  X(index_ms)                       \
+  X(refresh_ms)                     \
+  X(candidate_ms)                   \
+  X(swap_ms)
+
 /// Timing and outcome report of one maintenance round (the PMT breakdown of
-/// Section 7).
+/// Section 7). All phase timings are measured by obs::TraceSpan, which also
+/// feeds the `midas_maintain_<phase>_ms` histograms of the current
+/// obs::MetricsRegistry; the phases partition the round, so they sum to
+/// total_ms up to span overhead.
 struct MaintenanceStats {
   double total_ms = 0.0;      ///< PMT: full Algorithm 1 wall time
+  double apply_ms = 0.0;      ///< ΔD application + graphlet census upkeep
   double fct_ms = 0.0;        ///< FCT maintenance (line 5)
   double cluster_ms = 0.0;    ///< cluster assignment/removal/fine split
   double csg_ms = 0.0;        ///< CSG maintenance (line 7)
   double index_ms = 0.0;      ///< index maintenance (line 12)
+  double refresh_ms = 0.0;    ///< metric refresh + classification + panel
   double candidate_ms = 0.0;  ///< candidate generation (Section 5)
   double swap_ms = 0.0;       ///< multi-scan swap (Section 6)
   double graphlet_distance = 0.0;
   bool major = false;
   int candidates = 0;
   int swaps = 0;
+
+  /// Sum of every phase field (excluding total_ms); the phases cover the
+  /// whole round, so this tracks total_ms to within span overhead.
+  double PhaseSumMs() const;
+
+  /// Round-trippable single-line JSON (all fields). FromJson(ToJson(s))
+  /// reproduces s exactly.
+  std::string ToJson() const;
+  /// Parses ToJson output. On malformed input returns a default-constructed
+  /// stats and sets *ok=false (when provided).
+  static MaintenanceStats FromJson(std::string_view json, bool* ok = nullptr);
 };
 
 /// Rolling record of maintenance rounds — operational telemetry a
@@ -127,6 +159,11 @@ class MidasEngine {
   /// pattern scores by log frequency. Non-owning; pass nullptr to detach.
   void SetQueryLog(const QueryLog* log) { config_.swap.query_log = log; }
 
+  /// Attaches a maintenance event log: every subsequent ApplyUpdate appends
+  /// one structured JSONL record (Δ sizes, classification, per-phase
+  /// timings, resulting quality). Non-owning; pass nullptr to detach.
+  void SetEventLog(obs::MaintenanceEventLog* log) { event_log_ = log; }
+
   /// Replaces the canned pattern set (e.g., a panel restored from disk via
   /// pattern_io.h). Metrics are recomputed against the current database and
   /// the pattern columns of both indices are re-registered. Requires
@@ -182,6 +219,8 @@ class MidasEngine {
   GedEstimator ged_;
   SmallPatternPanel small_panel_;
   MaintenanceHistory history_;
+  obs::MaintenanceEventLog* event_log_ = nullptr;  ///< non-owning
+  uint64_t round_seq_ = 0;
   bool initialized_ = false;
 };
 

@@ -3,6 +3,9 @@
 #include <iomanip>
 #include <sstream>
 
+#include "midas/obs/export.h"
+#include "midas/obs/metrics.h"
+
 namespace midas {
 
 std::string RenderEngineReport(const MidasEngine& engine) {
@@ -42,6 +45,9 @@ std::string RenderEngineReport(const MidasEngine& engine) {
       << s.major_rounds << " major), " << s.total_swaps
       << " swaps total, mean PMT " << s.mean_pmt_ms << " ms, max "
       << s.max_pmt_ms << " ms\n";
+
+  out << "\n=== metrics (prometheus) ===\n";
+  out << obs::ExportPrometheus(obs::MetricsRegistry::Current());
   return out.str();
 }
 

@@ -6,6 +6,8 @@
 
 #include "midas/common/stats.h"
 #include "midas/graph/ged.h"
+#include "midas/obs/metrics.h"
+#include "midas/obs/trace.h"
 
 namespace midas {
 
@@ -288,8 +290,17 @@ class SwapEngine {
 SwapStats MultiScanSwap(PatternSet& set, const std::vector<Graph>& candidates,
                         const CoverageEvaluator& eval, const FctSet& fcts,
                         const SwapConfig& config, const GedEstimator& ged) {
+  obs::TraceSpan span("midas_maintain_swap_scan_ms");
   SwapEngine engine(set, eval, fcts, config, ged);
-  return engine.Run(candidates);
+  SwapStats stats = engine.Run(candidates);
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Current();
+  if (reg.enabled()) {
+    reg.GetCounter("midas_maintain_swap_scans_total")
+        ->Increment(static_cast<uint64_t>(stats.scans));
+    reg.GetCounter("midas_maintain_swap_candidates_total")
+        ->Increment(static_cast<uint64_t>(stats.candidates_evaluated));
+  }
+  return stats;
 }
 
 int RandomSwap(PatternSet& set, const std::vector<Graph>& candidates,

@@ -7,6 +7,8 @@
 
 #include "midas/graph/canonical.h"
 #include "midas/graph/subgraph_iso.h"
+#include "midas/obs/metrics.h"
+#include "midas/obs/trace.h"
 
 namespace midas {
 
@@ -77,6 +79,9 @@ IdSet CountOccurrences(
 
 std::vector<MinedTree> MineFrequentTrees(const GraphView& view,
                                          const TreeMinerConfig& config) {
+  obs::TraceSpan mine_span("midas_mining_mine_ms");
+  uint64_t extensions_tried = 0;
+  uint64_t support_pruned = 0;
   std::vector<MinedTree> result;
   if (view.empty()) return result;
   size_t min_count = std::max<size_t>(1, MinCount(config.min_support,
@@ -122,6 +127,7 @@ std::vector<MinedTree> MineFrequentTrees(const GraphView& view,
         auto pit = partners.find(parent_tree.label(v));
         if (pit == partners.end()) continue;
         for (Label leaf_label : pit->second) {
+          ++extensions_tried;
           Graph ext = parent_tree;
           VertexId leaf = ext.AddVertex(leaf_label);
           ext.AddEdge(v, leaf);
@@ -130,9 +136,15 @@ std::vector<MinedTree> MineFrequentTrees(const GraphView& view,
           EdgeLabelPair lp(parent_tree.label(v), leaf_label);
           IdSet candidates =
               IdSet::Intersection(parent_occ, edge_occ[lp]);
-          if (candidates.size() < min_count) continue;
+          if (candidates.size() < min_count) {
+            ++support_pruned;
+            continue;
+          }
           IdSet occ = CountOccurrences(ext, candidates, by_id, min_count);
-          if (occ.size() < min_count) continue;
+          if (occ.size() < min_count) {
+            ++support_pruned;
+            continue;
+          }
           MinedTree mt;
           mt.tree = std::move(ext);
           mt.canon = std::move(canon);
@@ -147,6 +159,16 @@ std::vector<MinedTree> MineFrequentTrees(const GraphView& view,
     frontier_begin = next_begin;
     frontier_end = result.size();
     if (frontier_begin == frontier_end) break;  // no growth
+  }
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Current();
+  if (reg.enabled()) {
+    reg.GetCounter("midas_mining_runs_total")->Increment();
+    reg.GetCounter("midas_mining_trees_emitted_total")
+        ->Increment(result.size());
+    reg.GetCounter("midas_mining_extensions_tried_total")
+        ->Increment(extensions_tried);
+    reg.GetCounter("midas_mining_support_pruned_total")
+        ->Increment(support_pruned);
   }
   return result;
 }

@@ -1,0 +1,65 @@
+#include "midas/obs/event_log.h"
+
+#include <fstream>
+#include <memory>
+#include <ostream>
+
+#include "midas/obs/json.h"
+
+namespace midas {
+namespace obs {
+
+std::string MaintenanceEventLog::ToJsonLine(const MaintenanceEvent& e) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("seq").Value(e.seq);
+  w.Key("additions").Value(static_cast<uint64_t>(e.additions));
+  w.Key("deletions").Value(static_cast<uint64_t>(e.deletions));
+  w.Key("db_size").Value(static_cast<uint64_t>(e.db_size));
+  w.Key("patterns").Value(static_cast<uint64_t>(e.patterns));
+  w.Key("major").Value(e.major);
+  w.Key("graphlet_distance").Value(e.graphlet_distance);
+  w.Key("epsilon").Value(e.epsilon);
+  w.Key("candidates").Value(e.candidates);
+  w.Key("swaps").Value(e.swaps);
+  w.Key("phases").BeginObject();
+  for (const auto& [name, ms] : e.phase_ms) {
+    w.Key(name).Value(ms);
+  }
+  w.EndObject();
+  w.Key("quality").BeginObject();
+  w.Key("scov").Value(e.scov);
+  w.Key("lcov").Value(e.lcov);
+  w.Key("div").Value(e.div);
+  w.Key("cog_avg").Value(e.cog_avg);
+  w.Key("cog_max").Value(e.cog_max);
+  w.EndObject();
+  w.EndObject();
+  return w.str();
+}
+
+void MaintenanceEventLog::Append(const MaintenanceEvent& event) {
+  std::string line = ToJsonLine(event);
+  if (sink_) sink_(line);
+  if (buffering_) lines_.push_back(std::move(line));
+}
+
+MaintenanceEventLog::Sink StreamSink(std::ostream* out) {
+  return [out](const std::string& line) { *out << line << '\n'; };
+}
+
+MaintenanceEventLog::Sink FileSink(const std::string& path) {
+  auto stream = std::make_shared<std::ofstream>();
+  return [stream, path](const std::string& line) {
+    if (!stream->is_open()) {
+      stream->open(path, std::ios::out | std::ios::app);
+    }
+    if (stream->is_open()) {
+      *stream << line << '\n';
+      stream->flush();
+    }
+  };
+}
+
+}  // namespace obs
+}  // namespace midas

@@ -1,0 +1,77 @@
+#ifndef MIDAS_OBS_EVENT_LOG_H_
+#define MIDAS_OBS_EVENT_LOG_H_
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace midas {
+namespace obs {
+
+/// One structured record per maintenance round (ApplyUpdate call): what the
+/// batch looked like, how it was classified, what maintenance did, and the
+/// resulting pattern-set quality. Serialized as one JSON line; the schema is
+/// documented in docs/observability.md and guarded by a golden-file test.
+struct MaintenanceEvent {
+  uint64_t seq = 0;            ///< 1-based round number within the engine
+  size_t additions = 0;        ///< |Δ⁺|
+  size_t deletions = 0;        ///< |Δ⁻|
+  size_t db_size = 0;          ///< |D ⊕ ΔD| after the update
+  size_t patterns = 0;         ///< |P| after maintenance
+  bool major = false;          ///< Algorithm 1 classification
+  double graphlet_distance = 0.0;  ///< dist(ψ_D, ψ_{D⊕ΔD})
+  double epsilon = 0.0;        ///< the ε it was compared against
+  int candidates = 0;          ///< candidate patterns generated
+  int swaps = 0;               ///< swaps performed
+  /// Per-phase wall times in stats order (total first); keys are the
+  /// MaintenanceStats field names ("total_ms", "apply_ms", ...).
+  std::vector<std::pair<std::string, double>> phase_ms;
+  /// Set-level quality after the round (scov/lcov/div/cog panels).
+  double scov = 0.0;
+  double lcov = 0.0;
+  double div = 0.0;
+  double cog_avg = 0.0;
+  double cog_max = 0.0;
+};
+
+/// Append-only JSONL log of maintenance rounds with a pluggable sink.
+/// Default behavior buffers lines in memory (inspectable via lines()); a
+/// sink receives each serialized line as it is appended. Buffering can be
+/// turned off for long-running deployments that only stream to a sink.
+class MaintenanceEventLog {
+ public:
+  using Sink = std::function<void(const std::string& jsonl_line)>;
+
+  void set_sink(Sink sink) { sink_ = std::move(sink); }
+  void set_buffering(bool on) { buffering_ = on; }
+
+  void Append(const MaintenanceEvent& event);
+
+  const std::vector<std::string>& lines() const { return lines_; }
+  size_t size() const { return lines_.size(); }
+  void Clear() { lines_.clear(); }
+
+  /// Serializes one event to its canonical single-line JSON form (no
+  /// trailing newline).
+  static std::string ToJsonLine(const MaintenanceEvent& event);
+
+ private:
+  Sink sink_;
+  bool buffering_ = true;
+  std::vector<std::string> lines_;
+};
+
+/// Sink writing `line + "\n"` to a stream the caller keeps alive.
+MaintenanceEventLog::Sink StreamSink(std::ostream* out);
+
+/// Sink appending `line + "\n"` to a file (opened lazily, append mode,
+/// flushed per line so tails see complete records).
+MaintenanceEventLog::Sink FileSink(const std::string& path);
+
+}  // namespace obs
+}  // namespace midas
+
+#endif  // MIDAS_OBS_EVENT_LOG_H_

@@ -1,0 +1,78 @@
+#include "midas/obs/export.h"
+
+#include <sstream>
+
+#include "midas/obs/json.h"
+
+namespace midas {
+namespace obs {
+
+std::string ExportPrometheus(const MetricsRegistry& registry) {
+  std::ostringstream out;
+  for (const Counter* c : registry.counters()) {
+    out << "# TYPE " << c->name() << " counter\n";
+    out << c->name() << ' ' << c->Value() << '\n';
+  }
+  for (const Gauge* g : registry.gauges()) {
+    out << "# TYPE " << g->name() << " gauge\n";
+    out << g->name() << ' ' << JsonWriter::FormatDouble(g->Value()) << '\n';
+  }
+  for (const Histogram* h : registry.histograms()) {
+    out << "# TYPE " << h->name() << " histogram\n";
+    uint64_t cumulative = 0;
+    const std::vector<double>& bounds = h->bounds();
+    for (size_t i = 0; i < bounds.size(); ++i) {
+      cumulative += h->BucketCount(i);
+      out << h->name() << "_bucket{le=\"" << JsonWriter::FormatDouble(bounds[i])
+          << "\"} " << cumulative << '\n';
+    }
+    cumulative += h->BucketCount(bounds.size());
+    out << h->name() << "_bucket{le=\"+Inf\"} " << cumulative << '\n';
+    out << h->name() << "_sum " << JsonWriter::FormatDouble(h->Sum()) << '\n';
+    out << h->name() << "_count " << h->Count() << '\n';
+  }
+  return out.str();
+}
+
+std::string ExportJson(const MetricsRegistry& registry) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("counters").BeginObject();
+  for (const Counter* c : registry.counters()) {
+    w.Key(c->name()).Value(c->Value());
+  }
+  w.EndObject();
+  w.Key("gauges").BeginObject();
+  for (const Gauge* g : registry.gauges()) {
+    w.Key(g->name()).Value(g->Value());
+  }
+  w.EndObject();
+  w.Key("histograms").BeginObject();
+  for (const Histogram* h : registry.histograms()) {
+    w.Key(h->name()).BeginObject();
+    w.Key("count").Value(h->Count());
+    w.Key("sum").Value(h->Sum());
+    w.Key("buckets").BeginArray();
+    uint64_t cumulative = 0;
+    const std::vector<double>& bounds = h->bounds();
+    for (size_t i = 0; i <= bounds.size(); ++i) {
+      cumulative += h->BucketCount(i);
+      w.BeginObject();
+      if (i < bounds.size()) {
+        w.Key("le").Value(bounds[i]);
+      } else {
+        w.Key("le").Value("+Inf");
+      }
+      w.Key("count").Value(cumulative);
+      w.EndObject();
+    }
+    w.EndArray();
+    w.EndObject();
+  }
+  w.EndObject();
+  w.EndObject();
+  return w.str();
+}
+
+}  // namespace obs
+}  // namespace midas

@@ -1,0 +1,30 @@
+#ifndef MIDAS_OBS_EXPORT_H_
+#define MIDAS_OBS_EXPORT_H_
+
+#include <string>
+
+#include "midas/obs/metrics.h"
+
+namespace midas {
+namespace obs {
+
+/// Prometheus text exposition (version 0.0.4): `# TYPE` headers, counters
+/// and gauges as plain samples, histograms as cumulative `_bucket{le=...}`
+/// series plus `_sum`/`_count`. Suitable for a /metrics endpoint or for the
+/// text report appendix RenderEngineReport produces.
+std::string ExportPrometheus(const MetricsRegistry& registry);
+
+/// Machine-readable JSON snapshot:
+///   {"counters": {name: value, ...},
+///    "gauges": {name: value, ...},
+///    "histograms": {name: {"count": n, "sum": s,
+///                          "buckets": [{"le": bound-or-"+Inf",
+///                                       "count": cumulative}, ...]}, ...}}
+/// Bench harnesses emit this so CI and dashboards can parse per-phase
+/// breakdowns mechanically.
+std::string ExportJson(const MetricsRegistry& registry);
+
+}  // namespace obs
+}  // namespace midas
+
+#endif  // MIDAS_OBS_EXPORT_H_

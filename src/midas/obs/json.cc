@@ -1,0 +1,322 @@
+#include "midas/obs/json.h"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace midas {
+namespace obs {
+
+void JsonWriter::MaybeComma() {
+  if (after_key_) {
+    after_key_ = false;
+    return;
+  }
+  if (!has_item_.empty()) {
+    if (has_item_.back()) out_ += ',';
+    has_item_.back() = true;
+  }
+}
+
+JsonWriter& JsonWriter::BeginObject() {
+  MaybeComma();
+  out_ += '{';
+  has_item_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::EndObject() {
+  out_ += '}';
+  has_item_.pop_back();
+  return *this;
+}
+
+JsonWriter& JsonWriter::BeginArray() {
+  MaybeComma();
+  out_ += '[';
+  has_item_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::EndArray() {
+  out_ += ']';
+  has_item_.pop_back();
+  return *this;
+}
+
+JsonWriter& JsonWriter::Key(std::string_view key) {
+  MaybeComma();
+  out_ += '"';
+  out_ += Escape(key);
+  out_ += "\":";
+  after_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::Value(double v) {
+  MaybeComma();
+  out_ += FormatDouble(v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::Value(uint64_t v) {
+  MaybeComma();
+  char buf[24];
+  auto [end, ec] = std::to_chars(buf, buf + sizeof(buf), v);
+  (void)ec;
+  out_.append(buf, end);
+  return *this;
+}
+
+JsonWriter& JsonWriter::Value(int v) {
+  MaybeComma();
+  char buf[16];
+  auto [end, ec] = std::to_chars(buf, buf + sizeof(buf), v);
+  (void)ec;
+  out_.append(buf, end);
+  return *this;
+}
+
+JsonWriter& JsonWriter::Value(bool v) {
+  MaybeComma();
+  out_ += v ? "true" : "false";
+  return *this;
+}
+
+JsonWriter& JsonWriter::Value(std::string_view v) {
+  MaybeComma();
+  out_ += '"';
+  out_ += Escape(v);
+  out_ += '"';
+  return *this;
+}
+
+std::string JsonWriter::Escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string JsonWriter::FormatDouble(double v) {
+  if (std::isnan(v)) return "\"NaN\"";
+  if (std::isinf(v)) return v > 0 ? "\"Inf\"" : "\"-Inf\"";
+  char buf[32];
+  auto [end, ec] = std::to_chars(buf, buf + sizeof(buf), v);
+  (void)ec;
+  return std::string(buf, end);
+}
+
+namespace {
+
+class FlatParser {
+ public:
+  explicit FlatParser(std::string_view text) : s_(text) {}
+
+  FlatJson Run() {
+    FlatJson out;
+    SkipWs();
+    if (!ParseValue(&out, "")) {
+      out.ok = false;
+      if (out.error.empty()) out.error = Error("invalid JSON value");
+      return out;
+    }
+    SkipWs();
+    if (pos_ != s_.size()) {
+      out.ok = false;
+      out.error = Error("trailing characters");
+      return out;
+    }
+    out.ok = true;
+    return out;
+  }
+
+ private:
+  std::string Error(const std::string& what) const {
+    return what + " at offset " + std::to_string(pos_);
+  }
+
+  void SkipWs() {
+    while (pos_ < s_.size() &&
+           (s_[pos_] == ' ' || s_[pos_] == '\t' || s_[pos_] == '\n' ||
+            s_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < s_.size() && s_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool ConsumeLiteral(std::string_view lit) {
+    if (s_.substr(pos_, lit.size()) == lit) {
+      pos_ += lit.size();
+      return true;
+    }
+    return false;
+  }
+
+  static std::string Join(const std::string& prefix, const std::string& key) {
+    return prefix.empty() ? key : prefix + "." + key;
+  }
+
+  bool ParseString(std::string* out) {
+    if (!Consume('"')) return false;
+    std::string v;
+    while (pos_ < s_.size() && s_[pos_] != '"') {
+      char c = s_[pos_++];
+      if (c != '\\') {
+        v += c;
+        continue;
+      }
+      if (pos_ >= s_.size()) return false;
+      char e = s_[pos_++];
+      switch (e) {
+        case '"': v += '"'; break;
+        case '\\': v += '\\'; break;
+        case '/': v += '/'; break;
+        case 'n': v += '\n'; break;
+        case 'r': v += '\r'; break;
+        case 't': v += '\t'; break;
+        case 'b': v += '\b'; break;
+        case 'f': v += '\f'; break;
+        case 'u': {
+          if (pos_ + 4 > s_.size()) return false;
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            char h = s_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+            else return false;
+          }
+          // ASCII only; anything else degrades to '?' (good enough for the
+          // metric/event schemas, which are ASCII by construction).
+          v += code < 0x80 ? static_cast<char>(code) : '?';
+          break;
+        }
+        default:
+          return false;
+      }
+    }
+    if (!Consume('"')) return false;
+    *out = std::move(v);
+    return true;
+  }
+
+  bool ParseValue(FlatJson* out, const std::string& path) {
+    SkipWs();
+    if (pos_ >= s_.size()) return false;
+    char c = s_[pos_];
+    if (c == '{') return ParseObject(out, path);
+    if (c == '[') return ParseArray(out, path);
+    if (c == '"') {
+      std::string v;
+      if (!ParseString(&v)) return false;
+      out->strings[path] = std::move(v);
+      return true;
+    }
+    if (ConsumeLiteral("true")) {
+      out->bools[path] = true;
+      return true;
+    }
+    if (ConsumeLiteral("false")) {
+      out->bools[path] = false;
+      return true;
+    }
+    if (ConsumeLiteral("null")) {
+      out->strings[path] = "null";
+      return true;
+    }
+    // Number.
+    size_t start = pos_;
+    if (pos_ < s_.size() && (s_[pos_] == '-' || s_[pos_] == '+')) ++pos_;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
+            s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E' ||
+            s_[pos_] == '-' || s_[pos_] == '+')) {
+      ++pos_;
+    }
+    if (pos_ == start) return false;
+    std::string num(s_.substr(start, pos_ - start));
+    char* end = nullptr;
+    double v = std::strtod(num.c_str(), &end);
+    if (end == nullptr || *end != '\0') return false;
+    out->numbers[path] = v;
+    return true;
+  }
+
+  bool ParseObject(FlatJson* out, const std::string& path) {
+    if (!Consume('{')) return false;
+    SkipWs();
+    if (Consume('}')) return true;
+    while (true) {
+      SkipWs();
+      std::string key;
+      if (!ParseString(&key)) return false;
+      SkipWs();
+      if (!Consume(':')) return false;
+      if (!ParseValue(out, Join(path, key))) return false;
+      SkipWs();
+      if (Consume('}')) return true;
+      if (!Consume(',')) return false;
+    }
+  }
+
+  bool ParseArray(FlatJson* out, const std::string& path) {
+    if (!Consume('[')) return false;
+    SkipWs();
+    if (Consume(']')) return true;
+    size_t index = 0;
+    while (true) {
+      if (!ParseValue(out, Join(path, std::to_string(index++)))) return false;
+      SkipWs();
+      if (Consume(']')) return true;
+      if (!Consume(',')) return false;
+    }
+  }
+
+  std::string_view s_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+FlatJson ParseFlatJson(std::string_view text) {
+  return FlatParser(text).Run();
+}
+
+}  // namespace obs
+}  // namespace midas

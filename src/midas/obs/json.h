@@ -1,0 +1,75 @@
+#ifndef MIDAS_OBS_JSON_H_
+#define MIDAS_OBS_JSON_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace midas {
+namespace obs {
+
+/// Minimal dependency-free JSON emission/ingestion for the observability
+/// layer: the event log, the exporters, and MaintenanceStats::ToJson. Not a
+/// general-purpose JSON library — exactly what the schemas in
+/// docs/observability.md need.
+
+/// Streaming writer producing compact (single-line) JSON. Keys/values must
+/// be emitted in valid order; commas and escaping are handled.
+class JsonWriter {
+ public:
+  JsonWriter& BeginObject();
+  JsonWriter& EndObject();
+  JsonWriter& BeginArray();
+  JsonWriter& EndArray();
+  JsonWriter& Key(std::string_view key);
+  JsonWriter& Value(double v);
+  JsonWriter& Value(uint64_t v);
+  JsonWriter& Value(int v);
+  JsonWriter& Value(bool v);
+  JsonWriter& Value(std::string_view v);
+  JsonWriter& Value(const char* v) { return Value(std::string_view(v)); }
+
+  const std::string& str() const { return out_; }
+
+  /// Escapes `s` for inclusion between double quotes.
+  static std::string Escape(std::string_view s);
+  /// Round-trippable shortest representation (std::to_chars); non-finite
+  /// values are emitted as quoted strings ("NaN"/"Inf"/"-Inf") since JSON
+  /// has no literal for them.
+  static std::string FormatDouble(double v);
+
+ private:
+  void MaybeComma();
+
+  std::string out_;
+  std::vector<bool> has_item_;  // per open container
+  bool after_key_ = false;
+};
+
+/// A JSON document flattened to dotted-path leaves: {"a":{"b":1}} yields
+/// numbers["a.b"] == 1. Arrays index as "a.0", "a.1", ...
+struct FlatJson {
+  bool ok = false;
+  std::string error;
+  std::map<std::string, double> numbers;
+  std::map<std::string, bool> bools;
+  std::map<std::string, std::string> strings;
+
+  bool Has(const std::string& path) const {
+    return numbers.count(path) > 0 || bools.count(path) > 0 ||
+           strings.count(path) > 0;
+  }
+};
+
+/// Parses one JSON value (object/array/scalar) into flattened leaves.
+/// Strict enough to reject malformed documents (the CI smoke test and the
+/// event-log schema test rely on that); `null` leaves are recorded in
+/// `strings` as "null".
+FlatJson ParseFlatJson(std::string_view text);
+
+}  // namespace obs
+}  // namespace midas
+
+#endif  // MIDAS_OBS_JSON_H_

@@ -1,0 +1,119 @@
+#include "midas/obs/metrics.h"
+
+#include <algorithm>
+
+namespace midas {
+namespace obs {
+
+namespace {
+
+uint64_t NextRegistryId() {
+  static std::atomic<uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace
+
+MetricsRegistry::MetricsRegistry() : id_(NextRegistryId()) {}
+
+Counter* MetricsRegistry::GetCounter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_
+             .emplace(std::string(name),
+                      std::unique_ptr<Counter>(new Counter(std::string(name))))
+             .first;
+  }
+  return it->second.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_
+             .emplace(std::string(name),
+                      std::unique_ptr<Gauge>(new Gauge(std::string(name))))
+             .first;
+  }
+  return it->second.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(std::string_view name,
+                                         const std::vector<double>& bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    const std::vector<double>& b = bounds.empty() ? LatencyBoundsMs() : bounds;
+    it = histograms_
+             .emplace(std::string(name), std::unique_ptr<Histogram>(
+                                             new Histogram(std::string(name), b)))
+             .first;
+  }
+  return it->second.get();
+}
+
+void MetricsRegistry::ResetValues() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, c] : counters_) c->Reset();
+  for (auto& [name, g] : gauges_) g->Reset();
+  for (auto& [name, h] : histograms_) h->Reset();
+}
+
+std::vector<const Counter*> MetricsRegistry::counters() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<const Counter*> out;
+  out.reserve(counters_.size());
+  for (const auto& [name, c] : counters_) out.push_back(c.get());
+  return out;  // std::map iteration is already name-sorted
+}
+
+std::vector<const Gauge*> MetricsRegistry::gauges() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<const Gauge*> out;
+  out.reserve(gauges_.size());
+  for (const auto& [name, g] : gauges_) out.push_back(g.get());
+  return out;
+}
+
+std::vector<const Histogram*> MetricsRegistry::histograms() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<const Histogram*> out;
+  out.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_) out.push_back(h.get());
+  return out;
+}
+
+const std::vector<double>& MetricsRegistry::LatencyBoundsMs() {
+  static const std::vector<double> bounds = {0.01, 0.05, 0.1,  0.5,  1.0,
+                                             5.0,  10.0, 50.0, 100.0, 500.0,
+                                             1000.0, 5000.0, 10000.0};
+  return bounds;
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* global = new MetricsRegistry();
+  return *global;
+}
+
+std::atomic<MetricsRegistry*>& MetricsRegistry::CurrentSlot() {
+  static std::atomic<MetricsRegistry*> slot{nullptr};
+  return slot;
+}
+
+MetricsRegistry& MetricsRegistry::Current() {
+  MetricsRegistry* r = CurrentSlot().load(std::memory_order_acquire);
+  return r != nullptr ? *r : Global();
+}
+
+ScopedMetricsRegistry::ScopedMetricsRegistry(MetricsRegistry& registry)
+    : prev_(MetricsRegistry::CurrentSlot().exchange(
+          &registry, std::memory_order_acq_rel)) {}
+
+ScopedMetricsRegistry::~ScopedMetricsRegistry() {
+  MetricsRegistry::CurrentSlot().store(prev_, std::memory_order_release);
+}
+
+}  // namespace obs
+}  // namespace midas

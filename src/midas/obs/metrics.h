@@ -1,0 +1,181 @@
+#ifndef MIDAS_OBS_METRICS_H_
+#define MIDAS_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace midas {
+namespace obs {
+
+/// Structured metrics for every MIDAS hot path.
+///
+/// Naming scheme (docs/observability.md): `midas_<module>_<name>` with
+/// `_total` for counters and `_ms` for duration histograms, e.g.
+/// `midas_graph_iso_nodes_visited_total`, `midas_maintain_swap_ms`.
+///
+/// Design notes:
+///  - Increments are lock-free relaxed atomics: safe to leave in hot paths.
+///  - Handles returned by MetricsRegistry::Get* are stable for the lifetime
+///    of the registry; registration itself takes a mutex, so hot code should
+///    resolve a handle once (or batch into local counters and flush).
+///  - A registry can be disabled: instrumentation sites check `enabled()`
+///    once and skip both the clock reads and the registration lookups, so a
+///    disabled registry is near-free.
+///  - Tests isolate themselves with ScopedMetricsRegistry, which swaps the
+///    registry returned by MetricsRegistry::Current().
+
+/// Monotonically increasing event count.
+class Counter {
+ public:
+  void Increment(uint64_t n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  uint64_t Value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+  const std::string& name() const { return name_; }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Counter(std::string name) : name_(std::move(name)) {}
+
+  const std::string name_;
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Last-written point-in-time value (database size, pattern count, ...).
+class Gauge {
+ public:
+  void Set(double v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(double v) { value_.fetch_add(v, std::memory_order_relaxed); }
+  double Value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0.0, std::memory_order_relaxed); }
+  const std::string& name() const { return name_; }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Gauge(std::string name) : name_(std::move(name)) {}
+
+  const std::string name_;
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bucket histogram with Prometheus semantics: bucket i counts
+/// observations with value <= bounds[i] (cumulative counts are produced by
+/// the exporters, not stored); one implicit +Inf overflow bucket.
+class Histogram {
+ public:
+  void Observe(double value) {
+    size_t i = 0;
+    while (i < bounds_.size() && value > bounds_[i]) ++i;
+    buckets_[i].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(value, std::memory_order_relaxed);
+  }
+
+  const std::vector<double>& bounds() const { return bounds_; }
+  /// Per-bucket (non-cumulative) count; index bounds().size() is +Inf.
+  uint64_t BucketCount(size_t i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+  uint64_t Count() const { return count_.load(std::memory_order_relaxed); }
+  double Sum() const { return sum_.load(std::memory_order_relaxed); }
+  void Reset() {
+    for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+    count_.store(0, std::memory_order_relaxed);
+    sum_.store(0.0, std::memory_order_relaxed);
+  }
+  const std::string& name() const { return name_; }
+
+ private:
+  friend class MetricsRegistry;
+  Histogram(std::string name, std::vector<double> bounds)
+      : name_(std::move(name)),
+        bounds_(std::move(bounds)),
+        buckets_(bounds_.size() + 1) {}
+
+  const std::string name_;
+  const std::vector<double> bounds_;
+  std::vector<std::atomic<uint64_t>> buckets_;
+  std::atomic<uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+/// Owns all metrics of one scope (process-wide by default). Get* registers
+/// on first use and returns the existing instrument afterwards.
+class MetricsRegistry {
+ public:
+  MetricsRegistry();
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter* GetCounter(std::string_view name);
+  Gauge* GetGauge(std::string_view name);
+  /// `bounds` is only consulted on first registration; it must be strictly
+  /// increasing. Defaults to LatencyBoundsMs().
+  Histogram* GetHistogram(std::string_view name,
+                          const std::vector<double>& bounds = {});
+
+  /// Disabling stops instrumentation sites from looking up handles or
+  /// reading clocks; existing handles keep working (increments on them are
+  /// cheap relaxed atomics either way).
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+  void set_enabled(bool on) {
+    enabled_.store(on, std::memory_order_relaxed);
+  }
+
+  /// Zeroes every value, keeping registrations (and handles) alive.
+  void ResetValues();
+
+  /// Snapshot accessors for the exporters, sorted by name.
+  std::vector<const Counter*> counters() const;
+  std::vector<const Gauge*> gauges() const;
+  std::vector<const Histogram*> histograms() const;
+
+  /// Unique per-instance id (never reused), so cached handle bundles can
+  /// detect that Current() now points at a different registry.
+  uint64_t id() const { return id_; }
+
+  /// Default duration buckets in milliseconds (10us .. 10s).
+  static const std::vector<double>& LatencyBoundsMs();
+
+  /// The process-wide default registry.
+  static MetricsRegistry& Global();
+  /// The registry instrumentation writes to: Global() unless a
+  /// ScopedMetricsRegistry override is active.
+  static MetricsRegistry& Current();
+
+ private:
+  friend class ScopedMetricsRegistry;
+  static std::atomic<MetricsRegistry*>& CurrentSlot();
+
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+  std::atomic<bool> enabled_{true};
+  const uint64_t id_;
+};
+
+/// RAII override of MetricsRegistry::Current() — the test-isolation hook.
+/// Scopes nest; each restores the previous registry on destruction.
+class ScopedMetricsRegistry {
+ public:
+  explicit ScopedMetricsRegistry(MetricsRegistry& registry);
+  ~ScopedMetricsRegistry();
+  ScopedMetricsRegistry(const ScopedMetricsRegistry&) = delete;
+  ScopedMetricsRegistry& operator=(const ScopedMetricsRegistry&) = delete;
+
+ private:
+  MetricsRegistry* prev_;
+};
+
+}  // namespace obs
+}  // namespace midas
+
+#endif  // MIDAS_OBS_METRICS_H_

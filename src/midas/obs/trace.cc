@@ -1,0 +1,46 @@
+#include "midas/obs/trace.h"
+
+namespace midas {
+namespace obs {
+
+namespace {
+thread_local int g_span_depth = 0;
+}  // namespace
+
+TraceSpan::TraceSpan(std::string_view histogram_name, double* accumulate_ms) {
+  MetricsRegistry& reg = MetricsRegistry::Current();
+  Init(reg.enabled() ? reg.GetHistogram(histogram_name) : nullptr,
+       accumulate_ms);
+}
+
+TraceSpan::TraceSpan(Histogram* histogram, double* accumulate_ms) {
+  Init(histogram, accumulate_ms);
+}
+
+void TraceSpan::Init(Histogram* histogram, double* accumulate_ms) {
+  histogram_ = histogram;
+  accumulate_ms_ = accumulate_ms;
+  active_ = histogram_ != nullptr || accumulate_ms_ != nullptr;
+  if (!active_) {
+    stopped_ = true;  // nothing to record; make Stop()/dtor no-ops
+    return;
+  }
+  depth_ = ++g_span_depth;
+  timer_.Reset();  // exclude registry lookup time from the measured region
+}
+
+void TraceSpan::Stop() {
+  if (stopped_) return;
+  stopped_ = true;
+  --g_span_depth;
+  double ms = timer_.ElapsedMs();
+  if (accumulate_ms_ != nullptr) *accumulate_ms_ += ms;
+  if (histogram_ != nullptr) histogram_->Observe(ms);
+}
+
+TraceSpan::~TraceSpan() { Stop(); }
+
+int TraceSpan::CurrentDepth() { return g_span_depth; }
+
+}  // namespace obs
+}  // namespace midas

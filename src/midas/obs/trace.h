@@ -1,0 +1,70 @@
+#ifndef MIDAS_OBS_TRACE_H_
+#define MIDAS_OBS_TRACE_H_
+
+#include <string_view>
+
+#include "midas/common/timer.h"
+#include "midas/obs/metrics.h"
+
+namespace midas {
+namespace obs {
+
+/// RAII scoped timer: measures a region with a pausable midas::Timer and, on
+/// Stop()/destruction, records the elapsed milliseconds into
+///  - a duration Histogram of the current MetricsRegistry (skipped entirely,
+///    clock reads included, when the registry is disabled), and
+///  - an optional `double*` accumulator (always written when provided, so
+///    MaintenanceStats keeps its per-phase breakdown even with metrics off).
+///
+/// Pause()/Resume() delegate to the underlying Timer, which lets one span
+/// cover a non-contiguous phase (e.g. the two halves of index maintenance in
+/// Algorithm 1) without double counting.
+///
+/// Spans nest: depth() is 1 for a top-level span, 2 for a span opened while
+/// another is live, etc. Nested spans are included in their parent's wall
+/// time — the histograms record inclusive durations.
+class TraceSpan {
+ public:
+  /// Records into the current registry's histogram `histogram_name`
+  /// (registered on first use with the default latency buckets).
+  explicit TraceSpan(std::string_view histogram_name,
+                     double* accumulate_ms = nullptr);
+  /// Records into a pre-resolved histogram (may be nullptr to only feed the
+  /// accumulator).
+  explicit TraceSpan(Histogram* histogram, double* accumulate_ms = nullptr);
+  ~TraceSpan();
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  void Pause() { timer_.Pause(); }
+  void Resume() { timer_.Resume(); }
+
+  /// Finalizes the span now (records + leaves the nesting stack); the
+  /// destructor and further Pause()/Resume()/Stop() become no-ops.
+  void Stop();
+
+  /// Accumulated milliseconds so far (0 when the span is inactive because
+  /// the registry is disabled and no accumulator was given).
+  double ElapsedMs() const { return active_ ? timer_.ElapsedMs() : 0.0; }
+
+  /// 1-based nesting depth of this span at construction time.
+  int depth() const { return depth_; }
+  /// Number of live spans on this thread.
+  static int CurrentDepth();
+
+ private:
+  void Init(Histogram* histogram, double* accumulate_ms);
+
+  Timer timer_;
+  Histogram* histogram_ = nullptr;
+  double* accumulate_ms_ = nullptr;
+  int depth_ = 0;
+  bool active_ = false;
+  bool stopped_ = false;
+};
+
+}  // namespace obs
+}  // namespace midas
+
+#endif  // MIDAS_OBS_TRACE_H_

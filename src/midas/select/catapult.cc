@@ -8,6 +8,8 @@
 #include "midas/graph/canonical.h"
 #include "midas/graph/ged.h"
 #include "midas/graph/subgraph_iso.h"
+#include "midas/obs/metrics.h"
+#include "midas/obs/trace.h"
 
 namespace midas {
 namespace {
@@ -62,6 +64,7 @@ PatternSet SelectCannedPatterns(const GraphDatabase& db, const FctSet& fcts,
                                 const CatapultConfig& config, Rng& rng,
                                 const FctIndex* fct_index,
                                 const IfeIndex* ife_index) {
+  obs::TraceSpan select_span("midas_select_select_ms");
   PatternSet selected;
   if (csgs.empty() || db.empty()) return selected;
 
@@ -151,6 +154,12 @@ PatternSet SelectCannedPatterns(const GraphDatabase& db, const FctSet& fcts,
   }
 
   RefreshDiversityAndScores(selected, GedFeatureTrees(fcts));
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Current();
+  if (reg.enabled()) {
+    reg.GetCounter("midas_select_runs_total")->Increment();
+    reg.GetCounter("midas_select_patterns_selected_total")
+        ->Increment(selected.size());
+  }
   return selected;
 }
 

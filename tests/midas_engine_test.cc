@@ -3,6 +3,9 @@
 #include <gtest/gtest.h>
 
 #include "midas/datagen/molecule_gen.h"
+#include "midas/obs/event_log.h"
+#include "midas/obs/json.h"
+#include "midas/obs/metrics.h"
 #include "test_util.h"
 
 namespace midas {
@@ -143,6 +146,99 @@ TEST(MidasEngineTest, NoMaintainModeFreezesPatterns) {
     sigs_after.push_back(std::to_string(pid));
   }
   EXPECT_EQ(sigs_before, sigs_after);
+}
+
+TEST(MidasEngineTest, PhaseSpansSumToTotal) {
+  obs::MetricsRegistry reg;
+  obs::ScopedMetricsRegistry scoped(reg);
+  EngineFixture f;
+  GraphDatabase db_copy = f.engine->db();
+  MoleculeGenerator gen2(506);
+  BatchUpdate delta = gen2.GenerateAdditions(db_copy, f.data_cfg, 25, true);
+  MaintenanceStats stats = f.engine->ApplyUpdate(delta);
+  // The spans partition the round: per-phase times must account for the
+  // whole wall time (within 5% + a fixed floor for span overhead).
+  EXPECT_GT(stats.total_ms, 0.0);
+  EXPECT_NEAR(stats.PhaseSumMs(), stats.total_ms,
+              0.05 * stats.total_ms + 0.5);
+  // And the histograms observed exactly this one round.
+  EXPECT_EQ(reg.GetHistogram("midas_maintain_total_ms")->Count(), 1u);
+  EXPECT_EQ(reg.GetHistogram("midas_maintain_apply_ms")->Count(), 1u);
+  EXPECT_EQ(reg.GetCounter("midas_maintain_rounds_total")->Value(), 1u);
+  EXPECT_DOUBLE_EQ(reg.GetGauge("midas_maintain_db_size")->Value(),
+                   static_cast<double>(f.engine->db().size()));
+}
+
+TEST(MidasEngineTest, StatsJsonRoundTrips) {
+  MaintenanceStats s;
+  s.total_ms = 12.5;
+  s.apply_ms = 1.0;
+  s.fct_ms = 2.0;
+  s.cluster_ms = 3.0;
+  s.csg_ms = 0.5;
+  s.index_ms = 0.25;
+  s.refresh_ms = 1.75;
+  s.candidate_ms = 2.5;
+  s.swap_ms = 1.5;
+  s.graphlet_distance = 0.125;
+  s.major = true;
+  s.candidates = 7;
+  s.swaps = 3;
+  bool ok = false;
+  MaintenanceStats back = MaintenanceStats::FromJson(s.ToJson(), &ok);
+  ASSERT_TRUE(ok) << s.ToJson();
+  EXPECT_EQ(back.ToJson(), s.ToJson());
+  EXPECT_DOUBLE_EQ(back.PhaseSumMs(), s.PhaseSumMs());
+  EXPECT_TRUE(back.major);
+  EXPECT_EQ(back.candidates, 7);
+  EXPECT_EQ(back.swaps, 3);
+
+  MaintenanceStats bad = MaintenanceStats::FromJson("{broken", &ok);
+  EXPECT_FALSE(ok);
+  EXPECT_DOUBLE_EQ(bad.total_ms, 0.0);
+}
+
+TEST(MidasEngineTest, EventLogRecordsEveryRound) {
+  obs::MetricsRegistry reg;
+  obs::ScopedMetricsRegistry scoped(reg);
+  EngineFixture f;
+  obs::MaintenanceEventLog log;
+  f.engine->SetEventLog(&log);
+
+  GraphDatabase db_copy = f.engine->db();
+  MoleculeGenerator gen2(507);
+  BatchUpdate delta = gen2.GenerateAdditions(db_copy, f.data_cfg, 5, false);
+  MaintenanceStats stats = f.engine->ApplyUpdate(delta);
+
+  std::vector<GraphId> ids = f.engine->db().Ids();
+  BatchUpdate deletions;
+  deletions.deletions = {ids[0], ids[1]};
+  f.engine->ApplyUpdate(deletions);
+
+  ASSERT_EQ(log.size(), 2u);
+  obs::FlatJson first = obs::ParseFlatJson(log.lines()[0]);
+  ASSERT_TRUE(first.ok) << first.error;
+  EXPECT_DOUBLE_EQ(first.numbers.at("seq"), 1.0);
+  EXPECT_DOUBLE_EQ(first.numbers.at("additions"), 5.0);
+  EXPECT_DOUBLE_EQ(first.numbers.at("deletions"), 0.0);
+  EXPECT_DOUBLE_EQ(first.numbers.at("db_size"), 45.0);
+  EXPECT_EQ(first.bools.at("major"), stats.major);
+  EXPECT_NEAR(first.numbers.at("phases.total_ms"), stats.total_ms, 1e-9);
+  EXPECT_NEAR(first.numbers.at("epsilon"), f.engine->config().epsilon, 1e-12);
+  EXPECT_TRUE(first.Has("quality.scov"));
+
+  obs::FlatJson second = obs::ParseFlatJson(log.lines()[1]);
+  ASSERT_TRUE(second.ok) << second.error;
+  EXPECT_DOUBLE_EQ(second.numbers.at("seq"), 2.0);
+  EXPECT_DOUBLE_EQ(second.numbers.at("deletions"), 2.0);
+  EXPECT_DOUBLE_EQ(second.numbers.at("db_size"), 43.0);
+
+  // Detaching stops the stream.
+  f.engine->SetEventLog(nullptr);
+  BatchUpdate more;
+  more.deletions = {ids[2]};
+  f.engine->ApplyUpdate(more);
+  EXPECT_EQ(log.size(), 2u);
 }
 
 TEST(RunFromScratchTest, BothModesProducePatterns) {

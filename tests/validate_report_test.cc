@@ -88,6 +88,10 @@ TEST(EngineReportTest, ContainsAllSections) {
   EXPECT_NE(report.find("pattern panel"), std::string::npos);
   EXPECT_NE(report.find("set quality"), std::string::npos);
   EXPECT_NE(report.find("maintenance history: 1 rounds"), std::string::npos);
+  // Prometheus dump of the current metrics registry.
+  EXPECT_NE(report.find("=== metrics (prometheus) ==="), std::string::npos);
+  EXPECT_NE(report.find("# TYPE midas_maintain_rounds_total counter"),
+            std::string::npos);
   // One row per pattern.
   size_t rows = 0;
   size_t pos = 0;
