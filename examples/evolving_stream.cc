@@ -31,6 +31,12 @@ int main() {
   cfg.epsilon = 0.004;
   cfg.sample_cap = 0;
   cfg.seed = 17;
+  // Latency SLO: each maintenance round gets 50ms of wall clock. Rounds
+  // that would run longer degrade gracefully (mining/GED/swap stop early,
+  // the panel stays valid) and report it via stats.truncated, the
+  // midas_maintain_truncated_rounds_total metric and the event log's
+  // truncated/degrade_reason fields.
+  cfg.round_deadline_ms = 50.0;
 
   MidasEngine engine(gen.Generate(data), cfg);
 
@@ -46,7 +52,7 @@ int main() {
   std::cout << std::left << std::setw(5) << "day" << std::setw(8) << "|D|"
             << std::setw(8) << "delta" << std::setw(8) << "type"
             << std::setw(8) << "swaps" << std::setw(10) << "PMT(ms)"
-            << std::setw(10) << "MP%" << "\n";
+            << std::setw(10) << "MP%" << std::setw(7) << "trunc" << "\n";
 
   Rng chaos(99);
   for (int day = 1; day <= 10; ++day) {
@@ -78,7 +84,8 @@ int main() {
               << (stats.major ? "major" : "minor") << std::setw(8)
               << stats.swaps << std::setw(10) << std::fixed
               << std::setprecision(1) << stats.total_ms << std::setw(10)
-              << mp << "\n";
+              << mp << std::setw(7) << (stats.truncated ? "yes" : "-")
+              << "\n";
   }
 
   std::cout << "\n" << RenderEngineReport(engine);
@@ -88,6 +95,12 @@ int main() {
             << s.major_rounds << " major, " << s.total_swaps
             << " total swaps, mean PMT " << s.mean_pmt_ms << " ms (max "
             << s.max_pmt_ms << " ms)\n";
+  size_t truncated_rounds = 0;
+  for (const MaintenanceStats& st : engine.history().entries()) {
+    if (st.truncated) ++truncated_rounds;
+  }
+  std::cout << truncated_rounds << " of " << s.rounds
+            << " rounds hit the 50ms deadline and degraded gracefully\n";
   std::cout << "event log: " << event_log.size() << " JSONL records in "
             << event_path << "\n";
   return 0;

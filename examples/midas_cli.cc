@@ -222,9 +222,10 @@ int Snapshot(int argc, char** argv) {
 
 int Restore(int argc, char** argv) {
   if (argc < 4) return Usage();
-  std::unique_ptr<MidasEngine> engine = RestoreEngine(argv[2]);
+  std::string error;
+  std::unique_ptr<MidasEngine> engine = RestoreEngine(argv[2], &error);
   if (engine == nullptr) {
-    std::cerr << "cannot restore from " << argv[2] << "\n";
+    std::cerr << "cannot restore from " << argv[2] << ": " << error << "\n";
     return 1;
   }
   std::ofstream out(argv[3]);

@@ -1,0 +1,45 @@
+#include "midas/common/budget.h"
+
+#include "midas/obs/metrics.h"
+
+namespace midas {
+
+void ExecBudget::Reset(Deadline deadline, uint64_t max_steps) {
+  deadline_ = deadline;
+  max_steps_ = max_steps;
+  steps_used_ = 0;
+  next_deadline_check_ = kDeadlineStride;
+  unlimited_ = deadline.infinite() && max_steps == 0;
+  exhausted_ = false;
+  cause_ = Cause::kNone;
+}
+
+void ExecBudget::ResetUnlimited() { Reset(Deadline::Infinite(), 0); }
+
+void ExecBudget::Exhaust(Cause cause) {
+  exhausted_ = true;
+  cause_ = cause;
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Current();
+  if (reg.enabled()) {
+    reg.GetCounter("midas_budget_exhausted_total")->Increment();
+    if (cause == Cause::kDeadline) {
+      reg.GetCounter("midas_budget_exhausted_deadline_total")->Increment();
+    } else {
+      reg.GetCounter("midas_budget_exhausted_steps_total")->Increment();
+    }
+  }
+}
+
+std::string_view ExecBudget::CauseName(Cause cause) {
+  switch (cause) {
+    case Cause::kSteps:
+      return "steps";
+    case Cause::kDeadline:
+      return "deadline";
+    case Cause::kNone:
+      break;
+  }
+  return "none";
+}
+
+}  // namespace midas

@@ -1,0 +1,146 @@
+#ifndef MIDAS_COMMON_BUDGET_H_
+#define MIDAS_COMMON_BUDGET_H_
+
+#include <chrono>
+#include <cstdint>
+#include <limits>
+#include <string_view>
+
+namespace midas {
+
+/// Wall-clock deadline on the steady clock. Default-constructed deadlines
+/// are infinite (never expire); AfterMs(x) expires x milliseconds from now.
+class Deadline {
+ public:
+  Deadline() = default;
+
+  static Deadline Infinite() { return Deadline(); }
+  static Deadline AfterMs(double ms) {
+    Deadline d;
+    d.infinite_ = false;
+    d.at_ = Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                               std::chrono::duration<double, std::milli>(ms));
+    return d;
+  }
+
+  bool infinite() const { return infinite_; }
+  bool Expired() const { return !infinite_ && Clock::now() >= at_; }
+  /// Milliseconds until expiry (negative once expired, +inf when infinite).
+  double RemainingMs() const {
+    if (infinite_) return std::numeric_limits<double>::infinity();
+    return std::chrono::duration<double, std::milli>(at_ - Clock::now())
+        .count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point at_{};
+  bool infinite_ = true;
+};
+
+/// Cooperative execution budget checked inside recursion hot loops
+/// (VF2 node expansion, GED branch & bound, tree-miner extensions, swap
+/// candidate evaluation). A budget couples
+///   - a step cap (deterministic, platform-independent), and
+///   - a wall-clock Deadline (checked every kDeadlineStride charged steps so
+///     the hot path stays clock-free).
+///
+/// Exhaustion latches: once a budget trips, every later Charge() returns
+/// false until Reset*(), so a kernel deep in recursion unwinds promptly and
+/// sibling kernels sharing the budget stop too. The first trip increments
+/// `midas_budget_exhausted_total` (by cause) on the current MetricsRegistry —
+/// every degradation is visible, never silent.
+///
+/// Kernels accept `ExecBudget*` with nullptr meaning unlimited; use
+/// BudgetCharge() to keep call sites branch-light.
+class ExecBudget {
+ public:
+  enum class Cause { kNone, kSteps, kDeadline };
+
+  /// Deadline checks piggyback on step charges at this stride; one step is
+  /// one VF2/GED search node or equivalent (~sub-microsecond), so the stride
+  /// bounds deadline overshoot well below a millisecond.
+  static constexpr uint64_t kDeadlineStride = 1024;
+
+  /// Unlimited budget.
+  ExecBudget() = default;
+  /// `max_steps` = 0 means no step cap.
+  ExecBudget(Deadline deadline, uint64_t max_steps) {
+    Reset(deadline, max_steps);
+  }
+
+  static ExecBudget Unlimited() { return ExecBudget(); }
+  static ExecBudget StepLimit(uint64_t max_steps) {
+    return ExecBudget(Deadline::Infinite(), max_steps);
+  }
+  static ExecBudget TimeLimitMs(double ms) {
+    return ExecBudget(Deadline::AfterMs(ms), 0);
+  }
+
+  /// Re-arms the budget in place (the engine reuses one stable instance per
+  /// maintenance round so long-lived closures can capture its address).
+  void Reset(Deadline deadline, uint64_t max_steps);
+  void ResetUnlimited();
+
+  /// Hot-path check: charges `n` steps of work. Returns true while within
+  /// budget; false once exhausted (latched).
+  bool Charge(uint64_t n = 1) {
+    if (unlimited_) return true;
+    if (exhausted_) return false;
+    steps_used_ += n;
+    if (max_steps_ != 0 && steps_used_ > max_steps_) {
+      Exhaust(Cause::kSteps);
+      return false;
+    }
+    if (steps_used_ >= next_deadline_check_) {
+      next_deadline_check_ = steps_used_ + kDeadlineStride;
+      if (deadline_.Expired()) {
+        Exhaust(Cause::kDeadline);
+        return false;
+      }
+    }
+    return true;
+  }
+
+  /// True once the budget tripped (or `CheckNow` found the deadline past).
+  bool exhausted() const { return exhausted_; }
+  /// Non-charging probe: also notices an expired deadline between charges.
+  bool ExhaustedNow() {
+    if (!unlimited_ && !exhausted_ && deadline_.Expired()) {
+      Exhaust(Cause::kDeadline);
+    }
+    return exhausted_;
+  }
+
+  Cause cause() const { return cause_; }
+  uint64_t steps_used() const { return steps_used_; }
+  const Deadline& deadline() const { return deadline_; }
+
+  /// "none", "steps" or "deadline" — the event-log / error-message spelling.
+  static std::string_view CauseName(Cause cause);
+
+ private:
+  void Exhaust(Cause cause);  // latches + metric, in budget.cc
+
+  Deadline deadline_;
+  uint64_t max_steps_ = 0;
+  uint64_t steps_used_ = 0;
+  uint64_t next_deadline_check_ = kDeadlineStride;
+  bool unlimited_ = true;
+  bool exhausted_ = false;
+  Cause cause_ = Cause::kNone;
+};
+
+/// nullptr-tolerant charge helper for kernels taking `ExecBudget* budget`.
+inline bool BudgetCharge(ExecBudget* budget, uint64_t n = 1) {
+  return budget == nullptr || budget->Charge(n);
+}
+
+/// nullptr-tolerant exhaustion probe.
+inline bool BudgetExhausted(const ExecBudget* budget) {
+  return budget != nullptr && budget->exhausted();
+}
+
+}  // namespace midas
+
+#endif  // MIDAS_COMMON_BUDGET_H_

@@ -1,0 +1,26 @@
+#ifndef MIDAS_COMMON_CHECKSUM_H_
+#define MIDAS_COMMON_CHECKSUM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace midas {
+
+/// CRC-32 (IEEE 802.3, polynomial 0xEDB88320) over a byte range. Used to
+/// frame journal records and to fingerprint snapshot files in the MANIFEST —
+/// a deliberately boring, dependency-free integrity check: it catches torn
+/// writes and bit rot, not adversaries.
+uint32_t Crc32(const void* data, size_t len, uint32_t seed = 0);
+inline uint32_t Crc32(std::string_view s, uint32_t seed = 0) {
+  return Crc32(s.data(), s.size(), seed);
+}
+
+/// Canonical 8-hex-digit lowercase spelling used in MANIFEST files and
+/// journal record headers.
+std::string Crc32Hex(uint32_t crc);
+
+}  // namespace midas
+
+#endif  // MIDAS_COMMON_CHECKSUM_H_

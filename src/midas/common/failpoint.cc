@@ -1,0 +1,124 @@
+#include "midas/common/failpoint.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+
+#include "midas/obs/metrics.h"
+
+namespace midas {
+namespace fail {
+namespace {
+
+struct Failpoint {
+  int skip = 0;    // hits to ignore before firing
+  int fires = 1;   // remaining fires; < 0 = unlimited
+  int hits = 0;    // total evaluations while armed
+};
+
+struct Registry {
+  std::mutex mu;
+  std::map<std::string, Failpoint, std::less<>> points;
+};
+
+Registry& TheRegistry() {
+  static Registry* r = new Registry();  // leaked: sites may hit at exit
+  return *r;
+}
+
+// Unarmed fast path: sites pay one relaxed load when nothing is armed.
+std::atomic<int> g_armed_count{0};
+
+}  // namespace
+
+void Arm(const std::string& name, int skip, int fires) {
+  Registry& reg = TheRegistry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  bool fresh = reg.points.find(name) == reg.points.end();
+  reg.points[name] = Failpoint{skip, fires, 0};
+  if (fresh) g_armed_count.fetch_add(1, std::memory_order_relaxed);
+}
+
+void Disarm(const std::string& name) {
+  Registry& reg = TheRegistry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  if (reg.points.erase(name) > 0) {
+    g_armed_count.fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+void DisarmAll() {
+  Registry& reg = TheRegistry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  g_armed_count.fetch_sub(static_cast<int>(reg.points.size()),
+                          std::memory_order_relaxed);
+  reg.points.clear();
+}
+
+int HitCount(const std::string& name) {
+  Registry& reg = TheRegistry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  auto it = reg.points.find(name);
+  return it == reg.points.end() ? 0 : it->second.hits;
+}
+
+std::vector<std::string> ArmedNames() {
+  Registry& reg = TheRegistry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  std::vector<std::string> names;
+  names.reserve(reg.points.size());
+  for (const auto& [name, fp] : reg.points) names.push_back(name);
+  return names;
+}
+
+void LoadFromEnv() {
+  const char* spec = std::getenv("MIDAS_FAILPOINTS");
+  if (spec == nullptr) return;
+  // "name[:skip[:fires]]" entries separated by ';' or ','.
+  std::string_view rest(spec);
+  while (!rest.empty()) {
+    size_t sep = rest.find_first_of(";,");
+    std::string_view entry = rest.substr(0, sep);
+    rest = sep == std::string_view::npos ? std::string_view()
+                                         : rest.substr(sep + 1);
+    if (entry.empty()) continue;
+    std::string name;
+    int skip = 0;
+    int fires = 1;
+    size_t c1 = entry.find(':');
+    if (c1 == std::string_view::npos) {
+      name = std::string(entry);
+    } else {
+      name = std::string(entry.substr(0, c1));
+      std::string nums(entry.substr(c1 + 1));
+      size_t c2 = nums.find(':');
+      skip = std::atoi(nums.substr(0, c2).c_str());
+      if (c2 != std::string::npos) {
+        fires = std::atoi(nums.substr(c2 + 1).c_str());
+      }
+    }
+    if (!name.empty()) Arm(name, skip, fires);
+  }
+}
+
+bool ShouldFail(std::string_view name) {
+  if (g_armed_count.load(std::memory_order_relaxed) == 0) return false;
+  Registry& reg = TheRegistry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  auto it = reg.points.find(name);
+  if (it == reg.points.end()) return false;
+  Failpoint& fp = it->second;
+  int hit = fp.hits++;
+  if (hit < fp.skip) return false;
+  if (fp.fires == 0) return false;
+  if (fp.fires > 0) --fp.fires;
+  obs::MetricsRegistry& metrics = obs::MetricsRegistry::Current();
+  if (metrics.enabled()) {
+    metrics.GetCounter("midas_failpoint_fires_total")->Increment();
+  }
+  return true;
+}
+
+}  // namespace fail
+}  // namespace midas

@@ -1,0 +1,90 @@
+#ifndef MIDAS_COMMON_FAILPOINT_H_
+#define MIDAS_COMMON_FAILPOINT_H_
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace midas {
+namespace fail {
+
+/// Named-failpoint registry for fault injection (tests and chaos drills).
+///
+/// A failpoint is a named site in product code — `MIDAS_FAILPOINT(name)`
+/// evaluates to true when the site should fail, `MIDAS_FAILPOINT_ABORT(name)`
+/// throws FailpointAbort (the SIGKILL-equivalent used to prove crash safety:
+/// the abort happens between the same fsync boundaries a real kill would
+/// land between, so on-disk state is identical).
+///
+/// Activation is explicit: Arm() in tests, or the MIDAS_FAILPOINTS
+/// environment variable ("name", "name:skip", "name:skip:fires", ';' or ','
+/// separated) loaded once via LoadFromEnv(). The unarmed fast path is one
+/// relaxed atomic load of a global counter; sites compiled with the
+/// MIDAS_FAILPOINTS=0 definition vanish entirely.
+///
+/// Thread safety: the registry is mutex-protected and the armed-count check
+/// is atomic, so sites may be hit from any thread.
+
+/// Thrown by MIDAS_FAILPOINT_ABORT sites. Whatever operation was in flight
+/// is torn exactly as a crash would leave it; recover via RecoverEngine.
+class FailpointAbort : public std::runtime_error {
+ public:
+  explicit FailpointAbort(const std::string& name)
+      : std::runtime_error("failpoint abort: " + name), name_(name) {}
+  const std::string& name() const { return name_; }
+
+ private:
+  std::string name_;
+};
+
+/// True when failpoint sites are compiled into this build
+/// (-DMIDAS_FAILPOINTS=ON, the default; tests skip themselves otherwise).
+constexpr bool CompiledIn() {
+#if defined(MIDAS_FAILPOINTS) && MIDAS_FAILPOINTS
+  return true;
+#else
+  return false;
+#endif
+}
+
+/// Arms `name`: the site ignores its first `skip` hits, then fails `fires`
+/// times (fires < 0 = fail forever). Re-arming resets the hit count.
+void Arm(const std::string& name, int skip = 0, int fires = 1);
+void Disarm(const std::string& name);
+void DisarmAll();
+
+/// Total times the armed failpoint was evaluated (armed sites only).
+int HitCount(const std::string& name);
+std::vector<std::string> ArmedNames();
+
+/// Parses MIDAS_FAILPOINTS from the environment (idempotent; called by the
+/// macros' slow path on first armed lookup is NOT automatic — call this once
+/// at startup when env activation is wanted, e.g. from a chaos-drill main).
+void LoadFromEnv();
+
+/// Slow path behind the macros: returns true when the named site should
+/// fail now. Cheap when nothing is armed (one relaxed atomic load).
+bool ShouldFail(std::string_view name);
+
+}  // namespace fail
+}  // namespace midas
+
+#if defined(MIDAS_FAILPOINTS) && MIDAS_FAILPOINTS
+/// Evaluates to true when the named failpoint fires.
+#define MIDAS_FAILPOINT(name) (::midas::fail::ShouldFail(name))
+/// Simulates a crash at this site by throwing FailpointAbort.
+#define MIDAS_FAILPOINT_ABORT(name)                 \
+  do {                                              \
+    if (::midas::fail::ShouldFail(name)) {          \
+      throw ::midas::fail::FailpointAbort(name);    \
+    }                                               \
+  } while (0)
+#else
+#define MIDAS_FAILPOINT(name) (false)
+#define MIDAS_FAILPOINT_ABORT(name) \
+  do {                              \
+  } while (0)
+#endif
+
+#endif  // MIDAS_COMMON_FAILPOINT_H_

@@ -21,6 +21,7 @@ struct GedMetrics {
   obs::Counter* calls = nullptr;
   obs::Counter* nodes_expanded = nullptr;
   obs::Counter* bound_prunes = nullptr;
+  obs::Counter* truncated = nullptr;
 };
 
 GedMetrics* GetGedMetrics(obs::MetricsRegistry& reg) {
@@ -32,6 +33,7 @@ GedMetrics* GetGedMetrics(obs::MetricsRegistry& reg) {
         reg.GetCounter("midas_graph_ged_nodes_expanded_total");
     metrics.bound_prunes =
         reg.GetCounter("midas_graph_ged_bound_prunes_total");
+    metrics.truncated = reg.GetCounter("midas_graph_ged_truncated_total");
   }
   return &metrics;
 }
@@ -42,8 +44,13 @@ GedMetrics* GetGedMetrics(obs::MetricsRegistry& reg) {
 // leaves.
 class GedSearch {
  public:
-  GedSearch(const Graph& a, const Graph& b, int limit)
-      : a_(a), b_(b), best_(limit) {}
+  GedSearch(const Graph& a, const Graph& b, int limit,
+            ExecBudget* budget = nullptr)
+      : a_(a), b_(b), best_(limit), budget_(budget) {}
+
+  /// True when Run() unwound early on budget exhaustion; best_ then holds
+  /// the incumbent (an upper bound), not a proven optimum.
+  bool truncated() const { return truncated_; }
 
   int Run() {
     size_t na = a_.NumVertices();
@@ -87,8 +94,15 @@ class GedSearch {
   }
 
   void Extend(size_t depth, int cost) {
+    if (truncated_) return;
     if (cost + RemainingBound(depth, used_count_) >= best_) {
       ++bound_prunes_;
+      return;
+    }
+    // One budget step per node expanded — the same unit VF2 charges per
+    // candidate assignment, so a shared round budget is kernel-comparable.
+    if (!BudgetCharge(budget_)) {
+      truncated_ = true;
       return;
     }
     ++nodes_expanded_;
@@ -109,6 +123,7 @@ class GedSearch {
       --used_count_;
       used_[v] = false;
       assign_[u] = kUnset;
+      if (truncated_) return;
     }
     // Delete u.
     int step = 1 + EdgeCost(u, kDeleted, depth);
@@ -137,6 +152,8 @@ class GedSearch {
   std::vector<bool> used_;
   size_t used_count_ = 0;
   int best_;
+  ExecBudget* budget_ = nullptr;  ///< non-owning; nullptr = unlimited
+  bool truncated_ = false;
 
  public:
   uint64_t nodes_expanded_ = 0;  ///< search-tree nodes entered
@@ -146,11 +163,18 @@ class GedSearch {
 }  // namespace
 
 int GedExact(const Graph& a, const Graph& b, int cost_limit) {
+  return GedExactBudgeted(a, b, cost_limit, nullptr).distance;
+}
+
+GedOutcome GedExactBudgeted(const Graph& a, const Graph& b, int cost_limit,
+                            ExecBudget* budget) {
   // Seed the branch & bound with the greedy upper bound: the search only
-  // has to find strictly better solutions (or confirm none exist).
+  // has to find strictly better solutions (or confirm none exist). The
+  // seed also makes the search anytime — whenever the budget runs out, the
+  // incumbent (at worst the greedy bound) is still an achievable distance.
   int ub = GedUpperBound(a, b);
   int limit = std::min(cost_limit, ub + 1);
-  GedSearch search(a, b, limit);
+  GedSearch search(a, b, limit, budget);
   int d = std::min(search.Run(), ub);
   obs::MetricsRegistry& reg = obs::MetricsRegistry::Current();
   if (reg.enabled()) {
@@ -158,8 +182,12 @@ int GedExact(const Graph& a, const Graph& b, int cost_limit) {
     m->calls->Increment();
     m->nodes_expanded->Increment(search.nodes_expanded_);
     m->bound_prunes->Increment(search.bound_prunes_);
+    if (search.truncated()) m->truncated->Increment();
   }
-  return std::min(d, cost_limit);
+  GedOutcome outcome;
+  outcome.distance = std::min(d, cost_limit);
+  outcome.truncated = search.truncated();
+  return outcome;
 }
 
 int GedLowerBound(const Graph& a, const Graph& b) {

@@ -3,6 +3,7 @@
 
 #include <limits>
 
+#include "midas/common/budget.h"
 #include "midas/graph/graph.h"
 
 namespace midas {
@@ -20,6 +21,22 @@ namespace midas {
 /// Intended for pattern-sized graphs (<= ~10 vertices each).
 int GedExact(const Graph& a, const Graph& b,
              int cost_limit = std::numeric_limits<int>::max());
+
+/// GED result under a budget. `distance` is exact when `truncated` is
+/// false; when true the branch & bound was cut short and `distance` is the
+/// best *upper bound* proven so far (seeded by GedUpperBound, so it is
+/// always achievable — the anytime property of B&B: more budget only
+/// tightens it, never invalidates it).
+struct GedOutcome {
+  int distance = 0;
+  bool truncated = false;
+};
+
+/// Budgeted GedExact (nullptr budget = unlimited = GedExact). One budget
+/// step is charged per search-tree node expanded; on exhaustion the search
+/// unwinds and the incumbent upper bound is returned with truncated = true.
+GedOutcome GedExactBudgeted(const Graph& a, const Graph& b, int cost_limit,
+                            ExecBudget* budget);
 
 /// Label-based lower bound GED_l (Lemma 6.1 with n = 0):
 ///   |V|-part = ||V_A|-|V_B|| + min(|V_A|,|V_B|) - |L(V_A) ∩ L(V_B)|

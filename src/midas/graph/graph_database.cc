@@ -10,6 +10,16 @@ GraphId GraphDatabase::Insert(Graph g) {
   return id;
 }
 
+bool GraphDatabase::InsertWithId(GraphId id, Graph g) {
+  if (!graphs_.emplace(id, std::move(g)).second) return false;
+  if (id >= next_id_) next_id_ = id + 1;
+  return true;
+}
+
+void GraphDatabase::RestoreNextId(GraphId next) {
+  next_id_ = std::max(next_id_, next);
+}
+
 bool GraphDatabase::Remove(GraphId id) { return graphs_.erase(id) > 0; }
 
 std::vector<GraphId> GraphDatabase::ApplyBatch(const BatchUpdate& delta) {

@@ -33,6 +33,10 @@ class GraphDatabase {
 
   /// Inserts a graph, returning its assigned id.
   GraphId Insert(Graph g);
+  /// Inserts a graph under a caller-chosen id (snapshot/journal restore,
+  /// where ids must survive a round trip). Returns false when the id is
+  /// already taken. Advances the id allocator past `id`.
+  bool InsertWithId(GraphId id, Graph g);
   /// Removes a graph; returns false if the id is absent.
   bool Remove(GraphId id);
 
@@ -53,6 +57,13 @@ class GraphDatabase {
 
   LabelDictionary& labels() { return labels_; }
   const LabelDictionary& labels() const { return labels_; }
+
+  /// Next id Insert() would assign. Persisted by snapshots so that journal
+  /// replay after a restore reassigns the exact same insertion ids even when
+  /// trailing deletions left holes above the largest live id.
+  GraphId next_id() const { return next_id_; }
+  /// Raises the id allocator to `next` (never lowers it).
+  void RestoreNextId(GraphId next);
 
   /// Total number of edges across all data graphs.
   size_t TotalEdges() const;

@@ -23,39 +23,125 @@ void WriteDatabase(const GraphDatabase& db, std::ostream& out) {
   }
 }
 
-bool ReadDatabase(std::istream& in, GraphDatabase* db) {
+namespace {
+
+bool ParseFail(std::string* error, size_t line_no, const std::string& what) {
+  if (error != nullptr) {
+    *error = "line " + std::to_string(line_no) + ": " + what;
+  }
+  return false;
+}
+
+}  // namespace
+
+bool ReadDatabase(std::istream& in, GraphDatabase* db,
+                  const GspanReadOptions& options, std::string* error) {
   std::string line;
+  size_t line_no = 0;
   Graph current;
+  long current_id = 0;
   bool have_graph = false;
   auto flush = [&]() {
-    if (have_graph) db->Insert(std::move(current));
-    current = Graph();
+    if (!have_graph) return true;
+    if (options.preserve_ids) {
+      return db->InsertWithId(static_cast<GraphId>(current_id),
+                              std::move(current));
+    }
+    db->Insert(std::move(current));
+    return true;
   };
   while (std::getline(in, line)) {
+    ++line_no;
     if (line.empty() || line[0] == '#') continue;
     std::istringstream ls(line);
     char tag = 0;
     ls >> tag;
     if (tag == 't') {
-      flush();
+      if (!flush()) {
+        return ParseFail(error, line_no,
+                         "duplicate graph id " + std::to_string(current_id));
+      }
+      current = Graph();
       have_graph = true;
+      current_id = 0;
+      char hash = 0;
+      if (!(ls >> hash >> current_id) || hash != '#' || current_id < 0) {
+        if (options.preserve_ids) {
+          return ParseFail(error, line_no,
+                           "malformed graph header (want 't # <id>'): " +
+                               line);
+        }
+        current_id = 0;  // ids are ignored; tolerate datasets without them
+      }
     } else if (tag == 'v') {
-      size_t idx = 0;
+      if (!have_graph) {
+        return ParseFail(error, line_no, "vertex record before any 't' line");
+      }
+      long idx = -1;
       std::string label;
-      if (!(ls >> idx >> label)) return false;
-      if (idx != current.NumVertices()) return false;  // must be dense
+      if (!(ls >> idx >> label)) {
+        return ParseFail(error, line_no,
+                         "malformed vertex record (want 'v <idx> <label>'): " +
+                             line);
+      }
+      if (idx != static_cast<long>(current.NumVertices())) {
+        return ParseFail(
+            error, line_no,
+            "vertex index " + std::to_string(idx) +
+                " out of order (vertex indices must be dense and ascending; "
+                "expected " +
+                std::to_string(current.NumVertices()) + ")");
+      }
       current.AddVertex(db->labels().Intern(label));
     } else if (tag == 'e') {
-      VertexId u = 0;
-      VertexId v = 0;
-      if (!(ls >> u >> v)) return false;
-      if (!current.AddEdge(u, v)) return false;
+      if (!have_graph) {
+        return ParseFail(error, line_no, "edge record before any 't' line");
+      }
+      long u = -1;
+      long v = -1;
+      if (!(ls >> u >> v)) {
+        return ParseFail(error, line_no,
+                         "malformed edge record (want 'e <u> <v>'): " + line);
+      }
+      long n = static_cast<long>(current.NumVertices());
+      if (u < 0 || v < 0 || u >= n || v >= n) {
+        return ParseFail(error, line_no,
+                         "edge endpoint out of range: e " + std::to_string(u) +
+                             " " + std::to_string(v) + " with " +
+                             std::to_string(n) + " vertices declared");
+      }
+      if (u == v) {
+        return ParseFail(error, line_no,
+                         "self-loop edge " + std::to_string(u) + "-" +
+                             std::to_string(v) +
+                             " (graphs are simple; Section 2.1)");
+      }
+      if (!current.AddEdge(static_cast<VertexId>(u),
+                           static_cast<VertexId>(v))) {
+        return ParseFail(error, line_no,
+                         "duplicate edge " + std::to_string(u) + "-" +
+                             std::to_string(v));
+      }
     } else {
-      return false;
+      return ParseFail(error, line_no,
+                       std::string("unknown record tag '") + tag + "': " +
+                           line);
     }
   }
-  flush();
+  ++line_no;
+  if (!flush()) {
+    return ParseFail(error, line_no,
+                     "duplicate graph id " + std::to_string(current_id));
+  }
   return true;
+}
+
+bool ReadDatabase(std::istream& in, GraphDatabase* db, std::string* error) {
+  return ReadDatabase(in, db, GspanReadOptions{}, error);
+}
+
+bool ReadDatabase(std::istream& in, GraphDatabase* db) {
+  return ReadDatabase(in, db, GspanReadOptions{}, nullptr);
 }
 
 std::string ToString(const Graph& g, const LabelDictionary& dict) {

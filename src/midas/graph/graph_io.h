@@ -26,8 +26,24 @@ void WriteGraph(const Graph& g, const LabelDictionary& dict, long id,
 /// Writes a whole database in ascending id order.
 void WriteDatabase(const GraphDatabase& db, std::ostream& out);
 
-/// Parses a database; returns false on malformed input. Graph ids in the
-/// file are ignored (the database assigns fresh ids in file order).
+/// Parsing options for ReadDatabase.
+struct GspanReadOptions {
+  /// Use the `t # <id>` ids from the file (they must parse and be unique)
+  /// instead of assigning fresh ids in file order. Snapshot restore needs
+  /// this so journaled deletion ids stay valid across a round trip.
+  bool preserve_ids = false;
+};
+
+/// Parses a database; returns false on malformed input with a
+/// line-numbered diagnostic in *error ("line 7: self-loop edge 3-3").
+/// Rejected (instead of silently constructing a bad Graph): unknown record
+/// tags, `v`/`e` records before the first `t`, non-dense or out-of-order
+/// vertex indices, out-of-range edge endpoints, self-loops, and duplicate
+/// edges. By default graph ids in the file are ignored (the database assigns
+/// fresh ids in file order); see GspanReadOptions::preserve_ids.
+bool ReadDatabase(std::istream& in, GraphDatabase* db,
+                  const GspanReadOptions& options, std::string* error);
+bool ReadDatabase(std::istream& in, GraphDatabase* db, std::string* error);
 bool ReadDatabase(std::istream& in, GraphDatabase* db);
 
 /// Round-trips a graph to its serialized string (debugging aid).

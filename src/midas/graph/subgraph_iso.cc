@@ -20,6 +20,7 @@ struct IsoMetrics {
   obs::Counter* nodes_visited = nullptr;
   obs::Counter* embeddings = nullptr;
   obs::Counter* early_exits = nullptr;
+  obs::Counter* truncated = nullptr;
 };
 
 IsoMetrics* GetIsoMetrics(obs::MetricsRegistry& reg) {
@@ -32,6 +33,7 @@ IsoMetrics* GetIsoMetrics(obs::MetricsRegistry& reg) {
         reg.GetCounter("midas_graph_iso_nodes_visited_total");
     metrics.embeddings = reg.GetCounter("midas_graph_iso_embeddings_total");
     metrics.early_exits = reg.GetCounter("midas_graph_iso_early_exits_total");
+    metrics.truncated = reg.GetCounter("midas_graph_iso_truncated_total");
   }
   return &metrics;
 }
@@ -39,8 +41,12 @@ IsoMetrics* GetIsoMetrics(obs::MetricsRegistry& reg) {
 // Shared backtracking state for one (pattern, target) matching run.
 class Vf2State {
  public:
-  Vf2State(const Graph& pattern, const Graph& target)
-      : pattern_(pattern), target_(target) {}
+  Vf2State(const Graph& pattern, const Graph& target,
+           ExecBudget* budget = nullptr)
+      : pattern_(pattern), target_(target), budget_(budget) {}
+
+  /// True when the last Run() was cut short by budget exhaustion.
+  bool truncated() const { return truncated_; }
 
   // Visits embeddings until `visit` returns false (stop) or the search space
   // is exhausted. `visit` receives the pattern->target mapping.
@@ -61,6 +67,7 @@ class Vf2State {
     used_.assign(target_.NumVertices(), false);
     visit_ = &visit;
     stopped_ = false;
+    truncated_ = false;
     nodes_visited_ = 0;
     embeddings_ = 0;
     Extend(0);
@@ -73,6 +80,7 @@ class Vf2State {
       m->nodes_visited->Increment(nodes_visited_);
       m->embeddings->Increment(embeddings_);
       if (stopped_) m->early_exits->Increment();
+      if (truncated_) m->truncated->Increment();
     }
   }
 
@@ -180,6 +188,13 @@ class Vf2State {
 
   void Assign(VertexId pv, VertexId tv, size_t depth) {
     ++nodes_visited_;
+    // One budget step per candidate assignment: the unit every kernel
+    // charges, so a shared per-round budget is comparable across kernels.
+    if (!BudgetCharge(budget_)) {
+      stopped_ = true;
+      truncated_ = true;
+      return;
+    }
     mapping_[pv] = tv;
     used_[tv] = true;
     Extend(depth + 1);
@@ -189,11 +204,13 @@ class Vf2State {
 
   const Graph& pattern_;
   const Graph& target_;
+  ExecBudget* budget_ = nullptr;  ///< non-owning; nullptr = unlimited
   std::vector<VertexId> order_;
   std::vector<VertexId> mapping_;
   std::vector<bool> used_;
   const std::function<bool(const std::vector<VertexId>&)>* visit_ = nullptr;
   bool stopped_ = false;
+  bool truncated_ = false;
   uint64_t nodes_visited_ = 0;  ///< candidate assignments tried this run
   uint64_t embeddings_ = 0;     ///< complete mappings reported this run
 };
@@ -201,24 +218,40 @@ class Vf2State {
 }  // namespace
 
 bool ContainsSubgraph(const Graph& pattern, const Graph& target) {
-  if (pattern.NumVertices() == 0) return true;
-  bool found = false;
-  Vf2State state(pattern, target);
+  return ContainsSubgraphBudgeted(pattern, target, nullptr).found;
+}
+
+IsoOutcome ContainsSubgraphBudgeted(const Graph& pattern, const Graph& target,
+                                    ExecBudget* budget) {
+  IsoOutcome outcome;
+  if (pattern.NumVertices() == 0) {
+    outcome.found = true;
+    return outcome;
+  }
+  Vf2State state(pattern, target, budget);
   state.Run([&](const std::vector<VertexId>&) {
-    found = true;
+    outcome.found = true;
     return false;  // stop at first embedding
   });
-  return found;
+  outcome.truncated = state.truncated();
+  return outcome;
 }
 
 size_t CountEmbeddings(const Graph& pattern, const Graph& target, size_t cap) {
-  size_t count = 0;
-  Vf2State state(pattern, target);
+  return CountEmbeddingsBudgeted(pattern, target, cap, nullptr).count;
+}
+
+EmbeddingCountOutcome CountEmbeddingsBudgeted(const Graph& pattern,
+                                              const Graph& target, size_t cap,
+                                              ExecBudget* budget) {
+  EmbeddingCountOutcome outcome;
+  Vf2State state(pattern, target, budget);
   state.Run([&](const std::vector<VertexId>&) {
-    ++count;
-    return cap == 0 || count < cap;
+    ++outcome.count;
+    return cap == 0 || outcome.count < cap;
   });
-  return count;
+  outcome.truncated = state.truncated();
+  return outcome;
 }
 
 std::vector<std::vector<VertexId>> FindEmbeddings(const Graph& pattern,

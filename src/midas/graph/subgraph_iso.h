@@ -4,6 +4,7 @@
 #include <cstddef>
 #include <vector>
 
+#include "midas/common/budget.h"
 #include "midas/graph/graph.h"
 
 namespace midas {
@@ -18,15 +19,39 @@ namespace midas {
 ///
 /// The matcher orders pattern vertices connectivity-first and prunes by
 /// label, degree and mapped-neighborhood consistency.
+///
+/// Every entry point has a budgeted variant taking an `ExecBudget*`
+/// (nullptr = unlimited): one budget step is charged per candidate
+/// assignment tried, and on exhaustion the search stops where it stands and
+/// reports `truncated = true`. A truncated `found == false` means "not
+/// found within budget", not "absent" — callers degrade accordingly
+/// (coverage under-counts; it never invents containment).
 
 /// True iff target contains a subgraph isomorphic to pattern.
 bool ContainsSubgraph(const Graph& pattern, const Graph& target);
+
+/// Containment outcome under a budget.
+struct IsoOutcome {
+  bool found = false;
+  bool truncated = false;  ///< search stopped by budget exhaustion
+};
+IsoOutcome ContainsSubgraphBudgeted(const Graph& pattern, const Graph& target,
+                                    ExecBudget* budget);
 
 /// Number of distinct embeddings (injective mappings), counting at most
 /// `cap` (0 means unlimited). Automorphic images are counted separately,
 /// matching the "number of embeddings" stored in the TG-/TP-matrices.
 size_t CountEmbeddings(const Graph& pattern, const Graph& target,
                        size_t cap = 1024);
+
+/// Embedding count under a budget; `count` is a lower bound when truncated.
+struct EmbeddingCountOutcome {
+  size_t count = 0;
+  bool truncated = false;
+};
+EmbeddingCountOutcome CountEmbeddingsBudgeted(const Graph& pattern,
+                                              const Graph& target, size_t cap,
+                                              ExecBudget* budget);
 
 /// Enumerates up to `max_results` embeddings. Each embedding maps pattern
 /// vertex i to embedding[i] in the target.

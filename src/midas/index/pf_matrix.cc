@@ -1,6 +1,7 @@
 #include "midas/index/pf_matrix.h"
 
 #include <algorithm>
+#include <limits>
 #include <map>
 
 #include "midas/graph/ged.h"
@@ -174,10 +175,11 @@ int GedTightLowerBoundWithFeatures(const Graph& a, const Graph& b,
 
 int EstimateGed(const Graph& a, const Graph& b,
                 const std::vector<Graph>& features,
-                size_t exact_max_vertices) {
+                size_t exact_max_vertices, ExecBudget* budget) {
   if (a.NumVertices() <= exact_max_vertices &&
       b.NumVertices() <= exact_max_vertices) {
-    return GedExact(a, b);
+    return GedExactBudgeted(a, b, std::numeric_limits<int>::max(), budget)
+        .distance;
   }
   return GedTightLowerBoundWithFeatures(a, b, features);
 }

@@ -3,6 +3,7 @@
 
 #include <vector>
 
+#include "midas/common/budget.h"
 #include "midas/graph/graph.h"
 
 namespace midas {
@@ -52,10 +53,13 @@ int GedTightLowerBoundWithFeatures(const Graph& a, const Graph& b,
 
 /// Diversity-oriented GED estimate: exact branch & bound when both graphs
 /// have at most `exact_max_vertices` vertices, otherwise the tightened
-/// lower bound.
+/// lower bound. When `budget` is non-null the exact branch is budgeted
+/// (see GedExactBudgeted): on exhaustion it degrades to the anytime upper
+/// bound, which preserves the estimator's ranking use — patterns merely
+/// look at most as diverse as they are.
 int EstimateGed(const Graph& a, const Graph& b,
                 const std::vector<Graph>& features,
-                size_t exact_max_vertices = 8);
+                size_t exact_max_vertices = 8, ExecBudget* budget = nullptr);
 
 }  // namespace midas
 

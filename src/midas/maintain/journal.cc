@@ -1,0 +1,286 @@
+#include "midas/maintain/journal.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <sstream>
+
+#include "midas/common/checksum.h"
+#include "midas/common/failpoint.h"
+#include "midas/graph/graph_io.h"
+#include "midas/obs/metrics.h"
+#include "midas/select/pattern_io.h"
+
+namespace midas {
+namespace {
+
+void SetError(std::string* error, const std::string& what) {
+  if (error != nullptr) *error = what;
+}
+
+std::string ErrnoString() { return std::strerror(errno); }
+
+// Full-buffer write with EINTR/short-write handling.
+bool WriteAll(int fd, const char* data, size_t len) {
+  size_t off = 0;
+  while (off < len) {
+    ssize_t n = ::write(fd, data + off, len - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+std::string SerializeBatch(const BatchUpdate& batch,
+                           const LabelDictionary& dict) {
+  std::ostringstream out;
+  out << "deletions " << batch.deletions.size() << "\n";
+  if (!batch.deletions.empty()) {
+    for (size_t i = 0; i < batch.deletions.size(); ++i) {
+      out << (i == 0 ? "" : " ") << batch.deletions[i];
+    }
+    out << "\n";
+  }
+  for (size_t i = 0; i < batch.insertions.size(); ++i) {
+    WriteGraph(batch.insertions[i], dict, static_cast<long>(i), out);
+  }
+  return out.str();
+}
+
+bool ParseBatchPayload(const std::string& payload, LabelDictionary& dict,
+                       BatchUpdate* batch, std::string* error) {
+  std::istringstream in(payload);
+  std::string tag;
+  size_t num_deletions = 0;
+  if (!(in >> tag >> num_deletions) || tag != "deletions") {
+    SetError(error, "batch payload missing 'deletions' header");
+    return false;
+  }
+  for (size_t i = 0; i < num_deletions; ++i) {
+    GraphId id = 0;
+    if (!(in >> id)) {
+      SetError(error, "batch payload truncated deletion list");
+      return false;
+    }
+    batch->deletions.push_back(id);
+  }
+  // Insertions: the remainder is gspan text. Parse into a scratch database
+  // (own dictionary), then remap labels by name into the caller's.
+  GraphDatabase scratch;
+  std::string parse_error;
+  if (!ReadDatabase(in, &scratch, &parse_error)) {
+    SetError(error, "batch payload insertions: " + parse_error);
+    return false;
+  }
+  for (const auto& [id, g] : scratch.graphs()) {
+    batch->insertions.push_back(RemapLabels(g, scratch.labels(), dict));
+  }
+  return true;
+}
+
+}  // namespace
+
+UpdateJournal::~UpdateJournal() { Close(); }
+
+bool UpdateJournal::Open(const std::string& path, std::string* error) {
+  Close();
+  int fd = ::open(path.c_str(), O_CREAT | O_WRONLY | O_APPEND, 0644);
+  if (fd < 0) {
+    SetError(error, "open " + path + ": " + ErrnoString());
+    return false;
+  }
+  fd_ = fd;
+  path_ = path;
+  return true;
+}
+
+void UpdateJournal::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+bool UpdateJournal::AppendRecord(char type, uint64_t seq,
+                                 const std::string& payload,
+                                 std::string* error) {
+  if (fd_ < 0) {
+    SetError(error, "journal is not open");
+    return false;
+  }
+  std::ostringstream header;
+  header << '@' << type << ' ' << seq << ' ' << payload.size() << ' '
+         << Crc32Hex(Crc32(payload)) << '\n';
+  std::string record = header.str() + payload + "\n";
+  // One write + one fsync per record: the record is durable before the
+  // caller proceeds, which is the whole point of a WAL.
+  if (!WriteAll(fd_, record.data(), record.size())) {
+    SetError(error, "write " + path_ + ": " + ErrnoString());
+    return false;
+  }
+  if (::fsync(fd_) != 0) {
+    SetError(error, "fsync " + path_ + ": " + ErrnoString());
+    return false;
+  }
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Current();
+  if (reg.enabled()) {
+    reg.GetCounter(type == 'B' ? "midas_journal_batch_appends_total"
+                               : "midas_journal_commit_appends_total")
+        ->Increment();
+    reg.GetCounter("midas_journal_bytes_written_total")
+        ->Increment(record.size());
+  }
+  return true;
+}
+
+bool UpdateJournal::AppendBatch(uint64_t seq, const BatchUpdate& batch,
+                                const LabelDictionary& dict,
+                                std::string* error) {
+  if (MIDAS_FAILPOINT("journal.append.io_error")) {
+    SetError(error, "injected I/O error (failpoint journal.append.io_error)");
+    return false;
+  }
+  return AppendRecord('B', seq, SerializeBatch(batch, dict), error);
+}
+
+bool UpdateJournal::AppendCommit(uint64_t seq, const PatternSet& panel,
+                                 const LabelDictionary& dict,
+                                 std::string* error) {
+  if (MIDAS_FAILPOINT("journal.commit.io_error")) {
+    SetError(error, "injected I/O error (failpoint journal.commit.io_error)");
+    return false;
+  }
+  std::ostringstream out;
+  WritePatternSet(panel, dict, out);
+  return AppendRecord('C', seq, out.str(), error);
+}
+
+bool UpdateJournal::Reset(std::string* error) {
+  if (fd_ < 0) {
+    SetError(error, "journal is not open");
+    return false;
+  }
+  if (::ftruncate(fd_, 0) != 0) {
+    SetError(error, "ftruncate " + path_ + ": " + ErrnoString());
+    return false;
+  }
+  if (::fsync(fd_) != 0) {
+    SetError(error, "fsync " + path_ + ": " + ErrnoString());
+    return false;
+  }
+  return true;
+}
+
+JournalReadResult ReadJournal(const std::string& path,
+                              LabelDictionary& dict) {
+  JournalReadResult result;
+
+  std::string content;
+  {
+    int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0) {
+      if (errno == ENOENT) {
+        result.ok = true;  // no journal == empty journal
+        return result;
+      }
+      result.error = "open " + path + ": " + ErrnoString();
+      return result;
+    }
+    char buf[1 << 16];
+    for (;;) {
+      ssize_t n = ::read(fd, buf, sizeof buf);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        result.error = "read " + path + ": " + ErrnoString();
+        ::close(fd);
+        return result;
+      }
+      if (n == 0) break;
+      content.append(buf, static_cast<size_t>(n));
+    }
+    ::close(fd);
+  }
+  result.ok = true;
+
+  // Scan records. Any framing violation marks a torn tail: everything
+  // before it is trusted, the rest is dropped. A crash mid-append can only
+  // tear the *last* record, so mid-file corruption also stopping the scan
+  // is the conservative (never replay past doubt) choice.
+  auto torn = [&result](const std::string& why) {
+    result.tail_truncated = true;
+    result.error = why;
+    obs::MetricsRegistry& reg = obs::MetricsRegistry::Current();
+    if (reg.enabled()) {
+      reg.GetCounter("midas_journal_torn_tail_total")->Increment();
+    }
+  };
+
+  size_t pos = 0;
+  while (pos < content.size()) {
+    size_t eol = content.find('\n', pos);
+    if (eol == std::string::npos) {
+      torn("torn header at byte " + std::to_string(pos));
+      break;
+    }
+    std::istringstream header(content.substr(pos, eol - pos));
+    std::string tag;
+    uint64_t seq = 0;
+    size_t payload_size = 0;
+    std::string crc_hex;
+    if (!(header >> tag >> seq >> payload_size >> crc_hex) ||
+        (tag != "@B" && tag != "@C")) {
+      torn("malformed record header at byte " + std::to_string(pos));
+      break;
+    }
+    size_t payload_begin = eol + 1;
+    if (payload_begin + payload_size + 1 > content.size()) {
+      torn("torn payload at byte " + std::to_string(payload_begin));
+      break;
+    }
+    std::string payload = content.substr(payload_begin, payload_size);
+    if (content[payload_begin + payload_size] != '\n') {
+      torn("missing record terminator at byte " +
+           std::to_string(payload_begin + payload_size));
+      break;
+    }
+    if (Crc32Hex(Crc32(payload)) != crc_hex) {
+      torn("checksum mismatch in record seq " + std::to_string(seq));
+      break;
+    }
+    pos = payload_begin + payload_size + 1;
+
+    if (tag == "@B") {
+      JournalRound round;
+      round.seq = seq;
+      std::string parse_error;
+      if (!ParseBatchPayload(payload, dict, &round.batch, &parse_error)) {
+        torn(parse_error);
+        break;
+      }
+      result.rounds.push_back(std::move(round));
+    } else {  // @C
+      if (result.rounds.empty() || result.rounds.back().seq != seq ||
+          result.rounds.back().committed) {
+        torn("commit record seq " + std::to_string(seq) +
+             " without matching batch record");
+        break;
+      }
+      std::istringstream in(payload);
+      PatternSet panel;
+      if (!ReadPatternSet(in, dict, &panel)) {
+        torn("unparseable panel in commit record seq " + std::to_string(seq));
+        break;
+      }
+      result.rounds.back().panel = std::move(panel);
+      result.rounds.back().committed = true;
+    }
+  }
+  return result;
+}
+
+}  // namespace midas

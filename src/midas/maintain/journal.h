@@ -1,0 +1,96 @@
+#ifndef MIDAS_MAINTAIN_JOURNAL_H_
+#define MIDAS_MAINTAIN_JOURNAL_H_
+
+#include <string>
+#include <vector>
+
+#include "midas/graph/graph_database.h"
+#include "midas/select/pattern.h"
+
+namespace midas {
+
+/// Write-ahead batch journal for failure-atomic maintenance rounds.
+///
+/// Protocol (see MidasEngine::ApplyUpdate and RecoverEngine):
+///   1. Before any state mutation the engine appends one *batch* record —
+///      the full ΔD (insertions as gspan text, deletion ids) plus the round
+///      sequence number — and fsyncs it.
+///   2. After the round completes, the engine appends a *commit* record
+///      carrying the post-round pattern panel, and fsyncs again.
+///
+/// A crash at any point therefore loses at most the in-flight round: on
+/// recovery, rounds with both records are replayed against the last
+/// snapshot (batch re-applied, committed panel reinstalled verbatim), and a
+/// trailing batch record without its commit is dropped as "in flight".
+///
+/// Record framing: `@<type> <seq> <payload-bytes> <crc32>\n<payload>\n`,
+/// type `B` (batch) or `C` (commit). The CRC covers the payload bytes, so a
+/// torn tail — short write of either the header or the payload — is
+/// detected and tolerated, while anything before it is trusted. The payload
+/// is plain text (gspan / pattern-set formats from graph_io.h and
+/// pattern_io.h) to keep journals greppable in incident response.
+class UpdateJournal {
+ public:
+  UpdateJournal() = default;
+  ~UpdateJournal();
+
+  UpdateJournal(const UpdateJournal&) = delete;
+  UpdateJournal& operator=(const UpdateJournal&) = delete;
+
+  /// Opens (creating if absent) the journal at `path` for appending.
+  bool Open(const std::string& path, std::string* error = nullptr);
+  void Close();
+  bool is_open() const { return fd_ >= 0; }
+  const std::string& path() const { return path_; }
+
+  /// Appends + fsyncs the intent record for round `seq`. Insertions are
+  /// serialized with label names resolved through `dict`. Returns false on
+  /// I/O failure (the engine then refuses to start the round — state is
+  /// untouched, so no recovery is needed).
+  bool AppendBatch(uint64_t seq, const BatchUpdate& batch,
+                   const LabelDictionary& dict, std::string* error = nullptr);
+
+  /// Appends + fsyncs the commit record for round `seq`, carrying the
+  /// post-round panel.
+  bool AppendCommit(uint64_t seq, const PatternSet& panel,
+                    const LabelDictionary& dict, std::string* error = nullptr);
+
+  /// Truncates the journal to empty — called right after a snapshot
+  /// checkpoint makes the journaled history redundant.
+  bool Reset(std::string* error = nullptr);
+
+ private:
+  bool AppendRecord(char type, uint64_t seq, const std::string& payload,
+                    std::string* error);
+
+  int fd_ = -1;
+  std::string path_;
+};
+
+/// One journaled round as read back from disk.
+struct JournalRound {
+  uint64_t seq = 0;
+  BatchUpdate batch;
+  bool committed = false;  ///< commit record present and intact
+  PatternSet panel;        ///< post-round panel (only when committed)
+};
+
+/// Result of scanning a journal file.
+struct JournalReadResult {
+  bool ok = false;           ///< file existed and was readable
+  std::string error;         ///< why ok is false, or why the scan stopped
+  std::vector<JournalRound> rounds;  ///< in append order
+  /// True when a torn/corrupt tail was dropped (expected after a crash
+  /// mid-append; everything before the tear is intact and returned).
+  bool tail_truncated = false;
+};
+
+/// Scans a journal, validating framing and CRCs. Labels from insertion
+/// graphs and panel patterns are interned into `dict` by name. A missing
+/// file yields ok=true with zero rounds (an empty journal and no journal
+/// are equivalently "nothing to replay").
+JournalReadResult ReadJournal(const std::string& path, LabelDictionary& dict);
+
+}  // namespace midas
+
+#endif  // MIDAS_MAINTAIN_JOURNAL_H_

@@ -1,7 +1,10 @@
 #include "midas/maintain/midas.h"
 
 #include <algorithm>
+#include <stdexcept>
 
+#include "midas/common/failpoint.h"
+#include "midas/maintain/journal.h"
 #include "midas/obs/json.h"
 #include "midas/obs/metrics.h"
 #include "midas/obs/trace.h"
@@ -11,9 +14,9 @@ namespace midas {
 // Trips when MaintenanceStats gains (or loses) a field without the
 // MIDAS_MAINTENANCE_PHASES list / ToJson / FromJson being updated: the
 // struct is exactly total_ms + the 8 phase doubles + graphlet_distance +
-// bool (padded) + 2 ints on the LP64 ABIs CI builds on.
+// 2 bools (padded) + 2 ints on the LP64 ABIs CI builds on.
 static_assert(sizeof(MaintenanceStats) ==
-                  10 * sizeof(double) + 16 /* bool + padding + 2 ints */,
+                  10 * sizeof(double) + 16 /* 2 bools + padding + 2 ints */,
               "MaintenanceStats layout changed: update "
               "MIDAS_MAINTENANCE_PHASES, ToJson/FromJson and "
               "docs/observability.md");
@@ -52,6 +55,9 @@ std::vector<std::string> ValidateConfig(const MidasConfig& config) {
   if (config.walk.num_walks <= 0 || config.walk.walk_length <= 0) {
     problems.push_back("walk.num_walks and walk.walk_length must be >= 1");
   }
+  if (config.round_deadline_ms < 0.0) {
+    problems.push_back("round_deadline_ms must be >= 0 (0 = unlimited)");
+  }
   // Legal but dubious.
   if (config.fct.sup_min < 0.1) {
     problems.push_back(
@@ -66,6 +72,11 @@ std::vector<std::string> ValidateConfig(const MidasConfig& config) {
   if (config.sample_cap > 0 && config.sample_cap < 20) {
     problems.push_back(
         "warning: sample_cap < 20 makes scov estimates very noisy");
+  }
+  if (config.round_deadline_ms > 0.0 && config.round_deadline_ms < 5.0) {
+    problems.push_back(
+        "warning: round_deadline_ms < 5 truncates nearly every phase; the "
+        "panel will mostly coast on stale patterns");
   }
   return problems;
 }
@@ -89,7 +100,7 @@ void MidasEngine::Initialize() {
   }
   fct_index_ = FctIndex::Build(db_, fcts_);
   ife_index_ = IfeIndex::Build(db_, fcts_);
-  ged_ = HybridGed(GedFeatureTrees(fcts_));
+  ged_ = HybridGed(GedFeatureTrees(fcts_), &round_budget_);
   eval_ = std::make_unique<CoverageEvaluator>(db_, config_.sample_cap, rng_,
                                               &fct_index_, &ife_index_);
 
@@ -104,6 +115,10 @@ void MidasEngine::Initialize() {
   small_panel_ = SmallPatternPanel(config_.small_panel);
   small_panel_.Refresh(fcts_);
   initialized_ = true;
+}
+
+void MidasEngine::RestoreRoundSeq(uint64_t seq) {
+  round_seq_ = std::max(round_seq_, seq);
 }
 
 void MidasEngine::LoadPatterns(PatternSet set) {
@@ -163,6 +178,31 @@ void MidasEngine::SyncPatternColumns() {
 
 MaintenanceStats MidasEngine::ApplyUpdate(const BatchUpdate& delta,
                                           MaintenanceMode mode) {
+  // Write-ahead intent: the batch must be durable before any state changes.
+  // On append failure we refuse the round with the engine untouched — the
+  // caller retries or runs unjournaled, but never diverges from the log.
+  uint64_t seq = round_seq_ + 1;
+  if (journal_ != nullptr) {
+    std::string journal_error;
+    if (!journal_->AppendBatch(seq, delta, db_.labels(), &journal_error)) {
+      throw std::runtime_error("ApplyUpdate refused: journal batch append "
+                               "failed: " +
+                               journal_error);
+    }
+  }
+
+  // Arm the shared round budget (unlimited when no limit is configured;
+  // round_budget_ stays a valid target either way because the HybridGed
+  // closure holds its address).
+  if (config_.round_deadline_ms > 0.0 || config_.round_step_limit > 0) {
+    round_budget_.Reset(config_.round_deadline_ms > 0.0
+                            ? Deadline::AfterMs(config_.round_deadline_ms)
+                            : Deadline::Infinite(),
+                        config_.round_step_limit);
+  } else {
+    round_budget_.ResetUnlimited();
+  }
+
   MaintenanceStats stats;
   obs::TraceSpan total_span("midas_maintain_total_ms", &stats.total_ms);
 
@@ -192,6 +232,7 @@ MaintenanceStats MidasEngine::ApplyUpdate(const BatchUpdate& delta,
     }
     psi_after = census_.Distribution();
   }
+  MIDAS_FAILPOINT_ABORT("midas.apply_update.after_apply");
 
   // Lines 1-2: cluster assignment / removal. The span pauses across FCT
   // maintenance and resumes for line 6's fine splitting, so the two
@@ -206,13 +247,15 @@ MaintenanceStats MidasEngine::ApplyUpdate(const BatchUpdate& delta,
   {
     obs::TraceSpan span("midas_maintain_fct_ms", &stats.fct_ms);
     if (!removed_ids.empty()) fcts_.MaintainDelete(removed_ids, db_.size());
-    if (!added.empty()) fcts_.MaintainAdd(db_, added);
+    if (!added.empty()) fcts_.MaintainAdd(db_, added, &round_budget_);
   }
+  MIDAS_FAILPOINT_ABORT("midas.apply_update.after_fct");
 
   // Line 6: fine clustering of oversized clusters.
   cluster_span.Resume();
   std::vector<ClusterId> created = clusters_.SplitOversized(db_, rng_);
   cluster_span.Stop();
+  MIDAS_FAILPOINT_ABORT("midas.apply_update.after_cluster");
 
   // Line 7: CSG maintenance — incremental adds/removes, then reconcile the
   // clusters whose membership was rearranged by splitting.
@@ -234,6 +277,7 @@ MaintenanceStats MidasEngine::ApplyUpdate(const BatchUpdate& delta,
     }
     ReconcileCsgs();
   }
+  MIDAS_FAILPOINT_ABORT("midas.apply_update.after_csg");
 
   // Line 12 (part 1): graph-side index maintenance. Feature rows are synced
   // against the maintained FCT universe; columns follow ΔD. The span pauses
@@ -252,13 +296,14 @@ MaintenanceStats MidasEngine::ApplyUpdate(const BatchUpdate& delta,
   fct_index_.SyncFeatures(db_, fcts_);
   ife_index_.SyncEdges(db_, fcts_);
   index_span.Pause();
+  MIDAS_FAILPOINT_ABORT("midas.apply_update.after_index");
 
   // Refresh the evaluation universe, the diversity estimator (the FCT
   // universe may have changed) and the cached pattern metrics; then
   // classify (lines 8-11). The span resumes for the companion-panel
   // refresh after swapping.
   obs::TraceSpan refresh_span("midas_maintain_refresh_ms", &stats.refresh_ms);
-  ged_ = HybridGed(GedFeatureTrees(fcts_));
+  ged_ = HybridGed(GedFeatureTrees(fcts_), &round_budget_);
   eval_->Resample(rng_);
   for (auto& [pid, p] : patterns_.patterns()) {
     RefreshPatternMetrics(p, *eval_, fcts_);
@@ -271,6 +316,7 @@ MaintenanceStats MidasEngine::ApplyUpdate(const BatchUpdate& delta,
   stats.graphlet_distance = report.distance;
   stats.major = report.type == ModificationType::kMajor;
   refresh_span.Pause();
+  MIDAS_FAILPOINT_ABORT("midas.apply_update.after_refresh");
 
   if (stats.major && mode != MaintenanceMode::kNoMaintain &&
       patterns_.size() > 0) {
@@ -297,12 +343,15 @@ MaintenanceStats MidasEngine::ApplyUpdate(const BatchUpdate& delta,
           db_, fcts_, affected_csgs, patterns_, eval_->universe(), gen, rng_);
       stats.candidates = static_cast<int>(candidates.size());
     }
+    MIDAS_FAILPOINT_ABORT("midas.apply_update.after_candidates");
 
     {
       obs::TraceSpan span("midas_maintain_swap_ms", &stats.swap_ms);
       if (mode == MaintenanceMode::kMidas) {
+        SwapConfig swap_config = config_.swap;
+        swap_config.budget = &round_budget_;
         SwapStats sw = MultiScanSwap(patterns_, candidates, *eval_, fcts_,
-                                     config_.swap, ged_);
+                                     swap_config, ged_);
         stats.swaps = sw.swaps;
       } else {  // kRandomSwap
         stats.swaps = RandomSwap(patterns_, candidates, *eval_, fcts_, rng_);
@@ -310,6 +359,7 @@ MaintenanceStats MidasEngine::ApplyUpdate(const BatchUpdate& delta,
       RefreshDiversityAndScores(patterns_, ged_);
     }
   }
+  MIDAS_FAILPOINT_ABORT("midas.apply_update.after_swap");
 
   // The η <= 2 companion panel follows the maintained FCT pool directly.
   refresh_span.Resume();
@@ -323,11 +373,40 @@ MaintenanceStats MidasEngine::ApplyUpdate(const BatchUpdate& delta,
 
   total_span.Stop();
 
+  // Read the budget verdict before disarming it; the budget returns to
+  // unlimited between rounds so out-of-round estimator calls never degrade.
+  stats.truncated = round_budget_.exhausted();
+  ExecBudget::Cause budget_cause = round_budget_.cause();
+  uint64_t budget_steps = round_budget_.steps_used();
+  round_budget_.ResetUnlimited();
+
+  // Commit: the round's outcome (including the exact panel) is durable
+  // before the round counter advances. A crash before this append leaves
+  // the batch record without a commit — recovery replays up to the previous
+  // round and drops this one as in-flight, which matches the in-memory
+  // state never having been observed by a caller.
+  ++round_seq_;
+  if (journal_ != nullptr) {
+    std::string journal_error;
+    if (!journal_->AppendCommit(seq, patterns_, db_.labels(),
+                                &journal_error)) {
+      // The in-memory round is complete and valid; losing the commit record
+      // only means recovery would re-run this round. Surface, don't throw.
+      obs::MetricsRegistry& mreg = obs::MetricsRegistry::Current();
+      if (mreg.enabled()) {
+        mreg.GetCounter("midas_journal_commit_failures_total")->Increment();
+      }
+    }
+  }
+
   obs::MetricsRegistry& reg = obs::MetricsRegistry::Current();
   if (reg.enabled()) {
     reg.GetCounter("midas_maintain_rounds_total")->Increment();
     if (stats.major) {
       reg.GetCounter("midas_maintain_major_rounds_total")->Increment();
+    }
+    if (stats.truncated) {
+      reg.GetCounter("midas_maintain_truncated_rounds_total")->Increment();
     }
     reg.GetCounter("midas_maintain_swaps_total")
         ->Increment(static_cast<uint64_t>(stats.swaps));
@@ -342,7 +421,6 @@ MaintenanceStats MidasEngine::ApplyUpdate(const BatchUpdate& delta,
   }
 
   history_.Record(stats);
-  ++round_seq_;
   if (event_log_ != nullptr) {
     obs::MaintenanceEvent event;
     event.seq = round_seq_;
@@ -355,6 +433,9 @@ MaintenanceStats MidasEngine::ApplyUpdate(const BatchUpdate& delta,
     event.epsilon = config_.epsilon;
     event.candidates = stats.candidates;
     event.swaps = stats.swaps;
+    event.truncated = stats.truncated;
+    event.degrade_reason = std::string(ExecBudget::CauseName(budget_cause));
+    event.budget_steps = budget_steps;
     event.phase_ms.emplace_back("total_ms", stats.total_ms);
 #define MIDAS_EVENT_PHASE(field) \
   event.phase_ms.emplace_back(#field, stats.field);
@@ -388,6 +469,7 @@ std::string MaintenanceStats::ToJson() const {
 #undef MIDAS_JSON_PHASE
   w.Key("graphlet_distance").Value(graphlet_distance);
   w.Key("major").Value(major);
+  w.Key("truncated").Value(truncated);
   w.Key("candidates").Value(candidates);
   w.Key("swaps").Value(swaps);
   w.EndObject();
@@ -416,6 +498,12 @@ MaintenanceStats MaintenanceStats::FromJson(std::string_view json, bool* ok) {
     complete = false;
   } else {
     stats.major = bit->second;
+  }
+  auto tit = parsed.bools.find("truncated");
+  if (tit == parsed.bools.end()) {
+    complete = false;
+  } else {
+    stats.truncated = tit->second;
   }
   double value = 0.0;
   number("candidates", &value);

@@ -9,6 +9,7 @@
 
 #include "midas/cluster/clustering.h"
 #include "midas/cluster/csg.h"
+#include "midas/common/budget.h"
 #include "midas/graph/graphlet.h"
 #include "midas/index/fct_index.h"
 #include "midas/index/ife_index.h"
@@ -20,6 +21,8 @@
 #include "midas/select/catapult.h"
 
 namespace midas {
+
+class UpdateJournal;
 
 /// End-to-end configuration of the MIDAS framework.
 struct MidasConfig {
@@ -42,6 +45,17 @@ struct MidasConfig {
   /// Small-pattern panel (η <= 2) maintained alongside the main set; set
   /// both slot counts to 0 to disable.
   SmallPatternPanel::Config small_panel;
+
+  /// Per-round execution budget (0 = unlimited). When either limit is set,
+  /// every search kernel of the round (FCT maintenance probes + delta
+  /// mining, exact-GED refinement, multi-scan swap) shares one ExecBudget
+  /// and degrades gracefully on exhaustion: mining returns the trees found
+  /// so far, GED falls back to its anytime upper bound, the swap keeps the
+  /// swaps already applied. The panel always remains valid (swap is
+  /// one-for-one), truncation is reported in MaintenanceStats::truncated,
+  /// the `midas_budget_exhausted_*` metrics and the event log.
+  double round_deadline_ms = 0.0;   ///< wall-clock cap per ApplyUpdate
+  uint64_t round_step_limit = 0;    ///< search-step cap per ApplyUpdate
 };
 
 /// Sanity-checks a configuration before an engine is built. Returns
@@ -82,6 +96,10 @@ struct MaintenanceStats {
   double swap_ms = 0.0;       ///< multi-scan swap (Section 6)
   double graphlet_distance = 0.0;
   bool major = false;
+  /// True when the round's execution budget ran out and some phase was cut
+  /// short (see MidasConfig::round_deadline_ms). The round still completed
+  /// and the panel is valid — quality is degraded, not correctness.
+  bool truncated = false;
   int candidates = 0;
   int swaps = 0;
 
@@ -164,6 +182,23 @@ class MidasEngine {
   /// timings, resulting quality). Non-owning; pass nullptr to detach.
   void SetEventLog(obs::MaintenanceEventLog* log) { event_log_ = log; }
 
+  /// Attaches a write-ahead journal (journal.h): every subsequent
+  /// ApplyUpdate appends a fsync'd batch record *before* touching any
+  /// state and a commit record (with the post-round panel) after the round.
+  /// A failed batch append throws std::runtime_error with the engine
+  /// untouched; a crash mid-round is recovered by RecoverEngine, losing at
+  /// most the in-flight round. Non-owning; pass nullptr to detach.
+  void SetJournal(UpdateJournal* journal) { journal_ = journal; }
+  UpdateJournal* journal() const { return journal_; }
+
+  /// Number of completed maintenance rounds. Persisted by snapshots as
+  /// snapshot_seq so recovery knows which journaled rounds are already
+  /// reflected in the restored state.
+  uint64_t round_seq() const { return round_seq_; }
+  /// Fast-forwards the round counter to `seq` (snapshot restore only;
+  /// never lowers it).
+  void RestoreRoundSeq(uint64_t seq);
+
   /// Replaces the canned pattern set (e.g., a panel restored from disk via
   /// pattern_io.h). Metrics are recomputed against the current database and
   /// the pattern columns of both indices are re-registered. Requires
@@ -220,6 +255,12 @@ class MidasEngine {
   SmallPatternPanel small_panel_;
   MaintenanceHistory history_;
   obs::MaintenanceEventLog* event_log_ = nullptr;  ///< non-owning
+  UpdateJournal* journal_ = nullptr;               ///< non-owning
+  /// The one budget every kernel of the current round shares. A stable
+  /// member (not a stack object) because the HybridGed closure captures its
+  /// address; reset per round, returned to unlimited between rounds so
+  /// out-of-round calls (LoadPatterns, CurrentQuality) never degrade.
+  ExecBudget round_budget_;
   uint64_t round_seq_ = 0;
   bool initialized_ = false;
 };

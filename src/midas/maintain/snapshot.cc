@@ -1,13 +1,232 @@
 #include "midas/maintain/snapshot.h"
 
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <map>
 #include <sstream>
+#include <utility>
 
+#include "midas/common/checksum.h"
+#include "midas/common/failpoint.h"
 #include "midas/graph/graph_io.h"
+#include "midas/maintain/journal.h"
+#include "midas/obs/metrics.h"
 #include "midas/select/pattern_io.h"
 
 namespace midas {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+void SetError(std::string* error, const std::string& what) {
+  if (error != nullptr) *error = what;
+}
+
+std::string ErrnoString() { return std::strerror(errno); }
+
+// Full-buffer write with EINTR/short-write handling.
+bool WriteAll(int fd, const char* data, size_t len) {
+  size_t off = 0;
+  while (off < len) {
+    ssize_t n = ::write(fd, data + off, len - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+// Writes `content` to `path` and fsyncs before closing, so a later rename
+// of the containing directory can't expose a file whose bytes are still in
+// flight.
+bool WriteFileDurable(const std::string& path, const std::string& content,
+                      std::string* error) {
+  if (MIDAS_FAILPOINT("snapshot.save.partial_write")) {
+    // Simulate a disk filling up / kill mid-write: half the bytes land.
+    // The torn file stays in the tmp directory only — SaveSnapshot reports
+    // failure and never renames it into place.
+    std::ofstream torn(path, std::ios::binary);
+    torn.write(content.data(),
+               static_cast<std::streamsize>(content.size() / 2));
+    SetError(error,
+             "injected partial write (failpoint snapshot.save.partial_write): " +
+                 path);
+    return false;
+  }
+  int fd = ::open(path.c_str(), O_CREAT | O_WRONLY | O_TRUNC, 0644);
+  if (fd < 0) {
+    SetError(error, "open " + path + ": " + ErrnoString());
+    return false;
+  }
+  bool ok = WriteAll(fd, content.data(), content.size());
+  if (!ok) SetError(error, "write " + path + ": " + ErrnoString());
+  if (ok && ::fsync(fd) != 0) {
+    SetError(error, "fsync " + path + ": " + ErrnoString());
+    ok = false;
+  }
+  ::close(fd);
+  return ok;
+}
+
+// Fsyncs a directory so the entries created inside it are durable.
+bool FsyncDir(const std::string& path, std::string* error) {
+  int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    SetError(error, "open dir " + path + ": " + ErrnoString());
+    return false;
+  }
+  bool ok = ::fsync(fd) == 0;
+  if (!ok) SetError(error, "fsync dir " + path + ": " + ErrnoString());
+  ::close(fd);
+  return ok;
+}
+
+bool ReadFile(const std::string& path, std::string* content,
+              std::string* error) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    SetError(error, "cannot open " + path);
+    return false;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  *content = buf.str();
+  return true;
+}
+
+struct Manifest {
+  uint64_t snapshot_seq = 0;
+  GraphId next_graph_id = 0;
+  std::map<std::string, std::string> file_crc;  // name -> crc32 hex
+};
+
+bool ParseManifest(const std::string& text, Manifest* manifest,
+                   std::string* error) {
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    size_t eq = line.find('=');
+    if (eq == std::string::npos) {
+      SetError(error, "malformed MANIFEST line: " + line);
+      return false;
+    }
+    std::string key = line.substr(0, eq);
+    std::string value = line.substr(eq + 1);
+    if (key == "snapshot_seq") {
+      std::istringstream v(value);
+      if (!(v >> manifest->snapshot_seq)) {
+        SetError(error, "malformed snapshot_seq: " + value);
+        return false;
+      }
+    } else if (key == "next_graph_id") {
+      std::istringstream v(value);
+      if (!(v >> manifest->next_graph_id)) {
+        SetError(error, "malformed next_graph_id: " + value);
+        return false;
+      }
+    } else if (key == "file") {
+      size_t eq2 = value.find('=');
+      if (eq2 == std::string::npos) {
+        SetError(error, "malformed file entry: " + value);
+        return false;
+      }
+      manifest->file_crc[value.substr(0, eq2)] = value.substr(eq2 + 1);
+    }
+    // Unknown keys are skipped (forward compatibility).
+  }
+  return true;
+}
+
+// Loads `name` from a manifest-validated snapshot directory and checks its
+// CRC32 against the manifest entry.
+bool ReadChecked(const std::string& dir, const Manifest& manifest,
+                 const std::string& name, std::string* content,
+                 std::string* error) {
+  auto it = manifest.file_crc.find(name);
+  if (it == manifest.file_crc.end()) {
+    SetError(error, dir + "/MANIFEST has no checksum for " + name);
+    return false;
+  }
+  if (!ReadFile(dir + "/" + name, content, error)) return false;
+  std::string actual = Crc32Hex(Crc32(*content));
+  if (actual != it->second) {
+    SetError(error, dir + "/" + name + ": checksum mismatch (manifest " +
+                        it->second + ", actual " + actual + ")");
+    return false;
+  }
+  return true;
+}
+
+// One full restore attempt from a concrete directory.
+std::unique_ptr<MidasEngine> RestoreFromDir(const std::string& dir,
+                                            std::string* error) {
+  std::string manifest_text;
+  if (!ReadFile(dir + "/MANIFEST", &manifest_text, error)) return nullptr;
+  Manifest manifest;
+  if (!ParseManifest(manifest_text, &manifest, error)) return nullptr;
+
+  std::string cfg_text, db_text, pat_text;
+  if (!ReadChecked(dir, manifest, "config.ini", &cfg_text, error) ||
+      !ReadChecked(dir, manifest, "database.gspan", &db_text, error) ||
+      !ReadChecked(dir, manifest, "patterns.gspan", &pat_text, error)) {
+    return nullptr;
+  }
+
+  MidasConfig config;
+  {
+    std::istringstream in(cfg_text);
+    if (!ReadConfig(in, &config)) {
+      SetError(error, dir + "/config.ini: malformed config");
+      return nullptr;
+    }
+  }
+  // A snapshot carrying an invalid configuration must not come back to
+  // life: warnings pass, errors refuse the restore.
+  for (const std::string& problem : ValidateConfig(config)) {
+    if (problem.rfind("warning:", 0) != 0) {
+      SetError(error, dir + "/config.ini: " + problem);
+      return nullptr;
+    }
+  }
+
+  GraphDatabase db;
+  {
+    std::istringstream in(db_text);
+    GspanReadOptions options;
+    options.preserve_ids = true;  // journaled deletion ids must stay valid
+    std::string parse_error;
+    if (!ReadDatabase(in, &db, options, &parse_error)) {
+      SetError(error, dir + "/database.gspan: " + parse_error);
+      return nullptr;
+    }
+  }
+  db.RestoreNextId(manifest.next_graph_id);
+
+  auto engine = std::make_unique<MidasEngine>(std::move(db), config);
+  engine->Initialize();
+  {
+    std::istringstream in(pat_text);
+    PatternSet panel;
+    if (!ReadPatternSet(in, engine->labels(), &panel)) {
+      SetError(error, dir + "/patterns.gspan: malformed pattern set");
+      return nullptr;
+    }
+    engine->LoadPatterns(std::move(panel));
+  }
+  engine->RestoreRoundSeq(manifest.snapshot_seq);
+  return engine;
+}
+
+}  // namespace
 
 void WriteConfig(const MidasConfig& config, std::ostream& out) {
   out << "fct.sup_min=" << config.fct.sup_min << "\n"
@@ -36,7 +255,9 @@ void WriteConfig(const MidasConfig& config, std::ostream& out) {
       << "small_panel.max_edges_patterns="
       << config.small_panel.max_edges_patterns << "\n"
       << "small_panel.max_wedge_patterns="
-      << config.small_panel.max_wedge_patterns << "\n";
+      << config.small_panel.max_wedge_patterns << "\n"
+      << "round_deadline_ms=" << config.round_deadline_ms << "\n"
+      << "round_step_limit=" << config.round_step_limit << "\n";
 }
 
 bool ReadConfig(std::istream& in, MidasConfig* config) {
@@ -97,6 +318,10 @@ bool ReadConfig(std::istream& in, MidasConfig* config) {
       ok = static_cast<bool>(v >> config->small_panel.max_edges_patterns);
     } else if (key == "small_panel.max_wedge_patterns") {
       ok = static_cast<bool>(v >> config->small_panel.max_wedge_patterns);
+    } else if (key == "round_deadline_ms") {
+      ok = static_cast<bool>(v >> config->round_deadline_ms);
+    } else if (key == "round_step_limit") {
+      ok = static_cast<bool>(v >> config->round_step_limit);
     }
     // Unknown keys are skipped (forward compatibility).
     if (!ok) return false;
@@ -104,46 +329,164 @@ bool ReadConfig(std::istream& in, MidasConfig* config) {
   return true;
 }
 
-bool SaveSnapshot(const MidasEngine& engine, const std::string& dir) {
+bool SaveSnapshot(const MidasEngine& engine, const std::string& dir,
+                  std::string* error) {
+  const std::string tmp = dir + ".tmp";
+  const std::string old = dir + ".old";
   std::error_code ec;
-  std::filesystem::create_directories(dir, ec);
-  if (ec) return false;
 
-  std::ofstream db_out(dir + "/database.gspan");
-  if (!db_out) return false;
+  // A stale tmp is always a leftover from an interrupted save; discard it.
+  fs::remove_all(tmp, ec);
+  fs::create_directories(tmp, ec);
+  if (ec) {
+    SetError(error, "create " + tmp + ": " + ec.message());
+    return false;
+  }
+
+  std::ostringstream db_out;
   WriteDatabase(engine.db(), db_out);
-
-  std::ofstream pat_out(dir + "/patterns.gspan");
-  if (!pat_out) return false;
+  std::ostringstream pat_out;
   WritePatternSet(engine.patterns(), engine.db().labels(), pat_out);
-
-  std::ofstream cfg_out(dir + "/config.ini");
-  if (!cfg_out) return false;
+  std::ostringstream cfg_out;
   WriteConfig(engine.config(), cfg_out);
-  return db_out.good() && pat_out.good() && cfg_out.good();
+
+  const std::pair<const char*, std::string> files[] = {
+      {"database.gspan", db_out.str()},
+      {"patterns.gspan", pat_out.str()},
+      {"config.ini", cfg_out.str()},
+  };
+
+  std::ostringstream manifest;
+  manifest << "snapshot_seq=" << engine.round_seq() << "\n"
+           << "next_graph_id=" << engine.db().next_id() << "\n";
+  for (const auto& [name, content] : files) {
+    if (!WriteFileDurable(tmp + "/" + name, content, error)) return false;
+    manifest << "file=" << name << "=" << Crc32Hex(Crc32(content)) << "\n";
+  }
+  // MANIFEST last: its presence certifies the directory is complete.
+  if (!WriteFileDurable(tmp + "/MANIFEST", manifest.str(), error)) {
+    return false;
+  }
+  if (!FsyncDir(tmp, error)) return false;
+
+  // Crash site between "tmp is complete" and "tmp is live". RestoreEngine's
+  // dir -> dir.tmp -> dir.old resolution handles every interleaving.
+  MIDAS_FAILPOINT_ABORT("snapshot.save.before_rename");
+
+  fs::remove_all(old, ec);
+  if (fs::exists(dir)) {
+    fs::rename(dir, old, ec);
+    if (ec) {
+      SetError(error, "rename " + dir + " -> " + old + ": " + ec.message());
+      return false;
+    }
+  }
+  fs::rename(tmp, dir, ec);
+  if (ec) {
+    SetError(error, "rename " + tmp + " -> " + dir + ": " + ec.message());
+    return false;
+  }
+  fs::remove_all(old, ec);
+  return true;
+}
+
+bool SaveSnapshot(const MidasEngine& engine, const std::string& dir) {
+  return SaveSnapshot(engine, dir, nullptr);
+}
+
+std::unique_ptr<MidasEngine> RestoreEngine(const std::string& dir,
+                                           std::string* error) {
+  // Resolution order mirrors SaveSnapshot's rename dance: the live
+  // directory first, then a complete-but-unrenamed tmp (crash right before
+  // the swap), then the displaced previous snapshot (crash mid-swap).
+  std::string first_error;
+  for (const std::string candidate : {dir, dir + ".tmp", dir + ".old"}) {
+    std::error_code ec;
+    if (!fs::exists(candidate, ec)) continue;
+    std::string attempt_error;
+    if (auto engine = RestoreFromDir(candidate, &attempt_error)) {
+      return engine;
+    }
+    if (first_error.empty()) first_error = attempt_error;
+  }
+  SetError(error, first_error.empty() ? "no snapshot found at " + dir
+                                      : first_error);
+  return nullptr;
 }
 
 std::unique_ptr<MidasEngine> RestoreEngine(const std::string& dir) {
-  MidasConfig config;
-  {
-    std::ifstream in(dir + "/config.ini");
-    if (!in || !ReadConfig(in, &config)) return nullptr;
+  return RestoreEngine(dir, nullptr);
+}
+
+std::unique_ptr<MidasEngine> RecoverEngine(const std::string& engine_dir,
+                                           RecoverInfo* info) {
+  RecoverInfo local;
+  RecoverInfo* out = info != nullptr ? info : &local;
+  *out = RecoverInfo{};
+
+  std::string restore_error;
+  auto engine = RestoreEngine(engine_dir + "/snapshot", &restore_error);
+  if (engine == nullptr) {
+    out->error = "snapshot restore failed: " + restore_error;
+    return nullptr;
   }
-  GraphDatabase db;
-  {
-    std::ifstream in(dir + "/database.gspan");
-    if (!in || !ReadDatabase(in, &db)) return nullptr;
+
+  JournalReadResult journal =
+      ReadJournal(engine_dir + "/journal.log", engine->labels());
+  if (!journal.ok) {
+    out->error = "journal read failed: " + journal.error;
+    return nullptr;
   }
-  auto engine = std::make_unique<MidasEngine>(std::move(db), config);
-  engine->Initialize();
-  {
-    std::ifstream in(dir + "/patterns.gspan");
-    if (!in) return nullptr;
-    PatternSet panel;
-    if (!ReadPatternSet(in, engine->labels(), &panel)) return nullptr;
-    engine->LoadPatterns(std::move(panel));
+  out->tail_truncated = journal.tail_truncated;
+
+  // Replay committed rounds beyond the snapshot. Structures are re-derived
+  // by re-applying the batch (kNoMaintain: no selection/swap — replay must
+  // not redo budget-dependent work), then the committed panel — the exact
+  // set the original round produced — is reinstalled verbatim.
+  size_t last_committed = journal.rounds.size();
+  for (size_t i = 0; i < journal.rounds.size(); ++i) {
+    JournalRound& round = journal.rounds[i];
+    if (!round.committed) {
+      ++out->dropped_inflight;
+      continue;
+    }
+    if (round.seq <= engine->round_seq()) continue;  // already in snapshot
+    engine->ApplyUpdate(round.batch, MaintenanceMode::kNoMaintain);
+    ++out->replayed;
+    last_committed = i;
+  }
+  if (last_committed < journal.rounds.size()) {
+    engine->LoadPatterns(std::move(journal.rounds[last_committed].panel));
+  }
+
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Current();
+  if (reg.enabled()) {
+    if (out->replayed > 0) {
+      reg.GetCounter("midas_recovery_replayed_batches")
+          ->Increment(out->replayed);
+    }
+    if (out->dropped_inflight > 0) {
+      reg.GetCounter("midas_recovery_dropped_inflight_total")
+          ->Increment(out->dropped_inflight);
+    }
   }
   return engine;
+}
+
+bool SaveCheckpoint(const MidasEngine& engine, const std::string& engine_dir,
+                    std::string* error) {
+  std::error_code ec;
+  fs::create_directories(engine_dir, ec);
+  if (ec) {
+    SetError(error, "create " + engine_dir + ": " + ec.message());
+    return false;
+  }
+  if (!SaveSnapshot(engine, engine_dir + "/snapshot", error)) return false;
+  UpdateJournal* journal = engine.journal();
+  if (journal != nullptr && journal->is_open()) {
+    return journal->Reset(error);
+  }
+  return true;
 }
 
 }  // namespace midas

@@ -1,6 +1,7 @@
 #ifndef MIDAS_MAINTAIN_SNAPSHOT_H_
 #define MIDAS_MAINTAIN_SNAPSHOT_H_
 
+#include <cstdint>
 #include <iosfwd>
 #include <memory>
 #include <string>
@@ -10,11 +11,20 @@
 namespace midas {
 
 /// Engine persistence: a snapshot directory holds the database
-/// (database.gspan), the canned pattern panel (patterns.gspan) and the
-/// configuration (config.ini, key=value). Restoring rebuilds the derived
-/// structures (FCT pool, clusters, CSGs, indices) deterministically from
-/// the config's seed and reinstalls the saved panel — a service restart
-/// resumes exactly where it stopped, without re-running selection.
+/// (database.gspan), the canned pattern panel (patterns.gspan), the
+/// configuration (config.ini, key=value) and a MANIFEST with a CRC32 per
+/// file plus the round sequence number and the graph-id allocator position.
+/// Restoring rebuilds the derived structures (FCT pool, clusters, CSGs,
+/// indices) deterministically from the config's seed and reinstalls the
+/// saved panel — a service restart resumes exactly where it stopped,
+/// without re-running selection.
+///
+/// Snapshots are written failure-atomically: everything lands in
+/// `<dir>.tmp` first and only a fully written, checksummed tmp directory is
+/// renamed into place. A crash mid-save leaves the previous snapshot (or
+/// nothing) — never a half-written directory that restores silently wrong.
+/// Combined with the write-ahead journal (journal.h), RecoverEngine brings
+/// an engine back to exactly the last *committed* maintenance round.
 
 /// Key=value serialization of the tunable configuration.
 void WriteConfig(const MidasConfig& config, std::ostream& out);
@@ -22,14 +32,51 @@ void WriteConfig(const MidasConfig& config, std::ostream& out);
 /// malformed lines fail. Fields absent from the file keep their defaults.
 bool ReadConfig(std::istream& in, MidasConfig* config);
 
-/// Writes database.gspan, patterns.gspan and config.ini into `dir`
-/// (created if needed). Returns false on I/O failure.
+/// Atomically replaces the snapshot at `dir`: writes database.gspan,
+/// patterns.gspan, config.ini and MANIFEST into `<dir>.tmp`, fsyncs, then
+/// renames tmp into place (the previous snapshot is kept at `<dir>.old`
+/// during the swap and removed afterwards). Returns false on I/O failure
+/// with a diagnostic in *error; the existing snapshot is untouched in that
+/// case.
+bool SaveSnapshot(const MidasEngine& engine, const std::string& dir,
+                  std::string* error);
 bool SaveSnapshot(const MidasEngine& engine, const std::string& dir);
 
-/// Restores an engine from a snapshot directory: loads the database and
-/// config, Initialize()s, then replaces the freshly selected panel with the
-/// saved one. Returns nullptr on failure.
+/// Restores an engine from a snapshot directory: validates the MANIFEST
+/// (per-file CRC32), loads database (preserving graph ids) and config,
+/// enforces ValidateConfig (a snapshot that fails validation is refused —
+/// errors only; "warning:" entries pass), Initialize()s, reinstalls the
+/// saved panel and fast-forwards round_seq()/the id allocator. Resolution
+/// order tolerates a crash mid-save: `dir`, then `dir.tmp` (complete but
+/// unrenamed), then `dir.old` (swap interrupted). Returns nullptr on
+/// failure with a diagnostic in *error.
+std::unique_ptr<MidasEngine> RestoreEngine(const std::string& dir,
+                                           std::string* error);
 std::unique_ptr<MidasEngine> RestoreEngine(const std::string& dir);
+
+/// What RecoverEngine did (for logs/tests).
+struct RecoverInfo {
+  size_t replayed = 0;          ///< committed journal rounds re-applied
+  size_t dropped_inflight = 0;  ///< trailing batches without a commit
+  bool tail_truncated = false;  ///< journal had a torn/corrupt tail
+  std::string error;            ///< set when recovery returned nullptr
+};
+
+/// Crash recovery for the engine-directory layout used by SaveCheckpoint:
+/// `<engine_dir>/snapshot` + `<engine_dir>/journal.log`. Restores the
+/// snapshot, then replays every *committed* journal round with seq beyond
+/// the snapshot (batch re-applied structurally, committed panel reinstalled
+/// verbatim — replay never re-runs selection, so it is deterministic). A
+/// trailing in-flight round (batch record without commit) is dropped, which
+/// is the at-most-one-round loss guarantee. Returns nullptr on failure.
+std::unique_ptr<MidasEngine> RecoverEngine(const std::string& engine_dir,
+                                           RecoverInfo* info = nullptr);
+
+/// Checkpoints an engine into the RecoverEngine layout: snapshots into
+/// `<engine_dir>/snapshot` and, if a journal is attached, truncates it (the
+/// journaled history is now redundant — the snapshot carries it).
+bool SaveCheckpoint(const MidasEngine& engine, const std::string& engine_dir,
+                    std::string* error = nullptr);
 
 }  // namespace midas
 

@@ -30,8 +30,11 @@ class SwapEngine {
 
   SwapStats Run(const std::vector<Graph>& candidate_graphs) {
     SwapStats stats;
+    ExecBudget* budget = config_.budget;
     // Evaluate candidates once (coverage, lcov, cog are set-independent).
+    // Candidates not evaluated before exhaustion simply never compete.
     for (const Graph& g : candidate_graphs) {
+      if (BudgetExhausted(budget)) break;
       CannedPattern c;
       c.graph = g;
       RefreshPatternMetrics(c, eval_, fcts_);
@@ -43,7 +46,8 @@ class SwapEngine {
     double kappa = config_.kappa;
     double sigma = config_.sigma0;
     std::vector<bool> used(candidates_.size(), false);
-    for (int scan = 0; scan < config_.max_scans; ++scan) {
+    for (int scan = 0;
+         scan < config_.max_scans && !BudgetExhausted(budget); ++scan) {
       ++stats.scans;
       int swaps = RunScan(kappa, used);
       stats.swaps += swaps;
@@ -55,6 +59,7 @@ class SwapEngine {
         sigma = 0.25 / (1.0 - sigma);
       }
     }
+    stats.truncated = BudgetExhausted(budget);
 
     FinalizeScores();
     return stats;
@@ -208,6 +213,9 @@ class SwapEngine {
     for (const auto& [neg_score, ci] : cq) {
       (void)neg_score;  // queue order is fixed at scan start, as in the paper
       if (set_.size() == 0) break;
+      // Anytime cut: each completed iteration is a committed one-for-one
+      // swap (or a no-op), so stopping between candidates is always safe.
+      if (BudgetExhausted(config_.budget)) break;
       CannedPattern& cand = candidates_[ci];
       // Scores are re-evaluated against the *current* set: earlier swaps in
       // this scan change diversity terms.
@@ -299,6 +307,9 @@ SwapStats MultiScanSwap(PatternSet& set, const std::vector<Graph>& candidates,
         ->Increment(static_cast<uint64_t>(stats.scans));
     reg.GetCounter("midas_maintain_swap_candidates_total")
         ->Increment(static_cast<uint64_t>(stats.candidates_evaluated));
+    if (stats.truncated) {
+      reg.GetCounter("midas_maintain_swap_truncated_total")->Increment();
+    }
   }
   return stats;
 }

@@ -35,6 +35,14 @@ struct SwapConfig {
   /// outlive the swap call.
   const QueryLog* query_log = nullptr;
   double log_boost = 1.0;
+
+  /// Optional execution budget (non-owning; nullptr = unlimited). The swap
+  /// is *anytime*: it checks the budget between candidate evaluations and
+  /// between swap attempts, and on exhaustion stops with whatever swaps
+  /// were already applied. Every swap is a one-for-one replacement that
+  /// passed sw1-sw5, so any prefix leaves a valid panel of unchanged size —
+  /// PatternBudget is never violated by truncation.
+  ExecBudget* budget = nullptr;
 };
 
 struct SwapStats {
@@ -42,6 +50,7 @@ struct SwapStats {
   int scans = 0;
   int candidates_evaluated = 0;
   double kappa_final = 0.0;
+  bool truncated = false;  ///< stopped early on budget exhaustion
 };
 
 /// Default diversity estimator for swapping: the label lower bound GED_l

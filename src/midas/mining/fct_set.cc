@@ -37,7 +37,8 @@ FctSet FctSet::Mine(const GraphDatabase& db, const Config& config) {
 }
 
 void FctSet::MaintainAdd(const GraphDatabase& db_after,
-                         const std::vector<GraphId>& added_ids) {
+                         const std::vector<GraphId>& added_ids,
+                         ExecBudget* budget) {
   // 1. Exact edge-occurrence maintenance.
   for (GraphId id : added_ids) {
     const Graph* g = db_after.Find(id);
@@ -66,7 +67,9 @@ void FctSet::MaintainAdd(const GraphDatabase& db_after,
     for (GraphId id : candidates) {
       const Graph* g = db_after.Find(id);
       if (g == nullptr) continue;
-      if (ContainsSubgraph(entry.tree, *g)) entry.occurrences.Insert(id);
+      if (ContainsSubgraphBudgeted(entry.tree, *g, budget).found) {
+        entry.occurrences.Insert(id);
+      }
     }
   }
 
@@ -78,6 +81,7 @@ void FctSet::MaintainAdd(const GraphDatabase& db_after,
   miner.min_support = config_.sup_min / 2.0;
   miner.max_edges = config_.max_edges;
   miner.max_trees = config_.max_trees;
+  miner.budget = budget;
   std::vector<MinedTree> delta_trees = MineFrequentTrees(delta, miner);
 
   // Corollary 4.3 case (2): trees closed/frequent in the delta but unknown
@@ -102,8 +106,10 @@ void FctSet::MaintainAdd(const GraphDatabase& db_after,
     entry.tree = std::move(mt.tree);
     entry.canon = mt.canon;
     for (GraphId id : candidates) {
+      if (BudgetExhausted(budget)) break;
       const Graph* g = db_after.Find(id);
-      if (g != nullptr && ContainsSubgraph(entry.tree, *g)) {
+      if (g != nullptr && ContainsSubgraphBudgeted(entry.tree, *g, budget)
+                              .found) {
         entry.occurrences.Insert(id);
       }
     }

@@ -50,11 +50,18 @@ class FctSet {
   static FctSet Mine(const GraphDatabase& db, const Config& config);
 
   /// Incorporates a batch of insertions. `db_after` must already contain the
-  /// added graphs.
+  /// added graphs. `budget` (non-owning; nullptr = unlimited) bounds the
+  /// VF2 probes and the delta mining: on exhaustion the occurrence lists
+  /// may *under-count* (a containment not proven within budget is treated
+  /// as absent), so supports only ever err low — the pool never keeps a
+  /// tree on invented evidence. The missed counts are healed by the next
+  /// unbudgeted round or RunFromScratch.
   void MaintainAdd(const GraphDatabase& db_after,
-                   const std::vector<GraphId>& added_ids);
+                   const std::vector<GraphId>& added_ids,
+                   ExecBudget* budget = nullptr);
 
   /// Incorporates a batch of deletions (ids already removed from the db).
+  /// Pure occurrence-list bookkeeping — no search, hence no budget.
   void MaintainDelete(const std::vector<GraphId>& removed_ids,
                       size_t db_size_after);
 

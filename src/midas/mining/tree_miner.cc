@@ -58,19 +58,24 @@ Graph EdgeTree(const EdgeLabelPair& lp) {
 
 // Counts occurrences of `tree` among the candidate graph ids, looking up
 // graphs through `by_id`. Aborts early when the remaining candidates cannot
-// reach `min_count`.
+// reach `min_count` or the budget runs out. Only proven containments are
+// counted, so a budget-truncated result under-counts — it never inflates
+// support.
 IdSet CountOccurrences(
     const Graph& tree, const IdSet& candidates,
     const std::unordered_map<GraphId, const Graph*>& by_id,
-    size_t min_count) {
+    size_t min_count, ExecBudget* budget) {
   IdSet occ;
   size_t remaining = candidates.size();
   for (GraphId id : candidates) {
     if (occ.size() + remaining < min_count) break;  // cannot reach threshold
+    if (BudgetExhausted(budget)) break;
     --remaining;
     auto it = by_id.find(id);
     if (it == by_id.end()) continue;
-    if (ContainsSubgraph(tree, *it->second)) occ.Insert(id);
+    if (ContainsSubgraphBudgeted(tree, *it->second, budget).found) {
+      occ.Insert(id);
+    }
   }
   return occ;
 }
@@ -113,11 +118,14 @@ std::vector<MinedTree> MineFrequentTrees(const GraphView& view,
   for (MinedTree& mt : level) result.push_back(std::move(mt));
 
   // Levels 2..max_edges: leaf extensions with frequent edge labels.
+  ExecBudget* budget = config.budget;
   std::vector<MinedTree>* frontier = &result;
   size_t frontier_begin = 0;
   size_t frontier_end = result.size();
   for (size_t size = 2;
-       size <= config.max_edges && result.size() < config.max_trees; ++size) {
+       size <= config.max_edges && result.size() < config.max_trees &&
+       !BudgetExhausted(budget);
+       ++size) {
     size_t next_begin = result.size();
     for (size_t i = frontier_begin; i < frontier_end; ++i) {
       // NOTE: result may reallocate as we push; take copies of what we need.
@@ -127,6 +135,10 @@ std::vector<MinedTree> MineFrequentTrees(const GraphView& view,
         auto pit = partners.find(parent_tree.label(v));
         if (pit == partners.end()) continue;
         for (Label leaf_label : pit->second) {
+          // One step per extension tried, on top of the VF2 charges inside
+          // CountOccurrences. On exhaustion the level loop unwinds and the
+          // trees mined so far are returned (anytime).
+          if (!BudgetCharge(budget)) break;
           ++extensions_tried;
           Graph ext = parent_tree;
           VertexId leaf = ext.AddVertex(leaf_label);
@@ -140,7 +152,8 @@ std::vector<MinedTree> MineFrequentTrees(const GraphView& view,
             ++support_pruned;
             continue;
           }
-          IdSet occ = CountOccurrences(ext, candidates, by_id, min_count);
+          IdSet occ =
+              CountOccurrences(ext, candidates, by_id, min_count, budget);
           if (occ.size() < min_count) {
             ++support_pruned;
             continue;
@@ -152,9 +165,11 @@ std::vector<MinedTree> MineFrequentTrees(const GraphView& view,
           result.push_back(std::move(mt));
           if (result.size() >= config.max_trees) break;
         }
-        if (result.size() >= config.max_trees) break;
+        if (result.size() >= config.max_trees || BudgetExhausted(budget)) {
+          break;
+        }
       }
-      if (result.size() >= config.max_trees) break;
+      if (result.size() >= config.max_trees || BudgetExhausted(budget)) break;
     }
     frontier_begin = next_begin;
     frontier_end = result.size();
@@ -169,6 +184,9 @@ std::vector<MinedTree> MineFrequentTrees(const GraphView& view,
         ->Increment(extensions_tried);
     reg.GetCounter("midas_mining_support_pruned_total")
         ->Increment(support_pruned);
+    if (BudgetExhausted(budget)) {
+      reg.GetCounter("midas_mining_truncated_total")->Increment();
+    }
   }
   return result;
 }

@@ -6,6 +6,7 @@
 #include <utility>
 #include <vector>
 
+#include "midas/common/budget.h"
 #include "midas/common/id_set.h"
 #include "midas/graph/graph_database.h"
 
@@ -51,6 +52,13 @@ struct TreeMinerConfig {
   size_t max_edges = 4;
   /// Safety valve on the total number of frequent trees mined.
   size_t max_trees = 20000;
+  /// Optional execution budget (non-owning; nullptr = unlimited). Charged
+  /// per leaf extension tried and inside the VF2 support counts. On
+  /// exhaustion mining stops where it stands and returns the trees found so
+  /// far — an anytime result: every returned tree met the support threshold
+  /// on the occurrences actually counted, but the lattice (and individual
+  /// occurrence lists) may be incomplete.
+  ExecBudget* budget = nullptr;
 };
 
 /// All frequent trees of the view (sizes 1..max_edges, in edges).

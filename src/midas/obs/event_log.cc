@@ -22,6 +22,9 @@ std::string MaintenanceEventLog::ToJsonLine(const MaintenanceEvent& e) {
   w.Key("epsilon").Value(e.epsilon);
   w.Key("candidates").Value(e.candidates);
   w.Key("swaps").Value(e.swaps);
+  w.Key("truncated").Value(e.truncated);
+  w.Key("degrade_reason").Value(e.degrade_reason);
+  w.Key("budget_steps").Value(e.budget_steps);
   w.Key("phases").BeginObject();
   for (const auto& [name, ms] : e.phase_ms) {
     w.Key(name).Value(ms);

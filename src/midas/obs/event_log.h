@@ -26,6 +26,12 @@ struct MaintenanceEvent {
   double epsilon = 0.0;        ///< the ε it was compared against
   int candidates = 0;          ///< candidate patterns generated
   int swaps = 0;               ///< swaps performed
+  /// Graceful-degradation report: whether the round's execution budget ran
+  /// out, what tripped it ("none", "steps" or "deadline" — the
+  /// ExecBudget::CauseName spelling), and the search steps spent.
+  bool truncated = false;
+  std::string degrade_reason = "none";
+  uint64_t budget_steps = 0;
   /// Per-phase wall times in stats order (total first); keys are the
   /// MaintenanceStats field names ("total_ms", "apply_ms", ...).
   std::vector<std::pair<std::string, double>> phase_ms;

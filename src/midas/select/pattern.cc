@@ -184,15 +184,20 @@ GedEstimator LabelBoundGed() {
   };
 }
 
-GedEstimator HybridGed(std::vector<Graph> feature_trees) {
+GedEstimator HybridGed(std::vector<Graph> feature_trees, ExecBudget* budget) {
   auto features = std::make_shared<std::vector<Graph>>(
       std::move(feature_trees));
-  return [features](const Graph& a, const Graph& b) {
+  return [features, budget](const Graph& a, const Graph& b) {
     int cheap = GedLowerBound(a, b);
     if (cheap > 1) return static_cast<double>(cheap);
+    if (BudgetExhausted(budget)) {
+      // Budget already spent: stay with the cheap bound rather than start
+      // a refinement that would be cut off immediately.
+      return static_cast<double>(cheap);
+    }
     // Near-tie: refine with the tightened bound / exact GED (Section 6.1).
     return static_cast<double>(
-        std::max(cheap, EstimateGed(a, b, *features)));
+        std::max(cheap, EstimateGed(a, b, *features, 8, budget)));
   };
 }
 

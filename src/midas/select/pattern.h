@@ -6,6 +6,7 @@
 #include <map>
 #include <vector>
 
+#include "midas/common/budget.h"
 #include "midas/common/id_set.h"
 #include "midas/common/rng.h"
 #include "midas/graph/graph_database.h"
@@ -129,7 +130,13 @@ GedEstimator LabelBoundGed();
 /// Hybrid estimator: GED_l, refined by the PF-matrix-tightened GED'_l /
 /// exact GED machinery (Section 6.1) only when the cheap bound cannot
 /// discriminate (distance <= 1), keeping the common case fast.
-GedEstimator HybridGed(std::vector<Graph> feature_trees);
+///
+/// `budget` (optional, non-owning — must outlive the returned estimator;
+/// the engine keeps one per-round ExecBudget member for this) bounds the
+/// exact-GED refinement: on exhaustion the estimate degrades to the cheap
+/// bound / anytime upper bound instead of blocking the round.
+GedEstimator HybridGed(std::vector<Graph> feature_trees,
+                       ExecBudget* budget = nullptr);
 
 /// Recomputes div (min pairwise distance under `ged`) and score for every
 /// pattern in the set.

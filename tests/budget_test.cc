@@ -1,0 +1,241 @@
+#include "midas/common/budget.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <tuple>
+#include <vector>
+
+#include "midas/datagen/molecule_gen.h"
+#include "midas/graph/ged.h"
+#include "midas/graph/graph.h"
+#include "midas/graph/subgraph_iso.h"
+#include "midas/maintain/midas.h"
+#include "midas/obs/metrics.h"
+
+namespace midas {
+namespace {
+
+// --- Deadline ---------------------------------------------------------------
+
+TEST(DeadlineTest, DefaultIsInfinite) {
+  Deadline d;
+  EXPECT_TRUE(d.infinite());
+  EXPECT_FALSE(d.Expired());
+  EXPECT_TRUE(std::isinf(d.RemainingMs()));
+}
+
+TEST(DeadlineTest, ZeroDeadlineExpiresImmediately) {
+  Deadline d = Deadline::AfterMs(0.0);
+  EXPECT_FALSE(d.infinite());
+  EXPECT_TRUE(d.Expired());
+  EXPECT_LE(d.RemainingMs(), 0.0);
+}
+
+TEST(DeadlineTest, FarDeadlineNotExpired) {
+  Deadline d = Deadline::AfterMs(60'000.0);
+  EXPECT_FALSE(d.Expired());
+  EXPECT_GT(d.RemainingMs(), 1000.0);
+}
+
+// --- ExecBudget -------------------------------------------------------------
+
+TEST(ExecBudgetTest, UnlimitedNeverExhausts) {
+  ExecBudget b;
+  for (int i = 0; i < 10'000; ++i) EXPECT_TRUE(b.Charge());
+  EXPECT_FALSE(b.exhausted());
+  EXPECT_EQ(b.cause(), ExecBudget::Cause::kNone);
+  EXPECT_EQ(b.steps_used(), 0u);  // unlimited budgets don't even count
+}
+
+TEST(ExecBudgetTest, StepCapLatches) {
+  ExecBudget b = ExecBudget::StepLimit(10);
+  for (int i = 0; i < 10; ++i) EXPECT_TRUE(b.Charge());
+  EXPECT_FALSE(b.Charge());  // 11th step trips
+  EXPECT_TRUE(b.exhausted());
+  EXPECT_EQ(b.cause(), ExecBudget::Cause::kSteps);
+  // Latched: stays exhausted without further counting.
+  EXPECT_FALSE(b.Charge(100));
+  EXPECT_EQ(b.steps_used(), 11u);
+}
+
+TEST(ExecBudgetTest, ExpiredDeadlineTripsWithinOneStride) {
+  ExecBudget b = ExecBudget::TimeLimitMs(0.0);
+  uint64_t charged = 0;
+  while (b.Charge() && charged < 10 * ExecBudget::kDeadlineStride) ++charged;
+  EXPECT_TRUE(b.exhausted());
+  EXPECT_EQ(b.cause(), ExecBudget::Cause::kDeadline);
+  EXPECT_LE(charged, ExecBudget::kDeadlineStride);
+}
+
+TEST(ExecBudgetTest, ExhaustedNowNoticesDeadlineWithoutCharging) {
+  ExecBudget b = ExecBudget::TimeLimitMs(0.0);
+  EXPECT_TRUE(b.ExhaustedNow());
+  EXPECT_EQ(b.cause(), ExecBudget::Cause::kDeadline);
+}
+
+TEST(ExecBudgetTest, ResetRearmsInPlace) {
+  ExecBudget b = ExecBudget::StepLimit(1);
+  EXPECT_TRUE(b.Charge());
+  EXPECT_FALSE(b.Charge());
+  ASSERT_TRUE(b.exhausted());
+
+  b.Reset(Deadline::Infinite(), 5);
+  EXPECT_FALSE(b.exhausted());
+  EXPECT_EQ(b.cause(), ExecBudget::Cause::kNone);
+  EXPECT_EQ(b.steps_used(), 0u);
+  for (int i = 0; i < 5; ++i) EXPECT_TRUE(b.Charge());
+
+  b.ResetUnlimited();
+  EXPECT_FALSE(b.exhausted());
+  for (int i = 0; i < 1000; ++i) EXPECT_TRUE(b.Charge());
+}
+
+TEST(ExecBudgetTest, ExhaustionIncrementsCauseMetric) {
+  obs::MetricsRegistry reg;
+  obs::ScopedMetricsRegistry scope(reg);
+  ExecBudget b = ExecBudget::StepLimit(1);
+  b.Charge(5);
+  ASSERT_TRUE(b.exhausted());
+  EXPECT_EQ(reg.GetCounter("midas_budget_exhausted_total")->Value(), 1u);
+  EXPECT_EQ(reg.GetCounter("midas_budget_exhausted_steps_total")->Value(),
+            1u);
+}
+
+TEST(ExecBudgetTest, CauseNames) {
+  EXPECT_EQ(ExecBudget::CauseName(ExecBudget::Cause::kNone), "none");
+  EXPECT_EQ(ExecBudget::CauseName(ExecBudget::Cause::kSteps), "steps");
+  EXPECT_EQ(ExecBudget::CauseName(ExecBudget::Cause::kDeadline), "deadline");
+}
+
+TEST(ExecBudgetTest, NullptrHelpersMeanUnlimited) {
+  EXPECT_TRUE(BudgetCharge(nullptr));
+  EXPECT_TRUE(BudgetCharge(nullptr, 1000));
+  EXPECT_FALSE(BudgetExhausted(nullptr));
+  ExecBudget b = ExecBudget::StepLimit(1);
+  EXPECT_TRUE(BudgetCharge(&b));
+  EXPECT_FALSE(BudgetCharge(&b));
+  EXPECT_TRUE(BudgetExhausted(&b));
+}
+
+// --- Budgeted kernels -------------------------------------------------------
+
+// A chain of n vertices with one label.
+Graph Chain(int n) {
+  Graph g;
+  for (int i = 0; i < n; ++i) g.AddVertex(0);
+  for (int i = 0; i + 1 < n; ++i) g.AddEdge(i, i + 1);
+  return g;
+}
+
+TEST(BudgetedKernelsTest, IsoTruncationUnderCounts) {
+  Graph pattern = Chain(4);
+  Graph target = Chain(12);
+  // Unlimited: contained.
+  EXPECT_TRUE(ContainsSubgraph(pattern, target));
+  // One step is nowhere near enough: truncated, and found conservatively
+  // reports false ("not found within budget"), never a false positive.
+  ExecBudget b = ExecBudget::StepLimit(1);
+  IsoOutcome out = ContainsSubgraphBudgeted(pattern, target, &b);
+  EXPECT_FALSE(out.found);
+  EXPECT_TRUE(out.truncated);
+  EXPECT_TRUE(b.exhausted());
+}
+
+TEST(BudgetedKernelsTest, GedFallsBackToUpperBound) {
+  Graph a = Chain(4);
+  Graph b = Chain(6);
+
+  int exact = GedExact(a, b);
+  ExecBudget tiny = ExecBudget::StepLimit(1);
+  GedOutcome out = GedExactBudgeted(
+      a, b, std::numeric_limits<int>::max(), &tiny);
+  EXPECT_TRUE(out.truncated);
+  // Anytime property: the truncated answer is a valid upper bound.
+  EXPECT_GE(out.distance, exact);
+  EXPECT_LT(out.distance, std::numeric_limits<int>::max());
+}
+
+// Satellite: a budget-truncated round still returns a valid panel that
+// satisfies the PatternBudget, and repeated runs are deterministic under a
+// step (not wall-clock) limit.
+TEST(BudgetedKernelsTest, TruncatedRoundKeepsPanelValidAndDeterministic) {
+  auto run_once = [](uint64_t step_limit) {
+    MoleculeGenerator gen(321);
+    MoleculeGenConfig data = MoleculeGenerator::EmolLike(30);
+    MidasConfig cfg;
+    cfg.budget = {3, 7, 9};
+    cfg.fct.sup_min = 0.45;
+    cfg.epsilon = 0.0;  // force major rounds: swap always runs
+    cfg.sample_cap = 0;
+    cfg.seed = 5;
+    cfg.round_step_limit = step_limit;
+    MidasEngine engine(gen.Generate(data), cfg);
+    engine.Initialize();
+    GraphDatabase copy = engine.db();
+    BatchUpdate delta = gen.GenerateAdditions(copy, data, 12, true);
+    MaintenanceStats stats = engine.ApplyUpdate(delta);
+
+    // Panel validity: within the display budget and the size band.
+    EXPECT_LE(engine.patterns().size(), engine.config().budget.gamma);
+    for (const auto& [id, p] : engine.patterns().patterns()) {
+      EXPECT_GE(p.graph.NumEdges(), engine.config().budget.eta_min);
+      EXPECT_LE(p.graph.NumEdges(), engine.config().budget.eta_max);
+    }
+
+    std::vector<size_t> panel_sizes;
+    for (const auto& [id, p] : engine.patterns().patterns()) {
+      panel_sizes.push_back(p.graph.NumEdges());
+    }
+    return std::make_tuple(stats.truncated, engine.patterns().size(),
+                           panel_sizes);
+  };
+
+  obs::MetricsRegistry reg;
+  obs::ScopedMetricsRegistry scope(reg);
+
+  auto tight1 = run_once(200);
+  auto tight2 = run_once(200);
+  EXPECT_TRUE(std::get<0>(tight1));  // 200 steps cannot finish the round
+  // Step budgets are platform-independent: identical runs, identical
+  // truncation point, identical panel.
+  EXPECT_EQ(tight1, tight2);
+
+  EXPECT_GE(reg.GetCounter("midas_maintain_truncated_rounds_total")->Value(),
+            2u);
+
+  auto loose = run_once(0);  // unlimited
+  EXPECT_FALSE(std::get<0>(loose));
+}
+
+TEST(BudgetedKernelsTest, DeadlineRoundStaysNearBudget) {
+  MoleculeGenerator gen(99);
+  MoleculeGenConfig data = MoleculeGenerator::EmolLike(40);
+  MidasConfig cfg;
+  cfg.budget = {3, 7, 9};
+  cfg.fct.sup_min = 0.4;
+  cfg.epsilon = 0.0;
+  cfg.sample_cap = 0;
+  cfg.seed = 11;
+  cfg.round_deadline_ms = 50.0;
+  MidasEngine engine(gen.Generate(data), cfg);
+  engine.Initialize();
+
+  GraphDatabase copy = engine.db();
+  BatchUpdate delta = gen.GenerateAdditions(copy, data, 15, true);
+  MaintenanceStats stats = engine.ApplyUpdate(delta);
+  // Whether or not this machine needed to truncate, the round completed
+  // with a valid panel and a consistent report.
+  EXPECT_LE(engine.patterns().size(), engine.config().budget.gamma);
+  if (stats.truncated) {
+    SUCCEED() << "round degraded gracefully under the 50ms deadline";
+  }
+  // The engine keeps working after a (possibly truncated) round.
+  GraphDatabase copy2 = engine.db();
+  BatchUpdate delta2 = gen.GenerateAdditions(copy2, data, 5, false);
+  engine.ApplyUpdate(delta2);
+}
+
+}  // namespace
+}  // namespace midas

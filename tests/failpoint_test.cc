@@ -1,0 +1,93 @@
+#include "midas/common/failpoint.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace midas {
+namespace {
+
+// Every test leaves the registry clean; failpoints are process-global.
+class FailpointTest : public ::testing::Test {
+ protected:
+  void SetUp() override { fail::DisarmAll(); }
+  void TearDown() override { fail::DisarmAll(); }
+};
+
+TEST_F(FailpointTest, CompiledInMatchesBuildFlag) {
+#if defined(MIDAS_FAILPOINTS) && MIDAS_FAILPOINTS
+  EXPECT_TRUE(fail::CompiledIn());
+#else
+  EXPECT_FALSE(fail::CompiledIn());
+#endif
+}
+
+TEST_F(FailpointTest, UnarmedSitesNeverFail) {
+  EXPECT_FALSE(fail::ShouldFail("never.armed"));
+  EXPECT_FALSE(MIDAS_FAILPOINT("never.armed"));
+  MIDAS_FAILPOINT_ABORT("never.armed");  // must not throw
+}
+
+TEST_F(FailpointTest, ArmFiresOnceByDefault) {
+  fail::Arm("site.a");
+  EXPECT_TRUE(fail::ShouldFail("site.a"));
+  EXPECT_FALSE(fail::ShouldFail("site.a"));  // fires=1 spent
+  EXPECT_EQ(fail::HitCount("site.a"), 2);
+}
+
+TEST_F(FailpointTest, SkipThenFire) {
+  fail::Arm("site.b", /*skip=*/2, /*fires=*/2);
+  EXPECT_FALSE(fail::ShouldFail("site.b"));
+  EXPECT_FALSE(fail::ShouldFail("site.b"));
+  EXPECT_TRUE(fail::ShouldFail("site.b"));
+  EXPECT_TRUE(fail::ShouldFail("site.b"));
+  EXPECT_FALSE(fail::ShouldFail("site.b"));
+}
+
+TEST_F(FailpointTest, NegativeFiresMeansForever) {
+  fail::Arm("site.c", 0, -1);
+  for (int i = 0; i < 50; ++i) EXPECT_TRUE(fail::ShouldFail("site.c"));
+  fail::Disarm("site.c");
+  EXPECT_FALSE(fail::ShouldFail("site.c"));
+}
+
+TEST_F(FailpointTest, ArmedNamesAndDisarmAll) {
+  fail::Arm("x.one");
+  fail::Arm("x.two");
+  std::vector<std::string> names = fail::ArmedNames();
+  EXPECT_NE(std::find(names.begin(), names.end(), "x.one"), names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "x.two"), names.end());
+  fail::DisarmAll();
+  EXPECT_TRUE(fail::ArmedNames().empty());
+}
+
+TEST_F(FailpointTest, AbortMacroThrowsWhenArmed) {
+  if (!fail::CompiledIn()) GTEST_SKIP() << "failpoints compiled out";
+  fail::Arm("site.abort");
+  try {
+    MIDAS_FAILPOINT_ABORT("site.abort");
+    FAIL() << "expected FailpointAbort";
+  } catch (const fail::FailpointAbort& e) {
+    EXPECT_EQ(e.name(), "site.abort");
+  }
+}
+
+TEST_F(FailpointTest, LoadFromEnvParsesSpecs) {
+  ::setenv("MIDAS_FAILPOINTS", "env.a;env.b:1:2,env.c:0:-1", 1);
+  fail::LoadFromEnv();
+  ::unsetenv("MIDAS_FAILPOINTS");
+
+  EXPECT_TRUE(fail::ShouldFail("env.a"));
+  EXPECT_FALSE(fail::ShouldFail("env.a"));
+
+  EXPECT_FALSE(fail::ShouldFail("env.b"));  // skip 1
+  EXPECT_TRUE(fail::ShouldFail("env.b"));
+  EXPECT_TRUE(fail::ShouldFail("env.b"));
+  EXPECT_FALSE(fail::ShouldFail("env.b"));
+
+  for (int i = 0; i < 10; ++i) EXPECT_TRUE(fail::ShouldFail("env.c"));
+}
+
+}  // namespace
+}  // namespace midas

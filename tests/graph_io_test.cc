@@ -71,6 +71,85 @@ TEST(GraphIoTest, RejectsUnknownTag) {
   EXPECT_FALSE(ReadDatabase(in, &db));
 }
 
+// Malformed-input table: every rejection class, with its line-numbered
+// diagnostic. A parser that silently constructs a bad Graph poisons every
+// downstream structure, so the diagnostics are part of the contract.
+TEST(GraphIoTest, MalformedInputTable) {
+  struct Case {
+    const char* name;
+    const char* input;
+    const char* want_error;  // substring of the diagnostic
+  };
+  const Case kCases[] = {
+      {"vertex before t", "v 0 C\n", "line 1: vertex record before any 't'"},
+      {"edge before t", "e 0 1\n", "line 1: edge record before any 't'"},
+      {"unknown tag", "t # 0\nv 0 C\nq zzz\n", "line 3: unknown record tag"},
+      {"malformed vertex", "t # 0\nv zero\n", "line 2: malformed vertex"},
+      {"non-dense vertex ids", "t # 0\nv 0 C\nv 2 O\n",
+       "line 3: vertex index 2 out of order"},
+      {"descending vertex ids", "t # 0\nv 0 C\nv 1 O\nv 1 N\n",
+       "line 4: vertex index 1 out of order"},
+      {"malformed edge", "t # 0\nv 0 C\ne 0\n", "line 3: malformed edge"},
+      {"edge endpoint out of range", "t # 0\nv 0 C\nv 1 O\ne 0 5\n",
+       "line 4: edge endpoint out of range"},
+      {"negative endpoint", "t # 0\nv 0 C\nv 1 O\ne 0 -1\n",
+       "line 4: edge endpoint out of range"},
+      {"self-loop", "t # 0\nv 0 C\nv 1 O\ne 1 1\n",
+       "line 4: self-loop edge 1-1"},
+      {"duplicate edge", "t # 0\nv 0 C\nv 1 O\ne 0 1\ne 1 0\n",
+       "line 5: duplicate edge 1-0"},
+  };
+  for (const Case& c : kCases) {
+    SCOPED_TRACE(c.name);
+    GraphDatabase db;
+    std::string error;
+    std::istringstream in(c.input);
+    EXPECT_FALSE(ReadDatabase(in, &db, &error));
+    EXPECT_NE(error.find(c.want_error), std::string::npos) << error;
+  }
+}
+
+TEST(GraphIoTest, PreserveIdsRoundTrip) {
+  GraphDatabase db2;
+  db2.InsertWithId(4, testing_util::Path(db2.labels(), {"C", "O"}));
+  db2.InsertWithId(9, testing_util::Path(db2.labels(), {"N"}));
+
+  std::ostringstream out;
+  WriteDatabase(db2, out);
+
+  GraphDatabase restored;
+  GspanReadOptions opts;
+  opts.preserve_ids = true;
+  std::string error;
+  std::istringstream in(out.str());
+  ASSERT_TRUE(ReadDatabase(in, &restored, opts, &error)) << error;
+  EXPECT_NE(restored.Find(4), nullptr);
+  EXPECT_NE(restored.Find(9), nullptr);
+  EXPECT_EQ(restored.Find(2), nullptr);  // no renumbering happened
+  EXPECT_EQ(restored.next_id(), 10u);    // allocator advanced past 9
+}
+
+TEST(GraphIoTest, PreserveIdsRejectsDuplicatesAndMalformedHeaders) {
+  GspanReadOptions opts;
+  opts.preserve_ids = true;
+  {
+    GraphDatabase db;
+    std::string error;
+    std::istringstream in("t # 3\nv 0 C\nt # 3\nv 0 O\n");
+    EXPECT_FALSE(ReadDatabase(in, &db, opts, &error));
+    EXPECT_NE(error.find("duplicate graph id 3"), std::string::npos)
+        << error;
+  }
+  {
+    GraphDatabase db;
+    std::string error;
+    std::istringstream in("t\nv 0 C\n");
+    EXPECT_FALSE(ReadDatabase(in, &db, opts, &error));
+    EXPECT_NE(error.find("malformed graph header"), std::string::npos)
+        << error;
+  }
+}
+
 TEST(GraphIoTest, RemapLabelsByName) {
   LabelDictionary from;
   from.Intern("pad");  // shift the source ids

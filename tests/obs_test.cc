@@ -392,6 +392,9 @@ obs::MaintenanceEvent SampleEvent() {
   e.epsilon = 0.1;
   e.candidates = 16;
   e.swaps = 2;
+  e.truncated = true;
+  e.degrade_reason = "deadline";
+  e.budget_steps = 4096;
   e.phase_ms = {{"total_ms", 10.5}, {"apply_ms", 4.5}, {"swap_ms", 6.0}};
   e.scov = 0.75;
   e.lcov = 0.5;
@@ -409,6 +412,7 @@ TEST(EventLogTest, JsonLineMatchesGoldenSchema) {
       R"({"seq":3,"additions":12,"deletions":4,"db_size":158,"patterns":30,)"
       R"("major":true,"graphlet_distance":0.25,"epsilon":0.1,)"
       R"("candidates":16,"swaps":2,)"
+      R"("truncated":true,"degrade_reason":"deadline","budget_steps":4096,)"
       R"("phases":{"total_ms":10.5,"apply_ms":4.5,"swap_ms":6},)"
       R"("quality":{"scov":0.75,"lcov":0.5,"div":3.5,"cog_avg":6.25,)"
       R"("cog_max":12}})");
@@ -422,6 +426,9 @@ TEST(EventLogTest, EveryLineIsValidJson) {
   EXPECT_TRUE(doc.bools.at("major"));
   EXPECT_DOUBLE_EQ(doc.numbers.at("phases.total_ms"), 10.5);
   EXPECT_DOUBLE_EQ(doc.numbers.at("quality.scov"), 0.75);
+  EXPECT_TRUE(doc.bools.at("truncated"));
+  EXPECT_EQ(doc.strings.at("degrade_reason"), "deadline");
+  EXPECT_DOUBLE_EQ(doc.numbers.at("budget_steps"), 4096.0);
 }
 
 TEST(EventLogTest, BuffersAndNotifiesSink) {

@@ -4,8 +4,10 @@
 
 #include <cstdio>
 #include <filesystem>
+#include <fstream>
 #include <sstream>
 
+#include "midas/common/failpoint.h"
 #include "midas/datagen/molecule_gen.h"
 #include "midas/graph/graph_io.h"
 #include "midas/graph/subgraph_iso.h"
@@ -35,6 +37,8 @@ TEST(ConfigIoTest, RoundTripPreservesEveryField) {
   cfg.swap.max_scans = 5;
   cfg.swap.use_swap_alpha_schedule = false;
   cfg.small_panel.max_edges_patterns = 2;
+  cfg.round_deadline_ms = 37.5;
+  cfg.round_step_limit = 123456;
 
   std::ostringstream out;
   WriteConfig(cfg, out);
@@ -63,6 +67,8 @@ TEST(ConfigIoTest, RoundTripPreservesEveryField) {
   EXPECT_EQ(restored.seed, cfg.seed);
   EXPECT_EQ(restored.small_panel.max_edges_patterns,
             cfg.small_panel.max_edges_patterns);
+  EXPECT_DOUBLE_EQ(restored.round_deadline_ms, cfg.round_deadline_ms);
+  EXPECT_EQ(restored.round_step_limit, cfg.round_step_limit);
 }
 
 TEST(ConfigIoTest, UnknownKeysIgnoredMalformedRejected) {
@@ -121,6 +127,174 @@ TEST(SnapshotTest, SaveRestoreRoundTrip) {
 
 TEST(SnapshotTest, RestoreFromMissingDirectoryFails) {
   EXPECT_EQ(RestoreEngine("/nonexistent/midas/snapshot"), nullptr);
+  std::string error;
+  EXPECT_EQ(RestoreEngine("/nonexistent/midas/snapshot", &error), nullptr);
+  EXPECT_NE(error.find("no snapshot found"), std::string::npos) << error;
+}
+
+// Scratch fixture: one saved snapshot in a temp dir.
+struct SavedSnapshot {
+  explicit SavedSnapshot(const char* name, size_t graphs = 25)
+      : dir((std::filesystem::temp_directory_path() / name).string()),
+        gen(777),
+        data(MoleculeGenerator::EmolLike(graphs)),
+        engine(gen.Generate(data), SnapConfig()) {
+    std::filesystem::remove_all(dir);
+    std::filesystem::remove_all(dir + ".tmp");
+    std::filesystem::remove_all(dir + ".old");
+    engine.Initialize();
+  }
+  ~SavedSnapshot() {
+    std::filesystem::remove_all(dir);
+    std::filesystem::remove_all(dir + ".tmp");
+    std::filesystem::remove_all(dir + ".old");
+  }
+
+  std::string dir;
+  MoleculeGenerator gen;
+  MoleculeGenConfig data;
+  MidasEngine engine;
+};
+
+TEST(SnapshotTest, SaveReportsErrorOnUnwritableTarget) {
+  SavedSnapshot fx("midas_snap_unwritable");
+  // Block the path with a regular file: create_directories must fail.
+  std::string blocker = fx.dir + "_blocker";
+  { std::ofstream(blocker) << "not a directory"; }
+  std::string error;
+  EXPECT_FALSE(SaveSnapshot(fx.engine, blocker + "/snap", &error));
+  EXPECT_NE(error.find("create"), std::string::npos) << error;
+  std::filesystem::remove(blocker);
+}
+
+TEST(SnapshotTest, ChecksumMismatchRefusedWithDiagnostic) {
+  SavedSnapshot fx("midas_snap_crc");
+  std::string error;
+  ASSERT_TRUE(SaveSnapshot(fx.engine, fx.dir, &error)) << error;
+  // Corrupt one byte of the database file (bit rot / partial overwrite).
+  std::ofstream(fx.dir + "/database.gspan", std::ios::app) << "x";
+  EXPECT_EQ(RestoreEngine(fx.dir, &error), nullptr);
+  EXPECT_NE(error.find("checksum mismatch"), std::string::npos) << error;
+}
+
+TEST(SnapshotTest, MissingFileRefusedWithDiagnostic) {
+  SavedSnapshot fx("midas_snap_missing");
+  std::string error;
+  ASSERT_TRUE(SaveSnapshot(fx.engine, fx.dir, &error)) << error;
+  std::filesystem::remove(fx.dir + "/patterns.gspan");
+  EXPECT_EQ(RestoreEngine(fx.dir, &error), nullptr);
+  EXPECT_NE(error.find("patterns.gspan"), std::string::npos) << error;
+}
+
+TEST(SnapshotTest, InvalidRestoredConfigRefused) {
+  std::string dir =
+      (std::filesystem::temp_directory_path() / "midas_snap_badcfg")
+          .string();
+  std::filesystem::remove_all(dir);
+  MidasConfig bad = SnapConfig();
+  bad.budget.eta_min = 2;  // violates Definition 3.1 — a hard error
+  MoleculeGenerator gen(778);
+  MoleculeGenConfig data = MoleculeGenerator::EmolLike(5);
+  MidasEngine engine(gen.Generate(data), bad);  // never Initialize()d
+  std::string error;
+  ASSERT_TRUE(SaveSnapshot(engine, dir, &error)) << error;
+  EXPECT_EQ(RestoreEngine(dir, &error), nullptr);
+  EXPECT_NE(error.find("eta_min"), std::string::npos) << error;
+  std::filesystem::remove_all(dir);
+}
+
+TEST(SnapshotTest, RestoreFallsBackToTmpAndOld) {
+  SavedSnapshot fx("midas_snap_fallback");
+  std::string error;
+  ASSERT_TRUE(SaveSnapshot(fx.engine, fx.dir, &error)) << error;
+  size_t expected = fx.engine.db().size();
+
+  // Crash right before the rename: only <dir>.tmp exists.
+  std::filesystem::rename(fx.dir, fx.dir + ".tmp");
+  std::unique_ptr<MidasEngine> from_tmp = RestoreEngine(fx.dir, &error);
+  ASSERT_NE(from_tmp, nullptr) << error;
+  EXPECT_EQ(from_tmp->db().size(), expected);
+
+  // Crash mid-swap: only <dir>.old exists.
+  std::filesystem::rename(fx.dir + ".tmp", fx.dir + ".old");
+  std::unique_ptr<MidasEngine> from_old = RestoreEngine(fx.dir, &error);
+  ASSERT_NE(from_old, nullptr) << error;
+  EXPECT_EQ(from_old->db().size(), expected);
+}
+
+TEST(SnapshotTest, SnapshotCarriesRoundSeqAndIdAllocator) {
+  SavedSnapshot fx("midas_snap_seq");
+  BatchUpdate delta = [&] {
+    GraphDatabase copy = fx.engine.db();
+    return fx.gen.GenerateAdditions(copy, fx.data, 6, true);
+  }();
+  fx.engine.ApplyUpdate(delta);
+  // Punch a hole above the largest live id so next_id() != max_id + 1.
+  std::vector<GraphId> ids = fx.engine.db().Ids();
+  BatchUpdate del;
+  del.deletions = {ids.back()};
+  fx.engine.ApplyUpdate(del);
+
+  std::string error;
+  ASSERT_TRUE(SaveSnapshot(fx.engine, fx.dir, &error)) << error;
+  std::unique_ptr<MidasEngine> restored = RestoreEngine(fx.dir, &error);
+  ASSERT_NE(restored, nullptr) << error;
+  EXPECT_EQ(restored->round_seq(), fx.engine.round_seq());
+  EXPECT_EQ(restored->db().next_id(), fx.engine.db().next_id());
+}
+
+TEST(SnapshotTest, PartialWriteFailpointLeavesOldSnapshotIntact) {
+  if (!fail::CompiledIn()) GTEST_SKIP() << "failpoints compiled out";
+  SavedSnapshot fx("midas_snap_partial");
+  std::string error;
+  ASSERT_TRUE(SaveSnapshot(fx.engine, fx.dir, &error)) << error;
+  size_t old_size = fx.engine.db().size();
+
+  // Grow the engine, then fail the re-save mid-write.
+  BatchUpdate delta = [&] {
+    GraphDatabase copy = fx.engine.db();
+    return fx.gen.GenerateAdditions(copy, fx.data, 5, false);
+  }();
+  fx.engine.ApplyUpdate(delta);
+  fail::Arm("snapshot.save.partial_write");
+  EXPECT_FALSE(SaveSnapshot(fx.engine, fx.dir, &error));
+  fail::DisarmAll();
+  EXPECT_NE(error.find("partial write"), std::string::npos) << error;
+
+  // The torn write stayed in the tmp dir; the live snapshot still restores
+  // to the pre-update state.
+  std::unique_ptr<MidasEngine> restored = RestoreEngine(fx.dir, &error);
+  ASSERT_NE(restored, nullptr) << error;
+  EXPECT_EQ(restored->db().size(), old_size);
+}
+
+TEST(SnapshotTest, AbortBeforeRenameKeepsPreviousSnapshot) {
+  if (!fail::CompiledIn()) GTEST_SKIP() << "failpoints compiled out";
+  SavedSnapshot fx("midas_snap_rename");
+  std::string error;
+  ASSERT_TRUE(SaveSnapshot(fx.engine, fx.dir, &error)) << error;
+  size_t old_size = fx.engine.db().size();
+
+  BatchUpdate delta = [&] {
+    GraphDatabase copy = fx.engine.db();
+    return fx.gen.GenerateAdditions(copy, fx.data, 5, false);
+  }();
+  fx.engine.ApplyUpdate(delta);
+  fail::Arm("snapshot.save.before_rename");
+  EXPECT_THROW(SaveSnapshot(fx.engine, fx.dir, &error),
+               fail::FailpointAbort);
+  fail::DisarmAll();
+
+  // The live directory was never touched; it restores the previous state.
+  std::unique_ptr<MidasEngine> restored = RestoreEngine(fx.dir, &error);
+  ASSERT_NE(restored, nullptr) << error;
+  EXPECT_EQ(restored->db().size(), old_size);
+
+  // And the interrupted save completes cleanly on retry.
+  ASSERT_TRUE(SaveSnapshot(fx.engine, fx.dir, &error)) << error;
+  restored = RestoreEngine(fx.dir, &error);
+  ASSERT_NE(restored, nullptr) << error;
+  EXPECT_EQ(restored->db().size(), old_size + 5);
 }
 
 }  // namespace
