@@ -6,9 +6,13 @@
 // (evolving_stream.events.jsonl), and the closing report includes the
 // Prometheus metrics dump — the full observability surface in one run.
 //
-//   $ ./evolving_stream
+//   $ ./evolving_stream              # default 50ms round SLO
+//   $ ./evolving_stream --slo_ms=10  # tighter deadline, more degradation
+//   $ ./evolving_stream --slo_ms=0   # no deadline: rounds run to completion
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <iomanip>
 #include <iostream>
 
@@ -19,8 +23,18 @@
 #include "midas/obs/event_log.h"
 #include "midas/queryform/formulation.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace midas;
+
+  double slo_ms = 50.0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--slo_ms=", 9) == 0) {
+      slo_ms = std::atof(argv[i] + 9);
+    } else {
+      std::cerr << "usage: " << argv[0] << " [--slo_ms=<double>]\n";
+      return 2;
+    }
+  }
 
   MoleculeGenerator gen(4242);
   MoleculeGenConfig data = MoleculeGenerator::PubchemLike(150);
@@ -31,12 +45,12 @@ int main() {
   cfg.epsilon = 0.004;
   cfg.sample_cap = 0;
   cfg.seed = 17;
-  // Latency SLO: each maintenance round gets 50ms of wall clock. Rounds
-  // that would run longer degrade gracefully (mining/GED/swap stop early,
-  // the panel stays valid) and report it via stats.truncated, the
-  // midas_maintain_truncated_rounds_total metric and the event log's
-  // truncated/degrade_reason fields.
-  cfg.round_deadline_ms = 50.0;
+  // Latency SLO (--slo_ms, default 50): each maintenance round gets this
+  // much wall clock. Rounds that would run longer degrade gracefully
+  // (mining/GED/swap stop early, the panel stays valid) and report it via
+  // stats.truncated, the midas_maintain_truncated_rounds_total metric and
+  // the event log's truncated/degrade_reason fields.
+  cfg.round_deadline_ms = slo_ms;
 
   MidasEngine engine(gen.Generate(data), cfg);
 
@@ -99,8 +113,8 @@ int main() {
   for (const MaintenanceStats& st : engine.history().entries()) {
     if (st.truncated) ++truncated_rounds;
   }
-  std::cout << truncated_rounds << " of " << s.rounds
-            << " rounds hit the 50ms deadline and degraded gracefully\n";
+  std::cout << truncated_rounds << " of " << s.rounds << " rounds hit the "
+            << slo_ms << "ms deadline and degraded gracefully\n";
   std::cout << "event log: " << event_log.size() << " JSONL records in "
             << event_path << "\n";
   return 0;

@@ -72,11 +72,10 @@ std::vector<std::string> ArmedNames() {
   return names;
 }
 
-void LoadFromEnv() {
-  const char* spec = std::getenv("MIDAS_FAILPOINTS");
-  if (spec == nullptr) return;
+int ArmSpec(std::string_view spec) {
   // "name[:skip[:fires]]" entries separated by ';' or ','.
-  std::string_view rest(spec);
+  int armed = 0;
+  std::string_view rest = spec;
   while (!rest.empty()) {
     size_t sep = rest.find_first_of(";,");
     std::string_view entry = rest.substr(0, sep);
@@ -98,8 +97,18 @@ void LoadFromEnv() {
         fires = std::atoi(nums.substr(c2 + 1).c_str());
       }
     }
-    if (!name.empty()) Arm(name, skip, fires);
+    if (!name.empty()) {
+      Arm(name, skip, fires);
+      ++armed;
+    }
   }
+  return armed;
+}
+
+void LoadFromEnv() {
+  const char* spec = std::getenv("MIDAS_FAILPOINTS");
+  if (spec == nullptr) return;
+  ArmSpec(spec);
 }
 
 bool ShouldFail(std::string_view name) {

@@ -58,6 +58,13 @@ void DisarmAll();
 int HitCount(const std::string& name);
 std::vector<std::string> ArmedNames();
 
+/// Arms every failpoint in a spec string: "name[:skip[:fires]]" entries
+/// separated by ';' or ',' — the MIDAS_FAILPOINTS grammar. Returns the
+/// number of failpoints armed. Chaos drivers (the serve soak test, CI
+/// stress jobs) use this to arm programmatic specs without touching the
+/// environment.
+int ArmSpec(std::string_view spec);
+
 /// Parses MIDAS_FAILPOINTS from the environment (idempotent; called by the
 /// macros' slow path on first armed lookup is NOT automatic — call this once
 /// at startup when env activation is wanted, e.g. from a chaos-drill main).

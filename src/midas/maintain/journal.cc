@@ -255,6 +255,22 @@ JournalReadResult ReadJournal(const std::string& path,
     pos = payload_begin + payload_size + 1;
 
     if (tag == "@B") {
+      // Sequence sanity: seqs must advance. A batch record at or below the
+      // last *committed* seq (or below an uncommitted retry's seq) cannot
+      // come from a healthy writer even when its CRC is intact — treat it
+      // as corruption and stop trusting the tail. Equality with an
+      // uncommitted predecessor is legal: a failed round retried without a
+      // checkpoint re-appends the same seq.
+      if (!result.rounds.empty()) {
+        const JournalRound& last = result.rounds.back();
+        bool regressed = last.committed ? seq <= last.seq : seq < last.seq;
+        if (regressed) {
+          torn("seq regression: batch record seq " + std::to_string(seq) +
+               " after " + (last.committed ? "committed" : "in-flight") +
+               " round seq " + std::to_string(last.seq));
+          break;
+        }
+      }
       JournalRound round;
       round.seq = seq;
       std::string parse_error;

@@ -82,7 +82,10 @@ std::vector<std::string> ValidateConfig(const MidasConfig& config) {
 }
 
 MidasEngine::MidasEngine(GraphDatabase db, const MidasConfig& config)
-    : config_(config), rng_(config.seed), db_(std::move(db)) {
+    : config_(config),
+      rng_(config.seed),
+      db_(std::move(db)),
+      history_(config.history_capacity) {
   // Keep the swap thresholds in sync with the top-level κ/λ knobs.
   config_.swap.kappa = config_.kappa;
   config_.swap.lambda = config_.lambda;
@@ -176,8 +179,37 @@ void MidasEngine::SyncPatternColumns() {
   indexed_patterns_ = std::move(current);
 }
 
-MaintenanceStats MidasEngine::ApplyUpdate(const BatchUpdate& delta,
+MaintenanceStats MidasEngine::ApplyUpdate(const BatchUpdate& raw_delta,
                                           MaintenanceMode mode) {
+  // Deletion hygiene: ids absent from the database are rejected up front
+  // (not silently ignored by GraphDatabase::Remove deep in the round), and
+  // ids repeated within one batch are deduped before anything is journaled.
+  // Serving paths pre-validate with serve::ValidateBatch for per-item
+  // diagnostics; this is the engine's own backstop.
+  const BatchUpdate* effective = &raw_delta;
+  BatchUpdate deduped;
+  {
+    std::set<GraphId> seen;
+    bool duplicates = false;
+    for (GraphId id : raw_delta.deletions) {
+      if (!db_.Contains(id)) {
+        throw std::invalid_argument("ApplyUpdate refused: deletion id " +
+                                    std::to_string(id) +
+                                    " is not in the database");
+      }
+      if (!seen.insert(id).second) duplicates = true;
+    }
+    if (duplicates) {
+      deduped.insertions = raw_delta.insertions;
+      seen.clear();
+      for (GraphId id : raw_delta.deletions) {
+        if (seen.insert(id).second) deduped.deletions.push_back(id);
+      }
+      effective = &deduped;
+    }
+  }
+  const BatchUpdate& delta = *effective;
+
   // Write-ahead intent: the batch must be durable before any state changes.
   // On append failure we refuse the round with the engine untouched — the
   // caller retries or runs unjournaled, but never diverges from the log.
@@ -515,15 +547,27 @@ MaintenanceStats MaintenanceStats::FromJson(std::string_view json, bool* ok) {
   return stats;
 }
 
-MaintenanceHistory::Summary MaintenanceHistory::Summarize() const {
-  Summary s;
-  s.rounds = entries_.size();
-  for (const MaintenanceStats& e : entries_) {
-    if (e.major) ++s.major_rounds;
-    s.total_swaps += e.swaps;
-    s.total_pmt_ms += e.total_ms;
-    s.max_pmt_ms = std::max(s.max_pmt_ms, e.total_ms);
+void MaintenanceHistory::Record(const MaintenanceStats& stats) {
+  entries_.push_back(stats);
+  if (capacity_ > 0) {
+    while (entries_.size() > capacity_) entries_.pop_front();
   }
+  ++recorded_;
+  if (stats.major) ++major_rounds_;
+  total_swaps_ += stats.swaps;
+  total_pmt_ms_ += stats.total_ms;
+  max_pmt_ms_ = std::max(max_pmt_ms_, stats.total_ms);
+}
+
+MaintenanceHistory::Summary MaintenanceHistory::Summarize() const {
+  // Lifetime accumulators, not the retained window: evicted rounds keep
+  // counting.
+  Summary s;
+  s.rounds = recorded_;
+  s.major_rounds = major_rounds_;
+  s.total_swaps = total_swaps_;
+  s.total_pmt_ms = total_pmt_ms_;
+  s.max_pmt_ms = max_pmt_ms_;
   if (s.rounds > 0) {
     s.mean_pmt_ms = s.total_pmt_ms / static_cast<double>(s.rounds);
   }

@@ -1,6 +1,7 @@
 #ifndef MIDAS_MAINTAIN_MIDAS_H_
 #define MIDAS_MAINTAIN_MIDAS_H_
 
+#include <deque>
 #include <map>
 #include <memory>
 #include <set>
@@ -45,6 +46,12 @@ struct MidasConfig {
   /// Small-pattern panel (η <= 2) maintained alongside the main set; set
   /// both slot counts to 0 to disable.
   SmallPatternPanel::Config small_panel;
+
+  /// Retained MaintenanceHistory rounds (0 = unbounded). The history is a
+  /// ring buffer: older rounds are evicted once the cap is reached, but
+  /// Summarize() keeps counting them — a long-lived serving deployment gets
+  /// bounded memory without losing its lifetime aggregates.
+  size_t history_capacity = 4096;
 
   /// Per-round execution budget (0 = unlimited). When either limit is set,
   /// every search kernel of the round (FCT maintenance probes + delta
@@ -117,6 +124,11 @@ struct MaintenanceStats {
 
 /// Rolling record of maintenance rounds — operational telemetry a
 /// deployment would chart (PMT over time, major/minor mix, swap volume).
+///
+/// Bounded: at most `capacity` recent rounds are retained (ring buffer;
+/// capacity 0 = unbounded). Eviction never distorts the aggregates —
+/// Summarize() runs on lifetime accumulators updated at Record time, so
+/// `rounds`, totals, means and maxima keep counting evicted rounds.
 class MaintenanceHistory {
  public:
   struct Summary {
@@ -128,13 +140,31 @@ class MaintenanceHistory {
     double max_pmt_ms = 0.0;
   };
 
-  void Record(const MaintenanceStats& stats) { entries_.push_back(stats); }
-  size_t rounds() const { return entries_.size(); }
-  const std::vector<MaintenanceStats>& entries() const { return entries_; }
+  explicit MaintenanceHistory(size_t capacity = 4096)
+      : capacity_(capacity) {}
+
+  void Record(const MaintenanceStats& stats);
+  /// Rounds recorded over the object's lifetime, including evicted ones.
+  size_t rounds() const { return recorded_; }
+  /// Rounds currently retained (<= capacity when capped).
+  size_t retained() const { return entries_.size(); }
+  size_t capacity() const { return capacity_; }
+  /// Rounds dropped by the ring buffer so far.
+  size_t evicted() const { return recorded_ - entries_.size(); }
+  /// The retained window, oldest first (the last element is the most recent
+  /// round; with a cap, the first is round `evicted() + 1`).
+  const std::deque<MaintenanceStats>& entries() const { return entries_; }
   Summary Summarize() const;
 
  private:
-  std::vector<MaintenanceStats> entries_;
+  size_t capacity_ = 4096;
+  std::deque<MaintenanceStats> entries_;
+  // Lifetime accumulators (survive eviction).
+  size_t recorded_ = 0;
+  size_t major_rounds_ = 0;
+  int total_swaps_ = 0;
+  double total_pmt_ms_ = 0.0;
+  double max_pmt_ms_ = 0.0;
 };
 
 /// Maintenance strategy selector for the Section 7 baselines.
@@ -190,6 +220,19 @@ class MidasEngine {
   /// most the in-flight round. Non-owning; pass nullptr to detach.
   void SetJournal(UpdateJournal* journal) { journal_ = journal; }
   UpdateJournal* journal() const { return journal_; }
+
+  /// Whether Initialize() has completed (ApplyUpdate and LoadPatterns
+  /// require it; serving hosts use this to initialize lazily in Start).
+  bool initialized() const { return initialized_; }
+
+  /// Overrides the per-round execution budget for subsequent ApplyUpdate
+  /// calls (same semantics as MidasConfig::round_deadline_ms /
+  /// round_step_limit; 0 = unlimited). EngineHost uses this to tighten the
+  /// budget on each retry of a failing batch.
+  void SetRoundLimits(double deadline_ms, uint64_t step_limit) {
+    config_.round_deadline_ms = deadline_ms;
+    config_.round_step_limit = step_limit;
+  }
 
   /// Number of completed maintenance rounds. Persisted by snapshots as
   /// snapshot_seq so recovery knows which journaled rounds are already

@@ -257,7 +257,8 @@ void WriteConfig(const MidasConfig& config, std::ostream& out) {
       << "small_panel.max_wedge_patterns="
       << config.small_panel.max_wedge_patterns << "\n"
       << "round_deadline_ms=" << config.round_deadline_ms << "\n"
-      << "round_step_limit=" << config.round_step_limit << "\n";
+      << "round_step_limit=" << config.round_step_limit << "\n"
+      << "history_capacity=" << config.history_capacity << "\n";
 }
 
 bool ReadConfig(std::istream& in, MidasConfig* config) {
@@ -322,6 +323,8 @@ bool ReadConfig(std::istream& in, MidasConfig* config) {
       ok = static_cast<bool>(v >> config->round_deadline_ms);
     } else if (key == "round_step_limit") {
       ok = static_cast<bool>(v >> config->round_step_limit);
+    } else if (key == "history_capacity") {
+      ok = static_cast<bool>(v >> config->history_capacity);
     }
     // Unknown keys are skipped (forward compatibility).
     if (!ok) return false;

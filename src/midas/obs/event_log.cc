@@ -42,9 +42,12 @@ std::string MaintenanceEventLog::ToJsonLine(const MaintenanceEvent& e) {
 }
 
 void MaintenanceEventLog::Append(const MaintenanceEvent& event) {
-  std::string line = ToJsonLine(event);
-  if (sink_) sink_(line);
-  if (buffering_) lines_.push_back(std::move(line));
+  AppendRaw(ToJsonLine(event));
+}
+
+void MaintenanceEventLog::AppendRaw(const std::string& jsonl_line) {
+  if (sink_) sink_(jsonl_line);
+  if (buffering_) lines_.push_back(jsonl_line);
 }
 
 MaintenanceEventLog::Sink StreamSink(std::ostream* out) {

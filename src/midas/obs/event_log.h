@@ -56,6 +56,12 @@ class MaintenanceEventLog {
 
   void Append(const MaintenanceEvent& event);
 
+  /// Appends an already-serialized single-line JSON record (no trailing
+  /// newline) through the same buffering/sink path as Append. Used by the
+  /// serving host for `serve_event` records (quarantines, recoveries)
+  /// interleaved with the engine's per-round records.
+  void AppendRaw(const std::string& jsonl_line);
+
   const std::vector<std::string>& lines() const { return lines_; }
   size_t size() const { return lines_.size(); }
   void Clear() { lines_.clear(); }

@@ -1,0 +1,130 @@
+#include "midas/serve/admission.h"
+
+#include <algorithm>
+#include <functional>
+#include <set>
+
+namespace midas {
+namespace serve {
+
+namespace {
+
+BatchValidation ValidateWith(
+    const BatchUpdate& batch, const AdmissionLimits& limits,
+    const std::function<bool(GraphId)>& is_live) {
+  BatchValidation v;
+  auto error = [&v](BatchProblem problem, std::string detail) {
+    v.diagnostics.push_back({problem, true, std::move(detail)});
+    ++v.errors;
+  };
+  auto warning = [&v](BatchProblem problem, std::string detail) {
+    v.diagnostics.push_back({problem, false, std::move(detail)});
+    ++v.warnings;
+  };
+
+  if (batch.Empty() && !limits.allow_empty) {
+    error(BatchProblem::kEmptyBatch, "batch has no insertions and no deletions");
+  }
+  size_t items = batch.insertions.size() + batch.deletions.size();
+  if (limits.max_batch_items > 0 && items > limits.max_batch_items) {
+    error(BatchProblem::kBatchTooLarge,
+          "batch has " + std::to_string(items) + " items, limit " +
+              std::to_string(limits.max_batch_items));
+  }
+
+  for (size_t i = 0; i < batch.insertions.size(); ++i) {
+    const Graph& g = batch.insertions[i];
+    if (g.NumVertices() == 0) {
+      error(BatchProblem::kEmptyGraph,
+            "insertion #" + std::to_string(i) + ": graph has no vertices");
+      continue;
+    }
+    if (limits.max_graph_vertices > 0 &&
+        g.NumVertices() > limits.max_graph_vertices) {
+      error(BatchProblem::kOversizedGraph,
+            "insertion #" + std::to_string(i) + ": " +
+                std::to_string(g.NumVertices()) + " vertices, limit " +
+                std::to_string(limits.max_graph_vertices));
+    }
+    if (limits.max_graph_edges > 0 && g.NumEdges() > limits.max_graph_edges) {
+      error(BatchProblem::kOversizedGraph,
+            "insertion #" + std::to_string(i) + ": " +
+                std::to_string(g.NumEdges()) + " edges, limit " +
+                std::to_string(limits.max_graph_edges));
+    }
+  }
+
+  std::set<GraphId> seen;
+  std::vector<GraphId> deduped;
+  deduped.reserve(batch.deletions.size());
+  for (size_t i = 0; i < batch.deletions.size(); ++i) {
+    GraphId id = batch.deletions[i];
+    if (!seen.insert(id).second) {
+      warning(BatchProblem::kDuplicateDeletion,
+              "deletion #" + std::to_string(i) + " (id " + std::to_string(id) +
+                  "): repeated within the batch; deduped");
+      continue;
+    }
+    if (!is_live(id)) {
+      error(BatchProblem::kDanglingDeletion,
+            "deletion #" + std::to_string(i) + " (id " + std::to_string(id) +
+                "): not in database");
+      continue;
+    }
+    deduped.push_back(id);
+  }
+
+  v.admissible = v.errors == 0;
+  if (v.admissible) {
+    v.normalized.insertions = batch.insertions;
+    v.normalized.deletions = std::move(deduped);
+  }
+  return v;
+}
+
+}  // namespace
+
+const char* BatchProblemName(BatchProblem problem) {
+  switch (problem) {
+    case BatchProblem::kEmptyBatch:
+      return "empty_batch";
+    case BatchProblem::kBatchTooLarge:
+      return "batch_too_large";
+    case BatchProblem::kEmptyGraph:
+      return "empty_graph";
+    case BatchProblem::kOversizedGraph:
+      return "oversized_graph";
+    case BatchProblem::kDanglingDeletion:
+      return "dangling_deletion";
+    case BatchProblem::kDuplicateDeletion:
+      return "duplicate_deletion";
+  }
+  return "unknown";
+}
+
+std::string BatchValidation::Describe() const {
+  std::string out;
+  for (const BatchDiagnostic& d : diagnostics) {
+    if (!out.empty()) out += "; ";
+    out += std::string(BatchProblemName(d.problem)) + ": " + d.detail;
+  }
+  return out;
+}
+
+BatchValidation ValidateBatch(const BatchUpdate& batch,
+                              const std::vector<GraphId>& live_ids,
+                              const AdmissionLimits& limits) {
+  return ValidateWith(batch, limits, [&live_ids](GraphId id) {
+    return std::binary_search(live_ids.begin(), live_ids.end(), id);
+  });
+}
+
+BatchValidation ValidateBatch(const BatchUpdate& batch,
+                              const GraphDatabase& db,
+                              const AdmissionLimits& limits) {
+  return ValidateWith(batch, limits,
+                      [&db](GraphId id) { return db.Contains(id); });
+}
+
+}  // namespace serve
+}  // namespace midas

@@ -1,0 +1,83 @@
+#ifndef MIDAS_SERVE_ADMISSION_H_
+#define MIDAS_SERVE_ADMISSION_H_
+
+#include <string>
+#include <vector>
+
+#include "midas/graph/graph_database.h"
+
+namespace midas {
+namespace serve {
+
+/// Pre-admission limits on one BatchUpdate. Zero means "no limit" for the
+/// size knobs. Defaults are sized for interactive GUI databases of small
+/// data graphs (PubChem-like molecules); a bulk-load pipeline would raise
+/// them.
+struct AdmissionLimits {
+  size_t max_batch_items = 4096;     ///< |Δ⁺| + |Δ⁻| per batch
+  size_t max_graph_vertices = 1024;  ///< per inserted graph
+  size_t max_graph_edges = 4096;     ///< per inserted graph
+  bool allow_empty = false;          ///< admit no-op batches?
+};
+
+/// What ValidateBatch can find wrong with a batch.
+enum class BatchProblem {
+  kEmptyBatch,         ///< nothing to do (error unless allow_empty)
+  kBatchTooLarge,      ///< |Δ⁺| + |Δ⁻| over max_batch_items
+  kEmptyGraph,         ///< an insertion with no vertices
+  kOversizedGraph,     ///< an insertion over the vertex/edge limits
+  kDanglingDeletion,   ///< deletion id not present in the database view
+  kDuplicateDeletion,  ///< deletion id repeated within the batch (deduped)
+};
+
+/// Stable spelling for logs/tests ("dangling_deletion", ...).
+const char* BatchProblemName(BatchProblem problem);
+
+/// One per-item finding: which check tripped, on which item, and whether it
+/// rejects the batch (fatal) or was repaired in the normalized copy.
+struct BatchDiagnostic {
+  BatchProblem problem = BatchProblem::kEmptyBatch;
+  bool fatal = true;
+  std::string detail;  ///< e.g. "deletion #2 (id 17): not in database"
+};
+
+/// Outcome of pre-admission validation.
+struct BatchValidation {
+  /// True when the (normalized) batch may enter the update queue. Fatal
+  /// diagnostics clear this; warnings (duplicate deletions) do not.
+  bool admissible = false;
+  /// The batch to actually enqueue: duplicate deletion ids removed (first
+  /// occurrence kept, order preserved). Only meaningful when admissible.
+  BatchUpdate normalized;
+  std::vector<BatchDiagnostic> diagnostics;
+  size_t errors = 0;    ///< fatal diagnostics
+  size_t warnings = 0;  ///< repaired diagnostics
+
+  /// All diagnostic details joined with "; " (for event-log lines).
+  std::string Describe() const;
+};
+
+/// Validates ΔD before it is journaled or queued:
+///  - deletion ids absent from the database view are *rejected*, not
+///    silently ignored (each with a per-item diagnostic);
+///  - deletion ids repeated within the batch are deduped in `normalized`
+///    and reported as warnings;
+///  - malformed (vertex-less) and oversized insertions, empty and oversized
+///    batches are rejected per `limits`.
+///
+/// The `live_ids` overload checks against a sorted id vector — typically
+/// PanelSnapshot::live_ids, so producers can pre-validate lock-free against
+/// the latest published state. That view trails the engine by the queued
+/// batches; EngineHost re-validates against the authoritative database on
+/// the writer thread before starting the round.
+BatchValidation ValidateBatch(const BatchUpdate& batch,
+                              const std::vector<GraphId>& live_ids,
+                              const AdmissionLimits& limits);
+BatchValidation ValidateBatch(const BatchUpdate& batch,
+                              const GraphDatabase& db,
+                              const AdmissionLimits& limits);
+
+}  // namespace serve
+}  // namespace midas
+
+#endif  // MIDAS_SERVE_ADMISSION_H_

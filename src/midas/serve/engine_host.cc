@@ -1,0 +1,463 @@
+#include "midas/serve/engine_host.h"
+
+#include <algorithm>
+#include <cmath>
+#include <filesystem>
+#include <thread>
+#include <utility>
+
+#include "midas/common/failpoint.h"
+#include "midas/graph/graph_io.h"
+#include "midas/maintain/snapshot.h"
+#include "midas/obs/json.h"
+#include "midas/obs/metrics.h"
+
+namespace midas {
+namespace serve {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+void Count(const char* name, uint64_t n = 1) {
+  auto& reg = obs::MetricsRegistry::Current();
+  if (!reg.enabled()) return;
+  reg.GetCounter(name)->Increment(n);
+}
+
+/// One queue item flattened to a single ΔD plus the (private) dictionary
+/// its labels resolve through — self-contained, so the batch stays
+/// serializable and re-mappable no matter what happens to the engine.
+struct CanonicalBatch {
+  BatchUpdate batch;
+  LabelDictionary labels;
+};
+
+CanonicalBatch Canonicalize(BoundedUpdateQueue::Item&& item,
+                            const LabelDictionary& engine_labels) {
+  CanonicalBatch out;
+  out.labels = engine_labels;  // frozen copy; Intern below mutates only it
+  for (auto& part : item.parts) {
+    BatchUpdate remapped;
+    if (part.labels != nullptr) {
+      remapped.insertions.reserve(part.batch.insertions.size());
+      for (const Graph& g : part.batch.insertions) {
+        remapped.insertions.push_back(
+            RemapLabels(g, *part.labels, out.labels));
+      }
+      remapped.deletions = std::move(part.batch.deletions);
+    } else {
+      // No rider dictionary: ids are engine-consistent, and out.labels
+      // started as a copy of the engine dictionary.
+      remapped = std::move(part.batch);
+    }
+    MergeBatches(&out.batch, std::move(remapped));
+  }
+  return out;
+}
+
+/// Translates the canonical batch into the live engine dictionary. Re-run
+/// before every attempt: recovery may hand back an engine whose dictionary
+/// lacks labels a previous attempt interned.
+BatchUpdate RemapInto(const CanonicalBatch& canon, LabelDictionary& target) {
+  BatchUpdate out;
+  out.deletions = canon.batch.deletions;
+  out.insertions.reserve(canon.batch.insertions.size());
+  for (const Graph& g : canon.batch.insertions) {
+    out.insertions.push_back(RemapLabels(g, canon.labels, target));
+  }
+  return out;
+}
+
+}  // namespace
+
+EngineHost::EngineHost(std::unique_ptr<MidasEngine> engine,
+                       std::string engine_dir, HostConfig config)
+    : engine_dir_(std::move(engine_dir)),
+      quarantine_dir_(fs::path(config.quarantine_subdir).is_absolute()
+                          ? config.quarantine_subdir
+                          : engine_dir_ + "/" + config.quarantine_subdir),
+      config_(std::move(config)),
+      engine_(std::move(engine)),
+      queue_(config_.queue_capacity, config_.overflow) {}
+
+EngineHost::~EngineHost() { Stop(); }
+
+bool EngineHost::Start(std::string* error) {
+  auto fail = [error](const std::string& what) {
+    if (error != nullptr) *error = what;
+    return false;
+  };
+  if (running_.load(std::memory_order_acquire)) return true;
+  if (engine_ == nullptr) return fail("EngineHost: no engine");
+
+  std::error_code ec;
+  fs::create_directories(engine_dir_, ec);
+  if (ec) return fail("create " + engine_dir_ + ": " + ec.message());
+
+  try {
+    if (!engine_->initialized()) engine_->Initialize();
+  } catch (const std::exception& e) {
+    return fail(std::string("engine Initialize: ") + e.what());
+  }
+  base_deadline_ms_ = engine_->config().round_deadline_ms;
+  base_step_limit_ = engine_->config().round_step_limit;
+
+  // Recovery baseline: snapshot the as-started engine so RecoverEngine has
+  // a floor even before the first checkpointed round.
+  std::string err;
+  if (!SaveCheckpoint(*engine_, engine_dir_, &err)) {
+    return fail("baseline checkpoint: " + err);
+  }
+  if (!journal_.Open(engine_dir_ + "/journal.log", &err)) {
+    return fail("open journal: " + err);
+  }
+  // Anything left in the journal predates the baseline we just saved.
+  if (!journal_.Reset(&err)) return fail("reset journal: " + err);
+  engine_->SetJournal(&journal_);
+  if (event_log_ != nullptr) engine_->SetEventLog(event_log_);
+  rounds_since_checkpoint_ = 0;
+
+  PublishSnapshot();
+  dead_.store(false, std::memory_order_release);
+  running_.store(true, std::memory_order_release);
+  writer_ = std::thread([this] { WriterLoop(); });
+  return true;
+}
+
+void EngineHost::Stop() {
+  queue_.Close();
+  if (writer_.joinable()) writer_.join();
+  running_.store(false, std::memory_order_release);
+}
+
+SubmitResult EngineHost::Submit(BatchUpdate batch) {
+  return SubmitInternal(std::move(batch), nullptr);
+}
+
+SubmitResult EngineHost::Submit(BatchUpdate batch,
+                                const LabelDictionary& labels) {
+  return SubmitInternal(std::move(batch),
+                        std::make_shared<const LabelDictionary>(labels));
+}
+
+SubmitResult EngineHost::SubmitInternal(
+    BatchUpdate batch, std::shared_ptr<const LabelDictionary> labels) {
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+  Count("midas_serve_submitted_total");
+
+  SubmitResult result;
+  if (!running_.load(std::memory_order_acquire) || queue_.closed()) {
+    result.status = SubmitStatus::kRejectedStopped;
+    return result;
+  }
+
+  PanelSnapshotPtr snap = snapshot();
+  static const std::vector<GraphId> kNoIds;
+  const std::vector<GraphId>& live =
+      (snap != nullptr && snap->live_ids != nullptr) ? *snap->live_ids
+                                                     : kNoIds;
+  BatchValidation v = ValidateBatch(batch, live, config_.admission);
+  result.diagnostics = std::move(v.diagnostics);
+  if (!v.admissible) {
+    rejected_validation_.fetch_add(1, std::memory_order_relaxed);
+    Count("midas_serve_admission_rejects_total");
+    result.status = SubmitStatus::kRejectedValidation;
+    return result;
+  }
+
+  switch (queue_.Push(std::move(v.normalized), std::move(labels))) {
+    case BoundedUpdateQueue::PushOutcome::kQueued:
+      admitted_.fetch_add(1, std::memory_order_relaxed);
+      result.status = SubmitStatus::kAccepted;
+      break;
+    case BoundedUpdateQueue::PushOutcome::kCoalesced:
+      admitted_.fetch_add(1, std::memory_order_relaxed);
+      coalesced_.fetch_add(1, std::memory_order_relaxed);
+      Count("midas_serve_coalesced_total");
+      result.status = SubmitStatus::kAccepted;
+      result.coalesced = true;
+      break;
+    case BoundedUpdateQueue::PushOutcome::kRejectedFull:
+      rejected_overflow_.fetch_add(1, std::memory_order_relaxed);
+      Count("midas_serve_overflow_rejects_total");
+      result.status = SubmitStatus::kRejectedOverflow;
+      break;
+    case BoundedUpdateQueue::PushOutcome::kRejectedClosed:
+      result.status = SubmitStatus::kRejectedStopped;
+      break;
+  }
+  UpdateGauges();
+  return result;
+}
+
+void EngineHost::WriterLoop() {
+  for (;;) {
+    BoundedUpdateQueue::Item item;
+    if (queue_.Pop(&item, std::chrono::milliseconds(50))) {
+      const uint64_t batches = item.parts.size();
+      if (dead_.load(std::memory_order_acquire)) {
+        // The writer gave up on this engine; record the evidence instead of
+        // silently dropping admitted work.
+        PanelSnapshotPtr snap = snapshot();
+        CanonicalBatch canon = Canonicalize(
+            std::move(item), snap != nullptr && snap->labels != nullptr
+                                 ? *snap->labels
+                                 : LabelDictionary());
+        Quarantine(canon.batch, canon.labels, 0, 0, "host dead");
+      } else {
+        RunBatch(std::move(item));
+      }
+      drained_.fetch_add(batches, std::memory_order_release);
+    } else if (queue_.closed()) {
+      break;  // closed and drained
+    }
+    UpdateGauges();
+  }
+}
+
+void EngineHost::RunBatch(BoundedUpdateQueue::Item item) {
+  CanonicalBatch canon = Canonicalize(std::move(item), engine_->db().labels());
+
+  // Authoritative re-validation: the Submit-side check ran against a
+  // snapshot that trails the engine by the queued batches (e.g. an id this
+  // batch deletes may have been deleted by the batch before it).
+  {
+    BatchValidation v = ValidateBatch(canon.batch, engine_->db(),
+                                      config_.admission);
+    if (!v.admissible) {
+      writer_rejected_.fetch_add(1, std::memory_order_relaxed);
+      Count("midas_serve_writer_rejects_total");
+      AppendServeEvent("writer_reject", engine_->round_seq() + 1,
+                       v.Describe());
+      return;
+    }
+    canon.batch = std::move(v.normalized);
+  }
+
+  std::string last_error = "never attempted";
+  uint64_t attempted = 0;
+  const int max_attempts = std::max(1, config_.max_attempts);
+  int attempt = 0;
+  for (attempt = 1; attempt <= max_attempts; ++attempt) {
+    if (engine_ == nullptr && !RecoverInProcess(last_error)) {
+      last_error = "in-process recovery failed (" + last_error + ")";
+      continue;  // try recovery again on the next attempt, if any
+    }
+    attempted = engine_->round_seq() + 1;
+
+    // Budget: attempt 1 runs under the engine's own limits; each retry gets
+    // a geometrically tighter deadline so a poison batch cannot monopolize
+    // the writer.
+    if (attempt == 1) {
+      engine_->SetRoundLimits(base_deadline_ms_, base_step_limit_);
+    } else {
+      double deadline =
+          config_.retry_deadline_ms *
+          std::pow(config_.retry_budget_factor, attempt - 2);
+      deadline = std::max(deadline, config_.retry_deadline_floor_ms);
+      if (base_deadline_ms_ > 0.0) deadline = std::min(deadline,
+                                                       base_deadline_ms_);
+      engine_->SetRoundLimits(deadline, base_step_limit_);
+    }
+
+    try {
+      MIDAS_FAILPOINT_ABORT("serve.round.before_apply");
+      BatchUpdate attempt_batch = RemapInto(canon, engine_->labels());
+      engine_->ApplyUpdate(attempt_batch, config_.mode);
+      MIDAS_FAILPOINT_ABORT("serve.round.before_publish");
+      engine_->SetRoundLimits(base_deadline_ms_, base_step_limit_);
+      rounds_ok_.fetch_add(1, std::memory_order_relaxed);
+      Count("midas_serve_rounds_total");
+      ++rounds_since_checkpoint_;
+      MaybeCheckpoint();
+      PublishSnapshot();
+      return;
+    } catch (const std::exception& e) {
+      last_error = e.what();
+      if (attempt < max_attempts) {
+        retries_.fetch_add(1, std::memory_order_relaxed);
+        Count("midas_serve_retries_total");
+      }
+      if (RecoverInProcess(last_error) &&
+          engine_->round_seq() >= attempted) {
+        // The failure struck *after* the journal commit — the round is
+        // durable and recovery replayed it. Publishing it (instead of
+        // retrying) avoids applying the batch twice.
+        rounds_ok_.fetch_add(1, std::memory_order_relaxed);
+        Count("midas_serve_rounds_total");
+        PublishSnapshot();
+        return;
+      }
+      if (attempt < max_attempts) {
+        double sleep_ms = config_.backoff_initial_ms *
+                          std::pow(config_.backoff_multiplier, attempt - 1);
+        sleep_ms = std::min(sleep_ms, config_.backoff_max_ms);
+        if (sleep_ms > 0.0) {
+          std::this_thread::sleep_for(
+              std::chrono::duration<double, std::milli>(sleep_ms));
+        }
+      }
+    }
+  }
+
+  Quarantine(canon.batch, canon.labels, attempted, max_attempts, last_error);
+  if (engine_ == nullptr) {
+    // Recovery never came back: stop applying, keep serving the last
+    // published snapshot, quarantine whatever else arrives.
+    dead_.store(true, std::memory_order_release);
+    AppendServeEvent("host_dead", attempted, last_error);
+  }
+}
+
+bool EngineHost::RecoverInProcess(const std::string& why) {
+  engine_.reset();  // drop the torn engine before rebuilding from disk
+  std::string detail;
+  try {
+    RecoverInfo info;
+    std::unique_ptr<MidasEngine> fresh = RecoverEngine(engine_dir_, &info);
+    if (fresh == nullptr) {
+      detail = info.error.empty() ? "RecoverEngine failed" : info.error;
+    } else {
+      fresh->SetJournal(&journal_);
+      if (event_log_ != nullptr) fresh->SetEventLog(event_log_);
+      fresh->SetRoundLimits(base_deadline_ms_, base_step_limit_);
+      // Mandatory re-baseline: a failed round leaves stale uncommitted
+      // records (and possibly seqs above where we resume) in the journal;
+      // the checkpoint truncates them so the retry's appends cannot read
+      // back as a seq regression.
+      std::string err;
+      if (!SaveCheckpoint(*fresh, engine_dir_, &err)) {
+        detail = "post-recovery checkpoint: " + err;
+      } else {
+        engine_ = std::move(fresh);
+        rounds_since_checkpoint_ = 0;
+        recoveries_.fetch_add(1, std::memory_order_relaxed);
+        Count("midas_serve_recoveries_total");
+        AppendServeEvent("recovered", engine_->round_seq(), why);
+        return true;
+      }
+    }
+  } catch (const std::exception& e) {
+    detail = e.what();
+  }
+  recovery_failures_.fetch_add(1, std::memory_order_relaxed);
+  Count("midas_serve_recovery_failures_total");
+  AppendServeEvent("recovery_failed", 0, detail);
+  return false;
+}
+
+void EngineHost::PublishSnapshot() {
+  auto snap = std::make_shared<PanelSnapshot>();
+  snap->round_seq = engine_->round_seq();
+  snap->db_size = engine_->db().size();
+  snap->patterns = engine_->patterns();
+  snap->small_panel = engine_->small_panel();
+  snap->quality = engine_->CurrentQuality();
+  snap->live_ids =
+      std::make_shared<const std::vector<GraphId>>(engine_->db().Ids());
+  snap->labels =
+      std::make_shared<const LabelDictionary>(engine_->db().labels());
+  snap->created_at = std::chrono::steady_clock::now();
+
+  // Readers' view of completed rounds never regresses, even if recovery
+  // resumed from an older committed state (see docs/robustness.md).
+  PanelSnapshotPtr current = snapshot_.load(std::memory_order_acquire);
+  if (current != nullptr && snap->round_seq < current->round_seq) return;
+  snapshot_.store(std::move(snap), std::memory_order_release);
+  Count("midas_serve_snapshots_published_total");
+  UpdateGauges();
+}
+
+void EngineHost::Quarantine(const BatchUpdate& batch,
+                            const LabelDictionary& labels, uint64_t seq,
+                            int attempts, const std::string& reason) {
+  QuarantinedBatch q;
+  q.seq = seq;
+  q.attempts = attempts;
+  q.reason = reason;
+  q.batch = batch;
+  std::string path;
+  std::string err;
+  std::string detail;
+  if (WriteQuarantineFile(q, labels, quarantine_dir_, &path, &err)) {
+    detail = reason + " file=" + path;
+  } else {
+    // The write itself failed; the event-log record is the only evidence.
+    Count("midas_serve_quarantine_write_failures_total");
+    detail = reason + " (quarantine write failed: " + err + ")";
+  }
+  quarantined_.fetch_add(1, std::memory_order_relaxed);
+  Count("midas_quarantined_batches");
+  AppendServeEvent("quarantine", seq, detail);
+}
+
+void EngineHost::AppendServeEvent(const std::string& kind, uint64_t seq,
+                                  const std::string& detail) {
+  if (event_log_ == nullptr) return;
+  obs::JsonWriter w;
+  w.BeginObject();
+  w.Key("serve_event").Value(kind);
+  w.Key("seq").Value(seq);
+  w.Key("detail").Value(detail);
+  w.EndObject();
+  event_log_->AppendRaw(w.str());
+}
+
+void EngineHost::MaybeCheckpoint() {
+  if (config_.checkpoint_every == 0) return;
+  if (rounds_since_checkpoint_ < config_.checkpoint_every) return;
+  std::string err;
+  if (SaveCheckpoint(*engine_, engine_dir_, &err)) {
+    rounds_since_checkpoint_ = 0;
+    checkpoints_.fetch_add(1, std::memory_order_relaxed);
+    Count("midas_serve_checkpoints_total");
+  } else {
+    // Not fatal: the journal keeps every round since the last checkpoint,
+    // it just grows until a later checkpoint succeeds.
+    AppendServeEvent("checkpoint_failed", engine_->round_seq(), err);
+  }
+}
+
+void EngineHost::UpdateGauges() {
+  auto& reg = obs::MetricsRegistry::Current();
+  if (!reg.enabled()) return;
+  reg.GetGauge("midas_serve_queue_depth")
+      ->Set(static_cast<double>(queue_.depth()));
+  PanelSnapshotPtr snap = snapshot();
+  if (snap != nullptr) {
+    reg.GetGauge("midas_serve_snapshot_age_ms")->Set(snap->AgeMs());
+  }
+}
+
+bool EngineHost::WaitIdle(std::chrono::milliseconds timeout) {
+  auto deadline = std::chrono::steady_clock::now() + timeout;
+  for (;;) {
+    if (drained_.load(std::memory_order_acquire) == queue_.admitted() &&
+        queue_.depth() == 0) {
+      return true;
+    }
+    if (std::chrono::steady_clock::now() >= deadline) return false;
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+}
+
+HostStats EngineHost::stats() const {
+  HostStats s;
+  s.submitted = submitted_.load(std::memory_order_relaxed);
+  s.admitted = admitted_.load(std::memory_order_relaxed);
+  s.rejected_validation = rejected_validation_.load(std::memory_order_relaxed);
+  s.rejected_overflow = rejected_overflow_.load(std::memory_order_relaxed);
+  s.coalesced = coalesced_.load(std::memory_order_relaxed);
+  s.writer_rejected = writer_rejected_.load(std::memory_order_relaxed);
+  s.rounds_ok = rounds_ok_.load(std::memory_order_relaxed);
+  s.retries = retries_.load(std::memory_order_relaxed);
+  s.recoveries = recoveries_.load(std::memory_order_relaxed);
+  s.recovery_failures = recovery_failures_.load(std::memory_order_relaxed);
+  s.quarantined = quarantined_.load(std::memory_order_relaxed);
+  s.checkpoints = checkpoints_.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace serve
+}  // namespace midas

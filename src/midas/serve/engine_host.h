@@ -1,0 +1,218 @@
+#ifndef MIDAS_SERVE_ENGINE_HOST_H_
+#define MIDAS_SERVE_ENGINE_HOST_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "midas/maintain/journal.h"
+#include "midas/maintain/midas.h"
+#include "midas/obs/event_log.h"
+#include "midas/serve/admission.h"
+#include "midas/serve/panel_snapshot.h"
+#include "midas/serve/quarantine.h"
+#include "midas/serve/update_queue.h"
+
+namespace midas {
+namespace serve {
+
+/// Tuning of one EngineHost.
+struct HostConfig {
+  size_t queue_capacity = 64;
+  OverflowPolicy overflow = OverflowPolicy::kBlock;
+  AdmissionLimits admission;
+  MaintenanceMode mode = MaintenanceMode::kMidas;
+
+  /// Retry-with-backoff: a batch gets `max_attempts` ApplyUpdate tries; the
+  /// sleep before retry k is backoff_initial_ms * backoff_multiplier^(k-1),
+  /// capped at backoff_max_ms.
+  int max_attempts = 3;
+  double backoff_initial_ms = 1.0;
+  double backoff_multiplier = 2.0;
+  double backoff_max_ms = 250.0;
+
+  /// Budget tightening: attempt 1 runs under the engine's own round limits;
+  /// attempt k >= 2 runs under a deadline of
+  ///   max(retry_deadline_floor_ms,
+  ///       retry_deadline_ms * retry_budget_factor^(k-2))
+  /// (or the engine's own deadline if that is tighter), so each retry of a
+  /// poison batch is cheaper than the last and cannot monopolize the writer.
+  double retry_deadline_ms = 250.0;
+  double retry_budget_factor = 0.5;
+  double retry_deadline_floor_ms = 5.0;
+
+  /// Rounds between SaveCheckpoint calls (journal truncation). 0 disables
+  /// periodic checkpoints; the post-recovery checkpoint is unconditional —
+  /// it re-baselines the journal after the torn tail a failed round leaves.
+  uint64_t checkpoint_every = 32;
+
+  /// Quarantine directory, resolved under the engine dir when relative.
+  std::string quarantine_subdir = "quarantine";
+};
+
+/// Monotonic host telemetry (all counters since Start).
+struct HostStats {
+  uint64_t submitted = 0;           ///< Submit() calls
+  uint64_t admitted = 0;            ///< batches accepted into the queue
+  uint64_t rejected_validation = 0; ///< Submit-side ValidateBatch rejects
+  uint64_t rejected_overflow = 0;   ///< kReject policy, queue full
+  uint64_t coalesced = 0;           ///< batches merged by kCoalesce
+  uint64_t writer_rejected = 0;     ///< writer-side re-validation rejects
+  uint64_t rounds_ok = 0;           ///< successful maintenance rounds
+  uint64_t retries = 0;             ///< ApplyUpdate attempts beyond the first
+  uint64_t recoveries = 0;          ///< in-process engine restorations
+  uint64_t recovery_failures = 0;   ///< failed restoration attempts
+  uint64_t quarantined = 0;         ///< batches written to quarantine
+  uint64_t checkpoints = 0;         ///< SaveCheckpoint calls that succeeded
+};
+
+enum class SubmitStatus {
+  kAccepted,            ///< queued (or merged) for the writer
+  kRejectedValidation,  ///< pre-admission checks failed (see diagnostics)
+  kRejectedOverflow,    ///< queue full under OverflowPolicy::kReject
+  kRejectedStopped,     ///< host not running (or Stop in progress)
+};
+
+struct SubmitResult {
+  SubmitStatus status = SubmitStatus::kRejectedStopped;
+  bool coalesced = false;  ///< accepted by merging into a pending batch
+  std::vector<BatchDiagnostic> diagnostics;  ///< per-item findings
+  bool accepted() const { return status == SubmitStatus::kAccepted; }
+};
+
+/// Concurrent serving host: owns a MidasEngine behind one maintenance
+/// writer thread and serves readers from immutable, atomically swapped
+/// PanelSnapshots.
+///
+/// Threading contract:
+///  - `snapshot()` is lock-free and wait-free for any number of reader
+///    threads; a reader never blocks on (or observes the middle of) a
+///    maintenance round.
+///  - `Submit()` may be called from any thread; it validates against the
+///    latest snapshot, then enqueues per the overflow policy (kBlock is the
+///    only way it blocks).
+///  - The engine itself is touched only by the writer thread after Start().
+///
+/// Fault handling (the robustness loop):
+///  1. Every admitted batch is re-validated against the authoritative
+///     database, then applied under retry-with-exponential-backoff, each
+///     attempt with a tighter ExecBudget (HostConfig budget knobs).
+///  2. A failed attempt leaves the engine torn; the host restores it
+///     *in-process* from `<engine_dir>/snapshot` + journal (RecoverEngine)
+///     and re-baselines with a checkpoint — readers keep the last published
+///     panel throughout, so the panel is never unavailable.
+///  3. A batch still failing after max_attempts is quarantined: serialized
+///     to a greppable file (quarantine.h), counted in
+///     `midas_quarantined_batches`, recorded in the event log — and the
+///     stream continues with the next batch.
+class EngineHost {
+ public:
+  /// Takes ownership of `engine` (Initialize() is run by Start if needed).
+  /// `engine_dir` is the host's durable state: `<engine_dir>/snapshot`,
+  /// `<engine_dir>/journal.log` and the quarantine directory live there.
+  EngineHost(std::unique_ptr<MidasEngine> engine, std::string engine_dir,
+             HostConfig config = HostConfig());
+  ~EngineHost();
+
+  EngineHost(const EngineHost&) = delete;
+  EngineHost& operator=(const EngineHost&) = delete;
+
+  /// Checkpoints the engine (recovery baseline), opens the journal,
+  /// publishes the initial snapshot and starts the writer thread. Returns
+  /// false (with *error) when the durable state cannot be set up.
+  bool Start(std::string* error = nullptr);
+
+  /// Stops admission, drains the queue (every already-accepted batch is
+  /// applied or quarantined), and joins the writer. Idempotent.
+  void Stop();
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+  /// True when in-process recovery failed and the writer gave up: the last
+  /// published snapshot keeps serving, but no further batch is applied.
+  bool dead() const { return dead_.load(std::memory_order_acquire); }
+
+  /// Admission-controlled entry of one ΔD into the update stream. Graphs
+  /// must be labelled against an engine-consistent dictionary (i.e. ids from
+  /// a PanelSnapshot's `labels`); to introduce *new* labels use the overload
+  /// below.
+  SubmitResult Submit(BatchUpdate batch);
+
+  /// Same, for batches labelled against `labels` — a producer-private
+  /// dictionary (start from `snapshot()->labels`, Intern new names into a
+  /// copy). The writer remaps by name before applying, so producers never
+  /// touch the live engine's dictionary.
+  SubmitResult Submit(BatchUpdate batch, const LabelDictionary& labels);
+
+  /// The current panel — lock-free epoch read; never nullptr after Start().
+  PanelSnapshotPtr snapshot() const {
+    return snapshot_.load(std::memory_order_acquire);
+  }
+
+  /// Blocks until the queue is drained and no round is in flight (or
+  /// `timeout` elapses). Returns true when idle was reached.
+  bool WaitIdle(std::chrono::milliseconds timeout);
+
+  HostStats stats() const;
+  size_t queue_depth() const { return queue_.depth(); }
+  const std::string& engine_dir() const { return engine_dir_; }
+  const std::string& quarantine_dir() const { return quarantine_dir_; }
+
+  /// Attaches a maintenance event log: per-round records from the engine
+  /// plus host-level `serve_event` lines (quarantines, writer-side
+  /// rejects). Call before Start; non-owning.
+  void SetEventLog(obs::MaintenanceEventLog* log) { event_log_ = log; }
+
+ private:
+  void WriterLoop();
+  SubmitResult SubmitInternal(BatchUpdate batch,
+                              std::shared_ptr<const LabelDictionary> labels);
+  void RunBatch(BoundedUpdateQueue::Item item);
+  /// Drops the torn engine and restores from snapshot+journal; re-attaches
+  /// journal/event log and re-baselines with a checkpoint. False when the
+  /// host could not get a healthy engine back.
+  bool RecoverInProcess(const std::string& why);
+  void PublishSnapshot();
+  void Quarantine(const BatchUpdate& batch, const LabelDictionary& labels,
+                  uint64_t seq, int attempts, const std::string& reason);
+  void AppendServeEvent(const std::string& kind, uint64_t seq,
+                        const std::string& detail);
+  void MaybeCheckpoint();
+  void UpdateGauges();
+
+  const std::string engine_dir_;
+  const std::string quarantine_dir_;
+  HostConfig config_;
+  double base_deadline_ms_ = 0.0;   ///< engine's own round limits, saved
+  uint64_t base_step_limit_ = 0;    ///< at Start for per-attempt overrides
+
+  std::unique_ptr<MidasEngine> engine_;  ///< writer-thread-only after Start
+  UpdateJournal journal_;
+  obs::MaintenanceEventLog* event_log_ = nullptr;  ///< non-owning
+
+  BoundedUpdateQueue queue_;
+  std::thread writer_;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> dead_{false};
+  /// Batches fully processed by the writer (applied, quarantined or
+  /// writer-rejected), counting coalesced parts — WaitIdle compares this
+  /// against the queue's admitted() count.
+  std::atomic<uint64_t> drained_{0};
+  uint64_t rounds_since_checkpoint_ = 0;  ///< writer-thread-only
+
+  std::atomic<std::shared_ptr<const PanelSnapshot>> snapshot_{nullptr};
+
+  // HostStats counters (relaxed atomics; written from Submit + writer).
+  std::atomic<uint64_t> submitted_{0}, admitted_{0}, rejected_validation_{0},
+      rejected_overflow_{0}, coalesced_{0}, writer_rejected_{0}, rounds_ok_{0},
+      retries_{0}, recoveries_{0}, recovery_failures_{0}, quarantined_{0},
+      checkpoints_{0};
+};
+
+}  // namespace serve
+}  // namespace midas
+
+#endif  // MIDAS_SERVE_ENGINE_HOST_H_

@@ -1,0 +1,64 @@
+#ifndef MIDAS_SERVE_PANEL_SNAPSHOT_H_
+#define MIDAS_SERVE_PANEL_SNAPSHOT_H_
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "midas/graph/graph_database.h"
+#include "midas/maintain/midas.h"
+#include "midas/maintain/small_patterns.h"
+#include "midas/select/pattern.h"
+
+namespace midas {
+namespace serve {
+
+/// Immutable, self-contained view of everything a GUI needs to render the
+/// canned-pattern panel: the pattern set, its quality, the small-pattern
+/// companion panel, and enough database metadata to pre-validate updates.
+///
+/// EngineHost publishes one after every successful maintenance round via an
+/// atomic epoch swap (`std::atomic<std::shared_ptr<const PanelSnapshot>>`),
+/// so any number of reader threads can grab the current panel without ever
+/// blocking on — or observing the torn middle of — a maintenance round.
+/// A snapshot is frozen at publication; readers share it by shared_ptr and
+/// it dies when the last reader drops it.
+struct PanelSnapshot {
+  uint64_t round_seq = 0;  ///< completed maintenance rounds at publication
+  size_t db_size = 0;      ///< |D| at publication
+  PatternSet patterns;     ///< the canned-pattern panel P
+  SmallPatternPanel small_panel;  ///< the η <= 2 companion panel
+  PatternQuality quality;  ///< scov/lcov/div/cog of `patterns`
+  /// Sorted live graph ids at publication — the view ValidateBatch uses to
+  /// pre-check deletion ids without touching the (busy) engine.
+  std::shared_ptr<const std::vector<GraphId>> live_ids;
+  /// Frozen copy of the engine's label dictionary at publication. Producers
+  /// that mint graphs with *new* labels copy this, Intern into the copy, and
+  /// pass the copy to Submit — the live engine dictionary is never shared
+  /// across threads (the writer remaps by name when the round starts).
+  std::shared_ptr<const LabelDictionary> labels;
+  std::chrono::steady_clock::time_point created_at{};
+
+  /// Milliseconds since this snapshot was published (staleness signal; the
+  /// host also exports it as the `midas_serve_snapshot_age_ms` gauge).
+  double AgeMs() const {
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - created_at)
+        .count();
+  }
+
+  /// Whether `id` was a live graph when this snapshot was taken.
+  bool ContainsGraph(GraphId id) const {
+    if (live_ids == nullptr) return false;
+    return std::binary_search(live_ids->begin(), live_ids->end(), id);
+  }
+};
+
+using PanelSnapshotPtr = std::shared_ptr<const PanelSnapshot>;
+
+}  // namespace serve
+}  // namespace midas
+
+#endif  // MIDAS_SERVE_PANEL_SNAPSHOT_H_

@@ -1,0 +1,166 @@
+#include "midas/serve/quarantine.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "midas/common/failpoint.h"
+#include "midas/graph/graph_io.h"
+
+namespace midas {
+namespace serve {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+void SetError(std::string* error, const std::string& what) {
+  if (error != nullptr) *error = what;
+}
+
+std::string FlattenReason(const std::string& reason) {
+  std::string flat = reason;
+  for (char& c : flat) {
+    if (c == '\n' || c == '\r') c = ' ';
+  }
+  return flat;
+}
+
+}  // namespace
+
+bool WriteQuarantineFile(const QuarantinedBatch& q, const LabelDictionary& dict,
+                         const std::string& dir, std::string* path,
+                         std::string* error) {
+  if (MIDAS_FAILPOINT("serve.quarantine.write_error")) {
+    SetError(error,
+             "injected I/O error (failpoint serve.quarantine.write_error)");
+    return false;
+  }
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  if (ec) {
+    SetError(error, "create " + dir + ": " + ec.message());
+    return false;
+  }
+
+  std::string chosen;
+  for (int n = 0; n < 1000; ++n) {
+    std::string name = "batch-" + std::to_string(q.seq) +
+                       (n == 0 ? "" : "-" + std::to_string(n)) +
+                       ".quarantine.gspan";
+    std::string candidate = dir + "/" + name;
+    if (!fs::exists(candidate, ec)) {
+      chosen = candidate;
+      break;
+    }
+  }
+  if (chosen.empty()) {
+    SetError(error, "no free quarantine file name for seq " +
+                        std::to_string(q.seq) + " under " + dir);
+    return false;
+  }
+
+  std::ostringstream out;
+  out << "# midas-quarantine v1\n"
+      << "# seq=" << q.seq << "\n"
+      << "# attempts=" << q.attempts << "\n"
+      << "# reason=" << FlattenReason(q.reason) << "\n"
+      << "# deletions=";
+  for (size_t i = 0; i < q.batch.deletions.size(); ++i) {
+    out << (i == 0 ? "" : " ") << q.batch.deletions[i];
+  }
+  out << "\n";
+  for (size_t i = 0; i < q.batch.insertions.size(); ++i) {
+    WriteGraph(q.batch.insertions[i], dict, static_cast<long>(i), out);
+  }
+
+  std::ofstream file(chosen, std::ios::binary | std::ios::trunc);
+  if (!file) {
+    SetError(error, "cannot open " + chosen + " for writing");
+    return false;
+  }
+  file << out.str();
+  file.flush();
+  if (!file) {
+    SetError(error, "write " + chosen + " failed");
+    return false;
+  }
+  if (path != nullptr) *path = chosen;
+  return true;
+}
+
+bool ReadQuarantineFile(const std::string& path, LabelDictionary& dict,
+                        QuarantinedBatch* out, std::string* error) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    SetError(error, "cannot open " + path);
+    return false;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  std::string content = buf.str();
+
+  *out = QuarantinedBatch{};
+  std::istringstream lines(content);
+  std::string line;
+  bool magic = false;
+  while (std::getline(lines, line)) {
+    if (line.empty() || line[0] != '#') break;  // header is a '#' prefix
+    std::string body = line.substr(1);
+    if (!body.empty() && body[0] == ' ') body = body.substr(1);
+    if (body == "midas-quarantine v1") {
+      magic = true;
+    } else if (body.rfind("seq=", 0) == 0) {
+      std::istringstream v(body.substr(4));
+      v >> out->seq;
+    } else if (body.rfind("attempts=", 0) == 0) {
+      std::istringstream v(body.substr(9));
+      v >> out->attempts;
+    } else if (body.rfind("reason=", 0) == 0) {
+      out->reason = body.substr(7);
+    } else if (body.rfind("deletions=", 0) == 0) {
+      std::istringstream v(body.substr(10));
+      GraphId id = 0;
+      while (v >> id) out->batch.deletions.push_back(id);
+    }
+    // Unknown header keys are skipped (forward compatibility).
+  }
+  if (!magic) {
+    SetError(error, path + ": missing '# midas-quarantine v1' magic");
+    return false;
+  }
+
+  // The body is plain gspan ('#' header lines are comments to the parser).
+  // Parse into a scratch database, then remap labels by name into the
+  // caller's dictionary — same dance as journal batch payloads.
+  GraphDatabase scratch;
+  std::istringstream body(content);
+  std::string parse_error;
+  if (!ReadDatabase(body, &scratch, &parse_error)) {
+    SetError(error, path + ": " + parse_error);
+    return false;
+  }
+  for (const auto& [id, g] : scratch.graphs()) {
+    out->batch.insertions.push_back(RemapLabels(g, scratch.labels(), dict));
+  }
+  return true;
+}
+
+std::vector<std::string> ListQuarantineFiles(const std::string& dir) {
+  std::vector<std::string> paths;
+  std::error_code ec;
+  if (!fs::exists(dir, ec)) return paths;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    if (!entry.is_regular_file()) continue;
+    std::string name = entry.path().filename().string();
+    if (name.find(".quarantine.gspan") != std::string::npos) {
+      paths.push_back(entry.path().string());
+    }
+  }
+  std::sort(paths.begin(), paths.end());
+  return paths;
+}
+
+}  // namespace serve
+}  // namespace midas

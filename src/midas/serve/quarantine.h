@@ -1,0 +1,60 @@
+#ifndef MIDAS_SERVE_QUARANTINE_H_
+#define MIDAS_SERVE_QUARANTINE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "midas/graph/graph_database.h"
+
+namespace midas {
+namespace serve {
+
+/// A batch the writer gave up on after its retry budget: the full ΔD plus
+/// why and how hard it was tried. Serialized to one greppable text file so
+/// incident response can inspect — and, once the root cause is fixed,
+/// replay — the poison batch.
+///
+/// File format (`# midas-quarantine v1` magic first):
+///
+///   # midas-quarantine v1
+///   # seq=12
+///   # attempts=3
+///   # reason=failpoint abort: midas.apply_update.after_fct
+///   # deletions=3 17 29
+///   t # 0
+///   v 0 C
+///   ...
+///
+/// Metadata rides in `#` comment lines, which graph_io's gspan parser
+/// skips — the file body IS a valid gspan database, so the insertions
+/// round-trip through ReadDatabase for replay (`ReadQuarantineFile` does
+/// exactly that; `midas_cli` or any gspan tool can open the file too).
+struct QuarantinedBatch {
+  uint64_t seq = 0;      ///< round seq the batch was attempted as
+  int attempts = 0;      ///< ApplyUpdate attempts before giving up
+  std::string reason;    ///< last failure (newlines flattened to spaces)
+  BatchUpdate batch;
+};
+
+/// Writes `q` into `dir` (created if absent) as
+/// `batch-<seq>[-<n>].quarantine.gspan`, picking an unused `<n>` suffix so
+/// repeated quarantines never clobber evidence. Labels are resolved through
+/// `dict`. On success stores the file path in *path (when non-null).
+bool WriteQuarantineFile(const QuarantinedBatch& q, const LabelDictionary& dict,
+                         const std::string& dir, std::string* path,
+                         std::string* error);
+
+/// Parses a quarantine file back: metadata from the `#` header, insertions
+/// via graph_io::ReadDatabase (labels interned into `dict` by name).
+bool ReadQuarantineFile(const std::string& path, LabelDictionary& dict,
+                        QuarantinedBatch* out, std::string* error);
+
+/// Quarantine file paths under `dir`, sorted (empty when the directory does
+/// not exist).
+std::vector<std::string> ListQuarantineFiles(const std::string& dir);
+
+}  // namespace serve
+}  // namespace midas
+
+#endif  // MIDAS_SERVE_QUARANTINE_H_

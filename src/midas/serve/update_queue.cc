@@ -1,0 +1,94 @@
+#include "midas/serve/update_queue.h"
+
+#include <set>
+#include <utility>
+
+namespace midas {
+namespace serve {
+
+const char* OverflowPolicyName(OverflowPolicy policy) {
+  switch (policy) {
+    case OverflowPolicy::kBlock:
+      return "block";
+    case OverflowPolicy::kReject:
+      return "reject";
+    case OverflowPolicy::kCoalesce:
+      return "coalesce";
+  }
+  return "unknown";
+}
+
+void MergeBatches(BatchUpdate* base, BatchUpdate&& extra) {
+  for (Graph& g : extra.insertions) {
+    base->insertions.push_back(std::move(g));
+  }
+  std::set<GraphId> seen(base->deletions.begin(), base->deletions.end());
+  for (GraphId id : extra.deletions) {
+    if (seen.insert(id).second) base->deletions.push_back(id);
+  }
+}
+
+BoundedUpdateQueue::PushOutcome BoundedUpdateQueue::Push(
+    BatchUpdate batch, std::shared_ptr<const LabelDictionary> labels) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (closed_) return PushOutcome::kRejectedClosed;
+  if (items_.size() >= capacity_) {
+    switch (policy_) {
+      case OverflowPolicy::kReject:
+        return PushOutcome::kRejectedFull;
+      case OverflowPolicy::kCoalesce: {
+        items_.back().parts.push_back(
+            Part{std::move(batch), std::move(labels)});
+        ++admitted_;
+        return PushOutcome::kCoalesced;
+      }
+      case OverflowPolicy::kBlock:
+        space_.wait(lock,
+                    [this] { return closed_ || items_.size() < capacity_; });
+        if (closed_) return PushOutcome::kRejectedClosed;
+        break;
+    }
+  }
+  Item item;
+  item.ticket = next_ticket_++;
+  item.parts.push_back(Part{std::move(batch), std::move(labels)});
+  items_.push_back(std::move(item));
+  ++admitted_;
+  ready_.notify_one();
+  return PushOutcome::kQueued;
+}
+
+bool BoundedUpdateQueue::Pop(Item* out, std::chrono::milliseconds wait) {
+  std::unique_lock<std::mutex> lock(mu_);
+  ready_.wait_for(lock, wait, [this] { return closed_ || !items_.empty(); });
+  if (items_.empty()) return false;  // timeout, or closed and drained
+  *out = std::move(items_.front());
+  items_.pop_front();
+  space_.notify_one();
+  return true;
+}
+
+void BoundedUpdateQueue::Close() {
+  std::lock_guard<std::mutex> lock(mu_);
+  closed_ = true;
+  space_.notify_all();
+  ready_.notify_all();
+}
+
+size_t BoundedUpdateQueue::depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return items_.size();
+}
+
+bool BoundedUpdateQueue::closed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return closed_;
+}
+
+uint64_t BoundedUpdateQueue::admitted() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return admitted_;
+}
+
+}  // namespace serve
+}  // namespace midas

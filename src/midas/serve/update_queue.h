@@ -1,0 +1,112 @@
+#ifndef MIDAS_SERVE_UPDATE_QUEUE_H_
+#define MIDAS_SERVE_UPDATE_QUEUE_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "midas/graph/graph_database.h"
+
+namespace midas {
+namespace serve {
+
+/// What to do when a Push finds the queue full.
+enum class OverflowPolicy {
+  kBlock,     ///< wait for the writer to drain a slot (backpressure)
+  kReject,    ///< fail the Push immediately (caller sheds load)
+  kCoalesce,  ///< merge into the newest pending item (bounded memory)
+};
+
+const char* OverflowPolicyName(OverflowPolicy policy);
+
+/// Bounded multi-producer / single-consumer queue of batch updates in front
+/// of the maintenance writer. Producers are any number of Submit() callers;
+/// the single consumer is EngineHost's writer thread. Mutex + condvar — the
+/// queue is allowed to block; only panel *reads* must be lock-free (they
+/// are: readers never touch the queue, see panel_snapshot.h).
+///
+/// Each batch rides with the (immutable) label dictionary its graphs were
+/// built against — producers label against a PanelSnapshot's dictionary
+/// copy, never the live engine's, so no dictionary is shared mutably across
+/// threads. The writer remaps labels by name when the round starts.
+///
+/// kCoalesce appends the overflowing batch to the newest pending item as an
+/// extra *part* instead of dropping it; the writer merges an item's parts
+/// into one ΔD, so one maintenance round absorbs several batches — the
+/// classic load-shedding move for derived-structure maintenance under a
+/// bursty update stream.
+class BoundedUpdateQueue {
+ public:
+  /// One admitted batch plus the dictionary its labels resolve through
+  /// (nullptr = ids are engine-consistent as of submission).
+  struct Part {
+    BatchUpdate batch;
+    std::shared_ptr<const LabelDictionary> labels;
+  };
+
+  struct Item {
+    uint64_t ticket = 0;  ///< 1-based admission order of the first part
+    std::vector<Part> parts;
+    /// Batches merged into this item beyond the first.
+    size_t coalesced() const { return parts.empty() ? 0 : parts.size() - 1; }
+  };
+
+  enum class PushOutcome {
+    kQueued,         ///< enqueued as a new item
+    kCoalesced,      ///< appended to the newest pending item
+    kRejectedFull,   ///< kReject policy and the queue is full
+    kRejectedClosed  ///< Close() was called
+  };
+
+  BoundedUpdateQueue(size_t capacity, OverflowPolicy policy)
+      : capacity_(capacity == 0 ? 1 : capacity), policy_(policy) {}
+
+  BoundedUpdateQueue(const BoundedUpdateQueue&) = delete;
+  BoundedUpdateQueue& operator=(const BoundedUpdateQueue&) = delete;
+
+  /// Admits one batch per the overflow policy. kBlock waits until a slot
+  /// frees up (or the queue closes).
+  PushOutcome Push(BatchUpdate batch,
+                   std::shared_ptr<const LabelDictionary> labels = nullptr);
+
+  /// Consumer side: pops the oldest item, waiting up to `wait` for one to
+  /// arrive. Returns false on timeout, or when the queue is closed *and*
+  /// drained — the writer's exit condition.
+  bool Pop(Item* out, std::chrono::milliseconds wait);
+
+  /// Stops admission (Push returns kRejectedClosed) and wakes every waiter.
+  /// Already-queued items remain poppable so the writer can drain.
+  void Close();
+
+  size_t depth() const;
+  bool closed() const;
+  /// Batches admitted so far (queued + coalesced).
+  uint64_t admitted() const;
+
+ private:
+  const size_t capacity_;
+  const OverflowPolicy policy_;
+
+  mutable std::mutex mu_;
+  std::condition_variable space_;  ///< producers blocked on a full queue
+  std::condition_variable ready_;  ///< the consumer waiting for items
+  std::deque<Item> items_;
+  uint64_t next_ticket_ = 1;
+  uint64_t admitted_ = 0;
+  bool closed_ = false;
+};
+
+/// Merges `extra` into `base`: insertions appended, deletion ids unioned
+/// (first-occurrence order, duplicates dropped). Used by the writer to
+/// flatten a coalesced item's parts; both batches must share one label
+/// space.
+void MergeBatches(BatchUpdate* base, BatchUpdate&& extra);
+
+}  // namespace serve
+}  // namespace midas
+
+#endif  // MIDAS_SERVE_UPDATE_QUEUE_H_

@@ -177,6 +177,82 @@ TEST(JournalTest, CorruptedChecksumStopsScan) {
   EXPECT_NE(r.error.find("checksum"), std::string::npos) << r.error;
 }
 
+TEST(JournalTest, SeqRegressionAfterCommittedRoundStopsScan) {
+  TempDir dir("midas_journal_seq_regress");
+  MoleculeGenerator gen(781);
+  MoleculeGenConfig data = MoleculeGenerator::EmolLike(20);
+  auto engine = MakeEngine(gen, data);
+  const std::string path = dir.path + "/j.log";
+
+  // A @B/@C pair whose payload CRCs are perfectly valid but whose seq goes
+  // backwards: every byte checks out, yet the record cannot belong to this
+  // history (an overwritten or mis-spliced journal). The scan must treat it
+  // exactly like corruption — trust the prefix, drop the tail.
+  UpdateJournal journal;
+  ASSERT_TRUE(journal.Open(path));
+  BatchUpdate b5 = MakeBatch(gen, data, *engine, 3, false);
+  ASSERT_TRUE(journal.AppendBatch(5, b5, engine->db().labels()));
+  ASSERT_TRUE(journal.AppendCommit(5, engine->patterns(),
+                                   engine->db().labels()));
+  BatchUpdate b3 = MakeBatch(gen, data, *engine, 2, false);
+  ASSERT_TRUE(journal.AppendBatch(3, b3, engine->db().labels()));
+  ASSERT_TRUE(journal.AppendCommit(3, engine->patterns(),
+                                   engine->db().labels()));
+  journal.Close();
+
+  LabelDictionary dict;
+  JournalReadResult r = ReadJournal(path, dict);
+  ASSERT_TRUE(r.ok);
+  EXPECT_TRUE(r.tail_truncated);
+  ASSERT_EQ(r.rounds.size(), 1u);
+  EXPECT_EQ(r.rounds[0].seq, 5u);
+  EXPECT_TRUE(r.rounds[0].committed);
+  EXPECT_NE(r.error.find("seq regression"), std::string::npos) << r.error;
+
+  // A duplicate of a *committed* seq is also a regression: replaying it
+  // would apply the round twice.
+  WriteFileText(path, "");
+  ASSERT_TRUE(journal.Open(path));
+  ASSERT_TRUE(journal.AppendBatch(2, b5, engine->db().labels()));
+  ASSERT_TRUE(journal.AppendCommit(2, engine->patterns(),
+                                   engine->db().labels()));
+  ASSERT_TRUE(journal.AppendBatch(2, b3, engine->db().labels()));
+  journal.Close();
+  r = ReadJournal(path, dict);
+  ASSERT_TRUE(r.ok);
+  EXPECT_TRUE(r.tail_truncated);
+  ASSERT_EQ(r.rounds.size(), 1u);
+  EXPECT_EQ(r.rounds[0].seq, 2u);
+}
+
+TEST(JournalTest, RetryOfUncommittedSeqIsLegal) {
+  TempDir dir("midas_journal_seq_retry");
+  MoleculeGenerator gen(782);
+  MoleculeGenConfig data = MoleculeGenerator::EmolLike(20);
+  auto engine = MakeEngine(gen, data);
+  const std::string path = dir.path + "/j.log";
+
+  // A crash between @B and @C followed by a retry legitimately writes the
+  // same seq twice: @B 1 (torn), @B 1, @C 1. The scan must accept it.
+  UpdateJournal journal;
+  ASSERT_TRUE(journal.Open(path));
+  BatchUpdate batch = MakeBatch(gen, data, *engine, 3, false);
+  ASSERT_TRUE(journal.AppendBatch(1, batch, engine->db().labels()));
+  ASSERT_TRUE(journal.AppendBatch(1, batch, engine->db().labels()));
+  ASSERT_TRUE(journal.AppendCommit(1, engine->patterns(),
+                                   engine->db().labels()));
+  journal.Close();
+
+  LabelDictionary dict;
+  JournalReadResult r = ReadJournal(path, dict);
+  ASSERT_TRUE(r.ok);
+  EXPECT_FALSE(r.tail_truncated) << r.error;
+  ASSERT_EQ(r.rounds.size(), 2u);
+  EXPECT_FALSE(r.rounds[0].committed);  // the torn first attempt
+  EXPECT_EQ(r.rounds[1].seq, 1u);
+  EXPECT_TRUE(r.rounds[1].committed);   // the successful retry
+}
+
 // --- Engine + journal integration -------------------------------------------
 
 TEST(JournalTest, BatchAppendFailureRefusesRound) {

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "midas/datagen/molecule_gen.h"
 #include "midas/obs/event_log.h"
 #include "midas/obs/json.h"
@@ -196,6 +198,63 @@ TEST(MidasEngineTest, StatsJsonRoundTrips) {
   MaintenanceStats bad = MaintenanceStats::FromJson("{broken", &ok);
   EXPECT_FALSE(ok);
   EXPECT_DOUBLE_EQ(bad.total_ms, 0.0);
+}
+
+TEST(MidasEngineTest, StatsFromJsonRejectsTruncatedInput) {
+  MaintenanceStats s;
+  s.total_ms = 12.5;
+  s.major = true;
+  std::string json = s.ToJson();
+  // Every proper prefix is incomplete: ok must be false and the result must
+  // stay default-initialized, never a half-filled struct treated as valid.
+  for (size_t len : {size_t{0}, size_t{1}, json.size() / 2, json.size() - 1}) {
+    bool ok = true;
+    MaintenanceStats back = MaintenanceStats::FromJson(json.substr(0, len),
+                                                       &ok);
+    EXPECT_FALSE(ok) << "prefix length " << len;
+    (void)back;
+  }
+}
+
+TEST(MidasEngineTest, StatsFromJsonRejectsNonFiniteNumbers) {
+  MaintenanceStats s;
+  s.total_ms = std::numeric_limits<double>::quiet_NaN();
+  s.swap_ms = std::numeric_limits<double>::infinity();
+  // ToJson serializes non-finite doubles as quoted sentinels ("NaN"/"Inf"),
+  // which are deliberately NOT parseable back as numbers.
+  std::string json = s.ToJson();
+  EXPECT_NE(json.find("\"NaN\""), std::string::npos);
+  EXPECT_NE(json.find("\"Inf\""), std::string::npos);
+  bool ok = true;
+  MaintenanceStats back = MaintenanceStats::FromJson(json, &ok);
+  EXPECT_FALSE(ok);
+  EXPECT_DOUBLE_EQ(back.total_ms, 0.0);
+
+  // Raw (unquoted) non-finite tokens from a foreign writer are malformed
+  // JSON and must not parse either.
+  ok = true;
+  MaintenanceStats raw = MaintenanceStats::FromJson(
+      "{\"total_ms\": NaN, \"apply_ms\": Infinity}", &ok);
+  EXPECT_FALSE(ok);
+  EXPECT_DOUBLE_EQ(raw.total_ms, 0.0);
+  EXPECT_DOUBLE_EQ(raw.apply_ms, 0.0);
+}
+
+TEST(MidasEngineTest, StatsFromJsonToleratesUnknownKeys) {
+  MaintenanceStats s;
+  s.total_ms = 4.0;
+  s.candidates = 2;
+  std::string json = s.ToJson();
+  // A newer writer may add fields; an older reader must still accept the
+  // record as long as every field it knows about is present.
+  ASSERT_EQ(json.front(), '{');
+  std::string extended =
+      "{\"future_field\":123,\"another\":\"text\"," + json.substr(1);
+  bool ok = false;
+  MaintenanceStats back = MaintenanceStats::FromJson(extended, &ok);
+  EXPECT_TRUE(ok) << extended;
+  EXPECT_DOUBLE_EQ(back.total_ms, 4.0);
+  EXPECT_EQ(back.candidates, 2);
 }
 
 TEST(MidasEngineTest, EventLogRecordsEveryRound) {

@@ -1,0 +1,295 @@
+#include "midas/serve/admission.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <thread>
+
+#include "midas/serve/quarantine.h"
+#include "midas/serve/update_queue.h"
+#include "test_util.h"
+
+namespace midas {
+namespace serve {
+namespace {
+
+using testing_util::MakeGraph;
+using testing_util::MakeToyDatabase;
+using testing_util::Path;
+
+// --- ValidateBatch ----------------------------------------------------------
+
+TEST(AdmissionTest, ValidBatchPassesUnchanged) {
+  GraphDatabase db = MakeToyDatabase();
+  BatchUpdate batch;
+  batch.insertions.push_back(Path(db.labels(), {"C", "O"}));
+  batch.deletions = {0, 3};
+
+  BatchValidation v = ValidateBatch(batch, db, AdmissionLimits());
+  EXPECT_TRUE(v.admissible);
+  EXPECT_EQ(v.errors, 0u);
+  EXPECT_EQ(v.warnings, 0u);
+  EXPECT_TRUE(v.diagnostics.empty());
+  EXPECT_EQ(v.normalized.insertions.size(), 1u);
+  EXPECT_EQ(v.normalized.deletions, (std::vector<GraphId>{0, 3}));
+}
+
+TEST(AdmissionTest, DanglingDeletionIsRejectedWithDiagnostic) {
+  GraphDatabase db = MakeToyDatabase();
+  BatchUpdate batch;
+  batch.deletions = {3, 999};
+
+  BatchValidation v = ValidateBatch(batch, db, AdmissionLimits());
+  EXPECT_FALSE(v.admissible);
+  EXPECT_EQ(v.errors, 1u);
+  ASSERT_EQ(v.diagnostics.size(), 1u);
+  EXPECT_EQ(v.diagnostics[0].problem, BatchProblem::kDanglingDeletion);
+  EXPECT_TRUE(v.diagnostics[0].fatal);
+  EXPECT_NE(v.diagnostics[0].detail.find("999"), std::string::npos);
+  EXPECT_NE(v.Describe().find("dangling_deletion"), std::string::npos);
+}
+
+TEST(AdmissionTest, DuplicateDeletionIsDedupedAsWarning) {
+  GraphDatabase db = MakeToyDatabase();
+  BatchUpdate batch;
+  batch.deletions = {5, 3, 5, 3, 5};
+
+  BatchValidation v = ValidateBatch(batch, db, AdmissionLimits());
+  EXPECT_TRUE(v.admissible);  // warnings do not reject
+  EXPECT_EQ(v.errors, 0u);
+  EXPECT_EQ(v.warnings, 3u);
+  // First occurrences, original order.
+  EXPECT_EQ(v.normalized.deletions, (std::vector<GraphId>{5, 3}));
+  for (const BatchDiagnostic& d : v.diagnostics) {
+    EXPECT_EQ(d.problem, BatchProblem::kDuplicateDeletion);
+    EXPECT_FALSE(d.fatal);
+  }
+}
+
+TEST(AdmissionTest, EmptyBatchRejectedUnlessAllowed) {
+  GraphDatabase db = MakeToyDatabase();
+  BatchUpdate batch;
+
+  BatchValidation v = ValidateBatch(batch, db, AdmissionLimits());
+  EXPECT_FALSE(v.admissible);
+  ASSERT_FALSE(v.diagnostics.empty());
+  EXPECT_EQ(v.diagnostics[0].problem, BatchProblem::kEmptyBatch);
+
+  AdmissionLimits relaxed;
+  relaxed.allow_empty = true;
+  EXPECT_TRUE(ValidateBatch(batch, db, relaxed).admissible);
+}
+
+TEST(AdmissionTest, OversizedBatchRejected) {
+  GraphDatabase db = MakeToyDatabase();
+  AdmissionLimits limits;
+  limits.max_batch_items = 2;
+  BatchUpdate batch;
+  batch.deletions = {0, 1, 2};
+
+  BatchValidation v = ValidateBatch(batch, db, limits);
+  EXPECT_FALSE(v.admissible);
+  EXPECT_EQ(v.diagnostics[0].problem, BatchProblem::kBatchTooLarge);
+}
+
+TEST(AdmissionTest, MalformedAndOversizedGraphsRejected) {
+  GraphDatabase db = MakeToyDatabase();
+  AdmissionLimits limits;
+  limits.max_graph_vertices = 3;
+  BatchUpdate batch;
+  batch.insertions.push_back(Graph());  // no vertices
+  batch.insertions.push_back(Path(db.labels(), {"C", "O", "C", "S"}));  // 4 > 3
+
+  BatchValidation v = ValidateBatch(batch, db, limits);
+  EXPECT_FALSE(v.admissible);
+  EXPECT_EQ(v.errors, 2u);
+  EXPECT_EQ(v.diagnostics[0].problem, BatchProblem::kEmptyGraph);
+  EXPECT_EQ(v.diagnostics[1].problem, BatchProblem::kOversizedGraph);
+}
+
+TEST(AdmissionTest, LiveIdVectorOverloadMatchesDatabaseOverload) {
+  GraphDatabase db = MakeToyDatabase();
+  std::vector<GraphId> live = db.Ids();  // ascending == sorted
+  BatchUpdate batch;
+  batch.deletions = {2, 6, 1000};
+
+  BatchValidation via_db = ValidateBatch(batch, db, AdmissionLimits());
+  BatchValidation via_ids = ValidateBatch(batch, live, AdmissionLimits());
+  EXPECT_EQ(via_db.admissible, via_ids.admissible);
+  EXPECT_EQ(via_db.errors, via_ids.errors);
+  EXPECT_EQ(via_db.Describe(), via_ids.Describe());
+}
+
+// --- BoundedUpdateQueue -----------------------------------------------------
+
+BatchUpdate DeletionBatch(std::vector<GraphId> ids) {
+  BatchUpdate b;
+  b.deletions = std::move(ids);
+  return b;
+}
+
+TEST(UpdateQueueTest, RejectPolicyFailsWhenFull) {
+  BoundedUpdateQueue q(2, OverflowPolicy::kReject);
+  EXPECT_EQ(q.Push(DeletionBatch({1})), BoundedUpdateQueue::PushOutcome::kQueued);
+  EXPECT_EQ(q.Push(DeletionBatch({2})), BoundedUpdateQueue::PushOutcome::kQueued);
+  EXPECT_EQ(q.Push(DeletionBatch({3})),
+            BoundedUpdateQueue::PushOutcome::kRejectedFull);
+  EXPECT_EQ(q.depth(), 2u);
+  EXPECT_EQ(q.admitted(), 2u);
+}
+
+TEST(UpdateQueueTest, CoalescePolicyMergesIntoNewestItem) {
+  BoundedUpdateQueue q(1, OverflowPolicy::kCoalesce);
+  EXPECT_EQ(q.Push(DeletionBatch({1, 2})),
+            BoundedUpdateQueue::PushOutcome::kQueued);
+  EXPECT_EQ(q.Push(DeletionBatch({2, 3})),
+            BoundedUpdateQueue::PushOutcome::kCoalesced);
+  EXPECT_EQ(q.depth(), 1u);
+  EXPECT_EQ(q.admitted(), 2u);
+
+  BoundedUpdateQueue::Item item;
+  ASSERT_TRUE(q.Pop(&item, std::chrono::milliseconds(10)));
+  EXPECT_EQ(item.coalesced(), 1u);
+  ASSERT_EQ(item.parts.size(), 2u);
+
+  // The writer flattens parts with MergeBatches: deletions union, first
+  // occurrence order.
+  BatchUpdate merged = std::move(item.parts[0].batch);
+  for (size_t i = 1; i < item.parts.size(); ++i) {
+    MergeBatches(&merged, std::move(item.parts[i].batch));
+  }
+  EXPECT_EQ(merged.deletions, (std::vector<GraphId>{1, 2, 3}));
+}
+
+TEST(UpdateQueueTest, BlockPolicyWaitsForSpace) {
+  BoundedUpdateQueue q(1, OverflowPolicy::kBlock);
+  EXPECT_EQ(q.Push(DeletionBatch({1})), BoundedUpdateQueue::PushOutcome::kQueued);
+
+  std::atomic<bool> pushed{false};
+  std::thread producer([&] {
+    EXPECT_EQ(q.Push(DeletionBatch({2})),
+              BoundedUpdateQueue::PushOutcome::kQueued);
+    pushed.store(true);
+  });
+  // The producer must be blocked until the consumer drains a slot.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(pushed.load());
+
+  BoundedUpdateQueue::Item item;
+  ASSERT_TRUE(q.Pop(&item, std::chrono::milliseconds(100)));
+  producer.join();
+  EXPECT_TRUE(pushed.load());
+  EXPECT_EQ(q.depth(), 1u);
+}
+
+TEST(UpdateQueueTest, CloseUnblocksAndDrains) {
+  BoundedUpdateQueue q(1, OverflowPolicy::kBlock);
+  EXPECT_EQ(q.Push(DeletionBatch({1})), BoundedUpdateQueue::PushOutcome::kQueued);
+
+  std::thread producer([&] {
+    EXPECT_EQ(q.Push(DeletionBatch({2})),
+              BoundedUpdateQueue::PushOutcome::kRejectedClosed);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  q.Close();
+  producer.join();
+
+  EXPECT_EQ(q.Push(DeletionBatch({3})),
+            BoundedUpdateQueue::PushOutcome::kRejectedClosed);
+  // Already-queued items stay poppable; afterwards Pop reports drained.
+  BoundedUpdateQueue::Item item;
+  EXPECT_TRUE(q.Pop(&item, std::chrono::milliseconds(10)));
+  EXPECT_FALSE(q.Pop(&item, std::chrono::milliseconds(10)));
+}
+
+TEST(UpdateQueueTest, PopTimesOutOnEmptyQueue) {
+  BoundedUpdateQueue q(4, OverflowPolicy::kBlock);
+  BoundedUpdateQueue::Item item;
+  EXPECT_FALSE(q.Pop(&item, std::chrono::milliseconds(5)));
+}
+
+// --- Quarantine file round trip ---------------------------------------------
+
+TEST(QuarantineTest, FileRoundTripsThroughGraphIo) {
+  GraphDatabase db = MakeToyDatabase();
+  std::string dir =
+      (std::filesystem::temp_directory_path() / "midas_quarantine_rt")
+          .string();
+  std::filesystem::remove_all(dir);
+
+  QuarantinedBatch q;
+  q.seq = 12;
+  q.attempts = 3;
+  q.reason = "failpoint abort:\nmidas.apply_update.after_fct";  // multi-line
+  q.batch.insertions.push_back(Path(db.labels(), {"C", "O", "N"}));
+  q.batch.insertions.push_back(
+      MakeGraph(db.labels(), {"C", "O", "C"}, {{0, 1}, {1, 2}, {0, 2}}));
+  q.batch.deletions = {3, 17, 29};
+
+  std::string path;
+  std::string error;
+  ASSERT_TRUE(WriteQuarantineFile(q, db.labels(), dir, &path, &error))
+      << error;
+  EXPECT_NE(path.find("batch-12"), std::string::npos);
+
+  // A second quarantine of the same seq must not clobber the first.
+  std::string path2;
+  ASSERT_TRUE(WriteQuarantineFile(q, db.labels(), dir, &path2, &error))
+      << error;
+  EXPECT_NE(path, path2);
+  EXPECT_EQ(ListQuarantineFiles(dir).size(), 2u);
+
+  LabelDictionary dict;
+  QuarantinedBatch back;
+  ASSERT_TRUE(ReadQuarantineFile(path, dict, &back, &error)) << error;
+  EXPECT_EQ(back.seq, 12u);
+  EXPECT_EQ(back.attempts, 3);
+  // Newlines were flattened for the one-line header.
+  EXPECT_EQ(back.reason,
+            "failpoint abort: midas.apply_update.after_fct");
+  EXPECT_EQ(back.batch.deletions, q.batch.deletions);
+  ASSERT_EQ(back.batch.insertions.size(), 2u);
+  EXPECT_EQ(back.batch.insertions[0].NumVertices(), 3u);
+  EXPECT_EQ(back.batch.insertions[1].NumEdges(), 3u);
+
+  std::filesystem::remove_all(dir);
+}
+
+TEST(QuarantineTest, MissingMagicIsRejected) {
+  std::string dir =
+      (std::filesystem::temp_directory_path() / "midas_quarantine_bad")
+          .string();
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  std::string path = dir + "/bogus.quarantine.gspan";
+  {
+    std::ofstream out(path);
+    out << "t # 0\nv 0 C\n";
+  }
+  LabelDictionary dict;
+  QuarantinedBatch back;
+  std::string error;
+  EXPECT_FALSE(ReadQuarantineFile(path, dict, &back, &error));
+  EXPECT_NE(error.find("magic"), std::string::npos);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(QuarantineTest, ListIgnoresForeignFiles) {
+  std::string dir =
+      (std::filesystem::temp_directory_path() / "midas_quarantine_list")
+          .string();
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  { std::ofstream out(dir + "/notes.txt"); out << "hi\n"; }
+  { std::ofstream out(dir + "/batch-1.quarantine.gspan"); out << "#\n"; }
+  EXPECT_EQ(ListQuarantineFiles(dir).size(), 1u);
+  EXPECT_TRUE(ListQuarantineFiles(dir + "/does_not_exist").empty());
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace midas

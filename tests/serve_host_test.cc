@@ -1,0 +1,417 @@
+#include "midas/serve/engine_host.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <filesystem>
+#include <memory>
+#include <string>
+
+#include "midas/common/failpoint.h"
+#include "midas/datagen/molecule_gen.h"
+#include "midas/obs/event_log.h"
+#include "midas/obs/metrics.h"
+#include "midas/serve/quarantine.h"
+
+namespace midas {
+namespace serve {
+namespace {
+
+namespace fs = std::filesystem;
+using std::chrono::milliseconds;
+
+struct TempDir {
+  explicit TempDir(const std::string& name)
+      : path((fs::temp_directory_path() / name).string()) {
+    fs::remove_all(path);
+    fs::create_directories(path);
+  }
+  ~TempDir() { fs::remove_all(path); }
+  std::string path;
+};
+
+// Disarms every failpoint on scope exit, so a failing test cannot leak
+// armed sites into its neighbours.
+struct FailpointGuard {
+  FailpointGuard() { fail::DisarmAll(); }
+  ~FailpointGuard() { fail::DisarmAll(); }
+};
+
+MidasConfig TestConfig() {
+  MidasConfig cfg;
+  cfg.budget = {3, 7, 9};
+  cfg.fct.sup_min = 0.45;
+  cfg.fct.max_edges = 3;
+  cfg.cluster.num_coarse = 3;
+  cfg.epsilon = 0.0;  // every round major: the full pipeline executes
+  cfg.sample_cap = 0;
+  cfg.seed = 1234;
+  return cfg;
+}
+
+std::unique_ptr<MidasEngine> MakeEngine(MoleculeGenerator& gen,
+                                        MoleculeGenConfig& data) {
+  auto engine =
+      std::make_unique<MidasEngine>(gen.Generate(data), TestConfig());
+  engine->Initialize();
+  return engine;
+}
+
+// ΔD insertions generated against a private copy of `base`; when `novel`
+// the copy's dictionary gains labels the engine has never seen, so the
+// batch must ride with that dictionary through Submit.
+struct LabeledBatch {
+  BatchUpdate batch;
+  LabelDictionary labels;
+};
+
+LabeledBatch MakeBatch(MoleculeGenerator& gen, MoleculeGenConfig& data,
+                       const GraphDatabase& base, size_t adds, bool novel) {
+  GraphDatabase copy = base;
+  LabeledBatch out;
+  out.batch = gen.GenerateAdditions(copy, data, adds, novel);
+  out.labels = copy.labels();
+  return out;
+}
+
+// --- Lifecycle + happy path -------------------------------------------------
+
+TEST(EngineHostTest, ServesSnapshotsWhileApplyingBatches) {
+  TempDir dir("midas_host_happy");
+  MoleculeGenerator gen(101);
+  MoleculeGenConfig data = MoleculeGenerator::EmolLike(20);
+  auto engine = MakeEngine(gen, data);
+  GraphDatabase base = engine->db();
+  const size_t initial = base.size();
+
+  HostConfig cfg;
+  cfg.queue_capacity = 8;
+  EngineHost host(std::move(engine), dir.path, cfg);
+
+  // Before Start: no snapshot, submissions bounce.
+  EXPECT_EQ(host.snapshot(), nullptr);
+  EXPECT_EQ(host.Submit(BatchUpdate()).status, SubmitStatus::kRejectedStopped);
+
+  std::string err;
+  ASSERT_TRUE(host.Start(&err)) << err;
+  PanelSnapshotPtr snap0 = host.snapshot();
+  ASSERT_NE(snap0, nullptr);
+  EXPECT_EQ(snap0->round_seq, 0u);
+  EXPECT_EQ(snap0->db_size, initial);
+  EXPECT_GT(snap0->patterns.size(), 0u);
+  ASSERT_NE(snap0->labels, nullptr);
+  ASSERT_NE(snap0->live_ids, nullptr);
+  EXPECT_GE(snap0->AgeMs(), 0.0);
+
+  for (int i = 0; i < 3; ++i) {
+    LabeledBatch lb = MakeBatch(gen, data, base, 2, /*novel=*/i == 1);
+    SubmitResult r = host.Submit(std::move(lb.batch), lb.labels);
+    EXPECT_TRUE(r.accepted());
+  }
+  ASSERT_TRUE(host.WaitIdle(milliseconds(60000)));
+
+  PanelSnapshotPtr snap = host.snapshot();
+  ASSERT_NE(snap, nullptr);
+  EXPECT_EQ(snap->round_seq, 3u);
+  EXPECT_EQ(snap->db_size, initial + 6);
+  EXPECT_GT(snap->patterns.size(), 0u);
+  // The old epoch is still intact for readers that grabbed it earlier.
+  EXPECT_EQ(snap0->round_seq, 0u);
+  EXPECT_EQ(snap0->db_size, initial);
+
+  HostStats s = host.stats();
+  EXPECT_EQ(s.submitted, 4u);  // includes the pre-Start bounce
+  EXPECT_EQ(s.admitted, 3u);
+  EXPECT_EQ(s.rounds_ok, 3u);
+  EXPECT_EQ(s.quarantined, 0u);
+  EXPECT_EQ(s.writer_rejected, 0u);
+  EXPECT_FALSE(host.dead());
+
+  host.Stop();
+  EXPECT_FALSE(host.running());
+  EXPECT_EQ(host.Submit(BatchUpdate()).status, SubmitStatus::kRejectedStopped);
+}
+
+TEST(EngineHostTest, SubmitValidatesAgainstSnapshot) {
+  TempDir dir("midas_host_admission");
+  MoleculeGenerator gen(202);
+  MoleculeGenConfig data = MoleculeGenerator::EmolLike(20);
+  auto engine = MakeEngine(gen, data);
+  GraphDatabase base = engine->db();
+
+  EngineHost host(std::move(engine), dir.path);
+  std::string err;
+  ASSERT_TRUE(host.Start(&err)) << err;
+
+  // Dangling deletion: rejected at the door with a per-item diagnostic.
+  BatchUpdate bad;
+  bad.deletions = {static_cast<GraphId>(base.next_id() + 1000)};
+  SubmitResult r = host.Submit(std::move(bad));
+  EXPECT_EQ(r.status, SubmitStatus::kRejectedValidation);
+  ASSERT_FALSE(r.diagnostics.empty());
+  EXPECT_EQ(r.diagnostics[0].problem, BatchProblem::kDanglingDeletion);
+
+  // Duplicate deletions of a live id: accepted after dedupe, applied once.
+  GraphId victim = host.snapshot()->live_ids->front();
+  BatchUpdate dup;
+  dup.insertions = MakeBatch(gen, data, base, 1, false).batch.insertions;
+  dup.deletions = {victim, victim};
+  r = host.Submit(std::move(dup));
+  EXPECT_TRUE(r.accepted());
+  ASSERT_TRUE(host.WaitIdle(milliseconds(60000)));
+
+  PanelSnapshotPtr snap = host.snapshot();
+  EXPECT_EQ(snap->round_seq, 1u);
+  EXPECT_EQ(snap->db_size, base.size());  // +1 insertion, -1 deletion
+  EXPECT_FALSE(snap->ContainsGraph(victim));
+
+  HostStats s = host.stats();
+  EXPECT_EQ(s.rejected_validation, 1u);
+  EXPECT_EQ(s.rounds_ok, 1u);
+  host.Stop();
+}
+
+TEST(EngineHostTest, WriterRevalidatesAgainstAuthoritativeDatabase) {
+  TempDir dir("midas_host_writer_reject");
+  MoleculeGenerator gen(303);
+  MoleculeGenConfig data = MoleculeGenerator::EmolLike(20);
+  auto engine = MakeEngine(gen, data);
+  GraphDatabase base = engine->db();
+
+  obs::MaintenanceEventLog log;
+  EngineHost host(std::move(engine), dir.path);
+  host.SetEventLog(&log);
+  std::string err;
+  ASSERT_TRUE(host.Start(&err)) << err;
+
+  // Both batches delete the same id; both pass the snapshot-based check
+  // (the snapshot doesn't advance until a round completes), but the second
+  // must be caught by the writer's re-validation.
+  GraphId victim = host.snapshot()->live_ids->front();
+  BatchUpdate first;
+  first.deletions = {victim};
+  BatchUpdate second;
+  second.insertions = MakeBatch(gen, data, base, 1, false).batch.insertions;
+  second.deletions = {victim};
+  EXPECT_TRUE(host.Submit(std::move(first)).accepted());
+  EXPECT_TRUE(host.Submit(std::move(second)).accepted());
+  ASSERT_TRUE(host.WaitIdle(milliseconds(60000)));
+
+  HostStats s = host.stats();
+  EXPECT_EQ(s.admitted, 2u);
+  EXPECT_EQ(s.rounds_ok + s.writer_rejected, 2u);
+  // Deterministic here: the queue is FIFO and the writer applies the first
+  // batch before re-validating the second.
+  EXPECT_EQ(s.writer_rejected, 1u);
+  host.Stop();
+
+  bool saw_reject_event = false;
+  for (const std::string& line : log.lines()) {
+    if (line.find("writer_reject") != std::string::npos) {
+      saw_reject_event = true;
+      EXPECT_NE(line.find("dangling_deletion"), std::string::npos);
+    }
+  }
+  EXPECT_TRUE(saw_reject_event);
+}
+
+// --- Retry, recovery, quarantine --------------------------------------------
+
+TEST(EngineHostTest, TransientFaultIsRetriedToSuccess) {
+  if (!fail::CompiledIn()) GTEST_SKIP() << "failpoints compiled out";
+  FailpointGuard guard;
+  TempDir dir("midas_host_retry_ok");
+  MoleculeGenerator gen(404);
+  MoleculeGenConfig data = MoleculeGenerator::EmolLike(20);
+  auto engine = MakeEngine(gen, data);
+  GraphDatabase base = engine->db();
+  const size_t initial = base.size();
+
+  HostConfig cfg;
+  cfg.backoff_initial_ms = 0.0;  // keep the test fast
+  EngineHost host(std::move(engine), dir.path, cfg);
+  std::string err;
+  ASSERT_TRUE(host.Start(&err)) << err;
+
+  fail::Arm("midas.apply_update.after_fct", /*skip=*/0, /*fires=*/1);
+  LabeledBatch lb = MakeBatch(gen, data, base, 2, false);
+  EXPECT_TRUE(host.Submit(std::move(lb.batch)).accepted());
+  ASSERT_TRUE(host.WaitIdle(milliseconds(60000)));
+
+  HostStats s = host.stats();
+  EXPECT_EQ(s.rounds_ok, 1u);
+  EXPECT_EQ(s.retries, 1u);
+  EXPECT_EQ(s.recoveries, 1u);
+  EXPECT_EQ(s.quarantined, 0u);
+  PanelSnapshotPtr snap = host.snapshot();
+  EXPECT_EQ(snap->round_seq, 1u);
+  EXPECT_EQ(snap->db_size, initial + 2);
+  EXPECT_FALSE(host.dead());
+  host.Stop();
+}
+
+TEST(EngineHostTest, PoisonBatchIsQuarantinedAndStreamContinues) {
+  if (!fail::CompiledIn()) GTEST_SKIP() << "failpoints compiled out";
+  FailpointGuard guard;
+  TempDir dir("midas_host_quarantine");
+  MoleculeGenerator gen(505);
+  MoleculeGenConfig data = MoleculeGenerator::EmolLike(20);
+  auto engine = MakeEngine(gen, data);
+  GraphDatabase base = engine->db();
+  const size_t initial = base.size();
+
+  HostConfig cfg;
+  cfg.max_attempts = 2;
+  cfg.backoff_initial_ms = 0.0;
+  obs::MaintenanceEventLog log;
+  EngineHost host(std::move(engine), dir.path, cfg);
+  host.SetEventLog(&log);
+  std::string err;
+  ASSERT_TRUE(host.Start(&err)) << err;
+
+  // Fails exactly the poison batch's two attempts; the follow-up batch
+  // sails through.
+  fail::Arm("serve.round.before_apply", /*skip=*/0, /*fires=*/2);
+  LabeledBatch poison = MakeBatch(gen, data, base, 2, /*novel=*/true);
+  const size_t poison_adds = poison.batch.insertions.size();
+  EXPECT_TRUE(host.Submit(std::move(poison.batch), poison.labels).accepted());
+  LabeledBatch follow = MakeBatch(gen, data, base, 1, false);
+  EXPECT_TRUE(host.Submit(std::move(follow.batch)).accepted());
+  ASSERT_TRUE(host.WaitIdle(milliseconds(60000)));
+
+  HostStats s = host.stats();
+  EXPECT_EQ(s.quarantined, 1u);
+  EXPECT_EQ(s.rounds_ok, 1u);
+  EXPECT_EQ(s.retries, 1u);
+  EXPECT_GE(s.recoveries, 2u);  // one per failed attempt
+  EXPECT_FALSE(host.dead());
+
+  PanelSnapshotPtr snap = host.snapshot();
+  EXPECT_EQ(snap->round_seq, 1u);
+  EXPECT_EQ(snap->db_size, initial + 1);
+
+  // The quarantine file is greppable evidence and round-trips the batch —
+  // including the novel labels the engine never learned.
+  std::vector<std::string> files = ListQuarantineFiles(host.quarantine_dir());
+  ASSERT_EQ(files.size(), 1u);
+  LabelDictionary dict;
+  QuarantinedBatch back;
+  ASSERT_TRUE(ReadQuarantineFile(files[0], dict, &back, &err)) << err;
+  EXPECT_EQ(back.attempts, 2);
+  EXPECT_NE(back.reason.find("serve.round.before_apply"), std::string::npos);
+  EXPECT_EQ(back.batch.insertions.size(), poison_adds);
+
+  bool saw_quarantine_event = false;
+  for (const std::string& line : log.lines()) {
+    if (line.find("\"quarantine\"") != std::string::npos) {
+      saw_quarantine_event = true;
+    }
+  }
+  EXPECT_TRUE(saw_quarantine_event);
+  host.Stop();
+}
+
+TEST(EngineHostTest, PostCommitFailureIsNotAppliedTwice) {
+  if (!fail::CompiledIn()) GTEST_SKIP() << "failpoints compiled out";
+  FailpointGuard guard;
+  TempDir dir("midas_host_post_commit");
+  MoleculeGenerator gen(606);
+  MoleculeGenConfig data = MoleculeGenerator::EmolLike(20);
+  auto engine = MakeEngine(gen, data);
+  GraphDatabase base = engine->db();
+  const size_t initial = base.size();
+
+  HostConfig cfg;
+  cfg.backoff_initial_ms = 0.0;
+  EngineHost host(std::move(engine), dir.path, cfg);
+  std::string err;
+  ASSERT_TRUE(host.Start(&err)) << err;
+
+  // The crash lands after ApplyUpdate committed the round: recovery replays
+  // it from the journal, and the host must publish instead of re-applying.
+  fail::Arm("serve.round.before_publish", /*skip=*/0, /*fires=*/1);
+  LabeledBatch lb = MakeBatch(gen, data, base, 2, false);
+  EXPECT_TRUE(host.Submit(std::move(lb.batch)).accepted());
+  ASSERT_TRUE(host.WaitIdle(milliseconds(60000)));
+
+  HostStats s = host.stats();
+  EXPECT_EQ(s.rounds_ok, 1u);
+  EXPECT_EQ(s.quarantined, 0u);
+  EXPECT_EQ(s.recoveries, 1u);
+  PanelSnapshotPtr snap = host.snapshot();
+  EXPECT_EQ(snap->round_seq, 1u);
+  EXPECT_EQ(snap->db_size, initial + 2);  // applied exactly once
+  host.Stop();
+}
+
+// --- MaintenanceHistory ring buffer -----------------------------------------
+
+TEST(MaintenanceHistoryTest, RingEvictsOldRoundsButKeepsCounting) {
+  MaintenanceHistory h(4);
+  EXPECT_EQ(h.capacity(), 4u);
+  for (int i = 1; i <= 10; ++i) {
+    MaintenanceStats s;
+    s.total_ms = static_cast<double>(i);
+    s.major = (i % 2 == 0);
+    s.swaps = 1;
+    h.Record(s);
+  }
+  EXPECT_EQ(h.rounds(), 10u);    // lifetime count
+  EXPECT_EQ(h.retained(), 4u);   // window
+  EXPECT_EQ(h.evicted(), 6u);
+  // Oldest retained entry is round 7 (1..6 evicted).
+  EXPECT_DOUBLE_EQ(h.entries().front().total_ms, 7.0);
+  EXPECT_DOUBLE_EQ(h.entries().back().total_ms, 10.0);
+
+  // Summarize() still covers all ten rounds, evicted ones included.
+  MaintenanceHistory::Summary sum = h.Summarize();
+  EXPECT_EQ(sum.rounds, 10u);
+  EXPECT_EQ(sum.major_rounds, 5u);
+  EXPECT_EQ(sum.total_swaps, 10u);
+  EXPECT_DOUBLE_EQ(sum.total_pmt_ms, 55.0);
+  EXPECT_DOUBLE_EQ(sum.max_pmt_ms, 10.0);
+  EXPECT_DOUBLE_EQ(sum.mean_pmt_ms, 5.5);
+}
+
+TEST(MaintenanceHistoryTest, ZeroCapacityRetainsEverything) {
+  MaintenanceHistory h(0);  // 0 = unbounded, the pre-ring behaviour
+  for (int i = 0; i < 100; ++i) h.Record(MaintenanceStats());
+  EXPECT_EQ(h.rounds(), 100u);
+  EXPECT_EQ(h.retained(), 100u);
+  EXPECT_EQ(h.evicted(), 0u);
+}
+
+// --- Engine-level deletion hygiene (satellite: no silent ignores) -----------
+
+TEST(EngineDeletionHygieneTest, DanglingDeletionIsRefusedUpFront) {
+  MoleculeGenerator gen(707);
+  MoleculeGenConfig data = MoleculeGenerator::EmolLike(20);
+  auto engine = MakeEngine(gen, data);
+  const size_t before = engine->db().size();
+  const uint64_t seq_before = engine->round_seq();
+
+  BatchUpdate batch;
+  batch.deletions = {static_cast<GraphId>(engine->db().next_id() + 7)};
+  EXPECT_THROW(engine->ApplyUpdate(batch), std::invalid_argument);
+  // Refused before any mutation: database and round counter untouched.
+  EXPECT_EQ(engine->db().size(), before);
+  EXPECT_EQ(engine->round_seq(), seq_before);
+}
+
+TEST(EngineDeletionHygieneTest, DuplicateDeletionsApplyOnce) {
+  MoleculeGenerator gen(808);
+  MoleculeGenConfig data = MoleculeGenerator::EmolLike(20);
+  auto engine = MakeEngine(gen, data);
+  const size_t before = engine->db().size();
+  GraphId victim = engine->db().Ids().front();
+
+  BatchUpdate batch;
+  batch.deletions = {victim, victim, victim};
+  engine->ApplyUpdate(batch);
+  EXPECT_EQ(engine->db().size(), before - 1);
+  EXPECT_FALSE(engine->db().Contains(victim));
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace midas

@@ -1,0 +1,282 @@
+// Multi-threaded soak of the serving host under fault injection.
+//
+// 4 reader threads continuously load the lock-free panel snapshot and check
+// its invariants while 2 producer threads push >= 220 batches (some with
+// producer-private label dictionaries) through the admission-controlled
+// queue, with chaos failpoints armed on the serve and maintenance paths.
+// Runs as its own ctest executable (serve_soak_test) so CI can give it a
+// dedicated timeout and run it under TSan; the CI stress job re-runs it
+// with MIDAS_FAILPOINTS supplying the chaos spec from the environment.
+//
+// Invariants proven at the end:
+//  - readers always observed a complete, internally consistent panel whose
+//    round_seq never regressed;
+//  - no admitted batch was lost: rounds_ok + quarantined + writer_rejected
+//    == admitted (kBlock policy => no coalescing, one round per batch);
+//  - every quarantine file round-trips through graph_io.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdlib>
+#include <filesystem>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "midas/common/failpoint.h"
+#include "midas/datagen/molecule_gen.h"
+#include "midas/obs/event_log.h"
+#include "midas/obs/metrics.h"
+#include "midas/serve/engine_host.h"
+#include "midas/serve/quarantine.h"
+#include "test_util.h"
+
+namespace midas {
+namespace serve {
+namespace {
+
+namespace fs = std::filesystem;
+using std::chrono::milliseconds;
+
+struct TempDir {
+  explicit TempDir(const std::string& name)
+      : path((fs::temp_directory_path() / name).string()) {
+    fs::remove_all(path);
+    fs::create_directories(path);
+  }
+  ~TempDir() { fs::remove_all(path); }
+  std::string path;
+};
+
+constexpr int kReaders = 4;
+constexpr int kProducers = 2;
+constexpr int kBatchesPerProducer = 110;  // >= 220 accepted batches total
+
+// Default chaos when the environment doesn't supply MIDAS_FAILPOINTS.
+// Every entry uses finite `fires` — armed maintenance failpoints also fire
+// during recovery replay, so "fail forever" would wedge recovery itself.
+// `serve.round.before_apply:20:3` fires on three consecutive attempts of
+// one batch (max_attempts below is 3), forcing exactly one quarantine.
+// journal.commit.io_error stays unarmed by design: losing the commit record
+// of an applied round breaks the no-lost-round invariant this test proves
+// (see docs/robustness.md).
+constexpr char kDefaultChaos[] =
+    "serve.round.before_apply:20:3;"
+    "serve.round.before_publish:45:1;"
+    "midas.apply_update.after_fct:60:2;"
+    "midas.apply_update.after_swap:90:1;"
+    "journal.append.io_error:120:2;"
+    "midas.apply_update.after_apply:150:2";
+
+MidasConfig SoakEngineConfig() {
+  MidasConfig cfg;
+  cfg.budget = {3, 7, 9};
+  cfg.fct.sup_min = 0.45;
+  cfg.fct.max_edges = 3;
+  cfg.cluster.num_coarse = 3;
+  cfg.epsilon = 0.5;            // mostly minor rounds: keeps 220 rounds cheap
+  cfg.sample_cap = 64;
+  cfg.round_deadline_ms = 25.0; // bound each round; degradation is graceful
+  cfg.history_capacity = 64;    // exercise the history ring under load
+  cfg.seed = 42;
+  return cfg;
+}
+
+struct ReaderReport {
+  uint64_t reads = 0;
+  uint64_t max_seq = 0;
+  std::string violation;  // empty = all invariants held
+};
+
+void ReaderLoop(const EngineHost& host, const std::atomic<bool>& stop,
+                ReaderReport* report) {
+  uint64_t last_seq = 0;
+  auto check = [report](bool ok, const std::string& what) {
+    if (!ok && report->violation.empty()) report->violation = what;
+    return ok;
+  };
+  while (!stop.load(std::memory_order_acquire)) {
+    PanelSnapshotPtr snap = host.snapshot();
+    ++report->reads;
+    if (!check(snap != nullptr, "null snapshot")) break;
+    // Completeness: every field a GUI needs is present and consistent.
+    check(snap->labels != nullptr, "snapshot without labels");
+    check(snap->live_ids != nullptr, "snapshot without live_ids");
+    check(snap->patterns.size() > 0, "empty pattern panel");
+    if (snap->live_ids != nullptr) {
+      check(snap->db_size == snap->live_ids->size(),
+            "db_size disagrees with live_ids");
+    }
+    check(std::isfinite(snap->quality.scov) &&
+              std::isfinite(snap->quality.lcov) &&
+              std::isfinite(snap->quality.div) &&
+              std::isfinite(snap->quality.cog_avg),
+          "non-finite quality");
+    check(snap->AgeMs() >= 0.0, "negative snapshot age");
+    // Monotonicity: completed rounds never regress for a reader.
+    check(snap->round_seq >= last_seq, "round_seq regressed");
+    last_seq = std::max(last_seq, snap->round_seq);
+    report->max_seq = last_seq;
+    std::this_thread::sleep_for(std::chrono::microseconds(500));
+  }
+}
+
+// Producer `id` keeps submitting until `target` batches were accepted.
+// Only producer 0 issues deletions, and never re-targets an id it already
+// deleted — so no admitted deletion can dangle at apply time and every
+// admitted batch must become either a round or a quarantine.
+void ProducerLoop(EngineHost& host, int id, int target,
+                  std::atomic<uint64_t>* accepted_total) {
+  std::set<GraphId> already_deleted;
+  int accepted = 0;
+  int iter = 0;
+  while (accepted < target) {
+    ++iter;
+    PanelSnapshotPtr snap = host.snapshot();
+    ASSERT_NE(snap, nullptr);
+    LabelDictionary dict = *snap->labels;  // producer-private copy
+
+    BatchUpdate batch;
+    if (iter % 7 == 0) {
+      // Novel label: the engine has never seen it; the rider dictionary
+      // makes the batch self-describing.
+      batch.insertions.push_back(testing_util::Path(
+          dict, {"C", "P" + std::to_string(id) + "X" + std::to_string(iter)}));
+    } else if (iter % 3 == 0) {
+      batch.insertions.push_back(
+          testing_util::Path(dict, {"C", "O", "C"}));
+    } else {
+      batch.insertions.push_back(testing_util::Path(dict, {"C", "O"}));
+    }
+    if (id == 0 && iter % 5 == 0 && snap->live_ids != nullptr) {
+      for (GraphId candidate : *snap->live_ids) {
+        if (already_deleted.count(candidate) == 0) {
+          batch.deletions.push_back(candidate);
+          break;
+        }
+      }
+    }
+
+    std::vector<GraphId> targeted = batch.deletions;
+    SubmitResult r = host.Submit(std::move(batch), dict);
+    if (r.accepted()) {
+      ++accepted;
+      for (GraphId g : targeted) already_deleted.insert(g);
+      accepted_total->fetch_add(1, std::memory_order_relaxed);
+    } else {
+      // kBlock queue: the only expected bounce is a validation race on a
+      // deletion against a stale snapshot; retry with a fresh snapshot.
+      ASSERT_EQ(r.status, SubmitStatus::kRejectedValidation);
+      std::this_thread::sleep_for(milliseconds(1));
+    }
+  }
+}
+
+TEST(ServeSoakTest, ConcurrentReadersSurviveChaosWithoutLosingRounds) {
+  if (!fail::CompiledIn()) GTEST_SKIP() << "failpoints compiled out";
+  fail::DisarmAll();
+  obs::MetricsRegistry metrics;
+  obs::ScopedMetricsRegistry scoped_metrics(metrics);
+
+  TempDir dir("midas_serve_soak");
+  MoleculeGenerator gen(31337);
+  MoleculeGenConfig data = MoleculeGenerator::EmolLike(20);
+  auto engine =
+      std::make_unique<MidasEngine>(gen.Generate(data), SoakEngineConfig());
+  engine->Initialize();
+
+  HostConfig cfg;
+  cfg.queue_capacity = 8;
+  cfg.overflow = OverflowPolicy::kBlock;  // no coalescing: 1 batch = 1 round
+  cfg.max_attempts = 3;
+  cfg.backoff_initial_ms = 0.5;
+  cfg.backoff_max_ms = 5.0;
+  cfg.checkpoint_every = 16;
+  obs::MaintenanceEventLog log;
+  log.set_buffering(false);  // unbounded growth is the soak's own hazard
+  EngineHost host(std::move(engine), dir.path, cfg);
+  host.SetEventLog(&log);
+  std::string err;
+  ASSERT_TRUE(host.Start(&err)) << err;
+
+  // Chaos: CI supplies MIDAS_FAILPOINTS for the stress job; standalone runs
+  // use the default spec.
+  if (std::getenv("MIDAS_FAILPOINTS") != nullptr) {
+    fail::LoadFromEnv();
+  } else {
+    fail::ArmSpec(kDefaultChaos);
+  }
+
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> accepted_total{0};
+  std::vector<ReaderReport> reports(kReaders);
+  std::vector<std::thread> readers;
+  for (int i = 0; i < kReaders; ++i) {
+    readers.emplace_back(
+        [&host, &stop, &reports, i] { ReaderLoop(host, stop, &reports[i]); });
+  }
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&host, &accepted_total, p] {
+      ProducerLoop(host, p, kBatchesPerProducer, &accepted_total);
+    });
+  }
+  for (auto& t : producers) t.join();
+  ASSERT_TRUE(host.WaitIdle(milliseconds(300000)));
+  stop.store(true, std::memory_order_release);
+  for (auto& t : readers) t.join();
+  host.Stop();
+  fail::DisarmAll();
+
+  // --- Reader invariants ----------------------------------------------------
+  for (int i = 0; i < kReaders; ++i) {
+    EXPECT_TRUE(reports[i].violation.empty())
+        << "reader " << i << ": " << reports[i].violation;
+    EXPECT_GT(reports[i].reads, 0u) << "reader " << i << " never read";
+  }
+
+  // --- Accounting: no admitted batch vanished -------------------------------
+  HostStats s = host.stats();
+  EXPECT_EQ(s.admitted, accepted_total.load());
+  EXPECT_EQ(s.admitted,
+            static_cast<uint64_t>(kProducers * kBatchesPerProducer));
+  EXPECT_EQ(s.rounds_ok + s.quarantined + s.writer_rejected, s.admitted);
+  EXPECT_EQ(s.writer_rejected, 0u);  // deletion discipline above ensures it
+  EXPECT_GE(s.rounds_ok, 200u);
+  EXPECT_FALSE(host.dead());
+
+  // Every completed round is visible: the final snapshot carries them all.
+  PanelSnapshotPtr final_snap = host.snapshot();
+  ASSERT_NE(final_snap, nullptr);
+  EXPECT_EQ(final_snap->round_seq, s.rounds_ok);
+
+  // The before_apply:20:3 entry guarantees one poison batch (3 consecutive
+  // failed attempts). Chaos interleaving can produce a second — different
+  // sites striking consecutive attempts of one batch — but never a flood.
+  if (std::getenv("MIDAS_FAILPOINTS") == nullptr) {
+    EXPECT_GE(s.quarantined, 1u);
+    EXPECT_LE(s.quarantined, 4u);
+    EXPECT_GE(s.retries, 1u);
+    EXPECT_GE(s.recoveries, 1u);
+  }
+
+  // --- Quarantine files are complete, self-contained evidence ---------------
+  std::vector<std::string> files = ListQuarantineFiles(host.quarantine_dir());
+  EXPECT_EQ(files.size(), s.quarantined);
+  for (const std::string& f : files) {
+    LabelDictionary dict;
+    QuarantinedBatch back;
+    std::string rerr;
+    ASSERT_TRUE(ReadQuarantineFile(f, dict, &back, &rerr)) << f << ": " << rerr;
+    EXPECT_FALSE(back.reason.empty());
+    EXPECT_FALSE(back.batch.Empty());
+  }
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace midas
