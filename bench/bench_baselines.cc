@@ -116,5 +116,6 @@ int main() {
   RunDataset("PubChem15K-like", MoleculeGenerator::PubchemLike(Scaled(150)),
              43);
   EmitMetricsJson();
+  WriteBenchJson("baselines");
   return 0;
 }

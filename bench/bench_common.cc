@@ -2,11 +2,13 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include <fstream>
 #include <iomanip>
 #include <iostream>
 #include <sstream>
 
 #include "midas/obs/export.h"
+#include "midas/obs/json.h"
 #include "midas/obs/metrics.h"
 
 namespace midas {
@@ -150,6 +152,34 @@ void EmitMetricsJson() {
   std::cout << "\n=== midas metrics (json) ===\n"
             << obs::ExportJson(obs::MetricsRegistry::Current()) << "\n";
   std::cout.flush();
+}
+
+std::string WriteBenchJson(const std::string& suite, std::string out_dir) {
+  if (out_dir.empty()) {
+    const char* env = std::getenv("MIDAS_BENCH_OUT_DIR");
+    out_dir = env != nullptr && env[0] != '\0' ? env : ".";
+  }
+  const std::string path = out_dir + "/BENCH_" + suite + ".json";
+
+  obs::JsonWriter w;
+  w.BeginObject();
+  w.Key("suite").Value(suite);
+  w.Key("scale").Value(ScaleFactor());
+  w.EndObject();
+  // Splice the metrics document (already JSON) in before the closing brace.
+  std::string body = w.str();
+  body.insert(body.size() - 1,
+              ",\"metrics\":" + obs::ExportJson(obs::MetricsRegistry::Current()));
+
+  std::ofstream out(path, std::ios::trunc);
+  out << body << "\n";
+  out.flush();
+  if (!out) {
+    std::cerr << "WriteBenchJson: cannot write " << path << "\n";
+    return "";
+  }
+  std::cout << "bench json: " << path << "\n";
+  return path;
 }
 
 }  // namespace bench

@@ -78,6 +78,15 @@ std::vector<std::string> QualityCells(const PatternQuality& q);
 /// extracts the line after the marker and feeds it to a JSON parser.
 void EmitMetricsJson();
 
+/// Writes the machine-readable result of a bench run to
+/// `<out_dir>/BENCH_<suite>.json`:
+///   {"suite": ..., "scale": ScaleFactor(), "metrics": <obs::ExportJson>}
+/// `out_dir` defaults to MIDAS_BENCH_OUT_DIR (or "." when unset). Returns
+/// the path written, or "" (with a stderr note) on I/O failure. CI uploads
+/// these files as artifacts.
+std::string WriteBenchJson(const std::string& suite,
+                           std::string out_dir = std::string());
+
 }  // namespace bench
 }  // namespace midas
 

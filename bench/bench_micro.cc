@@ -306,5 +306,6 @@ int main(int argc, char** argv) {
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   midas::bench::EmitMetricsJson();
+  midas::bench::WriteBenchJson("micro");
   return 0;
 }

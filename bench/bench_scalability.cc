@@ -77,5 +77,6 @@ int main() {
   times.Print();
   quality.Print();
   EmitMetricsJson();
+  WriteBenchJson("scalability");
   return 0;
 }

@@ -9,31 +9,72 @@
 //   $ ./evolving_stream              # default 50ms round SLO
 //   $ ./evolving_stream --slo_ms=10  # tighter deadline, more degradation
 //   $ ./evolving_stream --slo_ms=0   # no deadline: rounds run to completion
+//   $ ./evolving_stream --telemetry_port=0   # + live /metrics & /spans
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <iomanip>
 #include <iostream>
+#include <memory>
 
 #include "midas/datagen/molecule_gen.h"
 #include "midas/datagen/workload.h"
 #include "midas/maintain/midas.h"
 #include "midas/maintain/report.h"
 #include "midas/obs/event_log.h"
+#include "midas/obs/export.h"
+#include "midas/obs/metrics.h"
+#include "midas/obs/profile.h"
+#include "midas/obs/telemetry_server.h"
 #include "midas/queryform/formulation.h"
 
 int main(int argc, char** argv) {
   using namespace midas;
 
   double slo_ms = 50.0;
+  int telemetry_port = -1;  // -1 off, 0 ephemeral
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--slo_ms=", 9) == 0) {
       slo_ms = std::atof(argv[i] + 9);
+    } else if (std::strncmp(argv[i], "--telemetry_port=", 17) == 0) {
+      telemetry_port = std::atoi(argv[i] + 17);
     } else {
-      std::cerr << "usage: " << argv[0] << " [--slo_ms=<double>]\n";
+      std::cerr << "usage: " << argv[0]
+                << " [--slo_ms=<double>] [--telemetry_port=<int>]\n";
       return 2;
     }
+  }
+
+  // Standalone telemetry (no EngineHost here): /metrics + /spans over the
+  // process-wide registry and span profiler, live while the stream runs.
+  std::unique_ptr<obs::TelemetryServer> telemetry;
+  if (telemetry_port >= 0) {
+    obs::SpanProfiler::Current().set_enabled(true);
+    telemetry = std::make_unique<obs::TelemetryServer>();
+    telemetry->Handle("/metrics", [](const obs::HttpRequest&) {
+      obs::HttpResponse resp;
+      resp.content_type = "text/plain; version=0.0.4; charset=utf-8";
+      resp.body = obs::ExportPrometheus(obs::MetricsRegistry::Current());
+      return resp;
+    });
+    telemetry->Handle("/spans", [](const obs::HttpRequest& req) {
+      obs::HttpResponse resp;
+      obs::SpanProfiler& prof = obs::SpanProfiler::Current();
+      resp.body = req.QueryParam("fmt") == "folded" ? prof.ExportFolded()
+                                                    : prof.ExportTopTable();
+      return resp;
+    });
+    std::string terr;
+    if (!telemetry->Start(telemetry_port, &terr)) {
+      std::cerr << "telemetry server failed: " << terr << "\n";
+      return 1;
+    }
+    std::cout << "telemetry on " << telemetry->BaseUrl() << " — try:\n"
+              << "  curl -s " << telemetry->BaseUrl() << "/metrics\n"
+              << "  curl -s '" << telemetry->BaseUrl()
+              << "/spans?fmt=folded'\n";
+    std::cout.flush();  // scrapers parse the port from redirected stdout
   }
 
   MoleculeGenerator gen(4242);

@@ -11,6 +11,13 @@
 //
 //   $ ./serve_demo
 //   $ MIDAS_FAILPOINTS="serve.round.before_apply:6:3" ./serve_demo
+//
+// With --telemetry_port=P (0 = ephemeral) the host serves its live
+// introspection endpoints on 127.0.0.1:P while the demo runs; the demo
+// prints ready-made curl one-liners on startup. --linger_ms=N keeps the
+// process (and the telemetry server) alive for N ms after the stream
+// drains, so an external scraper — e.g. the CI smoke job — has a window
+// to hit the endpoints.
 
 #include <atomic>
 #include <chrono>
@@ -28,10 +35,30 @@
 #include "midas/serve/engine_host.h"
 #include "midas/serve/quarantine.h"
 
-int main() {
+namespace {
+
+// --name=value (integer) flag; leaves *out untouched when absent.
+void ParseIntFlag(int argc, char** argv, const char* name, int* out) {
+  const std::string prefix = std::string("--") + name + "=";
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind(prefix, 0) == 0) {
+      *out = std::atoi(arg.c_str() + prefix.size());
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
   using namespace midas;
   using serve::EngineHost;
   using serve::PanelSnapshotPtr;
+
+  int telemetry_port = -1;  // -1 off, 0 ephemeral
+  int linger_ms = 0;
+  ParseIntFlag(argc, argv, "telemetry_port", &telemetry_port);
+  ParseIntFlag(argc, argv, "linger_ms", &linger_ms);
 
   MoleculeGenerator gen(4242);
   MoleculeGenConfig data = MoleculeGenerator::EmolLike(60);
@@ -47,6 +74,7 @@ int main() {
   host_cfg.queue_capacity = 4;
   host_cfg.overflow = serve::OverflowPolicy::kBlock;
   host_cfg.max_attempts = 3;
+  host_cfg.telemetry_port = telemetry_port;
 
   obs::MaintenanceEventLog event_log;
   EngineHost host(std::move(engine), "serve_demo_state", host_cfg);
@@ -55,6 +83,17 @@ int main() {
   if (!host.Start(&err)) {
     std::cerr << "host failed to start: " << err << "\n";
     return 1;
+  }
+  if (host.telemetry_port() >= 0) {
+    const std::string base =
+        "http://127.0.0.1:" + std::to_string(host.telemetry_port());
+    std::cout << "telemetry on " << base << " — try:\n"
+              << "  curl -s " << base << "/healthz\n"
+              << "  curl -s " << base << "/metrics | grep midas_quality\n"
+              << "  curl -s " << base << "/statusz\n"
+              << "  curl -s '" << base << "/spans?fmt=folded'\n"
+              << "  curl -s " << base << "/varz\n";
+    std::cout.flush();  // scrapers parse the port from redirected stdout
   }
   fail::LoadFromEnv();  // arm MIDAS_FAILPOINTS chaos, if any
 
@@ -109,6 +148,11 @@ int main() {
   }
 
   host.WaitIdle(std::chrono::milliseconds(120000));
+  if (linger_ms > 0) {
+    std::cout << "lingering " << linger_ms
+              << "ms for external scrapers...\n";
+    std::this_thread::sleep_for(std::chrono::milliseconds(linger_ms));
+  }
   stop.store(true, std::memory_order_release);
   for (auto& t : readers) t.join();
   host.Stop();

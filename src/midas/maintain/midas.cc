@@ -7,6 +7,7 @@
 #include "midas/maintain/journal.h"
 #include "midas/obs/json.h"
 #include "midas/obs/metrics.h"
+#include "midas/obs/sli.h"
 #include "midas/obs/trace.h"
 
 namespace midas {
@@ -453,33 +454,71 @@ MaintenanceStats MidasEngine::ApplyUpdate(const BatchUpdate& raw_delta,
   }
 
   history_.Record(stats);
-  if (event_log_ != nullptr) {
-    obs::MaintenanceEvent event;
-    event.seq = round_seq_;
-    event.additions = num_additions;
-    event.deletions = delta.deletions.size();
-    event.db_size = db_.size();
-    event.patterns = patterns_.size();
-    event.major = stats.major;
-    event.graphlet_distance = stats.graphlet_distance;
-    event.epsilon = config_.epsilon;
-    event.candidates = stats.candidates;
-    event.swaps = stats.swaps;
-    event.truncated = stats.truncated;
-    event.degrade_reason = std::string(ExecBudget::CauseName(budget_cause));
-    event.budget_steps = budget_steps;
-    event.phase_ms.emplace_back("total_ms", stats.total_ms);
+
+  // Quality SLIs (Definition 2.1 components on the post-round panel):
+  // exported as midas_quality_* gauges, fed to the drift detector, and
+  // recorded in the event log. Skipped entirely when nobody is listening,
+  // so the metrics-off bench path stays unchanged.
+  if (reg.enabled() || event_log_ != nullptr || drift_ != nullptr) {
+    PatternQuality q = CurrentQuality();
+    if (reg.enabled()) {
+      reg.GetGauge("midas_quality_coverage")->Set(q.scov);
+      reg.GetGauge("midas_quality_label_coverage")->Set(q.lcov);
+      reg.GetGauge("midas_quality_diversity")->Set(q.div);
+      reg.GetGauge("midas_quality_cognitive_load")->Set(q.cog_avg);
+      reg.GetGauge("midas_quality_cognitive_load_max")->Set(q.cog_max);
+    }
+
+    obs::DriftFinding drift;
+    if (drift_ != nullptr) {
+      drift = drift_->Observe(
+          obs::QualitySample{q.scov, q.lcov, q.div, q.cog_avg});
+    }
+
+    if (event_log_ != nullptr) {
+      obs::MaintenanceEvent event;
+      event.seq = round_seq_;
+      event.additions = num_additions;
+      event.deletions = delta.deletions.size();
+      event.db_size = db_.size();
+      event.patterns = patterns_.size();
+      event.major = stats.major;
+      event.graphlet_distance = stats.graphlet_distance;
+      event.epsilon = config_.epsilon;
+      event.candidates = stats.candidates;
+      event.swaps = stats.swaps;
+      event.truncated = stats.truncated;
+      event.degrade_reason = std::string(ExecBudget::CauseName(budget_cause));
+      event.budget_steps = budget_steps;
+      event.phase_ms.emplace_back("total_ms", stats.total_ms);
 #define MIDAS_EVENT_PHASE(field) \
   event.phase_ms.emplace_back(#field, stats.field);
-    MIDAS_MAINTENANCE_PHASES(MIDAS_EVENT_PHASE)
+      MIDAS_MAINTENANCE_PHASES(MIDAS_EVENT_PHASE)
 #undef MIDAS_EVENT_PHASE
-    PatternQuality q = CurrentQuality();
-    event.scov = q.scov;
-    event.lcov = q.lcov;
-    event.div = q.div;
-    event.cog_avg = q.cog_avg;
-    event.cog_max = q.cog_max;
-    event_log_->Append(event);
+      event.scov = q.scov;
+      event.lcov = q.lcov;
+      event.div = q.div;
+      event.cog_avg = q.cog_avg;
+      event.cog_max = q.cog_max;
+      event_log_->Append(event);
+
+      // One structured line per drift transition, interleaved with the
+      // per-round records (consumers split on the `quality_event` key).
+      if (drift.newly_drifted || drift.recovered) {
+        obs::JsonWriter w;
+        w.BeginObject();
+        w.Key("quality_event")
+            .Value(drift.newly_drifted ? "quality_drift" : "quality_recovered");
+        w.Key("seq").Value(round_seq_);
+        w.Key("metric").Value(drift.metric);
+        w.Key("ks_statistic").Value(drift.ks_statistic);
+        w.Key("p_value").Value(drift.p_value);
+        w.Key("baseline_mean").Value(drift.baseline_mean);
+        w.Key("window_mean").Value(drift.window_mean);
+        w.EndObject();
+        event_log_->AppendRaw(w.str());
+      }
+    }
   }
   return stats;
 }

@@ -25,6 +25,10 @@ namespace midas {
 
 class UpdateJournal;
 
+namespace obs {
+class QualityDriftDetector;
+}  // namespace obs
+
 /// End-to-end configuration of the MIDAS framework.
 struct MidasConfig {
   FctSet::Config fct;                    ///< sup_min, max tree size
@@ -221,6 +225,17 @@ class MidasEngine {
   void SetJournal(UpdateJournal* journal) { journal_ = journal; }
   UpdateJournal* journal() const { return journal_; }
 
+  /// Attaches a pattern-quality drift detector (obs/sli.h): after every
+  /// committed round the engine feeds it the Definition 2.1 quality
+  /// components; a healthy->drifted transition is recorded as a
+  /// `quality_drift` line in the attached event log (and the detector
+  /// itself exports the `midas_quality_drift_*` metrics). Non-owning;
+  /// pass nullptr to detach.
+  void SetDriftDetector(obs::QualityDriftDetector* detector) {
+    drift_ = detector;
+  }
+  obs::QualityDriftDetector* drift_detector() const { return drift_; }
+
   /// Whether Initialize() has completed (ApplyUpdate and LoadPatterns
   /// require it; serving hosts use this to initialize lazily in Start).
   bool initialized() const { return initialized_; }
@@ -299,6 +314,7 @@ class MidasEngine {
   MaintenanceHistory history_;
   obs::MaintenanceEventLog* event_log_ = nullptr;  ///< non-owning
   UpdateJournal* journal_ = nullptr;               ///< non-owning
+  obs::QualityDriftDetector* drift_ = nullptr;     ///< non-owning
   /// The one budget every kernel of the current round shares. A stable
   /// member (not a stack object) because the HybridGed closure captures its
   /// address; reset per round, returned to unlimited between rounds so

@@ -7,29 +7,65 @@
 namespace midas {
 namespace obs {
 
+std::string SanitizeMetricName(std::string_view name) {
+  auto valid = [](char c, bool first) {
+    if ((c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' ||
+        c == ':') {
+      return true;
+    }
+    return !first && c >= '0' && c <= '9';
+  };
+  std::string out;
+  out.reserve(name.size() + 1);
+  if (name.empty()) return "_";
+  if (name[0] >= '0' && name[0] <= '9') out.push_back('_');
+  for (char c : name) {
+    out.push_back(valid(c, out.empty()) ? c : '_');
+  }
+  return out;
+}
+
+std::string EscapeLabelValue(std::string_view value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out.push_back(c);
+    }
+  }
+  return out;
+}
+
 std::string ExportPrometheus(const MetricsRegistry& registry) {
   std::ostringstream out;
   for (const Counter* c : registry.counters()) {
-    out << "# TYPE " << c->name() << " counter\n";
-    out << c->name() << ' ' << c->Value() << '\n';
+    const std::string name = SanitizeMetricName(c->name());
+    out << "# TYPE " << name << " counter\n";
+    out << name << ' ' << c->Value() << '\n';
   }
   for (const Gauge* g : registry.gauges()) {
-    out << "# TYPE " << g->name() << " gauge\n";
-    out << g->name() << ' ' << JsonWriter::FormatDouble(g->Value()) << '\n';
+    const std::string name = SanitizeMetricName(g->name());
+    out << "# TYPE " << name << " gauge\n";
+    out << name << ' ' << JsonWriter::FormatDouble(g->Value()) << '\n';
   }
   for (const Histogram* h : registry.histograms()) {
-    out << "# TYPE " << h->name() << " histogram\n";
+    const std::string name = SanitizeMetricName(h->name());
+    out << "# TYPE " << name << " histogram\n";
     uint64_t cumulative = 0;
     const std::vector<double>& bounds = h->bounds();
     for (size_t i = 0; i < bounds.size(); ++i) {
       cumulative += h->BucketCount(i);
-      out << h->name() << "_bucket{le=\"" << JsonWriter::FormatDouble(bounds[i])
-          << "\"} " << cumulative << '\n';
+      out << name << "_bucket{le=\""
+          << EscapeLabelValue(JsonWriter::FormatDouble(bounds[i])) << "\"} "
+          << cumulative << '\n';
     }
     cumulative += h->BucketCount(bounds.size());
-    out << h->name() << "_bucket{le=\"+Inf\"} " << cumulative << '\n';
-    out << h->name() << "_sum " << JsonWriter::FormatDouble(h->Sum()) << '\n';
-    out << h->name() << "_count " << h->Count() << '\n';
+    out << name << "_bucket{le=\"+Inf\"} " << cumulative << '\n';
+    out << name << "_sum " << JsonWriter::FormatDouble(h->Sum()) << '\n';
+    out << name << "_count " << h->Count() << '\n';
   }
   return out.str();
 }

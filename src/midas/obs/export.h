@@ -2,6 +2,7 @@
 #define MIDAS_OBS_EXPORT_H_
 
 #include <string>
+#include <string_view>
 
 #include "midas/obs/metrics.h"
 
@@ -13,6 +14,15 @@ namespace obs {
 /// series plus `_sum`/`_count`. Suitable for a /metrics endpoint or for the
 /// text report appendix RenderEngineReport produces.
 std::string ExportPrometheus(const MetricsRegistry& registry);
+
+/// Maps an arbitrary string onto the Prometheus metric-name charset
+/// [a-zA-Z_:][a-zA-Z0-9_:]*: every invalid character becomes '_', and a
+/// leading digit gets a '_' prefix. Empty input yields "_".
+std::string SanitizeMetricName(std::string_view name);
+
+/// Escapes a label value for the text exposition format: backslash, double
+/// quote and newline become \\, \" and \n.
+std::string EscapeLabelValue(std::string_view value);
 
 /// Machine-readable JSON snapshot:
 ///   {"counters": {name: value, ...},

@@ -1,0 +1,140 @@
+#include "midas/obs/profile.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <iomanip>
+
+namespace midas {
+namespace obs {
+
+namespace {
+
+/// One live span on this thread: its name plus the inclusive wall time of
+/// the child spans that already completed directly underneath it.
+struct Frame {
+  std::string name;
+  double child_ms = 0.0;
+};
+
+thread_local std::vector<Frame> t_frames;
+
+std::string JoinPath(const std::vector<Frame>& frames) {
+  std::string path;
+  for (const Frame& f : frames) {
+    if (!path.empty()) path += ';';
+    path += f.name;
+  }
+  return path;
+}
+
+}  // namespace
+
+void SpanProfiler::EnterFrame(std::string name) {
+  t_frames.push_back(Frame{std::move(name), 0.0});
+}
+
+void SpanProfiler::ExitFrame(double elapsed_ms) {
+  if (t_frames.empty()) return;  // unmatched exit; drop rather than crash
+  Frame done = std::move(t_frames.back());
+  t_frames.pop_back();
+  if (!t_frames.empty()) t_frames.back().child_ms += elapsed_ms;
+  std::string path = JoinPath(t_frames);
+  if (!path.empty()) path += ';';
+  path += done.name;
+  // A Pause()d parent can measure less unpaused time than its children's
+  // wall time; clamp instead of reporting negative self time.
+  double self_ms = std::max(0.0, elapsed_ms - done.child_ms);
+  Current().Record(path, elapsed_ms, self_ms);
+}
+
+size_t SpanProfiler::FrameDepth() { return t_frames.size(); }
+
+void SpanProfiler::Record(const std::string& path, double total_ms,
+                          double self_ms) {
+  std::lock_guard<std::mutex> lock(mu_);
+  PathStats& s = tree_[path];
+  ++s.count;
+  s.total_ms += total_ms;
+  s.self_ms += self_ms;
+}
+
+void SpanProfiler::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  tree_.clear();
+}
+
+size_t SpanProfiler::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return tree_.size();
+}
+
+std::vector<std::pair<std::string, SpanProfiler::PathStats>>
+SpanProfiler::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return {tree_.begin(), tree_.end()};
+}
+
+std::string SpanProfiler::ExportFolded() const {
+  std::ostringstream out;
+  for (const auto& [path, s] : Snapshot()) {
+    // flamegraph.pl wants integral sample weights; microseconds keep three
+    // decimal places of the millisecond readings.
+    out << path << ' '
+        << static_cast<uint64_t>(std::llround(s.self_ms * 1000.0)) << '\n';
+  }
+  return out.str();
+}
+
+std::string SpanProfiler::ExportTopTable(size_t top_n) const {
+  std::vector<std::pair<std::string, PathStats>> rows = Snapshot();
+  std::sort(rows.begin(), rows.end(), [](const auto& a, const auto& b) {
+    if (a.second.self_ms != b.second.self_ms) {
+      return a.second.self_ms > b.second.self_ms;
+    }
+    return a.first < b.first;
+  });
+  if (top_n > 0 && rows.size() > top_n) rows.resize(top_n);
+
+  size_t width = 4;
+  for (const auto& [path, s] : rows) width = std::max(width, path.size());
+  std::ostringstream out;
+  out << std::left << std::setw(static_cast<int>(width) + 2) << "path"
+      << std::right << std::setw(10) << "count" << std::setw(12) << "total_ms"
+      << std::setw(12) << "self_ms" << std::setw(12) << "mean_ms" << '\n';
+  out << std::fixed << std::setprecision(3);
+  for (const auto& [path, s] : rows) {
+    out << std::left << std::setw(static_cast<int>(width) + 2) << path
+        << std::right << std::setw(10) << s.count << std::setw(12)
+        << s.total_ms << std::setw(12) << s.self_ms << std::setw(12)
+        << (s.count > 0 ? s.total_ms / static_cast<double>(s.count) : 0.0)
+        << '\n';
+  }
+  return out.str();
+}
+
+SpanProfiler& SpanProfiler::Global() {
+  static SpanProfiler* global = new SpanProfiler();
+  return *global;
+}
+
+std::atomic<SpanProfiler*>& SpanProfiler::CurrentSlot() {
+  static std::atomic<SpanProfiler*> slot{nullptr};
+  return slot;
+}
+
+SpanProfiler& SpanProfiler::Current() {
+  SpanProfiler* p = CurrentSlot().load(std::memory_order_acquire);
+  return p != nullptr ? *p : Global();
+}
+
+ScopedSpanProfiler::ScopedSpanProfiler(SpanProfiler& profiler)
+    : prev_(SpanProfiler::CurrentSlot().exchange(&profiler,
+                                                 std::memory_order_acq_rel)) {}
+
+ScopedSpanProfiler::~ScopedSpanProfiler() {
+  SpanProfiler::CurrentSlot().store(prev_, std::memory_order_release);
+}
+
+}  // namespace obs
+}  // namespace midas

@@ -1,0 +1,121 @@
+#ifndef MIDAS_OBS_PROFILE_H_
+#define MIDAS_OBS_PROFILE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace midas {
+namespace obs {
+
+/// Hierarchical span profiler: aggregates completed TraceSpans into a
+/// path-keyed call tree, turning the flat per-phase histograms into an
+/// actual profile of where a maintenance round spends its time.
+///
+/// How it works:
+///  - Every live TraceSpan pushes its name onto a thread-local path stack
+///    (parent linkage is lexical nesting on the owning thread).
+///  - On Stop, the span records (count, total-ms, self-ms) under its full
+///    path "root;child;leaf" — the classic folded-stacks key. Self time is
+///    computed at record time: elapsed minus the elapsed time of the spans
+///    that completed directly underneath it.
+///  - Aggregation is a mutex-guarded map keyed by path; spans stop a
+///    handful of times per maintenance round, so the lock is cold.
+///
+/// The profiler is *disabled by default*: TraceSpan checks
+/// `SpanProfiler::Current().enabled()` once at construction, so a disabled
+/// profiler costs one relaxed load per span. EngineHost enables it when
+/// its telemetry server is on; tests isolate themselves with
+/// ScopedSpanProfiler (same pattern as ScopedMetricsRegistry).
+///
+/// Caveat: spans that Pause() across a sibling phase (e.g. the two halves
+/// of index maintenance) still parent the sibling lexically, so a parent's
+/// self time is clamped at zero when its children's wall time exceeds its
+/// own unpaused time.
+class SpanProfiler {
+ public:
+  /// Aggregated statistics of one call-tree path.
+  struct PathStats {
+    uint64_t count = 0;    ///< completed spans at this path
+    double total_ms = 0.0; ///< inclusive wall time
+    double self_ms = 0.0;  ///< exclusive wall time (children subtracted)
+  };
+
+  SpanProfiler() = default;
+  SpanProfiler(const SpanProfiler&) = delete;
+  SpanProfiler& operator=(const SpanProfiler&) = delete;
+
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+  void set_enabled(bool on) {
+    enabled_.store(on, std::memory_order_relaxed);
+  }
+
+  /// Drops every aggregated path (enabled state is kept).
+  void Clear();
+
+  /// Number of distinct paths aggregated so far.
+  size_t size() const;
+
+  /// The aggregated tree, sorted lexicographically by path. A parent always
+  /// precedes its own children ("a" < "a;b"); sibling subtrees interleave
+  /// by plain string order.
+  std::vector<std::pair<std::string, PathStats>> Snapshot() const;
+
+  /// Folded-stacks exposition: one `path <self-microseconds>` line per
+  /// path, the input format of flamegraph.pl / speedscope / inferno.
+  /// Zero-self paths are kept (count still carries information).
+  std::string ExportFolded() const;
+
+  /// Human-readable top-N table sorted by self time (all paths when
+  /// `top_n` is 0): path, count, total ms, self ms, mean ms.
+  std::string ExportTopTable(size_t top_n = 20) const;
+
+  /// --- TraceSpan integration (thread-local frame stack) -----------------
+  /// Pushes `name` onto the calling thread's path stack. Paired with
+  /// ExitFrame in LIFO order — guaranteed by TraceSpan being a scoped
+  /// object.
+  static void EnterFrame(std::string name);
+  /// Pops the top frame, charges `elapsed_ms` to the parent frame's child
+  /// time, and records the completed path into Current().
+  static void ExitFrame(double elapsed_ms);
+  /// Depth of the calling thread's frame stack (tests).
+  static size_t FrameDepth();
+
+  /// The process-wide default profiler.
+  static SpanProfiler& Global();
+  /// The profiler spans record into: Global() unless a ScopedSpanProfiler
+  /// override is active.
+  static SpanProfiler& Current();
+
+ private:
+  friend class ScopedSpanProfiler;
+  static std::atomic<SpanProfiler*>& CurrentSlot();
+
+  void Record(const std::string& path, double total_ms, double self_ms);
+
+  mutable std::mutex mu_;
+  std::map<std::string, PathStats> tree_;
+  std::atomic<bool> enabled_{false};
+};
+
+/// RAII override of SpanProfiler::Current() — the test-isolation hook.
+/// Scopes nest; each restores the previous profiler on destruction.
+class ScopedSpanProfiler {
+ public:
+  explicit ScopedSpanProfiler(SpanProfiler& profiler);
+  ~ScopedSpanProfiler();
+  ScopedSpanProfiler(const ScopedSpanProfiler&) = delete;
+  ScopedSpanProfiler& operator=(const ScopedSpanProfiler&) = delete;
+
+ private:
+  SpanProfiler* prev_;
+};
+
+}  // namespace obs
+}  // namespace midas
+
+#endif  // MIDAS_OBS_PROFILE_H_

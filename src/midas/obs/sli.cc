@@ -1,0 +1,113 @@
+#include "midas/obs/sli.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "midas/common/stats.h"
+#include "midas/obs/metrics.h"
+
+namespace midas {
+namespace obs {
+
+QualityDriftDetector::QualityDriftDetector(SliConfig config)
+    : config_(config) {
+  series_ = {Series{"scov", {}, {}}, Series{"lcov", {}, {}},
+             Series{"div", {}, {}}, Series{"cog_avg", {}, {}}};
+}
+
+DriftFinding QualityDriftDetector::Observe(const QualitySample& sample) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++rounds_;
+  const double values[] = {sample.scov, sample.lcov, sample.div,
+                           sample.cog_avg};
+
+  DriftFinding finding;
+  finding.round = rounds_;
+
+  if (rounds_ <= config_.baseline_rounds) {
+    for (size_t i = 0; i < series_.size(); ++i) {
+      series_[i].baseline.push_back(values[i]);
+    }
+  } else {
+    for (size_t i = 0; i < series_.size(); ++i) {
+      series_[i].window.push_back(values[i]);
+      while (series_[i].window.size() > config_.window) {
+        series_[i].window.pop_front();
+      }
+    }
+
+    // Test every SLI's window against its frozen baseline; the verdict
+    // carries the worst (lowest-p) violator.
+    if (!series_.empty() &&
+        series_[0].window.size() >= std::max<size_t>(1, config_.min_window)) {
+      for (const Series& s : series_) {
+        std::vector<double> recent(s.window.begin(), s.window.end());
+        KsResult ks = KsTest(s.baseline, recent);
+        double b_mean = Mean(s.baseline);
+        double w_mean = Mean(recent);
+        double rel_delta =
+            std::abs(w_mean - b_mean) / std::max(std::abs(b_mean), 1e-12);
+        bool violates =
+            ks.p_value < config_.alpha && rel_delta > config_.min_rel_delta;
+        if (violates && (!finding.drifted || ks.p_value < finding.p_value)) {
+          finding.drifted = true;
+          finding.metric = s.name;
+          finding.ks_statistic = ks.statistic;
+          finding.p_value = ks.p_value;
+          finding.baseline_mean = b_mean;
+          finding.window_mean = w_mean;
+        }
+      }
+    }
+  }
+
+  finding.newly_drifted = finding.drifted && !drifted_;
+  finding.recovered = !finding.drifted && drifted_;
+  drifted_ = finding.drifted;
+  last_ = finding;
+
+  MetricsRegistry& reg = MetricsRegistry::Current();
+  if (reg.enabled()) {
+    reg.GetGauge("midas_quality_drift_status")->Set(drifted_ ? 1.0 : 0.0);
+    reg.GetGauge("midas_quality_drift_ks_statistic")
+        ->Set(finding.ks_statistic);
+    if (finding.newly_drifted) {
+      reg.GetCounter("midas_quality_drift_events_total")->Increment();
+    }
+  }
+  return finding;
+}
+
+bool QualityDriftDetector::drifted() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return drifted_;
+}
+
+DriftFinding QualityDriftDetector::last_finding() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return last_;
+}
+
+uint64_t QualityDriftDetector::rounds() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return rounds_;
+}
+
+bool QualityDriftDetector::baseline_frozen() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return rounds_ >= config_.baseline_rounds;
+}
+
+void QualityDriftDetector::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (Series& s : series_) {
+    s.baseline.clear();
+    s.window.clear();
+  }
+  rounds_ = 0;
+  drifted_ = false;
+  last_ = DriftFinding();
+}
+
+}  // namespace obs
+}  // namespace midas

@@ -1,0 +1,113 @@
+#ifndef MIDAS_OBS_SLI_H_
+#define MIDAS_OBS_SLI_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace midas {
+namespace obs {
+
+/// Pattern-quality service-level indicators: the Definition 2.1 components
+/// a deployment must watch to know the panel is still good. One sample per
+/// committed maintenance round.
+struct QualitySample {
+  double scov = 0.0;     ///< subgraph coverage
+  double lcov = 0.0;     ///< label coverage
+  double div = 0.0;      ///< diversity
+  double cog_avg = 0.0;  ///< mean cognitive load
+};
+
+/// Drift-detector tuning. Defaults are sized for a serving deployment
+/// (hours of rounds); tests shrink baseline/window to a handful of rounds.
+struct SliConfig {
+  /// Rounds that freeze the baseline distribution. The panel right after
+  /// startup is the reference the deployment promised to keep.
+  size_t baseline_rounds = 16;
+  /// Sliding window of recent rounds compared against the baseline.
+  size_t window = 16;
+  /// Smallest window that is ever tested (avoids verdicts from 1-2 rounds).
+  size_t min_window = 4;
+  /// KS significance level: drift needs p < alpha.
+  double alpha = 0.01;
+  /// Practical-significance guard: besides KS significance, the window
+  /// mean must have moved by this fraction of the baseline mean. Keeps
+  /// statistically-detectable-but-operationally-meaningless jitter from
+  /// paging anyone.
+  double min_rel_delta = 0.10;
+};
+
+/// Verdict of one Observe() call.
+struct DriftFinding {
+  bool drifted = false;        ///< any SLI currently violates
+  bool newly_drifted = false;  ///< this round flipped healthy -> drifted
+  bool recovered = false;      ///< this round flipped drifted -> healthy
+  std::string metric;          ///< worst violating SLI ("scov", ...)
+  double ks_statistic = 0.0;   ///< KS statistic of the worst SLI
+  double p_value = 1.0;        ///< its p-value
+  double baseline_mean = 0.0;
+  double window_mean = 0.0;
+  uint64_t round = 0;          ///< 1-based Observe() count
+};
+
+/// Sliding-window two-sample Kolmogorov-Smirnov drift detector over the
+/// quality SLIs (the `common/stats.h` KS machinery MIDAS already uses for
+/// the swap similarity test, pointed at quality-over-time instead).
+///
+/// Protocol: feed Observe() once per committed round. The first
+/// `baseline_rounds` samples freeze the baseline; afterwards each SLI's
+/// recent window is KS-tested against its baseline. A drift verdict needs
+/// both statistical significance (p < alpha) and a practical mean shift
+/// (min_rel_delta). The status is *current*, not latched: a window that
+/// recovers flips the detector (and /healthz) back to healthy, and the
+/// transitions are reported so callers can log one event per flip.
+///
+/// Observe() also exports the `midas_quality_drift_*` gauges/counters to
+/// the current MetricsRegistry. Thread-safe (internally locked): the
+/// maintenance writer observes while the telemetry server reads.
+class QualityDriftDetector {
+ public:
+  explicit QualityDriftDetector(SliConfig config = SliConfig());
+
+  /// Records one round's quality and re-evaluates drift.
+  DriftFinding Observe(const QualitySample& sample);
+
+  /// Current drift status (false until the baseline is frozen and a full
+  /// min_window of violating rounds accumulated).
+  bool drifted() const;
+  /// The last Observe() verdict (default-constructed before any round).
+  DriftFinding last_finding() const;
+  /// Rounds observed so far.
+  uint64_t rounds() const;
+  /// True once the baseline is frozen.
+  bool baseline_frozen() const;
+
+  /// Drops all samples and status; the next Observe() starts a new
+  /// baseline. For re-baselining after an accepted quality regime change.
+  void Reset();
+
+  const SliConfig& config() const { return config_; }
+
+ private:
+  struct Series {
+    const char* name;
+    std::vector<double> baseline;
+    std::deque<double> window;
+  };
+
+  const SliConfig config_;
+
+  mutable std::mutex mu_;
+  std::vector<Series> series_;
+  uint64_t rounds_ = 0;
+  bool drifted_ = false;
+  DriftFinding last_;
+};
+
+}  // namespace obs
+}  // namespace midas
+
+#endif  // MIDAS_OBS_SLI_H_

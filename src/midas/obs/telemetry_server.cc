@@ -1,0 +1,237 @@
+#include "midas/obs/telemetry_server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cctype>
+#include <cerrno>
+#include <cstring>
+#include <sstream>
+
+namespace midas {
+namespace obs {
+
+namespace {
+
+constexpr size_t kMaxRequestBytes = 8192;
+constexpr int kAcceptPollMs = 50;
+constexpr int kIoTimeoutMs = 2000;
+
+const char* StatusText(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 500: return "Internal Server Error";
+    case 503: return "Service Unavailable";
+    default: return "Unknown";
+  }
+}
+
+/// Reads until the header terminator, a size cap, a timeout, or EOF.
+/// Telemetry requests are header-only GETs, so the body is never read.
+bool ReadRequestHead(int fd, std::string* out) {
+  char buf[1024];
+  while (out->size() < kMaxRequestBytes) {
+    if (out->find("\r\n\r\n") != std::string::npos ||
+        out->find("\n\n") != std::string::npos) {
+      return true;
+    }
+    struct pollfd p = {fd, POLLIN, 0};
+    int ready = ::poll(&p, 1, kIoTimeoutMs);
+    if (ready <= 0) return false;
+    ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) return false;
+    out->append(buf, static_cast<size_t>(n));
+  }
+  return false;
+}
+
+void WriteAll(int fd, const std::string& data) {
+  size_t off = 0;
+  while (off < data.size()) {
+    struct pollfd p = {fd, POLLOUT, 0};
+    if (::poll(&p, 1, kIoTimeoutMs) <= 0) return;
+    ssize_t n = ::send(fd, data.data() + off, data.size() - off, MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && (errno == EINTR || errno == EAGAIN)) continue;
+      return;
+    }
+    off += static_cast<size_t>(n);
+  }
+}
+
+/// Parses "GET /path?query HTTP/1.1". False on anything that does not look
+/// like an HTTP request line (the 400 path).
+bool ParseRequestLine(const std::string& head, HttpRequest* out) {
+  size_t eol = head.find_first_of("\r\n");
+  std::string line = head.substr(0, eol);
+  std::istringstream in(line);
+  std::string method, target, version;
+  if (!(in >> method >> target >> version)) return false;
+  if (version.rfind("HTTP/", 0) != 0) return false;
+  if (target.empty() || target[0] != '/') return false;
+  std::transform(method.begin(), method.end(), method.begin(),
+                 [](unsigned char c) { return std::toupper(c); });
+  out->method = method;
+  size_t q = target.find('?');
+  out->path = target.substr(0, q);
+  out->query = q == std::string::npos ? "" : target.substr(q + 1);
+  return true;
+}
+
+}  // namespace
+
+std::string HttpRequest::QueryParam(const std::string& key) const {
+  size_t pos = 0;
+  while (pos < query.size()) {
+    size_t amp = query.find('&', pos);
+    std::string pair = query.substr(
+        pos, amp == std::string::npos ? std::string::npos : amp - pos);
+    size_t eq = pair.find('=');
+    if (pair.substr(0, eq) == key) {
+      return eq == std::string::npos ? "" : pair.substr(eq + 1);
+    }
+    if (amp == std::string::npos) break;
+    pos = amp + 1;
+  }
+  return "";
+}
+
+TelemetryServer::~TelemetryServer() { Stop(); }
+
+void TelemetryServer::Handle(std::string path, HttpHandler handler) {
+  std::lock_guard<std::mutex> lock(routes_mu_);
+  routes_[std::move(path)] = std::move(handler);
+}
+
+bool TelemetryServer::Start(int port, std::string* error) {
+  auto fail = [this, error](const std::string& what) {
+    if (error != nullptr) *error = what + ": " + std::strerror(errno);
+    if (listen_fd_ >= 0) {
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+    }
+    return false;
+  };
+  if (running_.load(std::memory_order_acquire)) return true;
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) return fail("socket");
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    return fail("bind 127.0.0.1:" + std::to_string(port));
+  }
+  if (::listen(listen_fd_, 16) < 0) return fail("listen");
+
+  socklen_t len = sizeof(addr);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) <
+      0) {
+    return fail("getsockname");
+  }
+  port_.store(ntohs(addr.sin_port), std::memory_order_release);
+
+  stopping_.store(false, std::memory_order_release);
+  running_.store(true, std::memory_order_release);
+  thread_ = std::thread([this] { ServeLoop(); });
+  return true;
+}
+
+void TelemetryServer::Stop() {
+  stopping_.store(true, std::memory_order_release);
+  if (thread_.joinable()) thread_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  running_.store(false, std::memory_order_release);
+}
+
+std::string TelemetryServer::BaseUrl() const {
+  return "http://127.0.0.1:" + std::to_string(port());
+}
+
+void TelemetryServer::ServeLoop() {
+  while (!stopping_.load(std::memory_order_acquire)) {
+    struct pollfd p = {listen_fd_, POLLIN, 0};
+    int ready = ::poll(&p, 1, kAcceptPollMs);
+    if (ready <= 0) continue;  // timeout (re-check stop flag) or EINTR
+    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) continue;
+    HandleConnection(fd);
+    ::close(fd);
+  }
+}
+
+void TelemetryServer::HandleConnection(int fd) {
+  std::string head;
+  HttpRequest request;
+  HttpResponse response;
+  if (!ReadRequestHead(fd, &head) || !ParseRequestLine(head, &request)) {
+    response.status = 400;
+    response.body = "malformed request\n";
+  } else if (request.method != "GET" && request.method != "HEAD") {
+    response.status = 405;
+    response.body = "only GET is served here\n";
+  } else {
+    response = Dispatch(request);
+  }
+
+  // HEAD advertises the length GET would have sent, with an empty body.
+  const size_t content_length = response.body.size();
+  if (request.method == "HEAD") response.body.clear();
+
+  std::ostringstream out;
+  out << "HTTP/1.1 " << response.status << ' ' << StatusText(response.status)
+      << "\r\nContent-Type: " << response.content_type
+      << "\r\nContent-Length: " << content_length
+      << "\r\nConnection: close\r\n\r\n"
+      << response.body;
+  WriteAll(fd, out.str());
+}
+
+HttpResponse TelemetryServer::Dispatch(const HttpRequest& request) const {
+  HttpHandler handler;
+  std::string known;
+  {
+    std::lock_guard<std::mutex> lock(routes_mu_);
+    auto it = routes_.find(request.path);
+    if (it != routes_.end()) {
+      handler = it->second;
+    } else {
+      for (const auto& [path, unused] : routes_) known += path + "\n";
+    }
+  }
+  HttpResponse response;
+  if (!handler) {
+    response.status = 404;
+    response.body = "no route " + request.path + "; known routes:\n" + known;
+    return response;
+  }
+  try {
+    return handler(request);
+  } catch (const std::exception& e) {
+    response.status = 500;
+    response.body = std::string("handler error: ") + e.what() + "\n";
+    return response;
+  } catch (...) {
+    response.status = 500;
+    response.body = "handler error\n";
+    return response;
+  }
+}
+
+}  // namespace obs
+}  // namespace midas

@@ -1,0 +1,92 @@
+#ifndef MIDAS_OBS_TELEMETRY_SERVER_H_
+#define MIDAS_OBS_TELEMETRY_SERVER_H_
+
+#include <atomic>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+
+namespace midas {
+namespace obs {
+
+/// One parsed HTTP request, as much of it as the telemetry routes need.
+struct HttpRequest {
+  std::string method;  ///< "GET", uppercased
+  std::string path;    ///< "/metrics" (query string stripped)
+  std::string query;   ///< "fmt=folded" (empty when absent)
+
+  /// Value of `key` in the query string ("" when absent). Values are not
+  /// percent-decoded — telemetry parameters are plain tokens.
+  std::string QueryParam(const std::string& key) const;
+};
+
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "text/plain; charset=utf-8";
+  std::string body;
+};
+
+using HttpHandler = std::function<HttpResponse(const HttpRequest&)>;
+
+/// Minimal dependency-free HTTP/1.1 introspection server over POSIX
+/// sockets: one bounded accept thread serves registered GET routes and
+/// closes each connection after the response (`Connection: close`).
+///
+/// Built for the operator loop, not for traffic: /metrics scrapes, a human
+/// with curl, a CI smoke job. Design points:
+///  - binds 127.0.0.1 only (introspection is not a public surface);
+///  - `SO_REUSEADDR` so restarts do not trip over TIME_WAIT;
+///  - port 0 binds an ephemeral port, reported by port() — tests never
+///    race over fixed ports;
+///  - clean shutdown: Stop() wakes the accept loop and joins the thread;
+///  - malformed requests get 400, non-GET 405, unknown paths 404, a
+///    throwing handler 500 — the server thread never propagates.
+///
+/// Handlers run on the server thread: they must only touch thread-safe
+/// state (the metrics registry, the span profiler, atomics/mutexes of the
+/// owning host). Register every route before Start().
+class TelemetryServer {
+ public:
+  TelemetryServer() = default;
+  ~TelemetryServer();
+
+  TelemetryServer(const TelemetryServer&) = delete;
+  TelemetryServer& operator=(const TelemetryServer&) = delete;
+
+  /// Registers (or replaces) the handler for an exact path.
+  void Handle(std::string path, HttpHandler handler);
+
+  /// Binds and starts the accept thread. `port` 0 picks an ephemeral port.
+  /// Returns false (with *error) when the socket cannot be set up.
+  bool Start(int port, std::string* error = nullptr);
+
+  /// Stops accepting, closes the listen socket and joins. Idempotent.
+  void Stop();
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+  /// The actually bound port (resolves port-0 binds); 0 before Start.
+  int port() const { return port_.load(std::memory_order_acquire); }
+  /// "http://127.0.0.1:<port>" — for printing curl one-liners.
+  std::string BaseUrl() const;
+
+ private:
+  void ServeLoop();
+  void HandleConnection(int fd);
+  HttpResponse Dispatch(const HttpRequest& request) const;
+
+  mutable std::mutex routes_mu_;
+  std::map<std::string, HttpHandler> routes_;
+
+  int listen_fd_ = -1;
+  std::atomic<int> port_{0};
+  std::thread thread_;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stopping_{false};
+};
+
+}  // namespace obs
+}  // namespace midas
+
+#endif  // MIDAS_OBS_TELEMETRY_SERVER_H_

@@ -1,5 +1,7 @@
 #include "midas/obs/trace.h"
 
+#include "midas/obs/profile.h"
+
 namespace midas {
 namespace obs {
 
@@ -10,21 +12,26 @@ thread_local int g_span_depth = 0;
 TraceSpan::TraceSpan(std::string_view histogram_name, double* accumulate_ms) {
   MetricsRegistry& reg = MetricsRegistry::Current();
   Init(reg.enabled() ? reg.GetHistogram(histogram_name) : nullptr,
-       accumulate_ms);
+       accumulate_ms, histogram_name);
 }
 
 TraceSpan::TraceSpan(Histogram* histogram, double* accumulate_ms) {
-  Init(histogram, accumulate_ms);
+  Init(histogram, accumulate_ms,
+       histogram != nullptr ? std::string_view(histogram->name())
+                            : std::string_view());
 }
 
-void TraceSpan::Init(Histogram* histogram, double* accumulate_ms) {
+void TraceSpan::Init(Histogram* histogram, double* accumulate_ms,
+                     std::string_view name) {
   histogram_ = histogram;
   accumulate_ms_ = accumulate_ms;
-  active_ = histogram_ != nullptr || accumulate_ms_ != nullptr;
+  profiled_ = !name.empty() && SpanProfiler::Current().enabled();
+  active_ = histogram_ != nullptr || accumulate_ms_ != nullptr || profiled_;
   if (!active_) {
     stopped_ = true;  // nothing to record; make Stop()/dtor no-ops
     return;
   }
+  if (profiled_) SpanProfiler::EnterFrame(std::string(name));
   depth_ = ++g_span_depth;
   timer_.Reset();  // exclude registry lookup time from the measured region
 }
@@ -36,6 +43,7 @@ void TraceSpan::Stop() {
   double ms = timer_.ElapsedMs();
   if (accumulate_ms_ != nullptr) *accumulate_ms_ += ms;
   if (histogram_ != nullptr) histogram_->Observe(ms);
+  if (profiled_) SpanProfiler::ExitFrame(ms);
 }
 
 TraceSpan::~TraceSpan() { Stop(); }

@@ -1,6 +1,7 @@
 #ifndef MIDAS_OBS_TRACE_H_
 #define MIDAS_OBS_TRACE_H_
 
+#include <string>
 #include <string_view>
 
 #include "midas/common/timer.h"
@@ -23,14 +24,21 @@ namespace obs {
 /// Spans nest: depth() is 1 for a top-level span, 2 for a span opened while
 /// another is live, etc. Nested spans are included in their parent's wall
 /// time — the histograms record inclusive durations.
+///
+/// When the current SpanProfiler (obs/profile.h) is enabled, every span
+/// additionally links to its lexical parent through a thread-local frame
+/// stack and, on Stop, records its full path into the profiler's call
+/// tree. With the profiler disabled (the default) this costs one relaxed
+/// load per span.
 class TraceSpan {
  public:
   /// Records into the current registry's histogram `histogram_name`
-  /// (registered on first use with the default latency buckets).
+  /// (registered on first use with the default latency buckets); the same
+  /// name keys the span in the profiler's call tree.
   explicit TraceSpan(std::string_view histogram_name,
                      double* accumulate_ms = nullptr);
   /// Records into a pre-resolved histogram (may be nullptr to only feed the
-  /// accumulator).
+  /// accumulator); the histogram's name (if any) keys the profiler path.
   explicit TraceSpan(Histogram* histogram, double* accumulate_ms = nullptr);
   ~TraceSpan();
 
@@ -54,7 +62,8 @@ class TraceSpan {
   static int CurrentDepth();
 
  private:
-  void Init(Histogram* histogram, double* accumulate_ms);
+  void Init(Histogram* histogram, double* accumulate_ms,
+            std::string_view name);
 
   Timer timer_;
   Histogram* histogram_ = nullptr;
@@ -62,6 +71,7 @@ class TraceSpan {
   int depth_ = 0;
   bool active_ = false;
   bool stopped_ = false;
+  bool profiled_ = false;  ///< enrolled in the SpanProfiler frame stack
 };
 
 }  // namespace obs

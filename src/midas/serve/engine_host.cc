@@ -9,8 +9,10 @@
 #include "midas/common/failpoint.h"
 #include "midas/graph/graph_io.h"
 #include "midas/maintain/snapshot.h"
+#include "midas/obs/export.h"
 #include "midas/obs/json.h"
 #include "midas/obs/metrics.h"
+#include "midas/obs/profile.h"
 
 namespace midas {
 namespace serve {
@@ -79,6 +81,7 @@ EngineHost::EngineHost(std::unique_ptr<MidasEngine> engine,
                           : engine_dir_ + "/" + config.quarantine_subdir),
       config_(std::move(config)),
       engine_(std::move(engine)),
+      drift_(config_.sli),
       queue_(config_.queue_capacity, config_.overflow) {}
 
 EngineHost::~EngineHost() { Stop(); }
@@ -116,9 +119,24 @@ bool EngineHost::Start(std::string* error) {
   if (!journal_.Reset(&err)) return fail("reset journal: " + err);
   engine_->SetJournal(&journal_);
   if (event_log_ != nullptr) engine_->SetEventLog(event_log_);
+  if (config_.sli_enabled) engine_->SetDriftDetector(&drift_);
   rounds_since_checkpoint_ = 0;
 
   PublishSnapshot();
+
+  if (config_.telemetry_port >= 0) {
+    if (telemetry_ == nullptr) {
+      telemetry_ = std::make_unique<obs::TelemetryServer>();
+    }
+    InstallTelemetryRoutes();
+    if (config_.profile_spans) {
+      obs::SpanProfiler::Current().set_enabled(true);
+    }
+    if (!telemetry_->Start(config_.telemetry_port, &err)) {
+      return fail("telemetry server: " + err);
+    }
+  }
+
   dead_.store(false, std::memory_order_release);
   running_.store(true, std::memory_order_release);
   writer_ = std::thread([this] { WriterLoop(); });
@@ -128,6 +146,7 @@ bool EngineHost::Start(std::string* error) {
 void EngineHost::Stop() {
   queue_.Close();
   if (writer_.joinable()) writer_.join();
+  if (telemetry_ != nullptr) telemetry_->Stop();
   running_.store(false, std::memory_order_release);
 }
 
@@ -264,9 +283,15 @@ void EngineHost::RunBatch(BoundedUpdateQueue::Item item) {
     try {
       MIDAS_FAILPOINT_ABORT("serve.round.before_apply");
       BatchUpdate attempt_batch = RemapInto(canon, engine_->labels());
-      engine_->ApplyUpdate(attempt_batch, config_.mode);
+      MaintenanceStats round_stats =
+          engine_->ApplyUpdate(attempt_batch, config_.mode);
       MIDAS_FAILPOINT_ABORT("serve.round.before_publish");
       engine_->SetRoundLimits(base_deadline_ms_, base_step_limit_);
+      {
+        std::lock_guard<std::mutex> lock(last_stats_mu_);
+        last_stats_ = round_stats;
+        has_last_stats_ = true;
+      }
       rounds_ok_.fetch_add(1, std::memory_order_relaxed);
       Count("midas_serve_rounds_total");
       ++rounds_since_checkpoint_;
@@ -321,6 +346,7 @@ bool EngineHost::RecoverInProcess(const std::string& why) {
     } else {
       fresh->SetJournal(&journal_);
       if (event_log_ != nullptr) fresh->SetEventLog(event_log_);
+      if (config_.sli_enabled) fresh->SetDriftDetector(&drift_);
       fresh->SetRoundLimits(base_deadline_ms_, base_step_limit_);
       // Mandatory re-baseline: a failed round leaves stale uncommitted
       // records (and possibly seqs above where we resume) in the journal;
@@ -440,6 +466,140 @@ bool EngineHost::WaitIdle(std::chrono::milliseconds timeout) {
     if (std::chrono::steady_clock::now() >= deadline) return false;
     std::this_thread::sleep_for(std::chrono::milliseconds(2));
   }
+}
+
+bool EngineHost::LastRoundStats(MaintenanceStats* out) const {
+  std::lock_guard<std::mutex> lock(last_stats_mu_);
+  if (!has_last_stats_) return false;
+  if (out != nullptr) *out = last_stats_;
+  return true;
+}
+
+void EngineHost::InstallTelemetryRoutes() {
+  telemetry_->Handle("/metrics", [](const obs::HttpRequest&) {
+    obs::HttpResponse resp;
+    resp.content_type = "text/plain; version=0.0.4; charset=utf-8";
+    resp.body = obs::ExportPrometheus(obs::MetricsRegistry::Current());
+    return resp;
+  });
+
+  telemetry_->Handle("/varz", [](const obs::HttpRequest&) {
+    obs::HttpResponse resp;
+    resp.content_type = "application/json";
+    resp.body = obs::ExportJson(obs::MetricsRegistry::Current());
+    return resp;
+  });
+
+  telemetry_->Handle("/healthz", [this](const obs::HttpRequest&) {
+    const bool is_running = running();
+    const bool is_dead = dead();
+    const bool drift = quality_drifted();
+    const bool healthy = is_running && !is_dead && !drift;
+
+    obs::JsonWriter w;
+    w.BeginObject();
+    w.Key("status").Value(healthy ? "ok" : "degraded");
+    w.Key("running").Value(is_running);
+    w.Key("dead").Value(is_dead);
+    w.Key("quality_drift").Value(drift);
+    w.Key("queue_depth").Value(static_cast<uint64_t>(queue_.depth()));
+    w.Key("rounds_ok").Value(rounds_ok_.load(std::memory_order_relaxed));
+    PanelSnapshotPtr snap = snapshot();
+    if (snap != nullptr) {
+      w.Key("round_seq").Value(snap->round_seq);
+      w.Key("snapshot_age_ms").Value(snap->AgeMs());
+    }
+    w.EndObject();
+
+    obs::HttpResponse resp;
+    resp.status = healthy ? 200 : 503;
+    resp.content_type = "application/json";
+    resp.body = w.str();
+    return resp;
+  });
+
+  telemetry_->Handle("/statusz", [this](const obs::HttpRequest&) {
+    HostStats s = stats();
+    PanelSnapshotPtr snap = snapshot();
+    obs::DriftFinding drift = drift_.last_finding();
+
+    obs::JsonWriter w;
+    w.BeginObject();
+    w.Key("running").Value(running());
+    w.Key("dead").Value(dead());
+    w.Key("engine_dir").Value(engine_dir_);
+    w.Key("queue_depth").Value(static_cast<uint64_t>(queue_.depth()));
+    if (snap != nullptr) {
+      w.Key("snapshot").BeginObject();
+      w.Key("round_seq").Value(snap->round_seq);
+      w.Key("db_size").Value(static_cast<uint64_t>(snap->db_size));
+      w.Key("patterns").Value(static_cast<uint64_t>(snap->patterns.size()));
+      w.Key("age_ms").Value(snap->AgeMs());
+      w.Key("quality").BeginObject();
+      w.Key("scov").Value(snap->quality.scov);
+      w.Key("lcov").Value(snap->quality.lcov);
+      w.Key("div").Value(snap->quality.div);
+      w.Key("cog_avg").Value(snap->quality.cog_avg);
+      w.Key("cog_max").Value(snap->quality.cog_max);
+      w.EndObject();
+      w.EndObject();
+    }
+    w.Key("stats").BeginObject();
+    w.Key("submitted").Value(s.submitted);
+    w.Key("admitted").Value(s.admitted);
+    w.Key("rejected_validation").Value(s.rejected_validation);
+    w.Key("rejected_overflow").Value(s.rejected_overflow);
+    w.Key("coalesced").Value(s.coalesced);
+    w.Key("writer_rejected").Value(s.writer_rejected);
+    w.Key("rounds_ok").Value(s.rounds_ok);
+    w.Key("retries").Value(s.retries);
+    w.Key("recoveries").Value(s.recoveries);
+    w.Key("recovery_failures").Value(s.recovery_failures);
+    w.Key("quarantined").Value(s.quarantined);
+    w.Key("checkpoints").Value(s.checkpoints);
+    w.EndObject();
+    w.Key("drift").BeginObject();
+    w.Key("enabled").Value(config_.sli_enabled);
+    w.Key("drifted").Value(drift.drifted);
+    w.Key("rounds").Value(drift_.rounds());
+    w.Key("baseline_frozen").Value(drift_.baseline_frozen());
+    if (drift.drifted) {
+      w.Key("metric").Value(drift.metric);
+      w.Key("ks_statistic").Value(drift.ks_statistic);
+      w.Key("p_value").Value(drift.p_value);
+      w.Key("baseline_mean").Value(drift.baseline_mean);
+      w.Key("window_mean").Value(drift.window_mean);
+    }
+    w.EndObject();
+    w.EndObject();
+
+    // Splice the last committed round's MaintenanceStats (already a JSON
+    // object via ToJson) in before the closing brace — JsonWriter has no
+    // raw-value API.
+    std::string body = w.str();
+    MaintenanceStats last;
+    std::string last_json =
+        LastRoundStats(&last) ? last.ToJson() : std::string("null");
+    body.insert(body.size() - 1, ",\"last_round\":" + last_json);
+
+    obs::HttpResponse resp;
+    resp.content_type = "application/json";
+    resp.body = body;
+    return resp;
+  });
+
+  telemetry_->Handle("/spans", [](const obs::HttpRequest& req) {
+    obs::HttpResponse resp;
+    obs::SpanProfiler& prof = obs::SpanProfiler::Current();
+    if (req.QueryParam("fmt") == "folded") {
+      resp.body = prof.ExportFolded();
+    } else if (!prof.enabled() && prof.size() == 0) {
+      resp.body = "span profiler disabled (HostConfig::profile_spans)\n";
+    } else {
+      resp.body = prof.ExportTopTable();
+    }
+    return resp;
+  });
 }
 
 HostStats EngineHost::stats() const {

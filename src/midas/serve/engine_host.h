@@ -12,6 +12,8 @@
 #include "midas/maintain/journal.h"
 #include "midas/maintain/midas.h"
 #include "midas/obs/event_log.h"
+#include "midas/obs/sli.h"
+#include "midas/obs/telemetry_server.h"
 #include "midas/serve/admission.h"
 #include "midas/serve/panel_snapshot.h"
 #include "midas/serve/quarantine.h"
@@ -52,6 +54,22 @@ struct HostConfig {
 
   /// Quarantine directory, resolved under the engine dir when relative.
   std::string quarantine_subdir = "quarantine";
+
+  /// Introspection HTTP server (obs/telemetry_server.h): -1 disables it,
+  /// 0 binds an ephemeral port (query the bound port with
+  /// EngineHost::telemetry_port()), any other value is the fixed port.
+  /// Serves /metrics, /varz, /healthz, /statusz and /spans on 127.0.0.1.
+  int telemetry_port = -1;
+  /// Enable the hierarchical span profiler (obs/profile.h) alongside the
+  /// telemetry server, so /spans has a call tree to show. Only consulted
+  /// when the server is on.
+  bool profile_spans = true;
+
+  /// Pattern-quality drift detection (obs/sli.h). When enabled, the host
+  /// attaches a KS drift detector to the engine; a drifting panel flips
+  /// /healthz to 503 and logs a `quality_drift` event.
+  bool sli_enabled = true;
+  obs::SliConfig sli;
 };
 
 /// Monotonic host telemetry (all counters since Start).
@@ -166,6 +184,26 @@ class EngineHost {
   /// rejects). Call before Start; non-owning.
   void SetEventLog(obs::MaintenanceEventLog* log) { event_log_ = log; }
 
+  /// Bound telemetry port (resolves HostConfig::telemetry_port == 0 to the
+  /// ephemeral port actually bound); -1 when the server is disabled.
+  int telemetry_port() const {
+    return telemetry_ != nullptr ? telemetry_->port() : -1;
+  }
+  /// The telemetry server itself (nullptr when disabled) — for registering
+  /// extra routes before Start.
+  obs::TelemetryServer* telemetry() { return telemetry_.get(); }
+
+  /// Current pattern-quality drift status (always false with sli_enabled
+  /// off). /healthz reports 503 while this is true.
+  bool quality_drifted() const {
+    return config_.sli_enabled && drift_.drifted();
+  }
+  const obs::QualityDriftDetector& drift_detector() const { return drift_; }
+
+  /// Most recent committed round's MaintenanceStats (thread-safe copy;
+  /// false when no round has committed yet).
+  bool LastRoundStats(MaintenanceStats* out) const;
+
  private:
   void WriterLoop();
   SubmitResult SubmitInternal(BatchUpdate batch,
@@ -182,6 +220,10 @@ class EngineHost {
                         const std::string& detail);
   void MaybeCheckpoint();
   void UpdateGauges();
+  /// Registers /metrics, /varz, /healthz, /statusz and /spans on the
+  /// telemetry server. Handlers run on the server thread and only touch
+  /// thread-safe host state (snapshots, atomics, mutex-guarded copies).
+  void InstallTelemetryRoutes();
 
   const std::string engine_dir_;
   const std::string quarantine_dir_;
@@ -192,6 +234,13 @@ class EngineHost {
   std::unique_ptr<MidasEngine> engine_;  ///< writer-thread-only after Start
   UpdateJournal journal_;
   obs::MaintenanceEventLog* event_log_ = nullptr;  ///< non-owning
+  obs::QualityDriftDetector drift_;                ///< fed by the writer
+  std::unique_ptr<obs::TelemetryServer> telemetry_;
+
+  /// Last committed round's stats, copied out of the writer for /statusz.
+  mutable std::mutex last_stats_mu_;
+  MaintenanceStats last_stats_;
+  bool has_last_stats_ = false;
 
   BoundedUpdateQueue queue_;
   std::thread writer_;

@@ -1,0 +1,84 @@
+#ifndef MIDAS_TESTS_HTTP_TEST_CLIENT_H_
+#define MIDAS_TESTS_HTTP_TEST_CLIENT_H_
+
+// Tiny blocking HTTP/1.0-style client for exercising obs::TelemetryServer
+// in tests: one request per connection (the server sends
+// `Connection: close`), no chunked encoding, 127.0.0.1 only.
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <string>
+
+namespace midas {
+namespace testing {
+
+struct HttpResult {
+  bool ok = false;        ///< transport-level success (connected + parsed)
+  int status = 0;         ///< HTTP status code
+  std::string headers;    ///< raw header block
+  std::string body;
+};
+
+/// Sends `raw` verbatim to 127.0.0.1:port and reads until EOF. The server
+/// closes after each response, so EOF delimits the reply.
+inline HttpResult HttpRaw(int port, const std::string& raw) {
+  HttpResult result;
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return result;
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return result;
+  }
+
+  size_t sent = 0;
+  while (sent < raw.size()) {
+    ssize_t n = ::send(fd, raw.data() + sent, raw.size() - sent, 0);
+    if (n <= 0) {
+      ::close(fd);
+      return result;
+    }
+    sent += static_cast<size_t>(n);
+  }
+
+  std::string reply;
+  char buf[4096];
+  for (;;) {
+    ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    reply.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+
+  size_t header_end = reply.find("\r\n\r\n");
+  if (header_end == std::string::npos) return result;
+  result.headers = reply.substr(0, header_end);
+  result.body = reply.substr(header_end + 4);
+
+  // "HTTP/1.1 200 OK"
+  size_t sp = result.headers.find(' ');
+  if (sp == std::string::npos) return result;
+  result.status = std::atoi(result.headers.c_str() + sp + 1);
+  result.ok = result.status != 0;
+  return result;
+}
+
+/// GET `target` (path plus optional query) from 127.0.0.1:port.
+inline HttpResult HttpGet(int port, const std::string& target) {
+  return HttpRaw(port, "GET " + target +
+                           " HTTP/1.1\r\nHost: 127.0.0.1\r\n"
+                           "Connection: close\r\n\r\n");
+}
+
+}  // namespace testing
+}  // namespace midas
+
+#endif  // MIDAS_TESTS_HTTP_TEST_CLIENT_H_

@@ -358,6 +358,59 @@ TEST(ExportTest, PrometheusFormat) {
   EXPECT_NE(text.find("midas_test_dur_ms_count 3\n"), std::string::npos);
 }
 
+// Exposition-format conformance golden: one registry with every metric
+// kind, whole-document comparison. Locks the details scrapers depend on —
+// cumulative `le` buckets ending at +Inf, `_sum`/`_count`, `# TYPE` lines,
+// and name/label sanitization.
+TEST(ExportTest, PrometheusConformanceGolden) {
+  obs::MetricsRegistry reg;
+  reg.GetCounter("midas_rounds_total")->Increment(2);
+  // Hostile names: Prometheus metric names cannot carry '-', '.' or a
+  // leading digit; the exporter must sanitize rather than emit them raw.
+  reg.GetCounter("midas-weird.name")->Increment(1);
+  reg.GetCounter("0starts_with_digit")->Increment(4);
+  reg.GetGauge("midas_queue_depth")->Set(3.0);
+  obs::Histogram* h = reg.GetHistogram("midas_round_ms", {1.0, 10.0});
+  h->Observe(0.5);
+  h->Observe(0.75);
+  h->Observe(5.0);
+  h->Observe(50.0);
+
+  // Instruments export sorted by *registered* name ('0' < '-' < '_').
+  const std::string expected =
+      "# TYPE _0starts_with_digit counter\n"
+      "_0starts_with_digit 4\n"
+      "# TYPE midas_weird_name counter\n"
+      "midas_weird_name 1\n"
+      "# TYPE midas_rounds_total counter\n"
+      "midas_rounds_total 2\n"
+      "# TYPE midas_queue_depth gauge\n"
+      "midas_queue_depth 3\n"
+      "# TYPE midas_round_ms histogram\n"
+      "midas_round_ms_bucket{le=\"1\"} 2\n"
+      "midas_round_ms_bucket{le=\"10\"} 3\n"
+      "midas_round_ms_bucket{le=\"+Inf\"} 4\n"
+      "midas_round_ms_sum 56.25\n"
+      "midas_round_ms_count 4\n";
+  EXPECT_EQ(obs::ExportPrometheus(reg), expected);
+}
+
+TEST(ExportTest, SanitizeMetricName) {
+  EXPECT_EQ(obs::SanitizeMetricName("midas_ok_total"), "midas_ok_total");
+  EXPECT_EQ(obs::SanitizeMetricName("has-dash.and space"),
+            "has_dash_and_space");
+  EXPECT_EQ(obs::SanitizeMetricName("7digit"), "_7digit");
+  EXPECT_EQ(obs::SanitizeMetricName("ns:name"), "ns:name");  // colons legal
+  EXPECT_EQ(obs::SanitizeMetricName(""), "_");
+}
+
+TEST(ExportTest, EscapeLabelValue) {
+  EXPECT_EQ(obs::EscapeLabelValue("plain"), "plain");
+  EXPECT_EQ(obs::EscapeLabelValue("a\"b"), "a\\\"b");
+  EXPECT_EQ(obs::EscapeLabelValue("a\\b"), "a\\\\b");
+  EXPECT_EQ(obs::EscapeLabelValue("a\nb"), "a\\nb");
+}
+
 TEST(ExportTest, JsonExportParses) {
   obs::MetricsRegistry reg;
   reg.GetCounter("midas_test_runs_total")->Increment(3);

@@ -1,0 +1,200 @@
+#include "midas/obs/profile.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "midas/obs/metrics.h"
+#include "midas/obs/trace.h"
+
+namespace midas {
+namespace obs {
+namespace {
+
+void SpinMs(double ms) {
+  auto until = std::chrono::steady_clock::now() +
+               std::chrono::duration<double, std::milli>(ms);
+  while (std::chrono::steady_clock::now() < until) {
+  }
+}
+
+TEST(SpanProfilerTest, DisabledProfilerRecordsNothing) {
+  SpanProfiler prof;  // enabled() == false by default
+  ScopedSpanProfiler scope(prof);
+  double sink = 0.0;
+  {
+    TraceSpan span("root", &sink);
+  }
+  EXPECT_GT(sink, 0.0);   // the span itself still measured
+  EXPECT_EQ(prof.size(), 0u);
+}
+
+TEST(SpanProfilerTest, NestedSpansFormPaths) {
+  SpanProfiler prof;
+  prof.set_enabled(true);
+  ScopedSpanProfiler scope(prof);
+
+  double sink = 0.0;
+  {
+    TraceSpan root("root", &sink);
+    SpinMs(2.0);
+    {
+      TraceSpan child("child", &sink);
+      SpinMs(2.0);
+      { TraceSpan leaf("leaf", &sink); SpinMs(1.0); }
+    }
+    { TraceSpan child2("child2", &sink); SpinMs(1.0); }
+  }
+  EXPECT_EQ(SpanProfiler::FrameDepth(), 0u);
+
+  auto snap = prof.Snapshot();
+  ASSERT_EQ(snap.size(), 4u);
+  // Lexicographic by path ('2' < ';'), so child2 lands before child's leaf.
+  EXPECT_EQ(snap[0].first, "root");
+  EXPECT_EQ(snap[1].first, "root;child");
+  EXPECT_EQ(snap[2].first, "root;child2");
+  EXPECT_EQ(snap[3].first, "root;child;leaf");
+
+  const auto& root = snap[0].second;
+  const auto& child = snap[1].second;
+  const auto& leaf = snap[3].second;
+  EXPECT_EQ(root.count, 1u);
+  // Inclusive times nest: root >= child >= leaf.
+  EXPECT_GE(root.total_ms, child.total_ms);
+  EXPECT_GE(child.total_ms, leaf.total_ms);
+  // Self excludes children: root spent ~3ms outside its two children.
+  EXPECT_GE(root.self_ms, 1.0);
+  EXPECT_LE(root.self_ms, root.total_ms - child.total_ms);
+  // A leaf's self time is its total time.
+  EXPECT_DOUBLE_EQ(leaf.self_ms, leaf.total_ms);
+}
+
+TEST(SpanProfilerTest, RepeatedPathsAggregate) {
+  SpanProfiler prof;
+  prof.set_enabled(true);
+  ScopedSpanProfiler scope(prof);
+
+  double sink = 0.0;
+  for (int i = 0; i < 5; ++i) {
+    TraceSpan root("round", &sink);
+    TraceSpan phase("phase", &sink);
+  }
+
+  auto snap = prof.Snapshot();
+  ASSERT_EQ(snap.size(), 2u);
+  EXPECT_EQ(snap[0].second.count, 5u);
+  EXPECT_EQ(snap[1].second.count, 5u);
+}
+
+TEST(SpanProfilerTest, ThreadsKeepIndependentStacksButShareTheTree) {
+  SpanProfiler prof;
+  prof.set_enabled(true);
+  ScopedSpanProfiler scope(prof);
+
+  auto work = [](const std::string& name) {
+    double sink = 0.0;
+    for (int i = 0; i < 10; ++i) {
+      TraceSpan outer(name, &sink);
+      TraceSpan inner("inner", &sink);
+    }
+  };
+  std::thread a(work, "thread_a");
+  std::thread b(work, "thread_b");
+  a.join();
+  b.join();
+
+  auto snap = prof.Snapshot();
+  ASSERT_EQ(snap.size(), 4u);  // a, a;inner, b, b;inner — never interleaved
+  EXPECT_EQ(snap[0].first, "thread_a");
+  EXPECT_EQ(snap[1].first, "thread_a;inner");
+  EXPECT_EQ(snap[2].first, "thread_b");
+  EXPECT_EQ(snap[3].first, "thread_b;inner");
+  for (const auto& entry : snap) EXPECT_EQ(entry.second.count, 10u);
+}
+
+TEST(SpanProfilerTest, FoldedExportIsFlamegraphInput) {
+  SpanProfiler prof;
+  prof.set_enabled(true);
+  ScopedSpanProfiler scope(prof);
+
+  double sink = 0.0;
+  {
+    TraceSpan root("root", &sink);
+    SpinMs(1.0);
+    TraceSpan child("child", &sink);
+    SpinMs(1.0);
+  }
+
+  std::string folded = prof.ExportFolded();
+  // Every line: "<path> <integer>".
+  size_t lines = 0;
+  size_t pos = 0;
+  while (pos < folded.size()) {
+    size_t eol = folded.find('\n', pos);
+    ASSERT_NE(eol, std::string::npos);
+    std::string line = folded.substr(pos, eol - pos);
+    size_t sp = line.rfind(' ');
+    ASSERT_NE(sp, std::string::npos) << line;
+    EXPECT_NE(line.substr(sp + 1).find_first_of("0123456789"),
+              std::string::npos)
+        << line;
+    ++lines;
+    pos = eol + 1;
+  }
+  EXPECT_EQ(lines, 2u);
+  EXPECT_NE(folded.find("root;child "), std::string::npos);
+}
+
+TEST(SpanProfilerTest, TopTableSortsBySelfTime) {
+  SpanProfiler prof;
+  prof.set_enabled(true);
+  ScopedSpanProfiler scope(prof);
+
+  double sink = 0.0;
+  { TraceSpan s("cheap", &sink); }
+  { TraceSpan s("expensive", &sink); SpinMs(3.0); }
+
+  std::string table = prof.ExportTopTable(1);
+  EXPECT_NE(table.find("expensive"), std::string::npos);
+  EXPECT_EQ(table.find("cheap"), std::string::npos);  // truncated at top-1
+}
+
+TEST(SpanProfilerTest, ClearDropsPathsKeepsEnabled) {
+  SpanProfiler prof;
+  prof.set_enabled(true);
+  ScopedSpanProfiler scope(prof);
+  double sink = 0.0;
+  { TraceSpan s("x", &sink); }
+  ASSERT_EQ(prof.size(), 1u);
+  prof.Clear();
+  EXPECT_EQ(prof.size(), 0u);
+  EXPECT_TRUE(prof.enabled());
+}
+
+TEST(SpanProfilerTest, PausedSpanSelfTimeClampsAtZero) {
+  SpanProfiler prof;
+  prof.set_enabled(true);
+  ScopedSpanProfiler scope(prof);
+
+  double sink = 0.0;
+  {
+    TraceSpan parent("parent", &sink);
+    parent.Pause();
+    // The child runs while the parent's own clock is paused: the child's
+    // wall time exceeds the parent's unpaused elapsed time.
+    { TraceSpan child("child", &sink); SpinMs(2.0); }
+    parent.Resume();
+  }
+
+  auto snap = prof.Snapshot();
+  ASSERT_EQ(snap.size(), 2u);
+  EXPECT_EQ(snap[0].first, "parent");
+  EXPECT_GE(snap[0].second.self_ms, 0.0);  // clamped, never negative
+  EXPECT_LT(snap[0].second.total_ms, snap[1].second.total_ms);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace midas

@@ -13,7 +13,10 @@
 //    round_seq never regressed;
 //  - no admitted batch was lost: rounds_ok + quarantined + writer_rejected
 //    == admitted (kBlock policy => no coalescing, one round per batch);
-//  - every quarantine file round-trips through graph_io.
+//  - every quarantine file round-trips through graph_io;
+//  - the telemetry server answered HTTP scrapes throughout the chaos, and
+//    every response was well-formed (the TSan run makes the server-vs-writer
+//    data-race check real).
 
 #include <gtest/gtest.h>
 
@@ -27,10 +30,12 @@
 #include <thread>
 #include <vector>
 
+#include "http_test_client.h"
 #include "midas/common/failpoint.h"
 #include "midas/datagen/molecule_gen.h"
 #include "midas/obs/event_log.h"
 #include "midas/obs/metrics.h"
+#include "midas/obs/profile.h"
 #include "midas/serve/engine_host.h"
 #include "midas/serve/quarantine.h"
 #include "test_util.h"
@@ -196,6 +201,7 @@ TEST(ServeSoakTest, ConcurrentReadersSurviveChaosWithoutLosingRounds) {
   cfg.backoff_initial_ms = 0.5;
   cfg.backoff_max_ms = 5.0;
   cfg.checkpoint_every = 16;
+  cfg.telemetry_port = 0;  // scraped by the poller thread below
   obs::MaintenanceEventLog log;
   log.set_buffering(false);  // unbounded growth is the soak's own hazard
   EngineHost host(std::move(engine), dir.path, cfg);
@@ -225,12 +231,44 @@ TEST(ServeSoakTest, ConcurrentReadersSurviveChaosWithoutLosingRounds) {
       ProducerLoop(host, p, kBatchesPerProducer, &accepted_total);
     });
   }
+
+  // Telemetry poller: a scraper hitting the introspection endpoints while
+  // the writer churns and recovery/quarantine chaos fires.
+  std::atomic<uint64_t> scrapes_ok{0};
+  std::atomic<uint64_t> scrapes_bad{0};
+  const int telemetry_port = host.telemetry_port();
+  ASSERT_GT(telemetry_port, 0);
+  std::thread poller([&stop, &scrapes_ok, &scrapes_bad, telemetry_port] {
+    const char* targets[] = {"/metrics", "/healthz", "/statusz",
+                             "/spans?fmt=folded"};
+    size_t i = 0;
+    while (!stop.load(std::memory_order_acquire)) {
+      midas::testing::HttpResult r =
+          midas::testing::HttpGet(telemetry_port, targets[i++ % 4]);
+      // /healthz may legitimately be 503 mid-chaos; anything parseable with
+      // a plausible status counts as a healthy server.
+      if (r.ok && (r.status == 200 || r.status == 503)) {
+        scrapes_ok.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        scrapes_bad.fetch_add(1, std::memory_order_relaxed);
+      }
+      std::this_thread::sleep_for(milliseconds(5));
+    }
+  });
+
   for (auto& t : producers) t.join();
   ASSERT_TRUE(host.WaitIdle(milliseconds(300000)));
   stop.store(true, std::memory_order_release);
   for (auto& t : readers) t.join();
+  poller.join();
   host.Stop();
   fail::DisarmAll();
+  obs::SpanProfiler::Current().set_enabled(false);
+  obs::SpanProfiler::Current().Clear();
+
+  // --- Telemetry under chaos ------------------------------------------------
+  EXPECT_GT(scrapes_ok.load(), 0u);
+  EXPECT_EQ(scrapes_bad.load(), 0u);
 
   // --- Reader invariants ----------------------------------------------------
   for (int i = 0; i < kReaders; ++i) {

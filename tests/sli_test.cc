@@ -1,0 +1,160 @@
+#include "midas/obs/sli.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "midas/obs/metrics.h"
+
+namespace midas {
+namespace obs {
+namespace {
+
+SliConfig SmallConfig() {
+  SliConfig cfg;
+  cfg.baseline_rounds = 5;
+  cfg.window = 5;
+  cfg.min_window = 5;
+  cfg.alpha = 0.05;
+  cfg.min_rel_delta = 0.10;
+  return cfg;
+}
+
+// Healthy panel: scov near 0.8 with per-round jitter that keeps samples
+// distinct (ties weaken the KS statistic for nothing).
+QualitySample Healthy(int i) {
+  QualitySample q;
+  q.scov = 0.80 + 0.002 * (i % 5);
+  q.lcov = 0.95 + 0.001 * (i % 3);
+  q.div = 2.0 + 0.01 * (i % 4);
+  q.cog_avg = 1.5 + 0.005 * (i % 5);
+  return q;
+}
+
+// Collapsed panel: coverage fell off a cliff, everything else unchanged.
+QualitySample Collapsed(int i) {
+  QualitySample q = Healthy(i);
+  q.scov = 0.20 + 0.002 * (i % 5);
+  return q;
+}
+
+TEST(QualityDriftDetectorTest, StableStreamNeverDrifts) {
+  QualityDriftDetector det(SmallConfig());
+  for (int i = 0; i < 30; ++i) {
+    DriftFinding f = det.Observe(Healthy(i));
+    EXPECT_FALSE(f.drifted) << "round " << i;
+    EXPECT_FALSE(f.newly_drifted);
+    EXPECT_FALSE(f.recovered);
+  }
+  EXPECT_FALSE(det.drifted());
+  EXPECT_TRUE(det.baseline_frozen());
+  EXPECT_EQ(det.rounds(), 30u);
+}
+
+TEST(QualityDriftDetectorTest, NoVerdictBeforeMinWindow) {
+  QualityDriftDetector det(SmallConfig());
+  for (int i = 0; i < 5; ++i) det.Observe(Healthy(i));
+  // Collapse immediately after the baseline freezes: rounds 6..9 have
+  // fewer than min_window samples in the window, so no verdict yet.
+  for (int i = 0; i < 4; ++i) {
+    DriftFinding f = det.Observe(Collapsed(i));
+    EXPECT_FALSE(f.drifted) << "window round " << i;
+  }
+  // The 5th collapsed round completes the window and the verdict fires.
+  DriftFinding f = det.Observe(Collapsed(4));
+  EXPECT_TRUE(f.drifted);
+  EXPECT_TRUE(f.newly_drifted);
+}
+
+TEST(QualityDriftDetectorTest, CoverageCollapseIsDetectedOnce) {
+  QualityDriftDetector det(SmallConfig());
+  for (int i = 0; i < 5; ++i) det.Observe(Healthy(i));
+
+  int newly = 0;
+  DriftFinding last;
+  for (int i = 0; i < 8; ++i) {
+    last = det.Observe(Collapsed(i));
+    if (last.newly_drifted) ++newly;
+  }
+  EXPECT_TRUE(det.drifted());
+  EXPECT_EQ(newly, 1);  // one transition, one event-log line
+  EXPECT_TRUE(last.drifted);
+  EXPECT_EQ(last.metric, "scov");
+  EXPECT_LT(last.p_value, 0.05);
+  EXPECT_GT(last.ks_statistic, 0.9);  // full separation
+  EXPECT_NEAR(last.baseline_mean, 0.804, 0.01);
+  EXPECT_NEAR(last.window_mean, 0.204, 0.01);
+}
+
+TEST(QualityDriftDetectorTest, RecoveryFlipsBackAndReportsTransition) {
+  QualityDriftDetector det(SmallConfig());
+  for (int i = 0; i < 5; ++i) det.Observe(Healthy(i));
+  for (int i = 0; i < 5; ++i) det.Observe(Collapsed(i));
+  ASSERT_TRUE(det.drifted());
+
+  int recovered = 0;
+  for (int i = 0; i < 5; ++i) {
+    DriftFinding f = det.Observe(Healthy(i));
+    if (f.recovered) ++recovered;
+  }
+  EXPECT_FALSE(det.drifted());
+  EXPECT_EQ(recovered, 1);  // status is current, not latched
+}
+
+TEST(QualityDriftDetectorTest, SmallButSignificantShiftIsGuarded) {
+  // The two regimes never overlap, so KS is maximally significant — but the
+  // mean moved ~1%, far under min_rel_delta = 10%: no page.
+  QualityDriftDetector det(SmallConfig());
+  for (int i = 0; i < 5; ++i) {
+    QualitySample q;
+    q.scov = 0.800 + 0.0002 * i;
+    q.lcov = q.div = q.cog_avg = 1.0;
+    det.Observe(q);
+  }
+  for (int i = 0; i < 10; ++i) {
+    QualitySample q;
+    q.scov = 0.810 + 0.0002 * i;
+    q.lcov = q.div = q.cog_avg = 1.0;
+    DriftFinding f = det.Observe(q);
+    EXPECT_FALSE(f.drifted) << "round " << i;
+  }
+}
+
+TEST(QualityDriftDetectorTest, ResetStartsANewBaseline) {
+  QualityDriftDetector det(SmallConfig());
+  for (int i = 0; i < 5; ++i) det.Observe(Healthy(i));
+  for (int i = 0; i < 5; ++i) det.Observe(Collapsed(i));
+  ASSERT_TRUE(det.drifted());
+
+  det.Reset();
+  EXPECT_FALSE(det.drifted());
+  EXPECT_EQ(det.rounds(), 0u);
+  EXPECT_FALSE(det.baseline_frozen());
+
+  // The collapsed regime is the *new* baseline: staying there is healthy.
+  for (int i = 0; i < 15; ++i) {
+    EXPECT_FALSE(det.Observe(Collapsed(i)).drifted);
+  }
+}
+
+TEST(QualityDriftDetectorTest, ExportsDriftMetrics) {
+  MetricsRegistry reg;
+  ScopedMetricsRegistry scope(reg);
+
+  QualityDriftDetector det(SmallConfig());
+  for (int i = 0; i < 5; ++i) det.Observe(Healthy(i));
+  for (int i = 0; i < 5; ++i) det.Observe(Collapsed(i));
+
+  EXPECT_EQ(reg.GetGauge("midas_quality_drift_status")->Value(), 1.0);
+  EXPECT_GT(reg.GetGauge("midas_quality_drift_ks_statistic")->Value(), 0.9);
+  EXPECT_EQ(reg.GetCounter("midas_quality_drift_events_total")->Value(), 1u);
+
+  for (int i = 0; i < 5; ++i) det.Observe(Healthy(i));
+  EXPECT_EQ(reg.GetGauge("midas_quality_drift_status")->Value(), 0.0);
+  // The transition counter is monotonic.
+  EXPECT_EQ(reg.GetCounter("midas_quality_drift_events_total")->Value(), 1u);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace midas

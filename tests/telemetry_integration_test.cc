@@ -1,0 +1,214 @@
+// End-to-end acceptance of the live introspection stack: an EngineHost
+// with its telemetry server on serves /metrics, /spans and /healthz over
+// real HTTP while the writer maintains the panel — and a synthetic
+// coverage collapse flips /healthz to 503 with a matching quality_drift
+// record in the JSONL event log.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+
+#include "http_test_client.h"
+#include "midas/datagen/molecule_gen.h"
+#include "midas/obs/event_log.h"
+#include "midas/obs/metrics.h"
+#include "midas/obs/profile.h"
+#include "midas/serve/engine_host.h"
+
+namespace midas {
+namespace serve {
+namespace {
+
+namespace fs = std::filesystem;
+using midas::testing::HttpGet;
+using midas::testing::HttpResult;
+using std::chrono::milliseconds;
+
+struct TempDir {
+  explicit TempDir(const std::string& name)
+      : path((fs::temp_directory_path() / name).string()) {
+    fs::remove_all(path);
+    fs::create_directories(path);
+  }
+  ~TempDir() { fs::remove_all(path); }
+  std::string path;
+};
+
+// The global profiler stays enabled after EngineHost turns it on; restore
+// the default so neighbouring tests see the profiler they expect.
+struct ProfilerGuard {
+  ~ProfilerGuard() {
+    obs::SpanProfiler::Current().set_enabled(false);
+    obs::SpanProfiler::Current().Clear();
+  }
+};
+
+MidasConfig TestConfig() {
+  MidasConfig cfg;
+  cfg.budget = {3, 7, 9};
+  cfg.fct.sup_min = 0.45;
+  cfg.fct.max_edges = 3;
+  cfg.cluster.num_coarse = 3;
+  cfg.epsilon = 0.0;
+  cfg.sample_cap = 0;
+  cfg.seed = 1234;
+  return cfg;
+}
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+TEST(TelemetryIntegrationTest, EndpointsServeAndDriftFlipsHealthz) {
+  TempDir dir("midas_telemetry_integration");
+  ProfilerGuard profiler_guard;
+  // A fresh registry: the registry slot is process-wide, so the writer
+  // thread and the telemetry server both record into it, and the drift
+  // counter assertions below start from zero regardless of test order.
+  obs::MetricsRegistry registry;
+  obs::ScopedMetricsRegistry metrics_scope(registry);
+
+  MoleculeGenerator gen(101);
+  MoleculeGenConfig data = MoleculeGenerator::EmolLike(24);
+  auto engine = std::make_unique<MidasEngine>(gen.Generate(data),
+                                              TestConfig());
+  engine->Initialize();
+  GraphDatabase base = engine->db();
+
+  HostConfig cfg;
+  cfg.queue_capacity = 8;
+  // Synthetic collapse mechanism: the pattern set is frozen (kNoMaintain
+  // refreshes metrics but never swaps patterns), so flooding the database
+  // with a novel family genuinely sinks scov.
+  cfg.mode = MaintenanceMode::kNoMaintain;
+  cfg.telemetry_port = 0;  // ephemeral: tests never race over ports
+  cfg.sli.baseline_rounds = 3;
+  cfg.sli.window = 3;
+  cfg.sli.min_window = 3;
+  cfg.sli.alpha = 0.05;  // 3-vs-3 full separation: p ~ 0.033
+  cfg.sli.min_rel_delta = 0.10;
+
+  const std::string event_path = dir.path + "/events.jsonl";
+  obs::MaintenanceEventLog event_log;
+  event_log.set_sink(obs::FileSink(event_path));
+
+  EngineHost host(std::move(engine), dir.path + "/state", cfg);
+  host.SetEventLog(&event_log);
+  std::string err;
+  ASSERT_TRUE(host.Start(&err)) << err;
+  const int port = host.telemetry_port();
+  ASSERT_GT(port, 0);
+
+  // --- Baseline: three in-family rounds, host healthy -----------------
+  for (int day = 0; day < 3; ++day) {
+    GraphDatabase copy = base;
+    BatchUpdate delta = gen.GenerateAdditions(copy, data, 2, false);
+    ASSERT_TRUE(host.Submit(std::move(delta), copy.labels()).accepted());
+    ASSERT_TRUE(host.WaitIdle(milliseconds(60000)));
+  }
+
+  HttpResult health = HttpGet(port, "/healthz");
+  ASSERT_TRUE(health.ok);
+  EXPECT_EQ(health.status, 200);
+  EXPECT_NE(health.body.find("\"quality_drift\":false"), std::string::npos);
+
+  // /metrics exposes the per-round quality SLIs.
+  HttpResult metrics = HttpGet(port, "/metrics");
+  ASSERT_TRUE(metrics.ok);
+  ASSERT_EQ(metrics.status, 200);
+  EXPECT_NE(metrics.body.find("midas_quality_coverage"), std::string::npos);
+  EXPECT_NE(metrics.body.find("midas_quality_label_coverage"),
+            std::string::npos);
+  EXPECT_NE(metrics.body.find("midas_quality_diversity"), std::string::npos);
+  EXPECT_NE(metrics.body.find("midas_quality_drift_status 0"),
+            std::string::npos);
+
+  // /spans?fmt=folded shows the maintenance phases nested under the round
+  // span, with integer self-time weights.
+  HttpResult spans = HttpGet(port, "/spans?fmt=folded");
+  ASSERT_TRUE(spans.ok);
+  ASSERT_EQ(spans.status, 200);
+  EXPECT_NE(
+      spans.body.find("midas_maintain_total_ms;midas_maintain_apply_ms "),
+      std::string::npos)
+      << spans.body;
+  // Phase times are plausible: the total path's weight bounds its child's.
+  auto weight_of = [&spans](const std::string& path) {
+    size_t pos = spans.body.find(path + " ");
+    EXPECT_NE(pos, std::string::npos) << path;
+    return std::atoll(spans.body.c_str() + pos + path.size() + 1);
+  };
+  EXPECT_GE(weight_of("midas_maintain_total_ms"), 0);
+  EXPECT_GT(spans.body.find('\n'), 0u);
+
+  // /statusz carries the last committed round.
+  HttpResult statusz = HttpGet(port, "/statusz");
+  ASSERT_EQ(statusz.status, 200);
+  EXPECT_NE(statusz.body.find("\"last_round\":{"), std::string::npos);
+  EXPECT_NE(statusz.body.find("\"drift\":{\"enabled\":true"),
+            std::string::npos);
+
+  // --- Collapse: flood with a novel family, panel frozen --------------
+  for (int day = 0; day < 3; ++day) {
+    GraphDatabase copy = base;
+    BatchUpdate delta = gen.GenerateAdditions(copy, data, 40, true);
+    ASSERT_TRUE(host.Submit(std::move(delta), copy.labels()).accepted());
+    ASSERT_TRUE(host.WaitIdle(milliseconds(60000)));
+  }
+
+  EXPECT_TRUE(host.quality_drifted());
+  obs::DriftFinding finding = host.drift_detector().last_finding();
+  EXPECT_TRUE(finding.drifted);
+  EXPECT_EQ(finding.metric, "scov");
+  EXPECT_LT(finding.window_mean, finding.baseline_mean);
+
+  health = HttpGet(port, "/healthz");
+  ASSERT_TRUE(health.ok);
+  EXPECT_EQ(health.status, 503);
+  EXPECT_NE(health.body.find("\"status\":\"degraded\""), std::string::npos);
+  EXPECT_NE(health.body.find("\"quality_drift\":true"), std::string::npos);
+
+  metrics = HttpGet(port, "/metrics");
+  EXPECT_NE(metrics.body.find("midas_quality_drift_status 1"),
+            std::string::npos);
+  EXPECT_NE(metrics.body.find("midas_quality_drift_events_total 1"),
+            std::string::npos);
+
+  host.Stop();
+
+  // The JSONL event log carries exactly the transition record.
+  std::string events = ReadFile(event_path);
+  EXPECT_NE(events.find("\"quality_event\":\"quality_drift\""),
+            std::string::npos)
+      << events;
+  EXPECT_NE(events.find("\"metric\":\"scov\""), std::string::npos);
+}
+
+TEST(TelemetryIntegrationTest, TelemetryDisabledByDefault) {
+  TempDir dir("midas_telemetry_off");
+  MoleculeGenerator gen(7);
+  MoleculeGenConfig data = MoleculeGenerator::EmolLike(12);
+  auto engine = std::make_unique<MidasEngine>(gen.Generate(data),
+                                              TestConfig());
+  engine->Initialize();
+
+  EngineHost host(std::move(engine), dir.path);  // default HostConfig
+  std::string err;
+  ASSERT_TRUE(host.Start(&err)) << err;
+  EXPECT_EQ(host.telemetry_port(), -1);
+  EXPECT_EQ(host.telemetry(), nullptr);
+  host.Stop();
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace midas

@@ -1,0 +1,182 @@
+#include "midas/obs/telemetry_server.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "http_test_client.h"
+
+namespace midas {
+namespace obs {
+namespace {
+
+using midas::testing::HttpGet;
+using midas::testing::HttpRaw;
+using midas::testing::HttpResult;
+
+TEST(TelemetryServerTest, EphemeralPortServesRegisteredRoute) {
+  TelemetryServer server;
+  server.Handle("/ping", [](const HttpRequest&) {
+    HttpResponse resp;
+    resp.body = "pong";
+    return resp;
+  });
+
+  std::string err;
+  ASSERT_TRUE(server.Start(0, &err)) << err;
+  EXPECT_TRUE(server.running());
+  EXPECT_GT(server.port(), 0);
+  EXPECT_EQ(server.BaseUrl(),
+            "http://127.0.0.1:" + std::to_string(server.port()));
+
+  HttpResult r = HttpGet(server.port(), "/ping");
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(r.status, 200);
+  EXPECT_EQ(r.body, "pong");
+  EXPECT_NE(r.headers.find("Content-Length: 4"), std::string::npos);
+  EXPECT_NE(r.headers.find("Connection: close"), std::string::npos);
+
+  server.Stop();
+  EXPECT_FALSE(server.running());
+}
+
+TEST(TelemetryServerTest, HandlerSeesQueryParameters) {
+  TelemetryServer server;
+  server.Handle("/spans", [](const HttpRequest& req) {
+    HttpResponse resp;
+    resp.body = "fmt=" + req.QueryParam("fmt") + " missing=" +
+                req.QueryParam("nope");
+    return resp;
+  });
+  ASSERT_TRUE(server.Start(0));
+
+  HttpResult r = HttpGet(server.port(), "/spans?fmt=folded&x=1");
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(r.body, "fmt=folded missing=");
+}
+
+TEST(TelemetryServerTest, UnknownPathIs404) {
+  TelemetryServer server;
+  server.Handle("/known", [](const HttpRequest&) { return HttpResponse{}; });
+  ASSERT_TRUE(server.Start(0));
+
+  HttpResult r = HttpGet(server.port(), "/other");
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(r.status, 404);
+  // The 404 body lists the registered routes (operator convenience).
+  EXPECT_NE(r.body.find("/known"), std::string::npos);
+}
+
+TEST(TelemetryServerTest, NonGetIs405AndMalformedIs400) {
+  TelemetryServer server;
+  server.Handle("/x", [](const HttpRequest&) { return HttpResponse{}; });
+  ASSERT_TRUE(server.Start(0));
+
+  HttpResult post = HttpRaw(server.port(),
+                            "POST /x HTTP/1.1\r\nHost: a\r\n\r\n");
+  ASSERT_TRUE(post.ok);
+  EXPECT_EQ(post.status, 405);
+
+  HttpResult garbage = HttpRaw(server.port(), "not an http request\r\n\r\n");
+  ASSERT_TRUE(garbage.ok);
+  EXPECT_EQ(garbage.status, 400);
+}
+
+TEST(TelemetryServerTest, HeadReturnsHeadersWithoutBody) {
+  TelemetryServer server;
+  server.Handle("/m", [](const HttpRequest&) {
+    HttpResponse resp;
+    resp.body = "0123456789";
+    return resp;
+  });
+  ASSERT_TRUE(server.Start(0));
+
+  HttpResult r = HttpRaw(server.port(),
+                         "HEAD /m HTTP/1.1\r\nHost: a\r\n\r\n");
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(r.status, 200);
+  EXPECT_NE(r.headers.find("Content-Length: 10"), std::string::npos);
+  EXPECT_TRUE(r.body.empty());
+}
+
+TEST(TelemetryServerTest, ThrowingHandlerIs500NotACrash) {
+  TelemetryServer server;
+  server.Handle("/boom", [](const HttpRequest&) -> HttpResponse {
+    throw std::runtime_error("handler exploded");
+  });
+  ASSERT_TRUE(server.Start(0));
+
+  HttpResult r = HttpGet(server.port(), "/boom");
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(r.status, 500);
+
+  // The server thread survived the exception.
+  server.Handle("/ok", [](const HttpRequest&) { return HttpResponse{}; });
+  EXPECT_EQ(HttpGet(server.port(), "/ok").status, 200);
+}
+
+TEST(TelemetryServerTest, ConcurrentGetsAllSucceed) {
+  TelemetryServer server;
+  std::atomic<int> calls{0};
+  server.Handle("/hit", [&calls](const HttpRequest&) {
+    calls.fetch_add(1, std::memory_order_relaxed);
+    HttpResponse resp;
+    resp.body = "ok";
+    return resp;
+  });
+  ASSERT_TRUE(server.Start(0));
+
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 5;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> clients;
+  for (int t = 0; t < kThreads; ++t) {
+    clients.emplace_back([&server, &failures] {
+      for (int i = 0; i < kPerThread; ++i) {
+        HttpResult r = HttpGet(server.port(), "/hit");
+        if (!r.ok || r.status != 200 || r.body != "ok") {
+          failures.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(calls.load(), kThreads * kPerThread);
+}
+
+TEST(TelemetryServerTest, StopIsIdempotentAndRestartable) {
+  TelemetryServer server;
+  server.Handle("/r", [](const HttpRequest&) { return HttpResponse{}; });
+  ASSERT_TRUE(server.Start(0));
+  int first_port = server.port();
+  server.Stop();
+  server.Stop();  // idempotent
+
+  // SO_REUSEADDR: rebinding (even the same port) works immediately.
+  ASSERT_TRUE(server.Start(first_port));
+  EXPECT_EQ(server.port(), first_port);
+  EXPECT_EQ(HttpGet(server.port(), "/r").status, 200);
+  server.Stop();
+}
+
+TEST(TelemetryServerTest, StartFailsCleanlyOnBusyPort) {
+  TelemetryServer a;
+  a.Handle("/x", [](const HttpRequest&) { return HttpResponse{}; });
+  ASSERT_TRUE(a.Start(0));
+
+  TelemetryServer b;
+  std::string err;
+  EXPECT_FALSE(b.Start(a.port(), &err));
+  EXPECT_FALSE(err.empty());
+  EXPECT_FALSE(b.running());
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace midas
