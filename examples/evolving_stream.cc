@@ -10,6 +10,7 @@
 //   $ ./evolving_stream --slo_ms=10  # tighter deadline, more degradation
 //   $ ./evolving_stream --slo_ms=0   # no deadline: rounds run to completion
 //   $ ./evolving_stream --telemetry_port=0   # + live /metrics & /spans
+//   $ ./evolving_stream --threads=0  # parallel maintenance (all cores)
 
 #include <cstdio>
 #include <cstdlib>
@@ -34,14 +35,18 @@ int main(int argc, char** argv) {
 
   double slo_ms = 50.0;
   int telemetry_port = -1;  // -1 off, 0 ephemeral
+  int threads = 1;          // 0 = hardware concurrency
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--slo_ms=", 9) == 0) {
       slo_ms = std::atof(argv[i] + 9);
     } else if (std::strncmp(argv[i], "--telemetry_port=", 17) == 0) {
       telemetry_port = std::atoi(argv[i] + 17);
+    } else if (std::strncmp(argv[i], "--threads=", 10) == 0) {
+      threads = std::atoi(argv[i] + 10);
     } else {
       std::cerr << "usage: " << argv[0]
-                << " [--slo_ms=<double>] [--telemetry_port=<int>]\n";
+                << " [--slo_ms=<double>] [--telemetry_port=<int>]"
+                   " [--threads=<int>]\n";
       return 2;
     }
   }
@@ -92,6 +97,11 @@ int main(int argc, char** argv) {
   // stats.truncated, the midas_maintain_truncated_rounds_total metric and
   // the event log's truncated/degrade_reason fields.
   cfg.round_deadline_ms = slo_ms;
+  // Maintenance parallelism (--threads, default 1 = serial reference;
+  // 0 resolves to the machine's hardware concurrency). With unlimited
+  // budgets the stream's outputs are identical at any thread count; under
+  // an SLO more threads simply fit more work before the deadline.
+  cfg.num_threads = threads;
 
   MidasEngine engine(gen.Generate(data), cfg);
 

@@ -17,7 +17,8 @@
 // prints ready-made curl one-liners on startup. --linger_ms=N keeps the
 // process (and the telemetry server) alive for N ms after the stream
 // drains, so an external scraper — e.g. the CI smoke job — has a window
-// to hit the endpoints.
+// to hit the endpoints. --threads=N sizes the engine's maintenance task
+// pool (0 = hardware concurrency; default keeps the engine's own config).
 
 #include <atomic>
 #include <chrono>
@@ -57,8 +58,10 @@ int main(int argc, char** argv) {
 
   int telemetry_port = -1;  // -1 off, 0 ephemeral
   int linger_ms = 0;
+  int threads = -1;  // -1 keep engine default, 0 = hardware concurrency
   ParseIntFlag(argc, argv, "telemetry_port", &telemetry_port);
   ParseIntFlag(argc, argv, "linger_ms", &linger_ms);
+  ParseIntFlag(argc, argv, "threads", &threads);
 
   MoleculeGenerator gen(4242);
   MoleculeGenConfig data = MoleculeGenerator::EmolLike(60);
@@ -75,6 +78,7 @@ int main(int argc, char** argv) {
   host_cfg.overflow = serve::OverflowPolicy::kBlock;
   host_cfg.max_attempts = 3;
   host_cfg.telemetry_port = telemetry_port;
+  host_cfg.num_threads = threads;  // --threads: maintenance parallelism
 
   obs::MaintenanceEventLog event_log;
   EngineHost host(std::move(engine), "serve_demo_state", host_cfg);

@@ -57,12 +57,12 @@ void ClusterSet::RemoveMember(Cluster& c, GraphId id,
 }
 
 ClusterSet ClusterSet::Build(const GraphDatabase& db, const FctSet& fcts,
-                             const Config& config, Rng& rng) {
-  return Build(db, FeatureSpace(fcts), config, rng);
+                             const Config& config, Rng& rng, TaskPool* pool) {
+  return Build(db, FeatureSpace(fcts), config, rng, pool);
 }
 
 ClusterSet ClusterSet::Build(const GraphDatabase& db, FeatureSpace features,
-                             const Config& config, Rng& rng) {
+                             const Config& config, Rng& rng, TaskPool* pool) {
   obs::TraceSpan build_span("midas_cluster_build_ms");
   ClusterSet set;
   set.config_ = config;
@@ -87,7 +87,7 @@ ClusterSet ClusterSet::Build(const GraphDatabase& db, FeatureSpace features,
     set.AddMember(set.clusters_.at(cid), ids[i], points[i]);
   }
 
-  set.SplitOversized(db, rng);
+  set.SplitOversized(db, rng, pool);
   return set;
 }
 
@@ -149,14 +149,14 @@ std::vector<ClusterId> ClusterSet::RemoveGraphs(
 }
 
 std::vector<ClusterId> ClusterSet::SplitOversized(const GraphDatabase& db,
-                                                  Rng& rng) {
+                                                  Rng& rng, TaskPool* pool) {
   std::vector<ClusterId> oversized;
   for (const auto& [cid, c] : clusters_) {
     if (c.members.size() > config_.max_cluster_size) oversized.push_back(cid);
   }
   std::vector<ClusterId> created;
   for (ClusterId cid : oversized) {
-    std::vector<ClusterId> fresh = SplitCluster(db, cid, rng);
+    std::vector<ClusterId> fresh = SplitCluster(db, cid, rng, pool);
     if (!fresh.empty()) CountClusterEvent("midas_cluster_splits_total");
     created.insert(created.end(), fresh.begin(), fresh.end());
   }
@@ -164,7 +164,8 @@ std::vector<ClusterId> ClusterSet::SplitOversized(const GraphDatabase& db,
 }
 
 std::vector<ClusterId> ClusterSet::SplitCluster(const GraphDatabase& db,
-                                                ClusterId cid, Rng& rng) {
+                                                ClusterId cid, Rng& rng,
+                                                TaskPool* pool) {
   Cluster& big = clusters_.at(cid);
   std::vector<GraphId> members(big.members.begin(), big.members.end());
   size_t cap = config_.max_cluster_size;
@@ -195,16 +196,25 @@ std::vector<ClusterId> ClusterSet::SplitCluster(const GraphDatabase& db,
 
     if (remaining > 0 && cap > 1) {
       const Graph* gs = db.Find(members[seed]);
-      std::vector<std::pair<double, size_t>> sims;
+      // One parent draw salts this seed iteration; every pair then derives
+      // its own Rng from (salt, member id). The serial and parallel paths
+      // split identically, so the grouping is thread-count-invariant.
+      uint64_t salt = rng.engine()();
+      std::vector<size_t> pending;
       for (size_t i = 0; i < members.size(); ++i) {
-        if (taken[i]) continue;
-        const Graph* gi = db.Find(members[i]);
-        double sim = (gs != nullptr && gi != nullptr)
-                         ? MccsSimilarity(*gs, *gi, rng,
-                                          config_.mccs_restarts)
-                         : 0.0;
-        sims.emplace_back(-sim, i);  // descending similarity
+        if (!taken[i]) pending.push_back(i);
       }
+      std::vector<std::pair<double, size_t>> sims(pending.size());
+      ParallelFor(pool, pending.size(), [&](size_t k) {
+        size_t i = pending[k];
+        const Graph* gi = db.Find(members[i]);
+        double sim = 0.0;
+        if (gs != nullptr && gi != nullptr) {
+          Rng pair_rng(SplitSeed(salt, members[i]));
+          sim = MccsSimilarity(*gs, *gi, pair_rng, config_.mccs_restarts);
+        }
+        sims[k] = {-sim, i};  // descending similarity
+      });
       std::sort(sims.begin(), sims.end());
       for (size_t k = 0; k < sims.size() && group.size() < cap; ++k) {
         group.push_back(sims[k].second);

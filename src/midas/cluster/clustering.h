@@ -7,6 +7,7 @@
 
 #include "midas/cluster/feature.h"
 #include "midas/common/id_set.h"
+#include "midas/common/parallel.h"
 #include "midas/common/rng.h"
 #include "midas/graph/graph_database.h"
 #include "midas/mining/fct_set.h"
@@ -51,12 +52,17 @@ class ClusterSet {
   ClusterSet() = default;
 
   /// Builds clusters of db from scratch using the FCT feature space.
+  /// `pool` parallelizes the MCCS similarity rows of the fine splits (the
+  /// dominant cost); results are thread-count-invariant because each pair
+  /// draws its own SplitSeed-derived Rng, serial path included.
   static ClusterSet Build(const GraphDatabase& db, const FctSet& fcts,
-                          const Config& config, Rng& rng);
+                          const Config& config, Rng& rng,
+                          TaskPool* pool = nullptr);
 
   /// Builds clusters with an explicit feature space (plain CATAPULT mode).
   static ClusterSet Build(const GraphDatabase& db, FeatureSpace features,
-                          const Config& config, Rng& rng);
+                          const Config& config, Rng& rng,
+                          TaskPool* pool = nullptr);
 
   /// Assigns each added graph to the nearest-centroid cluster.
   /// Returns the affected cluster ids (C⁺).
@@ -68,7 +74,8 @@ class ClusterSet {
   std::vector<ClusterId> RemoveGraphs(const std::vector<GraphId>& removed_ids);
 
   /// Fine-splits oversized clusters; returns ids of newly created clusters.
-  std::vector<ClusterId> SplitOversized(const GraphDatabase& db, Rng& rng);
+  std::vector<ClusterId> SplitOversized(const GraphDatabase& db, Rng& rng,
+                                        TaskPool* pool = nullptr);
 
   const std::map<ClusterId, Cluster>& clusters() const { return clusters_; }
   /// Cluster of a graph, or -1 if unknown.
@@ -84,7 +91,7 @@ class ClusterSet {
   void RemoveMember(Cluster& c, GraphId id, const std::vector<double>& vec);
   /// Splits one oversized cluster by MCCS similarity; returns new ids.
   std::vector<ClusterId> SplitCluster(const GraphDatabase& db, ClusterId cid,
-                                      Rng& rng);
+                                      Rng& rng, TaskPool* pool);
 
   Config config_;
   FeatureSpace features_;

@@ -17,7 +17,9 @@ void ExecBudget::Reset(Deadline deadline, uint64_t max_steps) {
 void ExecBudget::ResetUnlimited() { Reset(Deadline::Infinite(), 0); }
 
 void ExecBudget::Exhaust(Cause cause) {
-  exhausted_ = true;
+  // Several pool workers can trip the same budget concurrently; only the
+  // first exchange records the cause and the metric.
+  if (exhausted_.exchange(true, std::memory_order_relaxed)) return;
   cause_ = cause;
   obs::MetricsRegistry& reg = obs::MetricsRegistry::Current();
   if (reg.enabled()) {

@@ -1,6 +1,7 @@
 #ifndef MIDAS_COMMON_BUDGET_H_
 #define MIDAS_COMMON_BUDGET_H_
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <limits>
@@ -83,17 +84,22 @@ class ExecBudget {
   void ResetUnlimited();
 
   /// Hot-path check: charges `n` steps of work. Returns true while within
-  /// budget; false once exhausted (latched).
+  /// budget; false once exhausted (latched). Thread-safe: one round budget
+  /// is shared by every TaskPool worker, so the mutable state is relaxed
+  /// atomics — contention is a fetch_add, and the exhaustion latch makes
+  /// the outcome order-independent (any worker tripping stops all of them).
   bool Charge(uint64_t n = 1) {
     if (unlimited_) return true;
-    if (exhausted_) return false;
-    steps_used_ += n;
-    if (max_steps_ != 0 && steps_used_ > max_steps_) {
+    if (exhausted_.load(std::memory_order_relaxed)) return false;
+    uint64_t used = steps_used_.fetch_add(n, std::memory_order_relaxed) + n;
+    if (max_steps_ != 0 && used > max_steps_) {
       Exhaust(Cause::kSteps);
       return false;
     }
-    if (steps_used_ >= next_deadline_check_) {
-      next_deadline_check_ = steps_used_ + kDeadlineStride;
+    if (used >= next_deadline_check_.load(std::memory_order_relaxed)) {
+      // Racy advance is benign: at worst two threads both read the clock.
+      next_deadline_check_.store(used + kDeadlineStride,
+                                 std::memory_order_relaxed);
       if (deadline_.Expired()) {
         Exhaust(Cause::kDeadline);
         return false;
@@ -103,17 +109,21 @@ class ExecBudget {
   }
 
   /// True once the budget tripped (or `CheckNow` found the deadline past).
-  bool exhausted() const { return exhausted_; }
+  bool exhausted() const {
+    return exhausted_.load(std::memory_order_relaxed);
+  }
   /// Non-charging probe: also notices an expired deadline between charges.
   bool ExhaustedNow() {
-    if (!unlimited_ && !exhausted_ && deadline_.Expired()) {
+    if (!unlimited_ && !exhausted() && deadline_.Expired()) {
       Exhaust(Cause::kDeadline);
     }
-    return exhausted_;
+    return exhausted();
   }
 
-  Cause cause() const { return cause_; }
-  uint64_t steps_used() const { return steps_used_; }
+  Cause cause() const { return cause_.load(std::memory_order_relaxed); }
+  uint64_t steps_used() const {
+    return steps_used_.load(std::memory_order_relaxed);
+  }
   const Deadline& deadline() const { return deadline_; }
 
   /// "none", "steps" or "deadline" — the event-log / error-message spelling.
@@ -122,13 +132,17 @@ class ExecBudget {
  private:
   void Exhaust(Cause cause);  // latches + metric, in budget.cc
 
+  // deadline_/max_steps_/unlimited_ change only in Reset*, which runs with
+  // no kernel in flight (pool batches are bracketed by the submitting
+  // thread, whose queue handoff orders the plain fields). The fields a
+  // mid-batch Charge mutates are atomics.
   Deadline deadline_;
   uint64_t max_steps_ = 0;
-  uint64_t steps_used_ = 0;
-  uint64_t next_deadline_check_ = kDeadlineStride;
+  std::atomic<uint64_t> steps_used_{0};
+  std::atomic<uint64_t> next_deadline_check_{kDeadlineStride};
   bool unlimited_ = true;
-  bool exhausted_ = false;
-  Cause cause_ = Cause::kNone;
+  std::atomic<bool> exhausted_{false};
+  std::atomic<Cause> cause_{Cause::kNone};
 };
 
 /// nullptr-tolerant charge helper for kernels taking `ExecBudget* budget`.

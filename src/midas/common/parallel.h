@@ -1,0 +1,147 @@
+#ifndef MIDAS_COMMON_PARALLEL_H_
+#define MIDAS_COMMON_PARALLEL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "midas/common/budget.h"
+
+namespace midas {
+
+/// Deterministic seed splitting for per-task RNG sub-streams (splitmix64
+/// finalizer over base ^ golden-ratio-scaled index). Both the serial and the
+/// parallel evaluation of a loop derive the i-th task's Rng as
+/// `Rng(SplitSeed(salt, i))`, so results are identical at any thread count.
+uint64_t SplitSeed(uint64_t base, uint64_t index);
+
+/// Fixed-size work-stealing task pool for the maintenance hot loops.
+///
+/// Design (docs/performance.md):
+///  - `num_threads` counts the submitting thread: a pool of N spawns N-1
+///    workers and the caller executes chunks too, so `TaskPool(1)` spawns
+///    nothing and ParallelFor degenerates to today's serial loop — the
+///    reference implementation.
+///  - ParallelFor splits [0, n) into contiguous chunks, deals them
+///    round-robin onto per-worker deques; owners pop from the back, thieves
+///    (other workers and the caller) pop from the front. Each deque has its
+///    own mutex — chunks are coarse (VF2 / GED calls), so the locks are cold
+///    and the scheme is trivially TSan-clean.
+///  - Determinism: work is keyed by index, results land in index-ordered
+///    slots (ParallelMap), and nothing observable depends on which thread
+///    ran a chunk. Call sites that need randomness derive per-task streams
+///    with SplitSeed.
+///  - Cooperative cancellation: every index checks the shared ExecBudget
+///    (latched, thread-safe) and the batch cancellation flag, so an
+///    exhausted budget — or a failpoint/exception thrown by any task — stops
+///    all workers at the next per-index stride check. The first exception is
+///    rethrown on the calling thread only after every worker has quiesced,
+///    which is how FailpointAbort unwinds ApplyUpdate with the pool idle.
+///  - Nested ParallelFor from inside a pool task runs serially inline
+///    (workers never block waiting on sub-batches — no deadlock).
+///  - obs integration: the submitting thread's live SpanProfiler path is
+///    captured per batch and installed as the workers' inherited path
+///    prefix, so spans opened inside tasks merge under the spawning span in
+///    ExportFolded. Pool health is exported on the current MetricsRegistry:
+///    `midas_parallel_tasks_total` (chunks executed),
+///    `midas_parallel_steal_total` (cross-deque pops),
+///    `midas_parallel_queue_depth` (gauge, queued chunks) and
+///    `midas_parallel_worker_busy_ms` (execution time, all executors).
+class TaskPool {
+ public:
+  /// `num_threads` <= 1 creates a serial pool (no threads spawned);
+  /// 0 is treated as 1 — callers resolve hardware_concurrency themselves
+  /// (see MidasConfig::num_threads).
+  explicit TaskPool(int num_threads);
+  ~TaskPool();
+
+  TaskPool(const TaskPool&) = delete;
+  TaskPool& operator=(const TaskPool&) = delete;
+
+  /// Total executor count, including the submitting thread.
+  int num_threads() const { return static_cast<int>(workers_.size()) + 1; }
+  /// True when no worker threads exist (ParallelFor loops inline).
+  bool serial() const { return workers_.empty(); }
+
+  /// Runs body(i) for every i in [0, n); blocks until all of them finished
+  /// (or were skipped by cancellation). When `budget` is non-null, every
+  /// index first probes it and exhaustion skips the remaining work — same
+  /// under-count-only degradation as the serial loops. The first exception
+  /// thrown by any task is rethrown here after the batch has quiesced.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& body,
+                   ExecBudget* budget = nullptr);
+
+  /// ParallelFor with index-ordered result collection: out[i] = fn(i).
+  /// Indices skipped by cancellation keep their default-constructed value.
+  template <typename T, typename Fn>
+  std::vector<T> ParallelMap(size_t n, Fn&& fn, ExecBudget* budget = nullptr) {
+    std::vector<T> out(n);
+    ParallelFor(
+        n, [&](size_t i) { out[i] = fn(i); }, budget);
+    return out;
+  }
+
+  /// Lifetime totals (also exported as metrics; exposed for tests).
+  uint64_t tasks_executed() const {
+    return tasks_.load(std::memory_order_relaxed);
+  }
+  uint64_t steals() const { return steals_.load(std::memory_order_relaxed); }
+
+  /// True when the calling thread is one of *any* TaskPool's workers —
+  /// nested ParallelFor uses this to fall back to the inline serial loop.
+  static bool OnWorkerThread();
+
+ private:
+  struct Batch;
+  struct Chunk {
+    Batch* batch;
+    size_t begin;
+    size_t end;
+  };
+  struct WorkerQueue {
+    std::mutex mu;
+    std::deque<Chunk> chunks;
+  };
+
+  void WorkerLoop(size_t self);
+  bool TryRunOneChunk(size_t preferred, bool count_steal_from_others);
+  void RunChunk(const Chunk& c);
+  void SerialFor(size_t n, const std::function<void(size_t)>& body,
+                 ExecBudget* budget);
+
+  std::vector<std::unique_ptr<WorkerQueue>> queues_;  // one per worker
+  std::vector<std::thread> workers_;
+
+  std::mutex wake_mu_;
+  std::condition_variable wake_cv_;
+  bool stop_ = false;
+  std::atomic<size_t> queued_chunks_{0};
+
+  std::atomic<uint64_t> tasks_{0};
+  std::atomic<uint64_t> steals_{0};
+  std::atomic<uint64_t> busy_us_{0};  // total execution time
+  // Watermarks of what already reached the metrics counters (under
+  // flush_mu_, flushed once per batch — never from the hot path).
+  uint64_t tasks_flushed_ = 0;
+  uint64_t steals_flushed_ = 0;
+  uint64_t busy_us_flushed_ = 0;
+  std::mutex flush_mu_;
+
+  std::atomic<size_t> next_queue_{0};  // round-robin dealing cursor
+};
+
+/// nullptr-tolerant helper: serial loop when `pool` is null, serial, or the
+/// caller is already a pool worker (nested parallelism).
+void ParallelFor(TaskPool* pool, size_t n,
+                 const std::function<void(size_t)>& body,
+                 ExecBudget* budget = nullptr);
+
+}  // namespace midas
+
+#endif  // MIDAS_COMMON_PARALLEL_H_

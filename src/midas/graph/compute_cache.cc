@@ -1,0 +1,193 @@
+#include "midas/graph/compute_cache.h"
+
+#include <algorithm>
+#include <atomic>
+#include <functional>
+
+#include "midas/obs/metrics.h"
+
+namespace midas {
+
+namespace {
+
+void AppendU32(std::string& s, uint32_t v) {
+  s.push_back(static_cast<char>(v & 0xFF));
+  s.push_back(static_cast<char>((v >> 8) & 0xFF));
+  s.push_back(static_cast<char>((v >> 16) & 0xFF));
+  s.push_back(static_cast<char>((v >> 24) & 0xFF));
+}
+
+void AppendU64(std::string& s, uint64_t v) {
+  AppendU32(s, static_cast<uint32_t>(v & 0xFFFFFFFFULL));
+  AppendU32(s, static_cast<uint32_t>(v >> 32));
+}
+
+void CountCacheEvent(const char* name, uint64_t n = 1) {
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Current();
+  if (reg.enabled()) reg.GetCounter(name)->Increment(n);
+}
+
+}  // namespace
+
+std::string GraphContentCode(const Graph& g) {
+  std::string code;
+  code.reserve(8 + 4 * g.NumVertices() + 8 * g.NumEdges());
+  AppendU32(code, static_cast<uint32_t>(g.NumVertices()));
+  AppendU32(code, static_cast<uint32_t>(g.NumEdges()));
+  for (VertexId v = 0; v < g.NumVertices(); ++v) AppendU32(code, g.label(v));
+  for (const auto& [u, v] : g.Edges()) {  // ascending (u, v), u < v
+    AppendU32(code, u);
+    AppendU32(code, v);
+  }
+  return code;
+}
+
+struct ComputeCache::Shard {
+  std::mutex mu;
+  /// LRU list, most recent at the front; the map points into it.
+  std::list<std::pair<std::string, int64_t>> lru;
+  std::unordered_map<std::string,
+                     std::list<std::pair<std::string, int64_t>>::iterator>
+      index;
+  std::atomic<uint64_t> hits{0};
+  std::atomic<uint64_t> misses{0};
+  std::atomic<uint64_t> evictions{0};
+};
+
+ComputeCache::ComputeCache(size_t capacity) {
+  per_shard_capacity_ = std::max<size_t>(8, capacity / kShards);
+  for (auto& s : shards_) s = std::make_unique<Shard>();
+}
+
+ComputeCache::~ComputeCache() = default;
+
+ComputeCache::Shard& ComputeCache::ShardFor(const std::string& key) {
+  return *shards_[std::hash<std::string>()(key) % kShards];
+}
+
+bool ComputeCache::Lookup(const std::string& key, int64_t* out) {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.index.find(key);
+  if (it == shard.index.end()) {
+    shard.misses.fetch_add(1, std::memory_order_relaxed);
+    CountCacheEvent("midas_cache_miss_total");
+    return false;
+  }
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  *out = it->second->second;
+  shard.hits.fetch_add(1, std::memory_order_relaxed);
+  CountCacheEvent("midas_cache_hit_total");
+  return true;
+}
+
+void ComputeCache::Store(const std::string& key, int64_t value) {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.index.find(key);
+  if (it != shard.index.end()) {
+    it->second->second = value;  // exact values can only be re-stored equal
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    return;
+  }
+  shard.lru.emplace_front(key, value);
+  shard.index.emplace(key, shard.lru.begin());
+  if (shard.lru.size() > per_shard_capacity_) {
+    shard.index.erase(shard.lru.back().first);
+    shard.lru.pop_back();
+    shard.evictions.fetch_add(1, std::memory_order_relaxed);
+    CountCacheEvent("midas_cache_evict_total");
+  }
+}
+
+namespace {
+
+std::string GedKey(uint64_t salt, const std::string& code_a,
+                   const std::string& code_b) {
+  const std::string& lo = code_a <= code_b ? code_a : code_b;
+  const std::string& hi = code_a <= code_b ? code_b : code_a;
+  std::string key;
+  key.reserve(9 + lo.size() + 1 + hi.size());
+  key.push_back('G');
+  AppendU64(key, salt);
+  key += lo;
+  key.push_back('\x01');
+  key += hi;
+  return key;
+}
+
+}  // namespace
+
+bool ComputeCache::LookupGed(uint64_t salt, const std::string& code_a,
+                             const std::string& code_b, int* out) {
+  int64_t v = 0;
+  if (!Lookup(GedKey(salt, code_a, code_b), &v)) return false;
+  *out = static_cast<int>(v);
+  return true;
+}
+
+void ComputeCache::StoreGed(uint64_t salt, const std::string& code_a,
+                            const std::string& code_b, int value) {
+  Store(GedKey(salt, code_a, code_b), value);
+}
+
+bool ComputeCache::LookupContainment(const std::string& pattern_code,
+                                     uint64_t db_epoch, GraphId graph_id,
+                                     bool* out) {
+  std::string key;
+  key.reserve(1 + pattern_code.size() + 12);
+  key.push_back('C');
+  key += pattern_code;
+  AppendU64(key, db_epoch);
+  AppendU32(key, graph_id);
+  int64_t v = 0;
+  if (!Lookup(key, &v)) return false;
+  *out = v != 0;
+  return true;
+}
+
+void ComputeCache::StoreContainment(const std::string& pattern_code,
+                                    uint64_t db_epoch, GraphId graph_id,
+                                    bool contains) {
+  std::string key;
+  key.reserve(1 + pattern_code.size() + 12);
+  key.push_back('C');
+  key += pattern_code;
+  AppendU64(key, db_epoch);
+  AppendU32(key, graph_id);
+  Store(key, contains ? 1 : 0);
+}
+
+void ComputeCache::Clear() {
+  for (auto& s : shards_) {
+    std::lock_guard<std::mutex> lock(s->mu);
+    s->lru.clear();
+    s->index.clear();
+  }
+}
+
+ComputeCache::Stats ComputeCache::stats() const {
+  Stats total;
+  for (const auto& s : shards_) {
+    total.hits += s->hits.load(std::memory_order_relaxed);
+    total.misses += s->misses.load(std::memory_order_relaxed);
+    total.evictions += s->evictions.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+size_t ComputeCache::size() const {
+  size_t n = 0;
+  for (const auto& s : shards_) {
+    std::lock_guard<std::mutex> lock(s->mu);
+    n += s->lru.size();
+  }
+  return n;
+}
+
+ComputeCache& ComputeCache::Global() {
+  static ComputeCache* cache = new ComputeCache();
+  return *cache;
+}
+
+}  // namespace midas

@@ -1,8 +1,58 @@
 #include "midas/graph/graph_database.h"
 
 #include <algorithm>
+#include <atomic>
+#include <utility>
 
 namespace midas {
+
+namespace {
+
+uint64_t NextEpoch() {
+  static std::atomic<uint64_t> counter{1};
+  return counter.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace
+
+GraphDatabase::GraphDatabase() : epoch_(NextEpoch()) {}
+
+GraphDatabase::GraphDatabase(const GraphDatabase& other)
+    : labels_(other.labels_),
+      graphs_(other.graphs_),
+      next_id_(other.next_id_),
+      epoch_(NextEpoch()) {}
+
+GraphDatabase& GraphDatabase::operator=(const GraphDatabase& other) {
+  if (this != &other) {
+    labels_ = other.labels_;
+    graphs_ = other.graphs_;
+    next_id_ = other.next_id_;
+    epoch_ = NextEpoch();
+  }
+  return *this;
+}
+
+GraphDatabase::GraphDatabase(GraphDatabase&& other) noexcept
+    : labels_(std::move(other.labels_)),
+      graphs_(std::move(other.graphs_)),
+      next_id_(other.next_id_),
+      epoch_(other.epoch_) {
+  other.next_id_ = 0;
+  other.epoch_ = NextEpoch();
+}
+
+GraphDatabase& GraphDatabase::operator=(GraphDatabase&& other) noexcept {
+  if (this != &other) {
+    labels_ = std::move(other.labels_);
+    graphs_ = std::move(other.graphs_);
+    next_id_ = other.next_id_;
+    epoch_ = other.epoch_;
+    other.next_id_ = 0;
+    other.epoch_ = NextEpoch();
+  }
+  return *this;
+}
 
 GraphId GraphDatabase::Insert(Graph g) {
   GraphId id = next_id_++;
@@ -12,7 +62,14 @@ GraphId GraphDatabase::Insert(Graph g) {
 
 bool GraphDatabase::InsertWithId(GraphId id, Graph g) {
   if (!graphs_.emplace(id, std::move(g)).second) return false;
-  if (id >= next_id_) next_id_ = id + 1;
+  if (id >= next_id_) {
+    next_id_ = id + 1;
+  } else {
+    // Below the allocator's watermark this id may have existed before with
+    // different content (snapshot restore into a reused instance); cached
+    // containment verdicts for the old incarnation must stop matching.
+    epoch_ = NextEpoch();
+  }
   return true;
 }
 

@@ -29,7 +29,15 @@ struct BatchUpdate {
 /// ascending id, so all downstream computation is deterministic.
 class GraphDatabase {
  public:
-  GraphDatabase() = default;
+  GraphDatabase();
+  /// Copies take a fresh epoch: the copy evolves independently, so cached
+  /// facts about the original must not be read back for it.
+  GraphDatabase(const GraphDatabase& other);
+  GraphDatabase& operator=(const GraphDatabase& other);
+  /// Moves carry the epoch (it is the same database continuing); the
+  /// moved-from shell gets a fresh one in case it is ever refilled.
+  GraphDatabase(GraphDatabase&& other) noexcept;
+  GraphDatabase& operator=(GraphDatabase&& other) noexcept;
 
   /// Inserts a graph, returning its assigned id.
   GraphId Insert(Graph g);
@@ -70,10 +78,19 @@ class GraphDatabase {
   /// Size |E_max| of the largest graph.
   size_t MaxGraphEdges() const;
 
+  /// Process-unique instance epoch, the generation tag of the containment
+  /// memo cache (graph/compute_cache.h). Graphs are immutable and ids are
+  /// never reused within an instance, so a cached verdict keyed
+  /// (pattern, epoch, id) stays valid across maintenance rounds; the epoch
+  /// changes exactly when that invariant could break — on copy/restore and
+  /// on an InsertWithId that may resurrect a previously deleted id.
+  uint64_t epoch() const { return epoch_; }
+
  private:
   LabelDictionary labels_;
   std::map<GraphId, Graph> graphs_;
   GraphId next_id_ = 0;
+  uint64_t epoch_ = 0;  // assigned in the constructors
 };
 
 }  // namespace midas

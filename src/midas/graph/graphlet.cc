@@ -137,9 +137,24 @@ GraphletCounts CountGraphlets(const Graph& g) {
   return counts;
 }
 
-GraphletCensus::GraphletCensus(const GraphDatabase& db) {
+GraphletCensus::GraphletCensus(const GraphDatabase& db, TaskPool* pool) {
   totals_.fill(0);
-  for (const auto& [id, g] : db.graphs()) Add(id, g);
+  AddBatch(db, db.Ids(), pool);
+}
+
+void GraphletCensus::AddBatch(const GraphDatabase& db,
+                              const std::vector<GraphId>& ids,
+                              TaskPool* pool) {
+  std::vector<GraphletCounts> counts(ids.size());
+  ParallelFor(pool, ids.size(), [&](size_t i) {
+    const Graph* g = db.Find(ids[i]);
+    if (g != nullptr) counts[i] = CountGraphlets(*g);
+  });
+  for (size_t i = 0; i < ids.size(); ++i) {
+    if (db.Find(ids[i]) == nullptr) continue;
+    per_graph_[ids[i]] = counts[i];
+    for (int t = 0; t < kNumGraphletTypes; ++t) totals_[t] += counts[i][t];
+  }
 }
 
 void GraphletCensus::Add(GraphId id, const Graph& g) {

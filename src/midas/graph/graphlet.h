@@ -6,6 +6,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "midas/common/parallel.h"
 #include "midas/graph/graph_database.h"
 
 namespace midas {
@@ -42,11 +43,18 @@ class GraphletCensus {
  public:
   GraphletCensus() { totals_.fill(0); }
 
-  /// Builds the census of an existing database.
-  explicit GraphletCensus(const GraphDatabase& db);
+  /// Builds the census of an existing database. With a pool, the per-graph
+  /// ESU enumerations run in parallel; totals merge serially in id order.
+  explicit GraphletCensus(const GraphDatabase& db, TaskPool* pool = nullptr);
 
   void Add(GraphId id, const Graph& g);
   void Remove(GraphId id);
+
+  /// Batch Add of graphs already inserted into `db`: the expensive
+  /// CountGraphlets calls fan out over the pool, the bookkeeping stays
+  /// serial — identical result to calling Add(id, g) per id in order.
+  void AddBatch(const GraphDatabase& db, const std::vector<GraphId>& ids,
+                TaskPool* pool);
 
   /// Normalized frequency distribution ψ over the 8 graphlet types.
   /// All-zero counts yield the uniform distribution.

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <thread>
 
 #include "midas/common/failpoint.h"
 #include "midas/maintain/journal.h"
@@ -21,6 +22,17 @@ static_assert(sizeof(MaintenanceStats) ==
               "MaintenanceStats layout changed: update "
               "MIDAS_MAINTENANCE_PHASES, ToJson/FromJson and "
               "docs/observability.md");
+
+namespace {
+
+// 0 = hardware_concurrency (at least 1 if the runtime reports 0).
+int ResolveNumThreads(int requested) {
+  if (requested > 0) return requested;
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+}  // namespace
 
 std::vector<std::string> ValidateConfig(const MidasConfig& config) {
   std::vector<std::string> problems;
@@ -59,6 +71,10 @@ std::vector<std::string> ValidateConfig(const MidasConfig& config) {
   if (config.round_deadline_ms < 0.0) {
     problems.push_back("round_deadline_ms must be >= 0 (0 = unlimited)");
   }
+  if (config.num_threads < 0) {
+    problems.push_back(
+        "num_threads must be >= 0 (0 = hardware concurrency, 1 = serial)");
+  }
   // Legal but dubious.
   if (config.fct.sup_min < 0.1) {
     problems.push_back(
@@ -85,6 +101,7 @@ std::vector<std::string> ValidateConfig(const MidasConfig& config) {
 MidasEngine::MidasEngine(GraphDatabase db, const MidasConfig& config)
     : config_(config),
       rng_(config.seed),
+      pool_(std::make_unique<TaskPool>(ResolveNumThreads(config.num_threads))),
       db_(std::move(db)),
       history_(config.history_capacity) {
   // Keep the swap thresholds in sync with the top-level κ/λ knobs.
@@ -95,24 +112,40 @@ MidasEngine::MidasEngine(GraphDatabase db, const MidasConfig& config)
 MidasEngine::~MidasEngine() = default;
 
 void MidasEngine::Initialize() {
-  census_ = GraphletCensus(db_);
-  fcts_ = FctSet::Mine(db_, config_.fct);
-  clusters_ = ClusterSet::Build(db_, fcts_, config_.cluster, rng_);
+  census_ = GraphletCensus(db_, pool_.get());
+  fcts_ = FctSet::Mine(db_, config_.fct, pool_.get());
+  clusters_ = ClusterSet::Build(db_, fcts_, config_.cluster, rng_,
+                                pool_.get());
   csgs_.clear();
-  for (const auto& [cid, cluster] : clusters_.clusters()) {
-    csgs_.emplace(cid, Csg::Build(db_, cluster.members));
+  {
+    // CSG builds are independent per cluster; build in parallel, insert in
+    // ascending cluster-id order.
+    std::vector<std::pair<ClusterId, const Cluster*>> rows;
+    rows.reserve(clusters_.clusters().size());
+    for (const auto& [cid, cluster] : clusters_.clusters()) {
+      rows.emplace_back(cid, &cluster);
+    }
+    std::vector<Csg> built(rows.size());
+    ParallelFor(pool_.get(), rows.size(), [&](size_t i) {
+      built[i] = Csg::Build(db_, rows[i].second->members);
+    });
+    for (size_t i = 0; i < rows.size(); ++i) {
+      csgs_.emplace(rows[i].first, std::move(built[i]));
+    }
   }
   fct_index_ = FctIndex::Build(db_, fcts_);
   ife_index_ = IfeIndex::Build(db_, fcts_);
   ged_ = HybridGed(GedFeatureTrees(fcts_), &round_budget_);
   eval_ = std::make_unique<CoverageEvaluator>(db_, config_.sample_cap, rng_,
                                               &fct_index_, &ife_index_);
+  eval_->set_pool(pool_.get());
 
   CatapultConfig select;
   select.budget = config_.budget;
   select.walk = config_.walk;
   select.pcp_starts = config_.pcp_starts;
   select.sample_cap = config_.sample_cap;
+  select.pool = pool_.get();
   patterns_ = SelectCannedPatterns(db_, fcts_, csgs_, select, rng_,
                                    &fct_index_, &ife_index_);
   SyncPatternColumns();
@@ -121,17 +154,33 @@ void MidasEngine::Initialize() {
   initialized_ = true;
 }
 
+void MidasEngine::SetNumThreads(int num_threads) {
+  config_.num_threads = num_threads;
+  pool_ = std::make_unique<TaskPool>(ResolveNumThreads(num_threads));
+  if (eval_ != nullptr) eval_->set_pool(pool_.get());
+}
+
 void MidasEngine::RestoreRoundSeq(uint64_t seq) {
   round_seq_ = std::max(round_seq_, seq);
 }
 
 void MidasEngine::LoadPatterns(PatternSet set) {
   patterns_ = std::move(set);
-  for (auto& [pid, p] : patterns_.patterns()) {
-    RefreshPatternMetrics(p, *eval_, fcts_);
-  }
-  RefreshDiversityAndScores(patterns_, ged_);
+  RefreshAllPatternMetrics();
+  RefreshDiversityAndScores(patterns_, ged_, pool_.get());
   SyncPatternColumns();
+}
+
+void MidasEngine::RefreshAllPatternMetrics() {
+  // Each row writes only its own pattern; CoverageOf degrades to its serial
+  // inner loop on worker threads (nested parallelism), so the coarse
+  // per-pattern grain wins here.
+  std::vector<CannedPattern*> rows;
+  rows.reserve(patterns_.patterns().size());
+  for (auto& [pid, p] : patterns_.patterns()) rows.push_back(&p);
+  ParallelFor(pool_.get(), rows.size(), [&](size_t i) {
+    RefreshPatternMetrics(*rows[i], *eval_, fcts_);
+  });
 }
 
 std::map<ClusterId, Csg> MidasEngine::AffectedCsgView(
@@ -154,11 +203,21 @@ void MidasEngine::ReconcileCsgs() {
     }
   }
   // (Re)build CSGs whose membership diverged (fine splits, new clusters).
+  // The rebuilds are independent, so they fan out over the pool; results
+  // are inserted in ascending cluster-id order.
+  std::vector<std::pair<ClusterId, const Cluster*>> stale;
   for (const auto& [cid, cluster] : clusters_.clusters()) {
     auto it = csgs_.find(cid);
     if (it == csgs_.end() || !(it->second.members() == cluster.members)) {
-      csgs_.insert_or_assign(cid, Csg::Build(db_, cluster.members));
+      stale.emplace_back(cid, &cluster);
     }
+  }
+  std::vector<Csg> rebuilt(stale.size());
+  ParallelFor(pool_.get(), stale.size(), [&](size_t i) {
+    rebuilt[i] = Csg::Build(db_, stale[i].second->members);
+  });
+  for (size_t i = 0; i < stale.size(); ++i) {
+    csgs_.insert_or_assign(stale[i].first, std::move(rebuilt[i]));
   }
 }
 
@@ -256,13 +315,11 @@ MaintenanceStats MidasEngine::ApplyUpdate(const BatchUpdate& raw_delta,
       }
     }
 
-    // Apply ΔD to the database and the graphlet census.
+    // Apply ΔD to the database and the graphlet census (ESU counts of the
+    // added graphs fan out over the pool).
     for (GraphId id : delta.deletions) census_.Remove(id);
     added = db_.ApplyBatch(delta);
-    for (GraphId id : added) {
-      const Graph* g = db_.Find(id);
-      if (g != nullptr) census_.Add(id, *g);
-    }
+    census_.AddBatch(db_, added, pool_.get());
     psi_after = census_.Distribution();
   }
   MIDAS_FAILPOINT_ABORT("midas.apply_update.after_apply");
@@ -280,13 +337,16 @@ MaintenanceStats MidasEngine::ApplyUpdate(const BatchUpdate& raw_delta,
   {
     obs::TraceSpan span("midas_maintain_fct_ms", &stats.fct_ms);
     if (!removed_ids.empty()) fcts_.MaintainDelete(removed_ids, db_.size());
-    if (!added.empty()) fcts_.MaintainAdd(db_, added, &round_budget_);
+    if (!added.empty()) {
+      fcts_.MaintainAdd(db_, added, &round_budget_, pool_.get());
+    }
   }
   MIDAS_FAILPOINT_ABORT("midas.apply_update.after_fct");
 
   // Line 6: fine clustering of oversized clusters.
   cluster_span.Resume();
-  std::vector<ClusterId> created = clusters_.SplitOversized(db_, rng_);
+  std::vector<ClusterId> created =
+      clusters_.SplitOversized(db_, rng_, pool_.get());
   cluster_span.Stop();
   MIDAS_FAILPOINT_ABORT("midas.apply_update.after_cluster");
 
@@ -338,10 +398,8 @@ MaintenanceStats MidasEngine::ApplyUpdate(const BatchUpdate& raw_delta,
   obs::TraceSpan refresh_span("midas_maintain_refresh_ms", &stats.refresh_ms);
   ged_ = HybridGed(GedFeatureTrees(fcts_), &round_budget_);
   eval_->Resample(rng_);
-  for (auto& [pid, p] : patterns_.patterns()) {
-    RefreshPatternMetrics(p, *eval_, fcts_);
-  }
-  RefreshDiversityAndScores(patterns_, ged_);
+  RefreshAllPatternMetrics();
+  RefreshDiversityAndScores(patterns_, ged_, pool_.get());
 
   ModificationReport report =
       ClassifyModification(psi_before, psi_after, config_.epsilon,
@@ -371,6 +429,7 @@ MaintenanceStats MidasEngine::ApplyUpdate(const BatchUpdate& raw_delta,
       gen.kappa = config_.kappa;
       gen.pcp_starts = config_.pcp_starts;
       gen.max_candidates = config_.max_candidates;
+      gen.pool = pool_.get();
       std::map<ClusterId, Csg> affected_csgs = AffectedCsgView(affected);
       candidates = GeneratePromisingCandidates(
           db_, fcts_, affected_csgs, patterns_, eval_->universe(), gen, rng_);
@@ -383,13 +442,14 @@ MaintenanceStats MidasEngine::ApplyUpdate(const BatchUpdate& raw_delta,
       if (mode == MaintenanceMode::kMidas) {
         SwapConfig swap_config = config_.swap;
         swap_config.budget = &round_budget_;
+        swap_config.pool = pool_.get();
         SwapStats sw = MultiScanSwap(patterns_, candidates, *eval_, fcts_,
                                      swap_config, ged_);
         stats.swaps = sw.swaps;
       } else {  // kRandomSwap
         stats.swaps = RandomSwap(patterns_, candidates, *eval_, fcts_, rng_);
       }
-      RefreshDiversityAndScores(patterns_, ged_);
+      RefreshDiversityAndScores(patterns_, ged_, pool_.get());
     }
   }
   MIDAS_FAILPOINT_ABORT("midas.apply_update.after_swap");
@@ -638,23 +698,26 @@ FromScratchResult RunFromScratch(const GraphDatabase& db,
   FromScratchResult result;
   obs::TraceSpan total_span("midas_scratch_total_ms", &result.total_ms);
   Rng rng(seed);
+  TaskPool pool(ResolveNumThreads(config.num_threads));
 
   CatapultConfig select;
   select.budget = config.budget;
   select.walk = config.walk;
   select.pcp_starts = config.pcp_starts;
   select.sample_cap = config.sample_cap;
+  select.pool = &pool;
 
   if (plus_plus) {
     // CATAPULT++: FCT features + FCT-/IFE-indices.
     FctSet fcts = [&] {
       obs::TraceSpan span("midas_scratch_mine_ms", &result.mine_ms);
-      return FctSet::Mine(db, config.fct);
+      return FctSet::Mine(db, config.fct, &pool);
     }();
 
     obs::TraceSpan cluster_span("midas_scratch_cluster_ms",
                                 &result.cluster_ms);
-    ClusterSet clusters = ClusterSet::Build(db, fcts, config.cluster, rng);
+    ClusterSet clusters =
+        ClusterSet::Build(db, fcts, config.cluster, rng, &pool);
     std::map<ClusterId, Csg> csgs;
     for (const auto& [cid, c] : clusters.clusters()) {
       csgs.emplace(cid, Csg::Build(db, c.members));
@@ -676,12 +739,13 @@ FromScratchResult RunFromScratch(const GraphDatabase& db,
     TreeMinerConfig miner;
     miner.min_support = config.fct.sup_min;
     miner.max_edges = config.fct.max_edges;
+    miner.pool = &pool;
     GraphView view = MakeView(db);
     std::vector<MinedTree> trees = MineFrequentTrees(view, miner);
     // The paper still selects from CSGs whose weights need edge occurrence
     // lists; reuse the FctSet container for those (mining cost dominated by
     // the frequent-subtree pass above).
-    FctSet fcts = FctSet::Mine(db, config.fct);
+    FctSet fcts = FctSet::Mine(db, config.fct, &pool);
     mine_span.Stop();
 
     obs::TraceSpan cluster_span("midas_scratch_cluster_ms",
@@ -694,7 +758,7 @@ FromScratchResult RunFromScratch(const GraphDatabase& db,
     }
     ClusterSet clusters = ClusterSet::Build(
         db, FeatureSpace(std::move(feature_trees), std::move(occurrences)),
-        config.cluster, rng);
+        config.cluster, rng, &pool);
     std::map<ClusterId, Csg> csgs;
     for (const auto& [cid, c] : clusters.clusters()) {
       csgs.emplace(cid, Csg::Build(db, c.members));

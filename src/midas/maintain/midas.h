@@ -67,6 +67,14 @@ struct MidasConfig {
   /// the `midas_budget_exhausted_*` metrics and the event log.
   double round_deadline_ms = 0.0;   ///< wall-clock cap per ApplyUpdate
   uint64_t round_step_limit = 0;    ///< search-step cap per ApplyUpdate
+
+  /// Worker threads for the maintenance hot loops (VF2 coverage, pairwise
+  /// GED, MCCS splits, graphlet census, mining support counts, candidate
+  /// scoring). 1 = the serial reference path (no threads spawned);
+  /// 0 = std::thread::hardware_concurrency(). The parallel schedules are
+  /// thread-count-invariant: identical config + seed produce identical
+  /// pattern sets at any setting (see docs/performance.md).
+  int num_threads = 1;
 };
 
 /// Sanity-checks a configuration before an engine is built. Returns
@@ -249,6 +257,12 @@ class MidasEngine {
     config_.round_step_limit = step_limit;
   }
 
+  /// Replaces the task pool with one of `num_threads` executors (same
+  /// semantics as MidasConfig::num_threads; joins the old workers). Only
+  /// safe between rounds — the serving host applies
+  /// HostConfig::num_threads before Initialize/ApplyUpdate.
+  void SetNumThreads(int num_threads);
+
   /// Number of completed maintenance rounds. Persisted by snapshots as
   /// snapshot_seq so recovery knows which journaled rounds are already
   /// reflected in the restored state.
@@ -283,12 +297,17 @@ class MidasEngine {
   /// Telemetry of every ApplyUpdate round since Initialize().
   const MaintenanceHistory& history() const { return history_; }
 
+  /// The engine-owned task pool (never null; serial when num_threads <= 1).
+  TaskPool* pool() const { return pool_.get(); }
+
   PatternQuality CurrentQuality() const;
 
  private:
   /// Rebuilds CSGs whose member set diverged from their cluster (splits) and
   /// drops CSGs of deleted clusters; incremental Add/Remove handles the rest.
   void ReconcileCsgs();
+  /// Recomputes scov/lcov/cog of every pattern (one pool task per pattern).
+  void RefreshAllPatternMetrics();
   /// Registers/unregisters pattern columns in both indices to match P.
   void SyncPatternColumns();
   /// Affected csgs (C⁺ ∪ C⁻ ∪ newly created) as a csg map view.
@@ -297,6 +316,9 @@ class MidasEngine {
 
   MidasConfig config_;
   Rng rng_;
+  /// Work-stealing pool shared by every phase of the engine (common/parallel).
+  /// Owned here so one set of threads serves the engine's whole lifetime.
+  std::unique_ptr<TaskPool> pool_;
   GraphDatabase db_;
   GraphletCensus census_;
   FctSet fcts_;

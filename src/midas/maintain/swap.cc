@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <limits>
 #include <map>
+#include <mutex>
 
 #include "midas/common/stats.h"
 #include "midas/graph/ged.h"
@@ -33,13 +34,22 @@ class SwapEngine {
     ExecBudget* budget = config_.budget;
     // Evaluate candidates once (coverage, lcov, cog are set-independent).
     // Candidates not evaluated before exhaustion simply never compete.
-    for (const Graph& g : candidate_graphs) {
-      if (BudgetExhausted(budget)) break;
-      CannedPattern c;
-      c.graph = g;
-      RefreshPatternMetrics(c, eval_, fcts_);
-      candidates_.push_back(std::move(c));
-      ++stats.candidates_evaluated;
+    {
+      std::vector<CannedPattern> evaluated(candidate_graphs.size());
+      std::vector<uint8_t> done(candidate_graphs.size(), 0);
+      ParallelFor(
+          config_.pool, candidate_graphs.size(),
+          [&](size_t i) {
+            evaluated[i].graph = candidate_graphs[i];
+            RefreshPatternMetrics(evaluated[i], eval_, fcts_);
+            done[i] = 1;
+          },
+          budget);
+      for (size_t i = 0; i < evaluated.size(); ++i) {
+        if (done[i] == 0) continue;
+        candidates_.push_back(std::move(evaluated[i]));
+        ++stats.candidates_evaluated;
+      }
     }
     RefreshLabelCoverageSets();
 
@@ -90,9 +100,15 @@ class SwapEngine {
   double Dist(uint64_t ka, const Graph& a, uint64_t kb,
               const Graph& b) const {
     if (ka > kb) return Dist(kb, b, ka, a);
-    auto it = dist_cache_.find({ka, kb});
-    if (it != dist_cache_.end()) return it->second;
+    {
+      std::lock_guard<std::mutex> lock(dist_mu_);
+      auto it = dist_cache_.find({ka, kb});
+      if (it != dist_cache_.end()) return it->second;
+    }
+    // Computed outside the lock: a pair may be estimated twice under
+    // contention, but ged_ is deterministic so both writers agree.
     double d = ged_(a, b);
+    std::lock_guard<std::mutex> lock(dist_mu_);
     dist_cache_.emplace(std::make_pair(ka, kb), d);
     return d;
   }
@@ -175,10 +191,14 @@ class SwapEngine {
     if (config_.query_log == nullptr || config_.query_log->empty()) {
       return 1.0;
     }
-    auto it = log_boost_cache_.find(key);
-    if (it != log_boost_cache_.end()) return it->second;
+    {
+      std::lock_guard<std::mutex> lock(boost_mu_);
+      auto it = log_boost_cache_.find(key);
+      if (it != log_boost_cache_.end()) return it->second;
+    }
     double boost =
         1.0 + config_.log_boost * config_.query_log->PatternWeight(g);
+    std::lock_guard<std::mutex> lock(boost_mu_);
     log_boost_cache_.emplace(key, boost);
     return boost;
   }
@@ -203,11 +223,18 @@ class SwapEngine {
 
   int RunScan(double kappa, std::vector<bool>& used) {
     int swaps = 0;
-    // Candidate priority queue, best score first.
-    std::vector<std::pair<double, size_t>> cq;
+    // Candidate priority queue, best score first. Scoring prefills the
+    // pairwise-distance cache, so it fans out over the pool; the swap loop
+    // below then runs serially on a warm cache.
+    std::vector<size_t> live;
     for (size_t i = 0; i < candidates_.size(); ++i) {
-      if (!used[i]) cq.push_back({-CandidateScore(candidates_[i]), i});
+      if (!used[i]) live.push_back(i);
     }
+    std::vector<std::pair<double, size_t>> cq(live.size());
+    ParallelFor(config_.pool, live.size(), [&](size_t k) {
+      size_t i = live[k];
+      cq[k] = {-CandidateScore(candidates_[i]), i};
+    });
     std::sort(cq.begin(), cq.end());
 
     for (const auto& [neg_score, ci] : cq) {
@@ -289,7 +316,9 @@ class SwapEngine {
   const GedEstimator& ged_;
   std::vector<CannedPattern> candidates_;
   std::map<PatternId, IdSet> label_cov_;
+  mutable std::mutex dist_mu_;
   mutable std::map<std::pair<uint64_t, uint64_t>, double> dist_cache_;
+  mutable std::mutex boost_mu_;
   mutable std::map<uint64_t, double> log_boost_cache_;
 };
 

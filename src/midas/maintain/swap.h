@@ -43,6 +43,12 @@ struct SwapConfig {
   /// passed sw1-sw5, so any prefix leaves a valid panel of unchanged size —
   /// PatternBudget is never violated by truncation.
   ExecBudget* budget = nullptr;
+
+  /// Optional task pool (non-owning; nullptr = serial). Parallelizes the
+  /// upfront candidate metric evaluation and the pairwise-distance prefill
+  /// at the start of each scan; the swap decisions themselves remain
+  /// sequential, so the outcome is thread-count-invariant.
+  TaskPool* pool = nullptr;
 };
 
 struct SwapStats {

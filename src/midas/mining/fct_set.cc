@@ -4,6 +4,7 @@
 #include <cmath>
 #include <unordered_map>
 
+#include "midas/graph/compute_cache.h"
 #include "midas/graph/subgraph_iso.h"
 
 namespace midas {
@@ -14,7 +15,8 @@ size_t FctSet::MinCount(double fraction) const {
              std::ceil(fraction * static_cast<double>(db_size_) - 1e-9)));
 }
 
-FctSet FctSet::Mine(const GraphDatabase& db, const Config& config) {
+FctSet FctSet::Mine(const GraphDatabase& db, const Config& config,
+                    TaskPool* pool) {
   FctSet set;
   set.config_ = config;
   set.db_size_ = db.size();
@@ -25,6 +27,7 @@ FctSet FctSet::Mine(const GraphDatabase& db, const Config& config) {
   miner.min_support = config.sup_min / 2.0;  // relaxed pool threshold
   miner.max_edges = config.max_edges;
   miner.max_trees = config.max_trees;
+  miner.pool = pool;
   for (MinedTree& mt : MineFrequentTrees(view, miner)) {
     FctEntry entry;
     entry.tree = std::move(mt.tree);
@@ -38,7 +41,7 @@ FctSet FctSet::Mine(const GraphDatabase& db, const Config& config) {
 
 void FctSet::MaintainAdd(const GraphDatabase& db_after,
                          const std::vector<GraphId>& added_ids,
-                         ExecBudget* budget) {
+                         ExecBudget* budget, TaskPool* pool) {
   // 1. Exact edge-occurrence maintenance.
   for (GraphId id : added_ids) {
     const Graph* g = db_after.Find(id);
@@ -52,25 +55,36 @@ void FctSet::MaintainAdd(const GraphDatabase& db_after,
   //    (Proposition 4.1: adding a graph containing a CT does not change the
   //    CT universe — just its support). Graphs missing any of the tree's
   //    edge labels are skipped without an isomorphism test.
-  for (auto& [canon, entry] : pool_) {
-    IdSet candidates(std::vector<uint32_t>(added_ids.begin(),
-                                           added_ids.end()));
-    for (const EdgeLabelPair& lp : entry.tree.DistinctEdgeLabels()) {
-      auto it = edge_occ_.find(lp);
-      if (it == edge_occ_.end()) {
-        candidates.clear();
-        break;
-      }
-      candidates = IdSet::Intersection(candidates, it->second);
-      if (candidates.empty()) break;
-    }
-    for (GraphId id : candidates) {
-      const Graph* g = db_after.Find(id);
-      if (g == nullptr) continue;
-      if (ContainsSubgraphBudgeted(entry.tree, *g, budget).found) {
-        entry.occurrences.Insert(id);
-      }
-    }
+  {
+    // Entries are independent (each only touches its own occurrence set and
+    // reads edge_occ_), so the per-entry probes fan out over the pool.
+    std::vector<FctEntry*> entries;
+    entries.reserve(pool_.size());
+    for (auto& [canon, entry] : pool_) entries.push_back(&entry);
+    ParallelFor(
+        pool, entries.size(),
+        [&](size_t e) {
+          FctEntry& entry = *entries[e];
+          IdSet candidates(
+              std::vector<uint32_t>(added_ids.begin(), added_ids.end()));
+          for (const EdgeLabelPair& lp : entry.tree.DistinctEdgeLabels()) {
+            auto it = edge_occ_.find(lp);
+            if (it == edge_occ_.end()) {
+              candidates.clear();
+              break;
+            }
+            candidates = IdSet::Intersection(candidates, it->second);
+            if (candidates.empty()) break;
+          }
+          for (GraphId id : candidates) {
+            const Graph* g = db_after.Find(id);
+            if (g == nullptr) continue;
+            if (ContainsSubgraphBudgeted(entry.tree, *g, budget).found) {
+              entry.occurrences.Insert(id);
+            }
+          }
+        },
+        budget);
   }
 
   // 3. Mine the delta at the relaxed threshold (Lemma 4.5): a tree that is
@@ -82,6 +96,7 @@ void FctSet::MaintainAdd(const GraphDatabase& db_after,
   miner.max_edges = config_.max_edges;
   miner.max_trees = config_.max_trees;
   miner.budget = budget;
+  miner.pool = pool;
   std::vector<MinedTree> delta_trees = MineFrequentTrees(delta, miner);
 
   // Corollary 4.3 case (2): trees closed/frequent in the delta but unknown
@@ -105,13 +120,31 @@ void FctSet::MaintainAdd(const GraphDatabase& db_after,
     FctEntry entry;
     entry.tree = std::move(mt.tree);
     entry.canon = mt.canon;
-    for (GraphId id : candidates) {
-      if (BudgetExhausted(budget)) break;
-      const Graph* g = db_after.Find(id);
-      if (g != nullptr && ContainsSubgraphBudgeted(entry.tree, *g, budget)
-                              .found) {
-        entry.occurrences.Insert(id);
-      }
+    std::vector<GraphId> ids(candidates.begin(), candidates.end());
+    std::vector<uint8_t> verdict(ids.size(), 0);
+    const std::string tree_code = GraphContentCode(entry.tree);
+    const uint64_t epoch = db_after.epoch();
+    ComputeCache& cache = ComputeCache::Global();
+    ParallelFor(
+        pool, ids.size(),
+        [&](size_t i) {
+          const Graph* g = db_after.Find(ids[i]);
+          if (g == nullptr) return;
+          bool contains = false;
+          if (!cache.LookupContainment(tree_code, epoch, ids[i], &contains)) {
+            IsoOutcome out = ContainsSubgraphBudgeted(entry.tree, *g, budget);
+            contains = out.found;
+            // Budget-truncated "not found" means "not proven within
+            // budget", never "absent" — only exact verdicts are cacheable.
+            if (!out.truncated) {
+              cache.StoreContainment(tree_code, epoch, ids[i], contains);
+            }
+          }
+          if (contains) verdict[i] = 1;
+        },
+        budget);
+    for (size_t i = 0; i < ids.size(); ++i) {
+      if (verdict[i] != 0) entry.occurrences.Insert(ids[i]);
     }
     pool_.emplace(std::move(mt.canon), std::move(entry));
   }

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "midas/common/id_set.h"
+#include "midas/common/parallel.h"
 #include "midas/graph/graph_database.h"
 #include "midas/mining/tree_miner.h"
 
@@ -46,8 +47,10 @@ class FctSet {
 
   FctSet() = default;
 
-  /// Mines the pool from scratch.
-  static FctSet Mine(const GraphDatabase& db, const Config& config);
+  /// Mines the pool from scratch. `pool` parallelizes the VF2 support
+  /// counts (see TreeMinerConfig::pool).
+  static FctSet Mine(const GraphDatabase& db, const Config& config,
+                     TaskPool* pool = nullptr);
 
   /// Incorporates a batch of insertions. `db_after` must already contain the
   /// added graphs. `budget` (non-owning; nullptr = unlimited) bounds the
@@ -55,10 +58,11 @@ class FctSet {
   /// may *under-count* (a containment not proven within budget is treated
   /// as absent), so supports only ever err low — the pool never keeps a
   /// tree on invented evidence. The missed counts are healed by the next
-  /// unbudgeted round or RunFromScratch.
+  /// unbudgeted round or RunFromScratch. `pool` parallelizes the per-entry
+  /// probes and the full-database scans of newly frequent delta trees.
   void MaintainAdd(const GraphDatabase& db_after,
                    const std::vector<GraphId>& added_ids,
-                   ExecBudget* budget = nullptr);
+                   ExecBudget* budget = nullptr, TaskPool* pool = nullptr);
 
   /// Incorporates a batch of deletions (ids already removed from the db).
   /// Pure occurrence-list bookkeeping — no search, hence no budget.

@@ -64,18 +64,41 @@ Graph EdgeTree(const EdgeLabelPair& lp) {
 IdSet CountOccurrences(
     const Graph& tree, const IdSet& candidates,
     const std::unordered_map<GraphId, const Graph*>& by_id,
-    size_t min_count, ExecBudget* budget) {
-  IdSet occ;
-  size_t remaining = candidates.size();
-  for (GraphId id : candidates) {
-    if (occ.size() + remaining < min_count) break;  // cannot reach threshold
-    if (BudgetExhausted(budget)) break;
-    --remaining;
-    auto it = by_id.find(id);
-    if (it == by_id.end()) continue;
-    if (ContainsSubgraphBudgeted(tree, *it->second, budget).found) {
-      occ.Insert(id);
+    size_t min_count, ExecBudget* budget, TaskPool* pool) {
+  if (pool == nullptr || pool->serial() || TaskPool::OnWorkerThread()) {
+    // Serial reference path, with the cannot-reach-threshold early abort.
+    IdSet occ;
+    size_t remaining = candidates.size();
+    for (GraphId id : candidates) {
+      if (occ.size() + remaining < min_count) break;
+      if (BudgetExhausted(budget)) break;
+      --remaining;
+      auto it = by_id.find(id);
+      if (it == by_id.end()) continue;
+      if (ContainsSubgraphBudgeted(tree, *it->second, budget).found) {
+        occ.Insert(id);
+      }
     }
+    return occ;
+  }
+  // Parallel path: probe every candidate (the early abort only ever fires
+  // for trees that end up rejected, so the full scan changes no accepted
+  // occurrence list), then merge verdicts in ascending-id order.
+  std::vector<GraphId> ids(candidates.begin(), candidates.end());
+  std::vector<uint8_t> verdict(ids.size(), 0);
+  ParallelFor(
+      pool, ids.size(),
+      [&](size_t i) {
+        auto it = by_id.find(ids[i]);
+        if (it == by_id.end()) return;
+        if (ContainsSubgraphBudgeted(tree, *it->second, budget).found) {
+          verdict[i] = 1;
+        }
+      },
+      budget);
+  IdSet occ;
+  for (size_t i = 0; i < ids.size(); ++i) {
+    if (verdict[i] != 0) occ.Insert(ids[i]);
   }
   return occ;
 }
@@ -152,8 +175,8 @@ std::vector<MinedTree> MineFrequentTrees(const GraphView& view,
             ++support_pruned;
             continue;
           }
-          IdSet occ =
-              CountOccurrences(ext, candidates, by_id, min_count, budget);
+          IdSet occ = CountOccurrences(ext, candidates, by_id, min_count,
+                                       budget, config.pool);
           if (occ.size() < min_count) {
             ++support_pruned;
             continue;

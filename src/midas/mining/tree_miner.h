@@ -8,6 +8,7 @@
 
 #include "midas/common/budget.h"
 #include "midas/common/id_set.h"
+#include "midas/common/parallel.h"
 #include "midas/graph/graph_database.h"
 
 namespace midas {
@@ -59,6 +60,13 @@ struct TreeMinerConfig {
   /// on the occurrences actually counted, but the lattice (and individual
   /// occurrence lists) may be incomplete.
   ExecBudget* budget = nullptr;
+  /// Optional task pool (non-owning; nullptr = serial). The lattice walk
+  /// stays sequential; the VF2 support count of each extension fans out
+  /// over its candidate graphs. The parallel path scans all candidates
+  /// (no cannot-reach-threshold early abort), which only changes the
+  /// discarded counts of rejected trees — accepted trees and their
+  /// occurrence lists are identical at any thread count.
+  TaskPool* pool = nullptr;
 };
 
 /// All frequent trees of the view (sizes 1..max_edges, in edges).

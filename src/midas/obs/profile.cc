@@ -19,8 +19,12 @@ struct Frame {
 
 thread_local std::vector<Frame> t_frames;
 
+/// Path prefix inherited from the thread that spawned this one (TaskPool
+/// workers); empty on ordinary threads.
+thread_local std::string t_prefix;
+
 std::string JoinPath(const std::vector<Frame>& frames) {
-  std::string path;
+  std::string path = t_prefix;
   for (const Frame& f : frames) {
     if (!path.empty()) path += ';';
     path += f.name;
@@ -49,6 +53,14 @@ void SpanProfiler::ExitFrame(double elapsed_ms) {
 }
 
 size_t SpanProfiler::FrameDepth() { return t_frames.size(); }
+
+std::string SpanProfiler::CurrentPath() { return JoinPath(t_frames); }
+
+std::string SpanProfiler::SetInheritedPrefix(std::string prefix) {
+  std::string prev = std::move(t_prefix);
+  t_prefix = std::move(prefix);
+  return prev;
+}
 
 void SpanProfiler::Record(const std::string& path, double total_ms,
                           double self_ms) {

@@ -85,6 +85,21 @@ class SpanProfiler {
   /// Depth of the calling thread's frame stack (tests).
   static size_t FrameDepth();
 
+  /// --- worker-thread attribution (common/parallel.h) --------------------
+  /// Frame stacks are thread-local, so a span opened on a TaskPool worker
+  /// would otherwise record under a bare root path (the worker's stack is
+  /// empty) instead of under the span that spawned the parallel region.
+  /// The pool captures the submitting thread's CurrentPath() per batch and
+  /// installs it as the worker's inherited prefix while a task runs; every
+  /// path the worker records is then prefixed with it, so ExportFolded
+  /// merges worker time under the spawning span's path.
+  /// Full ";"-joined path of the calling thread's live spans, including any
+  /// inherited prefix; empty when no span is live.
+  static std::string CurrentPath();
+  /// Replaces the calling thread's inherited path prefix, returning the
+  /// previous one (restore it when the task finishes).
+  static std::string SetInheritedPrefix(std::string prefix);
+
   /// The process-wide default profiler.
   static SpanProfiler& Global();
   /// The profiler spans record into: Global() unless a ScopedSpanProfiler

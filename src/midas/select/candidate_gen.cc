@@ -27,16 +27,12 @@ std::vector<Graph> GeneratePromisingCandidates(
     seen.insert(GraphSignature(p.graph));
   }
 
-  for (const auto& [cid, csg] : csgs) {
-    if (csg.NumLiveEdges() == 0) continue;
-    const Graph& skel = csg.skeleton();
-    EdgeWeights weights = CsgEdgeWeights(csg, fcts, db.size());
-    EdgeWeights traversals = WalkTraversals(csg, weights, config.walk, rng);
-
-    // Coverage-based pruning hook (Equation 2): stop growth when the next
-    // edge's marginal subgraph coverage is below (1+κ) times the weakest
-    // existing pattern's unique coverage.
-    EdgePruneFn prune = [&](VertexId u, VertexId v) {
+  // Coverage-based pruning hook (Equation 2): stop growth when the next
+  // edge's marginal subgraph coverage is below (1+κ) times the weakest
+  // existing pattern's unique coverage.
+  auto make_prune = [&](const Graph& skel) {
+    return [&edge_occ, &universe, &covered_by_set, threshold,
+            &skel](VertexId u, VertexId v) {
       EdgeLabelPair lp = skel.EdgeLabel(u, v);
       auto it = edge_occ.find(lp);
       if (it == edge_occ.end()) return true;  // edge vanished from D
@@ -45,20 +41,55 @@ std::vector<Graph> GeneratePromisingCandidates(
           static_cast<double>(scov_e.DifferenceSize(covered_by_set));
       return marginal < threshold;
     };
+  };
 
+  // The weighted walks draw from the caller's Rng, so they run serially in
+  // csg order; the (csg, size, rank) extraction jobs they parameterize are
+  // pure and fan out over the pool. Dedup then replays the serial visiting
+  // order, so the output is identical at any thread count (jobs past the
+  // max_candidates cutoff are computed and discarded).
+  struct Job {
+    const Csg* csg = nullptr;
+    size_t traversal = 0;
+    size_t eta = 0;
+    size_t rank = 0;
+  };
+  std::vector<EdgeWeights> all_traversals;
+  std::vector<Job> jobs;
+  for (const auto& [cid, csg] : csgs) {
+    if (csg.NumLiveEdges() == 0) continue;
+    EdgeWeights weights = CsgEdgeWeights(csg, fcts, db.size());
+    all_traversals.push_back(WalkTraversals(csg, weights, config.walk, rng));
     for (size_t eta = config.budget.eta_min; eta <= config.budget.eta_max;
          ++eta) {
       for (size_t rank = 0; rank < config.pcp_starts; ++rank) {
-        Graph g = ExtractCandidate(
-            csg, traversals, eta, rank,
-            config.enable_pruning ? &prune : nullptr,
-            config.coherent_extraction);
-        if (g.NumEdges() < config.budget.eta_min) continue;
-        if (!seen.insert(GraphSignature(g)).second) continue;
-        candidates.push_back(std::move(g));
-        if (candidates.size() >= config.max_candidates) return candidates;
+        jobs.push_back({&csg, all_traversals.size() - 1, eta, rank});
       }
     }
+  }
+
+  std::vector<Graph> extracted(jobs.size());
+  std::vector<std::string> signatures(jobs.size());
+  std::vector<uint8_t> valid(jobs.size(), 0);
+  ParallelFor(config.pool, jobs.size(), [&](size_t j) {
+    const Job& job = jobs[j];
+    EdgePruneFn prune = make_prune(job.csg->skeleton());
+    Graph g = ExtractCandidate(*job.csg, all_traversals[job.traversal],
+                               job.eta, job.rank,
+                               config.enable_pruning ? &prune : nullptr,
+                               config.coherent_extraction);
+    if (g.NumEdges() >= config.budget.eta_min) {
+      signatures[j] = GraphSignature(g);
+      extracted[j] = std::move(g);
+      valid[j] = 1;
+    }
+  });
+
+  for (size_t j = 0; j < jobs.size(); ++j) {
+    if (valid[j] == 0) continue;
+    if (!seen.insert(signatures[j]).second) continue;
+    candidates.push_back(std::move(extracted[j]));
+    if (candidates.size() >= config.max_candidates) return candidates;
   }
   return candidates;
 }

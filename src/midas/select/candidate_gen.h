@@ -29,6 +29,12 @@ struct CandidateGenConfig {
   /// coherent-extraction constraint (see random_walk.h).
   bool enable_pruning = true;
   bool coherent_extraction = true;
+
+  /// Optional task pool (non-owning; nullptr = serial). The random walks
+  /// stay sequential (they share the caller's Rng); the per-(csg, size,
+  /// rank) candidate extractions fan out, then dedup runs serially in the
+  /// same order as the serial path — thread-count-invariant output.
+  TaskPool* pool = nullptr;
 };
 
 /// Generates candidate patterns from the given (affected) CSGs.

@@ -69,6 +69,7 @@ PatternSet SelectCannedPatterns(const GraphDatabase& db, const FctSet& fcts,
   if (csgs.empty() || db.empty()) return selected;
 
   CoverageEvaluator eval(db, config.sample_cap, rng, fct_index, ife_index);
+  eval.set_pool(config.pool);
 
   // Per-csg walk weights (updated multiplicatively after each selection).
   std::map<ClusterId, EdgeWeights> weights;
@@ -126,14 +127,17 @@ PatternSet SelectCannedPatterns(const GraphDatabase& db, const FctSet& fcts,
     }
     if (candidates.empty()) break;
 
-    // Score with Definition 2.1.
-    for (Candidate& c : candidates) {
+    // Score with Definition 2.1. Each candidate's score reads only shared
+    // immutable state (csgs, fcts, the selected set so far), so the scoring
+    // pass fans out over the pool.
+    ParallelFor(config.pool, candidates.size(), [&](size_t i) {
+      Candidate& c = candidates[i];
       double ccov = ClusterCoverage(c.graph, csgs, db.size());
       double lcov = eval.LabelCoverageOf(c.graph, fcts);
       double div = FastDiversity(c.graph, selected);
       double cog = c.graph.CognitiveLoad();
       c.score = cog > 0.0 ? ccov * lcov * div / cog : 0.0;
-    }
+    });
     auto best = std::max_element(
         candidates.begin(), candidates.end(),
         [](const Candidate& a, const Candidate& b) { return a.score < b.score; });
@@ -153,7 +157,7 @@ PatternSet SelectCannedPatterns(const GraphDatabase& db, const FctSet& fcts,
     }
   }
 
-  RefreshDiversityAndScores(selected, GedFeatureTrees(fcts));
+  RefreshDiversityAndScores(selected, GedFeatureTrees(fcts), config.pool);
   obs::MetricsRegistry& reg = obs::MetricsRegistry::Current();
   if (reg.enabled()) {
     reg.GetCounter("midas_select_runs_total")->Increment();

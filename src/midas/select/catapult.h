@@ -40,6 +40,12 @@ struct CatapultConfig {
   /// isomorphism-based deduplication per (csg, size); buys shape variety.
   bool use_pcp_library = false;
   size_t pcp_library_size = 6;
+
+  /// Optional task pool (non-owning; nullptr = serial). Parallelizes the
+  /// per-candidate scoring pass and the coverage VF2 checks; walks and the
+  /// greedy selection remain sequential, so the result is
+  /// thread-count-invariant.
+  TaskPool* pool = nullptr;
 };
 
 /// CATAPULT canned-pattern selection: greedy iterations of weighted random

@@ -4,6 +4,7 @@
 #include <limits>
 #include <memory>
 
+#include "midas/graph/compute_cache.h"
 #include "midas/graph/ged.h"
 #include "midas/graph/subgraph_iso.h"
 #include "midas/index/pf_matrix.h"
@@ -129,10 +130,32 @@ IdSet CoverageEvaluator::CoverageOf(const Graph& pattern) const {
     candidates = ife_index_->CandidateGraphs(ife_index_->EdgeCounts(pattern),
                                              candidates);
   }
+  std::vector<GraphId> ids;
+  ids.reserve(candidates.size());
+  for (GraphId id : candidates) ids.push_back(id);
+
+  // Containment memo: data graphs are immutable and ids are never reused
+  // within a database instance, so exact verdicts keyed by the database
+  // epoch survive across maintenance rounds (graph/compute_cache.h).
+  ComputeCache& cache = ComputeCache::Global();
+  const std::string pattern_code = GraphContentCode(pattern);
+  const uint64_t epoch = db_->epoch();
+
+  std::vector<uint8_t> verdict(ids.size(), 0);
+  ParallelFor(pool_, ids.size(), [&](size_t i) {
+    const Graph* g = db_->Find(ids[i]);
+    if (g == nullptr) return;
+    bool contains = false;
+    if (!cache.LookupContainment(pattern_code, epoch, ids[i], &contains)) {
+      contains = ContainsSubgraph(pattern, *g);  // exact — always cacheable
+      cache.StoreContainment(pattern_code, epoch, ids[i], contains);
+    }
+    verdict[i] = contains ? 1 : 0;
+  });
+
   IdSet covered;
-  for (GraphId id : candidates) {
-    const Graph* g = db_->Find(id);
-    if (g != nullptr && ContainsSubgraph(pattern, *g)) covered.Insert(id);
+  for (size_t i = 0; i < ids.size(); ++i) {
+    if (verdict[i] != 0) covered.Insert(ids[i]);
   }
   return covered;
 }
@@ -187,7 +210,16 @@ GedEstimator LabelBoundGed() {
 GedEstimator HybridGed(std::vector<Graph> feature_trees, ExecBudget* budget) {
   auto features = std::make_shared<std::vector<Graph>>(
       std::move(feature_trees));
-  return [features, budget](const Graph& a, const Graph& b) {
+  // The refinement's value depends on the feature trees (they tighten the
+  // lower bound), so the memo key carries their digest — entries from a
+  // different FCT generation can never alias.
+  uint64_t feature_digest = 0xcbf29ce484222325ULL;  // FNV-1a
+  for (const Graph& t : *features) {
+    for (unsigned char c : GraphContentCode(t)) {
+      feature_digest = (feature_digest ^ c) * 0x100000001B3ULL;
+    }
+  }
+  return [features, budget, feature_digest](const Graph& a, const Graph& b) {
     int cheap = GedLowerBound(a, b);
     if (cheap > 1) return static_cast<double>(cheap);
     if (BudgetExhausted(budget)) {
@@ -196,29 +228,50 @@ GedEstimator HybridGed(std::vector<Graph> feature_trees, ExecBudget* budget) {
       return static_cast<double>(cheap);
     }
     // Near-tie: refine with the tightened bound / exact GED (Section 6.1).
-    return static_cast<double>(
-        std::max(cheap, EstimateGed(a, b, *features, 8, budget)));
+    // The refinement dominates diversity maintenance cost and pattern pairs
+    // repeat verbatim across rounds, so memoize it by content-code pair.
+    ComputeCache& cache = ComputeCache::Global();
+    std::string code_a = GraphContentCode(a);
+    std::string code_b = GraphContentCode(b);
+    int refined = 0;
+    if (!cache.LookupGed(feature_digest, code_a, code_b, &refined)) {
+      refined = EstimateGed(a, b, *features, 8, budget);
+      // A budget that tripped mid-search leaves `refined` truncated — only
+      // exact outcomes may enter the cache.
+      if (!BudgetExhausted(budget)) {
+        cache.StoreGed(feature_digest, code_a, code_b, refined);
+      }
+    }
+    return static_cast<double>(std::max(cheap, refined));
   };
 }
 
-void RefreshDiversityAndScores(PatternSet& set, const GedEstimator& ged) {
+void RefreshDiversityAndScores(PatternSet& set, const GedEstimator& ged,
+                               TaskPool* pool) {
   auto& patterns = set.patterns();
-  for (auto& [id, p] : patterns) {
+  std::vector<CannedPattern*> rows;
+  rows.reserve(patterns.size());
+  for (auto& [id, p] : patterns) rows.push_back(&p);
+  // One O(n) min-GED row per pattern; rows are independent and each writes
+  // only its own pattern, so the parallel schedule cannot change results.
+  ParallelFor(pool, rows.size(), [&](size_t i) {
+    CannedPattern& p = *rows[i];
     double min_ged = std::numeric_limits<double>::max();
     for (const auto& [oid, other] : patterns) {
-      if (oid == id) continue;
+      if (oid == p.id) continue;
       min_ged = std::min(min_ged, ged(p.graph, other.graph));
     }
     p.div = patterns.size() <= 1
                 ? static_cast<double>(p.graph.NumEdges())  // lone pattern
                 : min_ged;
     p.score = p.cog > 0.0 ? p.scov * p.lcov * p.div / p.cog : 0.0;
-  }
+  });
 }
 
 void RefreshDiversityAndScores(PatternSet& set,
-                               const std::vector<Graph>& feature_trees) {
-  RefreshDiversityAndScores(set, HybridGed(feature_trees));
+                               const std::vector<Graph>& feature_trees,
+                               TaskPool* pool) {
+  RefreshDiversityAndScores(set, HybridGed(feature_trees), pool);
 }
 
 }  // namespace midas

@@ -8,6 +8,7 @@
 
 #include "midas/common/budget.h"
 #include "midas/common/id_set.h"
+#include "midas/common/parallel.h"
 #include "midas/common/rng.h"
 #include "midas/graph/graph_database.h"
 #include "midas/index/fct_index.h"
@@ -106,12 +107,18 @@ class CoverageEvaluator {
   /// Refreshes the sampled universe after database evolution.
   void Resample(Rng& rng);
 
+  /// Attaches a task pool: CoverageOf then runs its per-graph VF2 checks in
+  /// parallel (nullptr = serial reference path). Results are merged in
+  /// ascending-id order, so the returned IdSet is thread-count-invariant.
+  void set_pool(TaskPool* pool) { pool_ = pool; }
+
  private:
   const GraphDatabase* db_;
   size_t sample_cap_;
   IdSet universe_;
   const FctIndex* fct_index_;
   const IfeIndex* ife_index_;
+  TaskPool* pool_ = nullptr;
 };
 
 /// Recomputes scov/lcov/cog for one pattern (coverage included).
@@ -139,12 +146,15 @@ GedEstimator HybridGed(std::vector<Graph> feature_trees,
                        ExecBudget* budget = nullptr);
 
 /// Recomputes div (min pairwise distance under `ged`) and score for every
-/// pattern in the set.
-void RefreshDiversityAndScores(PatternSet& set, const GedEstimator& ged);
+/// pattern in the set. With a pool, the per-pattern min-GED rows run in
+/// parallel (each row writes only its own pattern — deterministic).
+void RefreshDiversityAndScores(PatternSet& set, const GedEstimator& ged,
+                               TaskPool* pool = nullptr);
 
 /// Convenience overload using HybridGed over the given feature trees.
 void RefreshDiversityAndScores(PatternSet& set,
-                               const std::vector<Graph>& feature_trees);
+                               const std::vector<Graph>& feature_trees,
+                               TaskPool* pool = nullptr);
 
 /// Feature trees (FCTs + frequent + infrequent edges) for GED tightening.
 std::vector<Graph> GedFeatureTrees(const FctSet& fcts);

@@ -98,6 +98,7 @@ bool EngineHost::Start(std::string* error) {
   fs::create_directories(engine_dir_, ec);
   if (ec) return fail("create " + engine_dir_ + ": " + ec.message());
 
+  if (config_.num_threads >= 0) engine_->SetNumThreads(config_.num_threads);
   try {
     if (!engine_->initialized()) engine_->Initialize();
   } catch (const std::exception& e) {
@@ -348,6 +349,9 @@ bool EngineHost::RecoverInProcess(const std::string& why) {
       if (event_log_ != nullptr) fresh->SetEventLog(event_log_);
       if (config_.sli_enabled) fresh->SetDriftDetector(&drift_);
       fresh->SetRoundLimits(base_deadline_ms_, base_step_limit_);
+      if (config_.num_threads >= 0) {
+        fresh->SetNumThreads(config_.num_threads);
+      }
       // Mandatory re-baseline: a failed round leaves stale uncommitted
       // records (and possibly seqs above where we resume) in the journal;
       // the checkpoint truncates them so the retry's appends cannot read

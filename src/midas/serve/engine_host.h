@@ -29,6 +29,12 @@ struct HostConfig {
   AdmissionLimits admission;
   MaintenanceMode mode = MaintenanceMode::kMidas;
 
+  /// Maintenance worker threads, applied to the engine before Initialize
+  /// (and to every recovered engine). -1 keeps the engine's own
+  /// MidasConfig::num_threads; otherwise same semantics as that field
+  /// (0 = hardware concurrency, 1 = serial).
+  int num_threads = -1;
+
   /// Retry-with-backoff: a batch gets `max_attempts` ApplyUpdate tries; the
   /// sleep before retry k is backoff_initial_ms * backoff_multiplier^(k-1),
   /// capped at backoff_max_ms.
