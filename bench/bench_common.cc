@@ -6,6 +6,7 @@
 #include <iomanip>
 #include <iostream>
 #include <sstream>
+#include <thread>
 
 #include "midas/obs/export.h"
 #include "midas/obs/json.h"
@@ -165,6 +166,10 @@ std::string WriteBenchJson(const std::string& suite, std::string out_dir) {
   w.BeginObject();
   w.Key("suite").Value(suite);
   w.Key("scale").Value(ScaleFactor());
+  // The host's core count rides with every committed trajectory file so
+  // 1-core container numbers are never misread as scaling claims.
+  unsigned hw = std::thread::hardware_concurrency();
+  w.Key("host_cores").Value(static_cast<uint64_t>(hw == 0 ? 1 : hw));
   w.EndObject();
   // Splice the metrics document (already JSON) in before the closing brace.
   std::string body = w.str();

@@ -80,5 +80,7 @@ int main() {
 
   build.Print();
   maintain.Print();
+  EmitMetricsJson();
+  WriteBenchJson("index_cost");
   return 0;
 }

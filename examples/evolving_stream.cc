@@ -19,15 +19,18 @@
 #include <iostream>
 #include <memory>
 
+#include "midas/common/budget.h"
 #include "midas/datagen/molecule_gen.h"
 #include "midas/datagen/workload.h"
 #include "midas/maintain/midas.h"
 #include "midas/maintain/report.h"
 #include "midas/obs/event_log.h"
 #include "midas/obs/export.h"
+#include "midas/obs/flight.h"
 #include "midas/obs/metrics.h"
 #include "midas/obs/profile.h"
 #include "midas/obs/telemetry_server.h"
+#include "midas/obs/trace.h"
 #include "midas/queryform/formulation.h"
 
 int main(int argc, char** argv) {
@@ -51,6 +54,13 @@ int main(int argc, char** argv) {
     }
   }
 
+  // Per-day flight records (obs/flight.h): each round runs under its own
+  // TraceContext, so its cost lands on /traces and as histogram exemplars
+  // even without an EngineHost in front.
+  obs::FlightRecorderConfig flight_cfg;
+  flight_cfg.slo_ms = slo_ms;
+  obs::FlightRecorder flights(flight_cfg);
+
   // Standalone telemetry (no EngineHost here): /metrics + /spans over the
   // process-wide registry and span profiler, live while the stream runs.
   std::unique_ptr<obs::TelemetryServer> telemetry;
@@ -70,6 +80,7 @@ int main(int argc, char** argv) {
                                                     : prof.ExportTopTable();
       return resp;
     });
+    obs::InstallTraceRoutes(telemetry.get(), &flights);
     std::string terr;
     if (!telemetry->Start(telemetry_port, &terr)) {
       std::cerr << "telemetry server failed: " << terr << "\n";
@@ -77,6 +88,7 @@ int main(int argc, char** argv) {
     }
     std::cout << "telemetry on " << telemetry->BaseUrl() << " — try:\n"
               << "  curl -s " << telemetry->BaseUrl() << "/metrics\n"
+              << "  curl -s " << telemetry->BaseUrl() << "/traces\n"
               << "  curl -s '" << telemetry->BaseUrl()
               << "/spans?fmt=folded'\n";
     std::cout.flush();  // scrapers parse the port from redirected stdout
@@ -132,7 +144,41 @@ int main(int argc, char** argv) {
       delta.deletions = deletions.deletions;
     }
 
-    MaintenanceStats stats = engine.ApplyUpdate(delta);
+    // The day's batch flies under its own causal trace: phases, cache
+    // lookups and worker chunks all account into it (see obs/trace.h).
+    obs::TraceContext trace(obs::MintTraceId());
+    MaintenanceStats stats;
+    {
+      obs::ScopedTraceContext scope(&trace);
+      stats = engine.ApplyUpdate(delta);
+    }
+    auto record = std::make_shared<obs::FlightRecord>();
+    record->trace_id = trace.id().ToHex();
+    record->seq = engine.round_seq();
+    record->additions = delta.insertions.size();
+    record->deletions = delta.deletions.size();
+    record->total_ms = stats.total_ms;
+#define MIDAS_X(field) record->phase_ms.emplace_back(#field, stats.field);
+    MIDAS_MAINTENANCE_PHASES(MIDAS_X)
+#undef MIDAS_X
+    record->truncated = stats.truncated;
+    record->budget_steps = trace.budget_steps();
+    record->cache_hits = trace.cache_hits();
+    record->cache_misses = trace.cache_misses();
+    record->degrade_reason = std::string(ExecBudget::CauseName(
+        static_cast<ExecBudget::Cause>(trace.degrade_cause())));
+    record->slo_violation = slo_ms > 0.0 && stats.total_ms > slo_ms;
+    bool slow = record->slo_violation;
+    std::string slow_trace = record->trace_id;
+    flights.Record(std::move(record));
+    if (slow) {
+      std::cout << "  slow round (>" << slo_ms << "ms): trace " << slow_trace
+                << (telemetry != nullptr
+                        ? "  (curl " + telemetry->BaseUrl() + "/traces/" +
+                              slow_trace + ")"
+                        : std::string())
+                << "\n";
+    }
 
     // Today's workload: queries biased towards recent graphs.
     QueryGenConfig qcfg;

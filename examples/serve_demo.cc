@@ -95,6 +95,7 @@ int main(int argc, char** argv) {
               << "  curl -s " << base << "/healthz\n"
               << "  curl -s " << base << "/metrics | grep midas_quality\n"
               << "  curl -s " << base << "/statusz\n"
+              << "  curl -s " << base << "/traces\n"
               << "  curl -s '" << base << "/spans?fmt=folded'\n"
               << "  curl -s " << base << "/varz\n";
     std::cout.flush();  // scrapers parse the port from redirected stdout
@@ -152,6 +153,25 @@ int main(int argc, char** argv) {
   }
 
   host.WaitIdle(std::chrono::milliseconds(120000));
+
+  // Post-drain triage: every batch that blew the round SLO (or degraded,
+  // retried, got quarantined...) is one curl away via its trace id.
+  for (const auto& flight : host.flights().Snapshot()) {
+    if (!obs::FlightRecorder::Interesting(*flight)) continue;
+    std::lock_guard<std::mutex> lock(print_mu);
+    std::cout << "flagged flight: trace " << flight->trace_id << " ("
+              << flight->outcome << (flight->slo_violation ? ", slo" : "")
+              << (flight->truncated ? ", truncated" : "") << ", "
+              << std::fixed << std::setprecision(1) << flight->total_ms
+              << "ms)";
+    if (host.telemetry_port() >= 0) {
+      std::cout << "  curl -s http://127.0.0.1:"
+                << std::to_string(host.telemetry_port()) << "/traces/"
+                << flight->trace_id;
+    }
+    std::cout << "\n";
+  }
+
   if (linger_ms > 0) {
     std::cout << "lingering " << linger_ms
               << "ms for external scrapers...\n";

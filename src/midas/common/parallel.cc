@@ -7,6 +7,7 @@
 
 #include "midas/obs/metrics.h"
 #include "midas/obs/profile.h"
+#include "midas/obs/trace.h"
 
 namespace midas {
 
@@ -15,6 +16,16 @@ namespace {
 /// Set while a thread is inside TaskPool::WorkerLoop; nested ParallelFor
 /// detects it and runs inline instead of blocking a worker on a sub-batch.
 thread_local TaskPool* t_worker_pool = nullptr;
+
+/// Live `midas_parallel_queue_depth`: published at every deal and every
+/// chunk pop, so a /metrics scrape mid-batch sees the actual backlog
+/// (batch-end-only flushing always read 0). Chunks are coarse (~4 per
+/// executor per batch), so one registry lookup per pop is cold.
+void PublishQueueDepth(uint64_t depth) {
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Current();
+  if (!reg.enabled()) return;
+  reg.GetGauge("midas_parallel_queue_depth")->Set(static_cast<double>(depth));
+}
 
 }  // namespace
 
@@ -31,6 +42,11 @@ struct TaskPool::Batch {
   const std::function<void(size_t)>* body = nullptr;
   ExecBudget* budget = nullptr;
   std::string span_prefix;
+  /// Submitter's causal trace, inherited by whichever thread runs a chunk —
+  /// kernel work is attributed to the owning batch even when stolen. The
+  /// submitter outlives the batch (it blocks on done_cv), so the raw
+  /// pointer is safe.
+  obs::TraceContext* trace = nullptr;
 
   std::atomic<size_t> remaining{0};    ///< indices not yet finished/skipped
   std::atomic<bool> cancelled{false};  ///< a task threw: skip remaining work
@@ -77,8 +93,10 @@ void TaskPool::RunChunk(const Chunk& c) {
   Batch* b = c.batch;
   const bool on_worker = t_worker_pool != nullptr;
   std::string prev_prefix;
+  obs::TraceContext* prev_trace = nullptr;
   if (on_worker) {
     prev_prefix = obs::SpanProfiler::SetInheritedPrefix(b->span_prefix);
+    prev_trace = obs::TraceContext::Exchange(b->trace);
   }
   auto start = std::chrono::steady_clock::now();
   for (size_t i = c.begin; i < c.end; ++i) {
@@ -102,6 +120,7 @@ void TaskPool::RunChunk(const Chunk& c) {
   tasks_.fetch_add(1, std::memory_order_relaxed);
   if (on_worker) {
     obs::SpanProfiler::SetInheritedPrefix(std::move(prev_prefix));
+    obs::TraceContext::Exchange(prev_trace);
   }
   size_t span = c.end - c.begin;
   if (b->remaining.fetch_sub(span, std::memory_order_acq_rel) == span) {
@@ -121,7 +140,9 @@ bool TaskPool::TryRunOneChunk(size_t preferred, bool count_steal) {
       Chunk c = wq.chunks.back();  // owner pops LIFO (cache-warm end)
       wq.chunks.pop_back();
       lock.unlock();
-      queued_chunks_.fetch_sub(1, std::memory_order_relaxed);
+      PublishQueueDepth(queued_chunks_.fetch_sub(1,
+                                                 std::memory_order_relaxed) -
+                        1);
       RunChunk(c);
       return true;
     }
@@ -135,7 +156,9 @@ bool TaskPool::TryRunOneChunk(size_t preferred, bool count_steal) {
       Chunk c = wq.chunks.front();  // thieves pop FIFO (opposite end)
       wq.chunks.pop_front();
       lock.unlock();
-      queued_chunks_.fetch_sub(1, std::memory_order_relaxed);
+      PublishQueueDepth(queued_chunks_.fetch_sub(1,
+                                                 std::memory_order_relaxed) -
+                        1);
       if (count_steal) steals_.fetch_add(1, std::memory_order_relaxed);
       RunChunk(c);
       return true;
@@ -169,6 +192,7 @@ void TaskPool::ParallelFor(size_t n, const std::function<void(size_t)>& body,
   batch.budget = budget;
   batch.remaining.store(n, std::memory_order_relaxed);
   batch.span_prefix = obs::SpanProfiler::CurrentPath();
+  batch.trace = obs::TraceContext::Current();
 
   // ~4 chunks per executor balances steal traffic against load balance.
   size_t target_chunks = static_cast<size_t>(num_threads()) * 4;

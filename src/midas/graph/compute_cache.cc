@@ -5,6 +5,7 @@
 #include <functional>
 
 #include "midas/obs/metrics.h"
+#include "midas/obs/trace.h"
 
 namespace midas {
 
@@ -67,17 +68,23 @@ ComputeCache::Shard& ComputeCache::ShardFor(const std::string& key) {
 
 bool ComputeCache::Lookup(const std::string& key, int64_t* out) {
   Shard& shard = ShardFor(key);
+  // Per-batch attribution: the owning update's TraceContext (when one is
+  // installed on this thread) counts this lookup alongside the global
+  // counters, so a flight record knows its own cache traffic.
+  obs::TraceContext* trace = obs::TraceContext::Current();
   std::lock_guard<std::mutex> lock(shard.mu);
   auto it = shard.index.find(key);
   if (it == shard.index.end()) {
     shard.misses.fetch_add(1, std::memory_order_relaxed);
     CountCacheEvent("midas_cache_miss_total");
+    if (trace != nullptr) trace->CountCacheLookup(false);
     return false;
   }
   shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
   *out = it->second->second;
   shard.hits.fetch_add(1, std::memory_order_relaxed);
   CountCacheEvent("midas_cache_hit_total");
+  if (trace != nullptr) trace->CountCacheLookup(true);
   return true;
 }
 

@@ -1,6 +1,7 @@
 #include "midas/maintain/midas.h"
 
 #include <algorithm>
+#include <chrono>
 #include <stdexcept>
 #include <thread>
 
@@ -305,6 +306,13 @@ MaintenanceStats MidasEngine::ApplyUpdate(const BatchUpdate& raw_delta,
   std::vector<std::pair<GraphId, ClusterId>> deletion_clusters;
   {
     obs::TraceSpan span("midas_maintain_apply_ms", &stats.apply_ms);
+    // Deterministic slow-down hook for tracing tests: stalls the apply
+    // phase of exactly the armed round without touching any maintenance
+    // decision, so a trace's "slow phase dominates self time" claim can be
+    // proven end to end.
+    if (MIDAS_FAILPOINT("midas.apply_update.slow_apply")) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(40));
+    }
     psi_before = census_.Distribution();
 
     // Record cluster membership of deletions before they disappear.
@@ -472,6 +480,14 @@ MaintenanceStats MidasEngine::ApplyUpdate(const BatchUpdate& raw_delta,
   ExecBudget::Cause budget_cause = round_budget_.cause();
   uint64_t budget_steps = round_budget_.steps_used();
   round_budget_.ResetUnlimited();
+
+  // Attribute the round's kernel cost to the owning batch's causal trace
+  // (installed thread-locally by the serving host; absent in direct engine
+  // use). Read-only with respect to maintenance state.
+  if (obs::TraceContext* trace = obs::TraceContext::Current()) {
+    trace->AddBudgetSteps(budget_steps);
+    trace->SetDegradeCause(static_cast<int>(budget_cause));
+  }
 
   // Commit: the round's outcome (including the exact panel) is durable
   // before the round counter advances. A crash before this append leaves

@@ -3,9 +3,28 @@
 #include <sstream>
 
 #include "midas/obs/json.h"
+#include "midas/obs/trace.h"
 
 namespace midas {
 namespace obs {
+
+namespace {
+
+/// OpenMetrics exemplar suffix for one bucket line, or "" when no traced
+/// observation landed there: ` # {trace_id="<32 hex>"} <value>`.
+std::string ExemplarSuffix(const Histogram::Exemplar& e) {
+  if (!e.valid) return std::string();
+  TraceId id;
+  id.hi = e.trace_hi;
+  id.lo = e.trace_lo;
+  std::string out = " # {trace_id=\"";
+  out += EscapeLabelValue(id.ToHex());
+  out += "\"} ";
+  out += JsonWriter::FormatDouble(e.value);
+  return out;
+}
+
+}  // namespace
 
 std::string SanitizeMetricName(std::string_view name) {
   auto valid = [](char c, bool first) {
@@ -60,10 +79,11 @@ std::string ExportPrometheus(const MetricsRegistry& registry) {
       cumulative += h->BucketCount(i);
       out << name << "_bucket{le=\""
           << EscapeLabelValue(JsonWriter::FormatDouble(bounds[i])) << "\"} "
-          << cumulative << '\n';
+          << cumulative << ExemplarSuffix(h->BucketExemplar(i)) << '\n';
     }
     cumulative += h->BucketCount(bounds.size());
-    out << name << "_bucket{le=\"+Inf\"} " << cumulative << '\n';
+    out << name << "_bucket{le=\"+Inf\"} " << cumulative
+        << ExemplarSuffix(h->BucketExemplar(bounds.size())) << '\n';
     out << name << "_sum " << JsonWriter::FormatDouble(h->Sum()) << '\n';
     out << name << "_count " << h->Count() << '\n';
   }
@@ -100,6 +120,16 @@ std::string ExportJson(const MetricsRegistry& registry) {
         w.Key("le").Value("+Inf");
       }
       w.Key("count").Value(cumulative);
+      Histogram::Exemplar e = h->BucketExemplar(i);
+      if (e.valid) {
+        TraceId id;
+        id.hi = e.trace_hi;
+        id.lo = e.trace_lo;
+        w.Key("exemplar").BeginObject();
+        w.Key("trace_id").Value(id.ToHex());
+        w.Key("value").Value(e.value);
+        w.EndObject();
+      }
       w.EndObject();
     }
     w.EndArray();

@@ -1,6 +1,7 @@
 #ifndef MIDAS_OBS_METRICS_H_
 #define MIDAS_OBS_METRICS_H_
 
+#include <algorithm>
 #include <atomic>
 #include <cstdint>
 #include <map>
@@ -68,14 +69,39 @@ class Gauge {
 /// Fixed-bucket histogram with Prometheus semantics: bucket i counts
 /// observations with value <= bounds[i] (cumulative counts are produced by
 /// the exporters, not stored); one implicit +Inf overflow bucket.
+///
+/// Exemplars (OpenMetrics): each bucket optionally remembers the most recent
+/// traced observation that landed in it — the 128-bit trace id of the batch
+/// plus the observed value — so a tail-latency bucket links directly to the
+/// flight record of the round that filled it. Untraced Observe() calls never
+/// touch exemplar state (the hot path stays lock-free); traced observations
+/// arrive at round granularity, so the exemplar mutex is cold.
 class Histogram {
  public:
+  /// Last traced observation of one bucket; `valid` false until a traced
+  /// observation lands there (exporters omit the exemplar then).
+  struct Exemplar {
+    bool valid = false;
+    uint64_t trace_hi = 0;
+    uint64_t trace_lo = 0;
+    double value = 0.0;
+  };
+
   void Observe(double value) {
-    size_t i = 0;
-    while (i < bounds_.size() && value > bounds_[i]) ++i;
+    buckets_[BucketIndex(value)].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(value, std::memory_order_relaxed);
+  }
+
+  /// Observe() plus an exemplar: tags the receiving bucket with the trace id
+  /// of the batch this observation belongs to.
+  void ObserveExemplar(double value, uint64_t trace_hi, uint64_t trace_lo) {
+    const size_t i = BucketIndex(value);
     buckets_[i].fetch_add(1, std::memory_order_relaxed);
     count_.fetch_add(1, std::memory_order_relaxed);
     sum_.fetch_add(value, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(exemplar_mu_);
+    exemplars_[i] = Exemplar{true, trace_hi, trace_lo, value};
   }
 
   const std::vector<double>& bounds() const { return bounds_; }
@@ -83,12 +109,19 @@ class Histogram {
   uint64_t BucketCount(size_t i) const {
     return buckets_[i].load(std::memory_order_relaxed);
   }
+  /// Last traced observation of bucket i (valid=false when none landed).
+  Exemplar BucketExemplar(size_t i) const {
+    std::lock_guard<std::mutex> lock(exemplar_mu_);
+    return exemplars_[i];
+  }
   uint64_t Count() const { return count_.load(std::memory_order_relaxed); }
   double Sum() const { return sum_.load(std::memory_order_relaxed); }
   void Reset() {
     for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
     count_.store(0, std::memory_order_relaxed);
     sum_.store(0.0, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(exemplar_mu_);
+    std::fill(exemplars_.begin(), exemplars_.end(), Exemplar());
   }
   const std::string& name() const { return name_; }
 
@@ -97,13 +130,22 @@ class Histogram {
   Histogram(std::string name, std::vector<double> bounds)
       : name_(std::move(name)),
         bounds_(std::move(bounds)),
-        buckets_(bounds_.size() + 1) {}
+        buckets_(bounds_.size() + 1),
+        exemplars_(bounds_.size() + 1) {}
+
+  size_t BucketIndex(double value) const {
+    size_t i = 0;
+    while (i < bounds_.size() && value > bounds_[i]) ++i;
+    return i;
+  }
 
   const std::string name_;
   const std::vector<double> bounds_;
   std::vector<std::atomic<uint64_t>> buckets_;
   std::atomic<uint64_t> count_{0};
   std::atomic<double> sum_{0.0};
+  mutable std::mutex exemplar_mu_;
+  std::vector<Exemplar> exemplars_;
 };
 
 /// Owns all metrics of one scope (process-wide by default). Get* registers

@@ -110,6 +110,11 @@ void TelemetryServer::Handle(std::string path, HttpHandler handler) {
   routes_[std::move(path)] = std::move(handler);
 }
 
+void TelemetryServer::HandlePrefix(std::string prefix, HttpHandler handler) {
+  std::lock_guard<std::mutex> lock(routes_mu_);
+  prefix_routes_[std::move(prefix)] = std::move(handler);
+}
+
 bool TelemetryServer::Start(int port, std::string* error) {
   auto fail = [this, error](const std::string& what) {
     if (error != nullptr) *error = what + ": " + std::strerror(errno);
@@ -211,7 +216,21 @@ HttpResponse TelemetryServer::Dispatch(const HttpRequest& request) const {
     if (it != routes_.end()) {
       handler = it->second;
     } else {
-      for (const auto& [path, unused] : routes_) known += path + "\n";
+      // Longest matching prefix wins: iterate the sorted map backwards so
+      // "/traces/x/" is preferred over "/traces/".
+      for (auto pit = prefix_routes_.rbegin(); pit != prefix_routes_.rend();
+           ++pit) {
+        if (request.path.compare(0, pit->first.size(), pit->first) == 0) {
+          handler = pit->second;
+          break;
+        }
+      }
+      if (!handler) {
+        for (const auto& [path, unused] : routes_) known += path + "\n";
+        for (const auto& [path, unused] : prefix_routes_) {
+          known += path + "*\n";
+        }
+      }
     }
   }
   HttpResponse response;

@@ -58,6 +58,12 @@ class TelemetryServer {
   /// Registers (or replaces) the handler for an exact path.
   void Handle(std::string path, HttpHandler handler);
 
+  /// Registers (or replaces) a handler for every path starting with
+  /// `prefix` (e.g. "/traces/" serving /traces/<id>). Exact routes win;
+  /// among prefix routes the longest matching prefix wins. The handler
+  /// sees the full request path and parses the suffix itself.
+  void HandlePrefix(std::string prefix, HttpHandler handler);
+
   /// Binds and starts the accept thread. `port` 0 picks an ephemeral port.
   /// Returns false (with *error) when the socket cannot be set up.
   bool Start(int port, std::string* error = nullptr);
@@ -78,6 +84,7 @@ class TelemetryServer {
 
   mutable std::mutex routes_mu_;
   std::map<std::string, HttpHandler> routes_;
+  std::map<std::string, HttpHandler> prefix_routes_;
 
   int listen_fd_ = -1;
   std::atomic<int> port_{0};

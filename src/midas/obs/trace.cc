@@ -1,13 +1,87 @@
 #include "midas/obs/trace.h"
 
+#include <chrono>
+
 #include "midas/obs/profile.h"
 
 namespace midas {
 namespace obs {
 
 namespace {
+
 thread_local int g_span_depth = 0;
+thread_local TraceContext* g_current_trace = nullptr;
+
+uint64_t SplitMix64(uint64_t z) {
+  z += 0x9E3779B97F4A7C15ULL;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+char HexDigit(uint64_t v) {
+  return static_cast<char>(v < 10 ? '0' + v : 'a' + (v - 10));
+}
+
+void AppendHex64(std::string& out, uint64_t v) {
+  for (int shift = 60; shift >= 0; shift -= 4) {
+    out.push_back(HexDigit((v >> shift) & 0xF));
+  }
+}
+
 }  // namespace
+
+std::string TraceId::ToHex() const {
+  std::string out;
+  out.reserve(32);
+  AppendHex64(out, hi);
+  AppendHex64(out, lo);
+  return out;
+}
+
+TraceId TraceId::FromHex(std::string_view hex) {
+  if (hex.size() != 32) return TraceId();
+  TraceId id;
+  for (size_t i = 0; i < 32; ++i) {
+    char c = hex[i];
+    uint64_t nibble;
+    if (c >= '0' && c <= '9') {
+      nibble = static_cast<uint64_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      nibble = static_cast<uint64_t>(c - 'a' + 10);
+    } else if (c >= 'A' && c <= 'F') {
+      nibble = static_cast<uint64_t>(c - 'A' + 10);
+    } else {
+      return TraceId();
+    }
+    uint64_t& half = i < 16 ? id.hi : id.lo;
+    half = (half << 4) | nibble;
+  }
+  return id;
+}
+
+TraceId MintTraceId() {
+  // Per-process entropy: the startup clock reading hashed once. The low half
+  // is a strictly monotonic counter mixed through splitmix64, so ids within
+  // a process never repeat and are uniformly spread across buckets.
+  static const uint64_t process_salt = SplitMix64(static_cast<uint64_t>(
+      std::chrono::steady_clock::now().time_since_epoch().count()));
+  static std::atomic<uint64_t> next{1};
+  uint64_t n = next.fetch_add(1, std::memory_order_relaxed);
+  TraceId id;
+  id.hi = SplitMix64(process_salt ^ n);
+  id.lo = SplitMix64(n);
+  if (!id.valid()) id.lo = 1;  // never mint the null id
+  return id;
+}
+
+TraceContext* TraceContext::Current() { return g_current_trace; }
+
+TraceContext* TraceContext::Exchange(TraceContext* ctx) {
+  TraceContext* prev = g_current_trace;
+  g_current_trace = ctx;
+  return prev;
+}
 
 TraceSpan::TraceSpan(std::string_view histogram_name, double* accumulate_ms) {
   MetricsRegistry& reg = MetricsRegistry::Current();
@@ -42,7 +116,17 @@ void TraceSpan::Stop() {
   --g_span_depth;
   double ms = timer_.ElapsedMs();
   if (accumulate_ms_ != nullptr) *accumulate_ms_ += ms;
-  if (histogram_ != nullptr) histogram_->Observe(ms);
+  if (histogram_ != nullptr) {
+    // A traced span tags its bucket with the owning batch's trace id, so
+    // the histogram's tail buckets link back to the flight record that
+    // filled them (OpenMetrics exemplars).
+    TraceContext* trace = TraceContext::Current();
+    if (trace != nullptr && trace->id().valid()) {
+      histogram_->ObserveExemplar(ms, trace->id().hi, trace->id().lo);
+    } else {
+      histogram_->Observe(ms);
+    }
+  }
   if (profiled_) SpanProfiler::ExitFrame(ms);
 }
 

@@ -1,6 +1,8 @@
 #ifndef MIDAS_OBS_TRACE_H_
 #define MIDAS_OBS_TRACE_H_
 
+#include <atomic>
+#include <cstdint>
 #include <string>
 #include <string_view>
 
@@ -9,6 +11,113 @@
 
 namespace midas {
 namespace obs {
+
+/// 128-bit trace identifier of one update batch's end-to-end journey
+/// (Submit -> queue -> writer -> maintenance phases -> publish). Zero is
+/// the null id (no trace).
+struct TraceId {
+  uint64_t hi = 0;
+  uint64_t lo = 0;
+
+  bool valid() const { return (hi | lo) != 0; }
+  bool operator==(const TraceId& o) const { return hi == o.hi && lo == o.lo; }
+  bool operator!=(const TraceId& o) const { return !(*this == o); }
+
+  /// 32 lowercase hex chars ("000...0" for the null id).
+  std::string ToHex() const;
+  /// Parses ToHex output; returns the null id on malformed input.
+  static TraceId FromHex(std::string_view hex);
+};
+
+/// Mints a fresh process-unique TraceId (monotonic counter mixed through
+/// splitmix64 with per-process entropy, so ids from concurrent hosts in one
+/// process — or across restarts — do not collide in practice).
+TraceId MintTraceId();
+
+/// Causal context of one update batch, propagated from EngineHost::Submit
+/// through the UpdateQueue, the maintenance writer and every TaskPool worker
+/// that executes kernel work on the batch's behalf (common/parallel installs
+/// it around each chunk, so work is attributed to the owning batch even when
+/// stolen).
+///
+/// The context is installed thread-locally (ScopedTraceContext); hot-path
+/// hooks (ComputeCache lookups, TraceSpan exemplars) read Current() — one
+/// thread-local load — and account into relaxed atomic counters. The context
+/// never influences maintenance decisions, which is how tracing preserves
+/// the bit-identical-at-any-thread-count determinism contract.
+class TraceContext {
+ public:
+  explicit TraceContext(TraceId id) : id_(id) {}
+
+  TraceContext(const TraceContext&) = delete;
+  TraceContext& operator=(const TraceContext&) = delete;
+
+  const TraceId& id() const { return id_; }
+
+  /// Fresh span id within this trace (1-based; 0 is "no span").
+  uint64_t NextSpanId() {
+    return next_span_id_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  // --- per-trace cost counters (relaxed atomics; any thread) -------------
+  void AddBudgetSteps(uint64_t n) {
+    budget_steps_.fetch_add(n, std::memory_order_relaxed);
+  }
+  void CountCacheLookup(bool hit) {
+    (hit ? cache_hits_ : cache_misses_)
+        .fetch_add(1, std::memory_order_relaxed);
+  }
+  /// ExecBudget::Cause of the round's degradation, as an int so obs does not
+  /// depend on common/budget (0 = none; the host maps it back to the
+  /// "steps"/"deadline" spelling).
+  void SetDegradeCause(int cause) {
+    degrade_cause_.store(cause, std::memory_order_relaxed);
+  }
+
+  uint64_t budget_steps() const {
+    return budget_steps_.load(std::memory_order_relaxed);
+  }
+  uint64_t cache_hits() const {
+    return cache_hits_.load(std::memory_order_relaxed);
+  }
+  uint64_t cache_misses() const {
+    return cache_misses_.load(std::memory_order_relaxed);
+  }
+  int degrade_cause() const {
+    return degrade_cause_.load(std::memory_order_relaxed);
+  }
+
+  /// The calling thread's installed context (nullptr when none).
+  static TraceContext* Current();
+  /// Installs `ctx` on the calling thread, returning the previous one —
+  /// TaskPool workers use this to inherit the submitting batch's context
+  /// for the duration of a chunk.
+  static TraceContext* Exchange(TraceContext* ctx);
+
+ private:
+  const TraceId id_;
+  std::atomic<uint64_t> next_span_id_{1};
+  std::atomic<uint64_t> budget_steps_{0};
+  std::atomic<uint64_t> cache_hits_{0};
+  std::atomic<uint64_t> cache_misses_{0};
+  std::atomic<int> degrade_cause_{0};
+};
+
+/// RAII thread-local install of a TraceContext: spans stopped and cache
+/// lookups made inside the scope are attributed to it. Nests; restores the
+/// previous context on destruction. nullptr is allowed (no-op scope).
+class ScopedTraceContext {
+ public:
+  explicit ScopedTraceContext(TraceContext* ctx)
+      : prev_(TraceContext::Exchange(ctx)) {}
+  ~ScopedTraceContext() { TraceContext::Exchange(prev_); }
+
+  ScopedTraceContext(const ScopedTraceContext&) = delete;
+  ScopedTraceContext& operator=(const ScopedTraceContext&) = delete;
+
+ private:
+  TraceContext* prev_;
+};
 
 /// RAII scoped timer: measures a region with a pausable midas::Timer and, on
 /// Stop()/destruction, records the elapsed milliseconds into

@@ -6,6 +6,7 @@
 #include <thread>
 #include <utility>
 
+#include "midas/common/budget.h"
 #include "midas/common/failpoint.h"
 #include "midas/graph/graph_io.h"
 #include "midas/maintain/snapshot.h"
@@ -82,6 +83,7 @@ EngineHost::EngineHost(std::unique_ptr<MidasEngine> engine,
       config_(std::move(config)),
       engine_(std::move(engine)),
       drift_(config_.sli),
+      flights_(config_.flight),
       queue_(config_.queue_capacity, config_.overflow) {}
 
 EngineHost::~EngineHost() { Stop(); }
@@ -172,21 +174,45 @@ SubmitResult EngineHost::SubmitInternal(
     return result;
   }
 
+  // Mint the batch's causal identity up front: even a rejected batch gets a
+  // (short) flight record, so the submitter's trace id is always resolvable.
+  std::shared_ptr<obs::TraceContext> trace;
+  if (config_.tracing_enabled) {
+    trace = std::make_shared<obs::TraceContext>(obs::MintTraceId());
+    result.trace_id = trace->id().ToHex();
+  }
+  // Keyed off result.trace_id, not `trace`: the overflow path runs after
+  // Push consumed the context.
+  auto record_reject = [&](const char* verdict, size_t adds, size_t dels) {
+    if (result.trace_id.empty()) return;
+    auto record = std::make_shared<obs::FlightRecord>();
+    record->trace_id = result.trace_id;
+    record->additions = adds;
+    record->deletions = dels;
+    record->admission = verdict;
+    record->outcome = verdict;
+    RecordFlight(std::move(record));
+  };
+
   PanelSnapshotPtr snap = snapshot();
   static const std::vector<GraphId> kNoIds;
   const std::vector<GraphId>& live =
       (snap != nullptr && snap->live_ids != nullptr) ? *snap->live_ids
                                                      : kNoIds;
+  const size_t raw_adds = batch.insertions.size();
+  const size_t raw_dels = batch.deletions.size();
   BatchValidation v = ValidateBatch(batch, live, config_.admission);
   result.diagnostics = std::move(v.diagnostics);
   if (!v.admissible) {
     rejected_validation_.fetch_add(1, std::memory_order_relaxed);
     Count("midas_serve_admission_rejects_total");
     result.status = SubmitStatus::kRejectedValidation;
+    record_reject("rejected_validation", raw_adds, raw_dels);
     return result;
   }
 
-  switch (queue_.Push(std::move(v.normalized), std::move(labels))) {
+  switch (queue_.Push(std::move(v.normalized), std::move(labels),
+                      std::move(trace))) {
     case BoundedUpdateQueue::PushOutcome::kQueued:
       admitted_.fetch_add(1, std::memory_order_relaxed);
       result.status = SubmitStatus::kAccepted;
@@ -202,6 +228,7 @@ SubmitResult EngineHost::SubmitInternal(
       rejected_overflow_.fetch_add(1, std::memory_order_relaxed);
       Count("midas_serve_overflow_rejects_total");
       result.status = SubmitStatus::kRejectedOverflow;
+      record_reject("rejected_overflow", raw_adds, raw_dels);
       break;
     case BoundedUpdateQueue::PushOutcome::kRejectedClosed:
       result.status = SubmitStatus::kRejectedStopped;
@@ -219,6 +246,20 @@ void EngineHost::WriterLoop() {
       if (dead_.load(std::memory_order_acquire)) {
         // The writer gave up on this engine; record the evidence instead of
         // silently dropping admitted work.
+        if (config_.tracing_enabled) {
+          for (const auto& part : item.parts) {
+            if (part.trace == nullptr) continue;
+            auto record = std::make_shared<obs::FlightRecord>();
+            record->trace_id = part.trace->id().ToHex();
+            record->ticket = item.ticket;
+            record->additions = part.batch.insertions.size();
+            record->deletions = part.batch.deletions.size();
+            record->admission = "dead_drop";
+            record->outcome = "dead_drop";
+            record->error = "host dead";
+            RecordFlight(std::move(record));
+          }
+        }
         PanelSnapshotPtr snap = snapshot();
         CanonicalBatch canon = Canonicalize(
             std::move(item), snap != nullptr && snap->labels != nullptr
@@ -237,7 +278,46 @@ void EngineHost::WriterLoop() {
 }
 
 void EngineHost::RunBatch(BoundedUpdateQueue::Item item) {
+  // Causal bookkeeping before Canonicalize consumes the item: the first
+  // traced part is the round's primary identity, the remaining (coalesced)
+  // parts become its links — a merged batch stays attributable to every
+  // submitter. The context is installed thread-locally for the whole
+  // attempt loop, so engine phases, TaskPool workers and cache lookups all
+  // account into it.
+  const auto popped_at = std::chrono::steady_clock::now();
+  std::shared_ptr<obs::TraceContext> trace;
+  std::shared_ptr<obs::FlightRecord> record;
+  if (config_.tracing_enabled) {
+    record = std::make_shared<obs::FlightRecord>();
+    record->ticket = item.ticket;
+    record->coalesced_parts = item.coalesced();
+    for (const auto& part : item.parts) {
+      if (part.trace == nullptr) continue;
+      if (trace == nullptr) {
+        trace = part.trace;
+        record->queue_wait_ms =
+            std::chrono::duration<double, std::milli>(popped_at -
+                                                      part.enqueued_at)
+                .count();
+      } else {
+        record->links.push_back(part.trace->id().ToHex());
+      }
+    }
+    if (trace != nullptr) {
+      record->trace_id = trace->id().ToHex();
+      if (record->coalesced_parts > 0) record->admission = "coalesced";
+    } else {
+      record = nullptr;  // untraced item (tracing flipped on mid-stream)
+    }
+  }
+  obs::ScopedTraceContext trace_scope(trace.get());
+  PanelSnapshotPtr pre_snapshot = snapshot();
+
   CanonicalBatch canon = Canonicalize(std::move(item), engine_->db().labels());
+  if (record != nullptr) {
+    record->additions = canon.batch.insertions.size();
+    record->deletions = canon.batch.deletions.size();
+  }
 
   // Authoritative re-validation: the Submit-side check ran against a
   // snapshot that trails the engine by the queued batches (e.g. an id this
@@ -250,6 +330,11 @@ void EngineHost::RunBatch(BoundedUpdateQueue::Item item) {
       Count("midas_serve_writer_rejects_total");
       AppendServeEvent("writer_reject", engine_->round_seq() + 1,
                        v.Describe());
+      if (record != nullptr) {
+        record->outcome = "writer_rejected";
+        record->error = v.Describe();
+        RecordFlight(std::move(record));
+      }
       return;
     }
     canon.batch = std::move(v.normalized);
@@ -298,6 +383,18 @@ void EngineHost::RunBatch(BoundedUpdateQueue::Item item) {
       ++rounds_since_checkpoint_;
       MaybeCheckpoint();
       PublishSnapshot();
+      if (record != nullptr) {
+        record->seq = engine_->round_seq();
+        record->attempts = attempt;
+        record->retries = attempt - 1;
+        record->total_ms = round_stats.total_ms;
+#define MIDAS_X(field) \
+  record->phase_ms.emplace_back(#field, round_stats.field);
+        MIDAS_MAINTENANCE_PHASES(MIDAS_X)
+#undef MIDAS_X
+        record->truncated = round_stats.truncated;
+        FinishFlight(std::move(record), trace.get(), pre_snapshot);
+      }
       return;
     } catch (const std::exception& e) {
       last_error = e.what();
@@ -313,8 +410,17 @@ void EngineHost::RunBatch(BoundedUpdateQueue::Item item) {
         rounds_ok_.fetch_add(1, std::memory_order_relaxed);
         Count("midas_serve_rounds_total");
         PublishSnapshot();
+        if (record != nullptr) {
+          record->seq = engine_->round_seq();
+          record->attempts = attempt;
+          record->retries = attempt - 1;
+          record->recovered = true;
+          record->error = last_error;
+          FinishFlight(std::move(record), trace.get(), pre_snapshot);
+        }
         return;
       }
+      if (record != nullptr) record->recovered = true;
       if (attempt < max_attempts) {
         double sleep_ms = config_.backoff_initial_ms *
                           std::pow(config_.backoff_multiplier, attempt - 1);
@@ -328,6 +434,14 @@ void EngineHost::RunBatch(BoundedUpdateQueue::Item item) {
   }
 
   Quarantine(canon.batch, canon.labels, attempted, max_attempts, last_error);
+  if (record != nullptr) {
+    record->seq = attempted;
+    record->attempts = max_attempts;
+    record->retries = max_attempts - 1;
+    record->outcome = "quarantined";
+    record->error = last_error;
+    FinishFlight(std::move(record), trace.get(), pre_snapshot);
+  }
   if (engine_ == nullptr) {
     // Recovery never came back: stop applying, keep serving the last
     // published snapshot, quarantine whatever else arrives.
@@ -420,6 +534,40 @@ void EngineHost::Quarantine(const BatchUpdate& batch,
   quarantined_.fetch_add(1, std::memory_order_relaxed);
   Count("midas_quarantined_batches");
   AppendServeEvent("quarantine", seq, detail);
+}
+
+void EngineHost::FinishFlight(std::shared_ptr<obs::FlightRecord> record,
+                              const obs::TraceContext* trace,
+                              const PanelSnapshotPtr& pre) {
+  if (trace != nullptr) {
+    record->budget_steps = trace->budget_steps();
+    record->cache_hits = trace->cache_hits();
+    record->cache_misses = trace->cache_misses();
+    record->degrade_reason = std::string(ExecBudget::CauseName(
+        static_cast<ExecBudget::Cause>(trace->degrade_cause())));
+  }
+  record->slo_violation = config_.flight.slo_ms > 0.0 &&
+                          record->total_ms > config_.flight.slo_ms;
+  record->drift_coincident = quality_drifted();
+  PanelSnapshotPtr post = snapshot();
+  if (pre != nullptr && post != nullptr) {
+    record->scov_delta = post->quality.scov - pre->quality.scov;
+    record->lcov_delta = post->quality.lcov - pre->quality.lcov;
+    record->div_delta = post->quality.div - pre->quality.div;
+    record->cog_delta = post->quality.cog_avg - pre->quality.cog_avg;
+  }
+  RecordFlight(std::move(record));
+}
+
+void EngineHost::RecordFlight(
+    std::shared_ptr<const obs::FlightRecord> record) {
+  Count("midas_serve_traces_total");
+  if (event_log_ != nullptr) {
+    // `trace_event` JSONL record, interleaved with the per-round
+    // maintenance records so one grep reconstructs a batch's whole story.
+    event_log_->AppendRaw("{\"trace_event\":" + record->ToJson() + "}");
+  }
+  flights_.Record(std::move(record));
 }
 
 void EngineHost::AppendServeEvent(const std::string& kind, uint64_t seq,
@@ -577,14 +725,24 @@ void EngineHost::InstallTelemetryRoutes() {
     w.EndObject();
     w.EndObject();
 
+    // Compact flight-record table: the newest few traces, so /statusz alone
+    // answers "what just flew through here" (full records on /traces).
+    obs::JsonWriter tw;
+    tw.BeginArray();
+    auto records = flights_.Snapshot();
+    if (records.size() > 8) records.resize(8);
+    for (const auto& r : records) r->AppendSummary(tw);
+    tw.EndArray();
+
     // Splice the last committed round's MaintenanceStats (already a JSON
-    // object via ToJson) in before the closing brace — JsonWriter has no
-    // raw-value API.
+    // object via ToJson) and the traces table in before the closing brace —
+    // JsonWriter has no raw-value API.
     std::string body = w.str();
     MaintenanceStats last;
     std::string last_json =
         LastRoundStats(&last) ? last.ToJson() : std::string("null");
-    body.insert(body.size() - 1, ",\"last_round\":" + last_json);
+    body.insert(body.size() - 1, ",\"last_round\":" + last_json +
+                                     ",\"traces\":" + tw.str());
 
     obs::HttpResponse resp;
     resp.content_type = "application/json";
@@ -604,6 +762,8 @@ void EngineHost::InstallTelemetryRoutes() {
     }
     return resp;
   });
+
+  obs::InstallTraceRoutes(telemetry_.get(), &flights_);
 }
 
 HostStats EngineHost::stats() const {

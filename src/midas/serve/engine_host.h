@@ -12,7 +12,9 @@
 #include "midas/maintain/journal.h"
 #include "midas/maintain/midas.h"
 #include "midas/obs/event_log.h"
+#include "midas/obs/flight.h"
 #include "midas/obs/sli.h"
+#include "midas/obs/trace.h"
 #include "midas/obs/telemetry_server.h"
 #include "midas/serve/admission.h"
 #include "midas/serve/panel_snapshot.h"
@@ -76,6 +78,14 @@ struct HostConfig {
   /// /healthz to 503 and logs a `quality_drift` event.
   bool sli_enabled = true;
   obs::SliConfig sli;
+
+  /// Causal per-batch tracing (obs/flight.h). When enabled, every Submit
+  /// mints a TraceContext that rides the queue, is installed thread-locally
+  /// for the round (and inherited by TaskPool workers), and ends as a
+  /// FlightRecord on /traces, a `trace_event` log line, and histogram
+  /// exemplars. Tracing never feeds back into maintenance decisions.
+  bool tracing_enabled = true;
+  obs::FlightRecorderConfig flight;
 };
 
 /// Monotonic host telemetry (all counters since Start).
@@ -105,6 +115,9 @@ struct SubmitResult {
   SubmitStatus status = SubmitStatus::kRejectedStopped;
   bool coalesced = false;  ///< accepted by merging into a pending batch
   std::vector<BatchDiagnostic> diagnostics;  ///< per-item findings
+  /// 32-hex trace id of this batch's flight ("" with tracing disabled or
+  /// the host stopped) — the key into /traces/<id> and the event log.
+  std::string trace_id;
   bool accepted() const { return status == SubmitStatus::kAccepted; }
 };
 
@@ -210,6 +223,10 @@ class EngineHost {
   /// false when no round has committed yet).
   bool LastRoundStats(MaintenanceStats* out) const;
 
+  /// Flight records of recent batches (lock-free ring; see obs/flight.h).
+  /// Served on /traces and /traces/<id> when telemetry is on.
+  const obs::FlightRecorder& flights() const { return flights_; }
+
  private:
   void WriterLoop();
   SubmitResult SubmitInternal(BatchUpdate batch,
@@ -224,6 +241,14 @@ class EngineHost {
                   uint64_t seq, int attempts, const std::string& reason);
   void AppendServeEvent(const std::string& kind, uint64_t seq,
                         const std::string& detail);
+  /// Publishes one finished flight record: ring + `trace_event` log line.
+  void RecordFlight(std::shared_ptr<const obs::FlightRecord> record);
+  /// Writer-side completion: folds the trace's accumulated cost counters,
+  /// the SLO/drift flags and the quality delta vs `pre` into the record,
+  /// then publishes it.
+  void FinishFlight(std::shared_ptr<obs::FlightRecord> record,
+                    const obs::TraceContext* trace,
+                    const PanelSnapshotPtr& pre);
   void MaybeCheckpoint();
   void UpdateGauges();
   /// Registers /metrics, /varz, /healthz, /statusz and /spans on the
@@ -241,6 +266,7 @@ class EngineHost {
   UpdateJournal journal_;
   obs::MaintenanceEventLog* event_log_ = nullptr;  ///< non-owning
   obs::QualityDriftDetector drift_;                ///< fed by the writer
+  obs::FlightRecorder flights_;                    ///< per-batch trace ring
   std::unique_ptr<obs::TelemetryServer> telemetry_;
 
   /// Last committed round's stats, copied out of the writer for /statusz.

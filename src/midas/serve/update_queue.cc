@@ -29,7 +29,9 @@ void MergeBatches(BatchUpdate* base, BatchUpdate&& extra) {
 }
 
 BoundedUpdateQueue::PushOutcome BoundedUpdateQueue::Push(
-    BatchUpdate batch, std::shared_ptr<const LabelDictionary> labels) {
+    BatchUpdate batch, std::shared_ptr<const LabelDictionary> labels,
+    std::shared_ptr<obs::TraceContext> trace) {
+  const auto now = std::chrono::steady_clock::now();
   std::unique_lock<std::mutex> lock(mu_);
   if (closed_) return PushOutcome::kRejectedClosed;
   if (items_.size() >= capacity_) {
@@ -38,7 +40,7 @@ BoundedUpdateQueue::PushOutcome BoundedUpdateQueue::Push(
         return PushOutcome::kRejectedFull;
       case OverflowPolicy::kCoalesce: {
         items_.back().parts.push_back(
-            Part{std::move(batch), std::move(labels)});
+            Part{std::move(batch), std::move(labels), std::move(trace), now});
         ++admitted_;
         return PushOutcome::kCoalesced;
       }
@@ -51,7 +53,8 @@ BoundedUpdateQueue::PushOutcome BoundedUpdateQueue::Push(
   }
   Item item;
   item.ticket = next_ticket_++;
-  item.parts.push_back(Part{std::move(batch), std::move(labels)});
+  item.parts.push_back(
+      Part{std::move(batch), std::move(labels), std::move(trace), now});
   items_.push_back(std::move(item));
   ++admitted_;
   ready_.notify_one();

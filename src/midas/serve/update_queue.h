@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "midas/graph/graph_database.h"
+#include "midas/obs/trace.h"
 
 namespace midas {
 namespace serve {
@@ -42,10 +43,16 @@ const char* OverflowPolicyName(OverflowPolicy policy);
 class BoundedUpdateQueue {
  public:
   /// One admitted batch plus the dictionary its labels resolve through
-  /// (nullptr = ids are engine-consistent as of submission).
+  /// (nullptr = ids are engine-consistent as of submission) and the causal
+  /// trace minted at Submit (nullptr = untraced). Coalescing keeps every
+  /// part's trace; the writer picks the first as the round's primary and
+  /// records the rest as links, so merged batches stay attributable.
   struct Part {
     BatchUpdate batch;
     std::shared_ptr<const LabelDictionary> labels;
+    std::shared_ptr<obs::TraceContext> trace;
+    /// Push time; the writer turns it into queue_wait_ms.
+    std::chrono::steady_clock::time_point enqueued_at;
   };
 
   struct Item {
@@ -71,7 +78,8 @@ class BoundedUpdateQueue {
   /// Admits one batch per the overflow policy. kBlock waits until a slot
   /// frees up (or the queue closes).
   PushOutcome Push(BatchUpdate batch,
-                   std::shared_ptr<const LabelDictionary> labels = nullptr);
+                   std::shared_ptr<const LabelDictionary> labels = nullptr,
+                   std::shared_ptr<obs::TraceContext> trace = nullptr);
 
   /// Consumer side: pops the oldest item, waiting up to `wait` for one to
   /// arrive. Returns false on timeout, or when the queue is closed *and*

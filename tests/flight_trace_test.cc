@@ -1,0 +1,568 @@
+// Causal update tracing, end to end: TraceId/TraceContext propagation
+// (including inheritance by TaskPool workers), the FlightRecorder's
+// tail-based retention and sampling, the /traces HTTP surface under
+// concurrent readers, the acceptance scenario from docs/observability.md
+// (three batches, one artificially slowed via failpoint, attributed on
+// /traces and as a histogram exemplar), and the determinism contract:
+// tracing must not perturb maintenance output at any thread count.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <filesystem>
+#include <memory>
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "http_test_client.h"
+#include "midas/common/failpoint.h"
+#include "midas/common/parallel.h"
+#include "midas/datagen/molecule_gen.h"
+#include "midas/maintain/midas.h"
+#include "midas/obs/event_log.h"
+#include "midas/obs/flight.h"
+#include "midas/obs/json.h"
+#include "midas/obs/metrics.h"
+#include "midas/obs/telemetry_server.h"
+#include "midas/obs/trace.h"
+#include "midas/select/pattern_io.h"
+#include "midas/serve/engine_host.h"
+
+namespace midas {
+namespace {
+
+namespace fs = std::filesystem;
+using std::chrono::milliseconds;
+
+// --- TraceId ----------------------------------------------------------------
+
+TEST(TraceIdTest, HexRoundTripAndValidity) {
+  obs::TraceId null_id;
+  EXPECT_FALSE(null_id.valid());
+  EXPECT_EQ(null_id.ToHex(), std::string(32, '0'));
+
+  obs::TraceId id;
+  id.hi = 0x0123456789abcdefull;
+  id.lo = 0xfedcba9876543210ull;
+  EXPECT_TRUE(id.valid());
+  const std::string hex = id.ToHex();
+  EXPECT_EQ(hex, "0123456789abcdeffedcba9876543210");
+  EXPECT_EQ(obs::TraceId::FromHex(hex), id);
+
+  // Malformed inputs parse to the null id, never to garbage.
+  EXPECT_FALSE(obs::TraceId::FromHex("").valid());
+  EXPECT_FALSE(obs::TraceId::FromHex("0123").valid());
+  EXPECT_FALSE(obs::TraceId::FromHex(std::string(32, 'g')).valid());
+  EXPECT_FALSE(obs::TraceId::FromHex(hex + "00").valid());
+}
+
+TEST(TraceIdTest, MintedIdsAreUniqueAndValid) {
+  std::set<std::string> seen;
+  for (int i = 0; i < 1000; ++i) {
+    obs::TraceId id = obs::MintTraceId();
+    EXPECT_TRUE(id.valid());
+    EXPECT_TRUE(seen.insert(id.ToHex()).second);
+  }
+}
+
+// --- TraceContext propagation ----------------------------------------------
+
+TEST(TraceContextTest, CountersAccumulateAndScopesNest) {
+  EXPECT_EQ(obs::TraceContext::Current(), nullptr);
+  obs::TraceContext outer(obs::MintTraceId());
+  obs::TraceContext inner(obs::MintTraceId());
+  {
+    obs::ScopedTraceContext so(&outer);
+    EXPECT_EQ(obs::TraceContext::Current(), &outer);
+    {
+      obs::ScopedTraceContext si(&inner);
+      EXPECT_EQ(obs::TraceContext::Current(), &inner);
+      inner.CountCacheLookup(true);
+    }
+    EXPECT_EQ(obs::TraceContext::Current(), &outer);
+    outer.AddBudgetSteps(7);
+    outer.CountCacheLookup(false);
+    outer.SetDegradeCause(2);
+  }
+  EXPECT_EQ(obs::TraceContext::Current(), nullptr);
+  EXPECT_EQ(outer.budget_steps(), 7u);
+  EXPECT_EQ(outer.cache_hits(), 0u);
+  EXPECT_EQ(outer.cache_misses(), 1u);
+  EXPECT_EQ(outer.degrade_cause(), 2);
+  EXPECT_EQ(inner.cache_hits(), 1u);
+  EXPECT_EQ(inner.cache_misses(), 0u);
+
+  // Span ids are fresh per trace (1-based).
+  EXPECT_EQ(outer.NextSpanId(), 1u);
+  EXPECT_EQ(outer.NextSpanId(), 2u);
+  EXPECT_EQ(inner.NextSpanId(), 1u);
+}
+
+TEST(TraceContextTest, TaskPoolWorkersInheritSubmittersContext) {
+  TaskPool pool(4);
+  obs::TraceContext trace(obs::MintTraceId());
+  std::atomic<int> mismatches{0};
+  {
+    obs::ScopedTraceContext scope(&trace);
+    pool.ParallelFor(256, [&](size_t) {
+      obs::TraceContext* current = obs::TraceContext::Current();
+      if (current != &trace) {
+        mismatches.fetch_add(1, std::memory_order_relaxed);
+        return;
+      }
+      // Kernel-style attribution from whichever thread ran the chunk.
+      current->CountCacheLookup(true);
+    });
+  }
+  EXPECT_EQ(mismatches.load(), 0);
+  EXPECT_EQ(trace.cache_hits(), 256u);
+  // The submitting thread's context is restored after the scope...
+  EXPECT_EQ(obs::TraceContext::Current(), nullptr);
+  // ...and workers drop it between batches: an untraced ParallelFor must
+  // observe no leaked context.
+  pool.ParallelFor(64, [&](size_t) {
+    if (obs::TraceContext::Current() != nullptr) {
+      mismatches.fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+  EXPECT_EQ(mismatches.load(), 0);
+}
+
+// --- FlightRecord -----------------------------------------------------------
+
+std::shared_ptr<obs::FlightRecord> MakeRecord(uint64_t seq, bool interesting) {
+  auto r = std::make_shared<obs::FlightRecord>();
+  r->trace_id = obs::MintTraceId().ToHex();
+  r->seq = seq;
+  r->ticket = seq;
+  r->total_ms = 4.0;
+  r->phase_ms = {{"apply_ms", 2.0}, {"swap_ms", 1.0}};
+  if (interesting) r->slo_violation = true;
+  return r;
+}
+
+TEST(FlightRecordTest, SlowestPhaseJsonAndFolded) {
+  auto r = MakeRecord(1, /*interesting=*/true);
+  double ms = 0.0;
+  EXPECT_EQ(r->SlowestPhase(&ms), "apply_ms");
+  EXPECT_DOUBLE_EQ(ms, 2.0);
+
+  obs::FlatJson doc = obs::ParseFlatJson(r->ToJson());
+  ASSERT_TRUE(doc.ok) << doc.error;
+  EXPECT_EQ(doc.strings.at("trace_id"), r->trace_id);
+  EXPECT_DOUBLE_EQ(doc.numbers.at("total_ms"), 4.0);
+  EXPECT_DOUBLE_EQ(doc.numbers.at("phases.apply_ms"), 2.0);
+  EXPECT_DOUBLE_EQ(doc.numbers.at("phases.swap_ms"), 1.0);
+  EXPECT_EQ(doc.strings.at("slowest_phase"), "apply_ms");
+  EXPECT_TRUE(doc.bools.at("slo_violation"));
+  EXPECT_EQ(doc.strings.at("outcome"), "ok");
+  EXPECT_EQ(doc.strings.at("degrade_reason"), "none");
+
+  // Folded stacks: integral microsecond counts, phases + root self time
+  // (4.0 total - 3.0 phase wall = 1.0ms self).
+  const std::string folded = r->ToFolded();
+  EXPECT_NE(folded.find("midas_round;apply_ms 2000\n"), std::string::npos);
+  EXPECT_NE(folded.find("midas_round;swap_ms 1000\n"), std::string::npos);
+  EXPECT_NE(folded.find("midas_round 1000\n"), std::string::npos);
+}
+
+TEST(FlightRecordTest, EmptyRecordHasNoSlowestPhase) {
+  obs::FlightRecord r;
+  double ms = 123.0;
+  EXPECT_EQ(r.SlowestPhase(&ms), "");
+  EXPECT_DOUBLE_EQ(ms, 0.0);
+  obs::FlatJson doc = obs::ParseFlatJson(r.ToJson());
+  ASSERT_TRUE(doc.ok) << doc.error;
+  EXPECT_FALSE(doc.Has("slowest_phase"));
+}
+
+// --- FlightRecorder retention ----------------------------------------------
+
+TEST(FlightRecorderTest, TailRetentionSurvivesBoringBursts) {
+  obs::FlightRecorderConfig cfg;
+  cfg.capacity = 4;
+  cfg.retained_capacity = 4;
+  obs::FlightRecorder rec(cfg);
+
+  auto interesting = MakeRecord(1, true);
+  rec.Record(interesting);
+  // A burst of healthy traffic large enough to lap the recent ring twice.
+  for (uint64_t i = 2; i <= 13; ++i) rec.Record(MakeRecord(i, false));
+
+  EXPECT_EQ(rec.recorded(), 13u);
+  EXPECT_EQ(rec.sampled_out(), 0u);
+  // Evicted from the recent ring, but tail-based retention kept it.
+  auto found = rec.Find(interesting->trace_id);
+  ASSERT_NE(found, nullptr);
+  EXPECT_TRUE(found->slo_violation);
+
+  // Snapshot is newest-first by seq and deduplicated across the rings.
+  auto all = rec.Snapshot();
+  ASSERT_FALSE(all.empty());
+  EXPECT_EQ(all.front()->seq, 13u);
+  std::set<std::string> ids;
+  for (const auto& r : all) EXPECT_TRUE(ids.insert(r->trace_id).second);
+  EXPECT_EQ(ids.count(interesting->trace_id), 1u);
+}
+
+TEST(FlightRecorderTest, SamplingDropsOnlyBoringRecords) {
+  obs::FlightRecorderConfig cfg;
+  cfg.capacity = 16;
+  cfg.sample_every = 3;
+  obs::FlightRecorder rec(cfg);
+
+  for (uint64_t i = 1; i <= 9; ++i) rec.Record(MakeRecord(i, false));
+  EXPECT_EQ(rec.recorded(), 3u);  // every 3rd boring record kept
+  EXPECT_EQ(rec.sampled_out(), 6u);
+
+  auto interesting = MakeRecord(10, true);
+  rec.Record(interesting);  // never sampled out
+  EXPECT_EQ(rec.recorded(), 4u);
+  EXPECT_EQ(rec.sampled_out(), 6u);
+  EXPECT_NE(rec.Find(interesting->trace_id), nullptr);
+}
+
+TEST(FlightRecorderTest, InterestingCoversEveryRetentionTrigger) {
+  obs::FlightRecord r;
+  EXPECT_FALSE(obs::FlightRecorder::Interesting(r));
+  auto flagged = [](auto&& mutate) {
+    obs::FlightRecord x;
+    mutate(x);
+    return obs::FlightRecorder::Interesting(x);
+  };
+  EXPECT_TRUE(flagged([](obs::FlightRecord& x) { x.slo_violation = true; }));
+  EXPECT_TRUE(flagged([](obs::FlightRecord& x) { x.truncated = true; }));
+  EXPECT_TRUE(flagged([](obs::FlightRecord& x) { x.degrade_reason = "steps"; }));
+  EXPECT_TRUE(flagged([](obs::FlightRecord& x) { x.retries = 1; }));
+  EXPECT_TRUE(flagged([](obs::FlightRecord& x) { x.recovered = true; }));
+  EXPECT_TRUE(flagged([](obs::FlightRecord& x) { x.drift_coincident = true; }));
+  EXPECT_TRUE(
+      flagged([](obs::FlightRecord& x) { x.outcome = "quarantined"; }));
+}
+
+// --- /traces HTTP surface ---------------------------------------------------
+
+TEST(TraceRoutesTest, ServesListingRecordAndFoldedViews) {
+  obs::FlightRecorder rec;
+  auto record = MakeRecord(1, true);
+  rec.Record(record);
+  rec.Record(MakeRecord(2, false));
+
+  obs::TelemetryServer server;
+  obs::InstallTraceRoutes(&server, &rec);
+  std::string err;
+  ASSERT_TRUE(server.Start(0, &err)) << err;
+  const int port = server.port();
+
+  testing::HttpResult listing = testing::HttpGet(port, "/traces");
+  ASSERT_TRUE(listing.ok);
+  EXPECT_EQ(listing.status, 200);
+  obs::FlatJson doc = obs::ParseFlatJson(listing.body);
+  ASSERT_TRUE(doc.ok) << doc.error;
+  EXPECT_DOUBLE_EQ(doc.numbers.at("recorded"), 2.0);
+  EXPECT_EQ(doc.strings.at("traces.0.trace_id"),
+            rec.Snapshot().front()->trace_id);
+
+  // ?n= caps the rows.
+  testing::HttpResult capped = testing::HttpGet(port, "/traces?n=1");
+  ASSERT_TRUE(capped.ok);
+  obs::FlatJson capped_doc = obs::ParseFlatJson(capped.body);
+  ASSERT_TRUE(capped_doc.ok);
+  EXPECT_TRUE(capped_doc.Has("traces.0.trace_id"));
+  EXPECT_FALSE(capped_doc.Has("traces.1.trace_id"));
+
+  testing::HttpResult full =
+      testing::HttpGet(port, "/traces/" + record->trace_id);
+  ASSERT_TRUE(full.ok);
+  EXPECT_EQ(full.status, 200);
+  obs::FlatJson full_doc = obs::ParseFlatJson(full.body);
+  ASSERT_TRUE(full_doc.ok) << full_doc.error;
+  EXPECT_EQ(full_doc.strings.at("trace_id"), record->trace_id);
+  EXPECT_TRUE(full_doc.Has("phases.apply_ms"));
+
+  testing::HttpResult folded =
+      testing::HttpGet(port, "/traces/" + record->trace_id + "?fmt=folded");
+  ASSERT_TRUE(folded.ok);
+  EXPECT_NE(folded.body.find("midas_round;apply_ms "), std::string::npos);
+
+  testing::HttpResult missing =
+      testing::HttpGet(port, "/traces/" + std::string(32, '0'));
+  ASSERT_TRUE(missing.ok);
+  EXPECT_EQ(missing.status, 404);
+
+  server.Stop();
+}
+
+// Writer publishing records while reader threads page /traces — the
+// lock-free ring contract under real concurrency (the TSan CI job runs
+// this test under the race detector).
+TEST(TraceRoutesTest, ConcurrentReadersNeverBlockOrTear) {
+  obs::FlightRecorderConfig cfg;
+  cfg.capacity = 8;
+  cfg.retained_capacity = 4;
+  obs::FlightRecorder rec(cfg);
+  rec.Record(MakeRecord(1, true));
+
+  obs::TelemetryServer server;
+  obs::InstallTraceRoutes(&server, &rec);
+  std::string err;
+  ASSERT_TRUE(server.Start(0, &err)) << err;
+  const int port = server.port();
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> failures{0};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 4; ++t) {
+    readers.emplace_back([&, t] {
+      int iter = 0;
+      while (!stop.load(std::memory_order_acquire)) {
+        // Alternate the listing with record fetches (some of which 404
+        // because the record was already evicted — that is fine, only
+        // transport failures and tears count).
+        testing::HttpResult r =
+            iter++ % 2 == 0
+                ? testing::HttpGet(port, "/traces")
+                : testing::HttpGet(
+                      port, "/traces/" + rec.Snapshot().front()->trace_id);
+        if (!r.ok || (r.status != 200 && r.status != 404)) {
+          failures.fetch_add(1, std::memory_order_relaxed);
+          continue;
+        }
+        if (r.status == 200 && r.body.rfind("{", 0) == 0 &&
+            !obs::ParseFlatJson(r.body).ok) {
+          failures.fetch_add(1, std::memory_order_relaxed);  // torn JSON
+        }
+        (void)t;
+      }
+    });
+  }
+
+  for (uint64_t seq = 2; seq <= 200; ++seq) {
+    rec.Record(MakeRecord(seq, seq % 5 == 0));
+  }
+  stop.store(true, std::memory_order_release);
+  for (auto& t : readers) t.join();
+  server.Stop();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(rec.recorded(), 200u);
+}
+
+// --- End-to-end acceptance scenario ----------------------------------------
+
+struct TempDir {
+  explicit TempDir(const std::string& name)
+      : path((fs::temp_directory_path() / name).string()) {
+    fs::remove_all(path);
+    fs::create_directories(path);
+  }
+  ~TempDir() { fs::remove_all(path); }
+  std::string path;
+};
+
+struct FailpointGuard {
+  FailpointGuard() { fail::DisarmAll(); }
+  ~FailpointGuard() { fail::DisarmAll(); }
+};
+
+// Three batches through the host, the third artificially slowed by the
+// midas.apply_update.slow_apply failpoint (slowed last so its histogram
+// exemplar cannot be overwritten by a later fast round). Asserts the full
+// causal chain: Submit's trace id -> /traces listing -> full flight record
+// with queue wait, dominant phase, budget steps and cache counters -> the
+// trace_event log line -> the top latency bucket's exemplar.
+TEST(FlightTraceE2ETest, SlowBatchIsAttributedEndToEnd) {
+  if (!fail::CompiledIn()) GTEST_SKIP() << "failpoints compiled out";
+  FailpointGuard guard;
+  obs::MetricsRegistry reg;
+  obs::ScopedMetricsRegistry scoped(reg);
+
+  TempDir dir("midas_flight_e2e");
+  MoleculeGenerator gen(909);
+  MoleculeGenConfig data = MoleculeGenerator::EmolLike(20);
+  MidasConfig cfg;
+  cfg.budget = {3, 7, 9};
+  cfg.fct.sup_min = 0.45;
+  cfg.fct.max_edges = 3;
+  cfg.cluster.num_coarse = 3;
+  cfg.epsilon = 0.0;  // every round major: the full pipeline executes
+  cfg.sample_cap = 0;
+  cfg.seed = 1234;
+  // A step limit (far above what these rounds use) switches ExecBudget out
+  // of unlimited mode so steps are counted into the trace.
+  cfg.round_step_limit = 50'000'000;
+  auto engine = std::make_unique<MidasEngine>(gen.Generate(data), cfg);
+  engine->Initialize();
+  GraphDatabase base = engine->db();
+
+  serve::HostConfig host_cfg;
+  host_cfg.queue_capacity = 8;
+  host_cfg.telemetry_port = 0;  // ephemeral
+  host_cfg.num_threads = 2;     // kernel work crosses into pool workers
+  host_cfg.flight.slo_ms = 25.0;  // the 40ms-slowed round must violate it
+  obs::MaintenanceEventLog event_log;
+  serve::EngineHost host(std::move(engine), dir.path, host_cfg);
+  host.SetEventLog(&event_log);
+  std::string err;
+  ASSERT_TRUE(host.Start(&err)) << err;
+  ASSERT_GT(host.telemetry_port(), 0);
+
+  fail::Arm("midas.apply_update.slow_apply", /*skip=*/2, /*fires=*/1);
+
+  std::vector<std::string> trace_ids;
+  for (int i = 0; i < 3; ++i) {
+    GraphDatabase copy = base;
+    BatchUpdate delta = gen.GenerateAdditions(copy, data, 2, /*novel=*/false);
+    serve::SubmitResult r = host.Submit(std::move(delta), copy.labels());
+    ASSERT_TRUE(r.accepted());
+    ASSERT_EQ(r.trace_id.size(), 32u);
+    trace_ids.push_back(r.trace_id);
+  }
+  EXPECT_NE(trace_ids[0], trace_ids[1]);
+  EXPECT_NE(trace_ids[1], trace_ids[2]);
+  ASSERT_TRUE(host.WaitIdle(milliseconds(120000)));
+  EXPECT_EQ(fail::HitCount("midas.apply_update.slow_apply"), 3);
+
+  const std::string& slow_id = trace_ids[2];
+  auto record = host.flights().Find(slow_id);
+  ASSERT_NE(record, nullptr);
+  EXPECT_EQ(record->outcome, "ok");
+  EXPECT_EQ(record->admission, "admitted");
+  EXPECT_EQ(record->attempts, 1);
+  EXPECT_GE(record->queue_wait_ms, 0.0);
+  EXPECT_GE(record->total_ms, 40.0);  // the injected sleep alone
+  EXPECT_TRUE(record->slo_violation);
+  double slowest_ms = 0.0;
+  EXPECT_EQ(record->SlowestPhase(&slowest_ms), "apply_ms");
+  EXPECT_GE(slowest_ms, 40.0);
+  EXPECT_GT(record->budget_steps, 0u);
+  EXPECT_FALSE(record->truncated);
+  EXPECT_EQ(record->degrade_reason, "none");
+  EXPECT_GT(record->cache_hits + record->cache_misses, 0u);
+
+  // /traces listing carries all three flights; the full record round-trips
+  // through HTTP + JSON with the same attribution.
+  const int port = host.telemetry_port();
+  testing::HttpResult listing = testing::HttpGet(port, "/traces");
+  ASSERT_TRUE(listing.ok);
+  EXPECT_EQ(listing.status, 200);
+  for (const std::string& id : trace_ids) {
+    EXPECT_NE(listing.body.find(id), std::string::npos) << id;
+  }
+  testing::HttpResult full = testing::HttpGet(port, "/traces/" + slow_id);
+  ASSERT_TRUE(full.ok);
+  ASSERT_EQ(full.status, 200);
+  obs::FlatJson doc = obs::ParseFlatJson(full.body);
+  ASSERT_TRUE(doc.ok) << doc.error;
+  EXPECT_EQ(doc.strings.at("trace_id"), slow_id);
+  EXPECT_GE(doc.numbers.at("total_ms"), 40.0);
+  EXPECT_GE(doc.numbers.at("phases.apply_ms"), 40.0);
+  EXPECT_TRUE(doc.Has("queue_wait_ms"));
+  EXPECT_GT(doc.numbers.at("budget_steps"), 0.0);
+  EXPECT_EQ(doc.strings.at("slowest_phase"), "apply_ms");
+  EXPECT_TRUE(doc.bools.at("slo_violation"));
+
+  testing::HttpResult folded =
+      testing::HttpGet(port, "/traces/" + slow_id + "?fmt=folded");
+  ASSERT_TRUE(folded.ok);
+  EXPECT_NE(folded.body.find("midas_round;apply_ms "), std::string::npos);
+
+  // Every flight also landed as a trace_event JSONL line.
+  bool logged = false;
+  for (const std::string& line : event_log.lines()) {
+    if (line.find("\"trace_event\"") != std::string::npos &&
+        line.find(slow_id) != std::string::npos) {
+      logged = true;
+    }
+  }
+  EXPECT_TRUE(logged);
+
+  // The round-latency histogram's top occupied bucket links back to the
+  // slow batch: its observation is the largest (it carries the sleep) and
+  // the most recent, so the exemplar there is exactly its trace id.
+  obs::Histogram* h = reg.GetHistogram("midas_maintain_total_ms");
+  ASSERT_EQ(h->Count(), 3u);
+  size_t top = 0;
+  bool any = false;
+  for (size_t i = 0; i <= h->bounds().size(); ++i) {
+    if (h->BucketCount(i) > 0) {
+      top = i;
+      any = true;
+    }
+  }
+  ASSERT_TRUE(any);
+  obs::Histogram::Exemplar exemplar = h->BucketExemplar(top);
+  ASSERT_TRUE(exemplar.valid);
+  obs::TraceId exemplar_id;
+  exemplar_id.hi = exemplar.trace_hi;
+  exemplar_id.lo = exemplar.trace_lo;
+  EXPECT_EQ(exemplar_id.ToHex(), slow_id);
+  // ...and the Prometheus exposition carries it in OpenMetrics syntax.
+  testing::HttpResult prom = testing::HttpGet(port, "/metrics");
+  ASSERT_TRUE(prom.ok);
+  EXPECT_NE(prom.body.find("# {trace_id=\"" + slow_id + "\"}"),
+            std::string::npos);
+
+  host.Stop();
+}
+
+// --- Determinism with tracing enabled ---------------------------------------
+
+// Tracing observes, never steers: with a TraceContext installed (exemplar
+// path, cache attribution, worker inheritance all active), maintenance
+// output stays bit-identical across thread counts.
+std::string RunTracedStream(int num_threads) {
+  obs::MetricsRegistry reg;
+  obs::ScopedMetricsRegistry scoped(reg);
+  MoleculeGenerator gen(500);
+  MoleculeGenConfig data_cfg = MoleculeGenerator::EmolLike(30);
+  GraphDatabase db = gen.Generate(data_cfg);
+  GraphDatabase scratch = db;
+
+  MidasConfig cfg;
+  cfg.fct.sup_min = 0.4;
+  cfg.fct.max_edges = 3;
+  cfg.cluster.num_coarse = 3;
+  cfg.cluster.max_cluster_size = 25;
+  cfg.budget = {3, 6, 8};
+  cfg.walk.num_walks = 40;
+  cfg.walk.walk_length = 12;
+  cfg.sample_cap = 0;
+  cfg.epsilon = 0.005;
+  cfg.seed = 5;
+  cfg.round_deadline_ms = 0.0;  // determinism contract: unbudgeted rounds
+  cfg.round_step_limit = 0;
+  cfg.num_threads = num_threads;
+  auto engine = std::make_unique<MidasEngine>(std::move(db), cfg);
+  engine->Initialize();
+
+  MoleculeGenerator delta_gen(77);
+  std::ostringstream out;
+  for (int round = 0; round < 6; ++round) {
+    const bool new_family = round % 3 == 0;
+    BatchUpdate delta = delta_gen.GenerateAdditions(
+        scratch, data_cfg, new_family ? 20 : 6, new_family);
+    obs::TraceContext trace(obs::MintTraceId());
+    obs::ScopedTraceContext scope(&trace);
+    MaintenanceStats stats = engine->ApplyUpdate(delta);
+    out << round << ":" << stats.major << "," << stats.candidates << ","
+        << stats.swaps << "," << stats.graphlet_distance << "\n";
+  }
+  WritePatternSet(engine->patterns(), engine->labels(), out);
+  PatternQuality q = engine->CurrentQuality();
+  out << q.scov << "," << q.lcov << "," << q.div << "," << q.cog_avg << ","
+      << q.cog_max << "\n";
+  return out.str();
+}
+
+TEST(FlightTraceE2ETest, TracingPreservesThreadCountInvariance) {
+  std::string serial = RunTracedStream(1);
+  ASSERT_FALSE(serial.empty());
+  EXPECT_EQ(RunTracedStream(4), serial);
+}
+
+}  // namespace
+}  // namespace midas

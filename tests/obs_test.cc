@@ -411,6 +411,96 @@ TEST(ExportTest, EscapeLabelValue) {
   EXPECT_EQ(obs::EscapeLabelValue("a\nb"), "a\\nb");
 }
 
+// --- Exemplars (OpenMetrics) ------------------------------------------------
+
+// A bucket only carries the `# {trace_id="..."} value` suffix after a traced
+// observation landed in it; untraced buckets must stay byte-identical to the
+// pre-exemplar exposition (scrapers that don't speak OpenMetrics would choke
+// on unexpected suffixes).
+TEST(ExportTest, PrometheusExemplarSyntaxAndOmission) {
+  obs::MetricsRegistry reg;
+  obs::Histogram* h = reg.GetHistogram("midas_round_ms", {1.0, 10.0});
+  h->Observe(0.5);  // untraced: bucket le="1" must carry no exemplar
+  obs::TraceId id = obs::TraceId::FromHex("00ff00ff00ff00ff0123456789abcdef");
+  ASSERT_TRUE(id.valid());
+  h->ObserveExemplar(5.0, id.hi, id.lo);
+
+  const std::string text = obs::ExportPrometheus(reg);
+  EXPECT_NE(text.find("midas_round_ms_bucket{le=\"1\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(
+      text.find("midas_round_ms_bucket{le=\"10\"} 2 "
+                "# {trace_id=\"00ff00ff00ff00ff0123456789abcdef\"} 5\n"),
+      std::string::npos);
+  // +Inf had no traced observation either.
+  EXPECT_NE(text.find("midas_round_ms_bucket{le=\"+Inf\"} 2\n"),
+            std::string::npos);
+}
+
+TEST(ExportTest, PrometheusExemplarKeepsMostRecentTrace) {
+  obs::MetricsRegistry reg;
+  obs::Histogram* h = reg.GetHistogram("midas_round_ms", {10.0});
+  obs::TraceId first = obs::MintTraceId();
+  obs::TraceId second = obs::MintTraceId();
+  h->ObserveExemplar(1.0, first.hi, first.lo);
+  h->ObserveExemplar(2.0, second.hi, second.lo);
+  obs::Histogram::Exemplar e = h->BucketExemplar(0);
+  ASSERT_TRUE(e.valid);
+  EXPECT_EQ(e.trace_hi, second.hi);
+  EXPECT_EQ(e.trace_lo, second.lo);
+  EXPECT_DOUBLE_EQ(e.value, 2.0);
+  // Reset clears exemplars along with the counts.
+  h->Reset();
+  EXPECT_FALSE(h->BucketExemplar(0).valid);
+}
+
+TEST(ExportTest, JsonExportCarriesExemplar) {
+  obs::MetricsRegistry reg;
+  obs::Histogram* h = reg.GetHistogram("midas_round_ms", {1.0, 10.0});
+  obs::TraceId id = obs::TraceId::FromHex("deadbeefdeadbeefdeadbeefdeadbeef");
+  h->ObserveExemplar(5.0, id.hi, id.lo);
+  obs::FlatJson doc = obs::ParseFlatJson(obs::ExportJson(reg));
+  ASSERT_TRUE(doc.ok) << doc.error;
+  EXPECT_EQ(
+      doc.strings.at("histograms.midas_round_ms.buckets.1.exemplar.trace_id"),
+      "deadbeefdeadbeefdeadbeefdeadbeef");
+  EXPECT_DOUBLE_EQ(
+      doc.numbers.at("histograms.midas_round_ms.buckets.1.exemplar.value"),
+      5.0);
+  // The untraced bucket has no exemplar key at all.
+  EXPECT_FALSE(
+      doc.Has("histograms.midas_round_ms.buckets.0.exemplar.trace_id"));
+}
+
+TEST(TraceSpanTest, SpanTagsExemplarWithInstalledTrace) {
+  obs::MetricsRegistry reg;
+  obs::ScopedMetricsRegistry scoped(reg);
+  obs::TraceContext trace(obs::MintTraceId());
+  {
+    obs::ScopedTraceContext scope(&trace);
+    obs::TraceSpan span("midas_test_span_ms");
+  }
+  obs::Histogram* h = reg.GetHistogram("midas_test_span_ms");
+  ASSERT_EQ(h->Count(), 1u);
+  bool found = false;
+  for (size_t i = 0; i <= h->bounds().size(); ++i) {
+    obs::Histogram::Exemplar e = h->BucketExemplar(i);
+    if (!e.valid) continue;
+    EXPECT_EQ(e.trace_hi, trace.id().hi);
+    EXPECT_EQ(e.trace_lo, trace.id().lo);
+    found = true;
+  }
+  EXPECT_TRUE(found);
+
+  // Without an installed context the same span records no exemplar.
+  { obs::TraceSpan span("midas_test_untagged_ms"); }
+  obs::Histogram* h2 = reg.GetHistogram("midas_test_untagged_ms");
+  ASSERT_EQ(h2->Count(), 1u);
+  for (size_t i = 0; i <= h2->bounds().size(); ++i) {
+    EXPECT_FALSE(h2->BucketExemplar(i).valid);
+  }
+}
+
 TEST(ExportTest, JsonExportParses) {
   obs::MetricsRegistry reg;
   reg.GetCounter("midas_test_runs_total")->Increment(3);

@@ -1,0 +1,127 @@
+#!/usr/bin/env python3
+"""Compare a fresh BENCH_*.json against the committed baseline.
+
+CI bench regression gate (stdlib only): fails when the mean wall time of any
+maintenance/scratch phase histogram regresses by more than --threshold
+(default 25%). Tiny phases below --floor-ms are skipped — at microsecond
+scale the container's scheduling jitter dwarfs any real regression.
+
+Usage:
+    tools/bench_compare.py BASELINE.json FRESH.json \
+        [--threshold 0.25] [--floor-ms 0.05] [--out delta.md]
+
+Exit codes: 0 ok, 1 regression found, 2 usage/parse error.
+
+The BENCH json schema is bench/bench_common.cc's WriteBenchJson output:
+{"suite": ..., "scale": ..., "host_cores": ..., "metrics": {"histograms":
+{"<name>": {"count": N, "sum": MS, "buckets": [...]}, ...}, ...}}.
+Comparisons use per-phase mean (sum/count): counts differ across runs when
+the bench harness adapts iteration counts, so raw sums are not comparable.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            return json.load(f)
+    except (OSError, ValueError) as e:
+        sys.stderr.write(f"bench_compare: cannot read {path}: {e}\n")
+        sys.exit(2)
+
+
+def phase_means(doc):
+    """{histogram name -> mean ms} for phase-shaped duration histograms."""
+    hists = doc.get("metrics", {}).get("histograms", {})
+    means = {}
+    for name, h in hists.items():
+        if not name.endswith("_ms"):
+            continue
+        count = h.get("count", 0)
+        if not count:
+            continue
+        means[name] = h.get("sum", 0.0) / count
+    return means
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline")
+    parser.add_argument("fresh")
+    parser.add_argument("--threshold", type=float, default=0.25,
+                        help="max allowed relative regression (0.25 = +25%%)")
+    parser.add_argument("--floor-ms", type=float, default=0.05,
+                        help="skip phases whose baseline mean is below this")
+    parser.add_argument("--out", help="write the delta table here (markdown)")
+    args = parser.parse_args()
+
+    base_doc = load(args.baseline)
+    fresh_doc = load(args.fresh)
+    base = phase_means(base_doc)
+    fresh = phase_means(fresh_doc)
+    if not base:
+        sys.stderr.write("bench_compare: baseline has no phase histograms\n")
+        sys.exit(2)
+
+    base_cores = base_doc.get("host_cores", "?")
+    fresh_cores = fresh_doc.get("host_cores", "?")
+    rows = []
+    regressions = []
+    for name in sorted(base):
+        if name not in fresh:
+            rows.append((name, base[name], None, None, "missing"))
+            continue
+        b, f = base[name], fresh[name]
+        delta = (f - b) / b if b > 0 else 0.0
+        if b < args.floor_ms:
+            verdict = "skipped (tiny)"
+        elif delta > args.threshold:
+            verdict = "REGRESSION"
+            regressions.append((name, b, f, delta))
+        else:
+            verdict = "ok"
+        rows.append((name, b, f, delta, verdict))
+    for name in sorted(set(fresh) - set(base)):
+        rows.append((name, None, fresh[name], None, "new"))
+
+    lines = [
+        f"# Bench delta: {args.baseline} -> {args.fresh}",
+        "",
+        f"Baseline host cores: {base_cores}; fresh host cores: {fresh_cores}.",
+        f"Threshold: +{args.threshold:.0%} on per-phase mean;"
+        f" floor: {args.floor_ms} ms.",
+        "",
+        "| phase | baseline mean ms | fresh mean ms | delta | verdict |",
+        "|---|---|---|---|---|",
+    ]
+    for name, b, f, delta, verdict in rows:
+        bs = f"{b:.4f}" if b is not None else "-"
+        fs = f"{f:.4f}" if f is not None else "-"
+        ds = f"{delta:+.1%}" if delta is not None else "-"
+        lines.append(f"| {name} | {bs} | {fs} | {ds} | {verdict} |")
+    table = "\n".join(lines) + "\n"
+
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as f:
+            f.write(table)
+    sys.stdout.write(table)
+
+    if base_cores != fresh_cores:
+        sys.stdout.write(
+            "\nnote: host core counts differ; wall-time comparison is only "
+            "meaningful on matching hardware.\n")
+    if regressions:
+        sys.stdout.write("\nFAIL: wall-time regressions over threshold:\n")
+        for name, b, f, delta in regressions:
+            sys.stdout.write(
+                f"  {name}: {b:.4f} ms -> {f:.4f} ms ({delta:+.1%})\n")
+        sys.exit(1)
+    sys.stdout.write("\nOK: no phase regressed beyond threshold.\n")
+    sys.exit(0)
+
+
+if __name__ == "__main__":
+    main()

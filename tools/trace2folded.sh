@@ -1,0 +1,50 @@
+#!/bin/sh
+# Emit one flight record's phase tree as folded stacks, ready for
+# flamegraph.pl — so a single bad batch can be flamegraphed in isolation
+# instead of reading it off the aggregate /spans profile.
+#
+# Usage:
+#   tools/trace2folded.sh http://127.0.0.1:PORT TRACE_ID   # live host
+#   tools/trace2folded.sh record.json                      # saved /traces/<id> body
+#   ... | flamegraph.pl > trace.svg
+#
+# The /traces/<id> endpoint already serves this format directly with
+# ?fmt=folded; this script is the offline/composable path: it converts a
+# saved JSON flight record (or fetches one) using only python3's stdlib.
+
+set -eu
+
+usage() {
+    echo "usage: $0 <base_url> <trace_id> | $0 <record.json>" >&2
+    exit 2
+}
+
+case $# in
+2)
+    # Live host: the server renders the folded view itself.
+    exec curl -sf "$1/traces/$2?fmt=folded"
+    ;;
+1)
+    [ -r "$1" ] || usage
+    exec python3 - "$1" <<'EOF'
+import json
+import sys
+
+with open(sys.argv[1], "r", encoding="utf-8") as f:
+    record = json.load(f)
+
+phases = record.get("phases", {})
+total_us = 0
+for name, ms in phases.items():
+    us = int(ms * 1000 + 0.5)
+    total_us += us
+    print(f"midas_round;{name} {us}")
+# The round's own self time: wall time not covered by any phase span.
+self_us = int(record.get("total_ms", 0.0) * 1000 + 0.5) - total_us
+print(f"midas_round {max(self_us, 0)}")
+EOF
+    ;;
+*)
+    usage
+    ;;
+esac
