@@ -143,12 +143,27 @@ int main(int argc, char** argv) {
     }
     serve::SubmitResult r = host.Submit(std::move(delta), copy.labels());
     if (!r.accepted()) {
+      const char* why = "overflow";
+      switch (r.status) {
+        case serve::SubmitStatus::kRejectedValidation:
+          why = "validation";
+          break;
+        case serve::SubmitStatus::kRejectedTimeout:
+          why = "submit timeout";
+          break;
+        case serve::SubmitStatus::kShedOverload:
+          why = "shed";
+          break;
+        default:
+          break;
+      }
       std::lock_guard<std::mutex> lock(print_mu);
-      std::cout << "batch " << day << " rejected ("
-                << (r.status == serve::SubmitStatus::kRejectedValidation
-                        ? "validation"
-                        : "overflow")
-                << ")\n";
+      std::cout << "batch " << day << " rejected (" << why;
+      if (!r.shed_reason.empty()) std::cout << ": " << r.shed_reason;
+      if (r.retry_after_ms > 0.0) {
+        std::cout << ", retry after " << r.retry_after_ms << " ms";
+      }
+      std::cout << ")\n";
     }
   }
 

@@ -1,0 +1,132 @@
+#include "midas/common/chaos.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "midas/common/rng.h"
+
+namespace midas {
+namespace chaos {
+
+const char* ChaosEventKindName(ChaosEvent::Kind kind) {
+  switch (kind) {
+    case ChaosEvent::Kind::kArmFailpoint:
+      return "arm_failpoint";
+    case ChaosEvent::Kind::kLoadBurst:
+      return "load_burst";
+    case ChaosEvent::Kind::kMemoryPressure:
+      return "memory_pressure";
+    case ChaosEvent::Kind::kClearPressure:
+      return "clear_pressure";
+    case ChaosEvent::Kind::kQuiesce:
+      return "quiesce";
+  }
+  return "unknown";
+}
+
+std::string ChaosEvent::Describe() const {
+  std::ostringstream out;
+  out << "step=" << step << " " << ChaosEventKindName(kind);
+  switch (kind) {
+    case Kind::kArmFailpoint:
+      out << ":" << failpoint_spec;
+      break;
+    case Kind::kLoadBurst:
+      out << ":" << burst_batches;
+      break;
+    case Kind::kMemoryPressure:
+      out << ":" << pressure_bytes;
+      break;
+    case Kind::kClearPressure:
+    case Kind::kQuiesce:
+      break;
+  }
+  return out.str();
+}
+
+ChaosSchedule::ChaosSchedule(const Config& config) : config_(config) {
+  // One Rng, one fixed draw order: the schedule is a pure function of the
+  // seed. Draws happen for every step in the same sequence regardless of
+  // which events materialize, so tweaking one probability does not reshuffle
+  // the events behind it.
+  Rng rng(config_.seed);
+  bool pressure_live = false;
+  for (uint64_t step = 0; step < config_.steps; ++step) {
+    const bool burst = rng.Bernoulli(config_.burst_prob);
+    const int burst_n =
+        1 + static_cast<int>(rng.UniformInt(
+                0, std::max(0, config_.max_burst_batches - 1)));
+    const bool pressure = rng.Bernoulli(config_.pressure_prob);
+    const double pressure_frac = rng.UniformReal();
+    const bool failpoint = rng.Bernoulli(config_.failpoint_prob);
+    const size_t site_index = config_.failpoint_sites.empty()
+                                  ? 0
+                                  : static_cast<size_t>(rng.UniformInt(
+                                        0, static_cast<int64_t>(
+                                               config_.failpoint_sites.size()) -
+                                               1));
+    const int fires = 1 + static_cast<int>(rng.UniformInt(0, 2));
+    const int skip = static_cast<int>(rng.UniformInt(0, 3));
+
+    if (burst && burst_n > 0) {
+      ChaosEvent e;
+      e.kind = ChaosEvent::Kind::kLoadBurst;
+      e.step = step;
+      e.burst_batches = burst_n;
+      events_.push_back(std::move(e));
+    }
+    if (pressure) {
+      ChaosEvent e;
+      e.step = step;
+      if (pressure_live && pressure_frac < 0.4) {
+        e.kind = ChaosEvent::Kind::kClearPressure;
+        pressure_live = false;
+      } else {
+        e.kind = ChaosEvent::Kind::kMemoryPressure;
+        e.pressure_bytes = static_cast<size_t>(
+            pressure_frac * static_cast<double>(config_.max_pressure_bytes));
+        pressure_live = true;
+      }
+      events_.push_back(std::move(e));
+    }
+    if (failpoint && !config_.failpoint_sites.empty()) {
+      ChaosEvent e;
+      e.kind = ChaosEvent::Kind::kArmFailpoint;
+      e.step = step;
+      std::ostringstream spec;
+      spec << config_.failpoint_sites[site_index] << ":" << skip << ":"
+           << fires;
+      e.failpoint_spec = spec.str();
+      events_.push_back(std::move(e));
+    }
+  }
+  // Every schedule ends calm: clear pressure and drain, so a drill that ran
+  // the full schedule hands back a host that can prove it recovered.
+  ChaosEvent clear;
+  clear.kind = ChaosEvent::Kind::kClearPressure;
+  clear.step = config_.steps;
+  events_.push_back(clear);
+  ChaosEvent quiesce;
+  quiesce.kind = ChaosEvent::Kind::kQuiesce;
+  quiesce.step = config_.steps;
+  events_.push_back(quiesce);
+}
+
+std::vector<ChaosEvent> ChaosSchedule::EventsAt(uint64_t step) const {
+  std::vector<ChaosEvent> out;
+  for (const ChaosEvent& e : events_) {
+    if (e.step == step) out.push_back(e);
+  }
+  return out;
+}
+
+std::string ChaosSchedule::Describe() const {
+  std::ostringstream out;
+  out << "chaos schedule seed=" << config_.seed << " steps=" << config_.steps
+      << " events=" << events_.size() << "\n";
+  for (const ChaosEvent& e : events_) out << "  " << e.Describe() << "\n";
+  return out.str();
+}
+
+}  // namespace chaos
+}  // namespace midas

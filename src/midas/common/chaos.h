@@ -1,0 +1,87 @@
+#ifndef MIDAS_COMMON_CHAOS_H_
+#define MIDAS_COMMON_CHAOS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace midas {
+namespace chaos {
+
+/// One scripted disturbance of a chaos drill. Events are pinned to virtual
+/// time (a 0-based step index the driver advances; typically one step per
+/// submitted batch wave), never to the wall clock — which is what makes a
+/// schedule replayable: the same seed produces the same events at the same
+/// steps, so every overload / ladder / breaker transition the drill provokes
+/// happens in the same order on every run.
+struct ChaosEvent {
+  enum class Kind {
+    kArmFailpoint,     ///< arm `failpoint_spec` (fail::ArmSpec grammar)
+    kLoadBurst,        ///< submit `burst_batches` extra batches this step
+    kMemoryPressure,   ///< set the watchdog's synthetic source to
+                       ///< `pressure_bytes`
+    kClearPressure,    ///< zero the synthetic source
+    kQuiesce,          ///< drain the host (WaitIdle) before the next step
+  };
+
+  Kind kind = Kind::kQuiesce;
+  uint64_t step = 0;             ///< virtual time this event fires at
+  std::string failpoint_spec;    ///< kArmFailpoint only
+  int burst_batches = 0;         ///< kLoadBurst only
+  size_t pressure_bytes = 0;     ///< kMemoryPressure only
+
+  /// Stable "step=N kind[:detail]" spelling for logs and replay diffs.
+  std::string Describe() const;
+};
+
+const char* ChaosEventKindName(ChaosEvent::Kind kind);
+
+/// Deterministic, seed-replayable chaos schedule: a fixed list of
+/// ChaosEvents over `steps` of virtual time, generated from `seed` alone.
+/// Drivers (the overload soak test, CI stress jobs) print the seed up
+/// front; re-running with that seed reproduces the exact disturbance
+/// sequence, so a failing overload drill is a one-line repro.
+class ChaosSchedule {
+ public:
+  struct Config {
+    uint64_t seed = 42;
+    uint64_t steps = 32;
+    /// Per-step probabilities of each disturbance (drawn independently).
+    double burst_prob = 0.25;
+    double pressure_prob = 0.2;
+    double failpoint_prob = 0.15;
+    /// Bounds of the drawn magnitudes.
+    int max_burst_batches = 6;
+    size_t max_pressure_bytes = 64u << 20;
+    /// Failpoint sites the schedule arms (picked uniformly; each armed for
+    /// a small drawn number of fires so chaos never wedges recovery).
+    std::vector<std::string> failpoint_sites = {
+        "serve.round.before_apply", "serve.round.before_publish",
+        "midas.apply_update.after_fct", "midas.apply_update.after_swap",
+        "journal.append.io_error"};
+  };
+
+  explicit ChaosSchedule(const Config& config);
+
+  const Config& config() const { return config_; }
+  uint64_t seed() const { return config_.seed; }
+  uint64_t steps() const { return config_.steps; }
+  const std::vector<ChaosEvent>& events() const { return events_; }
+
+  /// Events scheduled at exactly `step`, in generation order.
+  std::vector<ChaosEvent> EventsAt(uint64_t step) const;
+
+  /// Multi-line human/CI-readable dump: seed, steps, then one Describe()
+  /// line per event — paste the seed back to replay.
+  std::string Describe() const;
+
+ private:
+  Config config_;
+  std::vector<ChaosEvent> events_;
+};
+
+}  // namespace chaos
+}  // namespace midas
+
+#endif  // MIDAS_COMMON_CHAOS_H_

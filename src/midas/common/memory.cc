@@ -1,0 +1,98 @@
+#include "midas/common/memory.h"
+
+#include <cstdio>
+
+#include "midas/obs/metrics.h"
+
+#if defined(__linux__)
+#include <unistd.h>
+#endif
+
+namespace midas {
+
+void MemoryBudget::Register(const std::string& name, Sampler sampler) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [n, s] : samplers_) {
+    if (n == name) {
+      s = std::move(sampler);
+      return;
+    }
+  }
+  samplers_.emplace_back(name, std::move(sampler));
+}
+
+void MemoryBudget::Unregister(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = samplers_.begin(); it != samplers_.end(); ++it) {
+    if (it->first == name) {
+      samplers_.erase(it);
+      return;
+    }
+  }
+}
+
+MemoryBudget::Sample MemoryBudget::SampleNow() {
+  Sample sample;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    sample.components.reserve(samplers_.size());
+    for (const auto& [name, sampler] : samplers_) {
+      Component c;
+      c.name = name;
+      c.bytes = sampler ? sampler() : 0;
+      sample.total_bytes += c.bytes;
+      sample.components.push_back(std::move(c));
+    }
+  }
+  sample.synthetic_bytes = synthetic_bytes_.load(std::memory_order_relaxed);
+  sample.total_bytes += sample.synthetic_bytes;
+  if (sample_rss_) sample.rss_bytes = CurrentRssBytes();
+
+  const size_t budget = budget_bytes_.load(std::memory_order_relaxed);
+  if (budget > 0) {
+    sample.pressure =
+        static_cast<double>(sample.total_bytes) / static_cast<double>(budget);
+  }
+  last_total_.store(sample.total_bytes, std::memory_order_relaxed);
+  last_pressure_.store(sample.pressure, std::memory_order_relaxed);
+
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Current();
+  if (reg.enabled()) {
+    for (const Component& c : sample.components) {
+      reg.GetGauge("midas_memory_" + c.name + "_bytes")
+          ->Set(static_cast<double>(c.bytes));
+    }
+    reg.GetGauge("midas_memory_tracked_bytes")
+        ->Set(static_cast<double>(sample.total_bytes));
+    reg.GetGauge("midas_memory_budget_bytes")
+        ->Set(static_cast<double>(budget));
+    reg.GetGauge("midas_memory_pressure")->Set(sample.pressure);
+    if (sample.synthetic_bytes > 0) {
+      reg.GetGauge("midas_memory_synthetic_bytes")
+          ->Set(static_cast<double>(sample.synthetic_bytes));
+    }
+    if (sample.rss_bytes > 0) {
+      reg.GetGauge("midas_memory_rss_bytes")
+          ->Set(static_cast<double>(sample.rss_bytes));
+    }
+  }
+  return sample;
+}
+
+size_t MemoryBudget::CurrentRssBytes() {
+#if defined(__linux__)
+  FILE* f = std::fopen("/proc/self/statm", "r");
+  if (f == nullptr) return 0;
+  unsigned long size_pages = 0;
+  unsigned long rss_pages = 0;
+  const int matched = std::fscanf(f, "%lu %lu", &size_pages, &rss_pages);
+  std::fclose(f);
+  if (matched != 2) return 0;
+  const long page = sysconf(_SC_PAGESIZE);
+  return rss_pages * static_cast<size_t>(page > 0 ? page : 4096);
+#else
+  return 0;
+#endif
+}
+
+}  // namespace midas

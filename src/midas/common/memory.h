@@ -1,0 +1,113 @@
+#ifndef MIDAS_COMMON_MEMORY_H_
+#define MIDAS_COMMON_MEMORY_H_
+
+#include <atomic>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace midas {
+
+/// Byte-budget tracker behind the serving host's memory watchdog.
+///
+/// Components (GraphDatabase, ComputeCache, the update queue, the flight
+/// recorder, ...) register named samplers — cheap callbacks returning their
+/// current approximate footprint. SampleNow() polls every sampler, exports
+/// one `midas_memory_<component>_bytes` gauge per component plus the
+/// `midas_memory_tracked_bytes` total, and reports the pressure fraction
+/// (total / budget) that drives the degradation ladder.
+///
+/// Determinism: samplers measure tracked structures, never the allocator, so
+/// a pressure reading is a pure function of engine state — which is what
+/// makes chaos-scheduled watchdog drills replayable. SetSyntheticBytes() is
+/// the chaos hook: a scripted pressure source accounted like any component,
+/// so a drill can push the watchdog over any threshold without allocating.
+///
+/// Optional RSS sampling (sample_rss) reads /proc/self/statm where
+/// available; it is exported for operators (`midas_memory_rss_bytes`) but
+/// deliberately kept OUT of the pressure fraction — RSS depends on allocator
+/// and platform, and the ladder must transition identically across runs.
+///
+/// Thread safety: Register/SampleNow are mutex-guarded (watchdog cadence is
+/// per-round, so the lock is cold); the synthetic source and the last sample
+/// total are atomics readable from any thread (telemetry handlers).
+class MemoryBudget {
+ public:
+  using Sampler = std::function<size_t()>;
+
+  struct Component {
+    std::string name;
+    size_t bytes = 0;
+  };
+
+  struct Sample {
+    size_t total_bytes = 0;      ///< tracked components + synthetic source
+    size_t synthetic_bytes = 0;  ///< the chaos-injected share of the total
+    size_t rss_bytes = 0;        ///< 0 unless sample_rss and /proc works
+    std::vector<Component> components;
+    /// total / budget; 0 when no budget is configured.
+    double pressure = 0.0;
+  };
+
+  MemoryBudget() = default;
+  explicit MemoryBudget(size_t budget_bytes) : budget_bytes_(budget_bytes) {}
+
+  MemoryBudget(const MemoryBudget&) = delete;
+  MemoryBudget& operator=(const MemoryBudget&) = delete;
+
+  /// 0 disables the budget (pressure always 0; watchdog stays quiet).
+  void set_budget_bytes(size_t bytes) {
+    budget_bytes_.store(bytes, std::memory_order_relaxed);
+  }
+  size_t budget_bytes() const {
+    return budget_bytes_.load(std::memory_order_relaxed);
+  }
+
+  void set_sample_rss(bool on) { sample_rss_ = on; }
+
+  /// Registers (or replaces) the named component's sampler.
+  void Register(const std::string& name, Sampler sampler);
+  /// Drops the named component (samplers capture host structures, so a host
+  /// tearing down unregisters what it registered).
+  void Unregister(const std::string& name);
+
+  /// Chaos hook: a synthetic pressure source of exactly `bytes`, accounted
+  /// into the tracked total like any component. 0 clears it.
+  void SetSyntheticBytes(size_t bytes) {
+    synthetic_bytes_.store(bytes, std::memory_order_relaxed);
+  }
+  size_t synthetic_bytes() const {
+    return synthetic_bytes_.load(std::memory_order_relaxed);
+  }
+
+  /// Polls every sampler, updates the gauges and returns the reading.
+  Sample SampleNow();
+
+  /// Total of the most recent SampleNow (readable from any thread).
+  size_t last_total_bytes() const {
+    return last_total_.load(std::memory_order_relaxed);
+  }
+  /// Pressure of the most recent SampleNow.
+  double last_pressure() const {
+    return last_pressure_.load(std::memory_order_relaxed);
+  }
+
+  /// Resident set size from /proc/self/statm; 0 when unavailable.
+  static size_t CurrentRssBytes();
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<std::pair<std::string, Sampler>> samplers_;
+  std::atomic<size_t> budget_bytes_{0};
+  std::atomic<size_t> synthetic_bytes_{0};
+  std::atomic<size_t> last_total_{0};
+  std::atomic<double> last_pressure_{0.0};
+  bool sample_rss_ = false;
+};
+
+}  // namespace midas
+
+#endif  // MIDAS_COMMON_MEMORY_H_

@@ -173,6 +173,34 @@ void ComputeCache::Clear() {
   }
 }
 
+void ComputeCache::TrimTo(size_t max_entries) {
+  const size_t per_shard = max_entries / kShards;
+  for (auto& s : shards_) {
+    std::lock_guard<std::mutex> lock(s->mu);
+    while (s->lru.size() > per_shard) {
+      s->index.erase(s->lru.back().first);
+      s->lru.pop_back();
+      s->evictions.fetch_add(1, std::memory_order_relaxed);
+      CountCacheEvent("midas_cache_evict_total");
+    }
+  }
+}
+
+size_t ComputeCache::ApproxBytes() const {
+  // Per entry: the key string twice (LRU node + index key), the value, and
+  // a flat estimate of list/map node overhead. Consistent, not exact.
+  constexpr size_t kPerEntryOverhead = 2 * sizeof(std::string) + 96;
+  size_t bytes = sizeof(*this);
+  for (const auto& s : shards_) {
+    std::lock_guard<std::mutex> lock(s->mu);
+    for (const auto& [key, value] : s->lru) {
+      (void)value;
+      bytes += 2 * key.size() + sizeof(int64_t) + kPerEntryOverhead;
+    }
+  }
+  return bytes;
+}
+
 ComputeCache::Stats ComputeCache::stats() const {
   Stats total;
   for (const auto& s : shards_) {

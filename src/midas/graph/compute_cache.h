@@ -81,6 +81,16 @@ class ComputeCache {
   /// Drops every entry (stats are kept).
   void Clear();
 
+  /// Evicts LRU entries until at most `max_entries` remain across all
+  /// shards (split evenly). The degradation ladder's trim-cache rung; the
+  /// evicted entries count toward `midas_cache_evict_total`. Does not
+  /// change the cache's capacity — it refills normally afterwards.
+  void TrimTo(size_t max_entries);
+
+  /// Approximate resident bytes across all shards (keys + LRU/index node
+  /// overhead) — the memory watchdog's "cache" component.
+  size_t ApproxBytes() const;
+
   Stats stats() const;
   size_t size() const;
 

@@ -99,6 +99,17 @@ std::vector<GraphId> GraphDatabase::Ids() const {
   return ids;
 }
 
+size_t GraphDatabase::ApproxBytes() const {
+  size_t bytes = sizeof(*this);
+  for (const auto& [id, g] : graphs_) {
+    (void)id;
+    bytes += sizeof(GraphId) + sizeof(Graph) + 48;  // std::map node overhead
+    bytes += g.NumVertices() * (sizeof(Label) + sizeof(std::vector<VertexId>));
+    bytes += 2 * g.NumEdges() * sizeof(VertexId);  // both adjacency rows
+  }
+  return bytes;
+}
+
 size_t GraphDatabase::TotalEdges() const {
   size_t n = 0;
   for (const auto& [id, g] : graphs_) n += g.NumEdges();

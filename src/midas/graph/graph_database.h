@@ -73,6 +73,11 @@ class GraphDatabase {
   /// Raises the id allocator to `next` (never lowers it).
   void RestoreNextId(GraphId next);
 
+  /// Approximate resident bytes of the stored graphs (labels + adjacency +
+  /// map node overhead). Consistency matters more than exactness: this is
+  /// the memory watchdog's "database" component.
+  size_t ApproxBytes() const;
+
   /// Total number of edges across all data graphs.
   size_t TotalEdges() const;
   /// Size |E_max| of the largest graph.

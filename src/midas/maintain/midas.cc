@@ -407,7 +407,12 @@ MaintenanceStats MidasEngine::ApplyUpdate(const BatchUpdate& raw_delta,
   ged_ = HybridGed(GedFeatureTrees(fcts_), &round_budget_);
   eval_->Resample(rng_);
   RefreshAllPatternMetrics();
-  RefreshDiversityAndScores(patterns_, ged_, pool_.get());
+  // Shed mode (overload ladder): the pairwise-GED diversity refresh is the
+  // round's most expendable expense — skipping it leaves diversity/score
+  // columns stale but every structural invariant intact.
+  if (!config_.shed_diversity_refresh) {
+    RefreshDiversityAndScores(patterns_, ged_, pool_.get());
+  }
 
   ModificationReport report =
       ClassifyModification(psi_before, psi_after, config_.epsilon,
@@ -436,7 +441,10 @@ MaintenanceStats MidasEngine::ApplyUpdate(const BatchUpdate& raw_delta,
       gen.walk = config_.walk;
       gen.kappa = config_.kappa;
       gen.pcp_starts = config_.pcp_starts;
-      gen.max_candidates = config_.max_candidates;
+      gen.max_candidates =
+          config_.shed_candidate_cap > 0
+              ? std::min(config_.max_candidates, config_.shed_candidate_cap)
+              : config_.max_candidates;
       gen.pool = pool_.get();
       std::map<ClusterId, Csg> affected_csgs = AffectedCsgView(affected);
       candidates = GeneratePromisingCandidates(
@@ -457,7 +465,9 @@ MaintenanceStats MidasEngine::ApplyUpdate(const BatchUpdate& raw_delta,
       } else {  // kRandomSwap
         stats.swaps = RandomSwap(patterns_, candidates, *eval_, fcts_, rng_);
       }
-      RefreshDiversityAndScores(patterns_, ged_, pool_.get());
+      if (!config_.shed_diversity_refresh) {
+        RefreshDiversityAndScores(patterns_, ged_, pool_.get());
+      }
     }
   }
   MIDAS_FAILPOINT_ABORT("midas.apply_update.after_swap");

@@ -68,6 +68,15 @@ struct MidasConfig {
   double round_deadline_ms = 0.0;   ///< wall-clock cap per ApplyUpdate
   uint64_t round_step_limit = 0;    ///< search-step cap per ApplyUpdate
 
+  /// Shed mode (the serving host's overload ladder flips these; both
+  /// default off so standalone rounds are bit-identical to historical
+  /// output). `shed_diversity_refresh` skips the two
+  /// RefreshDiversityAndScores passes of a round — diversity/score columns
+  /// go stale but the panel stays valid. `shed_candidate_cap` (when > 0)
+  /// caps candidate generation below max_candidates.
+  bool shed_diversity_refresh = false;
+  size_t shed_candidate_cap = 0;
+
   /// Worker threads for the maintenance hot loops (VF2 coverage, pairwise
   /// GED, MCCS splits, graphlet census, mining support counts, candidate
   /// scoring). 1 = the serial reference path (no threads spawned);
@@ -256,6 +265,16 @@ class MidasEngine {
     config_.round_deadline_ms = deadline_ms;
     config_.round_step_limit = step_limit;
   }
+
+  /// Toggles shed mode for subsequent rounds (same semantics as
+  /// MidasConfig::shed_diversity_refresh / shed_candidate_cap). The
+  /// serving host's degradation ladder engages this on the shed-work rung
+  /// and reverts it on recovery; both off = historical full-quality rounds.
+  void SetShedMode(bool shed_diversity_refresh, size_t candidate_cap) {
+    config_.shed_diversity_refresh = shed_diversity_refresh;
+    config_.shed_candidate_cap = candidate_cap;
+  }
+  bool shed_mode() const { return config_.shed_diversity_refresh; }
 
   /// Replaces the task pool with one of `num_threads` executors (same
   /// semantics as MidasConfig::num_threads; joins the old workers). Only

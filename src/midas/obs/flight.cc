@@ -74,6 +74,19 @@ std::string FlightRecord::SlowestPhase(double* ms) const {
   return best;
 }
 
+size_t FlightRecord::ApproxBytes() const {
+  size_t bytes = sizeof(*this);
+  bytes += trace_id.size() + admission.size() + outcome.size() +
+           error.size() + degrade_reason.size();
+  for (const std::string& link : links) bytes += sizeof(std::string) +
+                                                 link.size();
+  for (const auto& [name, ms] : phase_ms) {
+    (void)ms;
+    bytes += sizeof(std::pair<std::string, double>) + name.size();
+  }
+  return bytes;
+}
+
 std::string FlightRecord::ToJson() const {
   JsonWriter w;
   AppendFull(w, *this);
@@ -152,6 +165,21 @@ void FlightRecorder::Record(std::shared_ptr<const FlightRecord> record) {
     retained_[rslot % retained_.size()].store(std::move(record),
                                               std::memory_order_release);
   }
+}
+
+size_t FlightRecorder::ApproxBytes() const {
+  // Records shared between the two rings are counted twice; the watchdog
+  // only needs an upper-ish bound that moves with retention, not a census.
+  size_t bytes = sizeof(*this);
+  auto sum = [&bytes](const std::vector<Slot>& ring) {
+    for (const Slot& slot : ring) {
+      auto record = slot.load(std::memory_order_acquire);
+      if (record != nullptr) bytes += record->ApproxBytes();
+    }
+  };
+  sum(recent_);
+  sum(retained_);
+  return bytes;
 }
 
 std::shared_ptr<const FlightRecord> FlightRecorder::Find(

@@ -69,6 +69,9 @@ struct FlightRecord {
   /// Name and wall time of the most expensive phase ("" when no round ran).
   std::string SlowestPhase(double* ms = nullptr) const;
 
+  /// Approximate resident bytes of this record (strings + vectors).
+  size_t ApproxBytes() const;
+
   /// Full single-line JSON object (the /traces/<id> body).
   std::string ToJson() const;
   /// Compact summary row (trace_id, seq, outcome, total_ms, queue_wait_ms,
@@ -134,6 +137,11 @@ class FlightRecorder {
   uint64_t sampled_out() const {
     return sampled_out_.load(std::memory_order_relaxed);
   }
+
+  /// Approximate resident bytes of everything currently held in both rings
+  /// — the memory watchdog's "flight_recorder" component. Wait-free (loads
+  /// the same atomic slots the telemetry readers do).
+  size_t ApproxBytes() const;
 
  private:
   using Slot = std::atomic<std::shared_ptr<const FlightRecord>>;

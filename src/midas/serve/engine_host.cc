@@ -2,12 +2,14 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 #include <filesystem>
 #include <thread>
 #include <utility>
 
 #include "midas/common/budget.h"
 #include "midas/common/failpoint.h"
+#include "midas/graph/compute_cache.h"
 #include "midas/graph/graph_io.h"
 #include "midas/maintain/snapshot.h"
 #include "midas/obs/export.h"
@@ -84,6 +86,9 @@ EngineHost::EngineHost(std::unique_ptr<MidasEngine> engine,
       engine_(std::move(engine)),
       drift_(config_.sli),
       flights_(config_.flight),
+      admission_ctrl_(config_.overload.admission),
+      breaker_(config_.overload.breaker),
+      ladder_(config_.overload.ladder),
       queue_(config_.queue_capacity, config_.overflow) {}
 
 EngineHost::~EngineHost() { Stop(); }
@@ -108,6 +113,21 @@ bool EngineHost::Start(std::string* error) {
   }
   base_deadline_ms_ = engine_->config().round_deadline_ms;
   base_step_limit_ = engine_->config().round_step_limit;
+
+  // Memory watchdog: the budget is measured over *tracked* structures (a
+  // pure function of engine state, so pressure — and the ladder driven by
+  // it — replays deterministically); RSS is observability-only. Samplers
+  // run on the writer thread via WatchdogTick.
+  memory_.set_budget_bytes(config_.overload.memory_budget_bytes);
+  memory_.set_sample_rss(config_.overload.sample_rss);
+  memory_.Register("database", [this] {
+    return engine_ != nullptr ? engine_->db().ApproxBytes() : 0;
+  });
+  memory_.Register("cache",
+                   [] { return ComputeCache::Global().ApproxBytes(); });
+  memory_.Register("queue", [this] { return queue_.ApproxBytes(); });
+  memory_.Register("flight_recorder",
+                   [this] { return flights_.ApproxBytes(); });
 
   // Recovery baseline: snapshot the as-started engine so RecoverEngine has
   // a floor even before the first checkpointed round.
@@ -211,8 +231,41 @@ SubmitResult EngineHost::SubmitInternal(
     return result;
   }
 
+  // Overload gating, in escalation order: lame-duck ladder rung, open
+  // breaker, then the adaptive admission controller. All pass-through in a
+  // healthy host, so the layer costs three atomic loads on the hot path.
+  auto shed = [&](const char* reason, double retry_after_ms) {
+    shed_overload_.fetch_add(1, std::memory_order_relaxed);
+    Count("midas_serve_shed_overload_total");
+    result.status = SubmitStatus::kShedOverload;
+    result.retry_after_ms = retry_after_ms;
+    result.shed_reason = reason;
+    record_reject("shed_overload", raw_adds, raw_dels);
+    return result;
+  };
+  if (ladder_.state() == OverloadState::kLameDuck) {
+    // No principled hint for lame-duck: the rung lifts when pressure drops.
+    // The initial CoDel interval is the layer's "a while from now" unit.
+    return shed("ladder", config_.overload.admission.interval_ms);
+  }
+  if (breaker_.state() == CircuitBreaker::State::kOpen) {
+    return shed("breaker",
+                std::max(breaker_.RetryAfterMs(),
+                         config_.overload.admission.retry_after_floor_ms));
+  }
+  size_t delta_edges = v.normalized.deletions.size();
+  for (const Graph& g : v.normalized.insertions) delta_edges += g.NumEdges();
+  AdmissionDecision decision = admission_ctrl_.Admit(delta_edges);
+  if (!decision.admit) {
+    return shed(decision.reason, decision.retry_after_ms);
+  }
+
+  const auto block_timeout = std::chrono::milliseconds(
+      config_.submit_timeout_ms > 0.0
+          ? static_cast<int64_t>(config_.submit_timeout_ms)
+          : 0);
   switch (queue_.Push(std::move(v.normalized), std::move(labels),
-                      std::move(trace))) {
+                      std::move(trace), block_timeout)) {
     case BoundedUpdateQueue::PushOutcome::kQueued:
       admitted_.fetch_add(1, std::memory_order_relaxed);
       result.status = SubmitStatus::kAccepted;
@@ -231,7 +284,17 @@ SubmitResult EngineHost::SubmitInternal(
       record_reject("rejected_overflow", raw_adds, raw_dels);
       break;
     case BoundedUpdateQueue::PushOutcome::kRejectedClosed:
+    case BoundedUpdateQueue::PushOutcome::kRejectedDraining:
       result.status = SubmitStatus::kRejectedStopped;
+      break;
+    case BoundedUpdateQueue::PushOutcome::kRejectedTimeout:
+      submit_timeouts_.fetch_add(1, std::memory_order_relaxed);
+      Count("midas_serve_submit_timeouts_total");
+      result.status = SubmitStatus::kRejectedTimeout;
+      // The queue stayed full for the whole wait; hint a backoff in the
+      // same unit rather than inviting an immediate identical wait.
+      result.retry_after_ms = config_.submit_timeout_ms;
+      record_reject("rejected_timeout", raw_adds, raw_dels);
       break;
   }
   UpdateGauges();
@@ -240,6 +303,19 @@ SubmitResult EngineHost::SubmitInternal(
 
 void EngineHost::WriterLoop() {
   for (;;) {
+    // Circuit-breaker gate: while open, stop consuming — admission sheds
+    // upstream and the queue holds what was already admitted. AllowAttempt
+    // flips open -> half-open itself once the cooldown elapses (the next
+    // batch is the probe). Ignored once the queue closes so Stop() can
+    // always drain.
+    if (!queue_.closed() && !breaker_.AllowAttempt()) {
+      NoteBreakerState("cooldown");
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+      WatchdogTick();
+      UpdateGauges();
+      continue;
+    }
+    NoteBreakerState("cooldown elapsed");
     BoundedUpdateQueue::Item item;
     if (queue_.Pop(&item, std::chrono::milliseconds(50))) {
       const uint64_t batches = item.parts.size();
@@ -273,6 +349,7 @@ void EngineHost::WriterLoop() {
     } else if (queue_.closed()) {
       break;  // closed and drained
     }
+    WatchdogTick();
     UpdateGauges();
   }
 }
@@ -285,6 +362,14 @@ void EngineHost::RunBatch(BoundedUpdateQueue::Item item) {
   // attempt loop, so engine phases, TaskPool workers and cache lookups all
   // account into it.
   const auto popped_at = std::chrono::steady_clock::now();
+  // Every part's queue wait feeds the CoDel controller — the coalesced
+  // parts too, since each was a separately admitted batch.
+  for (const auto& part : item.parts) {
+    admission_ctrl_.ObserveSojourn(
+        std::chrono::duration<double, std::milli>(popped_at -
+                                                  part.enqueued_at)
+            .count());
+  }
   std::shared_ptr<obs::TraceContext> trace;
   std::shared_ptr<obs::FlightRecord> record;
   if (config_.tracing_enabled) {
@@ -351,19 +436,23 @@ void EngineHost::RunBatch(BoundedUpdateQueue::Item item) {
     }
     attempted = engine_->round_seq() + 1;
 
-    // Budget: attempt 1 runs under the engine's own limits; each retry gets
-    // a geometrically tighter deadline so a poison batch cannot monopolize
+    // Budget: attempt 1 runs under the engine's own limits (tightened to
+    // the degraded caps when the ladder says so); each retry gets a
+    // geometrically tighter deadline so a poison batch cannot monopolize
     // the writer.
+    double eff_deadline_ms = 0.0;
+    uint64_t eff_step_limit = 0;
+    EffectiveBaseLimits(&eff_deadline_ms, &eff_step_limit);
     if (attempt == 1) {
-      engine_->SetRoundLimits(base_deadline_ms_, base_step_limit_);
+      engine_->SetRoundLimits(eff_deadline_ms, eff_step_limit);
     } else {
       double deadline =
           config_.retry_deadline_ms *
           std::pow(config_.retry_budget_factor, attempt - 2);
       deadline = std::max(deadline, config_.retry_deadline_floor_ms);
-      if (base_deadline_ms_ > 0.0) deadline = std::min(deadline,
-                                                       base_deadline_ms_);
-      engine_->SetRoundLimits(deadline, base_step_limit_);
+      if (eff_deadline_ms > 0.0) deadline = std::min(deadline,
+                                                     eff_deadline_ms);
+      engine_->SetRoundLimits(deadline, eff_step_limit);
     }
 
     try {
@@ -380,6 +469,14 @@ void EngineHost::RunBatch(BoundedUpdateQueue::Item item) {
       }
       rounds_ok_.fetch_add(1, std::memory_order_relaxed);
       Count("midas_serve_rounds_total");
+      size_t round_edges = canon.batch.deletions.size();
+      for (const Graph& g : canon.batch.insertions) {
+        round_edges += g.NumEdges();
+      }
+      admission_ctrl_.ObserveRound(round_edges, round_stats.total_ms);
+      if (breaker_.RecordSuccess(round_stats.total_ms)) {
+        NoteBreakerState("round committed");
+      }
       ++rounds_since_checkpoint_;
       MaybeCheckpoint();
       PublishSnapshot();
@@ -398,6 +495,7 @@ void EngineHost::RunBatch(BoundedUpdateQueue::Item item) {
       return;
     } catch (const std::exception& e) {
       last_error = e.what();
+      if (breaker_.RecordFailure()) NoteBreakerState(last_error.c_str());
       if (attempt < max_attempts) {
         retries_.fetch_add(1, std::memory_order_relaxed);
         Count("midas_serve_retries_total");
@@ -409,6 +507,9 @@ void EngineHost::RunBatch(BoundedUpdateQueue::Item item) {
         // retrying) avoids applying the batch twice.
         rounds_ok_.fetch_add(1, std::memory_order_relaxed);
         Count("midas_serve_rounds_total");
+        if (breaker_.RecordSuccess(0.0)) {
+          NoteBreakerState("recovery replayed committed round");
+        }
         PublishSnapshot();
         if (record != nullptr) {
           record->seq = engine_->round_seq();
@@ -444,8 +545,11 @@ void EngineHost::RunBatch(BoundedUpdateQueue::Item item) {
   }
   if (engine_ == nullptr) {
     // Recovery never came back: stop applying, keep serving the last
-    // published snapshot, quarantine whatever else arrives.
+    // published snapshot, quarantine whatever else arrives. Producers
+    // blocked on a full queue are woken (kRejectedDraining) — nobody
+    // should wait on a writer that will never drain another slot.
     dead_.store(true, std::memory_order_release);
+    queue_.SetDrainOnly();
     AppendServeEvent("host_dead", attempted, last_error);
   }
 }
@@ -465,6 +569,11 @@ bool EngineHost::RecoverInProcess(const std::string& why) {
       fresh->SetRoundLimits(base_deadline_ms_, base_step_limit_);
       if (config_.num_threads >= 0) {
         fresh->SetNumThreads(config_.num_threads);
+      }
+      // A recovered engine must come back inside the ladder's current
+      // posture, not at full quality while the host is shedding.
+      if (ladder_.AtLeast(OverloadState::kShedWork)) {
+        fresh->SetShedMode(true, config_.overload.shed_candidate_cap);
       }
       // Mandatory re-baseline: a failed round leaves stale uncommitted
       // records (and possibly seqs above where we resume) in the journal;
@@ -597,6 +706,113 @@ void EngineHost::MaybeCheckpoint() {
   }
 }
 
+void EngineHost::WatchdogTick() {
+  if (config_.overload.memory_budget_bytes == 0 ||
+      !config_.overload.ladder.enabled) {
+    return;
+  }
+  const MemoryBudget::Sample sample = memory_.SampleNow();
+  const OverloadState before = ladder_.state();
+  const OverloadState after = ladder_.Evaluate(sample.pressure);
+  if (after == before) return;
+  ApplyRungActions(before, after);
+  char reason[48];
+  std::snprintf(reason, sizeof(reason), "pressure=%.3f", sample.pressure);
+  LogOverloadTransition("ladder", OverloadStateName(before),
+                        OverloadStateName(after), reason);
+}
+
+void EngineHost::ApplyRungActions(OverloadState from, OverloadState to) {
+  // The ladder moves one rung per evaluation, so `from` and `to` are
+  // adjacent: exactly one rung's action engages (up) or reverts (down).
+  const bool up = static_cast<int>(to) > static_cast<int>(from);
+  const OverloadState rung = up ? to : from;
+  switch (rung) {
+    case OverloadState::kHealthy:
+      break;
+    case OverloadState::kTrimCache:
+      if (up) {
+        // One-shot trim: the cache refills afterwards, and re-entering the
+        // rung trims again. Nothing to revert.
+        ComputeCache& cache = ComputeCache::Global();
+        cache.TrimTo(static_cast<size_t>(
+            static_cast<double>(cache.size()) *
+            config_.overload.cache_trim_fraction));
+      }
+      break;
+    case OverloadState::kTightenBudgets:
+      // Applied per attempt via EffectiveBaseLimits; no sticky state.
+      break;
+    case OverloadState::kCoalesceOnly:
+      if (up) {
+        queue_.SetPolicyOverride(OverflowPolicy::kCoalesce);
+      } else {
+        queue_.ClearPolicyOverride();
+      }
+      break;
+    case OverloadState::kShedWork:
+      if (engine_ != nullptr) {
+        engine_->SetShedMode(up, up ? config_.overload.shed_candidate_cap
+                                    : 0);
+      }
+      break;
+    case OverloadState::kLameDuck:
+      // Enforced at Submit (reject-all); the queue keeps draining.
+      break;
+  }
+  applied_rung_ = to;
+}
+
+void EngineHost::LogOverloadTransition(const char* source,
+                                       const std::string& from,
+                                       const std::string& to,
+                                       const std::string& reason) {
+  OverloadTransition t;
+  t.source = source;
+  t.from = from;
+  t.to = to;
+  t.eval = ladder_.evals();
+  t.reason = reason;
+  overload_log_.Append(std::move(t));
+  AppendServeEvent("overload_transition",
+                   engine_ != nullptr ? engine_->round_seq() : 0,
+                   std::string(source) + " " + from + " -> " + to + " (" +
+                       reason + ")");
+}
+
+void EngineHost::NoteBreakerState(const char* reason) {
+  const CircuitBreaker::State now = breaker_.state();
+  if (now == logged_breaker_state_) return;
+  const CircuitBreaker::State prev = logged_breaker_state_;
+  logged_breaker_state_ = now;
+  LogOverloadTransition("breaker", CircuitBreaker::StateName(prev),
+                        CircuitBreaker::StateName(now), reason);
+  auto& reg = obs::MetricsRegistry::Current();
+  if (reg.enabled()) {
+    reg.GetGauge("midas_breaker_state")
+        ->Set(static_cast<double>(static_cast<int>(now)));
+  }
+}
+
+void EngineHost::EffectiveBaseLimits(double* deadline_ms,
+                                     uint64_t* step_limit) const {
+  *deadline_ms = base_deadline_ms_;
+  *step_limit = base_step_limit_;
+  if (!ladder_.AtLeast(OverloadState::kTightenBudgets)) return;
+  const double cap_ms = config_.overload.degraded_deadline_ms;
+  const uint64_t cap_steps = config_.overload.degraded_step_limit;
+  if (cap_ms > 0.0) {
+    *deadline_ms = base_deadline_ms_ > 0.0 ? std::min(base_deadline_ms_,
+                                                      cap_ms)
+                                           : cap_ms;
+  }
+  if (cap_steps > 0) {
+    *step_limit = base_step_limit_ > 0 ? std::min(base_step_limit_,
+                                                  cap_steps)
+                                       : cap_steps;
+  }
+}
+
 void EngineHost::UpdateGauges() {
   auto& reg = obs::MetricsRegistry::Current();
   if (!reg.enabled()) return;
@@ -709,6 +925,38 @@ void EngineHost::InstallTelemetryRoutes() {
     w.Key("recovery_failures").Value(s.recovery_failures);
     w.Key("quarantined").Value(s.quarantined);
     w.Key("checkpoints").Value(s.checkpoints);
+    w.Key("shed_overload").Value(s.shed_overload);
+    w.Key("submit_timeouts").Value(s.submit_timeouts);
+    w.EndObject();
+    w.Key("overload").BeginObject();
+    w.Key("state").Value(OverloadStateName(ladder_.state()));
+    w.Key("pressure").Value(memory_.last_pressure());
+    w.Key("tracked_bytes")
+        .Value(static_cast<uint64_t>(memory_.last_total_bytes()));
+    w.Key("budget_bytes")
+        .Value(static_cast<uint64_t>(memory_.budget_bytes()));
+    w.Key("breaker").Value(CircuitBreaker::StateName(breaker_.state()));
+    w.Key("breaker_trips").Value(breaker_.trips());
+    w.Key("admission_shedding").Value(admission_ctrl_.shedding());
+    w.Key("admission_shed_total").Value(admission_ctrl_.shed_total());
+    w.Key("queue_policy")
+        .Value(OverflowPolicyName(queue_.effective_policy()));
+    w.Key("transitions_total").Value(overload_log_.total());
+    w.Key("transitions").BeginArray();
+    auto transitions = overload_log_.Snapshot();
+    const size_t first = transitions.size() > 16 ? transitions.size() - 16
+                                                 : 0;
+    for (size_t i = first; i < transitions.size(); ++i) {
+      const OverloadTransition& t = transitions[i];
+      w.BeginObject();
+      w.Key("source").Value(t.source);
+      w.Key("from").Value(t.from);
+      w.Key("to").Value(t.to);
+      w.Key("eval").Value(t.eval);
+      w.Key("reason").Value(t.reason);
+      w.EndObject();
+    }
+    w.EndArray();
     w.EndObject();
     w.Key("drift").BeginObject();
     w.Key("enabled").Value(config_.sli_enabled);
@@ -780,6 +1028,8 @@ HostStats EngineHost::stats() const {
   s.recovery_failures = recovery_failures_.load(std::memory_order_relaxed);
   s.quarantined = quarantined_.load(std::memory_order_relaxed);
   s.checkpoints = checkpoints_.load(std::memory_order_relaxed);
+  s.shed_overload = shed_overload_.load(std::memory_order_relaxed);
+  s.submit_timeouts = submit_timeouts_.load(std::memory_order_relaxed);
   return s;
 }
 

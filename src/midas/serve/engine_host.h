@@ -9,6 +9,7 @@
 #include <thread>
 #include <vector>
 
+#include "midas/common/memory.h"
 #include "midas/maintain/journal.h"
 #include "midas/maintain/midas.h"
 #include "midas/obs/event_log.h"
@@ -17,6 +18,7 @@
 #include "midas/obs/trace.h"
 #include "midas/obs/telemetry_server.h"
 #include "midas/serve/admission.h"
+#include "midas/serve/overload.h"
 #include "midas/serve/panel_snapshot.h"
 #include "midas/serve/quarantine.h"
 #include "midas/serve/update_queue.h"
@@ -30,6 +32,18 @@ struct HostConfig {
   OverflowPolicy overflow = OverflowPolicy::kBlock;
   AdmissionLimits admission;
   MaintenanceMode mode = MaintenanceMode::kMidas;
+
+  /// Bound on how long a kBlock Submit may wait for queue space before
+  /// returning kRejectedTimeout. 0 = wait forever (the historical
+  /// contract) — but a dead host now wakes blocked submitters either way.
+  double submit_timeout_ms = 0.0;
+
+  /// Overload-resilience layer: adaptive admission (CoDel + cost model),
+  /// circuit breaker around the writer, memory watchdog + degradation
+  /// ladder. Defaults keep every mechanism passive until pressure or
+  /// failures appear, so healthy-state rounds are byte-identical to a host
+  /// without the layer.
+  OverloadConfig overload;
 
   /// Maintenance worker threads, applied to the engine before Initialize
   /// (and to every recovered engine). -1 keeps the engine's own
@@ -102,6 +116,8 @@ struct HostStats {
   uint64_t recovery_failures = 0;   ///< failed restoration attempts
   uint64_t quarantined = 0;         ///< batches written to quarantine
   uint64_t checkpoints = 0;         ///< SaveCheckpoint calls that succeeded
+  uint64_t shed_overload = 0;       ///< Submit-side overload sheds
+  uint64_t submit_timeouts = 0;     ///< kBlock waits that hit the deadline
 };
 
 enum class SubmitStatus {
@@ -109,6 +125,8 @@ enum class SubmitStatus {
   kRejectedValidation,  ///< pre-admission checks failed (see diagnostics)
   kRejectedOverflow,    ///< queue full under OverflowPolicy::kReject
   kRejectedStopped,     ///< host not running (or Stop in progress)
+  kRejectedTimeout,     ///< kBlock wait exceeded HostConfig::submit_timeout_ms
+  kShedOverload,        ///< overload layer shed it; retry_after_ms hints when
 };
 
 struct SubmitResult {
@@ -118,6 +136,12 @@ struct SubmitResult {
   /// 32-hex trace id of this batch's flight ("" with tracing disabled or
   /// the host stopped) — the key into /traces/<id> and the event log.
   std::string trace_id;
+  /// Backoff hint for kShedOverload / kRejectedTimeout: how long the
+  /// submitter should wait before retrying (0 = no hint).
+  double retry_after_ms = 0.0;
+  /// Which mechanism shed it: "codel", "cost", "ladder" or "breaker"
+  /// ("" when not shed).
+  std::string shed_reason;
   bool accepted() const { return status == SubmitStatus::kAccepted; }
 };
 
@@ -227,6 +251,26 @@ class EngineHost {
   /// Served on /traces and /traces/<id> when telemetry is on.
   const obs::FlightRecorder& flights() const { return flights_; }
 
+  // --- Overload-resilience introspection ---------------------------------
+
+  /// Current degradation-ladder rung (kHealthy when the watchdog is off).
+  OverloadState overload_state() const { return ladder_.state(); }
+  const DegradationLadder& ladder() const { return ladder_; }
+  const CircuitBreaker& breaker() const { return breaker_; }
+  const AdmissionController& admission_controller() const {
+    return admission_ctrl_;
+  }
+  /// The watchdog's budget tracker. Tests and chaos drivers inject
+  /// deterministic pressure via SetSyntheticBytes; the writer samples it
+  /// once per loop iteration.
+  MemoryBudget& memory_budget() { return memory_; }
+  const MemoryBudget& memory_budget() const { return memory_; }
+  /// Every ladder/breaker state change since Start, in order — the evidence
+  /// a seeded chaos drill compares across runs.
+  const OverloadTransitionLog& overload_transitions() const {
+    return overload_log_;
+  }
+
  private:
   void WriterLoop();
   SubmitResult SubmitInternal(BatchUpdate batch,
@@ -251,6 +295,21 @@ class EngineHost {
                     const PanelSnapshotPtr& pre);
   void MaybeCheckpoint();
   void UpdateGauges();
+  /// Writer, once per loop iteration: sample the memory watchdog, advance
+  /// the degradation ladder one rung at most, engage/disengage rung actions.
+  void WatchdogTick();
+  /// Engages (escalating) or reverts (recovering) the actions between two
+  /// adjacent ladder rungs. Writer-thread-only.
+  void ApplyRungActions(OverloadState from, OverloadState to);
+  /// Records one resilience state change: transition log + serve_event.
+  void LogOverloadTransition(const char* source, const std::string& from,
+                             const std::string& to, const std::string& reason);
+  /// Compares the breaker's state against the last one the writer logged
+  /// and records the transition when it moved.
+  void NoteBreakerState(const char* reason);
+  /// The round limits attempt 1 runs under: the engine's own, tightened to
+  /// the degraded caps when the ladder is at kTightenBudgets or above.
+  void EffectiveBaseLimits(double* deadline_ms, uint64_t* step_limit) const;
   /// Registers /metrics, /varz, /healthz, /statusz and /spans on the
   /// telemetry server. Handlers run on the server thread and only touch
   /// thread-safe host state (snapshots, atomics, mutex-guarded copies).
@@ -274,6 +333,20 @@ class EngineHost {
   MaintenanceStats last_stats_;
   bool has_last_stats_ = false;
 
+  // Overload-resilience layer (see serve/overload.h). The controller and
+  // ladder are read from Submit via their atomic mirrors; all mutation
+  // happens on the writer thread (plus Admit's own mutex).
+  AdmissionController admission_ctrl_;
+  CircuitBreaker breaker_;
+  DegradationLadder ladder_;
+  MemoryBudget memory_;
+  OverloadTransitionLog overload_log_;
+  /// Rung whose actions are currently engaged (writer-thread-only; trails
+  /// ladder_.state() by the ApplyRungActions call).
+  OverloadState applied_rung_ = OverloadState::kHealthy;
+  /// Breaker state as of the writer's last transition log entry.
+  CircuitBreaker::State logged_breaker_state_ = CircuitBreaker::State::kClosed;
+
   BoundedUpdateQueue queue_;
   std::thread writer_;
   std::atomic<bool> running_{false};
@@ -290,7 +363,7 @@ class EngineHost {
   std::atomic<uint64_t> submitted_{0}, admitted_{0}, rejected_validation_{0},
       rejected_overflow_{0}, coalesced_{0}, writer_rejected_{0}, rounds_ok_{0},
       retries_{0}, recoveries_{0}, recovery_failures_{0}, quarantined_{0},
-      checkpoints_{0};
+      checkpoints_{0}, shed_overload_{0}, submit_timeouts_{0};
 };
 
 }  // namespace serve

@@ -1,0 +1,296 @@
+#include "midas/serve/overload.h"
+
+#include <algorithm>
+
+#include "midas/obs/metrics.h"
+
+namespace midas {
+namespace serve {
+
+namespace {
+
+void Count(const char* name, uint64_t n = 1) {
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Current();
+  if (!reg.enabled()) return;
+  reg.GetCounter(name)->Increment(n);
+}
+
+}  // namespace
+
+// --- AdmissionController ---------------------------------------------------
+
+AdmissionController::AdmissionController(AdmissionControlConfig config)
+    : config_(std::move(config)) {
+  current_interval_ms_ = config_.interval_ms;
+}
+
+void AdmissionController::ObserveSojourn(double sojourn_ms) {
+  if (!config_.enabled) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto now = Clock::now();
+  if (sojourn_ms <= config_.target_sojourn_ms) {
+    // One sub-target observation resets the control law: the queue drained
+    // below target at least once, so congestion is not persistent.
+    window_open_ = false;
+    current_interval_ms_ = config_.interval_ms;
+    shedding_.store(false, std::memory_order_relaxed);
+    return;
+  }
+  if (!window_open_) {
+    window_open_ = true;
+    window_start_ = now;
+    window_min_ms_ = sojourn_ms;
+    return;
+  }
+  window_min_ms_ = std::min(window_min_ms_, sojourn_ms);
+  const double window_ms =
+      std::chrono::duration<double, std::milli>(now - window_start_).count();
+  if (window_ms >= current_interval_ms_ &&
+      window_min_ms_ > config_.target_sojourn_ms) {
+    // A full interval of above-target sojourns: start (or keep) shedding.
+    shedding_.store(true, std::memory_order_relaxed);
+    window_start_ = now;
+    window_min_ms_ = sojourn_ms;
+  }
+}
+
+void AdmissionController::ObserveRound(size_t delta_edges, double round_ms) {
+  if (!config_.enabled) return;
+  const double per_edge =
+      round_ms / static_cast<double>(std::max<size_t>(1, delta_edges));
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!ewma_primed_) {
+    ewma_ms_ = per_edge;
+    ewma_primed_ = true;
+  } else {
+    ewma_ms_ += config_.ewma_alpha * (per_edge - ewma_ms_);
+  }
+}
+
+AdmissionDecision AdmissionController::Admit(size_t delta_edges) {
+  AdmissionDecision d;
+  if (!config_.enabled) return d;
+
+  std::lock_guard<std::mutex> lock(mu_);
+  if (shedding_.load(std::memory_order_relaxed)) {
+    // Interval halving: every shed admission tightens the control interval,
+    // shedding geometrically harder while congestion persists. The writer's
+    // next sub-target sojourn resets everything.
+    d.admit = false;
+    d.reason = "codel";
+    d.retry_after_ms =
+        std::max(config_.retry_after_floor_ms, current_interval_ms_);
+    current_interval_ms_ =
+        std::max(config_.min_interval_ms, current_interval_ms_ / 2.0);
+    shed_total_.fetch_add(1, std::memory_order_relaxed);
+    Count("midas_serve_shed_total");
+    Count("midas_serve_shed_codel_total");
+    return d;
+  }
+
+  if (config_.max_estimated_cost_ms > 0.0 && ewma_primed_) {
+    const double est =
+        ewma_ms_ * static_cast<double>(std::max<size_t>(1, delta_edges));
+    if (est > config_.max_estimated_cost_ms) {
+      d.admit = false;
+      d.reason = "cost";
+      // The hint scales with how far over the ceiling the batch is: a
+      // 2x-over batch should not retry sooner than a just-over one.
+      d.retry_after_ms = std::max(config_.retry_after_floor_ms,
+                                  est - config_.max_estimated_cost_ms);
+      shed_total_.fetch_add(1, std::memory_order_relaxed);
+      Count("midas_serve_shed_total");
+      Count("midas_serve_shed_cost_total");
+      return d;
+    }
+  }
+  return d;
+}
+
+double AdmissionController::per_edge_ewma_ms() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ewma_primed_ ? ewma_ms_ : 0.0;
+}
+
+// --- CircuitBreaker --------------------------------------------------------
+
+CircuitBreaker::CircuitBreaker(CircuitBreakerConfig config)
+    : config_(std::move(config)) {
+  cooldown_ms_ = config_.open_cooldown_ms;
+}
+
+const char* CircuitBreaker::StateName(State state) {
+  switch (state) {
+    case State::kClosed:
+      return "closed";
+    case State::kOpen:
+      return "open";
+    case State::kHalfOpen:
+      return "half_open";
+  }
+  return "unknown";
+}
+
+bool CircuitBreaker::AllowAttempt() {
+  if (!config_.enabled) return true;
+  switch (state()) {
+    case State::kClosed:
+      return true;
+    case State::kHalfOpen:
+      // The probe is already in flight this cycle; the writer is single-
+      // threaded, so a second AllowAttempt in half-open means the probe's
+      // outcome was never recorded — let it through rather than wedge.
+      return true;
+    case State::kOpen: {
+      const double elapsed_ms =
+          std::chrono::duration<double, std::milli>(Clock::now() - opened_at_)
+              .count();
+      if (elapsed_ms < cooldown_ms_) {
+        retry_hint_ms_.store(std::max(0.0, cooldown_ms_ - elapsed_ms),
+                             std::memory_order_relaxed);
+        return false;
+      }
+      state_.store(static_cast<int>(State::kHalfOpen),
+                   std::memory_order_relaxed);
+      retry_hint_ms_.store(0.0, std::memory_order_relaxed);
+      return true;  // this attempt is the probe
+    }
+  }
+  return true;
+}
+
+bool CircuitBreaker::RecordSuccess(double round_ms) {
+  if (!config_.enabled) return false;
+  consecutive_failures_ = 0;
+  bool changed = false;
+  if (state() == State::kHalfOpen) {
+    state_.store(static_cast<int>(State::kClosed), std::memory_order_relaxed);
+    cooldown_ms_ = config_.open_cooldown_ms;
+    consecutive_slo_ = 0;
+    changed = true;
+  }
+  if (config_.latency_slo_ms > 0.0 && round_ms > config_.latency_slo_ms) {
+    if (++consecutive_slo_ >= std::max(1, config_.slo_violation_threshold) &&
+        state() == State::kClosed) {
+      Open();
+      return true;
+    }
+  } else {
+    consecutive_slo_ = 0;
+  }
+  return changed;
+}
+
+bool CircuitBreaker::RecordFailure() {
+  if (!config_.enabled) return false;
+  consecutive_slo_ = 0;
+  if (state() == State::kHalfOpen) {
+    // Failed probe: reopen with a doubled cooldown.
+    cooldown_ms_ = std::min(config_.cooldown_max_ms,
+                            cooldown_ms_ * config_.cooldown_multiplier);
+    Open();
+    return true;
+  }
+  if (state() == State::kClosed && config_.failure_threshold > 0 &&
+      ++consecutive_failures_ >= config_.failure_threshold) {
+    Open();
+    return true;
+  }
+  return false;
+}
+
+void CircuitBreaker::Open() {
+  consecutive_failures_ = 0;
+  opened_at_ = Clock::now();
+  state_.store(static_cast<int>(State::kOpen), std::memory_order_relaxed);
+  retry_hint_ms_.store(cooldown_ms_, std::memory_order_relaxed);
+  trips_.fetch_add(1, std::memory_order_relaxed);
+  Count("midas_breaker_trips_total");
+}
+
+double CircuitBreaker::RetryAfterMs() const {
+  if (state() != State::kOpen) return 0.0;
+  return retry_hint_ms_.load(std::memory_order_relaxed);
+}
+
+// --- DegradationLadder -----------------------------------------------------
+
+const char* OverloadStateName(OverloadState state) {
+  switch (state) {
+    case OverloadState::kHealthy:
+      return "healthy";
+    case OverloadState::kTrimCache:
+      return "trim_cache";
+    case OverloadState::kTightenBudgets:
+      return "tighten_budgets";
+    case OverloadState::kCoalesceOnly:
+      return "coalesce_only";
+    case OverloadState::kShedWork:
+      return "shed_work";
+    case OverloadState::kLameDuck:
+      return "lame_duck";
+  }
+  return "unknown";
+}
+
+DegradationLadder::DegradationLadder(DegradationLadderConfig config)
+    : config_(std::move(config)) {}
+
+double DegradationLadder::EnterThreshold(int rung) const {
+  // rung 1 (kTrimCache) .. 5 (kLameDuck) map to enter_pressure[0..4].
+  return config_.enter_pressure[std::clamp(rung, 1, 5) - 1];
+}
+
+OverloadState DegradationLadder::Evaluate(double pressure) {
+  evals_.fetch_add(1, std::memory_order_relaxed);
+  if (!config_.enabled) return state();
+
+  const int current = static_cast<int>(state());
+  int next = current;
+
+  if (current < static_cast<int>(OverloadState::kLameDuck) &&
+      pressure >= EnterThreshold(current + 1)) {
+    // Escalate one rung per evaluation: actions engage in order, so the
+    // cheap remedies always get a round to work before the harsher ones.
+    next = current + 1;
+  } else if (current > static_cast<int>(OverloadState::kHealthy) &&
+             pressure < EnterThreshold(current) - config_.exit_margin) {
+    // De-escalate only after the dwell: a reading just below the exit line
+    // must persist, or the ladder would flap with the sampler's noise.
+    if (++dwell_ >= std::max(1, config_.min_dwell_evals)) {
+      next = current - 1;
+    }
+  } else {
+    dwell_ = 0;
+  }
+
+  if (next != current) {
+    dwell_ = 0;
+    state_.store(next, std::memory_order_relaxed);
+    obs::MetricsRegistry& reg = obs::MetricsRegistry::Current();
+    if (reg.enabled()) {
+      reg.GetGauge("midas_overload_state")->Set(static_cast<double>(next));
+    }
+    Count("midas_overload_transitions_total");
+  }
+  return state();
+}
+
+// --- OverloadTransitionLog -------------------------------------------------
+
+void OverloadTransitionLog::Append(OverloadTransition t) {
+  std::lock_guard<std::mutex> lock(mu_);
+  total_.fetch_add(1, std::memory_order_relaxed);
+  if (entries_.size() >= capacity_) {
+    entries_.erase(entries_.begin());
+  }
+  entries_.push_back(std::move(t));
+}
+
+std::vector<OverloadTransition> OverloadTransitionLog::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_;
+}
+
+}  // namespace serve
+}  // namespace midas

@@ -1,0 +1,313 @@
+#ifndef MIDAS_SERVE_OVERLOAD_H_
+#define MIDAS_SERVE_OVERLOAD_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace midas {
+namespace serve {
+
+// ---------------------------------------------------------------------------
+// Adaptive admission: CoDel-style sojourn control + cost-aware estimates.
+// ---------------------------------------------------------------------------
+
+struct AdmissionControlConfig {
+  bool enabled = true;
+  /// CoDel target: acceptable queue wait. Shedding starts when the minimum
+  /// sojourn observed over a full interval stays above this.
+  double target_sojourn_ms = 150.0;
+  /// CoDel initial interval; every consecutive shed halves it (floor below),
+  /// so a persistently congested queue sheds geometrically harder.
+  double interval_ms = 1000.0;
+  double min_interval_ms = 25.0;
+  /// EWMA smoothing for the per-edge round-latency estimate the cost model
+  /// uses (fed from committed MaintenanceStats).
+  double ewma_alpha = 0.2;
+  /// Cost ceiling: shed a batch whose estimated apply cost
+  /// (|Δ| edges x per-edge EWMA) exceeds this. 0 disables the cost check.
+  double max_estimated_cost_ms = 0.0;
+  /// Floor of the retry-after hint handed to shed submitters.
+  double retry_after_floor_ms = 10.0;
+};
+
+/// Admission verdict for one batch at Submit time.
+struct AdmissionDecision {
+  bool admit = true;
+  double retry_after_ms = 0.0;
+  /// "", "codel", "cost", "ladder", "breaker" — the serve_event spelling.
+  const char* reason = "";
+};
+
+/// Sojourn-time admission controller in front of BoundedUpdateQueue.
+///
+/// The writer reports every popped part's queue wait (ObserveSojourn) and
+/// every committed round's per-edge latency (ObserveRound). Submitters ask
+/// Admit(): while the minimum sojourn over the current interval exceeds the
+/// target, the controller is *shedding* — submissions are rejected with a
+/// retry-after hint equal to the current interval, and each consecutive shed
+/// halves the interval (CoDel's control law, adapted from packet drops to
+/// admission rejects). One observation under target resets the controller.
+///
+/// Cost-aware admission rides along: the per-edge EWMA turns |Δ| into an
+/// estimated apply cost, so a single pathological batch can be shed even
+/// when the queue itself is calm.
+///
+/// Thread safety: all entry points take one mutex; both sides are
+/// per-batch-rate, never per-kernel-step.
+class AdmissionController {
+ public:
+  explicit AdmissionController(
+      AdmissionControlConfig config = AdmissionControlConfig());
+
+  AdmissionController(const AdmissionController&) = delete;
+  AdmissionController& operator=(const AdmissionController&) = delete;
+
+  /// Writer side, on Pop: one part's queue wait.
+  void ObserveSojourn(double sojourn_ms);
+  /// Writer side, after a committed round: feeds the per-edge latency EWMA.
+  /// `delta_edges` is the batch's total edge count (insertions) plus its
+  /// deletion count; 0-edge batches charge as 1.
+  void ObserveRound(size_t delta_edges, double round_ms);
+
+  /// Submit side: admit or shed this batch.
+  AdmissionDecision Admit(size_t delta_edges);
+
+  bool shedding() const { return shedding_.load(std::memory_order_relaxed); }
+  double per_edge_ewma_ms() const;
+  uint64_t shed_total() const {
+    return shed_total_.load(std::memory_order_relaxed);
+  }
+
+  const AdmissionControlConfig& config() const { return config_; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  const AdmissionControlConfig config_;
+  mutable std::mutex mu_;
+  // CoDel window state (guarded by mu_).
+  bool window_open_ = false;
+  Clock::time_point window_start_{};
+  double window_min_ms_ = 0.0;
+  double current_interval_ms_ = 0.0;
+  // Per-edge latency EWMA (guarded by mu_).
+  bool ewma_primed_ = false;
+  double ewma_ms_ = 0.0;
+
+  std::atomic<bool> shedding_{false};
+  std::atomic<uint64_t> shed_total_{0};
+};
+
+// ---------------------------------------------------------------------------
+// Circuit breaker around the maintenance writer.
+// ---------------------------------------------------------------------------
+
+struct CircuitBreakerConfig {
+  bool enabled = true;
+  /// Consecutive failed apply attempts (across batches) that open the
+  /// breaker. 0 disables the failure trip.
+  int failure_threshold = 3;
+  /// Round-latency SLO; `slo_violation_threshold` consecutive committed
+  /// rounds over it also open the breaker. 0 disables the latency trip.
+  double latency_slo_ms = 0.0;
+  int slo_violation_threshold = 5;
+  /// Open-state cooldown before the half-open probe; doubles on every
+  /// failed probe, capped below.
+  double open_cooldown_ms = 100.0;
+  double cooldown_multiplier = 2.0;
+  double cooldown_max_ms = 5000.0;
+};
+
+/// Writer-side circuit breaker: consecutive apply failures (or latency-SLO
+/// breaches) trip it open; while open the writer stops consuming the queue
+/// (admission sheds upstream) until the cooldown elapses, then exactly one
+/// probe batch flows (half-open). A successful probe closes the breaker and
+/// resets the cooldown; a failed probe reopens it with a doubled cooldown.
+///
+/// State is written only by the writer thread; the atomic mirrors make the
+/// state readable from Submit and telemetry handlers.
+class CircuitBreaker {
+ public:
+  enum class State { kClosed, kOpen, kHalfOpen };
+
+  explicit CircuitBreaker(CircuitBreakerConfig config = CircuitBreakerConfig());
+
+  CircuitBreaker(const CircuitBreaker&) = delete;
+  CircuitBreaker& operator=(const CircuitBreaker&) = delete;
+
+  /// Writer: may a batch be attempted now? Open -> false until the cooldown
+  /// elapses, then the call itself transitions to half-open and admits the
+  /// probe. Always true when disabled.
+  bool AllowAttempt();
+
+  /// Writer: outcome of an attempted batch. Success closes a half-open
+  /// breaker and clears the failure streak; failure reopens/trips per the
+  /// thresholds. Returns true when the breaker changed state.
+  bool RecordSuccess(double round_ms);
+  bool RecordFailure();
+
+  State state() const {
+    return static_cast<State>(state_.load(std::memory_order_relaxed));
+  }
+  bool open() const { return state() != State::kClosed; }
+  /// Milliseconds until the next half-open probe (0 when not open).
+  double RetryAfterMs() const;
+  uint64_t trips() const { return trips_.load(std::memory_order_relaxed); }
+
+  static const char* StateName(State state);
+  const CircuitBreakerConfig& config() const { return config_; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  void Open();
+
+  const CircuitBreakerConfig config_;
+  // Writer-thread-only working state.
+  int consecutive_failures_ = 0;
+  int consecutive_slo_ = 0;
+  double cooldown_ms_ = 0.0;
+  Clock::time_point opened_at_{};
+  // Cross-thread mirrors.
+  std::atomic<int> state_{static_cast<int>(State::kClosed)};
+  std::atomic<double> retry_hint_ms_{0.0};
+  std::atomic<uint64_t> trips_{0};
+};
+
+// ---------------------------------------------------------------------------
+// Degradation ladder driven by the memory watchdog.
+// ---------------------------------------------------------------------------
+
+/// The ladder's states, in order of increasing severity. Each rung keeps
+/// every action of the rungs below it.
+enum class OverloadState {
+  kHealthy = 0,        ///< full-quality maintenance
+  kTrimCache = 1,      ///< ComputeCache trimmed to a fraction
+  kTightenBudgets = 2, ///< rounds run under degraded deadline/step caps
+  kCoalesceOnly = 3,   ///< queue overflow policy forced to coalesce
+  kShedWork = 4,       ///< diversity refresh skipped, candidate gen sampled
+  kLameDuck = 5,       ///< reject-all admission; existing queue drains
+};
+
+const char* OverloadStateName(OverloadState state);
+
+struct DegradationLadderConfig {
+  bool enabled = true;
+  /// Pressure fraction (tracked bytes / budget) at which each rung engages,
+  /// in OverloadState order starting at kTrimCache. Must be increasing.
+  double enter_pressure[5] = {0.70, 0.80, 0.88, 0.94, 0.98};
+  /// Hysteresis: a rung disengages only once pressure is below
+  /// enter - exit_margin AND the state has been held for min_dwell_evals
+  /// evaluations. Margin keeps the ladder from flapping around a threshold;
+  /// the dwell is counted in evaluations (per-round ticks), not wall time,
+  /// so scripted drills transition identically across runs.
+  double exit_margin = 0.08;
+  int min_dwell_evals = 2;
+};
+
+/// One recorded state change of the resilience layer (ladder rungs and
+/// breaker states share the log, so a drill's full story is one sequence).
+struct OverloadTransition {
+  std::string source;  ///< "ladder" or "breaker"
+  std::string from;
+  std::string to;
+  uint64_t eval = 0;   ///< evaluation tick the transition happened at
+  std::string reason;  ///< e.g. "pressure=0.91"
+};
+
+/// Memory-pressure-driven degradation ladder with hysteresis.
+///
+/// Evaluate() is called by the writer once per watchdog tick with the
+/// current pressure fraction; the returned target state moves at most one
+/// rung per call (both directions), so actions engage in order and a
+/// pressure spike cannot leap straight to lame-duck without passing the
+/// cheaper remedies. Deterministic: state depends only on the sequence of
+/// pressure readings, never on the clock.
+class DegradationLadder {
+ public:
+  explicit DegradationLadder(
+      DegradationLadderConfig config = DegradationLadderConfig());
+
+  DegradationLadder(const DegradationLadder&) = delete;
+  DegradationLadder& operator=(const DegradationLadder&) = delete;
+
+  /// One watchdog tick. Returns the (possibly unchanged) current state.
+  OverloadState Evaluate(double pressure);
+
+  OverloadState state() const {
+    return static_cast<OverloadState>(state_.load(std::memory_order_relaxed));
+  }
+  /// True when the current state applies the given rung's action (rungs are
+  /// cumulative).
+  bool AtLeast(OverloadState rung) const {
+    return static_cast<int>(state()) >= static_cast<int>(rung);
+  }
+  uint64_t evals() const { return evals_.load(std::memory_order_relaxed); }
+
+  const DegradationLadderConfig& config() const { return config_; }
+
+ private:
+  double EnterThreshold(int rung) const;
+
+  const DegradationLadderConfig config_;
+  // Writer-thread-only working state.
+  int dwell_ = 0;
+  // Cross-thread mirrors.
+  std::atomic<int> state_{static_cast<int>(OverloadState::kHealthy)};
+  std::atomic<uint64_t> evals_{0};
+};
+
+/// Bounded, mutex-guarded log of OverloadTransitions — the evidence the
+/// deterministic chaos drill compares across runs, and the /statusz
+/// "overload.transitions" table.
+class OverloadTransitionLog {
+ public:
+  explicit OverloadTransitionLog(size_t capacity = 256)
+      : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  void Append(OverloadTransition t);
+  std::vector<OverloadTransition> Snapshot() const;
+  uint64_t total() const { return total_.load(std::memory_order_relaxed); }
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::vector<OverloadTransition> entries_;
+  std::atomic<uint64_t> total_{0};
+};
+
+// ---------------------------------------------------------------------------
+// The knob bundle EngineHost exposes.
+// ---------------------------------------------------------------------------
+
+struct OverloadConfig {
+  AdmissionControlConfig admission;
+  CircuitBreakerConfig breaker;
+  DegradationLadderConfig ladder;
+
+  /// Memory watchdog budget over the tracked components (engine database,
+  /// ComputeCache, update queue, flight recorder). 0 disables the watchdog
+  /// (the ladder then never leaves kHealthy on its own).
+  size_t memory_budget_bytes = 0;
+  /// Also sample /proc RSS into `midas_memory_rss_bytes` (observability
+  /// only; never feeds the ladder).
+  bool sample_rss = false;
+
+  /// Ladder actions.
+  /// kTrimCache: ComputeCache trimmed to this fraction of its entries.
+  double cache_trim_fraction = 0.5;
+  /// kTightenBudgets: rounds run under min(engine deadline, this) and
+  /// min(engine step cap, this).
+  double degraded_deadline_ms = 50.0;
+  uint64_t degraded_step_limit = 200000;
+  /// kShedWork: candidate generation capped at this many candidates.
+  size_t shed_candidate_cap = 16;
+};
+
+}  // namespace serve
+}  // namespace midas
+
+#endif  // MIDAS_SERVE_OVERLOAD_H_

@@ -18,6 +18,18 @@ const char* OverflowPolicyName(OverflowPolicy policy) {
   return "unknown";
 }
 
+size_t ApproxBatchBytes(const BatchUpdate& batch) {
+  size_t bytes = sizeof(BatchUpdate);
+  for (const Graph& g : batch.insertions) {
+    const size_t v = g.NumVertices();
+    bytes += sizeof(Graph);
+    bytes += v * (sizeof(Label) + sizeof(std::vector<VertexId>));
+    bytes += 2 * g.NumEdges() * sizeof(VertexId);  // both adjacency rows
+  }
+  bytes += batch.deletions.size() * sizeof(GraphId);
+  return bytes;
+}
+
 void MergeBatches(BatchUpdate* base, BatchUpdate&& extra) {
   for (Graph& g : extra.insertions) {
     base->insertions.push_back(std::move(g));
@@ -30,33 +42,58 @@ void MergeBatches(BatchUpdate* base, BatchUpdate&& extra) {
 
 BoundedUpdateQueue::PushOutcome BoundedUpdateQueue::Push(
     BatchUpdate batch, std::shared_ptr<const LabelDictionary> labels,
-    std::shared_ptr<obs::TraceContext> trace) {
+    std::shared_ptr<obs::TraceContext> trace,
+    std::chrono::milliseconds block_timeout) {
   const auto now = std::chrono::steady_clock::now();
+  const size_t batch_bytes = ApproxBatchBytes(batch);
   std::unique_lock<std::mutex> lock(mu_);
   if (closed_) return PushOutcome::kRejectedClosed;
+  if (drain_only_) return PushOutcome::kRejectedDraining;
   if (items_.size() >= capacity_) {
-    switch (policy_) {
-      case OverflowPolicy::kReject:
-        return PushOutcome::kRejectedFull;
-      case OverflowPolicy::kCoalesce: {
-        items_.back().parts.push_back(
-            Part{std::move(batch), std::move(labels), std::move(trace), now});
-        ++admitted_;
-        return PushOutcome::kCoalesced;
+    if (EffectivePolicyLocked() == OverflowPolicy::kBlock) {
+      // Wake on space, shutdown, dead consumer, or a ladder policy override
+      // — a producer must not sleep through coalesce-only mode.
+      const auto woken = [this] {
+        return closed_ || drain_only_ || items_.size() < capacity_ ||
+               EffectivePolicyLocked() != OverflowPolicy::kBlock;
+      };
+      if (block_timeout.count() > 0) {
+        if (!space_.wait_for(lock, block_timeout, woken)) {
+          return PushOutcome::kRejectedTimeout;
+        }
+      } else {
+        space_.wait(lock, woken);
       }
-      case OverflowPolicy::kBlock:
-        space_.wait(lock,
-                    [this] { return closed_ || items_.size() < capacity_; });
-        if (closed_) return PushOutcome::kRejectedClosed;
-        break;
+      if (closed_) return PushOutcome::kRejectedClosed;
+      if (drain_only_) return PushOutcome::kRejectedDraining;
+    }
+    if (items_.size() >= capacity_) {
+      switch (EffectivePolicyLocked()) {
+        case OverflowPolicy::kReject:
+          return PushOutcome::kRejectedFull;
+        case OverflowPolicy::kCoalesce: {
+          items_.back().parts.push_back(Part{std::move(batch),
+                                             std::move(labels),
+                                             std::move(trace), now,
+                                             batch_bytes});
+          ++admitted_;
+          approx_bytes_ += batch_bytes;
+          return PushOutcome::kCoalesced;
+        }
+        case OverflowPolicy::kBlock:
+          // Unreachable: the wait above only returns with space, a policy
+          // change, or one of the rejections handled there.
+          break;
+      }
     }
   }
   Item item;
   item.ticket = next_ticket_++;
-  item.parts.push_back(
-      Part{std::move(batch), std::move(labels), std::move(trace), now});
+  item.parts.push_back(Part{std::move(batch), std::move(labels),
+                            std::move(trace), now, batch_bytes});
   items_.push_back(std::move(item));
   ++admitted_;
+  approx_bytes_ += batch_bytes;
   ready_.notify_one();
   return PushOutcome::kQueued;
 }
@@ -67,6 +104,10 @@ bool BoundedUpdateQueue::Pop(Item* out, std::chrono::milliseconds wait) {
   if (items_.empty()) return false;  // timeout, or closed and drained
   *out = std::move(items_.front());
   items_.pop_front();
+  for (const Part& p : out->parts) {
+    approx_bytes_ -= p.approx_bytes <= approx_bytes_ ? p.approx_bytes
+                                                     : approx_bytes_;
+  }
   space_.notify_one();
   return true;
 }
@@ -76,6 +117,37 @@ void BoundedUpdateQueue::Close() {
   closed_ = true;
   space_.notify_all();
   ready_.notify_all();
+}
+
+void BoundedUpdateQueue::SetDrainOnly() {
+  std::lock_guard<std::mutex> lock(mu_);
+  drain_only_ = true;
+  space_.notify_all();
+}
+
+bool BoundedUpdateQueue::drain_only() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return drain_only_;
+}
+
+void BoundedUpdateQueue::SetPolicyOverride(OverflowPolicy policy) {
+  std::lock_guard<std::mutex> lock(mu_);
+  has_override_ = true;
+  override_policy_ = policy;
+  // A switch to coalesce frees blocked producers' reason to wait; wake them
+  // so they re-evaluate under the new policy (they will re-check the full
+  // queue and coalesce instead of sleeping through the overload).
+  space_.notify_all();
+}
+
+void BoundedUpdateQueue::ClearPolicyOverride() {
+  std::lock_guard<std::mutex> lock(mu_);
+  has_override_ = false;
+}
+
+OverflowPolicy BoundedUpdateQueue::effective_policy() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return EffectivePolicyLocked();
 }
 
 size_t BoundedUpdateQueue::depth() const {
@@ -91,6 +163,11 @@ bool BoundedUpdateQueue::closed() const {
 uint64_t BoundedUpdateQueue::admitted() const {
   std::lock_guard<std::mutex> lock(mu_);
   return admitted_;
+}
+
+size_t BoundedUpdateQueue::ApproxBytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return approx_bytes_;
 }
 
 }  // namespace serve

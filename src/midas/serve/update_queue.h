@@ -24,6 +24,12 @@ enum class OverflowPolicy {
 
 const char* OverflowPolicyName(OverflowPolicy policy);
 
+/// Approximate resident size of one batch: graph payloads (labels +
+/// adjacency) plus the deletion id list. Used by the queue's incremental
+/// byte accounting and by admission cost heuristics; it only needs to be
+/// consistent, not exact.
+size_t ApproxBatchBytes(const BatchUpdate& batch);
+
 /// Bounded multi-producer / single-consumer queue of batch updates in front
 /// of the maintenance writer. Producers are any number of Submit() callers;
 /// the single consumer is EngineHost's writer thread. Mutex + condvar — the
@@ -53,6 +59,9 @@ class BoundedUpdateQueue {
     std::shared_ptr<obs::TraceContext> trace;
     /// Push time; the writer turns it into queue_wait_ms.
     std::chrono::steady_clock::time_point enqueued_at;
+    /// ApproxBatchBytes at push time; the queue's byte gauge subtracts it
+    /// on Pop without re-walking the (possibly writer-mutated) batch.
+    size_t approx_bytes = 0;
   };
 
   struct Item {
@@ -63,10 +72,12 @@ class BoundedUpdateQueue {
   };
 
   enum class PushOutcome {
-    kQueued,         ///< enqueued as a new item
-    kCoalesced,      ///< appended to the newest pending item
-    kRejectedFull,   ///< kReject policy and the queue is full
-    kRejectedClosed  ///< Close() was called
+    kQueued,           ///< enqueued as a new item
+    kCoalesced,        ///< appended to the newest pending item
+    kRejectedFull,     ///< kReject policy and the queue is full
+    kRejectedClosed,   ///< Close() was called
+    kRejectedTimeout,  ///< kBlock wait exceeded its deadline
+    kRejectedDraining  ///< SetDrainOnly(): the consumer is dead/stopping
   };
 
   BoundedUpdateQueue(size_t capacity, OverflowPolicy policy)
@@ -76,10 +87,14 @@ class BoundedUpdateQueue {
   BoundedUpdateQueue& operator=(const BoundedUpdateQueue&) = delete;
 
   /// Admits one batch per the overflow policy. kBlock waits until a slot
-  /// frees up (or the queue closes).
+  /// frees up (or the queue closes / goes drain-only); a nonzero
+  /// `block_timeout` bounds that wait and returns kRejectedTimeout when it
+  /// expires — zero preserves the historical wait-forever contract.
   PushOutcome Push(BatchUpdate batch,
                    std::shared_ptr<const LabelDictionary> labels = nullptr,
-                   std::shared_ptr<obs::TraceContext> trace = nullptr);
+                   std::shared_ptr<obs::TraceContext> trace = nullptr,
+                   std::chrono::milliseconds block_timeout =
+                       std::chrono::milliseconds(0));
 
   /// Consumer side: pops the oldest item, waiting up to `wait` for one to
   /// arrive. Returns false on timeout, or when the queue is closed *and*
@@ -90,12 +105,36 @@ class BoundedUpdateQueue {
   /// Already-queued items remain poppable so the writer can drain.
   void Close();
 
+  /// Dead-consumer escape hatch: new pushes return kRejectedDraining and
+  /// every producer blocked on a full queue is woken with the same outcome.
+  /// Unlike Close(), this is about the *consumer* being gone (host dead),
+  /// not the queue shutting down — Pop still drains what is left so the
+  /// writer's dead-drop accounting stays intact.
+  void SetDrainOnly();
+  bool drain_only() const;
+
+  /// Degradation-ladder hook: temporarily force the overflow policy (the
+  /// coalesce-only rung overrides to kCoalesce so a full queue absorbs
+  /// bursts instead of blocking or rejecting). Clear restores the policy
+  /// the queue was constructed with.
+  void SetPolicyOverride(OverflowPolicy policy);
+  void ClearPolicyOverride();
+  /// The policy a Push would use right now (override, else constructed).
+  OverflowPolicy effective_policy() const;
+
   size_t depth() const;
   bool closed() const;
   /// Batches admitted so far (queued + coalesced).
   uint64_t admitted() const;
+  /// Incremental ApproxBatchBytes sum of everything currently queued — the
+  /// memory watchdog's "queue" component.
+  size_t ApproxBytes() const;
 
  private:
+  OverflowPolicy EffectivePolicyLocked() const {
+    return has_override_ ? override_policy_ : policy_;
+  }
+
   const size_t capacity_;
   const OverflowPolicy policy_;
 
@@ -105,7 +144,11 @@ class BoundedUpdateQueue {
   std::deque<Item> items_;
   uint64_t next_ticket_ = 1;
   uint64_t admitted_ = 0;
+  size_t approx_bytes_ = 0;
   bool closed_ = false;
+  bool drain_only_ = false;
+  bool has_override_ = false;
+  OverflowPolicy override_policy_ = OverflowPolicy::kCoalesce;
 };
 
 /// Merges `extra` into `base`: insertions appended, deletion ids unioned

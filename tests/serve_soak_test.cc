@@ -23,14 +23,17 @@
 #include <atomic>
 #include <chrono>
 #include <cmath>
+#include <cstdio>
 #include <cstdlib>
 #include <filesystem>
+#include <fstream>
 #include <set>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "http_test_client.h"
+#include "midas/common/chaos.h"
 #include "midas/common/failpoint.h"
 #include "midas/datagen/molecule_gen.h"
 #include "midas/obs/event_log.h"
@@ -313,6 +316,171 @@ TEST(ServeSoakTest, ConcurrentReadersSurviveChaosWithoutLosingRounds) {
     EXPECT_FALSE(back.reason.empty());
     EXPECT_FALSE(back.batch.Empty());
   }
+}
+
+// Seed-replayable overload soak: a chaos schedule (common/chaos.h) drives
+// load bursts, synthetic memory pressure up past the lame-duck threshold,
+// and failpoint arming against a host with the full overload-resilience
+// layer on. The soak does not pin individual transitions (the seeded drill
+// in overload_test.cc does that) — it proves the *terminal* contract: after
+// any scheduled disturbance sequence, the host walks back to healthy, the
+// breaker closes, and maintenance still commits end to end.
+//
+// Replay a CI failure with:  MIDAS_CHAOS_SEED=<printed seed>
+// CI sets MIDAS_TRACE_DUMP to capture /traces + /statusz as artifacts.
+TEST(ServeOverloadSoakTest, ChaosScheduleEndsWithHealthyHost) {
+  if (!fail::CompiledIn()) GTEST_SKIP() << "failpoints compiled out";
+  fail::DisarmAll();
+  obs::MetricsRegistry metrics;
+  obs::ScopedMetricsRegistry scoped_metrics(metrics);
+
+  TempDir dir("midas_serve_overload_soak");
+  MoleculeGenerator gen(90210);
+  MoleculeGenConfig data = MoleculeGenerator::EmolLike(20);
+  auto engine =
+      std::make_unique<MidasEngine>(gen.Generate(data), SoakEngineConfig());
+  engine->Initialize();
+
+  const size_t kBudget = size_t{1} << 30;
+  HostConfig cfg;
+  cfg.queue_capacity = 4;
+  cfg.overflow = OverflowPolicy::kBlock;
+  cfg.submit_timeout_ms = 250.0;  // bounded kBlock waits under overload
+  cfg.max_attempts = 3;
+  cfg.backoff_initial_ms = 0.5;
+  cfg.backoff_max_ms = 5.0;
+  cfg.checkpoint_every = 16;
+  cfg.telemetry_port = 0;
+  cfg.overload.memory_budget_bytes = kBudget;
+  cfg.overload.breaker.open_cooldown_ms = 50.0;
+  EngineHost host(std::move(engine), dir.path, cfg);
+  std::string err;
+  ASSERT_TRUE(host.Start(&err)) << err;
+
+  uint64_t seed = 20260809;
+  if (const char* env = std::getenv("MIDAS_CHAOS_SEED")) {
+    seed = std::strtoull(env, nullptr, 10);
+  }
+  chaos::ChaosSchedule::Config ccfg;
+  ccfg.seed = seed;
+  ccfg.steps = 24;
+  ccfg.max_burst_batches = 5;
+  // Synthetic pressure can exceed the budget: every ladder rung up to
+  // lame-duck is reachable, and recovery from all of them is proven below.
+  ccfg.max_pressure_bytes = kBudget + (kBudget >> 2);
+  chaos::ChaosSchedule schedule(ccfg);
+  std::printf("overload soak: rerun with MIDAS_CHAOS_SEED=%llu\n%s",
+              static_cast<unsigned long long>(seed),
+              schedule.Describe().c_str());
+
+  std::atomic<uint64_t> accepted{0}, shed{0}, timeouts{0};
+  auto burst = [&](int n) {
+    for (int i = 0; i < n; ++i) {
+      PanelSnapshotPtr snap = host.snapshot();
+      ASSERT_NE(snap, nullptr);
+      LabelDictionary dict = *snap->labels;
+      BatchUpdate batch;
+      batch.insertions.push_back(testing_util::Path(dict, {"C", "O"}));
+      SubmitResult r = host.Submit(std::move(batch), dict);
+      switch (r.status) {
+        case SubmitStatus::kAccepted:
+          accepted.fetch_add(1, std::memory_order_relaxed);
+          break;
+        case SubmitStatus::kShedOverload:
+          // Typed shed: the submitter always learns which mechanism acted
+          // and when to come back.
+          EXPECT_FALSE(r.shed_reason.empty());
+          EXPECT_GT(r.retry_after_ms, 0.0);
+          shed.fetch_add(1, std::memory_order_relaxed);
+          break;
+        case SubmitStatus::kRejectedTimeout:
+          EXPECT_GT(r.retry_after_ms, 0.0);
+          timeouts.fetch_add(1, std::memory_order_relaxed);
+          break;
+        default:
+          ADD_FAILURE() << "unexpected submit status "
+                        << static_cast<int>(r.status);
+      }
+    }
+  };
+
+  for (uint64_t step = 0; step <= schedule.steps(); ++step) {
+    for (const chaos::ChaosEvent& e : schedule.EventsAt(step)) {
+      switch (e.kind) {
+        case chaos::ChaosEvent::Kind::kArmFailpoint:
+          fail::ArmSpec(e.failpoint_spec);
+          break;
+        case chaos::ChaosEvent::Kind::kLoadBurst:
+          burst(e.burst_batches);
+          break;
+        case chaos::ChaosEvent::Kind::kMemoryPressure:
+          host.memory_budget().SetSyntheticBytes(e.pressure_bytes);
+          break;
+        case chaos::ChaosEvent::Kind::kClearPressure:
+          host.memory_budget().SetSyntheticBytes(0);
+          break;
+        case chaos::ChaosEvent::Kind::kQuiesce:
+          EXPECT_TRUE(host.WaitIdle(milliseconds(300000)));
+          break;
+      }
+    }
+    // Let the watchdog tick between virtual-time steps so the ladder can
+    // react to this step's pressure before the next disturbance lands (the
+    // idle writer ticks every ~50ms).
+    std::this_thread::sleep_for(milliseconds(60));
+  }
+
+  fail::DisarmAll();
+  host.memory_budget().SetSyntheticBytes(0);
+  ASSERT_TRUE(host.WaitIdle(milliseconds(300000)));
+
+  // Terminal contract: the ladder dwells back to healthy and the breaker
+  // (if any leftover fires tripped it) closes via its half-open probe.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(120);
+  while (std::chrono::steady_clock::now() < deadline &&
+         (host.overload_state() != OverloadState::kHealthy ||
+          host.breaker().state() != CircuitBreaker::State::kClosed)) {
+    if (host.breaker().state() != CircuitBreaker::State::kClosed) {
+      burst(1);  // a committed probe round is what closes a breaker
+    }
+    std::this_thread::sleep_for(milliseconds(20));
+  }
+  EXPECT_TRUE(host.WaitIdle(milliseconds(300000)));
+  EXPECT_EQ(host.overload_state(), OverloadState::kHealthy);
+  EXPECT_EQ(host.breaker().state(), CircuitBreaker::State::kClosed);
+  EXPECT_FALSE(host.dead());
+
+  // End-to-end proof: a fresh batch flows through the recovered host.
+  const uint64_t seq_before = host.snapshot()->round_seq;
+  burst(1);
+  EXPECT_TRUE(host.WaitIdle(milliseconds(300000)));
+  EXPECT_GT(host.snapshot()->round_seq, seq_before);
+  EXPECT_GT(accepted.load(), 0u);
+  std::printf(
+      "overload soak: accepted=%llu shed=%llu timeouts=%llu transitions=%llu\n",
+      static_cast<unsigned long long>(accepted.load()),
+      static_cast<unsigned long long>(shed.load()),
+      static_cast<unsigned long long>(timeouts.load()),
+      static_cast<unsigned long long>(host.overload_transitions().total()));
+
+  // CI evidence: dump the flight-recorder ring and /statusz (which embeds
+  // the overload transition table) where the workflow can pick them up.
+  if (const char* dump_dir = std::getenv("MIDAS_TRACE_DUMP")) {
+    fs::create_directories(dump_dir);
+    const std::pair<const char*, const char*> dumps[] = {
+        {"/traces?n=256", "overload_soak_traces.json"},
+        {"/statusz", "overload_soak_statusz.json"},
+    };
+    for (const auto& [target, filename] : dumps) {
+      midas::testing::HttpResult r =
+          midas::testing::HttpGet(host.telemetry_port(), target);
+      EXPECT_TRUE(r.ok) << target;
+      std::ofstream out(fs::path(dump_dir) / filename);
+      out << r.body;
+    }
+  }
+  host.Stop();
 }
 
 }  // namespace

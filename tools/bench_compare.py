@@ -24,11 +24,16 @@ import json
 import sys
 
 
-def load(path):
+def load(path, missing_ok=False):
     try:
         with open(path, "r", encoding="utf-8") as f:
             return json.load(f)
     except (OSError, ValueError) as e:
+        if missing_ok:
+            sys.stderr.write(
+                f"bench_compare: no usable baseline at {path} ({e}); "
+                "reporting fresh phases as new\n")
+            return None
         sys.stderr.write(f"bench_compare: cannot read {path}: {e}\n")
         sys.exit(2)
 
@@ -58,15 +63,19 @@ def main():
     parser.add_argument("--out", help="write the delta table here (markdown)")
     args = parser.parse_args()
 
-    base_doc = load(args.baseline)
+    # A missing or phase-less baseline is not an error: the first run of a
+    # new bench suite (or a baseline refresh) has nothing to compare against,
+    # so every fresh phase is reported as "new" and the gate passes.
+    base_doc = load(args.baseline, missing_ok=True)
     fresh_doc = load(args.fresh)
-    base = phase_means(base_doc)
+    base = phase_means(base_doc) if base_doc is not None else {}
     fresh = phase_means(fresh_doc)
-    if not base:
-        sys.stderr.write("bench_compare: baseline has no phase histograms\n")
-        sys.exit(2)
+    if base_doc is not None and not base:
+        sys.stderr.write(
+            "bench_compare: baseline has no phase histograms; "
+            "reporting fresh phases as new\n")
 
-    base_cores = base_doc.get("host_cores", "?")
+    base_cores = base_doc.get("host_cores", "?") if base_doc else "?"
     fresh_cores = fresh_doc.get("host_cores", "?")
     rows = []
     regressions = []
