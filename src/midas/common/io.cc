@@ -1,0 +1,589 @@
+#include "midas/common/io.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+#include <system_error>
+
+#include "midas/common/failpoint.h"
+
+namespace midas {
+namespace io {
+
+namespace stdfs = std::filesystem;
+
+namespace {
+
+void SetError(std::string* error, const std::string& what) {
+  if (error != nullptr) *error = what;
+}
+
+std::string ErrnoString() { return std::strerror(errno); }
+
+// Full-buffer write with EINTR/short-write handling.
+bool WriteAllFd(int fd, const char* data, size_t len) {
+  size_t off = 0;
+  while (off < len) {
+    ssize_t n = ::write(fd, data + off, len - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+class PosixWritableFile : public WritableFile {
+ public:
+  PosixWritableFile(int fd, std::string path, uint64_t size)
+      : fd_(fd), path_(std::move(path)), size_(size) {}
+  ~PosixWritableFile() override {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  bool Append(std::string_view data, std::string* error) override {
+    if (!WriteAllFd(fd_, data.data(), data.size())) {
+      SetError(error, "write " + path_ + ": " + ErrnoString());
+      return false;
+    }
+    size_ += data.size();
+    return true;
+  }
+
+  bool Sync(std::string* error) override {
+    if (::fsync(fd_) != 0) {
+      SetError(error, "fsync " + path_ + ": " + ErrnoString());
+      return false;
+    }
+    return true;
+  }
+
+  bool Truncate(uint64_t size, std::string* error) override {
+    if (::ftruncate(fd_, static_cast<off_t>(size)) != 0) {
+      SetError(error, "ftruncate " + path_ + ": " + ErrnoString());
+      return false;
+    }
+    size_ = size;
+    if (::fsync(fd_) != 0) {
+      SetError(error, "fsync " + path_ + ": " + ErrnoString());
+      return false;
+    }
+    return true;
+  }
+
+  uint64_t Size() const override { return size_; }
+
+ private:
+  int fd_;
+  std::string path_;
+  uint64_t size_;
+};
+
+class PosixFileSystem : public FileSystem {
+ public:
+  std::unique_ptr<WritableFile> OpenAppend(const std::string& path,
+                                           std::string* error) override {
+    int fd = ::open(path.c_str(), O_CREAT | O_WRONLY | O_APPEND, 0644);
+    if (fd < 0) {
+      SetError(error, "open " + path + ": " + ErrnoString());
+      return nullptr;
+    }
+    struct stat st{};
+    uint64_t size = ::fstat(fd, &st) == 0 ? static_cast<uint64_t>(st.st_size)
+                                          : 0;
+    return std::make_unique<PosixWritableFile>(fd, path, size);
+  }
+
+  ReadStatus Read(const std::string& path, std::string* content,
+                  std::string* error) override {
+    int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0) {
+      if (errno == ENOENT) {
+        SetError(error, "no such file: " + path);
+        return ReadStatus::kNotFound;
+      }
+      SetError(error, "open " + path + ": " + ErrnoString());
+      return ReadStatus::kError;
+    }
+    content->clear();
+    char buf[1 << 16];
+    for (;;) {
+      ssize_t n = ::read(fd, buf, sizeof buf);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        SetError(error, "read " + path + ": " + ErrnoString());
+        ::close(fd);
+        return ReadStatus::kError;
+      }
+      if (n == 0) break;
+      content->append(buf, static_cast<size_t>(n));
+    }
+    ::close(fd);
+    return ReadStatus::kOk;
+  }
+
+  bool WriteFileDurable(const std::string& path, std::string_view content,
+                        std::string* error) override {
+    int fd = ::open(path.c_str(), O_CREAT | O_WRONLY | O_TRUNC, 0644);
+    if (fd < 0) {
+      SetError(error, "open " + path + ": " + ErrnoString());
+      return false;
+    }
+    bool ok = WriteAllFd(fd, content.data(), content.size());
+    if (!ok) SetError(error, "write " + path + ": " + ErrnoString());
+    if (ok && ::fsync(fd) != 0) {
+      SetError(error, "fsync " + path + ": " + ErrnoString());
+      ok = false;
+    }
+    ::close(fd);
+    return ok;
+  }
+
+  bool Rename(const std::string& from, const std::string& to,
+              std::string* error) override {
+    std::error_code ec;
+    stdfs::rename(from, to, ec);
+    if (ec) {
+      SetError(error, "rename " + from + " -> " + to + ": " + ec.message());
+      return false;
+    }
+    return true;
+  }
+
+  bool SyncDir(const std::string& path, std::string* error) override {
+    int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0) {
+      SetError(error, "open dir " + path + ": " + ErrnoString());
+      return false;
+    }
+    bool ok = ::fsync(fd) == 0;
+    if (!ok) SetError(error, "fsync dir " + path + ": " + ErrnoString());
+    ::close(fd);
+    return ok;
+  }
+
+  bool CreateDirs(const std::string& path, std::string* error) override {
+    std::error_code ec;
+    stdfs::create_directories(path, ec);
+    if (ec) {
+      SetError(error, "create " + path + ": " + ec.message());
+      return false;
+    }
+    return true;
+  }
+
+  bool RemoveAll(const std::string& path, std::string* error) override {
+    std::error_code ec;
+    stdfs::remove_all(path, ec);
+    // ENOTDIR: a parent component is a regular file, so nothing exists at
+    // `path` — removing it is a no-op, same as ENOENT (which remove_all
+    // already treats as success). Callers racing to create the path next
+    // get the real diagnosis from CreateDirs.
+    if (ec && ec != std::errc::not_a_directory) {
+      SetError(error, "remove " + path + ": " + ec.message());
+      return false;
+    }
+    return true;
+  }
+
+  bool Exists(const std::string& path) override {
+    std::error_code ec;
+    return stdfs::exists(path, ec);
+  }
+
+  std::vector<std::string> ListDir(const std::string& path) override {
+    std::vector<std::string> names;
+    std::error_code ec;
+    for (const auto& entry : stdfs::directory_iterator(path, ec)) {
+      names.push_back(entry.path().filename().string());
+    }
+    std::sort(names.begin(), names.end());
+    return names;
+  }
+};
+
+}  // namespace
+
+FileSystem& Posix() {
+  static PosixFileSystem* posix = new PosixFileSystem();
+  return *posix;
+}
+
+std::string ParentDir(const std::string& path) {
+  std::string parent = stdfs::path(path).parent_path().string();
+  return parent.empty() ? std::string(".") : parent;
+}
+
+// ---------------------------------------------------------------------------
+// FaultyFileSystem
+// ---------------------------------------------------------------------------
+
+namespace {
+
+std::string InjectedError(const std::string& site) {
+  return "injected I/O error (failpoint " + site + ")";
+}
+
+}  // namespace
+
+/// Wraps a base WritableFile, injecting append/sync/truncate faults and
+/// maintaining the owning FaultyFileSystem's durable-length watermark.
+class FaultyWritableFile : public WritableFile {
+ public:
+  FaultyWritableFile(FaultyFileSystem* owner, std::string path,
+                     std::unique_ptr<WritableFile> base)
+      : owner_(owner), path_(std::move(path)), base_(std::move(base)) {}
+
+  bool Append(std::string_view data, std::string* error) override {
+    if (fail::ShouldFail("io.append.error")) {
+      std::lock_guard<std::mutex> lock(owner_->mu_);
+      ++owner_->counters_.injected_errors;
+      SetError(error, InjectedError("io.append.error") + ": " + path_);
+      return false;
+    }
+    if (fail::ShouldFail("io.append.enospc")) {
+      std::lock_guard<std::mutex> lock(owner_->mu_);
+      ++owner_->counters_.injected_errors;
+      SetError(error, "write " + path_ + ": No space left on device " +
+                          "(failpoint io.append.enospc)");
+      return false;
+    }
+    if (fail::ShouldFail("io.append.short")) {
+      // Half the bytes land, then the device gives up — the torn-tail case
+      // the journal's CRC framing exists for.
+      std::string half_error;
+      base_->Append(data.substr(0, data.size() / 2), &half_error);
+      {
+        std::lock_guard<std::mutex> lock(owner_->mu_);
+        ++owner_->counters_.short_writes;
+      }
+      SetError(error, "short write " + path_ + " (failpoint io.append.short)");
+      return false;
+    }
+    return base_->Append(data, error);
+  }
+
+  bool Sync(std::string* error) override {
+    if (fail::ShouldFail("io.sync.error")) {
+      std::lock_guard<std::mutex> lock(owner_->mu_);
+      ++owner_->counters_.injected_errors;
+      SetError(error, InjectedError("io.sync.error") + ": " + path_);
+      return false;
+    }
+    if (fail::ShouldFail("io.sync.lie")) {
+      // Reports success without advancing the durability watermark — the
+      // classic lying-drive-cache failure mode.
+      std::lock_guard<std::mutex> lock(owner_->mu_);
+      ++owner_->counters_.sync_lies;
+      return true;
+    }
+    if (!base_->Sync(error)) return false;
+    owner_->NoteDataSynced(path_, base_->Size());
+    return true;
+  }
+
+  bool Truncate(uint64_t size, std::string* error) override {
+    if (fail::ShouldFail("io.truncate.error")) {
+      std::lock_guard<std::mutex> lock(owner_->mu_);
+      ++owner_->counters_.injected_errors;
+      SetError(error, InjectedError("io.truncate.error") + ": " + path_);
+      return false;
+    }
+    if (!base_->Truncate(size, error)) return false;
+    owner_->NoteDataSynced(path_, size);
+    return true;
+  }
+
+  uint64_t Size() const override { return base_->Size(); }
+
+ private:
+  FaultyFileSystem* owner_;
+  std::string path_;
+  std::unique_ptr<WritableFile> base_;
+};
+
+FaultyFileSystem::FaultyFileSystem(FileSystem* base)
+    : base_(base != nullptr ? base : &Posix()) {}
+
+FaultyFileSystem::~FaultyFileSystem() = default;
+
+void FaultyFileSystem::RecordPending(PendingOp op) {
+  const std::string parent =
+      ParentDir(op.kind == PendingOp::Kind::kRename ? op.b : op.a);
+  pending_.emplace_back(parent, std::move(op));
+}
+
+void FaultyFileSystem::NoteDataSynced(const std::string& path,
+                                      uint64_t durable_size) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [p, size] : durable_sizes_) {
+    if (p == path) {
+      size = durable_size;
+      return;
+    }
+  }
+  durable_sizes_.emplace_back(path, durable_size);
+}
+
+std::unique_ptr<WritableFile> FaultyFileSystem::OpenAppend(
+    const std::string& path, std::string* error) {
+  if (fail::ShouldFail("io.open_append.error")) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++counters_.injected_errors;
+    SetError(error, InjectedError("io.open_append.error") + ": " + path);
+    return nullptr;
+  }
+  bool existed = base_->Exists(path);
+  auto file = base_->OpenAppend(path, error);
+  if (file == nullptr) return nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!existed) {
+      RecordPending({PendingOp::Kind::kCreate, path, ""});
+    }
+    // Bytes already on disk at open are durable; everything appended after
+    // is volatile until an honest Sync.
+    bool found = std::any_of(
+        durable_sizes_.begin(), durable_sizes_.end(),
+        [&path](const auto& entry) { return entry.first == path; });
+    if (!found) durable_sizes_.emplace_back(path, file->Size());
+  }
+  return std::make_unique<FaultyWritableFile>(this, path, std::move(file));
+}
+
+ReadStatus FaultyFileSystem::Read(const std::string& path,
+                                  std::string* content, std::string* error) {
+  if (fail::ShouldFail("io.read.error")) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++counters_.injected_errors;
+    SetError(error, InjectedError("io.read.error") + ": " + path);
+    return ReadStatus::kError;
+  }
+  ReadStatus status = base_->Read(path, content, error);
+  if (status != ReadStatus::kOk) return status;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const BitFlip& flip : bit_flips_) {
+    if (content->empty() ||
+        path.find(flip.path_substr) == std::string::npos) {
+      continue;
+    }
+    uint64_t bit = flip.bit_index % (content->size() * 8);
+    (*content)[bit / 8] = static_cast<char>(
+        static_cast<unsigned char>((*content)[bit / 8]) ^ (1u << (bit % 8)));
+    ++counters_.bit_flips;
+  }
+  return status;
+}
+
+bool FaultyFileSystem::WriteFileDurable(const std::string& path,
+                                        std::string_view content,
+                                        std::string* error) {
+  if (fail::ShouldFail("io.write_file.error")) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++counters_.injected_errors;
+    SetError(error, InjectedError("io.write_file.error") + ": " + path);
+    return false;
+  }
+  if (fail::ShouldFail("io.write_file.enospc")) {
+    // Half the content lands before the device fills: a torn file exists at
+    // `path` afterwards, exactly like a real ENOSPC mid-write.
+    bool existed = base_->Exists(path);
+    std::string half_error;
+    base_->WriteFileDurable(path, content.substr(0, content.size() / 2),
+                            &half_error);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++counters_.injected_errors;
+      ++counters_.short_writes;
+      if (!existed) RecordPending({PendingOp::Kind::kCreate, path, ""});
+    }
+    SetError(error, "write " + path + ": No space left on device " +
+                        "(failpoint io.write_file.enospc)");
+    return false;
+  }
+  bool existed = base_->Exists(path);
+  if (!base_->WriteFileDurable(path, content, error)) return false;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!existed) RecordPending({PendingOp::Kind::kCreate, path, ""});
+  // The file's own bytes are synced; only its *name* stays volatile (the
+  // pending kCreate) until the parent directory is synced.
+  for (auto& [p, size] : durable_sizes_) {
+    if (p == path) {
+      size = content.size();
+      return true;
+    }
+  }
+  return true;
+}
+
+bool FaultyFileSystem::Rename(const std::string& from, const std::string& to,
+                              std::string* error) {
+  if (fail::ShouldFail("io.rename.error")) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++counters_.injected_errors;
+    SetError(error, InjectedError("io.rename.error") + ": " + from);
+    return false;
+  }
+  if (!base_->Rename(from, to, error)) return false;
+  std::lock_guard<std::mutex> lock(mu_);
+  RecordPending({PendingOp::Kind::kRename, from, to});
+  return true;
+}
+
+bool FaultyFileSystem::SyncDir(const std::string& path, std::string* error) {
+  if (fail::ShouldFail("io.syncdir.error")) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++counters_.injected_errors;
+    SetError(error, InjectedError("io.syncdir.error") + ": " + path);
+    return false;
+  }
+  if (fail::ShouldFail("io.syncdir.lie")) {
+    // Success without durability: every pending create/rename/remove under
+    // this directory stays rollback-able by SimulateCrash.
+    std::lock_guard<std::mutex> lock(mu_);
+    ++counters_.sync_lies;
+    return true;
+  }
+  if (!base_->SyncDir(path, error)) return false;
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<std::string, PendingOp>> kept;
+  kept.reserve(pending_.size());
+  for (auto& [parent, op] : pending_) {
+    if (parent != path) {
+      kept.emplace_back(parent, std::move(op));
+      continue;
+    }
+    // Finalize: a staged removal's bytes can now really go away.
+    if (op.kind == PendingOp::Kind::kRemove) {
+      std::string ignored;
+      base_->RemoveAll(op.b, &ignored);
+    }
+  }
+  pending_ = std::move(kept);
+  return true;
+}
+
+bool FaultyFileSystem::CreateDirs(const std::string& path,
+                                  std::string* error) {
+  if (fail::ShouldFail("io.create_dirs.error")) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++counters_.injected_errors;
+    SetError(error, InjectedError("io.create_dirs.error") + ": " + path);
+    return false;
+  }
+  bool existed = base_->Exists(path);
+  if (!base_->CreateDirs(path, error)) return false;
+  if (!existed) {
+    std::lock_guard<std::mutex> lock(mu_);
+    RecordPending({PendingOp::Kind::kCreate, path, ""});
+  }
+  return true;
+}
+
+bool FaultyFileSystem::RemoveAll(const std::string& path, std::string* error) {
+  if (!base_->Exists(path)) return true;
+  // Stage instead of deleting: the removal is only durable once the parent
+  // directory is synced, so a crash before that must resurrect the bytes.
+  std::string stage;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stage = path + ".crashsim-" + std::to_string(++stage_counter_);
+  }
+  if (!base_->Rename(path, stage, error)) return false;
+  std::lock_guard<std::mutex> lock(mu_);
+  RecordPending({PendingOp::Kind::kRemove, path, stage});
+  return true;
+}
+
+bool FaultyFileSystem::Exists(const std::string& path) {
+  return base_->Exists(path);
+}
+
+std::vector<std::string> FaultyFileSystem::ListDir(const std::string& path) {
+  std::vector<std::string> names = base_->ListDir(path);
+  // Staged removals are invisible: as far as callers can tell, the entry
+  // was deleted.
+  names.erase(std::remove_if(names.begin(), names.end(),
+                             [](const std::string& name) {
+                               return name.find(".crashsim-") !=
+                                      std::string::npos;
+                             }),
+              names.end());
+  return names;
+}
+
+void FaultyFileSystem::SimulateCrash() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++counters_.crashes;
+  // Roll back un-synced metadata, newest first (the order a journaling
+  // filesystem would lose them in).
+  for (auto it = pending_.rbegin(); it != pending_.rend(); ++it) {
+    PendingOp& op = it->second;
+    std::string ignored;
+    switch (op.kind) {
+      case PendingOp::Kind::kCreate:
+        base_->RemoveAll(op.a, &ignored);
+        break;
+      case PendingOp::Kind::kRename:
+        base_->Rename(op.b, op.a, &ignored);
+        break;
+      case PendingOp::Kind::kRemove:
+        base_->Rename(op.b, op.a, &ignored);
+        break;
+    }
+    ++counters_.rolled_back_ops;
+  }
+  pending_.clear();
+  // Truncate surviving append files back to their durable watermark.
+  for (const auto& [path, durable] : durable_sizes_) {
+    if (!base_->Exists(path)) continue;
+    std::string content, ignored;
+    if (base_->Read(path, &content, &ignored) != ReadStatus::kOk) continue;
+    if (content.size() <= durable) continue;
+    base_->WriteFileDurable(path, content.substr(0, durable), &ignored);
+  }
+  durable_sizes_.clear();
+}
+
+void FaultyFileSystem::ArmBitFlip(const std::string& path_substr,
+                                  uint64_t bit_index) {
+  std::lock_guard<std::mutex> lock(mu_);
+  bit_flips_.push_back({path_substr, bit_index});
+}
+
+void FaultyFileSystem::ClearBitFlips() {
+  std::lock_guard<std::mutex> lock(mu_);
+  bit_flips_.clear();
+}
+
+bool FaultyFileSystem::CorruptOnDisk(const std::string& path,
+                                     uint64_t bit_index, std::string* error) {
+  std::string content;
+  if (base_->Read(path, &content, error) != ReadStatus::kOk) return false;
+  if (content.empty()) {
+    SetError(error, "cannot corrupt empty file: " + path);
+    return false;
+  }
+  uint64_t bit = bit_index % (content.size() * 8);
+  content[bit / 8] = static_cast<char>(
+      static_cast<unsigned char>(content[bit / 8]) ^ (1u << (bit % 8)));
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++counters_.bit_flips;
+  }
+  return base_->WriteFileDurable(path, content, error);
+}
+
+FaultyFileSystem::Counters FaultyFileSystem::counters() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counters_;
+}
+
+}  // namespace io
+}  // namespace midas

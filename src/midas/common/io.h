@@ -1,0 +1,194 @@
+#ifndef MIDAS_COMMON_IO_H_
+#define MIDAS_COMMON_IO_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace midas {
+namespace io {
+
+/// Storage abstraction for all durable engine state (journal, snapshots,
+/// quarantine). Product code takes a `FileSystem*` (nullptr = the real
+/// POSIX backend); tests and chaos drills substitute FaultyFileSystem to
+/// turn every durability claim into an injectable fault matrix. This is
+/// also the seam a future mmap/external-memory backend plugs into.
+///
+/// The durability contract mirrors POSIX:
+///  - data bytes are durable only after a successful Sync (WriteFileDurable
+///    syncs internally);
+///  - *names* (created files, renames) are durable only after SyncDir on
+///    the parent directory — rename(2) alone is not durable on ext4/xfs.
+/// FaultyFileSystem::SimulateCrash enforces exactly this model, so code
+/// that skips a parent-directory fsync loses the rename in tests the same
+/// way it would on a real power cut.
+
+/// An open append-mode file (the journal's handle shape).
+class WritableFile {
+ public:
+  virtual ~WritableFile() = default;
+  virtual bool Append(std::string_view data, std::string* error) = 0;
+  /// Flushes appended bytes to stable storage (fdatasync semantics).
+  virtual bool Sync(std::string* error) = 0;
+  /// Truncates to `size` bytes and syncs the new length.
+  virtual bool Truncate(uint64_t size, std::string* error) = 0;
+  /// Current file size (appended bytes included).
+  virtual uint64_t Size() const = 0;
+};
+
+enum class ReadStatus { kOk, kNotFound, kError };
+
+class FileSystem {
+ public:
+  virtual ~FileSystem() = default;
+
+  /// Opens `path` for appending, creating it if absent. The *creation* is
+  /// durable only after SyncDir(parent).
+  virtual std::unique_ptr<WritableFile> OpenAppend(const std::string& path,
+                                                   std::string* error) = 0;
+  /// Reads the whole file. kNotFound distinguishes ENOENT (often a legal
+  /// state — e.g. "no journal") from real I/O failure.
+  virtual ReadStatus Read(const std::string& path, std::string* content,
+                          std::string* error) = 0;
+  /// Creates/truncates `path`, writes `content`, fsyncs the file (not the
+  /// parent directory).
+  virtual bool WriteFileDurable(const std::string& path,
+                                std::string_view content,
+                                std::string* error) = 0;
+  virtual bool Rename(const std::string& from, const std::string& to,
+                      std::string* error) = 0;
+  /// Fsyncs a directory so the entries created/renamed inside it are
+  /// durable.
+  virtual bool SyncDir(const std::string& path, std::string* error) = 0;
+  virtual bool CreateDirs(const std::string& path, std::string* error) = 0;
+  virtual bool RemoveAll(const std::string& path, std::string* error) = 0;
+  virtual bool Exists(const std::string& path) = 0;
+  /// Entry names (not paths) under `path`, sorted; empty when the
+  /// directory does not exist.
+  virtual std::vector<std::string> ListDir(const std::string& path) = 0;
+};
+
+/// The process-wide real POSIX backend.
+FileSystem& Posix();
+
+/// Resolves the conventional nullptr-means-posix parameter.
+inline FileSystem& Resolve(FileSystem* fs) { return fs ? *fs : Posix(); }
+
+/// Parent directory of `path` ("." when it has none) — the directory whose
+/// SyncDir makes `path`'s name durable.
+std::string ParentDir(const std::string& path);
+
+/// Fault-injecting wrapper over another FileSystem (default: the POSIX
+/// backend). Two independent mechanisms:
+///
+///  1. **Named fault sites**, consulted through the failpoint registry
+///     (common/failpoint.h) so tests, MIDAS_FAILPOINTS and ChaosSchedule
+///     all arm them with the same "name[:skip[:fires]]" grammar:
+///
+///       io.open_append.error     open fails (EIO)
+///       io.append.error          append fails, nothing written
+///       io.append.enospc        append fails, nothing written (disk full)
+///       io.append.short          half the bytes land, then failure
+///       io.sync.error            fsync fails
+///       io.sync.lie              fsync reports success but durability does
+///                                not advance (lost on SimulateCrash)
+///       io.truncate.error        ftruncate fails
+///       io.read.error            read fails
+///       io.write_file.error      whole-file write fails, nothing written
+///       io.write_file.enospc     half the content lands, then ENOSPC
+///       io.rename.error          rename fails
+///       io.syncdir.error         directory fsync fails
+///       io.syncdir.lie           directory fsync lies (names stay volatile)
+///       io.create_dirs.error     mkdir -p fails
+///
+///  2. **Seeded bit rot**: ArmBitFlip(path_substr, bit) flips one bit of
+///     every subsequent Read whose path contains the substring —
+///     deterministic, so a corruption matrix is a plain loop over bits.
+///
+/// Crash model (SimulateCrash): appended bytes past the last honest Sync
+/// are truncated away; created files, renames and removals whose parent
+/// directory was never honestly synced are rolled back, newest first.
+/// Removals are staged (moved aside, deleted on SyncDir) so a crash can
+/// resurrect them — the real torn-rename hazard.
+class FaultyFileSystem : public FileSystem {
+ public:
+  explicit FaultyFileSystem(FileSystem* base = nullptr);
+  ~FaultyFileSystem() override;
+
+  std::unique_ptr<WritableFile> OpenAppend(const std::string& path,
+                                           std::string* error) override;
+  ReadStatus Read(const std::string& path, std::string* content,
+                  std::string* error) override;
+  bool WriteFileDurable(const std::string& path, std::string_view content,
+                        std::string* error) override;
+  bool Rename(const std::string& from, const std::string& to,
+              std::string* error) override;
+  bool SyncDir(const std::string& path, std::string* error) override;
+  bool CreateDirs(const std::string& path, std::string* error) override;
+  bool RemoveAll(const std::string& path, std::string* error) override;
+  bool Exists(const std::string& path) override;
+  std::vector<std::string> ListDir(const std::string& path) override;
+
+  /// Tears the world down to what POSIX guarantees is durable: un-synced
+  /// appended bytes vanish, un-synced metadata ops roll back (newest
+  /// first). Open WritableFiles handed out earlier become stale — reopen
+  /// after a crash, as real recovery code does.
+  void SimulateCrash();
+
+  /// Read-side bit rot: flips bit (`bit_index` % file bits) of every Read
+  /// whose path contains `path_substr`.
+  void ArmBitFlip(const std::string& path_substr, uint64_t bit_index);
+  void ClearBitFlips();
+
+  /// At-rest bit rot: flips one bit of the file on disk, in place.
+  bool CorruptOnDisk(const std::string& path, uint64_t bit_index,
+                     std::string* error);
+
+  struct Counters {
+    uint64_t injected_errors = 0;  ///< any io.*.error / enospc fire
+    uint64_t short_writes = 0;
+    uint64_t sync_lies = 0;        ///< io.sync.lie + io.syncdir.lie fires
+    uint64_t bit_flips = 0;
+    uint64_t crashes = 0;
+    uint64_t rolled_back_ops = 0;  ///< metadata ops undone by crashes
+  };
+  Counters counters() const;
+
+ private:
+  friend class FaultyWritableFile;
+
+  /// One metadata op pending until its parent directory is honestly
+  /// synced.
+  struct PendingOp {
+    enum class Kind { kCreate, kRename, kRemove };
+    Kind kind;
+    std::string a;  ///< created path / rename-from / removed path
+    std::string b;  ///< rename-to / staging path of a removal
+  };
+  struct BitFlip {
+    std::string path_substr;
+    uint64_t bit_index = 0;
+  };
+
+  void RecordPending(PendingOp op);
+  void NoteDataSynced(const std::string& path, uint64_t durable_size);
+  bool SyncIsLie();
+
+  FileSystem* base_;
+  mutable std::mutex mu_;
+  /// Per-path durable byte count for append files (absent = fully durable).
+  std::vector<std::pair<std::string, uint64_t>> durable_sizes_;
+  /// Metadata ops keyed by parent dir, in commit order.
+  std::vector<std::pair<std::string, PendingOp>> pending_;
+  std::vector<BitFlip> bit_flips_;
+  uint64_t stage_counter_ = 0;
+  Counters counters_;
+};
+
+}  // namespace io
+}  // namespace midas
+
+#endif  // MIDAS_COMMON_IO_H_

@@ -1,14 +1,10 @@
 #include "midas/maintain/journal.h"
 
-#include <fcntl.h>
-#include <unistd.h>
-
-#include <cerrno>
-#include <cstring>
 #include <sstream>
 
 #include "midas/common/checksum.h"
 #include "midas/common/failpoint.h"
+#include "midas/common/io.h"
 #include "midas/graph/graph_io.h"
 #include "midas/obs/metrics.h"
 #include "midas/select/pattern_io.h"
@@ -18,22 +14,6 @@ namespace {
 
 void SetError(std::string* error, const std::string& what) {
   if (error != nullptr) *error = what;
-}
-
-std::string ErrnoString() { return std::strerror(errno); }
-
-// Full-buffer write with EINTR/short-write handling.
-bool WriteAll(int fd, const char* data, size_t len) {
-  size_t off = 0;
-  while (off < len) {
-    ssize_t n = ::write(fd, data + off, len - off);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      return false;
-    }
-    off += static_cast<size_t>(n);
-  }
-  return true;
 }
 
 std::string SerializeBatch(const BatchUpdate& batch,
@@ -87,29 +67,28 @@ bool ParseBatchPayload(const std::string& payload, LabelDictionary& dict,
 
 UpdateJournal::~UpdateJournal() { Close(); }
 
-bool UpdateJournal::Open(const std::string& path, std::string* error) {
+bool UpdateJournal::Open(const std::string& path, std::string* error,
+                         io::FileSystem* fs) {
   Close();
-  int fd = ::open(path.c_str(), O_CREAT | O_WRONLY | O_APPEND, 0644);
-  if (fd < 0) {
-    SetError(error, "open " + path + ": " + ErrnoString());
-    return false;
-  }
-  fd_ = fd;
+  io::FileSystem& resolved = io::Resolve(fs);
+  auto file = resolved.OpenAppend(path, error);
+  if (file == nullptr) return false;
+  // The journal file's *name* must be durable before the first record is:
+  // otherwise a crash after AppendBatch could lose the whole file while the
+  // engine believes the round was journaled.
+  if (!resolved.SyncDir(io::ParentDir(path), error)) return false;
+  file_ = std::move(file);
+  fs_ = &resolved;
   path_ = path;
   return true;
 }
 
-void UpdateJournal::Close() {
-  if (fd_ >= 0) {
-    ::close(fd_);
-    fd_ = -1;
-  }
-}
+void UpdateJournal::Close() { file_.reset(); }
 
 bool UpdateJournal::AppendRecord(char type, uint64_t seq,
                                  const std::string& payload,
                                  std::string* error) {
-  if (fd_ < 0) {
+  if (file_ == nullptr) {
     SetError(error, "journal is not open");
     return false;
   }
@@ -119,14 +98,8 @@ bool UpdateJournal::AppendRecord(char type, uint64_t seq,
   std::string record = header.str() + payload + "\n";
   // One write + one fsync per record: the record is durable before the
   // caller proceeds, which is the whole point of a WAL.
-  if (!WriteAll(fd_, record.data(), record.size())) {
-    SetError(error, "write " + path_ + ": " + ErrnoString());
-    return false;
-  }
-  if (::fsync(fd_) != 0) {
-    SetError(error, "fsync " + path_ + ": " + ErrnoString());
-    return false;
-  }
+  if (!file_->Append(record, error)) return false;
+  if (!file_->Sync(error)) return false;
   obs::MetricsRegistry& reg = obs::MetricsRegistry::Current();
   if (reg.enabled()) {
     reg.GetCounter(type == 'B' ? "midas_journal_batch_appends_total"
@@ -161,49 +134,33 @@ bool UpdateJournal::AppendCommit(uint64_t seq, const PatternSet& panel,
 }
 
 bool UpdateJournal::Reset(std::string* error) {
-  if (fd_ < 0) {
+  if (file_ == nullptr) {
     SetError(error, "journal is not open");
     return false;
   }
-  if (::ftruncate(fd_, 0) != 0) {
-    SetError(error, "ftruncate " + path_ + ": " + ErrnoString());
-    return false;
-  }
-  if (::fsync(fd_) != 0) {
-    SetError(error, "fsync " + path_ + ": " + ErrnoString());
-    return false;
-  }
-  return true;
+  if (!file_->Truncate(0, error)) return false;
+  // Belt and braces: persist the directory entry too, so rotation is
+  // durable even on filesystems where the inode update alone is not.
+  return fs_->SyncDir(io::ParentDir(path_), error);
 }
 
-JournalReadResult ReadJournal(const std::string& path,
-                              LabelDictionary& dict) {
+JournalReadResult ReadJournal(const std::string& path, LabelDictionary& dict,
+                              io::FileSystem* fs) {
   JournalReadResult result;
 
   std::string content;
   {
-    int fd = ::open(path.c_str(), O_RDONLY);
-    if (fd < 0) {
-      if (errno == ENOENT) {
+    std::string read_error;
+    switch (io::Resolve(fs).Read(path, &content, &read_error)) {
+      case io::ReadStatus::kNotFound:
         result.ok = true;  // no journal == empty journal
         return result;
-      }
-      result.error = "open " + path + ": " + ErrnoString();
-      return result;
-    }
-    char buf[1 << 16];
-    for (;;) {
-      ssize_t n = ::read(fd, buf, sizeof buf);
-      if (n < 0) {
-        if (errno == EINTR) continue;
-        result.error = "read " + path + ": " + ErrnoString();
-        ::close(fd);
+      case io::ReadStatus::kError:
+        result.error = read_error;
         return result;
-      }
-      if (n == 0) break;
-      content.append(buf, static_cast<size_t>(n));
+      case io::ReadStatus::kOk:
+        break;
     }
-    ::close(fd);
   }
   result.ok = true;
 

@@ -1,9 +1,11 @@
 #ifndef MIDAS_MAINTAIN_JOURNAL_H_
 #define MIDAS_MAINTAIN_JOURNAL_H_
 
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "midas/common/io.h"
 #include "midas/graph/graph_database.h"
 #include "midas/select/pattern.h"
 
@@ -37,10 +39,13 @@ class UpdateJournal {
   UpdateJournal(const UpdateJournal&) = delete;
   UpdateJournal& operator=(const UpdateJournal&) = delete;
 
-  /// Opens (creating if absent) the journal at `path` for appending.
-  bool Open(const std::string& path, std::string* error = nullptr);
+  /// Opens (creating if absent) the journal at `path` for appending; the
+  /// creation is made durable with a parent-directory fsync. All I/O goes
+  /// through `fs` (nullptr = the real POSIX backend).
+  bool Open(const std::string& path, std::string* error = nullptr,
+            io::FileSystem* fs = nullptr);
   void Close();
-  bool is_open() const { return fd_ >= 0; }
+  bool is_open() const { return file_ != nullptr; }
   const std::string& path() const { return path_; }
 
   /// Appends + fsyncs the intent record for round `seq`. Insertions are
@@ -56,14 +61,16 @@ class UpdateJournal {
                     const LabelDictionary& dict, std::string* error = nullptr);
 
   /// Truncates the journal to empty — called right after a snapshot
-  /// checkpoint makes the journaled history redundant.
+  /// checkpoint makes the journaled history redundant. The truncation is
+  /// fsynced (file and parent directory) before returning.
   bool Reset(std::string* error = nullptr);
 
  private:
   bool AppendRecord(char type, uint64_t seq, const std::string& payload,
                     std::string* error);
 
-  int fd_ = -1;
+  std::unique_ptr<io::WritableFile> file_;
+  io::FileSystem* fs_ = nullptr;
   std::string path_;
 };
 
@@ -88,8 +95,10 @@ struct JournalReadResult {
 /// Scans a journal, validating framing and CRCs. Labels from insertion
 /// graphs and panel patterns are interned into `dict` by name. A missing
 /// file yields ok=true with zero rounds (an empty journal and no journal
-/// are equivalently "nothing to replay").
-JournalReadResult ReadJournal(const std::string& path, LabelDictionary& dict);
+/// are equivalently "nothing to replay"). Reads through `fs` (nullptr = the
+/// real POSIX backend).
+JournalReadResult ReadJournal(const std::string& path, LabelDictionary& dict,
+                              io::FileSystem* fs = nullptr);
 
 }  // namespace midas
 

@@ -117,23 +117,7 @@ void MidasEngine::Initialize() {
   fcts_ = FctSet::Mine(db_, config_.fct, pool_.get());
   clusters_ = ClusterSet::Build(db_, fcts_, config_.cluster, rng_,
                                 pool_.get());
-  csgs_.clear();
-  {
-    // CSG builds are independent per cluster; build in parallel, insert in
-    // ascending cluster-id order.
-    std::vector<std::pair<ClusterId, const Cluster*>> rows;
-    rows.reserve(clusters_.clusters().size());
-    for (const auto& [cid, cluster] : clusters_.clusters()) {
-      rows.emplace_back(cid, &cluster);
-    }
-    std::vector<Csg> built(rows.size());
-    ParallelFor(pool_.get(), rows.size(), [&](size_t i) {
-      built[i] = Csg::Build(db_, rows[i].second->members);
-    });
-    for (size_t i = 0; i < rows.size(); ++i) {
-      csgs_.emplace(rows[i].first, std::move(built[i]));
-    }
-  }
+  RebuildCsgsFromClusters();
   fct_index_ = FctIndex::Build(db_, fcts_);
   ife_index_ = IfeIndex::Build(db_, fcts_);
   ged_ = HybridGed(GedFeatureTrees(fcts_), &round_budget_);
@@ -166,10 +150,67 @@ void MidasEngine::RestoreRoundSeq(uint64_t seq) {
 }
 
 void MidasEngine::LoadPatterns(PatternSet set) {
+  // A loaded panel replaces the current one wholesale, and its pattern ids
+  // mean different graphs than the ids already registered (restore loads a
+  // snapshot panel over the one Initialize just selected — the id spaces
+  // collide). SyncPatternColumns dedups by id, so stale columns must be
+  // dropped explicitly or they silently keep the old panel's counts.
+  for (PatternId pid : indexed_patterns_) {
+    fct_index_.RemovePattern(pid);
+    ife_index_.RemovePattern(pid);
+  }
+  indexed_patterns_.clear();
   patterns_ = std::move(set);
   RefreshAllPatternMetrics();
   RefreshDiversityAndScores(patterns_, ged_, pool_.get());
   SyncPatternColumns();
+}
+
+void MidasEngine::RebuildCsgsFromClusters() {
+  csgs_.clear();
+  // CSG builds are independent per cluster; build in parallel, insert in
+  // ascending cluster-id order.
+  std::vector<std::pair<ClusterId, const Cluster*>> rows;
+  rows.reserve(clusters_.clusters().size());
+  for (const auto& [cid, cluster] : clusters_.clusters()) {
+    rows.emplace_back(cid, &cluster);
+  }
+  std::vector<Csg> built(rows.size());
+  ParallelFor(pool_.get(), rows.size(), [&](size_t i) {
+    built[i] = Csg::Build(db_, rows[i].second->members);
+  });
+  for (size_t i = 0; i < rows.size(); ++i) {
+    csgs_.emplace(rows[i].first, std::move(built[i]));
+  }
+}
+
+void MidasEngine::RebuildDerivedState() {
+  if (!initialized_) {
+    Initialize();
+    return;
+  }
+  // Initialize()'s derivation pipeline minus pattern selection: every view
+  // is a pure function of the base database (plus the rng for cluster
+  // seeding), so a corrupted census/index/bitset is simply recomputed. The
+  // panel survives; LoadPatterns re-registers its index columns and
+  // refreshes its metrics against the fresh structures.
+  census_ = GraphletCensus(db_, pool_.get());
+  fcts_ = FctSet::Mine(db_, config_.fct, pool_.get());
+  clusters_ =
+      ClusterSet::Build(db_, fcts_, config_.cluster, rng_, pool_.get());
+  RebuildCsgsFromClusters();
+  fct_index_ = FctIndex::Build(db_, fcts_);
+  ife_index_ = IfeIndex::Build(db_, fcts_);
+  ged_ = HybridGed(GedFeatureTrees(fcts_), &round_budget_);
+  eval_ = std::make_unique<CoverageEvaluator>(db_, config_.sample_cap, rng_,
+                                              &fct_index_, &ife_index_);
+  eval_->set_pool(pool_.get());
+  // The rebuilt indices start with no pattern columns; forget the stale
+  // registrations so SyncPatternColumns re-adds every panel pattern.
+  indexed_patterns_.clear();
+  LoadPatterns(std::move(patterns_));
+  small_panel_ = SmallPatternPanel(config_.small_panel);
+  small_panel_.Refresh(fcts_);
 }
 
 void MidasEngine::RefreshAllPatternMetrics() {

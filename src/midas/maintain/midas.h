@@ -296,6 +296,15 @@ class MidasEngine {
   /// Initialize() to have run.
   void LoadPatterns(PatternSet set);
 
+  /// Re-derives every maintained view (graphlet census, FCT pool, clusters,
+  /// CSGs, FCT-/IFE-indices, coverage evaluator) from the current base
+  /// database, then re-registers the existing panel and refreshes its
+  /// metrics against the fresh structures. The panel itself is kept — this
+  /// is the integrity scrubber's cheapest repair rung for derived-state
+  /// corruption, not a reselection. Falls back to Initialize() when the
+  /// engine was never initialized.
+  void RebuildDerivedState();
+
   const GraphDatabase& db() const { return db_; }
   /// Mutable access to the label dictionary only: interning is append-only
   /// (existing ids never change), so external tools may intern new labels
@@ -325,6 +334,9 @@ class MidasEngine {
   /// Rebuilds CSGs whose member set diverged from their cluster (splits) and
   /// drops CSGs of deleted clusters; incremental Add/Remove handles the rest.
   void ReconcileCsgs();
+  /// Drops and rebuilds every CSG from the current clusters (parallel,
+  /// inserted in ascending cluster-id order).
+  void RebuildCsgsFromClusters();
   /// Recomputes scov/lcov/cog of every pattern (one pool task per pattern).
   void RefreshAllPatternMetrics();
   /// Registers/unregisters pattern columns in both indices to match P.

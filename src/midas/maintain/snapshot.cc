@@ -1,18 +1,12 @@
 #include "midas/maintain/snapshot.h"
 
-#include <fcntl.h>
-#include <unistd.h>
-
-#include <cerrno>
-#include <cstring>
-#include <filesystem>
 #include <fstream>
-#include <map>
 #include <sstream>
 #include <utility>
 
 #include "midas/common/checksum.h"
 #include "midas/common/failpoint.h"
+#include "midas/common/io.h"
 #include "midas/graph/graph_io.h"
 #include "midas/maintain/journal.h"
 #include "midas/obs/metrics.h"
@@ -20,35 +14,17 @@
 
 namespace midas {
 
-namespace fs = std::filesystem;
-
 namespace {
 
 void SetError(std::string* error, const std::string& what) {
   if (error != nullptr) *error = what;
 }
 
-std::string ErrnoString() { return std::strerror(errno); }
-
-// Full-buffer write with EINTR/short-write handling.
-bool WriteAll(int fd, const char* data, size_t len) {
-  size_t off = 0;
-  while (off < len) {
-    ssize_t n = ::write(fd, data + off, len - off);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      return false;
-    }
-    off += static_cast<size_t>(n);
-  }
-  return true;
-}
-
-// Writes `content` to `path` and fsyncs before closing, so a later rename
-// of the containing directory can't expose a file whose bytes are still in
-// flight.
-bool WriteFileDurable(const std::string& path, const std::string& content,
-                      std::string* error) {
+// SaveSnapshot's per-file write, with the legacy partial-write failpoint
+// kept for existing crash-safety tests (FaultyFileSystem's
+// io.write_file.enospc is the richer replacement).
+bool WriteSnapshotFile(io::FileSystem& fs, const std::string& path,
+                       const std::string& content, std::string* error) {
   if (MIDAS_FAILPOINT("snapshot.save.partial_write")) {
     // Simulate a disk filling up / kill mid-write: half the bytes land.
     // The torn file stays in the tmp directory only — SaveSnapshot reports
@@ -61,55 +37,23 @@ bool WriteFileDurable(const std::string& path, const std::string& content,
                  path);
     return false;
   }
-  int fd = ::open(path.c_str(), O_CREAT | O_WRONLY | O_TRUNC, 0644);
-  if (fd < 0) {
-    SetError(error, "open " + path + ": " + ErrnoString());
-    return false;
-  }
-  bool ok = WriteAll(fd, content.data(), content.size());
-  if (!ok) SetError(error, "write " + path + ": " + ErrnoString());
-  if (ok && ::fsync(fd) != 0) {
-    SetError(error, "fsync " + path + ": " + ErrnoString());
-    ok = false;
-  }
-  ::close(fd);
-  return ok;
+  return fs.WriteFileDurable(path, content, error);
 }
 
-// Fsyncs a directory so the entries created inside it are durable.
-bool FsyncDir(const std::string& path, std::string* error) {
-  int fd = ::open(path.c_str(), O_RDONLY);
-  if (fd < 0) {
-    SetError(error, "open dir " + path + ": " + ErrnoString());
+bool ReadFileVia(io::FileSystem& fs, const std::string& path,
+                 std::string* content, std::string* error) {
+  std::string read_error;
+  if (fs.Read(path, content, &read_error) != io::ReadStatus::kOk) {
+    SetError(error, read_error);
     return false;
   }
-  bool ok = ::fsync(fd) == 0;
-  if (!ok) SetError(error, "fsync dir " + path + ": " + ErrnoString());
-  ::close(fd);
-  return ok;
-}
-
-bool ReadFile(const std::string& path, std::string* content,
-              std::string* error) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) {
-    SetError(error, "cannot open " + path);
-    return false;
-  }
-  std::ostringstream buf;
-  buf << in.rdbuf();
-  *content = buf.str();
   return true;
 }
 
-struct Manifest {
-  uint64_t snapshot_seq = 0;
-  GraphId next_graph_id = 0;
-  std::map<std::string, std::string> file_crc;  // name -> crc32 hex
-};
+}  // namespace
 
-bool ParseManifest(const std::string& text, Manifest* manifest,
-                   std::string* error) {
+bool ParseSnapshotManifest(const std::string& text, SnapshotManifest* manifest,
+                           std::string* error) {
   std::istringstream in(text);
   std::string line;
   while (std::getline(in, line)) {
@@ -146,17 +90,19 @@ bool ParseManifest(const std::string& text, Manifest* manifest,
   return true;
 }
 
+namespace {
+
 // Loads `name` from a manifest-validated snapshot directory and checks its
 // CRC32 against the manifest entry.
-bool ReadChecked(const std::string& dir, const Manifest& manifest,
-                 const std::string& name, std::string* content,
-                 std::string* error) {
+bool ReadChecked(io::FileSystem& fs, const std::string& dir,
+                 const SnapshotManifest& manifest, const std::string& name,
+                 std::string* content, std::string* error) {
   auto it = manifest.file_crc.find(name);
   if (it == manifest.file_crc.end()) {
     SetError(error, dir + "/MANIFEST has no checksum for " + name);
     return false;
   }
-  if (!ReadFile(dir + "/" + name, content, error)) return false;
+  if (!ReadFileVia(fs, dir + "/" + name, content, error)) return false;
   std::string actual = Crc32Hex(Crc32(*content));
   if (actual != it->second) {
     SetError(error, dir + "/" + name + ": checksum mismatch (manifest " +
@@ -167,17 +113,20 @@ bool ReadChecked(const std::string& dir, const Manifest& manifest,
 }
 
 // One full restore attempt from a concrete directory.
-std::unique_ptr<MidasEngine> RestoreFromDir(const std::string& dir,
+std::unique_ptr<MidasEngine> RestoreFromDir(io::FileSystem& fs,
+                                            const std::string& dir,
                                             std::string* error) {
   std::string manifest_text;
-  if (!ReadFile(dir + "/MANIFEST", &manifest_text, error)) return nullptr;
-  Manifest manifest;
-  if (!ParseManifest(manifest_text, &manifest, error)) return nullptr;
+  if (!ReadFileVia(fs, dir + "/MANIFEST", &manifest_text, error)) {
+    return nullptr;
+  }
+  SnapshotManifest manifest;
+  if (!ParseSnapshotManifest(manifest_text, &manifest, error)) return nullptr;
 
   std::string cfg_text, db_text, pat_text;
-  if (!ReadChecked(dir, manifest, "config.ini", &cfg_text, error) ||
-      !ReadChecked(dir, manifest, "database.gspan", &db_text, error) ||
-      !ReadChecked(dir, manifest, "patterns.gspan", &pat_text, error)) {
+  if (!ReadChecked(fs, dir, manifest, "config.ini", &cfg_text, error) ||
+      !ReadChecked(fs, dir, manifest, "database.gspan", &db_text, error) ||
+      !ReadChecked(fs, dir, manifest, "patterns.gspan", &pat_text, error)) {
     return nullptr;
   }
 
@@ -333,18 +282,14 @@ bool ReadConfig(std::istream& in, MidasConfig* config) {
 }
 
 bool SaveSnapshot(const MidasEngine& engine, const std::string& dir,
-                  std::string* error) {
+                  std::string* error, io::FileSystem* fs_param) {
+  io::FileSystem& fs = io::Resolve(fs_param);
   const std::string tmp = dir + ".tmp";
   const std::string old = dir + ".old";
-  std::error_code ec;
 
   // A stale tmp is always a leftover from an interrupted save; discard it.
-  fs::remove_all(tmp, ec);
-  fs::create_directories(tmp, ec);
-  if (ec) {
-    SetError(error, "create " + tmp + ": " + ec.message());
-    return false;
-  }
+  if (!fs.RemoveAll(tmp, error)) return false;
+  if (!fs.CreateDirs(tmp, error)) return false;
 
   std::ostringstream db_out;
   WriteDatabase(engine.db(), db_out);
@@ -363,51 +308,52 @@ bool SaveSnapshot(const MidasEngine& engine, const std::string& dir,
   manifest << "snapshot_seq=" << engine.round_seq() << "\n"
            << "next_graph_id=" << engine.db().next_id() << "\n";
   for (const auto& [name, content] : files) {
-    if (!WriteFileDurable(tmp + "/" + name, content, error)) return false;
+    if (!WriteSnapshotFile(fs, tmp + "/" + name, content, error)) {
+      return false;
+    }
     manifest << "file=" << name << "=" << Crc32Hex(Crc32(content)) << "\n";
   }
   // MANIFEST last: its presence certifies the directory is complete.
-  if (!WriteFileDurable(tmp + "/MANIFEST", manifest.str(), error)) {
+  if (!WriteSnapshotFile(fs, tmp + "/MANIFEST", manifest.str(), error)) {
     return false;
   }
-  if (!FsyncDir(tmp, error)) return false;
+  if (!fs.SyncDir(tmp, error)) return false;
 
   // Crash site between "tmp is complete" and "tmp is live". RestoreEngine's
   // dir -> dir.tmp -> dir.old resolution handles every interleaving.
   MIDAS_FAILPOINT_ABORT("snapshot.save.before_rename");
 
-  fs::remove_all(old, ec);
-  if (fs::exists(dir)) {
-    fs::rename(dir, old, ec);
-    if (ec) {
-      SetError(error, "rename " + dir + " -> " + old + ": " + ec.message());
-      return false;
-    }
+  if (!fs.RemoveAll(old, error)) return false;
+  if (fs.Exists(dir)) {
+    if (!fs.Rename(dir, old, error)) return false;
   }
-  fs::rename(tmp, dir, ec);
-  if (ec) {
-    SetError(error, "rename " + tmp + " -> " + dir + ": " + ec.message());
-    return false;
-  }
-  fs::remove_all(old, ec);
+  if (!fs.Rename(tmp, dir, error)) return false;
+  // The renames only became durable once the *parent* directory is synced —
+  // rename(2) alone can be rolled back by a power cut on ext4/xfs, which
+  // would resurrect the old (or no) snapshot after SaveSnapshot already
+  // reported success. Sync before removing `.old` so the previous snapshot
+  // still exists if the sync fails.
+  if (!fs.SyncDir(io::ParentDir(dir), error)) return false;
+  if (!fs.RemoveAll(old, error)) return false;
   return true;
 }
 
 bool SaveSnapshot(const MidasEngine& engine, const std::string& dir) {
-  return SaveSnapshot(engine, dir, nullptr);
+  return SaveSnapshot(engine, dir, nullptr, nullptr);
 }
 
 std::unique_ptr<MidasEngine> RestoreEngine(const std::string& dir,
-                                           std::string* error) {
+                                           std::string* error,
+                                           io::FileSystem* fs_param) {
+  io::FileSystem& fs = io::Resolve(fs_param);
   // Resolution order mirrors SaveSnapshot's rename dance: the live
   // directory first, then a complete-but-unrenamed tmp (crash right before
   // the swap), then the displaced previous snapshot (crash mid-swap).
   std::string first_error;
   for (const std::string candidate : {dir, dir + ".tmp", dir + ".old"}) {
-    std::error_code ec;
-    if (!fs::exists(candidate, ec)) continue;
+    if (!fs.Exists(candidate)) continue;
     std::string attempt_error;
-    if (auto engine = RestoreFromDir(candidate, &attempt_error)) {
+    if (auto engine = RestoreFromDir(fs, candidate, &attempt_error)) {
       return engine;
     }
     if (first_error.empty()) first_error = attempt_error;
@@ -422,20 +368,21 @@ std::unique_ptr<MidasEngine> RestoreEngine(const std::string& dir) {
 }
 
 std::unique_ptr<MidasEngine> RecoverEngine(const std::string& engine_dir,
-                                           RecoverInfo* info) {
+                                           RecoverInfo* info,
+                                           io::FileSystem* fs) {
   RecoverInfo local;
   RecoverInfo* out = info != nullptr ? info : &local;
   *out = RecoverInfo{};
 
   std::string restore_error;
-  auto engine = RestoreEngine(engine_dir + "/snapshot", &restore_error);
+  auto engine = RestoreEngine(engine_dir + "/snapshot", &restore_error, fs);
   if (engine == nullptr) {
     out->error = "snapshot restore failed: " + restore_error;
     return nullptr;
   }
 
   JournalReadResult journal =
-      ReadJournal(engine_dir + "/journal.log", engine->labels());
+      ReadJournal(engine_dir + "/journal.log", engine->labels(), fs);
   if (!journal.ok) {
     out->error = "journal read failed: " + journal.error;
     return nullptr;
@@ -477,14 +424,11 @@ std::unique_ptr<MidasEngine> RecoverEngine(const std::string& engine_dir,
 }
 
 bool SaveCheckpoint(const MidasEngine& engine, const std::string& engine_dir,
-                    std::string* error) {
-  std::error_code ec;
-  fs::create_directories(engine_dir, ec);
-  if (ec) {
-    SetError(error, "create " + engine_dir + ": " + ec.message());
+                    std::string* error, io::FileSystem* fs) {
+  if (!io::Resolve(fs).CreateDirs(engine_dir, error)) return false;
+  if (!SaveSnapshot(engine, engine_dir + "/snapshot", error, fs)) {
     return false;
   }
-  if (!SaveSnapshot(engine, engine_dir + "/snapshot", error)) return false;
   UpdateJournal* journal = engine.journal();
   if (journal != nullptr && journal->is_open()) {
     return journal->Reset(error);

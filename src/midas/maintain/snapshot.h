@@ -3,9 +3,11 @@
 
 #include <cstdint>
 #include <iosfwd>
+#include <map>
 #include <memory>
 #include <string>
 
+#include "midas/common/io.h"
 #include "midas/maintain/midas.h"
 
 namespace midas {
@@ -26,6 +28,19 @@ namespace midas {
 /// Combined with the write-ahead journal (journal.h), RecoverEngine brings
 /// an engine back to exactly the last *committed* maintenance round.
 
+/// Parsed MANIFEST contents (exposed for the integrity verifier and the
+/// fsck CLI; SaveSnapshot writes it, RestoreEngine validates against it).
+struct SnapshotManifest {
+  uint64_t snapshot_seq = 0;
+  GraphId next_graph_id = 0;
+  std::map<std::string, std::string> file_crc;  // name -> crc32 hex
+};
+
+/// Parses a MANIFEST file body. Unknown keys are skipped (forward
+/// compatibility); malformed known keys fail.
+bool ParseSnapshotManifest(const std::string& text, SnapshotManifest* manifest,
+                           std::string* error);
+
 /// Key=value serialization of the tunable configuration.
 void WriteConfig(const MidasConfig& config, std::ostream& out);
 /// Parses a config; unknown keys are ignored (forward compatibility),
@@ -35,11 +50,13 @@ bool ReadConfig(std::istream& in, MidasConfig* config);
 /// Atomically replaces the snapshot at `dir`: writes database.gspan,
 /// patterns.gspan, config.ini and MANIFEST into `<dir>.tmp`, fsyncs, then
 /// renames tmp into place (the previous snapshot is kept at `<dir>.old`
-/// during the swap and removed afterwards). Returns false on I/O failure
-/// with a diagnostic in *error; the existing snapshot is untouched in that
-/// case.
+/// during the swap and removed afterwards), then fsyncs the parent
+/// directory — rename(2) alone is not durable on ext4/xfs. Returns false on
+/// I/O failure with a diagnostic in *error; the existing snapshot is
+/// untouched in that case. All I/O goes through `fs` (nullptr = the real
+/// POSIX backend).
 bool SaveSnapshot(const MidasEngine& engine, const std::string& dir,
-                  std::string* error);
+                  std::string* error, io::FileSystem* fs = nullptr);
 bool SaveSnapshot(const MidasEngine& engine, const std::string& dir);
 
 /// Restores an engine from a snapshot directory: validates the MANIFEST
@@ -51,7 +68,8 @@ bool SaveSnapshot(const MidasEngine& engine, const std::string& dir);
 /// unrenamed), then `dir.old` (swap interrupted). Returns nullptr on
 /// failure with a diagnostic in *error.
 std::unique_ptr<MidasEngine> RestoreEngine(const std::string& dir,
-                                           std::string* error);
+                                           std::string* error,
+                                           io::FileSystem* fs = nullptr);
 std::unique_ptr<MidasEngine> RestoreEngine(const std::string& dir);
 
 /// What RecoverEngine did (for logs/tests).
@@ -70,13 +88,15 @@ struct RecoverInfo {
 /// trailing in-flight round (batch record without commit) is dropped, which
 /// is the at-most-one-round loss guarantee. Returns nullptr on failure.
 std::unique_ptr<MidasEngine> RecoverEngine(const std::string& engine_dir,
-                                           RecoverInfo* info = nullptr);
+                                           RecoverInfo* info = nullptr,
+                                           io::FileSystem* fs = nullptr);
 
 /// Checkpoints an engine into the RecoverEngine layout: snapshots into
 /// `<engine_dir>/snapshot` and, if a journal is attached, truncates it (the
 /// journaled history is now redundant — the snapshot carries it).
 bool SaveCheckpoint(const MidasEngine& engine, const std::string& engine_dir,
-                    std::string* error = nullptr);
+                    std::string* error = nullptr,
+                    io::FileSystem* fs = nullptr);
 
 }  // namespace midas
 

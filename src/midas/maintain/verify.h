@@ -1,0 +1,142 @@
+#ifndef MIDAS_MAINTAIN_VERIFY_H_
+#define MIDAS_MAINTAIN_VERIFY_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "midas/common/io.h"
+#include "midas/maintain/midas.h"
+#include "midas/select/pattern.h"
+
+namespace midas {
+
+/// fsck-style integrity verification of a MIDAS engine — both the bytes on
+/// disk (snapshot + journal) and the live derived state (coverage bitsets,
+/// FCT index membership, panel agreement) against the base GraphDatabase.
+/// A corrupted snapshot that still parses, a journal with a rewritten
+/// history, or an index column that drifted from its pattern are all things
+/// this pass catches and RestoreEngine alone does not.
+///
+/// Three tiers, each strictly more expensive:
+///   kManifest — MANIFEST presence/parse + per-file CRC32 of the snapshot;
+///   kJournal  — journal framing, CRCs, seq monotonicity, commit pairing
+///               and continuity with the snapshot's sequence number;
+///   kDeep     — recompute per-pattern coverage/scov/lcov/cog and FCT-index
+///               membership against the live database (TaskPool-parallel,
+///               budget-aware).
+/// Verifying at level L runs every tier <= L. The result is a typed
+/// IntegrityReport, not a bool: callers (the background scrubber, the
+/// midas_fsck CLI) decide repair policy from the violation kinds.
+
+enum class IntegrityTier : int { kManifest = 0, kJournal = 1, kDeep = 2 };
+
+enum class IntegrityViolationKind {
+  kSnapshotMissing,     ///< no snapshot directory (nor .tmp/.old fallback)
+  kManifestMissing,     ///< snapshot dir exists, MANIFEST does not
+  kManifestMalformed,   ///< MANIFEST present but unparseable / incomplete
+  kFileMissing,         ///< manifest lists a file that cannot be read
+  kChecksumMismatch,    ///< file bytes do not match the manifest CRC32
+  kConfigInvalid,       ///< config.ini unparseable or fails ValidateConfig
+  kJournalUnreadable,   ///< journal exists but cannot be read
+  kJournalTornTail,     ///< torn/corrupt journal tail (dropped on recovery)
+  kJournalGap,          ///< committed seq skips ahead of snapshot+replay
+  kRestoreFailed,       ///< deep tier could not bring the engine back
+  kCoverageMismatch,    ///< stored coverage bitset != recomputed coverage
+  kPatternMetricMismatch,  ///< stored scov/lcov/cog != recomputed
+  kFctIndexMismatch,    ///< TP column != recomputed feature counts
+  kPanelDisagreement,   ///< published panel != engine pattern set
+};
+
+const char* IntegrityTierName(IntegrityTier tier);
+const char* IntegrityViolationKindName(IntegrityViolationKind kind);
+
+struct IntegrityViolation {
+  IntegrityViolationKind kind = IntegrityViolationKind::kSnapshotMissing;
+  IntegrityTier tier = IntegrityTier::kManifest;
+  std::string object;  ///< file path, "pattern <id>", ...
+  std::string detail;  ///< human-readable diagnosis
+};
+
+struct IntegrityReport {
+  std::vector<IntegrityViolation> violations;
+  uint64_t checks = 0;        ///< individual checks executed
+  int tiers_run = 0;          ///< bitmask of (1 << tier)
+  /// True when the deep tier ran out of budget before covering every
+  /// pattern — clean() then means "no violation found", not "verified".
+  bool deep_truncated = false;
+
+  bool clean() const { return violations.empty(); }
+  bool RanTier(IntegrityTier tier) const {
+    return (tiers_run & (1 << static_cast<int>(tier))) != 0;
+  }
+  void Add(IntegrityTier tier, IntegrityViolationKind kind,
+           const std::string& object, const std::string& detail);
+  void Merge(const IntegrityReport& other);
+
+  /// Multi-line human-readable summary (fsck output).
+  std::string Describe() const;
+  /// Compact JSON (the /integrityz and fsck --json shape).
+  std::string ToJson() const;
+};
+
+struct VerifyOptions {
+  IntegrityTier level = IntegrityTier::kDeep;
+  /// Wall-clock budget for the deep tier (0 = unlimited). On exhaustion the
+  /// remaining patterns are skipped and deep_truncated is set.
+  double deep_deadline_ms = 0.0;
+  /// All disk I/O goes through this (nullptr = the real POSIX backend).
+  io::FileSystem* fs = nullptr;
+  /// Stop collecting after this many violations (diagnosis needs the first
+  /// few, not ten thousand identical CRC lines).
+  size_t max_violations = 64;
+};
+
+/// Tier kManifest over one concrete snapshot directory (no .tmp/.old
+/// resolution — callers pick the candidate).
+IntegrityReport VerifySnapshotDir(const std::string& snapshot_dir,
+                                  const VerifyOptions& options);
+
+/// Tier kJournal over a journal file. `snapshot_seq` is the round the
+/// snapshot already covers (continuity baseline for kJournalGap).
+IntegrityReport VerifyJournal(const std::string& journal_path,
+                              uint64_t snapshot_seq,
+                              const VerifyOptions& options);
+
+/// Tiers kManifest + kJournal over a SaveCheckpoint engine directory
+/// (`<dir>/snapshot` + `<dir>/journal.log`), honoring the same .tmp/.old
+/// fallback RestoreEngine uses: the primary snapshot's violations are only
+/// reported if no candidate verifies clean.
+IntegrityReport VerifyEngineDir(const std::string& engine_dir,
+                                const VerifyOptions& options);
+
+/// Tier kDeep against a live engine: recomputes per-pattern coverage,
+/// scov/lcov/cog and FCT-index membership on the engine's TaskPool, bounded
+/// by options.deep_deadline_ms. Appends to `report`.
+void VerifyEngineDeep(const MidasEngine& engine, const VerifyOptions& options,
+                      IntegrityReport* report);
+
+/// Incremental slice of the deep per-pattern checks for the background
+/// scrubber: verifies patterns [cursor, ...) in id order until
+/// `deadline_ms` elapses, appends violations to `report`, and returns the
+/// next cursor (0 when the whole panel was covered — one full lap done).
+size_t VerifyPatternsSlice(const MidasEngine& engine, size_t cursor,
+                           double deadline_ms, IntegrityReport* report);
+
+/// Published-panel agreement: when `published_seq` matches the engine's
+/// round_seq, the published pattern ids and coverage must equal the
+/// engine's (readers lagging a round behind are legal and skipped).
+void VerifyPanelAgreement(const MidasEngine& engine,
+                          const PatternSet& published, uint64_t published_seq,
+                          IntegrityReport* report);
+
+/// The full fsck entry point over an engine directory: disk tiers first,
+/// then (at level kDeep) a RecoverEngine + deep cross-check. A failed
+/// recovery is itself a typed violation (kRestoreFailed), never a crash.
+IntegrityReport VerifyEngineState(const std::string& engine_dir,
+                                  const VerifyOptions& options);
+
+}  // namespace midas
+
+#endif  // MIDAS_MAINTAIN_VERIFY_H_

@@ -12,6 +12,8 @@
 #include <cstring>
 #include <sstream>
 
+#include "midas/obs/metrics.h"
+
 namespace midas {
 namespace obs {
 
@@ -52,17 +54,43 @@ bool ReadRequestHead(int fd, std::string* out) {
   return false;
 }
 
+/// Writes the whole response or gives up on a hard error / a peer that
+/// makes no progress for kWriteStallLimitMs. EINTR (in poll or send) and
+/// EAGAIN are retried — a signal must not truncate a /metrics scrape into
+/// something a collector half-parses. Truncated responses are counted in
+/// midas_telemetry_write_truncated_total.
 void WriteAll(int fd, const std::string& data) {
+  constexpr int kWriteStallLimitMs = 15000;
   size_t off = 0;
+  int stalled_ms = 0;
   while (off < data.size()) {
     struct pollfd p = {fd, POLLOUT, 0};
-    if (::poll(&p, 1, kIoTimeoutMs) <= 0) return;
-    ssize_t n = ::send(fd, data.data() + off, data.size() - off, MSG_NOSIGNAL);
-    if (n <= 0) {
-      if (n < 0 && (errno == EINTR || errno == EAGAIN)) continue;
-      return;
+    int ready = ::poll(&p, 1, kIoTimeoutMs);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      break;
     }
+    if (ready == 0) {
+      // One quiet poll is not a verdict; a receiver can stall under load
+      // and resume. Only a sustained stall with zero progress aborts.
+      stalled_ms += kIoTimeoutMs;
+      if (stalled_ms >= kWriteStallLimitMs) break;
+      continue;
+    }
+    ssize_t n = ::send(fd, data.data() + off, data.size() - off, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR || errno == EAGAIN) continue;
+      break;  // connection error
+    }
+    if (n == 0) break;  // peer stopped consuming
     off += static_cast<size_t>(n);
+    stalled_ms = 0;  // progress resets the stall clock
+  }
+  if (off < data.size()) {
+    auto& reg = MetricsRegistry::Current();
+    if (reg.enabled()) {
+      reg.GetCounter("midas_telemetry_write_truncated_total")->Increment();
+    }
   }
 }
 

@@ -101,9 +101,10 @@ bool EngineHost::Start(std::string* error) {
   if (running_.load(std::memory_order_acquire)) return true;
   if (engine_ == nullptr) return fail("EngineHost: no engine");
 
-  std::error_code ec;
-  fs::create_directories(engine_dir_, ec);
-  if (ec) return fail("create " + engine_dir_ + ": " + ec.message());
+  std::string mkdir_err;
+  if (!io::Resolve(config_.fs).CreateDirs(engine_dir_, &mkdir_err)) {
+    return fail(mkdir_err);
+  }
 
   if (config_.num_threads >= 0) engine_->SetNumThreads(config_.num_threads);
   try {
@@ -132,10 +133,10 @@ bool EngineHost::Start(std::string* error) {
   // Recovery baseline: snapshot the as-started engine so RecoverEngine has
   // a floor even before the first checkpointed round.
   std::string err;
-  if (!SaveCheckpoint(*engine_, engine_dir_, &err)) {
+  if (!SaveCheckpoint(*engine_, engine_dir_, &err, config_.fs)) {
     return fail("baseline checkpoint: " + err);
   }
-  if (!journal_.Open(engine_dir_ + "/journal.log", &err)) {
+  if (!journal_.Open(engine_dir_ + "/journal.log", &err, config_.fs)) {
     return fail("open journal: " + err);
   }
   // Anything left in the journal predates the baseline we just saved.
@@ -158,6 +159,18 @@ bool EngineHost::Start(std::string* error) {
     if (!telemetry_->Start(config_.telemetry_port, &err)) {
       return fail("telemetry server: " + err);
     }
+  }
+
+  scrub_phase_ = 0;
+  scrub_cursor_ = 0;
+  scrub_cycle_ = IntegrityReport{};
+  logged_rung_ = RepairRung::kNone;
+  integrity_failed_.store(false, std::memory_order_release);
+  {
+    std::lock_guard<std::mutex> lock(integrity_mu_);
+    last_integrity_report_ = IntegrityReport{};
+    integrity_cause_.clear();
+    integrity_verified_seq_ = 0;
   }
 
   dead_.store(false, std::memory_order_release);
@@ -243,6 +256,11 @@ SubmitResult EngineHost::SubmitInternal(
     record_reject("shed_overload", raw_adds, raw_dels);
     return result;
   };
+  if (integrity_failed_.load(std::memory_order_acquire)) {
+    // Repair ladder exhausted: the durable state cannot be trusted, so no
+    // new batch may mutate it. Reads keep serving the last verified panel.
+    return shed("integrity", config_.overload.admission.interval_ms);
+  }
   if (ladder_.state() == OverloadState::kLameDuck) {
     // No principled hint for lame-duck: the rung lifts when pressure drops.
     // The initial CoDel interval is the layer's "a while from now" unit.
@@ -348,6 +366,10 @@ void EngineHost::WriterLoop() {
       drained_.fetch_add(batches, std::memory_order_release);
     } else if (queue_.closed()) {
       break;  // closed and drained
+    } else {
+      // Idle tick: no batch arrived within the Pop timeout — spend the
+      // slack verifying our own durable state.
+      ScrubTick();
     }
     WatchdogTick();
     UpdateGauges();
@@ -554,33 +576,36 @@ void EngineHost::RunBatch(BoundedUpdateQueue::Item item) {
   }
 }
 
+void EngineHost::AttachEngine(MidasEngine* engine) {
+  engine->SetJournal(&journal_);
+  if (event_log_ != nullptr) engine->SetEventLog(event_log_);
+  if (config_.sli_enabled) engine->SetDriftDetector(&drift_);
+  engine->SetRoundLimits(base_deadline_ms_, base_step_limit_);
+  if (config_.num_threads >= 0) engine->SetNumThreads(config_.num_threads);
+  // A recovered engine must come back inside the ladder's current posture,
+  // not at full quality while the host is shedding.
+  if (ladder_.AtLeast(OverloadState::kShedWork)) {
+    engine->SetShedMode(true, config_.overload.shed_candidate_cap);
+  }
+}
+
 bool EngineHost::RecoverInProcess(const std::string& why) {
   engine_.reset();  // drop the torn engine before rebuilding from disk
   std::string detail;
   try {
     RecoverInfo info;
-    std::unique_ptr<MidasEngine> fresh = RecoverEngine(engine_dir_, &info);
+    std::unique_ptr<MidasEngine> fresh =
+        RecoverEngine(engine_dir_, &info, config_.fs);
     if (fresh == nullptr) {
       detail = info.error.empty() ? "RecoverEngine failed" : info.error;
     } else {
-      fresh->SetJournal(&journal_);
-      if (event_log_ != nullptr) fresh->SetEventLog(event_log_);
-      if (config_.sli_enabled) fresh->SetDriftDetector(&drift_);
-      fresh->SetRoundLimits(base_deadline_ms_, base_step_limit_);
-      if (config_.num_threads >= 0) {
-        fresh->SetNumThreads(config_.num_threads);
-      }
-      // A recovered engine must come back inside the ladder's current
-      // posture, not at full quality while the host is shedding.
-      if (ladder_.AtLeast(OverloadState::kShedWork)) {
-        fresh->SetShedMode(true, config_.overload.shed_candidate_cap);
-      }
+      AttachEngine(fresh.get());
       // Mandatory re-baseline: a failed round leaves stale uncommitted
       // records (and possibly seqs above where we resume) in the journal;
       // the checkpoint truncates them so the retry's appends cannot read
       // back as a seq regression.
       std::string err;
-      if (!SaveCheckpoint(*fresh, engine_dir_, &err)) {
+      if (!SaveCheckpoint(*fresh, engine_dir_, &err, config_.fs)) {
         detail = "post-recovery checkpoint: " + err;
       } else {
         engine_ = std::move(fresh);
@@ -633,7 +658,8 @@ void EngineHost::Quarantine(const BatchUpdate& batch,
   std::string path;
   std::string err;
   std::string detail;
-  if (WriteQuarantineFile(q, labels, quarantine_dir_, &path, &err)) {
+  if (WriteQuarantineFile(q, labels, quarantine_dir_, &path, &err,
+                          config_.fs)) {
     detail = reason + " file=" + path;
   } else {
     // The write itself failed; the event-log record is the only evidence.
@@ -695,7 +721,7 @@ void EngineHost::MaybeCheckpoint() {
   if (config_.checkpoint_every == 0) return;
   if (rounds_since_checkpoint_ < config_.checkpoint_every) return;
   std::string err;
-  if (SaveCheckpoint(*engine_, engine_dir_, &err)) {
+  if (SaveCheckpoint(*engine_, engine_dir_, &err, config_.fs)) {
     rounds_since_checkpoint_ = 0;
     checkpoints_.fetch_add(1, std::memory_order_relaxed);
     Count("midas_serve_checkpoints_total");
@@ -704,6 +730,303 @@ void EngineHost::MaybeCheckpoint() {
     // it just grows until a later checkpoint succeeds.
     AppendServeEvent("checkpoint_failed", engine_->round_seq(), err);
   }
+}
+
+const char* EngineHost::RepairRungName(RepairRung rung) {
+  switch (rung) {
+    case RepairRung::kNone: return "none";
+    case RepairRung::kRebuildViews: return "rebuild_views";
+    case RepairRung::kRestoreSnapshot: return "restore_snapshot";
+    case RepairRung::kRunFromScratch: return "run_from_scratch";
+    case RepairRung::kRefuseServe: return "refuse_serve";
+  }
+  return "unknown";
+}
+
+void EngineHost::ScrubTick() {
+  if (!config_.scrub.enabled || dead_.load(std::memory_order_acquire)) {
+    return;
+  }
+  if (integrity_failed_.load(std::memory_order_acquire)) {
+    // Refused: retry at a gentle cadence (every ~20 idle ticks, roughly a
+    // second) instead of burning the writer re-verifying a known-bad state
+    // on every Pop timeout. A cleared fault still lifts the refusal, just
+    // not instantly.
+    if (++refused_backoff_ticks_ < 20) return;
+    refused_backoff_ticks_ = 0;
+  }
+  if (engine_ == nullptr) {
+    // A failed restore rung left the host engineless. Keep retrying the
+    // ladder so a cleared fault lifts the refusal without a restart.
+    if (integrity_failed_.load(std::memory_order_acquire) &&
+        config_.scrub.repair) {
+      RunRepairLadder("engine lost during repair");
+    }
+    return;
+  }
+  scrub_ticks_.fetch_add(1, std::memory_order_relaxed);
+  Count("midas_integrity_scrub_ticks_total");
+
+  IntegrityReport tick;
+  bool lap_done = false;
+  if (scrub_phase_ == 0) {
+    // Disk tiers: manifest CRCs + journal chain in one slice (cheap —
+    // bounded by snapshot size, not panel size).
+    VerifyOptions opt;
+    opt.level = IntegrityTier::kJournal;
+    opt.fs = config_.fs;
+    tick = VerifyEngineDir(engine_dir_, opt);
+    scrub_phase_ = 1;
+    scrub_cursor_ = 0;
+  } else {
+    scrub_cursor_ = VerifyPatternsSlice(*engine_, scrub_cursor_,
+                                        config_.scrub.tick_budget_ms, &tick);
+    if (scrub_cursor_ == 0) {
+      PanelSnapshotPtr snap = snapshot();
+      if (snap != nullptr) {
+        VerifyPanelAgreement(*engine_, snap->patterns, snap->round_seq,
+                             &tick);
+      }
+      scrub_phase_ = 0;
+      lap_done = true;
+    }
+  }
+  Count("midas_integrity_checks_total", tick.checks);
+  scrub_cycle_.Merge(tick);
+
+  if (!tick.clean()) {
+    integrity_violations_.fetch_add(tick.violations.size(),
+                                    std::memory_order_relaxed);
+    Count("midas_integrity_violations_total", tick.violations.size());
+    if (breaker_.RecordFailure()) NoteBreakerState("integrity violation");
+    SetIntegrityReport(scrub_cycle_, 0);
+    const std::string detail = tick.Describe();
+    AppendServeEvent("integrity_violation", engine_->round_seq(), detail);
+    RecordIntegrityEvent("integrity_violation", detail);
+    if (config_.scrub.repair) {
+      RunRepairLadder(detail);
+    } else {
+      auto& reg = obs::MetricsRegistry::Current();
+      if (reg.enabled()) reg.GetGauge("midas_integrity_status")->Set(1.0);
+    }
+    // Restart the scan from the disk tier: whatever the ladder did (or a
+    // detect-only host left alone), the next lap measures the new state.
+    scrub_phase_ = 0;
+    scrub_cursor_ = 0;
+    scrub_cycle_ = IntegrityReport{};
+    return;
+  }
+
+  if (lap_done) {
+    // Full clean lap: every tier verified against the live engine — this
+    // seq becomes the verified watermark.
+    SetIntegrityReport(scrub_cycle_, engine_->round_seq());
+    scrub_cycle_ = IntegrityReport{};
+    if (integrity_failed_.exchange(false, std::memory_order_acq_rel)) {
+      // The fault cleared between refusal and this lap (e.g. a transient
+      // device error): the state verifies clean end to end, so serving
+      // resumes.
+      LogOverloadTransition("integrity", RepairRungName(logged_rung_),
+                            RepairRungName(RepairRung::kNone),
+                            "clean verification lap");
+      logged_rung_ = RepairRung::kNone;
+    }
+  }
+}
+
+bool EngineHost::RunRepairLadder(const std::string& cause) {
+  auto transition = [this](RepairRung to, const std::string& why) {
+    LogOverloadTransition("integrity", RepairRungName(logged_rung_),
+                          RepairRungName(to), why);
+    logged_rung_ = to;
+  };
+  auto& reg = obs::MetricsRegistry::Current();
+  if (reg.enabled()) reg.GetGauge("midas_integrity_status")->Set(1.0);
+
+  struct Step {
+    RepairRung rung;
+    bool (EngineHost::*fn)(std::string*);
+  };
+  static constexpr Step kLadder[] = {
+      {RepairRung::kRebuildViews, &EngineHost::RepairRebuildViews},
+      {RepairRung::kRestoreSnapshot, &EngineHost::RepairRestoreSnapshot},
+      {RepairRung::kRunFromScratch, &EngineHost::RepairRunFromScratch},
+  };
+  std::string why = cause;
+  for (const Step& step : kLadder) {
+    transition(step.rung, why);
+    std::string err;
+    if (!(this->*step.fn)(&err)) {
+      why = std::string(RepairRungName(step.rung)) + " failed: " + err;
+      AppendServeEvent("integrity_repair_failed",
+                       engine_ != nullptr ? engine_->round_seq() : 0, why);
+      continue;
+    }
+    IntegrityReport proof;
+    if (!VerifyAfterRepair(&proof)) {
+      why = std::string(RepairRungName(step.rung)) +
+            " did not verify: " + proof.Describe();
+      AppendServeEvent("integrity_repair_failed",
+                       engine_ != nullptr ? engine_->round_seq() : 0, why);
+      continue;
+    }
+    // Healed and proven: publish the repaired (deep-verified) panel.
+    integrity_repairs_.fetch_add(1, std::memory_order_relaxed);
+    Count("midas_integrity_repairs_total");
+    if (breaker_.RecordSuccess(0.0)) NoteBreakerState("integrity repaired");
+    const uint64_t seq = engine_->round_seq();
+    SetIntegrityReport(proof, seq);
+    integrity_failed_.store(false, std::memory_order_release);
+    const std::string healed =
+        std::string("repaired at ") + RepairRungName(step.rung);
+    transition(RepairRung::kNone, healed);
+    AppendServeEvent("integrity_repaired", seq, healed + " (" + cause + ")");
+    RecordIntegrityEvent("integrity_repaired", healed);
+    PublishSnapshot();
+    if (reg.enabled()) reg.GetGauge("midas_integrity_status")->Set(0.0);
+    return true;
+  }
+
+  // Every rung failed: the durable state cannot be trusted. Refuse new
+  // batches (typed shed reason "integrity", /healthz 503) but keep serving
+  // the last published — still verified — panel to readers.
+  transition(RepairRung::kRefuseServe, why);
+  integrity_refusals_.fetch_add(1, std::memory_order_relaxed);
+  Count("midas_integrity_refusals_total");
+  integrity_failed_.store(true, std::memory_order_release);
+  {
+    std::lock_guard<std::mutex> lock(integrity_mu_);
+    integrity_cause_ = why;
+  }
+  AppendServeEvent("integrity_refused",
+                   engine_ != nullptr ? engine_->round_seq() : 0, why);
+  RecordIntegrityEvent("integrity_refused", why);
+  if (reg.enabled()) reg.GetGauge("midas_integrity_status")->Set(2.0);
+  return false;
+}
+
+bool EngineHost::RepairRebuildViews(std::string* error) {
+  if (engine_ == nullptr) {
+    *error = "no engine";
+    return false;
+  }
+  try {
+    engine_->RebuildDerivedState();
+  } catch (const std::exception& e) {
+    *error = e.what();
+    return false;
+  }
+  // Rewriting the checkpoint from the rebuilt engine also heals disk rot:
+  // a flipped bit in the snapshot is overwritten with fresh, CRC'd bytes.
+  if (!SaveCheckpoint(*engine_, engine_dir_, error, config_.fs)) {
+    return false;
+  }
+  rounds_since_checkpoint_ = 0;
+  checkpoints_.fetch_add(1, std::memory_order_relaxed);
+  Count("midas_serve_checkpoints_total");
+  return true;
+}
+
+bool EngineHost::RepairRestoreSnapshot(std::string* error) {
+  // Unlike RecoverInProcess this keeps the current engine alive until the
+  // restore succeeds: the live database is the RunFromScratch rung's only
+  // input, so it must survive a failed restore.
+  std::unique_ptr<MidasEngine> fresh;
+  RecoverInfo info;
+  try {
+    fresh = RecoverEngine(engine_dir_, &info, config_.fs);
+  } catch (const std::exception& e) {
+    *error = e.what();
+    return false;
+  }
+  if (fresh == nullptr) {
+    *error = info.error.empty() ? "RecoverEngine failed" : info.error;
+    return false;
+  }
+  AttachEngine(fresh.get());
+  if (!SaveCheckpoint(*fresh, engine_dir_, error, config_.fs)) return false;
+  engine_ = std::move(fresh);
+  rounds_since_checkpoint_ = 0;
+  recoveries_.fetch_add(1, std::memory_order_relaxed);
+  Count("midas_serve_recoveries_total");
+  AppendServeEvent("recovered", engine_->round_seq(), "integrity repair");
+  return true;
+}
+
+bool EngineHost::RepairRunFromScratch(std::string* error) {
+  if (engine_ == nullptr) {
+    *error = "no engine to rebuild from";
+    return false;
+  }
+  try {
+    const uint64_t seq = engine_->round_seq();
+    GraphDatabase db = engine_->db();  // deep copy, fresh epoch
+    auto fresh =
+        std::make_unique<MidasEngine>(std::move(db), engine_->config());
+    if (config_.num_threads >= 0) fresh->SetNumThreads(config_.num_threads);
+    fresh->Initialize();  // full from-scratch pipeline, selection included
+    fresh->RestoreRoundSeq(seq);
+    AttachEngine(fresh.get());
+    if (!SaveCheckpoint(*fresh, engine_dir_, error, config_.fs)) {
+      return false;
+    }
+    engine_ = std::move(fresh);
+    rounds_since_checkpoint_ = 0;
+    return true;
+  } catch (const std::exception& e) {
+    *error = e.what();
+    return false;
+  }
+}
+
+bool EngineHost::VerifyAfterRepair(IntegrityReport* report) {
+  VerifyOptions opt;
+  opt.level = IntegrityTier::kJournal;
+  opt.fs = config_.fs;
+  *report = VerifyEngineDir(engine_dir_, opt);
+  if (engine_ != nullptr) {
+    VerifyOptions deep;
+    deep.fs = config_.fs;  // unbounded: a repair is rare enough to prove
+    VerifyEngineDeep(*engine_, deep, report);
+  }
+  return report->clean();
+}
+
+void EngineHost::SetIntegrityReport(const IntegrityReport& report,
+                                    uint64_t verified_seq) {
+  {
+    std::lock_guard<std::mutex> lock(integrity_mu_);
+    last_integrity_report_ = report;
+    if (verified_seq > 0) integrity_verified_seq_ = verified_seq;
+  }
+  auto& reg = obs::MetricsRegistry::Current();
+  if (reg.enabled() && verified_seq > 0) {
+    reg.GetGauge("midas_integrity_last_verified_seq")
+        ->Set(static_cast<double>(verified_seq));
+    reg.GetGauge("midas_integrity_status")->Set(0.0);
+  }
+}
+
+void EngineHost::RecordIntegrityEvent(const char* outcome,
+                                      const std::string& detail) {
+  if (!config_.tracing_enabled) return;
+  auto record = std::make_shared<obs::FlightRecord>();
+  record->trace_id = obs::MintTraceId().ToHex();
+  record->seq = engine_ != nullptr ? engine_->round_seq() : 0;
+  record->admission = "scrub";
+  record->outcome = outcome;
+  record->error = detail;
+  RecordFlight(std::move(record));
+}
+
+IntegrityReport EngineHost::last_integrity_report() const {
+  std::lock_guard<std::mutex> lock(integrity_mu_);
+  return last_integrity_report_;
+}
+
+uint64_t EngineHost::integrity_verified_seq() const {
+  std::lock_guard<std::mutex> lock(integrity_mu_);
+  return integrity_verified_seq_;
 }
 
 void EngineHost::WatchdogTick() {
@@ -862,14 +1185,28 @@ void EngineHost::InstallTelemetryRoutes() {
     const bool is_running = running();
     const bool is_dead = dead();
     const bool drift = quality_drifted();
-    const bool healthy = is_running && !is_dead && !drift;
+    const bool integrity = integrity_failed();
+    const bool healthy = is_running && !is_dead && !drift && !integrity;
 
     obs::JsonWriter w;
     w.BeginObject();
     w.Key("status").Value(healthy ? "ok" : "degraded");
+    if (!healthy) {
+      // Typed cause, most severe first: a prober branches on one field
+      // instead of re-deriving precedence from the booleans.
+      w.Key("cause").Value(integrity     ? "integrity"
+                           : is_dead     ? "dead"
+                           : drift       ? "quality_drift"
+                                         : "stopped");
+    }
     w.Key("running").Value(is_running);
     w.Key("dead").Value(is_dead);
     w.Key("quality_drift").Value(drift);
+    w.Key("integrity_failed").Value(integrity);
+    if (integrity) {
+      std::lock_guard<std::mutex> lock(integrity_mu_);
+      w.Key("integrity_cause").Value(integrity_cause_);
+    }
     w.Key("queue_depth").Value(static_cast<uint64_t>(queue_.depth()));
     w.Key("rounds_ok").Value(rounds_ok_.load(std::memory_order_relaxed));
     PanelSnapshotPtr snap = snapshot();
@@ -998,6 +1335,45 @@ void EngineHost::InstallTelemetryRoutes() {
     return resp;
   });
 
+  telemetry_->Handle("/integrityz", [this](const obs::HttpRequest&) {
+    IntegrityReport report;
+    std::string cause;
+    uint64_t verified_seq = 0;
+    {
+      std::lock_guard<std::mutex> lock(integrity_mu_);
+      report = last_integrity_report_;
+      cause = integrity_cause_;
+      verified_seq = integrity_verified_seq_;
+    }
+    const bool refused = integrity_failed();
+
+    obs::JsonWriter w;
+    w.BeginObject();
+    w.Key("scrub_enabled").Value(config_.scrub.enabled);
+    w.Key("status").Value(refused          ? "refused"
+                          : report.clean() ? "ok"
+                                           : "violations");
+    w.Key("refusal_cause").Value(cause);
+    w.Key("last_verified_seq").Value(verified_seq);
+    w.Key("scrub_ticks")
+        .Value(scrub_ticks_.load(std::memory_order_relaxed));
+    w.Key("violations_total")
+        .Value(integrity_violations_.load(std::memory_order_relaxed));
+    w.Key("repairs_total")
+        .Value(integrity_repairs_.load(std::memory_order_relaxed));
+    w.Key("refusals_total")
+        .Value(integrity_refusals_.load(std::memory_order_relaxed));
+    w.EndObject();
+    // Splice the report (already JSON via ToJson) before the closing brace.
+    std::string body = w.str();
+    body.insert(body.size() - 1, ",\"report\":" + report.ToJson());
+
+    obs::HttpResponse resp;
+    resp.content_type = "application/json";
+    resp.body = body;
+    return resp;
+  });
+
   telemetry_->Handle("/spans", [](const obs::HttpRequest& req) {
     obs::HttpResponse resp;
     obs::SpanProfiler& prof = obs::SpanProfiler::Current();
@@ -1030,6 +1406,11 @@ HostStats EngineHost::stats() const {
   s.checkpoints = checkpoints_.load(std::memory_order_relaxed);
   s.shed_overload = shed_overload_.load(std::memory_order_relaxed);
   s.submit_timeouts = submit_timeouts_.load(std::memory_order_relaxed);
+  s.scrub_ticks = scrub_ticks_.load(std::memory_order_relaxed);
+  s.integrity_violations =
+      integrity_violations_.load(std::memory_order_relaxed);
+  s.integrity_repairs = integrity_repairs_.load(std::memory_order_relaxed);
+  s.integrity_refusals = integrity_refusals_.load(std::memory_order_relaxed);
   return s;
 }
 

@@ -9,9 +9,11 @@
 #include <thread>
 #include <vector>
 
+#include "midas/common/io.h"
 #include "midas/common/memory.h"
 #include "midas/maintain/journal.h"
 #include "midas/maintain/midas.h"
+#include "midas/maintain/verify.h"
 #include "midas/obs/event_log.h"
 #include "midas/obs/flight.h"
 #include "midas/obs/sli.h"
@@ -25,6 +27,23 @@
 
 namespace midas {
 namespace serve {
+
+/// Background integrity scrubber (maintain/verify.h): the writer verifies
+/// its own durable state on idle loop ticks — disk tiers (manifest CRCs,
+/// journal chain) first, then the deep per-pattern cross-check in
+/// time-sliced laps — and self-heals through the repair ladder when a
+/// violation surfaces.
+struct ScrubConfig {
+  bool enabled = false;
+  /// Wall-clock budget of one deep-verify slice (ms). The deep tier resumes
+  /// at the pattern where the previous slice stopped, so a full lap costs
+  /// many ticks but never stalls the writer longer than this per tick.
+  double tick_budget_ms = 2.0;
+  /// Attempt self-healing via the repair ladder when a violation is found.
+  /// False = detect-only: metrics, /integrityz and events still fire, but
+  /// the host never touches the state (useful for forensics).
+  bool repair = true;
+};
 
 /// Tuning of one EngineHost.
 struct HostConfig {
@@ -100,6 +119,16 @@ struct HostConfig {
   /// exemplars. Tracing never feeds back into maintenance decisions.
   bool tracing_enabled = true;
   obs::FlightRecorderConfig flight;
+
+  /// Every durable-state I/O — journal appends, checkpoints, recovery
+  /// reads, quarantine files, scrubber re-reads — goes through this
+  /// FileSystem. nullptr = the real POSIX backend. Tests install an
+  /// io::FaultyFileSystem here to inject EIO/ENOSPC/torn renames/fsync
+  /// lies/bit rot without touching the kernel.
+  io::FileSystem* fs = nullptr;
+
+  /// Background integrity scrubbing + self-healing repair.
+  ScrubConfig scrub;
 };
 
 /// Monotonic host telemetry (all counters since Start).
@@ -118,6 +147,10 @@ struct HostStats {
   uint64_t checkpoints = 0;         ///< SaveCheckpoint calls that succeeded
   uint64_t shed_overload = 0;       ///< Submit-side overload sheds
   uint64_t submit_timeouts = 0;     ///< kBlock waits that hit the deadline
+  uint64_t scrub_ticks = 0;         ///< integrity scrubber slices run
+  uint64_t integrity_violations = 0;  ///< violations the scrubber surfaced
+  uint64_t integrity_repairs = 0;     ///< repair-ladder runs that healed
+  uint64_t integrity_refusals = 0;    ///< ladder exhaustions (refuse-serve)
 };
 
 enum class SubmitStatus {
@@ -139,8 +172,8 @@ struct SubmitResult {
   /// Backoff hint for kShedOverload / kRejectedTimeout: how long the
   /// submitter should wait before retrying (0 = no hint).
   double retry_after_ms = 0.0;
-  /// Which mechanism shed it: "codel", "cost", "ladder" or "breaker"
-  /// ("" when not shed).
+  /// Which mechanism shed it: "codel", "cost", "ladder", "breaker" or
+  /// "integrity" ("" when not shed).
   std::string shed_reason;
   bool accepted() const { return status == SubmitStatus::kAccepted; }
 };
@@ -266,10 +299,38 @@ class EngineHost {
   MemoryBudget& memory_budget() { return memory_; }
   const MemoryBudget& memory_budget() const { return memory_; }
   /// Every ladder/breaker state change since Start, in order — the evidence
-  /// a seeded chaos drill compares across runs.
+  /// a seeded chaos drill compares across runs. Integrity repair-ladder
+  /// transitions appear here too (source "integrity").
   const OverloadTransitionLog& overload_transitions() const {
     return overload_log_;
   }
+
+  // --- Durable-state integrity ------------------------------------------
+
+  /// The self-healing escalation ladder the scrubber climbs when a
+  /// violation surfaces. Each rung is tried in order; each success is
+  /// re-verified (disk tiers + full deep check) before the host trusts it.
+  enum class RepairRung {
+    kNone = 0,            ///< healthy / repaired
+    kRebuildViews,        ///< re-derive every maintained view + checkpoint
+    kRestoreSnapshot,     ///< RecoverEngine from snapshot + journal replay
+    kRunFromScratch,      ///< rebuild the engine from the live database
+    kRefuseServe,         ///< ladder exhausted: refuse new batches
+  };
+  static const char* RepairRungName(RepairRung rung);
+
+  /// True when the repair ladder exhausted every rung: Submit sheds with
+  /// reason "integrity", /healthz reports 503 with cause "integrity", and
+  /// the last published snapshot keeps serving reads. The scrubber keeps
+  /// retrying the ladder; a later success lifts the refusal.
+  bool integrity_failed() const {
+    return integrity_failed_.load(std::memory_order_acquire);
+  }
+  /// Copy of the most recent integrity report (thread-safe; empty before
+  /// the scrubber's first finding or completed lap).
+  IntegrityReport last_integrity_report() const;
+  /// Round seq of the last state that passed a full clean verification lap.
+  uint64_t integrity_verified_seq() const;
 
  private:
   void WriterLoop();
@@ -280,6 +341,28 @@ class EngineHost {
   /// journal/event log and re-baselines with a checkpoint. False when the
   /// host could not get a healthy engine back.
   bool RecoverInProcess(const std::string& why);
+  /// Wires a (recovered or rebuilt) engine into the host: journal, event
+  /// log, drift detector, round limits, thread count, ladder shed posture.
+  void AttachEngine(MidasEngine* engine);
+  /// One scrubber slice on the writer's idle tick: disk tiers on cycle
+  /// start, then deep per-pattern slices until a lap completes. Violations
+  /// feed metrics/events and (when scrub.repair) the repair ladder.
+  void ScrubTick();
+  /// Climbs the repair ladder until a rung heals (re-verified clean) or
+  /// every rung failed — then flips the host into integrity refusal.
+  /// Returns true when the state was repaired.
+  bool RunRepairLadder(const std::string& cause);
+  bool RepairRebuildViews(std::string* error);
+  bool RepairRestoreSnapshot(std::string* error);
+  bool RepairRunFromScratch(std::string* error);
+  /// Post-repair proof: disk tiers + unbounded deep check. The host never
+  /// publishes a repaired panel that fails this.
+  bool VerifyAfterRepair(IntegrityReport* report);
+  /// Publishes the report copy readers see on /integrityz.
+  void SetIntegrityReport(const IntegrityReport& report, uint64_t verified_seq);
+  /// Scrub flight record: outcome "integrity_violation" /
+  /// "integrity_repaired" / "integrity_refused", admission "scrub".
+  void RecordIntegrityEvent(const char* outcome, const std::string& detail);
   void PublishSnapshot();
   void Quarantine(const BatchUpdate& batch, const LabelDictionary& labels,
                   uint64_t seq, int attempts, const std::string& reason);
@@ -347,6 +430,20 @@ class EngineHost {
   /// Breaker state as of the writer's last transition log entry.
   CircuitBreaker::State logged_breaker_state_ = CircuitBreaker::State::kClosed;
 
+  // Integrity scrubber state. The cursor/cycle fields are writer-thread-
+  // only; the report/cause mirrors behind integrity_mu_ serve /integrityz
+  // and tests; integrity_failed_ is the Submit-visible refusal flag.
+  int scrub_phase_ = 0;          ///< 0 = disk tiers next, 1 = deep slices
+  size_t scrub_cursor_ = 0;      ///< deep-tier resume position
+  uint64_t refused_backoff_ticks_ = 0;  ///< ladder-retry pacing while refused
+  IntegrityReport scrub_cycle_;  ///< accumulates the current lap
+  RepairRung logged_rung_ = RepairRung::kNone;  ///< writer-thread-only
+  std::atomic<bool> integrity_failed_{false};
+  mutable std::mutex integrity_mu_;
+  IntegrityReport last_integrity_report_;   ///< guarded by integrity_mu_
+  std::string integrity_cause_;             ///< guarded by integrity_mu_
+  uint64_t integrity_verified_seq_ = 0;     ///< guarded by integrity_mu_
+
   BoundedUpdateQueue queue_;
   std::thread writer_;
   std::atomic<bool> running_{false};
@@ -363,7 +460,8 @@ class EngineHost {
   std::atomic<uint64_t> submitted_{0}, admitted_{0}, rejected_validation_{0},
       rejected_overflow_{0}, coalesced_{0}, writer_rejected_{0}, rounds_ok_{0},
       retries_{0}, recoveries_{0}, recovery_failures_{0}, quarantined_{0},
-      checkpoints_{0}, shed_overload_{0}, submit_timeouts_{0};
+      checkpoints_{0}, shed_overload_{0}, submit_timeouts_{0}, scrub_ticks_{0},
+      integrity_violations_{0}, integrity_repairs_{0}, integrity_refusals_{0};
 };
 
 }  // namespace serve

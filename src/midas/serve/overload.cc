@@ -1,6 +1,7 @@
 #include "midas/serve/overload.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "midas/obs/metrics.h"
 
@@ -67,6 +68,15 @@ void AdmissionController::ObserveRound(size_t delta_edges, double round_ms) {
   }
 }
 
+double AdmissionController::ClampRetryAfter(double hint_ms) const {
+  double floor = config_.retry_after_floor_ms;
+  if (!std::isfinite(floor) || floor < 0.0) floor = 0.0;
+  double cap = config_.retry_after_cap_ms;
+  if (!std::isfinite(cap) || cap < floor) cap = floor;
+  if (!std::isfinite(hint_ms) || hint_ms < floor) return floor;
+  return std::min(hint_ms, cap);
+}
+
 AdmissionDecision AdmissionController::Admit(size_t delta_edges) {
   AdmissionDecision d;
   if (!config_.enabled) return d;
@@ -78,8 +88,7 @@ AdmissionDecision AdmissionController::Admit(size_t delta_edges) {
     // next sub-target sojourn resets everything.
     d.admit = false;
     d.reason = "codel";
-    d.retry_after_ms =
-        std::max(config_.retry_after_floor_ms, current_interval_ms_);
+    d.retry_after_ms = ClampRetryAfter(current_interval_ms_);
     current_interval_ms_ =
         std::max(config_.min_interval_ms, current_interval_ms_ / 2.0);
     shed_total_.fetch_add(1, std::memory_order_relaxed);
@@ -96,8 +105,7 @@ AdmissionDecision AdmissionController::Admit(size_t delta_edges) {
       d.reason = "cost";
       // The hint scales with how far over the ceiling the batch is: a
       // 2x-over batch should not retry sooner than a just-over one.
-      d.retry_after_ms = std::max(config_.retry_after_floor_ms,
-                                  est - config_.max_estimated_cost_ms);
+      d.retry_after_ms = ClampRetryAfter(est - config_.max_estimated_cost_ms);
       shed_total_.fetch_add(1, std::memory_order_relaxed);
       Count("midas_serve_shed_total");
       Count("midas_serve_shed_cost_total");

@@ -32,6 +32,11 @@ struct AdmissionControlConfig {
   double max_estimated_cost_ms = 0.0;
   /// Floor of the retry-after hint handed to shed submitters.
   double retry_after_floor_ms = 10.0;
+  /// Cap of the retry-after hint. The cost-model hint scales with how far a
+  /// batch overshoots the ceiling, which on a cold EWMA (or one absurd
+  /// batch) can compute hours — no client should be told to go away that
+  /// long. Non-finite hints clamp here too.
+  double retry_after_cap_ms = 30000.0;
 };
 
 /// Admission verdict for one batch at Submit time.
@@ -86,6 +91,11 @@ class AdmissionController {
 
  private:
   using Clock = std::chrono::steady_clock;
+
+  /// Clamps a raw backoff hint into
+  /// [retry_after_floor_ms, retry_after_cap_ms]; non-finite or non-positive
+  /// inputs land on the floor.
+  double ClampRetryAfter(double hint_ms) const;
 
   const AdmissionControlConfig config_;
   mutable std::mutex mu_;
@@ -211,7 +221,7 @@ struct DegradationLadderConfig {
 /// One recorded state change of the resilience layer (ladder rungs and
 /// breaker states share the log, so a drill's full story is one sequence).
 struct OverloadTransition {
-  std::string source;  ///< "ladder" or "breaker"
+  std::string source;  ///< "ladder", "breaker" or "integrity"
   std::string from;
   std::string to;
   uint64_t eval = 0;   ///< evaluation tick the transition happened at

@@ -1,8 +1,6 @@
 #include "midas/serve/quarantine.h"
 
 #include <algorithm>
-#include <filesystem>
-#include <fstream>
 #include <sstream>
 
 #include "midas/common/failpoint.h"
@@ -10,8 +8,6 @@
 
 namespace midas {
 namespace serve {
-
-namespace fs = std::filesystem;
 
 namespace {
 
@@ -31,18 +27,14 @@ std::string FlattenReason(const std::string& reason) {
 
 bool WriteQuarantineFile(const QuarantinedBatch& q, const LabelDictionary& dict,
                          const std::string& dir, std::string* path,
-                         std::string* error) {
+                         std::string* error, io::FileSystem* fs_param) {
   if (MIDAS_FAILPOINT("serve.quarantine.write_error")) {
     SetError(error,
              "injected I/O error (failpoint serve.quarantine.write_error)");
     return false;
   }
-  std::error_code ec;
-  fs::create_directories(dir, ec);
-  if (ec) {
-    SetError(error, "create " + dir + ": " + ec.message());
-    return false;
-  }
+  io::FileSystem& fs = io::Resolve(fs_param);
+  if (!fs.CreateDirs(dir, error)) return false;
 
   std::string chosen;
   for (int n = 0; n < 1000; ++n) {
@@ -50,7 +42,7 @@ bool WriteQuarantineFile(const QuarantinedBatch& q, const LabelDictionary& dict,
                        (n == 0 ? "" : "-" + std::to_string(n)) +
                        ".quarantine.gspan";
     std::string candidate = dir + "/" + name;
-    if (!fs::exists(candidate, ec)) {
+    if (!fs.Exists(candidate)) {
       chosen = candidate;
       break;
     }
@@ -75,31 +67,25 @@ bool WriteQuarantineFile(const QuarantinedBatch& q, const LabelDictionary& dict,
     WriteGraph(q.batch.insertions[i], dict, static_cast<long>(i), out);
   }
 
-  std::ofstream file(chosen, std::ios::binary | std::ios::trunc);
-  if (!file) {
-    SetError(error, "cannot open " + chosen + " for writing");
-    return false;
-  }
-  file << out.str();
-  file.flush();
-  if (!file) {
-    SetError(error, "write " + chosen + " failed");
-    return false;
-  }
+  // Durable write + parent-dir sync: the quarantine file is the only
+  // surviving evidence of a poison batch, so it must not evaporate in the
+  // crash that often follows one.
+  if (!fs.WriteFileDurable(chosen, out.str(), error)) return false;
+  if (!fs.SyncDir(dir, error)) return false;
   if (path != nullptr) *path = chosen;
   return true;
 }
 
 bool ReadQuarantineFile(const std::string& path, LabelDictionary& dict,
-                        QuarantinedBatch* out, std::string* error) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) {
-    SetError(error, "cannot open " + path);
+                        QuarantinedBatch* out, std::string* error,
+                        io::FileSystem* fs_param) {
+  std::string content;
+  std::string read_error;
+  if (io::Resolve(fs_param).Read(path, &content, &read_error) !=
+      io::ReadStatus::kOk) {
+    SetError(error, read_error);
     return false;
   }
-  std::ostringstream buf;
-  buf << in.rdbuf();
-  std::string content = buf.str();
 
   *out = QuarantinedBatch{};
   std::istringstream lines(content);
@@ -147,15 +133,14 @@ bool ReadQuarantineFile(const std::string& path, LabelDictionary& dict,
   return true;
 }
 
-std::vector<std::string> ListQuarantineFiles(const std::string& dir) {
+std::vector<std::string> ListQuarantineFiles(const std::string& dir,
+                                             io::FileSystem* fs_param) {
+  io::FileSystem& fs = io::Resolve(fs_param);
   std::vector<std::string> paths;
-  std::error_code ec;
-  if (!fs::exists(dir, ec)) return paths;
-  for (const auto& entry : fs::directory_iterator(dir, ec)) {
-    if (!entry.is_regular_file()) continue;
-    std::string name = entry.path().filename().string();
+  if (!fs.Exists(dir)) return paths;
+  for (const std::string& name : fs.ListDir(dir)) {
     if (name.find(".quarantine.gspan") != std::string::npos) {
-      paths.push_back(entry.path().string());
+      paths.push_back(dir + "/" + name);
     }
   }
   std::sort(paths.begin(), paths.end());

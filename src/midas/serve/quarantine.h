@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "midas/common/io.h"
 #include "midas/graph/graph_database.h"
 
 namespace midas {
@@ -40,19 +41,23 @@ struct QuarantinedBatch {
 /// Writes `q` into `dir` (created if absent) as
 /// `batch-<seq>[-<n>].quarantine.gspan`, picking an unused `<n>` suffix so
 /// repeated quarantines never clobber evidence. Labels are resolved through
-/// `dict`. On success stores the file path in *path (when non-null).
+/// `dict`. On success stores the file path in *path (when non-null). The
+/// file is written durably (fsync + parent-dir sync) through `fs` (nullptr
+/// = the real POSIX backend) — quarantined evidence must survive a crash.
 bool WriteQuarantineFile(const QuarantinedBatch& q, const LabelDictionary& dict,
                          const std::string& dir, std::string* path,
-                         std::string* error);
+                         std::string* error, io::FileSystem* fs = nullptr);
 
 /// Parses a quarantine file back: metadata from the `#` header, insertions
 /// via graph_io::ReadDatabase (labels interned into `dict` by name).
 bool ReadQuarantineFile(const std::string& path, LabelDictionary& dict,
-                        QuarantinedBatch* out, std::string* error);
+                        QuarantinedBatch* out, std::string* error,
+                        io::FileSystem* fs = nullptr);
 
 /// Quarantine file paths under `dir`, sorted (empty when the directory does
 /// not exist).
-std::vector<std::string> ListQuarantineFiles(const std::string& dir);
+std::vector<std::string> ListQuarantineFiles(const std::string& dir,
+                                             io::FileSystem* fs = nullptr);
 
 }  // namespace serve
 }  // namespace midas

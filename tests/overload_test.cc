@@ -146,6 +146,57 @@ TEST(OverloadAdmissionTest, CostCeilingShedsExpensiveBatches) {
   EXPECT_EQ(ctrl.shed_total(), 1u);
 }
 
+TEST(OverloadAdmissionTest, ColdStartRetryHintIsClamped) {
+  // A cold EWMA primed by one slow warm-up round used to produce retry
+  // hints measured in minutes or hours. The cap bounds the hint; the floor
+  // still applies underneath it.
+  AdmissionControlConfig cfg;
+  cfg.max_estimated_cost_ms = 100.0;
+  cfg.retry_after_floor_ms = 50.0;
+  cfg.retry_after_cap_ms = 30000.0;
+  AdmissionController ctrl(cfg);
+
+  // One pathological first round: 2 minutes for a single edge.
+  ctrl.ObserveRound(1, 120000.0);
+  AdmissionDecision d = ctrl.Admit(1000);  // est 120s/edge * 1000 edges
+  ASSERT_FALSE(d.admit);
+  EXPECT_STREQ(d.reason, "cost");
+  EXPECT_DOUBLE_EQ(d.retry_after_ms, 30000.0);
+
+  // A barely-over-ceiling estimate hits the floor instead of a sub-floor
+  // overage hint.
+  AdmissionControlConfig small = cfg;
+  small.retry_after_floor_ms = 50.0;
+  AdmissionController ctrl2(small);
+  ctrl2.ObserveRound(100, 10100.0);  // 101ms/edge
+  AdmissionDecision d2 = ctrl2.Admit(1);
+  ASSERT_FALSE(d2.admit);
+  EXPECT_DOUBLE_EQ(d2.retry_after_ms, 50.0);
+
+  // Degenerate configs sanitize instead of emitting garbage: a negative
+  // floor clamps to zero, a cap below the floor clamps to the floor.
+  AdmissionControlConfig weird;
+  weird.max_estimated_cost_ms = 100.0;
+  weird.retry_after_floor_ms = -10.0;
+  weird.retry_after_cap_ms = 1000.0;
+  AdmissionController ctrl3(weird);
+  ctrl3.ObserveRound(1, 1e9);
+  AdmissionDecision d3 = ctrl3.Admit(1000);
+  ASSERT_FALSE(d3.admit);
+  EXPECT_GE(d3.retry_after_ms, 0.0);
+  EXPECT_LE(d3.retry_after_ms, 1000.0);
+
+  AdmissionControlConfig inverted;
+  inverted.max_estimated_cost_ms = 100.0;
+  inverted.retry_after_floor_ms = 500.0;
+  inverted.retry_after_cap_ms = 1.0;  // below the floor
+  AdmissionController ctrl4(inverted);
+  ctrl4.ObserveRound(1, 1e9);
+  AdmissionDecision d4 = ctrl4.Admit(1000);
+  ASSERT_FALSE(d4.admit);
+  EXPECT_DOUBLE_EQ(d4.retry_after_ms, 500.0);
+}
+
 TEST(OverloadAdmissionTest, DisabledControllerPassesEverything) {
   AdmissionControlConfig cfg;
   cfg.enabled = false;

@@ -35,6 +35,8 @@
 #include "http_test_client.h"
 #include "midas/common/chaos.h"
 #include "midas/common/failpoint.h"
+#include "midas/common/io.h"
+#include "midas/maintain/verify.h"
 #include "midas/datagen/molecule_gen.h"
 #include "midas/obs/event_log.h"
 #include "midas/obs/metrics.h"
@@ -481,6 +483,172 @@ TEST(ServeOverloadSoakTest, ChaosScheduleEndsWithHealthyHost) {
     }
   }
   host.Stop();
+}
+
+// Durable-state integrity soak: the host runs with every byte of journal,
+// snapshot and quarantine I/O routed through a FaultyFileSystem while the
+// background scrubber is on. The schedule interleaves load bursts with
+// seeded at-rest bit rot on snapshot files and finite-fire io.* failpoints
+// (write errors, fsync lies). Terminal contract: once the faults stop, the
+// scrubber detects any remaining rot, the repair ladder heals it, the host
+// serves again, and an offline fsck pass over the engine dir comes back
+// clean — the host never exits this test with corrupt durable state.
+//
+// Replay a CI failure with:  MIDAS_CHAOS_SEED=<printed seed>
+// CI sets MIDAS_TRACE_DUMP to capture /integrityz + the fsck report.
+TEST(IntegritySoakTest, ScrubberHealsSeededDiskRotDuringChaos) {
+  if (!fail::CompiledIn()) GTEST_SKIP() << "failpoints compiled out";
+  fail::DisarmAll();
+  obs::MetricsRegistry metrics;
+  obs::ScopedMetricsRegistry scoped_metrics(metrics);
+
+  TempDir dir("midas_integrity_soak");
+  io::FaultyFileSystem ffs;
+  MoleculeGenerator gen(777);
+  MoleculeGenConfig data = MoleculeGenerator::EmolLike(20);
+  // Full-maintenance config: with minor rounds (epsilon > 0) or a round
+  // deadline, the engine legitimately defers FCT-index work, and the deep
+  // tier's recompute cross-check would flag that drift after every round.
+  // The integrity soak wants the strict invariant, so every round is major.
+  MidasConfig ecfg = SoakEngineConfig();
+  ecfg.epsilon = 0.0;
+  ecfg.round_deadline_ms = 0.0;
+  auto engine = std::make_unique<MidasEngine>(gen.Generate(data), ecfg);
+  engine->Initialize();
+
+  HostConfig cfg;
+  cfg.queue_capacity = 4;
+  cfg.overflow = OverflowPolicy::kBlock;
+  cfg.submit_timeout_ms = 250.0;
+  cfg.max_attempts = 3;
+  cfg.backoff_initial_ms = 0.5;
+  cfg.backoff_max_ms = 5.0;
+  // Checkpoint every round: the final offline fsck then verifies a
+  // snapshot-only restore. A restore that replays journal rounds re-runs
+  // incremental maintenance, whose FCT-index drift is exactly what the
+  // scrubber exists to re-sync — not at-rest corruption.
+  cfg.checkpoint_every = 1;
+  cfg.telemetry_port = 0;
+  cfg.fs = &ffs;
+  cfg.scrub.enabled = true;
+  cfg.scrub.tick_budget_ms = 25.0;
+  EngineHost host(std::move(engine), dir.path, cfg);
+  std::string err;
+  ASSERT_TRUE(host.Start(&err)) << err;
+
+  uint64_t seed = 20260809;
+  if (const char* env = std::getenv("MIDAS_CHAOS_SEED")) {
+    seed = std::strtoull(env, nullptr, 10);
+  }
+  std::printf("integrity soak: rerun with MIDAS_CHAOS_SEED=%llu\n",
+              static_cast<unsigned long long>(seed));
+
+  auto burst = [&](int n) {
+    for (int i = 0; i < n; ++i) {
+      PanelSnapshotPtr snap = host.snapshot();
+      ASSERT_NE(snap, nullptr);
+      LabelDictionary dict = *snap->labels;
+      BatchUpdate batch;
+      batch.insertions.push_back(testing_util::Path(dict, {"C", "O"}));
+      SubmitResult r = host.Submit(std::move(batch), dict);
+      // Integrity refusal and overload sheds are legitimate mid-chaos;
+      // anything else accepted/timeout is too. Validation rejects are not
+      // possible for pure insertions.
+      EXPECT_NE(r.status, SubmitStatus::kRejectedValidation);
+      if (r.status == SubmitStatus::kShedOverload) {
+        EXPECT_FALSE(r.shed_reason.empty());
+        EXPECT_GT(r.retry_after_ms, 0.0);
+      }
+    }
+  };
+
+  // Deterministic disturbance schedule derived from the seed: each step
+  // either bursts load, flips a seeded bit in a snapshot file, or arms a
+  // finite-fire io failpoint. A simple LCG keeps the whole run replayable
+  // from the printed seed alone.
+  const char* kRotTargets[] = {"/snapshot/patterns.gspan",
+                               "/snapshot/database.gspan",
+                               "/snapshot/MANIFEST"};
+  const char* kIoChaos[] = {"io.sync.lie:7:1", "io.append.error:11:1",
+                            "io.write_file.error:5:1", "io.syncdir.lie:13:1"};
+  uint64_t lcg = seed;
+  auto next = [&lcg] {
+    lcg = lcg * 6364136223846793005ULL + 1442695040888963407ULL;
+    return lcg >> 33;
+  };
+  int rot_injected = 0;
+  for (int step = 0; step < 24; ++step) {
+    const uint64_t roll = next() % 100;
+    if (roll < 50) {
+      burst(1 + static_cast<int>(next() % 4));
+    } else if (roll < 75) {
+      // At-rest rot on whichever snapshot files exist by now. Failures are
+      // fine early on (file not written yet) — rot is best-effort chaos.
+      const char* rel = kRotTargets[next() % 3];
+      std::string rot_err;
+      if (ffs.CorruptOnDisk(dir.path + rel,
+                            static_cast<size_t>(next() % 4096), &rot_err)) {
+        ++rot_injected;
+      }
+    } else {
+      fail::ArmSpec(kIoChaos[next() % 4]);
+    }
+    std::this_thread::sleep_for(milliseconds(60));
+  }
+  ASSERT_GT(rot_injected, 0) << "schedule never landed a bit flip";
+
+  // Faults over. Mid-run rot may already have been healed (or overwritten
+  // by a routine checkpoint before the scrubber's disk pass reached it), so
+  // land one final guaranteed flip: this one the scrubber must detect.
+  fail::DisarmAll();
+  ffs.ClearBitFlips();
+  ASSERT_TRUE(host.WaitIdle(milliseconds(300000)));
+  {
+    std::string rot_err;
+    ASSERT_TRUE(ffs.CorruptOnDisk(dir.path + "/snapshot/patterns.gspan",
+                                  static_cast<size_t>(next() % 4096),
+                                  &rot_err))
+        << rot_err;
+  }
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(120);
+  while (std::chrono::steady_clock::now() < deadline &&
+         (host.integrity_failed() || host.stats().integrity_repairs == 0)) {
+    std::this_thread::sleep_for(milliseconds(20));
+  }
+  HostStats s = host.stats();
+  EXPECT_GT(s.scrub_ticks, 0u);
+  EXPECT_GT(s.integrity_violations, 0u) << "rot was injected but never seen";
+  EXPECT_GE(s.integrity_repairs, 1u);
+  EXPECT_FALSE(host.integrity_failed());
+  EXPECT_FALSE(host.dead());
+
+  // End-to-end proof: the healed host still commits fresh rounds.
+  const uint64_t seq_before = host.snapshot()->round_seq;
+  burst(1);
+  EXPECT_TRUE(host.WaitIdle(milliseconds(300000)));
+  EXPECT_GT(host.snapshot()->round_seq, seq_before);
+
+  // CI evidence: /integrityz plus an offline fsck-style report.
+  VerifyOptions fsck;
+  fsck.fs = &ffs;
+  IntegrityReport offline_before_stop = VerifyEngineState(dir.path, fsck);
+  if (const char* dump_dir = std::getenv("MIDAS_TRACE_DUMP")) {
+    fs::create_directories(dump_dir);
+    midas::testing::HttpResult r =
+        midas::testing::HttpGet(host.telemetry_port(), "/integrityz");
+    EXPECT_TRUE(r.ok);
+    std::ofstream(fs::path(dump_dir) / "integrity_soak_integrityz.json")
+        << r.body;
+    std::ofstream(fs::path(dump_dir) / "integrity_soak_fsck.json")
+        << offline_before_stop.ToJson();
+  }
+  host.Stop();
+
+  // The durable state left behind passes a full deep fsck: scrubber repair
+  // rewrote (or re-derived) everything the chaos rotted.
+  IntegrityReport offline = VerifyEngineState(dir.path, fsck);
+  EXPECT_TRUE(offline.clean()) << offline.Describe();
 }
 
 }  // namespace

@@ -1,0 +1,325 @@
+// FaultyFileSystem semantics + the durability fixes it exists to prove:
+// the POSIX crash model (data needs fsync, names need parent-dir fsync),
+// torn snapshot renames, and a host that keeps serving through ENOSPC.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <filesystem>
+#include <memory>
+#include <string>
+
+#include "midas/common/failpoint.h"
+#include "midas/common/io.h"
+#include "midas/datagen/molecule_gen.h"
+#include "midas/maintain/midas.h"
+#include "midas/maintain/snapshot.h"
+#include "midas/serve/engine_host.h"
+
+namespace midas {
+namespace {
+
+namespace stdfs = std::filesystem;
+using std::chrono::milliseconds;
+
+struct TempDir {
+  explicit TempDir(const std::string& name)
+      : path((stdfs::temp_directory_path() / name).string()) {
+    stdfs::remove_all(path);
+    stdfs::create_directories(path);
+  }
+  ~TempDir() { stdfs::remove_all(path); }
+  std::string path;
+};
+
+struct FailpointGuard {
+  FailpointGuard() { fail::DisarmAll(); }
+  ~FailpointGuard() { fail::DisarmAll(); }
+};
+
+MidasConfig TestConfig() {
+  MidasConfig cfg;
+  cfg.budget = {3, 7, 9};
+  cfg.fct.sup_min = 0.45;
+  cfg.fct.max_edges = 3;
+  cfg.cluster.num_coarse = 3;
+  cfg.epsilon = 0.0;
+  cfg.sample_cap = 0;
+  cfg.seed = 1234;
+  return cfg;
+}
+
+std::unique_ptr<MidasEngine> MakeEngine(MoleculeGenerator& gen,
+                                        MoleculeGenConfig& data) {
+  auto engine =
+      std::make_unique<MidasEngine>(gen.Generate(data), TestConfig());
+  engine->Initialize();
+  return engine;
+}
+
+std::string ReadVia(io::FileSystem& fs, const std::string& path) {
+  std::string content;
+  EXPECT_EQ(fs.Read(path, &content, nullptr), io::ReadStatus::kOk) << path;
+  return content;
+}
+
+// --- Crash model: data durability -------------------------------------------
+
+TEST(FaultyFileSystemTest, UnsyncedCreationVanishesOnCrash) {
+  FailpointGuard guard;
+  TempDir dir("midas_io_append_crash");
+  io::FaultyFileSystem ffs;
+  const std::string path = dir.path + "/log";
+
+  std::string err;
+  auto file = ffs.OpenAppend(path, &err);
+  ASSERT_NE(file, nullptr) << err;
+  ASSERT_TRUE(file->Append("durable", &err)) << err;
+  ASSERT_TRUE(file->Sync(&err)) << err;
+  // fsync'd the *data* — but nothing synced the parent directory, so the
+  // file's very name is volatile. This is why UpdateJournal::Open SyncDirs
+  // the parent before the first record.
+  ffs.SimulateCrash();
+  EXPECT_FALSE(ffs.Exists(path));
+  EXPECT_EQ(ffs.counters().crashes, 1u);
+}
+
+TEST(FaultyFileSystemTest, SyncedAppendsSurviveCrash) {
+  FailpointGuard guard;
+  TempDir dir("midas_io_append_ok");
+  io::FaultyFileSystem ffs;
+  const std::string path = dir.path + "/log";
+
+  std::string err;
+  auto file = ffs.OpenAppend(path, &err);
+  ASSERT_NE(file, nullptr) << err;
+  ASSERT_TRUE(ffs.SyncDir(dir.path, &err)) << err;  // name durable
+  ASSERT_TRUE(file->Append("one", &err)) << err;
+  ASSERT_TRUE(file->Sync(&err)) << err;
+  ASSERT_TRUE(file->Append("two", &err)) << err;
+
+  ffs.SimulateCrash();
+  EXPECT_EQ(ReadVia(ffs, path), "one");  // synced prefix only
+}
+
+TEST(FaultyFileSystemTest, FsyncLieLosesDataOnCrash) {
+  FailpointGuard guard;
+  TempDir dir("midas_io_sync_lie");
+  io::FaultyFileSystem ffs;
+  const std::string path = dir.path + "/log";
+
+  std::string err;
+  auto file = ffs.OpenAppend(path, &err);
+  ASSERT_NE(file, nullptr) << err;
+  ASSERT_TRUE(ffs.SyncDir(dir.path, &err)) << err;
+
+  fail::Arm("io.sync.lie", 0, 1);
+  ASSERT_TRUE(file->Append("ghost", &err)) << err;
+  ASSERT_TRUE(file->Sync(&err)) << err;  // reports success, advances nothing
+  EXPECT_EQ(ffs.counters().sync_lies, 1u);
+
+  ffs.SimulateCrash();
+  EXPECT_EQ(ReadVia(ffs, path), "");  // the "synced" bytes never landed
+}
+
+// --- Crash model: name durability -------------------------------------------
+
+TEST(FaultyFileSystemTest, RenameRollsBackWithoutParentSync) {
+  FailpointGuard guard;
+  TempDir dir("midas_io_rename");
+  io::FaultyFileSystem ffs;
+  const std::string a = dir.path + "/a";
+  const std::string b = dir.path + "/b";
+
+  std::string err;
+  ASSERT_TRUE(ffs.WriteFileDurable(a, "payload", &err)) << err;
+  ASSERT_TRUE(ffs.SyncDir(dir.path, &err)) << err;  // a's name durable
+  ASSERT_TRUE(ffs.Rename(a, b, &err)) << err;
+  EXPECT_TRUE(ffs.Exists(b));
+
+  ffs.SimulateCrash();  // the rename was never made durable
+  EXPECT_TRUE(ffs.Exists(a));
+  EXPECT_FALSE(ffs.Exists(b));
+  EXPECT_EQ(ReadVia(ffs, a), "payload");
+  EXPECT_GE(ffs.counters().rolled_back_ops, 1u);
+}
+
+TEST(FaultyFileSystemTest, SyncDirMakesRenameDurable) {
+  FailpointGuard guard;
+  TempDir dir("midas_io_rename_sync");
+  io::FaultyFileSystem ffs;
+  const std::string a = dir.path + "/a";
+  const std::string b = dir.path + "/b";
+
+  std::string err;
+  ASSERT_TRUE(ffs.WriteFileDurable(a, "payload", &err)) << err;
+  ASSERT_TRUE(ffs.SyncDir(dir.path, &err)) << err;
+  ASSERT_TRUE(ffs.Rename(a, b, &err)) << err;
+  ASSERT_TRUE(ffs.SyncDir(dir.path, &err)) << err;
+
+  ffs.SimulateCrash();
+  EXPECT_FALSE(ffs.Exists(a));
+  EXPECT_EQ(ReadVia(ffs, b), "payload");
+}
+
+TEST(FaultyFileSystemTest, CrashResurrectsUnsyncedRemoval) {
+  FailpointGuard guard;
+  TempDir dir("midas_io_remove");
+  io::FaultyFileSystem ffs;
+  const std::string path = dir.path + "/doomed";
+
+  std::string err;
+  ASSERT_TRUE(ffs.WriteFileDurable(path, "still here", &err)) << err;
+  ASSERT_TRUE(ffs.SyncDir(dir.path, &err)) << err;
+  ASSERT_TRUE(ffs.RemoveAll(path, &err)) << err;
+  EXPECT_FALSE(ffs.Exists(path));
+
+  ffs.SimulateCrash();  // removal never reached the directory inode
+  EXPECT_TRUE(ffs.Exists(path));
+  EXPECT_EQ(ReadVia(ffs, path), "still here");
+}
+
+// --- Injected errors ---------------------------------------------------------
+
+TEST(FaultyFileSystemTest, EnospcWritesHalfTheContent) {
+  FailpointGuard guard;
+  TempDir dir("midas_io_enospc");
+  io::FaultyFileSystem ffs;
+  const std::string path = dir.path + "/partial";
+
+  fail::Arm("io.write_file.enospc", 0, 1);
+  std::string err;
+  EXPECT_FALSE(ffs.WriteFileDurable(path, "0123456789", &err));
+  EXPECT_NE(err.find("No space left"), std::string::npos) << err;
+  EXPECT_EQ(ReadVia(ffs, path), "01234");  // the torn half is on disk
+  EXPECT_EQ(ffs.counters().short_writes, 1u);
+}
+
+TEST(FaultyFileSystemTest, BitFlipCorruptsReads) {
+  FailpointGuard guard;
+  TempDir dir("midas_io_bitflip");
+  io::FaultyFileSystem ffs;
+  const std::string path = dir.path + "/data";
+
+  std::string err;
+  ASSERT_TRUE(ffs.WriteFileDurable(path, "AAAA", &err)) << err;
+  ffs.ArmBitFlip("data", 9);  // bit 1 of byte 1
+  std::string seen = ReadVia(ffs, path);
+  EXPECT_NE(seen, "AAAA");
+  EXPECT_EQ(seen.size(), 4u);
+  ffs.ClearBitFlips();
+  EXPECT_EQ(ReadVia(ffs, path), "AAAA");  // rot was read-side only
+  EXPECT_EQ(ffs.counters().bit_flips, 1u);
+}
+
+// --- Snapshot rename dance under crashes ------------------------------------
+
+TEST(StorageFaultTest, NewSnapshotSurvivesCrashAfterSave) {
+  FailpointGuard guard;
+  TempDir dir("midas_snap_crash_new");
+  io::FaultyFileSystem ffs;
+  MoleculeGenerator gen(42);
+  MoleculeGenConfig data = MoleculeGenerator::EmolLike(20);
+  auto engine = MakeEngine(gen, data);
+  const std::string snap = dir.path + "/snapshot";
+
+  std::string err;
+  ASSERT_TRUE(SaveSnapshot(*engine, snap, &err, &ffs)) << err;
+
+  GraphDatabase copy = engine->db();
+  BatchUpdate delta = gen.GenerateAdditions(copy, data, 3, false);
+  engine->ApplyUpdate(delta);
+  ASSERT_TRUE(SaveSnapshot(*engine, snap, &err, &ffs)) << err;
+
+  // Power cut immediately after SaveSnapshot returned: the second snapshot
+  // must be the one that restores — this is exactly the parent-directory
+  // fsync after the rename dance. Without it the rename rolls back and
+  // recovery silently reopens the seq-0 state.
+  ffs.SimulateCrash();
+  std::unique_ptr<MidasEngine> restored = RestoreEngine(snap, &err, &ffs);
+  ASSERT_NE(restored, nullptr) << err;
+  EXPECT_EQ(restored->round_seq(), engine->round_seq());
+  EXPECT_EQ(restored->db().size(), engine->db().size());
+}
+
+TEST(StorageFaultTest, SyncDirLieFallsBackToOldSnapshot) {
+  FailpointGuard guard;
+  TempDir dir("midas_snap_crash_lie");
+  io::FaultyFileSystem ffs;
+  MoleculeGenerator gen(42);
+  MoleculeGenConfig data = MoleculeGenerator::EmolLike(20);
+  auto engine = MakeEngine(gen, data);
+  const std::string snap = dir.path + "/snapshot";
+
+  std::string err;
+  ASSERT_TRUE(SaveSnapshot(*engine, snap, &err, &ffs)) << err;
+  const uint64_t old_seq = engine->round_seq();
+
+  GraphDatabase copy = engine->db();
+  BatchUpdate delta = gen.GenerateAdditions(copy, data, 3, false);
+  engine->ApplyUpdate(delta);
+
+  // Every directory fsync from here on lies: the second save's renames are
+  // never durable, so the crash unwinds the whole dance back to the first
+  // snapshot — torn, but recoverable.
+  fail::Arm("io.syncdir.lie", 0, 1000000);
+  ASSERT_TRUE(SaveSnapshot(*engine, snap, &err, &ffs)) << err;
+  fail::DisarmAll();
+
+  ffs.SimulateCrash();
+  std::unique_ptr<MidasEngine> restored = RestoreEngine(snap, &err, &ffs);
+  ASSERT_NE(restored, nullptr) << err;
+  EXPECT_EQ(restored->round_seq(), old_seq);
+}
+
+// --- Host keeps serving through checkpoint ENOSPC ---------------------------
+
+TEST(StorageFaultTest, HostSurvivesEnospcMidCheckpoint) {
+  FailpointGuard guard;
+  TempDir dir("midas_host_enospc");
+  io::FaultyFileSystem ffs;
+  MoleculeGenerator gen(7);
+  MoleculeGenConfig data = MoleculeGenerator::EmolLike(20);
+  auto engine = MakeEngine(gen, data);
+  GraphDatabase base = engine->db();
+
+  serve::HostConfig cfg;
+  cfg.queue_capacity = 4;
+  cfg.checkpoint_every = 1;  // checkpoint after every round
+  cfg.fs = &ffs;
+  serve::EngineHost host(std::move(engine), dir.path, cfg);
+  std::string err;
+  ASSERT_TRUE(host.Start(&err)) << err;
+
+  // Disk fills mid-checkpoint: the snapshot tmp write tears. The round is
+  // already journaled, so this must degrade to a checkpoint_failed event,
+  // never to a dead host or a lost panel.
+  fail::Arm("io.write_file.enospc", 0, 1);
+  GraphDatabase copy = base;
+  BatchUpdate b1 = gen.GenerateAdditions(copy, data, 2, false);
+  ASSERT_TRUE(host.Submit(std::move(b1), copy.labels()).accepted());
+  ASSERT_TRUE(host.WaitIdle(milliseconds(20000)));
+  EXPECT_FALSE(host.dead());
+  EXPECT_EQ(host.snapshot()->round_seq, 1u);
+
+  // Space comes back: the next round's checkpoint succeeds.
+  fail::DisarmAll();
+  GraphDatabase copy2 = base;
+  BatchUpdate b2 = gen.GenerateAdditions(copy2, data, 2, true);
+  ASSERT_TRUE(host.Submit(std::move(b2), copy2.labels()).accepted());
+  ASSERT_TRUE(host.WaitIdle(milliseconds(20000)));
+  EXPECT_FALSE(host.dead());
+  EXPECT_EQ(host.snapshot()->round_seq, 2u);
+  EXPECT_GE(host.stats().checkpoints, 1u);
+  host.Stop();
+
+  // The durable state the faulty run left behind still verifies + restores.
+  RecoverInfo info;
+  std::unique_ptr<MidasEngine> recovered =
+      RecoverEngine(dir.path, &info, &ffs);
+  ASSERT_NE(recovered, nullptr) << info.error;
+  EXPECT_EQ(recovered->round_seq(), 2u);
+}
+
+}  // namespace
+}  // namespace midas

@@ -1,0 +1,92 @@
+// midas_fsck — offline integrity checker for an EngineHost state directory.
+//
+//   midas_fsck [--level=manifest|journal|deep] [--json] <engine_dir>
+//
+// Verifies <engine_dir>/snapshot (+ .tmp/.old fallbacks) and journal.log,
+// and at --level=deep restores the engine and recomputes every per-pattern
+// invariant (maintain/verify.h). Exit codes:
+//
+//   0  state verifies clean at the requested level
+//   1  violations found (diagnosis on stdout)
+//   2  state unreadable (no snapshot / restore failed) or usage error
+//
+// The deep level is the same check the in-process scrubber runs, so a
+// clean `midas_fsck --level=deep` means the host would publish this state.
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "midas/maintain/verify.h"
+
+namespace {
+
+void Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--level=manifest|journal|deep] [--json] "
+               "<engine_dir>\n",
+               argv0);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  midas::VerifyOptions options;
+  bool json = false;
+  std::string engine_dir;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--level=", 0) == 0) {
+      const std::string level = arg.substr(8);
+      if (level == "manifest") {
+        options.level = midas::IntegrityTier::kManifest;
+      } else if (level == "journal") {
+        options.level = midas::IntegrityTier::kJournal;
+      } else if (level == "deep") {
+        options.level = midas::IntegrityTier::kDeep;
+      } else {
+        std::fprintf(stderr, "unknown level '%s'\n", level.c_str());
+        Usage(argv[0]);
+        return 2;
+      }
+    } else if (arg == "--json") {
+      json = true;
+    } else if (arg == "--help" || arg == "-h") {
+      Usage(argv[0]);
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "unknown flag '%s'\n", arg.c_str());
+      Usage(argv[0]);
+      return 2;
+    } else if (engine_dir.empty()) {
+      engine_dir = arg;
+    } else {
+      Usage(argv[0]);
+      return 2;
+    }
+  }
+  if (engine_dir.empty()) {
+    Usage(argv[0]);
+    return 2;
+  }
+
+  midas::IntegrityReport report =
+      midas::VerifyEngineState(engine_dir, options);
+
+  if (json) {
+    std::printf("%s\n", report.ToJson().c_str());
+  } else {
+    std::printf("%s\n", report.Describe().c_str());
+  }
+
+  if (report.clean()) return 0;
+  for (const midas::IntegrityViolation& v : report.violations) {
+    // "Unreadable" verdicts: there is no state to repair in place.
+    if (v.kind == midas::IntegrityViolationKind::kSnapshotMissing ||
+        v.kind == midas::IntegrityViolationKind::kRestoreFailed) {
+      return 2;
+    }
+  }
+  return 1;
+}
