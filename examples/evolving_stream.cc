@@ -27,6 +27,7 @@
 #include "midas/obs/event_log.h"
 #include "midas/obs/export.h"
 #include "midas/obs/flight.h"
+#include "midas/obs/lineage.h"
 #include "midas/obs/metrics.h"
 #include "midas/obs/profile.h"
 #include "midas/obs/telemetry_server.h"
@@ -197,6 +198,16 @@ int main(int argc, char** argv) {
               << std::setprecision(1) << stats.total_ms << std::setw(10)
               << mp << std::setw(7) << (stats.truncated ? "yes" : "-")
               << "\n";
+
+    // The why behind each swap, straight from the provenance ledger: the
+    // rationale was captured at the decision site, not reconstructed.
+    for (const obs::LineageEvent& e :
+         engine.lineage().SwapInsAt(engine.round_seq())) {
+      std::cout << "      swap: pattern " << e.pattern << " displaced "
+                << (e.has_other ? std::to_string(e.other) : std::string("?"))
+                << " (margin " << std::setprecision(3) << e.rationale.margin
+                << ", dominant " << e.rationale.dominant_term << ")\n";
+    }
   }
 
   std::cout << "\n" << RenderEngineReport(engine);

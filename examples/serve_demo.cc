@@ -33,6 +33,7 @@
 #include "midas/common/failpoint.h"
 #include "midas/datagen/molecule_gen.h"
 #include "midas/obs/event_log.h"
+#include "midas/obs/lineage.h"
 #include "midas/serve/engine_host.h"
 #include "midas/serve/quarantine.h"
 
@@ -69,7 +70,7 @@ int main(int argc, char** argv) {
   MidasConfig cfg;
   cfg.budget = {3, 8, 14};
   cfg.fct.sup_min = 0.5;
-  cfg.epsilon = 0.05;
+  cfg.epsilon = 0.0;   // accept any strict improvement — keeps swaps flowing
   cfg.round_deadline_ms = 50.0;  // per-round latency SLO
   auto engine = std::make_unique<MidasEngine>(gen.Generate(data), cfg);
 
@@ -97,6 +98,10 @@ int main(int argc, char** argv) {
               << "  curl -s " << base << "/statusz\n"
               << "  curl -s " << base << "/traces\n"
               << "  curl -s '" << base << "/spans?fmt=folded'\n"
+              << "  curl -s " << base << "/patternz\n"
+              << "  curl -s " << base << "/lineage/<id>   # ids from /patternz\n"
+              << "  curl -s '" << base << "/historyz?metric=midas_serve_queue_depth'\n"
+              << "  curl -s " << base << "/alertz\n"
               << "  curl -s " << base << "/varz\n";
     std::cout.flush();  // scrapers parse the port from redirected stdout
   }
@@ -111,6 +116,7 @@ int main(int argc, char** argv) {
   for (int r = 0; r < 3; ++r) {
     readers.emplace_back([&host, &stop, &print_mu, r] {
       uint64_t last_seq = ~0ull;
+      uint64_t last_printed = ~0ull;
       while (!stop.load(std::memory_order_acquire)) {
         PanelSnapshotPtr snap = host.snapshot();
         if (snap != nullptr && snap->round_seq != last_seq) {
@@ -120,6 +126,27 @@ int main(int argc, char** argv) {
                << snap->db_size << ", |P|=" << snap->patterns.size()
                << ", age=" << std::fixed << std::setprecision(1)
                << snap->AgeMs() << "ms\n";
+          // One reader narrates the swap decisions from the snapshot's
+          // ledger copy — same data /lineage/<id> serves. Snapshots can
+          // skip rounds under load, so cover every round since the last
+          // one this reader saw.
+          if (r == 0 && snap->lineage != nullptr) {
+            uint64_t from = last_printed == ~0ull ? snap->round_seq
+                                                  : last_printed + 1;
+            for (uint64_t seq = from; seq <= snap->round_seq; ++seq) {
+              for (const obs::LineageEvent& e :
+                   snap->lineage->SwapInsAt(seq)) {
+                line << "    swap@" << seq << ": pattern " << e.pattern
+                     << " displaced "
+                     << (e.has_other ? std::to_string(e.other)
+                                     : std::string("?"))
+                     << " (margin " << std::setprecision(3)
+                     << e.rationale.margin << ", dominant "
+                     << e.rationale.dominant_term << ")\n";
+              }
+            }
+            last_printed = snap->round_seq;
+          }
           std::lock_guard<std::mutex> lock(print_mu);
           std::cout << line.str();
         }
@@ -136,7 +163,9 @@ int main(int argc, char** argv) {
     PanelSnapshotPtr snap = host.snapshot();
     GraphDatabase copy;
     copy.labels() = *snap->labels;
-    BatchUpdate delta = gen.GenerateAdditions(copy, data, 4, day % 3 == 0);
+    // Novel structure every other day keeps the panel contested enough
+    // for the ledger narration above to have swaps to explain.
+    BatchUpdate delta = gen.GenerateAdditions(copy, data, 8, day % 2 == 0);
     if (day % 4 == 0 && !snap->live_ids->empty()) {
       delta.deletions.push_back(snap->live_ids->at(
           static_cast<size_t>(day) % snap->live_ids->size()));

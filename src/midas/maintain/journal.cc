@@ -102,8 +102,9 @@ bool UpdateJournal::AppendRecord(char type, uint64_t seq,
   if (!file_->Sync(error)) return false;
   obs::MetricsRegistry& reg = obs::MetricsRegistry::Current();
   if (reg.enabled()) {
-    reg.GetCounter(type == 'B' ? "midas_journal_batch_appends_total"
-                               : "midas_journal_commit_appends_total")
+    reg.GetCounter(type == 'B'   ? "midas_journal_batch_appends_total"
+                   : type == 'C' ? "midas_journal_commit_appends_total"
+                                 : "midas_journal_lineage_appends_total")
         ->Increment();
     reg.GetCounter("midas_journal_bytes_written_total")
         ->Increment(record.size());
@@ -119,6 +120,16 @@ bool UpdateJournal::AppendBatch(uint64_t seq, const BatchUpdate& batch,
     return false;
   }
   return AppendRecord('B', seq, SerializeBatch(batch, dict), error);
+}
+
+bool UpdateJournal::AppendLineage(uint64_t seq, const std::string& payload,
+                                  std::string* error) {
+  if (MIDAS_FAILPOINT("journal.lineage.io_error")) {
+    SetError(error,
+             "injected I/O error (failpoint journal.lineage.io_error)");
+    return false;
+  }
+  return AppendRecord('L', seq, payload, error);
 }
 
 bool UpdateJournal::AppendCommit(uint64_t seq, const PatternSet& panel,
@@ -190,7 +201,7 @@ JournalReadResult ReadJournal(const std::string& path, LabelDictionary& dict,
     size_t payload_size = 0;
     std::string crc_hex;
     if (!(header >> tag >> seq >> payload_size >> crc_hex) ||
-        (tag != "@B" && tag != "@C")) {
+        (tag != "@B" && tag != "@C" && tag != "@L")) {
       torn("malformed record header at byte " + std::to_string(pos));
       break;
     }
@@ -236,6 +247,17 @@ JournalReadResult ReadJournal(const std::string& path, LabelDictionary& dict,
         break;
       }
       result.rounds.push_back(std::move(round));
+    } else if (tag == "@L") {
+      // Lineage delta for the in-flight round: must follow its batch record
+      // and precede the commit. A duplicate is a writer that never exists.
+      if (result.rounds.empty() || result.rounds.back().seq != seq ||
+          result.rounds.back().committed ||
+          !result.rounds.back().lineage_delta.empty()) {
+        torn("lineage record seq " + std::to_string(seq) +
+             " without matching batch record");
+        break;
+      }
+      result.rounds.back().lineage_delta = std::move(payload);
     } else {  // @C
       if (result.rounds.empty() || result.rounds.back().seq != seq ||
           result.rounds.back().committed) {
@@ -245,7 +267,9 @@ JournalReadResult ReadJournal(const std::string& path, LabelDictionary& dict,
       }
       std::istringstream in(payload);
       PatternSet panel;
-      if (!ReadPatternSet(in, dict, &panel)) {
+      // Preserve the panel's on-disk pattern ids: they anchor the
+      // provenance ledger, so recovery must reinstall them verbatim.
+      if (!ReadPatternSet(in, dict, &panel, /*preserve_ids=*/true)) {
         torn("unparseable panel in commit record seq " + std::to_string(seq));
         break;
       }

@@ -55,6 +55,13 @@ class UpdateJournal {
   bool AppendBatch(uint64_t seq, const BatchUpdate& batch,
                    const LabelDictionary& dict, std::string* error = nullptr);
 
+  /// Appends + fsyncs the lineage record (`@L`) for round `seq`, carrying
+  /// the round's provenance-ledger delta (obs/lineage.h serialization).
+  /// Written between the batch and commit records; a crash before the
+  /// commit drops the round — and with it the delta — atomically.
+  bool AppendLineage(uint64_t seq, const std::string& payload,
+                     std::string* error = nullptr);
+
   /// Appends + fsyncs the commit record for round `seq`, carrying the
   /// post-round panel.
   bool AppendCommit(uint64_t seq, const PatternSet& panel,
@@ -80,6 +87,10 @@ struct JournalRound {
   BatchUpdate batch;
   bool committed = false;  ///< commit record present and intact
   PatternSet panel;        ///< post-round panel (only when committed)
+  /// Provenance-ledger delta (`@L` payload) for the round; empty for
+  /// journals written before lineage existed or when the append failed
+  /// (recovery then reconciles synthetically).
+  std::string lineage_delta;
 };
 
 /// Result of scanning a journal file.

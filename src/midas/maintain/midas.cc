@@ -136,6 +136,14 @@ void MidasEngine::Initialize() {
   SyncPatternColumns();
   small_panel_ = SmallPatternPanel(config_.small_panel);
   small_panel_.Refresh(fcts_);
+  // Ledger births for the initial selection (seq 0). Suppressed during
+  // recovery: the restored ledger already carries these patterns' history.
+  if (!lineage_replay_) {
+    ledger_.Clear();
+    for (const auto& [pid, p] : patterns_.patterns()) {
+      ledger_.RecordInitial(pid, p.scov, p.lcov, p.div, p.cog, p.score);
+    }
+  }
   initialized_ = true;
 }
 
@@ -164,6 +172,13 @@ void MidasEngine::LoadPatterns(PatternSet set) {
   RefreshAllPatternMetrics();
   RefreshDiversityAndScores(patterns_, ged_, pool_.get());
   SyncPatternColumns();
+  // Square the ledger with the externally installed panel: synthesizes
+  // kRestored/kRemoved events for ids the ledger did not know about. A
+  // no-op when the panel's history was restored verbatim (recovery applies
+  // journaled deltas under lineage_replay_ and reconciles afterwards).
+  if (!lineage_replay_) {
+    ledger_.Reconcile(patterns_, round_seq_);
+  }
 }
 
 void MidasEngine::RebuildCsgsFromClusters() {
@@ -323,6 +338,14 @@ MaintenanceStats MidasEngine::ApplyUpdate(const BatchUpdate& raw_delta,
                                "failed: " +
                                journal_error);
     }
+  }
+
+  // Open the ledger's round buffer: swap decisions and rescores pend here
+  // and apply only at commit, so a thrown round leaves no lineage trace
+  // (the next BeginRound discards stale pendings). Replay applies the
+  // journaled @L deltas instead of re-recording.
+  if (!lineage_replay_) {
+    ledger_.BeginRound(seq);
   }
 
   // Arm the shared round budget (unlimited when no limit is configured;
@@ -496,15 +519,47 @@ MaintenanceStats MidasEngine::ApplyUpdate(const BatchUpdate& raw_delta,
 
     {
       obs::TraceSpan span("midas_maintain_swap_ms", &stats.swap_ms);
+      // The rationale is captured at the decision site itself: the observer
+      // runs synchronously on the (serial) decision loop, so the pend order
+      // is thread-count-invariant and the ledger stays deterministic.
+      SwapObserver observer;
+      if (!lineage_replay_) {
+        observer = [this](const SwapDecision& d) {
+          obs::SwapRationale r;
+          r.winner_score = d.winner_score;
+          r.loser_score = d.loser_score;
+          r.margin = d.winner_score - d.loser_score;
+          r.coverage_gain = d.coverage_gain;
+          r.coverage_loss = d.coverage_loss;
+          r.kappa = d.kappa;
+          r.div_before = d.div_before;
+          r.div_after = d.div_after;
+          r.cog_before = d.cog_before;
+          r.cog_after = d.cog_after;
+          r.lcov_before = d.lcov_before;
+          r.lcov_after = d.lcov_after;
+          r.random = d.random;
+          r.dominant_term = obs::DominantTerm(r);
+          ledger_.PendDeath(d.loser_id, d.winner_id, /*has_winner=*/true, &r,
+                            d.loser_scov, d.loser_lcov, d.loser_div,
+                            d.loser_cog, d.loser_score);
+          ledger_.PendBirth(d.winner_id, obs::LineageEventKind::kSwapIn,
+                            d.loser_id, /*has_loser=*/true, &r, d.winner_scov,
+                            d.winner_lcov, d.div_after, d.winner_cog,
+                            d.winner_score);
+        };
+      }
       if (mode == MaintenanceMode::kMidas) {
         SwapConfig swap_config = config_.swap;
         swap_config.budget = &round_budget_;
         swap_config.pool = pool_.get();
+        swap_config.observer = observer;
         SwapStats sw = MultiScanSwap(patterns_, candidates, *eval_, fcts_,
                                      swap_config, ged_);
         stats.swaps = sw.swaps;
       } else {  // kRandomSwap
-        stats.swaps = RandomSwap(patterns_, candidates, *eval_, fcts_, rng_);
+        stats.swaps =
+            RandomSwap(patterns_, candidates, *eval_, fcts_, rng_, observer);
       }
       if (!config_.shed_diversity_refresh) {
         RefreshDiversityAndScores(patterns_, ged_, pool_.get());
@@ -540,6 +595,18 @@ MaintenanceStats MidasEngine::ApplyUpdate(const BatchUpdate& raw_delta,
     trace->SetDegradeCause(static_cast<int>(budget_cause));
   }
 
+  // Close the ledger round: one rescore per surviving pattern (sorted map
+  // order — deterministic), then stamp the causal trace so replayed lineage
+  // keeps its flight-record cross-links.
+  if (!lineage_replay_) {
+    for (const auto& [pid, p] : patterns_.patterns()) {
+      ledger_.PendRescore(pid, p.scov, p.lcov, p.div, p.cog, p.score);
+    }
+    if (obs::TraceContext* trace = obs::TraceContext::Current()) {
+      ledger_.StampTrace(trace->id().ToHex());
+    }
+  }
+
   // Commit: the round's outcome (including the exact panel) is durable
   // before the round counter advances. A crash before this append leaves
   // the batch record without a commit — recovery replays up to the previous
@@ -548,6 +615,18 @@ MaintenanceStats MidasEngine::ApplyUpdate(const BatchUpdate& raw_delta,
   ++round_seq_;
   if (journal_ != nullptr) {
     std::string journal_error;
+    // The @L record precedes @C so a committed round always carries its
+    // lineage delta. An append failure is surfaced, not thrown: recovery
+    // then reconciles this round's lineage synthetically.
+    if (!lineage_replay_ &&
+        !journal_->AppendLineage(seq, ledger_.SerializeDelta(
+                                          patterns_.next_id()),
+                                 &journal_error)) {
+      obs::MetricsRegistry& mreg = obs::MetricsRegistry::Current();
+      if (mreg.enabled()) {
+        mreg.GetCounter("midas_journal_lineage_failures_total")->Increment();
+      }
+    }
     if (!journal_->AppendCommit(seq, patterns_, db_.labels(),
                                 &journal_error)) {
       // The in-memory round is complete and valid; losing the commit record
@@ -557,6 +636,9 @@ MaintenanceStats MidasEngine::ApplyUpdate(const BatchUpdate& raw_delta,
         mreg.GetCounter("midas_journal_commit_failures_total")->Increment();
       }
     }
+  }
+  if (!lineage_replay_) {
+    ledger_.Commit();
   }
 
   obs::MetricsRegistry& reg = obs::MetricsRegistry::Current();

@@ -18,6 +18,7 @@
 #include "midas/maintain/small_patterns.h"
 #include "midas/maintain/swap.h"
 #include "midas/obs/event_log.h"
+#include "midas/obs/lineage.h"
 #include "midas/select/candidate_gen.h"
 #include "midas/select/catapult.h"
 
@@ -253,6 +254,27 @@ class MidasEngine {
   }
   obs::QualityDriftDetector* drift_detector() const { return drift_; }
 
+  /// Per-pattern provenance ledger (obs/lineage.h): birth, every re-score,
+  /// and death of every pattern that ever entered the panel, with the
+  /// swap-decision rationale captured at the decision site. Journaled as
+  /// `@L` deltas and persisted by snapshots, so it survives recovery
+  /// bit-identically.
+  const obs::PatternLedger& lineage() const { return ledger_; }
+  obs::PatternLedger* lineage_mutable() { return &ledger_; }
+
+  /// Suppresses live lineage recording while recovery replays journaled
+  /// rounds (the journaled `@L` deltas are applied verbatim instead, so
+  /// replay cannot double-count). Snapshot restore uses it too.
+  void SetLineageReplay(bool on) { lineage_replay_ = on; }
+  bool lineage_replay() const { return lineage_replay_; }
+
+  /// Fast-forwards the pattern-id allocator (snapshot/journal restore
+  /// only; never lowers it). Keeps post-recovery births from reusing ids
+  /// of dead patterns already in the ledger.
+  void RestorePatternIds(PatternId next_id) {
+    patterns_.RestoreNextId(next_id);
+  }
+
   /// Whether Initialize() has completed (ApplyUpdate and LoadPatterns
   /// require it; serving hosts use this to initialize lazily in Start).
   bool initialized() const { return initialized_; }
@@ -373,6 +395,8 @@ class MidasEngine {
   /// address; reset per round, returned to unlimited between rounds so
   /// out-of-round calls (LoadPatterns, CurrentQuality) never degrade.
   ExecBudget round_budget_;
+  obs::PatternLedger ledger_;
+  bool lineage_replay_ = false;
   uint64_t round_seq_ = 0;
   bool initialized_ = false;
 };

@@ -77,6 +77,12 @@ bool ParseSnapshotManifest(const std::string& text, SnapshotManifest* manifest,
         SetError(error, "malformed next_graph_id: " + value);
         return false;
       }
+    } else if (key == "next_pattern_id") {
+      std::istringstream v(value);
+      if (!(v >> manifest->next_pattern_id)) {
+        SetError(error, "malformed next_pattern_id: " + value);
+        return false;
+      }
     } else if (key == "file") {
       size_t eq2 = value.find('=');
       if (eq2 == std::string::npos) {
@@ -161,17 +167,44 @@ std::unique_ptr<MidasEngine> RestoreFromDir(io::FileSystem& fs,
   db.RestoreNextId(manifest.next_graph_id);
 
   auto engine = std::make_unique<MidasEngine>(std::move(db), config);
+  // Replay mode while the pieces land: Initialize must not ledger the
+  // throwaway selection, and LoadPatterns must not reconcile before the
+  // saved ledger is in place.
+  engine->SetLineageReplay(true);
   engine->Initialize();
   {
     std::istringstream in(pat_text);
     PatternSet panel;
-    if (!ReadPatternSet(in, engine->labels(), &panel)) {
+    // Preserve the saved pattern ids — they key the provenance ledger.
+    if (!ReadPatternSet(in, engine->labels(), &panel, /*preserve_ids=*/true)) {
       SetError(error, dir + "/patterns.gspan: malformed pattern set");
       return nullptr;
     }
     engine->LoadPatterns(std::move(panel));
   }
   engine->RestoreRoundSeq(manifest.snapshot_seq);
+  engine->RestorePatternIds(manifest.next_pattern_id);
+  // lineage.ledger is absent from pre-lineage snapshots; its manifest entry
+  // gates the read (ReadChecked refuses files without a checksum).
+  if (manifest.file_crc.count("lineage.ledger") != 0) {
+    std::string lineage_text;
+    if (!ReadChecked(fs, dir, manifest, "lineage.ledger", &lineage_text,
+                     error)) {
+      return nullptr;
+    }
+    std::string lineage_error;
+    if (!engine->lineage_mutable()->Deserialize(lineage_text,
+                                                &lineage_error)) {
+      SetError(error, dir + "/lineage.ledger: " + lineage_error);
+      return nullptr;
+    }
+  }
+  engine->SetLineageReplay(false);
+  // Safety net for legacy snapshots (no lineage.ledger): synthesizes
+  // kRestored births so every live pattern answers /lineage/<id>. A no-op
+  // when the saved ledger already covers the panel.
+  engine->lineage_mutable()->Reconcile(engine->patterns(),
+                                       engine->round_seq());
   return engine;
 }
 
@@ -302,11 +335,13 @@ bool SaveSnapshot(const MidasEngine& engine, const std::string& dir,
       {"database.gspan", db_out.str()},
       {"patterns.gspan", pat_out.str()},
       {"config.ini", cfg_out.str()},
+      {"lineage.ledger", engine.lineage().Serialize()},
   };
 
   std::ostringstream manifest;
   manifest << "snapshot_seq=" << engine.round_seq() << "\n"
-           << "next_graph_id=" << engine.db().next_id() << "\n";
+           << "next_graph_id=" << engine.db().next_id() << "\n"
+           << "next_pattern_id=" << engine.patterns().next_id() << "\n";
   for (const auto& [name, content] : files) {
     if (!WriteSnapshotFile(fs, tmp + "/" + name, content, error)) {
       return false;
@@ -394,6 +429,10 @@ std::unique_ptr<MidasEngine> RecoverEngine(const std::string& engine_dir,
   // not redo budget-dependent work), then the committed panel — the exact
   // set the original round produced — is reinstalled verbatim.
   size_t last_committed = journal.rounds.size();
+  // Lineage during replay comes from the journaled @L deltas, applied
+  // verbatim — live recording stays suppressed so replay cannot
+  // double-count a round the original writer already ledgered.
+  engine->SetLineageReplay(true);
   for (size_t i = 0; i < journal.rounds.size(); ++i) {
     JournalRound& round = journal.rounds[i];
     if (!round.committed) {
@@ -402,12 +441,29 @@ std::unique_ptr<MidasEngine> RecoverEngine(const std::string& engine_dir,
     }
     if (round.seq <= engine->round_seq()) continue;  // already in snapshot
     engine->ApplyUpdate(round.batch, MaintenanceMode::kNoMaintain);
+    if (!round.lineage_delta.empty()) {
+      PatternId next_pattern_id = 0;
+      std::string delta_error;
+      if (engine->lineage_mutable()->ApplyDelta(round.lineage_delta,
+                                                &next_pattern_id,
+                                                &delta_error)) {
+        engine->RestorePatternIds(next_pattern_id);
+      }
+      // An unparseable delta is dropped; the Reconcile below squares the
+      // ledger with the final panel so recovery still succeeds.
+    }
     ++out->replayed;
     last_committed = i;
   }
   if (last_committed < journal.rounds.size()) {
     engine->LoadPatterns(std::move(journal.rounds[last_committed].panel));
   }
+  engine->SetLineageReplay(false);
+  // No-op when every replayed round carried its @L delta (ids preserved,
+  // ledger-live == panel); synthesizes kRestored/kRemoved events for
+  // legacy journals written before lineage existed.
+  engine->lineage_mutable()->Reconcile(engine->patterns(),
+                                       engine->round_seq());
 
   obs::MetricsRegistry& reg = obs::MetricsRegistry::Current();
   if (reg.enabled()) {

@@ -33,6 +33,10 @@ namespace midas {
 struct SnapshotManifest {
   uint64_t snapshot_seq = 0;
   GraphId next_graph_id = 0;
+  /// Pattern-id allocator position (0 in pre-lineage snapshots, which
+  /// carried no lineage.ledger either). Restored so post-recovery births
+  /// never reuse an id already present in the provenance ledger.
+  PatternId next_pattern_id = 0;
   std::map<std::string, std::string> file_crc;  // name -> crc32 hex
 };
 

@@ -288,7 +288,31 @@ class SwapEngine {
       double lcov_after = SetLcov(worst_id, &cand_label_cov);
       if (lcov_after < lcov_before) continue;
 
-      // Swap.
+      // Swap. The loser's metrics are captured before it leaves the set —
+      // the decision record is the only place they survive.
+      const CannedPattern* loser = set_.Find(worst_id);
+      SwapDecision decision;
+      decision.loser_id = worst_id;
+      decision.winner_score = cand_score;
+      decision.loser_score = worst_score;
+      decision.coverage_gain = benefit;
+      decision.coverage_loss = loss;
+      decision.kappa = kappa;
+      decision.div_before = div_before;
+      decision.div_after = div_after;
+      decision.cog_before = cog_before;
+      decision.cog_after = cog_after;
+      decision.lcov_before = lcov_before;
+      decision.lcov_after = lcov_after;
+      decision.winner_scov = cand.scov;
+      decision.winner_lcov = cand.lcov;
+      decision.winner_cog = cand.cog;
+      if (loser != nullptr) {
+        decision.loser_scov = loser->scov;
+        decision.loser_lcov = loser->lcov;
+        decision.loser_div = loser->div;
+        decision.loser_cog = loser->cog;
+      }
       set_.Remove(worst_id);
       label_cov_.erase(worst_id);
       CannedPattern fresh = cand;
@@ -296,6 +320,10 @@ class SwapEngine {
       label_cov_[new_id] = cand_label_cov;
       used[ci] = true;
       ++swaps;
+      if (config_.observer) {
+        decision.winner_id = new_id;
+        config_.observer(decision);
+      }
     }
     return swaps;
   }
@@ -344,7 +372,8 @@ SwapStats MultiScanSwap(PatternSet& set, const std::vector<Graph>& candidates,
 }
 
 int RandomSwap(PatternSet& set, const std::vector<Graph>& candidates,
-               const CoverageEvaluator& eval, const FctSet& fcts, Rng& rng) {
+               const CoverageEvaluator& eval, const FctSet& fcts, Rng& rng,
+               const SwapObserver& observer) {
   int swaps = 0;
   for (const Graph& g : candidates) {
     if (set.size() == 0) break;
@@ -353,12 +382,26 @@ int RandomSwap(PatternSet& set, const std::vector<Graph>& candidates,
     for (const auto& [id, p] : set.patterns()) ids.push_back(id);
     PatternId victim =
         ids[static_cast<size_t>(rng.UniformInt(0, ids.size() - 1))];
+    SwapDecision decision;
+    decision.random = true;
+    decision.loser_id = victim;
+    if (const CannedPattern* loser = set.Find(victim)) {
+      decision.loser_score = loser->score;
+      decision.loser_scov = loser->scov;
+      decision.loser_lcov = loser->lcov;
+      decision.loser_div = loser->div;
+      decision.loser_cog = loser->cog;
+    }
     set.Remove(victim);
     CannedPattern c;
     c.graph = g;
     RefreshPatternMetrics(c, eval, fcts);
-    set.Add(std::move(c));
+    decision.winner_scov = c.scov;
+    decision.winner_lcov = c.lcov;
+    decision.winner_cog = c.cog;
+    decision.winner_id = set.Add(std::move(c));
     ++swaps;
+    if (observer) observer(decision);
   }
   return swaps;
 }

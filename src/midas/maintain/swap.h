@@ -49,6 +49,10 @@ struct SwapConfig {
   /// at the start of each scan; the swap decisions themselves remain
   /// sequential, so the outcome is thread-count-invariant.
   TaskPool* pool = nullptr;
+
+  /// Optional swap-decision observer (see SwapObserver below); empty =
+  /// no capture.
+  std::function<void(const struct SwapDecision&)> observer;
 };
 
 struct SwapStats {
@@ -65,6 +69,33 @@ struct SwapStats {
 /// in the reported metric. (GedEstimator itself is declared in pattern.h.)
 GedEstimator DefaultGedEstimator();
 
+/// One accepted swap decision, emitted from the decision site itself with
+/// every term the sw1–sw5 criteria weighed — the raw material of the
+/// provenance ledger (obs/lineage.h). `winner` metrics are the candidate's
+/// at acceptance time; `loser_*` are the displaced pattern's.
+struct SwapDecision {
+  PatternId winner_id = 0;
+  PatternId loser_id = 0;
+  double winner_score = 0.0;  ///< candidate s'_p against the current set
+  double loser_score = 0.0;   ///< the displaced (worst) pattern's score
+  double coverage_gain = 0.0; ///< sw1 benefit
+  double coverage_loss = 0.0; ///< sw1 loss (loser's unique coverage)
+  double kappa = 0.0;         ///< κ of the accepting scan
+  double div_before = 0.0, div_after = 0.0;
+  double cog_before = 0.0, cog_after = 0.0;
+  double lcov_before = 0.0, lcov_after = 0.0;
+  /// Winner/loser pattern metrics at decision time.
+  double winner_scov = 0.0, winner_lcov = 0.0, winner_cog = 0.0;
+  double loser_scov = 0.0, loser_lcov = 0.0, loser_div = 0.0,
+         loser_cog = 0.0;
+  bool random = false;  ///< true when RandomSwap (baseline mode) decided
+};
+
+/// Observer invoked synchronously, on the decision thread, for every swap
+/// that executes. The decision loop is serial, so the callback order is
+/// thread-count-invariant.
+using SwapObserver = std::function<void(const SwapDecision&)>;
+
 /// Runs the multi-scan swap. `set` is updated in place; candidate metrics
 /// are evaluated with `eval`/`fcts`. After the call every pattern's cached
 /// scov/lcov/cog/div/score reflect the final set (div under `ged`).
@@ -75,9 +106,11 @@ SwapStats MultiScanSwap(PatternSet& set, const std::vector<Graph>& candidates,
 
 /// Baseline: random swapping (the `Random` competitor of Section 7.1).
 /// Each candidate replaces a uniformly random existing pattern with
-/// probability 1/2, without any quality checks.
+/// probability 1/2, without any quality checks. The observer (optional)
+/// sees each executed swap with `random = true` and no criterion terms.
 int RandomSwap(PatternSet& set, const std::vector<Graph>& candidates,
-               const CoverageEvaluator& eval, const FctSet& fcts, Rng& rng);
+               const CoverageEvaluator& eval, const FctSet& fcts, Rng& rng,
+               const SwapObserver& observer = SwapObserver());
 
 }  // namespace midas
 

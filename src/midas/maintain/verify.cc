@@ -248,6 +248,35 @@ IntegrityReport VerifySnapshotDir(const std::string& snapshot_dir,
     if (std::string(name) == "config.ini") cfg_text = content;
   }
 
+  // lineage.ledger is optional (absent from pre-lineage snapshots), but a
+  // manifest that names it promises an intact, parseable ledger.
+  if (manifest.file_crc.count("lineage.ledger") != 0 &&
+      report.violations.size() < options.max_violations) {
+    ++report.checks;
+    const std::string path = snapshot_dir + "/lineage.ledger";
+    std::string content, file_error;
+    if (fs.Read(path, &content, &file_error) != io::ReadStatus::kOk) {
+      report.Add(IntegrityTier::kManifest, IntegrityViolationKind::kFileMissing,
+                 path, file_error);
+    } else {
+      std::string actual = Crc32Hex(Crc32(content));
+      const std::string& expected = manifest.file_crc.at("lineage.ledger");
+      if (actual != expected) {
+        report.Add(IntegrityTier::kManifest,
+                   IntegrityViolationKind::kChecksumMismatch, path,
+                   "manifest " + expected + ", actual " + actual);
+      } else {
+        obs::PatternLedger ledger;
+        std::string ledger_error;
+        if (!ledger.Deserialize(content, &ledger_error)) {
+          report.Add(IntegrityTier::kManifest,
+                     IntegrityViolationKind::kManifestMalformed, path,
+                     "unparseable lineage ledger: " + ledger_error);
+        }
+      }
+    }
+  }
+
   if (!cfg_text.empty()) {
     ++report.checks;
     MidasConfig config;

@@ -58,7 +58,19 @@ std::string EscapeLabelValue(std::string_view value) {
   return out;
 }
 
-std::string ExportPrometheus(const MetricsRegistry& registry) {
+const char* MetricsContentType(MetricsTextFormat format) {
+  switch (format) {
+    case MetricsTextFormat::kOpenMetrics:
+      return "application/openmetrics-text; version=1.0.0; charset=utf-8";
+    case MetricsTextFormat::kPrometheus0_0_4:
+      break;
+  }
+  return "text/plain; version=0.0.4; charset=utf-8";
+}
+
+std::string ExportPrometheus(const MetricsRegistry& registry,
+                             MetricsTextFormat format) {
+  const bool exemplars = format == MetricsTextFormat::kOpenMetrics;
   std::ostringstream out;
   for (const Counter* c : registry.counters()) {
     const std::string name = SanitizeMetricName(c->name());
@@ -79,15 +91,23 @@ std::string ExportPrometheus(const MetricsRegistry& registry) {
       cumulative += h->BucketCount(i);
       out << name << "_bucket{le=\""
           << EscapeLabelValue(JsonWriter::FormatDouble(bounds[i])) << "\"} "
-          << cumulative << ExemplarSuffix(h->BucketExemplar(i)) << '\n';
+          << cumulative;
+      if (exemplars) out << ExemplarSuffix(h->BucketExemplar(i));
+      out << '\n';
     }
     cumulative += h->BucketCount(bounds.size());
-    out << name << "_bucket{le=\"+Inf\"} " << cumulative
-        << ExemplarSuffix(h->BucketExemplar(bounds.size())) << '\n';
+    out << name << "_bucket{le=\"+Inf\"} " << cumulative;
+    if (exemplars) out << ExemplarSuffix(h->BucketExemplar(bounds.size()));
+    out << '\n';
     out << name << "_sum " << JsonWriter::FormatDouble(h->Sum()) << '\n';
     out << name << "_count " << h->Count() << '\n';
   }
+  if (format == MetricsTextFormat::kOpenMetrics) out << "# EOF\n";
   return out.str();
+}
+
+std::string ExportPrometheus(const MetricsRegistry& registry) {
+  return ExportPrometheus(registry, MetricsTextFormat::kPrometheus0_0_4);
 }
 
 std::string ExportJson(const MetricsRegistry& registry) {

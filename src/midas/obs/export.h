@@ -9,10 +9,26 @@
 namespace midas {
 namespace obs {
 
-/// Prometheus text exposition (version 0.0.4): `# TYPE` headers, counters
-/// and gauges as plain samples, histograms as cumulative `_bucket{le=...}`
-/// series plus `_sum`/`_count`. Suitable for a /metrics endpoint or for the
-/// text report appendix RenderEngineReport produces.
+/// The two text exposition dialects /metrics negotiates via Accept.
+/// kPrometheus0_0_4 (`text/plain; version=0.0.4`) predates exemplars — a
+/// conforming parser treats ` # {...}` suffixes as garbage, so they are
+/// stripped. kOpenMetrics (`application/openmetrics-text`) keeps the
+/// exemplar suffixes and terminates the body with the mandatory `# EOF`.
+enum class MetricsTextFormat {
+  kPrometheus0_0_4,
+  kOpenMetrics,
+};
+
+/// Content-Type header value for a format.
+const char* MetricsContentType(MetricsTextFormat format);
+
+/// Prometheus text exposition: `# TYPE` headers, counters and gauges as
+/// plain samples, histograms as cumulative `_bucket{le=...}` series plus
+/// `_sum`/`_count`. Suitable for a /metrics endpoint or for the text report
+/// appendix RenderEngineReport produces. The single-argument overload keeps
+/// the historical default of the 0.0.4 dialect (no exemplars).
+std::string ExportPrometheus(const MetricsRegistry& registry,
+                             MetricsTextFormat format);
 std::string ExportPrometheus(const MetricsRegistry& registry);
 
 /// Maps an arbitrary string onto the Prometheus metric-name charset

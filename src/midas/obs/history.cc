@@ -1,0 +1,266 @@
+#include "midas/obs/history.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "midas/obs/json.h"
+
+namespace midas {
+namespace obs {
+
+void MetricHistory::Sample(double now_ms, const MetricsRegistry& registry) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (sampled_once_ && now_ms - last_sample_ms_ < config_.min_interval_ms) {
+    return;
+  }
+  sampled_once_ = true;
+  last_sample_ms_ = now_ms;
+  ++samples_taken_;
+  auto push = [this, now_ms](const std::string& name, double value) {
+    Series& s = series_[name];
+    s.points.emplace_back(now_ms, value);
+    while (s.points.size() > config_.capacity) s.points.pop_front();
+  };
+  for (const Counter* c : registry.counters()) {
+    push(c->name(), static_cast<double>(c->Value()));
+  }
+  for (const Gauge* g : registry.gauges()) push(g->name(), g->Value());
+  for (const Histogram* h : registry.histograms()) {
+    push(h->name() + "_count", static_cast<double>(h->Count()));
+    push(h->name() + "_sum", h->Sum());
+  }
+}
+
+std::vector<std::string> MetricHistory::Names() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(series_.size());
+  for (const auto& [name, s] : series_) names.push_back(name);
+  return names;
+}
+
+size_t MetricHistory::samples_taken() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return samples_taken_;
+}
+
+bool MetricHistory::Query(const std::string& metric, double now_ms,
+                          double window_ms, size_t buckets,
+                          std::vector<Bucket>* out) const {
+  out->clear();
+  if (buckets == 0 || window_ms <= 0.0) return false;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = series_.find(metric);
+  if (it == series_.end()) return false;
+  const double start = now_ms - window_ms;
+  const double width = window_ms / static_cast<double>(buckets);
+  std::vector<std::vector<double>> binned(buckets);
+  for (const auto& [t, v] : it->second.points) {
+    if (t < start || t > now_ms) continue;
+    size_t b = static_cast<size_t>((t - start) / width);
+    if (b >= buckets) b = buckets - 1;
+    binned[b].push_back(v);
+  }
+  for (size_t b = 0; b < buckets; ++b) {
+    Bucket bucket;
+    bucket.t_ms = start + width * static_cast<double>(b);
+    bucket.count = binned[b].size();
+    if (!binned[b].empty()) {
+      std::sort(binned[b].begin(), binned[b].end());
+      double sum = 0.0;
+      for (double v : binned[b]) sum += v;
+      bucket.min = binned[b].front();
+      bucket.max = binned[b].back();
+      bucket.mean = sum / static_cast<double>(binned[b].size());
+      size_t rank = static_cast<size_t>(
+          std::ceil(0.99 * static_cast<double>(binned[b].size())));
+      if (rank > 0) --rank;
+      bucket.p99 = binned[b][rank];
+    }
+    out->push_back(bucket);
+  }
+  return true;
+}
+
+std::string MetricHistory::QueryJson(const std::string& metric, double now_ms,
+                                     double window_ms, size_t buckets) const {
+  std::vector<Bucket> binned;
+  if (metric.empty() || !Query(metric, now_ms, window_ms, buckets, &binned)) {
+    JsonWriter w;
+    w.BeginObject();
+    w.Key("error").Value(metric.empty() ? "missing ?metric= parameter"
+                                        : "unknown metric: " + metric);
+    w.Key("metrics").BeginArray();
+    for (const std::string& name : Names()) w.Value(name);
+    w.EndArray();
+    w.EndObject();
+    return w.str();
+  }
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("metric").Value(metric);
+  w.Key("window_ms").Value(window_ms);
+  w.Key("buckets").Value(static_cast<uint64_t>(buckets));
+  w.Key("samples_taken").Value(static_cast<uint64_t>(samples_taken()));
+  w.Key("points").BeginArray();
+  for (const Bucket& b : binned) {
+    if (b.count == 0) continue;  // sparse output: empty buckets carry nothing
+    w.BeginObject();
+    w.Key("t_ms").Value(b.t_ms);
+    w.Key("count").Value(b.count);
+    w.Key("min").Value(b.min);
+    w.Key("mean").Value(b.mean);
+    w.Key("max").Value(b.max);
+    w.Key("p99").Value(b.p99);
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+  return w.str();
+}
+
+void BurnRateAlerter::Observe(Rule* rule, double now_ms, bool bad) {
+  rule->events.emplace_back(now_ms, bad);
+  const double cutoff = now_ms - config_.slow_window_ms;
+  while (!rule->events.empty() && rule->events.front().first < cutoff) {
+    rule->events.pop_front();
+  }
+}
+
+void BurnRateAlerter::ObserveRound(double now_ms, bool slo_violation) {
+  if (!config_.enabled) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  Observe(&round_slo_, now_ms, slo_violation);
+}
+
+void BurnRateAlerter::ObserveQuality(double now_ms, double scov,
+                                     double lcov) {
+  if (!config_.enabled) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (config_.scov_floor > 0.0) {
+    Observe(&scov_floor_, now_ms, scov < config_.scov_floor);
+  }
+  if (config_.lcov_floor > 0.0) {
+    Observe(&lcov_floor_, now_ms, lcov < config_.lcov_floor);
+  }
+}
+
+void BurnRateAlerter::RateIn(const Rule& rule, double now_ms,
+                             double window_ms, double* rate,
+                             uint64_t* total) const {
+  uint64_t bad = 0, count = 0;
+  const double cutoff = now_ms - window_ms;
+  for (const auto& [t, is_bad] : rule.events) {
+    if (t < cutoff || t > now_ms) continue;
+    ++count;
+    if (is_bad) ++bad;
+  }
+  *total = count;
+  *rate = count == 0 ? 0.0
+                     : static_cast<double>(bad) / static_cast<double>(count);
+}
+
+std::vector<BurnRateAlerter::Transition> BurnRateAlerter::TickLocked(
+    double now_ms) {
+  std::vector<Transition> transitions;
+  Rule* rules[] = {&round_slo_, &scov_floor_, &lcov_floor_};
+  scov_floor_.enabled = config_.scov_floor > 0.0;
+  lcov_floor_.enabled = config_.lcov_floor > 0.0;
+  for (Rule* rule : rules) {
+    if (!rule->enabled) continue;
+    double fast_rate = 0.0, slow_rate = 0.0;
+    uint64_t fast_total = 0, slow_total = 0;
+    RateIn(*rule, now_ms, config_.fast_window_ms, &fast_rate, &fast_total);
+    RateIn(*rule, now_ms, config_.slow_window_ms, &slow_rate, &slow_total);
+    bool next = rule->firing;
+    if (!rule->firing) {
+      // Fire only when both windows burn: the fast window proves it is
+      // happening now, the slow window proves it is not a blip.
+      next = fast_total >= config_.min_events &&
+             fast_rate >= config_.fast_burn && slow_rate >= config_.slow_burn;
+    } else {
+      // Clear as soon as the fast window recovers.
+      next = !(fast_rate < config_.fast_burn);
+    }
+    if (next != rule->firing) {
+      rule->firing = next;
+      if (next) {
+        rule->since_ms = now_ms;
+        ++rule->fired_total;
+      }
+      Transition t;
+      t.alert = rule->name;
+      t.firing = next;
+      t.at_ms = now_ms;
+      t.fast_rate = fast_rate;
+      t.slow_rate = slow_rate;
+      transitions.push_back(std::move(t));
+    }
+  }
+  return transitions;
+}
+
+std::vector<BurnRateAlerter::Transition> BurnRateAlerter::Tick(
+    double now_ms) {
+  if (!config_.enabled) return {};
+  std::lock_guard<std::mutex> lock(mu_);
+  return TickLocked(now_ms);
+}
+
+std::vector<BurnRateAlerter::AlertState> BurnRateAlerter::States(
+    double now_ms) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<AlertState> states;
+  const Rule* rules[] = {&round_slo_, &scov_floor_, &lcov_floor_};
+  const bool enabled[] = {config_.enabled,
+                          config_.enabled && config_.scov_floor > 0.0,
+                          config_.enabled && config_.lcov_floor > 0.0};
+  for (size_t i = 0; i < 3; ++i) {
+    AlertState s;
+    s.name = rules[i]->name;
+    s.enabled = enabled[i];
+    s.firing = rules[i]->firing;
+    s.since_ms = rules[i]->since_ms;
+    s.fired_total = rules[i]->fired_total;
+    RateIn(*rules[i], now_ms, config_.fast_window_ms, &s.fast_rate,
+           &s.fast_events);
+    RateIn(*rules[i], now_ms, config_.slow_window_ms, &s.slow_rate,
+           &s.slow_events);
+    states.push_back(std::move(s));
+  }
+  return states;
+}
+
+std::string BurnRateAlerter::ToJson(double now_ms) const {
+  std::vector<AlertState> states = States(now_ms);
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("enabled").Value(config_.enabled);
+  w.Key("fast_window_ms").Value(config_.fast_window_ms);
+  w.Key("slow_window_ms").Value(config_.slow_window_ms);
+  w.Key("fast_burn").Value(config_.fast_burn);
+  w.Key("slow_burn").Value(config_.slow_burn);
+  bool any_firing = false;
+  for (const AlertState& s : states) any_firing |= s.enabled && s.firing;
+  w.Key("firing").Value(any_firing);
+  w.Key("alerts").BeginArray();
+  for (const AlertState& s : states) {
+    w.BeginObject();
+    w.Key("name").Value(s.name);
+    w.Key("enabled").Value(s.enabled);
+    w.Key("firing").Value(s.firing);
+    if (s.firing) w.Key("since_ms").Value(s.since_ms);
+    w.Key("fast_rate").Value(s.fast_rate);
+    w.Key("slow_rate").Value(s.slow_rate);
+    w.Key("fast_events").Value(s.fast_events);
+    w.Key("slow_events").Value(s.slow_events);
+    w.Key("fired_total").Value(s.fired_total);
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+  return w.str();
+}
+
+}  // namespace obs
+}  // namespace midas

@@ -1,0 +1,157 @@
+#ifndef MIDAS_OBS_HISTORY_H_
+#define MIDAS_OBS_HISTORY_H_
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "midas/obs/metrics.h"
+
+namespace midas {
+namespace obs {
+
+/// In-process metric history + multi-window burn-rate SLO alerting.
+///
+/// `MetricHistory` is the "how has this trended over the last hour"
+/// answer without an external Prometheus: a ring-buffer time series per
+/// metric, sampled from the whole `MetricsRegistry` on the writer's idle
+/// tick and served by /historyz with min/mean/max/p99 downsampling.
+///
+/// `BurnRateAlerter` layers SRE-style multi-window burn-rate alerts on
+/// top: an alert fires when BOTH a fast (default 5m) and a slow (default
+/// 1h) window exceed their bad-event-rate thresholds, and clears as soon
+/// as the fast window recovers. All methods take the current time as a
+/// parameter (virtual time), so seeded drills are deterministic.
+
+struct MetricHistoryConfig {
+  size_t capacity = 600;         ///< samples retained per series
+  double min_interval_ms = 200;  ///< samples arriving faster are dropped
+};
+
+class MetricHistory {
+ public:
+  MetricHistory() = default;
+  explicit MetricHistory(const MetricHistoryConfig& config)
+      : config_(config) {}
+
+  /// Appends one sample of every counter and gauge (plus histogram _count
+  /// and _sum as synthetic series) at virtual time `now_ms`. Thread-safe.
+  void Sample(double now_ms, const MetricsRegistry& registry);
+
+  std::vector<std::string> Names() const;
+  size_t samples_taken() const;
+
+  struct Bucket {
+    double t_ms = 0.0;  ///< bucket start (relative to the window)
+    uint64_t count = 0;
+    double min = 0.0, mean = 0.0, max = 0.0, p99 = 0.0;
+  };
+
+  /// Downsamples the series' last `window_ms` into at most `buckets`
+  /// equal-width buckets. Returns false when the metric has no series.
+  bool Query(const std::string& metric, double now_ms, double window_ms,
+             size_t buckets, std::vector<Bucket>* out) const;
+
+  /// The /historyz body. Unknown metric (or empty name) yields
+  /// {"error":…,"metrics":[names…]} so the endpoint is self-describing.
+  std::string QueryJson(const std::string& metric, double now_ms,
+                        double window_ms, size_t buckets) const;
+
+ private:
+  struct Series {
+    std::deque<std::pair<double, double>> points;  // (t_ms, value)
+  };
+
+  MetricHistoryConfig config_;
+  mutable std::mutex mu_;
+  std::map<std::string, Series> series_;
+  double last_sample_ms_ = -1.0;
+  bool sampled_once_ = false;
+  uint64_t samples_taken_ = 0;
+};
+
+struct AlertConfig {
+  bool enabled = true;
+  double fast_window_ms = 5 * 60 * 1000.0;   ///< 5m burn window
+  double slow_window_ms = 60 * 60 * 1000.0;  ///< 1h burn window
+  /// Bad-event-rate thresholds per window: the alert fires when the fast
+  /// AND slow rates are both at/above their threshold.
+  double fast_burn = 0.5;
+  double slow_burn = 0.1;
+  /// Minimum events inside the fast window before it may fire (a single
+  /// bad round must not page).
+  size_t min_events = 3;
+  /// Quality-SLI floors: a round whose scov/lcov lands below the floor is
+  /// a bad event for the corresponding alert. <= 0 disables the alert.
+  double scov_floor = 0.0;
+  double lcov_floor = 0.0;
+};
+
+class BurnRateAlerter {
+ public:
+  BurnRateAlerter() = default;
+  explicit BurnRateAlerter(const AlertConfig& config) : config_(config) {}
+
+  /// One committed maintenance round; `slo_violation` marks it bad for the
+  /// round_slo_burn alert.
+  void ObserveRound(double now_ms, bool slo_violation);
+  /// The round's quality SLIs, tested against the configured floors.
+  void ObserveQuality(double now_ms, double scov, double lcov);
+
+  struct Transition {
+    std::string alert;
+    bool firing = false;  ///< true = fired, false = cleared
+    double at_ms = 0.0;
+    double fast_rate = 0.0, slow_rate = 0.0;
+  };
+
+  /// Re-evaluates every alert at `now_ms`; returns state changes (for the
+  /// alert_event JSONL and the midas_alert_* gauges). Thread-safe.
+  std::vector<Transition> Tick(double now_ms);
+
+  struct AlertState {
+    std::string name;
+    bool enabled = false;
+    bool firing = false;
+    double since_ms = 0.0;  ///< when the current firing started
+    double fast_rate = 0.0, slow_rate = 0.0;
+    uint64_t fast_events = 0, slow_events = 0;
+    uint64_t fired_total = 0;
+  };
+
+  std::vector<AlertState> States(double now_ms) const;
+  /// The /alertz body.
+  std::string ToJson(double now_ms) const;
+
+  const AlertConfig& config() const { return config_; }
+
+ private:
+  struct Rule {
+    explicit Rule(std::string rule_name) : name(std::move(rule_name)) {}
+    std::string name;
+    bool enabled = true;
+    std::deque<std::pair<double, bool>> events;  // (t_ms, bad)
+    bool firing = false;
+    double since_ms = 0.0;
+    uint64_t fired_total = 0;
+  };
+
+  void Observe(Rule* rule, double now_ms, bool bad);
+  void RateIn(const Rule& rule, double now_ms, double window_ms, double* rate,
+              uint64_t* total) const;
+  std::vector<Transition> TickLocked(double now_ms);
+
+  AlertConfig config_;
+  mutable std::mutex mu_;
+  Rule round_slo_{"round_slo_burn"};
+  Rule scov_floor_{"quality_scov_floor"};
+  Rule lcov_floor_{"quality_lcov_floor"};
+};
+
+}  // namespace obs
+}  // namespace midas
+
+#endif  // MIDAS_OBS_HISTORY_H_

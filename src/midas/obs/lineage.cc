@@ -1,0 +1,606 @@
+#include "midas/obs/lineage.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "midas/obs/json.h"
+
+namespace midas {
+namespace obs {
+
+namespace {
+
+/// Space-free token for one double, shortest round-trip form. Event lines
+/// are whitespace-delimited, so the token must never contain spaces —
+/// FormatDouble's quoted non-finite forms are mapped to bare words.
+std::string Num(double v) {
+  std::string s = JsonWriter::FormatDouble(v);
+  if (!s.empty() && s.front() == '"') s = s.substr(1, s.size() - 2);
+  return s;
+}
+
+bool ParseNum(std::istream& in, double* out) {
+  std::string tok;
+  if (!(in >> tok)) return false;
+  if (tok == "NaN" || tok == "Inf" || tok == "-Inf") {
+    *out = 0.0;  // never produced by finite metrics; keep the line parseable
+    return true;
+  }
+  std::istringstream num(tok);
+  return static_cast<bool>(num >> *out);
+}
+
+}  // namespace
+
+const char* LineageEventKindName(LineageEventKind kind) {
+  switch (kind) {
+    case LineageEventKind::kInitial:
+      return "initial";
+    case LineageEventKind::kSwapIn:
+      return "swap_in";
+    case LineageEventKind::kSwapOut:
+      return "swap_out";
+    case LineageEventKind::kRescore:
+      return "rescore";
+    case LineageEventKind::kRemoved:
+      return "removed";
+    case LineageEventKind::kRestored:
+      return "restored";
+  }
+  return "unknown";
+}
+
+std::string DominantTerm(const SwapRationale& r) {
+  if (r.random) return "random";
+  const double coverage =
+      (r.coverage_gain - r.coverage_loss) / std::max(1.0, r.coverage_loss);
+  const double diversity = r.div_before > 0.0
+                               ? (r.div_after - r.div_before) / r.div_before
+                               : r.div_after - r.div_before;
+  const double label_coverage =
+      r.lcov_before > 0.0 ? (r.lcov_after - r.lcov_before) / r.lcov_before
+                          : r.lcov_after - r.lcov_before;
+  const double cognitive_load =
+      r.cog_before > 0.0 ? (r.cog_before - r.cog_after) / r.cog_before
+                         : r.cog_before - r.cog_after;
+  // Fixed evaluation order; strict > keeps the earlier term on ties, so the
+  // classification is deterministic.
+  const char* best = "coverage";
+  double best_gain = coverage;
+  if (diversity > best_gain) best = "diversity", best_gain = diversity;
+  if (label_coverage > best_gain) {
+    best = "label_coverage", best_gain = label_coverage;
+  }
+  if (cognitive_load > best_gain) best = "cognitive_load";
+  return best;
+}
+
+std::string LineageEvent::Serialize() const {
+  std::ostringstream out;
+  out << "E " << static_cast<int>(kind) << ' ' << seq << ' ' << pattern << ' '
+      << (has_other ? 1 : 0) << ' ' << other << ' ' << Num(scov) << ' '
+      << Num(lcov) << ' ' << Num(div) << ' ' << Num(cog) << ' ' << Num(score)
+      << ' ' << (trace_id.empty() ? "-" : trace_id);
+  if (has_rationale) {
+    const SwapRationale& r = rationale;
+    out << " R " << Num(r.winner_score) << ' ' << Num(r.loser_score) << ' '
+        << Num(r.margin) << ' ' << Num(r.coverage_gain) << ' '
+        << Num(r.coverage_loss) << ' ' << Num(r.kappa) << ' '
+        << Num(r.div_before) << ' ' << Num(r.div_after) << ' '
+        << Num(r.cog_before) << ' ' << Num(r.cog_after) << ' '
+        << Num(r.lcov_before) << ' ' << Num(r.lcov_after) << ' '
+        << (r.dominant_term.empty() ? "-" : r.dominant_term) << ' '
+        << (r.random ? 1 : 0);
+  }
+  return out.str();
+}
+
+bool LineageEvent::Parse(std::string_view line, LineageEvent* out,
+                         std::string* error) {
+  std::istringstream in{std::string(line)};
+  std::string tag;
+  int kind_int = 0, has_other_int = 0;
+  *out = LineageEvent();
+  if (!(in >> tag >> kind_int >> out->seq >> out->pattern >> has_other_int >>
+        out->other) ||
+      tag != "E" || kind_int < 0 || kind_int > 5) {
+    if (error != nullptr) *error = "malformed lineage event header";
+    return false;
+  }
+  out->kind = static_cast<LineageEventKind>(kind_int);
+  out->has_other = has_other_int != 0;
+  std::string trace;
+  if (!ParseNum(in, &out->scov) || !ParseNum(in, &out->lcov) ||
+      !ParseNum(in, &out->div) || !ParseNum(in, &out->cog) ||
+      !ParseNum(in, &out->score) || !(in >> trace)) {
+    if (error != nullptr) *error = "malformed lineage event metrics";
+    return false;
+  }
+  if (trace != "-") out->trace_id = trace;
+  std::string rtag;
+  if (in >> rtag) {
+    if (rtag != "R") {
+      if (error != nullptr) *error = "unexpected lineage event suffix";
+      return false;
+    }
+    SwapRationale& r = out->rationale;
+    std::string dominant;
+    int random_int = 0;
+    if (!ParseNum(in, &r.winner_score) || !ParseNum(in, &r.loser_score) ||
+        !ParseNum(in, &r.margin) || !ParseNum(in, &r.coverage_gain) ||
+        !ParseNum(in, &r.coverage_loss) || !ParseNum(in, &r.kappa) ||
+        !ParseNum(in, &r.div_before) || !ParseNum(in, &r.div_after) ||
+        !ParseNum(in, &r.cog_before) || !ParseNum(in, &r.cog_after) ||
+        !ParseNum(in, &r.lcov_before) || !ParseNum(in, &r.lcov_after) ||
+        !(in >> dominant >> random_int)) {
+      if (error != nullptr) *error = "malformed lineage event rationale";
+      return false;
+    }
+    if (dominant != "-") r.dominant_term = dominant;
+    r.random = random_int != 0;
+    out->has_rationale = true;
+  }
+  return true;
+}
+
+void LineageEvent::ToJson(std::string* out) const {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("kind").Value(LineageEventKindName(kind));
+  w.Key("seq").Value(seq);
+  w.Key("pattern").Value(static_cast<uint64_t>(pattern));
+  if (has_other) w.Key("other").Value(static_cast<uint64_t>(other));
+  w.Key("scov").Value(scov);
+  w.Key("lcov").Value(lcov);
+  w.Key("div").Value(div);
+  w.Key("cog").Value(cog);
+  w.Key("score").Value(score);
+  if (!trace_id.empty()) w.Key("trace_id").Value(trace_id);
+  if (has_rationale) {
+    const SwapRationale& r = rationale;
+    w.Key("rationale").BeginObject();
+    w.Key("winner_score").Value(r.winner_score);
+    w.Key("loser_score").Value(r.loser_score);
+    w.Key("margin").Value(r.margin);
+    w.Key("coverage_gain").Value(r.coverage_gain);
+    w.Key("coverage_loss").Value(r.coverage_loss);
+    w.Key("kappa").Value(r.kappa);
+    w.Key("div_before").Value(r.div_before);
+    w.Key("div_after").Value(r.div_after);
+    w.Key("cog_before").Value(r.cog_before);
+    w.Key("cog_after").Value(r.cog_after);
+    w.Key("lcov_before").Value(r.lcov_before);
+    w.Key("lcov_after").Value(r.lcov_after);
+    w.Key("dominant_term").Value(r.dominant_term);
+    w.Key("random").Value(r.random);
+    w.EndObject();
+  }
+  w.EndObject();
+  out->append(w.str());
+}
+
+const LineageEvent* PatternLineage::birth() const {
+  for (const LineageEvent& e : events) {
+    if (e.kind != LineageEventKind::kRescore &&
+        e.kind != LineageEventKind::kSwapOut &&
+        e.kind != LineageEventKind::kRemoved) {
+      return &e;
+    }
+  }
+  return nullptr;
+}
+
+const LineageEvent* PatternLineage::latest() const {
+  return events.empty() ? nullptr : &events.back();
+}
+
+void PatternLedger::BeginRound(uint64_t seq) {
+  pending_.clear();
+  pending_seq_ = seq;
+}
+
+void PatternLedger::PendBirth(PatternId id, LineageEventKind kind,
+                              PatternId loser, bool has_loser,
+                              const SwapRationale* rationale, double scov,
+                              double lcov, double div, double cog,
+                              double score) {
+  LineageEvent e;
+  e.kind = kind;
+  e.seq = pending_seq_;
+  e.pattern = id;
+  e.other = loser;
+  e.has_other = has_loser;
+  if (rationale != nullptr) {
+    e.rationale = *rationale;
+    e.has_rationale = true;
+  }
+  e.scov = scov;
+  e.lcov = lcov;
+  e.div = div;
+  e.cog = cog;
+  e.score = score;
+  pending_.push_back(std::move(e));
+}
+
+void PatternLedger::PendDeath(PatternId id, PatternId winner, bool has_winner,
+                              const SwapRationale* rationale, double scov,
+                              double lcov, double div, double cog,
+                              double score) {
+  LineageEvent e;
+  e.kind = LineageEventKind::kSwapOut;
+  e.seq = pending_seq_;
+  e.pattern = id;
+  e.other = winner;
+  e.has_other = has_winner;
+  if (rationale != nullptr) {
+    e.rationale = *rationale;
+    e.has_rationale = true;
+  }
+  e.scov = scov;
+  e.lcov = lcov;
+  e.div = div;
+  e.cog = cog;
+  e.score = score;
+  pending_.push_back(std::move(e));
+}
+
+void PatternLedger::PendRescore(PatternId id, double scov, double lcov,
+                                double div, double cog, double score) {
+  LineageEvent e;
+  e.kind = LineageEventKind::kRescore;
+  e.seq = pending_seq_;
+  e.pattern = id;
+  e.scov = scov;
+  e.lcov = lcov;
+  e.div = div;
+  e.cog = cog;
+  e.score = score;
+  pending_.push_back(std::move(e));
+}
+
+void PatternLedger::StampTrace(const std::string& trace_hex) {
+  for (LineageEvent& e : pending_) e.trace_id = trace_hex;
+}
+
+std::string PatternLedger::SerializeDelta(PatternId next_pattern_id) const {
+  std::ostringstream out;
+  out << "delta v1 " << pending_seq_ << ' ' << next_pattern_id << '\n';
+  for (const LineageEvent& e : pending_) out << e.Serialize() << '\n';
+  return out.str();
+}
+
+void PatternLedger::Commit() {
+  for (const LineageEvent& e : pending_) Apply(e);
+  pending_.clear();
+}
+
+void PatternLedger::Abort() { pending_.clear(); }
+
+void PatternLedger::RecordInitial(PatternId id, double scov, double lcov,
+                                  double div, double cog, double score) {
+  LineageEvent e;
+  e.kind = LineageEventKind::kInitial;
+  e.seq = 0;
+  e.pattern = id;
+  e.scov = scov;
+  e.lcov = lcov;
+  e.div = div;
+  e.cog = cog;
+  e.score = score;
+  Apply(e);
+}
+
+void PatternLedger::Reconcile(const PatternSet& panel, uint64_t seq) {
+  for (const auto& [id, p] : panel.patterns()) {
+    auto it = lineages_.find(id);
+    if (it != lineages_.end() && it->second.alive) continue;
+    LineageEvent e;
+    e.kind = LineageEventKind::kRestored;
+    e.seq = seq;
+    e.pattern = id;
+    e.scov = p.scov;
+    e.lcov = p.lcov;
+    e.div = p.div;
+    e.cog = p.cog;
+    e.score = p.score;
+    Apply(e);
+  }
+  std::vector<PatternId> vanished;
+  for (const auto& [id, lin] : lineages_) {
+    if (lin.alive && panel.Find(id) == nullptr) vanished.push_back(id);
+  }
+  for (PatternId id : vanished) {
+    LineageEvent e;
+    e.kind = LineageEventKind::kRemoved;
+    e.seq = seq;
+    e.pattern = id;
+    Apply(e);
+  }
+}
+
+void PatternLedger::Clear() {
+  lineages_.clear();
+  pending_.clear();
+  pending_seq_ = 0;
+  events_applied_ = 0;
+  evicted_dead_ = 0;
+}
+
+void PatternLedger::Apply(const LineageEvent& event) {
+  switch (event.kind) {
+    case LineageEventKind::kInitial:
+    case LineageEventKind::kSwapIn:
+    case LineageEventKind::kRestored: {
+      PatternLineage lin;
+      lin.id = event.pattern;
+      lin.birth_seq = event.seq;
+      lin.birth_kind = event.kind;
+      lin.alive = true;
+      lin.events.push_back(event);
+      lineages_[event.pattern] = std::move(lin);
+      break;
+    }
+    case LineageEventKind::kSwapOut:
+    case LineageEventKind::kRemoved: {
+      auto it = lineages_.find(event.pattern);
+      if (it == lineages_.end()) return;  // unknown id: nothing to close
+      LineageEvent death = event;
+      if (event.kind == LineageEventKind::kSwapOut && event.scov == 0.0) {
+        // Death events captured at the swap site carry the loser's final
+        // metrics; reconcile-synthesized ones may not — keep the last known.
+        const LineageEvent* last = it->second.latest();
+        if (last != nullptr) {
+          death.scov = last->scov;
+          death.lcov = last->lcov;
+          death.div = last->div;
+          death.cog = last->cog;
+          death.score = last->score;
+        }
+      }
+      it->second.alive = false;
+      it->second.death_seq = event.seq;
+      it->second.events.push_back(std::move(death));
+      // Enforce the dead-lineage cap: evict the oldest death first.
+      size_t dead = 0;
+      for (const auto& [id, lin] : lineages_) {
+        if (!lin.alive) ++dead;
+      }
+      while (dead > config_.max_dead_patterns) {
+        auto victim = lineages_.end();
+        for (auto lt = lineages_.begin(); lt != lineages_.end(); ++lt) {
+          if (lt->second.alive) continue;
+          if (victim == lineages_.end() ||
+              lt->second.death_seq < victim->second.death_seq) {
+            victim = lt;
+          }
+        }
+        if (victim == lineages_.end()) break;
+        lineages_.erase(victim);
+        ++evicted_dead_;
+        --dead;
+      }
+      break;
+    }
+    case LineageEventKind::kRescore: {
+      auto it = lineages_.find(event.pattern);
+      if (it == lineages_.end() || !it->second.alive) return;
+      PatternLineage& lin = it->second;
+      ++lin.rescores;
+      lin.cumulative_scov += event.scov;
+      lin.events.push_back(event);
+      size_t rescores_held = 0;
+      for (const LineageEvent& e : lin.events) {
+        if (e.kind == LineageEventKind::kRescore) ++rescores_held;
+      }
+      if (rescores_held > config_.max_rescores_per_pattern) {
+        for (auto et = lin.events.begin(); et != lin.events.end(); ++et) {
+          if (et->kind == LineageEventKind::kRescore) {
+            lin.events.erase(et);
+            ++lin.dropped_rescores;
+            break;
+          }
+        }
+      }
+      break;
+    }
+  }
+  ++events_applied_;
+}
+
+std::string PatternLedger::Serialize() const {
+  std::ostringstream out;
+  out << "ledger v1 " << events_applied_ << ' ' << evicted_dead_ << '\n';
+  for (const auto& [id, lin] : lineages_) {
+    out << "P " << id << ' ' << (lin.alive ? 1 : 0) << ' ' << lin.birth_seq
+        << ' ' << static_cast<int>(lin.birth_kind) << ' ' << lin.death_seq
+        << ' ' << lin.rescores << ' ' << lin.dropped_rescores << ' '
+        << Num(lin.cumulative_scov) << '\n';
+    for (const LineageEvent& e : lin.events) out << e.Serialize() << '\n';
+  }
+  return out.str();
+}
+
+bool PatternLedger::Deserialize(std::string_view text, std::string* error) {
+  PatternLedger fresh(config_);
+  std::istringstream in{std::string(text)};
+  std::string line;
+  if (!std::getline(in, line)) {
+    if (error != nullptr) *error = "empty lineage payload";
+    return false;
+  }
+  {
+    std::istringstream header(line);
+    std::string tag, version;
+    if (!(header >> tag >> version >> fresh.events_applied_ >>
+          fresh.evicted_dead_) ||
+        tag != "ledger" || version != "v1") {
+      if (error != nullptr) *error = "malformed lineage header: " + line;
+      return false;
+    }
+  }
+  PatternLineage* current = nullptr;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    if (line[0] == 'P') {
+      std::istringstream header(line);
+      std::string tag;
+      PatternLineage lin;
+      int alive_int = 0, kind_int = 0;
+      if (!(header >> tag >> lin.id >> alive_int >> lin.birth_seq >>
+            kind_int >> lin.death_seq >> lin.rescores >>
+            lin.dropped_rescores) ||
+          !ParseNum(header, &lin.cumulative_scov) || kind_int < 0 ||
+          kind_int > 5) {
+        if (error != nullptr) *error = "malformed pattern header: " + line;
+        return false;
+      }
+      lin.alive = alive_int != 0;
+      lin.birth_kind = static_cast<LineageEventKind>(kind_int);
+      current = &fresh.lineages_[lin.id];
+      *current = std::move(lin);
+    } else if (line[0] == 'E') {
+      if (current == nullptr) {
+        if (error != nullptr) *error = "event before pattern header";
+        return false;
+      }
+      LineageEvent e;
+      if (!LineageEvent::Parse(line, &e, error)) return false;
+      current->events.push_back(std::move(e));
+    } else {
+      if (error != nullptr) *error = "unknown lineage line: " + line;
+      return false;
+    }
+  }
+  *this = std::move(fresh);
+  return true;
+}
+
+bool PatternLedger::ApplyDelta(std::string_view text,
+                               PatternId* next_pattern_id,
+                               std::string* error) {
+  std::istringstream in{std::string(text)};
+  std::string line;
+  if (!std::getline(in, line)) {
+    if (error != nullptr) *error = "empty lineage delta";
+    return false;
+  }
+  uint64_t seq = 0;
+  uint64_t next_id = 0;
+  {
+    std::istringstream header(line);
+    std::string tag, version;
+    if (!(header >> tag >> version >> seq >> next_id) || tag != "delta" ||
+        version != "v1") {
+      if (error != nullptr) *error = "malformed lineage delta header: " + line;
+      return false;
+    }
+  }
+  // Parse everything before applying anything: a torn delta (CRC-guarded in
+  // the journal, so only possible via corruption) must not half-apply.
+  std::vector<LineageEvent> events;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    LineageEvent e;
+    if (!LineageEvent::Parse(line, &e, error)) return false;
+    events.push_back(std::move(e));
+  }
+  for (const LineageEvent& e : events) Apply(e);
+  if (next_pattern_id != nullptr) {
+    *next_pattern_id = static_cast<PatternId>(next_id);
+  }
+  return true;
+}
+
+const PatternLineage* PatternLedger::Find(PatternId id) const {
+  auto it = lineages_.find(id);
+  return it == lineages_.end() ? nullptr : &it->second;
+}
+
+size_t PatternLedger::live_count() const {
+  size_t live = 0;
+  for (const auto& [id, lin] : lineages_) {
+    if (lin.alive) ++live;
+  }
+  return live;
+}
+
+std::vector<LineageEvent> PatternLedger::SwapInsAt(uint64_t seq) const {
+  std::vector<LineageEvent> out;
+  for (const auto& [id, lin] : lineages_) {
+    for (const LineageEvent& e : lin.events) {
+      if (e.seq == seq && e.kind == LineageEventKind::kSwapIn) {
+        out.push_back(e);
+      }
+    }
+  }
+  return out;
+}
+
+std::string PatternLedger::PanelJson(uint64_t current_seq) const {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("round_seq").Value(current_seq);
+  w.Key("live").Value(static_cast<uint64_t>(live_count()));
+  w.Key("dead").Value(static_cast<uint64_t>(lineages_.size() - live_count()));
+  w.Key("events_applied").Value(events_applied_);
+  w.Key("evicted_dead").Value(evicted_dead_);
+  w.Key("patterns").BeginArray();
+  std::string body = w.str();
+  bool first = true;
+  for (const auto& [id, lin] : lineages_) {
+    if (!lin.alive) continue;
+    JsonWriter p;
+    p.BeginObject();
+    p.Key("id").Value(static_cast<uint64_t>(id));
+    p.Key("birth_seq").Value(lin.birth_seq);
+    p.Key("birth_kind").Value(LineageEventKindName(lin.birth_kind));
+    p.Key("age_rounds")
+        .Value(current_seq >= lin.birth_seq ? current_seq - lin.birth_seq
+                                            : uint64_t{0});
+    p.Key("rescores").Value(lin.rescores);
+    p.Key("cumulative_scov").Value(lin.cumulative_scov);
+    const LineageEvent* last = lin.latest();
+    if (last != nullptr) {
+      p.Key("scov").Value(last->scov);
+      p.Key("score").Value(last->score);
+    }
+    const LineageEvent* born = lin.birth();
+    if (born != nullptr && born->has_rationale) {
+      p.Key("displaced").Value(static_cast<uint64_t>(born->other));
+      p.Key("margin").Value(born->rationale.margin);
+      p.Key("dominant_term").Value(born->rationale.dominant_term);
+    }
+    p.EndObject();
+    if (!first) body += ",";
+    body += p.str();
+    first = false;
+  }
+  body += "]}";
+  return body;
+}
+
+std::string PatternLedger::LineageJson(PatternId id) const {
+  const PatternLineage* lin = Find(id);
+  if (lin == nullptr) return "";
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("id").Value(static_cast<uint64_t>(id));
+  w.Key("alive").Value(lin->alive);
+  w.Key("birth_seq").Value(lin->birth_seq);
+  w.Key("birth_kind").Value(LineageEventKindName(lin->birth_kind));
+  if (!lin->alive) w.Key("death_seq").Value(lin->death_seq);
+  w.Key("rescores").Value(lin->rescores);
+  w.Key("dropped_rescores").Value(lin->dropped_rescores);
+  w.Key("cumulative_scov").Value(lin->cumulative_scov);
+  std::string body = w.str();
+  body += ",\"events\":[";
+  for (size_t i = 0; i < lin->events.size(); ++i) {
+    if (i > 0) body += ",";
+    lin->events[i].ToJson(&body);
+  }
+  body += "]}";
+  return body;
+}
+
+}  // namespace obs
+}  // namespace midas

@@ -1,0 +1,202 @@
+#ifndef MIDAS_OBS_LINEAGE_H_
+#define MIDAS_OBS_LINEAGE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "midas/select/pattern.h"
+
+namespace midas {
+namespace obs {
+
+/// Per-pattern provenance: why is pattern P on the panel, what did the swap
+/// that put it there trade away, and how has it scored since? The
+/// `PatternLedger` records every pattern's full lifecycle — birth (initial
+/// selection, swap-in, restore), per-round re-scores, and death (swap-out
+/// with the displacing winner) — with the decision rationale captured at
+/// the swap site itself (maintain/swap.cc), not reconstructed after the
+/// fact.
+///
+/// Ownership and threading: the ledger is single-writer state owned by
+/// `MidasEngine` and mutated only on the maintenance thread. Readers (the
+/// /patternz and /lineage/<id> endpoints) get an immutable copy published
+/// inside the lock-free `PanelSnapshot` — the ledger itself carries no
+/// locks and is cheaply copyable (panel-sized, ring-capped).
+///
+/// Durability contract: events of a round are buffered (`BeginRound` …
+/// `Commit`) and only applied when the round commits, mirroring the WAL's
+/// batch/commit pairing. The pending buffer serializes as the `@L` journal
+/// record written between `@B` and `@C`, and the full ledger rides in the
+/// snapshot (`lineage.ledger`), so the ledger after crash + `RecoverEngine`
+/// is bit-identical to an uninterrupted run's.
+
+/// What created or destroyed a lineage entry.
+enum class LineageEventKind : int {
+  kInitial = 0,  ///< picked by the initial CATAPULT++ selection (seq 0)
+  kSwapIn = 1,   ///< won a multi-scan (or random) swap against `other`
+  kSwapOut = 2,  ///< displaced by `other` in a swap
+  kRescore = 3,  ///< per-round metric refresh of a live pattern
+  kRemoved = 4,  ///< disappeared outside a swap (panel reload/reconcile)
+  kRestored = 5, ///< appeared outside a swap (restore without lineage data)
+};
+
+const char* LineageEventKindName(LineageEventKind kind);
+
+/// The decision record captured at the swap site: every term the sw1–sw5
+/// criteria weighed when `winner` displaced `loser`.
+struct SwapRationale {
+  double winner_score = 0.0;  ///< candidate's s'_p at decision time
+  double loser_score = 0.0;   ///< displaced pattern's (worst) score
+  double margin = 0.0;        ///< winner_score - loser_score
+  double coverage_gain = 0.0; ///< sw1 benefit: new graphs the winner covers
+  double coverage_loss = 0.0; ///< sw1 loss: loser's unique coverage
+  double kappa = 0.0;         ///< κ threshold of the scan that accepted it
+  double div_before = 0.0, div_after = 0.0;    ///< sw3 set diversity
+  double cog_before = 0.0, cog_after = 0.0;    ///< sw4 set cognitive load
+  double lcov_before = 0.0, lcov_after = 0.0;  ///< sw5 label coverage
+  /// The score dimension that moved the most: "coverage", "diversity",
+  /// "label_coverage", "cognitive_load" — or "random" (kRandomSwap mode).
+  std::string dominant_term;
+  bool random = false;  ///< true when the baseline RandomSwap decided
+};
+
+/// Deterministic classification of the winning dimension from the captured
+/// terms (largest relative improvement; fixed tie-break order).
+std::string DominantTerm(const SwapRationale& r);
+
+/// One lifecycle event. Self-contained: the ledger state is exactly the
+/// fold of its events, which is what makes journal replay bit-exact.
+struct LineageEvent {
+  LineageEventKind kind = LineageEventKind::kRescore;
+  uint64_t seq = 0;       ///< round that committed the event (0 = initial)
+  PatternId pattern = 0;
+  PatternId other = 0;    ///< swap counterpart (loser for kSwapIn, winner
+                          ///< for kSwapOut); meaningful iff has_other
+  bool has_other = false;
+  bool has_rationale = false;
+  SwapRationale rationale;
+  /// The pattern's metrics at event time.
+  double scov = 0.0, lcov = 0.0, div = 0.0, cog = 0.0, score = 0.0;
+  /// Flight-record trace id of the round ("" when untraced) — the
+  /// cross-link from /lineage/<id> to /traces/<trace_id>.
+  std::string trace_id;
+
+  /// One-line text form (journal @L payload / lineage.ledger). Deterministic:
+  /// shortest round-trip doubles, no timestamps.
+  std::string Serialize() const;
+  static bool Parse(std::string_view line, LineageEvent* out,
+                    std::string* error);
+  void ToJson(std::string* out) const;
+};
+
+/// Everything the ledger retains about one pattern id.
+struct PatternLineage {
+  PatternId id = 0;
+  uint64_t birth_seq = 0;
+  LineageEventKind birth_kind = LineageEventKind::kInitial;
+  bool alive = true;
+  uint64_t death_seq = 0;       ///< meaningful when !alive
+  uint64_t rescores = 0;        ///< total rescore events ever applied
+  uint64_t dropped_rescores = 0;///< evicted from the per-pattern ring
+  /// Sum of scov over every committed round the pattern was live — the
+  /// "cumulative coverage contribution" column of /patternz.
+  double cumulative_scov = 0.0;
+  /// Birth + ring-capped rescores + death, in application order.
+  std::vector<LineageEvent> events;
+
+  const LineageEvent* birth() const;
+  const LineageEvent* latest() const;
+};
+
+struct PatternLedgerConfig {
+  /// Rescore events retained per pattern; older ones are dropped (counted
+  /// in dropped_rescores). Birth and death events are never dropped.
+  size_t max_rescores_per_pattern = 32;
+  /// Dead lineages retained; beyond this the oldest death is evicted.
+  size_t max_dead_patterns = 256;
+};
+
+class PatternLedger {
+ public:
+  PatternLedger() = default;
+  explicit PatternLedger(const PatternLedgerConfig& config)
+      : config_(config) {}
+
+  /// --- live recording (maintenance thread, commit-atomic) --------------
+  /// Opens round `seq`: discards any stale pending events (a thrown round
+  /// never commits its buffer) and stamps subsequent Pend* calls.
+  void BeginRound(uint64_t seq);
+  void PendBirth(PatternId id, LineageEventKind kind, PatternId loser,
+                 bool has_loser, const SwapRationale* rationale, double scov,
+                 double lcov, double div, double cog, double score);
+  void PendDeath(PatternId id, PatternId winner, bool has_winner,
+                 const SwapRationale* rationale, double scov, double lcov,
+                 double div, double cog, double score);
+  void PendRescore(PatternId id, double scov, double lcov, double div,
+                   double cog, double score);
+  /// Stamps every pending event with the round's flight-record trace id
+  /// (recorded in the @L payload, so replayed lineage keeps its links).
+  void StampTrace(const std::string& trace_hex);
+  /// The @L journal payload: "next_pattern_id" + this round's events.
+  std::string SerializeDelta(PatternId next_pattern_id) const;
+  /// Applies the pending buffer (the round committed).
+  void Commit();
+  /// Drops the pending buffer (the round failed before commit).
+  void Abort();
+  size_t pending_size() const { return pending_.size(); }
+
+  /// --- out-of-round recording ------------------------------------------
+  /// Birth at initial selection (seq 0) — applied immediately.
+  void RecordInitial(PatternId id, double scov, double lcov, double div,
+                     double cog, double score);
+  /// Squares the ledger with an externally installed panel (LoadPatterns,
+  /// legacy restore): synthesizes kRestored births for unknown live ids and
+  /// kRemoved deaths for ledger-live ids absent from the panel.
+  void Reconcile(const PatternSet& panel, uint64_t seq);
+  void Clear();
+
+  /// --- durability -------------------------------------------------------
+  /// Full ledger state, deterministic text (snapshot lineage.ledger).
+  std::string Serialize() const;
+  bool Deserialize(std::string_view text, std::string* error);
+  /// Replays one round's @L payload. `next_pattern_id` (may be null)
+  /// receives the id allocator position after the round.
+  bool ApplyDelta(std::string_view text, PatternId* next_pattern_id,
+                  std::string* error);
+
+  /// --- introspection ----------------------------------------------------
+  const PatternLineage* Find(PatternId id) const;
+  const std::map<PatternId, PatternLineage>& lineages() const {
+    return lineages_;
+  }
+  size_t live_count() const;
+  uint64_t events_applied() const { return events_applied_; }
+  uint64_t evicted_dead() const { return evicted_dead_; }
+  /// Swap-in events committed at round `seq` (the examples' per-round
+  /// rationale one-liners).
+  std::vector<LineageEvent> SwapInsAt(uint64_t seq) const;
+
+  /// /patternz body: live panel with birth round, age (in rounds, against
+  /// `current_seq`), cumulative coverage contribution and birth rationale.
+  std::string PanelJson(uint64_t current_seq) const;
+  /// /lineage/<id> body: full birth-to-present history ("" when unknown).
+  std::string LineageJson(PatternId id) const;
+
+ private:
+  void Apply(const LineageEvent& event);
+
+  PatternLedgerConfig config_;
+  std::map<PatternId, PatternLineage> lineages_;
+  std::vector<LineageEvent> pending_;
+  uint64_t pending_seq_ = 0;
+  uint64_t events_applied_ = 0;
+  uint64_t evicted_dead_ = 0;
+};
+
+}  // namespace obs
+}  // namespace midas
+
+#endif  // MIDAS_OBS_LINEAGE_H_

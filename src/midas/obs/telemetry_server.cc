@@ -113,6 +113,37 @@ bool ParseRequestLine(const std::string& head, HttpRequest* out) {
   return true;
 }
 
+/// Parses the header block after the request line into name -> value,
+/// names lowercased. Tolerant: malformed lines are skipped, not fatal —
+/// the request line already passed, and telemetry routes only consult
+/// well-known headers (Accept).
+void ParseHeaders(const std::string& head, HttpRequest* out) {
+  size_t pos = head.find('\n');
+  if (pos == std::string::npos) return;
+  ++pos;
+  while (pos < head.size()) {
+    size_t eol = head.find('\n', pos);
+    std::string line = head.substr(
+        pos, eol == std::string::npos ? std::string::npos : eol - pos);
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) break;  // end of the header block
+    size_t colon = line.find(':');
+    if (colon != std::string::npos && colon > 0) {
+      std::string name = line.substr(0, colon);
+      std::transform(name.begin(), name.end(), name.begin(),
+                     [](unsigned char c) { return std::tolower(c); });
+      size_t begin = line.find_first_not_of(" \t", colon + 1);
+      size_t end = line.find_last_not_of(" \t");
+      std::string value = begin == std::string::npos
+                              ? ""
+                              : line.substr(begin, end - begin + 1);
+      out->headers.emplace(std::move(name), std::move(value));
+    }
+    if (eol == std::string::npos) break;
+    pos = eol + 1;
+  }
+}
+
 }  // namespace
 
 std::string HttpRequest::QueryParam(const std::string& key) const {
@@ -129,6 +160,14 @@ std::string HttpRequest::QueryParam(const std::string& key) const {
     pos = amp + 1;
   }
   return "";
+}
+
+std::string HttpRequest::Header(const std::string& name) const {
+  std::string lower = name;
+  std::transform(lower.begin(), lower.end(), lower.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  auto it = headers.find(lower);
+  return it == headers.end() ? "" : it->second;
 }
 
 TelemetryServer::~TelemetryServer() { Stop(); }
@@ -215,11 +254,14 @@ void TelemetryServer::HandleConnection(int fd) {
   if (!ReadRequestHead(fd, &head) || !ParseRequestLine(head, &request)) {
     response.status = 400;
     response.body = "malformed request\n";
-  } else if (request.method != "GET" && request.method != "HEAD") {
-    response.status = 405;
-    response.body = "only GET is served here\n";
   } else {
-    response = Dispatch(request);
+    ParseHeaders(head, &request);
+    if (request.method != "GET" && request.method != "HEAD") {
+      response.status = 405;
+      response.body = "only GET is served here\n";
+    } else {
+      response = Dispatch(request);
+    }
   }
 
   // HEAD advertises the length GET would have sent, with an empty body.

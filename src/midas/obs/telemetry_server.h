@@ -16,10 +16,15 @@ struct HttpRequest {
   std::string method;  ///< "GET", uppercased
   std::string path;    ///< "/metrics" (query string stripped)
   std::string query;   ///< "fmt=folded" (empty when absent)
+  /// Request headers, names lowercased ("accept" -> "text/plain"). Values
+  /// are trimmed of surrounding whitespace; duplicate names keep the first.
+  std::map<std::string, std::string> headers;
 
   /// Value of `key` in the query string ("" when absent). Values are not
   /// percent-decoded — telemetry parameters are plain tokens.
   std::string QueryParam(const std::string& key) const;
+  /// Header value by case-insensitive name ("" when absent).
+  std::string Header(const std::string& name) const;
 };
 
 struct HttpResponse {

@@ -18,6 +18,13 @@ PatternId PatternSet::Add(CannedPattern p) {
   return id;
 }
 
+PatternId PatternSet::AddWithId(PatternId id, CannedPattern p) {
+  p.id = id;
+  patterns_[id] = std::move(p);
+  if (id >= next_id_) next_id_ = id + 1;
+  return id;
+}
+
 bool PatternSet::Remove(PatternId id) { return patterns_.erase(id) > 0; }
 
 const CannedPattern* PatternSet::Find(PatternId id) const {

@@ -40,7 +40,21 @@ class PatternSet {
 
   /// Adds a pattern, assigning a fresh id (returned).
   PatternId Add(CannedPattern p);
+  /// Adds a pattern under a caller-chosen id (restore paths: snapshot /
+  /// journal panels keep their on-disk ids so provenance stays addressable
+  /// across recovery). Advances the allocator past `id`; replaces any
+  /// existing pattern with the same id.
+  PatternId AddWithId(PatternId id, CannedPattern p);
   bool Remove(PatternId id);
+
+  /// Id the next Add() would assign. Persisted in the snapshot MANIFEST so
+  /// post-recovery swap-ins allocate the same ids an uninterrupted run
+  /// would (dead patterns may hold ids above every live one).
+  PatternId next_id() const { return next_id_; }
+  /// Never lowers the allocator.
+  void RestoreNextId(PatternId next_id) {
+    if (next_id > next_id_) next_id_ = next_id;
+  }
 
   const CannedPattern* Find(PatternId id) const;
   CannedPattern* FindMutable(PatternId id);

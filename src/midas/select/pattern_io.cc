@@ -13,14 +13,21 @@ void WritePatternSet(const PatternSet& set, const LabelDictionary& dict,
   }
 }
 
-bool ReadPatternSet(std::istream& in, LabelDictionary& dict,
-                    PatternSet* set) {
+bool ReadPatternSet(std::istream& in, LabelDictionary& dict, PatternSet* set,
+                    bool preserve_ids) {
   GraphDatabase staging;
-  if (!ReadDatabase(in, &staging)) return false;
+  GspanReadOptions options;
+  options.preserve_ids = preserve_ids;
+  std::string error;
+  if (!ReadDatabase(in, &staging, options, &error)) return false;
   for (const auto& [id, g] : staging.graphs()) {
     CannedPattern p;
     p.graph = RemapLabels(g, staging.labels(), dict);
-    set->Add(std::move(p));
+    if (preserve_ids) {
+      set->AddWithId(static_cast<PatternId>(id), std::move(p));
+    } else {
+      set->Add(std::move(p));
+    }
   }
   return true;
 }

@@ -20,8 +20,11 @@ void WritePatternSet(const PatternSet& set, const LabelDictionary& dict,
 
 /// Parses patterns, interning labels into `dict` (by name, so files written
 /// against a different dictionary load correctly). Patterns are Add()ed to
-/// `set` with fresh ids. Returns false on malformed input.
-bool ReadPatternSet(std::istream& in, LabelDictionary& dict, PatternSet* set);
+/// `set` with fresh ids by default; `preserve_ids` keeps the `t # <id>`
+/// header ids instead (restore paths, where the ids anchor the provenance
+/// ledger). Returns false on malformed input.
+bool ReadPatternSet(std::istream& in, LabelDictionary& dict, PatternSet* set,
+                    bool preserve_ids = false);
 
 }  // namespace midas
 

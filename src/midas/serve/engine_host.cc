@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstdio>
 #include <filesystem>
+#include <sstream>
 #include <thread>
 #include <utility>
 
@@ -145,6 +146,21 @@ bool EngineHost::Start(std::string* error) {
   if (event_log_ != nullptr) engine_->SetEventLog(event_log_);
   if (config_.sli_enabled) engine_->SetDriftDetector(&drift_);
   rounds_since_checkpoint_ = 0;
+
+  if (config_.history_enabled) {
+    history_ = std::make_unique<obs::MetricHistory>(config_.history);
+    alerter_ = std::make_unique<obs::BurnRateAlerter>(config_.alerts);
+    // Pre-register the alert metrics so a healthy host exports them at 0
+    // — dashboards must distinguish "quiet" from "absent".
+    auto& reg = obs::MetricsRegistry::Current();
+    if (reg.enabled()) {
+      for (const obs::BurnRateAlerter::AlertState& s : alerter_->States(0.0)) {
+        if (s.enabled) reg.GetGauge("midas_alert_" + s.name)->Set(0.0);
+      }
+      reg.GetCounter("midas_alert_transitions_total");
+    }
+  }
+  history_epoch_ = std::chrono::steady_clock::now();
 
   PublishSnapshot();
 
@@ -330,6 +346,7 @@ void EngineHost::WriterLoop() {
       NoteBreakerState("cooldown");
       std::this_thread::sleep_for(std::chrono::milliseconds(5));
       WatchdogTick();
+      HistoryTick();
       UpdateGauges();
       continue;
     }
@@ -372,6 +389,7 @@ void EngineHost::WriterLoop() {
       ScrubTick();
     }
     WatchdogTick();
+    HistoryTick();
     UpdateGauges();
   }
 }
@@ -502,6 +520,7 @@ void EngineHost::RunBatch(BoundedUpdateQueue::Item item) {
       ++rounds_since_checkpoint_;
       MaybeCheckpoint();
       PublishSnapshot();
+      ObserveRoundForAlerts(round_stats);
       if (record != nullptr) {
         record->seq = engine_->round_seq();
         record->attempts = attempt;
@@ -636,6 +655,10 @@ void EngineHost::PublishSnapshot() {
       std::make_shared<const std::vector<GraphId>>(engine_->db().Ids());
   snap->labels =
       std::make_shared<const LabelDictionary>(engine_->db().labels());
+  // Deep copy of the ledger: the engine keeps mutating its own, readers
+  // (/patternz, /lineage/<id>) walk this frozen one lock-free.
+  snap->lineage =
+      std::make_shared<const obs::PatternLedger>(engine_->lineage());
   snap->created_at = std::chrono::steady_clock::now();
 
   // Readers' view of completed rounds never regresses, even if recovery
@@ -1147,6 +1170,56 @@ void EngineHost::UpdateGauges() {
   }
 }
 
+double EngineHost::HistoryNowMs() const {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - history_epoch_)
+      .count();
+}
+
+void EngineHost::HistoryTick() {
+  if (history_ == nullptr) return;
+  const double now = HistoryNowMs();
+  history_->Sample(now, obs::MetricsRegistry::Current());
+  DrainAlertTransitions(now);
+}
+
+void EngineHost::ObserveRoundForAlerts(const MaintenanceStats& stats) {
+  if (alerter_ == nullptr) return;
+  const double now = HistoryNowMs();
+  alerter_->ObserveRound(now, config_.flight.slo_ms > 0.0 &&
+                                  stats.total_ms > config_.flight.slo_ms);
+  PanelSnapshotPtr snap = snapshot();
+  if (snap != nullptr) {
+    alerter_->ObserveQuality(now, snap->quality.scov, snap->quality.lcov);
+  }
+  DrainAlertTransitions(now);
+}
+
+void EngineHost::DrainAlertTransitions(double now_ms) {
+  if (alerter_ == nullptr) return;
+  std::vector<obs::BurnRateAlerter::Transition> transitions =
+      alerter_->Tick(now_ms);
+  if (transitions.empty()) return;
+  auto& reg = obs::MetricsRegistry::Current();
+  for (const obs::BurnRateAlerter::Transition& t : transitions) {
+    if (reg.enabled()) {
+      reg.GetGauge("midas_alert_" + t.alert)->Set(t.firing ? 1.0 : 0.0);
+      reg.GetCounter("midas_alert_transitions_total")->Increment();
+    }
+    if (event_log_ != nullptr) {
+      obs::JsonWriter w;
+      w.BeginObject();
+      w.Key("alert_event").Value(t.alert);
+      w.Key("state").Value(t.firing ? "firing" : "resolved");
+      w.Key("at_ms").Value(t.at_ms);
+      w.Key("fast_rate").Value(t.fast_rate);
+      w.Key("slow_rate").Value(t.slow_rate);
+      w.EndObject();
+      event_log_->AppendRaw(w.str());
+    }
+  }
+}
+
 bool EngineHost::WaitIdle(std::chrono::milliseconds timeout) {
   auto deadline = std::chrono::steady_clock::now() + timeout;
   for (;;) {
@@ -1167,10 +1240,19 @@ bool EngineHost::LastRoundStats(MaintenanceStats* out) const {
 }
 
 void EngineHost::InstallTelemetryRoutes() {
-  telemetry_->Handle("/metrics", [](const obs::HttpRequest&) {
+  telemetry_->Handle("/metrics", [](const obs::HttpRequest& req) {
+    // Content negotiation: OpenMetrics scrapers (exemplar-aware) ask via
+    // Accept; everyone else gets the 0.0.4 dialect, where exemplar
+    // suffixes would be a syntax error, stripped.
+    const obs::MetricsTextFormat format =
+        req.Header("accept").find("application/openmetrics-text") !=
+                std::string::npos
+            ? obs::MetricsTextFormat::kOpenMetrics
+            : obs::MetricsTextFormat::kPrometheus0_0_4;
     obs::HttpResponse resp;
-    resp.content_type = "text/plain; version=0.0.4; charset=utf-8";
-    resp.body = obs::ExportPrometheus(obs::MetricsRegistry::Current());
+    resp.content_type = obs::MetricsContentType(format);
+    resp.body = obs::ExportPrometheus(obs::MetricsRegistry::Current(),
+                                      format);
     return resp;
   });
 
@@ -1371,6 +1453,84 @@ void EngineHost::InstallTelemetryRoutes() {
     obs::HttpResponse resp;
     resp.content_type = "application/json";
     resp.body = body;
+    return resp;
+  });
+
+  telemetry_->Handle("/patternz", [this](const obs::HttpRequest&) {
+    obs::HttpResponse resp;
+    resp.content_type = "application/json";
+    PanelSnapshotPtr snap = snapshot();
+    if (snap == nullptr || snap->lineage == nullptr) {
+      resp.status = 503;
+      resp.body = "{\"error\":\"no snapshot published yet\"}";
+      return resp;
+    }
+    resp.body = snap->lineage->PanelJson(snap->round_seq);
+    return resp;
+  });
+
+  telemetry_->HandlePrefix("/lineage/", [this](const obs::HttpRequest& req) {
+    obs::HttpResponse resp;
+    resp.content_type = "application/json";
+    PanelSnapshotPtr snap = snapshot();
+    if (snap == nullptr || snap->lineage == nullptr) {
+      resp.status = 503;
+      resp.body = "{\"error\":\"no snapshot published yet\"}";
+      return resp;
+    }
+    const std::string suffix = req.path.substr(std::string("/lineage/").size());
+    PatternId id = 0;
+    std::istringstream in(suffix);
+    if (suffix.empty() || !(in >> id) || !in.eof()) {
+      resp.status = 400;
+      resp.body = "{\"error\":\"usage: /lineage/<numeric pattern id>\"}";
+      return resp;
+    }
+    std::string body = snap->lineage->LineageJson(id);
+    if (body.empty()) {
+      resp.status = 404;
+      resp.body = "{\"error\":\"no lineage for pattern " + suffix + "\"}";
+      return resp;
+    }
+    resp.body = std::move(body);
+    return resp;
+  });
+
+  telemetry_->Handle("/historyz", [this](const obs::HttpRequest& req) {
+    obs::HttpResponse resp;
+    resp.content_type = "application/json";
+    if (history_ == nullptr) {
+      resp.status = 404;
+      resp.body = "{\"error\":\"metric history disabled "
+                  "(HostConfig::history_enabled)\"}";
+      return resp;
+    }
+    const std::string metric = req.QueryParam("metric");
+    double window_s = 60.0;
+    size_t buckets = 60;
+    if (const std::string w = req.QueryParam("window"); !w.empty()) {
+      std::istringstream in(w);
+      in >> window_s;
+    }
+    if (const std::string b = req.QueryParam("buckets"); !b.empty()) {
+      std::istringstream in(b);
+      in >> buckets;
+    }
+    if (window_s <= 0.0) window_s = 60.0;
+    if (buckets == 0 || buckets > 10000) buckets = 60;
+    resp.body = history_->QueryJson(metric, HistoryNowMs(),
+                                    window_s * 1000.0, buckets);
+    return resp;
+  });
+
+  telemetry_->Handle("/alertz", [this](const obs::HttpRequest&) {
+    obs::HttpResponse resp;
+    resp.content_type = "application/json";
+    if (alerter_ == nullptr) {
+      resp.body = "{\"enabled\":false}";
+      return resp;
+    }
+    resp.body = alerter_->ToJson(HistoryNowMs());
     return resp;
   });
 

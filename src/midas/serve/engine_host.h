@@ -16,6 +16,7 @@
 #include "midas/maintain/verify.h"
 #include "midas/obs/event_log.h"
 #include "midas/obs/flight.h"
+#include "midas/obs/history.h"
 #include "midas/obs/sli.h"
 #include "midas/obs/trace.h"
 #include "midas/obs/telemetry_server.h"
@@ -119,6 +120,16 @@ struct HostConfig {
   /// exemplars. Tracing never feeds back into maintenance decisions.
   bool tracing_enabled = true;
   obs::FlightRecorderConfig flight;
+
+  /// In-process metric history (obs/history.h): the writer samples the
+  /// whole MetricsRegistry into per-metric ring buffers once per loop
+  /// iteration (rate-limited by history.min_interval_ms) and /historyz
+  /// serves min/mean/max/p99 downsampling over any window. Also drives the
+  /// multi-window burn-rate alerter surfaced at /alertz, the
+  /// `midas_alert_*` gauges and `alert_event` JSONL records.
+  bool history_enabled = true;
+  obs::MetricHistoryConfig history;
+  obs::AlertConfig alerts;
 
   /// Every durable-state I/O — journal appends, checkpoints, recovery
   /// reads, quarantine files, scrubber re-reads — goes through this
@@ -284,6 +295,14 @@ class EngineHost {
   /// Served on /traces and /traces/<id> when telemetry is on.
   const obs::FlightRecorder& flights() const { return flights_; }
 
+  /// In-process metric history / burn-rate alerter (nullptr when
+  /// HostConfig::history_enabled is off or the host never started).
+  const obs::MetricHistory* metric_history() const { return history_.get(); }
+  const obs::BurnRateAlerter* alerter() const { return alerter_.get(); }
+  /// The host's virtual-time clock for history/alerting: milliseconds since
+  /// Start (monotonic).
+  double HistoryNowMs() const;
+
   // --- Overload-resilience introspection ---------------------------------
 
   /// Current degradation-ladder rung (kHealthy when the watchdog is off).
@@ -378,6 +397,15 @@ class EngineHost {
                     const PanelSnapshotPtr& pre);
   void MaybeCheckpoint();
   void UpdateGauges();
+  /// Writer, once per loop iteration: sample the registry into the history
+  /// rings and re-evaluate the burn-rate alerts.
+  void HistoryTick();
+  /// Feeds one committed round into the alerter (SLO verdict + the
+  /// published snapshot's quality SLIs) and drains transitions.
+  void ObserveRoundForAlerts(const MaintenanceStats& stats);
+  /// Publishes alert transitions: midas_alert_* gauges, transition counter,
+  /// `alert_event` JSONL lines.
+  void DrainAlertTransitions(double now_ms);
   /// Writer, once per loop iteration: sample the memory watchdog, advance
   /// the degradation ladder one rung at most, engage/disengage rung actions.
   void WatchdogTick();
@@ -410,6 +438,9 @@ class EngineHost {
   obs::QualityDriftDetector drift_;                ///< fed by the writer
   obs::FlightRecorder flights_;                    ///< per-batch trace ring
   std::unique_ptr<obs::TelemetryServer> telemetry_;
+  std::unique_ptr<obs::MetricHistory> history_;    ///< nullptr when disabled
+  std::unique_ptr<obs::BurnRateAlerter> alerter_;  ///< nullptr when disabled
+  std::chrono::steady_clock::time_point history_epoch_{};
 
   /// Last committed round's stats, copied out of the writer for /statusz.
   mutable std::mutex last_stats_mu_;

@@ -39,6 +39,10 @@ struct PanelSnapshot {
   /// pass the copy to Submit — the live engine dictionary is never shared
   /// across threads (the writer remaps by name when the round starts).
   std::shared_ptr<const LabelDictionary> labels;
+  /// Frozen copy of the engine's provenance ledger (obs/lineage.h) at
+  /// publication — the /patternz and /lineage/<id> endpoints read it
+  /// lock-free. Never nullptr after Start (may be an empty ledger).
+  std::shared_ptr<const obs::PatternLedger> lineage;
   std::chrono::steady_clock::time_point created_at{};
 
   /// Milliseconds since this snapshot was published (staleness signal; the

@@ -500,11 +500,22 @@ TEST(FlightTraceE2ETest, SlowBatchIsAttributedEndToEnd) {
   exemplar_id.hi = exemplar.trace_hi;
   exemplar_id.lo = exemplar.trace_lo;
   EXPECT_EQ(exemplar_id.ToHex(), slow_id);
-  // ...and the Prometheus exposition carries it in OpenMetrics syntax.
-  testing::HttpResult prom = testing::HttpGet(port, "/metrics");
+  // ...and the OpenMetrics exposition carries it (negotiated via Accept),
+  // while the default 0.0.4 exposition strips exemplar suffixes.
+  testing::HttpResult prom = testing::HttpRaw(
+      port,
+      "GET /metrics HTTP/1.1\r\nHost: 127.0.0.1\r\n"
+      "Accept: application/openmetrics-text\r\nConnection: close\r\n\r\n");
   ASSERT_TRUE(prom.ok);
+  EXPECT_NE(prom.headers.find("application/openmetrics-text"),
+            std::string::npos);
   EXPECT_NE(prom.body.find("# {trace_id=\"" + slow_id + "\"}"),
             std::string::npos);
+  testing::HttpResult legacy = testing::HttpGet(port, "/metrics");
+  ASSERT_TRUE(legacy.ok);
+  EXPECT_NE(legacy.headers.find("text/plain; version=0.0.4"),
+            std::string::npos);
+  EXPECT_EQ(legacy.body.find("trace_id"), std::string::npos);
 
   host.Stop();
 }

@@ -1,0 +1,257 @@
+// In-process metric history + burn-rate alerting (obs/history.h). All
+// times are virtual (passed in), so every drill here is deterministic:
+// the alerter must fire and clear at exactly the computed ticks.
+
+#include "midas/obs/history.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "midas/obs/json.h"
+#include "midas/obs/metrics.h"
+
+namespace midas {
+namespace {
+
+// --- MetricHistory ----------------------------------------------------------
+
+TEST(MetricHistoryTest, SamplesCountersGaugesAndHistogramSeries) {
+  obs::MetricsRegistry reg;
+  reg.GetCounter("midas_rounds_total")->Increment();
+  reg.GetGauge("midas_queue_depth")->Set(3.0);
+  obs::Histogram* h = reg.GetHistogram("midas_round_ms", {1.0, 10.0});
+  h->Observe(5.0);
+
+  obs::MetricHistory history;
+  history.Sample(1000.0, reg);
+  EXPECT_EQ(history.samples_taken(), 1u);
+
+  std::vector<std::string> names = history.Names();
+  auto has = [&names](const std::string& n) {
+    for (const std::string& name : names) {
+      if (name == n) return true;
+    }
+    return false;
+  };
+  EXPECT_TRUE(has("midas_rounds_total"));
+  EXPECT_TRUE(has("midas_queue_depth"));
+  EXPECT_TRUE(has("midas_round_ms_count"));
+  EXPECT_TRUE(has("midas_round_ms_sum"));
+}
+
+TEST(MetricHistoryTest, MinIntervalAndCapacityBoundTheSeries) {
+  obs::MetricsRegistry reg;
+  obs::Gauge* g = reg.GetGauge("midas_queue_depth");
+
+  obs::MetricHistoryConfig cfg;
+  cfg.capacity = 4;
+  cfg.min_interval_ms = 100.0;
+  obs::MetricHistory history(cfg);
+
+  for (int i = 0; i < 20; ++i) {
+    g->Set(static_cast<double>(i));
+    // Every second sample lands inside the min interval and is dropped.
+    history.Sample(1000.0 + 50.0 * i, reg);
+  }
+  EXPECT_EQ(history.samples_taken(), 10u);
+
+  // Query over everything: only the last `capacity` samples survive.
+  std::vector<obs::MetricHistory::Bucket> buckets;
+  ASSERT_TRUE(history.Query("midas_queue_depth", 2000.0, 10000.0, 1000,
+                            &buckets));
+  uint64_t total = 0;
+  for (const auto& b : buckets) total += b.count;
+  EXPECT_EQ(total, 4u);
+}
+
+TEST(MetricHistoryTest, DownsampleComputesMinMeanMaxP99) {
+  obs::MetricsRegistry reg;
+  obs::Gauge* g = reg.GetGauge("midas_queue_depth");
+  obs::MetricHistory history;
+
+  // 100 samples, values 1..100, one per second.
+  for (int i = 1; i <= 100; ++i) {
+    g->Set(static_cast<double>(i));
+    history.Sample(1000.0 * i, reg);
+  }
+  // One bucket spanning the whole window.
+  std::vector<obs::MetricHistory::Bucket> buckets;
+  ASSERT_TRUE(history.Query("midas_queue_depth", 100000.0, 100000.0, 1,
+                            &buckets));
+  ASSERT_EQ(buckets.size(), 1u);
+  EXPECT_EQ(buckets[0].count, 100u);
+  EXPECT_DOUBLE_EQ(buckets[0].min, 1.0);
+  EXPECT_DOUBLE_EQ(buckets[0].max, 100.0);
+  EXPECT_DOUBLE_EQ(buckets[0].mean, 50.5);
+  EXPECT_GE(buckets[0].p99, 99.0);
+  EXPECT_LE(buckets[0].p99, 100.0);
+
+  // A narrower window excludes older samples (inclusive window start:
+  // t = 90000..100000 is 11 samples).
+  ASSERT_TRUE(history.Query("midas_queue_depth", 100000.0, 10000.0, 1,
+                            &buckets));
+  ASSERT_EQ(buckets.size(), 1u);
+  EXPECT_EQ(buckets[0].count, 11u);
+  EXPECT_DOUBLE_EQ(buckets[0].min, 90.0);
+  EXPECT_DOUBLE_EQ(buckets[0].max, 100.0);
+
+  EXPECT_FALSE(history.Query("no_such_metric", 100000.0, 1000.0, 1,
+                             &buckets));
+}
+
+TEST(MetricHistoryTest, QueryJsonIsSelfDescribing) {
+  obs::MetricsRegistry reg;
+  reg.GetGauge("midas_queue_depth")->Set(1.0);
+  obs::MetricHistory history;
+  history.Sample(1000.0, reg);
+
+  obs::FlatJson ok =
+      obs::ParseFlatJson(history.QueryJson("midas_queue_depth", 2000.0,
+                                           60000.0, 60));
+  ASSERT_TRUE(ok.ok) << ok.error;
+  EXPECT_EQ(ok.strings.at("metric"), "midas_queue_depth");
+
+  // Unknown metric: an error plus the list of known series, so a human
+  // poking /historyz can discover what exists.
+  obs::FlatJson err =
+      obs::ParseFlatJson(history.QueryJson("nope", 2000.0, 60000.0, 60));
+  ASSERT_TRUE(err.ok) << err.error;
+  EXPECT_NE(err.strings.count("error"), 0u);
+  EXPECT_EQ(err.strings.at("metrics.0"), "midas_queue_depth");
+}
+
+// --- BurnRateAlerter --------------------------------------------------------
+
+obs::AlertConfig DrillConfig() {
+  obs::AlertConfig cfg;
+  cfg.fast_window_ms = 10000.0;   // 10s fast window
+  cfg.slow_window_ms = 60000.0;   // 60s slow window
+  cfg.fast_burn = 0.5;
+  cfg.slow_burn = 0.1;
+  cfg.min_events = 3;
+  return cfg;
+}
+
+TEST(BurnRateAlerterTest, FiresWhenBothWindowsBurnAndClearsOnRecovery) {
+  obs::BurnRateAlerter alerter(DrillConfig());
+
+  // Three good rounds: nothing fires (rates are zero).
+  for (int i = 0; i < 3; ++i) {
+    alerter.ObserveRound(1000.0 * i, /*slo_violation=*/false);
+  }
+  EXPECT_TRUE(alerter.Tick(3000.0).empty());
+
+  // A run of bad rounds, one per second. After the third bad event both
+  // windows exceed their thresholds (fast: 3/6 = 0.5, slow: >= 0.1) and
+  // min_events is satisfied — exactly one "fired" transition.
+  std::vector<obs::BurnRateAlerter::Transition> fired;
+  for (int i = 3; i < 8; ++i) {
+    alerter.ObserveRound(1000.0 * i, /*slo_violation=*/true);
+    for (const auto& t : alerter.Tick(1000.0 * i)) fired.push_back(t);
+  }
+  ASSERT_EQ(fired.size(), 1u);
+  EXPECT_EQ(fired[0].alert, "round_slo_burn");
+  EXPECT_TRUE(fired[0].firing);
+  EXPECT_GE(fired[0].fast_rate, 0.5);
+  EXPECT_GE(fired[0].slow_rate, 0.1);
+
+  // While still burning, repeated ticks produce no duplicate transitions.
+  EXPECT_TRUE(alerter.Tick(8000.0).empty());
+  std::vector<obs::BurnRateAlerter::AlertState> states =
+      alerter.States(8000.0);
+  bool found = false;
+  for (const auto& s : states) {
+    if (s.name == "round_slo_burn") {
+      found = true;
+      EXPECT_TRUE(s.firing);
+      EXPECT_EQ(s.fired_total, 1u);
+    }
+  }
+  EXPECT_TRUE(found);
+
+  // Recovery: the bad events age out of the fast window; the alert clears
+  // with exactly one "resolved" transition even though the slow window may
+  // still be hot (fast-window recovery gates clearing).
+  std::vector<obs::BurnRateAlerter::Transition> cleared =
+      alerter.Tick(30000.0);
+  ASSERT_EQ(cleared.size(), 1u);
+  EXPECT_EQ(cleared[0].alert, "round_slo_burn");
+  EXPECT_FALSE(cleared[0].firing);
+
+  // Re-running the identical drill yields the identical transitions — the
+  // determinism contract for seeded drills.
+  obs::BurnRateAlerter again(DrillConfig());
+  for (int i = 0; i < 3; ++i) again.ObserveRound(1000.0 * i, false);
+  std::vector<obs::BurnRateAlerter::Transition> fired2;
+  for (int i = 3; i < 8; ++i) {
+    again.ObserveRound(1000.0 * i, true);
+    for (const auto& t : again.Tick(1000.0 * i)) fired2.push_back(t);
+  }
+  ASSERT_EQ(fired2.size(), 1u);
+  EXPECT_EQ(fired2[0].at_ms, fired[0].at_ms);
+  EXPECT_EQ(fired2[0].fast_rate, fired[0].fast_rate);
+  EXPECT_EQ(fired2[0].slow_rate, fired[0].slow_rate);
+}
+
+TEST(BurnRateAlerterTest, MinEventsSuppressesSingleBadRound) {
+  obs::BurnRateAlerter alerter(DrillConfig());
+  // One catastrophic round must not page.
+  alerter.ObserveRound(1000.0, /*slo_violation=*/true);
+  EXPECT_TRUE(alerter.Tick(1000.0).empty());
+  alerter.ObserveRound(2000.0, true);
+  EXPECT_TRUE(alerter.Tick(2000.0).empty());  // still below min_events
+}
+
+TEST(BurnRateAlerterTest, QualityFloorsDriveSeparateAlerts) {
+  obs::AlertConfig cfg = DrillConfig();
+  cfg.scov_floor = 0.4;
+  cfg.lcov_floor = 0.6;
+  obs::BurnRateAlerter alerter(cfg);
+
+  // scov below floor, lcov healthy: only the scov alert fires.
+  for (int i = 0; i < 5; ++i) {
+    alerter.ObserveQuality(1000.0 * i, /*scov=*/0.2, /*lcov=*/0.9);
+  }
+  std::vector<obs::BurnRateAlerter::Transition> ts = alerter.Tick(4000.0);
+  ASSERT_EQ(ts.size(), 1u);
+  EXPECT_EQ(ts[0].alert, "quality_scov_floor");
+  EXPECT_TRUE(ts[0].firing);
+
+  // With no floors configured the quality alerts stay disabled.
+  obs::BurnRateAlerter off(DrillConfig());
+  for (int i = 0; i < 5; ++i) off.ObserveQuality(1000.0 * i, 0.0, 0.0);
+  EXPECT_TRUE(off.Tick(4000.0).empty());
+  for (const auto& s : off.States(4000.0)) {
+    if (s.name != "round_slo_burn") {
+      EXPECT_FALSE(s.enabled);
+    }
+  }
+}
+
+TEST(BurnRateAlerterTest, ToJsonCarriesEveryAlertState) {
+  obs::AlertConfig cfg = DrillConfig();
+  cfg.scov_floor = 0.4;
+  obs::BurnRateAlerter alerter(cfg);
+  alerter.ObserveRound(1000.0, false);
+
+  obs::FlatJson doc = obs::ParseFlatJson(alerter.ToJson(2000.0));
+  ASSERT_TRUE(doc.ok) << doc.error;
+  // Three named alerts, each with firing/rate fields.
+  bool saw_round = false, saw_scov = false, saw_lcov = false;
+  for (int i = 0; i < 3; ++i) {
+    const std::string key = "alerts." + std::to_string(i) + ".name";
+    if (doc.strings.count(key) == 0) continue;
+    const std::string& name = doc.strings.at(key);
+    if (name == "round_slo_burn") saw_round = true;
+    if (name == "quality_scov_floor") saw_scov = true;
+    if (name == "quality_lcov_floor") saw_lcov = true;
+  }
+  EXPECT_TRUE(saw_round);
+  EXPECT_TRUE(saw_scov);
+  EXPECT_TRUE(saw_lcov);
+}
+
+}  // namespace
+}  // namespace midas

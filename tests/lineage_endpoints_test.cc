@@ -1,0 +1,254 @@
+// HTTP acceptance of the decision-lineage + metric-history endpoints: a
+// live EngineHost serves /patternz, /lineage/<id>, /historyz and /alertz
+// with well-formed JSON — including under concurrent scrapes while the
+// writer is mid-round — and /metrics negotiates the OpenMetrics dialect
+// via Accept.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "http_test_client.h"
+#include "midas/datagen/molecule_gen.h"
+#include "midas/obs/json.h"
+#include "midas/obs/metrics.h"
+#include "midas/obs/profile.h"
+#include "midas/serve/engine_host.h"
+
+namespace midas {
+namespace serve {
+namespace {
+
+namespace fs = std::filesystem;
+using midas::testing::HttpGet;
+using midas::testing::HttpRaw;
+using midas::testing::HttpResult;
+using std::chrono::milliseconds;
+
+struct TempDir {
+  explicit TempDir(const std::string& name)
+      : path((fs::temp_directory_path() / name).string()) {
+    fs::remove_all(path);
+    fs::create_directories(path);
+  }
+  ~TempDir() { fs::remove_all(path); }
+  std::string path;
+};
+
+struct ProfilerGuard {
+  ~ProfilerGuard() {
+    obs::SpanProfiler::Current().set_enabled(false);
+    obs::SpanProfiler::Current().Clear();
+  }
+};
+
+MidasConfig TestConfig() {
+  MidasConfig cfg;
+  cfg.budget = {3, 7, 9};
+  cfg.fct.sup_min = 0.45;
+  cfg.fct.max_edges = 3;
+  cfg.cluster.num_coarse = 3;
+  cfg.epsilon = 0.0;
+  cfg.sample_cap = 0;
+  cfg.seed = 1234;
+  return cfg;
+}
+
+BatchUpdate MakeBatch(MoleculeGenerator& gen, MoleculeGenConfig& data,
+                      const GraphDatabase& base, size_t adds, bool novel) {
+  GraphDatabase copy = base;
+  return gen.GenerateAdditions(copy, data, adds, novel);
+}
+
+TEST(LineageEndpointsTest, ServeLineageHistoryAndAlertJson) {
+  TempDir dir("midas_lineage_endpoints");
+  ProfilerGuard profiler_guard;
+  obs::MetricsRegistry registry;
+  obs::ScopedMetricsRegistry metrics_scope(registry);
+
+  MoleculeGenerator gen(404);
+  MoleculeGenConfig data = MoleculeGenerator::EmolLike(20);
+  auto engine =
+      std::make_unique<MidasEngine>(gen.Generate(data), TestConfig());
+  engine->Initialize();
+  GraphDatabase base = engine->db();
+
+  HostConfig cfg;
+  cfg.telemetry_port = 0;
+  cfg.history.min_interval_ms = 5.0;  // fill the ring quickly
+  EngineHost host(std::move(engine), dir.path, cfg);
+  std::string err;
+  ASSERT_TRUE(host.Start(&err)) << err;
+  const int port = host.telemetry_port();
+  ASSERT_GT(port, 0);
+
+  for (int i = 0; i < 3; ++i) {
+    BatchUpdate b = MakeBatch(gen, data, base, 6, /*novel=*/true);
+    ASSERT_TRUE(host.Submit(std::move(b)).accepted());
+  }
+  ASSERT_TRUE(host.WaitIdle(milliseconds(60000)));
+
+  // --- /patternz: the live panel with provenance columns ---
+  HttpResult panel = HttpGet(port, "/patternz");
+  ASSERT_TRUE(panel.ok);
+  EXPECT_EQ(panel.status, 200);
+  obs::FlatJson pdoc = obs::ParseFlatJson(panel.body);
+  ASSERT_TRUE(pdoc.ok) << pdoc.error << "\n" << panel.body;
+  EXPECT_EQ(pdoc.numbers.at("round_seq"), 3.0);
+  const size_t live = static_cast<size_t>(pdoc.numbers.at("live"));
+  EXPECT_EQ(live, host.snapshot()->patterns.size());
+  ASSERT_GT(live, 0u);
+
+  // --- /lineage/<id>: every live pattern answers with its full history ---
+  for (size_t i = 0; i < live; ++i) {
+    const std::string key = "patterns." + std::to_string(i) + ".id";
+    ASSERT_NE(pdoc.numbers.count(key), 0u);
+    const uint64_t id = static_cast<uint64_t>(pdoc.numbers.at(key));
+    HttpResult lin = HttpGet(port, "/lineage/" + std::to_string(id));
+    ASSERT_TRUE(lin.ok);
+    EXPECT_EQ(lin.status, 200) << lin.body;
+    obs::FlatJson ldoc = obs::ParseFlatJson(lin.body);
+    ASSERT_TRUE(ldoc.ok) << ldoc.error << "\n" << lin.body;
+    EXPECT_EQ(ldoc.numbers.at("id"), static_cast<double>(id));
+    EXPECT_EQ(ldoc.bools.at("alive"), true);
+    // Birth-to-present: at least the birth event is there.
+    EXPECT_TRUE(ldoc.Has("events.0.kind"));
+  }
+
+  // Unknown id: 404 with a JSON error; non-numeric: 400 usage.
+  HttpResult missing = HttpGet(port, "/lineage/999999");
+  EXPECT_EQ(missing.status, 404);
+  EXPECT_TRUE(obs::ParseFlatJson(missing.body).ok);
+  HttpResult garbage = HttpGet(port, "/lineage/abc");
+  EXPECT_EQ(garbage.status, 400);
+  EXPECT_TRUE(obs::ParseFlatJson(garbage.body).ok);
+
+  // --- /historyz: self-describing without ?metric=, real series with ---
+  // The writer samples on its loop tick; wait for the first sample.
+  ASSERT_NE(host.metric_history(), nullptr);
+  for (int i = 0; i < 200 && host.metric_history()->samples_taken() == 0;
+       ++i) {
+    std::this_thread::sleep_for(milliseconds(10));
+  }
+  ASSERT_GT(host.metric_history()->samples_taken(), 0u);
+
+  HttpResult hist = HttpGet(port, "/historyz");
+  ASSERT_TRUE(hist.ok);
+  obs::FlatJson hdoc = obs::ParseFlatJson(hist.body);
+  ASSERT_TRUE(hdoc.ok) << hdoc.error << "\n" << hist.body;
+  ASSERT_TRUE(hdoc.Has("metrics.0")) << hist.body;  // discoverable names
+  const std::string metric = hdoc.strings.at("metrics.0");
+
+  HttpResult series =
+      HttpGet(port, "/historyz?metric=" + metric + "&window=120&buckets=30");
+  ASSERT_TRUE(series.ok);
+  EXPECT_EQ(series.status, 200);
+  obs::FlatJson sdoc = obs::ParseFlatJson(series.body);
+  ASSERT_TRUE(sdoc.ok) << sdoc.error << "\n" << series.body;
+  EXPECT_EQ(sdoc.strings.at("metric"), metric);
+  EXPECT_EQ(sdoc.numbers.at("window_ms"), 120000.0);
+
+  // --- /alertz: the burn-rate alerter state ---
+  HttpResult alerts = HttpGet(port, "/alertz");
+  ASSERT_TRUE(alerts.ok);
+  EXPECT_EQ(alerts.status, 200);
+  obs::FlatJson adoc = obs::ParseFlatJson(alerts.body);
+  ASSERT_TRUE(adoc.ok) << adoc.error << "\n" << alerts.body;
+  EXPECT_EQ(adoc.bools.at("enabled"), true);
+  EXPECT_EQ(adoc.strings.at("alerts.0.name"), "round_slo_burn");
+
+  // --- /metrics conformance: both negotiated bodies ---
+  HttpResult legacy = HttpGet(port, "/metrics");
+  ASSERT_TRUE(legacy.ok);
+  EXPECT_NE(legacy.headers.find("text/plain; version=0.0.4"),
+            std::string::npos)
+      << legacy.headers;
+  EXPECT_EQ(legacy.body.find("# EOF"), std::string::npos);
+  EXPECT_EQ(legacy.body.find(" # {"), std::string::npos);  // no exemplars
+
+  HttpResult om = HttpRaw(
+      port,
+      "GET /metrics HTTP/1.1\r\nHost: 127.0.0.1\r\n"
+      "Accept: application/openmetrics-text\r\nConnection: close\r\n\r\n");
+  ASSERT_TRUE(om.ok);
+  EXPECT_NE(om.headers.find("application/openmetrics-text; version=1.0.0"),
+            std::string::npos)
+      << om.headers;
+  // The mandatory terminator, at the very end of the body.
+  ASSERT_GE(om.body.size(), 6u);
+  EXPECT_EQ(om.body.substr(om.body.size() - 6), "# EOF\n");
+
+  host.Stop();
+}
+
+// Concurrent scrapes of the new endpoints against a live writer: no torn
+// JSON, no crashes, no data races (this test is in the TSan suite).
+TEST(LineageEndpointsTest, ConcurrentScrapeWhileWriting) {
+  TempDir dir("midas_lineage_scrape");
+  ProfilerGuard profiler_guard;
+  obs::MetricsRegistry registry;
+  obs::ScopedMetricsRegistry metrics_scope(registry);
+
+  MoleculeGenerator gen(505);
+  MoleculeGenConfig data = MoleculeGenerator::EmolLike(20);
+  auto engine =
+      std::make_unique<MidasEngine>(gen.Generate(data), TestConfig());
+  engine->Initialize();
+  GraphDatabase base = engine->db();
+  const PatternId probe_id = engine->patterns().patterns().begin()->first;
+
+  HostConfig cfg;
+  cfg.telemetry_port = 0;
+  cfg.history.min_interval_ms = 5.0;
+  EngineHost host(std::move(engine), dir.path, cfg);
+  std::string err;
+  ASSERT_TRUE(host.Start(&err)) << err;
+  const int port = host.telemetry_port();
+
+  const char* kTargets[] = {"/patternz", "/historyz?metric=", "/alertz",
+                            "/metrics"};
+  std::atomic<bool> failed{false};
+  std::vector<std::thread> scrapers;
+  for (int t = 0; t < 4; ++t) {
+    scrapers.emplace_back([&, t] {
+      for (int i = 0; i < 25 && !failed.load(); ++i) {
+        std::string target = kTargets[t % 4];
+        if (i % 3 == 0) target = "/lineage/" + std::to_string(probe_id);
+        HttpResult r = HttpGet(port, target);
+        if (!r.ok) {
+          failed.store(true);
+          ADD_FAILURE() << "transport failure on " << target;
+          break;
+        }
+        // JSON endpoints must never serve torn bodies, whatever the
+        // status (200/400/404/503 all carry JSON here).
+        if (target != "/metrics" && !obs::ParseFlatJson(r.body).ok) {
+          failed.store(true);
+          ADD_FAILURE() << "malformed JSON from " << target << ": "
+                        << r.body;
+          break;
+        }
+      }
+    });
+  }
+
+  for (int i = 0; i < 6; ++i) {
+    BatchUpdate b = MakeBatch(gen, data, base, 4, /*novel=*/i % 2 == 0);
+    host.Submit(std::move(b));
+  }
+  ASSERT_TRUE(host.WaitIdle(milliseconds(60000)));
+  for (std::thread& s : scrapers) s.join();
+  EXPECT_FALSE(failed.load());
+
+  host.Stop();
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace midas

@@ -414,9 +414,10 @@ TEST(ExportTest, EscapeLabelValue) {
 // --- Exemplars (OpenMetrics) ------------------------------------------------
 
 // A bucket only carries the `# {trace_id="..."} value` suffix after a traced
-// observation landed in it; untraced buckets must stay byte-identical to the
-// pre-exemplar exposition (scrapers that don't speak OpenMetrics would choke
-// on unexpected suffixes).
+// observation landed in it, and only in the OpenMetrics dialect; untraced
+// buckets must stay byte-identical to the pre-exemplar exposition, and the
+// 0.0.4 dialect strips exemplars entirely (pre-OpenMetrics scrapers would
+// choke on unexpected suffixes).
 TEST(ExportTest, PrometheusExemplarSyntaxAndOmission) {
   obs::MetricsRegistry reg;
   obs::Histogram* h = reg.GetHistogram("midas_round_ms", {1.0, 10.0});
@@ -425,7 +426,8 @@ TEST(ExportTest, PrometheusExemplarSyntaxAndOmission) {
   ASSERT_TRUE(id.valid());
   h->ObserveExemplar(5.0, id.hi, id.lo);
 
-  const std::string text = obs::ExportPrometheus(reg);
+  const std::string text =
+      obs::ExportPrometheus(reg, obs::MetricsTextFormat::kOpenMetrics);
   EXPECT_NE(text.find("midas_round_ms_bucket{le=\"1\"} 1\n"),
             std::string::npos);
   EXPECT_NE(
@@ -435,6 +437,16 @@ TEST(ExportTest, PrometheusExemplarSyntaxAndOmission) {
   // +Inf had no traced observation either.
   EXPECT_NE(text.find("midas_round_ms_bucket{le=\"+Inf\"} 2\n"),
             std::string::npos);
+  // OpenMetrics bodies terminate with the mandatory EOF marker.
+  EXPECT_NE(text.find("# EOF\n"), std::string::npos);
+
+  // The legacy 0.0.4 dialect (single-arg overload) strips the exemplar and
+  // carries no EOF marker.
+  const std::string legacy = obs::ExportPrometheus(reg);
+  EXPECT_NE(legacy.find("midas_round_ms_bucket{le=\"10\"} 2\n"),
+            std::string::npos);
+  EXPECT_EQ(legacy.find("trace_id"), std::string::npos);
+  EXPECT_EQ(legacy.find("# EOF"), std::string::npos);
 }
 
 TEST(ExportTest, PrometheusExemplarKeepsMostRecentTrace) {

@@ -49,6 +49,7 @@ struct RoundShape {
 struct StreamResult {
   std::vector<RoundShape> rounds;
   std::string final_patterns;  // WritePatternSet serialization
+  std::string lineage;         // PatternLedger serialization
   PatternQuality quality;
 };
 
@@ -87,6 +88,7 @@ StreamResult RunStream(int num_threads) {
   std::ostringstream patterns;
   WritePatternSet(engine->patterns(), engine->labels(), patterns);
   result.final_patterns = patterns.str();
+  result.lineage = engine->lineage().Serialize();
   result.quality = engine->CurrentQuality();
   return result;
 }
@@ -107,6 +109,10 @@ void ExpectIdentical(const StreamResult& reference, const StreamResult& got,
               reference.rounds[r].graphlet_distance);
   }
   EXPECT_EQ(got.final_patterns, reference.final_patterns);
+  // The decision ledger — every birth/death/rescore with its rationale —
+  // must also be thread-count-invariant: swap decisions are applied
+  // serially and rescores are pended in sorted pattern-id order.
+  EXPECT_EQ(got.lineage, reference.lineage);
   EXPECT_EQ(got.quality.scov, reference.quality.scov);
   EXPECT_EQ(got.quality.lcov, reference.quality.lcov);
   EXPECT_EQ(got.quality.div, reference.quality.div);

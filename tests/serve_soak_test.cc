@@ -244,15 +244,19 @@ TEST(ServeSoakTest, ConcurrentReadersSurviveChaosWithoutLosingRounds) {
   const int telemetry_port = host.telemetry_port();
   ASSERT_GT(telemetry_port, 0);
   std::thread poller([&stop, &scrapes_ok, &scrapes_bad, telemetry_port] {
-    const char* targets[] = {"/metrics", "/healthz", "/statusz",
-                             "/spans?fmt=folded"};
+    const char* targets[] = {"/metrics",  "/healthz",
+                             "/statusz",  "/spans?fmt=folded",
+                             "/patternz", "/historyz?metric=",
+                             "/alertz",   "/lineage/0"};
+    constexpr size_t kTargets = sizeof(targets) / sizeof(targets[0]);
     size_t i = 0;
     while (!stop.load(std::memory_order_acquire)) {
       midas::testing::HttpResult r =
-          midas::testing::HttpGet(telemetry_port, targets[i++ % 4]);
-      // /healthz may legitimately be 503 mid-chaos; anything parseable with
-      // a plausible status counts as a healthy server.
-      if (r.ok && (r.status == 200 || r.status == 503)) {
+          midas::testing::HttpGet(telemetry_port, targets[i++ % kTargets]);
+      // /healthz may legitimately be 503 mid-chaos (and /lineage/0 is 404
+      // once pattern 0 ages out of the ledger); anything parseable with a
+      // plausible status counts as a healthy server.
+      if (r.ok && (r.status == 200 || r.status == 503 || r.status == 404)) {
         scrapes_ok.fetch_add(1, std::memory_order_relaxed);
       } else {
         scrapes_bad.fetch_add(1, std::memory_order_relaxed);
@@ -473,12 +477,25 @@ TEST(ServeOverloadSoakTest, ChaosScheduleEndsWithHealthyHost) {
     const std::pair<const char*, const char*> dumps[] = {
         {"/traces?n=256", "overload_soak_traces.json"},
         {"/statusz", "overload_soak_statusz.json"},
+        {"/patternz", "overload_soak_patternz.json"},
+        {"/alertz", "overload_soak_alertz.json"},
     };
     for (const auto& [target, filename] : dumps) {
       midas::testing::HttpResult r =
           midas::testing::HttpGet(host.telemetry_port(), target);
       EXPECT_TRUE(r.ok) << target;
       std::ofstream out(fs::path(dump_dir) / filename);
+      out << r.body;
+    }
+    // One live pattern's full decision lineage, so a failed soak shows why
+    // the panel looked the way it did.
+    if (PanelSnapshotPtr snap = host.snapshot();
+        snap != nullptr && snap->lineage != nullptr &&
+        !snap->lineage->lineages().empty()) {
+      const PatternId id = snap->lineage->lineages().begin()->first;
+      midas::testing::HttpResult r = midas::testing::HttpGet(
+          host.telemetry_port(), "/lineage/" + std::to_string(id));
+      std::ofstream out(fs::path(dump_dir) / "overload_soak_lineage.json");
       out << r.body;
     }
   }
