@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdlib>
+#include <cstring>
 #include <stdexcept>
 #include <thread>
 
@@ -17,9 +19,9 @@ namespace midas {
 // Trips when MaintenanceStats gains (or loses) a field without the
 // MIDAS_MAINTENANCE_PHASES list / ToJson / FromJson being updated: the
 // struct is exactly total_ms + the 8 phase doubles + graphlet_distance +
-// 2 bools (padded) + 2 ints on the LP64 ABIs CI builds on.
+// 4 bools + 4 ints (padded) on the LP64 ABIs CI builds on.
 static_assert(sizeof(MaintenanceStats) ==
-                  10 * sizeof(double) + 16 /* 2 bools + padding + 2 ints */,
+                  10 * sizeof(double) + 24 /* 4 bools + 4 ints + padding */,
               "MaintenanceStats layout changed: update "
               "MIDAS_MAINTENANCE_PHASES, ToJson/FromJson and "
               "docs/observability.md");
@@ -31,6 +33,19 @@ int ResolveNumThreads(int requested) {
   if (requested > 0) return requested;
   unsigned hw = std::thread::hardware_concurrency();
   return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+// MIDAS_VIEWS env kill-switch: "off"/"0"/"false" force-disables the
+// incremental views process-wide regardless of the config flag (the
+// views-off ctest configuration relies on this to exercise the oracle).
+bool ViewsEnabled(bool config_flag) {
+  const char* env = std::getenv("MIDAS_VIEWS");
+  if (env != nullptr &&
+      (std::strcmp(env, "off") == 0 || std::strcmp(env, "0") == 0 ||
+       std::strcmp(env, "false") == 0)) {
+    return false;
+  }
+  return config_flag;
 }
 
 }  // namespace
@@ -104,7 +119,8 @@ MidasEngine::MidasEngine(GraphDatabase db, const MidasConfig& config)
       rng_(config.seed),
       pool_(std::make_unique<TaskPool>(ResolveNumThreads(config.num_threads))),
       db_(std::move(db)),
-      history_(config.history_capacity) {
+      history_(config.history_capacity),
+      views_(ViewsEnabled(config.incremental_views)) {
   // Keep the swap thresholds in sync with the top-level κ/λ knobs.
   config_.swap.kappa = config_.kappa;
   config_.swap.lambda = config_.lambda;
@@ -120,7 +136,11 @@ void MidasEngine::Initialize() {
   RebuildCsgsFromClusters();
   fct_index_ = FctIndex::Build(db_, fcts_);
   ife_index_ = IfeIndex::Build(db_, fcts_);
-  ged_ = HybridGed(GedFeatureTrees(fcts_), &round_budget_);
+  {
+    std::vector<Graph> trees = GedFeatureTrees(fcts_);
+    ged_digest_ = GedFeatureDigest(trees);
+    ged_ = HybridGed(std::move(trees), &round_budget_);
+  }
   eval_ = std::make_unique<CoverageEvaluator>(db_, config_.sample_cap, rng_,
                                               &fct_index_, &ife_index_);
   eval_->set_pool(pool_.get());
@@ -134,6 +154,11 @@ void MidasEngine::Initialize() {
   patterns_ = SelectCannedPatterns(db_, fcts_, csgs_, select, rng_,
                                    &fct_index_, &ife_index_);
   SyncPatternColumns();
+  // The selection ran on its *own* evaluator (whose sampled universe may
+  // differ from eval_'s), so the fresh panel's coverage is not guaranteed
+  // against eval_'s universe — the views stay invalid and round 1 rescans,
+  // which also seeds the cost model's rescan EWMA.
+  views_.Invalidate();
   small_panel_ = SmallPatternPanel(config_.small_panel);
   small_panel_.Refresh(fcts_);
   // Ledger births for the initial selection (seq 0). Suppressed during
@@ -169,9 +194,15 @@ void MidasEngine::LoadPatterns(PatternSet set) {
   }
   indexed_patterns_.clear();
   patterns_ = std::move(set);
+  views_.Invalidate();
   RefreshAllPatternMetrics();
   RefreshDiversityAndScores(patterns_, ged_, pool_.get());
   SyncPatternColumns();
+  // The full rescan above squared every pattern against eval_'s universe,
+  // so the loaded panel is a valid delta base for the next round.
+  if (views_.enabled() && eval_ != nullptr) {
+    views_.Commit(eval_->universe(), ged_digest_);
+  }
   // Square the ledger with the externally installed panel: synthesizes
   // kRestored/kRemoved events for ids the ledger did not know about. A
   // no-op when the panel's history was restored verbatim (recovery applies
@@ -216,7 +247,11 @@ void MidasEngine::RebuildDerivedState() {
   RebuildCsgsFromClusters();
   fct_index_ = FctIndex::Build(db_, fcts_);
   ife_index_ = IfeIndex::Build(db_, fcts_);
-  ged_ = HybridGed(GedFeatureTrees(fcts_), &round_budget_);
+  {
+    std::vector<Graph> trees = GedFeatureTrees(fcts_);
+    ged_digest_ = GedFeatureDigest(trees);
+    ged_ = HybridGed(std::move(trees), &round_budget_);
+  }
   eval_ = std::make_unique<CoverageEvaluator>(db_, config_.sample_cap, rng_,
                                               &fct_index_, &ife_index_);
   eval_->set_pool(pool_.get());
@@ -237,6 +272,49 @@ void MidasEngine::RefreshAllPatternMetrics() {
   for (auto& [pid, p] : patterns_.patterns()) rows.push_back(&p);
   ParallelFor(pool_.get(), rows.size(), [&](size_t i) {
     RefreshPatternMetrics(*rows[i], *eval_, fcts_);
+  });
+}
+
+void MidasEngine::DeltaRefreshPatternMetrics(
+    const view::ViewCatalog::Plan& plan,
+    const std::set<EdgeLabelPair>& changed_pairs) {
+  std::vector<CannedPattern*> rows;
+  rows.reserve(patterns_.patterns().size());
+  for (auto& [pid, p] : patterns_.patterns()) rows.push_back(&p);
+  const size_t universe = eval_->universe().size();
+  const size_t db_size = db_.size();
+  ParallelFor(pool_.get(), rows.size(), [&](size_t i) {
+    CannedPattern& p = *rows[i];
+    // Coverage: survivors keep their verdicts (data graphs are immutable,
+    // ids never reused), removed universe ids drop without any VF2 work,
+    // and only the Δ⁺ ids are probed — through the FCT/IFE candidate filter
+    // and the containment memo, exactly like the oracle's scan. The result
+    // is the same set the oracle would compute, hence the same bytes.
+    p.coverage.DifferenceWith(plan.removed);
+    if (!plan.added.empty()) {
+      p.coverage.UnionWith(eval_->CoverageOver(p.graph, plan.added));
+    }
+    p.scov = universe == 0 ? 0.0
+                           : static_cast<double>(p.coverage.size()) /
+                                 static_cast<double>(universe);
+    // lcov numerator: dirty only when the pattern's edge-label pairs
+    // intersect the batch's changed pairs — edge_occ_ is exact for every
+    // pair, so an untouched pair's occurrence list is unchanged. The ratio
+    // always recomputes (|D| moves every round).
+    bool lcov_dirty = false;
+    for (const EdgeLabelPair& lp : p.graph.DistinctEdgeLabels()) {
+      if (changed_pairs.count(lp) != 0) {
+        lcov_dirty = true;
+        break;
+      }
+    }
+    if (lcov_dirty) {
+      p.lcov_count = eval_->LabelCoverageCount(p.graph, fcts_);
+    }
+    p.lcov = db_size == 0 ? 0.0
+                          : static_cast<double>(p.lcov_count) /
+                                static_cast<double>(db_size);
+    p.cog = p.graph.CognitiveLoad();
   });
 }
 
@@ -368,6 +446,10 @@ MaintenanceStats MidasEngine::ApplyUpdate(const BatchUpdate& raw_delta,
   std::vector<double> psi_after;
   std::vector<GraphId> added;
   std::vector<std::pair<GraphId, ClusterId>> deletion_clusters;
+  // Edge-label pairs the batch touches — the lcov views' dirtying key: a
+  // pattern's label-coverage accumulator can only change when one of its
+  // edge-label pairs gained or lost occurrence rows.
+  std::set<EdgeLabelPair> changed_pairs;
   {
     obs::TraceSpan span("midas_maintain_apply_ms", &stats.apply_ms);
     // Deterministic slow-down hook for tracing tests: stalls the apply
@@ -387,12 +469,33 @@ MaintenanceStats MidasEngine::ApplyUpdate(const BatchUpdate& raw_delta,
       }
     }
 
+    // Deleted graphs' labels must be read before ApplyBatch erases them.
+    if (views_.enabled()) {
+      for (GraphId id : delta.deletions) {
+        const Graph* g = db_.Find(id);
+        if (g == nullptr) continue;
+        for (const EdgeLabelPair& lp : g->DistinctEdgeLabels()) {
+          changed_pairs.insert(lp);
+        }
+      }
+    }
+
     // Apply ΔD to the database and the graphlet census (ESU counts of the
     // added graphs fan out over the pool).
     for (GraphId id : delta.deletions) census_.Remove(id);
     added = db_.ApplyBatch(delta);
     census_.AddBatch(db_, added, pool_.get());
     psi_after = census_.Distribution();
+
+    if (views_.enabled()) {
+      for (GraphId id : added) {
+        const Graph* g = db_.Find(id);
+        if (g == nullptr) continue;
+        for (const EdgeLabelPair& lp : g->DistinctEdgeLabels()) {
+          changed_pairs.insert(lp);
+        }
+      }
+    }
   }
   MIDAS_FAILPOINT_ABORT("midas.apply_update.after_apply");
 
@@ -460,6 +563,9 @@ MaintenanceStats MidasEngine::ApplyUpdate(const BatchUpdate& raw_delta,
   }
   fct_index_.SyncFeatures(db_, fcts_);
   ife_index_.SyncEdges(db_, fcts_);
+  // The feature rows just changed; the evaluator's per-pattern FeatureCounts
+  // memo is keyed only by pattern content, so it must be dropped here.
+  eval_->InvalidateFeatureCounts();
   index_span.Pause();
   MIDAS_FAILPOINT_ABORT("midas.apply_update.after_index");
 
@@ -468,14 +574,52 @@ MaintenanceStats MidasEngine::ApplyUpdate(const BatchUpdate& raw_delta,
   // classify (lines 8-11). The span resumes for the companion-panel
   // refresh after swapping.
   obs::TraceSpan refresh_span("midas_maintain_refresh_ms", &stats.refresh_ms);
-  ged_ = HybridGed(GedFeatureTrees(fcts_), &round_budget_);
+  {
+    std::vector<Graph> trees = GedFeatureTrees(fcts_);
+    ged_digest_ = GedFeatureDigest(trees);
+    ged_ = HybridGed(std::move(trees), &round_budget_);
+  }
+  // A digest move means the feature trees behind the estimator changed, so
+  // the pairwise-distance view self-clears (stale distances cannot alias).
+  views_.pair_view().SetDigest(ged_digest_);
   eval_->Resample(rng_);
-  RefreshAllPatternMetrics();
+
+  // Strategy choice: delta-apply the universe churn Δ⁺/Δ⁻ into the
+  // coverage/lcov views, or run the full-recompute oracle. Both paths
+  // produce identical bytes; the cost model only decides which is faster
+  // this round, and the choice is surfaced in stats/metrics/flight records.
+  const size_t refresh_rows = patterns_.size();
+  view::ViewCatalog::Plan plan =
+      views_.PlanRefresh(refresh_rows, eval_->universe());
+  {
+    auto refresh_start = std::chrono::steady_clock::now();
+    if (plan.use_delta) {
+      DeltaRefreshPatternMetrics(plan, changed_pairs);
+    } else {
+      RefreshAllPatternMetrics();
+    }
+    double refresh_wall_ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - refresh_start)
+            .count();
+    if (plan.use_delta) {
+      views_.ObserveDelta(refresh_wall_ms,
+                          plan.added.size() + plan.removed.size());
+      stats.view_delta = true;
+      stats.view_delta_rows = static_cast<int>(refresh_rows);
+    } else if (views_.enabled()) {
+      views_.ObserveRescan(refresh_wall_ms, refresh_rows);
+      stats.view_fallback = plan.fallback;
+      stats.view_rescan_rows = static_cast<int>(refresh_rows);
+    }
+  }
   // Shed mode (overload ladder): the pairwise-GED diversity refresh is the
   // round's most expendable expense — skipping it leaves diversity/score
   // columns stale but every structural invariant intact.
   if (!config_.shed_diversity_refresh) {
-    RefreshDiversityAndScores(patterns_, ged_, pool_.get());
+    view::RefreshDiversityAndScoresCached(
+        patterns_, ged_, views_.enabled() ? &views_.pair_view() : nullptr,
+        &round_budget_, pool_.get());
   }
 
   ModificationReport report =
@@ -554,6 +698,8 @@ MaintenanceStats MidasEngine::ApplyUpdate(const BatchUpdate& raw_delta,
         swap_config.budget = &round_budget_;
         swap_config.pool = pool_.get();
         swap_config.observer = observer;
+        swap_config.pair_view =
+            views_.enabled() ? &views_.pair_view() : nullptr;
         SwapStats sw = MultiScanSwap(patterns_, candidates, *eval_, fcts_,
                                      swap_config, ged_);
         stats.swaps = sw.swaps;
@@ -562,7 +708,9 @@ MaintenanceStats MidasEngine::ApplyUpdate(const BatchUpdate& raw_delta,
             RandomSwap(patterns_, candidates, *eval_, fcts_, rng_, observer);
       }
       if (!config_.shed_diversity_refresh) {
-        RefreshDiversityAndScores(patterns_, ged_, pool_.get());
+        view::RefreshDiversityAndScoresCached(
+            patterns_, ged_, views_.enabled() ? &views_.pair_view() : nullptr,
+            &round_budget_, pool_.get());
       }
     }
   }
@@ -577,6 +725,14 @@ MaintenanceStats MidasEngine::ApplyUpdate(const BatchUpdate& raw_delta,
   index_span.Resume();
   SyncPatternColumns();
   index_span.Stop();
+
+  // Commit the views' base state: every pattern's coverage/lcov now squares
+  // with eval_'s universe (the refresh ran either path to identical bytes,
+  // and swapped-in winners were evaluated against the same universe), so
+  // the next round may delta from here.
+  if (views_.enabled()) {
+    views_.Commit(eval_->universe(), ged_digest_);
+  }
 
   total_span.Stop();
 
@@ -654,6 +810,13 @@ MaintenanceStats MidasEngine::ApplyUpdate(const BatchUpdate& raw_delta,
         ->Increment(static_cast<uint64_t>(stats.swaps));
     reg.GetCounter("midas_maintain_candidates_total")
         ->Increment(static_cast<uint64_t>(stats.candidates));
+    reg.GetCounter("midas_view_delta_rows_total")
+        ->Increment(static_cast<uint64_t>(stats.view_delta_rows));
+    reg.GetCounter("midas_view_rescan_rows_total")
+        ->Increment(static_cast<uint64_t>(stats.view_rescan_rows));
+    if (stats.view_fallback) {
+      reg.GetCounter("midas_view_fallback_total")->Increment();
+    }
     reg.GetGauge("midas_maintain_db_size")
         ->Set(static_cast<double>(db_.size()));
     reg.GetGauge("midas_maintain_patterns")
@@ -752,6 +915,13 @@ std::string MaintenanceStats::ToJson() const {
   w.Key("truncated").Value(truncated);
   w.Key("candidates").Value(candidates);
   w.Key("swaps").Value(swaps);
+  w.Key("view_delta").Value(view_delta);
+  w.Key("view_fallback").Value(view_fallback);
+  w.Key("view_delta_rows").Value(view_delta_rows);
+  w.Key("view_rescan_rows").Value(view_rescan_rows);
+  // Derived, ignored by FromJson: the human-facing strategy spelling
+  // (/statusz splices this object verbatim).
+  w.Key("view_strategy").Value(ViewStrategy());
   w.EndObject();
   return w.str();
 }
@@ -785,11 +955,25 @@ MaintenanceStats MaintenanceStats::FromJson(std::string_view json, bool* ok) {
   } else {
     stats.truncated = tit->second;
   }
+  auto boolean = [&](const char* key, bool* out) {
+    auto it = parsed.bools.find(key);
+    if (it == parsed.bools.end()) {
+      complete = false;
+      return;
+    }
+    *out = it->second;
+  };
+  boolean("view_delta", &stats.view_delta);
+  boolean("view_fallback", &stats.view_fallback);
   double value = 0.0;
   number("candidates", &value);
   stats.candidates = static_cast<int>(value);
   number("swaps", &value);
   stats.swaps = static_cast<int>(value);
+  number("view_delta_rows", &value);
+  stats.view_delta_rows = static_cast<int>(value);
+  number("view_rescan_rows", &value);
+  stats.view_rescan_rows = static_cast<int>(value);
   if (!complete) stats = MaintenanceStats();
   if (ok != nullptr) *ok = complete;
   return stats;

@@ -54,6 +54,15 @@ void CheckPattern(const MidasEngine& engine, const CannedPattern& p,
                     IntegrityTier::kDeep,
                     "pattern " + std::to_string(p.id), detail.str()});
   }
+  // The incremental views delta-maintain the lcov numerator; it must match
+  // a from-scratch re-union exactly (it is an integer — no epsilon).
+  if (recomputed.lcov_count != p.lcov_count) {
+    out->push_back(
+        {IntegrityViolationKind::kPatternMetricMismatch, IntegrityTier::kDeep,
+         "pattern " + std::to_string(p.id),
+         "stored lcov_count " + std::to_string(p.lcov_count) +
+             ", recomputed " + std::to_string(recomputed.lcov_count)});
+  }
 
   auto expected = engine.fct_index().FeatureCounts(p.graph);
   auto stored = engine.fct_index().PatternCounts(p.id);

@@ -115,6 +115,27 @@ CoverageEvaluator::CoverageEvaluator(const GraphDatabase& db,
   Resample(rng);
 }
 
+void CoverageEvaluator::InvalidateFeatureCounts() {
+  std::lock_guard<std::mutex> lock(feature_memo_mu_);
+  feature_counts_memo_.clear();
+}
+
+std::vector<std::pair<uint32_t, int32_t>> CoverageEvaluator::FctCountsFor(
+    const Graph& pattern, const std::string& content_code) const {
+  {
+    std::lock_guard<std::mutex> lock(feature_memo_mu_);
+    auto it = feature_counts_memo_.find(content_code);
+    if (it != feature_counts_memo_.end()) return it->second;
+  }
+  // Computed outside the lock: counts are a pure function of the pattern
+  // graph and the live feature rows, so concurrent writers agree.
+  std::vector<std::pair<uint32_t, int32_t>> counts =
+      fct_index_->FeatureCounts(pattern);
+  std::lock_guard<std::mutex> lock(feature_memo_mu_);
+  feature_counts_memo_.emplace(content_code, counts);
+  return counts;
+}
+
 void CoverageEvaluator::Resample(Rng& rng) {
   std::vector<GraphId> ids = db_->Ids();
   if (sample_cap_ == 0 || ids.size() <= sample_cap_) {
@@ -127,11 +148,16 @@ void CoverageEvaluator::Resample(Rng& rng) {
 }
 
 IdSet CoverageEvaluator::CoverageOf(const Graph& pattern) const {
-  IdSet candidates = universe_;
+  return CoverageOver(pattern, universe_);
+}
+
+IdSet CoverageEvaluator::CoverageOver(const Graph& pattern,
+                                      const IdSet& subset) const {
+  const std::string pattern_code = GraphContentCode(pattern);
+  IdSet candidates = subset;
   if (fct_index_ != nullptr) {
-    candidates =
-        fct_index_->CandidateGraphs(fct_index_->FeatureCounts(pattern),
-                                    candidates);
+    candidates = fct_index_->CandidateGraphs(
+        FctCountsFor(pattern, pattern_code), candidates);
   }
   if (ife_index_ != nullptr) {
     candidates = ife_index_->CandidateGraphs(ife_index_->EdgeCounts(pattern),
@@ -145,7 +171,6 @@ IdSet CoverageEvaluator::CoverageOf(const Graph& pattern) const {
   // within a database instance, so exact verdicts keyed by the database
   // epoch survive across maintenance rounds (graph/compute_cache.h).
   ComputeCache& cache = ComputeCache::Global();
-  const std::string pattern_code = GraphContentCode(pattern);
   const uint64_t epoch = db_->epoch();
 
   std::vector<uint8_t> verdict(ids.size(), 0);
@@ -167,16 +192,21 @@ IdSet CoverageEvaluator::CoverageOf(const Graph& pattern) const {
   return covered;
 }
 
-double CoverageEvaluator::LabelCoverageOf(const Graph& pattern,
-                                          const FctSet& fcts) const {
-  if (db_->empty()) return 0.0;
+size_t CoverageEvaluator::LabelCoverageCount(const Graph& pattern,
+                                             const FctSet& fcts) const {
   IdSet covered;
   const auto& edge_occ = fcts.edge_occurrences();
   for (const EdgeLabelPair& lp : pattern.DistinctEdgeLabels()) {
     auto it = edge_occ.find(lp);
     if (it != edge_occ.end()) covered.UnionWith(it->second);
   }
-  return static_cast<double>(covered.size()) /
+  return covered.size();
+}
+
+double CoverageEvaluator::LabelCoverageOf(const Graph& pattern,
+                                          const FctSet& fcts) const {
+  if (db_->empty()) return 0.0;
+  return static_cast<double>(LabelCoverageCount(pattern, fcts)) /
          static_cast<double>(db_->size());
 }
 
@@ -187,7 +217,10 @@ void RefreshPatternMetrics(CannedPattern& p, const CoverageEvaluator& eval,
   p.scov = universe == 0 ? 0.0
                          : static_cast<double>(p.coverage.size()) /
                                static_cast<double>(universe);
-  p.lcov = eval.LabelCoverageOf(p.graph, fcts);
+  p.lcov_count = eval.LabelCoverageCount(p.graph, fcts);
+  p.lcov = eval.db().empty() ? 0.0
+                             : static_cast<double>(p.lcov_count) /
+                                   static_cast<double>(eval.db().size());
   p.cog = p.graph.CognitiveLoad();
 }
 
@@ -214,18 +247,23 @@ GedEstimator LabelBoundGed() {
   };
 }
 
+uint64_t GedFeatureDigest(const std::vector<Graph>& feature_trees) {
+  uint64_t digest = 0xcbf29ce484222325ULL;  // FNV-1a
+  for (const Graph& t : feature_trees) {
+    for (unsigned char c : GraphContentCode(t)) {
+      digest = (digest ^ c) * 0x100000001B3ULL;
+    }
+  }
+  return digest;
+}
+
 GedEstimator HybridGed(std::vector<Graph> feature_trees, ExecBudget* budget) {
   auto features = std::make_shared<std::vector<Graph>>(
       std::move(feature_trees));
   // The refinement's value depends on the feature trees (they tighten the
   // lower bound), so the memo key carries their digest — entries from a
   // different FCT generation can never alias.
-  uint64_t feature_digest = 0xcbf29ce484222325ULL;  // FNV-1a
-  for (const Graph& t : *features) {
-    for (unsigned char c : GraphContentCode(t)) {
-      feature_digest = (feature_digest ^ c) * 0x100000001B3ULL;
-    }
-  }
+  const uint64_t feature_digest = GedFeatureDigest(*features);
   return [features, budget, feature_digest](const Graph& a, const Graph& b) {
     int cheap = GedLowerBound(a, b);
     if (cheap > 1) return static_cast<double>(cheap);

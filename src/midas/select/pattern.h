@@ -4,6 +4,9 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <mutex>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "midas/common/budget.h"
@@ -28,6 +31,11 @@ struct CannedPattern {
   IdSet coverage;
   double scov = 0.0;  ///< subgraph coverage |G_p| / |D_s|
   double lcov = 0.0;  ///< label coverage of the pattern's edges
+  /// lcov numerator |∪_e L(e, D)| — the label-coverage accumulator the
+  /// incremental views delta-maintain (lcov = lcov_count / |D|). Kept next
+  /// to the ratio so a clean pattern's lcov can follow a changing |D|
+  /// without re-unioning its occurrence lists.
+  size_t lcov_count = 0;
   double cog = 0.0;   ///< cognitive load |E_p| * density
   double div = 0.0;   ///< min estimated GED to the rest of the set
   double score = 0.0; ///< s'_p = scov * lcov * div / cog
@@ -105,9 +113,17 @@ class CoverageEvaluator {
   /// Ids of universe graphs containing the pattern.
   IdSet CoverageOf(const Graph& pattern) const;
 
+  /// Ids of `subset` graphs containing the pattern (subset must be within
+  /// the universe). The delta-apply view path probes only the universe ids
+  /// that entered this round; CoverageOf is CoverageOver(universe).
+  IdSet CoverageOver(const Graph& pattern, const IdSet& subset) const;
+
   /// Label coverage of the pattern's edge labels over the full database:
   /// |∪_e L(e, D)| / |D|.
   double LabelCoverageOf(const Graph& pattern, const FctSet& fcts) const;
+
+  /// The lcov numerator |∪_e L(e, D)| (the view-maintained accumulator).
+  size_t LabelCoverageCount(const Graph& pattern, const FctSet& fcts) const;
 
   const IdSet& universe() const { return universe_; }
   const GraphDatabase& db() const { return *db_; }
@@ -116,10 +132,17 @@ class CoverageEvaluator {
   void SetIndices(const FctIndex* fct_index, const IfeIndex* ife_index) {
     fct_index_ = fct_index;
     ife_index_ = ife_index;
+    InvalidateFeatureCounts();
   }
 
   /// Refreshes the sampled universe after database evolution.
   void Resample(Rng& rng);
+
+  /// Drops the per-pattern FCT feature-count memo. Must be called whenever
+  /// the FCT index's feature rows change (SyncFeatures after mining
+  /// maintenance) — counts are a function of the pattern graph and the live
+  /// feature rows only, so graph-column churn does not invalidate them.
+  void InvalidateFeatureCounts();
 
   /// Attaches a task pool: CoverageOf then runs its per-graph VF2 checks in
   /// parallel (nullptr = serial reference path). Results are merged in
@@ -127,12 +150,23 @@ class CoverageEvaluator {
   void set_pool(TaskPool* pool) { pool_ = pool; }
 
  private:
+  /// Memoized FctIndex::FeatureCounts(pattern), keyed by the pattern's
+  /// content code: one computation per distinct pattern graph between
+  /// feature-row syncs, no matter how many CoverageOf/CoverageOver calls a
+  /// round issues. Thread-safe (CoverageOf runs on pool workers); values
+  /// are deterministic, so racing writers agree.
+  std::vector<std::pair<uint32_t, int32_t>> FctCountsFor(
+      const Graph& pattern, const std::string& content_code) const;
+
   const GraphDatabase* db_;
   size_t sample_cap_;
   IdSet universe_;
   const FctIndex* fct_index_;
   const IfeIndex* ife_index_;
   TaskPool* pool_ = nullptr;
+  mutable std::mutex feature_memo_mu_;
+  mutable std::map<std::string, std::vector<std::pair<uint32_t, int32_t>>>
+      feature_counts_memo_;
 };
 
 /// Recomputes scov/lcov/cog for one pattern (coverage included).
@@ -158,6 +192,12 @@ GedEstimator LabelBoundGed();
 /// bound / anytime upper bound instead of blocking the round.
 GedEstimator HybridGed(std::vector<Graph> feature_trees,
                        ExecBudget* budget = nullptr);
+
+/// FNV-1a digest of the feature trees that parameterize HybridGed — the
+/// cache-validity key of both the ComputeCache GED memo and the pairwise
+/// distance view: distances estimated under a different FCT generation can
+/// never alias.
+uint64_t GedFeatureDigest(const std::vector<Graph>& feature_trees);
 
 /// Recomputes div (min pairwise distance under `ged`) and score for every
 /// pattern in the set. With a pool, the per-pattern min-GED rows run in

@@ -1,0 +1,59 @@
+#include "midas/view/cost_model.h"
+
+#include <algorithm>
+
+namespace midas {
+namespace view {
+
+namespace {
+
+// EWMA update with a cold-start shortcut: the first observation seeds the
+// average instead of decaying from zero.
+void Ewma(double* avg, bool* have, double sample) {
+  if (!*have) {
+    *avg = sample;
+    *have = true;
+    return;
+  }
+  *avg = ViewCostModel::kAlpha * sample + (1.0 - ViewCostModel::kAlpha) * *avg;
+}
+
+}  // namespace
+
+void ViewCostModel::ObserveDelta(double wall_ms, size_t churn_rows) {
+  double rows = static_cast<double>(std::max<size_t>(1, churn_rows));
+  Ewma(&delta_row_ms_, &have_delta_, wall_ms / rows);
+}
+
+void ViewCostModel::ObserveRescan(double wall_ms, size_t pattern_rows) {
+  double rows = static_cast<double>(std::max<size_t>(1, pattern_rows));
+  Ewma(&rescan_row_ms_, &have_rescan_, wall_ms / rows);
+}
+
+double ViewCostModel::EstimateDeltaMs(size_t churn_rows) const {
+  return delta_row_ms_ * static_cast<double>(std::max<size_t>(1, churn_rows));
+}
+
+double ViewCostModel::EstimateRescanMs(size_t pattern_rows) const {
+  return rescan_row_ms_ *
+         static_cast<double>(std::max<size_t>(1, pattern_rows));
+}
+
+bool ViewCostModel::PreferDelta(size_t churn_rows, size_t universe_size,
+                                size_t pattern_rows) const {
+  // |Δ| a large fraction of |D|: delta-apply would touch nearly every row
+  // anyway, so pay for the straight rescan (which also re-tightens the
+  // EWMA it is extrapolated from).
+  if (static_cast<double>(churn_rows) >
+      kMaxChurnFraction * static_cast<double>(std::max<size_t>(1,
+                                                              universe_size))) {
+    return false;
+  }
+  // Cold start: run delta to collect its EWMA; without a rescan observation
+  // there is nothing to compare against either way.
+  if (!have_delta_ || !have_rescan_) return true;
+  return EstimateDeltaMs(churn_rows) < EstimateRescanMs(pattern_rows);
+}
+
+}  // namespace view
+}  // namespace midas

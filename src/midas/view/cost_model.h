@@ -1,0 +1,61 @@
+#ifndef MIDAS_VIEW_COST_MODEL_H_
+#define MIDAS_VIEW_COST_MODEL_H_
+
+#include <cstddef>
+
+namespace midas {
+namespace view {
+
+/// Online cost model for the incremental-view strategy choice: per-row EWMA
+/// of the observed delta-apply and full-recompute (rescan) costs. The model
+/// only picks *which* of two bit-identical refresh paths runs, so a wrong
+/// prediction costs time, never correctness — which is why a coarse EWMA is
+/// enough.
+///
+/// Units: the rescan cost is per pattern row (every pattern is recomputed
+/// from scratch); the delta cost is per churn row (a universe id entering or
+/// leaving the evaluation universe, plus each pattern whose label-coverage
+/// inputs went dirty). The two per-row rates live in different units on
+/// purpose — each path is extrapolated along its own driver.
+class ViewCostModel {
+ public:
+  /// EWMA smoothing factor for new observations (0 < alpha <= 1).
+  static constexpr double kAlpha = 0.3;
+  /// Hard fallback guard: when the universe churn exceeds this fraction of
+  /// the universe, delta-apply degenerates towards a rescan with extra
+  /// bookkeeping, so the rescan path is forced regardless of the EWMAs.
+  static constexpr double kMaxChurnFraction = 0.5;
+
+  /// Records one completed delta-apply refresh.
+  void ObserveDelta(double wall_ms, size_t churn_rows);
+  /// Records one completed full-recompute refresh.
+  void ObserveRescan(double wall_ms, size_t pattern_rows);
+
+  /// True when the delta path is predicted cheaper than a rescan for a
+  /// round with `churn_rows` changed universe rows against `universe_size`
+  /// universe rows and `pattern_rows` patterns. Optimistic before any
+  /// observation exists: the first rounds run delta (subject to the churn
+  /// guard) precisely to collect the EWMAs.
+  bool PreferDelta(size_t churn_rows, size_t universe_size,
+                   size_t pattern_rows) const;
+
+  /// Estimated cost of each path for the given shape (0 when unobserved).
+  double EstimateDeltaMs(size_t churn_rows) const;
+  double EstimateRescanMs(size_t pattern_rows) const;
+
+  bool have_delta_observation() const { return have_delta_; }
+  bool have_rescan_observation() const { return have_rescan_; }
+  double delta_row_ms() const { return delta_row_ms_; }
+  double rescan_row_ms() const { return rescan_row_ms_; }
+
+ private:
+  double delta_row_ms_ = 0.0;
+  double rescan_row_ms_ = 0.0;
+  bool have_delta_ = false;
+  bool have_rescan_ = false;
+};
+
+}  // namespace view
+}  // namespace midas
+
+#endif  // MIDAS_VIEW_COST_MODEL_H_

@@ -1,0 +1,108 @@
+#include "midas/view/pair_distance_view.h"
+
+#include <limits>
+#include <vector>
+
+namespace midas {
+namespace view {
+
+void PairDistanceView::SetDigest(uint64_t digest) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (digest_set_ && digest_ == digest) return;
+  dist_.clear();
+  digest_ = digest;
+  digest_set_ = true;
+}
+
+bool PairDistanceView::Lookup(PatternId a, PatternId b, double* out) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = dist_.find(Key(a, b));
+  if (it == dist_.end()) {
+    ++misses_;
+    return false;
+  }
+  ++hits_;
+  *out = it->second;
+  return true;
+}
+
+void PairDistanceView::Store(PatternId a, PatternId b, double distance) {
+  std::lock_guard<std::mutex> lock(mu_);
+  // Concurrent writers agree: the estimator is deterministic, so a pair
+  // computed twice under contention stores the same value.
+  dist_.emplace(Key(a, b), distance);
+}
+
+void PairDistanceView::ForgetPattern(PatternId id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = dist_.begin(); it != dist_.end();) {
+    if (it->first.first == id || it->first.second == id) {
+      it = dist_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void PairDistanceView::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  dist_.clear();
+}
+
+size_t PairDistanceView::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dist_.size();
+}
+
+uint64_t PairDistanceView::hits() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return hits_;
+}
+
+uint64_t PairDistanceView::misses() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return misses_;
+}
+
+void RefreshDiversityAndScoresCached(PatternSet& set, const GedEstimator& ged,
+                                     PairDistanceView* view,
+                                     ExecBudget* budget, TaskPool* pool) {
+  if (view == nullptr) {
+    RefreshDiversityAndScores(set, ged, pool);
+    return;
+  }
+  auto& patterns = set.patterns();
+  std::vector<CannedPattern*> rows;
+  rows.reserve(patterns.size());
+  for (auto& [id, p] : patterns) rows.push_back(&p);
+  // Same shape as RefreshDiversityAndScores: one min-GED row per pattern,
+  // each writing only its own pattern. Clean pairs come from the view; a
+  // pair is computed at most once per round either way, so values (and the
+  // fold order of the min) match the oracle exactly.
+  ParallelFor(pool, rows.size(), [&](size_t i) {
+    CannedPattern& p = *rows[i];
+    double min_ged = std::numeric_limits<double>::max();
+    for (const auto& [oid, other] : patterns) {
+      if (oid == p.id) continue;
+      double d = 0.0;
+      if (BudgetExhausted(budget)) {
+        // Oracle semantics under exhaustion: HybridGed degrades to the
+        // cheap bound and never consults its memo, so neither do we.
+        d = ged(p.graph, other.graph);
+      } else if (!view->Lookup(p.id, oid, &d)) {
+        d = ged(p.graph, other.graph);
+        // A budget that tripped mid-estimate leaves `d` truncated — only
+        // exact outcomes may enter the view (same rule as ComputeCache).
+        if (!BudgetExhausted(budget)) view->Store(p.id, oid, d);
+      }
+      min_ged = std::min(min_ged, d);
+    }
+    p.div = patterns.size() <= 1
+                ? static_cast<double>(p.graph.NumEdges())  // lone pattern
+                : min_ged;
+    p.score = p.cog > 0.0 ? p.scov * p.lcov * p.div / p.cog : 0.0;
+  });
+}
+
+}  // namespace view
+}  // namespace midas

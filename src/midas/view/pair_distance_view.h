@@ -1,0 +1,73 @@
+#ifndef MIDAS_VIEW_PAIR_DISTANCE_VIEW_H_
+#define MIDAS_VIEW_PAIR_DISTANCE_VIEW_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <utility>
+
+#include "midas/select/pattern.h"
+
+namespace midas {
+namespace view {
+
+/// Materialized view over the pairwise pattern distances that back every
+/// diversity computation (div = min over others of ged(p, other)).
+///
+/// Pattern ids are never reused within an engine lifetime (PatternSet's
+/// allocator is monotonic) and pattern graphs are immutable per id, so a
+/// (min_id, max_id) entry stays exact until either pattern dies
+/// (ForgetPattern) or the estimator itself changes — the GED refinement is
+/// tightened by the FCT feature trees, so entries are valid only for one
+/// feature digest (SetDigest clears the view when the digest moves).
+///
+/// Budget discipline mirrors ComputeCache: values are stored only when the
+/// round budget has not tripped (a tripped estimate may be the cheap bound,
+/// not the refined distance), and callers must bypass the view entirely
+/// while the budget is exhausted — HybridGed returns the cheap bound in
+/// that state and a cached refined value would over-count it.
+class PairDistanceView {
+ public:
+  /// Declares the feature digest the stored distances are valid for;
+  /// clears the view when it differs from the last one.
+  void SetDigest(uint64_t digest);
+
+  bool Lookup(PatternId a, PatternId b, double* out) const;
+  void Store(PatternId a, PatternId b, double distance);
+
+  /// Drops every pair involving `id` (pattern swapped out of the panel).
+  void ForgetPattern(PatternId id);
+  void Clear();
+
+  size_t size() const;
+  uint64_t hits() const;
+  uint64_t misses() const;
+
+ private:
+  static std::pair<PatternId, PatternId> Key(PatternId a, PatternId b) {
+    return a < b ? std::make_pair(a, b) : std::make_pair(b, a);
+  }
+
+  mutable std::mutex mu_;
+  std::map<std::pair<PatternId, PatternId>, double> dist_;
+  uint64_t digest_ = 0;
+  bool digest_set_ = false;
+  mutable uint64_t hits_ = 0;
+  mutable uint64_t misses_ = 0;
+};
+
+/// Drop-in replacement for RefreshDiversityAndScores that serves clean
+/// pairs from the view and computes (and, budget permitting, stores) only
+/// the missing ones. Bit-identical to the plain version: the view stores
+/// exactly what `ged` returns for the pair, the min-reduction is order
+/// independent, and while `budget` is exhausted the view is bypassed so the
+/// cheap-bound degradation matches the oracle's. `view` may be null (plain
+/// recompute).
+void RefreshDiversityAndScoresCached(PatternSet& set, const GedEstimator& ged,
+                                     PairDistanceView* view,
+                                     ExecBudget* budget, TaskPool* pool);
+
+}  // namespace view
+}  // namespace midas
+
+#endif  // MIDAS_VIEW_PAIR_DISTANCE_VIEW_H_

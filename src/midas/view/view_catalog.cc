@@ -1,0 +1,40 @@
+#include "midas/view/view_catalog.h"
+
+namespace midas {
+namespace view {
+
+void ViewCatalog::Invalidate() {
+  valid_ = false;
+  universe_.clear();
+  pairs_.Clear();
+}
+
+ViewCatalog::Plan ViewCatalog::PlanRefresh(size_t pattern_rows,
+                                           const IdSet& new_universe) const {
+  Plan plan;
+  if (!enabled_ || !valid_) return plan;
+  plan.added = IdSet::Difference(new_universe, universe_);
+  plan.removed = IdSet::Difference(universe_, new_universe);
+  size_t churn = plan.added.size() + plan.removed.size();
+  plan.use_delta =
+      cost_.PreferDelta(churn, new_universe.size(), pattern_rows);
+  plan.fallback = !plan.use_delta;
+  return plan;
+}
+
+void ViewCatalog::ObserveDelta(double wall_ms, size_t churn_rows) {
+  cost_.ObserveDelta(wall_ms, churn_rows);
+}
+
+void ViewCatalog::ObserveRescan(double wall_ms, size_t pattern_rows) {
+  cost_.ObserveRescan(wall_ms, pattern_rows);
+}
+
+void ViewCatalog::Commit(const IdSet& universe, uint64_t ged_digest) {
+  universe_ = universe;
+  pairs_.SetDigest(ged_digest);
+  valid_ = true;
+}
+
+}  // namespace view
+}  // namespace midas

@@ -1,0 +1,88 @@
+#ifndef MIDAS_VIEW_VIEW_CATALOG_H_
+#define MIDAS_VIEW_VIEW_CATALOG_H_
+
+#include <cstdint>
+
+#include "midas/common/id_set.h"
+#include "midas/view/cost_model.h"
+#include "midas/view/pair_distance_view.h"
+
+namespace midas {
+namespace view {
+
+/// Per-round accounting of the incremental-view machinery, surfaced in
+/// MaintenanceStats, flight records and the midas_view_* metrics.
+struct ViewRoundReport {
+  bool used_delta = false;   ///< refresh ran the delta-apply path
+  bool fallback = false;     ///< views were usable but rescan was chosen
+  size_t delta_rows = 0;     ///< patterns maintained by delta propagation
+  size_t rescan_rows = 0;    ///< patterns fully recomputed from scratch
+};
+
+/// Registry of the engine's incrementally-maintained materialized views:
+///
+///   - per-pattern coverage IdSets + scov (delta-applied from the
+///     evaluation-universe churn Δ⁺/Δ⁻ instead of re-running VF2 on
+///     survivors);
+///   - per-pattern label-coverage accumulators (lcov numerators, dirtied
+///     only by patterns whose edge-label pairs intersect the batch's
+///     changed pairs);
+///   - the pairwise distance memo behind diversity/score refreshes and the
+///     swap loop (PairDistanceView).
+///
+/// The *data* of the first two views lives inside CannedPattern (coverage,
+/// lcov_count) — the catalog owns their validity, the base universe the
+/// next delta is computed against, the cost model that picks delta vs
+/// rescan, and the per-round report. The existing full-recompute path
+/// (RefreshAllPatternMetrics) is kept as the oracle: both paths produce
+/// bit-identical bytes, so the strategy choice is free to be heuristic.
+class ViewCatalog {
+ public:
+  /// The plan for one round's metric refresh, produced by PlanRefresh.
+  struct Plan {
+    bool use_delta = false;
+    bool fallback = false;  ///< valid view, but the cost model chose rescan
+    IdSet added;            ///< universe ids that entered since last commit
+    IdSet removed;          ///< universe ids that left since last commit
+  };
+
+  explicit ViewCatalog(bool enabled) : enabled_(enabled) {}
+
+  bool enabled() const { return enabled_; }
+  /// True when the committed base state can seed a delta-apply (false after
+  /// Initialize/LoadPatterns/restore until the first full refresh commits).
+  bool valid() const { return valid_; }
+
+  /// Drops every view: the next round rescans and re-seeds. Called whenever
+  /// pattern state is replaced wholesale (LoadPatterns, derived-state
+  /// rebuilds, snapshot restore).
+  void Invalidate();
+
+  /// Decides this round's strategy against the new evaluation universe.
+  /// The churn driving the cost model is |added| + |removed| universe ids.
+  Plan PlanRefresh(size_t pattern_rows, const IdSet& new_universe) const;
+
+  /// Cost-model feedback from the executed refresh.
+  void ObserveDelta(double wall_ms, size_t churn_rows);
+  void ObserveRescan(double wall_ms, size_t pattern_rows);
+
+  /// Commits the round's base state: the universe subsequent plans delta
+  /// against, and the GED feature digest the pair view is valid for.
+  /// Marks the catalog valid.
+  void Commit(const IdSet& universe, uint64_t ged_digest);
+
+  PairDistanceView& pair_view() { return pairs_; }
+  const ViewCostModel& cost_model() const { return cost_; }
+
+ private:
+  bool enabled_;
+  bool valid_ = false;
+  IdSet universe_;  ///< committed evaluation universe (delta base)
+  ViewCostModel cost_;
+  PairDistanceView pairs_;
+};
+
+}  // namespace view
+}  // namespace midas
+
+#endif  // MIDAS_VIEW_VIEW_CATALOG_H_
